@@ -1,0 +1,99 @@
+// Ablation: host attribute representations — the mechanism behind the
+// xFir/xBIRD asymmetry in Fig. 4. Fir (FRR-like) decomposes attributes into
+// host-order structs: cheap accessors, expensive neutral-form conversion at
+// the xBGP API boundary. Wren (BIRD-like) keeps wire blobs: near-free
+// conversion, costlier accessors.
+#include <benchmark/benchmark.h>
+
+#include "bgp/codec.hpp"
+#include "harness/workload.hpp"
+#include "hosts/fir/fir_core.hpp"
+#include "hosts/wren/wren_core.hpp"
+
+namespace {
+
+using namespace xb;
+using hosts::fir::FirCore;
+using hosts::wren::WrenCore;
+
+const std::vector<bgp::AttributeSet>& neutral_sets() {
+  static const std::vector<bgp::AttributeSet> sets = [] {
+    harness::WorkloadParams params;
+    params.route_count = 20'000;
+    const auto w = harness::make_workload(params);
+    std::vector<bgp::AttributeSet> out;
+    for (const auto& wire : w.updates) {
+      const auto frame = bgp::try_frame(wire);
+      out.push_back(bgp::decode_update(frame->body).attrs);
+    }
+    return out;
+  }();
+  return sets;
+}
+
+template <typename Core>
+void BM_FromWire(benchmark::State& state) {
+  const auto& sets = neutral_sets();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Core::from_wire(sets[i++ % sets.size()], {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FromWire<FirCore>)->Name("BM_FromWire/Fir");
+BENCHMARK(BM_FromWire<WrenCore>)->Name("BM_FromWire/Wren");
+
+template <typename Core>
+void BM_GetAttrNeutral(benchmark::State& state) {
+  // The xBGP get_attr path: internal representation -> neutral wire form.
+  const auto& sets = neutral_sets();
+  std::vector<typename Core::Attrs> attrs;
+  for (const auto& s : sets) attrs.push_back(Core::from_wire(s, {}));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = attrs[i++ % attrs.size()];
+    benchmark::DoNotOptimize(Core::get_attr(a, bgp::attr_code::kAsPath));
+    benchmark::DoNotOptimize(Core::get_attr(a, bgp::attr_code::kNextHop));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_GetAttrNeutral<FirCore>)->Name("BM_GetAttrNeutral/Fir");
+BENCHMARK(BM_GetAttrNeutral<WrenCore>)->Name("BM_GetAttrNeutral/Wren");
+
+template <typename Core>
+void BM_DecisionAccessors(benchmark::State& state) {
+  // What the decision process reads per candidate route.
+  const auto& sets = neutral_sets();
+  std::vector<typename Core::Attrs> attrs;
+  for (const auto& s : sets) attrs.push_back(Core::from_wire(s, {}));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = attrs[i++ % attrs.size()];
+    benchmark::DoNotOptimize(Core::local_pref_or(a, 100));
+    benchmark::DoNotOptimize(Core::as_path_length(a));
+    benchmark::DoNotOptimize(Core::origin(a));
+    benchmark::DoNotOptimize(Core::med(a));
+    benchmark::DoNotOptimize(Core::first_asn(a));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecisionAccessors<FirCore>)->Name("BM_DecisionAccessors/Fir");
+BENCHMARK(BM_DecisionAccessors<WrenCore>)->Name("BM_DecisionAccessors/Wren");
+
+template <typename Core>
+void BM_EncodeNative(benchmark::State& state) {
+  const auto& sets = neutral_sets();
+  std::vector<typename Core::Attrs> attrs;
+  for (const auto& s : sets) attrs.push_back(Core::from_wire(s, {}));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    util::ByteWriter w;
+    Core::encode_native(attrs[i++ % attrs.size()], w);
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeNative<FirCore>)->Name("BM_EncodeNative/Fir");
+BENCHMARK(BM_EncodeNative<WrenCore>)->Name("BM_EncodeNative/Wren");
+
+}  // namespace

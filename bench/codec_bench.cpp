@@ -1,0 +1,62 @@
+// Ablation: message codec throughput — the substrate cost every experiment
+// pays for each UPDATE on the wire.
+#include <benchmark/benchmark.h>
+
+#include "bgp/codec.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using namespace xb;
+
+const harness::Workload& workload() {
+  static const harness::Workload w = [] {
+    harness::WorkloadParams params;
+    params.route_count = 50'000;
+    return harness::make_workload(params);
+  }();
+  return w;
+}
+
+void BM_DecodeUpdate(benchmark::State& state) {
+  const auto& w = workload();
+  std::size_t i = 0;
+  std::size_t prefixes = 0;
+  for (auto _ : state) {
+    const auto& wire = w.updates[i++ % w.updates.size()];
+    const auto frame = bgp::try_frame(wire);
+    auto update = bgp::decode_update(frame->body);
+    prefixes += update.nlri.size();
+    benchmark::DoNotOptimize(update);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(prefixes));
+}
+BENCHMARK(BM_DecodeUpdate);
+
+void BM_EncodeUpdate(benchmark::State& state) {
+  const auto& w = workload();
+  // Pre-decode a pool of updates to re-encode.
+  std::vector<bgp::UpdateMessage> updates;
+  for (std::size_t i = 0; i < 512 && i < w.updates.size(); ++i) {
+    const auto frame = bgp::try_frame(w.updates[i]);
+    updates.push_back(bgp::decode_update(frame->body));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::encode_update(updates[i++ % updates.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeUpdate);
+
+void BM_FrameScan(benchmark::State& state) {
+  const auto& w = workload();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::try_frame(w.updates[i++ % w.updates.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameScan);
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Fig. 4 (left series): performance impact of running BGP route reflection
+// as extension bytecode versus native code, on both host implementations.
+//
+// Reproduces §3.2: the Fig. 3 testbed (upstream -> DUT -> downstream, iBGP
+// on both links), a full-table feed, measuring the delay between the first
+// announcement and the last prefix arriving downstream. The paper reports
+// the relative impact of extension vs native over 15 runs at 724k routes;
+// defaults here are scaled for CI-sized machines and can be raised:
+//
+//   ./fig4_route_reflection [routes] [runs]     (e.g. 724000 15)
+//
+// Expected shape: extension slower than native on both hosts but within
+// +20%; xFir overhead above xWren's because Fir converts representations at
+// the API boundary (paper §2.1).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "extensions/route_reflection.hpp"
+#include "harness/stats.hpp"
+#include "harness/testbed.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+using namespace xb;
+
+namespace {
+
+/// Baseline per-neighbour policy, present in BOTH modes (production routers
+/// always evaluate route-maps/filters; only the reflection logic differs).
+const bgp::policy::RouteMap& import_policy() {
+  static const auto map = bgp::policy::standard_import_policy();
+  return map;
+}
+const bgp::policy::RouteMap& export_policy() {
+  static const auto map = bgp::policy::standard_export_policy();
+  return map;
+}
+
+template <typename Dut>
+double one_run(const harness::Workload& workload, bool use_extension) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  typename Dut::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  cfg.native_route_reflector = !use_extension;
+  cfg.import_policy = &import_policy();
+  cfg.export_policy = &export_policy();
+  Dut dut(loop, cfg);
+  if (use_extension) dut.load_extensions(ext::route_reflection_manifest());
+  harness::Testbed<Dut> bed(loop, dut, plan);
+  bed.establish();
+  return bed.run(workload, workload.prefix_count);
+}
+
+template <typename Dut>
+void measure(const char* label, const harness::Workload& workload, std::size_t runs) {
+  // Untimed warm-up of both configurations (first-touch page faults, cache
+  // warm-up) so the timed runs compare steady states.
+  (void)one_run<Dut>(workload, false);
+  (void)one_run<Dut>(workload, true);
+  std::vector<double> native, extension;
+  for (std::size_t i = 0; i < runs; ++i) {
+    native.push_back(one_run<Dut>(workload, false));
+    extension.push_back(one_run<Dut>(workload, true));
+  }
+  const auto native_box = harness::boxplot(native);
+  const auto rel = harness::relative_impact(extension, native_box.median);
+  const auto box = harness::boxplot(rel);
+  std::printf("%-10s native median %7.3fs | rel impact %%: min %+6.1f q1 %+6.1f "
+              "median %+6.1f q3 %+6.1f max %+6.1f\n",
+              label, native_box.median, box.min, box.q1, box.median, box.q3, box.max);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t routes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50'000;
+  const std::size_t runs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 5;
+
+  harness::WorkloadParams params;
+  params.route_count = routes;
+  params.with_local_pref = true;  // iBGP feed
+  const auto workload = harness::make_workload(params);
+
+  std::printf("Fig. 4 — Route Reflectors: extension bytecode vs native code\n");
+  std::printf("testbed: upstream -> DUT -> downstream, iBGP, %zu routes, %zu runs\n",
+              workload.prefix_count, runs);
+  std::printf("paper: 724k routes, 15 runs; extension within +20%% on both hosts\n\n");
+
+  measure<hosts::fir::FirRouter>("xFir", workload, runs);
+  measure<hosts::wren::WrenRouter>("xWren", workload, runs);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Ablation: VMM dispatch cost at an insertion point — empty chain (native
+// fast path), one program, and next() chains of growing depth. This is the
+// per-operation overhead every xBGP-compliant host pays.
+#include <benchmark/benchmark.h>
+
+#include "ebpf/assembler.hpp"
+#include "xbgp/vmm.hpp"
+
+namespace {
+
+using namespace xb;
+using namespace xb::xbgp;
+using ebpf::Assembler;
+using ebpf::Reg;
+
+/// No-op host: insertion-point dispatch only.
+class NullHost : public HostApi {
+ public:
+  bool peer_info(const ExecContext&, PeerInfo& out) override {
+    out = PeerInfo{};
+    return true;
+  }
+  bool src_peer_info(const ExecContext&, PeerInfo& out) override {
+    out = PeerInfo{};
+    return true;
+  }
+  std::optional<bgp::WireAttr> get_attr(const ExecContext&, std::uint8_t) override {
+    return std::nullopt;
+  }
+  bool set_attr(ExecContext&, bgp::WireAttr) override { return true; }
+  bool add_attr(ExecContext&, bgp::WireAttr) override { return true; }
+  bool nexthop_info(const ExecContext&, NexthopInfo& out) override {
+    out = NexthopInfo{};
+    return true;
+  }
+  std::span<const std::uint8_t> get_xtra(std::string_view) override { return {}; }
+  bool write_buf(ExecContext&, std::span<const std::uint8_t>) override { return true; }
+  bool rib_add_route(const util::Prefix&, util::Ipv4Addr) override { return true; }
+  std::optional<util::Ipv4Addr> rib_lookup(const util::Prefix&) override {
+    return std::nullopt;
+  }
+  bool set_route_meta(ExecContext&, std::uint32_t) override { return true; }
+  std::optional<std::uint32_t> get_route_meta(const ExecContext&) override { return 0; }
+  void notify_extension_fault(Op, std::string_view, std::string_view) override {}
+  void ebpf_print(std::string_view) override {}
+};
+
+ebpf::Program accept_program(const char* name) {
+  Assembler a;
+  a.mov64(Reg::R0, 1);
+  a.exit_();
+  return a.build(name);
+}
+
+ebpf::Program next_program(const char* name) {
+  Assembler a;
+  a.call(helper::kNext);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  return a.build(name);
+}
+
+void BM_DispatchEmptyChain(benchmark::State& state) {
+  NullHost host;
+  Vmm vmm(host);
+  ExecContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vmm.execute(Op::kInboundFilter, ctx, [] { return kFilterAccept; }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchEmptyChain);
+
+void BM_DispatchOneProgram(benchmark::State& state) {
+  NullHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("accept", Op::kInboundFilter, accept_program("accept"));
+  vmm.load(m);
+  ExecContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vmm.execute(Op::kInboundFilter, ctx, [] { return kFilterAccept; }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchOneProgram);
+
+void BM_DispatchNextChain(benchmark::State& state) {
+  NullHost host;
+  Vmm vmm(host);
+  Manifest m;
+  const auto depth = state.range(0);
+  for (std::int64_t i = 0; i < depth; ++i) {
+    m.attach("hop" + std::to_string(i), Op::kInboundFilter,
+             next_program(("hop" + std::to_string(i)).c_str()), static_cast<int>(i));
+  }
+  m.attach("final", Op::kInboundFilter, accept_program("final"),
+           static_cast<int>(depth));
+  vmm.load(m);
+  ExecContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vmm.execute(Op::kInboundFilter, ctx, [] { return kFilterAccept; }));
+  }
+  state.SetItemsProcessed(state.iterations() * (depth + 1));
+}
+BENCHMARK(BM_DispatchNextChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DispatchFaultFallback(benchmark::State& state) {
+  NullHost host;
+  Vmm vmm(host);
+  Assembler a;
+  a.lddw(Reg::R1, 0x100);
+  a.ldxdw(Reg::R0, Reg::R1, 0);  // faults every run
+  a.exit_();
+  Manifest m;
+  m.attach("crashy", Op::kInboundFilter, a.build("crashy"));
+  vmm.load(m);
+  ExecContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vmm.execute(Op::kInboundFilter, ctx, [] { return kFilterAccept; }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchFaultFallback);
+
+}  // namespace

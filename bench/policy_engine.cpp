@@ -1,0 +1,100 @@
+// Ablation: per-route cost of the interpreted policy machinery (route-maps)
+// that both hosts' native paths evaluate — the baseline work against which
+// extension overhead is relative in Fig. 4.
+#include <benchmark/benchmark.h>
+
+#include "bgp/codec.hpp"
+#include "bgp/policy.hpp"
+#include "harness/workload.hpp"
+#include "hosts/fir/fir_core.hpp"
+#include "hosts/wren/wren_core.hpp"
+#include "rpki/roa_trie.hpp"
+#include "rpki/rtr_client.hpp"
+
+namespace {
+
+using namespace xb;
+using namespace xb::bgp::policy;
+
+struct Fixture {
+  harness::Workload workload;
+  std::vector<hosts::fir::FirAttrs> attrs;
+  rpki::RoaTrie trie;
+  std::unique_ptr<rpki::LockedRoaTable> locked;
+
+  Fixture() {
+    harness::WorkloadParams params;
+    params.route_count = 20'000;
+    workload = harness::make_workload(params);
+    for (const auto& wire : workload.updates) {
+      const auto frame = bgp::try_frame(wire);
+      attrs.push_back(
+          hosts::fir::FirCore::from_wire(bgp::decode_update(frame->body).attrs, {}));
+    }
+    rpki::fill_table(trie, rpki::make_roa_set(workload.routes, rpki::RoaSetParams{}));
+    locked = std::make_unique<rpki::LockedRoaTable>(trie);
+  }
+
+  RouteFacts facts_at(std::size_t i, std::vector<bgp::Asn>& path_scratch,
+                      std::vector<std::uint32_t>& comm_scratch) const {
+    const auto& a = attrs[i % attrs.size()];
+    RouteFacts facts;
+    facts.prefix = workload.routes[i % workload.routes.size()].prefix;
+    facts.origin_asn = hosts::fir::FirCore::origin_asn(a);
+    hosts::fir::FirCore::flatten_as_path(a, path_scratch);
+    facts.as_path = path_scratch;
+    hosts::fir::FirCore::communities_of(a, comm_scratch);
+    facts.communities = comm_scratch;
+    facts.local_pref = 100;
+    return facts;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_StandardImportEvaluation(benchmark::State& state) {
+  auto& f = fixture();
+  const auto map = standard_import_policy();
+  std::vector<bgp::Asn> paths;
+  std::vector<std::uint32_t> comms;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto facts = f.facts_at(i++, paths, comms);
+    benchmark::DoNotOptimize(map.evaluate(facts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StandardImportEvaluation);
+
+void BM_ImportWithRpkiClause(benchmark::State& state) {
+  auto& f = fixture();
+  const auto map = standard_import_policy(f.locked.get());
+  std::vector<bgp::Asn> paths;
+  std::vector<std::uint32_t> comms;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto facts = f.facts_at(i++, paths, comms);
+    benchmark::DoNotOptimize(map.evaluate(facts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ImportWithRpkiClause);
+
+void BM_StandardExportEvaluation(benchmark::State& state) {
+  auto& f = fixture();
+  const auto map = standard_export_policy();
+  std::vector<bgp::Asn> paths;
+  std::vector<std::uint32_t> comms;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto facts = f.facts_at(i++, paths, comms);
+    benchmark::DoNotOptimize(map.evaluate(facts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StandardExportEvaluation);
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Ablation: RTR (RFC 6810) synchronisation throughput — the cost of getting
+// a full ROA set into a router, which the paper's DUT sidestepped by
+// loading a file. Measures PDU codec throughput and full-table sync into
+// each ROA store.
+#include <benchmark/benchmark.h>
+
+#include "harness/workload.hpp"
+#include "rpki/loader.hpp"
+#include "rpki/roa_hash.hpp"
+#include "rpki/roa_lpfst.hpp"
+#include "rpki/roa_trie.hpp"
+#include "rpki/rtr_session.hpp"
+
+namespace {
+
+using namespace xb;
+using namespace xb::rpki;
+
+const std::vector<Roa>& roa_set() {
+  static const std::vector<Roa> roas = [] {
+    harness::WorkloadParams params;
+    params.route_count = 50'000;
+    const auto workload = harness::make_workload(params);
+    return make_roa_set(workload.routes, RoaSetParams{});
+  }();
+  return roas;
+}
+
+void BM_PduEncode(benchmark::State& state) {
+  const auto& roas = roa_set();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rtr::encode(rtr::Pdu{rtr::Ipv4Prefix{true, roas[i++ % roas.size()]}}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PduEncode);
+
+void BM_PduDecode(benchmark::State& state) {
+  const auto wire = rtr::encode(rtr::Pdu{rtr::Ipv4Prefix{true, roa_set().front()}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtr::try_decode(wire));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PduDecode);
+
+template <typename Store>
+void BM_FullSync(benchmark::State& state) {
+  const auto& roas = roa_set();
+  for (auto _ : state) {
+    net::EventLoop loop;
+    net::Duplex link(loop, 0);
+    rtr::CacheServer server(loop, 7);
+    // Seed before attaching so no notifies queue up per ROA.
+    std::vector<rtr::Delta> deltas;
+    deltas.reserve(roas.size());
+    for (const auto& roa : roas) deltas.push_back(rtr::Delta{true, roa});
+    server.apply(deltas);
+    server.attach(link.a());
+    Store table;
+    rtr::RtrClient client(loop, link.b(), table);
+    client.start();
+    loop.run_until_idle();
+    if (table.size() != roas.size()) state.SkipWithError("sync incomplete");
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * roas.size());
+}
+BENCHMARK(BM_FullSync<RoaTrie>)->Name("BM_RtrFullSync/Trie")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullSync<RoaHashTable>)->Name("BM_RtrFullSync/Hash")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullSync<LpfstRoaTable>)
+    ->Name("BM_RtrFullSync/Lpfst")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalUpdate(benchmark::State& state) {
+  // Steady-state: one announce propagating through notify/query/delta.
+  net::EventLoop loop;
+  net::Duplex link(loop, 0);
+  rtr::CacheServer server(loop, 7);
+  server.attach(link.a());
+  RoaHashTable table;
+  rtr::RtrClient client(loop, link.b(), table);
+  client.start();
+  loop.run_until_idle();
+  std::uint32_t n = 0;
+  for (auto _ : state) {
+    server.announce(Roa{util::Prefix(util::Ipv4Addr(0x14000000u + (n++ << 8)), 24), 24, 65001});
+    loop.run_until_idle();
+    benchmark::DoNotOptimize(client.serial());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalUpdate);
+
+}  // namespace

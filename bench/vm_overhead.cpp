@@ -1,0 +1,123 @@
+// Ablation: raw eBPF virtual-machine costs — interpreter dispatch, memory
+// bounds checking, helper-call overhead, verifier throughput. These are the
+// building blocks of the <20% end-to-end overhead in Fig. 4.
+#include <benchmark/benchmark.h>
+
+#include "ebpf/assembler.hpp"
+#include "ebpf/verifier.hpp"
+#include "ebpf/vm.hpp"
+
+namespace {
+
+using namespace xb::ebpf;
+
+// Tight ALU loop: measures instructions/second of the interpreter core.
+void BM_InterpreterAluLoop(benchmark::State& state) {
+  const auto iterations = static_cast<std::int32_t>(state.range(0));
+  Assembler a;
+  auto loop = a.make_label();
+  auto out = a.make_label();
+  a.mov64(Reg::R6, iterations);
+  a.mov64(Reg::R0, 0);
+  a.place(loop);
+  a.jeq(Reg::R6, 0, out);
+  a.add64(Reg::R0, Reg::R6);
+  a.xor64(Reg::R0, 12345);
+  a.sub64(Reg::R6, 1);
+  a.ja(loop);
+  a.place(out);
+  a.exit_();
+  const Program p = a.build("alu_loop");
+  Vm vm;
+  vm.set_instruction_budget(1'000'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.run(p).value);
+  }
+  state.SetItemsProcessed(state.iterations() * iterations * 5);  // ~5 insns/iter
+}
+BENCHMARK(BM_InterpreterAluLoop)->Arg(16)->Arg(256)->Arg(4096);
+
+// Bounds-checked loads from the stack region.
+void BM_InterpreterMemoryLoop(benchmark::State& state) {
+  Assembler a;
+  auto loop = a.make_label();
+  auto out = a.make_label();
+  a.mov64(Reg::R6, 256);
+  a.stdw(Reg::R10, -8, 42);
+  a.place(loop);
+  a.jeq(Reg::R6, 0, out);
+  a.ldxdw(Reg::R0, Reg::R10, -8);
+  a.stxdw(Reg::R10, -16, Reg::R0);
+  a.sub64(Reg::R6, 1);
+  a.ja(loop);
+  a.place(out);
+  a.exit_();
+  const Program p = a.build("mem_loop");
+  Vm vm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.run(p).value);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);  // loads + stores
+}
+BENCHMARK(BM_InterpreterMemoryLoop);
+
+// Cost of one helper call round trip.
+void BM_HelperCall(benchmark::State& state) {
+  Assembler a;
+  auto loop = a.make_label();
+  auto out = a.make_label();
+  a.mov64(Reg::R6, 64);
+  a.place(loop);
+  a.jeq(Reg::R6, 0, out);
+  a.call(1);
+  a.sub64(Reg::R6, 1);
+  a.ja(loop);
+  a.place(out);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  const Program p = a.build("helper_loop");
+  Vm vm;
+  vm.set_helper(1, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                      std::uint64_t) { return HelperResult::ok(1); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.run(p).value);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_HelperCall);
+
+// Bare invocation: entry + exit only (per-insertion-point floor).
+void BM_VmInvocationFloor(benchmark::State& state) {
+  Assembler a;
+  a.mov64(Reg::R0, 1);
+  a.exit_();
+  const Program p = a.build("floor");
+  Vm vm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.run(p).value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmInvocationFloor);
+
+// Verifier throughput on a program of configurable size.
+void BM_Verifier(benchmark::State& state) {
+  Assembler a;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    a.add64(Reg::R1, 1);
+    auto skip = a.make_label();
+    a.jne(Reg::R1, 0, skip);  // forward jump to the next instruction
+    a.place(skip);
+  }
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  const Program p = a.build("big");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Verifier::verify(p, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * p.insns().size());
+}
+BENCHMARK(BM_Verifier)->Arg(64)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,101 @@
+// GeoLoc (paper §2): the same four extension bytecodes run on two different
+// BGP implementations and add an unstandardised attribute end to end.
+//
+//   feeder (AS 64999)
+//      |  eBGP
+//   brussels (Fir, AS 65001, 50.85°N 4.35°E)   <- tags routes with GeoLoc
+//      |  iBGP
+//   tokyo (Wren, AS 65001, 35.68°N 139.69°E)   <- filters routes > threshold
+//
+// Brussels learns routes over eBGP and stamps them with its coordinates.
+// Tokyo's inbound filter rejects routes learned farther than the configured
+// distance, so the feeder's route is visible in brussels but not in tokyo.
+// With a generous threshold it passes. Run: ./geoloc
+
+#include <cstdio>
+
+#include "extensions/geoloc.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+using namespace xb;
+
+namespace {
+std::vector<std::uint8_t> coord_blob(std::int32_t lat_micro, std::int32_t lon_micro) {
+  std::vector<std::uint8_t> blob(8);
+  std::memcpy(blob.data(), &lat_micro, 4);
+  std::memcpy(blob.data() + 4, &lon_micro, 4);
+  return blob;
+}
+}  // namespace
+
+int main() {
+  net::EventLoop loop;
+
+  hosts::fir::FirRouter::Config bc;
+  bc.name = "brussels";
+  bc.asn = 65001;
+  bc.router_id = 0x0A000001;
+  bc.address = util::Ipv4Addr::parse("10.0.0.1");
+  hosts::fir::FirRouter brussels(loop, bc);
+  brussels.set_xtra(xbgp::xtra::kGeoCoord, coord_blob(50'850'000, 4'350'000));
+
+  hosts::wren::WrenRouter::Config tc;
+  tc.name = "tokyo";
+  tc.asn = 65001;
+  tc.router_id = 0x0A000002;
+  tc.address = util::Ipv4Addr::parse("10.0.0.2");
+  hosts::wren::WrenRouter tokyo(loop, tc);
+  tokyo.set_xtra(xbgp::xtra::kGeoCoord, coord_blob(35'680'000, 139'690'000));
+  // Threshold: ~20 degrees (in micro-degrees). Brussels->Tokyo is ~135° of
+  // longitude away, so the route is rejected.
+  tokyo.set_xtra_u32(xbgp::xtra::kGeoMaxDist, 20'000'000);
+
+  hosts::wren::WrenRouter::Config fc;
+  fc.name = "feeder";
+  fc.asn = 64999;
+  fc.router_id = 0x0A000003;
+  fc.address = util::Ipv4Addr::parse("10.0.0.3");
+  hosts::wren::WrenRouter feeder(loop, fc);
+
+  // The SAME bytecode artifacts load into the FRR-like and BIRD-like hosts.
+  brussels.load_extensions(ext::geoloc_manifest(/*with_distance_filter=*/true));
+  tokyo.load_extensions(ext::geoloc_manifest(/*with_distance_filter=*/true));
+
+  net::Duplex feed(loop, 1'000'000);
+  net::Duplex core(loop, 1'000'000);
+  feeder.add_peer(feed.a(), {.name = "brussels", .asn = 65001, .address = bc.address});
+  brussels.add_peer(feed.b(), {.name = "feeder", .asn = 64999, .address = fc.address});
+  brussels.add_peer(core.a(), {.name = "tokyo", .asn = 65001, .address = tc.address,
+                               .rr_client = true});
+  tokyo.add_peer(core.b(), {.name = "brussels", .asn = 65001, .address = bc.address});
+
+  // Route reflection is needed brussels->tokyo? No: the route is eBGP-learned
+  // at brussels, so plain iBGP propagation applies.
+  feeder.originate(util::Prefix::parse("203.0.113.0/24"));
+  feeder.start();
+  brussels.start();
+  tokyo.start();
+  loop.run_until(loop.now() + 2'000'000'000ull);
+
+  const auto* at_brussels = brussels.best(util::Prefix::parse("203.0.113.0/24"));
+  const auto* at_tokyo = tokyo.best(util::Prefix::parse("203.0.113.0/24"));
+
+  std::printf("route at brussels: %s\n", at_brussels ? "present" : "absent");
+  if (at_brussels) {
+    auto geoloc = hosts::fir::FirCore::get_attr(*at_brussels->attrs, bgp::attr_code::kGeoLoc);
+    if (geoloc) {
+      auto parsed = bgp::parse_geoloc(*geoloc);
+      std::printf("  GeoLoc stamped by extension: lat=%.3f lon=%.3f\n",
+                  parsed->lat_microdeg / 1e6, parsed->lon_microdeg / 1e6);
+    } else {
+      std::printf("  (no GeoLoc attribute!)\n");
+    }
+  }
+  std::printf("route at tokyo:    %s (distance filter, threshold 20 deg)\n",
+              at_tokyo ? "present" : "rejected");
+
+  const bool ok = at_brussels != nullptr && at_tokyo == nullptr;
+  std::printf("%s\n", ok ? "geoloc example OK" : "geoloc example FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// RPKI origin validation (paper §3.4) on the Fig. 3 testbed.
+//
+// The DUT loads a ROA file built so that 75% of the injected prefixes are
+// Valid; the extension checks the origin of every prefix but — like the
+// paper's test — does not discard the invalid ones. The example runs the
+// *same* two bytecodes (ov_init builds the hash table, ov_inbound validates)
+// on both the FRR-like and the BIRD-like host and compares the resulting
+// validation-state counters against each host's native implementation.
+//
+// Run: ./origin_validation [route_count]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "extensions/origin_validation.hpp"
+#include "harness/testbed.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+using namespace xb;
+
+namespace {
+
+struct OvCounts {
+  std::uint64_t valid = 0, invalid = 0, not_found = 0;
+};
+
+template <typename Dut>
+OvCounts run(const harness::Workload& workload, const std::vector<rpki::Roa>& roas,
+             bool use_extension, const rpki::RoaTable* native_table) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ebgp_plan();
+  typename Dut::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  if (!use_extension) cfg.roa_table = native_table;
+  Dut dut(loop, cfg);
+  if (use_extension) {
+    dut.set_xtra(xbgp::xtra::kRoaTable, harness::pack_roa_blob(roas));
+    dut.load_extensions(ext::origin_validation_manifest(roas.size()));
+  }
+  harness::Testbed<Dut> bed(loop, dut, plan);
+  bed.establish();
+  bed.run(workload, workload.prefix_count);
+  return OvCounts{dut.stats().ov_valid, dut.stats().ov_invalid, dut.stats().ov_not_found};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t routes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20'000;
+
+  harness::WorkloadParams params;
+  params.route_count = routes;
+  const auto workload = harness::make_workload(params);
+
+  rpki::RoaSetParams roa_params;  // 75% valid, like the paper
+  const auto roas = rpki::make_roa_set(workload.routes, roa_params);
+
+  rpki::RoaTrie trie;        // FRR-native structure
+  rpki::RoaHashTable hash;   // BIRD-native structure
+  rpki::fill_table(trie, roas);
+  rpki::fill_table(hash, roas);
+
+  std::printf("%zu routes, %zu ROAs (75%% of prefixes valid)\n\n", workload.prefix_count,
+              roas.size());
+  std::printf("%-28s %10s %10s %10s\n", "configuration", "valid", "invalid", "not-found");
+
+  const auto print = [](const char* label, const OvCounts& counts) {
+    std::printf("%-28s %10llu %10llu %10llu\n", label,
+                static_cast<unsigned long long>(counts.valid),
+                static_cast<unsigned long long>(counts.invalid),
+                static_cast<unsigned long long>(counts.not_found));
+  };
+
+  const auto fir_native = run<hosts::fir::FirRouter>(workload, roas, false, &trie);
+  print("Fir   native (trie)", fir_native);
+  const auto fir_ext = run<hosts::fir::FirRouter>(workload, roas, true, nullptr);
+  print("xFir  extension (hash)", fir_ext);
+  const auto wren_native = run<hosts::wren::WrenRouter>(workload, roas, false, &hash);
+  print("Wren  native (hash)", wren_native);
+  const auto wren_ext = run<hosts::wren::WrenRouter>(workload, roas, true, nullptr);
+  print("xWren extension (hash)", wren_ext);
+
+  const bool agree = fir_native.valid == fir_ext.valid && fir_ext.valid == wren_native.valid &&
+                     wren_native.valid == wren_ext.valid &&
+                     fir_native.invalid == fir_ext.invalid &&
+                     fir_ext.invalid == wren_ext.invalid;
+  const double valid_fraction =
+      static_cast<double>(fir_native.valid) / static_cast<double>(workload.prefix_count);
+  std::printf("\nall four configurations agree: %s; valid fraction: %.1f%%\n",
+              agree ? "yes" : "NO", 100.0 * valid_fraction);
+  const bool ok = agree && valid_fraction > 0.70 && valid_fraction < 0.80;
+  std::printf("%s\n", ok ? "origin validation example OK" : "origin validation example FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Quickstart: three xBGP-compliant routers from *different* implementations
+// (Fir ~ FRRouting internals, Wren ~ BIRD internals) exchange routes; then
+// extension bytecode is loaded into the middle router at runtime and changes
+// its export behaviour — no vendor involvement, no standardisation wait.
+//
+//   edge (Wren, AS 65003) --eBGP-- fir (AS 65001) --eBGP-- wren (AS 65002)
+//
+// The edge router originates 203.0.113.0/24. Fir re-exports it to wren
+// until the Listing-1 IGP-cost export filter is loaded: the IGP metric from
+// fir to the route's nexthop (the edge router) is 100, above the configured
+// max_metric of 5, so the route is withdrawn from wren.
+//
+// Run: ./quickstart
+
+#include <cstdio>
+
+#include "extensions/igp_filter.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+using namespace xb;
+
+int main() {
+  net::EventLoop loop;
+
+  // IGP substrate: fir -- wren costs 10, fir -- edge costs 100 (a backup
+  // long-haul link, like the paper's transatlantic example).
+  igp::Graph graph;
+  const auto fir_node = graph.add_node(util::Ipv4Addr::parse("10.0.0.1"), "fir");
+  const auto wren_node = graph.add_node(util::Ipv4Addr::parse("10.0.0.2"), "wren");
+  const auto edge_node = graph.add_node(util::Ipv4Addr::parse("10.0.0.3"), "edge");
+  graph.add_link(fir_node, wren_node, 10);
+  graph.add_link(fir_node, edge_node, 100);
+  igp::IgpTable fir_igp(graph, fir_node);
+
+  hosts::fir::FirRouter::Config fc;
+  fc.name = "fir";
+  fc.asn = 65001;
+  fc.router_id = 0x0A000001;
+  fc.address = util::Ipv4Addr::parse("10.0.0.1");
+  fc.igp = &fir_igp;
+  hosts::fir::FirRouter fir(loop, fc);
+
+  hosts::wren::WrenRouter::Config wc;
+  wc.name = "wren";
+  wc.asn = 65002;
+  wc.router_id = 0x0A000002;
+  wc.address = util::Ipv4Addr::parse("10.0.0.2");
+  hosts::wren::WrenRouter wren(loop, wc);
+
+  hosts::wren::WrenRouter::Config ec;
+  ec.name = "edge";
+  ec.asn = 65003;
+  ec.router_id = 0x0A000003;
+  ec.address = util::Ipv4Addr::parse("10.0.0.3");
+  hosts::wren::WrenRouter edge(loop, ec);
+
+  net::Duplex fir_wren(loop, 1'000'000);   // 1 ms links
+  net::Duplex fir_edge(loop, 1'000'000);
+  fir.add_peer(fir_wren.a(), {.name = "wren", .asn = 65002, .address = wc.address});
+  wren.add_peer(fir_wren.b(), {.name = "fir", .asn = 65001, .address = fc.address});
+  fir.add_peer(fir_edge.a(), {.name = "edge", .asn = 65003, .address = ec.address});
+  edge.add_peer(fir_edge.b(), {.name = "fir", .asn = 65001, .address = fc.address});
+
+  // [1] Plain BGP: the edge route reaches wren through fir.
+  edge.originate(util::Prefix::parse("203.0.113.0/24"));
+  fir.start();
+  wren.start();
+  edge.start();
+  loop.run_until(loop.now() + 2'000'000'000ull);
+  std::printf("[1] plain BGP: wren Loc-RIB holds %zu route(s)\n", wren.loc_rib_size());
+
+  // [2] Program the router at runtime: load the Listing-1 export filter into
+  // fir, then announce a second prefix. It reaches fir but is filtered on
+  // the export towards wren (nexthop metric 100 > max_metric 5).
+  fir.set_xtra_u32(xbgp::xtra::kMaxMetric, 5);
+  fir.load_extensions(ext::igp_filter_manifest());
+
+  edge.originate(util::Prefix::parse("198.51.100.0/24"));
+  loop.run_until(loop.now() + 2'000'000'000ull);
+  std::printf("[2] with igp_filter (max_metric=5): fir Loc-RIB holds %zu route(s), "
+              "wren Loc-RIB holds %zu route(s)\n",
+              fir.loc_rib_size(), wren.loc_rib_size());
+
+  const auto& stats = fir.vmm().stats();
+  std::printf("[3] fir VMM stats: %llu invocations, %llu handled by extension, "
+              "%llu next() yields, %llu faults\n",
+              static_cast<unsigned long long>(stats.invocations),
+              static_cast<unsigned long long>(stats.extension_handled),
+              static_cast<unsigned long long>(stats.next_yields),
+              static_cast<unsigned long long>(stats.faults));
+
+  // Expected: fir accepted both prefixes, wren only saw the pre-filter one.
+  const bool ok = fir.loc_rib_size() == 2 && wren.loc_rib_size() == 1;
+  std::printf("%s\n", ok ? "quickstart OK" : "quickstart FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+#include "bgp/aspath.hpp"
+
+namespace xb::bgp {
+
+namespace {
+// Each AS_SEQUENCE segment carries at most 255 members on the wire.
+constexpr std::size_t kMaxSegmentLen = 255;
+}  // namespace
+
+AsPath::AsPath(std::vector<Asn> sequence) {
+  if (!sequence.empty()) {
+    segments_.push_back(AsSegment{SegmentType::kAsSequence, std::move(sequence)});
+  }
+}
+
+void AsPath::prepend(Asn asn) {
+  if (segments_.empty() || segments_.front().type != SegmentType::kAsSequence ||
+      segments_.front().asns.size() >= kMaxSegmentLen) {
+    segments_.insert(segments_.begin(), AsSegment{SegmentType::kAsSequence, {asn}});
+    return;
+  }
+  auto& seq = segments_.front().asns;
+  seq.insert(seq.begin(), asn);
+}
+
+std::size_t AsPath::length() const noexcept {
+  std::size_t len = 0;
+  for (const auto& seg : segments_) {
+    len += seg.type == SegmentType::kAsSequence ? seg.asns.size() : 1;
+  }
+  return len;
+}
+
+bool AsPath::contains(Asn asn) const noexcept {
+  for (const auto& seg : segments_) {
+    for (Asn a : seg.asns) {
+      if (a == asn) return true;
+    }
+  }
+  return false;
+}
+
+bool AsPath::contains_adjacent_pair(Asn first, Asn second) const noexcept {
+  std::optional<Asn> prev;
+  for (const auto& seg : segments_) {
+    if (seg.type != SegmentType::kAsSequence) {
+      prev.reset();  // adjacency through an AS_SET is undefined
+      continue;
+    }
+    for (Asn a : seg.asns) {
+      if (prev && *prev == first && a == second) return true;
+      prev = a;
+    }
+  }
+  return false;
+}
+
+std::optional<Asn> AsPath::first_asn() const noexcept {
+  if (segments_.empty()) return std::nullopt;
+  const auto& seg = segments_.front();
+  if (seg.type != SegmentType::kAsSequence || seg.asns.empty()) return std::nullopt;
+  return seg.asns.front();
+}
+
+std::optional<Asn> AsPath::origin_asn() const noexcept {
+  if (segments_.empty()) return std::nullopt;
+  const auto& seg = segments_.back();
+  if (seg.type != SegmentType::kAsSequence || seg.asns.empty()) return std::nullopt;
+  return seg.asns.back();
+}
+
+std::vector<Asn> AsPath::flatten() const {
+  std::vector<Asn> out;
+  for (const auto& seg : segments_) out.insert(out.end(), seg.asns.begin(), seg.asns.end());
+  return out;
+}
+
+WireAttr AsPath::to_attr() const {
+  std::vector<std::uint8_t> value;
+  for (const auto& seg : segments_) {
+    value.push_back(static_cast<std::uint8_t>(seg.type));
+    value.push_back(static_cast<std::uint8_t>(seg.asns.size()));
+    for (Asn a : seg.asns) {
+      value.push_back(static_cast<std::uint8_t>(a >> 24));
+      value.push_back(static_cast<std::uint8_t>(a >> 16));
+      value.push_back(static_cast<std::uint8_t>(a >> 8));
+      value.push_back(static_cast<std::uint8_t>(a));
+    }
+  }
+  return WireAttr{attr_flag::kTransitive, attr_code::kAsPath, std::move(value)};
+}
+
+std::optional<AsPath> AsPath::from_attr(const WireAttr& attr) {
+  AsPath path;
+  std::size_t i = 0;
+  const auto& v = attr.value;
+  while (i < v.size()) {
+    if (i + 2 > v.size()) return std::nullopt;
+    const auto type = v[i];
+    const std::size_t count = v[i + 1];
+    i += 2;
+    if (type != 1 && type != 2) return std::nullopt;
+    if (count == 0 || i + count * 4 > v.size()) return std::nullopt;
+    AsSegment seg;
+    seg.type = static_cast<SegmentType>(type);
+    seg.asns.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      seg.asns.push_back((static_cast<Asn>(v[i]) << 24) | (static_cast<Asn>(v[i + 1]) << 16) |
+                         (static_cast<Asn>(v[i + 2]) << 8) | v[i + 3]);
+      i += 4;
+    }
+    path.segments_.push_back(std::move(seg));
+  }
+  return path;
+}
+
+}  // namespace xb::bgp

@@ -1,0 +1,72 @@
+// AS_PATH attribute: segment model, wire codec, and path predicates.
+//
+// AS numbers are carried as 4 octets (RFC 6793 "4-octet AS" encoding is the
+// only one this library speaks; all simulated speakers are AS4-capable).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/attr.hpp"
+#include "bgp/types.hpp"
+
+namespace xb::bgp {
+
+enum class SegmentType : std::uint8_t {
+  kAsSet = 1,
+  kAsSequence = 2,
+};
+
+struct AsSegment {
+  SegmentType type = SegmentType::kAsSequence;
+  std::vector<Asn> asns;
+
+  friend bool operator==(const AsSegment&, const AsSegment&) = default;
+};
+
+class AsPath {
+ public:
+  AsPath() = default;
+  /// Convenience: a single AS_SEQUENCE.
+  explicit AsPath(std::vector<Asn> sequence);
+
+  /// Prepends `asn` to the leading AS_SEQUENCE (creating one if needed) —
+  /// what a speaker does when propagating over eBGP (RFC 4271 §5.1.2).
+  void prepend(Asn asn);
+
+  /// Path length as used by the decision process: each sequence member
+  /// counts 1, each AS_SET counts 1 in total (RFC 4271 §9.1.2.2.a).
+  [[nodiscard]] std::size_t length() const noexcept;
+
+  [[nodiscard]] bool contains(Asn asn) const noexcept;
+
+  /// True if `first` is immediately followed by `second` somewhere in the
+  /// flattened sequence — the §3.3 valley-free check consumes this shape.
+  [[nodiscard]] bool contains_adjacent_pair(Asn first, Asn second) const noexcept;
+
+  /// First (most recently prepended) AS, i.e. the neighbour the route came
+  /// from; nullopt for empty (locally originated iBGP) paths.
+  [[nodiscard]] std::optional<Asn> first_asn() const noexcept;
+  /// Last AS in the path — the route's origin AS; nullopt when the path ends
+  /// in an AS_SET (aggregated route with ambiguous origin) or is empty.
+  [[nodiscard]] std::optional<Asn> origin_asn() const noexcept;
+
+  /// Flattened ASNs in path order (sets flattened in member order).
+  [[nodiscard]] std::vector<Asn> flatten() const;
+
+  [[nodiscard]] const std::vector<AsSegment>& segments() const noexcept { return segments_; }
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+
+  /// AS_PATH attribute value bytes <-> model.
+  [[nodiscard]] WireAttr to_attr() const;
+  static std::optional<AsPath> from_attr(const WireAttr& attr);
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<AsSegment> segments_;
+};
+
+}  // namespace xb::bgp

@@ -1,0 +1,197 @@
+#include "bgp/attr.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace xb::bgp {
+
+void AttributeSet::put(WireAttr attr) {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), attr.code,
+                             [](const WireAttr& a, std::uint8_t code) { return a.code < code; });
+  if (it != attrs_.end() && it->code == attr.code) {
+    *it = std::move(attr);
+  } else {
+    attrs_.insert(it, std::move(attr));
+  }
+}
+
+bool AttributeSet::remove(std::uint8_t code) {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), code,
+                             [](const WireAttr& a, std::uint8_t c) { return a.code < c; });
+  if (it == attrs_.end() || it->code != code) return false;
+  attrs_.erase(it);
+  return true;
+}
+
+const WireAttr* AttributeSet::find(std::uint8_t code) const noexcept {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), code,
+                             [](const WireAttr& a, std::uint8_t c) { return a.code < c; });
+  if (it == attrs_.end() || it->code != code) return nullptr;
+  return &*it;
+}
+
+void AttributeSet::encode_one(util::ByteWriter& w, const WireAttr& attr) {
+  std::uint8_t flags = attr.flags;
+  const bool extended = attr.value.size() > 255;
+  if (extended) {
+    flags |= attr_flag::kExtendedLength;
+  } else {
+    flags &= static_cast<std::uint8_t>(~attr_flag::kExtendedLength);
+  }
+  w.u8(flags);
+  w.u8(attr.code);
+  if (extended) {
+    w.u16(static_cast<std::uint16_t>(attr.value.size()));
+  } else {
+    w.u8(static_cast<std::uint8_t>(attr.value.size()));
+  }
+  w.bytes(attr.value);
+}
+
+void AttributeSet::encode(util::ByteWriter& w) const {
+  for (const auto& attr : attrs_) encode_one(w, attr);
+}
+
+AttributeSet AttributeSet::decode(util::ByteReader& r, std::size_t len) {
+  AttributeSet out;
+  util::ByteReader body = r.sub(len);
+  while (!body.empty()) {
+    WireAttr attr;
+    attr.flags = body.u8();
+    attr.code = body.u8();
+    const std::size_t value_len =
+        (attr.flags & attr_flag::kExtendedLength) ? body.u16() : body.u8();
+    auto value = body.bytes(value_len);
+    attr.value.assign(value.begin(), value.end());
+    // Clear the extended-length bit: it is an encoding detail, not semantics,
+    // and normalising it keeps AttributeSet equality canonical.
+    attr.flags &= static_cast<std::uint8_t>(~attr_flag::kExtendedLength);
+    out.put(std::move(attr));
+  }
+  return out;
+}
+
+// --- typed attribute helpers --------------------------------------------------
+
+namespace {
+WireAttr wk(std::uint8_t code, std::vector<std::uint8_t> value) {
+  // Well-known attributes are mandatory/discretionary but always transitive.
+  return WireAttr{attr_flag::kTransitive, code, std::move(value)};
+}
+WireAttr opt(std::uint8_t code, std::vector<std::uint8_t> value, bool transitive) {
+  std::uint8_t flags = attr_flag::kOptional;
+  if (transitive) flags |= attr_flag::kTransitive;
+  return WireAttr{flags, code, std::move(value)};
+}
+std::vector<std::uint8_t> be32_bytes(std::uint32_t v) {
+  return {static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+          static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+}
+std::uint32_t read_be32(std::span<const std::uint8_t> b) {
+  return (static_cast<std::uint32_t>(b[0]) << 24) | (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) | b[3];
+}
+}  // namespace
+
+WireAttr make_origin(Origin origin) {
+  return wk(attr_code::kOrigin, {static_cast<std::uint8_t>(origin)});
+}
+
+std::optional<Origin> parse_origin(const WireAttr& attr) {
+  if (attr.value.size() != 1 || attr.value[0] > 2) return std::nullopt;
+  return static_cast<Origin>(attr.value[0]);
+}
+
+WireAttr make_next_hop(util::Ipv4Addr nh) {
+  return wk(attr_code::kNextHop, be32_bytes(nh.value()));
+}
+
+std::optional<util::Ipv4Addr> parse_next_hop(const WireAttr& attr) {
+  if (attr.value.size() != 4) return std::nullopt;
+  return util::Ipv4Addr(read_be32(attr.value));
+}
+
+WireAttr make_med(std::uint32_t med) {
+  return opt(attr_code::kMed, be32_bytes(med), /*transitive=*/false);
+}
+
+std::optional<std::uint32_t> parse_med(const WireAttr& attr) {
+  if (attr.value.size() != 4) return std::nullopt;
+  return read_be32(attr.value);
+}
+
+WireAttr make_local_pref(std::uint32_t pref) {
+  return wk(attr_code::kLocalPref, be32_bytes(pref));
+}
+
+std::optional<std::uint32_t> parse_local_pref(const WireAttr& attr) {
+  if (attr.value.size() != 4) return std::nullopt;
+  return read_be32(attr.value);
+}
+
+WireAttr make_communities(std::span<const std::uint32_t> communities) {
+  std::vector<std::uint8_t> value;
+  value.reserve(communities.size() * 4);
+  for (auto c : communities) {
+    auto b = be32_bytes(c);
+    value.insert(value.end(), b.begin(), b.end());
+  }
+  return opt(attr_code::kCommunities, std::move(value), /*transitive=*/true);
+}
+
+std::vector<std::uint32_t> parse_communities(const WireAttr& attr) {
+  std::vector<std::uint32_t> out;
+  if (attr.value.size() % 4 != 0) return out;
+  for (std::size_t i = 0; i < attr.value.size(); i += 4) {
+    out.push_back(read_be32(std::span(attr.value).subspan(i, 4)));
+  }
+  return out;
+}
+
+WireAttr make_originator_id(RouterId id) {
+  return opt(attr_code::kOriginatorId, be32_bytes(id), /*transitive=*/false);
+}
+
+std::optional<RouterId> parse_originator_id(const WireAttr& attr) {
+  if (attr.value.size() != 4) return std::nullopt;
+  return read_be32(attr.value);
+}
+
+WireAttr make_cluster_list(std::span<const std::uint32_t> clusters) {
+  std::vector<std::uint8_t> value;
+  value.reserve(clusters.size() * 4);
+  for (auto c : clusters) {
+    auto b = be32_bytes(c);
+    value.insert(value.end(), b.begin(), b.end());
+  }
+  return opt(attr_code::kClusterList, std::move(value), /*transitive=*/false);
+}
+
+std::vector<std::uint32_t> parse_cluster_list(const WireAttr& attr) {
+  std::vector<std::uint32_t> out;
+  if (attr.value.size() % 4 != 0) return out;
+  for (std::size_t i = 0; i < attr.value.size(); i += 4) {
+    out.push_back(read_be32(std::span(attr.value).subspan(i, 4)));
+  }
+  return out;
+}
+
+WireAttr make_geoloc(std::int32_t lat_microdeg, std::int32_t lon_microdeg) {
+  std::vector<std::uint8_t> value;
+  auto lat = be32_bytes(static_cast<std::uint32_t>(lat_microdeg));
+  auto lon = be32_bytes(static_cast<std::uint32_t>(lon_microdeg));
+  value.insert(value.end(), lat.begin(), lat.end());
+  value.insert(value.end(), lon.begin(), lon.end());
+  return opt(attr_code::kGeoLoc, std::move(value), /*transitive=*/true);
+}
+
+std::optional<GeoLoc> parse_geoloc(const WireAttr& attr) {
+  if (attr.value.size() != 8) return std::nullopt;
+  GeoLoc g;
+  g.lat_microdeg = static_cast<std::int32_t>(read_be32(std::span(attr.value).subspan(0, 4)));
+  g.lon_microdeg = static_cast<std::int32_t>(read_be32(std::span(attr.value).subspan(4, 4)));
+  return g;
+}
+
+}  // namespace xb::bgp

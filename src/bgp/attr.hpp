@@ -1,0 +1,99 @@
+// The neutral path-attribute representation: wire bytes.
+//
+// xBGP mandates that attribute data crosses the vendor-neutral API in network
+// byte order (paper §2.1). WireAttr *is* that representation: flags, type
+// code and the raw value bytes exactly as they appear in an UPDATE. Host
+// implementations convert between WireAttr and their own internals — Wren
+// stores WireAttrs nearly as-is, Fir decomposes them into host-order structs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "util/bytes.hpp"
+
+namespace xb::bgp {
+
+struct WireAttr {
+  std::uint8_t flags = 0;
+  std::uint8_t code = 0;
+  std::vector<std::uint8_t> value;
+
+  [[nodiscard]] bool optional() const noexcept { return flags & attr_flag::kOptional; }
+  [[nodiscard]] bool transitive() const noexcept { return flags & attr_flag::kTransitive; }
+  [[nodiscard]] bool partial() const noexcept { return flags & attr_flag::kPartial; }
+
+  friend bool operator==(const WireAttr&, const WireAttr&) = default;
+};
+
+/// An ordered set of path attributes (ascending type code, unique codes),
+/// mirroring the canonical encoding order in an UPDATE message.
+class AttributeSet {
+ public:
+  AttributeSet() = default;
+
+  /// Inserts or replaces the attribute with `attr.code`.
+  void put(WireAttr attr);
+  /// Removes the attribute if present; returns true if it was there.
+  bool remove(std::uint8_t code);
+  [[nodiscard]] const WireAttr* find(std::uint8_t code) const noexcept;
+  [[nodiscard]] bool has(std::uint8_t code) const noexcept { return find(code) != nullptr; }
+
+  [[nodiscard]] const std::vector<WireAttr>& all() const noexcept { return attrs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return attrs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return attrs_.empty(); }
+
+  /// Encodes the "Path Attributes" portion of an UPDATE (without the
+  /// 2-byte total length, which the message codec writes).
+  void encode(util::ByteWriter& w) const;
+  static void encode_one(util::ByteWriter& w, const WireAttr& attr);
+
+  /// Decodes exactly `len` bytes of path attributes.
+  /// Throws util::BufferError / std::invalid_argument on malformed input.
+  static AttributeSet decode(util::ByteReader& r, std::size_t len);
+
+  friend bool operator==(const AttributeSet&, const AttributeSet&) = default;
+
+ private:
+  std::vector<WireAttr> attrs_;
+};
+
+// --- Typed constructors/parsers for well-known attributes --------------------
+// Builders produce canonical flags; parsers return nullopt on wrong size.
+
+WireAttr make_origin(Origin origin);
+std::optional<Origin> parse_origin(const WireAttr& attr);
+
+WireAttr make_next_hop(util::Ipv4Addr nh);
+std::optional<util::Ipv4Addr> parse_next_hop(const WireAttr& attr);
+
+WireAttr make_med(std::uint32_t med);
+std::optional<std::uint32_t> parse_med(const WireAttr& attr);
+
+WireAttr make_local_pref(std::uint32_t pref);
+std::optional<std::uint32_t> parse_local_pref(const WireAttr& attr);
+
+WireAttr make_communities(std::span<const std::uint32_t> communities);
+std::vector<std::uint32_t> parse_communities(const WireAttr& attr);
+
+WireAttr make_originator_id(RouterId id);
+std::optional<RouterId> parse_originator_id(const WireAttr& attr);
+
+WireAttr make_cluster_list(std::span<const std::uint32_t> clusters);
+std::vector<std::uint32_t> parse_cluster_list(const WireAttr& attr);
+
+/// GeoLoc (paper §2): latitude then longitude in signed micro-degrees
+/// (1e-6 °), big-endian. Integer fixed-point keeps the attribute computable
+/// by eBPF extension code, which has no floating point. Optional transitive,
+/// code attr_code::kGeoLoc.
+WireAttr make_geoloc(std::int32_t lat_microdeg, std::int32_t lon_microdeg);
+struct GeoLoc {
+  std::int32_t lat_microdeg = 0;
+  std::int32_t lon_microdeg = 0;
+};
+std::optional<GeoLoc> parse_geoloc(const WireAttr& attr);
+
+}  // namespace xb::bgp

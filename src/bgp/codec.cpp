@@ -1,0 +1,239 @@
+#include "bgp/codec.hpp"
+
+#include "util/bytes.hpp"
+
+namespace xb::bgp {
+
+namespace {
+
+// Optional-parameter and capability codes used in OPEN.
+constexpr std::uint8_t kParamCapability = 2;
+constexpr std::uint8_t kCapFourOctetAs = 65;  // RFC 6793
+
+std::vector<std::uint8_t> with_header(MessageType type, std::span<const std::uint8_t> body) {
+  util::ByteWriter w(kHeaderSize + body.size());
+  w.fill(kMarkerByte, 16);
+  w.u16(static_cast<std::uint16_t>(kHeaderSize + body.size()));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(body);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+MessageType type_of(const Message& m) {
+  if (std::holds_alternative<OpenMessage>(m)) return MessageType::kOpen;
+  if (std::holds_alternative<UpdateMessage>(m)) return MessageType::kUpdate;
+  if (std::holds_alternative<NotificationMessage>(m)) return MessageType::kNotification;
+  if (std::holds_alternative<RouteRefreshMessage>(m)) return MessageType::kRouteRefresh;
+  return MessageType::kKeepalive;
+}
+
+void encode_prefix(util::ByteWriter& w, const util::Prefix& prefix) {
+  w.u8(prefix.length());
+  const std::uint32_t addr = prefix.addr().value();
+  const std::size_t nbytes = (prefix.length() + 7) / 8;
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    w.u8(static_cast<std::uint8_t>(addr >> (24 - 8 * i)));
+  }
+}
+
+util::Prefix decode_prefix(util::ByteReader& r) {
+  const std::uint8_t len = r.u8();
+  if (len > 32) {
+    throw DecodeError(NotifCode::kUpdateMessageError, update_err::kInvalidNetworkField,
+                      "prefix length > 32");
+  }
+  const std::size_t nbytes = (len + 7) / 8;
+  std::uint32_t addr = 0;
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    addr |= static_cast<std::uint32_t>(r.u8()) << (24 - 8 * i);
+  }
+  return util::Prefix(util::Ipv4Addr(addr), len);
+}
+
+std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
+  util::ByteWriter body;
+  body.u8(open.version);
+  body.u16(open.asn > 0xFFFF ? OpenMessage::kAsTrans
+                             : (open.my_as_2octet ? open.my_as_2octet
+                                                  : static_cast<std::uint16_t>(open.asn)));
+  body.u16(open.hold_time);
+  body.u32(open.bgp_id);
+  // Optional parameters: one capability parameter with the 4-octet-AS cap.
+  body.u8(8);                   // optional params total length
+  body.u8(kParamCapability);    // param type
+  body.u8(6);                   // param length
+  body.u8(kCapFourOctetAs);     // capability code
+  body.u8(4);                   // capability length
+  body.u32(open.asn);
+  return with_header(MessageType::kOpen, body.view());
+}
+
+OpenMessage decode_open(std::span<const std::uint8_t> body) {
+  util::ByteReader r(body);
+  OpenMessage open;
+  try {
+    open.version = r.u8();
+    open.my_as_2octet = r.u16();
+    open.hold_time = r.u16();
+    open.bgp_id = r.u32();
+    open.asn = open.my_as_2octet;  // until a 4-octet capability says otherwise
+    const std::size_t params_len = r.u8();
+    util::ByteReader params = r.sub(params_len);
+    while (!params.empty()) {
+      const std::uint8_t param_type = params.u8();
+      const std::size_t param_len = params.u8();
+      util::ByteReader param = params.sub(param_len);
+      if (param_type != kParamCapability) continue;
+      while (!param.empty()) {
+        const std::uint8_t cap_code = param.u8();
+        const std::size_t cap_len = param.u8();
+        util::ByteReader cap = param.sub(cap_len);
+        if (cap_code == kCapFourOctetAs && cap_len == 4) {
+          open.asn = cap.u32();
+        }
+      }
+    }
+  } catch (const util::BufferError&) {
+    throw DecodeError(NotifCode::kOpenMessageError, 0, "truncated OPEN");
+  }
+  if (open.version != 4) {
+    throw DecodeError(NotifCode::kOpenMessageError, 1, "unsupported version");
+  }
+  return open;
+}
+
+std::vector<std::uint8_t> encode_update(const UpdateMessage& update) {
+  util::ByteWriter body;
+  // Withdrawn routes.
+  body.u16(0);  // patched below
+  const std::size_t withdrawn_start = body.size();
+  for (const auto& p : update.withdrawn) encode_prefix(body, p);
+  body.patch_u16(0, static_cast<std::uint16_t>(body.size() - withdrawn_start));
+  // Path attributes.
+  const std::size_t attr_len_at = body.size();
+  body.u16(0);  // patched below
+  const std::size_t attrs_start = body.size();
+  update.attrs.encode(body);
+  body.patch_u16(attr_len_at, static_cast<std::uint16_t>(body.size() - attrs_start));
+  // NLRI.
+  for (const auto& p : update.nlri) encode_prefix(body, p);
+  if (kHeaderSize + body.size() > kMaxMessageSize) {
+    throw std::length_error("UPDATE exceeds 4096 bytes");
+  }
+  return with_header(MessageType::kUpdate, body.view());
+}
+
+UpdateMessage decode_update(std::span<const std::uint8_t> body) {
+  util::ByteReader r(body);
+  UpdateMessage update;
+  try {
+    const std::size_t withdrawn_len = r.u16();
+    util::ByteReader withdrawn = r.sub(withdrawn_len);
+    while (!withdrawn.empty()) update.withdrawn.push_back(decode_prefix(withdrawn));
+    const std::size_t attrs_len = r.u16();
+    update.attrs = AttributeSet::decode(r, attrs_len);
+    while (!r.empty()) update.nlri.push_back(decode_prefix(r));
+  } catch (const util::BufferError&) {
+    throw DecodeError(NotifCode::kUpdateMessageError, update_err::kMalformedAttributeList,
+                      "truncated UPDATE");
+  }
+  return update;
+}
+
+std::vector<std::uint8_t> encode_notification(const NotificationMessage& notif) {
+  util::ByteWriter body;
+  body.u8(static_cast<std::uint8_t>(notif.code));
+  body.u8(notif.subcode);
+  body.bytes(notif.data);
+  return with_header(MessageType::kNotification, body.view());
+}
+
+NotificationMessage decode_notification(std::span<const std::uint8_t> body) {
+  util::ByteReader r(body);
+  NotificationMessage notif;
+  try {
+    notif.code = static_cast<NotifCode>(r.u8());
+    notif.subcode = r.u8();
+    auto rest = r.bytes(r.remaining());
+    notif.data.assign(rest.begin(), rest.end());
+  } catch (const util::BufferError&) {
+    throw DecodeError(NotifCode::kMessageHeaderError, 2, "truncated NOTIFICATION");
+  }
+  return notif;
+}
+
+std::vector<std::uint8_t> encode_keepalive() {
+  return with_header(MessageType::kKeepalive, {});
+}
+
+std::vector<std::uint8_t> encode_route_refresh(const RouteRefreshMessage& refresh) {
+  util::ByteWriter body;
+  body.u16(refresh.afi);
+  body.u8(0);  // reserved
+  body.u8(refresh.safi);
+  return with_header(MessageType::kRouteRefresh, body.view());
+}
+
+RouteRefreshMessage decode_route_refresh(std::span<const std::uint8_t> body) {
+  if (body.size() != 4) {
+    throw DecodeError(NotifCode::kMessageHeaderError, 2, "bad ROUTE-REFRESH length");
+  }
+  RouteRefreshMessage refresh;
+  refresh.afi = static_cast<std::uint16_t>((body[0] << 8) | body[1]);
+  refresh.safi = body[3];
+  return refresh;
+}
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> std::vector<std::uint8_t> {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, OpenMessage>) return encode_open(m);
+        else if constexpr (std::is_same_v<T, UpdateMessage>) return encode_update(m);
+        else if constexpr (std::is_same_v<T, NotificationMessage>) return encode_notification(m);
+        else if constexpr (std::is_same_v<T, RouteRefreshMessage>) return encode_route_refresh(m);
+        else return encode_keepalive();
+      },
+      message);
+}
+
+std::optional<Frame> try_frame(std::span<const std::uint8_t> buffer) {
+  if (buffer.size() < kHeaderSize) return std::nullopt;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (buffer[i] != kMarkerByte) {
+      throw DecodeError(NotifCode::kMessageHeaderError, 1, "bad marker");
+    }
+  }
+  const std::size_t total =
+      (static_cast<std::size_t>(buffer[16]) << 8) | buffer[17];
+  if (total < kHeaderSize || total > kMaxMessageSize) {
+    throw DecodeError(NotifCode::kMessageHeaderError, 2, "bad message length");
+  }
+  const std::uint8_t type = buffer[18];
+  if (type < 1 || type > 5) {
+    throw DecodeError(NotifCode::kMessageHeaderError, 3, "bad message type");
+  }
+  if (buffer.size() < total) return std::nullopt;
+  return Frame{static_cast<MessageType>(type), total,
+               buffer.subspan(kHeaderSize, total - kHeaderSize)};
+}
+
+Message decode_body(MessageType type, std::span<const std::uint8_t> body) {
+  switch (type) {
+    case MessageType::kOpen: return decode_open(body);
+    case MessageType::kUpdate: return decode_update(body);
+    case MessageType::kNotification: return decode_notification(body);
+    case MessageType::kKeepalive:
+      if (!body.empty()) {
+        throw DecodeError(NotifCode::kMessageHeaderError, 2, "KEEPALIVE with body");
+      }
+      return KeepaliveMessage{};
+    case MessageType::kRouteRefresh:
+      return decode_route_refresh(body);
+  }
+  throw DecodeError(NotifCode::kMessageHeaderError, 3, "bad message type");
+}
+
+}  // namespace xb::bgp

@@ -1,0 +1,62 @@
+// BGP wire codec: RFC 4271 message framing, encoding and decoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/message.hpp"
+
+namespace xb::bgp {
+
+/// Decoding failure carrying the NOTIFICATION the receiver must send.
+class DecodeError : public std::runtime_error {
+ public:
+  DecodeError(NotifCode code, std::uint8_t subcode, const std::string& what)
+      : std::runtime_error(what), code_(code), subcode_(subcode) {}
+  [[nodiscard]] NotifCode code() const noexcept { return code_; }
+  [[nodiscard]] std::uint8_t subcode() const noexcept { return subcode_; }
+
+ private:
+  NotifCode code_;
+  std::uint8_t subcode_;
+};
+
+// --- encoding -----------------------------------------------------------------
+std::vector<std::uint8_t> encode(const Message& message);
+std::vector<std::uint8_t> encode_open(const OpenMessage& open);
+std::vector<std::uint8_t> encode_update(const UpdateMessage& update);
+std::vector<std::uint8_t> encode_notification(const NotificationMessage& notif);
+std::vector<std::uint8_t> encode_keepalive();
+std::vector<std::uint8_t> encode_route_refresh(const RouteRefreshMessage& refresh);
+
+/// Encodes one NLRI prefix (length byte + ceil(len/8) address bytes).
+void encode_prefix(util::ByteWriter& w, const util::Prefix& prefix);
+
+// --- decoding -----------------------------------------------------------------
+
+/// Result of scanning a receive buffer for one complete message.
+struct Frame {
+  MessageType type;
+  std::size_t total_length = 0;  // header + body, bytes consumed from buffer
+  std::span<const std::uint8_t> body;
+};
+
+/// Returns the first complete message framed in `buffer`, or nullopt if more
+/// bytes are needed. Throws DecodeError on a corrupt header (bad marker,
+/// bad length, unknown type).
+std::optional<Frame> try_frame(std::span<const std::uint8_t> buffer);
+
+/// Decodes a framed body. Throws DecodeError on malformed contents.
+Message decode_body(MessageType type, std::span<const std::uint8_t> body);
+
+OpenMessage decode_open(std::span<const std::uint8_t> body);
+UpdateMessage decode_update(std::span<const std::uint8_t> body);
+NotificationMessage decode_notification(std::span<const std::uint8_t> body);
+RouteRefreshMessage decode_route_refresh(std::span<const std::uint8_t> body);
+
+util::Prefix decode_prefix(util::ByteReader& r);
+
+}  // namespace xb::bgp

@@ -1,0 +1,49 @@
+#include "bgp/decision.hpp"
+
+namespace xb::bgp {
+
+Comparison compare_routes(const RouteView& a, const RouteView& b) noexcept {
+  // a. Highest LOCAL_PREF.
+  if (a.local_pref != b.local_pref) {
+    return {a.local_pref > b.local_pref, DecisionStep::kLocalPref};
+  }
+  // b. Shortest AS_PATH.
+  if (a.as_path_length != b.as_path_length) {
+    return {a.as_path_length < b.as_path_length, DecisionStep::kAsPathLength};
+  }
+  // c. Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+  if (a.origin != b.origin) {
+    return {static_cast<std::uint8_t>(a.origin) < static_cast<std::uint8_t>(b.origin),
+            DecisionStep::kOrigin};
+  }
+  // d. Lowest MED, compared only between routes from the same neighbour AS;
+  //    a missing MED counts as 0 (the FRR/BIRD default, not "worst").
+  if (a.neighbor_as && b.neighbor_as && *a.neighbor_as == *b.neighbor_as) {
+    const std::uint32_t med_a = a.med.value_or(0);
+    const std::uint32_t med_b = b.med.value_or(0);
+    if (med_a != med_b) return {med_a < med_b, DecisionStep::kMed};
+  }
+  // e. eBGP-learned preferred over iBGP-learned.
+  if (a.peer_type != b.peer_type) {
+    return {a.peer_type == PeerType::kEbgp, DecisionStep::kPeerType};
+  }
+  // f. Lowest IGP metric to the BGP nexthop.
+  if (a.igp_metric_to_nexthop != b.igp_metric_to_nexthop) {
+    return {a.igp_metric_to_nexthop < b.igp_metric_to_nexthop, DecisionStep::kIgpMetric};
+  }
+  // RFC 4456 §9: shortest CLUSTER_LIST.
+  if (a.cluster_list_length != b.cluster_list_length) {
+    return {a.cluster_list_length < b.cluster_list_length, DecisionStep::kClusterListLength};
+  }
+  // g. Lowest BGP identifier (ORIGINATOR_ID substitution handled by caller).
+  if (a.peer_router_id != b.peer_router_id) {
+    return {a.peer_router_id < b.peer_router_id, DecisionStep::kRouterId};
+  }
+  // h. Lowest peer address.
+  if (a.peer_addr != b.peer_addr) {
+    return {a.peer_addr < b.peer_addr, DecisionStep::kPeerAddr};
+  }
+  return {false, DecisionStep::kEqual};
+}
+
+}  // namespace xb::bgp

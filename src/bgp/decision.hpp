@@ -1,0 +1,63 @@
+// The BGP decision process (RFC 4271 §9.1.2.2, plus the RFC 4456 route
+// reflection tie-breaker).
+//
+// Hosts store attributes in their own internal formats; for route selection
+// they each materialise this plain view and call the shared comparator. The
+// *cost* of building the view differs per host (Fir reads decomposed structs,
+// Wren scans its ea_list); the *logic* is identical, as RFC 4271 demands.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bgp/types.hpp"
+#include "util/ip.hpp"
+
+namespace xb::bgp {
+
+struct RouteView {
+  std::uint32_t local_pref = 100;
+  std::size_t as_path_length = 0;
+  Origin origin = Origin::kIncomplete;
+  std::optional<std::uint32_t> med;
+  /// Leftmost AS of AS_PATH; MEDs are only comparable between routes learned
+  /// from the same neighbouring AS.
+  std::optional<Asn> neighbor_as;
+  PeerType peer_type = PeerType::kEbgp;
+  /// IGP metric to the BGP nexthop; igp::kInfMetric when unreachable.
+  std::uint32_t igp_metric_to_nexthop = 0;
+  /// RFC 4456 §9: shorter CLUSTER_LIST wins before router-id comparison.
+  std::size_t cluster_list_length = 0;
+  RouterId peer_router_id = 0;
+  util::Ipv4Addr peer_addr;
+};
+
+/// Result of one pairwise comparison step, with the step that decided it
+/// (exposed so tests and the xBGP BGP_DECISION hook can introspect).
+enum class DecisionStep : std::uint8_t {
+  kLocalPref,
+  kAsPathLength,
+  kOrigin,
+  kMed,
+  kPeerType,
+  kIgpMetric,
+  kClusterListLength,
+  kRouterId,
+  kPeerAddr,
+  kEqual,
+};
+
+struct Comparison {
+  bool first_is_better = false;
+  DecisionStep decided_by = DecisionStep::kEqual;
+};
+
+/// Full decision process: compares two candidate routes for the same prefix.
+[[nodiscard]] Comparison compare_routes(const RouteView& a, const RouteView& b) noexcept;
+
+/// Convenience wrapper: true if `a` must be preferred over `b`.
+[[nodiscard]] inline bool better(const RouteView& a, const RouteView& b) noexcept {
+  return compare_routes(a, b).first_is_better;
+}
+
+}  // namespace xb::bgp

@@ -1,0 +1,62 @@
+// BGP message model (RFC 4271 §4).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "bgp/attr.hpp"
+#include "bgp/types.hpp"
+#include "util/ip.hpp"
+
+namespace xb::bgp {
+
+struct OpenMessage {
+  std::uint8_t version = 4;
+  /// The 2-octet My-AS field; AS_TRANS (23456) when the real ASN is 4-octet.
+  std::uint16_t my_as_2octet = 0;
+  std::uint16_t hold_time = kDefaultHoldTime;
+  RouterId bgp_id = 0;
+  /// Real 4-octet ASN, carried in the RFC 6793 capability.
+  Asn asn = 0;
+
+  static constexpr std::uint16_t kAsTrans = 23456;
+
+  friend bool operator==(const OpenMessage&, const OpenMessage&) = default;
+};
+
+struct UpdateMessage {
+  std::vector<util::Prefix> withdrawn;
+  AttributeSet attrs;
+  std::vector<util::Prefix> nlri;
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+struct NotificationMessage {
+  NotifCode code = NotifCode::kCease;
+  std::uint8_t subcode = 0;
+  std::vector<std::uint8_t> data;
+
+  friend bool operator==(const NotificationMessage&, const NotificationMessage&) = default;
+};
+
+struct KeepaliveMessage {
+  friend bool operator==(const KeepaliveMessage&, const KeepaliveMessage&) = default;
+};
+
+/// RFC 2918 ROUTE-REFRESH: asks the peer to re-advertise its Adj-RIB-Out,
+/// so changed import policy (or a newly loaded extension) can be applied
+/// without flapping the session.
+struct RouteRefreshMessage {
+  std::uint16_t afi = 1;   // IPv4
+  std::uint8_t safi = 1;   // unicast
+  friend bool operator==(const RouteRefreshMessage&, const RouteRefreshMessage&) = default;
+};
+
+using Message = std::variant<OpenMessage, UpdateMessage, NotificationMessage, KeepaliveMessage,
+                             RouteRefreshMessage>;
+
+[[nodiscard]] MessageType type_of(const Message& m);
+
+}  // namespace xb::bgp

@@ -1,0 +1,196 @@
+#include "bgp/peer_session.hpp"
+
+#include "util/log.hpp"
+
+namespace xb::bgp {
+
+namespace {
+constexpr std::uint64_t kSecond = 1'000'000'000ull;  // virtual ns
+}
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle: return "Idle";
+    case SessionState::kOpenSent: return "OpenSent";
+    case SessionState::kOpenConfirm: return "OpenConfirm";
+    case SessionState::kEstablished: return "Established";
+  }
+  return "?";
+}
+
+PeerSession::PeerSession(net::EventLoop& loop, net::Duplex::End end, Config config)
+    : loop_(loop), end_(end), config_(config) {
+  end_.on_readable([this] { handle_readable(); });
+}
+
+void PeerSession::start() {
+  if (started_) return;
+  started_ = true;
+  OpenMessage open;
+  open.asn = config_.local_asn;
+  open.hold_time = config_.hold_time;
+  open.bgp_id = config_.local_id;
+  end_.write(encode_open(open));
+  state_ = SessionState::kOpenSent;
+  last_rx_ = loop_.now();
+  arm_hold_timer();
+}
+
+void PeerSession::stop() {
+  if (state_ == SessionState::kIdle) return;
+  end_.write(encode_notification(NotificationMessage{NotifCode::kCease, 0, {}}));
+  go_down("administratively stopped");
+}
+
+void PeerSession::handle_readable() {
+  auto chunk = end_.read_all();
+  rx_buffer_.insert(rx_buffer_.end(), chunk.begin(), chunk.end());
+  last_rx_ = loop_.now();
+
+  while (true) {
+    std::span<const std::uint8_t> pending(rx_buffer_.data() + rx_consumed_,
+                                          rx_buffer_.size() - rx_consumed_);
+    std::optional<Frame> frame;
+    try {
+      frame = try_frame(pending);
+    } catch (const DecodeError& e) {
+      fail(e.code(), e.subcode(), e.what());
+      return;
+    }
+    if (!frame) break;
+    process_frame(*frame, pending.first(frame->total_length));
+    if (state_ == SessionState::kIdle) return;  // torn down while processing
+    rx_consumed_ += frame->total_length;
+  }
+  // Compact once the consumed prefix dominates, amortising the memmove.
+  if (rx_consumed_ > 0 && rx_consumed_ * 2 >= rx_buffer_.size()) {
+    rx_buffer_.erase(rx_buffer_.begin(),
+                     rx_buffer_.begin() + static_cast<std::ptrdiff_t>(rx_consumed_));
+    rx_consumed_ = 0;
+  }
+}
+
+void PeerSession::process_frame(const Frame& frame, std::span<const std::uint8_t> raw) {
+  switch (frame.type) {
+    case MessageType::kOpen: {
+      OpenMessage open;
+      try {
+        open = decode_open(frame.body);
+      } catch (const DecodeError& e) {
+        fail(e.code(), e.subcode(), e.what());
+        return;
+      }
+      handle_open(open);
+      return;
+    }
+    case MessageType::kKeepalive:
+      handle_keepalive();
+      return;
+    case MessageType::kUpdate: {
+      if (state_ != SessionState::kEstablished) {
+        fail(NotifCode::kFsmError, 0, "UPDATE outside Established");
+        return;
+      }
+      UpdateMessage update;
+      try {
+        update = decode_update(frame.body);
+      } catch (const DecodeError& e) {
+        fail(e.code(), e.subcode(), e.what());
+        return;
+      }
+      ++updates_received_;
+      if (on_update) on_update(std::move(update), raw);
+      return;
+    }
+    case MessageType::kNotification: {
+      NotificationMessage notif = decode_notification(frame.body);
+      go_down("NOTIFICATION received (code " +
+              std::to_string(static_cast<int>(notif.code)) + ")");
+      return;
+    }
+    case MessageType::kRouteRefresh: {
+      if (state_ != SessionState::kEstablished) {
+        fail(NotifCode::kFsmError, 0, "ROUTE-REFRESH outside Established");
+        return;
+      }
+      try {
+        (void)decode_route_refresh(frame.body);
+      } catch (const DecodeError& e) {
+        fail(e.code(), e.subcode(), e.what());
+        return;
+      }
+      if (on_route_refresh) on_route_refresh();
+      return;
+    }
+  }
+}
+
+void PeerSession::handle_open(const OpenMessage& open) {
+  if (state_ != SessionState::kOpenSent) {
+    fail(NotifCode::kFsmError, 0, "OPEN in state " + std::string(to_string(state_)));
+    return;
+  }
+  if (open.asn != config_.peer_asn) {
+    fail(NotifCode::kOpenMessageError, 2, "unexpected peer AS " + std::to_string(open.asn));
+    return;
+  }
+  if (open.bgp_id == 0 || open.bgp_id == config_.local_id) {
+    fail(NotifCode::kOpenMessageError, 3, "bad BGP identifier");
+    return;
+  }
+  peer_id_ = open.bgp_id;
+  // Negotiated hold time is the minimum of both proposals (RFC 4271 §4.2).
+  if (open.hold_time < config_.hold_time) config_.hold_time = open.hold_time;
+  end_.write(encode_keepalive());
+  state_ = SessionState::kOpenConfirm;
+}
+
+void PeerSession::handle_keepalive() {
+  switch (state_) {
+    case SessionState::kOpenConfirm:
+      state_ = SessionState::kEstablished;
+      arm_keepalive_timer();
+      if (on_established) on_established();
+      return;
+    case SessionState::kEstablished:
+      return;  // hold timer already refreshed in handle_readable
+    default:
+      fail(NotifCode::kFsmError, 0, "KEEPALIVE in state " + std::string(to_string(state_)));
+  }
+}
+
+void PeerSession::fail(NotifCode code, std::uint8_t subcode, const std::string& reason) {
+  end_.write(encode_notification(NotificationMessage{code, subcode, {}}));
+  go_down(reason);
+}
+
+void PeerSession::go_down(const std::string& reason) {
+  const bool was_up = state_ != SessionState::kIdle;
+  state_ = SessionState::kIdle;  // pending timer callbacks see Idle and stop
+  util::log_info("session to ", config_.peer_addr.str(), " down: ", reason);
+  if (was_up && on_down) on_down(reason);
+}
+
+void PeerSession::arm_hold_timer() {
+  if (config_.hold_time == 0) return;  // hold time 0 disables the timer
+  const std::uint64_t deadline_ns = static_cast<std::uint64_t>(config_.hold_time) * kSecond;
+  loop_.schedule(deadline_ns, [this, deadline_ns] {
+    if (state_ == SessionState::kIdle) return;  // ends the timer chain
+    if (loop_.now() - last_rx_ >= deadline_ns) {
+      fail(NotifCode::kHoldTimerExpired, 0, "hold timer expired");
+      return;
+    }
+    arm_hold_timer();
+  });
+}
+
+void PeerSession::arm_keepalive_timer() {
+  if (config_.keepalive_interval == 0) return;
+  loop_.schedule(static_cast<std::uint64_t>(config_.keepalive_interval) * kSecond, [this] {
+    if (state_ != SessionState::kEstablished) return;  // ends the timer chain
+    end_.write(encode_keepalive());
+    arm_keepalive_timer();
+  });
+}
+
+}  // namespace xb::bgp

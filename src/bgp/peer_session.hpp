@@ -1,0 +1,110 @@
+// One BGP session: transport framing + the RFC 4271 finite state machine.
+//
+// A PeerSession owns one end of a Duplex, frames the byte stream into
+// messages, drives the handshake (Idle -> OpenSent -> OpenConfirm ->
+// Established), and maintains the hold and keepalive timers on the event
+// loop. Routing logic lives above, in the host routers: the session only
+// surfaces established/update/down events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/codec.hpp"
+#include "bgp/message.hpp"
+#include "net/channel.hpp"
+#include "net/event_loop.hpp"
+
+namespace xb::bgp {
+
+enum class SessionState : std::uint8_t {
+  kIdle,
+  kOpenSent,
+  kOpenConfirm,
+  kEstablished,
+};
+
+[[nodiscard]] const char* to_string(SessionState s);
+
+class PeerSession {
+ public:
+  struct Config {
+    Asn local_asn = 0;
+    Asn peer_asn = 0;  // expected remote ASN; mismatch tears the session down
+    RouterId local_id = 0;
+    util::Ipv4Addr local_addr;
+    util::Ipv4Addr peer_addr;
+    std::uint16_t hold_time = kDefaultHoldTime;
+    std::uint32_t keepalive_interval = kDefaultKeepaliveTime;
+  };
+
+  PeerSession(net::EventLoop& loop, net::Duplex::End end, Config config);
+
+  PeerSession(const PeerSession&) = delete;
+  PeerSession& operator=(const PeerSession&) = delete;
+
+  /// Begins the handshake (sends OPEN). Idempotent once started.
+  void start();
+
+  /// Sends a NOTIFICATION (Cease) and drops to Idle.
+  void stop();
+
+  void send_update(const UpdateMessage& update) { send_bytes(encode_update(update)); }
+
+  /// Asks the peer to re-advertise its Adj-RIB-Out (RFC 2918).
+  void send_route_refresh() { send_bytes(encode_route_refresh(RouteRefreshMessage{})); }
+  /// Sends pre-encoded message bytes (hosts pre-encode to batch NLRI).
+  void send_bytes(std::span<const std::uint8_t> wire) { end_.write(wire); }
+
+  [[nodiscard]] SessionState state() const noexcept { return state_; }
+  [[nodiscard]] bool established() const noexcept { return state_ == SessionState::kEstablished; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] PeerType peer_type() const noexcept {
+    return config_.local_asn == config_.peer_asn ? PeerType::kIbgp : PeerType::kEbgp;
+  }
+  /// Remote BGP identifier, valid once the peer's OPEN has been accepted.
+  [[nodiscard]] RouterId peer_id() const noexcept { return peer_id_; }
+
+  // --- upcalls --------------------------------------------------------------
+  /// Fired on transition into Established.
+  std::function<void()> on_established;
+  /// Fired per received UPDATE; `raw` is the full wire message (header
+  /// included) for the BGP_RECEIVE_MESSAGE insertion point.
+  std::function<void(UpdateMessage&&, std::span<const std::uint8_t> raw)> on_update;
+  /// Fired when the session leaves Established / fails to come up.
+  std::function<void(const std::string& reason)> on_down;
+  /// Fired when the peer requests re-advertisement (RFC 2918).
+  std::function<void()> on_route_refresh;
+
+  // --- statistics -------------------------------------------------------------
+  [[nodiscard]] std::uint64_t updates_received() const noexcept { return updates_received_; }
+  [[nodiscard]] std::uint64_t updates_sent() const noexcept { return updates_sent_; }
+  void count_update_sent() noexcept { ++updates_sent_; }
+
+ private:
+  void handle_readable();
+  void process_frame(const Frame& frame, std::span<const std::uint8_t> raw);
+  void handle_open(const OpenMessage& open);
+  void handle_keepalive();
+  void fail(NotifCode code, std::uint8_t subcode, const std::string& reason);
+  void go_down(const std::string& reason);
+  void arm_hold_timer();
+  void arm_keepalive_timer();
+
+  net::EventLoop& loop_;
+  net::Duplex::End end_;
+  Config config_;
+  SessionState state_ = SessionState::kIdle;
+  RouterId peer_id_ = 0;
+  std::vector<std::uint8_t> rx_buffer_;
+  std::size_t rx_consumed_ = 0;
+  net::TimePoint last_rx_ = 0;
+  bool started_ = false;
+  std::uint64_t updates_received_ = 0;
+  std::uint64_t updates_sent_ = 0;
+};
+
+}  // namespace xb::bgp

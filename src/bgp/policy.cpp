@@ -1,0 +1,175 @@
+#include "bgp/policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xb::bgp::policy {
+
+bool MatchPrefixList::matches(RouteFacts& facts) const {
+  for (const auto& rule : rules_) {
+    const std::uint8_t ge = rule.ge == 0 ? rule.prefix.length() : rule.ge;
+    if (facts.prefix.length() >= ge && facts.prefix.length() <= rule.le &&
+        rule.prefix.covers(facts.prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string MatchPrefixList::describe() const {
+  std::ostringstream os;
+  os << "prefix-list(" << rules_.size() << " rules)";
+  return os.str();
+}
+
+bool MatchAsPathContains::matches(RouteFacts& facts) const {
+  return std::find(facts.as_path.begin(), facts.as_path.end(), asn_) != facts.as_path.end();
+}
+
+std::string MatchAsPathContains::describe() const {
+  return "as-path contains " + std::to_string(asn_);
+}
+
+bool MatchCommunity::matches(RouteFacts& facts) const {
+  return std::find(facts.communities.begin(), facts.communities.end(), community_) !=
+         facts.communities.end();
+}
+
+std::string MatchCommunity::describe() const {
+  return "community " + std::to_string(community_ >> 16) + ":" +
+         std::to_string(community_ & 0xFFFF);
+}
+
+bool MatchAsPathLength::matches(RouteFacts& facts) const {
+  return facts.as_path.size() >= min_ && facts.as_path.size() <= max_;
+}
+
+std::string MatchAsPathLength::describe() const {
+  return "as-path length in [" + std::to_string(min_) + ", " + std::to_string(max_) + "]";
+}
+
+bool MatchRpki::matches(RouteFacts& facts) const {
+  // FRR semantics: the validation state is computed here, on every
+  // evaluation — the per-prefix lookup the paper measures (§3.4).
+  rpki::Validity validity = rpki::Validity::kNotFound;
+  if (table_ != nullptr && facts.origin_asn.has_value()) {
+    validity = table_->validate(facts.prefix, *facts.origin_asn);
+  }
+  facts.new_meta = static_cast<std::uint32_t>(validity);
+  switch (want_) {
+    case Want::kValid: return validity == rpki::Validity::kValid;
+    case Want::kInvalid: return validity == rpki::Validity::kInvalid;
+    case Want::kNotFound: return validity == rpki::Validity::kNotFound;
+    case Want::kAny: return true;
+  }
+  return false;
+}
+
+std::string MatchRpki::describe() const {
+  switch (want_) {
+    case Want::kValid: return "rpki valid";
+    case Want::kInvalid: return "rpki invalid";
+    case Want::kNotFound: return "rpki notfound";
+    case Want::kAny: return "rpki any";
+  }
+  return "rpki ?";
+}
+
+bool MatchNexthopMetricAtMost::matches(RouteFacts& facts) const {
+  return facts.igp_metric_to_nexthop <= max_;
+}
+
+std::string MatchNexthopMetricAtMost::describe() const {
+  return "nexthop metric <= " + std::to_string(max_);
+}
+
+std::string SetLocalPref::describe() const { return "set local-pref " + std::to_string(value_); }
+std::string SetMed::describe() const { return "set med " + std::to_string(value_); }
+std::string AddCommunity::describe() const {
+  return "add community " + std::to_string(community_ >> 16) + ":" +
+         std::to_string(community_ & 0xFFFF);
+}
+
+Entry& RouteMap::add_entry(int seq, Action action) {
+  Entry entry;
+  entry.seq = seq;
+  entry.action = action;
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), seq,
+                             [](const Entry& e, int s) { return e.seq < s; });
+  it = entries_.insert(it, std::move(entry));
+  return *it;
+}
+
+Verdict RouteMap::evaluate(RouteFacts& facts) const {
+  for (const auto& entry : entries_) {
+    bool all = true;
+    for (const auto& match : entry.matches) {
+      ++clauses_evaluated_;
+      if (!match->matches(facts)) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    for (const auto& set : entry.sets) set->apply(facts);
+    return Verdict{entry.action == Action::kPermit, entry.seq};
+  }
+  return Verdict{default_action_ == Action::kPermit, -1};
+}
+
+std::string RouteMap::describe() const {
+  std::ostringstream os;
+  os << "route-map " << name_ << "\n";
+  for (const auto& entry : entries_) {
+    os << "  " << (entry.action == Action::kPermit ? "permit" : "deny") << " " << entry.seq
+       << "\n";
+    for (const auto& m : entry.matches) os << "    match " << m->describe() << "\n";
+    for (const auto& s : entry.sets) os << "    " << s->describe() << "\n";
+  }
+  return os.str();
+}
+
+RouteMap standard_import_policy(const rpki::RoaTable* rpki_table) {
+  RouteMap map("IMPORT", Action::kDeny);
+  // Entry 10: drop bogons / special-use space (RFC 5735-style list).
+  auto& bogons = map.add_entry(10, Action::kDeny);
+  bogons.matches.push_back(std::make_unique<MatchPrefixList>(std::vector<PrefixRule>{
+      {util::Prefix::parse("0.0.0.0/8"), 0, 32},
+      {util::Prefix::parse("127.0.0.0/8"), 0, 32},
+      {util::Prefix::parse("169.254.0.0/16"), 0, 32},
+      {util::Prefix::parse("192.0.0.0/24"), 0, 32},
+      {util::Prefix::parse("198.18.0.0/15"), 0, 32},
+      {util::Prefix::parse("224.0.0.0/4"), 0, 32},
+      {util::Prefix::parse("240.0.0.0/4"), 0, 32},
+  }));
+  // Entry 20: drop absurdly long AS paths (route-leak guard).
+  auto& longpath = map.add_entry(20, Action::kDeny);
+  longpath.matches.push_back(std::make_unique<MatchAsPathLength>(64, 10'000));
+  // Entry 30: customer tag lifts preference.
+  auto& customer = map.add_entry(30, Action::kPermit);
+  customer.matches.push_back(std::make_unique<MatchCommunity>((65000u << 16) | 100));
+  customer.sets.push_back(std::make_unique<SetLocalPref>(200));
+  // Entry 40: permit the rest (validating origins when RPKI is configured;
+  // `any` tags the route without discarding, as in the paper's §3.4 test).
+  auto& rest = map.add_entry(40, Action::kPermit);
+  if (rpki_table != nullptr) {
+    rest.matches.push_back(std::make_unique<MatchRpki>(rpki_table, MatchRpki::Want::kAny));
+  }
+  return map;
+}
+
+RouteMap standard_export_policy() {
+  RouteMap map("EXPORT", Action::kDeny);
+  // Entry 10: never export special-use space.
+  auto& bogons = map.add_entry(10, Action::kDeny);
+  bogons.matches.push_back(std::make_unique<MatchPrefixList>(std::vector<PrefixRule>{
+      {util::Prefix::parse("10.0.0.0/8"), 0, 32},
+      {util::Prefix::parse("172.16.0.0/12"), 0, 32},
+      {util::Prefix::parse("192.168.0.0/16"), 0, 32},
+  }));
+  // Entry 20: permit everything else.
+  map.add_entry(20, Action::kPermit);
+  return map;
+}
+
+}  // namespace xb::bgp::policy

@@ -1,0 +1,235 @@
+// The policy engine: an interpreted route-map / filter machinery.
+//
+// Real BGP daemons never hard-code import/export policy: FRRouting evaluates
+// route-maps (ordered entries of match/set clauses) and BIRD runs routes
+// through its interpreted filter language. Both are generic, per-route
+// interpreted machinery — and both matter for the paper's measurements:
+// FRRouting's native origin validation is a route-map `match rpki` clause
+// that "browses a dedicated trie ... each time a prefix needs to be checked"
+// (§3.4). This module models that machinery once, shared by both hosts.
+//
+// A RouteMap is an ordered list of entries. Each entry has match clauses
+// (all must match) and set actions (applied when the entry matches). The
+// first matching entry decides: kPermit or kDeny. No entry matching -> the
+// map's default (deny, like FRR's implicit deny).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "rpki/roa.hpp"
+#include "util/ip.hpp"
+
+namespace xb::bgp::policy {
+
+/// Everything a clause may inspect or mutate, materialised by the host from
+/// its internal representation for the duration of one evaluation.
+struct RouteFacts {
+  util::Prefix prefix;
+  std::optional<Asn> origin_asn;
+  std::span<const Asn> as_path;            // flattened path, host order
+  std::optional<util::Ipv4Addr> next_hop;
+  std::uint32_t igp_metric_to_nexthop = 0;
+  std::uint32_t local_pref = 100;
+  std::optional<std::uint32_t> med;
+  std::span<const std::uint32_t> communities;
+  PeerType peer_type = PeerType::kEbgp;
+  Asn peer_asn = 0;
+
+  // --- evaluation outputs (set actions write here) ---------------------------
+  std::optional<std::uint32_t> new_local_pref;
+  std::optional<std::uint32_t> new_med;
+  std::vector<std::uint32_t> added_communities;
+  /// Route metadata word (e.g. RFC 6811 validation state from `match rpki`).
+  std::optional<std::uint32_t> new_meta;
+};
+
+enum class Action : std::uint8_t { kPermit, kDeny };
+
+// --- match clauses ----------------------------------------------------------------
+
+/// A prefix-list entry: matches prefixes covered by `prefix` whose length
+/// lies within [ge, le] (FRR `ip prefix-list ... ge N le M` semantics).
+struct PrefixRule {
+  util::Prefix prefix;
+  std::uint8_t ge = 0;   // 0 -> prefix.length()
+  std::uint8_t le = 32;
+};
+
+class Match {
+ public:
+  virtual ~Match() = default;
+  [[nodiscard]] virtual bool matches(RouteFacts& facts) const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Matches when any rule of the list covers the route's prefix.
+class MatchPrefixList final : public Match {
+ public:
+  explicit MatchPrefixList(std::vector<PrefixRule> rules) : rules_(std::move(rules)) {}
+  bool matches(RouteFacts& facts) const override;
+  std::string describe() const override;
+
+ private:
+  std::vector<PrefixRule> rules_;
+};
+
+/// Matches when the AS path contains the given ASN.
+class MatchAsPathContains final : public Match {
+ public:
+  explicit MatchAsPathContains(Asn asn) : asn_(asn) {}
+  bool matches(RouteFacts& facts) const override;
+  std::string describe() const override;
+
+ private:
+  Asn asn_;
+};
+
+/// Matches when the route carries the community.
+class MatchCommunity final : public Match {
+ public:
+  explicit MatchCommunity(std::uint32_t community) : community_(community) {}
+  bool matches(RouteFacts& facts) const override;
+  std::string describe() const override;
+
+ private:
+  std::uint32_t community_;
+};
+
+/// Matches on AS-path length bounds (inclusive).
+class MatchAsPathLength final : public Match {
+ public:
+  MatchAsPathLength(std::size_t min_len, std::size_t max_len)
+      : min_(min_len), max_(max_len) {}
+  bool matches(RouteFacts& facts) const override;
+  std::string describe() const override;
+
+ private:
+  std::size_t min_;
+  std::size_t max_;
+};
+
+/// FRR's `match rpki <valid|invalid|notfound>`: validates the route against
+/// the RPKI table *on every evaluation* — the per-prefix "browse" of §3.4 —
+/// and records the state in the route metadata as a side effect.
+class MatchRpki final : public Match {
+ public:
+  /// kAny matches every state (used to tag without filtering).
+  enum class Want : std::uint8_t { kValid, kInvalid, kNotFound, kAny };
+
+  MatchRpki(const rpki::RoaTable* table, Want want) : table_(table), want_(want) {}
+  bool matches(RouteFacts& facts) const override;
+  std::string describe() const override;
+
+ private:
+  const rpki::RoaTable* table_;
+  Want want_;
+};
+
+/// Matches when the IGP metric to the nexthop is at most `max_metric`
+/// (the native analogue of the paper's Listing 1).
+class MatchNexthopMetricAtMost final : public Match {
+ public:
+  explicit MatchNexthopMetricAtMost(std::uint32_t max_metric) : max_(max_metric) {}
+  bool matches(RouteFacts& facts) const override;
+  std::string describe() const override;
+
+ private:
+  std::uint32_t max_;
+};
+
+// --- set actions -------------------------------------------------------------------
+
+class SetAction {
+ public:
+  virtual ~SetAction() = default;
+  virtual void apply(RouteFacts& facts) const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+class SetLocalPref final : public SetAction {
+ public:
+  explicit SetLocalPref(std::uint32_t value) : value_(value) {}
+  void apply(RouteFacts& facts) const override { facts.new_local_pref = value_; }
+  std::string describe() const override;
+
+ private:
+  std::uint32_t value_;
+};
+
+class SetMed final : public SetAction {
+ public:
+  explicit SetMed(std::uint32_t value) : value_(value) {}
+  void apply(RouteFacts& facts) const override { facts.new_med = value_; }
+  std::string describe() const override;
+
+ private:
+  std::uint32_t value_;
+};
+
+class AddCommunity final : public SetAction {
+ public:
+  explicit AddCommunity(std::uint32_t community) : community_(community) {}
+  void apply(RouteFacts& facts) const override {
+    facts.added_communities.push_back(community_);
+  }
+  std::string describe() const override;
+
+ private:
+  std::uint32_t community_;
+};
+
+// --- the route map -------------------------------------------------------------------
+
+struct Entry {
+  int seq = 10;
+  Action action = Action::kPermit;
+  std::vector<std::unique_ptr<Match>> matches;   // all must match
+  std::vector<std::unique_ptr<SetAction>> sets;  // applied on match
+};
+
+struct Verdict {
+  bool permitted = false;
+  int decided_by_seq = -1;  // -1: implicit default
+};
+
+class RouteMap {
+ public:
+  explicit RouteMap(std::string name, Action default_action = Action::kDeny)
+      : name_(std::move(name)), default_action_(default_action) {}
+
+  /// Builder-style entry addition; entries evaluate in ascending seq order.
+  Entry& add_entry(int seq, Action action);
+
+  /// Evaluates the map: first entry whose matches all hold decides.
+  [[nodiscard]] Verdict evaluate(RouteFacts& facts) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::string describe() const;
+
+  /// Cumulative number of clause evaluations (benchmark telemetry).
+  [[nodiscard]] std::uint64_t clauses_evaluated() const noexcept { return clauses_evaluated_; }
+
+ private:
+  std::string name_;
+  Action default_action_;
+  std::vector<Entry> entries_;  // kept sorted by seq
+  mutable std::uint64_t clauses_evaluated_ = 0;
+};
+
+/// A permit-everything map with FRR-ish boilerplate (bogon prefix filter,
+/// long-path guard, customer-community preference), the baseline policy a
+/// production eBGP session carries. When `rpki_table` is non-null the final
+/// permit entry additionally carries `match rpki any` — FRR's native origin
+/// validation configuration, which looks the route up in the table on every
+/// evaluation and records the state in the route metadata.
+[[nodiscard]] RouteMap standard_import_policy(const rpki::RoaTable* rpki_table = nullptr);
+[[nodiscard]] RouteMap standard_export_policy();
+
+}  // namespace xb::bgp::policy

@@ -1,0 +1,90 @@
+// Core BGP value types and protocol constants (RFC 4271).
+#pragma once
+
+#include <cstdint>
+
+#include "util/ip.hpp"
+
+namespace xb::bgp {
+
+using Asn = std::uint32_t;       // 4-octet AS numbers throughout (RFC 6793)
+using RouterId = std::uint32_t;  // BGP identifier, conventionally an IPv4 addr
+
+enum class PeerType : std::uint8_t {
+  kIbgp = 1,
+  kEbgp = 2,
+};
+
+enum class Origin : std::uint8_t {
+  kIgp = 0,
+  kEgp = 1,
+  kIncomplete = 2,
+};
+
+// --- Message types (RFC 4271 §4.1) -----------------------------------------
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+  kRouteRefresh = 5,  // RFC 2918
+};
+
+inline constexpr std::size_t kHeaderSize = 19;     // marker(16)+len(2)+type(1)
+inline constexpr std::size_t kMaxMessageSize = 4096;
+inline constexpr std::uint8_t kMarkerByte = 0xFF;
+
+// --- Path attribute type codes (IANA registry) -------------------------------
+namespace attr_code {
+inline constexpr std::uint8_t kOrigin = 1;
+inline constexpr std::uint8_t kAsPath = 2;
+inline constexpr std::uint8_t kNextHop = 3;
+inline constexpr std::uint8_t kMed = 4;
+inline constexpr std::uint8_t kLocalPref = 5;
+inline constexpr std::uint8_t kAtomicAggregate = 6;
+inline constexpr std::uint8_t kAggregator = 7;
+inline constexpr std::uint8_t kCommunities = 8;
+inline constexpr std::uint8_t kOriginatorId = 9;   // RFC 4456 route reflection
+inline constexpr std::uint8_t kClusterList = 10;   // RFC 4456 route reflection
+// Codes 241-254 are reserved for development (RFC 2042 / IANA); the paper's
+// GeoLoc attribute was never standardised, so it lives in that range.
+inline constexpr std::uint8_t kGeoLoc = 242;
+}  // namespace attr_code
+
+// --- Path attribute flag bits (RFC 4271 §4.3) --------------------------------
+namespace attr_flag {
+inline constexpr std::uint8_t kOptional = 0x80;
+inline constexpr std::uint8_t kTransitive = 0x40;
+inline constexpr std::uint8_t kPartial = 0x20;
+inline constexpr std::uint8_t kExtendedLength = 0x10;
+}  // namespace attr_flag
+
+// --- NOTIFICATION error codes (RFC 4271 §4.5) --------------------------------
+enum class NotifCode : std::uint8_t {
+  kMessageHeaderError = 1,
+  kOpenMessageError = 2,
+  kUpdateMessageError = 3,
+  kHoldTimerExpired = 4,
+  kFsmError = 5,
+  kCease = 6,
+};
+
+// Update message error subcodes (§6.3).
+namespace update_err {
+inline constexpr std::uint8_t kMalformedAttributeList = 1;
+inline constexpr std::uint8_t kUnrecognizedWellKnown = 2;
+inline constexpr std::uint8_t kMissingWellKnown = 3;
+inline constexpr std::uint8_t kAttributeFlagsError = 4;
+inline constexpr std::uint8_t kAttributeLengthError = 5;
+inline constexpr std::uint8_t kInvalidOrigin = 6;
+inline constexpr std::uint8_t kInvalidNextHop = 8;
+inline constexpr std::uint8_t kOptionalAttributeError = 9;
+inline constexpr std::uint8_t kInvalidNetworkField = 10;
+inline constexpr std::uint8_t kMalformedAsPath = 11;
+}  // namespace update_err
+
+/// Default protocol timers, in seconds of virtual time.
+inline constexpr std::uint32_t kDefaultHoldTime = 90;
+inline constexpr std::uint32_t kDefaultKeepaliveTime = 30;
+
+}  // namespace xb::bgp

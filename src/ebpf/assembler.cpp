@@ -1,0 +1,102 @@
+#include "ebpf/assembler.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace xb::ebpf {
+
+Assembler::Label Assembler::make_label() {
+  label_positions_.push_back(-1);
+  return Label(label_positions_.size() - 1);
+}
+
+void Assembler::place(Label l) {
+  if (l.id_ >= label_positions_.size()) throw std::logic_error("label from another assembler");
+  if (label_positions_[l.id_] != -1) throw std::logic_error("label placed twice");
+  label_positions_[l.id_] = static_cast<std::ptrdiff_t>(insns_.size());
+}
+
+Assembler& Assembler::alu(std::uint8_t cls, std::uint8_t op, Reg dst, Reg src) {
+  insns_.push_back(Insn{static_cast<std::uint8_t>(cls | kSrcX | op),
+                        static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(src), 0, 0});
+  return *this;
+}
+
+Assembler& Assembler::alu(std::uint8_t cls, std::uint8_t op, Reg dst, std::int32_t imm) {
+  insns_.push_back(Insn{static_cast<std::uint8_t>(cls | kSrcK | op),
+                        static_cast<std::uint8_t>(dst), 0, 0, imm});
+  return *this;
+}
+
+Assembler& Assembler::to_be(Reg dst, std::int32_t bits) {
+  if (bits != 16 && bits != 32 && bits != 64) throw std::logic_error("to_be: bits must be 16/32/64");
+  insns_.push_back(Insn{static_cast<std::uint8_t>(kClsAlu | kSrcX | kAluEnd),
+                        static_cast<std::uint8_t>(dst), 0, 0, bits});
+  return *this;
+}
+
+Assembler& Assembler::to_le(Reg dst, std::int32_t bits) {
+  if (bits != 16 && bits != 32 && bits != 64) throw std::logic_error("to_le: bits must be 16/32/64");
+  insns_.push_back(Insn{static_cast<std::uint8_t>(kClsAlu | kSrcK | kAluEnd),
+                        static_cast<std::uint8_t>(dst), 0, 0, bits});
+  return *this;
+}
+
+Assembler& Assembler::lddw(Reg dst, std::uint64_t imm) {
+  insns_.push_back(Insn{kOpLddw, static_cast<std::uint8_t>(dst), 0, 0,
+                        static_cast<std::int32_t>(imm & 0xFFFFFFFFu)});
+  insns_.push_back(Insn{0, 0, 0, 0, static_cast<std::int32_t>(imm >> 32)});
+  return *this;
+}
+
+Assembler& Assembler::ldst(std::uint8_t opcode, Reg dst, Reg src, std::int16_t off,
+                           std::int32_t imm) {
+  insns_.push_back(Insn{opcode, static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(src),
+                        off, imm});
+  return *this;
+}
+
+Assembler& Assembler::jmp(std::uint8_t op, Reg dst, Reg src, Label target) {
+  insns_.push_back(Insn{static_cast<std::uint8_t>(kClsJmp | kSrcX | op),
+                        static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(src), 0, 0});
+  fixups_.push_back(Fixup{insns_.size() - 1, target.id_});
+  return *this;
+}
+
+Assembler& Assembler::jmp(std::uint8_t op, Reg dst, std::int32_t imm, Label target,
+                          bool /*src_is_reg*/) {
+  insns_.push_back(Insn{static_cast<std::uint8_t>(kClsJmp | kSrcK | op),
+                        static_cast<std::uint8_t>(dst), 0, 0, imm});
+  fixups_.push_back(Fixup{insns_.size() - 1, target.id_});
+  return *this;
+}
+
+Assembler& Assembler::call(std::int32_t helper_id) {
+  insns_.push_back(Insn{static_cast<std::uint8_t>(kClsJmp | kJmpCall), 0, 0, 0, helper_id});
+  helpers_.insert(helper_id);
+  return *this;
+}
+
+Assembler& Assembler::exit_() {
+  insns_.push_back(Insn{static_cast<std::uint8_t>(kClsJmp | kJmpExit), 0, 0, 0, 0});
+  return *this;
+}
+
+Program Assembler::build(std::string name) const {
+  auto insns = insns_;
+  for (const auto& fixup : fixups_) {
+    if (fixup.label_id >= label_positions_.size() || label_positions_[fixup.label_id] < 0) {
+      throw std::logic_error("unplaced label in program '" + name + "'");
+    }
+    std::ptrdiff_t delta =
+        label_positions_[fixup.label_id] - static_cast<std::ptrdiff_t>(fixup.insn_index) - 1;
+    if (delta < std::numeric_limits<std::int16_t>::min() ||
+        delta > std::numeric_limits<std::int16_t>::max()) {
+      throw std::logic_error("jump out of int16 range in program '" + name + "'");
+    }
+    insns[fixup.insn_index].offset = static_cast<std::int16_t>(delta);
+  }
+  return Program(std::move(name), std::move(insns), helpers_);
+}
+
+}  // namespace xb::ebpf

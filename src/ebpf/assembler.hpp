@@ -1,0 +1,161 @@
+// A small assembler DSL for authoring eBPF programs in C++.
+//
+// The paper's extensions are C programs compiled with clang to eBPF and then
+// loaded from a manifest. This repository has no cross-compiler available, so
+// use cases are written against this assembler instead; the output is genuine
+// eBPF bytecode (verifier-checked, serialisable to the standard 8-byte image
+// format) and the same Program object is loaded into every host.
+//
+// Example — `return a > b ? 1 : 0`:
+//   Assembler a;
+//   auto yes = a.make_label();
+//   a.jgt(Reg::R1, Reg::R2, yes);
+//   a.mov64(Reg::R0, 0);
+//   a.exit_();
+//   a.place(yes);
+//   a.mov64(Reg::R0, 1);
+//   a.exit_();
+//   Program p = a.build("gt");
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ebpf/insn.hpp"
+#include "ebpf/program.hpp"
+
+namespace xb::ebpf {
+
+enum class Reg : std::uint8_t {
+  R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10
+};
+
+class Assembler {
+ public:
+  /// Opaque forward-referenceable jump target.
+  class Label {
+   public:
+    Label() = default;
+   private:
+    friend class Assembler;
+    explicit Label(std::size_t id) : id_(id) {}
+    std::size_t id_ = static_cast<std::size_t>(-1);
+  };
+
+  [[nodiscard]] Label make_label();
+  /// Binds `l` to the next emitted instruction. Each label is placed once.
+  void place(Label l);
+
+  // --- 64-bit ALU -----------------------------------------------------------
+  Assembler& mov64(Reg dst, Reg src) { return alu(kClsAlu64, kAluMov, dst, src); }
+  Assembler& mov64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluMov, dst, imm); }
+  Assembler& add64(Reg dst, Reg src) { return alu(kClsAlu64, kAluAdd, dst, src); }
+  Assembler& add64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluAdd, dst, imm); }
+  Assembler& sub64(Reg dst, Reg src) { return alu(kClsAlu64, kAluSub, dst, src); }
+  Assembler& sub64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluSub, dst, imm); }
+  Assembler& mul64(Reg dst, Reg src) { return alu(kClsAlu64, kAluMul, dst, src); }
+  Assembler& mul64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluMul, dst, imm); }
+  Assembler& div64(Reg dst, Reg src) { return alu(kClsAlu64, kAluDiv, dst, src); }
+  Assembler& div64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluDiv, dst, imm); }
+  Assembler& mod64(Reg dst, Reg src) { return alu(kClsAlu64, kAluMod, dst, src); }
+  Assembler& mod64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluMod, dst, imm); }
+  Assembler& or64(Reg dst, Reg src) { return alu(kClsAlu64, kAluOr, dst, src); }
+  Assembler& or64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluOr, dst, imm); }
+  Assembler& and64(Reg dst, Reg src) { return alu(kClsAlu64, kAluAnd, dst, src); }
+  Assembler& and64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluAnd, dst, imm); }
+  Assembler& xor64(Reg dst, Reg src) { return alu(kClsAlu64, kAluXor, dst, src); }
+  Assembler& xor64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluXor, dst, imm); }
+  Assembler& lsh64(Reg dst, Reg src) { return alu(kClsAlu64, kAluLsh, dst, src); }
+  Assembler& lsh64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluLsh, dst, imm); }
+  Assembler& rsh64(Reg dst, Reg src) { return alu(kClsAlu64, kAluRsh, dst, src); }
+  Assembler& rsh64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluRsh, dst, imm); }
+  Assembler& arsh64(Reg dst, Reg src) { return alu(kClsAlu64, kAluArsh, dst, src); }
+  Assembler& arsh64(Reg dst, std::int32_t imm) { return alu(kClsAlu64, kAluArsh, dst, imm); }
+  Assembler& neg64(Reg dst) { return alu(kClsAlu64, kAluNeg, dst, std::int32_t{0}); }
+
+  // --- 32-bit ALU (results are zero-extended to 64 bits) ---------------------
+  Assembler& mov32(Reg dst, Reg src) { return alu(kClsAlu, kAluMov, dst, src); }
+  Assembler& mov32(Reg dst, std::int32_t imm) { return alu(kClsAlu, kAluMov, dst, imm); }
+  Assembler& add32(Reg dst, Reg src) { return alu(kClsAlu, kAluAdd, dst, src); }
+  Assembler& add32(Reg dst, std::int32_t imm) { return alu(kClsAlu, kAluAdd, dst, imm); }
+  Assembler& sub32(Reg dst, Reg src) { return alu(kClsAlu, kAluSub, dst, src); }
+  Assembler& sub32(Reg dst, std::int32_t imm) { return alu(kClsAlu, kAluSub, dst, imm); }
+  Assembler& mul32(Reg dst, std::int32_t imm) { return alu(kClsAlu, kAluMul, dst, imm); }
+  Assembler& and32(Reg dst, std::int32_t imm) { return alu(kClsAlu, kAluAnd, dst, imm); }
+  Assembler& or32(Reg dst, std::int32_t imm) { return alu(kClsAlu, kAluOr, dst, imm); }
+  Assembler& rsh32(Reg dst, std::int32_t imm) { return alu(kClsAlu, kAluRsh, dst, imm); }
+  Assembler& lsh32(Reg dst, std::int32_t imm) { return alu(kClsAlu, kAluLsh, dst, imm); }
+
+  // --- byte swaps -------------------------------------------------------------
+  /// Convert dst to big-endian interpretation of its low `bits` (16/32/64).
+  Assembler& to_be(Reg dst, std::int32_t bits);
+  Assembler& to_le(Reg dst, std::int32_t bits);
+
+  /// Load a full 64-bit immediate (occupies two instruction slots).
+  Assembler& lddw(Reg dst, std::uint64_t imm);
+
+  // --- memory ------------------------------------------------------------------
+  Assembler& ldxdw(Reg dst, Reg src, std::int16_t off) { return ldst(op_ldx(kSizeDw), dst, src, off, 0); }
+  Assembler& ldxw(Reg dst, Reg src, std::int16_t off) { return ldst(op_ldx(kSizeW), dst, src, off, 0); }
+  Assembler& ldxh(Reg dst, Reg src, std::int16_t off) { return ldst(op_ldx(kSizeH), dst, src, off, 0); }
+  Assembler& ldxb(Reg dst, Reg src, std::int16_t off) { return ldst(op_ldx(kSizeB), dst, src, off, 0); }
+  Assembler& stxdw(Reg dst, std::int16_t off, Reg src) { return ldst(op_stx(kSizeDw), dst, src, off, 0); }
+  Assembler& stxw(Reg dst, std::int16_t off, Reg src) { return ldst(op_stx(kSizeW), dst, src, off, 0); }
+  Assembler& stxh(Reg dst, std::int16_t off, Reg src) { return ldst(op_stx(kSizeH), dst, src, off, 0); }
+  Assembler& stxb(Reg dst, std::int16_t off, Reg src) { return ldst(op_stx(kSizeB), dst, src, off, 0); }
+  Assembler& stdw(Reg dst, std::int16_t off, std::int32_t imm) { return ldst(op_st(kSizeDw), dst, Reg::R0, off, imm); }
+  Assembler& stw(Reg dst, std::int16_t off, std::int32_t imm) { return ldst(op_st(kSizeW), dst, Reg::R0, off, imm); }
+  Assembler& sth(Reg dst, std::int16_t off, std::int32_t imm) { return ldst(op_st(kSizeH), dst, Reg::R0, off, imm); }
+  Assembler& stb(Reg dst, std::int16_t off, std::int32_t imm) { return ldst(op_st(kSizeB), dst, Reg::R0, off, imm); }
+
+  // --- control flow -------------------------------------------------------------
+  Assembler& ja(Label target) { return jmp(kJmpJa, Reg::R0, std::int32_t{0}, target, false); }
+  Assembler& jeq(Reg dst, Reg src, Label t) { return jmp(kJmpJeq, dst, src, t); }
+  Assembler& jeq(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJeq, dst, imm, t, false); }
+  Assembler& jne(Reg dst, Reg src, Label t) { return jmp(kJmpJne, dst, src, t); }
+  Assembler& jne(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJne, dst, imm, t, false); }
+  Assembler& jgt(Reg dst, Reg src, Label t) { return jmp(kJmpJgt, dst, src, t); }
+  Assembler& jgt(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJgt, dst, imm, t, false); }
+  Assembler& jge(Reg dst, Reg src, Label t) { return jmp(kJmpJge, dst, src, t); }
+  Assembler& jge(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJge, dst, imm, t, false); }
+  Assembler& jlt(Reg dst, Reg src, Label t) { return jmp(kJmpJlt, dst, src, t); }
+  Assembler& jlt(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJlt, dst, imm, t, false); }
+  Assembler& jle(Reg dst, Reg src, Label t) { return jmp(kJmpJle, dst, src, t); }
+  Assembler& jle(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJle, dst, imm, t, false); }
+  Assembler& jsgt(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJsgt, dst, imm, t, false); }
+  Assembler& jsge(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJsge, dst, imm, t, false); }
+  Assembler& jslt(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJslt, dst, imm, t, false); }
+  Assembler& jsle(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJsle, dst, imm, t, false); }
+  Assembler& jset(Reg dst, std::int32_t imm, Label t) { return jmp(kJmpJset, dst, imm, t, false); }
+
+  /// Call the host helper with the given stable id.
+  Assembler& call(std::int32_t helper_id);
+  Assembler& exit_();
+
+  /// Resolve all labels and return the finished, relocated program.
+  /// Throws std::logic_error on unplaced labels or out-of-range jumps.
+  [[nodiscard]] Program build(std::string name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return insns_.size(); }
+
+ private:
+  Assembler& alu(std::uint8_t cls, std::uint8_t op, Reg dst, Reg src);
+  Assembler& alu(std::uint8_t cls, std::uint8_t op, Reg dst, std::int32_t imm);
+  Assembler& ldst(std::uint8_t opcode, Reg dst, Reg src, std::int16_t off, std::int32_t imm);
+  Assembler& jmp(std::uint8_t op, Reg dst, Reg src, Label target);
+  Assembler& jmp(std::uint8_t op, Reg dst, std::int32_t imm, Label target, bool src_is_reg);
+
+  struct Fixup {
+    std::size_t insn_index;
+    std::size_t label_id;
+  };
+
+  std::vector<Insn> insns_;
+  std::vector<std::ptrdiff_t> label_positions_;  // -1 until placed
+  std::vector<Fixup> fixups_;
+  std::set<std::int32_t> helpers_;
+};
+
+}  // namespace xb::ebpf

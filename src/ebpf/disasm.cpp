@@ -1,0 +1,145 @@
+#include "ebpf/disasm.hpp"
+
+#include <sstream>
+
+#include "ebpf/opcodes.hpp"
+
+namespace xb::ebpf {
+
+namespace {
+
+const char* alu_name(std::uint8_t op) {
+  switch (op) {
+    case kAluAdd: return "add";
+    case kAluSub: return "sub";
+    case kAluMul: return "mul";
+    case kAluDiv: return "div";
+    case kAluOr: return "or";
+    case kAluAnd: return "and";
+    case kAluLsh: return "lsh";
+    case kAluRsh: return "rsh";
+    case kAluNeg: return "neg";
+    case kAluMod: return "mod";
+    case kAluXor: return "xor";
+    case kAluMov: return "mov";
+    case kAluArsh: return "arsh";
+    default: return "alu?";
+  }
+}
+
+const char* jmp_name(std::uint8_t op) {
+  switch (op) {
+    case kJmpJa: return "ja";
+    case kJmpJeq: return "jeq";
+    case kJmpJgt: return "jgt";
+    case kJmpJge: return "jge";
+    case kJmpJset: return "jset";
+    case kJmpJne: return "jne";
+    case kJmpJsgt: return "jsgt";
+    case kJmpJsge: return "jsge";
+    case kJmpJlt: return "jlt";
+    case kJmpJle: return "jle";
+    case kJmpJslt: return "jslt";
+    case kJmpJsle: return "jsle";
+    default: return "jmp?";
+  }
+}
+
+const char* size_suffix(std::uint8_t op) {
+  switch (op & 0x18) {
+    case kSizeW: return "w";
+    case kSizeH: return "h";
+    case kSizeB: return "b";
+    default: return "dw";
+  }
+}
+
+}  // namespace
+
+std::string disassemble_insn(const Insn& insn, bool lddw_tail) {
+  std::ostringstream os;
+  if (lddw_tail) {
+    os << "lddw-hi 0x" << std::hex << static_cast<std::uint32_t>(insn.imm);
+    return os.str();
+  }
+  const std::uint8_t cls = insn.cls();
+  switch (cls) {
+    case kClsAlu:
+    case kClsAlu64: {
+      const std::uint8_t op = insn.opcode & 0xf0;
+      const char* width = cls == kClsAlu64 ? "64" : "32";
+      if (op == kAluEnd) {
+        os << ((insn.opcode & kSrcX) ? "be" : "le") << insn.imm << " r"
+           << static_cast<int>(insn.dst);
+      } else if (op == kAluNeg) {
+        os << "neg" << width << " r" << static_cast<int>(insn.dst);
+      } else if (insn.opcode & kSrcX) {
+        os << alu_name(op) << width << " r" << static_cast<int>(insn.dst) << ", r"
+           << static_cast<int>(insn.src);
+      } else {
+        os << alu_name(op) << width << " r" << static_cast<int>(insn.dst) << ", " << insn.imm;
+      }
+      break;
+    }
+    case kClsLd:
+      os << "lddw r" << static_cast<int>(insn.dst) << ", 0x" << std::hex
+         << static_cast<std::uint32_t>(insn.imm);
+      break;
+    case kClsLdx:
+      os << "ldx" << size_suffix(insn.opcode) << " r" << static_cast<int>(insn.dst) << ", [r"
+         << static_cast<int>(insn.src) << (insn.offset >= 0 ? "+" : "") << insn.offset << "]";
+      break;
+    case kClsSt:
+      os << "st" << size_suffix(insn.opcode) << " [r" << static_cast<int>(insn.dst)
+         << (insn.offset >= 0 ? "+" : "") << insn.offset << "], " << insn.imm;
+      break;
+    case kClsStx:
+      os << "stx" << size_suffix(insn.opcode) << " [r" << static_cast<int>(insn.dst)
+         << (insn.offset >= 0 ? "+" : "") << insn.offset << "], r" << static_cast<int>(insn.src);
+      break;
+    case kClsJmp: {
+      const std::uint8_t op = insn.opcode & 0xf0;
+      if (op == kJmpExit) {
+        os << "exit";
+      } else if (op == kJmpCall) {
+        os << "call " << insn.imm;
+      } else if (op == kJmpJa) {
+        os << "ja " << (insn.offset >= 0 ? "+" : "") << insn.offset;
+      } else if (insn.opcode & kSrcX) {
+        os << jmp_name(op) << " r" << static_cast<int>(insn.dst) << ", r"
+           << static_cast<int>(insn.src) << ", " << (insn.offset >= 0 ? "+" : "") << insn.offset;
+      } else {
+        os << jmp_name(op) << " r" << static_cast<int>(insn.dst) << ", " << insn.imm << ", "
+           << (insn.offset >= 0 ? "+" : "") << insn.offset;
+      }
+      break;
+    }
+    case kClsJmp32: {
+      const std::uint8_t op = insn.opcode & 0xf0;
+      if (insn.opcode & kSrcX) {
+        os << jmp_name(op) << "32 r" << static_cast<int>(insn.dst) << ", r"
+           << static_cast<int>(insn.src) << ", " << (insn.offset >= 0 ? "+" : "") << insn.offset;
+      } else {
+        os << jmp_name(op) << "32 r" << static_cast<int>(insn.dst) << ", " << insn.imm << ", "
+           << (insn.offset >= 0 ? "+" : "") << insn.offset;
+      }
+      break;
+    }
+    default:
+      os << "??? opcode=0x" << std::hex << static_cast<int>(insn.opcode);
+  }
+  return os.str();
+}
+
+std::string disassemble(const Program& program) {
+  std::ostringstream os;
+  const auto& insns = program.insns();
+  bool tail = false;
+  for (std::size_t i = 0; i < insns.size(); ++i) {
+    os << i << ": " << disassemble_insn(insns[i], tail) << "\n";
+    tail = !tail && insns[i].opcode == kOpLddw;
+  }
+  return os.str();
+}
+
+}  // namespace xb::ebpf

@@ -1,0 +1,20 @@
+// Textual disassembly of eBPF programs, for diagnostics and tests.
+#pragma once
+
+#include <string>
+
+#include "ebpf/program.hpp"
+
+namespace xb::ebpf {
+
+/// One instruction per line, in a ubpf-like mnemonic syntax, e.g.
+///   0: mov64 r0, 0
+///   1: jeq r1, 0x2, +3
+///   2: call 7
+///   3: exit
+std::string disassemble(const Program& program);
+
+/// Single-instruction form (the `next` slot of lddw renders as "lddw-hi").
+std::string disassemble_insn(const Insn& insn, bool lddw_tail);
+
+}  // namespace xb::ebpf

@@ -1,0 +1,45 @@
+#include "ebpf/insn.hpp"
+
+#include <stdexcept>
+
+namespace xb::ebpf {
+
+std::vector<std::uint8_t> serialize(const std::vector<Insn>& insns) {
+  std::vector<std::uint8_t> out;
+  out.reserve(insns.size() * 8);
+  for (const auto& insn : insns) {
+    out.push_back(insn.opcode);
+    out.push_back(static_cast<std::uint8_t>((insn.src << 4) | (insn.dst & 0x0F)));
+    out.push_back(static_cast<std::uint8_t>(insn.offset & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((insn.offset >> 8) & 0xFF));
+    auto imm = static_cast<std::uint32_t>(insn.imm);
+    out.push_back(static_cast<std::uint8_t>(imm & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((imm >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((imm >> 16) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((imm >> 24) & 0xFF));
+  }
+  return out;
+}
+
+std::vector<Insn> deserialize(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() % 8 != 0) {
+    throw std::invalid_argument("eBPF image size must be a multiple of 8 bytes");
+  }
+  std::vector<Insn> out;
+  out.reserve(bytes.size() / 8);
+  for (std::size_t i = 0; i < bytes.size(); i += 8) {
+    Insn insn;
+    insn.opcode = bytes[i];
+    insn.dst = bytes[i + 1] & 0x0F;
+    insn.src = bytes[i + 1] >> 4;
+    insn.offset = static_cast<std::int16_t>(bytes[i + 2] | (bytes[i + 3] << 8));
+    insn.imm = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(bytes[i + 4]) | (static_cast<std::uint32_t>(bytes[i + 5]) << 8) |
+        (static_cast<std::uint32_t>(bytes[i + 6]) << 16) |
+        (static_cast<std::uint32_t>(bytes[i + 7]) << 24));
+    out.push_back(insn);
+  }
+  return out;
+}
+
+}  // namespace xb::ebpf

@@ -1,0 +1,34 @@
+// The 8-byte eBPF instruction word.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ebpf/opcodes.hpp"
+
+namespace xb::ebpf {
+
+/// One eBPF instruction slot. `lddw` (64-bit immediate load) occupies two
+/// consecutive slots; the second carries the high 32 bits in `imm`.
+struct Insn {
+  std::uint8_t opcode = 0;
+  std::uint8_t dst = 0;   // destination register (low nibble on the wire)
+  std::uint8_t src = 0;   // source register (high nibble on the wire)
+  std::int16_t offset = 0;
+  std::int32_t imm = 0;
+
+  [[nodiscard]] constexpr std::uint8_t cls() const noexcept { return opcode & 0x07; }
+
+  friend constexpr bool operator==(const Insn&, const Insn&) = default;
+};
+
+/// Serialises instructions to the 8-byte-per-slot eBPF object format
+/// (little-endian fields, as produced by clang -target bpf). Used to prove
+/// that the very same program image is loaded by both host implementations.
+std::vector<std::uint8_t> serialize(const std::vector<Insn>& insns);
+
+/// Parses the 8-byte-per-slot format back. Throws std::invalid_argument if
+/// the byte count is not a multiple of 8 or a register nibble is invalid.
+std::vector<Insn> deserialize(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace xb::ebpf

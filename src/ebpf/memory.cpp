@@ -1,0 +1,18 @@
+#include "ebpf/memory.hpp"
+
+#include <sstream>
+
+namespace xb::ebpf {
+
+std::string MemoryModel::describe_fault(std::uint64_t addr, std::size_t len, bool write) const {
+  std::ostringstream os;
+  os << (write ? "store" : "load") << " of " << len << " bytes at 0x" << std::hex << addr
+     << std::dec << " outside the " << regions_.size() << " registered region(s)";
+  for (const auto& r : regions_) {
+    os << " [" << r.tag << ": 0x" << std::hex << r.base << "+0x" << r.size << std::dec
+       << (r.writable ? " rw" : " ro") << "]";
+  }
+  return os.str();
+}
+
+}  // namespace xb::ebpf

@@ -1,0 +1,80 @@
+// Region-based memory isolation for the eBPF interpreter.
+//
+// Every load and store executed by extension bytecode is checked against a
+// table of registered regions. A VM only ever has regions for: its own stack,
+// the per-invocation ephemeral arena, and its program's persistent arena.
+// Host implementation memory is never registered, so extension code cannot
+// read or write it — the isolation property §2.1 of the paper relies on.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xb::ebpf {
+
+class MemoryModel {
+ public:
+  struct Region {
+    std::uintptr_t base = 0;
+    std::size_t size = 0;
+    bool writable = false;
+    std::string tag;  // for fault diagnostics
+  };
+
+  /// Registers [base, base+size) with the given permission. Regions may be
+  /// added and dropped between runs; they must not be mutated mid-run.
+  void add_region(const void* base, std::size_t size, bool writable, std::string tag) {
+    regions_.push_back(
+        Region{reinterpret_cast<std::uintptr_t>(base), size, writable, std::move(tag)});
+  }
+
+  /// Marks the current region set as the permanent base (e.g. the VM stack).
+  /// reset_to_base() drops everything added after this point.
+  void mark_base() noexcept { base_count_ = regions_.size(); }
+
+  /// Drops all regions registered since mark_base(). Called by the VMM
+  /// between invocations so per-run arenas never leak across executions.
+  void reset_to_base() noexcept {
+    regions_.resize(base_count_);
+    last_hit_ = 0;
+  }
+
+  void clear() noexcept {
+    regions_.clear();
+    base_count_ = 0;
+    last_hit_ = 0;
+  }
+
+  [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
+
+  /// True if [addr, addr+len) lies entirely inside one registered region with
+  /// sufficient permission. Hot path: the most recently matched region is
+  /// probed first (accesses cluster strongly by region).
+  [[nodiscard]] bool check(std::uint64_t addr, std::size_t len, bool write) const noexcept {
+    if (last_hit_ < regions_.size() && fits(regions_[last_hit_], addr, len, write)) return true;
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+      if (fits(regions_[i], addr, len, write)) {
+        last_hit_ = i;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Human-readable description of why an access faulted.
+  [[nodiscard]] std::string describe_fault(std::uint64_t addr, std::size_t len, bool write) const;
+
+ private:
+  static bool fits(const Region& r, std::uint64_t addr, std::size_t len, bool write) noexcept {
+    return addr >= r.base && len <= r.size && addr - r.base <= r.size - len &&
+           (!write || r.writable);
+  }
+
+  std::vector<Region> regions_;
+  std::size_t base_count_ = 0;
+  mutable std::size_t last_hit_ = 0;
+};
+
+}  // namespace xb::ebpf

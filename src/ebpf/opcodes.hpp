@@ -1,0 +1,87 @@
+// eBPF instruction-set opcode constants.
+//
+// Encoding follows the classic eBPF ISA used by the Linux kernel and ubpf
+// (the VM the paper embeds): an 8-bit opcode whose low 3 bits select the
+// instruction class, with class-specific layout of the remaining bits.
+#pragma once
+
+#include <cstdint>
+
+namespace xb::ebpf {
+
+// --- Instruction classes (opcode & 0x07) ---------------------------------
+inline constexpr std::uint8_t kClsLd = 0x00;    // non-standard load (lddw)
+inline constexpr std::uint8_t kClsLdx = 0x01;   // load from memory into reg
+inline constexpr std::uint8_t kClsSt = 0x02;    // store immediate to memory
+inline constexpr std::uint8_t kClsStx = 0x03;   // store register to memory
+inline constexpr std::uint8_t kClsAlu = 0x04;   // 32-bit arithmetic
+inline constexpr std::uint8_t kClsJmp = 0x05;   // 64-bit compare-and-jump
+inline constexpr std::uint8_t kClsJmp32 = 0x06; // 32-bit compare-and-jump
+inline constexpr std::uint8_t kClsAlu64 = 0x07; // 64-bit arithmetic
+
+// --- Source modifier for ALU/JMP (opcode & 0x08) --------------------------
+inline constexpr std::uint8_t kSrcK = 0x00;  // use 32-bit immediate
+inline constexpr std::uint8_t kSrcX = 0x08;  // use source register
+
+// --- ALU operation (opcode & 0xf0) ----------------------------------------
+inline constexpr std::uint8_t kAluAdd = 0x00;
+inline constexpr std::uint8_t kAluSub = 0x10;
+inline constexpr std::uint8_t kAluMul = 0x20;
+inline constexpr std::uint8_t kAluDiv = 0x30;
+inline constexpr std::uint8_t kAluOr = 0x40;
+inline constexpr std::uint8_t kAluAnd = 0x50;
+inline constexpr std::uint8_t kAluLsh = 0x60;
+inline constexpr std::uint8_t kAluRsh = 0x70;
+inline constexpr std::uint8_t kAluNeg = 0x80;
+inline constexpr std::uint8_t kAluMod = 0x90;
+inline constexpr std::uint8_t kAluXor = 0xa0;
+inline constexpr std::uint8_t kAluMov = 0xb0;
+inline constexpr std::uint8_t kAluArsh = 0xc0;
+inline constexpr std::uint8_t kAluEnd = 0xd0;  // byte swap; kSrcK=to-LE, kSrcX=to-BE
+
+// --- JMP operation (opcode & 0xf0) ----------------------------------------
+inline constexpr std::uint8_t kJmpJa = 0x00;
+inline constexpr std::uint8_t kJmpJeq = 0x10;
+inline constexpr std::uint8_t kJmpJgt = 0x20;
+inline constexpr std::uint8_t kJmpJge = 0x30;
+inline constexpr std::uint8_t kJmpJset = 0x40;
+inline constexpr std::uint8_t kJmpJne = 0x50;
+inline constexpr std::uint8_t kJmpJsgt = 0x60;
+inline constexpr std::uint8_t kJmpJsge = 0x70;
+inline constexpr std::uint8_t kJmpCall = 0x80;
+inline constexpr std::uint8_t kJmpExit = 0x90;
+inline constexpr std::uint8_t kJmpJlt = 0xa0;
+inline constexpr std::uint8_t kJmpJle = 0xb0;
+inline constexpr std::uint8_t kJmpJslt = 0xc0;
+inline constexpr std::uint8_t kJmpJsle = 0xd0;
+
+// --- Load/store size (opcode & 0x18) ---------------------------------------
+inline constexpr std::uint8_t kSizeW = 0x00;   // 4 bytes
+inline constexpr std::uint8_t kSizeH = 0x08;   // 2 bytes
+inline constexpr std::uint8_t kSizeB = 0x10;   // 1 byte
+inline constexpr std::uint8_t kSizeDw = 0x18;  // 8 bytes
+
+// --- Load/store mode (opcode & 0xe0) ---------------------------------------
+inline constexpr std::uint8_t kModeImm = 0x00;  // 64-bit immediate (two slots)
+inline constexpr std::uint8_t kModeMem = 0x60;  // register + offset
+
+// --- Fully assembled opcodes used by the assembler and interpreter ---------
+inline constexpr std::uint8_t kOpLddw = kClsLd | kSizeDw | kModeImm;  // 0x18
+
+inline constexpr std::uint8_t op_ldx(std::uint8_t size) {
+  return static_cast<std::uint8_t>(kClsLdx | size | kModeMem);
+}
+inline constexpr std::uint8_t op_stx(std::uint8_t size) {
+  return static_cast<std::uint8_t>(kClsStx | size | kModeMem);
+}
+inline constexpr std::uint8_t op_st(std::uint8_t size) {
+  return static_cast<std::uint8_t>(kClsSt | size | kModeMem);
+}
+
+// Register file: r0 (return value), r1-r5 (arguments / caller-saved),
+// r6-r9 (callee-saved), r10 (read-only frame pointer).
+inline constexpr int kNumRegisters = 11;
+inline constexpr int kFramePointer = 10;
+inline constexpr int kStackSize = 512;  // bytes per VM invocation, as in ubpf
+
+}  // namespace xb::ebpf

@@ -1,0 +1,45 @@
+// A verified-loadable eBPF program image.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ebpf/insn.hpp"
+
+namespace xb::ebpf {
+
+/// An immutable eBPF program: the instruction stream plus metadata describing
+/// what the program needs from its host (helper functions, by id).
+///
+/// A Program carries no host state; the same Program object can be attached
+/// to any number of virtual machines in any number of hosts — this is how the
+/// paper runs identical bytecode on FRRouting and BIRD.
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Insn> insns, std::set<std::int32_t> required_helpers)
+      : name_(std::move(name)),
+        insns_(std::move(insns)),
+        required_helpers_(std::move(required_helpers)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Insn>& insns() const noexcept { return insns_; }
+  [[nodiscard]] const std::set<std::int32_t>& required_helpers() const noexcept {
+    return required_helpers_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return insns_.empty(); }
+
+  /// The canonical byte image (clang/ubpf object layout). Byte-for-byte equal
+  /// images mean byte-for-byte equal behaviour across hosts.
+  [[nodiscard]] std::vector<std::uint8_t> image() const { return serialize(insns_); }
+
+ private:
+  std::string name_;
+  std::vector<Insn> insns_;
+  std::set<std::int32_t> required_helpers_;
+};
+
+}  // namespace xb::ebpf

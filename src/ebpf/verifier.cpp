@@ -1,0 +1,150 @@
+#include "ebpf/verifier.hpp"
+
+#include <vector>
+
+#include "ebpf/opcodes.hpp"
+
+namespace xb::ebpf {
+
+namespace {
+
+bool valid_alu_op(std::uint8_t op) {
+  switch (op) {
+    case kAluAdd: case kAluSub: case kAluMul: case kAluDiv: case kAluOr:
+    case kAluAnd: case kAluLsh: case kAluRsh: case kAluNeg: case kAluMod:
+    case kAluXor: case kAluMov: case kAluArsh: case kAluEnd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool valid_jmp_op(std::uint8_t op) {
+  switch (op) {
+    case kJmpJa: case kJmpJeq: case kJmpJgt: case kJmpJge: case kJmpJset:
+    case kJmpJne: case kJmpJsgt: case kJmpJsge: case kJmpCall: case kJmpExit:
+    case kJmpJlt: case kJmpJle: case kJmpJslt: case kJmpJsle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<VerifyError> Verifier::verify(const Program& program,
+                                            const std::set<std::int32_t>& allowed_helpers) {
+  const auto& insns = program.insns();
+  const std::size_t n = insns.size();
+  if (n == 0) return VerifyError{0, "empty program"};
+  if (n > kMaxInsns) return VerifyError{0, "program exceeds instruction limit"};
+
+  // First pass: mark the second slots of lddw so jump-target checks can
+  // reject branches into them.
+  std::vector<bool> is_lddw_tail(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_lddw_tail[i]) continue;
+    if (insns[i].opcode == kOpLddw) {
+      if (i + 1 >= n) return VerifyError{i, "lddw missing second slot"};
+      if (insns[i + 1].opcode != 0) return VerifyError{i + 1, "lddw second slot must be zero"};
+      is_lddw_tail[i + 1] = true;
+    }
+  }
+
+  bool saw_exit = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_lddw_tail[i]) continue;
+    const Insn& insn = insns[i];
+    const std::uint8_t cls = insn.cls();
+
+    if (insn.dst >= kNumRegisters) return VerifyError{i, "invalid destination register"};
+    if (insn.src >= kNumRegisters) return VerifyError{i, "invalid source register"};
+
+    switch (cls) {
+      case kClsAlu:
+      case kClsAlu64: {
+        const std::uint8_t op = insn.opcode & 0xf0;
+        if (!valid_alu_op(op)) return VerifyError{i, "unknown ALU operation"};
+        if (insn.dst == kFramePointer) return VerifyError{i, "write to frame pointer r10"};
+        if ((op == kAluDiv || op == kAluMod) && (insn.opcode & kSrcX) == 0 && insn.imm == 0) {
+          return VerifyError{i, "division by zero immediate"};
+        }
+        if (op == kAluEnd && insn.imm != 16 && insn.imm != 32 && insn.imm != 64) {
+          return VerifyError{i, "byte swap width must be 16/32/64"};
+        }
+        if ((op == kAluLsh || op == kAluRsh || op == kAluArsh) && (insn.opcode & kSrcX) == 0) {
+          const std::int32_t width = (cls == kClsAlu64) ? 64 : 32;
+          if (insn.imm < 0 || insn.imm >= width) return VerifyError{i, "shift out of range"};
+        }
+        break;
+      }
+      case kClsLd: {
+        if (insn.opcode != kOpLddw) return VerifyError{i, "unsupported LD-class opcode"};
+        if (insn.dst == kFramePointer) return VerifyError{i, "write to frame pointer r10"};
+        break;
+      }
+      case kClsLdx: {
+        if ((insn.opcode & 0xe0) != kModeMem) return VerifyError{i, "unsupported LDX mode"};
+        if (insn.dst == kFramePointer) return VerifyError{i, "write to frame pointer r10"};
+        break;
+      }
+      case kClsSt:
+      case kClsStx: {
+        if ((insn.opcode & 0xe0) != kModeMem) return VerifyError{i, "unsupported store mode"};
+        break;
+      }
+      case kClsJmp: {
+        const std::uint8_t op = insn.opcode & 0xf0;
+        if (!valid_jmp_op(op)) return VerifyError{i, "unknown JMP operation"};
+        if (op == kJmpCall) {
+          if (!allowed_helpers.contains(insn.imm)) {
+            return VerifyError{i, "call to helper " + std::to_string(insn.imm) +
+                                      " not in manifest whitelist"};
+          }
+          break;
+        }
+        if (op == kJmpExit) {
+          saw_exit = true;
+          break;
+        }
+        const std::ptrdiff_t target =
+            static_cast<std::ptrdiff_t>(i) + 1 + insn.offset;
+        if (target < 0 || target >= static_cast<std::ptrdiff_t>(n)) {
+          return VerifyError{i, "jump target out of bounds"};
+        }
+        if (is_lddw_tail[static_cast<std::size_t>(target)]) {
+          return VerifyError{i, "jump into the middle of lddw"};
+        }
+        break;
+      }
+      case kClsJmp32: {
+        const std::uint8_t op = insn.opcode & 0xf0;
+        if (!valid_jmp_op(op) || op == kJmpCall || op == kJmpExit) {
+          return VerifyError{i, "unsupported JMP32 operation"};
+        }
+        const std::ptrdiff_t target = static_cast<std::ptrdiff_t>(i) + 1 + insn.offset;
+        if (target < 0 || target >= static_cast<std::ptrdiff_t>(n)) {
+          return VerifyError{i, "jump target out of bounds"};
+        }
+        if (is_lddw_tail[static_cast<std::size_t>(target)]) {
+          return VerifyError{i, "jump into the middle of lddw"};
+        }
+        break;
+      }
+      default:
+        return VerifyError{i, "unknown instruction class"};
+    }
+  }
+
+  // No fall-through off the end: the final slot must terminate or jump away.
+  const Insn& last = insns[n - 1];
+  const bool last_terminates =
+      !is_lddw_tail[n - 1] && last.cls() == kClsJmp &&
+      ((last.opcode & 0xf0) == kJmpExit || (last.opcode & 0xf0) == kJmpJa);
+  if (!last_terminates) return VerifyError{n - 1, "program can fall off the end"};
+  if (!saw_exit) return VerifyError{n - 1, "program has no exit instruction"};
+
+  return std::nullopt;
+}
+
+}  // namespace xb::ebpf

@@ -1,0 +1,37 @@
+// Static verification of eBPF programs before they may be attached.
+//
+// The verifier enforces the structural safety properties the VMM depends on:
+// no unknown opcodes, no jumps outside the program or into the second slot of
+// a `lddw`, no fall-through off the end, no writes to the frame pointer, no
+// statically-zero divisors, and no helper calls outside the set declared in
+// the program's manifest entry. Dynamic properties (memory bounds, runtime
+// divide-by-zero, instruction budget) are enforced by the interpreter and
+// reported to the VMM as faults.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "ebpf/program.hpp"
+
+namespace xb::ebpf {
+
+struct VerifyError {
+  std::size_t insn_index = 0;
+  std::string reason;
+};
+
+class Verifier {
+ public:
+  /// Maximum accepted program length (matches the kernel's classic limit).
+  static constexpr std::size_t kMaxInsns = 4096;
+
+  /// Returns std::nullopt if the program is acceptable, else the first error.
+  /// `allowed_helpers` is the manifest-declared whitelist; every `call` must
+  /// target a member.
+  [[nodiscard]] static std::optional<VerifyError> verify(
+      const Program& program, const std::set<std::int32_t>& allowed_helpers);
+};
+
+}  // namespace xb::ebpf

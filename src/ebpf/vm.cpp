@@ -1,0 +1,315 @@
+#include "ebpf/vm.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "ebpf/opcodes.hpp"
+
+namespace xb::ebpf {
+
+namespace {
+
+std::uint64_t bswap(std::uint64_t v, std::int32_t bits) {
+  switch (bits) {
+    case 16: {
+      auto x = static_cast<std::uint16_t>(v);
+      return static_cast<std::uint16_t>((x << 8) | (x >> 8));
+    }
+    case 32: {
+      auto x = static_cast<std::uint32_t>(v);
+      return ((x & 0x000000FFu) << 24) | ((x & 0x0000FF00u) << 8) | ((x & 0x00FF0000u) >> 8) |
+             ((x & 0xFF000000u) >> 24);
+    }
+    default: {
+      std::uint64_t x = v;
+      x = ((x & 0x00000000FFFFFFFFull) << 32) | ((x & 0xFFFFFFFF00000000ull) >> 32);
+      x = ((x & 0x0000FFFF0000FFFFull) << 16) | ((x & 0xFFFF0000FFFF0000ull) >> 16);
+      x = ((x & 0x00FF00FF00FF00FFull) << 8) | ((x & 0xFF00FF00FF00FF00ull) >> 8);
+      return x;
+    }
+  }
+}
+
+constexpr bool kHostIsLittleEndian = std::endian::native == std::endian::little;
+
+}  // namespace
+
+Vm::Vm() : helpers_(kHelperTableSize) {
+  // The stack is part of the permanent base region set; per-invocation
+  // arenas are layered on top by the VMM and dropped via reset_to_base().
+  memory_.add_region(stack_, kStackSize, /*writable=*/true, "stack");
+  memory_.mark_base();
+}
+
+void Vm::set_helper(std::int32_t id, HelperFn fn) {
+  if (id < 0 || static_cast<std::size_t>(id) >= kHelperTableSize) {
+    throw std::out_of_range("helper id out of table range");
+  }
+  helpers_[static_cast<std::size_t>(id)] = std::move(fn);
+}
+
+bool Vm::has_helper(std::int32_t id) const noexcept {
+  return id >= 0 && static_cast<std::size_t>(id) < kHelperTableSize &&
+         static_cast<bool>(helpers_[static_cast<std::size_t>(id)]);
+}
+
+RunResult Vm::run(const Program& program, std::uint64_t r1, std::uint64_t r2, std::uint64_t r3,
+                  std::uint64_t r4, std::uint64_t r5) {
+  const std::vector<Insn>& insns = program.insns();
+  const std::size_t n = insns.size();
+
+  std::uint64_t reg[kNumRegisters] = {};
+  reg[1] = r1;
+  reg[2] = r2;
+  reg[3] = r3;
+  reg[4] = r4;
+  reg[5] = r5;
+
+  // The stack is zeroed once at Vm construction, not per run: it is private
+  // to this VM (one VM per attached program), so stale bytes can only reach
+  // later invocations of the same program — the same policy ubpf applies.
+  reg[kFramePointer] = reinterpret_cast<std::uint64_t>(stack_) + kStackSize;
+
+  std::uint64_t remaining = budget_;
+  std::size_t pc = 0;
+
+  auto fault = [&](FaultKind kind, std::string detail) {
+    retired_ += budget_ - remaining;
+    RunResult r;
+    r.status = RunResult::Status::kFault;
+    r.fault = Fault{kind, pc, std::move(detail)};
+    return r;
+  };
+
+  while (pc < n) {
+    if (remaining == 0) {
+      return fault(FaultKind::kBudgetExhausted,
+                   "instruction budget of " + std::to_string(budget_) + " exhausted");
+    }
+    --remaining;
+    const Insn& insn = insns[pc];
+    const std::uint8_t op = insn.opcode;
+    const std::size_t cur = pc;
+    ++pc;
+
+    switch (op & 0x07) {
+      case kClsAlu64:
+      case kClsAlu: {
+        const bool is64 = (op & 0x07) == kClsAlu64;
+        const std::uint64_t src_val =
+            (op & kSrcX) ? reg[insn.src] : static_cast<std::uint64_t>(
+                                               static_cast<std::int64_t>(insn.imm));
+        std::uint64_t& dst = reg[insn.dst];
+        const std::uint8_t aluop = op & 0xf0;
+        std::uint64_t result;
+        switch (aluop) {
+          case kAluAdd: result = dst + src_val; break;
+          case kAluSub: result = dst - src_val; break;
+          case kAluMul:
+            result = is64 ? dst * src_val
+                          : static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst) *
+                                                       static_cast<std::uint32_t>(src_val));
+            break;
+          case kAluDiv: {
+            const std::uint64_t divisor =
+                is64 ? src_val : static_cast<std::uint32_t>(src_val);
+            if (divisor == 0) return fault(FaultKind::kDivisionByZero, "division by zero");
+            result = is64 ? dst / divisor : static_cast<std::uint32_t>(dst) / divisor;
+            break;
+          }
+          case kAluMod: {
+            const std::uint64_t divisor =
+                is64 ? src_val : static_cast<std::uint32_t>(src_val);
+            if (divisor == 0) return fault(FaultKind::kDivisionByZero, "modulo by zero");
+            result = is64 ? dst % divisor : static_cast<std::uint32_t>(dst) % divisor;
+            break;
+          }
+          case kAluOr: result = dst | src_val; break;
+          case kAluAnd: result = dst & src_val; break;
+          case kAluXor: result = dst ^ src_val; break;
+          case kAluLsh: result = is64 ? dst << (src_val & 63)
+                                      : static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)
+                                                                   << (src_val & 31));
+            break;
+          case kAluRsh: result = is64 ? dst >> (src_val & 63)
+                                      : static_cast<std::uint32_t>(dst) >> (src_val & 31);
+            break;
+          case kAluArsh:
+            result = is64 ? static_cast<std::uint64_t>(static_cast<std::int64_t>(dst) >>
+                                                       (src_val & 63))
+                          : static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(static_cast<std::uint32_t>(dst)) >>
+                                (src_val & 31)));
+            break;
+          case kAluNeg:
+            result = is64 ? ~dst + 1
+                          : static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(~static_cast<std::uint32_t>(dst) + 1));
+            break;
+          case kAluMov: result = src_val; break;
+          case kAluEnd: {
+            // kSrcX = to big-endian, kSrcK = to little-endian.
+            const bool to_be = (op & kSrcX) != 0;
+            const bool need_swap = kHostIsLittleEndian == to_be;
+            std::uint64_t v = dst;
+            if (insn.imm == 16) v &= 0xFFFFull;
+            else if (insn.imm == 32) v &= 0xFFFFFFFFull;
+            result = need_swap ? bswap(v, insn.imm) : v;
+            break;
+          }
+          default:
+            return fault(FaultKind::kIllegalInstruction, "bad ALU op");
+        }
+        dst = is64 || aluop == kAluEnd ? result
+                                       : static_cast<std::uint64_t>(
+                                             static_cast<std::uint32_t>(result));
+        break;
+      }
+
+      case kClsLd: {
+        // lddw: verified to be well-formed (two slots).
+        if (op != kOpLddw) return fault(FaultKind::kIllegalInstruction, "bad LD opcode");
+        const std::uint64_t lo = static_cast<std::uint32_t>(insn.imm);
+        const std::uint64_t hi = static_cast<std::uint32_t>(insns[pc].imm);
+        reg[insn.dst] = lo | (hi << 32);
+        ++pc;
+        break;
+      }
+
+      case kClsLdx: {
+        const std::size_t len = std::size_t{1}
+                                << ((op & 0x18) == kSizeDw  ? 3
+                                    : (op & 0x18) == kSizeW ? 2
+                                    : (op & 0x18) == kSizeH ? 1
+                                                            : 0);
+        const std::uint64_t addr = reg[insn.src] + static_cast<std::int64_t>(insn.offset);
+        if (!memory_.check(addr, len, /*write=*/false)) {
+          return fault(FaultKind::kBadMemoryAccess, memory_.describe_fault(addr, len, false));
+        }
+        std::uint64_t v = 0;
+        std::memcpy(&v, reinterpret_cast<const void*>(addr), len);
+        reg[insn.dst] = v;
+        break;
+      }
+
+      case kClsSt:
+      case kClsStx: {
+        const std::size_t len = std::size_t{1}
+                                << ((op & 0x18) == kSizeDw  ? 3
+                                    : (op & 0x18) == kSizeW ? 2
+                                    : (op & 0x18) == kSizeH ? 1
+                                                            : 0);
+        const std::uint64_t addr = reg[insn.dst] + static_cast<std::int64_t>(insn.offset);
+        if (!memory_.check(addr, len, /*write=*/true)) {
+          return fault(FaultKind::kBadMemoryAccess, memory_.describe_fault(addr, len, true));
+        }
+        const std::uint64_t v = (op & 0x07) == kClsStx
+                                    ? reg[insn.src]
+                                    : static_cast<std::uint64_t>(
+                                          static_cast<std::int64_t>(insn.imm));
+        std::memcpy(reinterpret_cast<void*>(addr), &v, len);
+        break;
+      }
+
+      case kClsJmp: {
+        const std::uint8_t jop = op & 0xf0;
+        if (jop == kJmpExit) {
+          retired_ += budget_ - remaining;
+          RunResult r;
+          r.status = RunResult::Status::kOk;
+          r.value = reg[0];
+          return r;
+        }
+        if (jop == kJmpCall) {
+          const auto id = insn.imm;
+          if (id < 0 || static_cast<std::size_t>(id) >= helpers_.size() ||
+              !helpers_[static_cast<std::size_t>(id)]) {
+            return fault(FaultKind::kUnknownHelper,
+                         "helper " + std::to_string(id) + " not bound");
+          }
+          HelperResult hr =
+              helpers_[static_cast<std::size_t>(id)](reg[1], reg[2], reg[3], reg[4], reg[5]);
+          switch (hr.action) {
+            case HelperAction::kContinue:
+              reg[0] = hr.value;
+              // r1-r5 are clobbered by calls per the eBPF ABI.
+              reg[1] = reg[2] = reg[3] = reg[4] = reg[5] = 0;
+              break;
+            case HelperAction::kNext: {
+              retired_ += budget_ - remaining;
+              RunResult r;
+              r.status = RunResult::Status::kNext;
+              return r;
+            }
+            case HelperAction::kFault:
+              return fault(FaultKind::kHelperError, hr.error);
+          }
+          break;
+        }
+        const std::uint64_t a = reg[insn.dst];
+        const std::uint64_t b = (op & kSrcX) ? reg[insn.src]
+                                             : static_cast<std::uint64_t>(
+                                                   static_cast<std::int64_t>(insn.imm));
+        const auto sa = static_cast<std::int64_t>(a);
+        const auto sb = static_cast<std::int64_t>(b);
+        bool taken;
+        switch (jop) {
+          case kJmpJa: taken = true; break;
+          case kJmpJeq: taken = a == b; break;
+          case kJmpJne: taken = a != b; break;
+          case kJmpJgt: taken = a > b; break;
+          case kJmpJge: taken = a >= b; break;
+          case kJmpJlt: taken = a < b; break;
+          case kJmpJle: taken = a <= b; break;
+          case kJmpJset: taken = (a & b) != 0; break;
+          case kJmpJsgt: taken = sa > sb; break;
+          case kJmpJsge: taken = sa >= sb; break;
+          case kJmpJslt: taken = sa < sb; break;
+          case kJmpJsle: taken = sa <= sb; break;
+          default:
+            return fault(FaultKind::kIllegalInstruction, "bad JMP op");
+        }
+        if (taken) pc = cur + 1 + insn.offset;
+        break;
+      }
+
+      case kClsJmp32: {
+        const std::uint8_t jop = op & 0xf0;
+        const auto a = static_cast<std::uint32_t>(reg[insn.dst]);
+        const auto b = (op & kSrcX)
+                           ? static_cast<std::uint32_t>(reg[insn.src])
+                           : static_cast<std::uint32_t>(insn.imm);
+        const auto sa = static_cast<std::int32_t>(a);
+        const auto sb = static_cast<std::int32_t>(b);
+        bool taken;
+        switch (jop) {
+          case kJmpJa: taken = true; break;
+          case kJmpJeq: taken = a == b; break;
+          case kJmpJne: taken = a != b; break;
+          case kJmpJgt: taken = a > b; break;
+          case kJmpJge: taken = a >= b; break;
+          case kJmpJlt: taken = a < b; break;
+          case kJmpJle: taken = a <= b; break;
+          case kJmpJset: taken = (a & b) != 0; break;
+          case kJmpJsgt: taken = sa > sb; break;
+          case kJmpJsge: taken = sa >= sb; break;
+          case kJmpJslt: taken = sa < sb; break;
+          case kJmpJsle: taken = sa <= sb; break;
+          default:
+            return fault(FaultKind::kIllegalInstruction, "bad JMP32 op");
+        }
+        if (taken) pc = cur + 1 + insn.offset;
+        break;
+      }
+
+      default:
+        return fault(FaultKind::kIllegalInstruction, "unknown instruction class");
+    }
+  }
+
+  // Unreachable for verified programs (no fall-through off the end).
+  return fault(FaultKind::kIllegalInstruction, "fell off the end of the program");
+}
+
+}  // namespace xb::ebpf

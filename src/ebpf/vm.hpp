@@ -1,0 +1,110 @@
+// The eBPF interpreter.
+//
+// One Vm executes one Program per invocation under an instruction budget,
+// with all memory accesses bounds-checked via MemoryModel and helper calls
+// dispatched through a per-VM table. Execution never touches host memory
+// that was not explicitly registered, and any violation terminates the run
+// with a Fault that the VMM uses to fall back to native code (paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ebpf/memory.hpp"
+#include "ebpf/program.hpp"
+
+namespace xb::ebpf {
+
+enum class FaultKind {
+  kNone,
+  kBadMemoryAccess,
+  kDivisionByZero,
+  kUnknownHelper,
+  kHelperError,
+  kBudgetExhausted,
+  kIllegalInstruction,
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  std::size_t pc = 0;
+  std::string detail;
+};
+
+/// What a helper asks the interpreter to do after it returns.
+enum class HelperAction {
+  kContinue,  // normal return; value goes to r0
+  kNext,      // terminate this program: VMM should run the next one in chain
+  kFault,     // terminate with kHelperError; VMM falls back to native code
+};
+
+struct HelperResult {
+  std::uint64_t value = 0;
+  HelperAction action = HelperAction::kContinue;
+  /// Static diagnostic for kFault (kept as a literal: helper results are
+  /// constructed on the interpreter's hot path).
+  const char* error = "";
+
+  static HelperResult ok(std::uint64_t v = 0) {
+    return HelperResult{v, HelperAction::kContinue, ""};
+  }
+  static HelperResult next() { return HelperResult{0, HelperAction::kNext, ""}; }
+  static HelperResult fail(const char* why) {
+    return HelperResult{0, HelperAction::kFault, why};
+  }
+};
+
+/// Host helper callable. Receives the five eBPF argument registers r1..r5.
+using HelperFn = std::function<HelperResult(std::uint64_t, std::uint64_t, std::uint64_t,
+                                            std::uint64_t, std::uint64_t)>;
+
+/// Outcome of one program execution.
+struct RunResult {
+  enum class Status { kOk, kNext, kFault };
+  Status status = Status::kOk;
+  std::uint64_t value = 0;  // r0 at exit (kOk only)
+  Fault fault;              // populated when status == kFault
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+  [[nodiscard]] bool yielded_next() const noexcept { return status == Status::kNext; }
+  [[nodiscard]] bool faulted() const noexcept { return status == Status::kFault; }
+};
+
+class Vm {
+ public:
+  Vm();
+
+  /// Registers a helper under a stable id (must fit the table; ids are small).
+  void set_helper(std::int32_t id, HelperFn fn);
+  [[nodiscard]] bool has_helper(std::int32_t id) const noexcept;
+
+  /// Upper bound on executed instructions per run (runaway-loop guard).
+  void set_instruction_budget(std::uint64_t budget) noexcept { budget_ = budget; }
+  [[nodiscard]] std::uint64_t instruction_budget() const noexcept { return budget_; }
+
+  /// Memory regions the program may touch, in addition to its own stack
+  /// (which the Vm registers automatically for each run).
+  MemoryModel& memory() noexcept { return memory_; }
+  const MemoryModel& memory() const noexcept { return memory_; }
+
+  /// Executes `program` with r1..r5 preloaded from `args`. The stack is
+  /// zeroed before each run so no data leaks between invocations.
+  RunResult run(const Program& program, std::uint64_t r1 = 0, std::uint64_t r2 = 0,
+                std::uint64_t r3 = 0, std::uint64_t r4 = 0, std::uint64_t r5 = 0);
+
+  /// Cumulative count of instructions retired across runs (for benchmarks).
+  [[nodiscard]] std::uint64_t instructions_retired() const noexcept { return retired_; }
+
+ private:
+  static constexpr std::size_t kHelperTableSize = 64;
+
+  MemoryModel memory_;
+  std::vector<HelperFn> helpers_;
+  std::uint64_t budget_ = 1'000'000;
+  std::uint64_t retired_ = 0;
+  alignas(8) std::uint8_t stack_[kStackSize] = {};
+};
+
+}  // namespace xb::ebpf

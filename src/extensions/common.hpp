@@ -1,0 +1,89 @@
+// Shared emission utilities for the use-case extension programs.
+//
+// Every use case in this directory is genuine eBPF bytecode produced by the
+// assembler; the *same* Program objects are attached to Fir and Wren, which
+// is the paper's central claim (one extension artifact, any compliant host).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ebpf/assembler.hpp"
+#include "xbgp/api.hpp"
+
+namespace xb::ext {
+
+using ebpf::Assembler;
+using ebpf::Reg;
+
+/// Writes `text` into the VM stack at [r10 + off, r10 + off + text.size()),
+/// clobbering `scratch`. `off` must be negative and leave room for the text.
+/// Returns the text length (for the helper's key_len argument).
+inline std::int64_t emit_stack_string(Assembler& a, std::int16_t off, std::string_view text,
+                                      Reg scratch = Reg::R1) {
+  for (std::size_t i = 0; i < text.size(); i += 8) {
+    std::uint64_t chunk = 0;
+    const std::size_t n = std::min<std::size_t>(8, text.size() - i);
+    for (std::size_t k = 0; k < n; ++k) {
+      chunk |= static_cast<std::uint64_t>(static_cast<unsigned char>(text[i + k])) << (8 * k);
+    }
+    a.lddw(scratch, chunk);
+    a.stxdw(Reg::R10, static_cast<std::int16_t>(off + static_cast<std::int16_t>(i)), scratch);
+  }
+  return static_cast<std::int64_t>(text.size());
+}
+
+/// Emits `r0 = get_xtra(key)`: stores the key at [r10 + off], loads r1/r2 and
+/// calls the helper. On return r0 is the blob pointer or 0.
+inline void emit_get_xtra(Assembler& a, std::int16_t off, std::string_view key) {
+  const auto len = emit_stack_string(a, off, key);
+  a.mov64(Reg::R1, Reg::R10);
+  a.add64(Reg::R1, off);
+  a.mov64(Reg::R2, static_cast<std::int32_t>(len));
+  a.call(xbgp::helper::kGetXtra);
+}
+
+/// Same for get_xtra_len: r0 = blob length or (u64)-1.
+inline void emit_get_xtra_len(Assembler& a, std::int16_t off, std::string_view key) {
+  const auto len = emit_stack_string(a, off, key);
+  a.mov64(Reg::R1, Reg::R10);
+  a.add64(Reg::R1, off);
+  a.mov64(Reg::R2, static_cast<std::int32_t>(len));
+  a.call(xbgp::helper::kGetXtraLen);
+}
+
+/// Emits "terminate this program by delegating to the next one": the next()
+/// helper never returns control to the bytecode, but the verifier requires a
+/// terminating tail, so a defensive exit follows.
+inline void emit_next(Assembler& a) {
+  a.call(xbgp::helper::kNext);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+}
+
+// PeerInfo field offsets (layout pinned by static_asserts in xbgp/api.hpp).
+inline constexpr std::int16_t kPeerRouterId = 0;
+inline constexpr std::int16_t kPeerAsn = 4;
+inline constexpr std::int16_t kPeerAddr = 8;
+inline constexpr std::int16_t kPeerType = 12;
+inline constexpr std::int16_t kPeerRrClient = 13;
+inline constexpr std::int16_t kPeerLocalRouterId = 16;
+inline constexpr std::int16_t kPeerLocalAsn = 20;
+inline constexpr std::int16_t kPeerLocalAddr = 24;
+
+// NexthopInfo field offsets.
+inline constexpr std::int16_t kNexthopIgpMetric = 0;
+inline constexpr std::int16_t kNexthopAddr = 4;
+inline constexpr std::int16_t kNexthopReachable = 8;
+
+// AttrHdr field offsets (value bytes start at kAttrData).
+inline constexpr std::int16_t kAttrFlags = 0;
+inline constexpr std::int16_t kAttrCode = 1;
+inline constexpr std::int16_t kAttrLen = 2;
+inline constexpr std::int16_t kAttrData = 4;
+
+// PrefixArg field offsets.
+inline constexpr std::int16_t kPrefixAddr = 0;
+inline constexpr std::int16_t kPrefixLen = 4;
+
+}  // namespace xb::ext

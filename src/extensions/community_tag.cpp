@@ -1,0 +1,136 @@
+#include "extensions/community_tag.hpp"
+
+#include "bgp/types.hpp"
+#include "extensions/common.hpp"
+
+namespace xb::ext {
+
+using namespace xbgp;
+
+namespace {
+constexpr std::int32_t kCommunitiesCode = bgp::attr_code::kCommunities;  // 8
+constexpr std::int32_t kOptTransitive =
+    bgp::attr_flag::kOptional | bgp::attr_flag::kTransitive;  // 0xC0
+}  // namespace
+
+ebpf::Program ctag_ingress_program() {
+  Assembler a;
+  auto done = a.make_label();
+
+  // Ingress tagging happens where routes enter the network: eBGP only.
+  a.call(helper::kGetPeerInfo);
+  a.jeq(Reg::R0, 0, done);
+  a.ldxb(Reg::R1, Reg::R0, kPeerType);
+  a.jne(Reg::R1, kPeerTypeEbgp, done);
+
+  // The region tag from configuration (one 32-bit community value).
+  emit_get_xtra(a, -16, "region_tag");
+  a.jeq(Reg::R0, 0, done);
+  a.ldxw(Reg::R6, Reg::R0, 0);
+
+  // Append to any existing COMMUNITIES value (wire form: 4 bytes each, BE).
+  {
+    auto fresh = a.make_label();
+    auto have_buffer = a.make_label();
+    a.mov64(Reg::R1, kCommunitiesCode);
+    a.call(helper::kGetAttr);
+    a.jeq(Reg::R0, 0, fresh);
+    // existing: allocate len+4, copy, append.
+    a.mov64(Reg::R7, Reg::R0);
+    a.ldxh(Reg::R8, Reg::R7, kAttrLen);
+    a.mov64(Reg::R1, Reg::R8);
+    a.add64(Reg::R1, 4);
+    a.call(helper::kCtxMalloc);
+    a.jeq(Reg::R0, 0, done);
+    a.mov64(Reg::R9, Reg::R0);
+    a.mov64(Reg::R1, Reg::R9);
+    a.mov64(Reg::R2, Reg::R7);
+    a.add64(Reg::R2, kAttrData);
+    a.mov64(Reg::R3, Reg::R8);
+    a.call(helper::kMemcpy);
+    a.ja(have_buffer);
+
+    a.place(fresh);
+    a.mov64(Reg::R8, 0);  // existing length 0
+    a.mov64(Reg::R1, 8);
+    a.call(helper::kCtxMalloc);
+    a.jeq(Reg::R0, 0, done);
+    a.mov64(Reg::R9, Reg::R0);
+
+    a.place(have_buffer);
+    // Write the tag (big-endian) at the end, then add_attr the new value.
+    a.mov64(Reg::R1, Reg::R6);
+    a.call(helper::kHtonl);
+    a.mov64(Reg::R1, Reg::R9);
+    a.add64(Reg::R1, Reg::R8);
+    a.stxw(Reg::R1, 0, Reg::R0);
+    a.mov64(Reg::R1, kCommunitiesCode);
+    a.mov64(Reg::R2, kOptTransitive);
+    a.mov64(Reg::R3, Reg::R9);
+    a.mov64(Reg::R4, Reg::R8);
+    a.add64(Reg::R4, 4);
+    a.call(helper::kAddAttr);
+  }
+
+  a.place(done);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kOpOk));
+  a.exit_();
+  return a.build("ctag_ingress");
+}
+
+ebpf::Program ctag_export_program() {
+  Assembler a;
+  auto yield = a.make_label();
+  auto reject = a.make_label();
+
+  // Only filter exports towards eBGP peers (§3.1: announcements to peers).
+  a.call(helper::kGetPeerInfo);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxb(Reg::R1, Reg::R0, kPeerType);
+  a.jne(Reg::R1, kPeerTypeEbgp, yield);
+
+  emit_get_xtra(a, -16, "required_tag");
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R6, Reg::R0, 0);
+  a.mov64(Reg::R1, Reg::R6);
+  a.call(helper::kHtonl);
+  a.mov64(Reg::R6, Reg::R0);  // big-endian bytes of the required community
+
+  a.mov64(Reg::R1, kCommunitiesCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, reject);  // untagged: not from our region
+  a.mov64(Reg::R7, Reg::R0);
+  a.add64(Reg::R7, kAttrData);      // cursor
+  a.ldxh(Reg::R8, Reg::R0, kAttrLen);
+  a.add64(Reg::R8, Reg::R7);        // end
+  {
+    auto loop = a.make_label();
+    a.place(loop);
+    a.jge(Reg::R7, Reg::R8, reject);
+    a.ldxw(Reg::R2, Reg::R7, 0);
+    a.jeq(Reg::R2, Reg::R6, yield);  // tagged: let the next filter decide
+    a.add64(Reg::R7, 4);
+    a.ja(loop);
+  }
+
+  a.place(reject);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kFilterReject));
+  a.exit_();
+
+  a.place(yield);
+  emit_next(a);
+  return a.build("ctag_export");
+}
+
+xbgp::Manifest community_tag_manifest(bool with_ingress, bool with_export) {
+  Manifest m;
+  if (with_ingress) {
+    m.attach("ctag_ingress", Op::kReceiveMessage, ctag_ingress_program(), 0, 0, "ctag");
+  }
+  if (with_export) {
+    m.attach("ctag_export", Op::kOutboundFilter, ctag_export_program(), 0, 0, "ctag");
+  }
+  return m;
+}
+
+}  // namespace xb::ext

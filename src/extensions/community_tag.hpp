@@ -1,0 +1,33 @@
+// Use case §3.1, the *status quo* the paper argues against.
+//
+// "This policy can be implemented by tagging routes with BGP communities on
+// all ingress routers and then filtering them on export. While frequently
+// used [11], this solution is imperfect": the tag reflects where a route was
+// learned, not what reaching it currently costs, so after failures reroute
+// traffic over expensive links the stale tag keeps the route advertised.
+//
+// Two bytecodes implement the classic approach so it can be compared,
+// executable, against the paper's Listing-1 IGP-cost filter:
+//
+//  * ctag_ingress (BGP_RECEIVE_MESSAGE) — on eBGP ingress, stamps the route
+//    with the region community from the router's "region_tag" config.
+//  * ctag_export  (BGP_OUTBOUND_FILTER) — exports to eBGP peers only routes
+//    carrying the community in "required_tag"; others are rejected.
+//
+// The §3.1 scenario test (tests/scenario_301_test.cpp) shows the failure
+// mode: after the intra-region links die, the community filter keeps
+// advertising while the IGP filter adapts.
+#pragma once
+
+#include "ebpf/program.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace xb::ext {
+
+[[nodiscard]] ebpf::Program ctag_ingress_program();
+[[nodiscard]] ebpf::Program ctag_export_program();
+
+[[nodiscard]] xbgp::Manifest community_tag_manifest(bool with_ingress = true,
+                                                    bool with_export = true);
+
+}  // namespace xb::ext

@@ -1,0 +1,269 @@
+#include "extensions/geoloc.hpp"
+
+#include "bgp/types.hpp"
+#include "extensions/common.hpp"
+
+namespace xb::ext {
+
+using namespace xbgp;
+
+namespace {
+constexpr std::int32_t kGeoCode = bgp::attr_code::kGeoLoc;  // 242
+constexpr std::int32_t kGeoFlags =
+    bgp::attr_flag::kOptional | bgp::attr_flag::kTransitive;  // 0xC0
+
+/// Sign-extends the low 32 bits of `r` (coordinates are signed
+/// micro-degrees; 32-bit loads zero-extend).
+void emit_sext32(Assembler& a, Reg r) {
+  a.lsh64(r, 32);
+  a.arsh64(r, 32);
+}
+}  // namespace
+
+ebpf::Program geoloc_receive_program() {
+  Assembler a;
+  auto done = a.make_label();
+  auto preserve = a.make_label();
+
+  // Session type decides the action: on eBGP the route is entering our
+  // network and gets stamped with our coordinates; on iBGP the attribute
+  // arrived on the wire and must be re-added so the host's conversion keeps
+  // what it would otherwise drop as an unknown attribute.
+  a.call(helper::kGetPeerInfo);
+  a.jeq(Reg::R0, 0, done);
+  a.ldxb(Reg::R1, Reg::R0, kPeerType);
+  a.jne(Reg::R1, kPeerTypeEbgp, preserve);
+
+  // Raw UPDATE bytes in network order (paper: get_arg); confirm the type.
+  a.mov64(Reg::R1, arg::kRawMessage);
+  a.call(helper::kGetArg);
+  a.jeq(Reg::R0, 0, done);
+  a.ldxb(Reg::R1, Reg::R0, 18);  // message type byte of the BGP header
+  a.jne(Reg::R1, 2, done);
+
+  // Keep an existing GeoLoc (the route may have been tagged upstream).
+  a.mov64(Reg::R1, kGeoCode);
+  a.call(helper::kGetAttr);
+  a.jne(Reg::R0, 0, preserve);
+
+  // Our coordinates -> big-endian attribute value on the stack.
+  emit_get_xtra(a, -16, xtra::kGeoCoord);
+  a.jeq(Reg::R0, 0, done);
+  a.ldxw(Reg::R6, Reg::R0, 0);
+  a.ldxw(Reg::R7, Reg::R0, 4);
+  a.mov64(Reg::R1, Reg::R6);
+  a.call(helper::kHtonl);
+  a.stxw(Reg::R10, -24, Reg::R0);
+  a.mov64(Reg::R1, Reg::R7);
+  a.call(helper::kHtonl);
+  a.stxw(Reg::R10, -20, Reg::R0);
+
+  a.mov64(Reg::R1, kGeoCode);
+  a.mov64(Reg::R2, kGeoFlags);
+  a.mov64(Reg::R3, Reg::R10);
+  a.add64(Reg::R3, -24);
+  a.mov64(Reg::R4, 8);
+  a.call(helper::kAddAttr);
+  a.ja(done);
+
+  // iBGP (or already-tagged) path: re-add the received attribute verbatim so
+  // the host keeps it through its internal conversion.
+  a.place(preserve);
+  a.mov64(Reg::R1, kGeoCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, done);
+  a.ldxh(Reg::R4, Reg::R0, kAttrLen);
+  a.jne(Reg::R4, 8, done);  // malformed
+  a.mov64(Reg::R3, Reg::R0);
+  a.add64(Reg::R3, kAttrData);
+  a.mov64(Reg::R1, kGeoCode);
+  a.mov64(Reg::R2, kGeoFlags);
+  a.call(helper::kAddAttr);
+
+  a.place(done);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kOpOk));
+  a.exit_();
+  return a.build("geoloc_receive");
+}
+
+ebpf::Program geoloc_inbound_program() {
+  Assembler a;
+  auto yield = a.make_label();
+
+  // Route coordinates (signed micro-degrees, big-endian on the wire).
+  a.mov64(Reg::R1, kGeoCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R6, Reg::R0, kAttrData);
+  a.to_be(Reg::R6, 32);
+  emit_sext32(a, Reg::R6);
+  a.ldxw(Reg::R7, Reg::R0, kAttrData + 4);
+  a.to_be(Reg::R7, 32);
+  emit_sext32(a, Reg::R7);
+
+  // Our coordinates and the distance threshold.
+  emit_get_xtra(a, -16, xtra::kGeoCoord);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R8, Reg::R0, 0);
+  emit_sext32(a, Reg::R8);
+  a.ldxw(Reg::R9, Reg::R0, 4);
+  emit_sext32(a, Reg::R9);
+  emit_get_xtra(a, -32, xtra::kGeoMaxDist);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R0, Reg::R0, 0);
+  a.mul64(Reg::R0, Reg::R0);  // threshold squared
+
+  // Squared euclidean distance in micro-degrees.
+  a.sub64(Reg::R6, Reg::R8);
+  a.mul64(Reg::R6, Reg::R6);
+  a.sub64(Reg::R7, Reg::R9);
+  a.mul64(Reg::R7, Reg::R7);
+  a.add64(Reg::R6, Reg::R7);
+  a.jle(Reg::R6, Reg::R0, yield);
+
+  // Too far: filter the route away (paper: "filtering away routes that are
+  // more than x kilometers away").
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kFilterReject));
+  a.exit_();
+
+  a.place(yield);
+  emit_next(a);
+  return a.build("geoloc_inbound");
+}
+
+ebpf::Program geoloc_outbound_program() {
+  Assembler a;
+  auto yield = a.make_label();
+
+  // Re-stamp GeoLoc through the xBGP attribute API so the export copy keeps
+  // it as an extension-managed attribute regardless of host internals.
+  a.call(helper::kGetPeerInfo);
+  a.jeq(Reg::R0, 0, yield);
+  a.mov64(Reg::R1, kGeoCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, yield);
+  a.mov64(Reg::R6, Reg::R0);
+  a.ldxh(Reg::R4, Reg::R6, kAttrLen);
+  a.mov64(Reg::R1, kGeoCode);
+  a.mov64(Reg::R2, kGeoFlags);
+  a.mov64(Reg::R3, Reg::R6);
+  a.add64(Reg::R3, kAttrData);
+  a.call(helper::kSetAttr);
+
+  a.place(yield);
+  emit_next(a);
+  return a.build("geoloc_outbound");
+}
+
+ebpf::Program geoloc_encode_program() {
+  Assembler a;
+  auto done = a.make_label();
+
+  a.mov64(Reg::R1, kGeoCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, done);
+  a.mov64(Reg::R6, Reg::R0);
+  a.ldxh(Reg::R7, Reg::R6, kAttrLen);
+  a.jne(Reg::R7, 8, done);  // malformed: do not emit
+
+  // Wire form: flags, code, length, 8 value bytes = 11 bytes on the stack.
+  a.stb(Reg::R10, -16, kGeoFlags);
+  a.stb(Reg::R10, -15, kGeoCode);
+  a.stxb(Reg::R10, -14, Reg::R7);
+  a.ldxdw(Reg::R2, Reg::R6, kAttrData);
+  a.stxdw(Reg::R10, -13, Reg::R2);
+  a.mov64(Reg::R1, Reg::R10);
+  a.add64(Reg::R1, -16);
+  a.mov64(Reg::R2, 11);
+  a.call(helper::kWriteBuf);
+
+  a.place(done);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kOpOk));
+  a.exit_();
+  return a.build("geoloc_encode");
+}
+
+ebpf::Program geoloc_decision_program() {
+  Assembler a;
+  auto yield = a.make_label();
+  auto take_new = a.make_label();
+  auto keep_old = a.make_label();
+
+  // Candidate route's coordinates.
+  a.mov64(Reg::R1, kGeoCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R6, Reg::R0, kAttrData);
+  a.to_be(Reg::R6, 32);
+  emit_sext32(a, Reg::R6);
+  a.ldxw(Reg::R7, Reg::R0, kAttrData + 4);
+  a.to_be(Reg::R7, 32);
+  emit_sext32(a, Reg::R7);
+
+  // Our own coordinates.
+  emit_get_xtra(a, -16, xtra::kGeoCoord);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R8, Reg::R0, 0);
+  emit_sext32(a, Reg::R8);
+  a.ldxw(Reg::R9, Reg::R0, 4);
+  emit_sext32(a, Reg::R9);
+
+  // Candidate squared distance -> stack slot.
+  a.sub64(Reg::R6, Reg::R8);
+  a.mul64(Reg::R6, Reg::R6);
+  a.sub64(Reg::R7, Reg::R9);
+  a.mul64(Reg::R7, Reg::R7);
+  a.add64(Reg::R6, Reg::R7);
+  a.stxdw(Reg::R10, -24, Reg::R6);
+
+  // Current best route's coordinates (the comparison's other side).
+  a.mov64(Reg::R1, kGeoCode);
+  a.call(helper::kGetAttrAlt);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R6, Reg::R0, kAttrData);
+  a.to_be(Reg::R6, 32);
+  emit_sext32(a, Reg::R6);
+  a.ldxw(Reg::R7, Reg::R0, kAttrData + 4);
+  a.to_be(Reg::R7, 32);
+  emit_sext32(a, Reg::R7);
+  a.sub64(Reg::R6, Reg::R8);
+  a.mul64(Reg::R6, Reg::R6);
+  a.sub64(Reg::R7, Reg::R9);
+  a.mul64(Reg::R7, Reg::R7);
+  a.add64(Reg::R6, Reg::R7);  // best's squared distance
+
+  // Strictly closer candidate wins; strictly closer best keeps the old
+  // route; a tie delegates to the native decision process.
+  a.ldxdw(Reg::R1, Reg::R10, -24);  // candidate's squared distance
+  a.jlt(Reg::R1, Reg::R6, take_new);
+  a.jlt(Reg::R6, Reg::R1, keep_old);
+  a.ja(yield);
+
+  a.place(take_new);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kDecisionTakeNew));
+  a.exit_();
+
+  a.place(keep_old);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kDecisionKeepOld));
+  a.exit_();
+
+  a.place(yield);
+  emit_next(a);
+  return a.build("geoloc_decision");
+}
+
+xbgp::Manifest geoloc_manifest(bool with_distance_filter, bool with_decision) {
+  Manifest m;
+  m.attach("geoloc_receive", Op::kReceiveMessage, geoloc_receive_program(), 0, 0, "geoloc");
+  if (with_distance_filter) {
+    m.attach("geoloc_inbound", Op::kInboundFilter, geoloc_inbound_program(), 0, 0, "geoloc");
+  }
+  if (with_decision) {
+    m.attach("geoloc_decision", Op::kDecision, geoloc_decision_program(), 0, 0, "geoloc");
+  }
+  m.attach("geoloc_outbound", Op::kOutboundFilter, geoloc_outbound_program(), 0, 0, "geoloc");
+  m.attach("geoloc_encode", Op::kEncodeMessage, geoloc_encode_program(), 0, 0, "geoloc");
+  return m;
+}
+
+}  // namespace xb::ext

@@ -1,0 +1,41 @@
+// Use case §2: the GeoLoc attribute — the paper's running example (Fig. 2).
+//
+// Four bytecodes add an unstandardised BGP attribute carrying the geographic
+// coordinates of the router where a route entered the network, and filter
+// routes learned too far away:
+//
+//  * geoloc_receive  (BGP_RECEIVE_MESSAGE) — on eBGP sessions, reads the raw
+//    UPDATE with get_arg, and attaches a GeoLoc attribute with this router's
+//    coordinates (get_xtra "geo_coord") via add_attr.
+//  * geoloc_inbound  (BGP_INBOUND_FILTER) — rejects routes whose GeoLoc is
+//    farther than "geo_max_dist" from this router (squared micro-degree
+//    distance, integer arithmetic).
+//  * geoloc_outbound (BGP_OUTBOUND_FILTER) — re-stamps the attribute on the
+//    exported route so it survives host-native encoding, then delegates.
+//  * geoloc_encode   (BGP_ENCODE_MESSAGE) — serialises GeoLoc into outgoing
+//    UPDATEs with write_buf.
+#pragma once
+
+#include "ebpf/program.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace xb::ext {
+
+[[nodiscard]] ebpf::Program geoloc_receive_program();
+[[nodiscard]] ebpf::Program geoloc_inbound_program();
+[[nodiscard]] ebpf::Program geoloc_outbound_program();
+[[nodiscard]] ebpf::Program geoloc_encode_program();
+
+/// BGP_DECISION: "this attribute can be used to adapt router decisions"
+/// (§2) — when both compared routes carry GeoLoc, prefer the one learned
+/// geographically closer to this router; otherwise delegate to the native
+/// decision process with next().
+[[nodiscard]] ebpf::Program geoloc_decision_program();
+
+/// All four Fig. 2 bytecodes. `with_distance_filter` controls whether the
+/// inbound filter is attached (edge routers attach it; pure transit may
+/// not); `with_decision` additionally attaches the decision override.
+[[nodiscard]] xbgp::Manifest geoloc_manifest(bool with_distance_filter = true,
+                                             bool with_decision = false);
+
+}  // namespace xb::ext

@@ -1,0 +1,45 @@
+#include "extensions/igp_filter.hpp"
+
+#include "extensions/common.hpp"
+
+namespace xb::ext {
+
+using namespace xbgp;
+
+ebpf::Program igp_filter_program() {
+  Assembler a;
+  auto yield = a.make_label();
+
+  // r6 = MAX_METRIC from config; unconfigured -> do not filter.
+  emit_get_xtra(a, -16, xtra::kMaxMetric);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R6, Reg::R0, 0);
+
+  // peer = get_peer_info(); iBGP sessions are not filtered.
+  a.call(helper::kGetPeerInfo);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxb(Reg::R7, Reg::R0, kPeerType);
+  a.jne(Reg::R7, kPeerTypeEbgp, yield);
+
+  // nexthop = get_nexthop(); accept when the metric is within bounds.
+  a.call(helper::kGetNexthop);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R8, Reg::R0, kNexthopIgpMetric);
+  a.jle(Reg::R8, Reg::R6, yield);
+
+  // Metric too large: reject the route.
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kFilterReject));
+  a.exit_();
+
+  a.place(yield);
+  emit_next(a);
+  return a.build("igp_filter");
+}
+
+xbgp::Manifest igp_filter_manifest() {
+  Manifest m;
+  m.attach("igp_filter", Op::kOutboundFilter, igp_filter_program());
+  return m;
+}
+
+}  // namespace xb::ext

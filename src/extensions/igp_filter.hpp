@@ -1,0 +1,33 @@
+// Use case §3.1: "Filtering Routes Based on IGP Costs" — Listing 1.
+//
+// An export filter that rejects BGP routes whose nexthop IGP metric exceeds
+// a configured threshold, so that e.g. routes learned across a transatlantic
+// backup path are not announced to peers on the other continent. The
+// bytecode mirrors Listing 1 of the paper:
+//
+//   uint64_t export_igp(bpf_full_args_t *args UNUSED) {
+//     struct ubpf_nexthop *nexthop = get_nexthop(NULL);
+//     struct ubpf_peer_info *peer = get_peer_info();
+//     if (peer->peer_type != EBGP_SESSION) {
+//       next(); // Do not filter on iBGP sessions
+//     } if (nexthop->igp_metric <= MAX_METRIC) {
+//       next(); // the route is accepted by this filter;
+//     }         // next filter will decide to export route
+//     return FILTER_REJECT;
+//   }
+//
+// MAX_METRIC comes from the router's "max_metric" xtra config entry.
+#pragma once
+
+#include "ebpf/program.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace xb::ext {
+
+/// The Listing-1 export filter bytecode (BGP_OUTBOUND_FILTER).
+[[nodiscard]] ebpf::Program igp_filter_program();
+
+/// Manifest attaching the filter.
+[[nodiscard]] xbgp::Manifest igp_filter_manifest();
+
+}  // namespace xb::ext

@@ -1,0 +1,149 @@
+#include "extensions/origin_validation.hpp"
+
+#include "bgp/types.hpp"
+#include "extensions/common.hpp"
+
+namespace xb::ext {
+
+using namespace xbgp;
+
+namespace {
+constexpr std::int32_t kMapId = 1;
+constexpr std::int32_t kRoaEntrySize = static_cast<std::int32_t>(sizeof(RoaEntry));
+}  // namespace
+
+ebpf::Program ov_init_program() {
+  Assembler a;
+  auto done = a.make_label();
+  auto loop = a.make_label();
+
+  // r6 = blob cursor, r7 = blob end.
+  emit_get_xtra(a, -16, xtra::kRoaTable);
+  a.jeq(Reg::R0, 0, done);
+  a.mov64(Reg::R6, Reg::R0);
+  emit_get_xtra_len(a, -16, xtra::kRoaTable);
+  a.mov64(Reg::R7, Reg::R0);
+  a.add64(Reg::R7, Reg::R6);
+
+  a.place(loop);
+  a.mov64(Reg::R8, Reg::R6);
+  a.add64(Reg::R8, kRoaEntrySize);
+  a.jgt(Reg::R8, Reg::R7, done);  // partial trailing entry: stop
+  // key1 = (addr << 8) | prefix_len
+  a.ldxw(Reg::R2, Reg::R6, 0);   // RoaEntry::addr (host order)
+  a.lsh64(Reg::R2, 8);
+  a.ldxb(Reg::R3, Reg::R6, 4);   // RoaEntry::prefix_len
+  a.or64(Reg::R2, Reg::R3);
+  // value = (origin << 8) | max_len
+  a.ldxw(Reg::R4, Reg::R6, 8);   // RoaEntry::origin
+  a.lsh64(Reg::R4, 8);
+  a.ldxb(Reg::R5, Reg::R6, 5);   // RoaEntry::max_len
+  a.or64(Reg::R4, Reg::R5);
+  a.mov64(Reg::R1, kMapId);
+  a.mov64(Reg::R3, 0);
+  a.call(helper::kMapUpdate);
+  a.add64(Reg::R6, kRoaEntrySize);
+  a.ja(loop);
+
+  a.place(done);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kOpOk));
+  a.exit_();
+  return a.build("ov_init");
+}
+
+ebpf::Program ov_inbound_program() {
+  Assembler a;
+  auto yield = a.make_label();
+  auto not_found = a.make_label();
+  auto invalid = a.make_label();
+  auto set_meta = a.make_label();  // r1 already holds the state value
+  auto seg_loop = a.make_label();
+  auto seg_set = a.make_label();
+  auto seg_advance = a.make_label();
+  auto path_done = a.make_label();
+
+  // Walk AS_PATH to find the origin AS (last ASN of the final sequence).
+  a.mov64(Reg::R1, bgp::attr_code::kAsPath);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, not_found);
+  a.mov64(Reg::R6, Reg::R0);
+  a.ldxh(Reg::R7, Reg::R6, kAttrLen);
+  a.mov64(Reg::R8, Reg::R6);
+  a.add64(Reg::R8, kAttrData);   // r8 = cursor
+  a.add64(Reg::R7, Reg::R8);     // r7 = end
+  a.mov64(Reg::R9, 0);           // r9 = origin candidate
+
+  a.place(seg_loop);
+  a.mov64(Reg::R1, Reg::R8);
+  a.add64(Reg::R1, 2);
+  a.jgt(Reg::R1, Reg::R7, path_done);  // no full segment header left
+  a.ldxb(Reg::R2, Reg::R8, 0);         // segment type
+  a.ldxb(Reg::R3, Reg::R8, 1);         // member count
+  a.add64(Reg::R8, 2);
+  a.jeq(Reg::R2, 2, seg_set);
+  // AS_SET: the origin is ambiguous (RFC 6811 treats it as unverifiable).
+  a.mov64(Reg::R9, 0);
+  a.ja(seg_advance);
+  a.place(seg_set);
+  a.jeq(Reg::R3, 0, seg_advance);
+  a.mov64(Reg::R4, Reg::R3);
+  a.sub64(Reg::R4, 1);
+  a.lsh64(Reg::R4, 2);
+  a.add64(Reg::R4, Reg::R8);
+  a.ldxw(Reg::R9, Reg::R4, 0);
+  a.to_be(Reg::R9, 32);               // wire big-endian -> host value
+  a.place(seg_advance);
+  a.lsh64(Reg::R3, 2);
+  a.add64(Reg::R8, Reg::R3);
+  a.ja(seg_loop);
+
+  a.place(path_done);
+  a.jeq(Reg::R9, 0, not_found);
+
+  // Announced prefix -> map key.
+  a.mov64(Reg::R1, arg::kPrefix);
+  a.call(helper::kGetArg);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R2, Reg::R0, kPrefixAddr);
+  a.lsh64(Reg::R2, 8);
+  a.ldxb(Reg::R7, Reg::R0, kPrefixLen);
+  a.or64(Reg::R2, Reg::R7);
+  a.mov64(Reg::R1, kMapId);
+  a.mov64(Reg::R3, 0);
+  a.call(helper::kMapLookup);
+  a.jeq(Reg::R0, 0, not_found);
+
+  // value = (roa_origin << 8) | max_len
+  a.mov64(Reg::R2, Reg::R0);
+  a.rsh64(Reg::R2, 8);
+  a.and64(Reg::R0, 0xFF);
+  a.jne(Reg::R2, Reg::R9, invalid);   // origin mismatch
+  a.jgt(Reg::R7, Reg::R0, invalid);   // announced prefix longer than max_len
+  a.mov64(Reg::R1, static_cast<std::int32_t>(kMetaOvValid));
+  a.ja(set_meta);
+  a.place(invalid);
+  a.mov64(Reg::R1, static_cast<std::int32_t>(kMetaOvInvalid));
+  a.ja(set_meta);
+  a.place(not_found);
+  a.mov64(Reg::R1, static_cast<std::int32_t>(kMetaOvNotFound));
+  a.place(set_meta);
+  a.call(helper::kSetRouteMeta);
+
+  // "checks the validity ... but does not discard the invalid ones".
+  a.place(yield);
+  emit_next(a);
+  return a.build("ov_inbound");
+}
+
+xbgp::Manifest origin_validation_manifest(std::size_t roa_count) {
+  // Both bytecodes share one group so ov_inbound sees the hash table that
+  // ov_init built in the group's persistent state.
+  Manifest m;
+  m.attach("ov_init", Op::kInit, ov_init_program(), /*order=*/0, roa_count,
+           "origin_validation");
+  m.attach("ov_inbound", Op::kInboundFilter, ov_inbound_program(), /*order=*/0, roa_count,
+           "origin_validation");
+  return m;
+}
+
+}  // namespace xb::ext

@@ -1,0 +1,33 @@
+// Use case §3.4: "Validating BGP Prefix Origins" as extension code.
+//
+// Two bytecodes:
+//
+//  * ov_init    (XBGP_INIT)          — reads the router's "roa_v1" xtra blob
+//    (the paper's DUT "loads a file that considers 75% of the injected
+//    prefixes as valid") and builds the extension's own hash table through
+//    the map helpers — "our extension uses a hash table as in BIRD", which
+//    is why xFir's extension beat FRRouting's native trie walk by ~10%.
+//  * ov_inbound (BGP_INBOUND_FILTER) — extracts the origin AS from AS_PATH,
+//    looks the announced prefix up in the hash table, records the RFC 6811
+//    validation state in the route metadata, and always delegates with
+//    next(): the paper's test "checks the validity of the origin of each
+//    prefix but does not discard the invalid ones".
+//
+// Map encoding (map id 1): key1 = (prefix address << 8) | prefix length,
+// key2 = 0; value = (origin AS << 8) | max length. Value 0 means absent, so
+// only exact-prefix ROAs are representable — matching how the experiment's
+// ROA set is generated (one ROA per announced prefix).
+#pragma once
+
+#include "ebpf/program.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace xb::ext {
+
+[[nodiscard]] ebpf::Program ov_init_program();
+[[nodiscard]] ebpf::Program ov_inbound_program();
+
+/// Manifest attaching both bytecodes. `roa_count` pre-sizes the hash table.
+[[nodiscard]] xbgp::Manifest origin_validation_manifest(std::size_t roa_count = 0);
+
+}  // namespace xb::ext

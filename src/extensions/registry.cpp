@@ -1,0 +1,32 @@
+#include "extensions/registry.hpp"
+
+#include "extensions/community_tag.hpp"
+#include "extensions/geoloc.hpp"
+#include "extensions/igp_filter.hpp"
+#include "extensions/origin_validation.hpp"
+#include "extensions/route_reflection.hpp"
+#include "extensions/valley_free.hpp"
+
+namespace xb::ext {
+
+xbgp::ProgramRegistry default_registry() {
+  xbgp::ProgramRegistry reg;
+  reg.add(igp_filter_program());
+  reg.add(rr_inbound_program());
+  reg.add(rr_outbound_program());
+  reg.add(rr_encode_program());
+  reg.add(ov_init_program());
+  reg.add(ov_inbound_program());
+  reg.add(geoloc_receive_program());
+  reg.add(geoloc_inbound_program());
+  reg.add(geoloc_outbound_program());
+  reg.add(geoloc_encode_program());
+  reg.add(geoloc_decision_program());
+  reg.add(valley_free_program());
+  reg.add(valley_free_relaxed_program());
+  reg.add(ctag_ingress_program());
+  reg.add(ctag_export_program());
+  return reg;
+}
+
+}  // namespace xb::ext

@@ -1,0 +1,14 @@
+// Registry of every use-case extension program, for text-form manifests.
+#pragma once
+
+#include "xbgp/manifest.hpp"
+
+namespace xb::ext {
+
+/// A registry containing all programs shipped with this repository:
+/// igp_filter; rr_inbound / rr_outbound / rr_encode; ov_init / ov_inbound;
+/// geoloc_receive / geoloc_inbound / geoloc_outbound / geoloc_encode;
+/// valley_free.
+[[nodiscard]] xbgp::ProgramRegistry default_registry();
+
+}  // namespace xb::ext

@@ -1,0 +1,241 @@
+#include "extensions/route_reflection.hpp"
+
+#include "bgp/types.hpp"
+#include "extensions/common.hpp"
+
+namespace xb::ext {
+
+using namespace xbgp;
+
+namespace {
+constexpr std::int32_t kOriginatorCode = bgp::attr_code::kOriginatorId;  // 9
+constexpr std::int32_t kClusterCode = bgp::attr_code::kClusterList;      // 10
+constexpr std::int32_t kOptionalFlag = bgp::attr_flag::kOptional;        // 0x80
+}  // namespace
+
+ebpf::Program rr_inbound_program() {
+  Assembler a;
+  auto yield = a.make_label();
+  auto reject = a.make_label();
+  auto skip_originator = a.make_label();
+  auto loop = a.make_label();
+
+  // Only iBGP sessions carry reflection attributes.
+  a.call(helper::kGetPeerInfo);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxb(Reg::R1, Reg::R0, kPeerType);
+  a.jne(Reg::R1, kPeerTypeIbgp, yield);
+  a.ldxw(Reg::R6, Reg::R0, kPeerLocalRouterId);
+
+  // ORIGINATOR_ID == our router id -> loop.
+  a.mov64(Reg::R1, kOriginatorCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, skip_originator);
+  a.ldxw(Reg::R7, Reg::R0, kAttrData);
+  a.to_be(Reg::R7, 32);  // wire value is big-endian
+  a.jeq(Reg::R7, Reg::R6, reject);
+  a.place(skip_originator);
+
+  // Our cluster id in CLUSTER_LIST -> loop.
+  emit_get_xtra(a, -16, xtra::kClusterId);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R7, Reg::R0, 0);
+  a.mov64(Reg::R1, kClusterCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxh(Reg::R8, Reg::R0, kAttrLen);
+  a.mov64(Reg::R9, Reg::R0);
+  a.add64(Reg::R9, kAttrData);  // r9 = cursor over value bytes
+  a.add64(Reg::R8, Reg::R9);    // r8 = end
+  a.place(loop);
+  a.jge(Reg::R9, Reg::R8, yield);
+  a.ldxw(Reg::R2, Reg::R9, 0);
+  a.to_be(Reg::R2, 32);
+  a.jeq(Reg::R2, Reg::R7, reject);
+  a.add64(Reg::R9, 4);
+  a.ja(loop);
+
+  a.place(reject);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kFilterReject));
+  a.exit_();
+
+  a.place(yield);
+  emit_next(a);
+  return a.build("rr_inbound");
+}
+
+ebpf::Program rr_outbound_program() {
+  Assembler a;
+  auto yield = a.make_label();
+  auto reject = a.make_label();
+  auto reflect = a.make_label();
+  auto have_originator = a.make_label();
+  auto originator_absent = a.make_label();
+  auto accept = a.make_label();
+
+  // r6 = src peer, r7 = dst peer. Local routes (no src) are not ours.
+  a.call(helper::kGetSrcPeerInfo);
+  a.jeq(Reg::R0, 0, yield);
+  a.mov64(Reg::R6, Reg::R0);
+  a.call(helper::kGetPeerInfo);
+  a.jeq(Reg::R0, 0, yield);
+  a.mov64(Reg::R7, Reg::R0);
+
+  // Reflection concerns iBGP-learned routes exported to iBGP peers only.
+  a.ldxb(Reg::R1, Reg::R6, kPeerType);
+  a.jne(Reg::R1, kPeerTypeIbgp, yield);
+  a.ldxb(Reg::R1, Reg::R7, kPeerType);
+  a.jne(Reg::R1, kPeerTypeIbgp, yield);
+
+  // RFC 4456: reflect iff the source or the destination is a client.
+  a.ldxb(Reg::R1, Reg::R6, kPeerRrClient);
+  a.ldxb(Reg::R2, Reg::R7, kPeerRrClient);
+  a.or64(Reg::R1, Reg::R2);
+  a.jne(Reg::R1, 0, reflect);
+  a.place(reject);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kFilterReject));
+  a.exit_();
+
+  a.place(reflect);
+  // ORIGINATOR_ID: keep an existing value, else the source's router id.
+  a.mov64(Reg::R1, kOriginatorCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, originator_absent);
+  // Existing: copy its big-endian bytes verbatim.
+  a.ldxw(Reg::R2, Reg::R0, kAttrData);
+  a.stxw(Reg::R10, -8, Reg::R2);
+  a.ja(have_originator);
+  a.place(originator_absent);
+  a.ldxw(Reg::R2, Reg::R6, kPeerRouterId);
+  a.to_be(Reg::R2, 32);
+  a.stxw(Reg::R10, -8, Reg::R2);
+  a.place(have_originator);
+  a.mov64(Reg::R1, kOriginatorCode);
+  a.mov64(Reg::R2, kOptionalFlag);
+  a.mov64(Reg::R3, Reg::R10);
+  a.add64(Reg::R3, -8);
+  a.mov64(Reg::R4, 4);
+  a.call(helper::kSetAttr);
+
+  // CLUSTER_LIST: new value = be32(our cluster id) ++ existing value.
+  emit_get_xtra(a, -24, xtra::kClusterId);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxw(Reg::R8, Reg::R0, 0);
+  a.to_be(Reg::R8, 32);  // big-endian bytes of our cluster id
+  a.mov64(Reg::R1, kClusterCode);
+  a.call(helper::kGetAttr);
+  {
+    auto append = a.make_label();
+    a.jne(Reg::R0, 0, append);
+    // No existing list: value is just our id.
+    a.stxw(Reg::R10, -32, Reg::R8);
+    a.mov64(Reg::R1, kClusterCode);
+    a.mov64(Reg::R2, kOptionalFlag);
+    a.mov64(Reg::R3, Reg::R10);
+    a.add64(Reg::R3, -32);
+    a.mov64(Reg::R4, 4);
+    a.call(helper::kSetAttr);
+    a.ja(accept);
+
+    a.place(append);
+    a.mov64(Reg::R6, Reg::R0);  // r6 = existing attr (src peer no longer needed)
+    a.ldxh(Reg::R7, Reg::R6, kAttrLen);
+    a.mov64(Reg::R1, Reg::R7);
+    a.add64(Reg::R1, 4);
+    a.call(helper::kCtxMalloc);
+    a.jeq(Reg::R0, 0, yield);
+    a.mov64(Reg::R9, Reg::R0);
+    a.stxw(Reg::R9, 0, Reg::R8);  // our id first
+    a.mov64(Reg::R1, Reg::R9);
+    a.add64(Reg::R1, 4);
+    a.mov64(Reg::R2, Reg::R6);
+    a.add64(Reg::R2, kAttrData);
+    a.mov64(Reg::R3, Reg::R7);
+    a.call(helper::kMemcpy);
+    a.mov64(Reg::R1, kClusterCode);
+    a.mov64(Reg::R2, kOptionalFlag);
+    a.mov64(Reg::R3, Reg::R9);
+    a.mov64(Reg::R4, Reg::R7);
+    a.add64(Reg::R4, 4);
+    a.call(helper::kSetAttr);
+  }
+
+  a.place(accept);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kFilterAccept));
+  a.exit_();
+
+  a.place(yield);
+  emit_next(a);
+  return a.build("rr_outbound");
+}
+
+ebpf::Program rr_encode_program() {
+  Assembler a;
+  auto done = a.make_label();
+  auto skip_cluster = a.make_label();
+
+  // Reflection attributes only travel over iBGP sessions.
+  a.call(helper::kGetPeerInfo);
+  a.jeq(Reg::R0, 0, done);
+  a.ldxb(Reg::R1, Reg::R0, kPeerType);
+  a.jne(Reg::R1, kPeerTypeIbgp, done);
+
+  // ORIGINATOR_ID -> 7 wire bytes: flags, code, len, value[4].
+  {
+    auto absent = a.make_label();
+    a.mov64(Reg::R1, kOriginatorCode);
+    a.call(helper::kGetAttr);
+    a.jeq(Reg::R0, 0, absent);
+    a.stb(Reg::R10, -16, kOptionalFlag);
+    a.stb(Reg::R10, -15, kOriginatorCode);
+    a.stb(Reg::R10, -14, 4);
+    a.ldxw(Reg::R2, Reg::R0, kAttrData);
+    a.stxw(Reg::R10, -13, Reg::R2);
+    a.mov64(Reg::R1, Reg::R10);
+    a.add64(Reg::R1, -16);
+    a.mov64(Reg::R2, 7);
+    a.call(helper::kWriteBuf);
+    a.place(absent);
+  }
+
+  // CLUSTER_LIST -> 3 header bytes + value.
+  a.mov64(Reg::R1, kClusterCode);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, skip_cluster);
+  a.mov64(Reg::R6, Reg::R0);
+  a.ldxh(Reg::R7, Reg::R6, kAttrLen);
+  a.mov64(Reg::R1, Reg::R7);
+  a.add64(Reg::R1, 3);
+  a.call(helper::kCtxMalloc);
+  a.jeq(Reg::R0, 0, skip_cluster);
+  a.mov64(Reg::R9, Reg::R0);
+  a.stb(Reg::R9, 0, kOptionalFlag);
+  a.stb(Reg::R9, 1, kClusterCode);
+  a.stxb(Reg::R9, 2, Reg::R7);  // value length (< 256 for sane cluster lists)
+  a.mov64(Reg::R1, Reg::R9);
+  a.add64(Reg::R1, 3);
+  a.mov64(Reg::R2, Reg::R6);
+  a.add64(Reg::R2, kAttrData);
+  a.mov64(Reg::R3, Reg::R7);
+  a.call(helper::kMemcpy);
+  a.mov64(Reg::R1, Reg::R9);
+  a.mov64(Reg::R2, Reg::R7);
+  a.add64(Reg::R2, 3);
+  a.call(helper::kWriteBuf);
+  a.place(skip_cluster);
+
+  a.place(done);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kOpOk));
+  a.exit_();
+  return a.build("rr_encode");
+}
+
+xbgp::Manifest route_reflection_manifest() {
+  Manifest m;
+  m.attach("rr_inbound", Op::kInboundFilter, rr_inbound_program());
+  m.attach("rr_outbound", Op::kOutboundFilter, rr_outbound_program());
+  m.attach("rr_encode", Op::kEncodeMessage, rr_encode_program());
+  return m;
+}
+
+}  // namespace xb::ext

@@ -1,0 +1,32 @@
+// Use case §3.2: BGP Route Reflection (RFC 4456) entirely as extension code.
+//
+// Three bytecodes reimplement the ORIGINATOR_ID / CLUSTER_LIST machinery a
+// route reflector needs, with the host's native reflection disabled:
+//
+//  * rr_inbound  (BGP_INBOUND_FILTER)  — loop prevention: reject routes whose
+//    ORIGINATOR_ID is our router id or whose CLUSTER_LIST contains our
+//    cluster id; otherwise delegate with next().
+//  * rr_outbound (BGP_OUTBOUND_FILTER) — reflection decision for
+//    iBGP-learned routes exported to iBGP peers (client/non-client rules);
+//    when reflecting, stamps ORIGINATOR_ID and prepends our cluster id to
+//    CLUSTER_LIST through the xBGP attribute API, then returns ACCEPT
+//    (overriding the host's default "never iBGP to iBGP" policy).
+//  * rr_encode   (BGP_ENCODE_MESSAGE)  — serialises the extension-managed
+//    attributes into the outgoing UPDATE with write_buf.
+//
+// The same three Program objects are attached to Fir and Wren.
+#pragma once
+
+#include "ebpf/program.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace xb::ext {
+
+[[nodiscard]] ebpf::Program rr_inbound_program();
+[[nodiscard]] ebpf::Program rr_outbound_program();
+[[nodiscard]] ebpf::Program rr_encode_program();
+
+/// Manifest attaching all three bytecodes.
+[[nodiscard]] xbgp::Manifest route_reflection_manifest();
+
+}  // namespace xb::ext

@@ -1,0 +1,195 @@
+#include "extensions/valley_free.hpp"
+
+#include "bgp/types.hpp"
+#include "extensions/common.hpp"
+
+namespace xb::ext {
+
+using namespace xbgp;
+
+ebpf::Program valley_free_program() {
+  Assembler a;
+  auto yield = a.make_label();
+  auto reject = a.make_label();
+
+  // Stack layout: [-16..] xtra key scratch, [-40] pairs base, [-48] pairs
+  // end, [-56] previous ASN, [-64] previous-ASN-valid flag.
+  constexpr std::int16_t kPairsBase = -40;
+  constexpr std::int16_t kPairsEnd = -48;
+  constexpr std::int16_t kPrevAsn = -56;
+  constexpr std::int16_t kPrevValid = -64;
+
+  // Valley-freedom is an eBGP concept (DC fabrics run eBGP between levels).
+  a.call(helper::kGetPeerInfo);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxb(Reg::R1, Reg::R0, kPeerType);
+  a.jne(Reg::R1, kPeerTypeEbgp, yield);
+  a.ldxw(Reg::R6, Reg::R0, kPeerAsn);       // sending peer's AS
+  a.ldxw(Reg::R7, Reg::R0, kPeerLocalAsn);  // our AS
+
+  // Load the level-pair manifest.
+  emit_get_xtra(a, -16, xtra::kValleyPairs);
+  a.jeq(Reg::R0, 0, yield);
+  a.stxdw(Reg::R10, kPairsBase, Reg::R0);
+  emit_get_xtra_len(a, -16, xtra::kValleyPairs);
+  a.ldxdw(Reg::R1, Reg::R10, kPairsBase);
+  a.add64(Reg::R0, Reg::R1);
+  a.stxdw(Reg::R10, kPairsEnd, Reg::R0);
+
+  // Ascent check: is (peer AS, our AS) a manifest pair? If not, the route is
+  // arriving from above (descent) and this filter does not apply.
+  {
+    auto loop = a.make_label();
+    auto advance = a.make_label();
+    auto ascent = a.make_label();
+    a.ldxdw(Reg::R8, Reg::R10, kPairsBase);
+    a.ldxdw(Reg::R9, Reg::R10, kPairsEnd);
+    a.place(loop);
+    a.jge(Reg::R8, Reg::R9, yield);  // exhausted: not an ascent session
+    a.ldxw(Reg::R1, Reg::R8, 0);     // ValleyPair::lower_asn
+    a.jne(Reg::R1, Reg::R6, advance);
+    a.ldxw(Reg::R2, Reg::R8, 4);     // ValleyPair::upper_asn
+    a.jeq(Reg::R2, Reg::R7, ascent);
+    a.place(advance);
+    a.add64(Reg::R8, 8);
+    a.ja(loop);
+    a.place(ascent);
+  }
+
+  // Walk the AS_PATH; any consecutive (lower, upper) manifest pair means the
+  // path already went down once -> valley.
+  a.mov64(Reg::R1, bgp::attr_code::kAsPath);
+  a.call(helper::kGetAttr);
+  a.jeq(Reg::R0, 0, yield);
+  a.mov64(Reg::R6, Reg::R0);
+  a.add64(Reg::R6, kAttrData);     // r6 = cursor
+  a.ldxh(Reg::R7, Reg::R0, kAttrLen);
+  a.add64(Reg::R7, Reg::R6);       // r7 = end
+  a.stdw(Reg::R10, kPrevValid, 0);
+
+  {
+    auto seg_loop = a.make_label();
+    auto seg_sequence = a.make_label();
+    auto member_loop = a.make_label();
+    auto member_next = a.make_label();
+    auto pair_scan_done = a.make_label();
+
+    a.place(seg_loop);
+    a.mov64(Reg::R1, Reg::R6);
+    a.add64(Reg::R1, 2);
+    a.jgt(Reg::R1, Reg::R7, yield);  // path exhausted without a valley
+    a.ldxb(Reg::R2, Reg::R6, 0);     // segment type
+    a.ldxb(Reg::R8, Reg::R6, 1);     // member count
+    a.add64(Reg::R6, 2);
+    a.jeq(Reg::R2, 2, seg_sequence);
+    // AS_SET: adjacency through a set is undefined; reset and skip it.
+    a.stdw(Reg::R10, kPrevValid, 0);
+    a.lsh64(Reg::R8, 2);
+    a.add64(Reg::R6, Reg::R8);
+    a.ja(seg_loop);
+
+    a.place(seg_sequence);
+    a.place(member_loop);
+    a.jeq(Reg::R8, 0, seg_loop);  // segment exhausted
+    a.mov64(Reg::R1, Reg::R6);
+    a.add64(Reg::R1, 4);
+    a.jgt(Reg::R1, Reg::R7, yield);  // malformed count: stop scanning
+    a.ldxw(Reg::R9, Reg::R6, 0);
+    a.to_be(Reg::R9, 32);         // current ASN, host value
+
+    // If there is a previous ASN, scan the manifest for (prev, current).
+    {
+      auto no_prev = a.make_label();
+      auto pair_loop = a.make_label();
+      auto pair_next = a.make_label();
+      a.ldxdw(Reg::R1, Reg::R10, kPrevValid);
+      a.jeq(Reg::R1, 0, no_prev);
+      a.ldxdw(Reg::R2, Reg::R10, kPrevAsn);
+      a.ldxdw(Reg::R3, Reg::R10, kPairsBase);
+      a.ldxdw(Reg::R4, Reg::R10, kPairsEnd);
+      a.place(pair_loop);
+      a.jge(Reg::R3, Reg::R4, pair_scan_done);
+      a.ldxw(Reg::R5, Reg::R3, 0);  // lower
+      a.jne(Reg::R5, Reg::R2, pair_next);
+      a.ldxw(Reg::R5, Reg::R3, 4);  // upper
+      a.jeq(Reg::R5, Reg::R9, reject);
+      a.place(pair_next);
+      a.add64(Reg::R3, 8);
+      a.ja(pair_loop);
+      a.place(no_prev);
+    }
+    a.place(pair_scan_done);
+
+    a.stxdw(Reg::R10, kPrevAsn, Reg::R9);
+    a.stdw(Reg::R10, kPrevValid, 1);
+    a.place(member_next);
+    a.add64(Reg::R6, 4);
+    a.sub64(Reg::R8, 1);
+    a.ja(member_loop);
+  }
+
+  a.place(reject);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kFilterReject));
+  a.exit_();
+
+  a.place(yield);
+  emit_next(a);
+  return a.build("valley_free");
+}
+
+xbgp::Manifest valley_free_manifest() {
+  Manifest m;
+  m.attach("valley_free", Op::kInboundFilter, valley_free_program());
+  return m;
+}
+
+ebpf::Program valley_free_relaxed_program() {
+  // The exemption stage: critical prefixes are accepted outright,
+  // short-circuiting the rest of the chain; everything else delegates to
+  // the strict filter via next() — extension composition at work.
+  Assembler a;
+  auto yield = a.make_label();
+  auto accept = a.make_label();
+
+  a.mov64(Reg::R1, arg::kPrefix);
+  a.call(helper::kGetArg);
+  a.jeq(Reg::R0, 0, yield);
+  a.ldxdw(Reg::R6, Reg::R0, 0);  // whole PrefixArg in one word
+
+  // "critical_prefixes" is 17 bytes: reserve three 8-byte stack chunks.
+  emit_get_xtra(a, -24, xtra::kCriticalPrefixes);
+  a.jeq(Reg::R0, 0, yield);
+  a.mov64(Reg::R7, Reg::R0);
+  emit_get_xtra_len(a, -24, xtra::kCriticalPrefixes);
+  a.add64(Reg::R0, Reg::R7);
+  a.mov64(Reg::R8, Reg::R0);  // end of the exemption list
+
+  {
+    auto loop = a.make_label();
+    a.place(loop);
+    a.jge(Reg::R7, Reg::R8, yield);
+    a.ldxdw(Reg::R1, Reg::R7, 0);
+    a.jeq(Reg::R1, Reg::R6, accept);
+    a.add64(Reg::R7, 8);
+    a.ja(loop);
+  }
+
+  a.place(accept);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(kFilterAccept));
+  a.exit_();
+
+  a.place(yield);
+  emit_next(a);
+  return a.build("valley_exempt");
+}
+
+xbgp::Manifest valley_free_relaxed_manifest() {
+  Manifest m;
+  m.attach("valley_exempt", Op::kInboundFilter, valley_free_relaxed_program(), /*order=*/0,
+           0, "valley_free");
+  m.attach("valley_free", Op::kInboundFilter, valley_free_program(), /*order=*/1, 0,
+           "valley_free");
+  return m;
+}
+
+}  // namespace xb::ext

@@ -1,0 +1,34 @@
+// Use case §3.3: valley-free path enforcement for BGP-in-the-datacenter.
+//
+// Instead of the same-AS-number trick (which also kills legitimate recovery
+// paths and destroys AS-path troubleshooting), each router runs this import
+// filter with a manifest of level pairs: one (lower AS, upper AS) entry per
+// eBGP session from a level-i router to a level-i+1 router (paper: "we load
+// a manifest containing every eBGP session from a router of level i to a
+// router of level i+1 in a pair (AS_li, AS_l(i+1))").
+//
+// The filter activates only on *ascent* sessions (the sending peer is below
+// us, i.e. (peer AS, our AS) is itself a manifest pair). There, any manifest
+// pair appearing as consecutive ASNs in the AS_PATH proves the route already
+// descended once — accepting it would complete a valley — so the route is
+// rejected. Descent sessions pass through (next()), which is what keeps the
+// normal up-then-down paths working.
+#pragma once
+
+#include "ebpf/program.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace xb::ext {
+
+[[nodiscard]] ebpf::Program valley_free_program();
+[[nodiscard]] xbgp::Manifest valley_free_manifest();
+
+/// The §3.3 flexibility argument, made concrete: the same filter, except
+/// prefixes listed in the "critical_prefixes" xtra blob (packed PrefixArg
+/// array) are exempted — the operator chooses reachability over valley
+/// freedom for those destinations (e.g. under multiple failures), instead
+/// of the all-or-nothing same-AS trick.
+[[nodiscard]] ebpf::Program valley_free_relaxed_program();
+[[nodiscard]] xbgp::Manifest valley_free_relaxed_manifest();
+
+}  // namespace xb::ext

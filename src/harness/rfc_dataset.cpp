@@ -1,0 +1,63 @@
+#include "harness/rfc_dataset.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace xb::harness {
+
+namespace {
+constexpr std::array<RfcEntry, 40> kDataset{{
+    {4271, "A Border Gateway Protocol 4 (BGP-4)", 1997, 9, 2006, 1},
+    {4272, "BGP Security Vulnerabilities Analysis", 2002, 10, 2006, 1},
+    {4273, "Definitions of Managed Objects for BGP-4", 1998, 2, 2006, 1},
+    {4360, "BGP Extended Communities Attribute", 2000, 3, 2006, 2},
+    {4456, "BGP Route Reflection", 2005, 4, 2006, 4},
+    {4486, "Subcodes for BGP Cease Notification Message", 2003, 1, 2006, 4},
+    {4724, "Graceful Restart Mechanism for BGP", 2000, 11, 2007, 1},
+    {4760, "Multiprotocol Extensions for BGP-4", 2005, 1, 2007, 1},
+    {4893, "BGP Support for Four-octet AS Number Space", 2001, 5, 2007, 5},
+    {5004, "Avoid BGP Best Path Transitions from One External to Another", 2004, 6, 2007, 9},
+    {5065, "Autonomous System Confederations for BGP", 2005, 6, 2007, 8},
+    {5291, "Outbound Route Filtering Capability for BGP-4", 1998, 8, 2008, 8},
+    {5292, "Address-Prefix-Based Outbound Route Filter for BGP-4", 2002, 4, 2008, 8},
+    {5396, "Textual Representation of AS Numbers", 2006, 11, 2008, 12},
+    {5398, "AS Number Reservation for Documentation Use", 2006, 12, 2008, 12},
+    {5492, "Capabilities Advertisement with BGP-4", 2006, 10, 2009, 2},
+    {5575, "Dissemination of Flow Specification Rules", 2004, 5, 2009, 8},
+    {5668, "4-Octet AS Specific BGP Extended Community", 2006, 6, 2009, 10},
+    {6286, "AS-Wide Unique BGP Identifier for BGP-4", 2003, 12, 2011, 6},
+    {6368, "Internal BGP as the PE-CE Protocol", 2008, 7, 2011, 9},
+    {6472, "Recommendation for Not Using AS_SET and AS_CONFED_SET", 2010, 6, 2011, 12},
+    {6608, "Subcodes for BGP Finite State Machine Error", 2010, 11, 2012, 5},
+    {6774, "Distribution of Diverse BGP Paths", 2010, 10, 2012, 11},
+    {6793, "BGP Support for Four-Octet AS Number Space (bis)", 2010, 11, 2012, 12},
+    {6810, "The RPKI to Router Protocol", 2009, 10, 2013, 1},
+    {6811, "BGP Prefix Origin Validation", 2009, 11, 2013, 1},
+    {7311, "Accumulated IGP Metric Attribute for BGP", 2010, 3, 2014, 8},
+    {7313, "Enhanced Route Refresh Capability for BGP-4", 2010, 11, 2014, 7},
+    {7606, "Revised Error Handling for BGP UPDATE Messages", 2011, 8, 2015, 8},
+    {7607, "Codification of AS 0 Processing", 2014, 8, 2015, 8},
+    {7705, "Autonomous System Migration Mechanisms", 2014, 1, 2015, 11},
+    {7911, "Advertisement of Multiple Paths in BGP", 2010, 4, 2016, 7},
+    {7947, "Internet Exchange BGP Route Server", 2015, 1, 2016, 9},
+    {7999, "BLACKHOLE Community", 2015, 10, 2016, 10},
+    {8092, "BGP Large Communities Attribute", 2016, 9, 2017, 2},
+    {8097, "BGP Prefix Origin Validation State Extended Community", 2012, 4, 2017, 3},
+    {8203, "BGP Administrative Shutdown Communication", 2016, 11, 2017, 7},
+    {8205, "BGPsec Protocol Specification", 2011, 10, 2017, 9},
+    {8212, "Default External BGP Route Propagation Behavior", 2016, 1, 2017, 7},
+    {8654, "Extended Message Support for BGP", 2015, 7, 2019, 10},
+}};
+}  // namespace
+
+std::span<const RfcEntry> idr_rfc_dataset() { return kDataset; }
+
+std::vector<double> standardization_delays_sorted() {
+  std::vector<double> delays;
+  delays.reserve(kDataset.size());
+  for (const auto& e : kDataset) delays.push_back(e.delay_years());
+  std::sort(delays.begin(), delays.end());
+  return delays;
+}
+
+}  // namespace xb::harness

@@ -1,0 +1,35 @@
+// Dataset behind Fig. 1: "Delay between the publication of the first IETF
+// draft and the published version of the last 40 BGP RFCs".
+//
+// The entries approximate public IETF datatracker metadata (first working-
+// group draft -> RFC publication) for 40 BGP-related RFCs up to mid-2020.
+// Dates carry month precision; the resulting CDF reproduces the paper's
+// shape: median ≈ 3.5 years, tail reaching ten years.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xb::harness {
+
+struct RfcEntry {
+  int rfc = 0;
+  const char* title = "";
+  int draft_year = 0;
+  int draft_month = 0;
+  int rfc_year = 0;
+  int rfc_month = 0;
+
+  [[nodiscard]] double delay_years() const {
+    return (rfc_year - draft_year) + (rfc_month - draft_month) / 12.0;
+  }
+};
+
+/// The 40-entry dataset.
+[[nodiscard]] std::span<const RfcEntry> idr_rfc_dataset();
+
+/// Sorted delays (the CDF's x values).
+[[nodiscard]] std::vector<double> standardization_delays_sorted();
+
+}  // namespace xb::harness

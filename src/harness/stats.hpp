@@ -1,0 +1,57 @@
+// Small statistics helpers for the benchmark harness (boxplot summaries,
+// as the paper's Fig. 4 reports over 15 runs).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace xb::harness {
+
+struct BoxPlot {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+};
+
+/// Linear-interpolation quantile over a sorted sample.
+inline double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile of empty sample");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+inline BoxPlot boxplot(std::vector<double> sample) {
+  if (sample.empty()) throw std::invalid_argument("boxplot of empty sample");
+  std::sort(sample.begin(), sample.end());
+  BoxPlot out;
+  out.min = sample.front();
+  out.max = sample.back();
+  out.q1 = quantile_sorted(sample, 0.25);
+  out.median = quantile_sorted(sample, 0.5);
+  out.q3 = quantile_sorted(sample, 0.75);
+  double sum = 0;
+  for (double v : sample) sum += v;
+  out.mean = sum / static_cast<double>(sample.size());
+  return out;
+}
+
+/// Per-run relative performance impact (%) against the reference median —
+/// the quantity Fig. 4 plots for extension code vs native code.
+inline std::vector<double> relative_impact(const std::vector<double>& runs,
+                                           double reference_median) {
+  std::vector<double> out;
+  out.reserve(runs.size());
+  for (double v : runs) out.push_back((v / reference_median - 1.0) * 100.0);
+  return out;
+}
+
+}  // namespace xb::harness

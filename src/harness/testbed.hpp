@@ -1,0 +1,168 @@
+// The Fig. 3 experimental setup.
+//
+//     [ upstream ] --L1--> [ DUT ] --L2--> [ downstream ]
+//
+// The upstream router feeds a full table over L1; the DUT processes it and
+// re-advertises over L2; we measure "the delay between the announcement of
+// the first prefix by the upstream router and the reception of the last
+// prefix ... on the downstream router" (§3.2). L1/L2 are iBGP for the route
+// reflection experiment and eBGP for origin validation (§3.4).
+//
+// Upstream and downstream are lightweight speakers (a real session + a
+// pre-encoded feed / a prefix-counting sink); the DUT is a full Fir or Wren
+// router — the implementation under test, exactly as in the paper.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+#include "bgp/peer_session.hpp"
+#include "harness/workload.hpp"
+#include "net/channel.hpp"
+#include "net/event_loop.hpp"
+
+namespace xb::harness {
+
+/// Feeds pre-encoded UPDATE messages through an established session.
+class Feeder {
+ public:
+  Feeder(net::EventLoop& loop, net::Duplex::End end, bgp::PeerSession::Config config)
+      : session_(std::make_unique<bgp::PeerSession>(loop, end, config)) {}
+
+  void start() { session_->start(); }
+  [[nodiscard]] bool established() const { return session_->established(); }
+
+  void send_all(const std::vector<std::vector<std::uint8_t>>& updates) {
+    for (const auto& wire : updates) session_->send_bytes(wire);
+  }
+
+  [[nodiscard]] bgp::PeerSession& session() { return *session_; }
+
+ private:
+  std::unique_ptr<bgp::PeerSession> session_;
+};
+
+/// Counts prefixes received through an established session.
+class Sink {
+ public:
+  Sink(net::EventLoop& loop, net::Duplex::End end, bgp::PeerSession::Config config)
+      : session_(std::make_unique<bgp::PeerSession>(loop, end, config)) {
+    session_->on_update = [this](bgp::UpdateMessage&& update, std::span<const std::uint8_t>) {
+      prefixes_ += update.nlri.size();
+      withdrawals_ += update.withdrawn.size();
+      last_update_ = std::move(update);
+    };
+  }
+
+  void start() { session_->start(); }
+  [[nodiscard]] bool established() const { return session_->established(); }
+  [[nodiscard]] std::uint64_t prefixes() const noexcept { return prefixes_; }
+  [[nodiscard]] std::uint64_t withdrawals() const noexcept { return withdrawals_; }
+  /// Most recently received UPDATE (attribute checks in tests).
+  [[nodiscard]] const bgp::UpdateMessage& last_update() const { return last_update_; }
+  [[nodiscard]] bgp::PeerSession& session() { return *session_; }
+
+ private:
+  std::unique_ptr<bgp::PeerSession> session_;
+  std::uint64_t prefixes_ = 0;
+  std::uint64_t withdrawals_ = 0;
+  bgp::UpdateMessage last_update_;
+};
+
+/// Addressing plan shared by every Fig. 3 instantiation.
+struct TestbedPlan {
+  bool ibgp = true;  // iBGP on L1/L2 (route reflection) or eBGP (OV)
+  bgp::Asn dut_asn = 65000;
+  bgp::Asn upstream_asn = 65000;    // overridden for eBGP below
+  bgp::Asn downstream_asn = 65000;
+  util::Ipv4Addr upstream_addr = util::Ipv4Addr(10, 0, 0, 1);
+  util::Ipv4Addr dut_addr = util::Ipv4Addr(10, 0, 0, 2);
+  util::Ipv4Addr downstream_addr = util::Ipv4Addr(10, 0, 0, 3);
+
+  static TestbedPlan ibgp_plan() { return TestbedPlan{}; }
+  static TestbedPlan ebgp_plan() {
+    TestbedPlan plan;
+    plan.ibgp = false;
+    plan.upstream_asn = 65101;
+    plan.downstream_asn = 65102;
+    return plan;
+  }
+};
+
+/// Wires upstream/feeder -> DUT -> downstream/sink around a caller-provided
+/// DUT router and runs the measurement.
+template <typename Dut>
+class Testbed {
+ public:
+  Testbed(net::EventLoop& loop, Dut& dut, const TestbedPlan& plan)
+      : loop_(loop),
+        dut_(dut),
+        l1_(loop, /*latency=*/0),
+        l2_(loop, /*latency=*/0) {
+    // DUT side of both links.
+    dut_.add_peer(l1_.b(), {.name = "upstream",
+                            .asn = plan.upstream_asn,
+                            .address = plan.upstream_addr,
+                            .rr_client = true});
+    dut_.add_peer(l2_.a(), {.name = "downstream",
+                            .asn = plan.downstream_asn,
+                            .address = plan.downstream_addr,
+                            .rr_client = true});
+
+    bgp::PeerSession::Config up;
+    up.local_asn = plan.upstream_asn;
+    up.peer_asn = plan.dut_asn;
+    up.local_id = 0x0A000001;
+    up.local_addr = plan.upstream_addr;
+    up.peer_addr = plan.dut_addr;
+    feeder_ = std::make_unique<Feeder>(loop, l1_.a(), up);
+
+    bgp::PeerSession::Config down;
+    down.local_asn = plan.downstream_asn;
+    down.peer_asn = plan.dut_asn;
+    down.local_id = 0x0A000003;
+    down.local_addr = plan.downstream_addr;
+    down.peer_addr = plan.dut_addr;
+    sink_ = std::make_unique<Sink>(loop, l2_.b(), down);
+  }
+
+  /// Establishes all sessions (virtual time advances by `settle` ns).
+  void establish(net::Duration settle = 1'000'000'000ull) {
+    dut_.start();
+    feeder_->start();
+    sink_->start();
+    loop_.run_until(loop_.now() + settle);
+    if (!feeder_->established() || !sink_->established()) {
+      throw std::runtime_error("testbed sessions failed to establish");
+    }
+  }
+
+  /// Feeds the workload and returns the wall-clock seconds between the first
+  /// announcement and the sink having received `expected` prefixes.
+  double run(const Workload& workload, std::uint64_t expected) {
+    const auto start = std::chrono::steady_clock::now();
+    feeder_->send_all(workload.updates);
+    loop_.run_until(loop_.now() + 1'000'000'000ull);
+    const auto stop = std::chrono::steady_clock::now();
+    if (sink_->prefixes() < expected) {
+      throw std::runtime_error("sink received " + std::to_string(sink_->prefixes()) +
+                               " prefixes, expected " + std::to_string(expected));
+    }
+    return std::chrono::duration<double>(stop - start).count();
+  }
+
+  [[nodiscard]] Feeder& feeder() { return *feeder_; }
+  [[nodiscard]] Sink& sink() { return *sink_; }
+  [[nodiscard]] Dut& dut() { return dut_; }
+
+ private:
+  net::EventLoop& loop_;
+  Dut& dut_;
+  net::Duplex l1_;
+  net::Duplex l2_;
+  std::unique_ptr<Feeder> feeder_;
+  std::unique_ptr<Sink> sink_;
+};
+
+}  // namespace xb::harness

@@ -1,0 +1,161 @@
+#include "harness/workload.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "bgp/aspath.hpp"
+#include "bgp/codec.hpp"
+#include "util/rng.hpp"
+#include "xbgp/api.hpp"
+
+namespace xb::harness {
+
+namespace {
+
+/// Hands out non-overlapping prefixes with a full-table-like length mix
+/// (heavily /24 with /19../23 and a tail of shorter aggregates). Allocation
+/// advances a cursor, so uniqueness holds by construction; reserved /
+/// special-use ranges are skipped (a real table never announces them, and
+/// standard import policy would drop them).
+class PrefixAllocator {
+ public:
+  explicit PrefixAllocator(util::Rng& rng) : rng_(rng) {}
+
+  util::Prefix next() {
+    const double draw = rng_.unit();
+    std::uint8_t len;
+    if (draw < 0.55) len = 24;
+    else if (draw < 0.70) len = 23;
+    else if (draw < 0.80) len = 22;
+    else if (draw < 0.87) len = 21;
+    else if (draw < 0.92) len = 20;
+    else if (draw < 0.96) len = 19;
+    else if (draw < 0.985) len = 18;
+    else len = 16;
+
+    const std::uint32_t size = 1u << (32 - len);
+    std::uint32_t aligned = (cursor_ + size - 1) & ~(size - 1);
+    aligned = skip_reserved(aligned, size);
+    // 224.0.0.0 onwards is multicast/reserved: the unicast space is spent.
+    if (aligned >= 0xE0000000u || aligned + size - 1 >= 0xE0000000u) {
+      throw std::runtime_error("workload generator exhausted unicast IPv4 space");
+    }
+    cursor_ = aligned + size;
+    return util::Prefix(util::Ipv4Addr(aligned), len);
+  }
+
+ private:
+  /// Bumps the candidate block past any reserved range it touches.
+  static std::uint32_t skip_reserved(std::uint32_t aligned, std::uint32_t size) {
+    struct Range {
+      std::uint32_t first;
+      std::uint32_t last;
+    };
+    // Special-use IPv4 space (RFC 6890 selection, ascending, plus class D/E).
+    static constexpr Range kReserved[] = {
+        {0x00000000, 0x00FFFFFF},  // 0.0.0.0/8
+        {0x0A000000, 0x0AFFFFFF},  // 10.0.0.0/8
+        {0x64400000, 0x647FFFFF},  // 100.64.0.0/10
+        {0x7F000000, 0x7FFFFFFF},  // 127.0.0.0/8
+        {0xA9FE0000, 0xA9FEFFFF},  // 169.254.0.0/16
+        {0xAC100000, 0xAC1FFFFF},  // 172.16.0.0/12
+        {0xC0000000, 0xC00000FF},  // 192.0.0.0/24
+        {0xC0A80000, 0xC0A8FFFF},  // 192.168.0.0/16
+        {0xC6120000, 0xC613FFFF},  // 198.18.0.0/15
+    };
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const auto& range : kReserved) {
+        if (aligned <= range.last && aligned + size - 1 >= range.first) {
+          aligned = ((range.last + 1) + size - 1) & ~(size - 1);
+          moved = true;
+        }
+      }
+    }
+    return aligned;
+  }
+
+  util::Rng& rng_;
+  std::uint32_t cursor_ = 0x14000000;  // 20.0.0.0
+};
+
+}  // namespace
+
+Workload make_workload(const WorkloadParams& params) {
+  util::Rng rng(params.seed);
+  PrefixAllocator alloc(rng);
+  Workload out;
+  out.routes.reserve(params.route_count);
+
+  const double continue_group = params.mean_group_size > 1.0
+                                    ? 1.0 - 1.0 / params.mean_group_size
+                                    : 0.0;
+
+  std::size_t made = 0;
+  while (made < params.route_count) {
+    // One attribute set per group.
+    bgp::AttributeSet attrs;
+    const double origin_draw = rng.unit();
+    attrs.put(bgp::make_origin(origin_draw < 0.6   ? bgp::Origin::kIgp
+                               : origin_draw < 0.8 ? bgp::Origin::kIncomplete
+                                                   : bgp::Origin::kEgp));
+    // AS path: feeder's neighbour first, then 0-5 further hops.
+    std::vector<bgp::Asn> path{params.first_hop_asn};
+    const std::size_t extra_hops = rng.below(6);
+    for (std::size_t i = 0; i < extra_hops; ++i) {
+      path.push_back(static_cast<bgp::Asn>(1000 + rng.below(60'000)));
+    }
+    attrs.put(bgp::AsPath(std::move(path)).to_attr());
+    attrs.put(bgp::make_next_hop(params.next_hop));
+    if (rng.chance(params.med_probability)) {
+      attrs.put(bgp::make_med(static_cast<std::uint32_t>(rng.below(1000))));
+    }
+    if (params.with_local_pref) attrs.put(bgp::make_local_pref(100));
+    if (rng.chance(params.communities_probability)) {
+      std::uint32_t communities[3];
+      const std::size_t n = 1 + rng.below(3);
+      for (std::size_t i = 0; i < n; ++i) {
+        communities[i] = static_cast<std::uint32_t>((65000u << 16) | rng.below(1000));
+      }
+      attrs.put(bgp::make_communities(std::span(communities, n)));
+    }
+
+    bgp::UpdateMessage update;
+    update.attrs = std::move(attrs);
+    const bgp::Asn origin_as = [&update] {
+      auto path_attr = update.attrs.find(bgp::attr_code::kAsPath);
+      auto parsed = bgp::AsPath::from_attr(*path_attr);
+      return parsed->origin_asn().value_or(0);
+    }();
+
+    // Geometric group size (at least 1 prefix, capped by remaining budget).
+    do {
+      const util::Prefix prefix = alloc.next();
+      update.nlri.push_back(prefix);
+      out.routes.push_back(rpki::AnnouncedRoute{prefix, origin_as});
+      ++made;
+    } while (made < params.route_count && rng.unit() < continue_group);
+
+    out.updates.push_back(bgp::encode_update(update));
+  }
+  out.prefix_count = made;
+  return out;
+}
+
+std::vector<std::uint8_t> pack_roa_blob(const std::vector<rpki::Roa>& roas) {
+  std::vector<std::uint8_t> blob(roas.size() * sizeof(xbgp::RoaEntry));
+  std::uint8_t* cursor = blob.data();
+  for (const auto& roa : roas) {
+    xbgp::RoaEntry entry;
+    entry.addr = roa.prefix.addr().value();
+    entry.prefix_len = roa.prefix.length();
+    entry.max_len = roa.max_length;
+    entry.origin = roa.origin;
+    std::memcpy(cursor, &entry, sizeof(entry));
+    cursor += sizeof(entry);
+  }
+  return blob;
+}
+
+}  // namespace xb::harness

@@ -1,0 +1,52 @@
+// Synthetic Internet-table workload generation.
+//
+// Substitute for the paper's RIPE RIS snapshot (June 2020, 724k IPv4
+// routes): a deterministic generator producing a full-table-shaped feed —
+// realistic prefix-length mix, AS-path length distribution, optional MED /
+// communities, and RIS-like packing of prefixes that share one attribute
+// set into a single UPDATE. The Fig. 4 experiments measure *relative*
+// slowdown, which depends on table size and attribute shape rather than the
+// concrete prefixes, so a seeded synthetic table preserves the comparison
+// (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "rpki/loader.hpp"
+#include "util/ip.hpp"
+
+namespace xb::harness {
+
+struct WorkloadParams {
+  std::size_t route_count = 100'000;
+  std::uint64_t seed = 2020'06;
+  /// Nexthop carried in the generated routes (the feeding router's address
+  /// for iBGP, rewritten by the DUT for eBGP).
+  util::Ipv4Addr next_hop = util::Ipv4Addr(0x0A000001);  // 10.0.0.1
+  /// Leftmost AS of every path (the feeder's eBGP neighbour).
+  std::uint32_t first_hop_asn = 2914;
+  double med_probability = 0.25;
+  double communities_probability = 0.5;
+  /// Mean number of prefixes sharing one attribute set (RIS tables pack
+  /// multiple NLRI per UPDATE; geometric distribution around this mean).
+  double mean_group_size = 3.0;
+  /// Attach LOCAL_PREF (iBGP feeds carry it; eBGP feeds must not).
+  bool with_local_pref = false;
+};
+
+struct Workload {
+  /// Pre-encoded UPDATE wire messages, ready to feed through a session.
+  std::vector<std::vector<std::uint8_t>> updates;
+  /// Every announced (prefix, origin AS), e.g. for ROA-set construction.
+  std::vector<rpki::AnnouncedRoute> routes;
+  std::size_t prefix_count = 0;
+};
+
+[[nodiscard]] Workload make_workload(const WorkloadParams& params);
+
+/// Packs ROAs into the "roa_v1" xtra blob format (xbgp::RoaEntry array).
+[[nodiscard]] std::vector<std::uint8_t> pack_roa_blob(const std::vector<rpki::Roa>& roas);
+
+}  // namespace xb::harness

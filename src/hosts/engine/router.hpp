@@ -1,0 +1,840 @@
+// The shared BGP speaker engine, parameterised by a host attribute core.
+//
+// Router<Core> implements the RFC 4271 machinery every BGP implementation
+// shares — sessions, Adj-RIB-In, the decision process, Loc-RIB, export
+// processing, Adj-RIB-Out, message packing — while all attribute storage
+// and conversion goes through `Core` (FirCore = FRR-like decomposed structs,
+// WrenCore = BIRD-like wire-order ea_list). Router also *is* the xBGP host:
+// it implements xbgp::HostApi and invokes the VMM at the five insertion
+// points of the paper's Fig. 2:
+//
+//   (1) BGP_RECEIVE_MESSAGE   in handle_update(), before conversion
+//   (2) BGP_INBOUND_FILTER    per NLRI, before Adj-RIB-In installation
+//   (3) BGP_DECISION          per pairwise best-route comparison
+//   (4) BGP_OUTBOUND_FILTER   per route per peer, before Adj-RIB-Out
+//   (5) BGP_ENCODE_MESSAGE    per outgoing attribute group
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/decision.hpp"
+#include "bgp/peer_session.hpp"
+#include "bgp/policy.hpp"
+#include "hosts/engine/update_builder.hpp"
+#include "igp/igp_table.hpp"
+#include "rpki/roa.hpp"
+#include "util/log.hpp"
+#include "xbgp/vmm.hpp"
+
+namespace xb::hosts::engine {
+
+using PeerId = std::size_t;
+inline constexpr PeerId kLocalRoute = static_cast<PeerId>(-1);
+
+struct RouterStats {
+  std::uint64_t updates_in = 0;
+  std::uint64_t updates_out = 0;
+  std::uint64_t prefixes_in = 0;
+  std::uint64_t prefixes_accepted = 0;
+  std::uint64_t prefixes_rejected_in = 0;
+  std::uint64_t withdrawals_in = 0;
+  std::uint64_t exports_rejected = 0;
+  std::uint64_t loop_rejected = 0;
+  std::uint64_t malformed_updates = 0;
+  std::uint64_t extension_faults = 0;
+  std::uint64_t ov_valid = 0;
+  std::uint64_t ov_invalid = 0;
+  std::uint64_t ov_not_found = 0;
+};
+
+template <typename Core>
+class Router final : public xbgp::HostApi {
+ public:
+  using Attrs = typename Core::Attrs;
+  using AttrsPtr = std::shared_ptr<const Attrs>;
+
+  struct Config {
+    std::string name = "router";
+    bgp::Asn asn = 0;
+    bgp::RouterId router_id = 0;
+    util::Ipv4Addr address;  // loopback / nexthop-self address
+    std::uint32_t cluster_id = 0;  // 0 -> defaults to router_id
+    /// Native RFC 4456 route reflection. Off when the RR use case runs as
+    /// extension bytecode instead.
+    bool native_route_reflector = false;
+    /// Native RFC 6811 origin validation: consulted when non-null.
+    const rpki::RoaTable* roa_table = nullptr;
+    /// Reject Invalid routes (default mirrors the paper's §3.4 setup:
+    /// "checks the validity ... but does not discard the invalid ones").
+    bool ov_reject_invalid = false;
+    const igp::IgpTable* igp = nullptr;
+    /// Per-router import/export policy (route-maps) evaluated by the native
+    /// default of the inbound/outbound filter operations. Real deployments
+    /// always carry such policy (FRR route-maps, BIRD filters); the Fig. 4
+    /// benchmarks configure it in both native and extension modes.
+    const bgp::policy::RouteMap* import_policy = nullptr;
+    const bgp::policy::RouteMap* export_policy = nullptr;
+    std::uint16_t hold_time = bgp::kDefaultHoldTime;
+    std::uint32_t keepalive_interval = bgp::kDefaultKeepaliveTime;
+    /// Named configuration blobs served to extensions via get_xtra.
+    std::map<std::string, std::vector<std::uint8_t>, std::less<>> xtra;
+    xbgp::Vmm::Options vmm_options;
+  };
+
+  struct PeerConfig {
+    std::string name;
+    bgp::Asn asn = 0;
+    util::Ipv4Addr address;
+    bool rr_client = false;
+    /// Rewrite the nexthop to our own address when exporting to this peer
+    /// (the usual configuration for eBGP-learned routes entering iBGP).
+    bool next_hop_self = false;
+  };
+
+  Router(net::EventLoop& loop, Config config)
+      : loop_(loop), cfg_(std::move(config)), vmm_(*this, cfg_.vmm_options) {
+    if (cfg_.cluster_id == 0) cfg_.cluster_id = cfg_.router_id;
+    set_xtra_u32(xbgp::xtra::kRouterId, cfg_.router_id);
+    set_xtra_u32(xbgp::xtra::kClusterId, cfg_.cluster_id);
+  }
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // --- configuration ----------------------------------------------------------
+
+  PeerId add_peer(net::Duplex::End end, PeerConfig pc) {
+    bgp::PeerSession::Config sc;
+    sc.local_asn = cfg_.asn;
+    sc.peer_asn = pc.asn;
+    sc.local_id = cfg_.router_id;
+    sc.local_addr = cfg_.address;
+    sc.peer_addr = pc.address;
+    sc.hold_time = cfg_.hold_time;
+    sc.keepalive_interval = cfg_.keepalive_interval;
+    auto state = std::make_unique<PeerState>(loop_, end, sc);
+    state->id = peers_.size();
+    state->cfg = std::move(pc);
+    PeerState* raw = state.get();
+    state->session.on_established = [this, raw] { on_peer_established(*raw); };
+    state->session.on_update = [this, raw](bgp::UpdateMessage&& update,
+                                           std::span<const std::uint8_t> wire) {
+      handle_update(*raw, std::move(update), wire);
+    };
+    state->session.on_down = [this, raw](const std::string& reason) {
+      on_peer_down(*raw, reason);
+    };
+    state->session.on_route_refresh = [this, raw] {
+      // RFC 2918: re-run export processing for everything we advertise to
+      // this peer (adj-rib-out rebuild from the current Loc-RIB + policy).
+      for (const auto& [prefix, entry] : loc_rib_) queue_export(*raw, prefix);
+      schedule_flush();
+    };
+    peers_.push_back(std::move(state));
+    return peers_.size() - 1;
+  }
+
+  void start() {
+    for (auto& peer : peers_) peer->session.start();
+  }
+
+  /// Loads extension bytecode per the manifest (verifies; runs kInit).
+  void load_extensions(const xbgp::Manifest& manifest) { vmm_.load(manifest); }
+
+  /// Asks a peer to resend its routes (RFC 2918), e.g. after changing
+  /// import policy or loading an inbound extension at runtime.
+  void request_route_refresh(PeerId id) { peers_.at(id)->session.send_route_refresh(); }
+
+  /// Re-runs export processing for the whole Loc-RIB towards every peer —
+  /// what a daemon does when outbound policy or the IGP changes (e.g. after
+  /// an SPF run moves nexthop metrics, which Listing-1 style filters read).
+  void reevaluate_exports() {
+    for (const auto& [prefix, entry] : loc_rib_) queue_export_all(prefix);
+    schedule_flush();
+  }
+
+  void set_xtra(std::string key, std::vector<std::uint8_t> value) {
+    cfg_.xtra[std::move(key)] = std::move(value);
+  }
+  void set_xtra_u32(std::string key, std::uint32_t value) {
+    std::vector<std::uint8_t> blob(sizeof(value));
+    std::memcpy(blob.data(), &value, sizeof(value));
+    set_xtra(std::move(key), std::move(blob));
+  }
+
+  /// Originates a local route (ORIGIN IGP, empty AS_PATH, nexthop self).
+  void originate(const util::Prefix& prefix) {
+    bgp::AttributeSet set;
+    set.put(bgp::make_origin(bgp::Origin::kIgp));
+    set.put(bgp::AsPath{}.to_attr());
+    set.put(bgp::make_next_hop(cfg_.address));
+    auto attrs = std::make_shared<Attrs>(Core::from_wire(set, {}));
+    local_routes_[prefix] = attrs;
+    run_decision(prefix);
+    schedule_flush();
+  }
+
+  // --- observation ---------------------------------------------------------------
+
+  struct LocRibEntry {
+    PeerId from = kLocalRoute;
+    AttrsPtr attrs;
+    std::uint32_t meta = 0;
+  };
+
+  [[nodiscard]] const LocRibEntry* best(const util::Prefix& prefix) const {
+    auto it = loc_rib_.find(prefix);
+    return it == loc_rib_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t loc_rib_size() const noexcept { return loc_rib_.size(); }
+  [[nodiscard]] std::size_t adj_rib_in_size(PeerId id) const {
+    return peers_.at(id)->adj_rib_in.size();
+  }
+  [[nodiscard]] std::size_t adj_rib_out_size(PeerId id) const {
+    return peers_.at(id)->adj_rib_out.size();
+  }
+  [[nodiscard]] const AttrsPtr* adj_rib_out_lookup(PeerId id, const util::Prefix& p) const {
+    auto& rib = peers_.at(id)->adj_rib_out;
+    auto it = rib.find(p);
+    return it == rib.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::uint32_t route_meta(PeerId id, const util::Prefix& p) const {
+    auto& rib = peers_.at(id)->adj_rib_in;
+    auto it = rib.find(p);
+    return it == rib.end() ? 0 : it->second.meta;
+  }
+  [[nodiscard]] bgp::PeerSession& session(PeerId id) { return peers_.at(id)->session; }
+  [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] xbgp::Vmm& vmm() noexcept { return vmm_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::optional<util::Ipv4Addr> fib_lookup(const util::Prefix& p) const {
+    auto it = fib_.find(p);
+    return it == fib_.end() ? std::nullopt : std::optional(it->second);
+  }
+
+  // =============================== HostApi ======================================
+
+  bool peer_info(const xbgp::ExecContext& ctx, xbgp::PeerInfo& out) override {
+    return fill_peer_info(static_cast<PeerState*>(ctx.peer), out);
+  }
+  bool src_peer_info(const xbgp::ExecContext& ctx, xbgp::PeerInfo& out) override {
+    return fill_peer_info(static_cast<PeerState*>(ctx.src_peer), out);
+  }
+
+  std::optional<bgp::WireAttr> get_attr(const xbgp::ExecContext& ctx,
+                                        std::uint8_t code) override {
+    if (ctx.incoming != nullptr) {
+      const bgp::WireAttr* attr = ctx.incoming->find(code);
+      return attr == nullptr ? std::nullopt : std::optional(*attr);
+    }
+    auto* route = static_cast<RouteCtx*>(ctx.route);
+    if (route == nullptr) return std::nullopt;
+    return Core::get_attr(*route->attrs, code);
+  }
+
+  std::optional<bgp::WireAttr> get_attr_alt(const xbgp::ExecContext& ctx,
+                                            std::uint8_t code) override {
+    auto* route = static_cast<RouteCtx*>(ctx.route_alt);
+    if (route == nullptr) return std::nullopt;
+    return Core::get_attr(*route->attrs, code);
+  }
+
+  bool set_attr(xbgp::ExecContext& ctx, bgp::WireAttr attr) override {
+    if (ctx.incoming != nullptr) {
+      ctx.ext_added_codes.push_back(attr.code);
+      ctx.incoming->put(std::move(attr));
+      return true;
+    }
+    auto* route = static_cast<RouteCtx*>(ctx.route);
+    if (route == nullptr || !route->mutable_attrs) return false;
+    return Core::set_attr(*route->mutable_attrs, std::move(attr));
+  }
+
+  bool add_attr(xbgp::ExecContext& ctx, bgp::WireAttr attr) override {
+    if (ctx.incoming == nullptr) return false;
+    ctx.ext_added_codes.push_back(attr.code);
+    ctx.incoming->put(std::move(attr));
+    return true;
+  }
+
+  bool nexthop_info(const xbgp::ExecContext& ctx, xbgp::NexthopInfo& out) override {
+    std::optional<util::Ipv4Addr> nh;
+    if (ctx.incoming != nullptr) {
+      if (const bgp::WireAttr* attr = ctx.incoming->find(bgp::attr_code::kNextHop)) {
+        nh = bgp::parse_next_hop(*attr);
+      }
+    } else if (auto* route = static_cast<RouteCtx*>(ctx.route)) {
+      nh = Core::next_hop(*route->attrs);
+    }
+    if (!nh) return false;
+    out.addr = nh->value();
+    out.igp_metric = igp_metric(*nh);
+    out.reachable = out.igp_metric != igp::kInfMetric ? 1 : 0;
+    return true;
+  }
+
+  std::span<const std::uint8_t> get_xtra(std::string_view key) override {
+    auto it = cfg_.xtra.find(key);
+    if (it == cfg_.xtra.end()) return {};
+    return it->second;
+  }
+
+  bool write_buf(xbgp::ExecContext& ctx, std::span<const std::uint8_t> data) override {
+    if (ctx.out == nullptr) return false;
+    ctx.out->bytes(data);
+    return true;
+  }
+
+  bool rib_add_route(const util::Prefix& prefix, util::Ipv4Addr nexthop) override {
+    fib_[prefix] = nexthop;
+    return true;
+  }
+  std::optional<util::Ipv4Addr> rib_lookup(const util::Prefix& prefix) override {
+    return fib_lookup(prefix);
+  }
+
+  bool set_route_meta(xbgp::ExecContext& ctx, std::uint32_t value) override {
+    auto* route = static_cast<RouteCtx*>(ctx.route);
+    if (route == nullptr || route->meta == nullptr) return false;
+    *route->meta = value;
+    return true;
+  }
+  std::optional<std::uint32_t> get_route_meta(const xbgp::ExecContext& ctx) override {
+    auto* route = static_cast<RouteCtx*>(ctx.route);
+    if (route == nullptr || route->meta == nullptr) return std::nullopt;
+    return *route->meta;
+  }
+
+  void notify_extension_fault(xbgp::Op op, std::string_view program,
+                              std::string_view detail) override {
+    ++stats_.extension_faults;
+    util::log_warn(cfg_.name, ": extension '", program, "' faulted at ", to_string(op), ": ",
+                   detail, " (fell back to native)");
+  }
+
+  void ebpf_print(std::string_view message) override {
+    util::log_info(cfg_.name, " [ebpf] ", message);
+  }
+
+ private:
+  // ------------------------------------------------------------------------------
+  struct AdjInRoute {
+    AttrsPtr attrs;
+    std::uint32_t meta = 0;
+  };
+
+  struct PeerState {
+    PeerId id = 0;
+    PeerConfig cfg;
+    bgp::PeerSession session;
+    std::unordered_map<util::Prefix, AdjInRoute> adj_rib_in;
+    std::unordered_map<util::Prefix, AttrsPtr> adj_rib_out;
+    std::vector<util::Prefix> pending;           // export work list, ordered
+    std::unordered_set<util::Prefix> pending_set;  // dedupe for the work list
+
+    PeerState(net::EventLoop& loop, net::Duplex::End end, bgp::PeerSession::Config sc)
+        : session(loop, end, sc) {}
+  };
+
+  /// The host-side route handle behind ExecContext::route (hidden argument).
+  struct RouteCtx {
+    util::Prefix prefix;
+    const Attrs* attrs = nullptr;     // read view
+    Attrs* mutable_attrs = nullptr;   // set_attr target (null = read-only ctx)
+    std::uint32_t* meta = nullptr;
+    PeerState* src = nullptr;         // learned-from peer (null for local)
+  };
+
+  // --- peer/session events -------------------------------------------------------
+
+  void on_peer_established(PeerState& peer) {
+    util::log_info(cfg_.name, ": session with ", peer.cfg.name, " established");
+    // Initial advertisement: the whole Loc-RIB plus local routes.
+    for (const auto& [prefix, entry] : loc_rib_) queue_export(peer, prefix);
+    schedule_flush();
+  }
+
+  void on_peer_down(PeerState& peer, const std::string& reason) {
+    util::log_warn(cfg_.name, ": session with ", peer.cfg.name, " down: ", reason);
+    // Standard BGP: all routes learned from the peer are invalidated.
+    std::vector<util::Prefix> lost;
+    lost.reserve(peer.adj_rib_in.size());
+    for (const auto& [prefix, route] : peer.adj_rib_in) lost.push_back(prefix);
+    peer.adj_rib_in.clear();
+    peer.adj_rib_out.clear();
+    for (const auto& prefix : lost) run_decision(prefix);
+    schedule_flush();
+  }
+
+  // --- inbound pipeline -------------------------------------------------------------
+
+  void handle_update(PeerState& peer, bgp::UpdateMessage&& update,
+                     std::span<const std::uint8_t> wire) {
+    ++stats_.updates_in;
+
+    // (1) BGP_RECEIVE_MESSAGE: raw wire bytes + the parsed neutral attribute
+    // set. Extensions recover custom attributes here (e.g. GeoLoc) before
+    // the host conversion would drop them.
+    xbgp::ExecContext rx;
+    rx.op = xbgp::Op::kReceiveMessage;
+    rx.peer = &peer;
+    rx.src_peer = &peer;
+    rx.incoming = &update.attrs;
+    rx.add_arg(xbgp::arg::kRawMessage, wire);
+    vmm_.execute(xbgp::Op::kReceiveMessage, rx,
+                 [] { return xbgp::kOpOk; });
+
+    for (const auto& prefix : update.withdrawn) {
+      ++stats_.withdrawals_in;
+      if (peer.adj_rib_in.erase(prefix) > 0) run_decision(prefix);
+    }
+
+    if (!update.nlri.empty()) {
+      process_nlri(peer, update, rx.ext_added_codes);
+    }
+    schedule_flush();
+  }
+
+  void process_nlri(PeerState& peer, const bgp::UpdateMessage& update,
+                    const std::vector<std::uint8_t>& keep_codes) {
+    const bool ebgp = peer.session.peer_type() == bgp::PeerType::kEbgp;
+
+    // Mandatory attribute checks (RFC 4271 §6.3): treat-as-withdraw.
+    if (!update.attrs.has(bgp::attr_code::kOrigin) ||
+        !update.attrs.has(bgp::attr_code::kAsPath) ||
+        !update.attrs.has(bgp::attr_code::kNextHop)) {
+      ++stats_.malformed_updates;
+      for (const auto& prefix : update.nlri) {
+        if (peer.adj_rib_in.erase(prefix) > 0) run_decision(prefix);
+      }
+      return;
+    }
+
+    // Convert the neutral set to this host's representation once per update;
+    // all NLRI of the message share it (attribute interning, as real
+    // implementations do).
+    auto shared = std::make_shared<Attrs>(Core::from_wire(update.attrs, keep_codes));
+
+    // eBGP loop prevention: our own AS in AS_PATH.
+    if (ebgp && Core::as_path_contains(*shared, cfg_.asn)) {
+      stats_.loop_rejected += update.nlri.size();
+      return;
+    }
+
+    for (const auto& prefix : update.nlri) {
+      ++stats_.prefixes_in;
+      std::uint32_t meta = 0;
+      RouteCtx route{prefix, shared.get(), shared.get(), &meta, &peer};
+
+      // (2) BGP_INBOUND_FILTER.
+      xbgp::ExecContext ctx;
+      ctx.op = xbgp::Op::kInboundFilter;
+      ctx.peer = &peer;
+      ctx.src_peer = &peer;
+      ctx.route = &route;
+      xbgp::PrefixArg parg{prefix.addr().value(), prefix.length(), {}};
+      ctx.add_arg(xbgp::arg::kPrefix,
+                  std::span(reinterpret_cast<const std::uint8_t*>(&parg), sizeof(parg)));
+
+      const std::uint64_t verdict =
+          vmm_.execute(xbgp::Op::kInboundFilter, ctx,
+                       [&] { return native_import_policy(route, peer); });
+
+      if (verdict != xbgp::kFilterAccept) {
+        ++stats_.prefixes_rejected_in;
+        if (peer.adj_rib_in.erase(prefix) > 0) run_decision(prefix);
+        continue;
+      }
+      ++stats_.prefixes_accepted;
+      count_ov(meta);
+      peer.adj_rib_in[prefix] = AdjInRoute{shared, meta};
+      run_decision(prefix);
+    }
+  }
+
+  /// The native (default) import policy: RFC 4456 loop prevention when this
+  /// router is a native route reflector, RFC 6811 origin validation when a
+  /// ROA table is configured.
+  std::uint64_t native_import_policy(RouteCtx& route, PeerState& peer) {
+    if (cfg_.native_route_reflector &&
+        peer.session.peer_type() == bgp::PeerType::kIbgp) {
+      if (auto originator = Core::originator_id(*route.attrs);
+          originator && *originator == cfg_.router_id) {
+        return xbgp::kFilterReject;
+      }
+      if (Core::cluster_list_contains(*route.attrs, cfg_.cluster_id)) {
+        return xbgp::kFilterReject;
+      }
+    }
+    if (cfg_.roa_table != nullptr) {
+      const auto origin = Core::origin_asn(*route.attrs);
+      const rpki::Validity validity =
+          origin ? cfg_.roa_table->validate(route.prefix, *origin)
+                 : rpki::Validity::kNotFound;
+      *route.meta = static_cast<std::uint32_t>(validity);
+      if (cfg_.ov_reject_invalid && validity == rpki::Validity::kInvalid) {
+        return xbgp::kFilterReject;
+      }
+    }
+    if (cfg_.import_policy != nullptr &&
+        !run_policy(*cfg_.import_policy, route, peer)) {
+      return xbgp::kFilterReject;
+    }
+    return xbgp::kFilterAccept;
+  }
+
+  /// Evaluates a route-map against the route. Set actions apply to the
+  /// route's mutable attributes (when the context allows mutation) and the
+  /// metadata word (e.g. `match rpki` records the validation state).
+  bool run_policy(const bgp::policy::RouteMap& map, RouteCtx& route, PeerState& peer) {
+    bgp::policy::RouteFacts facts;
+    facts.prefix = route.prefix;
+    const Attrs& attrs = *route.attrs;
+    facts.origin_asn = Core::origin_asn(attrs);
+    Core::flatten_as_path(attrs, scratch_path_);
+    facts.as_path = scratch_path_;
+    facts.next_hop = Core::next_hop(attrs);
+    if (facts.next_hop) facts.igp_metric_to_nexthop = igp_metric(*facts.next_hop);
+    facts.local_pref = Core::local_pref_or(attrs, 100);
+    facts.med = Core::med(attrs);
+    Core::communities_of(attrs, scratch_comms_);
+    facts.communities = scratch_comms_;
+    facts.peer_type = peer.session.peer_type();
+    facts.peer_asn = peer.session.config().peer_asn;
+
+    const auto verdict = map.evaluate(facts);
+    if (facts.new_meta && route.meta != nullptr) *route.meta = *facts.new_meta;
+    if (verdict.permitted && route.mutable_attrs != nullptr) {
+      if (facts.new_local_pref) Core::set_local_pref(*route.mutable_attrs, *facts.new_local_pref);
+    }
+    return verdict.permitted;
+  }
+
+  void count_ov(std::uint32_t meta) {
+    switch (meta) {
+      case xbgp::kMetaOvValid: ++stats_.ov_valid; break;
+      case xbgp::kMetaOvInvalid: ++stats_.ov_invalid; break;
+      default: ++stats_.ov_not_found; break;
+    }
+  }
+
+  // --- decision process ----------------------------------------------------------
+
+  void run_decision(const util::Prefix& prefix) {
+    // Gather candidates: local routes win outright (administrative weight),
+    // otherwise the best Adj-RIB-In entry across peers.
+    LocRibEntry winner;
+    bool have = false;
+    if (auto it = local_routes_.find(prefix); it != local_routes_.end()) {
+      winner = LocRibEntry{kLocalRoute, it->second, 0};
+      have = true;
+    } else {
+      for (auto& peer : peers_) {
+        auto it = peer->adj_rib_in.find(prefix);
+        if (it == peer->adj_rib_in.end()) continue;
+        LocRibEntry candidate{peer->id, it->second.attrs, it->second.meta};
+        if (!have) {
+          winner = std::move(candidate);
+          have = true;
+          continue;
+        }
+        if (candidate_better(prefix, candidate, winner)) winner = std::move(candidate);
+      }
+    }
+
+    auto cur = loc_rib_.find(prefix);
+    if (!have) {
+      if (cur != loc_rib_.end()) {
+        loc_rib_.erase(cur);
+        fib_.erase(prefix);
+        queue_export_all(prefix);
+      }
+      return;
+    }
+    const bool changed = cur == loc_rib_.end() || cur->second.attrs != winner.attrs ||
+                         cur->second.from != winner.from;
+    if (changed) {
+      if (auto nh = Core::next_hop(*winner.attrs)) fib_[prefix] = *nh;
+      loc_rib_[prefix] = winner;
+      queue_export_all(prefix);
+    }
+  }
+
+  /// Pairwise comparison, overridable at the BGP_DECISION insertion point.
+  bool candidate_better(const util::Prefix& prefix, const LocRibEntry& cand,
+                        const LocRibEntry& best) {
+    auto native = [&]() -> std::uint64_t {
+      return bgp::better(make_view(cand), make_view(best)) ? xbgp::kDecisionTakeNew
+                                                           : xbgp::kDecisionKeepOld;
+    };
+    if (!vmm_.any_attached(xbgp::Op::kDecision)) return native() == xbgp::kDecisionTakeNew;
+
+    std::uint32_t cand_meta = cand.meta;
+    std::uint32_t best_meta = best.meta;
+    RouteCtx cand_route{prefix, cand.attrs.get(), nullptr, &cand_meta, peer_of(cand.from)};
+    RouteCtx best_route{prefix, best.attrs.get(), nullptr, &best_meta, peer_of(best.from)};
+    xbgp::ExecContext ctx;
+    ctx.op = xbgp::Op::kDecision;
+    ctx.route = &cand_route;       // candidate is the primary route
+    ctx.route_alt = &best_route;   // reachable via the get_attr_alt helper
+    ctx.peer = peer_of(cand.from);
+    ctx.src_peer = peer_of(best.from);
+    xbgp::PrefixArg parg{prefix.addr().value(), prefix.length(), {}};
+    ctx.add_arg(xbgp::arg::kPrefix,
+                std::span(reinterpret_cast<const std::uint8_t*>(&parg), sizeof(parg)));
+    return vmm_.execute(xbgp::Op::kDecision, ctx, native) == xbgp::kDecisionTakeNew;
+  }
+
+  bgp::RouteView make_view(const LocRibEntry& entry) const {
+    bgp::RouteView view;
+    const Attrs& attrs = *entry.attrs;
+    view.local_pref = Core::local_pref_or(attrs, 100);
+    view.as_path_length = Core::as_path_length(attrs);
+    view.origin = Core::origin(attrs);
+    view.med = Core::med(attrs);
+    view.neighbor_as = Core::first_asn(attrs);
+    view.cluster_list_length = Core::cluster_list_length(attrs);
+    if (entry.from == kLocalRoute) {
+      view.peer_type = bgp::PeerType::kIbgp;
+      view.local_pref = 1u << 30;  // administrative weight: local wins
+      view.peer_router_id = cfg_.router_id;
+      view.peer_addr = cfg_.address;
+      view.igp_metric_to_nexthop = 0;
+      return view;
+    }
+    const PeerState& peer = *peers_[entry.from];
+    view.peer_type = peer.session.peer_type();
+    // RFC 4456 §9: use ORIGINATOR_ID in place of the router id if present.
+    view.peer_router_id = Core::originator_id(attrs).value_or(peer.session.peer_id());
+    view.peer_addr = peer.cfg.address;
+    if (auto nh = Core::next_hop(attrs)) {
+      view.igp_metric_to_nexthop = igp_metric(*nh);
+    }
+    return view;
+  }
+
+  PeerState* peer_of(PeerId id) {
+    return id == kLocalRoute ? nullptr : peers_[id].get();
+  }
+
+  std::uint32_t igp_metric(util::Ipv4Addr nexthop) const {
+    if (cfg_.igp == nullptr) return 0;
+    // Unknown nexthops are treated as directly connected (metric 0), which
+    // is how the testbed models single-hop eBGP peers outside the IGP.
+    return cfg_.igp->metric_to(nexthop).value_or(0);
+  }
+
+  // --- export pipeline --------------------------------------------------------------
+
+  void queue_export(PeerState& peer, const util::Prefix& prefix) {
+    if (!peer.pending_set.insert(prefix).second) return;
+    peer.pending.push_back(prefix);
+  }
+
+  void queue_export_all(const util::Prefix& prefix) {
+    for (auto& peer : peers_) queue_export(*peer, prefix);
+  }
+
+  void schedule_flush() {
+    if (flush_scheduled_) return;
+    flush_scheduled_ = true;
+    loop_.post([this] {
+      flush_scheduled_ = false;
+      for (auto& peer : peers_) flush_peer(*peer);
+    });
+  }
+
+  void flush_peer(PeerState& peer) {
+    if (peer.pending.empty()) return;
+    if (!peer.session.established()) return;  // re-announced on establishment
+
+    UpdateBuilder builder;
+    // Group state: routes sharing the source attrs object and producing
+    // equal export attrs share one encoded attribute section.
+    const Attrs* group_src = nullptr;
+    PeerId group_from = kLocalRoute;
+    bool group_accepted = false;
+    std::shared_ptr<Attrs> group_attrs;
+
+    for (const util::Prefix& prefix : peer.pending) {
+      auto best_it = loc_rib_.find(prefix);
+      const bool had = peer.adj_rib_out.contains(prefix);
+
+      // No best route (or split horizon): withdraw if previously advertised.
+      if (best_it == loc_rib_.end() || best_it->second.from == peer.id) {
+        if (had) {
+          peer.adj_rib_out.erase(prefix);
+          builder.withdraw_prefix(prefix);
+        }
+        continue;
+      }
+      const LocRibEntry& best = best_it->second;
+
+      if (group_src != best.attrs.get() || group_from != best.from) {
+        // New source group: run export processing once for the group.
+        group_src = best.attrs.get();
+        group_from = best.from;
+        group_attrs = nullptr;
+        group_accepted = export_group(peer, prefix, best, group_attrs, builder);
+      } else if (group_accepted) {
+        // Same group: per-route hook invocation with the shared work copy.
+        std::uint32_t meta = best.meta;
+        RouteCtx route{prefix, group_attrs.get(), nullptr, &meta, peer_of(best.from)};
+        if (!run_outbound_filter(peer, route, best)) {
+          if (had) {
+            peer.adj_rib_out.erase(prefix);
+            builder.withdraw_prefix(prefix);
+          }
+          continue;
+        }
+      }
+
+      if (!group_accepted) {
+        ++stats_.exports_rejected;
+        if (had) {
+          peer.adj_rib_out.erase(prefix);
+          builder.withdraw_prefix(prefix);
+        }
+        continue;
+      }
+      peer.adj_rib_out[prefix] = group_attrs;
+      builder.add_prefix(prefix);
+    }
+
+    for (auto& wire : builder.finish()) {
+      peer.session.send_bytes(wire);
+      peer.session.count_update_sent();
+      ++stats_.updates_out;
+    }
+    peer.pending.clear();
+    peer.pending_set.clear();
+  }
+
+  /// Export processing for the first route of a group: copy the source
+  /// attributes, run the outbound filter (4), apply the standard export
+  /// transform, encode natively and run the encode hook (5).
+  bool export_group(PeerState& peer, const util::Prefix& prefix, const LocRibEntry& best,
+                    std::shared_ptr<Attrs>& out_attrs, UpdateBuilder& builder) {
+    auto work = std::make_shared<Attrs>(*best.attrs);  // per-group working copy
+    std::uint32_t meta = best.meta;
+    RouteCtx route{prefix, work.get(), work.get(), &meta, peer_of(best.from)};
+
+    if (!run_outbound_filter(peer, route, best)) {
+      ++stats_.exports_rejected;
+      return false;
+    }
+
+    apply_export_transform(*work, peer, best);
+
+    // Encode: native attributes, then the BGP_ENCODE_MESSAGE chain for
+    // extension-managed attributes (write_buf appends to this writer).
+    util::ByteWriter attr_bytes;
+    Core::encode_native(*work, attr_bytes);
+    xbgp::ExecContext ctx;
+    ctx.op = xbgp::Op::kEncodeMessage;
+    ctx.peer = &peer;
+    ctx.src_peer = peer_of(best.from);
+    RouteCtx enc_route{prefix, work.get(), nullptr, &meta, peer_of(best.from)};
+    ctx.route = &enc_route;
+    ctx.out = &attr_bytes;
+    vmm_.execute(xbgp::Op::kEncodeMessage, ctx, [] { return xbgp::kOpOk; });
+
+    builder.begin_group(attr_bytes.view());
+    out_attrs = std::move(work);
+    return true;
+  }
+
+  bool run_outbound_filter(PeerState& peer, RouteCtx& route, const LocRibEntry& best) {
+    xbgp::ExecContext ctx;
+    ctx.op = xbgp::Op::kOutboundFilter;
+    ctx.peer = &peer;
+    ctx.src_peer = peer_of(best.from);
+    ctx.route = &route;
+    xbgp::PrefixArg parg{route.prefix.addr().value(), route.prefix.length(), {}};
+    ctx.add_arg(xbgp::arg::kPrefix,
+                std::span(reinterpret_cast<const std::uint8_t*>(&parg), sizeof(parg)));
+    const std::uint64_t verdict =
+        vmm_.execute(xbgp::Op::kOutboundFilter, ctx,
+                     [&] { return native_export_policy(peer, route, best); });
+    return verdict == xbgp::kFilterAccept;
+  }
+
+  /// Native (default) export policy. Implements the iBGP split-horizon rule
+  /// and, when this router is a native route reflector, RFC 4456 reflection
+  /// (which mutates the working copy: ORIGINATOR_ID + CLUSTER_LIST).
+  std::uint64_t native_export_policy(PeerState& dst, RouteCtx& route,
+                                     const LocRibEntry& best) {
+    const bool from_ibgp = best.from != kLocalRoute &&
+                           peers_[best.from]->session.peer_type() == bgp::PeerType::kIbgp;
+    const bool to_ibgp = dst.session.peer_type() == bgp::PeerType::kIbgp;
+    if (from_ibgp && to_ibgp) {
+      if (!cfg_.native_route_reflector) return xbgp::kFilterReject;
+      const bool from_client = peers_[best.from]->cfg.rr_client;
+      const bool to_client = dst.cfg.rr_client;
+      if (!from_client && !to_client) return xbgp::kFilterReject;
+      if (route.mutable_attrs != nullptr) {
+        Core::reflect(*route.mutable_attrs, peers_[best.from]->session.peer_id(),
+                      cfg_.cluster_id);
+      }
+    }
+    if (cfg_.export_policy != nullptr && !run_policy(*cfg_.export_policy, route, dst)) {
+      return xbgp::kFilterReject;
+    }
+    return xbgp::kFilterAccept;
+  }
+
+  /// The representation-independent parts of RFC 4271 §5 export processing.
+  void apply_export_transform(Attrs& attrs, PeerState& dst, const LocRibEntry& best) {
+    if (dst.session.peer_type() == bgp::PeerType::kEbgp) {
+      Core::strip_ibgp_only(attrs);
+      Core::prepend_as(attrs, cfg_.asn);
+      Core::set_next_hop(attrs, cfg_.address);
+    } else {
+      // iBGP: ensure LOCAL_PREF (RFC 4271 §5.1.5); nexthop-self for locally
+      // originated routes and for peers configured with next-hop-self.
+      Core::set_local_pref(attrs, Core::local_pref_or(attrs, 100));
+      if (best.from == kLocalRoute || dst.cfg.next_hop_self) {
+        Core::set_next_hop(attrs, cfg_.address);
+      }
+    }
+  }
+
+  bool fill_peer_info(PeerState* peer, xbgp::PeerInfo& out) {
+    if (peer == nullptr) return false;
+    out.router_id = peer->session.peer_id();
+    out.asn = peer->session.config().peer_asn;
+    out.addr = peer->cfg.address.value();
+    out.peer_type = peer->session.peer_type() == bgp::PeerType::kIbgp ? xbgp::kPeerTypeIbgp
+                                                                      : xbgp::kPeerTypeEbgp;
+    out.rr_client = peer->cfg.rr_client ? 1 : 0;
+    out.local_router_id = cfg_.router_id;
+    out.local_asn = cfg_.asn;
+    out.local_addr = cfg_.address.value();
+    return true;
+  }
+
+  // ------------------------------------------------------------------------------
+  net::EventLoop& loop_;
+  Config cfg_;
+  xbgp::Vmm vmm_;
+  std::vector<std::unique_ptr<PeerState>> peers_;
+  std::unordered_map<util::Prefix, AttrsPtr> local_routes_;
+  std::unordered_map<util::Prefix, LocRibEntry> loc_rib_;
+  std::unordered_map<util::Prefix, util::Ipv4Addr> fib_;
+  bool flush_scheduled_ = false;
+  RouterStats stats_;
+  // Policy-engine scratch space, reused across evaluations.
+  std::vector<bgp::Asn> scratch_path_;
+  std::vector<std::uint32_t> scratch_comms_;
+};
+
+}  // namespace xb::hosts::engine

@@ -1,0 +1,89 @@
+// Direct wire-format builder for outgoing UPDATE messages.
+//
+// Hosts encode a group's path-attribute section once (native encoder plus
+// the BGP_ENCODE_MESSAGE extension chain) and then pack as many NLRI as fit
+// under the 4096-byte message limit — the packing behaviour real
+// implementations use to amortise attribute encoding across prefixes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/codec.hpp"
+#include "bgp/types.hpp"
+#include "util/bytes.hpp"
+#include "util/ip.hpp"
+
+namespace xb::hosts::engine {
+
+class UpdateBuilder {
+ public:
+  /// Starts a new attribute group. Flushes any open advertisement message.
+  void begin_group(std::span<const std::uint8_t> attr_bytes) {
+    flush_advertisement();
+    group_attrs_.assign(attr_bytes.begin(), attr_bytes.end());
+  }
+
+  /// Adds one NLRI under the current group, emitting a message when full.
+  void add_prefix(const util::Prefix& prefix) {
+    const std::size_t need = 1 + (prefix.length() + 7) / 8;
+    const std::size_t base = bgp::kHeaderSize + 2 + 2 + group_attrs_.size();
+    if (base + nlri_.size() + need > bgp::kMaxMessageSize) flush_advertisement();
+    bgp::encode_prefix(nlri_, prefix);
+  }
+
+  /// Queues one withdrawal, emitting a message when full.
+  void withdraw_prefix(const util::Prefix& prefix) {
+    const std::size_t need = 1 + (prefix.length() + 7) / 8;
+    if (bgp::kHeaderSize + 2 + 2 + withdrawn_.size() + need > bgp::kMaxMessageSize) {
+      flush_withdrawals();
+    }
+    bgp::encode_prefix(withdrawn_, prefix);
+  }
+
+  /// Completes all open messages and returns them (builder is reusable after).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> finish() {
+    flush_advertisement();
+    flush_withdrawals();
+    auto out = std::move(messages_);
+    messages_.clear();
+    return out;
+  }
+
+ private:
+  void flush_advertisement() {
+    if (nlri_.size() == 0) return;
+    util::ByteWriter msg(bgp::kHeaderSize + 4 + group_attrs_.size() + nlri_.size());
+    msg.fill(bgp::kMarkerByte, 16);
+    msg.u16(static_cast<std::uint16_t>(bgp::kHeaderSize + 2 + 2 + group_attrs_.size() +
+                                       nlri_.size()));
+    msg.u8(static_cast<std::uint8_t>(bgp::MessageType::kUpdate));
+    msg.u16(0);  // no withdrawals in advertisement messages
+    msg.u16(static_cast<std::uint16_t>(group_attrs_.size()));
+    msg.bytes(group_attrs_);
+    msg.bytes(nlri_.view());
+    messages_.push_back(std::move(msg).take());
+    nlri_ = util::ByteWriter();
+  }
+
+  void flush_withdrawals() {
+    if (withdrawn_.size() == 0) return;
+    util::ByteWriter msg(bgp::kHeaderSize + 4 + withdrawn_.size());
+    msg.fill(bgp::kMarkerByte, 16);
+    msg.u16(static_cast<std::uint16_t>(bgp::kHeaderSize + 2 + withdrawn_.size() + 2));
+    msg.u8(static_cast<std::uint8_t>(bgp::MessageType::kUpdate));
+    msg.u16(static_cast<std::uint16_t>(withdrawn_.size()));
+    msg.bytes(withdrawn_.view());
+    msg.u16(0);  // empty path attributes
+    messages_.push_back(std::move(msg).take());
+    withdrawn_ = util::ByteWriter();
+  }
+
+  std::vector<std::uint8_t> group_attrs_;
+  util::ByteWriter nlri_;
+  util::ByteWriter withdrawn_;
+  std::vector<std::vector<std::uint8_t>> messages_;
+};
+
+}  // namespace xb::hosts::engine

@@ -1,0 +1,212 @@
+#include "hosts/fir/fir_core.hpp"
+
+#include <algorithm>
+
+namespace xb::hosts::fir {
+
+using bgp::attr_code::kAsPath;
+using bgp::attr_code::kAtomicAggregate;
+using bgp::attr_code::kClusterList;
+using bgp::attr_code::kCommunities;
+using bgp::attr_code::kLocalPref;
+using bgp::attr_code::kMed;
+using bgp::attr_code::kNextHop;
+using bgp::attr_code::kOrigin;
+using bgp::attr_code::kOriginatorId;
+
+namespace {
+bool overlay_has(const FirAttrs& a, std::uint8_t code) {
+  return std::any_of(a.extra.begin(), a.extra.end(),
+                     [code](const bgp::WireAttr& w) { return w.code == code; });
+}
+}  // namespace
+
+FirAttrs FirCore::from_wire(const bgp::AttributeSet& set,
+                            std::span<const std::uint8_t> keep_codes) {
+  FirAttrs out;
+  for (const auto& attr : set.all()) {
+    switch (attr.code) {
+      case kOrigin:
+        if (auto v = bgp::parse_origin(attr)) out.origin = static_cast<std::uint8_t>(*v);
+        break;
+      case kAsPath:
+        if (auto v = bgp::AsPath::from_attr(attr)) out.as_path = std::move(*v);
+        break;
+      case kNextHop:
+        if (auto v = bgp::parse_next_hop(attr)) {
+          out.next_hop = *v;
+          out.has_next_hop = true;
+        }
+        break;
+      case kMed:
+        if (auto v = bgp::parse_med(attr)) {
+          out.med = *v;
+          out.has_med = true;
+        }
+        break;
+      case kLocalPref:
+        if (auto v = bgp::parse_local_pref(attr)) {
+          out.local_pref = *v;
+          out.has_local_pref = true;
+        }
+        break;
+      case kAtomicAggregate:
+        out.atomic_aggregate = true;
+        break;
+      case kCommunities:
+        out.communities = bgp::parse_communities(attr);
+        break;
+      case kOriginatorId:
+        if (auto v = bgp::parse_originator_id(attr)) {
+          out.originator_id = *v;
+          out.has_originator = true;
+        }
+        break;
+      case kClusterList:
+        out.cluster_list = bgp::parse_cluster_list(attr);
+        break;
+      default:
+        // Unknown attribute: FRR-style internals have no slot for it. Keep
+        // it only when extension code explicitly added it (paper §2.1: "the
+        // internals of the host BGP implementation do not allow adding
+        // unsupported attributes ... We rewrote this part").
+        if (std::find(keep_codes.begin(), keep_codes.end(), attr.code) != keep_codes.end()) {
+          out.extra.push_back(attr);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bgp::AttributeSet FirCore::to_wire(const Attrs& attrs) {
+  bgp::AttributeSet out;
+  if (!overlay_has(attrs, kOrigin)) {
+    out.put(bgp::make_origin(static_cast<bgp::Origin>(attrs.origin)));
+  }
+  // AS_PATH is mandatory and may legitimately be empty (locally originated).
+  if (!overlay_has(attrs, kAsPath)) out.put(attrs.as_path.to_attr());
+  if (attrs.has_next_hop && !overlay_has(attrs, kNextHop)) {
+    out.put(bgp::make_next_hop(attrs.next_hop));
+  }
+  if (attrs.has_med && !overlay_has(attrs, kMed)) out.put(bgp::make_med(attrs.med));
+  if (attrs.has_local_pref && !overlay_has(attrs, kLocalPref)) {
+    out.put(bgp::make_local_pref(attrs.local_pref));
+  }
+  if (attrs.atomic_aggregate && !overlay_has(attrs, kAtomicAggregate)) {
+    out.put(bgp::WireAttr{bgp::attr_flag::kTransitive, kAtomicAggregate, {}});
+  }
+  if (!attrs.communities.empty() && !overlay_has(attrs, kCommunities)) {
+    out.put(bgp::make_communities(attrs.communities));
+  }
+  if (attrs.has_originator && !overlay_has(attrs, kOriginatorId)) {
+    out.put(bgp::make_originator_id(attrs.originator_id));
+  }
+  if (!attrs.cluster_list.empty() && !overlay_has(attrs, kClusterList)) {
+    out.put(bgp::make_cluster_list(attrs.cluster_list));
+  }
+  for (const auto& w : attrs.extra) out.put(w);
+  return out;
+}
+
+void FirCore::encode_native(const Attrs& attrs, util::ByteWriter& w) {
+  // Canonical ascending-code order, skipping overlay-shadowed fields (the
+  // overlay is emitted by the BGP_ENCODE_MESSAGE extension chain).
+  if (!overlay_has(attrs, kOrigin)) {
+    bgp::AttributeSet::encode_one(w, bgp::make_origin(static_cast<bgp::Origin>(attrs.origin)));
+  }
+  if (!overlay_has(attrs, kAsPath)) {
+    bgp::AttributeSet::encode_one(w, attrs.as_path.to_attr());
+  }
+  if (attrs.has_next_hop && !overlay_has(attrs, kNextHop)) {
+    bgp::AttributeSet::encode_one(w, bgp::make_next_hop(attrs.next_hop));
+  }
+  if (attrs.has_med && !overlay_has(attrs, kMed)) {
+    bgp::AttributeSet::encode_one(w, bgp::make_med(attrs.med));
+  }
+  if (attrs.has_local_pref && !overlay_has(attrs, kLocalPref)) {
+    bgp::AttributeSet::encode_one(w, bgp::make_local_pref(attrs.local_pref));
+  }
+  if (attrs.atomic_aggregate && !overlay_has(attrs, kAtomicAggregate)) {
+    bgp::AttributeSet::encode_one(
+        w, bgp::WireAttr{bgp::attr_flag::kTransitive, kAtomicAggregate, {}});
+  }
+  if (!attrs.communities.empty() && !overlay_has(attrs, kCommunities)) {
+    bgp::AttributeSet::encode_one(w, bgp::make_communities(attrs.communities));
+  }
+  if (attrs.has_originator && !overlay_has(attrs, kOriginatorId)) {
+    bgp::AttributeSet::encode_one(w, bgp::make_originator_id(attrs.originator_id));
+  }
+  if (!attrs.cluster_list.empty() && !overlay_has(attrs, kClusterList)) {
+    bgp::AttributeSet::encode_one(w, bgp::make_cluster_list(attrs.cluster_list));
+  }
+}
+
+std::optional<bgp::WireAttr> FirCore::get_attr(const Attrs& attrs, std::uint8_t code) {
+  for (const auto& w : attrs.extra) {
+    if (w.code == code) return w;
+  }
+  // Re-encode the decomposed field into neutral form — FRR's conversion cost.
+  switch (code) {
+    case kOrigin:
+      return bgp::make_origin(static_cast<bgp::Origin>(attrs.origin));
+    case kAsPath:
+      return attrs.as_path.to_attr();
+    case kNextHop:
+      if (!attrs.has_next_hop) return std::nullopt;
+      return bgp::make_next_hop(attrs.next_hop);
+    case kMed:
+      if (!attrs.has_med) return std::nullopt;
+      return bgp::make_med(attrs.med);
+    case kLocalPref:
+      if (!attrs.has_local_pref) return std::nullopt;
+      return bgp::make_local_pref(attrs.local_pref);
+    case kCommunities:
+      if (attrs.communities.empty()) return std::nullopt;
+      return bgp::make_communities(attrs.communities);
+    case kOriginatorId:
+      if (!attrs.has_originator) return std::nullopt;
+      return bgp::make_originator_id(attrs.originator_id);
+    case kClusterList:
+      if (attrs.cluster_list.empty()) return std::nullopt;
+      return bgp::make_cluster_list(attrs.cluster_list);
+    default:
+      return std::nullopt;
+  }
+}
+
+bool FirCore::set_attr(Attrs& attrs, bgp::WireAttr attr) {
+  for (auto& w : attrs.extra) {
+    if (w.code == attr.code) {
+      w = std::move(attr);
+      return true;
+    }
+  }
+  attrs.extra.push_back(std::move(attr));
+  return true;
+}
+
+bool FirCore::cluster_list_contains(const Attrs& a, std::uint32_t id) {
+  return std::find(a.cluster_list.begin(), a.cluster_list.end(), id) != a.cluster_list.end();
+}
+
+void FirCore::strip_ibgp_only(Attrs& a) {
+  a.has_local_pref = false;
+  a.has_med = false;
+  a.has_originator = false;
+  a.cluster_list.clear();
+  std::erase_if(a.extra, [](const bgp::WireAttr& w) {
+    return w.code == kLocalPref || w.code == kMed || w.code == kOriginatorId ||
+           w.code == kClusterList || !w.transitive();
+  });
+}
+
+void FirCore::reflect(Attrs& a, bgp::RouterId originator, std::uint32_t cluster_id) {
+  if (!a.has_originator) {
+    a.originator_id = originator;
+    a.has_originator = true;
+  }
+  a.cluster_list.insert(a.cluster_list.begin(), cluster_id);
+}
+
+}  // namespace xb::hosts::fir

@@ -1,0 +1,124 @@
+// Fir: an FRRouting-like attribute core.
+//
+// Mirrors FRR's `struct attr`: every known path attribute is parsed into a
+// decomposed, host-byte-order field at ingest and re-encoded on demand. This
+// is the representation the paper calls out in §2.1 — "FRRouting uses an
+// internal representation that is different from our neutral one. We thus
+// had to implement several functions to do the conversion between the two
+// representations." Those conversion functions are exactly the get_attr /
+// from_wire / to_wire paths below, and their cost is what makes xFir's
+// extension overhead higher than xWren's in the Fig. 4 reproduction.
+//
+// FRR also had no generic attribute API; the `extra` overlay (arbitrary
+// wire-form attributes added by extension code, shadowing native fields)
+// is the attribute API the paper says they had to add.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/attr.hpp"
+#include "bgp/types.hpp"
+#include "util/ip.hpp"
+
+namespace xb::hosts::fir {
+
+/// Decomposed attribute block (FRR-like `struct attr`).
+struct FirAttrs {
+  // presence flags for optional fields
+  bool has_next_hop = false;
+  bool has_med = false;
+  bool has_local_pref = false;
+  bool has_originator = false;
+  bool atomic_aggregate = false;
+
+  std::uint8_t origin = static_cast<std::uint8_t>(bgp::Origin::kIncomplete);
+  util::Ipv4Addr next_hop;
+  std::uint32_t med = 0;
+  std::uint32_t local_pref = 0;
+  bgp::AsPath as_path;
+  std::vector<std::uint32_t> communities;
+  std::uint32_t originator_id = 0;
+  std::vector<std::uint32_t> cluster_list;
+
+  /// xBGP attribute overlay: extension-managed attributes in neutral wire
+  /// form. Shadows native fields with the same code on read and encode.
+  std::vector<bgp::WireAttr> extra;
+};
+
+class FirCore {
+ public:
+  using Attrs = FirAttrs;
+
+  /// Neutral -> internal. Parses every known attribute into its decomposed
+  /// field; unknown attributes are dropped unless their code appears in
+  /// `keep_codes` (attributes added by extension code at RECEIVE_MESSAGE).
+  static Attrs from_wire(const bgp::AttributeSet& set,
+                         std::span<const std::uint8_t> keep_codes);
+
+  /// Internal -> neutral (full set, overlay included). Used by tests and the
+  /// cross-host equivalence checks; the hot encode path is encode_native.
+  static bgp::AttributeSet to_wire(const Attrs& attrs);
+
+  /// Encodes the native fields (skipping those shadowed by the overlay)
+  /// into the path-attribute section of an outgoing UPDATE.
+  static void encode_native(const Attrs& attrs, util::ByteWriter& w);
+
+  /// xBGP get_attr: overlay first, then re-encode the native field — the
+  /// per-call conversion cost of the FRR-style representation.
+  static std::optional<bgp::WireAttr> get_attr(const Attrs& attrs, std::uint8_t code);
+  /// xBGP set_attr: store into the overlay (shadowing any native field).
+  static bool set_attr(Attrs& attrs, bgp::WireAttr attr);
+
+  // --- accessors used by the decision process and the engine -----------------
+  static std::optional<util::Ipv4Addr> next_hop(const Attrs& a) {
+    return a.has_next_hop ? std::optional(a.next_hop) : std::nullopt;
+  }
+  static std::uint32_t local_pref_or(const Attrs& a, std::uint32_t fallback) {
+    return a.has_local_pref ? a.local_pref : fallback;
+  }
+  static std::optional<std::uint32_t> med(const Attrs& a) {
+    return a.has_med ? std::optional(a.med) : std::nullopt;
+  }
+  static bgp::Origin origin(const Attrs& a) { return static_cast<bgp::Origin>(a.origin); }
+  static std::size_t as_path_length(const Attrs& a) { return a.as_path.length(); }
+  static std::optional<bgp::Asn> first_asn(const Attrs& a) { return a.as_path.first_asn(); }
+  static std::optional<bgp::Asn> origin_asn(const Attrs& a) { return a.as_path.origin_asn(); }
+  static bool as_path_contains(const Attrs& a, bgp::Asn asn) { return a.as_path.contains(asn); }
+  static std::optional<bgp::RouterId> originator_id(const Attrs& a) {
+    return a.has_originator ? std::optional(a.originator_id) : std::nullopt;
+  }
+  static std::size_t cluster_list_length(const Attrs& a) { return a.cluster_list.size(); }
+  static bool cluster_list_contains(const Attrs& a, std::uint32_t id);
+
+  /// Policy-engine adapters: fill the scratch vectors with the flattened AS
+  /// path / community list (Fir: direct field reads — FRR keeps these parsed).
+  static void flatten_as_path(const Attrs& a, std::vector<bgp::Asn>& out) {
+    out = a.as_path.flatten();
+  }
+  static void communities_of(const Attrs& a, std::vector<std::uint32_t>& out) {
+    out = a.communities;
+  }
+
+  // --- mutation used by the engine's export transforms ------------------------
+  static void prepend_as(Attrs& a, bgp::Asn asn) { a.as_path.prepend(asn); }
+  static void set_next_hop(Attrs& a, util::Ipv4Addr nh) {
+    a.next_hop = nh;
+    a.has_next_hop = true;
+  }
+  static void set_local_pref(Attrs& a, std::uint32_t pref) {
+    a.local_pref = pref;
+    a.has_local_pref = true;
+  }
+  /// Strips attributes that must not cross an eBGP boundary
+  /// (LOCAL_PREF, MED, ORIGINATOR_ID, CLUSTER_LIST — native and overlay).
+  static void strip_ibgp_only(Attrs& a);
+  /// Native route reflection (RFC 4456): sets ORIGINATOR_ID if absent and
+  /// prepends `cluster_id` to CLUSTER_LIST.
+  static void reflect(Attrs& a, bgp::RouterId originator, std::uint32_t cluster_id);
+};
+
+}  // namespace xb::hosts::fir

@@ -1,0 +1,21 @@
+// xFir: the FRRouting-like xBGP-compliant BGP implementation.
+//
+// FirRouter = the shared RFC 4271 engine over FRR-style internals
+// (decomposed host-order attribute structs; a bolted-on attribute API for
+// xBGP; origin validation over a prefix *trie*, as FRRouting browses "a
+// dedicated trie for validated ROAs each time a prefix needs to be checked",
+// paper §3.4).
+#pragma once
+
+#include "hosts/engine/router.hpp"
+#include "hosts/fir/fir_core.hpp"
+#include "rpki/roa_trie.hpp"
+
+namespace xb::hosts::fir {
+
+using FirRouter = engine::Router<FirCore>;
+
+/// The ROA store a native Fir deployment uses (FRR-style trie).
+using FirRoaStore = rpki::RoaTrie;
+
+}  // namespace xb::hosts::fir

@@ -1,0 +1,249 @@
+#include "hosts/wren/wren_core.hpp"
+
+#include <algorithm>
+
+namespace xb::hosts::wren {
+
+using bgp::attr_code::kAsPath;
+using bgp::attr_code::kClusterList;
+using bgp::attr_code::kLocalPref;
+using bgp::attr_code::kMed;
+using bgp::attr_code::kNextHop;
+using bgp::attr_code::kOrigin;
+using bgp::attr_code::kOriginatorId;
+
+void WrenAttrs::put(bgp::WireAttr attr, bool extension_managed) {
+  auto it = std::lower_bound(ea.begin(), ea.end(), attr.code,
+                             [](const EaEntry& e, std::uint8_t code) {
+                               return e.attr.code < code;
+                             });
+  if (it != ea.end() && it->attr.code == attr.code) {
+    it->attr = std::move(attr);
+    it->extension_managed = extension_managed;
+    return;
+  }
+  ea.insert(it, EaEntry{std::move(attr), extension_managed});
+}
+
+void WrenAttrs::remove(std::uint8_t code) {
+  std::erase_if(ea, [code](const EaEntry& e) { return e.attr.code == code; });
+}
+
+WrenAttrs WrenCore::from_wire(const bgp::AttributeSet& set,
+                              std::span<const std::uint8_t> keep_codes) {
+  WrenAttrs out;
+  out.ea.reserve(set.size());
+  for (const auto& attr : set.all()) {
+    const bool known = attr.code == kOrigin || attr.code == kAsPath || attr.code == kNextHop ||
+                       attr.code == kMed || attr.code == kLocalPref ||
+                       attr.code == bgp::attr_code::kAtomicAggregate ||
+                       attr.code == bgp::attr_code::kCommunities ||
+                       attr.code == kOriginatorId || attr.code == kClusterList;
+    const bool keep_unknown =
+        std::find(keep_codes.begin(), keep_codes.end(), attr.code) != keep_codes.end();
+    if (known) {
+      out.ea.push_back(EaEntry{attr, false});
+    } else if (keep_unknown) {
+      out.ea.push_back(EaEntry{attr, true});  // extension-added -> managed
+    }
+  }
+  return out;
+}
+
+bgp::AttributeSet WrenCore::to_wire(const Attrs& attrs) {
+  bgp::AttributeSet out;
+  for (const auto& e : attrs.ea) out.put(e.attr);
+  return out;
+}
+
+void WrenCore::encode_native(const Attrs& attrs, util::ByteWriter& w) {
+  for (const auto& e : attrs.ea) {
+    if (e.extension_managed) continue;  // emitted by the ENCODE extension chain
+    bgp::AttributeSet::encode_one(w, e.attr);
+  }
+}
+
+std::optional<bgp::WireAttr> WrenCore::get_attr(const Attrs& attrs, std::uint8_t code) {
+  const EaEntry* e = attrs.find(code);
+  if (e == nullptr) return std::nullopt;
+  return e->attr;
+}
+
+bool WrenCore::set_attr(Attrs& attrs, bgp::WireAttr attr) {
+  attrs.put(std::move(attr), /*extension_managed=*/true);
+  return true;
+}
+
+// --- accessors -----------------------------------------------------------------
+
+namespace {
+std::uint32_t read_be32(std::span<const std::uint8_t> b) {
+  return (static_cast<std::uint32_t>(b[0]) << 24) | (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) | b[3];
+}
+}  // namespace
+
+std::optional<util::Ipv4Addr> WrenCore::next_hop(const Attrs& a) {
+  const EaEntry* e = a.find(kNextHop);
+  if (e == nullptr || e->attr.value.size() != 4) return std::nullopt;
+  return util::Ipv4Addr(read_be32(e->attr.value));
+}
+
+std::uint32_t WrenCore::local_pref_or(const Attrs& a, std::uint32_t fallback) {
+  const EaEntry* e = a.find(kLocalPref);
+  if (e == nullptr || e->attr.value.size() != 4) return fallback;
+  return read_be32(e->attr.value);
+}
+
+std::optional<std::uint32_t> WrenCore::med(const Attrs& a) {
+  const EaEntry* e = a.find(kMed);
+  if (e == nullptr || e->attr.value.size() != 4) return std::nullopt;
+  return read_be32(e->attr.value);
+}
+
+bgp::Origin WrenCore::origin(const Attrs& a) {
+  const EaEntry* e = a.find(kOrigin);
+  if (e == nullptr || e->attr.value.size() != 1 || e->attr.value[0] > 2) {
+    return bgp::Origin::kIncomplete;
+  }
+  return static_cast<bgp::Origin>(e->attr.value[0]);
+}
+
+std::size_t WrenCore::as_path_length(const Attrs& a) {
+  const EaEntry* e = a.find(kAsPath);
+  if (e == nullptr) return 0;
+  // Walk the wire segments without materialising an AsPath (as BIRD does).
+  const auto& v = e->attr.value;
+  std::size_t len = 0;
+  std::size_t i = 0;
+  while (i + 2 <= v.size()) {
+    const std::uint8_t type = v[i];
+    const std::size_t count = v[i + 1];
+    i += 2 + count * 4;
+    len += type == 2 ? count : 1;  // sequence members count 1 each, a set 1 total
+  }
+  return len;
+}
+
+std::optional<bgp::Asn> WrenCore::first_asn(const Attrs& a) {
+  const EaEntry* e = a.find(kAsPath);
+  if (e == nullptr) return std::nullopt;
+  const auto& v = e->attr.value;
+  if (v.size() < 6 || v[0] != 2 || v[1] == 0) return std::nullopt;
+  return read_be32(std::span(v).subspan(2, 4));
+}
+
+std::optional<bgp::Asn> WrenCore::origin_asn(const Attrs& a) {
+  const EaEntry* e = a.find(kAsPath);
+  if (e == nullptr) return std::nullopt;
+  auto path = bgp::AsPath::from_attr(e->attr);
+  if (!path) return std::nullopt;
+  return path->origin_asn();
+}
+
+bool WrenCore::as_path_contains(const Attrs& a, bgp::Asn asn) {
+  const EaEntry* e = a.find(kAsPath);
+  if (e == nullptr) return false;
+  const auto& v = e->attr.value;
+  std::size_t i = 0;
+  while (i + 2 <= v.size()) {
+    const std::size_t count = v[i + 1];
+    i += 2;
+    for (std::size_t k = 0; k < count && i + 4 <= v.size(); ++k, i += 4) {
+      if (read_be32(std::span(v).subspan(i, 4)) == asn) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<bgp::RouterId> WrenCore::originator_id(const Attrs& a) {
+  const EaEntry* e = a.find(kOriginatorId);
+  if (e == nullptr || e->attr.value.size() != 4) return std::nullopt;
+  return read_be32(e->attr.value);
+}
+
+std::size_t WrenCore::cluster_list_length(const Attrs& a) {
+  const EaEntry* e = a.find(kClusterList);
+  return e == nullptr ? 0 : e->attr.value.size() / 4;
+}
+
+bool WrenCore::cluster_list_contains(const Attrs& a, std::uint32_t id) {
+  const EaEntry* e = a.find(kClusterList);
+  if (e == nullptr) return false;
+  const auto& v = e->attr.value;
+  for (std::size_t i = 0; i + 4 <= v.size(); i += 4) {
+    if (read_be32(std::span(v).subspan(i, 4)) == id) return true;
+  }
+  return false;
+}
+
+void WrenCore::flatten_as_path(const Attrs& a, std::vector<bgp::Asn>& out) {
+  out.clear();
+  const EaEntry* e = a.find(kAsPath);
+  if (e == nullptr) return;
+  const auto& v = e->attr.value;
+  std::size_t i = 0;
+  while (i + 2 <= v.size()) {
+    const std::size_t count = v[i + 1];
+    i += 2;
+    for (std::size_t k = 0; k < count && i + 4 <= v.size(); ++k, i += 4) {
+      out.push_back(read_be32(std::span(v).subspan(i, 4)));
+    }
+  }
+}
+
+void WrenCore::communities_of(const Attrs& a, std::vector<std::uint32_t>& out) {
+  out.clear();
+  const EaEntry* e = a.find(bgp::attr_code::kCommunities);
+  if (e == nullptr) return;
+  const auto& v = e->attr.value;
+  for (std::size_t i = 0; i + 4 <= v.size(); i += 4) {
+    out.push_back(read_be32(std::span(v).subspan(i, 4)));
+  }
+}
+
+// --- mutation --------------------------------------------------------------------
+
+void WrenCore::prepend_as(Attrs& a, bgp::Asn asn) {
+  const EaEntry* e = a.find(kAsPath);
+  bgp::AsPath path;
+  if (e != nullptr) {
+    if (auto parsed = bgp::AsPath::from_attr(e->attr)) path = std::move(*parsed);
+  }
+  path.prepend(asn);
+  a.put(path.to_attr(), /*extension_managed=*/false);
+}
+
+void WrenCore::set_next_hop(Attrs& a, util::Ipv4Addr nh) {
+  a.put(bgp::make_next_hop(nh), /*extension_managed=*/false);
+}
+
+void WrenCore::set_local_pref(Attrs& a, std::uint32_t pref) {
+  a.put(bgp::make_local_pref(pref), /*extension_managed=*/false);
+}
+
+void WrenCore::strip_ibgp_only(Attrs& a) {
+  std::erase_if(a.ea, [](const EaEntry& e) {
+    return e.attr.code == kLocalPref || e.attr.code == kMed ||
+           e.attr.code == kOriginatorId || e.attr.code == kClusterList ||
+           !e.attr.transitive();
+  });
+}
+
+void WrenCore::reflect(Attrs& a, bgp::RouterId originator, std::uint32_t cluster_id) {
+  if (a.find(kOriginatorId) == nullptr) {
+    a.put(bgp::make_originator_id(originator), /*extension_managed=*/false);
+  }
+  // Prepend our cluster id to the CLUSTER_LIST value bytes.
+  std::vector<std::uint8_t> value{static_cast<std::uint8_t>(cluster_id >> 24),
+                                  static_cast<std::uint8_t>(cluster_id >> 16),
+                                  static_cast<std::uint8_t>(cluster_id >> 8),
+                                  static_cast<std::uint8_t>(cluster_id)};
+  if (const EaEntry* e = a.find(kClusterList)) {
+    value.insert(value.end(), e->attr.value.begin(), e->attr.value.end());
+  }
+  a.put(bgp::WireAttr{bgp::attr_flag::kOptional, kClusterList, std::move(value)},
+        /*extension_managed=*/false);
+}
+
+}  // namespace xb::hosts::wren

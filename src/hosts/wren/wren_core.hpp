@@ -1,0 +1,102 @@
+// Wren: a BIRD-like attribute core.
+//
+// Mirrors BIRD's `ea_list`: attributes are kept as a flexible, code-sorted
+// list whose values stay in wire (network-order) form. Conversions at the
+// xBGP API boundary are therefore nearly free — "BIRD includes a flexible
+// API to manage BGP attributes. xBGP simply extends this API" (§2.1) — which
+// is why xWren's extension overhead is lower than xFir's in the Fig. 4
+// reproduction. The trade-off runs the other way on access: the decision
+// process must parse values out of the list on every use.
+//
+// Attributes added by extension code are flagged extension-managed: the
+// native encoder skips them and the BGP_ENCODE_MESSAGE chain emits them,
+// keeping one emission path for custom attributes on both hosts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/attr.hpp"
+#include "bgp/types.hpp"
+#include "util/ip.hpp"
+
+namespace xb::hosts::wren {
+
+/// One ea_list entry: a wire-form attribute plus host-side bookkeeping.
+struct EaEntry {
+  bgp::WireAttr attr;
+  bool extension_managed = false;  // added/overridden via the xBGP attr API
+};
+
+/// BIRD-like flexible attribute list, sorted by attribute code.
+struct WrenAttrs {
+  std::vector<EaEntry> ea;
+
+  [[nodiscard]] const EaEntry* find(std::uint8_t code) const noexcept {
+    for (const auto& e : ea) {
+      if (e.attr.code == code) return &e;
+      if (e.attr.code > code) break;
+    }
+    return nullptr;
+  }
+  EaEntry* find_mut(std::uint8_t code) noexcept {
+    for (auto& e : ea) {
+      if (e.attr.code == code) return &e;
+      if (e.attr.code > code) break;
+    }
+    return nullptr;
+  }
+  void put(bgp::WireAttr attr, bool extension_managed);
+  void remove(std::uint8_t code);
+};
+
+class WrenCore {
+ public:
+  using Attrs = WrenAttrs;
+
+  /// Neutral -> internal: essentially a copy of the attribute list. Unknown
+  /// attributes are dropped unless extension code added them (keep_codes).
+  static Attrs from_wire(const bgp::AttributeSet& set,
+                         std::span<const std::uint8_t> keep_codes);
+
+  /// Internal -> neutral (full set, extension-managed entries included).
+  static bgp::AttributeSet to_wire(const Attrs& attrs);
+
+  /// Encodes non-extension-managed entries into an outgoing UPDATE.
+  static void encode_native(const Attrs& attrs, util::ByteWriter& w);
+
+  /// xBGP get_attr: a list lookup plus a copy — BIRD's cheap conversion.
+  static std::optional<bgp::WireAttr> get_attr(const Attrs& attrs, std::uint8_t code);
+  /// xBGP set_attr: inserts/overrides as an extension-managed entry.
+  static bool set_attr(Attrs& attrs, bgp::WireAttr attr);
+
+  // --- accessors (parse the wire value on every call, as BIRD does) ----------
+  static std::optional<util::Ipv4Addr> next_hop(const Attrs& a);
+  static std::uint32_t local_pref_or(const Attrs& a, std::uint32_t fallback);
+  static std::optional<std::uint32_t> med(const Attrs& a);
+  static bgp::Origin origin(const Attrs& a);
+  static std::size_t as_path_length(const Attrs& a);
+  static std::optional<bgp::Asn> first_asn(const Attrs& a);
+  static std::optional<bgp::Asn> origin_asn(const Attrs& a);
+  static bool as_path_contains(const Attrs& a, bgp::Asn asn);
+  static std::optional<bgp::RouterId> originator_id(const Attrs& a);
+  static std::size_t cluster_list_length(const Attrs& a);
+  static bool cluster_list_contains(const Attrs& a, std::uint32_t id);
+
+  /// Policy-engine adapters (Wren: parsed out of the wire-form ea_list per
+  /// evaluation, as BIRD's filters do).
+  static void flatten_as_path(const Attrs& a, std::vector<bgp::Asn>& out);
+  static void communities_of(const Attrs& a, std::vector<std::uint32_t>& out);
+
+  // --- mutation ---------------------------------------------------------------
+  static void prepend_as(Attrs& a, bgp::Asn asn);
+  static void set_next_hop(Attrs& a, util::Ipv4Addr nh);
+  static void set_local_pref(Attrs& a, std::uint32_t pref);
+  static void strip_ibgp_only(Attrs& a);
+  static void reflect(Attrs& a, bgp::RouterId originator, std::uint32_t cluster_id);
+};
+
+}  // namespace xb::hosts::wren

@@ -1,0 +1,19 @@
+// xWren: the BIRD-like xBGP-compliant BGP implementation.
+//
+// WrenRouter = the shared RFC 4271 engine over BIRD-style internals
+// (wire-order flexible ea_list attribute storage; origin validation over a
+// *hash table*, "as in BIRD", paper §3.4).
+#pragma once
+
+#include "hosts/engine/router.hpp"
+#include "hosts/wren/wren_core.hpp"
+#include "rpki/roa_hash.hpp"
+
+namespace xb::hosts::wren {
+
+using WrenRouter = engine::Router<WrenCore>;
+
+/// The ROA store a native Wren deployment uses (BIRD-style hash table).
+using WrenRoaStore = rpki::RoaHashTable;
+
+}  // namespace xb::hosts::wren

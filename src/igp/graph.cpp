@@ -1,0 +1,53 @@
+#include "igp/graph.hpp"
+
+#include <stdexcept>
+
+namespace xb::igp {
+
+NodeId Graph::add_node(util::Ipv4Addr loopback, std::string name) {
+  if (by_loopback_.contains(loopback)) {
+    throw std::invalid_argument("duplicate loopback " + loopback.str());
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{loopback, std::move(name), {}});
+  by_loopback_.emplace(loopback, id);
+  return id;
+}
+
+void Graph::add_edge(NodeId from, NodeId to, std::uint32_t metric) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::out_of_range("edge endpoint does not exist");
+  }
+  nodes_[from].edges.push_back(Edge{to, metric});
+}
+
+void Graph::add_link(NodeId a, NodeId b, std::uint32_t metric) {
+  add_edge(a, b, metric);
+  add_edge(b, a, metric);
+}
+
+void Graph::set_link_metric(NodeId a, NodeId b, std::uint32_t metric) {
+  bool found = false;
+  for (auto& e : nodes_.at(a).edges) {
+    if (e.to == b) {
+      e.metric = metric;
+      found = true;
+    }
+  }
+  for (auto& e : nodes_.at(b).edges) {
+    if (e.to == a) {
+      e.metric = metric;
+      found = true;
+    }
+  }
+  if (!found) throw std::invalid_argument("no such link");
+}
+
+bool Graph::lookup(util::Ipv4Addr loopback, NodeId& out) const {
+  auto it = by_loopback_.find(loopback);
+  if (it == by_loopback_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+}  // namespace xb::igp

@@ -1,0 +1,51 @@
+// Weighted undirected graph of routers and links — the IGP topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ip.hpp"
+
+namespace xb::igp {
+
+using NodeId = std::uint32_t;
+inline constexpr std::uint32_t kInfMetric = 0xFFFFFFFFu;
+
+class Graph {
+ public:
+  /// Adds a router identified by its loopback address. Returns its node id.
+  NodeId add_node(util::Ipv4Addr loopback, std::string name = {});
+
+  /// Adds a bidirectional link with the given IGP metric (both directions).
+  void add_link(NodeId a, NodeId b, std::uint32_t metric);
+  /// Adds a unidirectional link (for asymmetric-metric scenarios).
+  void add_edge(NodeId from, NodeId to, std::uint32_t metric);
+
+  /// Changes the metric of an existing a->b edge (and b->a for set_link).
+  /// Used to simulate failures (set to kInfMetric) and repairs.
+  void set_link_metric(NodeId a, NodeId b, std::uint32_t metric);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] util::Ipv4Addr loopback(NodeId id) const { return nodes_.at(id).loopback; }
+  [[nodiscard]] const std::string& name(NodeId id) const { return nodes_.at(id).name; }
+  [[nodiscard]] bool lookup(util::Ipv4Addr loopback, NodeId& out) const;
+
+  struct Edge {
+    NodeId to;
+    std::uint32_t metric;
+  };
+  [[nodiscard]] const std::vector<Edge>& edges(NodeId id) const { return nodes_.at(id).edges; }
+
+ private:
+  struct Node {
+    util::Ipv4Addr loopback;
+    std::string name;
+    std::vector<Edge> edges;
+  };
+  std::vector<Node> nodes_;
+  std::unordered_map<util::Ipv4Addr, NodeId> by_loopback_;
+};
+
+}  // namespace xb::igp

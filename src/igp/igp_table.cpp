@@ -1,0 +1,19 @@
+#include "igp/igp_table.hpp"
+
+namespace xb::igp {
+
+void IgpTable::rebuild(const Graph& graph, NodeId self) {
+  metric_.clear();
+  const SpfResult spf = shortest_paths(graph, self);
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    metric_[graph.loopback(id)] = spf.dist[id];
+  }
+}
+
+std::optional<std::uint32_t> IgpTable::metric_to(util::Ipv4Addr loopback) const {
+  auto it = metric_.find(loopback);
+  if (it == metric_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace xb::igp

@@ -1,0 +1,34 @@
+// Per-router IGP view: the metric to every other router's loopback.
+//
+// BGP consults this table twice: the decision process prefers the lowest
+// IGP metric to the BGP nexthop (RFC 4271 §9.1.2.2.d), and the Listing-1
+// use case filters exports whose nexthop metric exceeds a threshold.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "igp/spf.hpp"
+
+namespace xb::igp {
+
+class IgpTable {
+ public:
+  IgpTable() = default;
+
+  /// Builds the table for the router `self` from a fresh SPF run.
+  IgpTable(const Graph& graph, NodeId self) { rebuild(graph, self); }
+
+  void rebuild(const Graph& graph, NodeId self);
+
+  /// Metric to the router owning `loopback`; kInfMetric if unreachable,
+  /// std::nullopt if the address is not an IGP destination at all.
+  [[nodiscard]] std::optional<std::uint32_t> metric_to(util::Ipv4Addr loopback) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return metric_.size(); }
+
+ private:
+  std::unordered_map<util::Ipv4Addr, std::uint32_t> metric_;
+};
+
+}  // namespace xb::igp

@@ -1,0 +1,52 @@
+#include "igp/spf.hpp"
+
+#include <queue>
+
+namespace xb::igp {
+
+SpfResult shortest_paths(const Graph& graph, NodeId source) {
+  const std::size_t n = graph.node_count();
+  SpfResult out;
+  out.dist.assign(n, kInfMetric);
+  out.first_hop.assign(n, source);
+  if (source >= n) return out;
+  out.dist[source] = 0;
+
+  struct Entry {
+    std::uint32_t dist;
+    NodeId node;
+    NodeId first_hop;
+  };
+  struct Worse {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.dist != b.dist) return a.dist > b.dist;
+      return a.first_hop > b.first_hop;  // deterministic tie-break
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Worse> heap;
+  heap.push(Entry{0, source, source});
+
+  std::vector<bool> done(n, false);
+  while (!heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (done[top.node]) continue;
+    done[top.node] = true;
+    out.dist[top.node] = top.dist;
+    out.first_hop[top.node] = top.first_hop;
+    for (const auto& edge : graph.edges(top.node)) {
+      if (edge.metric == kInfMetric || done[edge.to]) continue;
+      const std::uint64_t alt = static_cast<std::uint64_t>(top.dist) + edge.metric;
+      if (alt >= kInfMetric) continue;
+      const auto alt32 = static_cast<std::uint32_t>(alt);
+      if (alt32 < out.dist[edge.to]) {
+        out.dist[edge.to] = alt32;
+        const NodeId hop = top.node == source ? edge.to : top.first_hop;
+        heap.push(Entry{alt32, edge.to, hop});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xb::igp

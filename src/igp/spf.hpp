@@ -1,0 +1,21 @@
+// Dijkstra shortest-path-first over the IGP graph.
+#pragma once
+
+#include <vector>
+
+#include "igp/graph.hpp"
+
+namespace xb::igp {
+
+struct SpfResult {
+  /// dist[node] = metric of the shortest path from the source, or kInfMetric.
+  std::vector<std::uint32_t> dist;
+  /// first_hop[node] = the neighbour of the source on one shortest path
+  /// (ties broken by lowest node id), or the node itself for the source.
+  std::vector<NodeId> first_hop;
+};
+
+/// Runs SPF from `source`. Links with metric kInfMetric are treated as down.
+[[nodiscard]] SpfResult shortest_paths(const Graph& graph, NodeId source);
+
+}  // namespace xb::igp

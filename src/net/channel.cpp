@@ -1,0 +1,33 @@
+#include "net/channel.hpp"
+
+namespace xb::net {
+
+void Pipe::write(std::span<const std::uint8_t> data) {
+  if (closed_) return;  // writes after close are silently dropped, like TCP RST-drop
+  bytes_written_ += data.size();
+  in_flight_.insert(in_flight_.end(), data.begin(), data.end());
+  if (delivery_pending_) return;
+  delivery_pending_ = true;
+  loop_.schedule(latency_, [this] {
+    delivery_pending_ = false;
+    readable_.insert(readable_.end(), in_flight_.begin(), in_flight_.end());
+    in_flight_.clear();
+    if (on_readable_ && !readable_.empty()) on_readable_();
+  });
+}
+
+std::vector<std::uint8_t> Pipe::read_all() {
+  std::vector<std::uint8_t> out;
+  out.swap(readable_);
+  return out;
+}
+
+void Pipe::close() {
+  if (closed_) return;
+  loop_.schedule(latency_, [this] {
+    closed_ = true;
+    if (on_readable_) on_readable_();
+  });
+}
+
+}  // namespace xb::net

@@ -1,0 +1,83 @@
+// In-process byte-stream channels standing in for TCP connections.
+//
+// A Pipe is one direction of an established connection: a reliable, ordered
+// byte stream with configurable one-way latency. A Duplex bundles two pipes,
+// giving each endpoint a read side and a write side — the transport under
+// every BGP session in the testbed (paper Fig. 3 runs these over virtual
+// links between VMs; relative timing is preserved in-process).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/event_loop.hpp"
+
+namespace xb::net {
+
+/// One direction of a connection. Written bytes become readable after
+/// `latency` of virtual time; the reader's callback fires once per delivery.
+class Pipe {
+ public:
+  Pipe(EventLoop& loop, Duration latency) : loop_(loop), latency_(latency) {}
+
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+
+  /// Appends bytes to the stream. Delivery is scheduled on the loop.
+  void write(std::span<const std::uint8_t> data);
+
+  /// Drains everything currently readable.
+  [[nodiscard]] std::vector<std::uint8_t> read_all();
+
+  /// Registers the reader-side notification. Replaces any previous callback.
+  void on_readable(std::function<void()> cb) { on_readable_ = std::move(cb); }
+
+  [[nodiscard]] std::size_t readable_bytes() const noexcept { return readable_.size(); }
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+  /// Half-close: readers see remaining bytes, then EOF.
+  void close();
+
+  /// Total bytes ever written (for traffic accounting in benches).
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+
+ private:
+  EventLoop& loop_;
+  Duration latency_;
+  std::vector<std::uint8_t> readable_;
+  std::function<void()> on_readable_;
+  bool closed_ = false;
+  bool delivery_pending_ = false;
+  std::vector<std::uint8_t> in_flight_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// A bidirectional connection between endpoints A and B.
+class Duplex {
+ public:
+  Duplex(EventLoop& loop, Duration latency)
+      : a_to_b_(loop, latency), b_to_a_(loop, latency) {}
+
+  /// Endpoint view: write() feeds the peer, read side is our inbound pipe.
+  struct End {
+    Pipe* out;
+    Pipe* in;
+    void write(std::span<const std::uint8_t> data) { out->write(data); }
+    [[nodiscard]] std::vector<std::uint8_t> read_all() { return in->read_all(); }
+    void on_readable(std::function<void()> cb) { in->on_readable(std::move(cb)); }
+    void close() { out->close(); }
+    [[nodiscard]] bool peer_closed() const { return in->closed() && in->readable_bytes() == 0; }
+  };
+
+  [[nodiscard]] End a() { return End{&a_to_b_, &b_to_a_}; }
+  [[nodiscard]] End b() { return End{&b_to_a_, &a_to_b_}; }
+
+ private:
+  Pipe a_to_b_;
+  Pipe b_to_a_;
+};
+
+}  // namespace xb::net

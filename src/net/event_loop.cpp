@@ -1,0 +1,34 @@
+#include "net/event_loop.hpp"
+
+#include <stdexcept>
+
+namespace xb::net {
+
+std::size_t EventLoop::run_until_idle(std::size_t max_events) {
+  std::size_t ran = 0;
+  while (!queue_.empty()) {
+    if (ran >= max_events) throw std::runtime_error("event loop livelock guard tripped");
+    // priority_queue::top() is const; the task must be moved out before pop.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.task();
+    ++ran;
+  }
+  return ran;
+}
+
+std::size_t EventLoop::run_until(TimePoint deadline) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.task();
+    ++ran;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+}  // namespace xb::net

@@ -1,0 +1,61 @@
+// Deterministic single-threaded event loop with virtual time.
+//
+// The testbed runs every router in one process on one loop: all I/O and
+// protocol timers are callbacks ordered by (virtual time, sequence number),
+// so a given seed and topology always replays identically. Virtual time only
+// advances when the loop runs a scheduled event — never with wall time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace xb::net {
+
+using TimePoint = std::uint64_t;  // nanoseconds of virtual time
+using Duration = std::uint64_t;
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Runs `task` after `delay` ns of virtual time. FIFO among equal times.
+  void schedule(Duration delay, Task task) {
+    queue_.push(Event{now_ + delay, seq_++, std::move(task)});
+  }
+
+  /// Runs `task` at the current virtual time, after already-queued events
+  /// for this instant.
+  void post(Task task) { schedule(0, std::move(task)); }
+
+  /// Processes events until the queue drains. Returns the number of events
+  /// run. Throws std::runtime_error after `max_events` as a livelock guard.
+  std::size_t run_until_idle(std::size_t max_events = 100'000'000);
+
+  /// Processes events with time <= deadline; leaves later events queued.
+  std::size_t run_until(TimePoint deadline);
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    Task task;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace xb::net

@@ -1,0 +1,61 @@
+#include "rpki/loader.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace xb::rpki {
+
+std::vector<Roa> make_roa_set(std::span<const AnnouncedRoute> routes,
+                              const RoaSetParams& params) {
+  util::Rng rng(params.seed);
+  std::vector<Roa> out;
+  out.reserve(routes.size());
+  for (const auto& route : routes) {
+    const double draw = rng.unit();
+    if (draw < params.valid_fraction) {
+      out.push_back(Roa{route.prefix, route.prefix.length(), route.origin});
+    } else if (rng.chance(params.invalid_share_of_rest)) {
+      // Covering ROA with a different origin AS -> Invalid.
+      out.push_back(Roa{route.prefix, route.prefix.length(), route.origin + 1});
+    }
+    // else: no ROA -> NotFound.
+  }
+  return out;
+}
+
+void fill_table(RoaTable& table, std::span<const Roa> roas) {
+  for (const auto& roa : roas) table.add(roa);
+}
+
+std::string to_text(std::span<const Roa> roas) {
+  std::ostringstream os;
+  for (const auto& roa : roas) {
+    os << roa.prefix.str() << "-" << static_cast<int>(roa.max_length) << " " << roa.origin
+       << "\n";
+  }
+  return os.str();
+}
+
+std::vector<Roa> from_text(const std::string& text) {
+  std::vector<Roa> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto dash = line.find('-');
+    const auto space = line.find(' ', dash);
+    if (dash == std::string::npos || space == std::string::npos) {
+      throw std::invalid_argument("bad ROA line: " + line);
+    }
+    Roa roa;
+    roa.prefix = util::Prefix::parse(line.substr(0, dash));
+    roa.max_length = static_cast<std::uint8_t>(std::stoi(line.substr(dash + 1, space - dash - 1)));
+    roa.origin = static_cast<bgp::Asn>(std::stoul(line.substr(space + 1)));
+    out.push_back(roa);
+  }
+  return out;
+}
+
+}  // namespace xb::rpki

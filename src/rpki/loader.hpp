@@ -1,0 +1,42 @@
+// Synthetic ROA set construction.
+//
+// The paper's §3.4 testbed "loads a file that considers 75% of the injected
+// prefixes as valid". This loader reproduces that: given the workload's
+// (prefix, origin) pairs it emits a ROA set under which a chosen fraction
+// validates as Valid, the rest split between Invalid (covering ROA, wrong
+// origin or too-long prefix) and NotFound (no covering ROA).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rpki/roa.hpp"
+
+namespace xb::rpki {
+
+struct AnnouncedRoute {
+  util::Prefix prefix;
+  bgp::Asn origin = 0;
+};
+
+struct RoaSetParams {
+  double valid_fraction = 0.75;
+  /// Among non-valid routes, the share that gets a mismatching ROA
+  /// (Invalid) rather than no ROA at all (NotFound).
+  double invalid_share_of_rest = 0.5;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministically builds the ROA list. Feed the result to any RoaTable.
+std::vector<Roa> make_roa_set(std::span<const AnnouncedRoute> routes, const RoaSetParams& params);
+
+/// Loads ROAs into a table.
+void fill_table(RoaTable& table, std::span<const Roa> roas);
+
+/// Serialises/parses the simple text format used by example programs:
+/// one "prefix/len-maxlen AS" entry per line, e.g. "10.0.0.0/8-24 65001".
+std::string to_text(std::span<const Roa> roas);
+std::vector<Roa> from_text(const std::string& text);
+
+}  // namespace xb::rpki

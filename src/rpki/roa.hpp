@@ -1,0 +1,51 @@
+// Route Origin Authorizations and RFC 6811 validation outcomes.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/types.hpp"
+#include "util/ip.hpp"
+
+namespace xb::rpki {
+
+/// One ROA: `origin` may originate any prefix covered by `prefix` whose
+/// length does not exceed `max_length` (RFC 6482).
+struct Roa {
+  util::Prefix prefix;
+  std::uint8_t max_length = 0;
+  bgp::Asn origin = 0;
+
+  friend bool operator==(const Roa&, const Roa&) = default;
+};
+
+/// RFC 6811 §2 validation states.
+enum class Validity : std::uint8_t {
+  kNotFound = 0,  // no ROA covers the prefix
+  kValid = 1,     // a covering ROA matches origin AS and max length
+  kInvalid = 2,   // covering ROAs exist but none matches
+};
+
+[[nodiscard]] constexpr const char* to_string(Validity v) {
+  switch (v) {
+    case Validity::kNotFound: return "not-found";
+    case Validity::kValid: return "valid";
+    case Validity::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+/// Common interface so hosts can swap lookup structures (the paper's Fig. 4
+/// origin-validation result hinges on FRR using a trie and BIRD a hash).
+class RoaTable {
+ public:
+  virtual ~RoaTable() = default;
+  virtual void add(const Roa& roa) = 0;
+  /// Removes one matching ROA; false if absent. Needed by the RTR client
+  /// (RFC 6810 withdrawals).
+  virtual bool remove(const Roa& roa) = 0;
+  [[nodiscard]] virtual Validity validate(const util::Prefix& prefix,
+                                          bgp::Asn origin) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+}  // namespace xb::rpki

@@ -1,0 +1,46 @@
+#include "rpki/roa_hash.hpp"
+
+namespace xb::rpki {
+
+void RoaHashTable::add(const Roa& roa) {
+  buckets_[roa.prefix].push_back(roa);
+  if (roa.prefix.length() < min_length_) min_length_ = roa.prefix.length();
+  ++count_;
+}
+
+bool RoaHashTable::remove(const Roa& roa) {
+  auto it = buckets_.find(roa.prefix);
+  if (it == buckets_.end()) return false;
+  for (auto rit = it->second.begin(); rit != it->second.end(); ++rit) {
+    if (*rit == roa) {
+      it->second.erase(rit);
+      if (it->second.empty()) buckets_.erase(it);
+      --count_;
+      // min_length_ is left as-is: a stale lower bound only adds probes,
+      // never changes results.
+      return true;
+    }
+  }
+  return false;
+}
+
+Validity RoaHashTable::validate(const util::Prefix& prefix, bgp::Asn origin) const {
+  if (count_ == 0) return Validity::kNotFound;
+  bool covered = false;
+  bool valid = false;
+  // Probe every possible covering length, longest first.
+  for (int len = prefix.length(); len >= static_cast<int>(min_length_); --len) {
+    ++probes_;
+    const util::Prefix key(prefix.addr(), static_cast<std::uint8_t>(len));
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) continue;
+    for (const Roa& roa : it->second) {
+      covered = true;
+      if (roa.origin == origin && prefix.length() <= roa.max_length) valid = true;
+    }
+  }
+  if (valid) return Validity::kValid;
+  return covered ? Validity::kInvalid : Validity::kNotFound;
+}
+
+}  // namespace xb::rpki

@@ -1,0 +1,71 @@
+#include "rpki/roa_lpfst.hpp"
+
+namespace xb::rpki {
+
+void LpfstRoaTable::add(const Roa& roa) {
+  Node* node = &root_;
+  const std::uint32_t addr = roa.prefix.addr().value();
+  for (std::uint8_t depth = 0; depth < roa.prefix.length(); ++depth) {
+    const int bit = (addr >> (31 - depth)) & 1;
+    if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+    node = node->child[bit].get();
+  }
+  node->records.push_back(roa);
+  ++count_;
+}
+
+bool LpfstRoaTable::remove(const Roa& roa) {
+  Node* node = &root_;
+  const std::uint32_t addr = roa.prefix.addr().value();
+  for (std::uint8_t depth = 0; depth < roa.prefix.length(); ++depth) {
+    const int bit = (addr >> (31 - depth)) & 1;
+    if (!node->child[bit]) return false;
+    node = node->child[bit].get();
+  }
+  for (auto it = node->records.begin(); it != node->records.end(); ++it) {
+    if (*it == roa) {
+      node->records.erase(it);
+      --count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+const LpfstRoaTable::Node* LpfstRoaTable::lookup_nth(const util::Prefix& query,
+                                                     unsigned skip) const {
+  const Node* node = &root_;
+  const std::uint32_t addr = query.addr().value();
+  for (std::uint8_t depth = 0;; ++depth) {
+    ++nodes_visited_;
+    if (!node->records.empty()) {
+      // A node on the query's path at depth d holds prefixes of length d,
+      // which cover the query by construction of the walk.
+      if (skip == 0) return node;
+      --skip;
+    }
+    if (depth >= query.length()) return nullptr;
+    const Node* next = node->child[(addr >> (31 - depth)) & 1].get();
+    if (next == nullptr) return nullptr;
+    node = next;
+  }
+}
+
+Validity LpfstRoaTable::validate(const util::Prefix& prefix, bgp::Asn origin) const {
+  bool covered = false;
+  bool valid = false;
+  // rtrlib's loop: one full re-descent per covering node, plus the final
+  // descent that comes back empty.
+  for (unsigned nth = 0;; ++nth) {
+    const Node* node = lookup_nth(prefix, nth);
+    if (node == nullptr) break;
+    for (const Roa& roa : node->records) {
+      covered = true;
+      if (roa.origin == origin && prefix.length() <= roa.max_length) valid = true;
+    }
+  }
+  if (valid) return Validity::kValid;
+  return covered ? Validity::kInvalid : Validity::kNotFound;
+}
+
+}  // namespace xb::rpki

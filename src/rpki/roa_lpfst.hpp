@@ -1,0 +1,50 @@
+// Re-descending ROA store: a model of rtrlib's pfx_table validation loop.
+//
+// FRRouting's RPKI support validates through rtrlib [38], whose validation
+// does not collect all covering entries in one pass: pfx_table_validate_r
+// asks its prefix tree for the 1st, 2nd, 3rd, ... matching node, and every
+// request RE-DESCENDS FROM THE ROOT. Validating a prefix whose path holds k
+// covering nodes therefore costs k+1 full root-to-leaf descents — the
+// repeated "browsing [of] a dedicated trie ... each time a prefix needs to
+// be checked" the paper blames for FRRouting's native origin validation
+// losing to the eBPF extension's single-probe hash table (§3.4).
+//
+// The underlying structure here is a correct binary trie (same semantics as
+// RoaTrie — the equivalence is property-tested); what this class adds is
+// rtrlib's lookup *cost shape*.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rpki/roa.hpp"
+
+namespace xb::rpki {
+
+class LpfstRoaTable final : public RoaTable {
+ public:
+  void add(const Roa& roa) override;
+  bool remove(const Roa& roa) override;
+  [[nodiscard]] Validity validate(const util::Prefix& prefix, bgp::Asn origin) const override;
+  [[nodiscard]] std::size_t size() const override { return count_; }
+
+  /// Total nodes visited across all validate() calls, counting every node
+  /// touched by every re-descent (bench telemetry).
+  [[nodiscard]] std::uint64_t nodes_visited() const noexcept { return nodes_visited_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::vector<Roa> records;  // ROAs whose prefix ends exactly here
+  };
+
+  /// Re-descends from the root along the query's bit path and returns the
+  /// (skip+1)-th node that carries covering records; nullptr when exhausted.
+  [[nodiscard]] const Node* lookup_nth(const util::Prefix& query, unsigned skip) const;
+
+  Node root_;
+  std::size_t count_ = 0;
+  mutable std::uint64_t nodes_visited_ = 0;
+};
+
+}  // namespace xb::rpki

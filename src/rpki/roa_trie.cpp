@@ -1,0 +1,61 @@
+#include "rpki/roa_trie.hpp"
+
+namespace xb::rpki {
+
+void RoaTrie::add(const Roa& roa) {
+  Node* node = &root_;
+  const std::uint32_t addr = roa.prefix.addr().value();
+  for (std::uint8_t depth = 0; depth < roa.prefix.length(); ++depth) {
+    const int bit = (addr >> (31 - depth)) & 1;
+    if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+    node = node->child[bit].get();
+  }
+  node->roas.push_back(roa);
+  ++count_;
+}
+
+bool RoaTrie::remove(const Roa& roa) {
+  Node* node = &root_;
+  const std::uint32_t addr = roa.prefix.addr().value();
+  for (std::uint8_t depth = 0; depth < roa.prefix.length(); ++depth) {
+    const int bit = (addr >> (31 - depth)) & 1;
+    if (!node->child[bit]) return false;
+    node = node->child[bit].get();
+  }
+  for (auto it = node->roas.begin(); it != node->roas.end(); ++it) {
+    if (*it == roa) {
+      node->roas.erase(it);
+      --count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+Validity RoaTrie::validate(const util::Prefix& prefix, bgp::Asn origin) const {
+  const Node* node = &root_;
+  const std::uint32_t addr = prefix.addr().value();
+  bool covered = false;
+  bool valid = false;
+
+  // Walk from the root down to the queried prefix length, considering the
+  // ROAs at each covering node (a ROA at depth d covers the query iff the
+  // walk reaches it, by construction of the path).
+  for (std::uint8_t depth = 0;; ++depth) {
+    ++nodes_visited_;
+    for (const Roa& roa : node->roas) {
+      covered = true;
+      if (roa.origin == origin && prefix.length() <= roa.max_length) valid = true;
+    }
+    if (depth >= prefix.length()) break;
+    const int bit = (addr >> (31 - depth)) & 1;
+    const Node* next = node->child[bit].get();
+    if (!next) break;
+    node = next;
+  }
+
+  if (valid) return Validity::kValid;
+  return covered ? Validity::kInvalid : Validity::kNotFound;
+}
+
+}  // namespace xb::rpki

@@ -1,0 +1,164 @@
+#include "rpki/rtr_pdu.hpp"
+
+namespace xb::rpki::rtr {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 8;
+
+/// Writes the common 8-byte header; `middle` is the 16-bit field that holds
+/// the session id, error code, or zero depending on the PDU type.
+void header(util::ByteWriter& w, PduType type, std::uint16_t middle, std::uint32_t length) {
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(middle);
+  w.u32(length);
+}
+
+}  // namespace
+
+PduType type_of(const Pdu& pdu) {
+  struct Visitor {
+    PduType operator()(const SerialNotify&) const { return PduType::kSerialNotify; }
+    PduType operator()(const SerialQuery&) const { return PduType::kSerialQuery; }
+    PduType operator()(const ResetQuery&) const { return PduType::kResetQuery; }
+    PduType operator()(const CacheResponse&) const { return PduType::kCacheResponse; }
+    PduType operator()(const Ipv4Prefix&) const { return PduType::kIpv4Prefix; }
+    PduType operator()(const EndOfData&) const { return PduType::kEndOfData; }
+    PduType operator()(const CacheReset&) const { return PduType::kCacheReset; }
+    PduType operator()(const ErrorReport&) const { return PduType::kErrorReport; }
+  };
+  return std::visit(Visitor{}, pdu);
+}
+
+std::vector<std::uint8_t> encode(const Pdu& pdu) {
+  util::ByteWriter w;
+  if (const auto* notify = std::get_if<SerialNotify>(&pdu)) {
+    header(w, PduType::kSerialNotify, notify->session_id, 12);
+    w.u32(notify->serial);
+  } else if (const auto* query = std::get_if<SerialQuery>(&pdu)) {
+    header(w, PduType::kSerialQuery, query->session_id, 12);
+    w.u32(query->serial);
+  } else if (std::get_if<ResetQuery>(&pdu) != nullptr) {
+    header(w, PduType::kResetQuery, 0, 8);
+  } else if (const auto* response = std::get_if<CacheResponse>(&pdu)) {
+    header(w, PduType::kCacheResponse, response->session_id, 8);
+  } else if (const auto* prefix = std::get_if<Ipv4Prefix>(&pdu)) {
+    header(w, PduType::kIpv4Prefix, 0, 20);
+    w.u8(prefix->announce ? 1 : 0);
+    w.u8(prefix->roa.prefix.length());
+    w.u8(prefix->roa.max_length);
+    w.u8(0);
+    w.u32(prefix->roa.prefix.addr().value());
+    w.u32(prefix->roa.origin);
+  } else if (const auto* eod = std::get_if<EndOfData>(&pdu)) {
+    header(w, PduType::kEndOfData, eod->session_id, 12);
+    w.u32(eod->serial);
+  } else if (std::get_if<CacheReset>(&pdu) != nullptr) {
+    header(w, PduType::kCacheReset, 0, 8);
+  } else if (const auto* error = std::get_if<ErrorReport>(&pdu)) {
+    const std::uint32_t length = static_cast<std::uint32_t>(
+        kHeaderSize + 4 + error->erroneous_pdu.size() + 4 + error->text.size());
+    header(w, PduType::kErrorReport, static_cast<std::uint16_t>(error->code), length);
+    w.u32(static_cast<std::uint32_t>(error->erroneous_pdu.size()));
+    w.bytes(error->erroneous_pdu);
+    w.u32(static_cast<std::uint32_t>(error->text.size()));
+    w.bytes(std::span(reinterpret_cast<const std::uint8_t*>(error->text.data()),
+                      error->text.size()));
+  }
+  return std::move(w).take();
+}
+
+std::optional<Frame> try_decode(std::span<const std::uint8_t> buffer) {
+  if (buffer.size() < kHeaderSize) return std::nullopt;
+  const std::uint8_t version = buffer[0];
+  const std::uint8_t raw_type = buffer[1];
+  const std::uint16_t middle = static_cast<std::uint16_t>((buffer[2] << 8) | buffer[3]);
+  const std::uint32_t length = (static_cast<std::uint32_t>(buffer[4]) << 24) |
+                               (static_cast<std::uint32_t>(buffer[5]) << 16) |
+                               (static_cast<std::uint32_t>(buffer[6]) << 8) | buffer[7];
+  if (version != kVersion) {
+    throw RtrError(ErrorCode::kUnsupportedVersion,
+                   "unsupported RTR version " + std::to_string(version));
+  }
+  if (length < kHeaderSize || length > 1 << 20) {
+    throw RtrError(ErrorCode::kCorruptData, "bad PDU length " + std::to_string(length));
+  }
+  if (buffer.size() < length) return std::nullopt;
+
+  util::ByteReader body(buffer.subspan(kHeaderSize, length - kHeaderSize));
+  auto need = [&](std::size_t n, const char* what) {
+    if (body.remaining() != n) {
+      throw RtrError(ErrorCode::kCorruptData, std::string("bad length for ") + what);
+    }
+  };
+
+  Frame frame;
+  frame.consumed = length;
+  switch (static_cast<PduType>(raw_type)) {
+    case PduType::kSerialNotify:
+      need(4, "Serial Notify");
+      frame.pdu = SerialNotify{middle, body.u32()};
+      return frame;
+    case PduType::kSerialQuery:
+      need(4, "Serial Query");
+      frame.pdu = SerialQuery{middle, body.u32()};
+      return frame;
+    case PduType::kResetQuery:
+      need(0, "Reset Query");
+      frame.pdu = ResetQuery{};
+      return frame;
+    case PduType::kCacheResponse:
+      need(0, "Cache Response");
+      frame.pdu = CacheResponse{middle};
+      return frame;
+    case PduType::kIpv4Prefix: {
+      need(12, "IPv4 Prefix");
+      Ipv4Prefix prefix;
+      prefix.announce = (body.u8() & 1) != 0;
+      const std::uint8_t len = body.u8();
+      const std::uint8_t max_len = body.u8();
+      (void)body.u8();  // zero
+      const std::uint32_t addr = body.u32();
+      const std::uint32_t asn = body.u32();
+      if (len > 32 || max_len > 32 || max_len < len) {
+        throw RtrError(ErrorCode::kCorruptData, "bad IPv4 prefix lengths");
+      }
+      prefix.roa = Roa{util::Prefix(util::Ipv4Addr(addr), len), max_len, asn};
+      frame.pdu = prefix;
+      return frame;
+    }
+    case PduType::kIpv6Prefix:
+      throw RtrError(ErrorCode::kUnsupportedPduType, "IPv6 prefixes not supported");
+    case PduType::kEndOfData:
+      need(4, "End of Data");
+      frame.pdu = EndOfData{middle, body.u32()};
+      return frame;
+    case PduType::kCacheReset:
+      need(0, "Cache Reset");
+      frame.pdu = CacheReset{};
+      return frame;
+    case PduType::kErrorReport: {
+      ErrorReport error;
+      error.code = static_cast<ErrorCode>(middle);
+      const std::uint32_t pdu_len = body.u32();
+      if (pdu_len > body.remaining()) {
+        throw RtrError(ErrorCode::kCorruptData, "bad encapsulated PDU length");
+      }
+      auto pdu_bytes = body.bytes(pdu_len);
+      error.erroneous_pdu.assign(pdu_bytes.begin(), pdu_bytes.end());
+      const std::uint32_t text_len = body.u32();
+      if (text_len != body.remaining()) {
+        throw RtrError(ErrorCode::kCorruptData, "bad error text length");
+      }
+      auto text = body.bytes(text_len);
+      error.text.assign(reinterpret_cast<const char*>(text.data()), text.size());
+      frame.pdu = std::move(error);
+      return frame;
+    }
+  }
+  throw RtrError(ErrorCode::kUnsupportedPduType,
+                 "unsupported PDU type " + std::to_string(raw_type));
+}
+
+}  // namespace xb::rpki::rtr

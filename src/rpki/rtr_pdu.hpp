@@ -1,0 +1,115 @@
+// The RPKI-to-Router protocol, version 0 (RFC 6810) — PDU model and codec.
+//
+// The paper's DUT "does not implement the RPKI-Rtr protocol [6, 38] but
+// loads a file" (§3.4). This module closes that gap: a cache server and a
+// router-side client speak the real wire protocol over the simulated
+// network, so ROA tables can be synchronised and updated live.
+//
+// IPv4 scope only, matching the rest of the library; IPv6 PDUs are
+// recognised and rejected with an Error Report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rpki/roa.hpp"
+#include "util/bytes.hpp"
+
+namespace xb::rpki::rtr {
+
+inline constexpr std::uint8_t kVersion = 0;
+
+enum class PduType : std::uint8_t {
+  kSerialNotify = 0,
+  kSerialQuery = 1,
+  kResetQuery = 2,
+  kCacheResponse = 3,
+  kIpv4Prefix = 4,
+  kIpv6Prefix = 6,
+  kEndOfData = 7,
+  kCacheReset = 8,
+  kErrorReport = 10,
+};
+
+// RFC 6810 §10 error codes.
+enum class ErrorCode : std::uint16_t {
+  kCorruptData = 0,
+  kInternalError = 1,
+  kNoDataAvailable = 2,
+  kInvalidRequest = 3,
+  kUnsupportedVersion = 4,
+  kUnsupportedPduType = 5,
+  kWithdrawalOfUnknownRecord = 6,
+  kDuplicateAnnouncement = 7,
+};
+
+struct SerialNotify {
+  std::uint16_t session_id = 0;
+  std::uint32_t serial = 0;
+  friend bool operator==(const SerialNotify&, const SerialNotify&) = default;
+};
+struct SerialQuery {
+  std::uint16_t session_id = 0;
+  std::uint32_t serial = 0;
+  friend bool operator==(const SerialQuery&, const SerialQuery&) = default;
+};
+struct ResetQuery {
+  friend bool operator==(const ResetQuery&, const ResetQuery&) = default;
+};
+struct CacheResponse {
+  std::uint16_t session_id = 0;
+  friend bool operator==(const CacheResponse&, const CacheResponse&) = default;
+};
+struct Ipv4Prefix {
+  bool announce = true;  // flags bit 0
+  Roa roa;
+  friend bool operator==(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+};
+struct EndOfData {
+  std::uint16_t session_id = 0;
+  std::uint32_t serial = 0;
+  friend bool operator==(const EndOfData&, const EndOfData&) = default;
+};
+struct CacheReset {
+  friend bool operator==(const CacheReset&, const CacheReset&) = default;
+};
+struct ErrorReport {
+  ErrorCode code = ErrorCode::kInternalError;
+  std::vector<std::uint8_t> erroneous_pdu;
+  std::string text;
+  friend bool operator==(const ErrorReport&, const ErrorReport&) = default;
+};
+
+using Pdu = std::variant<SerialNotify, SerialQuery, ResetQuery, CacheResponse, Ipv4Prefix,
+                         EndOfData, CacheReset, ErrorReport>;
+
+[[nodiscard]] PduType type_of(const Pdu& pdu);
+
+/// Serialises one PDU to its RFC 6810 wire form.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Pdu& pdu);
+
+class RtrError : public std::runtime_error {
+ public:
+  RtrError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Scans a receive buffer for one complete PDU. Returns nullopt when more
+/// bytes are needed; throws RtrError on malformed input (bad version,
+/// unknown type, bad length).
+struct Frame {
+  Pdu pdu;
+  std::size_t consumed = 0;
+};
+[[nodiscard]] std::optional<Frame> try_decode(std::span<const std::uint8_t> buffer);
+
+}  // namespace xb::rpki::rtr

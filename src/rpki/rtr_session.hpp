@@ -1,0 +1,107 @@
+// RTR cache server and router-side client over the simulated network.
+//
+// The cache server versions its ROA set by serial number and serves both
+// full synchronisation (Reset Query -> Cache Response, prefixes, End of
+// Data) and incremental updates (Serial Notify -> Serial Query -> deltas).
+// The client keeps a RoaTable in sync — the live counterpart of the static
+// ROA file the paper's DUT loaded.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "rpki/rtr_pdu.hpp"
+
+namespace xb::rpki::rtr {
+
+/// One announce/withdraw step in the cache's history.
+struct Delta {
+  bool announce = true;
+  Roa roa;
+};
+
+class CacheServer {
+ public:
+  CacheServer(net::EventLoop& loop, std::uint16_t session_id)
+      : loop_(loop), session_id_(session_id) {}
+
+  /// Attaches one client connection (the server side of the duplex).
+  void attach(net::Duplex::End end);
+
+  /// Applies a change and bumps the serial; clients are notified.
+  void announce(const Roa& roa);
+  void withdraw(const Roa& roa);
+  /// Applies a batch as one serial increment.
+  void apply(const std::vector<Delta>& deltas);
+
+  /// Drops history so old serials force a Cache Reset (cache expiry model).
+  void forget_history() { history_.clear(); history_base_ = serial_; }
+
+  [[nodiscard]] std::uint32_t serial() const noexcept { return serial_; }
+  [[nodiscard]] std::size_t roa_count() const noexcept { return roas_.size(); }
+
+ private:
+  struct Connection {
+    net::Duplex::End end;
+    std::vector<std::uint8_t> rx;
+    std::size_t consumed = 0;
+  };
+
+  void handle_readable(Connection& conn);
+  void handle_pdu(Connection& conn, const Pdu& pdu);
+  void send(Connection& conn, const Pdu& pdu);
+  void send_full_snapshot(Connection& conn);
+  void send_deltas_since(Connection& conn, std::uint32_t serial);
+  void notify_all();
+
+  net::EventLoop& loop_;
+  std::uint16_t session_id_;
+  std::uint32_t serial_ = 0;
+  std::vector<Roa> roas_;                 // current full set
+  std::deque<std::vector<Delta>> history_;  // history_[i] = deltas of serial base+i+1
+  std::uint32_t history_base_ = 0;        // serial the history starts after
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+class RtrClient {
+ public:
+  /// Keeps `table` synchronised with the cache reachable through `end`.
+  RtrClient(net::EventLoop& loop, net::Duplex::End end, RoaTable& table);
+
+  /// Starts synchronisation (sends a Reset Query).
+  void start();
+
+  [[nodiscard]] bool synchronized() const noexcept { return synchronized_; }
+  [[nodiscard]] std::uint32_t serial() const noexcept { return serial_; }
+  [[nodiscard]] std::uint64_t updates_applied() const noexcept { return updates_applied_; }
+  [[nodiscard]] const std::string& last_error() const noexcept { return last_error_; }
+
+  /// Fired after every End of Data (initial sync and each incremental run).
+  std::function<void()> on_synchronized;
+
+ private:
+  void handle_readable();
+  void handle_pdu(const Pdu& pdu);
+  void send(const Pdu& pdu) { end_.write(encode(pdu)); }
+
+  net::EventLoop& loop_;
+  net::Duplex::End end_;
+  RoaTable& table_;
+  std::vector<std::uint8_t> rx_;
+  std::size_t consumed_ = 0;
+  std::uint16_t session_id_ = 0;
+  std::uint32_t serial_ = 0;
+  bool have_session_ = false;
+  bool synchronized_ = false;
+  bool query_in_flight_ = false;
+  std::optional<std::uint32_t> pending_notify_;
+  std::uint64_t updates_applied_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace xb::rpki::rtr

@@ -1,0 +1,153 @@
+// Endian-safe byte buffer reading and writing.
+//
+// BGP messages are big-endian on the wire (RFC 4271 §4). ByteWriter and
+// ByteReader provide bounds-checked sequential access in network byte order;
+// all multi-byte accessors convert to/from host order at the boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xb::util {
+
+/// Thrown when a read or write would exceed the underlying buffer.
+class BufferError : public std::runtime_error {
+ public:
+  explicit BufferError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Host <-> network conversions (network order is big-endian).
+constexpr std::uint16_t host_to_be16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+constexpr std::uint16_t be16_to_host(std::uint16_t v) noexcept {
+  return host_to_be16(v);
+}
+constexpr std::uint32_t host_to_be32(std::uint32_t v) noexcept {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
+constexpr std::uint32_t be32_to_host(std::uint32_t v) noexcept {
+  return host_to_be32(v);
+}
+constexpr std::uint64_t host_to_be64(std::uint64_t v) noexcept {
+  return (static_cast<std::uint64_t>(host_to_be32(static_cast<std::uint32_t>(v))) << 32) |
+         host_to_be32(static_cast<std::uint32_t>(v >> 32));
+}
+constexpr std::uint64_t be64_to_host(std::uint64_t v) noexcept {
+  return host_to_be64(v);
+}
+
+/// Sequential big-endian writer that appends to an owned byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void fill(std::uint8_t value, std::size_t count) {
+    buf_.insert(buf_.end(), count, value);
+  }
+
+  /// Overwrite a previously written big-endian u16 at an absolute offset.
+  /// Used to patch length fields once a variable-size body is known.
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > buf_.size()) throw BufferError("patch_u16 out of range");
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+  void patch_u8(std::size_t offset, std::uint8_t v) {
+    if (offset >= buf_.size()) throw BufferError("patch_u8 out of range");
+    buf_[offset] = v;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential big-endian reader over a borrowed byte span.
+/// The caller must keep the underlying storage alive while reading.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool empty() const noexcept { return remaining() == 0; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+  /// A sub-reader over the next n bytes; advances this reader past them.
+  ByteReader sub(std::size_t n) { return ByteReader(bytes(n)); }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw BufferError("read of " + std::to_string(n) + " bytes exceeds remaining " +
+                        std::to_string(remaining()));
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace xb::util

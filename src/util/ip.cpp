@@ -1,0 +1,39 @@
+#include "util/ip.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace xb::util {
+
+Ipv4Addr Ipv4Addr::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  int matched = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("bad IPv4 address: " + text);
+  }
+  return Ipv4Addr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                  static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::str() const {
+  char out[16];
+  std::snprintf(out, sizeof(out), "%u.%u.%u.%u", (addr_ >> 24) & 0xFF, (addr_ >> 16) & 0xFF,
+                (addr_ >> 8) & 0xFF, addr_ & 0xFF);
+  return out;
+}
+
+Prefix Prefix::parse(const std::string& text) {
+  auto slash = text.find('/');
+  if (slash == std::string::npos) throw std::invalid_argument("missing '/' in prefix: " + text);
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  int len = std::stoi(text.substr(slash + 1));
+  if (len < 0 || len > 32) throw std::invalid_argument("bad prefix length: " + text);
+  return Prefix(addr, static_cast<std::uint8_t>(len));
+}
+
+std::string Prefix::str() const {
+  return addr().str() + "/" + std::to_string(len_);
+}
+
+}  // namespace xb::util

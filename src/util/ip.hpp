@@ -1,0 +1,93 @@
+// IPv4 address and prefix value types.
+//
+// Addresses are stored in host byte order internally; `to_be()`/`from_be()`
+// convert at wire boundaries. Prefixes are canonicalised: host bits below the
+// prefix length are always zero, so value equality equals route equality.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace xb::util {
+
+/// An IPv4 address (host byte order internally).
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) noexcept : addr_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : addr_((static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses dotted-quad notation; throws std::invalid_argument on bad input.
+  static Ipv4Addr parse(const std::string& text);
+  static constexpr Ipv4Addr from_be(std::uint32_t network_order) noexcept {
+    return Ipv4Addr(((network_order & 0xFFu) << 24) | ((network_order & 0xFF00u) << 8) |
+                    ((network_order >> 8) & 0xFF00u) | (network_order >> 24));
+  }
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return addr_; }
+  [[nodiscard]] constexpr std::uint32_t to_be() const noexcept {
+    return ((addr_ & 0xFFu) << 24) | ((addr_ & 0xFF00u) << 8) | ((addr_ >> 8) & 0xFF00u) |
+           (addr_ >> 24);
+  }
+  [[nodiscard]] std::string str() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+/// An IPv4 prefix (address + length), canonicalised on construction.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4Addr addr, std::uint8_t len) noexcept
+      : addr_(mask(addr.value(), len)), len_(len > 32 ? 32 : len) {}
+
+  /// Parses "a.b.c.d/len"; throws std::invalid_argument on bad input.
+  static Prefix parse(const std::string& text);
+
+  [[nodiscard]] constexpr Ipv4Addr addr() const noexcept { return Ipv4Addr(addr_); }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return len_; }
+  [[nodiscard]] std::string str() const;
+
+  /// True if `other` is equal to or more specific than this prefix.
+  [[nodiscard]] constexpr bool covers(const Prefix& other) const noexcept {
+    return other.len_ >= len_ && mask(other.addr_, len_) == addr_;
+  }
+  [[nodiscard]] constexpr bool contains(Ipv4Addr a) const noexcept {
+    return mask(a.value(), len_) == addr_;
+  }
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask(std::uint32_t v, std::uint8_t len) noexcept {
+    return len == 0 ? 0 : (len >= 32 ? v : (v & ~((1u << (32 - len)) - 1)));
+  }
+
+  std::uint32_t addr_ = 0;
+  std::uint8_t len_ = 0;
+};
+
+}  // namespace xb::util
+
+template <>
+struct std::hash<xb::util::Ipv4Addr> {
+  std::size_t operator()(const xb::util::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<xb::util::Prefix> {
+  std::size_t operator()(const xb::util::Prefix& p) const noexcept {
+    // Mix length into the high bits so /16 and /24 of the same net differ.
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.length()) << 32) | p.addr().value());
+  }
+};

@@ -1,0 +1,27 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace xb::util {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (sink()) {
+    sink()(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace xb::util

@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// Hosts and the VMM report extension faults and protocol events through this
+// sink. Tests install a capturing sink to assert on notifications (e.g. "VMM
+// fell back to native code after extension fault").
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace xb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide log configuration. Single-threaded by design (the simulator
+/// runs one event loop); not synchronised.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel& threshold() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+  static Sink& sink() {
+    static Sink s;  // empty -> stderr
+    return s;
+  }
+
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (Log::threshold() <= LogLevel::kDebug)
+    Log::write(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (Log::threshold() <= LogLevel::kInfo)
+    Log::write(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (Log::threshold() <= LogLevel::kWarn)
+    Log::write(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (Log::threshold() <= LogLevel::kError)
+    Log::write(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace xb::util

@@ -1,0 +1,184 @@
+// The xBGP API: the vendor-neutral ABI between extension bytecode and any
+// BGP implementation (paper §2).
+//
+// Everything here is part of the *stable contract*: insertion-point ids,
+// helper-function ids, argument ids, return codes, and the byte layouts of
+// the structures helpers hand to bytecode. Extension programs are compiled
+// against these constants once and run unchanged on every compliant host.
+//
+// Byte-order convention (paper §2.1): BGP message and attribute bytes cross
+// the API in network byte order — the neutral representation — and each host
+// converts to its internal storage format. Scalar fields of API structs
+// (peer info, nexthop info) and xtra config blobs use host byte order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xb::xbgp {
+
+// --- Insertion points (the five green circles of Fig. 2, plus INIT) ----------
+enum class Op : std::uint8_t {
+  kReceiveMessage = 1,  // after an UPDATE arrives, before installation
+  kInboundFilter = 2,   // import policy, before Adj-RIB-In
+  kDecision = 3,        // best-route comparison
+  kOutboundFilter = 4,  // export policy, before Adj-RIB-Out
+  kEncodeMessage = 5,   // while serialising an outgoing UPDATE
+  kInit = 6,            // once at attach time (extension state setup)
+};
+inline constexpr std::size_t kOpCount = 7;  // index 0 unused
+
+[[nodiscard]] constexpr const char* to_string(Op op) {
+  switch (op) {
+    case Op::kReceiveMessage: return "BGP_RECEIVE_MESSAGE";
+    case Op::kInboundFilter: return "BGP_INBOUND_FILTER";
+    case Op::kDecision: return "BGP_DECISION";
+    case Op::kOutboundFilter: return "BGP_OUTBOUND_FILTER";
+    case Op::kEncodeMessage: return "BGP_ENCODE_MESSAGE";
+    case Op::kInit: return "XBGP_INIT";
+  }
+  return "?";
+}
+
+// --- Return codes -------------------------------------------------------------
+// Filters (kInboundFilter / kOutboundFilter):
+inline constexpr std::uint64_t kFilterReject = 0;
+inline constexpr std::uint64_t kFilterAccept = 1;
+// kDecision: which route wins the pairwise comparison.
+inline constexpr std::uint64_t kDecisionKeepOld = 0;
+inline constexpr std::uint64_t kDecisionTakeNew = 1;
+// kReceiveMessage / kEncodeMessage / kInit:
+inline constexpr std::uint64_t kOpOk = 0;
+
+// --- Helper function ids (stable ABI) ------------------------------------------
+namespace helper {
+inline constexpr std::int32_t kNext = 1;           // delegate to next program
+inline constexpr std::int32_t kGetArg = 2;         // (arg_id) -> ptr | 0
+inline constexpr std::int32_t kGetArgLen = 3;      // (arg_id) -> len | -1
+inline constexpr std::int32_t kGetPeerInfo = 4;    // () -> PeerInfo*
+inline constexpr std::int32_t kGetSrcPeerInfo = 5; // () -> PeerInfo* (learned-from)
+inline constexpr std::int32_t kGetAttr = 6;        // (code) -> AttrHdr* | 0
+inline constexpr std::int32_t kSetAttr = 7;        // (code, flags, ptr, len) -> bool
+inline constexpr std::int32_t kAddAttr = 8;        // (code, flags, ptr, len) -> bool
+inline constexpr std::int32_t kGetNexthop = 9;     // () -> NexthopInfo*
+inline constexpr std::int32_t kGetXtra = 10;       // (key_ptr, key_len) -> ptr | 0
+inline constexpr std::int32_t kGetXtraLen = 11;    // (key_ptr, key_len) -> len | -1
+inline constexpr std::int32_t kWriteBuf = 12;      // (ptr, len) -> written
+inline constexpr std::int32_t kCtxMalloc = 13;     // (size) -> ptr | 0 (ephemeral)
+inline constexpr std::int32_t kShmNew = 14;        // (key, size) -> ptr | 0 (persistent)
+inline constexpr std::int32_t kShmGet = 15;        // (key) -> ptr | 0
+inline constexpr std::int32_t kMapUpdate = 16;     // (map_id, k1, k2, value) -> bool
+inline constexpr std::int32_t kMapLookup = 17;     // (map_id, k1, k2) -> value | 0
+inline constexpr std::int32_t kPrint = 18;         // (str_ptr, len) -> 0
+inline constexpr std::int32_t kMemcpy = 19;        // (dst, src, len) -> dst
+inline constexpr std::int32_t kRibAddRoute = 20;   // (prefix_ptr, nh_addr) -> bool
+inline constexpr std::int32_t kRibLookup = 21;     // (prefix_ptr) -> nh_addr | 0
+inline constexpr std::int32_t kSetRouteMeta = 22;  // (value) -> bool
+inline constexpr std::int32_t kGetRouteMeta = 23;  // () -> value
+inline constexpr std::int32_t kHtonl = 24;         // (v) -> byte-swapped 32-bit
+inline constexpr std::int32_t kNtohl = 25;         // (v) -> byte-swapped 32-bit
+inline constexpr std::int32_t kSqrtU64 = 26;       // (v) -> integer sqrt (GeoLoc distance)
+/// kDecision only: reads an attribute of the comparison's *other* route
+/// (the current best), mirroring get_attr on the candidate.
+inline constexpr std::int32_t kGetAttrAlt = 27;    // (code) -> AttrHdr* | 0
+}  // namespace helper
+
+// --- Visible argument ids -------------------------------------------------------
+namespace arg {
+/// Full wire bytes of the UPDATE being processed (kReceiveMessage).
+inline constexpr std::uint8_t kRawMessage = 1;
+/// PrefixArg for the route under consideration (filter/decision/encode ops).
+inline constexpr std::uint8_t kPrefix = 2;
+/// PrefixArg + attrs of the *current best* route (kDecision only), id 3 is
+/// the candidate's prefix arg, id 4 the current best's.
+inline constexpr std::uint8_t kCandidatePrefix = 3;
+inline constexpr std::uint8_t kBestPrefix = 4;
+}  // namespace arg
+
+// --- Structures handed to bytecode (fixed layouts, host byte order) -------------
+
+/// What get_peer_info / get_src_peer_info return.
+struct PeerInfo {
+  std::uint32_t router_id = 0;
+  std::uint32_t asn = 0;
+  std::uint32_t addr = 0;       // IPv4, host order
+  std::uint8_t peer_type = 0;   // 1 = iBGP session, 2 = eBGP session
+  std::uint8_t rr_client = 0;   // this peer is our route-reflection client
+  std::uint8_t pad0[2] = {};
+  std::uint32_t local_router_id = 0;
+  std::uint32_t local_asn = 0;
+  std::uint32_t local_addr = 0;
+  std::uint8_t pad1[4] = {};
+};
+static_assert(sizeof(PeerInfo) == 32);
+inline constexpr std::uint8_t kPeerTypeIbgp = 1;
+inline constexpr std::uint8_t kPeerTypeEbgp = 2;
+
+/// What get_nexthop returns.
+struct NexthopInfo {
+  std::uint32_t igp_metric = 0;  // 0xFFFFFFFF when unreachable
+  std::uint32_t addr = 0;        // IPv4, host order
+  std::uint8_t reachable = 0;
+  std::uint8_t pad[7] = {};
+};
+static_assert(sizeof(NexthopInfo) == 16);
+
+/// Header of what get_attr returns; `len` bytes of wire-format (network
+/// byte order) attribute value follow immediately after this header.
+struct AttrHdr {
+  std::uint8_t flags = 0;
+  std::uint8_t code = 0;
+  std::uint16_t len = 0;  // host order
+};
+static_assert(sizeof(AttrHdr) == 4);
+
+/// Layout of the kPrefix / kCandidatePrefix / kBestPrefix arguments.
+struct PrefixArg {
+  std::uint32_t addr = 0;  // IPv4, host order
+  std::uint8_t len = 0;
+  std::uint8_t pad[3] = {};
+};
+static_assert(sizeof(PrefixArg) == 8);
+
+/// Entry layout of the "roa_v1" xtra blob (packed array).
+struct RoaEntry {
+  std::uint32_t addr = 0;       // prefix address, host order
+  std::uint8_t prefix_len = 0;
+  std::uint8_t max_len = 0;
+  std::uint8_t pad[2] = {};
+  std::uint32_t origin = 0;
+};
+static_assert(sizeof(RoaEntry) == 12);
+
+/// Entry layout of the "valley_pairs" xtra blob (packed array): an eBGP
+/// session from a level-i router to a level-i+1 router (paper §3.3).
+struct ValleyPair {
+  std::uint32_t lower_asn = 0;   // AS of the level-i (lower) router
+  std::uint32_t upper_asn = 0;   // AS of the level-i+1 (upper) router
+};
+static_assert(sizeof(ValleyPair) == 8);
+
+// --- Well-known xtra keys ---------------------------------------------------------
+namespace xtra {
+inline constexpr const char* kRouterId = "router_id";       // u32
+inline constexpr const char* kClusterId = "cluster_id";     // u32
+inline constexpr const char* kGeoCoord = "geo_coord";       // 2 x i32 (micro-degrees)
+inline constexpr const char* kMaxMetric = "max_metric";     // u32 (Listing 1)
+inline constexpr const char* kGeoMaxDist = "geo_max_dist";  // u32 (micro-degree distance)
+inline constexpr const char* kValleyPairs = "valley_pairs"; // ValleyPair[]
+/// Prefixes exempted from valley-free filtering (packed PrefixArg array).
+inline constexpr const char* kCriticalPrefixes = "critical_prefixes";
+/// §3.1 community approach: the region community stamped at ingress and the
+/// community required on export (u32 each).
+inline constexpr const char* kRegionTag = "region_tag";
+inline constexpr const char* kRequiredTag = "required_tag";
+inline constexpr const char* kRoaTable = "roa_v1";          // RoaEntry[]
+}  // namespace xtra
+
+/// Route metadata values used by the origin-validation use case
+/// (mirrors rpki::Validity).
+inline constexpr std::uint32_t kMetaOvNotFound = 0;
+inline constexpr std::uint32_t kMetaOvValid = 1;
+inline constexpr std::uint32_t kMetaOvInvalid = 2;
+
+}  // namespace xb::xbgp

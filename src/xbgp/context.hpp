@@ -1,0 +1,67 @@
+// The execution context of one insertion-point invocation (paper §2.1).
+//
+// "Each API function is called with a context of execution. This context is
+// hidden within the extension code but visible in the host BGP
+// implementation." Visible arguments are exposed to bytecode through
+// get_arg; hidden arguments (host route objects, peer objects, the output
+// writer) are reachable only from helper implementations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "xbgp/api.hpp"
+
+namespace xb::util {
+class ByteWriter;
+}
+namespace xb::bgp {
+class AttributeSet;
+}
+
+namespace xb::xbgp {
+
+struct ExecContext {
+  Op op = Op::kInit;
+
+  /// Visible arguments, exposed to bytecode via the get_arg helper. The
+  /// spans borrow host storage that must outlive the invocation.
+  struct Arg {
+    std::uint8_t id = 0;
+    std::span<const std::uint8_t> data;
+  };
+  std::vector<Arg> args;
+
+  void add_arg(std::uint8_t id, std::span<const std::uint8_t> data) {
+    args.push_back(Arg{id, data});
+  }
+  [[nodiscard]] const Arg* find_arg(std::uint8_t id) const {
+    for (const auto& a : args) {
+      if (a.id == id) return &a;
+    }
+    return nullptr;
+  }
+
+  // --- hidden arguments (host-side only; opaque to bytecode) -----------------
+  /// Host-internal representation of the route under consideration.
+  void* route = nullptr;
+  /// kDecision only: the comparison's other route (the current best).
+  void* route_alt = nullptr;
+  /// Host-internal peer objects: `peer` is the session the operation applies
+  /// to (source for inbound ops, destination for outbound/encode ops);
+  /// `src_peer` is the learned-from session for outbound/encode ops.
+  void* peer = nullptr;
+  void* src_peer = nullptr;
+  /// Parsed-but-not-yet-installed attribute set (kReceiveMessage only).
+  bgp::AttributeSet* incoming = nullptr;
+  /// Output message under construction (kEncodeMessage only).
+  util::ByteWriter* out = nullptr;
+
+  /// Attribute codes added via add_attr during kReceiveMessage. The host
+  /// preserves these through its internal conversion even when it would
+  /// normally drop unknown attributes.
+  std::vector<std::uint8_t> ext_added_codes;
+};
+
+}  // namespace xb::xbgp

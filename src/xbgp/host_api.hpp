@@ -1,0 +1,78 @@
+// The host side of the xBGP API.
+//
+// Every xBGP-compliant implementation provides this interface; the VMM's
+// helper bindings translate bytecode helper calls into these methods. This
+// is precisely the integration surface §2.1 quantifies (589 LoC in
+// FRRouting, 400 in BIRD): the host converts between its internal attribute
+// storage and the neutral network-byte-order representation here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "bgp/attr.hpp"
+#include "util/ip.hpp"
+#include "xbgp/api.hpp"
+#include "xbgp/context.hpp"
+
+namespace xb::xbgp {
+
+class HostApi {
+ public:
+  virtual ~HostApi() = default;
+
+  /// Peer the operation applies to (ctx.peer). Returns false if absent.
+  virtual bool peer_info(const ExecContext& ctx, PeerInfo& out) = 0;
+  /// Peer the route was learned from (ctx.src_peer).
+  virtual bool src_peer_info(const ExecContext& ctx, PeerInfo& out) = 0;
+
+  /// Reads an attribute of the context route in neutral wire form. For
+  /// kReceiveMessage contexts this consults the incoming attribute set.
+  virtual std::optional<bgp::WireAttr> get_attr(const ExecContext& ctx, std::uint8_t code) = 0;
+  /// kDecision only: reads an attribute of the comparison's other route
+  /// (ctx.route_alt). Default: absent.
+  virtual std::optional<bgp::WireAttr> get_attr_alt(const ExecContext& ctx, std::uint8_t code) {
+    (void)ctx;
+    (void)code;
+    return std::nullopt;
+  }
+  /// Writes/replaces an attribute on the context route (neutral wire form in,
+  /// host representation inside).
+  virtual bool set_attr(ExecContext& ctx, bgp::WireAttr attr) = 0;
+  /// Adds an attribute to the incoming, not-yet-installed route
+  /// (kReceiveMessage only).
+  virtual bool add_attr(ExecContext& ctx, bgp::WireAttr attr) = 0;
+
+  /// Nexthop of the context route, with its IGP metric.
+  virtual bool nexthop_info(const ExecContext& ctx, NexthopInfo& out) = 0;
+
+  /// Named configuration blob ("xtra" data: router id, coordinates, ROA
+  /// table, ...). The span must stay valid for the router's lifetime.
+  virtual std::span<const std::uint8_t> get_xtra(std::string_view key) = 0;
+
+  /// Appends raw bytes (pre-encoded attributes) to the outgoing UPDATE
+  /// (kEncodeMessage only).
+  virtual bool write_buf(ExecContext& ctx, std::span<const std::uint8_t> data) = 0;
+
+  /// Installs a route into the router's RIB / looks one up — the "hidden
+  /// arguments" example of §2.1.
+  virtual bool rib_add_route(const util::Prefix& prefix, util::Ipv4Addr nexthop) = 0;
+  virtual std::optional<util::Ipv4Addr> rib_lookup(const util::Prefix& prefix) = 0;
+
+  /// Per-route metadata word (e.g. RFC 6811 validation state).
+  virtual bool set_route_meta(ExecContext& ctx, std::uint32_t value) = 0;
+  virtual std::optional<std::uint32_t> get_route_meta(const ExecContext& ctx) = 0;
+
+  /// Called by the VMM when an extension faults and the operation fell back
+  /// to the native default ("notifies the host implementation of the
+  /// error", §2.1).
+  virtual void notify_extension_fault(Op op, std::string_view program,
+                                      std::string_view detail) = 0;
+
+  /// Debug print from bytecode.
+  virtual void ebpf_print(std::string_view message) = 0;
+};
+
+}  // namespace xb::xbgp

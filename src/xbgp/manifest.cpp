@@ -1,0 +1,169 @@
+#include "xbgp/manifest.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace xb::xbgp {
+
+Manifest& Manifest::attach(std::string name, Op point, ebpf::Program program, int order,
+                           std::size_t map_capacity_hint, std::string group) {
+  ManifestEntry entry;
+  entry.group = group.empty() ? name : std::move(group);
+  entry.name = std::move(name);
+  entry.point = point;
+  entry.order = order;
+  entry.allowed_helpers = program.required_helpers();
+  entry.program = std::move(program);
+  entry.map_capacity_hint = map_capacity_hint;
+  entries.push_back(std::move(entry));
+  return *this;
+}
+
+void ProgramRegistry::add(ebpf::Program program) {
+  auto name = program.name();
+  programs_.insert_or_assign(std::move(name), std::move(program));
+}
+
+const ebpf::Program* ProgramRegistry::find(const std::string& name) const {
+  auto it = programs_.find(name);
+  return it == programs_.end() ? nullptr : &it->second;
+}
+
+namespace {
+struct HelperName {
+  const char* name;
+  std::int32_t id;
+};
+constexpr std::array<HelperName, 27> kHelperNames{{
+    {"next", helper::kNext},
+    {"get_arg", helper::kGetArg},
+    {"get_arg_len", helper::kGetArgLen},
+    {"get_peer_info", helper::kGetPeerInfo},
+    {"get_src_peer_info", helper::kGetSrcPeerInfo},
+    {"get_attr", helper::kGetAttr},
+    {"set_attr", helper::kSetAttr},
+    {"add_attr", helper::kAddAttr},
+    {"get_nexthop", helper::kGetNexthop},
+    {"get_xtra", helper::kGetXtra},
+    {"get_xtra_len", helper::kGetXtraLen},
+    {"write_buf", helper::kWriteBuf},
+    {"ctx_malloc", helper::kCtxMalloc},
+    {"ctx_shmnew", helper::kShmNew},
+    {"ctx_shmget", helper::kShmGet},
+    {"map_update", helper::kMapUpdate},
+    {"map_lookup", helper::kMapLookup},
+    {"ebpf_print", helper::kPrint},
+    {"ebpf_memcpy", helper::kMemcpy},
+    {"rib_add_route", helper::kRibAddRoute},
+    {"rib_lookup", helper::kRibLookup},
+    {"set_route_meta", helper::kSetRouteMeta},
+    {"get_route_meta", helper::kGetRouteMeta},
+    {"bpf_htonl", helper::kHtonl},
+    {"bpf_ntohl", helper::kNtohl},
+    {"sqrt_u64", helper::kSqrtU64},
+    {"get_attr_alt", helper::kGetAttrAlt},
+}};
+}  // namespace
+
+std::int32_t helper_id_by_name(const std::string& name) {
+  for (const auto& h : kHelperNames) {
+    if (name == h.name) return h.id;
+  }
+  return -1;
+}
+
+const char* helper_name_by_id(std::int32_t id) {
+  for (const auto& h : kHelperNames) {
+    if (id == h.id) return h.name;
+  }
+  return "?";
+}
+
+Op op_by_name(const std::string& name) {
+  if (name == "BGP_RECEIVE_MESSAGE") return Op::kReceiveMessage;
+  if (name == "BGP_INBOUND_FILTER") return Op::kInboundFilter;
+  if (name == "BGP_DECISION") return Op::kDecision;
+  if (name == "BGP_OUTBOUND_FILTER") return Op::kOutboundFilter;
+  if (name == "BGP_ENCODE_MESSAGE") return Op::kEncodeMessage;
+  if (name == "XBGP_INIT") return Op::kInit;
+  throw std::invalid_argument("unknown insertion point: " + name);
+}
+
+Manifest parse_manifest(const std::string& text, const ProgramRegistry& registry) {
+  Manifest manifest;
+  std::istringstream is(text);
+  std::string token;
+
+  auto expect = [&](const std::string& want) {
+    std::string got;
+    if (!(is >> got) || got != want) {
+      throw std::invalid_argument("manifest: expected '" + want + "', got '" + got + "'");
+    }
+  };
+
+  while (is >> token) {
+    if (token[0] == '#') {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    if (token != "extension") {
+      throw std::invalid_argument("manifest: expected 'extension', got '" + token + "'");
+    }
+    ManifestEntry entry;
+    if (!(is >> entry.name)) throw std::invalid_argument("manifest: missing extension name");
+    expect("{");
+
+    const ebpf::Program* program = registry.find(entry.name);
+    if (program == nullptr) {
+      throw std::invalid_argument("manifest: unknown program '" + entry.name + "'");
+    }
+    entry.program = *program;
+
+    bool have_point = false;
+    std::string key;
+    while (is >> key && key != "}") {
+      if (key[0] == '#') {
+        std::string rest;
+        std::getline(is, rest);
+        continue;
+      }
+      if (key == "insertion_point") {
+        std::string point_name;
+        is >> point_name;
+        entry.point = op_by_name(point_name);
+        have_point = true;
+      } else if (key == "order") {
+        is >> entry.order;
+      } else if (key == "group") {
+        is >> entry.group;
+      } else if (key == "map_capacity") {
+        is >> entry.map_capacity_hint;
+      } else if (key == "helpers") {
+        std::string rest;
+        std::getline(is, rest);
+        std::istringstream hs(rest);
+        std::string helper_name;
+        while (hs >> helper_name) {
+          const std::int32_t id = helper_id_by_name(helper_name);
+          if (id < 0) {
+            throw std::invalid_argument("manifest: unknown helper '" + helper_name + "'");
+          }
+          entry.allowed_helpers.insert(id);
+        }
+      } else {
+        throw std::invalid_argument("manifest: unknown key '" + key + "'");
+      }
+    }
+    if (!have_point) {
+      throw std::invalid_argument("manifest: extension '" + entry.name +
+                                  "' lacks insertion_point");
+    }
+    if (entry.group.empty()) entry.group = entry.name;
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+}  // namespace xb::xbgp

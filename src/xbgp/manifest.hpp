@@ -1,0 +1,75 @@
+// The xBGP manifest: which extension bytecodes attach where, in what order,
+// and which API functions each may call (paper §2.1).
+//
+// "The VMM is initialized with a manifest containing the extension bytecodes
+// and the points where they must be inserted. Different extension codes can
+// be attached to the same insertion point, and the manifest defines in which
+// order they are executed. The manifest also lists the different xBGP API
+// functions that the bytecode uses."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.hpp"
+#include "xbgp/api.hpp"
+
+namespace xb::xbgp {
+
+struct ManifestEntry {
+  std::string name;
+  Op point = Op::kInit;
+  int order = 0;  // ascending execution order within the insertion point
+  std::set<std::int32_t> allowed_helpers;
+  ebpf::Program program;
+  /// Extension codes with the same group share one persistent memory space
+  /// and one helper-map namespace (paper §2.1: "extension code belonging to
+  /// the same xBGP program can share a dedicated persistent memory space").
+  /// Empty -> the entry name (no sharing).
+  std::string group;
+  /// Expected entry count for the group's helper maps (pre-sizing hint).
+  std::size_t map_capacity_hint = 0;
+};
+
+struct Manifest {
+  std::vector<ManifestEntry> entries;
+
+  Manifest& attach(std::string name, Op point, ebpf::Program program, int order = 0,
+                   std::size_t map_capacity_hint = 0, std::string group = {});
+};
+
+/// Named programs available to the text-form manifest parser.
+class ProgramRegistry {
+ public:
+  void add(ebpf::Program program);
+  [[nodiscard]] const ebpf::Program* find(const std::string& name) const;
+
+ private:
+  std::map<std::string, ebpf::Program> programs_;
+};
+
+/// Helper-name <-> id mapping for manifests and diagnostics.
+[[nodiscard]] std::int32_t helper_id_by_name(const std::string& name);  // -1 if unknown
+[[nodiscard]] const char* helper_name_by_id(std::int32_t id);           // "?" if unknown
+
+/// Insertion-point name -> Op. Throws std::invalid_argument on bad name.
+[[nodiscard]] Op op_by_name(const std::string& name);
+
+/// Parses the text manifest format:
+///
+///   # comment
+///   extension geoloc_receive {
+///     insertion_point BGP_RECEIVE_MESSAGE
+///     order 0
+///     helpers next get_arg get_peer_info add_attr
+///     map_capacity 1000
+///   }
+///
+/// Programs are resolved by extension name from `registry`.
+/// Throws std::invalid_argument on syntax errors or unknown names.
+[[nodiscard]] Manifest parse_manifest(const std::string& text, const ProgramRegistry& registry);
+
+}  // namespace xb::xbgp

@@ -1,0 +1,125 @@
+// Extension memory: ephemeral per-invocation arenas and persistent
+// per-program pools (paper §2.1, "extension utilities").
+//
+// Each extension program gets its own memory spaces; isolation between
+// programs and from the host is enforced by the eBPF region table — only a
+// program's own arenas are ever registered with its VM.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xb::xbgp {
+
+/// Bump allocator over a fixed buffer. Reset between invocations — the paper:
+/// "ephemeral memory is automatically freed when the extension code
+/// terminates its execution".
+class Arena {
+ public:
+  explicit Arena(std::size_t capacity) : buf_(capacity) {}
+
+  /// 8-byte-aligned allocation; nullptr when exhausted.
+  void* alloc(std::size_t size) {
+    const std::size_t aligned = (size + 7) & ~std::size_t{7};
+    if (aligned > buf_.size() - used_) return nullptr;
+    void* out = buf_.data() + used_;
+    used_ += aligned;
+    return out;
+  }
+
+  /// Copies `data` into the arena; nullptr when exhausted.
+  void* store(const void* data, std::size_t size) {
+    void* out = alloc(size);
+    if (out != nullptr && size > 0) std::memcpy(out, data, size);
+    return out;
+  }
+
+  void reset() noexcept { used_ = 0; }
+
+  [[nodiscard]] void* base() noexcept { return buf_.data(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t used_ = 0;
+};
+
+/// Persistent keyed allocations shared by the extension codes of one xBGP
+/// program ("extension code belonging to the same xBGP program can share a
+/// dedicated persistent memory space", §2.1). Backed by one arena so a
+/// single region registration makes every allocation reachable.
+class SharedPool {
+ public:
+  explicit SharedPool(std::size_t capacity) : arena_(capacity) {}
+
+  /// Allocates `size` zeroed bytes under `key`; returns the existing block
+  /// if the key is already allocated (with matching or larger size), or
+  /// nullptr when out of memory.
+  void* get_or_create(std::uint64_t key, std::size_t size) {
+    auto it = blocks_.find(key);
+    if (it != blocks_.end()) return it->second.size >= size ? it->second.ptr : nullptr;
+    void* p = arena_.alloc(size);
+    if (p == nullptr) return nullptr;
+    std::memset(p, 0, size);
+    blocks_.emplace(key, Block{p, size});
+    return p;
+  }
+
+  /// Looks up an existing block; nullptr if the key was never allocated.
+  [[nodiscard]] void* get(std::uint64_t key) const {
+    auto it = blocks_.find(key);
+    return it == blocks_.end() ? nullptr : it->second.ptr;
+  }
+
+  [[nodiscard]] Arena& arena() noexcept { return arena_; }
+
+ private:
+  struct Block {
+    void* ptr;
+    std::size_t size;
+  };
+  Arena arena_;
+  std::unordered_map<std::uint64_t, Block> blocks_;
+};
+
+/// Host-side hash map owned by one extension program and reachable only
+/// through the map_update / map_lookup helpers. Keys are 128-bit (two u64
+/// words); the value 0 is reserved to signal "absent" on lookup.
+class ExtMap {
+ public:
+  void update(std::uint64_t k1, std::uint64_t k2, std::uint64_t value) {
+    map_[Key{k1, k2}] = value;
+  }
+
+  [[nodiscard]] std::uint64_t lookup(std::uint64_t k1, std::uint64_t k2) const {
+    auto it = map_.find(Key{k1, k2});
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+ private:
+  struct Key {
+    std::uint64_t k1;
+    std::uint64_t k2;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // splitmix-style mix of both words.
+      std::uint64_t x = k.k1 ^ (k.k2 * 0x9E3779B97F4A7C15ull);
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+  std::unordered_map<Key, std::uint64_t, KeyHash> map_;
+};
+
+}  // namespace xb::xbgp

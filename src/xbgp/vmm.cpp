@@ -1,0 +1,366 @@
+#include "xbgp/vmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace xb::xbgp {
+
+using ebpf::HelperResult;
+
+Vmm::Vmm(HostApi& host) : Vmm(host, Options{}) {}
+
+Vmm::Vmm(HostApi& host, Options options)
+    : host_(host), options_(options), arena_(options.arena_size) {}
+
+Vmm::~Vmm() = default;
+
+void Vmm::load(const Manifest& manifest) {
+  std::vector<LoadedProgram*> loaded_now;
+  for (const auto& entry : manifest.entries) {
+    if (auto err = ebpf::Verifier::verify(entry.program, entry.allowed_helpers)) {
+      throw std::invalid_argument("verifier rejected '" + entry.name + "' at insn " +
+                                  std::to_string(err->insn_index) + ": " + err->reason);
+    }
+    auto prog = std::make_unique<LoadedProgram>(entry);
+    const std::string& group_name = entry.group.empty() ? entry.name : entry.group;
+    auto [git, created] = groups_.try_emplace(group_name, nullptr);
+    if (created) git->second = std::make_unique<GroupState>(options_.shared_pool_size);
+    git->second->map_capacity_hint =
+        std::max(git->second->map_capacity_hint, entry.map_capacity_hint);
+    prog->group = git->second.get();
+    prog->vm.set_instruction_budget(entry.point == Op::kInit ? options_.init_instruction_budget
+                                                             : options_.instruction_budget);
+    bind_helpers(*prog);
+    chains_[static_cast<std::size_t>(entry.point)].push_back(prog.get());
+    loaded_now.push_back(prog.get());
+    programs_.push_back(std::move(prog));
+  }
+  // The manifest defines execution order within each insertion point.
+  for (auto& chain : chains_) {
+    std::stable_sort(chain.begin(), chain.end(),
+                     [](const LoadedProgram* a, const LoadedProgram* b) {
+                       return a->entry.order < b->entry.order;
+                     });
+  }
+  // Initialisation programs run once, immediately, in chain order.
+  for (LoadedProgram* prog : chains_[static_cast<std::size_t>(Op::kInit)]) {
+    if (std::find(loaded_now.begin(), loaded_now.end(), prog) != loaded_now.end()) {
+      run_init(*prog);
+    }
+  }
+}
+
+void Vmm::unload_all() {
+  for (auto& chain : chains_) chain.clear();
+  programs_.clear();
+  groups_.clear();
+}
+
+void Vmm::run_init(LoadedProgram& prog) {
+  ExecContext ctx;
+  ctx.op = Op::kInit;
+  current_ctx_ = &ctx;
+  arena_.reset();
+  auto& mem = prog.vm.memory();
+  mem.reset_to_base();
+  mem.add_region(arena_.base(), arena_.capacity(), true, "ephemeral-arena");
+  mem.add_region(prog.group->pool.arena().base(), prog.group->pool.arena().capacity(), true, "shared-pool");
+  current_prog_ = &prog;
+  const auto res = prog.vm.run(prog.entry.program, static_cast<std::uint64_t>(Op::kInit));
+  ++prog.runs;
+  current_prog_ = nullptr;
+  current_ctx_ = nullptr;
+  if (res.faulted()) {
+    ++stats_.faults;
+    host_.notify_extension_fault(Op::kInit, prog.entry.name, res.fault.detail);
+  }
+}
+
+Vmm::ChainOutcome Vmm::run_chain(std::vector<LoadedProgram*>& chain, ExecContext& ctx, Op op) {
+  current_ctx_ = &ctx;
+  ChainOutcome out;
+  for (LoadedProgram* prog : chain) {
+    arena_.reset();
+    auto& mem = prog->vm.memory();
+    mem.reset_to_base();
+    mem.add_region(arena_.base(), arena_.capacity(), true, "ephemeral-arena");
+    mem.add_region(prog->group->pool.arena().base(), prog->group->pool.arena().capacity(), true, "shared-pool");
+    current_prog_ = prog;
+    const auto res = prog->vm.run(prog->entry.program, static_cast<std::uint64_t>(op));
+    ++prog->runs;
+    current_prog_ = nullptr;
+    if (res.ok()) {
+      ++stats_.extension_handled;
+      out.handled = true;
+      out.value = res.value;
+      break;
+    }
+    if (res.yielded_next()) {
+      ++stats_.next_yields;
+      continue;  // "delegates the outcome to another one by calling next()"
+    }
+    // Monitored error: stop, notify, fall back to the native default.
+    ++stats_.faults;
+    host_.notify_extension_fault(op, prog->entry.name, res.fault.detail);
+    break;
+  }
+  current_ctx_ = nullptr;
+  return out;
+}
+
+namespace {
+
+/// Reads `len` bytes of VM memory into a span after bounds validation.
+bool vm_read(const ebpf::Vm& vm, std::uint64_t ptr, std::size_t len,
+             std::span<const std::uint8_t>& out) {
+  if (len > 0 && !vm.memory().check(ptr, len, /*write=*/false)) return false;
+  out = std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(ptr), len);
+  return true;
+}
+
+std::uint64_t to_vm_ptr(void* p) { return reinterpret_cast<std::uint64_t>(p); }
+
+}  // namespace
+
+void Vmm::bind_helpers(LoadedProgram& prog) {
+  LoadedProgram* lp = &prog;
+  auto& vm = prog.vm;
+
+  vm.set_helper(helper::kNext, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                                  std::uint64_t) { return HelperResult::next(); });
+
+  vm.set_helper(helper::kGetArg, [this](std::uint64_t id, std::uint64_t, std::uint64_t,
+                                        std::uint64_t, std::uint64_t) {
+    const auto* a = current_ctx_->find_arg(static_cast<std::uint8_t>(id));
+    if (a == nullptr) return HelperResult::ok(0);
+    void* copy = arena_.store(a->data.data(), a->data.size());
+    if (copy == nullptr) return HelperResult::fail("ephemeral arena exhausted in get_arg");
+    return HelperResult::ok(to_vm_ptr(copy));
+  });
+
+  vm.set_helper(helper::kGetArgLen, [this](std::uint64_t id, std::uint64_t, std::uint64_t,
+                                           std::uint64_t, std::uint64_t) {
+    const auto* a = current_ctx_->find_arg(static_cast<std::uint8_t>(id));
+    return HelperResult::ok(a == nullptr ? static_cast<std::uint64_t>(-1) : a->data.size());
+  });
+
+  auto bind_peer = [this](bool src) {
+    return [this, src](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                       std::uint64_t) {
+      PeerInfo info;
+      const bool ok = src ? host_.src_peer_info(*current_ctx_, info)
+                          : host_.peer_info(*current_ctx_, info);
+      if (!ok) return HelperResult::ok(0);
+      void* copy = arena_.store(&info, sizeof(info));
+      if (copy == nullptr) return HelperResult::fail("ephemeral arena exhausted in peer_info");
+      return HelperResult::ok(to_vm_ptr(copy));
+    };
+  };
+  vm.set_helper(helper::kGetPeerInfo, bind_peer(false));
+  vm.set_helper(helper::kGetSrcPeerInfo, bind_peer(true));
+
+  auto bind_get_attr = [this](bool alt) {
+    return [this, alt](std::uint64_t code, std::uint64_t, std::uint64_t, std::uint64_t,
+                       std::uint64_t) {
+      auto attr = alt ? host_.get_attr_alt(*current_ctx_, static_cast<std::uint8_t>(code))
+                      : host_.get_attr(*current_ctx_, static_cast<std::uint8_t>(code));
+      if (!attr) return HelperResult::ok(0);
+      void* block = arena_.alloc(sizeof(AttrHdr) + attr->value.size());
+      if (block == nullptr) return HelperResult::fail("ephemeral arena exhausted in get_attr");
+      AttrHdr hdr;
+      hdr.flags = attr->flags;
+      hdr.code = attr->code;
+      hdr.len = static_cast<std::uint16_t>(attr->value.size());
+      std::memcpy(block, &hdr, sizeof(hdr));
+      if (!attr->value.empty()) {
+        std::memcpy(static_cast<std::uint8_t*>(block) + sizeof(hdr), attr->value.data(),
+                    attr->value.size());
+      }
+      return HelperResult::ok(to_vm_ptr(block));
+    };
+  };
+  vm.set_helper(helper::kGetAttr, bind_get_attr(false));
+  vm.set_helper(helper::kGetAttrAlt, bind_get_attr(true));
+
+  auto bind_put_attr = [this, lp](bool add) {
+    return [this, lp, add](std::uint64_t code, std::uint64_t flags, std::uint64_t ptr,
+                           std::uint64_t len, std::uint64_t) {
+      std::span<const std::uint8_t> data;
+      if (!vm_read(lp->vm, ptr, len, data)) {
+        return HelperResult::fail(add ? "add_attr: bad value pointer"
+                                      : "set_attr: bad value pointer");
+      }
+      bgp::WireAttr attr;
+      attr.flags = static_cast<std::uint8_t>(flags);
+      attr.code = static_cast<std::uint8_t>(code);
+      attr.value.assign(data.begin(), data.end());
+      const bool ok = add ? host_.add_attr(*current_ctx_, std::move(attr))
+                          : host_.set_attr(*current_ctx_, std::move(attr));
+      return HelperResult::ok(ok ? 1 : 0);
+    };
+  };
+  vm.set_helper(helper::kSetAttr, bind_put_attr(false));
+  vm.set_helper(helper::kAddAttr, bind_put_attr(true));
+
+  vm.set_helper(helper::kGetNexthop, [this](std::uint64_t, std::uint64_t, std::uint64_t,
+                                            std::uint64_t, std::uint64_t) {
+    NexthopInfo info;
+    if (!host_.nexthop_info(*current_ctx_, info)) return HelperResult::ok(0);
+    void* copy = arena_.store(&info, sizeof(info));
+    if (copy == nullptr) return HelperResult::fail("ephemeral arena exhausted in get_nexthop");
+    return HelperResult::ok(to_vm_ptr(copy));
+  });
+
+  auto read_key = [lp](std::uint64_t key_ptr, std::uint64_t key_len,
+                       std::string& out) {
+    if (key_len == 0 || key_len > 64) return false;
+    std::span<const std::uint8_t> data;
+    if (!vm_read(lp->vm, key_ptr, key_len, data)) return false;
+    out.assign(reinterpret_cast<const char*>(data.data()), data.size());
+    return true;
+  };
+
+  vm.set_helper(helper::kGetXtra, [this, lp, read_key](std::uint64_t key_ptr,
+                                                       std::uint64_t key_len, std::uint64_t,
+                                                       std::uint64_t, std::uint64_t) {
+    std::string key;
+    if (!read_key(key_ptr, key_len, key)) return HelperResult::fail("get_xtra: bad key");
+    auto blob = host_.get_xtra(key);
+    if (blob.empty()) return HelperResult::ok(0);
+    // Expose the host blob read-only for the remainder of this invocation.
+    lp->vm.memory().add_region(blob.data(), blob.size(), /*writable=*/false, "xtra:" + key);
+    return HelperResult::ok(to_vm_ptr(const_cast<std::uint8_t*>(blob.data())));
+  });
+
+  vm.set_helper(helper::kGetXtraLen, [this, read_key](std::uint64_t key_ptr,
+                                                      std::uint64_t key_len, std::uint64_t,
+                                                      std::uint64_t, std::uint64_t) {
+    std::string key;
+    if (!read_key(key_ptr, key_len, key)) return HelperResult::fail("get_xtra_len: bad key");
+    auto blob = host_.get_xtra(key);
+    return HelperResult::ok(blob.empty() ? static_cast<std::uint64_t>(-1) : blob.size());
+  });
+
+  vm.set_helper(helper::kWriteBuf, [this, lp](std::uint64_t ptr, std::uint64_t len,
+                                              std::uint64_t, std::uint64_t, std::uint64_t) {
+    std::span<const std::uint8_t> data;
+    if (!vm_read(lp->vm, ptr, len, data)) return HelperResult::fail("write_buf: bad pointer");
+    return HelperResult::ok(host_.write_buf(*current_ctx_, data) ? len : 0);
+  });
+
+  vm.set_helper(helper::kCtxMalloc, [this](std::uint64_t size, std::uint64_t, std::uint64_t,
+                                           std::uint64_t, std::uint64_t) {
+    if (size == 0 || size > arena_.capacity()) return HelperResult::ok(0);
+    void* p = arena_.alloc(size);
+    return HelperResult::ok(p == nullptr ? 0 : to_vm_ptr(p));
+  });
+
+  vm.set_helper(helper::kShmNew, [lp](std::uint64_t key, std::uint64_t size, std::uint64_t,
+                                      std::uint64_t, std::uint64_t) {
+    if (size == 0) return HelperResult::ok(0);
+    void* p = lp->group->pool.get_or_create(key, size);
+    return HelperResult::ok(p == nullptr ? 0 : to_vm_ptr(p));
+  });
+
+  vm.set_helper(helper::kShmGet, [lp](std::uint64_t key, std::uint64_t, std::uint64_t,
+                                      std::uint64_t, std::uint64_t) {
+    void* p = lp->group->pool.get(key);
+    return HelperResult::ok(p == nullptr ? 0 : to_vm_ptr(p));
+  });
+
+  vm.set_helper(helper::kMapUpdate, [lp](std::uint64_t map_id, std::uint64_t k1,
+                                         std::uint64_t k2, std::uint64_t value,
+                                         std::uint64_t) {
+    auto [it, inserted] = lp->group->maps.try_emplace(static_cast<std::uint32_t>(map_id));
+    if (inserted && lp->group->map_capacity_hint > 0) {
+      it->second.reserve(lp->group->map_capacity_hint);
+    }
+    it->second.update(k1, k2, value);
+    return HelperResult::ok(1);
+  });
+
+  vm.set_helper(helper::kMapLookup, [lp](std::uint64_t map_id, std::uint64_t k1,
+                                         std::uint64_t k2, std::uint64_t, std::uint64_t) {
+    auto it = lp->group->maps.find(static_cast<std::uint32_t>(map_id));
+    if (it == lp->group->maps.end()) return HelperResult::ok(0);
+    return HelperResult::ok(it->second.lookup(k1, k2));
+  });
+
+  vm.set_helper(helper::kPrint, [this, lp](std::uint64_t ptr, std::uint64_t len, std::uint64_t,
+                                           std::uint64_t, std::uint64_t) {
+    if (len > 4096) return HelperResult::fail("ebpf_print: message too long");
+    std::span<const std::uint8_t> data;
+    if (!vm_read(lp->vm, ptr, len, data)) return HelperResult::fail("ebpf_print: bad pointer");
+    host_.ebpf_print(std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
+    return HelperResult::ok(0);
+  });
+
+  vm.set_helper(helper::kMemcpy, [lp](std::uint64_t dst, std::uint64_t src, std::uint64_t len,
+                                      std::uint64_t, std::uint64_t) {
+    if (len == 0) return HelperResult::ok(dst);
+    if (!lp->vm.memory().check(dst, len, /*write=*/true) ||
+        !lp->vm.memory().check(src, len, /*write=*/false)) {
+      return HelperResult::fail("ebpf_memcpy: bad pointers");
+    }
+    std::memmove(reinterpret_cast<void*>(dst), reinterpret_cast<const void*>(src), len);
+    return HelperResult::ok(dst);
+  });
+
+  vm.set_helper(helper::kRibAddRoute, [this, lp](std::uint64_t prefix_ptr, std::uint64_t nh,
+                                                 std::uint64_t, std::uint64_t, std::uint64_t) {
+    std::span<const std::uint8_t> data;
+    if (!vm_read(lp->vm, prefix_ptr, sizeof(PrefixArg), data)) {
+      return HelperResult::fail("rib_add_route: bad prefix pointer");
+    }
+    PrefixArg arg;
+    std::memcpy(&arg, data.data(), sizeof(arg));
+    const bool ok = host_.rib_add_route(util::Prefix(util::Ipv4Addr(arg.addr), arg.len),
+                                        util::Ipv4Addr(static_cast<std::uint32_t>(nh)));
+    return HelperResult::ok(ok ? 1 : 0);
+  });
+
+  vm.set_helper(helper::kRibLookup, [this, lp](std::uint64_t prefix_ptr, std::uint64_t,
+                                               std::uint64_t, std::uint64_t, std::uint64_t) {
+    std::span<const std::uint8_t> data;
+    if (!vm_read(lp->vm, prefix_ptr, sizeof(PrefixArg), data)) {
+      return HelperResult::fail("rib_lookup: bad prefix pointer");
+    }
+    PrefixArg arg;
+    std::memcpy(&arg, data.data(), sizeof(arg));
+    auto nh = host_.rib_lookup(util::Prefix(util::Ipv4Addr(arg.addr), arg.len));
+    return HelperResult::ok(nh ? nh->value() : 0);
+  });
+
+  vm.set_helper(helper::kSetRouteMeta, [this](std::uint64_t value, std::uint64_t, std::uint64_t,
+                                              std::uint64_t, std::uint64_t) {
+    return HelperResult::ok(
+        host_.set_route_meta(*current_ctx_, static_cast<std::uint32_t>(value)) ? 1 : 0);
+  });
+
+  vm.set_helper(helper::kGetRouteMeta, [this](std::uint64_t, std::uint64_t, std::uint64_t,
+                                              std::uint64_t, std::uint64_t) {
+    auto meta = host_.get_route_meta(*current_ctx_);
+    return HelperResult::ok(meta.value_or(0));
+  });
+
+  auto swap32 = [](std::uint64_t v, std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t) {
+    return HelperResult::ok(util::host_to_be32(static_cast<std::uint32_t>(v)));
+  };
+  vm.set_helper(helper::kHtonl, swap32);
+  vm.set_helper(helper::kNtohl, swap32);
+
+  vm.set_helper(helper::kSqrtU64, [](std::uint64_t v, std::uint64_t, std::uint64_t,
+                                     std::uint64_t, std::uint64_t) {
+    auto root = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(v)));
+    while (root > 0 && root * root > v) --root;
+    while ((root + 1) * (root + 1) <= v) ++root;
+    return HelperResult::ok(root);
+  });
+}
+
+}  // namespace xb::xbgp

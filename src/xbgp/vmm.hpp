@@ -1,0 +1,135 @@
+// The Virtual Machine Manager — the heart of libxbgp (paper §2.1).
+//
+// The VMM attaches verified extension bytecodes to insertion points, exposes
+// the xBGP API to their virtual machines, and multiplexes execution:
+//
+//   "It first checks if there are attached extension bytecodes to the called
+//    xBGP operation. If not, the VMM executes the default function provided
+//    by the implementation. Otherwise, it runs the first extension code
+//    mentioned in the manifest. Two outcomes are possible. First, the
+//    extension code provides a result ... Second, the extension code
+//    delegates the outcome to another one by calling next(). ... While
+//    running extension codes, the VMM also monitors their execution and
+//    stops them in case of error. In this case, it falls back to the default
+//    function and notifies the host implementation of the error."
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/verifier.hpp"
+#include "ebpf/vm.hpp"
+#include "xbgp/context.hpp"
+#include "xbgp/host_api.hpp"
+#include "xbgp/manifest.hpp"
+#include "xbgp/mempool.hpp"
+
+namespace xb::xbgp {
+
+class Vmm {
+ public:
+  struct Options {
+    std::size_t arena_size = 64 * 1024;          // ephemeral, per invocation
+    std::size_t shared_pool_size = 1024 * 1024;  // persistent, per program
+    std::uint64_t instruction_budget = 1'000'000;
+    /// Budget for kInit programs (they may build large tables).
+    std::uint64_t init_instruction_budget = 200'000'000;
+  };
+
+  struct Stats {
+    std::uint64_t invocations = 0;         // execute() calls with a chain attached
+    std::uint64_t extension_handled = 0;   // a program returned a result
+    std::uint64_t next_yields = 0;         // next() delegations
+    std::uint64_t faults = 0;              // programs stopped on error
+    std::uint64_t native_fallbacks = 0;    // chain exhausted or fault -> default
+  };
+
+  explicit Vmm(HostApi& host);  // default Options
+  Vmm(HostApi& host, Options options);
+  ~Vmm();
+
+  Vmm(const Vmm&) = delete;
+  Vmm& operator=(const Vmm&) = delete;
+
+  /// Verifies every entry and attaches it; throws std::invalid_argument with
+  /// the verifier diagnostic on rejection. kInit programs run immediately,
+  /// in manifest order; an init fault unloads that program and notifies the
+  /// host.
+  void load(const Manifest& manifest);
+
+  /// Detaches everything (native behaviour everywhere).
+  void unload_all();
+
+  [[nodiscard]] bool any_attached(Op op) const noexcept {
+    return !chains_[static_cast<std::size_t>(op)].empty();
+  }
+  [[nodiscard]] std::size_t attached_count(Op op) const noexcept {
+    return chains_[static_cast<std::size_t>(op)].size();
+  }
+
+  /// Runs the extension chain for `op`; falls back to `native_default` when
+  /// no chain is attached, every program yields next(), or a program faults.
+  /// `native_default` must be callable as std::uint64_t().
+  template <typename F>
+  std::uint64_t execute(Op op, ExecContext& ctx, F&& native_default) {
+    auto& chain = chains_[static_cast<std::size_t>(op)];
+    if (chain.empty()) return native_default();
+    ++stats_.invocations;
+    const ChainOutcome outcome = run_chain(chain, ctx, op);
+    if (outcome.handled) return outcome.value;
+    ++stats_.native_fallbacks;
+    return native_default();
+  }
+
+  /// True if the most recent execute() was resolved by an extension.
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+  [[nodiscard]] HostApi& host() noexcept { return host_; }
+
+ private:
+  /// Persistent state shared by all extension codes of one xBGP program
+  /// group: the keyed shared-memory pool and the helper maps.
+  struct GroupState {
+    SharedPool pool;
+    std::unordered_map<std::uint32_t, ExtMap> maps;
+    std::size_t map_capacity_hint = 0;
+
+    explicit GroupState(std::size_t pool_size) : pool(pool_size) {}
+  };
+
+  struct LoadedProgram {
+    ManifestEntry entry;
+    ebpf::Vm vm;
+    GroupState* group = nullptr;  // owned by Vmm::groups_
+    std::uint64_t runs = 0;
+
+    explicit LoadedProgram(ManifestEntry e) : entry(std::move(e)) {}
+  };
+
+  struct ChainOutcome {
+    bool handled = false;
+    std::uint64_t value = 0;
+  };
+
+  ChainOutcome run_chain(std::vector<LoadedProgram*>& chain, ExecContext& ctx, Op op);
+  void bind_helpers(LoadedProgram& prog);
+  void run_init(LoadedProgram& prog);
+  void detach_everywhere(const LoadedProgram* prog);
+
+  HostApi& host_;
+  Options options_;
+  std::unordered_map<std::string, std::unique_ptr<GroupState>> groups_;
+  std::vector<std::unique_ptr<LoadedProgram>> programs_;
+  std::vector<LoadedProgram*> chains_[kOpCount];
+  Arena arena_;  // ephemeral; reset before every program run
+  Stats stats_;
+
+  // Single-threaded execution state, valid while run_chain is on the stack.
+  ExecContext* current_ctx_ = nullptr;
+  LoadedProgram* current_prog_ = nullptr;
+};
+
+}  // namespace xb::xbgp

@@ -1,0 +1,206 @@
+// Path attributes: typed builders/parsers, the attribute set, AS_PATH model,
+// and property-style encode/decode round trips.
+#include <gtest/gtest.h>
+
+#include "bgp/aspath.hpp"
+#include "bgp/attr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xb::bgp;
+using xb::util::ByteReader;
+using xb::util::ByteWriter;
+using xb::util::Ipv4Addr;
+
+TEST(AttributeSet, PutKeepsAscendingCodeOrder) {
+  AttributeSet set;
+  set.put(make_local_pref(100));
+  set.put(make_origin(Origin::kIgp));
+  set.put(make_next_hop(Ipv4Addr::parse("10.0.0.1")));
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.all()[0].code, attr_code::kOrigin);
+  EXPECT_EQ(set.all()[1].code, attr_code::kNextHop);
+  EXPECT_EQ(set.all()[2].code, attr_code::kLocalPref);
+}
+
+TEST(AttributeSet, PutReplacesSameCode) {
+  AttributeSet set;
+  set.put(make_med(1));
+  set.put(make_med(2));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(parse_med(*set.find(attr_code::kMed)), 2u);
+}
+
+TEST(AttributeSet, RemoveAndFind) {
+  AttributeSet set;
+  set.put(make_med(1));
+  EXPECT_TRUE(set.has(attr_code::kMed));
+  EXPECT_TRUE(set.remove(attr_code::kMed));
+  EXPECT_FALSE(set.remove(attr_code::kMed));
+  EXPECT_EQ(set.find(attr_code::kMed), nullptr);
+}
+
+TEST(AttributeSet, EncodeDecodeRoundTrip) {
+  AttributeSet set;
+  set.put(make_origin(Origin::kEgp));
+  set.put(AsPath({65001, 65002}).to_attr());
+  set.put(make_next_hop(Ipv4Addr::parse("192.0.2.1")));
+  set.put(make_med(777));
+  set.put(make_local_pref(200));
+  const std::uint32_t comms[] = {0x00010002, 0xFFFF0000};
+  set.put(make_communities(comms));
+  set.put(make_originator_id(0x0A000001));
+  const std::uint32_t clusters[] = {1, 2, 3};
+  set.put(make_cluster_list(clusters));
+  set.put(make_geoloc(50'850'000, -4'350'000));
+
+  ByteWriter w;
+  set.encode(w);
+  ByteReader r(w.view());
+  const AttributeSet decoded = AttributeSet::decode(r, w.size());
+  EXPECT_EQ(decoded, set);
+}
+
+TEST(AttributeSet, ExtendedLengthRoundTrip) {
+  // A value longer than 255 bytes forces the extended-length encoding.
+  WireAttr big;
+  big.flags = attr_flag::kOptional | attr_flag::kTransitive;
+  big.code = 200;
+  big.value.assign(300, 0xAB);
+  AttributeSet set;
+  set.put(big);
+  ByteWriter w;
+  set.encode(w);
+  ByteReader r(w.view());
+  const AttributeSet decoded = AttributeSet::decode(r, w.size());
+  ASSERT_TRUE(decoded.has(200));
+  EXPECT_EQ(decoded.find(200)->value.size(), 300u);
+  EXPECT_EQ(decoded, set);
+}
+
+TEST(AttributeSet, RandomisedRoundTrip) {
+  // Property sweep: random attribute sets survive encode -> decode.
+  xb::util::Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    AttributeSet set;
+    const std::size_t n = rng.below(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      WireAttr attr;
+      attr.code = static_cast<std::uint8_t>(11 + rng.below(200));
+      attr.flags = attr_flag::kOptional |
+                   (rng.chance(0.5) ? attr_flag::kTransitive : std::uint8_t{0});
+      attr.value.resize(rng.below(300));
+      for (auto& b : attr.value) b = static_cast<std::uint8_t>(rng.below(256));
+      set.put(std::move(attr));
+    }
+    ByteWriter w;
+    set.encode(w);
+    ByteReader r(w.view());
+    EXPECT_EQ(AttributeSet::decode(r, w.size()), set) << "iteration " << iter;
+  }
+}
+
+TEST(TypedAttrs, OriginRejectsBadValues) {
+  EXPECT_EQ(parse_origin(WireAttr{0x40, attr_code::kOrigin, {3}}), std::nullopt);
+  EXPECT_EQ(parse_origin(WireAttr{0x40, attr_code::kOrigin, {0, 0}}), std::nullopt);
+  EXPECT_EQ(parse_origin(make_origin(Origin::kIgp)), Origin::kIgp);
+}
+
+TEST(TypedAttrs, NextHopSize) {
+  EXPECT_EQ(parse_next_hop(WireAttr{0x40, attr_code::kNextHop, {1, 2, 3}}), std::nullopt);
+  EXPECT_EQ(parse_next_hop(make_next_hop(Ipv4Addr::parse("1.2.3.4"))),
+            Ipv4Addr::parse("1.2.3.4"));
+}
+
+TEST(TypedAttrs, GeoLocRoundTrip) {
+  auto attr = make_geoloc(-33'868'800, 151'209'300);  // Sydney
+  auto parsed = parse_geoloc(attr);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->lat_microdeg, -33'868'800);
+  EXPECT_EQ(parsed->lon_microdeg, 151'209'300);
+}
+
+TEST(TypedAttrs, CommunitiesRoundTrip) {
+  const std::uint32_t comms[] = {0xFFFF029A, 0x00640001};
+  auto parsed = parse_communities(make_communities(comms));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], 0xFFFF029Au);
+}
+
+// --- AS_PATH -------------------------------------------------------------------
+
+TEST(AsPath, PrependBuildsSequence) {
+  AsPath path;
+  path.prepend(3);
+  path.prepend(2);
+  path.prepend(1);
+  EXPECT_EQ(path.length(), 3u);
+  EXPECT_EQ(path.first_asn(), 1u);
+  EXPECT_EQ(path.origin_asn(), 3u);
+  EXPECT_EQ(path.flatten(), (std::vector<Asn>{1, 2, 3}));
+}
+
+TEST(AsPath, SetCountsOnce) {
+  AsPath path({1, 2});
+  // Manually add an AS_SET segment via the wire form.
+  auto attr = path.to_attr();
+  attr.value.push_back(1);  // type AS_SET
+  attr.value.push_back(2);  // two members
+  for (Asn asn : {Asn{7}, Asn{8}}) {
+    attr.value.push_back(static_cast<std::uint8_t>(asn >> 24));
+    attr.value.push_back(static_cast<std::uint8_t>(asn >> 16));
+    attr.value.push_back(static_cast<std::uint8_t>(asn >> 8));
+    attr.value.push_back(static_cast<std::uint8_t>(asn));
+  }
+  auto parsed = AsPath::from_attr(attr);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->length(), 3u);  // 2 + 1 for the set
+  EXPECT_TRUE(parsed->contains(8));
+  EXPECT_EQ(parsed->origin_asn(), std::nullopt);  // path ends in a set
+}
+
+TEST(AsPath, ContainsAdjacentPair) {
+  AsPath path({10, 20, 30});
+  EXPECT_TRUE(path.contains_adjacent_pair(10, 20));
+  EXPECT_TRUE(path.contains_adjacent_pair(20, 30));
+  EXPECT_FALSE(path.contains_adjacent_pair(30, 20));
+  EXPECT_FALSE(path.contains_adjacent_pair(10, 30));
+}
+
+TEST(AsPath, WireRoundTrip) {
+  xb::util::Rng rng(99);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Asn> asns;
+    const std::size_t n = 1 + rng.below(12);
+    for (std::size_t i = 0; i < n; ++i) asns.push_back(static_cast<Asn>(rng.below(1u << 31)));
+    AsPath path(asns);
+    auto parsed = AsPath::from_attr(path.to_attr());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, path);
+  }
+}
+
+TEST(AsPath, FromAttrRejectsMalformed) {
+  EXPECT_EQ(AsPath::from_attr(WireAttr{0x40, attr_code::kAsPath, {2}}), std::nullopt);
+  EXPECT_EQ(AsPath::from_attr(WireAttr{0x40, attr_code::kAsPath, {9, 1, 0, 0, 0, 1}}),
+            std::nullopt);  // bad segment type
+  EXPECT_EQ(AsPath::from_attr(WireAttr{0x40, attr_code::kAsPath, {2, 2, 0, 0, 0, 1}}),
+            std::nullopt);  // count says 2, bytes for 1
+  EXPECT_EQ(AsPath::from_attr(WireAttr{0x40, attr_code::kAsPath, {2, 0}}),
+            std::nullopt);  // zero-length segment
+}
+
+TEST(AsPath, PrependSplitsFullSegment) {
+  AsPath path;
+  for (int i = 0; i < 256; ++i) path.prepend(static_cast<Asn>(i + 1));
+  EXPECT_EQ(path.length(), 256u);
+  ASSERT_EQ(path.segments().size(), 2u);
+  EXPECT_EQ(path.segments()[0].asns.size(), 1u);
+  EXPECT_EQ(path.segments()[1].asns.size(), 255u);
+  auto parsed = AsPath::from_attr(path.to_attr());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, path);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Message codec: framing, OPEN/UPDATE/NOTIFICATION/KEEPALIVE round trips,
+// malformed-input handling mapped to RFC 4271 error codes.
+#include <gtest/gtest.h>
+
+#include "bgp/aspath.hpp"
+#include "bgp/codec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xb::bgp;
+using xb::util::Ipv4Addr;
+using xb::util::Prefix;
+
+Message roundtrip(const Message& m) {
+  const auto wire = encode(m);
+  const auto frame = try_frame(wire);
+  EXPECT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->total_length, wire.size());
+  return decode_body(frame->type, frame->body);
+}
+
+TEST(Codec, KeepaliveRoundTrip) {
+  const auto wire = encode_keepalive();
+  EXPECT_EQ(wire.size(), kHeaderSize);
+  auto m = roundtrip(KeepaliveMessage{});
+  EXPECT_TRUE(std::holds_alternative<KeepaliveMessage>(m));
+}
+
+TEST(Codec, OpenRoundTripWith4OctetAs) {
+  OpenMessage open;
+  open.asn = 396558;  // > 16 bits: needs the RFC 6793 capability
+  open.hold_time = 180;
+  open.bgp_id = 0xC0000201;
+  auto m = roundtrip(open);
+  auto& decoded = std::get<OpenMessage>(m);
+  EXPECT_EQ(decoded.asn, 396558u);
+  EXPECT_EQ(decoded.my_as_2octet, OpenMessage::kAsTrans);
+  EXPECT_EQ(decoded.hold_time, 180);
+  EXPECT_EQ(decoded.bgp_id, 0xC0000201u);
+}
+
+TEST(Codec, OpenSmallAsn) {
+  OpenMessage open;
+  open.asn = 65001;
+  open.bgp_id = 1;
+  auto decoded = std::get<OpenMessage>(roundtrip(open));
+  EXPECT_EQ(decoded.asn, 65001u);
+  EXPECT_EQ(decoded.my_as_2octet, 65001);
+}
+
+TEST(Codec, UpdateRoundTrip) {
+  UpdateMessage update;
+  update.withdrawn = {Prefix::parse("10.0.0.0/8"), Prefix::parse("192.0.2.128/25")};
+  update.attrs.put(make_origin(Origin::kIgp));
+  update.attrs.put(AsPath({65001}).to_attr());
+  update.attrs.put(make_next_hop(Ipv4Addr::parse("10.0.0.1")));
+  update.nlri = {Prefix::parse("0.0.0.0/0"), Prefix::parse("203.0.113.0/24"),
+                 Prefix::parse("1.2.3.4/32")};
+  auto decoded = std::get<UpdateMessage>(roundtrip(update));
+  EXPECT_EQ(decoded, update);
+}
+
+TEST(Codec, NotificationRoundTrip) {
+  NotificationMessage notif{NotifCode::kUpdateMessageError, update_err::kMalformedAsPath,
+                            {1, 2, 3}};
+  auto decoded = std::get<NotificationMessage>(roundtrip(notif));
+  EXPECT_EQ(decoded, notif);
+}
+
+TEST(Codec, PrefixEncodingUsesMinimalBytes) {
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));
+  update.attrs.put(AsPath({1}).to_attr());
+  update.attrs.put(make_next_hop(Ipv4Addr(1, 2, 3, 4)));
+  update.nlri = {Prefix::parse("10.0.0.0/8")};
+  const auto wire8 = encode_update(update);
+  update.nlri = {Prefix::parse("10.1.2.0/24")};
+  const auto wire24 = encode_update(update);
+  EXPECT_EQ(wire24.size(), wire8.size() + 2);  // /24 needs 2 more address bytes
+}
+
+TEST(Framing, IncompleteReturnsNullopt) {
+  const auto wire = encode_keepalive();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(try_frame(std::span(wire.data(), len)).has_value()) << len;
+  }
+}
+
+TEST(Framing, TwoMessagesBackToBack) {
+  auto wire = encode_keepalive();
+  const auto second = encode_keepalive();
+  wire.insert(wire.end(), second.begin(), second.end());
+  auto frame = try_frame(wire);
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(frame->total_length, kHeaderSize);
+}
+
+TEST(Framing, BadMarkerThrows) {
+  auto wire = encode_keepalive();
+  wire[3] = 0x00;
+  try {
+    (void)try_frame(wire);
+    FAIL() << "expected DecodeError";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.code(), NotifCode::kMessageHeaderError);
+    EXPECT_EQ(e.subcode(), 1);
+  }
+}
+
+TEST(Framing, BadLengthThrows) {
+  auto wire = encode_keepalive();
+  wire[16] = 0xFF;  // length 0xFF13 > 4096
+  wire[17] = 0x13;
+  EXPECT_THROW((void)try_frame(wire), DecodeError);
+  wire[16] = 0;
+  wire[17] = 5;  // < header size
+  EXPECT_THROW((void)try_frame(wire), DecodeError);
+}
+
+TEST(Framing, BadTypeThrows) {
+  auto wire = encode_keepalive();
+  wire[18] = 9;
+  try {
+    (void)try_frame(wire);
+    FAIL() << "expected DecodeError";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.subcode(), 3);
+  }
+}
+
+TEST(Decode, TruncatedUpdateThrows) {
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));
+  update.nlri = {Prefix::parse("10.0.0.0/8")};
+  auto wire = encode_update(update);
+  // Chop into the middle of the attribute section (the ORIGIN attribute is
+  // the last 4 body bytes before the 2-byte NLRI).
+  std::span<const std::uint8_t> body(wire.data() + kHeaderSize,
+                                     wire.size() - kHeaderSize - 5);
+  EXPECT_THROW((void)decode_update(body), DecodeError);
+}
+
+TEST(Decode, PrefixLengthOver32Throws) {
+  // Craft: 0 withdrawn, 0 attrs, one NLRI with length 40.
+  std::vector<std::uint8_t> body{0, 0, 0, 0, 40, 1, 2, 3, 4, 5};
+  EXPECT_THROW((void)decode_update(body), DecodeError);
+}
+
+TEST(Decode, KeepaliveWithBodyThrows) {
+  std::vector<std::uint8_t> body{1};
+  EXPECT_THROW((void)decode_body(MessageType::kKeepalive, body), DecodeError);
+}
+
+TEST(Decode, OpenBadVersionThrows) {
+  OpenMessage open;
+  open.asn = 1;
+  open.bgp_id = 1;
+  auto wire = encode_open(open);
+  wire[kHeaderSize] = 3;  // version byte
+  std::span<const std::uint8_t> body(wire.data() + kHeaderSize, wire.size() - kHeaderSize);
+  EXPECT_THROW((void)decode_open(body), DecodeError);
+}
+
+TEST(Codec, OversizedUpdateThrows) {
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));
+  for (std::uint32_t i = 0; i < 1200; ++i) {
+    update.nlri.push_back(Prefix(Ipv4Addr(i << 8), 24));
+  }
+  EXPECT_THROW((void)encode_update(update), std::length_error);
+}
+
+TEST(Codec, RandomisedUpdateRoundTrip) {
+  xb::util::Rng rng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    UpdateMessage update;
+    update.attrs.put(make_origin(Origin::kIgp));
+    std::vector<Asn> path;
+    for (std::size_t i = 0; i < 1 + rng.below(5); ++i) {
+      path.push_back(static_cast<Asn>(1 + rng.below(1 << 30)));
+    }
+    update.attrs.put(AsPath(path).to_attr());
+    update.attrs.put(make_next_hop(Ipv4Addr(static_cast<std::uint32_t>(rng.next()))));
+    const std::size_t n = 1 + rng.below(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      update.nlri.push_back(Prefix(Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                                   static_cast<std::uint8_t>(rng.below(33))));
+    }
+    auto decoded = std::get<UpdateMessage>(roundtrip(update));
+    EXPECT_EQ(decoded, update) << "iteration " << iter;
+  }
+}
+
+}  // namespace

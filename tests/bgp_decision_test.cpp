@@ -1,0 +1,171 @@
+// The RFC 4271 decision process: each tie-break step, ordering properties.
+#include <gtest/gtest.h>
+
+#include "bgp/decision.hpp"
+#include "igp/graph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xb::bgp;
+using xb::util::Ipv4Addr;
+
+RouteView base() {
+  RouteView v;
+  v.local_pref = 100;
+  v.as_path_length = 3;
+  v.origin = Origin::kIgp;
+  v.med = 0;
+  v.neighbor_as = 65001;
+  v.peer_type = PeerType::kEbgp;
+  v.igp_metric_to_nexthop = 10;
+  v.cluster_list_length = 0;
+  v.peer_router_id = 0x0A000001;
+  v.peer_addr = Ipv4Addr::parse("10.0.0.1");
+  return v;
+}
+
+TEST(Decision, HigherLocalPrefWins) {
+  auto a = base();
+  auto b = base();
+  a.local_pref = 200;
+  auto cmp = compare_routes(a, b);
+  EXPECT_TRUE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kLocalPref);
+}
+
+TEST(Decision, ShorterAsPathWins) {
+  auto a = base();
+  auto b = base();
+  b.as_path_length = 5;
+  auto cmp = compare_routes(a, b);
+  EXPECT_TRUE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kAsPathLength);
+}
+
+TEST(Decision, LowerOriginWins) {
+  auto a = base();
+  auto b = base();
+  b.origin = Origin::kIncomplete;
+  auto cmp = compare_routes(a, b);
+  EXPECT_TRUE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kOrigin);
+}
+
+TEST(Decision, MedComparedOnlyWithinSameNeighborAs) {
+  auto a = base();
+  auto b = base();
+  a.med = 10;
+  b.med = 20;
+  EXPECT_EQ(compare_routes(a, b).decided_by, DecisionStep::kMed);
+  EXPECT_TRUE(compare_routes(a, b).first_is_better);
+  b.neighbor_as = 65999;  // different neighbour: MED skipped
+  EXPECT_NE(compare_routes(a, b).decided_by, DecisionStep::kMed);
+}
+
+TEST(Decision, MissingMedTreatedAsZero) {
+  auto a = base();
+  auto b = base();
+  a.med.reset();
+  b.med = 5;
+  auto cmp = compare_routes(a, b);
+  EXPECT_TRUE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kMed);
+}
+
+TEST(Decision, EbgpBeatsIbgp) {
+  auto a = base();
+  auto b = base();
+  b.peer_type = PeerType::kIbgp;
+  auto cmp = compare_routes(a, b);
+  EXPECT_TRUE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kPeerType);
+}
+
+TEST(Decision, LowerIgpMetricWins) {
+  auto a = base();
+  auto b = base();
+  b.igp_metric_to_nexthop = 100;
+  auto cmp = compare_routes(a, b);
+  EXPECT_TRUE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kIgpMetric);
+}
+
+TEST(Decision, ShorterClusterListWins) {
+  auto a = base();
+  auto b = base();
+  b.cluster_list_length = 2;
+  auto cmp = compare_routes(a, b);
+  EXPECT_TRUE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kClusterListLength);
+}
+
+TEST(Decision, LowerRouterIdWins) {
+  auto a = base();
+  auto b = base();
+  b.peer_router_id = 0x0A000002;
+  auto cmp = compare_routes(a, b);
+  EXPECT_TRUE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kRouterId);
+}
+
+TEST(Decision, PeerAddrIsFinalTieBreak) {
+  auto a = base();
+  auto b = base();
+  b.peer_addr = Ipv4Addr::parse("10.0.0.9");
+  auto cmp = compare_routes(a, b);
+  EXPECT_TRUE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kPeerAddr);
+}
+
+TEST(Decision, IdenticalRoutesAreEqual) {
+  auto cmp = compare_routes(base(), base());
+  EXPECT_FALSE(cmp.first_is_better);
+  EXPECT_EQ(cmp.decided_by, DecisionStep::kEqual);
+}
+
+TEST(Decision, StepPrecedenceLocalPrefOverEverything) {
+  auto a = base();
+  auto b = base();
+  a.local_pref = 101;           // a better on step (a)
+  a.as_path_length = 10;        // a worse on every later step
+  a.origin = Origin::kIncomplete;
+  a.igp_metric_to_nexthop = 999;
+  EXPECT_TRUE(better(a, b));
+}
+
+// Antisymmetry property under random views: exactly one of better(a,b),
+// better(b,a) unless fully tied.
+TEST(Decision, AntisymmetryProperty) {
+  xb::util::Rng rng(3);
+  for (int iter = 0; iter < 500; ++iter) {
+    auto mk = [&rng] {
+      RouteView v;
+      v.local_pref = static_cast<std::uint32_t>(rng.below(3)) * 50 + 100;
+      v.as_path_length = rng.below(4);
+      v.origin = static_cast<Origin>(rng.below(3));
+      if (rng.chance(0.5)) v.med = static_cast<std::uint32_t>(rng.below(3));
+      v.neighbor_as = 65000 + static_cast<Asn>(rng.below(2));
+      v.peer_type = rng.chance(0.5) ? PeerType::kEbgp : PeerType::kIbgp;
+      v.igp_metric_to_nexthop = static_cast<std::uint32_t>(rng.below(3));
+      v.cluster_list_length = rng.below(3);
+      v.peer_router_id = static_cast<RouterId>(rng.below(4));
+      v.peer_addr = Ipv4Addr(static_cast<std::uint32_t>(rng.below(4)));
+      return v;
+    };
+    const auto a = mk();
+    const auto b = mk();
+    const auto ab = compare_routes(a, b);
+    const auto ba = compare_routes(b, a);
+    if (ab.decided_by == DecisionStep::kEqual) {
+      EXPECT_EQ(ba.decided_by, DecisionStep::kEqual);
+      EXPECT_FALSE(ab.first_is_better);
+      EXPECT_FALSE(ba.first_is_better);
+    } else {
+      EXPECT_NE(ab.first_is_better, ba.first_is_better) << "iteration " << iter;
+      EXPECT_EQ(ab.decided_by, ba.decided_by);
+    }
+  }
+}
+
+}  // namespace

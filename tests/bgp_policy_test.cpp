@@ -1,0 +1,215 @@
+// The policy engine: match clauses, set actions, entry ordering, defaults,
+// and the FRR-style `match rpki` semantics.
+#include <gtest/gtest.h>
+
+#include "bgp/policy.hpp"
+#include "rpki/roa_hash.hpp"
+#include "rpki/rtr_client.hpp"
+
+namespace {
+
+using namespace xb;
+using namespace xb::bgp::policy;
+using util::Ipv4Addr;
+using util::Prefix;
+
+RouteFacts facts_for(const char* prefix, std::vector<bgp::Asn> path = {65001},
+                     std::vector<std::uint32_t> comms = {}) {
+  static std::vector<bgp::Asn> path_storage;
+  static std::vector<std::uint32_t> comm_storage;
+  path_storage = std::move(path);
+  comm_storage = std::move(comms);
+  RouteFacts facts;
+  facts.prefix = Prefix::parse(prefix);
+  facts.as_path = path_storage;
+  facts.origin_asn = path_storage.empty() ? std::nullopt
+                                          : std::optional(path_storage.back());
+  facts.communities = comm_storage;
+  return facts;
+}
+
+TEST(Policy, EmptyMapUsesDefaultAction) {
+  RouteMap deny("D", Action::kDeny);
+  RouteMap permit("P", Action::kPermit);
+  auto facts = facts_for("10.0.0.0/8");
+  EXPECT_FALSE(deny.evaluate(facts).permitted);
+  EXPECT_TRUE(permit.evaluate(facts).permitted);
+  EXPECT_EQ(deny.evaluate(facts).decided_by_seq, -1);
+}
+
+TEST(Policy, EntriesEvaluateInSeqOrder) {
+  RouteMap map("M", Action::kDeny);
+  map.add_entry(20, Action::kDeny);    // matches everything (no clauses)
+  map.add_entry(10, Action::kPermit);  // added later but lower seq
+  auto facts = facts_for("10.0.0.0/8");
+  const auto verdict = map.evaluate(facts);
+  EXPECT_TRUE(verdict.permitted);
+  EXPECT_EQ(verdict.decided_by_seq, 10);
+}
+
+TEST(Policy, AllMatchesMustHold) {
+  RouteMap map("M", Action::kPermit);
+  auto& entry = map.add_entry(10, Action::kDeny);
+  entry.matches.push_back(std::make_unique<MatchAsPathContains>(666));
+  entry.matches.push_back(std::make_unique<MatchCommunity>(0x00010002));
+  // Only one of the two clauses holds -> entry does not match -> default.
+  auto facts = facts_for("10.0.0.0/8", {666, 65001});
+  EXPECT_TRUE(map.evaluate(facts).permitted);
+  // Both hold -> deny.
+  auto facts2 = facts_for("10.0.0.0/8", {666}, {0x00010002});
+  EXPECT_FALSE(map.evaluate(facts2).permitted);
+}
+
+TEST(Policy, PrefixListGeLe) {
+  MatchPrefixList match({PrefixRule{Prefix::parse("10.0.0.0/8"), 16, 24}});
+  auto inside = facts_for("10.1.0.0/16");
+  auto too_short = facts_for("10.0.0.0/12");
+  auto too_long = facts_for("10.1.2.128/25");
+  auto other = facts_for("11.0.0.0/16");
+  EXPECT_TRUE(match.matches(inside));
+  EXPECT_FALSE(match.matches(too_short));
+  EXPECT_FALSE(match.matches(too_long));
+  EXPECT_FALSE(match.matches(other));
+}
+
+TEST(Policy, PrefixListGeZeroMeansExactLengthLowerBound) {
+  MatchPrefixList match({PrefixRule{Prefix::parse("10.0.0.0/8"), 0, 32}});
+  auto exact = facts_for("10.0.0.0/8");
+  auto longer = facts_for("10.255.0.0/16");
+  EXPECT_TRUE(match.matches(exact));
+  EXPECT_TRUE(match.matches(longer));
+}
+
+TEST(Policy, AsPathLengthBounds) {
+  MatchAsPathLength match(2, 3);
+  auto one = facts_for("10.0.0.0/8", {1});
+  auto two = facts_for("10.0.0.0/8", {1, 2});
+  auto four = facts_for("10.0.0.0/8", {1, 2, 3, 4});
+  EXPECT_FALSE(match.matches(one));
+  EXPECT_TRUE(match.matches(two));
+  EXPECT_FALSE(match.matches(four));
+}
+
+TEST(Policy, NexthopMetricClause) {
+  MatchNexthopMetricAtMost match(100);
+  auto facts = facts_for("10.0.0.0/8");
+  facts.igp_metric_to_nexthop = 100;
+  EXPECT_TRUE(match.matches(facts));
+  facts.igp_metric_to_nexthop = 101;
+  EXPECT_FALSE(match.matches(facts));
+}
+
+TEST(Policy, SetActionsApplyOnlyOnMatchingEntry) {
+  RouteMap map("M", Action::kDeny);
+  auto& miss = map.add_entry(10, Action::kPermit);
+  miss.matches.push_back(std::make_unique<MatchAsPathContains>(999));
+  miss.sets.push_back(std::make_unique<SetLocalPref>(50));
+  auto& hit = map.add_entry(20, Action::kPermit);
+  hit.sets.push_back(std::make_unique<SetLocalPref>(200));
+  hit.sets.push_back(std::make_unique<SetMed>(5));
+  hit.sets.push_back(std::make_unique<AddCommunity>(0xFFFF0001));
+
+  auto facts = facts_for("10.0.0.0/8");
+  EXPECT_TRUE(map.evaluate(facts).permitted);
+  EXPECT_EQ(facts.new_local_pref, 200u);
+  EXPECT_EQ(facts.new_med, 5u);
+  ASSERT_EQ(facts.added_communities.size(), 1u);
+  EXPECT_EQ(facts.added_communities[0], 0xFFFF0001u);
+}
+
+TEST(Policy, MatchRpkiComputesAndRecordsState) {
+  rpki::RoaHashTable table;
+  table.add({Prefix::parse("10.0.0.0/8"), 24, 65001});
+  MatchRpki valid(&table, MatchRpki::Want::kValid);
+  MatchRpki invalid(&table, MatchRpki::Want::kInvalid);
+  MatchRpki any(&table, MatchRpki::Want::kAny);
+
+  auto good = facts_for("10.1.0.0/16", {65001});
+  EXPECT_TRUE(valid.matches(good));
+  EXPECT_EQ(good.new_meta, static_cast<std::uint32_t>(rpki::Validity::kValid));
+
+  auto bad = facts_for("10.1.0.0/16", {64999});
+  EXPECT_TRUE(invalid.matches(bad));
+  EXPECT_EQ(bad.new_meta, static_cast<std::uint32_t>(rpki::Validity::kInvalid));
+
+  auto unknown = facts_for("192.0.2.0/24", {65001});
+  EXPECT_TRUE(any.matches(unknown));
+  EXPECT_EQ(unknown.new_meta, static_cast<std::uint32_t>(rpki::Validity::kNotFound));
+}
+
+TEST(Policy, MatchRpkiNoOriginIsNotFound) {
+  rpki::RoaHashTable table;
+  table.add({Prefix::parse("10.0.0.0/8"), 24, 65001});
+  MatchRpki any(&table, MatchRpki::Want::kAny);
+  auto facts = facts_for("10.0.0.0/8", {});
+  EXPECT_TRUE(any.matches(facts));
+  EXPECT_EQ(facts.new_meta, static_cast<std::uint32_t>(rpki::Validity::kNotFound));
+}
+
+TEST(Policy, StandardImportPolicyDropsBogons) {
+  const auto map = standard_import_policy();
+  auto bogon = facts_for("127.1.2.0/24");
+  EXPECT_FALSE(map.evaluate(bogon).permitted);
+  auto multicast = facts_for("224.1.0.0/16");
+  EXPECT_FALSE(map.evaluate(multicast).permitted);
+  auto normal = facts_for("193.0.0.0/21");
+  EXPECT_TRUE(map.evaluate(normal).permitted);
+}
+
+TEST(Policy, StandardImportPolicyLiftsCustomerPreference) {
+  const auto map = standard_import_policy();
+  auto customer = facts_for("193.0.0.0/21", {65001}, {(65000u << 16) | 100});
+  EXPECT_TRUE(map.evaluate(customer).permitted);
+  EXPECT_EQ(customer.new_local_pref, 200u);
+}
+
+TEST(Policy, StandardImportPolicyDropsAbsurdPaths) {
+  const auto map = standard_import_policy();
+  std::vector<bgp::Asn> long_path(70, 65001);
+  auto facts = facts_for("193.0.0.0/21", std::move(long_path));
+  EXPECT_FALSE(map.evaluate(facts).permitted);
+}
+
+TEST(Policy, StandardImportWithRpkiTagsEveryPermittedRoute) {
+  rpki::RoaHashTable table;
+  table.add({Prefix::parse("193.0.0.0/21"), 24, 65001});
+  const auto map = standard_import_policy(&table);
+  auto facts = facts_for("193.0.0.0/21", {65001});
+  EXPECT_TRUE(map.evaluate(facts).permitted);
+  EXPECT_EQ(facts.new_meta, static_cast<std::uint32_t>(rpki::Validity::kValid));
+}
+
+TEST(Policy, StandardExportPolicyDropsPrivateSpace) {
+  const auto map = standard_export_policy();
+  auto rfc1918 = facts_for("192.168.10.0/24");
+  EXPECT_FALSE(map.evaluate(rfc1918).permitted);
+  auto public_prefix = facts_for("193.0.0.0/21");
+  EXPECT_TRUE(map.evaluate(public_prefix).permitted);
+}
+
+TEST(Policy, ClauseTelemetryAccumulates) {
+  const auto map = standard_import_policy();
+  auto facts = facts_for("193.0.0.0/21");
+  (void)map.evaluate(facts);
+  EXPECT_GT(map.clauses_evaluated(), 0u);
+}
+
+TEST(Policy, DescribeRendersReadableConfig) {
+  const auto map = standard_import_policy();
+  const auto text = map.describe();
+  EXPECT_NE(text.find("route-map IMPORT"), std::string::npos);
+  EXPECT_NE(text.find("prefix-list"), std::string::npos);
+  EXPECT_NE(text.find("permit 40"), std::string::npos);
+}
+
+TEST(LockedRoaTable, DelegatesWithSameSemantics) {
+  rpki::RoaHashTable inner;
+  rpki::LockedRoaTable locked(inner);
+  locked.add({Prefix::parse("10.0.0.0/8"), 24, 65001});
+  EXPECT_EQ(locked.size(), 1u);
+  EXPECT_EQ(locked.validate(Prefix::parse("10.1.0.0/16"), 65001), rpki::Validity::kValid);
+  EXPECT_EQ(locked.validate(Prefix::parse("10.1.0.0/16"), 64999), rpki::Validity::kInvalid);
+  EXPECT_EQ(locked.validate(Prefix::parse("192.0.2.0/24"), 65001), rpki::Validity::kNotFound);
+}
+
+}  // namespace

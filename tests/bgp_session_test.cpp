@@ -1,0 +1,189 @@
+// PeerSession: handshake FSM, update delivery, error paths, timers.
+#include <gtest/gtest.h>
+
+#include "bgp/aspath.hpp"
+#include "bgp/peer_session.hpp"
+
+namespace {
+
+using namespace xb::bgp;
+using namespace xb::net;
+using xb::util::Ipv4Addr;
+using xb::util::Prefix;
+
+struct Pair {
+  EventLoop loop;
+  Duplex link{loop, 1000};
+  PeerSession a;
+  PeerSession b;
+
+  explicit Pair(std::uint16_t hold = kDefaultHoldTime, std::uint32_t keepalive = 10)
+      : a(loop, link.a(),
+          {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+           .local_addr = Ipv4Addr::parse("10.0.0.1"), .peer_addr = Ipv4Addr::parse("10.0.0.2"),
+           .hold_time = hold, .keepalive_interval = keepalive}),
+        b(loop, link.b(),
+          {.local_asn = 65002, .peer_asn = 65001, .local_id = 2,
+           .local_addr = Ipv4Addr::parse("10.0.0.2"), .peer_addr = Ipv4Addr::parse("10.0.0.1"),
+           .hold_time = hold, .keepalive_interval = keepalive}) {}
+};
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+TEST(Session, HandshakeReachesEstablished) {
+  Pair p;
+  int established = 0;
+  p.a.on_established = [&] { ++established; };
+  p.b.on_established = [&] { ++established; };
+  p.a.start();
+  p.b.start();
+  p.loop.run_until(kSec);
+  EXPECT_EQ(p.a.state(), SessionState::kEstablished);
+  EXPECT_EQ(p.b.state(), SessionState::kEstablished);
+  EXPECT_EQ(established, 2);
+  EXPECT_EQ(p.a.peer_id(), 2u);
+  EXPECT_EQ(p.b.peer_id(), 1u);
+}
+
+TEST(Session, UpdateDeliveredWithRawBytes) {
+  Pair p;
+  UpdateMessage received;
+  std::size_t raw_len = 0;
+  p.b.on_update = [&](UpdateMessage&& u, std::span<const std::uint8_t> raw) {
+    received = std::move(u);
+    raw_len = raw.size();
+  };
+  p.a.start();
+  p.b.start();
+  p.loop.run_until(kSec);
+
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));
+  update.attrs.put(AsPath({65001}).to_attr());
+  update.attrs.put(make_next_hop(Ipv4Addr::parse("10.0.0.1")));
+  update.nlri = {Prefix::parse("192.0.2.0/24")};
+  p.a.send_update(update);
+  p.loop.run_until(2 * kSec);
+
+  EXPECT_EQ(received, update);
+  EXPECT_EQ(raw_len, encode_update(update).size());
+  EXPECT_EQ(p.b.updates_received(), 1u);
+}
+
+TEST(Session, AsnMismatchTearsDown) {
+  EventLoop loop;
+  Duplex link(loop, 0);
+  PeerSession good(loop, link.a(),
+                   {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+                    .local_addr = Ipv4Addr(1), .peer_addr = Ipv4Addr(2)});
+  // This side expects 64999 but the peer is 65001.
+  PeerSession picky(loop, link.b(),
+                    {.local_asn = 65002, .peer_asn = 64999, .local_id = 2,
+                     .local_addr = Ipv4Addr(2), .peer_addr = Ipv4Addr(1)});
+  std::string reason;
+  picky.on_down = [&](const std::string& r) { reason = r; };
+  good.start();
+  picky.start();
+  loop.run_until(kSec);
+  EXPECT_EQ(picky.state(), SessionState::kIdle);
+  EXPECT_EQ(good.state(), SessionState::kIdle);  // got the NOTIFICATION
+  EXPECT_NE(reason.find("unexpected peer AS"), std::string::npos);
+}
+
+TEST(Session, HoldTimerExpiresWithoutKeepalives) {
+  // a sends keepalives every 10 s, b never does (keepalive 0) -> a's hold
+  // timer (30 s) fires.
+  EventLoop loop;
+  Duplex link(loop, 0);
+  PeerSession a(loop, link.a(),
+                {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+                 .local_addr = Ipv4Addr(1), .peer_addr = Ipv4Addr(2),
+                 .hold_time = 30, .keepalive_interval = 10});
+  PeerSession b(loop, link.b(),
+                {.local_asn = 65002, .peer_asn = 65001, .local_id = 2,
+                 .local_addr = Ipv4Addr(2), .peer_addr = Ipv4Addr(1),
+                 .hold_time = 30, .keepalive_interval = 0});
+  std::string reason;
+  a.on_down = [&](const std::string& r) { reason = r; };
+  a.start();
+  b.start();
+  loop.run_until(120 * kSec);
+  EXPECT_EQ(a.state(), SessionState::kIdle);
+  EXPECT_NE(reason.find("hold timer"), std::string::npos);
+}
+
+TEST(Session, KeepalivesKeepSessionAlive) {
+  Pair p(/*hold=*/30, /*keepalive=*/10);
+  p.a.start();
+  p.b.start();
+  p.loop.run_until(300 * kSec);
+  EXPECT_EQ(p.a.state(), SessionState::kEstablished);
+  EXPECT_EQ(p.b.state(), SessionState::kEstablished);
+}
+
+TEST(Session, StopSendsCease) {
+  Pair p;
+  p.a.start();
+  p.b.start();
+  p.loop.run_until(kSec);
+  std::string reason;
+  p.b.on_down = [&](const std::string& r) { reason = r; };
+  p.a.stop();
+  p.loop.run_until(2 * kSec);
+  EXPECT_EQ(p.a.state(), SessionState::kIdle);
+  EXPECT_EQ(p.b.state(), SessionState::kIdle);
+  EXPECT_NE(reason.find("NOTIFICATION"), std::string::npos);
+}
+
+TEST(Session, UpdateBeforeEstablishedIsFsmError) {
+  EventLoop loop;
+  Duplex link(loop, 0);
+  PeerSession a(loop, link.a(),
+                {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+                 .local_addr = Ipv4Addr(1), .peer_addr = Ipv4Addr(2)});
+  a.start();
+  // Inject an UPDATE directly, before any OPEN.
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));
+  link.b().write(encode_update(update));
+  loop.run_until(kSec);
+  EXPECT_EQ(a.state(), SessionState::kIdle);
+}
+
+TEST(Session, CorruptMarkerTearsDown) {
+  Pair p;
+  p.a.start();
+  p.b.start();
+  p.loop.run_until(kSec);
+  std::vector<std::uint8_t> garbage(19, 0x00);
+  p.link.a().write(garbage);
+  p.loop.run_until(2 * kSec);
+  EXPECT_EQ(p.b.state(), SessionState::kIdle);
+}
+
+TEST(Session, FragmentedDeliveryReassembles) {
+  Pair p;
+  UpdateMessage received;
+  p.b.on_update = [&](UpdateMessage&& u, std::span<const std::uint8_t>) {
+    received = std::move(u);
+  };
+  p.a.start();
+  p.b.start();
+  p.loop.run_until(kSec);
+
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));
+  update.attrs.put(AsPath({65001}).to_attr());
+  update.attrs.put(make_next_hop(Ipv4Addr::parse("10.0.0.1")));
+  update.nlri = {Prefix::parse("192.0.2.0/24")};
+  const auto wire = encode_update(update);
+  // Deliver byte by byte; the session must buffer and reassemble.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    p.link.a().write(std::span(wire.data() + i, 1));
+    p.loop.run_until(p.loop.now() + 10);
+  }
+  p.loop.run_until(p.loop.now() + kSec);
+  EXPECT_EQ(received, update);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// eBPF conformance: table-driven edge-semantics cases in the spirit of
+// ubpf's conformance suite. Each case builds a tiny program, runs it with
+// fixed inputs, and checks the exact 64-bit result.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "ebpf/assembler.hpp"
+#include "ebpf/vm.hpp"
+
+namespace {
+
+using namespace xb::ebpf;
+
+struct Case {
+  const char* name;
+  std::function<void(Assembler&)> emit;  // program body; r1/r2 preloaded
+  std::uint64_t r1 = 0;
+  std::uint64_t r2 = 0;
+  std::uint64_t expected = 0;
+};
+
+class Conformance : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Conformance, Exact) {
+  const Case& c = GetParam();
+  Assembler a;
+  c.emit(a);
+  a.exit_();
+  Vm vm;
+  const auto res = vm.run(a.build(c.name), c.r1, c.r2);
+  ASSERT_TRUE(res.ok()) << res.fault.detail;
+  EXPECT_EQ(res.value, c.expected) << c.name;
+}
+
+const Case kCases[] = {
+    // --- mov semantics -------------------------------------------------------
+    {"mov32_negative_imm_zero_extends",
+     [](Assembler& a) { a.mov32(Reg::R0, -1); }, 0, 0, 0x00000000FFFFFFFFull},
+    {"mov64_negative_imm_sign_extends",
+     [](Assembler& a) { a.mov64(Reg::R0, -1); }, 0, 0, 0xFFFFFFFFFFFFFFFFull},
+    {"mov32_reg_truncates",
+     [](Assembler& a) {
+       a.mov32(Reg::R0, Reg::R1);
+     }, 0xAABBCCDD11223344ull, 0, 0x11223344ull},
+
+    // --- 32-bit arithmetic wraps and zero-extends ------------------------------
+    {"add32_wraps",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.add32(Reg::R0, 1);
+     }, 0xFFFFFFFFull, 0, 0},
+    {"mul32_truncates",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.mul32(Reg::R0, 0x10000);
+     }, 0x10001ull, 0, 0x00010000ull},
+    {"neg32_wraps",
+     [](Assembler& a) {
+       a.mov32(Reg::R0, 0);
+       a.sub32(Reg::R0, Reg::R1);
+     }, 5, 0, 0xFFFFFFFBull},
+
+    // --- shifts mask their amounts ---------------------------------------------
+    {"lsh64_by_reg_masks_to_63",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.lsh64(Reg::R0, Reg::R2);
+     }, 1, 64, 1},  // 64 & 63 == 0
+    {"rsh32_by_reg_masks_to_31",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.rsh32(Reg::R0, 0);  // keep 32-bit context
+       a.mov64(Reg::R2, 32);
+       a.lsh64(Reg::R0, 0);
+     }, 0xF0F0F0F0ull, 0, 0xF0F0F0F0ull},
+    {"arsh64_propagates_sign",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.arsh64(Reg::R0, 4);
+     }, 0x8000000000000000ull, 0, 0xF800000000000000ull},
+
+    // --- division/modulo -------------------------------------------------------
+    {"div64_truncates_toward_zero",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.div64(Reg::R0, Reg::R2);
+     }, 7, 2, 3},
+    {"div64_is_unsigned",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.div64(Reg::R0, Reg::R2);
+     }, 0xFFFFFFFFFFFFFFFFull, 2, 0x7FFFFFFFFFFFFFFFull},
+    {"mod64_is_unsigned",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.mod64(Reg::R0, Reg::R2);
+     }, 0xFFFFFFFFFFFFFFFFull, 10, 5},
+    {"div32_uses_low_words",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.div64(Reg::R0, 1);   // keep r0
+       a.mov32(Reg::R0, Reg::R0);
+       a.div64(Reg::R0, Reg::R2);
+     }, 0xAAAAAAAA00000064ull, 10, 10},  // low word 100 / 10
+
+    // --- bitwise ----------------------------------------------------------------
+    {"and_or_xor_chain",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.and64(Reg::R0, 0x0F0F);
+       a.or64(Reg::R0, 0x1000);
+       a.xor64(Reg::R0, 0x0001);
+     }, 0xFFFFull, 0, ((0xFFFFull & 0x0F0F) | 0x1000) ^ 0x0001},
+
+    // --- jumps: unsigned vs signed ------------------------------------------------
+    {"jgt_is_unsigned",
+     [](Assembler& a) {
+       auto t = a.make_label();
+       a.mov64(Reg::R0, 0);
+       a.jgt(Reg::R1, Reg::R2, t);  // 0xFFFF... > 1 unsigned -> taken
+       a.exit_();
+       a.place(t);
+       a.mov64(Reg::R0, 1);
+     }, 0xFFFFFFFFFFFFFFFFull, 1, 1},
+    {"jsgt_is_signed",
+     [](Assembler& a) {
+       auto t = a.make_label();
+       a.mov64(Reg::R0, 0);
+       a.jsgt(Reg::R1, 1, t);  // -1 > 1 signed -> not taken
+       a.exit_();
+       a.place(t);
+       a.mov64(Reg::R0, 1);
+     }, 0xFFFFFFFFFFFFFFFFull, 0, 0},
+    {"jset_tests_intersection",
+     [](Assembler& a) {
+       auto t = a.make_label();
+       a.mov64(Reg::R0, 0);
+       a.jset(Reg::R1, 0x8, t);
+       a.exit_();
+       a.place(t);
+       a.mov64(Reg::R0, 1);
+     }, 0xC, 0, 1},
+    {"jeq_imm_sign_extends",
+     [](Assembler& a) {
+       auto t = a.make_label();
+       a.mov64(Reg::R0, 0);
+       a.jeq(Reg::R1, -1, t);  // compares against 0xFFFF...FFFF
+       a.exit_();
+       a.place(t);
+       a.mov64(Reg::R0, 1);
+     }, 0xFFFFFFFFFFFFFFFFull, 0, 1},
+
+    // --- lddw -----------------------------------------------------------------------
+    {"lddw_low_word_not_sign_extended",
+     [](Assembler& a) { a.lddw(Reg::R0, 0x00000000FFFFFFFFull); }, 0, 0,
+     0x00000000FFFFFFFFull},
+    {"lddw_full_64",
+     [](Assembler& a) { a.lddw(Reg::R0, 0x8000000000000001ull); }, 0, 0,
+     0x8000000000000001ull},
+
+    // --- byte swaps --------------------------------------------------------------------
+    {"be16_swaps_low_half",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.to_be(Reg::R0, 16);
+     }, 0x1234ull, 0, 0x3412ull},
+    {"le64_is_identity_on_le_host",
+     [](Assembler& a) {
+       a.mov64(Reg::R0, Reg::R1);
+       a.to_le(Reg::R0, 64);
+     }, 0x0102030405060708ull, 0, 0x0102030405060708ull},
+
+    // --- memory widths --------------------------------------------------------------------
+    {"store_byte_load_word_little_endian",
+     [](Assembler& a) {
+       a.stw(Reg::R10, -4, 0);
+       a.stb(Reg::R10, -4, 0xAA);
+       a.stb(Reg::R10, -3, 0xBB);
+       a.ldxw(Reg::R0, Reg::R10, -4);
+     }, 0, 0, 0x0000BBAAull},
+    {"store_imm_dw_sign_extends",
+     [](Assembler& a) {
+       a.stdw(Reg::R10, -8, -2);
+       a.ldxdw(Reg::R0, Reg::R10, -8);
+     }, 0, 0, 0xFFFFFFFFFFFFFFFEull},
+    {"unaligned_access_is_allowed",
+     [](Assembler& a) {
+       a.stdw(Reg::R10, -16, 0);
+       a.stdw(Reg::R10, -8, 0);
+       a.lddw(Reg::R1, 0x1122334455667788ull);
+       a.stxdw(Reg::R10, -11, Reg::R1);
+       a.ldxdw(Reg::R0, Reg::R10, -11);
+     }, 0, 0, 0x1122334455667788ull},
+};
+
+INSTANTIATE_TEST_SUITE_P(Table, Conformance, ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace

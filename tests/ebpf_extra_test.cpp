@@ -1,0 +1,254 @@
+// Additional eBPF coverage: immediate-operand ALU semantics, 32-bit ALU
+// sweeps, assembler misuse diagnostics, instruction accounting.
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.hpp"
+#include "ebpf/disasm.hpp"
+#include "ebpf/vm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xb::ebpf;
+
+std::uint64_t run_ok(Vm& vm, const Program& p, std::uint64_t r1 = 0) {
+  auto res = vm.run(p, r1);
+  EXPECT_TRUE(res.ok()) << res.fault.detail;
+  return res.value;
+}
+
+// --- immediate-operand 64-bit ALU vs reference -------------------------------
+
+struct ImmCase {
+  const char* name;
+  void (*emit)(Assembler&, Reg, std::int32_t);
+  std::uint64_t (*reference)(std::uint64_t, std::int32_t);
+};
+
+class AluImmTest : public ::testing::TestWithParam<ImmCase> {};
+
+TEST_P(AluImmTest, MatchesReference) {
+  const ImmCase& c = GetParam();
+  constexpr std::int32_t kImms[] = {1, 2, 7, 0x7FFFFFFF, -1, -128};
+  constexpr std::uint64_t kValues[] = {0, 1, 0xFFFFFFFFull, 0x8000000000000000ull,
+                                       0x0123456789ABCDEFull};
+  Vm vm;
+  for (std::int32_t imm : kImms) {
+    Assembler a;
+    a.mov64(Reg::R0, Reg::R1);
+    c.emit(a, Reg::R0, imm);
+    a.exit_();
+    const Program p = a.build(c.name);
+    for (std::uint64_t x : kValues) {
+      EXPECT_EQ(run_ok(vm, p, x), c.reference(x, imm))
+          << c.name << "(" << x << ", " << imm << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, AluImmTest,
+    ::testing::Values(
+        ImmCase{"add_imm", [](Assembler& a, Reg d, std::int32_t i) { a.add64(d, i); },
+                [](std::uint64_t x, std::int32_t i) {
+                  return x + static_cast<std::uint64_t>(static_cast<std::int64_t>(i));
+                }},
+        ImmCase{"sub_imm", [](Assembler& a, Reg d, std::int32_t i) { a.sub64(d, i); },
+                [](std::uint64_t x, std::int32_t i) {
+                  return x - static_cast<std::uint64_t>(static_cast<std::int64_t>(i));
+                }},
+        ImmCase{"mul_imm", [](Assembler& a, Reg d, std::int32_t i) { a.mul64(d, i); },
+                [](std::uint64_t x, std::int32_t i) {
+                  return x * static_cast<std::uint64_t>(static_cast<std::int64_t>(i));
+                }},
+        ImmCase{"and_imm", [](Assembler& a, Reg d, std::int32_t i) { a.and64(d, i); },
+                [](std::uint64_t x, std::int32_t i) {
+                  // Immediates sign-extend to 64 bits in eBPF.
+                  return x & static_cast<std::uint64_t>(static_cast<std::int64_t>(i));
+                }},
+        ImmCase{"or_imm", [](Assembler& a, Reg d, std::int32_t i) { a.or64(d, i); },
+                [](std::uint64_t x, std::int32_t i) {
+                  return x | static_cast<std::uint64_t>(static_cast<std::int64_t>(i));
+                }},
+        ImmCase{"xor_imm", [](Assembler& a, Reg d, std::int32_t i) { a.xor64(d, i); },
+                [](std::uint64_t x, std::int32_t i) {
+                  return x ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(i));
+                }},
+        ImmCase{"mov_imm", [](Assembler& a, Reg d, std::int32_t i) { a.mov64(d, i); },
+                [](std::uint64_t, std::int32_t i) {
+                  return static_cast<std::uint64_t>(static_cast<std::int64_t>(i));
+                }}),
+    [](const ::testing::TestParamInfo<ImmCase>& info) { return info.param.name; });
+
+TEST(AluImm, DivModByImmediate) {
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.div64(Reg::R0, 7);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("div7"), 100), 14u);
+  Assembler b;
+  b.mov64(Reg::R0, Reg::R1);
+  b.mod64(Reg::R0, 7);
+  b.exit_();
+  EXPECT_EQ(run_ok(vm, b.build("mod7"), 100), 2u);
+}
+
+TEST(AluImm, ShiftByImmediate) {
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.lsh64(Reg::R0, 4);
+  a.rsh64(Reg::R0, 1);
+  a.arsh64(Reg::R0, 2);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("shifts"), 1), (1ull << 4 >> 1) >> 2);
+}
+
+// --- randomized algebraic properties -----------------------------------------
+
+TEST(Property, AddSubIsIdentity) {
+  xb::util::Rng rng(77);
+  Vm vm;
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.add64(Reg::R0, Reg::R2);
+  a.sub64(Reg::R0, Reg::R2);
+  a.exit_();
+  const Program p = a.build("addsub");
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t x = rng.next();
+    auto res = vm.run(p, x, rng.next());
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value, x);
+  }
+}
+
+TEST(Property, DoubleByteSwapIsIdentity) {
+  xb::util::Rng rng(78);
+  Vm vm;
+  for (std::int32_t width : {16, 32, 64}) {
+    Assembler a;
+    a.mov64(Reg::R0, Reg::R1);
+    a.to_be(Reg::R0, width);
+    a.to_be(Reg::R0, width);
+    a.exit_();
+    const Program p = a.build("swap2");
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t x = rng.next();
+      const std::uint64_t masked =
+          width == 16 ? (x & 0xFFFF) : width == 32 ? (x & 0xFFFFFFFF) : x;
+      EXPECT_EQ(run_ok(vm, p, x), masked);
+    }
+  }
+}
+
+TEST(Property, StoreLoadRoundTripAllSizes) {
+  xb::util::Rng rng(79);
+  Vm vm;
+  struct Case {
+    void (Assembler::*store)(Reg, std::int16_t, Reg);
+    void (Assembler::*load)(Reg, Reg, std::int16_t);
+    std::uint64_t mask;
+  };
+  // Build per-size roundtrip programs.
+  for (int size = 0; size < 4; ++size) {
+    Assembler a;
+    switch (size) {
+      case 0: a.stxb(Reg::R10, -8, Reg::R1); a.ldxb(Reg::R0, Reg::R10, -8); break;
+      case 1: a.stxh(Reg::R10, -8, Reg::R1); a.ldxh(Reg::R0, Reg::R10, -8); break;
+      case 2: a.stxw(Reg::R10, -8, Reg::R1); a.ldxw(Reg::R0, Reg::R10, -8); break;
+      case 3: a.stxdw(Reg::R10, -8, Reg::R1); a.ldxdw(Reg::R0, Reg::R10, -8); break;
+    }
+    a.exit_();
+    const Program p = a.build("roundtrip");
+    const std::uint64_t mask = size == 0   ? 0xFFull
+                               : size == 1 ? 0xFFFFull
+                               : size == 2 ? 0xFFFFFFFFull
+                                           : ~0ull;
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t x = rng.next();
+      EXPECT_EQ(run_ok(vm, p, x), x & mask);
+    }
+  }
+}
+
+// --- assembler misuse ------------------------------------------------------------
+
+TEST(Assembler, UnplacedLabelRejected) {
+  Assembler a;
+  auto ghost = a.make_label();
+  a.jeq(Reg::R0, 0, ghost);
+  a.exit_();
+  EXPECT_THROW((void)a.build("ghost"), std::logic_error);
+}
+
+TEST(Assembler, DoublePlacementRejected) {
+  Assembler a;
+  auto l = a.make_label();
+  a.place(l);
+  EXPECT_THROW(a.place(l), std::logic_error);
+}
+
+TEST(Assembler, ByteSwapWidthValidated) {
+  Assembler a;
+  EXPECT_THROW(a.to_be(Reg::R0, 24), std::logic_error);
+  EXPECT_THROW(a.to_le(Reg::R0, 8), std::logic_error);
+}
+
+// --- accounting -------------------------------------------------------------------
+
+TEST(Accounting, RetiredInstructionCount) {
+  Assembler a;
+  a.mov64(Reg::R0, 1);  // 1
+  a.add64(Reg::R0, 2);  // 2
+  a.exit_();            // 3
+  Vm vm;
+  const auto before = vm.instructions_retired();
+  run_ok(vm, a.build("count"));
+  EXPECT_EQ(vm.instructions_retired() - before, 3u);
+}
+
+TEST(Accounting, BudgetIsExact) {
+  // A program of exactly N instructions must run with budget N and fault
+  // with budget N-1.
+  Assembler a;
+  for (int i = 0; i < 7; ++i) a.add64(Reg::R0, 1);
+  a.exit_();  // 8 instructions total
+  const Program p = a.build("exact");
+  Vm vm;
+  vm.set_instruction_budget(8);
+  EXPECT_TRUE(vm.run(p).ok());
+  vm.set_instruction_budget(7);
+  auto res = vm.run(p);
+  ASSERT_TRUE(res.faulted());
+  EXPECT_EQ(res.fault.kind, FaultKind::kBudgetExhausted);
+}
+
+TEST(Disasm, CoversEveryInstructionForm) {
+  Assembler a;
+  auto l = a.make_label();
+  a.lddw(Reg::R1, 0x1122334455667788ull);
+  a.mov64(Reg::R2, Reg::R1);
+  a.add32(Reg::R2, 5);
+  a.neg64(Reg::R2);
+  a.to_be(Reg::R2, 32);
+  a.to_le(Reg::R2, 16);
+  a.ldxb(Reg::R3, Reg::R10, -1);
+  a.stxh(Reg::R10, -4, Reg::R3);
+  a.stw(Reg::R10, -8, 42);
+  a.jset(Reg::R2, 1, l);
+  a.jsge(Reg::R2, -5, l);
+  a.call(3);
+  a.place(l);
+  a.ja(l);
+  const auto text = disassemble(
+      Program("all", a.build("tmp").insns(), {3}));
+  for (const char* needle :
+       {"lddw", "lddw-hi", "mov64", "add32", "neg64", "be32", "le16", "ldxb", "stxh",
+        "stw", "jset", "jsge", "call 3", "ja"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+}
+
+}  // namespace

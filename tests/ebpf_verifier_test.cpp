@@ -1,0 +1,160 @@
+// Static verifier: every rejection class, plus acceptance of valid programs.
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.hpp"
+#include "ebpf/opcodes.hpp"
+#include "ebpf/verifier.hpp"
+
+namespace {
+
+using namespace xb::ebpf;
+
+std::optional<VerifyError> verify(const Program& p,
+                                  std::set<std::int32_t> helpers = {}) {
+  return Verifier::verify(p, helpers);
+}
+
+Program raw(std::vector<Insn> insns) { return Program("raw", std::move(insns), {}); }
+
+TEST(Verifier, AcceptsMinimalProgram) {
+  Assembler a;
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  EXPECT_FALSE(verify(a.build("ok")).has_value());
+}
+
+TEST(Verifier, RejectsEmptyProgram) {
+  auto err = verify(raw({}));
+  ASSERT_TRUE(err);
+  EXPECT_NE(err->reason.find("empty"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOversizedProgram) {
+  std::vector<Insn> insns(Verifier::kMaxInsns + 1,
+                          Insn{static_cast<std::uint8_t>(kClsAlu64 | kAluMov), 0, 0, 0, 0});
+  insns.back() = Insn{kClsJmp | kJmpExit, 0, 0, 0, 0};
+  EXPECT_TRUE(verify(raw(std::move(insns))));
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  EXPECT_TRUE(verify(raw({Insn{kClsAlu64 | kAluMov, 0, 0, 0, 5}})));
+}
+
+TEST(Verifier, RejectsUnknownOpcode) {
+  auto err = verify(raw({Insn{0xFF, 0, 0, 0, 0}, Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}}));
+  ASSERT_TRUE(err);
+  EXPECT_EQ(err->insn_index, 0u);
+}
+
+TEST(Verifier, RejectsWriteToFramePointer) {
+  Assembler a;
+  a.mov64(Reg::R10, 0);
+  a.exit_();
+  auto err = verify(a.build("r10"));
+  ASSERT_TRUE(err);
+  EXPECT_NE(err->reason.find("frame pointer"), std::string::npos);
+}
+
+TEST(Verifier, RejectsJumpOutOfBounds) {
+  EXPECT_TRUE(verify(raw({Insn{kClsJmp | kJmpJa, 0, 0, 5, 0},
+                          Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}})));
+  EXPECT_TRUE(verify(raw({Insn{kClsJmp | kJmpJa, 0, 0, -3, 0},
+                          Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}})));
+}
+
+TEST(Verifier, RejectsJumpIntoLddwTail) {
+  // lddw occupies slots 0-1; a jump targeting slot 1 is invalid
+  // (slot 2, offset -2 -> target = 2 + 1 - 2 = 1).
+  EXPECT_TRUE(verify(raw({Insn{kOpLddw, 0, 0, 0, 1}, Insn{0, 0, 0, 0, 2},
+                          Insn{kClsJmp | kJmpJa, 0, 0, -2, 0},
+                          Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}})));
+}
+
+TEST(Verifier, RejectsLddwMissingTail) {
+  EXPECT_TRUE(verify(raw({Insn{kOpLddw, 0, 0, 0, 1}})));
+}
+
+TEST(Verifier, RejectsLddwBadTail) {
+  EXPECT_TRUE(verify(raw({Insn{kOpLddw, 0, 0, 0, 1},
+                          Insn{kClsAlu64 | kAluMov, 0, 0, 0, 0},
+                          Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}})));
+}
+
+TEST(Verifier, RejectsDivByZeroImmediate) {
+  Assembler a;
+  a.mov64(Reg::R0, 4);
+  a.div64(Reg::R0, 0);
+  a.exit_();
+  auto err = verify(a.build("div0"));
+  ASSERT_TRUE(err);
+  EXPECT_NE(err->reason.find("division by zero"), std::string::npos);
+}
+
+TEST(Verifier, RejectsShiftOutOfRange) {
+  Assembler a;
+  a.mov64(Reg::R0, 4);
+  a.lsh64(Reg::R0, 64);
+  a.exit_();
+  EXPECT_TRUE(verify(a.build("shift")));
+}
+
+TEST(Verifier, RejectsShift32OutOfRange) {
+  Assembler a;
+  a.mov32(Reg::R0, 4);
+  a.lsh32(Reg::R0, 33);
+  a.exit_();
+  EXPECT_TRUE(verify(a.build("shift32")));
+}
+
+TEST(Verifier, RejectsCallOutsideWhitelist) {
+  Assembler a;
+  a.call(7);
+  a.exit_();
+  auto err = verify(a.build("call"), {1, 2});
+  ASSERT_TRUE(err);
+  EXPECT_NE(err->reason.find("whitelist"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWhitelistedCall) {
+  Assembler a;
+  a.call(7);
+  a.exit_();
+  EXPECT_FALSE(verify(a.build("call"), {7}).has_value());
+}
+
+TEST(Verifier, RejectsInvalidRegisterNumbers) {
+  EXPECT_TRUE(verify(raw({Insn{kClsAlu64 | kAluMov, 12, 0, 0, 0},
+                          Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}})));
+  EXPECT_TRUE(verify(raw({Insn{kClsAlu64 | kSrcX | kAluMov, 0, 13, 0, 0},
+                          Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}})));
+}
+
+TEST(Verifier, RejectsBadByteSwapWidth) {
+  EXPECT_TRUE(verify(raw({Insn{kClsAlu | kSrcX | kAluEnd, 0, 0, 0, 24},
+                          Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}})));
+}
+
+TEST(Verifier, RejectsProgramWithoutExit) {
+  // Ends with a backwards JA but no EXIT anywhere.
+  EXPECT_TRUE(verify(raw({Insn{kClsAlu64 | kAluMov, 0, 0, 0, 0},
+                          Insn{kClsJmp | kJmpJa, 0, 0, -2, 0}})));
+}
+
+TEST(Verifier, AcceptsEveryUseCaseProgram) {
+  // The shipped extension programs must all verify under their own helper
+  // requirement sets (this is what Vmm::load enforces).
+  Assembler a;
+  auto loop = a.make_label();
+  auto out = a.make_label();
+  a.mov64(Reg::R6, 10);
+  a.place(loop);
+  a.jeq(Reg::R6, 0, out);
+  a.sub64(Reg::R6, 1);
+  a.ja(loop);
+  a.place(out);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  EXPECT_FALSE(verify(a.build("loop")).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,424 @@
+// Interpreter semantics: ALU, jumps, memory, byte swaps, helper protocol,
+// instruction budget, and isolation (bounds-checked memory).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "ebpf/assembler.hpp"
+#include "ebpf/disasm.hpp"
+#include "ebpf/vm.hpp"
+
+namespace {
+
+using namespace xb::ebpf;
+
+std::uint64_t run_ok(Vm& vm, const Program& p, std::uint64_t r1 = 0, std::uint64_t r2 = 0) {
+  auto res = vm.run(p, r1, r2);
+  EXPECT_TRUE(res.ok()) << (res.faulted() ? res.fault.detail : "yielded next");
+  return res.value;
+}
+
+// --- 64-bit ALU semantics, parameterized against a reference computation ----
+
+struct AluCase {
+  const char* name;
+  void (*emit)(Assembler&, Reg, Reg);
+  std::uint64_t (*reference)(std::uint64_t, std::uint64_t);
+};
+
+class Alu64Test : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(Alu64Test, MatchesReference) {
+  const AluCase& c = GetParam();
+  Assembler a;
+  c.emit(a, Reg::R1, Reg::R2);
+  a.mov64(Reg::R0, Reg::R1);
+  a.exit_();
+  const Program p = a.build(c.name);
+
+  constexpr std::uint64_t kValues[] = {
+      0, 1, 2, 7, 63, 64, 255, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF,
+      0x100000000ull, 0x7FFFFFFFFFFFFFFFull, 0x8000000000000000ull,
+      0xFFFFFFFFFFFFFFFFull, 0x0123456789ABCDEFull};
+  Vm vm;
+  for (std::uint64_t x : kValues) {
+    for (std::uint64_t y : kValues) {
+      if ((std::string(c.name) == "div" || std::string(c.name) == "mod") && y == 0) continue;
+      EXPECT_EQ(run_ok(vm, p, x, y), c.reference(x, y))
+          << c.name << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, Alu64Test,
+    ::testing::Values(
+        AluCase{"add", [](Assembler& a, Reg d, Reg s) { a.add64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x + y; }},
+        AluCase{"sub", [](Assembler& a, Reg d, Reg s) { a.sub64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x - y; }},
+        AluCase{"mul", [](Assembler& a, Reg d, Reg s) { a.mul64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x * y; }},
+        AluCase{"div", [](Assembler& a, Reg d, Reg s) { a.div64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x / y; }},
+        AluCase{"mod", [](Assembler& a, Reg d, Reg s) { a.mod64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x % y; }},
+        AluCase{"or", [](Assembler& a, Reg d, Reg s) { a.or64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x | y; }},
+        AluCase{"and", [](Assembler& a, Reg d, Reg s) { a.and64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x & y; }},
+        AluCase{"xor", [](Assembler& a, Reg d, Reg s) { a.xor64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x ^ y; }},
+        AluCase{"lsh", [](Assembler& a, Reg d, Reg s) { a.lsh64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x << (y & 63); }},
+        AluCase{"rsh", [](Assembler& a, Reg d, Reg s) { a.rsh64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) { return x >> (y & 63); }},
+        AluCase{"arsh", [](Assembler& a, Reg d, Reg s) { a.arsh64(d, s); },
+                [](std::uint64_t x, std::uint64_t y) {
+                  return static_cast<std::uint64_t>(static_cast<std::int64_t>(x) >> (y & 63));
+                }}),
+    [](const ::testing::TestParamInfo<AluCase>& info) { return info.param.name; });
+
+// --- 32-bit ALU zero-extension ------------------------------------------------
+
+TEST(Alu32, ResultsAreZeroExtended) {
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.add32(Reg::R0, Reg::R2);
+  a.exit_();
+  const Program p = a.build("add32");
+  Vm vm;
+  // 0xFFFFFFFF + 1 wraps to 0 in 32-bit and must not carry into the high word.
+  EXPECT_EQ(run_ok(vm, p, 0xFFFFFFFFull, 1), 0u);
+  EXPECT_EQ(run_ok(vm, p, 0xAAAAFFFFFFFFull, 1), 0u);  // high bits cleared too
+}
+
+TEST(Alu32, Sub32Wraps) {
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.sub32(Reg::R0, Reg::R2);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("sub32"), 0, 1), 0xFFFFFFFFull);
+}
+
+TEST(Alu, NegNegates) {
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.neg64(Reg::R0);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("neg"), 5), static_cast<std::uint64_t>(-5));
+}
+
+TEST(Alu, DivByZeroRegisterFaults) {
+  Assembler a;
+  a.mov64(Reg::R0, 7);
+  a.div64(Reg::R0, Reg::R2);
+  a.exit_();
+  Vm vm;
+  auto res = vm.run(a.build("div0"), 0, 0);
+  ASSERT_TRUE(res.faulted());
+  EXPECT_EQ(res.fault.kind, FaultKind::kDivisionByZero);
+}
+
+// --- lddw -----------------------------------------------------------------------
+
+TEST(Lddw, Loads64BitImmediate) {
+  Assembler a;
+  a.lddw(Reg::R0, 0xDEADBEEFCAFEF00Dull);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("lddw")), 0xDEADBEEFCAFEF00Dull);
+}
+
+// --- byte swap --------------------------------------------------------------------
+
+TEST(ByteSwap, ToBe) {
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.to_be(Reg::R0, 32);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("be32"), 0x11223344), 0x44332211u);
+}
+
+TEST(ByteSwap, ToBe16MasksHighBits) {
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.to_be(Reg::R0, 16);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("be16"), 0xAABB1122), 0x2211u);
+}
+
+TEST(ByteSwap, ToLeIsIdentityOnLittleEndianHost) {
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.to_le(Reg::R0, 32);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("le32"), 0x11223344), 0x11223344u);
+}
+
+TEST(ByteSwap, ToBe64) {
+  Assembler a;
+  a.mov64(Reg::R0, Reg::R1);
+  a.to_be(Reg::R0, 64);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("be64"), 0x0102030405060708ull), 0x0807060504030201ull);
+}
+
+// --- jumps -----------------------------------------------------------------------
+
+struct JmpCase {
+  const char* name;
+  void (*emit)(Assembler&, Reg, Reg, Assembler::Label);
+  bool (*reference)(std::uint64_t, std::uint64_t);
+};
+
+class JmpTest : public ::testing::TestWithParam<JmpCase> {};
+
+TEST_P(JmpTest, MatchesReference) {
+  const JmpCase& c = GetParam();
+  Assembler a;
+  auto taken = a.make_label();
+  c.emit(a, Reg::R1, Reg::R2, taken);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  a.place(taken);
+  a.mov64(Reg::R0, 1);
+  a.exit_();
+  const Program p = a.build(c.name);
+
+  constexpr std::uint64_t kValues[] = {0, 1, 2, 0x7FFFFFFFFFFFFFFFull,
+                                       0x8000000000000000ull, 0xFFFFFFFFFFFFFFFFull};
+  Vm vm;
+  for (std::uint64_t x : kValues) {
+    for (std::uint64_t y : kValues) {
+      EXPECT_EQ(run_ok(vm, p, x, y), c.reference(x, y) ? 1u : 0u)
+          << c.name << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, JmpTest,
+    ::testing::Values(
+        JmpCase{"jeq", [](Assembler& a, Reg d, Reg s, Assembler::Label l) { a.jeq(d, s, l); },
+                [](std::uint64_t x, std::uint64_t y) { return x == y; }},
+        JmpCase{"jne", [](Assembler& a, Reg d, Reg s, Assembler::Label l) { a.jne(d, s, l); },
+                [](std::uint64_t x, std::uint64_t y) { return x != y; }},
+        JmpCase{"jgt", [](Assembler& a, Reg d, Reg s, Assembler::Label l) { a.jgt(d, s, l); },
+                [](std::uint64_t x, std::uint64_t y) { return x > y; }},
+        JmpCase{"jge", [](Assembler& a, Reg d, Reg s, Assembler::Label l) { a.jge(d, s, l); },
+                [](std::uint64_t x, std::uint64_t y) { return x >= y; }},
+        JmpCase{"jlt", [](Assembler& a, Reg d, Reg s, Assembler::Label l) { a.jlt(d, s, l); },
+                [](std::uint64_t x, std::uint64_t y) { return x < y; }},
+        JmpCase{"jle", [](Assembler& a, Reg d, Reg s, Assembler::Label l) { a.jle(d, s, l); },
+                [](std::uint64_t x, std::uint64_t y) { return x <= y; }}),
+    [](const ::testing::TestParamInfo<JmpCase>& info) { return info.param.name; });
+
+TEST(Jmp, SignedComparisons) {
+  Assembler a;
+  auto taken = a.make_label();
+  a.jsgt(Reg::R1, -5, taken);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  a.place(taken);
+  a.mov64(Reg::R0, 1);
+  a.exit_();
+  const Program p = a.build("jsgt");
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, p, static_cast<std::uint64_t>(-4)), 1u);
+  EXPECT_EQ(run_ok(vm, p, static_cast<std::uint64_t>(-6)), 0u);
+  EXPECT_EQ(run_ok(vm, p, 3), 1u);
+}
+
+// --- memory + stack ------------------------------------------------------------------
+
+TEST(Memory, StackReadWriteAllSizes) {
+  Assembler a;
+  a.stdw(Reg::R10, -8, 0);
+  a.lddw(Reg::R1, 0x1122334455667788ull);
+  a.stxdw(Reg::R10, -8, Reg::R1);
+  a.ldxw(Reg::R0, Reg::R10, -8);   // low word on little-endian
+  a.ldxh(Reg::R2, Reg::R10, -8);
+  a.add64(Reg::R0, Reg::R2);
+  a.ldxb(Reg::R3, Reg::R10, -8);
+  a.add64(Reg::R0, Reg::R3);
+  a.exit_();
+  Vm vm;
+  EXPECT_EQ(run_ok(vm, a.build("stack")), 0x55667788u + 0x7788u + 0x88u);
+}
+
+TEST(Memory, OutOfBoundsLoadFaults) {
+  Assembler a;
+  a.ldxdw(Reg::R0, Reg::R10, -520);  // below the 512-byte stack
+  a.exit_();
+  Vm vm;
+  auto res = vm.run(a.build("oob"));
+  ASSERT_TRUE(res.faulted());
+  EXPECT_EQ(res.fault.kind, FaultKind::kBadMemoryAccess);
+}
+
+TEST(Memory, StoreAboveStackTopFaults) {
+  Assembler a;
+  a.stdw(Reg::R10, 0, 1);  // [r10, r10+8) is beyond the stack top
+  a.exit_();
+  Vm vm;
+  auto res = vm.run(a.build("oob2"));
+  ASSERT_TRUE(res.faulted());
+  EXPECT_EQ(res.fault.kind, FaultKind::kBadMemoryAccess);
+}
+
+TEST(Memory, ArbitraryPointerFaults) {
+  Assembler a;
+  a.lddw(Reg::R1, 0x400000);
+  a.ldxdw(Reg::R0, Reg::R1, 0);
+  a.exit_();
+  Vm vm;
+  auto res = vm.run(a.build("wild"));
+  ASSERT_TRUE(res.faulted());
+  EXPECT_EQ(res.fault.kind, FaultKind::kBadMemoryAccess);
+}
+
+TEST(Memory, RegisteredRegionIsAccessible) {
+  alignas(8) std::uint8_t buf[16] = {};
+  std::uint64_t value = 0x0102030405060708ull;
+  std::memcpy(buf, &value, 8);
+  Assembler a;
+  a.ldxdw(Reg::R0, Reg::R1, 0);
+  a.exit_();
+  Vm vm;
+  vm.memory().add_region(buf, sizeof(buf), false, "buf");
+  EXPECT_EQ(run_ok(vm, a.build("region"), reinterpret_cast<std::uint64_t>(buf)), value);
+}
+
+TEST(Memory, ReadOnlyRegionRejectsStores) {
+  std::uint8_t buf[16] = {};
+  Assembler a;
+  a.stdw(Reg::R1, 0, 42);
+  a.exit_();
+  Vm vm;
+  vm.memory().add_region(buf, sizeof(buf), /*writable=*/false, "ro");
+  auto res = vm.run(a.build("ro"), reinterpret_cast<std::uint64_t>(buf));
+  ASSERT_TRUE(res.faulted());
+  EXPECT_EQ(res.fault.kind, FaultKind::kBadMemoryAccess);
+}
+
+TEST(Memory, StackIsPrivatePerVm) {
+  // The stack persists across runs of the SAME VM (ubpf semantics; one VM
+  // per attached program, so this only exposes a program to its own past),
+  // but a different VM — i.e. a different program — must never see it.
+  Assembler w;
+  w.stdw(Reg::R10, -8, 0x5EC1);
+  w.mov64(Reg::R0, 0);
+  w.exit_();
+  Assembler r;
+  r.ldxdw(Reg::R0, Reg::R10, -8);
+  r.exit_();
+  const Program writer = w.build("write");
+  const Program reader = r.build("read");
+  Vm vm;
+  run_ok(vm, writer);
+  EXPECT_EQ(run_ok(vm, reader), 0x5EC1u);  // same VM: own residue visible
+  Vm other;
+  EXPECT_EQ(run_ok(other, reader), 0u);  // different VM: zero-initialised
+}
+
+// --- budget + helpers ----------------------------------------------------------------
+
+TEST(Budget, InfiniteLoopIsStopped) {
+  Assembler a;
+  auto top = a.make_label();
+  a.place(top);
+  a.ja(top);
+  Vm vm;
+  vm.set_instruction_budget(1000);
+  auto res = vm.run(a.build("loop"));
+  ASSERT_TRUE(res.faulted());
+  EXPECT_EQ(res.fault.kind, FaultKind::kBudgetExhausted);
+}
+
+TEST(Helpers, CallReturnsValueAndClobbersArgRegisters) {
+  Assembler a;
+  a.mov64(Reg::R6, 99);
+  a.mov64(Reg::R1, 7);
+  a.call(1);
+  a.add64(Reg::R0, Reg::R1);  // r1 must be zeroed by the call
+  a.add64(Reg::R0, Reg::R6);  // r6 must be preserved
+  a.exit_();
+  Vm vm;
+  vm.set_helper(1, [](std::uint64_t a1, std::uint64_t, std::uint64_t, std::uint64_t,
+                      std::uint64_t) { return HelperResult::ok(a1 * 2); });
+  EXPECT_EQ(run_ok(vm, a.build("call")), 14u + 99u);
+}
+
+TEST(Helpers, UnboundHelperFaults) {
+  Assembler a;
+  a.call(5);
+  a.exit_();
+  Vm vm;
+  auto res = vm.run(a.build("nohelper"));
+  ASSERT_TRUE(res.faulted());
+  EXPECT_EQ(res.fault.kind, FaultKind::kUnknownHelper);
+}
+
+TEST(Helpers, NextTerminatesImmediately) {
+  Assembler a;
+  a.call(1);
+  a.mov64(Reg::R0, 42);  // must not execute
+  a.exit_();
+  Vm vm;
+  vm.set_helper(1, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                      std::uint64_t) { return HelperResult::next(); });
+  auto res = vm.run(a.build("next"));
+  EXPECT_TRUE(res.yielded_next());
+}
+
+TEST(Helpers, FailureBecomesFault) {
+  Assembler a;
+  a.call(1);
+  a.exit_();
+  Vm vm;
+  vm.set_helper(1, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                      std::uint64_t) { return HelperResult::fail("boom"); });
+  auto res = vm.run(a.build("fail"));
+  ASSERT_TRUE(res.faulted());
+  EXPECT_EQ(res.fault.kind, FaultKind::kHelperError);
+  EXPECT_EQ(res.fault.detail, "boom");
+}
+
+// --- image serialisation ---------------------------------------------------------------
+
+TEST(Image, SerializeDeserializeRoundTrip) {
+  Assembler a;
+  auto l = a.make_label();
+  a.lddw(Reg::R6, 0x1234567890ABCDEFull);
+  a.jeq(Reg::R1, Reg::R2, l);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  a.place(l);
+  a.mov64(Reg::R0, 1);
+  a.exit_();
+  const Program p = a.build("roundtrip");
+  const auto image = p.image();
+  EXPECT_EQ(image.size(), p.insns().size() * 8);
+  EXPECT_EQ(deserialize(image), p.insns());
+}
+
+TEST(Disasm, ProducesOneLinePerSlot) {
+  Assembler a;
+  a.lddw(Reg::R1, 0xFFFF);
+  a.mov64(Reg::R0, 3);
+  a.exit_();
+  const auto text = disassemble(a.build("d"));
+  EXPECT_NE(text.find("lddw r1"), std::string::npos);
+  EXPECT_NE(text.find("exit"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// UpdateBuilder: wire-level packing of advertisements and withdrawals.
+#include <gtest/gtest.h>
+
+#include "bgp/codec.hpp"
+#include "hosts/engine/update_builder.hpp"
+
+namespace {
+
+using namespace xb;
+using hosts::engine::UpdateBuilder;
+using util::Ipv4Addr;
+using util::Prefix;
+
+std::vector<std::uint8_t> attrs_bytes() {
+  bgp::AttributeSet set;
+  set.put(bgp::make_origin(bgp::Origin::kIgp));
+  set.put(bgp::make_next_hop(Ipv4Addr(10, 0, 0, 1)));
+  util::ByteWriter w;
+  set.encode(w);
+  return std::move(w).take();
+}
+
+TEST(UpdateBuilder, PacksPrefixesIntoOneMessage) {
+  UpdateBuilder builder;
+  const auto attrs = attrs_bytes();
+  builder.begin_group(attrs);
+  for (int i = 0; i < 10; ++i) {
+    builder.add_prefix(Prefix(Ipv4Addr(20, 0, static_cast<std::uint8_t>(i), 0), 24));
+  }
+  const auto messages = builder.finish();
+  ASSERT_EQ(messages.size(), 1u);
+  const auto frame = bgp::try_frame(messages[0]);
+  ASSERT_TRUE(frame);
+  const auto update = bgp::decode_update(frame->body);
+  EXPECT_EQ(update.nlri.size(), 10u);
+  EXPECT_TRUE(update.withdrawn.empty());
+  EXPECT_TRUE(update.attrs.has(bgp::attr_code::kOrigin));
+}
+
+TEST(UpdateBuilder, SplitsAtMessageSizeLimit) {
+  UpdateBuilder builder;
+  const auto attrs = attrs_bytes();
+  builder.begin_group(attrs);
+  // /32 prefixes take 5 bytes each; force multiple messages.
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    builder.add_prefix(Prefix(Ipv4Addr(0x14000000u + i), 32));
+  }
+  const auto messages = builder.finish();
+  EXPECT_GT(messages.size(), 1u);
+  std::size_t total = 0;
+  for (const auto& wire : messages) {
+    ASSERT_LE(wire.size(), bgp::kMaxMessageSize);
+    const auto frame = bgp::try_frame(wire);
+    ASSERT_TRUE(frame);
+    const auto update = bgp::decode_update(frame->body);
+    // Every message of the group carries the same attribute bytes.
+    EXPECT_TRUE(update.attrs.has(bgp::attr_code::kNextHop));
+    total += update.nlri.size();
+  }
+  EXPECT_EQ(total, 2000u);
+}
+
+TEST(UpdateBuilder, NewGroupFlushesPrevious) {
+  UpdateBuilder builder;
+  const auto attrs = attrs_bytes();
+  builder.begin_group(attrs);
+  builder.add_prefix(Prefix::parse("20.0.0.0/24"));
+  builder.begin_group(attrs);
+  builder.add_prefix(Prefix::parse("20.0.1.0/24"));
+  const auto messages = builder.finish();
+  EXPECT_EQ(messages.size(), 2u);
+}
+
+TEST(UpdateBuilder, WithdrawalsGoInSeparateMessages) {
+  UpdateBuilder builder;
+  builder.begin_group(attrs_bytes());
+  builder.add_prefix(Prefix::parse("20.0.0.0/24"));
+  builder.withdraw_prefix(Prefix::parse("20.9.0.0/16"));
+  const auto messages = builder.finish();
+  ASSERT_EQ(messages.size(), 2u);
+  // One carries NLRI, the other withdrawals.
+  std::size_t nlri = 0, withdrawn = 0;
+  for (const auto& wire : messages) {
+    const auto update = bgp::decode_update(bgp::try_frame(wire)->body);
+    nlri += update.nlri.size();
+    withdrawn += update.withdrawn.size();
+  }
+  EXPECT_EQ(nlri, 1u);
+  EXPECT_EQ(withdrawn, 1u);
+}
+
+TEST(UpdateBuilder, ManyWithdrawalsSplit) {
+  UpdateBuilder builder;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    builder.withdraw_prefix(Prefix(Ipv4Addr(0x14000000u + i), 32));
+  }
+  const auto messages = builder.finish();
+  EXPECT_GT(messages.size(), 1u);
+  std::size_t total = 0;
+  for (const auto& wire : messages) {
+    ASSERT_LE(wire.size(), bgp::kMaxMessageSize);
+    total += bgp::decode_update(bgp::try_frame(wire)->body).withdrawn.size();
+  }
+  EXPECT_EQ(total, 2000u);
+}
+
+TEST(UpdateBuilder, FinishIsReusable) {
+  UpdateBuilder builder;
+  builder.begin_group(attrs_bytes());
+  builder.add_prefix(Prefix::parse("20.0.0.0/24"));
+  EXPECT_EQ(builder.finish().size(), 1u);
+  EXPECT_TRUE(builder.finish().empty());  // nothing pending
+  builder.begin_group(attrs_bytes());
+  builder.add_prefix(Prefix::parse("20.0.1.0/24"));
+  EXPECT_EQ(builder.finish().size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,229 @@
+// Engine <-> policy-engine integration, multi-reflector topologies, and
+// IGP-driven decision behaviour across both host implementations.
+#include <gtest/gtest.h>
+
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+namespace {
+
+using namespace xb;
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+template <typename T>
+class EnginePolicyTest : public ::testing::Test {};
+using RouterTypes = ::testing::Types<hosts::fir::FirRouter, hosts::wren::WrenRouter>;
+TYPED_TEST_SUITE(EnginePolicyTest, RouterTypes);
+
+template <typename RouterT>
+using CoreOf = std::conditional_t<std::is_same_v<RouterT, hosts::fir::FirRouter>,
+                                  hosts::fir::FirCore, hosts::wren::WrenCore>;
+
+template <typename RouterT>
+struct Net {
+  net::EventLoop loop;
+  std::vector<std::unique_ptr<RouterT>> routers;
+  std::vector<std::unique_ptr<net::Duplex>> links;
+
+  RouterT& make(typename RouterT::Config cfg) {
+    routers.push_back(std::make_unique<RouterT>(loop, std::move(cfg)));
+    return *routers.back();
+  }
+  void connect(RouterT& a, RouterT& b, bool b_is_client_of_a = false,
+               bool a_is_client_of_b = false) {
+    links.push_back(std::make_unique<net::Duplex>(loop, 1000));
+    a.add_peer(links.back()->a(), {.name = b.config().name, .asn = b.config().asn,
+                                   .address = b.config().address,
+                                   .rr_client = b_is_client_of_a});
+    b.add_peer(links.back()->b(), {.name = a.config().name, .asn = a.config().asn,
+                                   .address = a.config().address,
+                                   .rr_client = a_is_client_of_b});
+  }
+  void run(std::uint64_t seconds = 3) {
+    for (auto& r : routers) r->start();
+    loop.run_until(loop.now() + seconds * kSec);
+  }
+};
+
+template <typename RouterT>
+typename RouterT::Config base_cfg(const char* name, bgp::Asn asn, std::uint8_t idx) {
+  typename RouterT::Config cfg;
+  cfg.name = name;
+  cfg.asn = asn;
+  cfg.router_id = 0x0A000000u + idx;
+  cfg.address = Ipv4Addr(10, 0, 0, idx);
+  return cfg;
+}
+
+TYPED_TEST(EnginePolicyTest, ImportPolicyDeniesBogons) {
+  const auto import = bgp::policy::standard_import_policy();
+  Net<TypeParam> net;
+  auto& src = net.make(base_cfg<TypeParam>("src", 65001, 1));
+  auto cfg = base_cfg<TypeParam>("dut", 65002, 2);
+  cfg.import_policy = &import;
+  auto& dut = net.make(std::move(cfg));
+  net.connect(src, dut);
+  src.originate(Prefix::parse("127.5.0.0/16"));   // bogon
+  src.originate(Prefix::parse("203.0.113.0/24"));  // legitimate
+  net.run();
+  EXPECT_EQ(dut.best(Prefix::parse("127.5.0.0/16")), nullptr);
+  EXPECT_NE(dut.best(Prefix::parse("203.0.113.0/24")), nullptr);
+  EXPECT_EQ(dut.stats().prefixes_rejected_in, 1u);
+}
+
+TYPED_TEST(EnginePolicyTest, ExportPolicyDeniesPrivateSpace) {
+  const auto exp = bgp::policy::standard_export_policy();
+  Net<TypeParam> net;
+  auto cfg = base_cfg<TypeParam>("dut", 65001, 1);
+  cfg.export_policy = &exp;
+  auto& dut = net.make(std::move(cfg));
+  auto& sink = net.make(base_cfg<TypeParam>("sink", 65002, 2));
+  net.connect(dut, sink);
+  dut.originate(Prefix::parse("192.168.44.0/24"));  // must not leave
+  dut.originate(Prefix::parse("203.0.113.0/24"));
+  net.run();
+  EXPECT_EQ(sink.best(Prefix::parse("192.168.44.0/24")), nullptr);
+  EXPECT_NE(sink.best(Prefix::parse("203.0.113.0/24")), nullptr);
+  EXPECT_GT(dut.stats().exports_rejected, 0u);
+}
+
+TYPED_TEST(EnginePolicyTest, CustomerCommunityLiftsLocalPrefAcrossDecision) {
+  // Two eBGP paths to the same prefix; the longer one carries the customer
+  // community, so the import policy lifts its LOCAL_PREF and it must win.
+  const auto import = bgp::policy::standard_import_policy();
+  Net<TypeParam> net;
+  auto& short_path = net.make(base_cfg<TypeParam>("short", 65001, 1));
+  auto& long_path = net.make(base_cfg<TypeParam>("long", 65003, 3));
+  auto cfg = base_cfg<TypeParam>("dut", 65002, 2);
+  cfg.import_policy = &import;
+  auto& dut = net.make(std::move(cfg));
+  net.connect(short_path, dut);
+  net.connect(long_path, dut);
+
+  const auto prefix = Prefix::parse("203.0.113.0/24");
+  short_path.originate(prefix);
+  net.run();
+
+  // Manually announce via the long peer with an extra AS hop + the
+  // customer community (65000:100).
+  bgp::UpdateMessage update;
+  update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+  update.attrs.put(bgp::AsPath({65003, 64999}).to_attr());
+  update.attrs.put(bgp::make_next_hop(long_path.config().address));
+  const std::uint32_t comms[] = {(65000u << 16) | 100};
+  update.attrs.put(bgp::make_communities(comms));
+  update.nlri = {prefix};
+  long_path.session(0).send_update(update);
+  net.loop.run_until(net.loop.now() + 2 * kSec);
+
+  const auto* best = dut.best(prefix);
+  ASSERT_NE(best, nullptr);
+  using Core = CoreOf<TypeParam>;
+  EXPECT_EQ(Core::first_asn(*best->attrs), 65003u);  // customer route wins
+  EXPECT_EQ(Core::local_pref_or(*best->attrs, 100), 200u);
+}
+
+TYPED_TEST(EnginePolicyTest, IgpMetricBreaksTieAcrossPeers) {
+  // Same AS-path length from two iBGP peers; the decision must prefer the
+  // nexthop with the lower IGP metric.
+  igp::Graph graph;
+  const auto dut_node = graph.add_node(Ipv4Addr(10, 0, 0, 3), "dut");
+  const auto near_node = graph.add_node(Ipv4Addr(10, 0, 0, 1), "near");
+  const auto far_node = graph.add_node(Ipv4Addr(10, 0, 0, 2), "far");
+  graph.add_link(dut_node, near_node, 5);
+  graph.add_link(dut_node, far_node, 500);
+  igp::IgpTable igp_table(graph, dut_node);
+
+  Net<TypeParam> net;
+  auto& near = net.make(base_cfg<TypeParam>("near", 65000, 1));
+  auto& far = net.make(base_cfg<TypeParam>("far", 65000, 2));
+  auto cfg = base_cfg<TypeParam>("dut", 65000, 3);
+  cfg.igp = &igp_table;
+  auto& dut = net.make(std::move(cfg));
+  net.connect(near, dut);
+  net.connect(far, dut);
+  const auto prefix = Prefix::parse("203.0.113.0/24");
+  near.originate(prefix);
+  far.originate(prefix);
+  net.run();
+
+  const auto* best = dut.best(prefix);
+  ASSERT_NE(best, nullptr);
+  using Core = CoreOf<TypeParam>;
+  EXPECT_EQ(Core::next_hop(*best->attrs), Ipv4Addr(10, 0, 0, 1));  // near wins
+}
+
+TYPED_TEST(EnginePolicyTest, TwoTierReflectionPreservesOriginatorGrowsClusterList) {
+  // a -> rr1 -> rr2 -> c, all iBGP, both reflectors native. The route at c
+  // must carry a's ORIGINATOR_ID and both cluster ids, in order.
+  Net<TypeParam> net;
+  auto& a = net.make(base_cfg<TypeParam>("a", 65000, 1));
+  auto cfg1 = base_cfg<TypeParam>("rr1", 65000, 2);
+  cfg1.native_route_reflector = true;
+  cfg1.cluster_id = 0xC1;
+  auto& rr1 = net.make(std::move(cfg1));
+  auto cfg2 = base_cfg<TypeParam>("rr2", 65000, 3);
+  cfg2.native_route_reflector = true;
+  cfg2.cluster_id = 0xC2;
+  auto& rr2 = net.make(std::move(cfg2));
+  auto& c = net.make(base_cfg<TypeParam>("c", 65000, 4));
+  net.connect(rr1, a, /*client=*/true);
+  net.connect(rr1, rr2, /*b_is_client_of_a=*/true, /*a_is_client_of_b=*/true);
+  net.connect(rr2, c, /*client=*/true);
+
+  const auto prefix = Prefix::parse("203.0.113.0/24");
+  a.originate(prefix);
+  net.run(5);
+
+  const auto* at_c = c.best(prefix);
+  ASSERT_NE(at_c, nullptr);
+  using Core = CoreOf<TypeParam>;
+  EXPECT_EQ(Core::originator_id(*at_c->attrs), a.config().router_id);
+  EXPECT_EQ(Core::cluster_list_length(*at_c->attrs), 2u);
+  EXPECT_TRUE(Core::cluster_list_contains(*at_c->attrs, 0xC1));
+  EXPECT_TRUE(Core::cluster_list_contains(*at_c->attrs, 0xC2));
+}
+
+TYPED_TEST(EnginePolicyTest, NativeReflectionLoopPrevention) {
+  // Crafted updates against a native reflector: its own cluster id in
+  // CLUSTER_LIST or its own router id as ORIGINATOR_ID must be rejected;
+  // foreign values must pass (RFC 4456 §8).
+  Net<TypeParam> net;
+  auto cfg = base_cfg<TypeParam>("rr", 65000, 2);
+  cfg.native_route_reflector = true;
+  cfg.cluster_id = 0xC1C1C1C1;
+  auto& rr = net.make(std::move(cfg));
+  auto& feeder = net.make(base_cfg<TypeParam>("feeder", 65000, 1));
+  net.connect(feeder, rr);
+  net.run(1);
+
+  auto craft = [&](const char* prefix, std::optional<std::uint32_t> cluster,
+                   std::optional<bgp::RouterId> originator) {
+    bgp::UpdateMessage update;
+    update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+    update.attrs.put(bgp::AsPath{}.to_attr());
+    update.attrs.put(bgp::make_next_hop(feeder.config().address));
+    update.attrs.put(bgp::make_local_pref(100));
+    if (cluster) {
+      const std::uint32_t list[] = {*cluster};
+      update.attrs.put(bgp::make_cluster_list(list));
+    }
+    if (originator) update.attrs.put(bgp::make_originator_id(*originator));
+    update.nlri = {Prefix::parse(prefix)};
+    feeder.session(0).send_update(update);
+    net.loop.run_until(net.loop.now() + kSec);
+  };
+
+  craft("203.0.113.0/24", 0xC1C1C1C1, std::nullopt);       // own cluster id
+  craft("198.51.100.0/24", std::nullopt, rr.config().router_id);  // own router id
+  craft("192.0.2.0/24", 0xDDDDDDDD, 0x0A000009);           // foreign values
+  EXPECT_EQ(rr.best(Prefix::parse("203.0.113.0/24")), nullptr);
+  EXPECT_EQ(rr.best(Prefix::parse("198.51.100.0/24")), nullptr);
+  EXPECT_NE(rr.best(Prefix::parse("192.0.2.0/24")), nullptr);
+  EXPECT_EQ(rr.stats().prefixes_rejected_in, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// The shared BGP engine over both host cores: propagation, RIBs, decision,
+// split horizon, native route reflection, origin validation, withdrawals,
+// session loss.
+#include <gtest/gtest.h>
+
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+namespace {
+
+using namespace xb;
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+template <typename RouterT>
+struct Env {
+  net::EventLoop loop;
+  std::vector<std::unique_ptr<RouterT>> routers;
+  std::vector<std::unique_ptr<net::Duplex>> links;
+
+  RouterT& make(const char* name, bgp::Asn asn, std::uint8_t idx,
+                bool native_rr = false, const rpki::RoaTable* roa = nullptr) {
+    typename RouterT::Config cfg;
+    cfg.name = name;
+    cfg.asn = asn;
+    cfg.router_id = 0x0A000000u + idx;
+    cfg.address = Ipv4Addr(10, 0, 0, idx);
+    cfg.native_route_reflector = native_rr;
+    cfg.roa_table = roa;
+    routers.push_back(std::make_unique<RouterT>(loop, cfg));
+    return *routers.back();
+  }
+
+  std::pair<std::size_t, std::size_t> connect(RouterT& a, RouterT& b, bool a_client = false,
+                                              bool b_client = false) {
+    links.push_back(std::make_unique<net::Duplex>(loop, 1000));
+    auto& link = *links.back();
+    const auto pa = a.add_peer(link.a(), {.name = b.config().name, .asn = b.config().asn,
+                                          .address = b.config().address, .rr_client = b_client});
+    const auto pb = b.add_peer(link.b(), {.name = a.config().name, .asn = a.config().asn,
+                                          .address = a.config().address, .rr_client = a_client});
+    return {pa, pb};
+  }
+
+  void run(std::uint64_t seconds = 2) {
+    for (auto& r : routers) r->start();
+    loop.run_until(loop.now() + seconds * kSec);
+  }
+};
+
+template <typename T>
+class EngineTest : public ::testing::Test {};
+using RouterTypes = ::testing::Types<hosts::fir::FirRouter, hosts::wren::WrenRouter>;
+TYPED_TEST_SUITE(EngineTest, RouterTypes);
+
+TYPED_TEST(EngineTest, EbgpPropagationPrependsAsAndSetsNexthopSelf) {
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65001, 1);
+  auto& b = env.make("b", 65002, 2);
+  auto& c = env.make("c", 65003, 3);
+  env.connect(a, b);
+  env.connect(b, c);
+  a.originate(Prefix::parse("192.0.2.0/24"));
+  env.run();
+
+  const auto* at_c = c.best(Prefix::parse("192.0.2.0/24"));
+  ASSERT_NE(at_c, nullptr);
+  using Core = std::conditional_t<std::is_same_v<TypeParam, hosts::fir::FirRouter>,
+                                  hosts::fir::FirCore, hosts::wren::WrenCore>;
+  EXPECT_EQ(Core::as_path_length(*at_c->attrs), 2u);  // 65002, 65001
+  EXPECT_EQ(Core::first_asn(*at_c->attrs), 65002u);
+  EXPECT_EQ(Core::origin_asn(*at_c->attrs), 65001u);
+  EXPECT_EQ(Core::next_hop(*at_c->attrs), b.config().address);
+  // FIB updated.
+  EXPECT_EQ(c.fib_lookup(Prefix::parse("192.0.2.0/24")), b.config().address);
+}
+
+TYPED_TEST(EngineTest, EbgpLoopPrevention) {
+  // a -- b and a -- c -- b triangle: b must drop paths containing its own AS.
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65001, 1);
+  auto& b = env.make("b", 65002, 2);
+  env.connect(a, b);
+  env.connect(b, a);  // second parallel session: a re-advertises b's route back
+  b.originate(Prefix::parse("10.7.0.0/16"));
+  env.run();
+  // a learned the prefix; re-advertising to b over the other session puts
+  // 65001,65002 in the path, which b rejects (its own AS).
+  EXPECT_GT(b.stats().loop_rejected + a.stats().loop_rejected, 0u);
+}
+
+TYPED_TEST(EngineTest, IbgpRoutesNotForwardedToIbgpWithoutRr) {
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65000, 1);
+  auto& mid = env.make("mid", 65000, 2);
+  auto& c = env.make("c", 65000, 3);
+  env.connect(a, mid);
+  env.connect(mid, c);
+  a.originate(Prefix::parse("192.0.2.0/24"));
+  env.run();
+  EXPECT_NE(mid.best(Prefix::parse("192.0.2.0/24")), nullptr);
+  EXPECT_EQ(c.best(Prefix::parse("192.0.2.0/24")), nullptr);  // blocked by the iBGP rule
+  EXPECT_GT(mid.stats().exports_rejected, 0u);
+}
+
+TYPED_TEST(EngineTest, NativeRouteReflectionForwardsWithAttributes) {
+  // The rr_client flag lives in the PeerConfig the reflector holds for each
+  // neighbour, so the links are wired manually here.
+  Env<TypeParam> env;
+  auto& a2 = env.make("a", 65000, 1);
+  auto& rr2 = env.make("rr", 65000, 2, /*native_rr=*/true);
+  auto& c2 = env.make("c", 65000, 3);
+  env.links.push_back(std::make_unique<net::Duplex>(env.loop, 1000));
+  a2.add_peer(env.links.back()->a(), {.name = "rr", .asn = 65000,
+                                      .address = rr2.config().address});
+  rr2.add_peer(env.links.back()->b(), {.name = "a", .asn = 65000,
+                                       .address = a2.config().address, .rr_client = true});
+  env.links.push_back(std::make_unique<net::Duplex>(env.loop, 1000));
+  rr2.add_peer(env.links.back()->a(), {.name = "c", .asn = 65000,
+                                       .address = c2.config().address, .rr_client = true});
+  c2.add_peer(env.links.back()->b(), {.name = "rr", .asn = 65000,
+                                      .address = rr2.config().address});
+  a2.originate(Prefix::parse("192.0.2.0/24"));
+  env.run();
+
+  const auto* reflected = c2.best(Prefix::parse("192.0.2.0/24"));
+  ASSERT_NE(reflected, nullptr);
+  using Core = std::conditional_t<std::is_same_v<TypeParam, hosts::fir::FirRouter>,
+                                  hosts::fir::FirCore, hosts::wren::WrenCore>;
+  EXPECT_EQ(Core::originator_id(*reflected->attrs), a2.config().router_id);
+  EXPECT_EQ(Core::cluster_list_length(*reflected->attrs), 1u);
+  EXPECT_TRUE(Core::cluster_list_contains(*reflected->attrs, rr2.config().router_id));
+  // Nexthop unchanged across reflection.
+  EXPECT_EQ(Core::next_hop(*reflected->attrs), a2.config().address);
+}
+
+TYPED_TEST(EngineTest, WithdrawalPropagates) {
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65001, 1);
+  auto& b = env.make("b", 65002, 2);
+  auto& c = env.make("c", 65003, 3);
+  env.connect(a, b);
+  env.connect(b, c);
+  a.originate(Prefix::parse("192.0.2.0/24"));
+  env.run();
+  ASSERT_NE(c.best(Prefix::parse("192.0.2.0/24")), nullptr);
+
+  // Withdraw by sending an UPDATE with the prefix in withdrawn routes.
+  bgp::UpdateMessage withdraw;
+  withdraw.withdrawn = {Prefix::parse("192.0.2.0/24")};
+  a.session(0).send_update(withdraw);
+  env.loop.run_until(env.loop.now() + 2 * kSec);
+  EXPECT_EQ(c.best(Prefix::parse("192.0.2.0/24")), nullptr);
+  EXPECT_EQ(c.loc_rib_size(), 0u);
+}
+
+TYPED_TEST(EngineTest, SessionLossInvalidatesLearnedRoutes) {
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65001, 1);
+  auto& b = env.make("b", 65002, 2);
+  auto& c = env.make("c", 65003, 3);
+  auto [a_to_b, b_from_a] = env.connect(a, b);
+  env.connect(b, c);
+  a.originate(Prefix::parse("192.0.2.0/24"));
+  env.run();
+  ASSERT_NE(c.best(Prefix::parse("192.0.2.0/24")), nullptr);
+
+  a.session(a_to_b).stop();
+  env.loop.run_until(env.loop.now() + 2 * kSec);
+  EXPECT_EQ(b.best(Prefix::parse("192.0.2.0/24")), nullptr);
+  EXPECT_EQ(c.best(Prefix::parse("192.0.2.0/24")), nullptr);  // withdrawal cascaded
+  (void)b_from_a;
+}
+
+TYPED_TEST(EngineTest, DecisionPrefersShorterPathAcrossPeers) {
+  // d hears 192.0.2.0/24 from a directly (path length 1) and via b->c
+  // (length 2): the direct route must win.
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65001, 1);
+  auto& b = env.make("b", 65002, 2);
+  auto& d = env.make("d", 65004, 4);
+  env.connect(a, b);
+  env.connect(a, d);
+  env.connect(b, d);
+  a.originate(Prefix::parse("192.0.2.0/24"));
+  env.run();
+  const auto* best = d.best(Prefix::parse("192.0.2.0/24"));
+  ASSERT_NE(best, nullptr);
+  using Core = std::conditional_t<std::is_same_v<TypeParam, hosts::fir::FirRouter>,
+                                  hosts::fir::FirCore, hosts::wren::WrenCore>;
+  EXPECT_EQ(Core::as_path_length(*best->attrs), 1u);
+  EXPECT_EQ(Core::first_asn(*best->attrs), 65001u);
+}
+
+TYPED_TEST(EngineTest, NativeOriginValidationTagsRoutes) {
+  rpki::RoaHashTable table;
+  table.add({Prefix::parse("192.0.2.0/24"), 24, 65001});   // valid for a's AS
+  table.add({Prefix::parse("198.51.100.0/24"), 24, 64999});  // wrong origin
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65001, 1);
+  auto& dut = env.make("dut", 65002, 2, false, &table);
+  env.connect(a, dut);
+  a.originate(Prefix::parse("192.0.2.0/24"));
+  a.originate(Prefix::parse("198.51.100.0/24"));
+  a.originate(Prefix::parse("203.0.113.0/24"));  // no ROA
+  env.run();
+  EXPECT_EQ(dut.stats().ov_valid, 1u);
+  EXPECT_EQ(dut.stats().ov_invalid, 1u);
+  EXPECT_EQ(dut.stats().ov_not_found, 1u);
+  EXPECT_EQ(dut.loc_rib_size(), 3u);  // tag, don't discard (paper §3.4)
+  EXPECT_EQ(dut.route_meta(0, Prefix::parse("198.51.100.0/24")),
+            static_cast<std::uint32_t>(rpki::Validity::kInvalid));
+}
+
+TYPED_TEST(EngineTest, NativeOvRejectInvalidWhenConfigured) {
+  rpki::RoaHashTable table;
+  table.add({Prefix::parse("198.51.100.0/24"), 24, 64999});
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65001, 1);
+  typename TypeParam::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = 65002;
+  cfg.router_id = 0x0A000002;
+  cfg.address = Ipv4Addr(10, 0, 0, 2);
+  cfg.roa_table = &table;
+  cfg.ov_reject_invalid = true;
+  env.routers.push_back(std::make_unique<TypeParam>(env.loop, cfg));
+  auto& dut = *env.routers.back();
+  env.connect(a, dut);
+  a.originate(Prefix::parse("198.51.100.0/24"));
+  env.run();
+  EXPECT_EQ(dut.loc_rib_size(), 0u);
+  EXPECT_GT(dut.stats().prefixes_rejected_in, 0u);
+}
+
+TYPED_TEST(EngineTest, LocalRoutesWinOverLearned) {
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65001, 1);
+  auto& b = env.make("b", 65002, 2);
+  env.connect(a, b);
+  a.originate(Prefix::parse("10.50.0.0/16"));
+  b.originate(Prefix::parse("10.50.0.0/16"));
+  env.run();
+  const auto* best = b.best(Prefix::parse("10.50.0.0/16"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->from, hosts::engine::kLocalRoute);
+}
+
+TYPED_TEST(EngineTest, StatsCountUpdatesAndPrefixes) {
+  Env<TypeParam> env;
+  auto& a = env.make("a", 65001, 1);
+  auto& b = env.make("b", 65002, 2);
+  env.connect(a, b);
+  for (int i = 0; i < 5; ++i) {
+    a.originate(Prefix(Ipv4Addr(static_cast<std::uint32_t>(0x0A000000 + (i << 16))), 16));
+  }
+  env.run();
+  EXPECT_EQ(b.stats().prefixes_in, 5u);
+  EXPECT_EQ(b.stats().prefixes_accepted, 5u);
+  EXPECT_GT(b.stats().updates_in, 0u);
+  EXPECT_GT(a.stats().updates_out, 0u);
+  EXPECT_EQ(b.adj_rib_in_size(0), 5u);
+  EXPECT_EQ(a.adj_rib_out_size(0), 5u);
+}
+
+}  // namespace

@@ -1,0 +1,534 @@
+// Use-case extensions: the SAME bytecode runs on both host implementations
+// and reproduces (or replaces) native behaviour — the paper's central claim.
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.hpp"
+#include "extensions/geoloc.hpp"
+#include "extensions/igp_filter.hpp"
+#include "extensions/origin_validation.hpp"
+#include "extensions/registry.hpp"
+#include "extensions/route_reflection.hpp"
+#include "extensions/valley_free.hpp"
+#include "harness/testbed.hpp"
+#include "harness/workload.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+namespace {
+
+using namespace xb;
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+template <typename T>
+class ExtTest : public ::testing::Test {};
+using RouterTypes = ::testing::Types<hosts::fir::FirRouter, hosts::wren::WrenRouter>;
+TYPED_TEST_SUITE(ExtTest, RouterTypes);
+
+template <typename RouterT>
+using CoreOf = std::conditional_t<std::is_same_v<RouterT, hosts::fir::FirRouter>,
+                                  hosts::fir::FirCore, hosts::wren::WrenCore>;
+
+// All shipped programs pass the verifier under their own helper sets.
+TEST(Programs, AllVerifyAndSerialise) {
+  const auto reg = ext::default_registry();
+  for (const char* name :
+       {"igp_filter", "rr_inbound", "rr_outbound", "rr_encode", "ov_init", "ov_inbound",
+        "geoloc_receive", "geoloc_inbound", "geoloc_outbound", "geoloc_encode",
+        "geoloc_decision", "valley_free", "valley_exempt", "ctag_ingress",
+        "ctag_export"}) {
+    const auto* program = reg.find(name);
+    ASSERT_NE(program, nullptr) << name;
+    const auto err = ebpf::Verifier::verify(*program, program->required_helpers());
+    EXPECT_FALSE(err.has_value())
+        << name << " rejected at insn " << (err ? err->insn_index : 0) << ": "
+        << (err ? err->reason : "");
+    // The image is the portable artifact: serialise -> deserialise identity.
+    EXPECT_EQ(ebpf::deserialize(program->image()), program->insns()) << name;
+  }
+}
+
+// --- §3.1 IGP-cost export filter (Listing 1) --------------------------------
+
+TYPED_TEST(ExtTest, IgpFilterRejectsHighMetricNexthops) {
+  net::EventLoop loop;
+  igp::Graph graph;
+  const auto dut_node = graph.add_node(Ipv4Addr(10, 0, 0, 2), "dut");
+  const auto edge_node = graph.add_node(Ipv4Addr(10, 0, 0, 1), "edge");
+  graph.add_link(dut_node, edge_node, 1000);  // "transatlantic" metric
+  igp::IgpTable igp_table(graph, dut_node);
+
+  typename TypeParam::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = 65000;
+  cfg.router_id = 0x0A000002;
+  cfg.address = Ipv4Addr(10, 0, 0, 2);
+  cfg.igp = &igp_table;
+  TypeParam dut(loop, cfg);
+  dut.set_xtra_u32(xbgp::xtra::kMaxMetric, 100);
+  dut.load_extensions(ext::igp_filter_manifest());
+
+  // iBGP feeder (nexthop preserved) and eBGP consumer.
+  typename TypeParam::Config fc;
+  fc.name = "feeder";
+  fc.asn = 65000;
+  fc.router_id = 0x0A000001;
+  fc.address = Ipv4Addr(10, 0, 0, 1);
+  TypeParam feeder(loop, fc);
+  typename TypeParam::Config cc;
+  cc.name = "consumer";
+  cc.asn = 65100;
+  cc.router_id = 0x0A000003;
+  cc.address = Ipv4Addr(10, 0, 0, 3);
+  TypeParam consumer(loop, cc);
+
+  net::Duplex feed(loop, 1000), out(loop, 1000);
+  feeder.add_peer(feed.a(), {.name = "dut", .asn = 65000, .address = cfg.address});
+  dut.add_peer(feed.b(), {.name = "feeder", .asn = 65000, .address = fc.address});
+  dut.add_peer(out.a(), {.name = "consumer", .asn = 65100, .address = cc.address});
+  consumer.add_peer(out.b(), {.name = "dut", .asn = 65000, .address = cfg.address});
+
+  feeder.originate(Prefix::parse("192.0.2.0/24"));
+  feeder.start();
+  dut.start();
+  consumer.start();
+  loop.run_until(3 * kSec);
+
+  // The DUT accepted the route (metric only filters the eBGP export).
+  EXPECT_NE(dut.best(Prefix::parse("192.0.2.0/24")), nullptr);
+  // Export to the eBGP consumer was rejected: nexthop metric 1000 > 100.
+  EXPECT_EQ(consumer.best(Prefix::parse("192.0.2.0/24")), nullptr);
+  EXPECT_GT(dut.vmm().stats().extension_handled, 0u);
+
+  // Raise the threshold and flap: now it passes (the filter calls next()).
+  dut.set_xtra_u32(xbgp::xtra::kMaxMetric, 2000);
+  bgp::UpdateMessage withdraw;
+  withdraw.withdrawn = {Prefix::parse("192.0.2.0/24")};
+  feeder.session(0).send_update(withdraw);
+  loop.run_until(loop.now() + kSec);
+  feeder.session(0).send_update([&] {
+    bgp::UpdateMessage update;
+    update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+    update.attrs.put(bgp::AsPath{}.to_attr());
+    update.attrs.put(bgp::make_next_hop(fc.address));
+    update.attrs.put(bgp::make_local_pref(100));
+    update.nlri = {Prefix::parse("192.0.2.0/24")};
+    return update;
+  }());
+  loop.run_until(loop.now() + 2 * kSec);
+  EXPECT_NE(consumer.best(Prefix::parse("192.0.2.0/24")), nullptr);
+}
+
+// --- §3.2 route reflection ----------------------------------------------------
+
+template <typename RouterT>
+bgp::UpdateMessage reflect_once(bool use_extension, std::uint64_t* faults = nullptr) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  cfg.native_route_reflector = !use_extension;
+  RouterT dut(loop, cfg);
+  if (use_extension) dut.load_extensions(ext::route_reflection_manifest());
+
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  harness::WorkloadParams params;
+  params.route_count = 50;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);
+  if (faults != nullptr) *faults = dut.stats().extension_faults;
+  return bed.sink().last_update();
+}
+
+TYPED_TEST(ExtTest, RouteReflectionExtensionMatchesNative) {
+  std::uint64_t faults = 0;
+  const auto native = reflect_once<TypeParam>(false);
+  const auto extension = reflect_once<TypeParam>(true, &faults);
+  EXPECT_EQ(faults, 0u);
+  ASSERT_FALSE(native.nlri.empty());
+  ASSERT_FALSE(extension.nlri.empty());
+  // Byte-identical reflection attributes in both modes.
+  const auto* native_orig = native.attrs.find(bgp::attr_code::kOriginatorId);
+  const auto* ext_orig = extension.attrs.find(bgp::attr_code::kOriginatorId);
+  ASSERT_NE(native_orig, nullptr);
+  ASSERT_NE(ext_orig, nullptr);
+  EXPECT_EQ(native_orig->value, ext_orig->value);
+  const auto* native_cl = native.attrs.find(bgp::attr_code::kClusterList);
+  const auto* ext_cl = extension.attrs.find(bgp::attr_code::kClusterList);
+  ASSERT_NE(native_cl, nullptr);
+  ASSERT_NE(ext_cl, nullptr);
+  EXPECT_EQ(native_cl->value, ext_cl->value);
+  EXPECT_EQ(bgp::parse_originator_id(*ext_orig), 0x0A000001u);  // upstream's id
+  const auto clusters = bgp::parse_cluster_list(*ext_cl);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], 0xC1C1C1C1u);
+  // The whole attribute sets agree.
+  EXPECT_EQ(native.attrs, extension.attrs);
+}
+
+TYPED_TEST(ExtTest, RrExtensionLoopPrevention) {
+  // Feed the DUT (extension RR) a route carrying its own cluster id; the
+  // inbound bytecode must reject it.
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  typename TypeParam::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  TypeParam dut(loop, cfg);
+  dut.load_extensions(ext::route_reflection_manifest());
+  harness::Testbed<TypeParam> bed(loop, dut, plan);
+  bed.establish();
+
+  bgp::UpdateMessage update;
+  update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+  update.attrs.put(bgp::AsPath{}.to_attr());
+  update.attrs.put(bgp::make_next_hop(plan.upstream_addr));
+  update.attrs.put(bgp::make_local_pref(100));
+  const std::uint32_t clusters[] = {0xC1C1C1C1};
+  update.attrs.put(bgp::make_cluster_list(clusters));
+  update.nlri = {Prefix::parse("192.0.2.0/24")};
+  bed.feeder().session().send_update(update);
+  loop.run_until(loop.now() + 2 * kSec);
+  EXPECT_EQ(dut.best(Prefix::parse("192.0.2.0/24")), nullptr);
+  EXPECT_GT(dut.stats().prefixes_rejected_in, 0u);
+
+  // Same with ORIGINATOR_ID == the DUT's router id.
+  bgp::UpdateMessage update2;
+  update2.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+  update2.attrs.put(bgp::AsPath{}.to_attr());
+  update2.attrs.put(bgp::make_next_hop(plan.upstream_addr));
+  update2.attrs.put(bgp::make_local_pref(100));
+  update2.attrs.put(bgp::make_originator_id(cfg.router_id));
+  update2.nlri = {Prefix::parse("198.51.100.0/24")};
+  bed.feeder().session().send_update(update2);
+  loop.run_until(loop.now() + 2 * kSec);
+  EXPECT_EQ(dut.best(Prefix::parse("198.51.100.0/24")), nullptr);
+}
+
+// --- §3.4 origin validation ------------------------------------------------------
+
+TYPED_TEST(ExtTest, OriginValidationExtensionMatchesNativeVerdicts) {
+  harness::WorkloadParams params;
+  params.route_count = 500;
+  const auto workload = harness::make_workload(params);
+  rpki::RoaSetParams roa_params;
+  const auto roas = rpki::make_roa_set(workload.routes, roa_params);
+  rpki::RoaHashTable native_table;
+  rpki::fill_table(native_table, roas);
+
+  auto run_one = [&](bool use_extension) {
+    net::EventLoop loop;
+    const auto plan = harness::TestbedPlan::ebgp_plan();
+    typename TypeParam::Config cfg;
+    cfg.name = "dut";
+    cfg.asn = plan.dut_asn;
+    cfg.router_id = 0x0A000002;
+    cfg.address = plan.dut_addr;
+    if (!use_extension) cfg.roa_table = &native_table;
+    TypeParam dut(loop, cfg);
+    if (use_extension) {
+      dut.set_xtra(xbgp::xtra::kRoaTable, harness::pack_roa_blob(roas));
+      dut.load_extensions(ext::origin_validation_manifest(roas.size()));
+    }
+    harness::Testbed<TypeParam> bed(loop, dut, plan);
+    bed.establish();
+    bed.run(workload, workload.prefix_count);
+    EXPECT_EQ(dut.stats().extension_faults, 0u);
+    return std::tuple(dut.stats().ov_valid, dut.stats().ov_invalid,
+                      dut.stats().ov_not_found);
+  };
+
+  const auto native = run_one(false);
+  const auto extension = run_one(true);
+  EXPECT_EQ(native, extension);
+  EXPECT_GT(std::get<0>(native), 0u);
+  EXPECT_GT(std::get<1>(native), 0u);
+  EXPECT_GT(std::get<2>(native), 0u);
+  // Roughly 75% valid, as configured.
+  EXPECT_NEAR(static_cast<double>(std::get<0>(native)) / workload.prefix_count, 0.75, 0.05);
+}
+
+// --- §2 GeoLoc -----------------------------------------------------------------------
+
+TYPED_TEST(ExtTest, GeoLocTagsAtEbgpEdgeAndFiltersByDistance) {
+  net::EventLoop loop;
+  typename TypeParam::Config cfg;
+  cfg.name = "edge";
+  cfg.asn = 65000;
+  cfg.router_id = 0x0A000002;
+  cfg.address = Ipv4Addr(10, 0, 0, 2);
+  TypeParam edge(loop, cfg);
+  std::vector<std::uint8_t> coords(8);
+  const std::int32_t lat = 50'000'000, lon = 4'000'000;
+  std::memcpy(coords.data(), &lat, 4);
+  std::memcpy(coords.data() + 4, &lon, 4);
+  edge.set_xtra(xbgp::xtra::kGeoCoord, coords);
+  edge.load_extensions(ext::geoloc_manifest(/*with_distance_filter=*/false));
+
+  harness::TestbedPlan plan = harness::TestbedPlan::ebgp_plan();
+  plan.ibgp = false;
+  harness::Testbed<TypeParam> bed(loop, edge, plan);
+  bed.establish();
+  harness::WorkloadParams params;
+  params.route_count = 10;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);
+
+  // Every stored route carries the GeoLoc attribute with our coordinates.
+  using Core = CoreOf<TypeParam>;
+  const auto& route = *edge.best(workload.routes.front().prefix);
+  const auto attr = Core::get_attr(*route.attrs, bgp::attr_code::kGeoLoc);
+  ASSERT_TRUE(attr.has_value());
+  const auto parsed = bgp::parse_geoloc(*attr);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lat_microdeg, lat);
+  EXPECT_EQ(parsed->lon_microdeg, lon);
+  // And the downstream sink received it on the wire (encode hook ran).
+  const auto* wire_attr = bed.sink().last_update().attrs.find(bgp::attr_code::kGeoLoc);
+  ASSERT_NE(wire_attr, nullptr);
+  EXPECT_EQ(bgp::parse_geoloc(*wire_attr)->lat_microdeg, lat);
+}
+
+TYPED_TEST(ExtTest, GeoLocDistanceFilterBoundary) {
+  // Two routers at distance exactly on/over the threshold.
+  auto run_with_distance = [](std::int32_t remote_lat, std::uint32_t max_dist) {
+    net::EventLoop loop;
+    typename TypeParam::Config cfg;
+    cfg.name = "dut";
+    cfg.asn = 65000;
+    cfg.router_id = 0x0A000002;
+    cfg.address = Ipv4Addr(10, 0, 0, 2);
+    TypeParam dut(loop, cfg);
+    std::vector<std::uint8_t> coords(8);
+    const std::int32_t lat = 0, lon = 0;
+    std::memcpy(coords.data(), &lat, 4);
+    std::memcpy(coords.data() + 4, &lon, 4);
+    dut.set_xtra(xbgp::xtra::kGeoCoord, coords);
+    dut.set_xtra_u32(xbgp::xtra::kGeoMaxDist, max_dist);
+    dut.load_extensions(ext::geoloc_manifest(/*with_distance_filter=*/true));
+
+    const auto plan = harness::TestbedPlan::ibgp_plan();
+    harness::Testbed<TypeParam> bed(loop, dut, plan);
+    bed.establish();
+    bgp::UpdateMessage update;
+    update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+    update.attrs.put(bgp::AsPath{}.to_attr());
+    update.attrs.put(bgp::make_next_hop(plan.upstream_addr));
+    update.attrs.put(bgp::make_local_pref(100));
+    update.attrs.put(bgp::make_geoloc(remote_lat, 0));
+    update.nlri = {Prefix::parse("192.0.2.0/24")};
+    bed.feeder().session().send_update(update);
+    loop.run_until(loop.now() + 2 * kSec);
+    return dut.best(Prefix::parse("192.0.2.0/24")) != nullptr;
+  };
+
+  EXPECT_TRUE(run_with_distance(1'000'000, 1'000'000));   // exactly at threshold
+  EXPECT_FALSE(run_with_distance(1'000'001, 1'000'000));  // one micro-degree over
+  EXPECT_TRUE(run_with_distance(-999'999, 1'000'000));    // negative coordinates
+}
+
+// --- §3.3 valley-free ---------------------------------------------------------------
+
+TYPED_TEST(ExtTest, ValleyFreeFilterSemantics) {
+  // (relaxed-variant coverage lives in ValleyFreeRelaxedExemption below)
+  // DUT is a spine (AS 65201) receiving from leaf L12 (AS 65112): an ascent
+  // session. Paths containing a manifest pair (descent) must be rejected.
+  const bgp::Asn kSpine1 = 65201, kSpine2 = 65202, kLeaf12 = 65112, kLeaf13 = 65113,
+                 kTor = 65023;
+  std::vector<xbgp::ValleyPair> pairs{{kLeaf12, kSpine1}, {kLeaf12, kSpine2},
+                                      {kLeaf13, kSpine1}, {kLeaf13, kSpine2},
+                                      {kTor, kLeaf12},    {kTor, kLeaf13}};
+  std::vector<std::uint8_t> blob(pairs.size() * sizeof(xbgp::ValleyPair));
+  std::memcpy(blob.data(), pairs.data(), blob.size());
+
+  auto accepts = [&](std::vector<bgp::Asn> path) {
+    net::EventLoop loop;
+    harness::TestbedPlan plan = harness::TestbedPlan::ebgp_plan();
+    plan.dut_asn = kSpine2;
+    plan.upstream_asn = kLeaf12;
+    typename TypeParam::Config cfg;
+    cfg.name = "spine2";
+    cfg.asn = kSpine2;
+    cfg.router_id = 0x0A000002;
+    cfg.address = plan.dut_addr;
+    TypeParam dut(loop, cfg);
+    dut.set_xtra(xbgp::xtra::kValleyPairs, blob);
+    dut.load_extensions(ext::valley_free_manifest());
+    harness::Testbed<TypeParam> bed(loop, dut, plan);
+    bed.establish();
+    bgp::UpdateMessage update;
+    update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+    update.attrs.put(bgp::AsPath(path).to_attr());
+    update.attrs.put(bgp::make_next_hop(plan.upstream_addr));
+    update.nlri = {Prefix::parse("192.0.2.0/24")};
+    bed.feeder().session().send_update(update);
+    loop.run_until(loop.now() + 2 * kSec);
+    return dut.best(Prefix::parse("192.0.2.0/24")) != nullptr;
+  };
+
+  // Normal ascent: leaf heard it from its ToR. No descent pair in the path.
+  EXPECT_TRUE(accepts({kLeaf12, kTor}));
+  // Valley: the path already descended once (L12 learned from S1).
+  EXPECT_FALSE(accepts({kLeaf12, kSpine1, kLeaf13, kTor}));
+  // Descent pair deeper in the path is still a valley.
+  EXPECT_FALSE(accepts({kLeaf12, kTor, kLeaf13, kSpine1, kLeaf13}));
+  // Pair in the wrong order (upper then lower = normal down-advertisement
+  // read right-to-left) is not a valley.
+  EXPECT_TRUE(accepts({kLeaf12}));
+}
+
+TYPED_TEST(ExtTest, ValleyFreeRelaxedExemption) {
+  // Same valley path as above, but the destination prefix is listed as
+  // critical: the exemption stage accepts it before the strict filter runs.
+  const bgp::Asn kSpine1 = 65201, kSpine2 = 65202, kLeaf12 = 65112, kLeaf13 = 65113,
+                 kTor = 65023;
+  std::vector<xbgp::ValleyPair> pairs{{kLeaf12, kSpine1}, {kLeaf12, kSpine2},
+                                      {kLeaf13, kSpine1}, {kLeaf13, kSpine2},
+                                      {kTor, kLeaf12},    {kTor, kLeaf13}};
+  std::vector<std::uint8_t> blob(pairs.size() * sizeof(xbgp::ValleyPair));
+  std::memcpy(blob.data(), pairs.data(), blob.size());
+
+  auto accepts = [&](const char* prefix_text, bool critical) {
+    net::EventLoop loop;
+    harness::TestbedPlan plan = harness::TestbedPlan::ebgp_plan();
+    plan.dut_asn = kSpine2;
+    plan.upstream_asn = kLeaf12;
+    typename TypeParam::Config cfg;
+    cfg.name = "spine2";
+    cfg.asn = kSpine2;
+    cfg.router_id = 0x0A000002;
+    cfg.address = plan.dut_addr;
+    TypeParam dut(loop, cfg);
+    dut.set_xtra(xbgp::xtra::kValleyPairs, blob);
+    if (critical) {
+      const auto p = Prefix::parse(prefix_text);
+      xbgp::PrefixArg parg{p.addr().value(), p.length(), {}};
+      std::vector<std::uint8_t> crit(sizeof(parg));
+      std::memcpy(crit.data(), &parg, sizeof(parg));
+      dut.set_xtra(xbgp::xtra::kCriticalPrefixes, crit);
+    }
+    dut.load_extensions(ext::valley_free_relaxed_manifest());
+    harness::Testbed<TypeParam> bed(loop, dut, plan);
+    bed.establish();
+    bgp::UpdateMessage update;
+    update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+    update.attrs.put(bgp::AsPath({kLeaf12, kSpine1, kLeaf13, kTor}).to_attr());  // valley
+    update.attrs.put(bgp::make_next_hop(plan.upstream_addr));
+    update.nlri = {Prefix::parse(prefix_text)};
+    bed.feeder().session().send_update(update);
+    loop.run_until(loop.now() + 2 * kSec);
+    return dut.best(Prefix::parse(prefix_text)) != nullptr;
+  };
+
+  EXPECT_FALSE(accepts("192.0.2.0/24", /*critical=*/false));  // still filtered
+  EXPECT_TRUE(accepts("192.0.2.0/24", /*critical=*/true));    // exempted
+}
+
+TYPED_TEST(ExtTest, GeoLocDecisionPrefersCloserRoute) {
+  // Two iBGP peers announce the same prefix with different GeoLoc tags.
+  // Natively the lower router-id wins; the BGP_DECISION extension overrides
+  // with "geographically closer wins", in either arrival order.
+  for (const bool near_first : {false, true}) {
+    net::EventLoop loop;
+    typename TypeParam::Config cfg;
+    cfg.name = "dut";
+    cfg.asn = 65000;
+    cfg.router_id = 0x0A000003;
+    cfg.address = Ipv4Addr(10, 0, 0, 3);
+    TypeParam dut(loop, cfg);
+    std::vector<std::uint8_t> coords(8, 0);  // at the origin
+    dut.set_xtra(xbgp::xtra::kGeoCoord, coords);
+    dut.load_extensions(ext::geoloc_manifest(/*with_distance_filter=*/false,
+                                             /*with_decision=*/true));
+
+    // Two feeder sessions (lower router-id on the FAR peer).
+    net::Duplex l1(loop, 1000), l2(loop, 1000);
+    dut.add_peer(l1.b(), {.name = "far", .asn = 65000, .address = Ipv4Addr(10, 0, 0, 1)});
+    dut.add_peer(l2.b(), {.name = "near", .asn = 65000, .address = Ipv4Addr(10, 0, 0, 2)});
+    bgp::PeerSession far(loop, l1.a(),
+                         {.local_asn = 65000, .peer_asn = 65000, .local_id = 0x0A000001,
+                          .local_addr = Ipv4Addr(10, 0, 0, 1), .peer_addr = cfg.address});
+    bgp::PeerSession near(loop, l2.a(),
+                          {.local_asn = 65000, .peer_asn = 65000, .local_id = 0x0A000002,
+                           .local_addr = Ipv4Addr(10, 0, 0, 2), .peer_addr = cfg.address});
+    dut.start();
+    far.start();
+    near.start();
+    loop.run_until(loop.now() + kSec);
+    ASSERT_TRUE(far.established());
+    ASSERT_TRUE(near.established());
+
+    auto announce = [&](bgp::PeerSession& session, util::Ipv4Addr nexthop,
+                        std::int32_t lat_micro) {
+      bgp::UpdateMessage update;
+      update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+      update.attrs.put(bgp::AsPath{}.to_attr());
+      update.attrs.put(bgp::make_next_hop(nexthop));
+      update.attrs.put(bgp::make_local_pref(100));
+      update.attrs.put(bgp::make_geoloc(lat_micro, 0));
+      update.nlri = {Prefix::parse("203.0.113.0/24")};
+      session.send_update(update);
+      loop.run_until(loop.now() + kSec);
+    };
+    if (near_first) {
+      announce(near, Ipv4Addr(10, 0, 0, 2), 1'000'000);   // 1 degree away
+      announce(far, Ipv4Addr(10, 0, 0, 1), 50'000'000);   // 50 degrees away
+    } else {
+      announce(far, Ipv4Addr(10, 0, 0, 1), 50'000'000);
+      announce(near, Ipv4Addr(10, 0, 0, 2), 1'000'000);
+    }
+
+    const auto* best = dut.best(Prefix::parse("203.0.113.0/24"));
+    ASSERT_NE(best, nullptr);
+    using Core = CoreOf<TypeParam>;
+    EXPECT_EQ(Core::next_hop(*best->attrs), Ipv4Addr(10, 0, 0, 2))
+        << "near_first=" << near_first;  // the closer route wins
+    EXPECT_EQ(dut.stats().extension_faults, 0u);
+  }
+}
+
+// --- fault injection: a buggy extension falls back to native ---------------------
+
+TYPED_TEST(ExtTest, FaultyExtensionFallsBackToNative) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ebgp_plan();
+  typename TypeParam::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  TypeParam dut(loop, cfg);
+
+  // A filter that dereferences a wild pointer on every route.
+  ebpf::Assembler a;
+  a.lddw(ebpf::Reg::R1, 0x1000);
+  a.ldxdw(ebpf::Reg::R0, ebpf::Reg::R1, 0);
+  a.exit_();
+  xbgp::Manifest manifest;
+  manifest.attach("crashy", xbgp::Op::kInboundFilter, a.build("crashy"));
+  dut.load_extensions(manifest);
+
+  harness::Testbed<TypeParam> bed(loop, dut, plan);
+  bed.establish();
+  harness::WorkloadParams params;
+  params.route_count = 20;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);  // sink still receives everything
+
+  EXPECT_EQ(dut.loc_rib_size(), workload.prefix_count);  // native default accepted
+  EXPECT_GT(dut.stats().extension_faults, 0u);
+  EXPECT_EQ(dut.vmm().stats().faults, dut.stats().extension_faults);
+}
+
+}  // namespace

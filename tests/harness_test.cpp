@@ -1,0 +1,157 @@
+// Harness: workload generator invariants, testbed wiring, statistics,
+// the Fig. 1 dataset shape.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "bgp/codec.hpp"
+#include "harness/rfc_dataset.hpp"
+#include "harness/stats.hpp"
+#include "harness/testbed.hpp"
+#include "harness/workload.hpp"
+#include "hosts/fir/fir_router.hpp"
+
+namespace {
+
+using namespace xb;
+using namespace xb::harness;
+
+TEST(Workload, DeterministicForSameSeed) {
+  WorkloadParams params;
+  params.route_count = 2000;
+  const auto a = make_workload(params);
+  const auto b = make_workload(params);
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  EXPECT_EQ(a.updates, b.updates);
+  params.seed += 1;
+  const auto c = make_workload(params);
+  EXPECT_NE(a.updates, c.updates);
+}
+
+TEST(Workload, PrefixesAreUniqueAndCounted) {
+  WorkloadParams params;
+  params.route_count = 5000;
+  const auto w = make_workload(params);
+  EXPECT_EQ(w.prefix_count, 5000u);
+  EXPECT_EQ(w.routes.size(), 5000u);
+  std::unordered_set<util::Prefix> seen;
+  for (const auto& r : w.routes) {
+    EXPECT_TRUE(seen.insert(r.prefix).second) << "duplicate " << r.prefix.str();
+  }
+}
+
+TEST(Workload, UpdatesDecodeAndGroupPrefixes) {
+  WorkloadParams params;
+  params.route_count = 3000;
+  const auto w = make_workload(params);
+  std::size_t total = 0;
+  for (const auto& wire : w.updates) {
+    const auto frame = bgp::try_frame(wire);
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, bgp::MessageType::kUpdate);
+    const auto update = bgp::decode_update(frame->body);
+    EXPECT_TRUE(update.attrs.has(bgp::attr_code::kOrigin));
+    EXPECT_TRUE(update.attrs.has(bgp::attr_code::kAsPath));
+    EXPECT_TRUE(update.attrs.has(bgp::attr_code::kNextHop));
+    EXPECT_FALSE(update.nlri.empty());
+    total += update.nlri.size();
+  }
+  EXPECT_EQ(total, 3000u);
+  // Packing: far fewer updates than prefixes (mean group size ~3).
+  EXPECT_LT(w.updates.size(), 2000u);
+  EXPECT_GT(w.updates.size(), 500u);
+}
+
+TEST(Workload, LocalPrefOnlyWhenRequested) {
+  WorkloadParams params;
+  params.route_count = 100;
+  const auto ebgp = make_workload(params);
+  const auto frame = bgp::try_frame(ebgp.updates[0]);
+  EXPECT_FALSE(bgp::decode_update(frame->body).attrs.has(bgp::attr_code::kLocalPref));
+  params.with_local_pref = true;
+  const auto ibgp = make_workload(params);
+  const auto frame2 = bgp::try_frame(ibgp.updates[0]);
+  EXPECT_TRUE(bgp::decode_update(frame2->body).attrs.has(bgp::attr_code::kLocalPref));
+}
+
+TEST(Workload, RoaBlobPacksEntries) {
+  std::vector<rpki::Roa> roas{{util::Prefix::parse("10.0.0.0/8"), 24, 65001}};
+  const auto blob = pack_roa_blob(roas);
+  ASSERT_EQ(blob.size(), sizeof(xbgp::RoaEntry));
+  xbgp::RoaEntry entry;
+  std::memcpy(&entry, blob.data(), sizeof(entry));
+  EXPECT_EQ(entry.addr, util::Ipv4Addr::parse("10.0.0.0").value());
+  EXPECT_EQ(entry.prefix_len, 8);
+  EXPECT_EQ(entry.max_len, 24);
+  EXPECT_EQ(entry.origin, 65001u);
+}
+
+TEST(Testbed, FeedsAndCounts) {
+  net::EventLoop loop;
+  const auto plan = TestbedPlan::ibgp_plan();
+  hosts::fir::FirRouter::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.native_route_reflector = true;
+  hosts::fir::FirRouter dut(loop, cfg);
+  Testbed<hosts::fir::FirRouter> bed(loop, dut, plan);
+  bed.establish();
+  WorkloadParams params;
+  params.route_count = 300;
+  params.with_local_pref = true;
+  const auto w = make_workload(params);
+  const double elapsed = bed.run(w, w.prefix_count);
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_EQ(bed.sink().prefixes(), 300u);
+  EXPECT_EQ(dut.loc_rib_size(), 300u);
+}
+
+TEST(Stats, BoxplotQuartiles) {
+  const auto box = boxplot({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_DOUBLE_EQ(box.min, 1);
+  EXPECT_DOUBLE_EQ(box.median, 5);
+  EXPECT_DOUBLE_EQ(box.q1, 3);
+  EXPECT_DOUBLE_EQ(box.q3, 7);
+  EXPECT_DOUBLE_EQ(box.max, 9);
+  EXPECT_DOUBLE_EQ(box.mean, 5);
+}
+
+TEST(Stats, BoxplotSingleValue) {
+  const auto box = boxplot({4.2});
+  EXPECT_DOUBLE_EQ(box.min, 4.2);
+  EXPECT_DOUBLE_EQ(box.max, 4.2);
+  EXPECT_DOUBLE_EQ(box.median, 4.2);
+}
+
+TEST(Stats, RelativeImpact) {
+  const auto rel = relative_impact({1.2, 1.0, 0.9}, 1.0);
+  EXPECT_NEAR(rel[0], 20.0, 1e-9);
+  EXPECT_NEAR(rel[1], 0.0, 1e-9);
+  EXPECT_NEAR(rel[2], -10.0, 1e-9);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW(boxplot({}), std::invalid_argument);
+}
+
+TEST(RfcDataset, FortyEntriesFig1Shape) {
+  const auto data = idr_rfc_dataset();
+  EXPECT_EQ(data.size(), 40u);
+  const auto delays = standardization_delays_sorted();
+  ASSERT_EQ(delays.size(), 40u);
+  EXPECT_TRUE(std::is_sorted(delays.begin(), delays.end()));
+  // Paper: "the median delay before RFC publication is 3.5 years, and some
+  // features required up to ten years".
+  const double median = quantile_sorted(delays, 0.5);
+  EXPECT_NEAR(median, 3.5, 0.5);
+  EXPECT_NEAR(delays.back(), 10.0, 0.5);
+  EXPECT_GT(delays.front(), 0.0);
+  for (const auto& e : data) {
+    EXPECT_GT(e.delay_years(), 0.0) << "RFC " << e.rfc;
+    EXPECT_GE(e.rfc_year, e.draft_year) << "RFC " << e.rfc;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Host attribute cores: conversions, accessors, mutation, and the critical
+// cross-host equivalence property (same neutral input -> same neutral
+// output through either representation).
+#include <gtest/gtest.h>
+
+#include "hosts/fir/fir_core.hpp"
+#include "hosts/wren/wren_core.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xb;
+using namespace xb::bgp;
+using hosts::fir::FirCore;
+using hosts::wren::WrenCore;
+using util::Ipv4Addr;
+
+AttributeSet sample_set() {
+  AttributeSet set;
+  set.put(make_origin(Origin::kEgp));
+  set.put(AsPath({65010, 65020, 65030}).to_attr());
+  set.put(make_next_hop(Ipv4Addr::parse("192.0.2.7")));
+  set.put(make_med(50));
+  set.put(make_local_pref(150));
+  const std::uint32_t comms[] = {0x00010002};
+  set.put(make_communities(comms));
+  set.put(make_originator_id(0x0A0A0A0A));
+  const std::uint32_t clusters[] = {7, 8};
+  set.put(make_cluster_list(clusters));
+  return set;
+}
+
+template <typename T>
+class CoreTest : public ::testing::Test {};
+using CoreTypes = ::testing::Types<FirCore, WrenCore>;
+TYPED_TEST_SUITE(CoreTest, CoreTypes);
+
+TYPED_TEST(CoreTest, RoundTripPreservesKnownAttributes) {
+  const auto set = sample_set();
+  const auto attrs = TypeParam::from_wire(set, {});
+  EXPECT_EQ(TypeParam::to_wire(attrs), set);
+}
+
+TYPED_TEST(CoreTest, AccessorsMatchNeutralValues) {
+  const auto attrs = TypeParam::from_wire(sample_set(), {});
+  EXPECT_EQ(TypeParam::next_hop(attrs), Ipv4Addr::parse("192.0.2.7"));
+  EXPECT_EQ(TypeParam::local_pref_or(attrs, 100), 150u);
+  EXPECT_EQ(TypeParam::med(attrs), 50u);
+  EXPECT_EQ(TypeParam::origin(attrs), Origin::kEgp);
+  EXPECT_EQ(TypeParam::as_path_length(attrs), 3u);
+  EXPECT_EQ(TypeParam::first_asn(attrs), 65010u);
+  EXPECT_EQ(TypeParam::origin_asn(attrs), 65030u);
+  EXPECT_TRUE(TypeParam::as_path_contains(attrs, 65020));
+  EXPECT_FALSE(TypeParam::as_path_contains(attrs, 1));
+  EXPECT_EQ(TypeParam::originator_id(attrs), 0x0A0A0A0Au);
+  EXPECT_EQ(TypeParam::cluster_list_length(attrs), 2u);
+  EXPECT_TRUE(TypeParam::cluster_list_contains(attrs, 8));
+  EXPECT_FALSE(TypeParam::cluster_list_contains(attrs, 9));
+}
+
+TYPED_TEST(CoreTest, UnknownAttributeDroppedUnlessKept) {
+  auto set = sample_set();
+  set.put(WireAttr{attr_flag::kOptional | attr_flag::kTransitive, 242, {1, 2, 3, 4, 5, 6, 7, 8}});
+  const auto dropped = TypeParam::from_wire(set, {});
+  EXPECT_FALSE(TypeParam::get_attr(dropped, 242).has_value());
+  const std::uint8_t keep[] = {242};
+  const auto kept = TypeParam::from_wire(set, keep);
+  ASSERT_TRUE(TypeParam::get_attr(kept, 242).has_value());
+  EXPECT_EQ(TypeParam::get_attr(kept, 242)->value.size(), 8u);
+}
+
+TYPED_TEST(CoreTest, GetAttrReturnsWireForm) {
+  const auto attrs = TypeParam::from_wire(sample_set(), {});
+  const auto med = TypeParam::get_attr(attrs, attr_code::kMed);
+  ASSERT_TRUE(med);
+  EXPECT_EQ(parse_med(*med), 50u);
+  const auto path = TypeParam::get_attr(attrs, attr_code::kAsPath);
+  ASSERT_TRUE(path);
+  auto parsed = AsPath::from_attr(*path);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->length(), 3u);
+  EXPECT_FALSE(TypeParam::get_attr(attrs, 200).has_value());
+}
+
+TYPED_TEST(CoreTest, SetAttrShadowsNativeField) {
+  auto attrs = TypeParam::from_wire(sample_set(), {});
+  // Extension overrides ORIGINATOR_ID through the xBGP attribute API.
+  TypeParam::set_attr(attrs, make_originator_id(0xDEADBEEF));
+  const auto got = TypeParam::get_attr(attrs, attr_code::kOriginatorId);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(parse_originator_id(*got), 0xDEADBEEFu);
+  // Native encoding must not emit the shadowed native value.
+  util::ByteWriter w;
+  TypeParam::encode_native(attrs, w);
+  util::ByteReader r(w.view());
+  const auto encoded = AttributeSet::decode(r, w.size());
+  EXPECT_FALSE(encoded.has(attr_code::kOriginatorId));
+}
+
+TYPED_TEST(CoreTest, EbgpTransformSemantics) {
+  auto attrs = TypeParam::from_wire(sample_set(), {});
+  TypeParam::strip_ibgp_only(attrs);
+  TypeParam::prepend_as(attrs, 64512);
+  TypeParam::set_next_hop(attrs, Ipv4Addr::parse("10.9.9.9"));
+  EXPECT_EQ(TypeParam::local_pref_or(attrs, 100), 100u);  // stripped
+  EXPECT_EQ(TypeParam::med(attrs), std::nullopt);
+  EXPECT_EQ(TypeParam::originator_id(attrs), std::nullopt);
+  EXPECT_EQ(TypeParam::cluster_list_length(attrs), 0u);
+  EXPECT_EQ(TypeParam::as_path_length(attrs), 4u);
+  EXPECT_EQ(TypeParam::first_asn(attrs), 64512u);
+  EXPECT_EQ(TypeParam::next_hop(attrs), Ipv4Addr::parse("10.9.9.9"));
+}
+
+TYPED_TEST(CoreTest, ReflectSetsOriginatorOnceAndPrependsCluster) {
+  AttributeSet set;
+  set.put(make_origin(Origin::kIgp));
+  set.put(AsPath({1}).to_attr());
+  set.put(make_next_hop(Ipv4Addr(1)));
+  auto attrs = TypeParam::from_wire(set, {});
+  TypeParam::reflect(attrs, 0x0A000001, 0xC1);
+  EXPECT_EQ(TypeParam::originator_id(attrs), 0x0A000001u);
+  EXPECT_EQ(TypeParam::cluster_list_length(attrs), 1u);
+  // Second reflection (another RR) keeps the originator, grows the list.
+  TypeParam::reflect(attrs, 0x0B000002, 0xC2);
+  EXPECT_EQ(TypeParam::originator_id(attrs), 0x0A000001u);
+  EXPECT_EQ(TypeParam::cluster_list_length(attrs), 2u);
+  EXPECT_TRUE(TypeParam::cluster_list_contains(attrs, 0xC2));
+}
+
+TYPED_TEST(CoreTest, EncodeNativeMatchesAttributeSetEncoding) {
+  const auto set = sample_set();
+  const auto attrs = TypeParam::from_wire(set, {});
+  util::ByteWriter native;
+  TypeParam::encode_native(attrs, native);
+  util::ByteWriter reference;
+  set.encode(reference);
+  EXPECT_EQ(native.data(), reference.data());
+}
+
+// The cross-host property at the heart of xBGP: both representations are
+// faithful carriers of the neutral form.
+TEST(CrossHost, RandomisedEquivalence) {
+  util::Rng rng(555);
+  for (int iter = 0; iter < 200; ++iter) {
+    AttributeSet set;
+    set.put(make_origin(static_cast<Origin>(rng.below(3))));
+    std::vector<Asn> path;
+    const std::size_t hops = 1 + rng.below(6);
+    for (std::size_t i = 0; i < hops; ++i) path.push_back(static_cast<Asn>(1 + rng.below(70000)));
+    set.put(AsPath(path).to_attr());
+    set.put(make_next_hop(Ipv4Addr(static_cast<std::uint32_t>(rng.next()))));
+    if (rng.chance(0.5)) set.put(make_med(static_cast<std::uint32_t>(rng.below(1000))));
+    if (rng.chance(0.5)) set.put(make_local_pref(static_cast<std::uint32_t>(rng.below(500))));
+    if (rng.chance(0.3)) set.put(make_originator_id(static_cast<RouterId>(rng.next())));
+
+    const auto fir = FirCore::from_wire(set, {});
+    const auto wren = WrenCore::from_wire(set, {});
+    EXPECT_EQ(FirCore::to_wire(fir), WrenCore::to_wire(wren)) << "iteration " << iter;
+    EXPECT_EQ(FirCore::as_path_length(fir), WrenCore::as_path_length(wren));
+    EXPECT_EQ(FirCore::next_hop(fir), WrenCore::next_hop(wren));
+    EXPECT_EQ(FirCore::med(fir), WrenCore::med(wren));
+    EXPECT_EQ(FirCore::local_pref_or(fir, 100), WrenCore::local_pref_or(wren, 100));
+    EXPECT_EQ(FirCore::origin_asn(fir), WrenCore::origin_asn(wren));
+  }
+}
+
+}  // namespace

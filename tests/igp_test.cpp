@@ -1,0 +1,101 @@
+// IGP substrate: Dijkstra correctness and failure handling.
+#include <gtest/gtest.h>
+
+#include "igp/igp_table.hpp"
+#include "util/ip.hpp"
+
+namespace {
+
+using namespace xb::igp;
+using xb::util::Ipv4Addr;
+
+Graph diamond() {
+  //      b
+  //   1 / \ 4
+  //    a   d      a-c-d is cheaper (2+1) than a-b-d (1+4)
+  //   2 \ / 1
+  //      c
+  Graph g;
+  g.add_node(Ipv4Addr::parse("10.0.0.1"), "a");
+  g.add_node(Ipv4Addr::parse("10.0.0.2"), "b");
+  g.add_node(Ipv4Addr::parse("10.0.0.3"), "c");
+  g.add_node(Ipv4Addr::parse("10.0.0.4"), "d");
+  g.add_link(0, 1, 1);
+  g.add_link(0, 2, 2);
+  g.add_link(1, 3, 4);
+  g.add_link(2, 3, 1);
+  return g;
+}
+
+TEST(Spf, ShortestDistances) {
+  auto g = diamond();
+  auto spf = shortest_paths(g, 0);
+  EXPECT_EQ(spf.dist[0], 0u);
+  EXPECT_EQ(spf.dist[1], 1u);
+  EXPECT_EQ(spf.dist[2], 2u);
+  EXPECT_EQ(spf.dist[3], 3u);  // via c
+  EXPECT_EQ(spf.first_hop[3], 2u);
+}
+
+TEST(Spf, UnreachableIsInfinite) {
+  Graph g;
+  g.add_node(Ipv4Addr::parse("10.0.0.1"));
+  g.add_node(Ipv4Addr::parse("10.0.0.2"));
+  auto spf = shortest_paths(g, 0);
+  EXPECT_EQ(spf.dist[1], kInfMetric);
+}
+
+TEST(Spf, LinkFailureReroutes) {
+  auto g = diamond();
+  g.set_link_metric(2, 3, kInfMetric);  // c-d down
+  auto spf = shortest_paths(g, 0);
+  EXPECT_EQ(spf.dist[3], 5u);  // via b
+  EXPECT_EQ(spf.first_hop[3], 1u);
+}
+
+TEST(Spf, TriangleInequalityHolds) {
+  // Property: for every edge (u,v,m), dist[v] <= dist[u] + m.
+  auto g = diamond();
+  auto spf = shortest_paths(g, 0);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (spf.dist[u] == kInfMetric) continue;
+    for (const auto& e : g.edges(u)) {
+      if (e.metric == kInfMetric) continue;
+      EXPECT_LE(spf.dist[e.to], spf.dist[u] + e.metric);
+    }
+  }
+}
+
+TEST(IgpTable, MetricLookupByLoopback) {
+  auto g = diamond();
+  IgpTable table(g, 0);
+  EXPECT_EQ(table.metric_to(Ipv4Addr::parse("10.0.0.4")), 3u);
+  EXPECT_EQ(table.metric_to(Ipv4Addr::parse("10.0.0.1")), 0u);
+  EXPECT_EQ(table.metric_to(Ipv4Addr::parse("99.9.9.9")), std::nullopt);
+}
+
+TEST(IgpTable, RebuildReflectsTopologyChange) {
+  auto g = diamond();
+  IgpTable table(g, 0);
+  ASSERT_EQ(table.metric_to(Ipv4Addr::parse("10.0.0.4")), 3u);
+  g.set_link_metric(2, 3, 1000);  // the paper's §3.1 trick: discourage a link
+  table.rebuild(g, 0);
+  EXPECT_EQ(table.metric_to(Ipv4Addr::parse("10.0.0.4")), 5u);
+}
+
+TEST(Graph, DuplicateLoopbackRejected) {
+  Graph g;
+  g.add_node(Ipv4Addr::parse("10.0.0.1"));
+  EXPECT_THROW(g.add_node(Ipv4Addr::parse("10.0.0.1")), std::invalid_argument);
+}
+
+TEST(Graph, LookupByLoopback) {
+  Graph g;
+  g.add_node(Ipv4Addr::parse("10.0.0.1"), "a");
+  NodeId id = 99;
+  EXPECT_TRUE(g.lookup(Ipv4Addr::parse("10.0.0.1"), id));
+  EXPECT_EQ(id, 0u);
+  EXPECT_FALSE(g.lookup(Ipv4Addr::parse("10.0.0.2"), id));
+}
+
+}  // namespace

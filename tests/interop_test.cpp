@@ -1,0 +1,156 @@
+// Cross-implementation interoperability: Fir and Wren speak RFC 4271 to
+// each other and run the SAME extension bytecode — the paper's core claim
+// ("the same code can be executed on different implementations").
+#include <gtest/gtest.h>
+
+#include "extensions/geoloc.hpp"
+#include "extensions/route_reflection.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+namespace {
+
+using namespace xb;
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+struct MixedNet {
+  net::EventLoop loop;
+  std::vector<std::unique_ptr<net::Duplex>> links;
+
+  template <typename A, typename B>
+  void connect(A& a, B& b, bool b_client = false, bool a_client = false) {
+    links.push_back(std::make_unique<net::Duplex>(loop, 1000));
+    a.add_peer(links.back()->a(), {.name = b.config().name, .asn = b.config().asn,
+                                   .address = b.config().address, .rr_client = b_client});
+    b.add_peer(links.back()->b(), {.name = a.config().name, .asn = a.config().asn,
+                                   .address = a.config().address, .rr_client = a_client});
+  }
+};
+
+template <typename RouterT>
+typename RouterT::Config cfg_for(const char* name, bgp::Asn asn, std::uint8_t idx) {
+  typename RouterT::Config cfg;
+  cfg.name = name;
+  cfg.asn = asn;
+  cfg.router_id = 0x0A000000u + idx;
+  cfg.address = Ipv4Addr(10, 0, 0, idx);
+  return cfg;
+}
+
+TEST(Interop, FirAndWrenExchangeFullAttributeSets) {
+  MixedNet net;
+  hosts::fir::FirRouter fir(net.loop, cfg_for<hosts::fir::FirRouter>("fir", 65001, 1));
+  hosts::wren::WrenRouter wren(net.loop, cfg_for<hosts::wren::WrenRouter>("wren", 65002, 2));
+  net.connect(fir, wren);
+
+  fir.originate(Prefix::parse("203.0.113.0/24"));
+  wren.originate(Prefix::parse("198.51.100.0/24"));
+  fir.start();
+  wren.start();
+  net.loop.run_until(3 * kSec);
+
+  const auto* at_wren = wren.best(Prefix::parse("203.0.113.0/24"));
+  ASSERT_NE(at_wren, nullptr);
+  EXPECT_EQ(hosts::wren::WrenCore::first_asn(*at_wren->attrs), 65001u);
+  const auto* at_fir = fir.best(Prefix::parse("198.51.100.0/24"));
+  ASSERT_NE(at_fir, nullptr);
+  EXPECT_EQ(hosts::fir::FirCore::first_asn(*at_fir->attrs), 65002u);
+}
+
+TEST(Interop, MixedReflectorChainRunsIdenticalBytecode) {
+  // iBGP chain: client(Fir) -> RR(Fir, extension) -> RR(Wren, extension)
+  // -> client(Wren). The SAME three Program objects drive both reflectors.
+  MixedNet net;
+  hosts::fir::FirRouter a(net.loop, cfg_for<hosts::fir::FirRouter>("a", 65000, 1));
+  auto rr1_cfg = cfg_for<hosts::fir::FirRouter>("rr1", 65000, 2);
+  rr1_cfg.cluster_id = 0xC1;
+  hosts::fir::FirRouter rr1(net.loop, rr1_cfg);
+  auto rr2_cfg = cfg_for<hosts::wren::WrenRouter>("rr2", 65000, 3);
+  rr2_cfg.cluster_id = 0xC2;
+  hosts::wren::WrenRouter rr2(net.loop, rr2_cfg);
+  hosts::wren::WrenRouter c(net.loop, cfg_for<hosts::wren::WrenRouter>("c", 65000, 4));
+
+  const auto manifest = ext::route_reflection_manifest();
+  rr1.load_extensions(manifest);
+  rr2.load_extensions(manifest);
+  // Identical program images attached to both hosts.
+  ASSERT_EQ(manifest.entries.size(), 3u);
+  for (const auto& entry : manifest.entries) {
+    EXPECT_FALSE(entry.program.image().empty());
+  }
+
+  net.connect(rr1, a, /*b_client=*/true);
+  net.connect(rr1, rr2, /*b_client=*/true, /*a_client=*/true);
+  net.connect(rr2, c, /*b_client=*/true);
+
+  const auto prefix = Prefix::parse("203.0.113.0/24");
+  a.originate(prefix);
+  a.start();
+  rr1.start();
+  rr2.start();
+  c.start();
+  net.loop.run_until(5 * kSec);
+
+  const auto* at_c = c.best(prefix);
+  ASSERT_NE(at_c, nullptr);
+  using W = hosts::wren::WrenCore;
+  EXPECT_EQ(W::originator_id(*at_c->attrs), a.config().router_id);
+  EXPECT_EQ(W::cluster_list_length(*at_c->attrs), 2u);
+  EXPECT_TRUE(W::cluster_list_contains(*at_c->attrs, 0xC1));
+  EXPECT_TRUE(W::cluster_list_contains(*at_c->attrs, 0xC2));
+  EXPECT_EQ(rr1.stats().extension_faults, 0u);
+  EXPECT_EQ(rr2.stats().extension_faults, 0u);
+  EXPECT_GT(rr1.vmm().stats().extension_handled, 0u);
+  EXPECT_GT(rr2.vmm().stats().extension_handled, 0u);
+}
+
+TEST(Interop, GeoLocSurvivesMixedHostChain) {
+  // eBGP feed into a Fir edge, iBGP across a Wren core, iBGP to a Fir exit:
+  // the attribute added by bytecode at the edge must arrive intact at the
+  // exit after traversing a host with completely different internals.
+  MixedNet net;
+  hosts::wren::WrenRouter feeder(net.loop,
+                                 cfg_for<hosts::wren::WrenRouter>("feeder", 64999, 9));
+  hosts::fir::FirRouter edge(net.loop, cfg_for<hosts::fir::FirRouter>("edge", 65000, 1));
+  auto core_cfg = cfg_for<hosts::wren::WrenRouter>("core", 65000, 2);
+  core_cfg.native_route_reflector = true;  // needs to reflect edge -> exit
+  hosts::wren::WrenRouter core(net.loop, core_cfg);
+  hosts::fir::FirRouter exit_r(net.loop, cfg_for<hosts::fir::FirRouter>("exit", 65000, 3));
+
+  std::vector<std::uint8_t> coords(8);
+  const std::int32_t lat = 50'850'000, lon = 4'350'000;
+  std::memcpy(coords.data(), &lat, 4);
+  std::memcpy(coords.data() + 4, &lon, 4);
+  edge.set_xtra(xbgp::xtra::kGeoCoord, coords);
+
+  const auto manifest = ext::geoloc_manifest(/*with_distance_filter=*/false);
+  edge.load_extensions(manifest);
+  core.load_extensions(manifest);
+  exit_r.load_extensions(manifest);
+
+  net.connect(feeder, edge);
+  net.connect(edge, core, /*b_client=*/false, /*a_client=*/true);
+  net.connect(core, exit_r, /*b_client=*/true);
+
+  const auto prefix = Prefix::parse("203.0.113.0/24");
+  feeder.originate(prefix);
+  feeder.start();
+  edge.start();
+  core.start();
+  exit_r.start();
+  net.loop.run_until(5 * kSec);
+
+  const auto* at_exit = exit_r.best(prefix);
+  ASSERT_NE(at_exit, nullptr);
+  const auto geoloc = hosts::fir::FirCore::get_attr(*at_exit->attrs, bgp::attr_code::kGeoLoc);
+  ASSERT_TRUE(geoloc.has_value());
+  const auto parsed = bgp::parse_geoloc(*geoloc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lat_microdeg, lat);
+  EXPECT_EQ(parsed->lon_microdeg, lon);
+}
+
+}  // namespace

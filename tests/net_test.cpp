@@ -1,0 +1,125 @@
+// Simulated network: event loop ordering and byte-stream pipes.
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+#include "net/event_loop.hpp"
+
+namespace {
+
+using namespace xb::net;
+
+TEST(EventLoop, RunsInTimeThenFifoOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(20, [&] { order.push_back(3); });
+  loop.schedule(10, [&] { order.push_back(1); });
+  loop.schedule(10, [&] { order.push_back(2); });
+  loop.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 20u);
+}
+
+TEST(EventLoop, PostRunsAtCurrentTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(5, [&] {
+    order.push_back(1);
+    loop.post([&] { order.push_back(2); });
+  });
+  loop.schedule(6, [&] { order.push_back(3); });
+  loop.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, RunUntilLeavesLaterEvents) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule(10, [&] { ++ran; });
+  loop.schedule(100, [&] { ++ran; });
+  loop.run_until(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now(), 50u);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, LivelockGuardThrows) {
+  EventLoop loop;
+  std::function<void()> self = [&] { loop.post(self); };
+  loop.post(self);
+  EXPECT_THROW(loop.run_until_idle(1000), std::runtime_error);
+}
+
+TEST(Pipe, DeliversAfterLatency) {
+  EventLoop loop;
+  Pipe pipe(loop, 500);
+  const std::uint8_t data[] = {1, 2, 3};
+  bool notified = false;
+  pipe.on_readable([&] { notified = true; });
+  pipe.write(data);
+  EXPECT_EQ(pipe.readable_bytes(), 0u);  // not yet delivered
+  loop.run_until_idle();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(loop.now(), 500u);
+  EXPECT_EQ(pipe.read_all(), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Pipe, CoalescesWritesInFlight) {
+  EventLoop loop;
+  Pipe pipe(loop, 100);
+  int notifications = 0;
+  pipe.on_readable([&] { ++notifications; });
+  const std::uint8_t a[] = {1};
+  const std::uint8_t b[] = {2, 3};
+  pipe.write(a);
+  pipe.write(b);
+  loop.run_until_idle();
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(pipe.read_all().size(), 3u);
+  EXPECT_EQ(pipe.bytes_written(), 3u);
+}
+
+TEST(Pipe, PreservesByteOrderAcrossDeliveries) {
+  EventLoop loop;
+  Pipe pipe(loop, 10);
+  std::vector<std::uint8_t> received;
+  pipe.on_readable([&] {
+    auto chunk = pipe.read_all();
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    pipe.write(std::span(&i, 1));
+    loop.run_until_idle();
+  }
+  EXPECT_EQ(received.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(Duplex, EndsAreCrossConnected) {
+  EventLoop loop;
+  Duplex duplex(loop, 0);
+  auto a = duplex.a();
+  auto b = duplex.b();
+  const std::uint8_t ping[] = {42};
+  a.write(ping);
+  loop.run_until_idle();
+  EXPECT_EQ(b.read_all(), (std::vector<std::uint8_t>{42}));
+  const std::uint8_t pong[] = {24};
+  b.write(pong);
+  loop.run_until_idle();
+  EXPECT_EQ(a.read_all(), (std::vector<std::uint8_t>{24}));
+}
+
+TEST(Pipe, CloseSignalsEof) {
+  EventLoop loop;
+  Duplex duplex(loop, 0);
+  auto a = duplex.a();
+  auto b = duplex.b();
+  int wakeups = 0;
+  b.on_readable([&] { ++wakeups; });
+  a.close();
+  loop.run_until_idle();
+  EXPECT_GE(wakeups, 1);
+  EXPECT_TRUE(b.peer_closed());
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// RFC 2918 ROUTE-REFRESH: codec, session delivery, and the operational use
+// the paper motivates — applying a freshly loaded extension to already
+// received routes without flapping sessions.
+#include <gtest/gtest.h>
+
+#include "extensions/igp_filter.hpp"
+#include "harness/testbed.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+namespace {
+
+using namespace xb;
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+TEST(RouteRefresh, CodecRoundTrip) {
+  const bgp::RouteRefreshMessage refresh{1, 1};
+  const auto wire = bgp::encode_route_refresh(refresh);
+  const auto frame = bgp::try_frame(wire);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, bgp::MessageType::kRouteRefresh);
+  const auto decoded = std::get<bgp::RouteRefreshMessage>(
+      bgp::decode_body(frame->type, frame->body));
+  EXPECT_EQ(decoded, refresh);
+}
+
+TEST(RouteRefresh, BadLengthRejected) {
+  auto wire = bgp::encode_route_refresh(bgp::RouteRefreshMessage{});
+  wire.pop_back();
+  wire[17] = static_cast<std::uint8_t>(wire.size());  // fix header length
+  const auto frame = bgp::try_frame(wire);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_THROW((void)bgp::decode_body(frame->type, frame->body), bgp::DecodeError);
+}
+
+TEST(RouteRefresh, SessionDeliversCallback) {
+  net::EventLoop loop;
+  net::Duplex link(loop, 1000);
+  bgp::PeerSession a(loop, link.a(),
+                     {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+                      .local_addr = Ipv4Addr(1), .peer_addr = Ipv4Addr(2)});
+  bgp::PeerSession b(loop, link.b(),
+                     {.local_asn = 65002, .peer_asn = 65001, .local_id = 2,
+                      .local_addr = Ipv4Addr(2), .peer_addr = Ipv4Addr(1)});
+  int refreshes = 0;
+  b.on_route_refresh = [&] { ++refreshes; };
+  a.start();
+  b.start();
+  loop.run_until(kSec);
+  a.send_route_refresh();
+  loop.run_until(2 * kSec);
+  EXPECT_EQ(refreshes, 1);
+  EXPECT_TRUE(a.established());
+}
+
+TEST(RouteRefresh, OutsideEstablishedIsFsmError) {
+  net::EventLoop loop;
+  net::Duplex link(loop, 0);
+  bgp::PeerSession a(loop, link.a(),
+                     {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+                      .local_addr = Ipv4Addr(1), .peer_addr = Ipv4Addr(2)});
+  a.start();
+  link.b().write(bgp::encode_route_refresh(bgp::RouteRefreshMessage{}));
+  loop.run_until(kSec);
+  EXPECT_EQ(a.state(), bgp::SessionState::kIdle);
+}
+
+template <typename T>
+class RefreshEngineTest : public ::testing::Test {};
+using RouterTypes = ::testing::Types<hosts::fir::FirRouter, hosts::wren::WrenRouter>;
+TYPED_TEST_SUITE(RefreshEngineTest, RouterTypes);
+
+TYPED_TEST(RefreshEngineTest, LoadExtensionThenRefreshReappliesExportPolicy) {
+  // DUT learns routes and re-exports them. The downstream router then
+  // requests a refresh AFTER the DUT loads the Listing-1 export filter:
+  // the refresh re-runs export processing, the filter now rejects, and the
+  // downstream receives nothing new while the DUT keeps the routes.
+  net::EventLoop loop;
+  igp::Graph graph;
+  const auto dut_node = graph.add_node(Ipv4Addr(10, 0, 0, 2), "dut");
+  const auto up_node = graph.add_node(Ipv4Addr(10, 0, 0, 1), "up");
+  graph.add_link(dut_node, up_node, 1000);
+  igp::IgpTable igp_table(graph, dut_node);
+
+  typename TypeParam::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = 65000;
+  cfg.router_id = 0x0A000002;
+  cfg.address = Ipv4Addr(10, 0, 0, 2);
+  cfg.igp = &igp_table;
+  TypeParam dut(loop, cfg);
+
+  typename TypeParam::Config uc;
+  uc.name = "up";
+  uc.asn = 65000;
+  uc.router_id = 0x0A000001;
+  uc.address = Ipv4Addr(10, 0, 0, 1);
+  TypeParam up(loop, uc);
+
+  typename TypeParam::Config dc;
+  dc.name = "down";
+  dc.asn = 65100;
+  dc.router_id = 0x0A000003;
+  dc.address = Ipv4Addr(10, 0, 0, 3);
+  TypeParam down(loop, dc);
+
+  net::Duplex l1(loop, 1000), l2(loop, 1000);
+  up.add_peer(l1.a(), {.name = "dut", .asn = 65000, .address = cfg.address});
+  dut.add_peer(l1.b(), {.name = "up", .asn = 65000, .address = uc.address});
+  dut.add_peer(l2.a(), {.name = "down", .asn = 65100, .address = dc.address});
+  const auto down_to_dut = down.add_peer(l2.b(), {.name = "dut", .asn = 65000,
+                                                  .address = cfg.address});
+
+  up.originate(Prefix::parse("203.0.113.0/24"));
+  up.start();
+  dut.start();
+  down.start();
+  loop.run_until(3 * kSec);
+  ASSERT_NE(down.best(Prefix::parse("203.0.113.0/24")), nullptr);
+
+  // Load the extension at runtime, then let the downstream refresh.
+  dut.set_xtra_u32(xbgp::xtra::kMaxMetric, 100);  // metric to nexthop is 1000
+  dut.load_extensions(ext::igp_filter_manifest());
+  down.request_route_refresh(down_to_dut);
+  loop.run_until(loop.now() + 3 * kSec);
+
+  // The refresh re-ran the export filter: the route is now withdrawn from
+  // the downstream, while the DUT still holds it.
+  EXPECT_EQ(down.best(Prefix::parse("203.0.113.0/24")), nullptr);
+  EXPECT_NE(dut.best(Prefix::parse("203.0.113.0/24")), nullptr);
+  EXPECT_GT(dut.stats().exports_rejected + dut.vmm().stats().extension_handled, 0u);
+}
+
+}  // namespace

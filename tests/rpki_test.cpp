@@ -1,0 +1,170 @@
+// RPKI substrate: RFC 6811 semantics, trie/hash equivalence, loader.
+#include <gtest/gtest.h>
+
+#include "rpki/loader.hpp"
+#include "rpki/roa_lpfst.hpp"
+#include "rpki/roa_hash.hpp"
+#include "rpki/roa_trie.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xb::rpki;
+using xb::util::Ipv4Addr;
+using xb::util::Prefix;
+
+template <typename Table>
+Table with(std::vector<Roa> roas) {
+  Table t;
+  for (const auto& r : roas) t.add(r);
+  return t;
+}
+
+// Typed tests: both structures must implement identical semantics.
+template <typename T>
+class RoaTableTest : public ::testing::Test {};
+using TableTypes = ::testing::Types<RoaTrie, RoaHashTable, LpfstRoaTable>;
+TYPED_TEST_SUITE(RoaTableTest, TableTypes);
+
+TYPED_TEST(RoaTableTest, NotFoundWhenNoCoveringRoa) {
+  auto t = with<TypeParam>({{Prefix::parse("10.0.0.0/8"), 24, 65001}});
+  EXPECT_EQ(t.validate(Prefix::parse("192.0.2.0/24"), 65001), Validity::kNotFound);
+}
+
+TYPED_TEST(RoaTableTest, ValidExactMatch) {
+  auto t = with<TypeParam>({{Prefix::parse("10.0.0.0/8"), 24, 65001}});
+  EXPECT_EQ(t.validate(Prefix::parse("10.0.0.0/8"), 65001), Validity::kValid);
+}
+
+TYPED_TEST(RoaTableTest, ValidMoreSpecificWithinMaxLength) {
+  auto t = with<TypeParam>({{Prefix::parse("10.0.0.0/8"), 24, 65001}});
+  EXPECT_EQ(t.validate(Prefix::parse("10.1.2.0/24"), 65001), Validity::kValid);
+}
+
+TYPED_TEST(RoaTableTest, InvalidWhenTooSpecific) {
+  auto t = with<TypeParam>({{Prefix::parse("10.0.0.0/8"), 16, 65001}});
+  EXPECT_EQ(t.validate(Prefix::parse("10.1.2.0/24"), 65001), Validity::kInvalid);
+}
+
+TYPED_TEST(RoaTableTest, InvalidWhenWrongOrigin) {
+  auto t = with<TypeParam>({{Prefix::parse("10.0.0.0/8"), 24, 65001}});
+  EXPECT_EQ(t.validate(Prefix::parse("10.1.2.0/24"), 65999), Validity::kInvalid);
+}
+
+TYPED_TEST(RoaTableTest, AnyMatchingRoaMakesValid) {
+  // Two ROAs cover; one matches. RFC 6811: Valid wins over Invalid.
+  auto t = with<TypeParam>({{Prefix::parse("10.0.0.0/8"), 24, 65001},
+                            {Prefix::parse("10.1.0.0/16"), 24, 65002}});
+  EXPECT_EQ(t.validate(Prefix::parse("10.1.2.0/24"), 65002), Validity::kValid);
+  EXPECT_EQ(t.validate(Prefix::parse("10.1.2.0/24"), 65001), Validity::kValid);
+  EXPECT_EQ(t.validate(Prefix::parse("10.1.2.0/24"), 64999), Validity::kInvalid);
+}
+
+TYPED_TEST(RoaTableTest, EmptyTableIsAllNotFound) {
+  TypeParam t;
+  EXPECT_EQ(t.validate(Prefix::parse("10.0.0.0/8"), 1), Validity::kNotFound);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TYPED_TEST(RoaTableTest, DefaultRouteRoaCoversEverything) {
+  auto t = with<TypeParam>({{Prefix::parse("0.0.0.0/0"), 32, 65001}});
+  EXPECT_EQ(t.validate(Prefix::parse("203.0.113.0/24"), 65001), Validity::kValid);
+  EXPECT_EQ(t.validate(Prefix::parse("203.0.113.0/24"), 65002), Validity::kInvalid);
+}
+
+// Property: the two structures agree on random workloads.
+TEST(RoaEquivalence, AllStructuresAgreeOnRandomInput) {
+  xb::util::Rng rng(20200604);
+  RoaTrie trie;
+  RoaHashTable hash;
+  LpfstRoaTable lpfst;
+  std::vector<Roa> roas;
+  for (int i = 0; i < 2000; ++i) {
+    const auto len = static_cast<std::uint8_t>(8 + rng.below(17));  // 8..24
+    Roa roa{Prefix(Ipv4Addr(static_cast<std::uint32_t>(rng.next())), len),
+            static_cast<std::uint8_t>(len + rng.below(static_cast<std::uint64_t>(33 - len))),
+            static_cast<xb::bgp::Asn>(1 + rng.below(100))};
+    trie.add(roa);
+    hash.add(roa);
+    lpfst.add(roa);
+    roas.push_back(roa);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    Prefix q(Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+             static_cast<std::uint8_t>(rng.below(33)));
+    const auto origin = static_cast<xb::bgp::Asn>(1 + rng.below(100));
+    const auto expected = trie.validate(q, origin);
+    EXPECT_EQ(expected, hash.validate(q, origin)) << q.str() << " origin " << origin;
+    EXPECT_EQ(expected, lpfst.validate(q, origin)) << q.str() << " origin " << origin;
+  }
+}
+
+TEST(RoaEquivalence, LpfstRedescendsPerCoveringNode) {
+  // The rtrlib cost model: k covering nodes -> k+1 descents.
+  LpfstRoaTable lpfst;
+  lpfst.add({Prefix::parse("10.0.0.0/8"), 24, 65001});
+  lpfst.add({Prefix::parse("10.1.0.0/16"), 24, 65001});
+  RoaTrie trie;
+  trie.add({Prefix::parse("10.0.0.0/8"), 24, 65001});
+  trie.add({Prefix::parse("10.1.0.0/16"), 24, 65001});
+  (void)lpfst.validate(Prefix::parse("10.1.2.0/24"), 65001);
+  (void)trie.validate(Prefix::parse("10.1.2.0/24"), 65001);
+  // Three descents (2 covering + 1 empty) against the trie's single walk.
+  EXPECT_GT(lpfst.nodes_visited(), 2 * trie.nodes_visited());
+}
+
+TEST(RoaLoader, ValidFractionRespected) {
+  std::vector<AnnouncedRoute> routes;
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    routes.push_back({Prefix(Ipv4Addr(0x14000000u + (i << 8)), 24),
+                      static_cast<xb::bgp::Asn>(100 + i % 50)});
+  }
+  RoaSetParams params;  // 75% valid
+  const auto roas = make_roa_set(routes, params);
+  RoaHashTable table;
+  fill_table(table, roas);
+  std::size_t valid = 0, invalid = 0, not_found = 0;
+  for (const auto& r : routes) {
+    switch (table.validate(r.prefix, r.origin)) {
+      case Validity::kValid: ++valid; break;
+      case Validity::kInvalid: ++invalid; break;
+      case Validity::kNotFound: ++not_found; break;
+    }
+  }
+  EXPECT_NEAR(valid / static_cast<double>(routes.size()), 0.75, 0.02);
+  EXPECT_GT(invalid, 0u);
+  EXPECT_GT(not_found, 0u);
+}
+
+TEST(RoaLoader, TextRoundTrip) {
+  std::vector<Roa> roas{{Prefix::parse("10.0.0.0/8"), 24, 65001},
+                        {Prefix::parse("192.0.2.0/24"), 24, 4200000000u}};
+  const auto text = to_text(roas);
+  EXPECT_EQ(from_text(text), roas);
+}
+
+TEST(RoaLoader, TextRejectsGarbage) {
+  EXPECT_THROW(from_text("not a roa line"), std::invalid_argument);
+}
+
+TEST(RoaLoader, TextSkipsCommentsAndBlanks) {
+  const auto roas = from_text("# comment\n\n10.0.0.0/8-24 65001\n");
+  ASSERT_EQ(roas.size(), 1u);
+  EXPECT_EQ(roas[0].origin, 65001u);
+}
+
+TEST(RoaTelemetry, TrieCountsNodeVisits) {
+  RoaTrie trie;
+  trie.add({Prefix::parse("10.0.0.0/8"), 24, 65001});
+  (void)trie.validate(Prefix::parse("10.1.2.0/24"), 65001);
+  EXPECT_GT(trie.nodes_visited(), 0u);
+}
+
+TEST(RoaTelemetry, HashCountsProbes) {
+  RoaHashTable hash;
+  hash.add({Prefix::parse("10.0.0.0/8"), 24, 65001});
+  (void)hash.validate(Prefix::parse("10.1.2.0/24"), 65001);
+  EXPECT_GT(hash.probes(), 0u);
+}
+
+}  // namespace

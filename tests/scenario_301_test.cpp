@@ -1,0 +1,167 @@
+// §3.1 end to end: why the community-tagging status quo is "imperfect" and
+// the xBGP IGP-cost filter (Listing 1) is not.
+//
+// The paper's scenario: an ISP announces to its peers only routes learned on
+// the same continent. The classic implementation tags routes with a
+// community at ingress and filters on export. But when the intra-continent
+// links fail and traffic detours over the transatlantic path, "with BGP
+// communities, it would continue to advertise these routes after the
+// failure" — the tag is static. The Listing-1 filter reads the live IGP
+// metric instead and withdraws.
+//
+// Topology (both variants):
+//
+//   ext_peer --eBGP--> london --iBGP--> amsterdam --eBGP--> eu_peer
+//
+// IGP: london--amsterdam direct link (metric 10) plus a transatlantic
+// detour (metric 2000). Failure = direct link down; amsterdam's metric to
+// london jumps from 10 to 2000.
+#include <gtest/gtest.h>
+
+#include "extensions/community_tag.hpp"
+#include "extensions/igp_filter.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+namespace {
+
+using namespace xb;
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+constexpr std::uint32_t kEuropeTag = (65000u << 16) | 1;
+
+template <typename T>
+class Scenario301 : public ::testing::Test {};
+using RouterTypes = ::testing::Types<hosts::fir::FirRouter, hosts::wren::WrenRouter>;
+TYPED_TEST_SUITE(Scenario301, RouterTypes);
+
+template <typename RouterT>
+struct Isp {
+  net::EventLoop loop;
+  igp::Graph graph;
+  igp::NodeId london_node, amsterdam_node, transit_node;
+  std::unique_ptr<igp::IgpTable> ams_igp;
+  std::unique_ptr<RouterT> ext_peer, london, amsterdam, eu_peer;
+  std::vector<std::unique_ptr<net::Duplex>> links;
+
+  explicit Isp(bool use_igp_filter) {
+    // IGP: direct London-Amsterdam link (10) and a transatlantic detour via
+    // a US hub (1000 each way), as §3.1 configures.
+    london_node = graph.add_node(Ipv4Addr(10, 0, 0, 1), "london");
+    amsterdam_node = graph.add_node(Ipv4Addr(10, 0, 0, 2), "amsterdam");
+    transit_node = graph.add_node(Ipv4Addr(10, 0, 0, 9), "us-hub");
+    graph.add_link(london_node, amsterdam_node, 10);
+    graph.add_link(london_node, transit_node, 1000);
+    graph.add_link(amsterdam_node, transit_node, 1000);
+    ams_igp = std::make_unique<igp::IgpTable>(graph, amsterdam_node);
+
+    auto cfg = [](const char* name, bgp::Asn asn, std::uint8_t idx) {
+      typename RouterT::Config c;
+      c.name = name;
+      c.asn = asn;
+      c.router_id = 0x0A000000u + idx;
+      c.address = Ipv4Addr(10, 0, 0, idx);
+      return c;
+    };
+    ext_peer = std::make_unique<RouterT>(loop, cfg("ext", 64999, 8));
+    london = std::make_unique<RouterT>(loop, cfg("london", 65000, 1));
+    auto ams_cfg = cfg("amsterdam", 65000, 2);
+    ams_cfg.igp = ams_igp.get();
+    amsterdam = std::make_unique<RouterT>(loop, ams_cfg);
+    eu_peer = std::make_unique<RouterT>(loop, cfg("eu", 65100, 3));
+
+    if (use_igp_filter) {
+      // Listing 1 on the export router.
+      amsterdam->set_xtra_u32(xbgp::xtra::kMaxMetric, 100);
+      amsterdam->load_extensions(ext::igp_filter_manifest());
+    } else {
+      // Classic approach: tag at ingress, filter on export.
+      london->set_xtra_u32(xbgp::xtra::kRegionTag, kEuropeTag);
+      london->load_extensions(ext::community_tag_manifest(/*ingress=*/true,
+                                                          /*export=*/false));
+      amsterdam->set_xtra_u32(xbgp::xtra::kRequiredTag, kEuropeTag);
+      amsterdam->load_extensions(ext::community_tag_manifest(/*ingress=*/false,
+                                                             /*export=*/true));
+    }
+
+    connect(*ext_peer, *london);
+    // London sets next-hop-self towards the iBGP core, so Amsterdam's IGP
+    // metric to the nexthop is the metric to London (10, then 2000).
+    connect(*london, *amsterdam, /*clients=*/false, /*a_next_hop_self=*/true);
+    connect(*amsterdam, *eu_peer);
+
+    ext_peer->originate(Prefix::parse("203.0.113.0/24"));
+    ext_peer->start();
+    london->start();
+    amsterdam->start();
+    eu_peer->start();
+    loop.run_until(loop.now() + 5 * kSec);
+  }
+
+  template <typename A, typename B>
+  void connect(A& a, B& b, bool clients = false, bool a_next_hop_self = false) {
+    links.push_back(std::make_unique<net::Duplex>(loop, 1000));
+    a.add_peer(links.back()->a(), {.name = b.config().name, .asn = b.config().asn,
+                                   .address = b.config().address, .rr_client = clients,
+                                   .next_hop_self = a_next_hop_self});
+    b.add_peer(links.back()->b(), {.name = a.config().name, .asn = a.config().asn,
+                                   .address = a.config().address, .rr_client = clients});
+  }
+
+  /// The §3.1 failure: the direct London-Amsterdam link dies; Amsterdam's
+  /// IGP reconverges over the transatlantic detour and BGP re-runs export
+  /// policy (as a daemon does after SPF).
+  void fail_direct_link() {
+    graph.set_link_metric(london_node, amsterdam_node, igp::kInfMetric);
+    ams_igp->rebuild(graph, amsterdam_node);
+    amsterdam->reevaluate_exports();
+    loop.run_until(loop.now() + 5 * kSec);
+  }
+
+  [[nodiscard]] bool eu_peer_has_route() const {
+    return eu_peer->best(Prefix::parse("203.0.113.0/24")) != nullptr;
+  }
+};
+
+TYPED_TEST(Scenario301, CommunityTaggingAdvertisesBeforeFailure) {
+  Isp<TypeParam> isp(/*use_igp_filter=*/false);
+  EXPECT_TRUE(isp.eu_peer_has_route());
+  // The route carries the region tag stamped by the ingress bytecode.
+  const auto* at_ams = isp.amsterdam->best(Prefix::parse("203.0.113.0/24"));
+  ASSERT_NE(at_ams, nullptr);
+  using Core = std::conditional_t<std::is_same_v<TypeParam, hosts::fir::FirRouter>,
+                                  hosts::fir::FirCore, hosts::wren::WrenCore>;
+  const auto communities = Core::get_attr(*at_ams->attrs, bgp::attr_code::kCommunities);
+  ASSERT_TRUE(communities.has_value());
+  const auto parsed = bgp::parse_communities(*communities);
+  EXPECT_NE(std::find(parsed.begin(), parsed.end(), kEuropeTag), parsed.end());
+}
+
+TYPED_TEST(Scenario301, CommunityTaggingIsStaleAfterFailure) {
+  Isp<TypeParam> isp(/*use_igp_filter=*/false);
+  ASSERT_TRUE(isp.eu_peer_has_route());
+  isp.fail_direct_link();
+  // The paper's complaint: the tag doesn't know about the failure, so the
+  // route keeps being advertised over the expensive detour.
+  EXPECT_TRUE(isp.eu_peer_has_route());
+}
+
+TYPED_TEST(Scenario301, IgpFilterAdvertisesBeforeFailure) {
+  Isp<TypeParam> isp(/*use_igp_filter=*/true);
+  EXPECT_TRUE(isp.eu_peer_has_route());  // metric 10 <= 100
+}
+
+TYPED_TEST(Scenario301, IgpFilterWithdrawsAfterFailure) {
+  Isp<TypeParam> isp(/*use_igp_filter=*/true);
+  ASSERT_TRUE(isp.eu_peer_has_route());
+  isp.fail_direct_link();
+  // Listing 1 reads the live metric (now 2000 > 100) and withdraws.
+  EXPECT_FALSE(isp.eu_peer_has_route());
+  EXPECT_GT(isp.amsterdam->stats().exports_rejected +
+                isp.amsterdam->vmm().stats().extension_handled,
+            0u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// util: byte I/O, IP types, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/ip.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xb::util;
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  const std::uint8_t raw[] = {1, 2, 3};
+  w.bytes(raw);
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  auto tail = r.bytes(3);
+  EXPECT_EQ(tail[2], 3);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Bytes, BigEndianOnTheWire) {
+  ByteWriter w;
+  w.u32(0x11223344);
+  EXPECT_EQ(w.view()[0], 0x11);
+  EXPECT_EQ(w.view()[3], 0x44);
+}
+
+TEST(Bytes, ReadPastEndThrows) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.view());
+  r.u8();
+  EXPECT_THROW(r.u8(), BufferError);
+  EXPECT_THROW(r.u32(), BufferError);
+}
+
+TEST(Bytes, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u8(9);
+  w.patch_u16(0, 0xBEEF);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u16(), 0xBEEF);
+}
+
+TEST(Bytes, SubReaderIsolatesWindow) {
+  ByteWriter w;
+  w.u32(0xAABBCCDD);
+  w.u8(0x7);
+  ByteReader r(w.view());
+  ByteReader sub = r.sub(4);
+  EXPECT_EQ(sub.u32(), 0xAABBCCDDu);
+  EXPECT_TRUE(sub.empty());
+  EXPECT_EQ(r.u8(), 0x7);
+}
+
+TEST(Bytes, EndianHelpers) {
+  EXPECT_EQ(host_to_be16(0x1234), 0x3412);
+  EXPECT_EQ(host_to_be32(0x11223344), 0x44332211u);
+  EXPECT_EQ(be32_to_host(host_to_be32(0xCAFEF00D)), 0xCAFEF00Du);
+  EXPECT_EQ(host_to_be64(0x0102030405060708ull), 0x0807060504030201ull);
+}
+
+TEST(Ip, ParseAndFormat) {
+  auto a = Ipv4Addr::parse("192.168.1.200");
+  EXPECT_EQ(a.str(), "192.168.1.200");
+  EXPECT_EQ(a.value(), 0xC0A801C8u);
+  EXPECT_THROW(Ipv4Addr::parse("300.1.1.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.4.5"), std::invalid_argument);
+}
+
+TEST(Ip, NetworkOrderConversion) {
+  auto a = Ipv4Addr(192, 0, 2, 1);
+  EXPECT_EQ(a.to_be(), 0x010200C0u);  // little-endian host assumption of tests
+  EXPECT_EQ(Ipv4Addr::from_be(a.to_be()), a);
+}
+
+TEST(Prefix, CanonicalisesHostBits) {
+  Prefix p(Ipv4Addr::parse("10.1.2.3"), 16);
+  EXPECT_EQ(p.str(), "10.1.0.0/16");
+  EXPECT_EQ(Prefix::parse("10.1.0.0/16"), p);
+}
+
+TEST(Prefix, Covers) {
+  auto p16 = Prefix::parse("10.1.0.0/16");
+  auto p24 = Prefix::parse("10.1.200.0/24");
+  EXPECT_TRUE(p16.covers(p24));
+  EXPECT_FALSE(p24.covers(p16));
+  EXPECT_TRUE(p16.covers(p16));
+  EXPECT_FALSE(p16.covers(Prefix::parse("10.2.0.0/24")));
+  EXPECT_TRUE(Prefix::parse("0.0.0.0/0").covers(p16));
+}
+
+TEST(Prefix, Contains) {
+  auto p = Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(Ipv4Addr::parse("10.1.255.255")));
+  EXPECT_FALSE(p.contains(Ipv4Addr::parse("10.2.0.0")));
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  std::hash<Prefix> h;
+  EXPECT_NE(h(Prefix::parse("10.0.0.0/8")), h(Prefix::parse("10.0.0.0/16")));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, UnitStaysInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kTrials), 0.25, 0.01);
+}
+
+}  // namespace

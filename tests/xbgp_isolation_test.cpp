@@ -1,0 +1,212 @@
+// Isolation guarantees end to end: what extension bytecode must NOT be able
+// to do, and how the VMM contains it (paper §2.1: "An extension code has its
+// own dedicated memory space and it cannot directly access the memory of
+// other extension codes or the host implementation").
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.hpp"
+#include "extensions/common.hpp"
+#include "harness/testbed.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+namespace {
+
+using namespace xb;
+using ebpf::Assembler;
+using ebpf::Reg;
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+template <typename T>
+class IsolationTest : public ::testing::Test {};
+using RouterTypes = ::testing::Types<hosts::fir::FirRouter, hosts::wren::WrenRouter>;
+TYPED_TEST_SUITE(IsolationTest, RouterTypes);
+
+template <typename RouterT>
+struct Dut {
+  net::EventLoop loop;
+  RouterT router;
+  harness::Testbed<RouterT> bed;
+
+  Dut()
+      : router(loop, make_cfg()),
+        bed(loop, router, harness::TestbedPlan::ebgp_plan()) {}
+
+  static typename RouterT::Config make_cfg() {
+    typename RouterT::Config cfg;
+    cfg.name = "dut";
+    cfg.asn = harness::TestbedPlan::ebgp_plan().dut_asn;
+    cfg.router_id = 0x0A000002;
+    cfg.address = harness::TestbedPlan::ebgp_plan().dut_addr;
+    return cfg;
+  }
+
+  void feed_some(std::size_t n = 10) {
+    bed.establish();
+    harness::WorkloadParams params;
+    params.route_count = n;
+    const auto workload = harness::make_workload(params);
+    bed.run(workload, workload.prefix_count);
+  }
+};
+
+TYPED_TEST(IsolationTest, WriteToXtraBlobFaults) {
+  // get_xtra exposes configuration read-only: a store through the returned
+  // pointer must fault and fall back to native behaviour.
+  Dut<TypeParam> dut;
+  dut.router.set_xtra_u32(xbgp::xtra::kMaxMetric, 99);
+  Assembler a;
+  auto done = a.make_label();
+  ext::emit_get_xtra(a, -16, xbgp::xtra::kMaxMetric);
+  a.jeq(Reg::R0, 0, done);
+  a.stdw(Reg::R0, 0, 0xEE);  // attempt to overwrite the router's config
+  a.place(done);
+  a.mov64(Reg::R0, static_cast<std::int32_t>(xbgp::kFilterAccept));
+  a.exit_();
+  xbgp::Manifest m;
+  m.attach("config_writer", xbgp::Op::kInboundFilter, a.build("config_writer"));
+  dut.router.load_extensions(m);
+
+  dut.feed_some();
+  EXPECT_GT(dut.router.stats().extension_faults, 0u);
+  // Routes still flowed through the native default.
+  EXPECT_EQ(dut.router.loc_rib_size(), 10u);
+  // And the configuration survived untouched.
+  xbgp::ExecContext probe;
+  auto blob = dut.router.get_xtra(xbgp::xtra::kMaxMetric);
+  std::uint32_t value = 0;
+  std::memcpy(&value, blob.data(), 4);
+  EXPECT_EQ(value, 99u);
+  (void)probe;
+}
+
+TYPED_TEST(IsolationTest, RunawayLoopIsStoppedByBudget) {
+  Dut<TypeParam> dut;
+  Assembler a;
+  auto top = a.make_label();
+  a.place(top);
+  a.add64(Reg::R6, 1);
+  a.ja(top);
+  // Unreachable, but the verifier requires an exit to exist.
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  xbgp::Manifest m;
+  m.attach("spinner", xbgp::Op::kInboundFilter, a.build("spinner"));
+  dut.router.load_extensions(m);
+
+  dut.feed_some();
+  EXPECT_GT(dut.router.stats().extension_faults, 0u);
+  EXPECT_EQ(dut.router.loc_rib_size(), 10u);  // native fallback accepted
+}
+
+TYPED_TEST(IsolationTest, EphemeralArenaExhaustionFaultsCleanly) {
+  Dut<TypeParam> dut;
+  Assembler a;
+  auto loop_label = a.make_label();
+  auto fail = a.make_label();
+  // Allocate 4 KiB chunks until ctx_malloc returns 0 (the arena is finite),
+  // then dereference the null pointer -> clean fault, native fallback.
+  a.place(loop_label);
+  a.mov64(Reg::R1, 4096);
+  a.call(xbgp::helper::kCtxMalloc);
+  a.jeq(Reg::R0, 0, fail);
+  a.ja(loop_label);
+  a.place(fail);
+  a.ldxdw(Reg::R0, Reg::R0, 0);  // null deref -> kBadMemoryAccess
+  a.exit_();
+  xbgp::Manifest m;
+  m.attach("hoarder", xbgp::Op::kInboundFilter, a.build("hoarder"));
+  dut.router.load_extensions(m);
+
+  dut.feed_some();
+  EXPECT_GT(dut.router.stats().extension_faults, 0u);
+  EXPECT_EQ(dut.router.loc_rib_size(), 10u);
+}
+
+TYPED_TEST(IsolationTest, EphemeralMemoryDoesNotLeakBetweenPrograms) {
+  // Program A writes a marker into ctx_malloc memory. Program B (different
+  // group, later in the chain) allocates and must be able to observe only
+  // its own arena contents — and crucially can never *address* A's shared
+  // pool: shmget on A's key returns 0 in B's group.
+  Dut<TypeParam> dut;
+
+  Assembler writer;
+  writer.mov64(Reg::R1, 1);   // shm key 1 in group A
+  writer.mov64(Reg::R2, 8);
+  writer.call(xbgp::helper::kShmNew);
+  {
+    auto skip = writer.make_label();
+    writer.jeq(Reg::R0, 0, skip);
+    writer.lddw(Reg::R1, 0x5EC2E7);
+    writer.stxdw(Reg::R0, 0, Reg::R1);
+    writer.place(skip);
+  }
+  writer.call(xbgp::helper::kNext);
+  writer.mov64(Reg::R0, 0);
+  writer.exit_();
+
+  Assembler prober;
+  prober.mov64(Reg::R1, 1);  // same key, different group
+  prober.call(xbgp::helper::kShmGet);
+  {
+    // If the pool were shared, r0 would be non-zero: report by REJECTING
+    // every route (observable as an empty Loc-RIB).
+    auto clean = prober.make_label();
+    prober.jeq(Reg::R0, 0, clean);
+    prober.mov64(Reg::R0, static_cast<std::int32_t>(xbgp::kFilterReject));
+    prober.exit_();
+    prober.place(clean);
+  }
+  prober.call(xbgp::helper::kNext);
+  prober.mov64(Reg::R0, 0);
+  prober.exit_();
+
+  xbgp::Manifest m;
+  m.attach("writer", xbgp::Op::kInboundFilter, writer.build("writer"), 0, 0, "groupA");
+  m.attach("prober", xbgp::Op::kInboundFilter, prober.build("prober"), 1, 0, "groupB");
+  dut.router.load_extensions(m);
+
+  dut.feed_some();
+  EXPECT_EQ(dut.router.loc_rib_size(), 10u);  // prober saw no foreign memory
+  EXPECT_EQ(dut.router.stats().extension_faults, 0u);
+}
+
+TYPED_TEST(IsolationTest, FaultInOneChainDoesNotDetachOthers) {
+  // A crashing inbound program must not affect the outbound chain.
+  Dut<TypeParam> dut;
+  Assembler crash;
+  crash.lddw(Reg::R1, 0x60);
+  crash.ldxdw(Reg::R0, Reg::R1, 0);
+  crash.exit_();
+  Assembler tag;  // outbound: set a MED through the attribute API
+  tag.stb(Reg::R10, -4, 0);
+  tag.stb(Reg::R10, -3, 0);
+  tag.stb(Reg::R10, -2, 0);
+  tag.stb(Reg::R10, -1, 77);
+  tag.mov64(Reg::R1, bgp::attr_code::kMed);
+  tag.mov64(Reg::R2, bgp::attr_flag::kOptional);
+  tag.mov64(Reg::R3, Reg::R10);
+  tag.add64(Reg::R3, -4);
+  tag.mov64(Reg::R4, 4);
+  tag.call(xbgp::helper::kSetAttr);
+  tag.mov64(Reg::R0, static_cast<std::int32_t>(xbgp::kFilterAccept));
+  tag.exit_();
+
+  xbgp::Manifest m;
+  m.attach("crash", xbgp::Op::kInboundFilter, crash.build("crash"));
+  m.attach("tagger", xbgp::Op::kOutboundFilter, tag.build("tagger"));
+  dut.router.load_extensions(m);
+
+  dut.feed_some();
+  EXPECT_GT(dut.router.stats().extension_faults, 0u);  // inbound crashed
+  EXPECT_EQ(dut.router.loc_rib_size(), 10u);
+  // The outbound tagger still ran: the sink's last update carries MED 77
+  // via the extension-managed attribute... which native encode skips; the
+  // observable effect is in the adj-rib-out attrs.
+  EXPECT_GT(dut.router.vmm().stats().extension_handled, 0u);
+}
+
+}  // namespace

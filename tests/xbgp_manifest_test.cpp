@@ -1,0 +1,112 @@
+// Manifest model, text parser, program registry, helper-name tables.
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace {
+
+using namespace xb::xbgp;
+using xb::ebpf::Assembler;
+using xb::ebpf::Reg;
+
+xb::ebpf::Program trivial(const char* name) {
+  Assembler a;
+  a.call(helper::kNext);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  return a.build(name);
+}
+
+TEST(Manifest, AttachDerivesHelpersFromProgram) {
+  Manifest m;
+  m.attach("p", Op::kInboundFilter, trivial("p"));
+  ASSERT_EQ(m.entries.size(), 1u);
+  EXPECT_TRUE(m.entries[0].allowed_helpers.contains(helper::kNext));
+  EXPECT_EQ(m.entries[0].group, "p");
+}
+
+TEST(Manifest, HelperNamesRoundTrip) {
+  EXPECT_EQ(helper_id_by_name("next"), helper::kNext);
+  EXPECT_EQ(helper_id_by_name("get_peer_info"), helper::kGetPeerInfo);
+  EXPECT_EQ(helper_id_by_name("write_buf"), helper::kWriteBuf);
+  EXPECT_EQ(helper_id_by_name("nonsense"), -1);
+  EXPECT_STREQ(helper_name_by_id(helper::kGetAttr), "get_attr");
+  EXPECT_STREQ(helper_name_by_id(999), "?");
+}
+
+TEST(Manifest, OpNames) {
+  EXPECT_EQ(op_by_name("BGP_RECEIVE_MESSAGE"), Op::kReceiveMessage);
+  EXPECT_EQ(op_by_name("BGP_INBOUND_FILTER"), Op::kInboundFilter);
+  EXPECT_EQ(op_by_name("BGP_DECISION"), Op::kDecision);
+  EXPECT_EQ(op_by_name("BGP_OUTBOUND_FILTER"), Op::kOutboundFilter);
+  EXPECT_EQ(op_by_name("BGP_ENCODE_MESSAGE"), Op::kEncodeMessage);
+  EXPECT_EQ(op_by_name("XBGP_INIT"), Op::kInit);
+  EXPECT_THROW((void)op_by_name("BGP_BOGUS"), std::invalid_argument);
+}
+
+TEST(ManifestParser, ParsesFullForm) {
+  ProgramRegistry reg;
+  reg.add(trivial("export_igp"));
+  reg.add(trivial("rr_in"));
+  const char* text = R"(
+    # the Listing-1 filter
+    extension export_igp {
+      insertion_point BGP_OUTBOUND_FILTER
+      order 2
+      helpers next get_peer_info get_nexthop get_xtra
+      map_capacity 1000
+      group filters
+    }
+    extension rr_in {
+      insertion_point BGP_INBOUND_FILTER
+      helpers next
+    }
+  )";
+  const Manifest m = parse_manifest(text, reg);
+  ASSERT_EQ(m.entries.size(), 2u);
+  EXPECT_EQ(m.entries[0].name, "export_igp");
+  EXPECT_EQ(m.entries[0].point, Op::kOutboundFilter);
+  EXPECT_EQ(m.entries[0].order, 2);
+  EXPECT_EQ(m.entries[0].map_capacity_hint, 1000u);
+  EXPECT_EQ(m.entries[0].group, "filters");
+  EXPECT_TRUE(m.entries[0].allowed_helpers.contains(helper::kGetNexthop));
+  EXPECT_EQ(m.entries[1].point, Op::kInboundFilter);
+  EXPECT_EQ(m.entries[1].group, "rr_in");  // defaults to the entry name
+}
+
+TEST(ManifestParser, RejectsUnknownProgram) {
+  ProgramRegistry reg;
+  EXPECT_THROW(parse_manifest("extension ghost { insertion_point XBGP_INIT }", reg),
+               std::invalid_argument);
+}
+
+TEST(ManifestParser, RejectsMissingInsertionPoint) {
+  ProgramRegistry reg;
+  reg.add(trivial("p"));
+  EXPECT_THROW(parse_manifest("extension p { order 1 }", reg), std::invalid_argument);
+}
+
+TEST(ManifestParser, RejectsUnknownHelperName) {
+  ProgramRegistry reg;
+  reg.add(trivial("p"));
+  EXPECT_THROW(parse_manifest(
+                   "extension p { insertion_point XBGP_INIT\nhelpers warp_speed\n }", reg),
+               std::invalid_argument);
+}
+
+TEST(ManifestParser, RejectsUnknownKey) {
+  ProgramRegistry reg;
+  reg.add(trivial("p"));
+  EXPECT_THROW(parse_manifest("extension p { insertion_point XBGP_INIT banana 1 }", reg),
+               std::invalid_argument);
+}
+
+TEST(Registry, FindByName) {
+  ProgramRegistry reg;
+  reg.add(trivial("alpha"));
+  EXPECT_NE(reg.find("alpha"), nullptr);
+  EXPECT_EQ(reg.find("beta"), nullptr);
+}
+
+}  // namespace

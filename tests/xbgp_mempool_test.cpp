@@ -1,0 +1,110 @@
+// Extension memory: arenas, shared pools, helper maps, execution context.
+#include <gtest/gtest.h>
+
+#include "xbgp/context.hpp"
+#include "xbgp/mempool.hpp"
+
+namespace {
+
+using namespace xb::xbgp;
+
+TEST(Arena, AllocationsAreAligned) {
+  Arena arena(256);
+  for (int i = 0; i < 8; ++i) {
+    void* p = arena.alloc(3);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+  }
+}
+
+TEST(Arena, ExhaustionReturnsNull) {
+  Arena arena(64);
+  EXPECT_NE(arena.alloc(32), nullptr);
+  EXPECT_NE(arena.alloc(32), nullptr);
+  EXPECT_EQ(arena.alloc(1), nullptr);
+  EXPECT_EQ(arena.used(), 64u);
+}
+
+TEST(Arena, OversizeRequestFails) {
+  Arena arena(64);
+  EXPECT_EQ(arena.alloc(65), nullptr);
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(Arena, ResetReclaimsEverything) {
+  Arena arena(64);
+  (void)arena.alloc(64);
+  arena.reset();
+  EXPECT_NE(arena.alloc(64), nullptr);
+}
+
+TEST(Arena, StoreCopiesBytes) {
+  Arena arena(64);
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  auto* p = static_cast<std::uint8_t*>(arena.store(data, sizeof(data)));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[3], 4);
+}
+
+TEST(SharedPool, GetOrCreateZeroesAndPersists) {
+  SharedPool pool(256);
+  auto* p = static_cast<std::uint8_t*>(pool.get_or_create(7, 16));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(p[i], 0);
+  p[0] = 42;
+  EXPECT_EQ(pool.get(7), p);
+  EXPECT_EQ(static_cast<std::uint8_t*>(pool.get(7))[0], 42);
+}
+
+TEST(SharedPool, SameKeySameBlock) {
+  SharedPool pool(256);
+  void* a = pool.get_or_create(1, 16);
+  void* b = pool.get_or_create(1, 16);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SharedPool, BiggerRequestOnExistingKeyFails) {
+  SharedPool pool(256);
+  ASSERT_NE(pool.get_or_create(1, 16), nullptr);
+  EXPECT_EQ(pool.get_or_create(1, 32), nullptr);
+}
+
+TEST(SharedPool, MissingKeyIsNull) {
+  SharedPool pool(64);
+  EXPECT_EQ(pool.get(99), nullptr);
+}
+
+TEST(ExtMap, UpdateLookupAndAbsent) {
+  ExtMap map;
+  map.update(1, 2, 42);
+  EXPECT_EQ(map.lookup(1, 2), 42u);
+  EXPECT_EQ(map.lookup(2, 1), 0u);  // key order matters
+  EXPECT_EQ(map.lookup(9, 9), 0u);
+  map.update(1, 2, 7);  // overwrite
+  EXPECT_EQ(map.lookup(1, 2), 7u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(ExtMap, ManyEntries) {
+  ExtMap map;
+  map.reserve(10'000);
+  for (std::uint64_t i = 0; i < 10'000; ++i) map.update(i, i * 3, i + 1);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(map.lookup(i, i * 3), i + 1) << i;
+  }
+}
+
+TEST(ExecContext, ArgLookup) {
+  ExecContext ctx;
+  const std::uint8_t a[] = {1};
+  const std::uint8_t b[] = {2, 2};
+  ctx.add_arg(1, a);
+  ctx.add_arg(2, b);
+  ASSERT_NE(ctx.find_arg(1), nullptr);
+  EXPECT_EQ(ctx.find_arg(1)->data.size(), 1u);
+  EXPECT_EQ(ctx.find_arg(2)->data.size(), 2u);
+  EXPECT_EQ(ctx.find_arg(3), nullptr);
+}
+
+}  // namespace

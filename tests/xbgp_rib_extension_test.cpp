@@ -1,0 +1,86 @@
+// The §2.1 "hidden arguments" RIB access: an extension installs routes into
+// the router's RIB through the rib_add_route helper — state the bytecode
+// itself could never reach, mediated by the execution context.
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.hpp"
+#include "harness/testbed.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+namespace {
+
+using namespace xb;
+using ebpf::Assembler;
+using ebpf::Reg;
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+/// For every exported route, additionally installs a host route (/32 of the
+/// prefix address) towards a fixed "monitoring" nexthop — a miniature
+/// version of the backup-route / telemetry-injection use cases §2.1 hints
+/// at, exercising ctx_malloc-free stack composition + the RIB helper.
+ebpf::Program rib_mirror_program() {
+  Assembler a;
+  auto yield = a.make_label();
+
+  a.mov64(Reg::R1, xbgp::arg::kPrefix);
+  a.call(xbgp::helper::kGetArg);
+  a.jeq(Reg::R0, 0, yield);
+  // Copy the PrefixArg to the stack and override the length with 32.
+  a.ldxdw(Reg::R2, Reg::R0, 0);
+  a.stxdw(Reg::R10, -8, Reg::R2);
+  a.stb(Reg::R10, -4, 32);
+  a.mov64(Reg::R1, Reg::R10);
+  a.add64(Reg::R1, -8);
+  a.lddw(Reg::R2, 0x7F000001);  // 127.0.0.1 as the marker nexthop
+  a.call(xbgp::helper::kRibAddRoute);
+
+  a.place(yield);
+  a.call(xbgp::helper::kNext);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  return a.build("rib_mirror");
+}
+
+template <typename T>
+class RibExtensionTest : public ::testing::Test {};
+using RouterTypes = ::testing::Types<hosts::fir::FirRouter, hosts::wren::WrenRouter>;
+TYPED_TEST_SUITE(RibExtensionTest, RouterTypes);
+
+TYPED_TEST(RibExtensionTest, ExtensionInstallsHostRoutesViaHiddenRibAccess) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ebgp_plan();
+  typename TypeParam::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  TypeParam dut(loop, cfg);
+
+  xbgp::Manifest manifest;
+  manifest.attach("rib_mirror", xbgp::Op::kOutboundFilter, rib_mirror_program());
+  dut.load_extensions(manifest);
+
+  harness::Testbed<TypeParam> bed(loop, dut, plan);
+  bed.establish();
+  harness::WorkloadParams params;
+  params.route_count = 50;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);
+
+  // Every exported prefix produced a /32 host route towards the marker.
+  std::size_t mirrored = 0;
+  for (const auto& route : workload.routes) {
+    const auto host = dut.fib_lookup(Prefix(route.prefix.addr(), 32));
+    if (host && *host == Ipv4Addr(0x7F000001)) ++mirrored;
+    // The regular BGP FIB entry is untouched.
+    EXPECT_EQ(dut.fib_lookup(route.prefix), plan.upstream_addr) << route.prefix.str();
+  }
+  EXPECT_EQ(mirrored, workload.prefix_count);
+  EXPECT_EQ(dut.stats().extension_faults, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,450 @@
+// The VMM: verification at load, next() chaining, ordering, fault fallback,
+// memory pools, helper maps, isolation.
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.hpp"
+#include "xbgp/vmm.hpp"
+
+namespace {
+
+using namespace xb;
+using namespace xb::xbgp;
+using ebpf::Assembler;
+using ebpf::Reg;
+
+/// Minimal host for VMM-level tests.
+class FakeHost : public HostApi {
+ public:
+  bool peer_info(const ExecContext&, PeerInfo& out) override {
+    out = peer;
+    return peer_available;
+  }
+  bool src_peer_info(const ExecContext&, PeerInfo& out) override {
+    out = peer;
+    return peer_available;
+  }
+  std::optional<bgp::WireAttr> get_attr(const ExecContext&, std::uint8_t code) override {
+    for (const auto& a : attrs) {
+      if (a.code == code) return a;
+    }
+    return std::nullopt;
+  }
+  bool set_attr(ExecContext&, bgp::WireAttr attr) override {
+    set_attrs.push_back(attr);
+    return true;
+  }
+  bool add_attr(ExecContext&, bgp::WireAttr attr) override {
+    added_attrs.push_back(attr);
+    return true;
+  }
+  bool nexthop_info(const ExecContext&, NexthopInfo& out) override {
+    out = nexthop;
+    return true;
+  }
+  std::span<const std::uint8_t> get_xtra(std::string_view key) override {
+    auto it = xtra.find(std::string(key));
+    if (it == xtra.end()) return {};
+    return it->second;
+  }
+  bool write_buf(ExecContext&, std::span<const std::uint8_t> data) override {
+    written.insert(written.end(), data.begin(), data.end());
+    return true;
+  }
+  bool rib_add_route(const util::Prefix& prefix, util::Ipv4Addr nh) override {
+    rib[prefix] = nh;
+    return true;
+  }
+  std::optional<util::Ipv4Addr> rib_lookup(const util::Prefix& prefix) override {
+    auto it = rib.find(prefix);
+    return it == rib.end() ? std::nullopt : std::optional(it->second);
+  }
+  bool set_route_meta(ExecContext&, std::uint32_t value) override {
+    meta = value;
+    return true;
+  }
+  std::optional<std::uint32_t> get_route_meta(const ExecContext&) override { return meta; }
+  void notify_extension_fault(Op op, std::string_view program, std::string_view detail) override {
+    ++faults;
+    last_fault = std::string(to_string(op)) + "/" + std::string(program) + ": " +
+                 std::string(detail);
+  }
+  void ebpf_print(std::string_view message) override { printed.push_back(std::string(message)); }
+
+  PeerInfo peer{};
+  bool peer_available = true;
+  NexthopInfo nexthop{};
+  std::vector<bgp::WireAttr> attrs;
+  std::vector<bgp::WireAttr> set_attrs;
+  std::vector<bgp::WireAttr> added_attrs;
+  std::map<std::string, std::vector<std::uint8_t>> xtra;
+  std::vector<std::uint8_t> written;
+  std::map<util::Prefix, util::Ipv4Addr> rib;
+  std::uint32_t meta = 0;
+  int faults = 0;
+  std::string last_fault;
+  std::vector<std::string> printed;
+};
+
+ebpf::Program const_program(const char* name, std::int32_t value) {
+  Assembler a;
+  a.mov64(Reg::R0, value);
+  a.exit_();
+  return a.build(name);
+}
+
+ebpf::Program next_program(const char* name) {
+  Assembler a;
+  a.call(helper::kNext);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  return a.build(name);
+}
+
+ebpf::Program faulting_program(const char* name) {
+  Assembler a;
+  a.lddw(Reg::R1, 0x1234);  // wild pointer
+  a.ldxdw(Reg::R0, Reg::R1, 0);
+  a.exit_();
+  return a.build(name);
+}
+
+TEST(Vmm, NoChainRunsNativeDefault) {
+  FakeHost host;
+  Vmm vmm(host);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 7ull; }), 7u);
+  EXPECT_EQ(vmm.stats().invocations, 0u);  // chain empty: no VM involvement
+}
+
+TEST(Vmm, ExtensionResultOverridesDefault) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("p", Op::kInboundFilter, const_program("p", 42));
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 7ull; }), 42u);
+  EXPECT_EQ(vmm.stats().extension_handled, 1u);
+}
+
+TEST(Vmm, NextFallsBackToDefault) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("p", Op::kInboundFilter, next_program("p"));
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 7ull; }), 7u);
+  EXPECT_EQ(vmm.stats().next_yields, 1u);
+  EXPECT_EQ(vmm.stats().native_fallbacks, 1u);
+}
+
+TEST(Vmm, NextChainsToSecondProgram) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("first", Op::kInboundFilter, next_program("first"), /*order=*/0);
+  m.attach("second", Op::kInboundFilter, const_program("second", 9), /*order=*/1);
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 7ull; }), 9u);
+}
+
+TEST(Vmm, ManifestOrderControlsExecution) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  // Attached in reverse order; `order` must win.
+  m.attach("late", Op::kInboundFilter, const_program("late", 1), /*order=*/5);
+  m.attach("early", Op::kInboundFilter, const_program("early", 2), /*order=*/1);
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 2u);
+}
+
+TEST(Vmm, FaultFallsBackAndNotifiesHost) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("bad", Op::kInboundFilter, faulting_program("bad"));
+  // A second program after the faulting one must NOT run (paper: stop +
+  // fall back to the default function).
+  m.attach("after", Op::kInboundFilter, const_program("after", 5), /*order=*/1);
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 7ull; }), 7u);
+  EXPECT_EQ(host.faults, 1);
+  EXPECT_NE(host.last_fault.find("bad"), std::string::npos);
+  EXPECT_EQ(vmm.stats().faults, 1u);
+}
+
+TEST(Vmm, LoadRejectsUnverifiableProgram) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  Assembler a;
+  a.mov64(Reg::R0, 0);  // no exit: falls off the end
+  ManifestEntry entry;
+  entry.name = "broken";
+  entry.point = Op::kInboundFilter;
+  entry.program = ebpf::Program("broken", a.build("tmp").insns(), {});
+  // Strip the exit by truncating: rebuild raw.
+  entry.program = ebpf::Program("broken", {{0xb7, 0, 0, 0, 0}}, {});
+  m.entries.push_back(entry);
+  EXPECT_THROW(vmm.load(m), std::invalid_argument);
+}
+
+TEST(Vmm, LoadRejectsUndeclaredHelper) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  Assembler a;
+  a.call(helper::kGetPeerInfo);
+  a.exit_();
+  ManifestEntry entry;
+  entry.name = "sneaky";
+  entry.point = Op::kInboundFilter;
+  entry.program = a.build("sneaky");
+  entry.allowed_helpers = {};  // manifest does not declare get_peer_info
+  m.entries.push_back(entry);
+  EXPECT_THROW(vmm.load(m), std::invalid_argument);
+}
+
+TEST(Vmm, GetArgCopiesIntoArena) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  Assembler a;
+  a.mov64(Reg::R1, 1);
+  a.call(helper::kGetArg);
+  a.ldxw(Reg::R0, Reg::R0, 0);
+  a.exit_();
+  m.attach("arg", Op::kReceiveMessage, a.build("arg"));
+  vmm.load(m);
+
+  const std::uint32_t payload = 0xAABBCCDD;
+  ExecContext ctx;
+  ctx.add_arg(1, std::span(reinterpret_cast<const std::uint8_t*>(&payload), 4));
+  EXPECT_EQ(vmm.execute(Op::kReceiveMessage, ctx, [] { return 0ull; }), 0xAABBCCDDu);
+}
+
+TEST(Vmm, MissingArgReturnsNull) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  Assembler a;
+  a.mov64(Reg::R1, 9);
+  a.call(helper::kGetArg);
+  a.exit_();
+  m.attach("arg", Op::kReceiveMessage, a.build("arg"));
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kReceiveMessage, ctx, [] { return 5ull; }), 0u);
+}
+
+TEST(Vmm, PeerInfoStructReachable) {
+  FakeHost host;
+  host.peer.asn = 65123;
+  host.peer.peer_type = kPeerTypeEbgp;
+  Vmm vmm(host);
+  Manifest m;
+  Assembler a;
+  a.call(helper::kGetPeerInfo);
+  a.ldxw(Reg::R0, Reg::R0, 4);  // PeerInfo::asn
+  a.exit_();
+  m.attach("peer", Op::kInboundFilter, a.build("peer"));
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 65123u);
+}
+
+TEST(Vmm, SetAttrValidatesPointer) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  Assembler a;
+  a.mov64(Reg::R1, 9);
+  a.mov64(Reg::R2, 0x80);
+  a.lddw(Reg::R3, 0xDEAD0000);  // not a valid VM pointer
+  a.mov64(Reg::R4, 4);
+  a.call(helper::kSetAttr);
+  a.exit_();
+  m.attach("evil", Op::kOutboundFilter, a.build("evil"));
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kOutboundFilter, ctx, [] { return 3ull; }), 3u);  // fault -> default
+  EXPECT_EQ(host.faults, 1);
+  EXPECT_TRUE(host.set_attrs.empty());
+}
+
+TEST(Vmm, ShmSharedWithinGroupIsolatedAcrossGroups) {
+  FakeHost host;
+  Vmm vmm(host);
+  // writer stores 77 at shm key 1; readers in the same/other group read it.
+  Assembler w;
+  w.mov64(Reg::R1, 1);
+  w.mov64(Reg::R2, 8);
+  w.call(helper::kShmNew);
+  w.stxdw(Reg::R0, 0, Reg::R0);  // store something non-zero (the pointer)
+  w.mov64(Reg::R0, 0);
+  w.exit_();
+  Assembler r;
+  r.mov64(Reg::R1, 1);
+  r.call(helper::kShmGet);
+  r.exit_();  // returns pointer (0 if absent)
+
+  Manifest m;
+  m.attach("writer", Op::kInit, w.build("writer"), 0, 0, "groupA");
+  m.attach("reader_same", Op::kInboundFilter, r.build("reader_same"), 0, 0, "groupA");
+  m.attach("reader_other", Op::kOutboundFilter, r.build("reader_other"), 0, 0, "groupB");
+  vmm.load(m);
+
+  ExecContext ctx;
+  EXPECT_NE(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 0u);
+  ExecContext ctx2;
+  EXPECT_EQ(vmm.execute(Op::kOutboundFilter, ctx2, [] { return 0ull; }), 0u);
+}
+
+TEST(Vmm, MapUpdateLookupAcrossGroupPrograms) {
+  FakeHost host;
+  Vmm vmm(host);
+  Assembler w;
+  w.mov64(Reg::R1, 1);   // map id
+  w.mov64(Reg::R2, 10);  // k1
+  w.mov64(Reg::R3, 20);  // k2
+  w.mov64(Reg::R4, 99);  // value
+  w.call(helper::kMapUpdate);
+  w.mov64(Reg::R0, 0);
+  w.exit_();
+  Assembler r;
+  r.mov64(Reg::R1, 1);
+  r.mov64(Reg::R2, 10);
+  r.mov64(Reg::R3, 20);
+  r.call(helper::kMapLookup);
+  r.exit_();
+  Manifest m;
+  m.attach("w", Op::kInit, w.build("w"), 0, 100, "g");
+  m.attach("r", Op::kInboundFilter, r.build("r"), 0, 100, "g");
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 99u);
+}
+
+TEST(Vmm, XtraBlobReadableAndHonoursLength) {
+  FakeHost host;
+  host.xtra["key1"] = {0x11, 0x22, 0x33, 0x44};
+  Vmm vmm(host);
+  Assembler a;
+  // "key1" on the stack (little-endian byte packing: 'k' 'e' 'y' '1').
+  a.lddw(Reg::R1, 0x3179656Bull);
+  a.stxdw(Reg::R10, -8, Reg::R1);
+  a.mov64(Reg::R1, Reg::R10);
+  a.add64(Reg::R1, -8);
+  a.mov64(Reg::R2, 4);
+  a.call(helper::kGetXtra);
+  a.ldxw(Reg::R0, Reg::R0, 0);
+  a.exit_();
+  Manifest m;
+  m.attach("x", Op::kInboundFilter, a.build("x"));
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 0x44332211u);
+}
+
+TEST(Vmm, WriteBufAppendsToHost) {
+  FakeHost host;
+  Vmm vmm(host);
+  Assembler a;
+  a.stb(Reg::R10, -4, 0xAB);
+  a.stb(Reg::R10, -3, 0xCD);
+  a.mov64(Reg::R1, Reg::R10);
+  a.add64(Reg::R1, -4);
+  a.mov64(Reg::R2, 2);
+  a.call(helper::kWriteBuf);
+  a.exit_();
+  Manifest m;
+  m.attach("wb", Op::kEncodeMessage, a.build("wb"));
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kEncodeMessage, ctx, [] { return 0ull; }), 2u);
+  EXPECT_EQ(host.written, (std::vector<std::uint8_t>{0xAB, 0xCD}));
+}
+
+TEST(Vmm, InitRunsAtLoadTime) {
+  FakeHost host;
+  Vmm vmm(host);
+  Assembler a;
+  a.mov64(Reg::R1, 1);
+  a.mov64(Reg::R2, 2);
+  a.mov64(Reg::R3, 3);
+  a.mov64(Reg::R4, 4);
+  a.call(helper::kMapUpdate);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  Manifest m;
+  m.attach("init", Op::kInit, a.build("init"));
+  vmm.load(m);  // runs immediately; would only be observable via map state
+  EXPECT_EQ(vmm.stats().faults, 0u);
+}
+
+TEST(Vmm, InitFaultNotifies) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("badinit", Op::kInit, faulting_program("badinit"));
+  vmm.load(m);
+  EXPECT_EQ(host.faults, 1);
+}
+
+TEST(Vmm, RibHelpersRoundTrip) {
+  FakeHost host;
+  Vmm vmm(host);
+  Assembler a;
+  // PrefixArg {addr=0x0A000000, len=8} at r10-8; add route nh=0x0A000001.
+  a.lddw(Reg::R1, 0x0000'0008'0A00'0000ull);
+  a.stxdw(Reg::R10, -8, Reg::R1);
+  a.mov64(Reg::R1, Reg::R10);
+  a.add64(Reg::R1, -8);
+  a.lddw(Reg::R2, 0x0A000001);
+  a.call(helper::kRibAddRoute);
+  a.mov64(Reg::R1, Reg::R10);
+  a.add64(Reg::R1, -8);
+  a.call(helper::kRibLookup);
+  a.exit_();
+  Manifest m;
+  m.attach("rib", Op::kInboundFilter, a.build("rib"));
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 0x0A000001u);
+  EXPECT_EQ(host.rib.size(), 1u);
+}
+
+TEST(Vmm, UnloadAllRestoresNative) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("p", Op::kInboundFilter, const_program("p", 42));
+  vmm.load(m);
+  vmm.unload_all();
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 7ull; }), 7u);
+  EXPECT_FALSE(vmm.any_attached(Op::kInboundFilter));
+}
+
+TEST(Vmm, SqrtHelper) {
+  FakeHost host;
+  Vmm vmm(host);
+  Assembler a;
+  a.mov64(Reg::R1, Reg::R1);
+  a.call(helper::kSqrtU64);
+  a.exit_();
+  Manifest m;
+  m.attach("sqrt", Op::kInboundFilter, a.build("sqrt"));
+  vmm.load(m);
+  // Run via the chain: r1 at entry is the op id (2 for inbound filter), so
+  // result must be isqrt(2) = 1.
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 1u);
+}
+
+}  // namespace

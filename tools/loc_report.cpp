@@ -1,0 +1,93 @@
+// §2.1 in-text table analogue: lines of code per integration component.
+//
+// The paper quantifies the xBGP integration effort: 589 LoC added to
+// FRRouting, 400 to BIRD, libxbgp itself at 432 lines of header code, plus
+// 30/10 fix-up lines. This tool prints the equivalent inventory for this
+// repository. Ours are full from-scratch implementations rather than
+// patches to existing daemons, so the absolute numbers differ; what should
+// (and does) match is the *ordering*: the FRR-like host needs more
+// integration code than the BIRD-like one, because of representation
+// conversion (see src/hosts/fir/fir_core.cpp).
+//
+// Usage: loc_report [source_root]   (default: compile-time source dir)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Component {
+  const char* label;
+  std::vector<const char*> dirs;
+  const char* paper_note;
+};
+
+std::size_t count_lines(const fs::path& file) {
+  std::ifstream in(file);
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+std::size_t count_dir(const fs::path& dir) {
+  std::size_t total = 0;
+  if (!fs::exists(dir)) return 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".cpp" || ext == ".hpp") total += count_lines(entry.path());
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef XB_SOURCE_DIR
+  fs::path root = argc > 1 ? argv[1] : XB_SOURCE_DIR;
+#else
+  fs::path root = argc > 1 ? argv[1] : ".";
+#endif
+
+  const std::vector<Component> components = {
+      {"libxbgp (API+manifest+VMM)", {"src/xbgp"}, "paper: 432 header lines"},
+      {"eBPF virtual machine", {"src/ebpf"}, "paper: reused ubpf"},
+      {"Fir host (FRR-like)", {"src/hosts/fir"}, "paper: +589 LoC to FRRouting"},
+      {"Wren host (BIRD-like)", {"src/hosts/wren"}, "paper: +400 LoC to BIRD"},
+      {"shared engine", {"src/hosts/engine"}, "paper: the daemons themselves"},
+      {"BGP substrate", {"src/bgp"}, "paper: provided by FRR/BIRD"},
+      {"other substrates", {"src/net", "src/igp", "src/rpki", "src/util"}, "testbed/VMs in paper"},
+      {"use-case extensions", {"src/extensions"}, "paper: C compiled to eBPF"},
+      {"harness", {"src/harness"}, "paper: shell + RIS data"},
+      {"tests", {"tests"}, ""},
+      {"benchmarks", {"bench"}, ""},
+      {"examples", {"examples"}, ""},
+  };
+
+  std::printf("%-30s %8s   %s\n", "component", "LoC", "paper counterpart");
+  std::size_t grand = 0;
+  std::size_t fir = 0, wren = 0;
+  for (const auto& c : components) {
+    std::size_t total = 0;
+    for (const char* dir : c.dirs) total += count_dir(root / dir);
+    std::printf("%-30s %8zu   %s\n", c.label, total, c.paper_note);
+    grand += total;
+    if (std::string(c.label).starts_with("Fir")) fir = total;
+    if (std::string(c.label).starts_with("Wren")) wren = total;
+  }
+  std::printf("%-30s %8zu\n", "total", grand);
+
+  // The paper's LoC figures measure *patch size against an existing daemon*;
+  // ours measure whole-host implementation size, so the absolute numbers are
+  // not comparable. The conversion-heavy part of Fir (fir_core.cpp) is the
+  // analogue of FRRouting's larger integration patch.
+  std::printf("\nFir host: %zu LoC, Wren host: %zu LoC (informational; see header)\n", fir,
+              wren);
+  return 0;
+}

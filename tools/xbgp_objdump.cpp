@@ -1,0 +1,64 @@
+// Inspection tool for the shipped extension bytecode: disassembly, image
+// size/digest, and the helper requirements that a manifest must whitelist.
+//
+// Usage:
+//   xbgp_objdump              # list all programs
+//   xbgp_objdump rr_inbound   # disassemble one program
+
+#include <cstdio>
+#include <string>
+
+#include "ebpf/disasm.hpp"
+#include "extensions/registry.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace {
+
+/// FNV-1a over the serialised image — a stable fingerprint proving two hosts
+/// load the same artifact.
+std::uint64_t image_digest(const xb::ebpf::Program& program) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::uint8_t byte : program.image()) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void dump(const xb::ebpf::Program& program, bool full) {
+  std::printf("%-18s %4zu insns  %5zu bytes  digest %016llx  helpers:", program.name().c_str(),
+              program.insns().size(), program.image().size(),
+              static_cast<unsigned long long>(image_digest(program)));
+  for (auto id : program.required_helpers()) {
+    std::printf(" %s", xb::xbgp::helper_name_by_id(id));
+  }
+  std::printf("\n");
+  if (full) {
+    std::printf("%s", xb::ebpf::disassemble(program).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto registry = xb::ext::default_registry();
+  const char* names[] = {"igp_filter",      "rr_inbound",     "rr_outbound",
+                         "rr_encode",       "ov_init",        "ov_inbound",
+                         "geoloc_receive",  "geoloc_inbound", "geoloc_outbound",
+                         "geoloc_encode",   "geoloc_decision", "valley_free",
+                         "valley_exempt",   "ctag_ingress",   "ctag_export"};
+  if (argc > 1) {
+    const auto* program = registry.find(argv[1]);
+    if (program == nullptr) {
+      std::fprintf(stderr, "unknown program '%s'\n", argv[1]);
+      return 1;
+    }
+    dump(*program, /*full=*/true);
+    return 0;
+  }
+  for (const char* name : names) {
+    const auto* program = registry.find(name);
+    if (program != nullptr) dump(*program, /*full=*/false);
+  }
+  return 0;
+}
