@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_repr.dir/attr_repr.cpp.o"
+  "CMakeFiles/attr_repr.dir/attr_repr.cpp.o.d"
+  "attr_repr"
+  "attr_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_bench.dir/codec_bench.cpp.o"
+  "CMakeFiles/codec_bench.dir/codec_bench.cpp.o.d"
+  "codec_bench"
+  "codec_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

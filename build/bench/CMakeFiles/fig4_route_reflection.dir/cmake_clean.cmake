@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_route_reflection.dir/fig4_route_reflection.cpp.o"
+  "CMakeFiles/fig4_route_reflection.dir/fig4_route_reflection.cpp.o.d"
+  "fig4_route_reflection"
+  "fig4_route_reflection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_route_reflection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

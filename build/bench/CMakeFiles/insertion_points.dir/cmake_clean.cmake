@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insertion_points.dir/insertion_points.cpp.o"
+  "CMakeFiles/insertion_points.dir/insertion_points.cpp.o.d"
+  "insertion_points"
+  "insertion_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insertion_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_engine.dir/policy_engine.cpp.o"
+  "CMakeFiles/policy_engine.dir/policy_engine.cpp.o.d"
+  "policy_engine"
+  "policy_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

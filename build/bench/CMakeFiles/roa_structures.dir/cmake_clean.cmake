@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roa_structures.dir/roa_structures.cpp.o"
+  "CMakeFiles/roa_structures.dir/roa_structures.cpp.o.d"
+  "roa_structures"
+  "roa_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roa_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_sync.dir/rtr_sync.cpp.o"
+  "CMakeFiles/rtr_sync.dir/rtr_sync.cpp.o.d"
+  "rtr_sync"
+  "rtr_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

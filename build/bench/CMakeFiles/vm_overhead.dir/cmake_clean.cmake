@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_overhead.dir/vm_overhead.cpp.o"
+  "CMakeFiles/vm_overhead.dir/vm_overhead.cpp.o.d"
+  "vm_overhead"
+  "vm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

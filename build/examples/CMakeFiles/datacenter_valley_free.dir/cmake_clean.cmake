@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_valley_free.dir/datacenter_valley_free.cpp.o"
+  "CMakeFiles/datacenter_valley_free.dir/datacenter_valley_free.cpp.o.d"
+  "datacenter_valley_free"
+  "datacenter_valley_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_valley_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

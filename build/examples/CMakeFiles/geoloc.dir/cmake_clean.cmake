@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoloc.dir/geoloc.cpp.o"
+  "CMakeFiles/geoloc.dir/geoloc.cpp.o.d"
+  "geoloc"
+  "geoloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_loader.dir/manifest_loader.cpp.o"
+  "CMakeFiles/manifest_loader.dir/manifest_loader.cpp.o.d"
+  "manifest_loader"
+  "manifest_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origin_validation.dir/origin_validation.cpp.o"
+  "CMakeFiles/origin_validation.dir/origin_validation.cpp.o.d"
+  "origin_validation"
+  "origin_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origin_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_reflection.dir/route_reflection.cpp.o"
+  "CMakeFiles/route_reflection.dir/route_reflection.cpp.o.d"
+  "route_reflection"
+  "route_reflection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_reflection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

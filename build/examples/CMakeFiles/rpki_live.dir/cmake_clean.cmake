@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpki_live.dir/rpki_live.cpp.o"
+  "CMakeFiles/rpki_live.dir/rpki_live.cpp.o.d"
+  "rpki_live"
+  "rpki_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpki_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/aspath.cpp" "src/bgp/CMakeFiles/xb_bgp.dir/aspath.cpp.o" "gcc" "src/bgp/CMakeFiles/xb_bgp.dir/aspath.cpp.o.d"
+  "/root/repo/src/bgp/attr.cpp" "src/bgp/CMakeFiles/xb_bgp.dir/attr.cpp.o" "gcc" "src/bgp/CMakeFiles/xb_bgp.dir/attr.cpp.o.d"
+  "/root/repo/src/bgp/codec.cpp" "src/bgp/CMakeFiles/xb_bgp.dir/codec.cpp.o" "gcc" "src/bgp/CMakeFiles/xb_bgp.dir/codec.cpp.o.d"
+  "/root/repo/src/bgp/decision.cpp" "src/bgp/CMakeFiles/xb_bgp.dir/decision.cpp.o" "gcc" "src/bgp/CMakeFiles/xb_bgp.dir/decision.cpp.o.d"
+  "/root/repo/src/bgp/peer_session.cpp" "src/bgp/CMakeFiles/xb_bgp.dir/peer_session.cpp.o" "gcc" "src/bgp/CMakeFiles/xb_bgp.dir/peer_session.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/bgp/CMakeFiles/xb_bgp.dir/policy.cpp.o" "gcc" "src/bgp/CMakeFiles/xb_bgp.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

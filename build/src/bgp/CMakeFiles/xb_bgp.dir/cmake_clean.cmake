@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_bgp.dir/aspath.cpp.o"
+  "CMakeFiles/xb_bgp.dir/aspath.cpp.o.d"
+  "CMakeFiles/xb_bgp.dir/attr.cpp.o"
+  "CMakeFiles/xb_bgp.dir/attr.cpp.o.d"
+  "CMakeFiles/xb_bgp.dir/codec.cpp.o"
+  "CMakeFiles/xb_bgp.dir/codec.cpp.o.d"
+  "CMakeFiles/xb_bgp.dir/decision.cpp.o"
+  "CMakeFiles/xb_bgp.dir/decision.cpp.o.d"
+  "CMakeFiles/xb_bgp.dir/peer_session.cpp.o"
+  "CMakeFiles/xb_bgp.dir/peer_session.cpp.o.d"
+  "CMakeFiles/xb_bgp.dir/policy.cpp.o"
+  "CMakeFiles/xb_bgp.dir/policy.cpp.o.d"
+  "libxb_bgp.a"
+  "libxb_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

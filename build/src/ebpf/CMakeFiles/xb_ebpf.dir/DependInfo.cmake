@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/assembler.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/assembler.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/assembler.cpp.o.d"
+  "/root/repo/src/ebpf/disasm.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/disasm.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/disasm.cpp.o.d"
+  "/root/repo/src/ebpf/insn.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/insn.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/insn.cpp.o.d"
+  "/root/repo/src/ebpf/memory.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/memory.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/memory.cpp.o.d"
+  "/root/repo/src/ebpf/verifier.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/verifier.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/verifier.cpp.o.d"
+  "/root/repo/src/ebpf/vm.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/vm.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_ebpf.dir/assembler.cpp.o"
+  "CMakeFiles/xb_ebpf.dir/assembler.cpp.o.d"
+  "CMakeFiles/xb_ebpf.dir/disasm.cpp.o"
+  "CMakeFiles/xb_ebpf.dir/disasm.cpp.o.d"
+  "CMakeFiles/xb_ebpf.dir/insn.cpp.o"
+  "CMakeFiles/xb_ebpf.dir/insn.cpp.o.d"
+  "CMakeFiles/xb_ebpf.dir/memory.cpp.o"
+  "CMakeFiles/xb_ebpf.dir/memory.cpp.o.d"
+  "CMakeFiles/xb_ebpf.dir/verifier.cpp.o"
+  "CMakeFiles/xb_ebpf.dir/verifier.cpp.o.d"
+  "CMakeFiles/xb_ebpf.dir/vm.cpp.o"
+  "CMakeFiles/xb_ebpf.dir/vm.cpp.o.d"
+  "libxb_ebpf.a"
+  "libxb_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extensions/community_tag.cpp" "src/extensions/CMakeFiles/xb_extensions.dir/community_tag.cpp.o" "gcc" "src/extensions/CMakeFiles/xb_extensions.dir/community_tag.cpp.o.d"
+  "/root/repo/src/extensions/geoloc.cpp" "src/extensions/CMakeFiles/xb_extensions.dir/geoloc.cpp.o" "gcc" "src/extensions/CMakeFiles/xb_extensions.dir/geoloc.cpp.o.d"
+  "/root/repo/src/extensions/igp_filter.cpp" "src/extensions/CMakeFiles/xb_extensions.dir/igp_filter.cpp.o" "gcc" "src/extensions/CMakeFiles/xb_extensions.dir/igp_filter.cpp.o.d"
+  "/root/repo/src/extensions/origin_validation.cpp" "src/extensions/CMakeFiles/xb_extensions.dir/origin_validation.cpp.o" "gcc" "src/extensions/CMakeFiles/xb_extensions.dir/origin_validation.cpp.o.d"
+  "/root/repo/src/extensions/registry.cpp" "src/extensions/CMakeFiles/xb_extensions.dir/registry.cpp.o" "gcc" "src/extensions/CMakeFiles/xb_extensions.dir/registry.cpp.o.d"
+  "/root/repo/src/extensions/route_reflection.cpp" "src/extensions/CMakeFiles/xb_extensions.dir/route_reflection.cpp.o" "gcc" "src/extensions/CMakeFiles/xb_extensions.dir/route_reflection.cpp.o.d"
+  "/root/repo/src/extensions/valley_free.cpp" "src/extensions/CMakeFiles/xb_extensions.dir/valley_free.cpp.o" "gcc" "src/extensions/CMakeFiles/xb_extensions.dir/valley_free.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ebpf/CMakeFiles/xb_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbgp/CMakeFiles/xb_xbgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/xb_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

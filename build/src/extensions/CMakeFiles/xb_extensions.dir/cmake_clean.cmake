@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_extensions.dir/community_tag.cpp.o"
+  "CMakeFiles/xb_extensions.dir/community_tag.cpp.o.d"
+  "CMakeFiles/xb_extensions.dir/geoloc.cpp.o"
+  "CMakeFiles/xb_extensions.dir/geoloc.cpp.o.d"
+  "CMakeFiles/xb_extensions.dir/igp_filter.cpp.o"
+  "CMakeFiles/xb_extensions.dir/igp_filter.cpp.o.d"
+  "CMakeFiles/xb_extensions.dir/origin_validation.cpp.o"
+  "CMakeFiles/xb_extensions.dir/origin_validation.cpp.o.d"
+  "CMakeFiles/xb_extensions.dir/registry.cpp.o"
+  "CMakeFiles/xb_extensions.dir/registry.cpp.o.d"
+  "CMakeFiles/xb_extensions.dir/route_reflection.cpp.o"
+  "CMakeFiles/xb_extensions.dir/route_reflection.cpp.o.d"
+  "CMakeFiles/xb_extensions.dir/valley_free.cpp.o"
+  "CMakeFiles/xb_extensions.dir/valley_free.cpp.o.d"
+  "libxb_extensions.a"
+  "libxb_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

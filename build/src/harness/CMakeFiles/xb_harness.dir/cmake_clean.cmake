@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_harness.dir/rfc_dataset.cpp.o"
+  "CMakeFiles/xb_harness.dir/rfc_dataset.cpp.o.d"
+  "CMakeFiles/xb_harness.dir/workload.cpp.o"
+  "CMakeFiles/xb_harness.dir/workload.cpp.o.d"
+  "libxb_harness.a"
+  "libxb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_hosts.dir/fir/fir_core.cpp.o"
+  "CMakeFiles/xb_hosts.dir/fir/fir_core.cpp.o.d"
+  "CMakeFiles/xb_hosts.dir/wren/wren_core.cpp.o"
+  "CMakeFiles/xb_hosts.dir/wren/wren_core.cpp.o.d"
+  "libxb_hosts.a"
+  "libxb_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_igp.dir/graph.cpp.o"
+  "CMakeFiles/xb_igp.dir/graph.cpp.o.d"
+  "CMakeFiles/xb_igp.dir/igp_table.cpp.o"
+  "CMakeFiles/xb_igp.dir/igp_table.cpp.o.d"
+  "CMakeFiles/xb_igp.dir/spf.cpp.o"
+  "CMakeFiles/xb_igp.dir/spf.cpp.o.d"
+  "libxb_igp.a"
+  "libxb_igp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_igp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_net.dir/channel.cpp.o"
+  "CMakeFiles/xb_net.dir/channel.cpp.o.d"
+  "CMakeFiles/xb_net.dir/event_loop.cpp.o"
+  "CMakeFiles/xb_net.dir/event_loop.cpp.o.d"
+  "libxb_net.a"
+  "libxb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpki/loader.cpp" "src/rpki/CMakeFiles/xb_rpki.dir/loader.cpp.o" "gcc" "src/rpki/CMakeFiles/xb_rpki.dir/loader.cpp.o.d"
+  "/root/repo/src/rpki/roa_hash.cpp" "src/rpki/CMakeFiles/xb_rpki.dir/roa_hash.cpp.o" "gcc" "src/rpki/CMakeFiles/xb_rpki.dir/roa_hash.cpp.o.d"
+  "/root/repo/src/rpki/roa_lpfst.cpp" "src/rpki/CMakeFiles/xb_rpki.dir/roa_lpfst.cpp.o" "gcc" "src/rpki/CMakeFiles/xb_rpki.dir/roa_lpfst.cpp.o.d"
+  "/root/repo/src/rpki/roa_trie.cpp" "src/rpki/CMakeFiles/xb_rpki.dir/roa_trie.cpp.o" "gcc" "src/rpki/CMakeFiles/xb_rpki.dir/roa_trie.cpp.o.d"
+  "/root/repo/src/rpki/rtr_pdu.cpp" "src/rpki/CMakeFiles/xb_rpki.dir/rtr_pdu.cpp.o" "gcc" "src/rpki/CMakeFiles/xb_rpki.dir/rtr_pdu.cpp.o.d"
+  "/root/repo/src/rpki/rtr_session.cpp" "src/rpki/CMakeFiles/xb_rpki.dir/rtr_session.cpp.o" "gcc" "src/rpki/CMakeFiles/xb_rpki.dir/rtr_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/xb_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_rpki.dir/loader.cpp.o"
+  "CMakeFiles/xb_rpki.dir/loader.cpp.o.d"
+  "CMakeFiles/xb_rpki.dir/roa_hash.cpp.o"
+  "CMakeFiles/xb_rpki.dir/roa_hash.cpp.o.d"
+  "CMakeFiles/xb_rpki.dir/roa_lpfst.cpp.o"
+  "CMakeFiles/xb_rpki.dir/roa_lpfst.cpp.o.d"
+  "CMakeFiles/xb_rpki.dir/roa_trie.cpp.o"
+  "CMakeFiles/xb_rpki.dir/roa_trie.cpp.o.d"
+  "CMakeFiles/xb_rpki.dir/rtr_pdu.cpp.o"
+  "CMakeFiles/xb_rpki.dir/rtr_pdu.cpp.o.d"
+  "CMakeFiles/xb_rpki.dir/rtr_session.cpp.o"
+  "CMakeFiles/xb_rpki.dir/rtr_session.cpp.o.d"
+  "libxb_rpki.a"
+  "libxb_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxb_rpki.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_util.dir/ip.cpp.o"
+  "CMakeFiles/xb_util.dir/ip.cpp.o.d"
+  "CMakeFiles/xb_util.dir/log.cpp.o"
+  "CMakeFiles/xb_util.dir/log.cpp.o.d"
+  "libxb_util.a"
+  "libxb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xbgp/manifest.cpp" "src/xbgp/CMakeFiles/xb_xbgp.dir/manifest.cpp.o" "gcc" "src/xbgp/CMakeFiles/xb_xbgp.dir/manifest.cpp.o.d"
+  "/root/repo/src/xbgp/vmm.cpp" "src/xbgp/CMakeFiles/xb_xbgp.dir/vmm.cpp.o" "gcc" "src/xbgp/CMakeFiles/xb_xbgp.dir/vmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/xb_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/xb_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

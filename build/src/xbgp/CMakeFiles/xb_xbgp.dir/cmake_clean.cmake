@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb_xbgp.dir/manifest.cpp.o"
+  "CMakeFiles/xb_xbgp.dir/manifest.cpp.o.d"
+  "CMakeFiles/xb_xbgp.dir/vmm.cpp.o"
+  "CMakeFiles/xb_xbgp.dir/vmm.cpp.o.d"
+  "libxb_xbgp.a"
+  "libxb_xbgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb_xbgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

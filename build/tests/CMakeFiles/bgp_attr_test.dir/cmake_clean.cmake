@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_attr_test.dir/bgp_attr_test.cpp.o"
+  "CMakeFiles/bgp_attr_test.dir/bgp_attr_test.cpp.o.d"
+  "bgp_attr_test"
+  "bgp_attr_test.pdb"
+  "bgp_attr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_attr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_decision_test.dir/bgp_decision_test.cpp.o"
+  "CMakeFiles/bgp_decision_test.dir/bgp_decision_test.cpp.o.d"
+  "bgp_decision_test"
+  "bgp_decision_test.pdb"
+  "bgp_decision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_decision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

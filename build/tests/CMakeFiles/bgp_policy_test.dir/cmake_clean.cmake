@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_policy_test.dir/bgp_policy_test.cpp.o"
+  "CMakeFiles/bgp_policy_test.dir/bgp_policy_test.cpp.o.d"
+  "bgp_policy_test"
+  "bgp_policy_test.pdb"
+  "bgp_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

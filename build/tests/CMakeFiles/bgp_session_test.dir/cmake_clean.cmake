@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_session_test.dir/bgp_session_test.cpp.o"
+  "CMakeFiles/bgp_session_test.dir/bgp_session_test.cpp.o.d"
+  "bgp_session_test"
+  "bgp_session_test.pdb"
+  "bgp_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

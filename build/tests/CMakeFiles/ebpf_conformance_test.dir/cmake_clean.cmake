@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebpf_conformance_test.dir/ebpf_conformance_test.cpp.o"
+  "CMakeFiles/ebpf_conformance_test.dir/ebpf_conformance_test.cpp.o.d"
+  "ebpf_conformance_test"
+  "ebpf_conformance_test.pdb"
+  "ebpf_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebpf_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

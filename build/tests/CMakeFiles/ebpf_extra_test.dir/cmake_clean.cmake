@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebpf_extra_test.dir/ebpf_extra_test.cpp.o"
+  "CMakeFiles/ebpf_extra_test.dir/ebpf_extra_test.cpp.o.d"
+  "ebpf_extra_test"
+  "ebpf_extra_test.pdb"
+  "ebpf_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebpf_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

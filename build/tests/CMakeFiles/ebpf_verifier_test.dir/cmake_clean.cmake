@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebpf_verifier_test.dir/ebpf_verifier_test.cpp.o"
+  "CMakeFiles/ebpf_verifier_test.dir/ebpf_verifier_test.cpp.o.d"
+  "ebpf_verifier_test"
+  "ebpf_verifier_test.pdb"
+  "ebpf_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebpf_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

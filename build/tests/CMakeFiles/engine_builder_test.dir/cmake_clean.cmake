@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_builder_test.dir/engine_builder_test.cpp.o"
+  "CMakeFiles/engine_builder_test.dir/engine_builder_test.cpp.o.d"
+  "engine_builder_test"
+  "engine_builder_test.pdb"
+  "engine_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_policy_test.dir/engine_policy_test.cpp.o"
+  "CMakeFiles/engine_policy_test.dir/engine_policy_test.cpp.o.d"
+  "engine_policy_test"
+  "engine_policy_test.pdb"
+  "engine_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

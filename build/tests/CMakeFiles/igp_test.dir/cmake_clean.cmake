@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igp_test.dir/igp_test.cpp.o"
+  "CMakeFiles/igp_test.dir/igp_test.cpp.o.d"
+  "igp_test"
+  "igp_test.pdb"
+  "igp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_301_test.dir/scenario_301_test.cpp.o"
+  "CMakeFiles/scenario_301_test.dir/scenario_301_test.cpp.o.d"
+  "scenario_301_test"
+  "scenario_301_test.pdb"
+  "scenario_301_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_301_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

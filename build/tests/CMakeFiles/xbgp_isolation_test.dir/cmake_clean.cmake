@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgp_isolation_test.dir/xbgp_isolation_test.cpp.o"
+  "CMakeFiles/xbgp_isolation_test.dir/xbgp_isolation_test.cpp.o.d"
+  "xbgp_isolation_test"
+  "xbgp_isolation_test.pdb"
+  "xbgp_isolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgp_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgp_manifest_test.dir/xbgp_manifest_test.cpp.o"
+  "CMakeFiles/xbgp_manifest_test.dir/xbgp_manifest_test.cpp.o.d"
+  "xbgp_manifest_test"
+  "xbgp_manifest_test.pdb"
+  "xbgp_manifest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgp_manifest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgp_mempool_test.dir/xbgp_mempool_test.cpp.o"
+  "CMakeFiles/xbgp_mempool_test.dir/xbgp_mempool_test.cpp.o.d"
+  "xbgp_mempool_test"
+  "xbgp_mempool_test.pdb"
+  "xbgp_mempool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgp_mempool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgp_rib_extension_test.dir/xbgp_rib_extension_test.cpp.o"
+  "CMakeFiles/xbgp_rib_extension_test.dir/xbgp_rib_extension_test.cpp.o.d"
+  "xbgp_rib_extension_test"
+  "xbgp_rib_extension_test.pdb"
+  "xbgp_rib_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgp_rib_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

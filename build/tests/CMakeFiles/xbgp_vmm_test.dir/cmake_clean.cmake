@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgp_vmm_test.dir/xbgp_vmm_test.cpp.o"
+  "CMakeFiles/xbgp_vmm_test.dir/xbgp_vmm_test.cpp.o.d"
+  "xbgp_vmm_test"
+  "xbgp_vmm_test.pdb"
+  "xbgp_vmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgp_vmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loc_report.dir/loc_report.cpp.o"
+  "CMakeFiles/loc_report.dir/loc_report.cpp.o.d"
+  "loc_report"
+  "loc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgp_objdump.dir/xbgp_objdump.cpp.o"
+  "CMakeFiles/xbgp_objdump.dir/xbgp_objdump.cpp.o.d"
+  "xbgp_objdump"
+  "xbgp_objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgp_objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
