@@ -214,7 +214,8 @@ bench/CMakeFiles/insertion_points.dir/insertion_points.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/ebpf/verifier.hpp /usr/include/c++/12/optional \
+ /root/repo/src/ebpf/analyzer.hpp /root/repo/src/ebpf/verifier.hpp \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/ebpf/vm.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

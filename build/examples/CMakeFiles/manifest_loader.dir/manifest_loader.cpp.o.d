@@ -242,8 +242,8 @@ examples/CMakeFiles/manifest_loader.dir/manifest_loader.cpp.o: \
  /root/repo/src/hosts/engine/update_builder.hpp \
  /root/repo/src/igp/igp_table.hpp /root/repo/src/igp/spf.hpp \
  /root/repo/src/igp/graph.hpp /root/repo/src/util/log.hpp \
- /root/repo/src/xbgp/vmm.hpp /root/repo/src/ebpf/verifier.hpp \
- /root/repo/src/ebpf/vm.hpp /root/repo/src/ebpf/memory.hpp \
- /root/repo/src/xbgp/context.hpp /root/repo/src/xbgp/host_api.hpp \
- /root/repo/src/xbgp/mempool.hpp /root/repo/src/hosts/fir/fir_core.hpp \
- /root/repo/src/rpki/roa_trie.hpp
+ /root/repo/src/xbgp/vmm.hpp /root/repo/src/ebpf/analyzer.hpp \
+ /root/repo/src/ebpf/verifier.hpp /root/repo/src/ebpf/vm.hpp \
+ /root/repo/src/ebpf/memory.hpp /root/repo/src/xbgp/context.hpp \
+ /root/repo/src/xbgp/host_api.hpp /root/repo/src/xbgp/mempool.hpp \
+ /root/repo/src/hosts/fir/fir_core.hpp /root/repo/src/rpki/roa_trie.hpp

@@ -238,9 +238,10 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/xbgp/vmm.hpp \
- /root/repo/src/ebpf/verifier.hpp /root/repo/src/ebpf/vm.hpp \
- /root/repo/src/ebpf/memory.hpp /root/repo/src/xbgp/context.hpp \
- /root/repo/src/xbgp/host_api.hpp /root/repo/src/xbgp/mempool.hpp \
- /root/repo/src/hosts/fir/fir_core.hpp /root/repo/src/rpki/roa_trie.hpp \
+ /root/repo/src/ebpf/analyzer.hpp /root/repo/src/ebpf/verifier.hpp \
+ /root/repo/src/ebpf/vm.hpp /root/repo/src/ebpf/memory.hpp \
+ /root/repo/src/xbgp/context.hpp /root/repo/src/xbgp/host_api.hpp \
+ /root/repo/src/xbgp/mempool.hpp /root/repo/src/hosts/fir/fir_core.hpp \
+ /root/repo/src/rpki/roa_trie.hpp \
  /root/repo/src/hosts/wren/wren_router.hpp \
  /root/repo/src/hosts/wren/wren_core.hpp /root/repo/src/rpki/roa_hash.hpp

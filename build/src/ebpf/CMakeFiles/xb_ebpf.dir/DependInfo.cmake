@@ -8,7 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/analyzer.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/analyzer.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/analyzer.cpp.o.d"
   "/root/repo/src/ebpf/assembler.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/assembler.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/assembler.cpp.o.d"
+  "/root/repo/src/ebpf/cfg.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/cfg.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/cfg.cpp.o.d"
   "/root/repo/src/ebpf/disasm.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/disasm.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/disasm.cpp.o.d"
   "/root/repo/src/ebpf/insn.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/insn.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/insn.cpp.o.d"
   "/root/repo/src/ebpf/memory.cpp" "src/ebpf/CMakeFiles/xb_ebpf.dir/memory.cpp.o" "gcc" "src/ebpf/CMakeFiles/xb_ebpf.dir/memory.cpp.o.d"

@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/xb_ebpf.dir/analyzer.cpp.o"
+  "CMakeFiles/xb_ebpf.dir/analyzer.cpp.o.d"
   "CMakeFiles/xb_ebpf.dir/assembler.cpp.o"
   "CMakeFiles/xb_ebpf.dir/assembler.cpp.o.d"
+  "CMakeFiles/xb_ebpf.dir/cfg.cpp.o"
+  "CMakeFiles/xb_ebpf.dir/cfg.cpp.o.d"
   "CMakeFiles/xb_ebpf.dir/disasm.cpp.o"
   "CMakeFiles/xb_ebpf.dir/disasm.cpp.o.d"
   "CMakeFiles/xb_ebpf.dir/insn.cpp.o"

@@ -168,4 +168,5 @@ src/ebpf/CMakeFiles/xb_ebpf.dir/disasm.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/ebpf/cfg.hpp \
+ /usr/include/c++/12/cstddef

@@ -197,16 +197,18 @@ src/xbgp/CMakeFiles/xb_xbgp.dir/vmm.cpp.o: /root/repo/src/xbgp/vmm.cpp \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/ebpf/verifier.hpp \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/ebpf/analyzer.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/ebpf/program.hpp \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/ebpf/program.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/ebpf/insn.hpp /root/repo/src/ebpf/opcodes.hpp \
+ /root/repo/src/ebpf/verifier.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/ebpf/vm.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -222,9 +224,7 @@ src/xbgp/CMakeFiles/xb_xbgp.dir/vmm.cpp.o: /root/repo/src/xbgp/vmm.cpp \
  /root/repo/src/bgp/attr.hpp /root/repo/src/bgp/types.hpp \
  /root/repo/src/util/ip.hpp /root/repo/src/util/bytes.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/xbgp/manifest.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/xbgp/mempool.hpp \
+ /root/repo/src/xbgp/manifest.hpp /root/repo/src/xbgp/mempool.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

@@ -293,6 +293,8 @@ tests/CMakeFiles/ebpf_verifier_test.dir/ebpf_verifier_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/ebpf/assembler.hpp /root/repo/src/ebpf/insn.hpp \
- /root/repo/src/ebpf/opcodes.hpp /root/repo/src/ebpf/program.hpp \
- /root/repo/src/ebpf/verifier.hpp
+ /root/repo/src/ebpf/analyzer.hpp /root/repo/src/ebpf/program.hpp \
+ /root/repo/src/ebpf/insn.hpp /root/repo/src/ebpf/opcodes.hpp \
+ /root/repo/src/ebpf/assembler.hpp /root/repo/src/ebpf/cfg.hpp \
+ /root/repo/src/ebpf/verifier.hpp /root/repo/src/extensions/registry.hpp \
+ /root/repo/src/xbgp/manifest.hpp /root/repo/src/xbgp/api.hpp

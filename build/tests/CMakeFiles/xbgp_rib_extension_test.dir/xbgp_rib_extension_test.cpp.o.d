@@ -313,11 +313,11 @@ tests/CMakeFiles/xbgp_rib_extension_test.dir/xbgp_rib_extension_test.cpp.o: \
  /root/repo/src/hosts/engine/update_builder.hpp \
  /root/repo/src/igp/igp_table.hpp /root/repo/src/igp/spf.hpp \
  /root/repo/src/igp/graph.hpp /root/repo/src/util/log.hpp \
- /root/repo/src/xbgp/vmm.hpp /root/repo/src/ebpf/verifier.hpp \
- /root/repo/src/ebpf/vm.hpp /root/repo/src/ebpf/memory.hpp \
- /root/repo/src/xbgp/context.hpp /root/repo/src/xbgp/api.hpp \
- /root/repo/src/xbgp/host_api.hpp /root/repo/src/xbgp/manifest.hpp \
- /root/repo/src/xbgp/mempool.hpp /root/repo/src/hosts/fir/fir_core.hpp \
- /root/repo/src/rpki/roa_trie.hpp \
+ /root/repo/src/xbgp/vmm.hpp /root/repo/src/ebpf/analyzer.hpp \
+ /root/repo/src/ebpf/verifier.hpp /root/repo/src/ebpf/vm.hpp \
+ /root/repo/src/ebpf/memory.hpp /root/repo/src/xbgp/context.hpp \
+ /root/repo/src/xbgp/api.hpp /root/repo/src/xbgp/host_api.hpp \
+ /root/repo/src/xbgp/manifest.hpp /root/repo/src/xbgp/mempool.hpp \
+ /root/repo/src/hosts/fir/fir_core.hpp /root/repo/src/rpki/roa_trie.hpp \
  /root/repo/src/hosts/wren/wren_router.hpp \
  /root/repo/src/hosts/wren/wren_core.hpp /root/repo/src/rpki/roa_hash.hpp

@@ -295,11 +295,11 @@ tests/CMakeFiles/xbgp_vmm_test.dir/xbgp_vmm_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/ebpf/assembler.hpp /root/repo/src/ebpf/insn.hpp \
  /root/repo/src/ebpf/opcodes.hpp /root/repo/src/ebpf/program.hpp \
- /root/repo/src/xbgp/vmm.hpp /root/repo/src/ebpf/verifier.hpp \
- /root/repo/src/ebpf/vm.hpp /root/repo/src/ebpf/memory.hpp \
- /root/repo/src/xbgp/context.hpp /usr/include/c++/12/span \
- /root/repo/src/xbgp/api.hpp /root/repo/src/xbgp/host_api.hpp \
- /root/repo/src/bgp/attr.hpp /root/repo/src/bgp/types.hpp \
- /root/repo/src/util/ip.hpp /root/repo/src/util/bytes.hpp \
- /usr/include/c++/12/cstring /root/repo/src/xbgp/manifest.hpp \
- /root/repo/src/xbgp/mempool.hpp
+ /root/repo/src/xbgp/vmm.hpp /root/repo/src/ebpf/analyzer.hpp \
+ /root/repo/src/ebpf/verifier.hpp /root/repo/src/ebpf/vm.hpp \
+ /root/repo/src/ebpf/memory.hpp /root/repo/src/xbgp/context.hpp \
+ /usr/include/c++/12/span /root/repo/src/xbgp/api.hpp \
+ /root/repo/src/xbgp/host_api.hpp /root/repo/src/bgp/attr.hpp \
+ /root/repo/src/bgp/types.hpp /root/repo/src/util/ip.hpp \
+ /root/repo/src/util/bytes.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/xbgp/manifest.hpp /root/repo/src/xbgp/mempool.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgp_lint.dir/xbgp_lint.cpp.o"
+  "CMakeFiles/xbgp_lint.dir/xbgp_lint.cpp.o.d"
+  "xbgp_lint"
+  "xbgp_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgp_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -117,22 +117,21 @@ tools/CMakeFiles/xbgp_objdump.dir/xbgp_objdump.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/ebpf/disasm.hpp \
- /root/repo/src/ebpf/program.hpp /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/ebpf/cfg.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/ebpf/program.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/ebpf/insn.hpp \
- /root/repo/src/ebpf/opcodes.hpp /root/repo/src/extensions/registry.hpp \
- /root/repo/src/xbgp/manifest.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/xbgp/api.hpp \
- /usr/include/c++/12/cstddef
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ebpf/insn.hpp \
+ /root/repo/src/ebpf/opcodes.hpp /root/repo/src/ebpf/disasm.hpp \
+ /root/repo/src/extensions/registry.hpp /root/repo/src/xbgp/manifest.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/xbgp/api.hpp

@@ -6,3 +6,5 @@
 # testing this directory and lists subdirectories to be tested as well.
 add_test(loc_report "/root/repo/build/tools/loc_report")
 set_tests_properties(loc_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(xbgp_lint_shipped "/root/repo/build/tools/xbgp_lint" "-q" "--all")
+set_tests_properties(xbgp_lint_shipped PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,0 +1,963 @@
+#include "ebpf/analyzer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <limits>
+#include <optional>
+
+#include "ebpf/cfg.hpp"
+#include "ebpf/opcodes.hpp"
+#include "ebpf/verifier.hpp"
+
+namespace xb::ebpf {
+
+namespace {
+
+constexpr std::int64_t kValMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kValMax = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t sat(__int128 v) {
+  if (v > kValMax) return kValMax;
+  if (v < kValMin) return kValMin;
+  return static_cast<std::int64_t>(v);
+}
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  return sat(static_cast<__int128>(a) + b);
+}
+std::int64_t sat_sub(std::int64_t a, std::int64_t b) {
+  return sat(static_cast<__int128>(a) - b);
+}
+
+/// Closed interval with saturating endpoints.
+struct Interval {
+  std::int64_t lo = kValMin;
+  std::int64_t hi = kValMax;
+
+  static Interval full() { return {kValMin, kValMax}; }
+  static Interval point(std::int64_t v) { return {v, v}; }
+
+  [[nodiscard]] bool singleton() const { return lo == hi; }
+  [[nodiscard]] bool is_full() const { return lo == kValMin && hi == kValMax; }
+
+  [[nodiscard]] Interval hull(const Interval& o) const {
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+  [[nodiscard]] Interval add(const Interval& o) const {
+    return {sat_add(lo, o.lo), sat_add(hi, o.hi)};
+  }
+  [[nodiscard]] Interval sub(const Interval& o) const {
+    return {sat_sub(lo, o.hi), sat_sub(hi, o.lo)};
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+constexpr std::int64_t kU32Max = 0xFFFFFFFFll;
+
+// --- Main abstract domain ---------------------------------------------------
+
+enum class Kind : std::uint8_t {
+  kUninit,    // never written on some path
+  kScalar,    // plain value, bounds in `range`
+  kStackPtr,  // r10 + offset, offset bounds in `range`
+  kCtxPtr,    // helper-returned pointer; accesses runtime-checked
+};
+
+struct AbsVal {
+  Kind kind = Kind::kUninit;
+  Interval range = Interval::full();
+
+  static AbsVal uninit() { return {Kind::kUninit, Interval::full()}; }
+  static AbsVal scalar(Interval r) { return {Kind::kScalar, r}; }
+  static AbsVal stack(Interval r) { return {Kind::kStackPtr, r}; }
+  static AbsVal ctx() { return {Kind::kCtxPtr, Interval::full()}; }
+
+  [[nodiscard]] bool initialized() const { return kind != Kind::kUninit; }
+
+  friend bool operator==(const AbsVal&, const AbsVal&) = default;
+};
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+  if (a.kind == Kind::kUninit || b.kind == Kind::kUninit) return AbsVal::uninit();
+  if (a.kind == b.kind) return {a.kind, a.range.hull(b.range)};
+  // Mixed initialized kinds: sound as an unknown scalar — any dereference
+  // through it is bounds-checked by the interpreter's memory model.
+  return AbsVal::scalar(Interval::full());
+}
+
+using RegState = std::array<AbsVal, kNumRegisters>;
+
+RegState entry_state() {
+  RegState s;
+  for (auto& v : s) v = AbsVal::uninit();
+  // Vm::run preloads r1..r5 from the invocation arguments (the VMM passes
+  // the insertion-point id in r1 and zeroes the rest).
+  for (int r = 1; r <= 5; ++r) s[r] = AbsVal::scalar(Interval::full());
+  s[kFramePointer] = AbsVal::stack(Interval::point(0));
+  return s;
+}
+
+int mem_size(std::uint8_t opcode) {
+  switch (opcode & 0x18) {
+    case kSizeB: return 1;
+    case kSizeH: return 2;
+    case kSizeW: return 4;
+    default: return 8;
+  }
+}
+
+Interval load_range(int size) {
+  switch (size) {
+    case 1: return {0, 0xFF};
+    case 2: return {0, 0xFFFF};
+    case 4: return {0, kU32Max};
+    default: return Interval::full();
+  }
+}
+
+// --- Loop-analysis symbolic domain ------------------------------------------
+//
+// Values relative to the register file at loop-header entry:
+//   kTop     unknown
+//   kVal     a plain value within `delta` (may differ per iteration;
+//            a singleton is a loop-invariant constant)
+//   kAnchor  header-entry value of register `base` plus `delta`
+//
+// A register whose value at every back-edge is anchored on itself with a
+// strictly positive (or strictly negative) delta is a monotone induction
+// register.
+
+struct SymVal {
+  enum class K : std::uint8_t { kTop, kVal, kAnchor };
+  K k = K::kTop;
+  int base = -1;
+  Interval delta = Interval::full();
+
+  static SymVal top() { return {K::kTop, -1, Interval::full()}; }
+  static SymVal val(Interval r) { return {K::kVal, -1, r}; }
+  static SymVal anchor(int reg, Interval d) { return {K::kAnchor, reg, d}; }
+
+  friend bool operator==(const SymVal&, const SymVal&) = default;
+};
+
+SymVal sym_join(const SymVal& a, const SymVal& b) {
+  if (a.k == SymVal::K::kAnchor && b.k == SymVal::K::kAnchor && a.base == b.base) {
+    return SymVal::anchor(a.base, a.delta.hull(b.delta));
+  }
+  if (a.k == SymVal::K::kVal && b.k == SymVal::K::kVal) {
+    return SymVal::val(a.delta.hull(b.delta));
+  }
+  return SymVal::top();
+}
+
+using SymState = std::array<SymVal, kNumRegisters>;
+
+// --- Normalized branch predicates for the induction check -------------------
+
+enum class Cmp : std::uint8_t { kEq, kNe, kGt, kGe, kLt, kLe, kSgt, kSge, kSlt, kSle, kNone };
+
+Cmp cmp_of(std::uint8_t op) {
+  switch (op) {
+    case kJmpJeq: return Cmp::kEq;
+    case kJmpJne: return Cmp::kNe;
+    case kJmpJgt: return Cmp::kGt;
+    case kJmpJge: return Cmp::kGe;
+    case kJmpJlt: return Cmp::kLt;
+    case kJmpJle: return Cmp::kLe;
+    case kJmpJsgt: return Cmp::kSgt;
+    case kJmpJsge: return Cmp::kSge;
+    case kJmpJslt: return Cmp::kSlt;
+    case kJmpJsle: return Cmp::kSle;
+    default: return Cmp::kNone;  // ja / call / exit / jset
+  }
+}
+
+Cmp invert(Cmp c) {
+  switch (c) {
+    case Cmp::kEq: return Cmp::kNe;
+    case Cmp::kNe: return Cmp::kEq;
+    case Cmp::kGt: return Cmp::kLe;
+    case Cmp::kLe: return Cmp::kGt;
+    case Cmp::kGe: return Cmp::kLt;
+    case Cmp::kLt: return Cmp::kGe;
+    case Cmp::kSgt: return Cmp::kSle;
+    case Cmp::kSle: return Cmp::kSgt;
+    case Cmp::kSge: return Cmp::kSlt;
+    case Cmp::kSlt: return Cmp::kSge;
+    default: return Cmp::kNone;
+  }
+}
+
+// --- The analysis proper ----------------------------------------------------
+
+class Analysis {
+ public:
+  Analysis(const Program& program, const std::set<std::int32_t>& allowed_helpers,
+           const Analyzer::Options& options)
+      : program_(program), allowed_helpers_(allowed_helpers), options_(options) {}
+
+  AnalysisResult run() {
+    // Pass 0: the structural verifier.  Its single error gates everything
+    // else — without it the CFG is not well-defined.
+    if (auto err = Verifier::verify(program_, allowed_helpers_)) {
+      emit(Severity::kError, err->insn_index, -1, err->reason);
+      return finish();
+    }
+    cfg_ = Cfg::build(program_);
+
+    if (options_.warnings) {
+      for (std::size_t b = 0; b < cfg_->blocks().size(); ++b) {
+        if (!cfg_->reachable(b)) {
+          emit(Severity::kWarning, cfg_->blocks()[b].first, -1,
+               "unreachable code (basic block " + Cfg::label(b) + " is never executed)");
+        }
+      }
+    }
+
+    fixpoint();
+    report_pass();
+    for (const NaturalLoop& loop : cfg_->loops()) check_loop(loop);
+    for (const CfgEdge& e : cfg_->irreducible_edges()) {
+      emit(Severity::kError, cfg_->blocks()[e.from].last, -1,
+           "irreducible control flow: jump back into " + Cfg::label(e.to) +
+               " which does not dominate " + Cfg::label(e.from));
+    }
+    return finish();
+  }
+
+ private:
+  // ---- diagnostics ----
+  void emit(Severity sev, std::size_t insn, int reg, std::string reason) {
+    if (sev == Severity::kWarning && !options_.warnings) return;
+    diags_.push_back(Diagnostic{sev, insn, reg, std::move(reason)});
+  }
+
+  AnalysisResult finish() {
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.insn_index < b.insn_index;
+                     });
+    return AnalysisResult{std::move(diags_)};
+  }
+
+  // ---- main abstract interpretation ----
+
+  /// Reads a register for its value; reports (once per site, in the report
+  /// pass) when it may be uninitialized and recovers to an unknown scalar.
+  AbsVal read_reg(RegState& s, int reg, std::size_t insn, bool reporting) {
+    if (!s[reg].initialized()) {
+      if (reporting) {
+        emit(Severity::kError, insn, reg,
+             "read of uninitialized register r" + std::to_string(reg));
+      }
+      s[reg] = AbsVal::scalar(Interval::full());
+    }
+    return s[reg];
+  }
+
+  void check_stack_access(std::size_t insn, const AbsVal& base, std::int16_t off, int size,
+                          bool reporting) {
+    const std::int64_t lo = sat_add(base.range.lo, off);
+    const std::int64_t hi = sat_add(base.range.hi, off);
+    if (lo < -kStackSize || sat_add(hi, size) > 0) {
+      if (reporting) {
+        emit(Severity::kError, insn, -1,
+             "stack access out of bounds (bytes [" + std::to_string(lo) + ", " +
+                 std::to_string(sat_add(hi, size)) + ") relative to r10; the frame is [-" +
+                 std::to_string(kStackSize) + ", 0))");
+      }
+      return;
+    }
+    if (reporting && base.range.singleton() && size > 1 && (lo % size) != 0) {
+      emit(Severity::kWarning, insn, -1,
+           "misaligned stack access (offset " + std::to_string(lo) + " is not " +
+               std::to_string(size) + "-byte aligned)");
+    }
+  }
+
+  /// Dead-store bookkeeping, active only in the report pass: last unread
+  /// store per exact stack slot within one basic block.
+  struct PendingStore {
+    std::int64_t off = 0;
+    int size = 0;
+    std::size_t insn = 0;
+  };
+
+  void stores_clear(std::vector<PendingStore>* pending) {
+    if (pending != nullptr) pending->clear();
+  }
+
+  void stores_load(std::vector<PendingStore>* pending, std::int64_t off, int size) {
+    if (pending == nullptr) return;
+    std::erase_if(*pending, [&](const PendingStore& p) {
+      return off < p.off + p.size && p.off < off + size;
+    });
+  }
+
+  void stores_store(std::vector<PendingStore>* pending, std::int64_t off, int size,
+                    std::size_t insn) {
+    if (pending == nullptr) return;
+    for (const PendingStore& p : *pending) {
+      if (p.off == off && p.size == size) {
+        emit(Severity::kWarning, p.insn, -1,
+             "dead store to stack slot [r10" + std::to_string(off) +
+                 "] (overwritten at insn " + std::to_string(insn) +
+                 " with no intervening load)");
+      }
+    }
+    std::erase_if(*pending, [&](const PendingStore& p) {
+      return off < p.off + p.size && p.off < off + size;
+    });
+    pending->push_back({off, size, insn});
+  }
+
+  /// Transfer function for one instruction.  `pending` is non-null only in
+  /// the report pass (which also makes read_reg/check_stack_access emit).
+  void exec_insn(RegState& s, std::size_t i, std::vector<PendingStore>* pending) {
+    const bool reporting = pending != nullptr;
+    const auto& insns = program_.insns();
+    const Insn& insn = insns[i];
+    const std::uint8_t cls = insn.cls();
+
+    switch (cls) {
+      case kClsAlu:
+      case kClsAlu64:
+        exec_alu(s, i, insn, cls == kClsAlu64, reporting);
+        break;
+      case kClsLd: {  // lddw
+        const std::uint64_t imm64 =
+            static_cast<std::uint32_t>(insn.imm) |
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(insns[i + 1].imm)) << 32);
+        s[insn.dst] = imm64 <= static_cast<std::uint64_t>(kValMax)
+                          ? AbsVal::scalar(Interval::point(static_cast<std::int64_t>(imm64)))
+                          : AbsVal::scalar(Interval::full());
+        break;
+      }
+      case kClsLdx: {
+        const AbsVal base = read_reg(s, insn.src, i, reporting);
+        const int size = mem_size(insn.opcode);
+        if (base.kind == Kind::kStackPtr) {
+          check_stack_access(i, base, insn.offset, size, reporting);
+          if (base.range.singleton()) {
+            stores_load(pending, sat_add(base.range.lo, insn.offset), size);
+          } else {
+            stores_clear(pending);
+          }
+        } else {
+          // A load through an unknown pointer may read any region the memory
+          // model exposes — including the stack frame.
+          stores_clear(pending);
+        }
+        s[insn.dst] = AbsVal::scalar(load_range(size));
+        break;
+      }
+      case kClsSt:
+      case kClsStx: {
+        const AbsVal base = read_reg(s, insn.dst, i, reporting);
+        if (cls == kClsStx) (void)read_reg(s, insn.src, i, reporting);
+        const int size = mem_size(insn.opcode);
+        if (base.kind == Kind::kStackPtr) {
+          check_stack_access(i, base, insn.offset, size, reporting);
+          if (base.range.singleton()) {
+            stores_store(pending, sat_add(base.range.lo, insn.offset), size, i);
+          } else {
+            stores_clear(pending);
+          }
+        } else {
+          stores_clear(pending);
+        }
+        break;
+      }
+      case kClsJmp: {
+        const std::uint8_t op = insn.opcode & 0xf0;
+        if (op == kJmpCall) {
+          exec_call(s, i, insn, reporting);
+          stores_clear(pending);  // helpers may read the stack through passed pointers
+          break;
+        }
+        if (op == kJmpExit) {
+          if (reporting && !s[0].initialized()) {
+            emit(Severity::kError, i, 0, "r0 is not set before exit");
+          }
+          break;
+        }
+        if (op == kJmpJa) break;
+        (void)read_reg(s, insn.dst, i, reporting);
+        if (insn.opcode & kSrcX) (void)read_reg(s, insn.src, i, reporting);
+        break;
+      }
+      case kClsJmp32: {
+        (void)read_reg(s, insn.dst, i, reporting);
+        if (insn.opcode & kSrcX) (void)read_reg(s, insn.src, i, reporting);
+        break;
+      }
+      default:
+        break;  // pass 0 rejected unknown classes already
+    }
+  }
+
+  void exec_alu(RegState& s, std::size_t i, const Insn& insn, bool is64, bool reporting) {
+    const std::uint8_t op = insn.opcode & 0xf0;
+
+    if (op == kAluEnd) {
+      (void)read_reg(s, insn.dst, i, reporting);
+      Interval r = Interval::full();
+      if (insn.imm == 16) r = {0, 0xFFFF};
+      if (insn.imm == 32) r = {0, kU32Max};
+      s[insn.dst] = AbsVal::scalar(r);
+      return;
+    }
+    if (op == kAluNeg) {
+      const AbsVal v = read_reg(s, insn.dst, i, reporting);
+      Interval r = Interval::full();
+      if (is64 && v.kind == Kind::kScalar && !v.range.is_full()) {
+        r = Interval::point(0).sub(v.range);
+      }
+      if (!is64) r = {0, kU32Max};
+      s[insn.dst] = AbsVal::scalar(r);
+      return;
+    }
+    if (op == kAluMov) {
+      if ((insn.opcode & kSrcX) == 0) {
+        const std::int64_t v = is64 ? static_cast<std::int64_t>(insn.imm)
+                                    : static_cast<std::int64_t>(
+                                          static_cast<std::uint32_t>(insn.imm));
+        s[insn.dst] = AbsVal::scalar(Interval::point(v));
+        return;
+      }
+      const AbsVal v = read_reg(s, insn.src, i, reporting);
+      if (is64) {
+        s[insn.dst] = v;
+      } else if (v.kind == Kind::kScalar && v.range.lo >= 0 && v.range.hi <= kU32Max) {
+        s[insn.dst] = v;
+      } else {
+        s[insn.dst] = AbsVal::scalar({0, kU32Max});
+      }
+      return;
+    }
+
+    // Binary operations.
+    const AbsVal dst = read_reg(s, insn.dst, i, reporting);
+    AbsVal operand = AbsVal::scalar(Interval::point(insn.imm));
+    if (insn.opcode & kSrcX) operand = read_reg(s, insn.src, i, reporting);
+
+    if (!is64) {
+      // 32-bit ALU zero-extends; we only track that the result fits in u32.
+      s[insn.dst] = AbsVal::scalar({0, kU32Max});
+      return;
+    }
+
+    const bool dst_ptr = dst.kind == Kind::kStackPtr || dst.kind == Kind::kCtxPtr;
+    const bool opd_ptr = operand.kind == Kind::kStackPtr || operand.kind == Kind::kCtxPtr;
+
+    switch (op) {
+      case kAluAdd:
+        if (dst.kind == Kind::kStackPtr && operand.kind == Kind::kScalar) {
+          s[insn.dst] = AbsVal::stack(dst.range.add(operand.range));
+        } else if (dst.kind == Kind::kScalar && operand.kind == Kind::kStackPtr) {
+          s[insn.dst] = AbsVal::stack(operand.range.add(dst.range));
+        } else if (dst.kind == Kind::kCtxPtr || operand.kind == Kind::kCtxPtr) {
+          s[insn.dst] = AbsVal::ctx();
+        } else {
+          s[insn.dst] = AbsVal::scalar(dst.range.add(operand.range));
+        }
+        break;
+      case kAluSub:
+        if (dst.kind == Kind::kStackPtr && operand.kind == Kind::kScalar) {
+          s[insn.dst] = AbsVal::stack(dst.range.sub(operand.range));
+        } else if (dst.kind == Kind::kCtxPtr && operand.kind == Kind::kScalar) {
+          s[insn.dst] = AbsVal::ctx();
+        } else if (!dst_ptr && !opd_ptr) {
+          s[insn.dst] = AbsVal::scalar(dst.range.sub(operand.range));
+        } else {
+          s[insn.dst] = AbsVal::scalar(Interval::full());
+        }
+        break;
+      case kAluAnd:
+        if ((insn.opcode & kSrcX) == 0 && insn.imm >= 0) {
+          s[insn.dst] = AbsVal::scalar({0, insn.imm});
+        } else {
+          s[insn.dst] = AbsVal::scalar(Interval::full());
+        }
+        break;
+      case kAluLsh:
+        if ((insn.opcode & kSrcX) == 0 && dst.kind == Kind::kScalar && dst.range.lo >= 0 &&
+            dst.range.hi <= (kValMax >> insn.imm)) {
+          s[insn.dst] = AbsVal::scalar({dst.range.lo << insn.imm, dst.range.hi << insn.imm});
+        } else {
+          s[insn.dst] = AbsVal::scalar(Interval::full());
+        }
+        break;
+      case kAluRsh:
+        if ((insn.opcode & kSrcX) == 0 && insn.imm > 0) {
+          if (dst.kind == Kind::kScalar && dst.range.lo >= 0) {
+            s[insn.dst] = AbsVal::scalar({dst.range.lo >> insn.imm, dst.range.hi >> insn.imm});
+          } else {
+            // A u64 shifted right by >=1 fits in a non-negative int64.
+            s[insn.dst] = AbsVal::scalar(
+                {0, static_cast<std::int64_t>(~0ull >> insn.imm)});
+          }
+        } else if ((insn.opcode & kSrcX) == 0 && insn.imm == 0) {
+          s[insn.dst] = dst_ptr ? AbsVal::scalar(Interval::full()) : AbsVal::scalar(dst.range);
+        } else {
+          s[insn.dst] = AbsVal::scalar(Interval::full());
+        }
+        break;
+      case kAluDiv:
+        if ((insn.opcode & kSrcX) == 0 && insn.imm > 0 && dst.kind == Kind::kScalar &&
+            dst.range.lo >= 0) {
+          s[insn.dst] = AbsVal::scalar({dst.range.lo / insn.imm, dst.range.hi / insn.imm});
+        } else {
+          s[insn.dst] = AbsVal::scalar(Interval::full());
+        }
+        break;
+      case kAluMul:
+        if (dst.kind == Kind::kScalar && operand.kind == Kind::kScalar && dst.range.lo >= 0 &&
+            operand.range.lo >= 0 && dst.range.hi <= (1ll << 31) &&
+            operand.range.hi <= (1ll << 31)) {
+          s[insn.dst] =
+              AbsVal::scalar({dst.range.lo * operand.range.lo, dst.range.hi * operand.range.hi});
+        } else {
+          s[insn.dst] = AbsVal::scalar(Interval::full());
+        }
+        break;
+      default:  // or, xor, mod, arsh: tracked as unknown scalars
+        s[insn.dst] = AbsVal::scalar(Interval::full());
+        break;
+    }
+  }
+
+  void exec_call(RegState& s, std::size_t i, const Insn& insn, bool reporting) {
+    int arity = 0;
+    if (auto it = options_.helper_arity.find(insn.imm); it != options_.helper_arity.end()) {
+      arity = it->second;
+    }
+    for (int r = 1; r <= arity; ++r) {
+      if (reporting && !s[r].initialized()) {
+        emit(Severity::kError, i, r,
+             "helper " + std::to_string(insn.imm) + " called with uninitialized argument r" +
+                 std::to_string(r));
+      }
+    }
+    for (int r = 1; r <= 5; ++r) s[r] = AbsVal::uninit();  // caller-saved
+    s[0] = AbsVal::ctx();  // defined: value or host-checked pointer
+  }
+
+  void exec_block(RegState& s, std::size_t b, std::vector<PendingStore>* pending) {
+    const BasicBlock& bb = cfg_->blocks()[b];
+    for (std::size_t i = bb.first; i <= bb.last; ++i) {
+      if (cfg_->is_lddw_tail(i)) continue;
+      exec_insn(s, i, pending);
+    }
+  }
+
+  void fixpoint() {
+    const std::size_t nb = cfg_->blocks().size();
+    in_state_.assign(nb, RegState{});
+    has_in_.assign(nb, false);
+    std::vector<std::size_t> visits(nb, 0);
+    std::vector<bool> queued(nb, false);
+
+    in_state_[0] = entry_state();
+    has_in_[0] = true;
+    std::deque<std::size_t> work{0};
+    queued[0] = true;
+
+    while (!work.empty()) {
+      const std::size_t b = work.front();
+      work.pop_front();
+      queued[b] = false;
+      ++visits[b];
+
+      RegState out = in_state_[b];
+      exec_block(out, b, nullptr);
+
+      for (std::size_t succ : cfg_->blocks()[b].succs) {
+        RegState next;
+        if (!has_in_[succ]) {
+          next = out;
+        } else {
+          next = in_state_[succ];
+          for (int r = 0; r < kNumRegisters; ++r) next[r] = join(next[r], out[r]);
+          // Widen once a block has been revisited a few times: any bound
+          // still moving is snapped to the saturation point, guaranteeing
+          // termination without bounding precision-relevant constants.
+          if (visits[succ] > kWidenAfter) {
+            for (int r = 0; r < kNumRegisters; ++r) {
+              if (next[r].kind != in_state_[succ][r].kind) continue;
+              if (next[r].range.lo < in_state_[succ][r].range.lo) next[r].range.lo = kValMin;
+              if (next[r].range.hi > in_state_[succ][r].range.hi) next[r].range.hi = kValMax;
+            }
+          }
+        }
+        if (!has_in_[succ] || next != in_state_[succ]) {
+          in_state_[succ] = next;
+          has_in_[succ] = true;
+          if (!queued[succ]) {
+            work.push_back(succ);
+            queued[succ] = true;
+          }
+        }
+      }
+    }
+  }
+
+  /// Re-executes every reachable block once, from its fixpoint in-state, with
+  /// diagnostics enabled.  Each potential fault site reports exactly once.
+  void report_pass() {
+    for (std::size_t b = 0; b < cfg_->blocks().size(); ++b) {
+      if (!cfg_->reachable(b) || !has_in_[b]) continue;
+      RegState s = in_state_[b];
+      std::vector<PendingStore> pending;
+      exec_block(s, b, &pending);
+    }
+  }
+
+  // ---- loop trip-count induction check ----
+
+  void sym_exec_insn(SymState& s, std::size_t i) {
+    const auto& insns = program_.insns();
+    const Insn& insn = insns[i];
+    const std::uint8_t cls = insn.cls();
+    using K = SymVal::K;
+
+    auto set_val_full = [&](int reg) { s[reg] = SymVal::val(Interval::full()); };
+
+    switch (cls) {
+      case kClsAlu:
+      case kClsAlu64: {
+        const std::uint8_t op = insn.opcode & 0xf0;
+        const bool is64 = cls == kClsAlu64;
+        if (op == kAluMov) {
+          if ((insn.opcode & kSrcX) == 0) {
+            const std::int64_t v = is64 ? static_cast<std::int64_t>(insn.imm)
+                                        : static_cast<std::int64_t>(
+                                              static_cast<std::uint32_t>(insn.imm));
+            s[insn.dst] = SymVal::val(Interval::point(v));
+          } else if (is64) {
+            s[insn.dst] = s[insn.src];
+          } else if (s[insn.src].k == K::kVal && s[insn.src].delta.lo >= 0 &&
+                     s[insn.src].delta.hi <= kU32Max) {
+            s[insn.dst] = s[insn.src];
+          } else {
+            s[insn.dst] = SymVal::val({0, kU32Max});
+          }
+          return;
+        }
+        if ((op == kAluAdd || op == kAluSub) && is64) {
+          SymVal operand = SymVal::val(Interval::point(insn.imm));
+          if (insn.opcode & kSrcX) operand = s[insn.src];
+          const SymVal dst = s[insn.dst];
+          if (operand.k == K::kVal) {
+            if (dst.k == K::kAnchor) {
+              s[insn.dst] = SymVal::anchor(
+                  dst.base,
+                  op == kAluAdd ? dst.delta.add(operand.delta) : dst.delta.sub(operand.delta));
+              return;
+            }
+            if (dst.k == K::kVal) {
+              s[insn.dst] = SymVal::val(op == kAluAdd ? dst.delta.add(operand.delta)
+                                                      : dst.delta.sub(operand.delta));
+              return;
+            }
+          } else if (operand.k == K::kAnchor && dst.k == K::kVal && op == kAluAdd) {
+            s[insn.dst] = SymVal::anchor(operand.base, operand.delta.add(dst.delta));
+            return;
+          }
+          s[insn.dst] = SymVal::top();
+          return;
+        }
+        if (op == kAluAnd && is64 && (insn.opcode & kSrcX) == 0 && insn.imm >= 0) {
+          s[insn.dst] = SymVal::val({0, insn.imm});
+          return;
+        }
+        if (op == kAluLsh && is64 && (insn.opcode & kSrcX) == 0 &&
+            s[insn.dst].k == K::kVal && s[insn.dst].delta.lo >= 0 &&
+            s[insn.dst].delta.hi <= (kValMax >> insn.imm)) {
+          s[insn.dst] = SymVal::val(
+              {s[insn.dst].delta.lo << insn.imm, s[insn.dst].delta.hi << insn.imm});
+          return;
+        }
+        // Everything else produces an unknown per-iteration value.
+        set_val_full(insn.dst);
+        return;
+      }
+      case kClsLd: {
+        const std::uint64_t imm64 =
+              static_cast<std::uint32_t>(insn.imm) |
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(insns[i + 1].imm)) << 32);
+        s[insn.dst] = imm64 <= static_cast<std::uint64_t>(kValMax)
+                          ? SymVal::val(Interval::point(static_cast<std::int64_t>(imm64)))
+                          : SymVal::val(Interval::full());
+        return;
+      }
+      case kClsLdx: {
+        const int size = mem_size(insn.opcode);
+        s[insn.dst] = size == 8 ? SymVal::val(Interval::full()) : SymVal::val(load_range(size));
+        return;
+      }
+      case kClsSt:
+      case kClsStx:
+        return;
+      case kClsJmp: {
+        const std::uint8_t op = insn.opcode & 0xf0;
+        if (op == kJmpCall) {
+          for (int r = 1; r <= 5; ++r) s[r] = SymVal::top();
+          s[0] = SymVal::val(Interval::full());
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  SymState sym_exec_block(const SymState& in, std::size_t b, bool stop_before_terminator) {
+    SymState s = in;
+    const BasicBlock& bb = cfg_->blocks()[b];
+    const std::size_t end = stop_before_terminator ? bb.last : bb.last + 1;
+    for (std::size_t i = bb.first; i < end; ++i) {
+      if (cfg_->is_lddw_tail(i)) continue;
+      sym_exec_insn(s, i);
+    }
+    return s;
+  }
+
+  void check_loop(const NaturalLoop& loop) {
+    const auto& insns = program_.insns();
+    const auto& blocks = cfg_->blocks();
+    const std::size_t report_at = blocks[loop.back_edge_sources.front()].last;
+
+    // Which registers are written anywhere in the loop (for invariance).
+    std::array<bool, kNumRegisters> written{};
+    for (std::size_t b : loop.blocks) {
+      for (std::size_t i = blocks[b].first; i <= blocks[b].last; ++i) {
+        if (cfg_->is_lddw_tail(i)) continue;
+        const Insn& insn = insns[i];
+        const std::uint8_t cls = insn.cls();
+        if (cls == kClsAlu || cls == kClsAlu64 || cls == kClsLdx || cls == kClsLd) {
+          written[insn.dst] = true;
+        } else if (cls == kClsJmp && (insn.opcode & 0xf0) == kJmpCall) {
+          for (int r = 0; r <= 5; ++r) written[r] = true;
+        }
+      }
+    }
+
+    // Exit edges: loop block -> non-loop block.  A loop no path leaves is
+    // unconditionally divergent.
+    struct ExitEdge {
+      std::size_t block;
+      bool exit_on_true;  // the branch-taken successor leaves the loop
+    };
+    std::vector<ExitEdge> exits;
+    bool has_any_exit = false;
+    for (std::size_t b : loop.blocks) {
+      const Insn& term = insns[blocks[b].last];
+      const bool cond = term.cls() == kClsJmp && cmp_of(term.opcode & 0xf0) != Cmp::kNone;
+      for (std::size_t succ : blocks[b].succs) {
+        if (loop.contains(succ)) continue;
+        has_any_exit = true;
+        if (!cond) continue;
+        const auto target = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(blocks[b].last) + 1 + term.offset);
+        exits.push_back({b, cfg_->block_of(target) == succ});
+      }
+    }
+    if (!has_any_exit) {
+      emit(Severity::kError, report_at, -1,
+           "unbounded loop: no path leaves the loop headed by " + Cfg::label(loop.header));
+      return;
+    }
+
+    // Symbolic fixpoint over the loop body, back-edges cut at the header.
+    std::map<std::size_t, SymState> in_sym;
+    std::map<std::size_t, std::size_t> visits;
+    SymState seed;
+    for (int r = 0; r < kNumRegisters; ++r) {
+      const bool init =
+          has_in_[loop.header] && in_state_[loop.header][r].initialized();
+      seed[r] = init ? SymVal::anchor(r, Interval::point(0)) : SymVal::top();
+    }
+    in_sym[loop.header] = seed;
+    std::deque<std::size_t> work{loop.header};
+    while (!work.empty()) {
+      const std::size_t b = work.front();
+      work.pop_front();
+      if (++visits[b] > kLoopFixpointCap) continue;
+      const SymState out = sym_exec_block(in_sym[b], b, /*stop_before_terminator=*/false);
+      for (std::size_t succ : cfg_->blocks()[b].succs) {
+        if (!loop.contains(succ) || succ == loop.header) continue;
+        auto it = in_sym.find(succ);
+        if (it == in_sym.end()) {
+          in_sym[succ] = out;
+          work.push_back(succ);
+          continue;
+        }
+        SymState next = it->second;
+        bool changed = false;
+        for (int r = 0; r < kNumRegisters; ++r) {
+          SymVal j = sym_join(next[r], out[r]);
+          if (visits[succ] > kWidenAfter && j.k != SymVal::K::kTop) {
+            if (j.delta.lo < next[r].delta.lo) j.delta.lo = kValMin;
+            if (j.delta.hi > next[r].delta.hi) j.delta.hi = kValMax;
+          }
+          if (!(j == next[r])) {
+            next[r] = j;
+            changed = true;
+          }
+        }
+        if (changed) {
+          it->second = next;
+          work.push_back(succ);
+        }
+      }
+    }
+
+    // Induction candidates: anchored on themselves with strict progress at
+    // every back-edge.
+    std::array<Interval, kNumRegisters> step;
+    std::array<bool, kNumRegisters> increasing{};
+    std::array<bool, kNumRegisters> decreasing{};
+    for (int r = 0; r < kNumRegisters; ++r) {
+      increasing[r] = decreasing[r] = true;
+      step[r] = {kValMax, kValMin};  // inverted-empty: hull() adopts the first delta
+    }
+    for (std::size_t u : loop.back_edge_sources) {
+      auto it = in_sym.find(u);
+      if (it == in_sym.end()) {  // back-edge source unreached in the sym walk
+        increasing.fill(false);
+        decreasing.fill(false);
+        break;
+      }
+      const SymState out = sym_exec_block(it->second, u, /*stop_before_terminator=*/false);
+      for (int r = 0; r < kNumRegisters; ++r) {
+        const SymVal& v = out[r];
+        const bool anchored = v.k == SymVal::K::kAnchor && v.base == r;
+        if (!anchored || v.delta.lo < 1) increasing[r] = false;
+        if (!anchored || v.delta.hi > -1) decreasing[r] = false;
+        step[r] = anchored ? step[r].hull(v.delta) : Interval::full();
+      }
+    }
+
+    auto invariant = [&](const SymVal& v) {
+      if (v.k == SymVal::K::kVal) return v.delta.singleton();
+      if (v.k == SymVal::K::kAnchor) return !written[v.base] && v.delta.singleton();
+      return false;
+    };
+
+    // An exit test bounds the loop when it dominates every back-edge, one
+    // operand tracks a monotone counter and the other is loop-invariant, and
+    // the comparison direction matches the counter's direction.
+    auto compatible = [&](const ExitEdge& e) {
+      for (std::size_t u : loop.back_edge_sources) {
+        if (!cfg_->dominates(e.block, u)) return false;
+      }
+      const Insn& term = insns[blocks[e.block].last];
+      if (term.cls() != kClsJmp) return false;  // 32-bit compares not accepted
+      Cmp cmp = cmp_of(term.opcode & 0xf0);
+      if (cmp == Cmp::kNone) return false;
+      if (!e.exit_on_true) cmp = invert(cmp);
+      auto it = in_sym.find(e.block);
+      if (it == in_sym.end()) return false;
+      const SymState at = sym_exec_block(it->second, e.block, /*stop_before_terminator=*/true);
+      const SymVal dst = at[term.dst];
+      const SymVal src = (term.opcode & kSrcX) ? at[term.src]
+                                               : SymVal::val(Interval::point(term.imm));
+
+      auto matches = [&](const SymVal& counter_side, const SymVal& bound_side,
+                         bool counter_is_dst) {
+        if (counter_side.k != SymVal::K::kAnchor) return false;
+        const int r = counter_side.base;
+        if (r < 0 || r >= kNumRegisters) return false;
+        if (!increasing[r] && !decreasing[r]) return false;
+        if (!invariant(bound_side)) return false;
+        const bool step_one = step[r].singleton() &&
+                              (step[r].lo == 1 || step[r].lo == -1);
+        if (cmp == Cmp::kNe) return true;  // strict progress leaves equality in <=2 steps
+        if (cmp == Cmp::kEq) return step_one;  // unit step sweeps every value (mod 2^64)
+        const bool counter_greater_exits =
+            cmp == Cmp::kGt || cmp == Cmp::kGe || cmp == Cmp::kSgt || cmp == Cmp::kSge;
+        const bool counter_less_exits =
+            cmp == Cmp::kLt || cmp == Cmp::kLe || cmp == Cmp::kSlt || cmp == Cmp::kSle;
+        // With the counter on the src side, "dst OP src" reads backwards.
+        const bool exits_when_counter_high = counter_is_dst ? counter_greater_exits
+                                                            : counter_less_exits;
+        const bool exits_when_counter_low = counter_is_dst ? counter_less_exits
+                                                           : counter_greater_exits;
+        return (increasing[r] && exits_when_counter_high) ||
+               (decreasing[r] && exits_when_counter_low);
+      };
+      return matches(dst, src, /*counter_is_dst=*/true) ||
+             matches(src, dst, /*counter_is_dst=*/false);
+    };
+
+    for (const ExitEdge& e : exits) {
+      if (compatible(e)) return;
+    }
+    emit(Severity::kError, report_at, -1,
+         "cannot bound loop trip count (header " + Cfg::label(loop.header) +
+             "): no monotone induction register with a dominating, loop-invariant exit test");
+  }
+
+  static constexpr std::size_t kWidenAfter = 4;
+  static constexpr std::size_t kLoopFixpointCap = 64;
+
+  const Program& program_;
+  const std::set<std::int32_t>& allowed_helpers_;
+  const Analyzer::Options& options_;
+  std::optional<Cfg> cfg_;
+  std::vector<RegState> in_state_;
+  std::vector<bool> has_in_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::string out = ebpf::to_string(severity);
+  out += " at insn ";
+  out += std::to_string(insn_index);
+  if (reg >= 0) {
+    out += " (r";
+    out += std::to_string(reg);
+    out += ")";
+  }
+  out += ": ";
+  out += reason;
+  return out;
+}
+
+bool AnalysisResult::ok() const noexcept { return error_count() == 0; }
+
+std::size_t AnalysisResult::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) n += d.severity == Severity::kError;
+  return n;
+}
+
+std::size_t AnalysisResult::warning_count() const noexcept {
+  return diagnostics.size() - error_count();
+}
+
+const Diagnostic* AnalysisResult::first_error() const noexcept {
+  for (const auto& d : diagnostics) {
+    if (d.severity == Severity::kError) return &d;
+  }
+  return nullptr;
+}
+
+AnalysisResult Analyzer::analyze(const Program& program,
+                                 const std::set<std::int32_t>& allowed_helpers,
+                                 const Options& options) {
+  Analysis analysis(program, allowed_helpers, options);
+  return analysis.run();
+}
+
+AnalysisResult Analyzer::analyze(const Program& program,
+                                 const std::set<std::int32_t>& allowed_helpers) {
+  return analyze(program, allowed_helpers, Options());
+}
+
+}  // namespace xb::ebpf

@@ -1,0 +1,83 @@
+// Abstract-interpretation analyzer for eBPF programs — verifier pass 1+.
+//
+// The structural `Verifier` (pass 0) guarantees the instruction stream is
+// well-formed; this analyzer proves value-level safety properties before a
+// program may attach:
+//
+//   * every register is written before it is read,
+//   * r10-relative memory accesses stay inside the 512-byte stack frame
+//     (misaligned accesses are flagged as warnings — packed wire buffers
+//     are legitimate),
+//   * helper calls receive initialized arguments, clobber r1-r5 and
+//     define r0 (per the eBPF calling convention),
+//   * r0 carries a value at every `exit`,
+//   * every loop has a monotone induction register and a dominating exit
+//     test, so its trip count is bounded.
+//
+// Findings are structured diagnostics with a severity: errors make the
+// program unloadable, warnings (unreachable code, dead stores, misaligned
+// stack access) are reported but do not block attachment.  Accesses through
+// helper-returned pointers are deferred to the interpreter's memory model,
+// which stays in place as the runtime backstop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.hpp"
+
+namespace xb::ebpf {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+[[nodiscard]] constexpr const char* to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+/// One analyzer finding, anchored to an instruction.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::size_t insn_index = 0;
+  int reg = -1;  // register involved, -1 when not register-specific
+  std::string reason;
+
+  /// e.g. "error at insn 5 (r3): read of uninitialized register"
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct AnalysisResult {
+  std::vector<Diagnostic> diagnostics;  // sorted by instruction index
+
+  [[nodiscard]] bool ok() const noexcept;  // true when no error-severity finding
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::size_t warning_count() const noexcept;
+  [[nodiscard]] const Diagnostic* first_error() const noexcept;
+};
+
+class Analyzer {
+ public:
+  struct Options {
+    /// Argument count per helper id: r1..r<arity> must hold initialized
+    /// values at the call site.  Unknown ids default to arity 0 (no
+    /// argument requirement) — conservative towards acceptance, since the
+    /// helper whitelist was already enforced by pass 0.
+    std::map<std::int32_t, int> helper_arity;
+    /// When false, warning-severity findings are suppressed (errors are
+    /// always reported).
+    bool warnings = true;
+  };
+
+  /// Runs the full pipeline: structural pass 0, CFG construction, abstract
+  /// interpretation, and the loop-bound induction check.  Never throws on
+  /// bad bytecode — badness comes back as diagnostics.
+  [[nodiscard]] static AnalysisResult analyze(const Program& program,
+                                              const std::set<std::int32_t>& allowed_helpers,
+                                              const Options& options);
+  [[nodiscard]] static AnalysisResult analyze(const Program& program,
+                                              const std::set<std::int32_t>& allowed_helpers);
+};
+
+}  // namespace xb::ebpf

@@ -1,0 +1,236 @@
+#include "ebpf/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ebpf/opcodes.hpp"
+
+namespace xb::ebpf {
+
+namespace {
+
+bool is_jump_class(const Insn& insn) {
+  const std::uint8_t cls = insn.cls();
+  return cls == kClsJmp || cls == kClsJmp32;
+}
+
+/// True when the instruction transfers control (ends a basic block).
+bool is_terminator(const Insn& insn) {
+  if (!is_jump_class(insn)) return false;
+  const std::uint8_t op = insn.opcode & 0xf0;
+  return op != kJmpCall;  // calls fall through to the next instruction
+}
+
+bool is_exit(const Insn& insn) {
+  return insn.cls() == kClsJmp && (insn.opcode & 0xf0) == kJmpExit;
+}
+
+bool is_unconditional(const Insn& insn) {
+  return insn.cls() == kClsJmp && (insn.opcode & 0xf0) == kJmpJa;
+}
+
+}  // namespace
+
+bool NaturalLoop::contains(std::size_t block) const {
+  return std::binary_search(blocks.begin(), blocks.end(), block);
+}
+
+std::string Cfg::label(std::size_t block) { return "L" + std::to_string(block); }
+
+Cfg Cfg::build(const Program& program) {
+  Cfg cfg;
+  const auto& insns = program.insns();
+  const std::size_t n = insns.size();
+
+  cfg.lddw_tail_.assign(n, false);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (!cfg.lddw_tail_[i] && insns[i].opcode == kOpLddw) cfg.lddw_tail_[i + 1] = true;
+  }
+
+  // Leaders: instruction 0, every jump target, and every instruction after a
+  // terminator.  The verifier guarantees targets never hit an lddw tail.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cfg.lddw_tail_[i]) continue;
+    const Insn& insn = insns[i];
+    if (is_terminator(insn)) {
+      if (!is_exit(insn)) {
+        const auto target = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(i) + 1 + insn.offset);
+        leader[target] = true;
+      }
+      if (i + 1 < n) leader[i + 1] = true;
+    }
+  }
+
+  // Carve blocks between leaders; an lddw tail never starts a block.
+  cfg.block_of_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader[i] && !cfg.lddw_tail_[i]) {
+      BasicBlock bb;
+      bb.first = i;
+      cfg.blocks_.push_back(bb);
+    }
+    cfg.block_of_[i] = cfg.blocks_.size() - 1;
+    cfg.blocks_.back().last = i;
+  }
+
+  // Edges from each block's final instruction.
+  for (std::size_t b = 0; b < cfg.blocks_.size(); ++b) {
+    BasicBlock& bb = cfg.blocks_[b];
+    const Insn& term = insns[bb.last];
+    auto add_edge = [&](std::size_t to) {
+      bb.succs.push_back(to);
+      cfg.blocks_[to].preds.push_back(b);
+    };
+    if (cfg.lddw_tail_[bb.last] || !is_terminator(term)) {
+      // Block ends because the next instruction is a jump target.
+      if (bb.last + 1 < n) add_edge(cfg.block_of_[bb.last + 1]);
+      continue;
+    }
+    if (is_exit(term)) continue;
+    const auto target = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(bb.last) + 1 + term.offset);
+    add_edge(cfg.block_of_[target]);
+    if (!is_unconditional(term) && bb.last + 1 < n) add_edge(cfg.block_of_[bb.last + 1]);
+  }
+
+  cfg.compute_reachability();
+  cfg.compute_dominators();
+  cfg.classify_edges();
+  cfg.build_loops();
+  return cfg;
+}
+
+void Cfg::compute_reachability() {
+  reachable_.assign(blocks_.size(), false);
+  std::vector<std::size_t> stack{0};
+  reachable_[0] = true;
+  while (!stack.empty()) {
+    const std::size_t b = stack.back();
+    stack.pop_back();
+    for (std::size_t s : blocks_[b].succs) {
+      if (!reachable_[s]) {
+        reachable_[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+}
+
+void Cfg::compute_dominators() {
+  const std::size_t nb = blocks_.size();
+  const std::size_t words = (nb + 63) / 64;
+
+  // Reverse postorder over reachable blocks (iterative DFS with an explicit
+  // "children done" marker).
+  std::vector<std::size_t> postorder;
+  postorder.reserve(nb);
+  {
+    std::vector<std::uint8_t> state(nb, 0);  // 0=unseen 1=open 2=closed
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 0}};
+    state[0] = 1;
+    while (!stack.empty()) {
+      auto& [b, next] = stack.back();
+      if (next < blocks_[b].succs.size()) {
+        const std::size_t s = blocks_[b].succs[next++];
+        if (state[s] == 0) {
+          state[s] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        state[b] = 2;
+        postorder.push_back(b);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<std::size_t> rpo(postorder.rbegin(), postorder.rend());
+  rpo_index_.assign(nb, nb);  // nb == "unreachable"
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index_[rpo[i]] = i;
+
+  // Iterative bit-set dataflow: dom(entry) = {entry};
+  // dom(b) = {b} ∪ ⋂ dom(reachable preds).
+  dom_.assign(nb, std::vector<std::uint64_t>(words, ~0ull));
+  dom_[0].assign(words, 0);
+  dom_[0][0] = 1;
+  bool changed = true;
+  std::vector<std::uint64_t> tmp(words);
+  while (changed) {
+    changed = false;
+    for (std::size_t b : rpo) {
+      if (b == 0) continue;
+      std::fill(tmp.begin(), tmp.end(), ~0ull);
+      for (std::size_t p : blocks_[b].preds) {
+        if (!reachable_[p]) continue;
+        for (std::size_t w = 0; w < words; ++w) tmp[w] &= dom_[p][w];
+      }
+      tmp[b / 64] |= (1ull << (b % 64));
+      if (tmp != dom_[b]) {
+        dom_[b] = tmp;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::dominates(std::size_t a, std::size_t b) const {
+  return (dom_[b][a / 64] >> (a % 64)) & 1;
+}
+
+void Cfg::classify_edges() {
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (!reachable_[b]) continue;
+    for (std::size_t s : blocks_[b].succs) {
+      if (dominates(s, b)) {
+        back_edges_.push_back({b, s});
+      } else if (rpo_index_[s] <= rpo_index_[b]) {
+        // Retreating but not dominated: a cycle entered from more than one
+        // place.  The loop analyzer cannot reason about these.
+        irreducible_edges_.push_back({b, s});
+      }
+    }
+  }
+}
+
+void Cfg::build_loops() {
+  std::map<std::size_t, NaturalLoop> by_header;
+  for (const CfgEdge& e : back_edges_) {
+    NaturalLoop& loop = by_header[e.to];
+    loop.header = e.to;
+    loop.back_edge_sources.push_back(e.from);
+    // Natural loop body: header plus everything that reaches the back-edge
+    // source without passing through the header.
+    std::vector<bool> in(blocks_.size(), false);
+    in[e.to] = true;
+    std::vector<std::size_t> stack;
+    if (!in[e.from]) {
+      in[e.from] = true;
+      stack.push_back(e.from);
+    }
+    while (!stack.empty()) {
+      const std::size_t b = stack.back();
+      stack.pop_back();
+      for (std::size_t p : blocks_[b].preds) {
+        if (!reachable_[p] || in[p]) continue;
+        in[p] = true;
+        stack.push_back(p);
+      }
+    }
+    for (std::size_t b = 0; b < in.size(); ++b) {
+      if (in[b]) loop.blocks.push_back(b);
+    }
+  }
+  for (auto& [header, loop] : by_header) {
+    std::sort(loop.blocks.begin(), loop.blocks.end());
+    loop.blocks.erase(std::unique(loop.blocks.begin(), loop.blocks.end()), loop.blocks.end());
+    std::sort(loop.back_edge_sources.begin(), loop.back_edge_sources.end());
+    loop.back_edge_sources.erase(
+        std::unique(loop.back_edge_sources.begin(), loop.back_edge_sources.end()),
+        loop.back_edge_sources.end());
+    loops_.push_back(std::move(loop));
+  }
+}
+
+}  // namespace xb::ebpf

@@ -1,0 +1,106 @@
+// Control-flow graph over an eBPF instruction stream.
+//
+// The CFG is the substrate for every analysis pass beyond the structural
+// verifier: it partitions a program into basic blocks, computes the edge
+// relation and reachability from the entry block, derives dominators, and
+// classifies back-edges (loops).  Natural loops that share a header are
+// merged, matching the classic dragon-book treatment, so the analyzer can
+// reason about one loop body per header regardless of how many `continue`
+// paths the bytecode grew.
+//
+// Building a Cfg assumes the program already passed `Verifier::verify`
+// (pass 0): every jump target is in range, no branch lands in the second
+// slot of an `lddw`, and the final instruction terminates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.hpp"
+
+namespace xb::ebpf {
+
+/// Half-open instruction range [first, last] where `last` is the index of the
+/// block's terminator (the final instruction of the block, inclusive).
+struct BasicBlock {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::vector<std::size_t> succs;  // successor block indices
+  std::vector<std::size_t> preds;  // predecessor block indices
+};
+
+struct CfgEdge {
+  std::size_t from = 0;  // block index
+  std::size_t to = 0;    // block index
+
+  friend bool operator==(const CfgEdge&, const CfgEdge&) = default;
+};
+
+/// A merged natural loop: all back-edges targeting `header` contribute their
+/// natural-loop bodies, unioned.
+struct NaturalLoop {
+  std::size_t header = 0;                      // block index
+  std::vector<std::size_t> blocks;             // sorted, includes header
+  std::vector<std::size_t> back_edge_sources;  // blocks with an edge to header
+
+  [[nodiscard]] bool contains(std::size_t block) const;
+};
+
+class Cfg {
+ public:
+  /// Requires a structurally-verified program (see file comment).
+  [[nodiscard]] static Cfg build(const Program& program);
+
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const noexcept { return blocks_; }
+
+  /// Block index containing instruction `insn` (lddw tails map to the block
+  /// of their first slot).
+  [[nodiscard]] std::size_t block_of(std::size_t insn) const { return block_of_[insn]; }
+
+  /// True for the second slot of an `lddw`.
+  [[nodiscard]] bool is_lddw_tail(std::size_t insn) const { return lddw_tail_[insn]; }
+
+  /// True when `block` is reachable from the entry block.
+  [[nodiscard]] bool reachable(std::size_t block) const { return reachable_[block]; }
+
+  /// True when `a` dominates `b` (every path from entry to `b` passes through
+  /// `a`).  Both must be reachable; a block dominates itself.
+  [[nodiscard]] bool dominates(std::size_t a, std::size_t b) const;
+
+  /// Edges u->h where h dominates u: each one closes a natural loop.
+  [[nodiscard]] const std::vector<CfgEdge>& back_edges() const noexcept { return back_edges_; }
+
+  /// Retreating edges whose target does NOT dominate the source: the loop has
+  /// more than one entry (irreducible control flow).
+  [[nodiscard]] const std::vector<CfgEdge>& irreducible_edges() const noexcept {
+    return irreducible_edges_;
+  }
+
+  /// One entry per distinct loop header, back-edges merged.
+  [[nodiscard]] const std::vector<NaturalLoop>& loops() const noexcept { return loops_; }
+
+  /// Display label for a block, e.g. "L3".
+  [[nodiscard]] static std::string label(std::size_t block);
+
+ private:
+  Cfg() = default;
+
+  void compute_reachability();
+  void compute_dominators();
+  void classify_edges();
+  void build_loops();
+
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::size_t> block_of_;
+  std::vector<bool> lddw_tail_;
+  std::vector<bool> reachable_;
+  // Dominator sets as bitsets: dom_[b] has bit a set iff a dominates b.
+  std::vector<std::vector<std::uint64_t>> dom_;
+  std::vector<std::size_t> rpo_index_;  // reverse-postorder position per block
+  std::vector<CfgEdge> back_edges_;
+  std::vector<CfgEdge> irreducible_edges_;
+  std::vector<NaturalLoop> loops_;
+};
+
+}  // namespace xb::ebpf

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "ebpf/cfg.hpp"
 #include "ebpf/opcodes.hpp"
 
 namespace xb::ebpf {
@@ -138,6 +139,41 @@ std::string disassemble(const Program& program) {
   for (std::size_t i = 0; i < insns.size(); ++i) {
     os << i << ": " << disassemble_insn(insns[i], tail) << "\n";
     tail = !tail && insns[i].opcode == kOpLddw;
+  }
+  return os.str();
+}
+
+std::string jump_annotation(const Program& program, const Cfg& cfg, std::size_t index) {
+  if (cfg.is_lddw_tail(index)) return {};
+  const Insn& insn = program.insns()[index];
+  const std::uint8_t cls = insn.cls();
+  if (cls != kClsJmp && cls != kClsJmp32) return {};
+  const std::uint8_t op = insn.opcode & 0xf0;
+  if (op == kJmpCall || op == kJmpExit) return {};
+  const auto target =
+      static_cast<std::size_t>(static_cast<std::ptrdiff_t>(index) + 1 + insn.offset);
+  std::string out = "; -> " + Cfg::label(cfg.block_of(target));
+  const bool conditional = !(cls == kClsJmp && op == kJmpJa);
+  if (conditional && index + 1 < program.insns().size()) {
+    out += " else " + Cfg::label(cfg.block_of(index + 1));
+  }
+  return out;
+}
+
+std::string disassemble_with_cfg(const Program& program, const Cfg& cfg) {
+  std::ostringstream os;
+  const auto& insns = program.insns();
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    os << Cfg::label(b) << ":";
+    if (!cfg.reachable(b)) os << "  ; unreachable";
+    os << "\n";
+    const BasicBlock& bb = cfg.blocks()[b];
+    for (std::size_t i = bb.first; i <= bb.last; ++i) {
+      os << "  " << i << ": " << disassemble_insn(insns[i], cfg.is_lddw_tail(i));
+      const std::string annot = jump_annotation(program, cfg, i);
+      if (!annot.empty()) os << "  " << annot;
+      os << "\n";
+    }
   }
   return os.str();
 }

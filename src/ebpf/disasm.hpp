@@ -17,4 +17,15 @@ std::string disassemble(const Program& program);
 /// Single-instruction form (the `next` slot of lddw renders as "lddw-hi").
 std::string disassemble_insn(const Insn& insn, bool lddw_tail);
 
+class Cfg;
+
+/// CFG-annotated listing: a basic-block label line ("L2:") opens each block
+/// and branch lines carry their target blocks ("; -> L4" for `ja`,
+/// "; -> L4 else L3" for conditional jumps).
+std::string disassemble_with_cfg(const Program& program, const Cfg& cfg);
+
+/// The annotation suffix for the instruction at `index`; empty for
+/// non-branch instructions.
+std::string jump_annotation(const Program& program, const Cfg& cfg, std::size_t index);
+
 }  // namespace xb::ebpf

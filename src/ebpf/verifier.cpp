@@ -8,12 +8,16 @@ namespace xb::ebpf {
 
 namespace {
 
-bool valid_alu_op(std::uint8_t op) {
+bool valid_alu_op(std::uint8_t op, std::uint8_t cls) {
   switch (op) {
     case kAluAdd: case kAluSub: case kAluMul: case kAluDiv: case kAluOr:
     case kAluAnd: case kAluLsh: case kAluRsh: case kAluNeg: case kAluMod:
-    case kAluXor: case kAluMov: case kAluArsh: case kAluEnd:
+    case kAluXor: case kAluMov: case kAluArsh:
       return true;
+    case kAluEnd:
+      // Byte swap is encoded only in the 32-bit ALU class; 0xd7/0xdf
+      // (ALU64|END) are not instructions in this ISA subset.
+      return cls == kClsAlu;
     default:
       return false;
   }
@@ -64,7 +68,10 @@ std::optional<VerifyError> Verifier::verify(const Program& program,
       case kClsAlu:
       case kClsAlu64: {
         const std::uint8_t op = insn.opcode & 0xf0;
-        if (!valid_alu_op(op)) return VerifyError{i, "unknown ALU operation"};
+        if (op == kAluEnd && cls == kClsAlu64) {
+          return VerifyError{i, "byte swap is only valid in the 32-bit ALU class"};
+        }
+        if (!valid_alu_op(op, cls)) return VerifyError{i, "unknown ALU operation"};
         if (insn.dst == kFramePointer) return VerifyError{i, "write to frame pointer r10"};
         if ((op == kAluDiv || op == kAluMod) && (insn.opcode & kSrcX) == 0 && insn.imm == 0) {
           return VerifyError{i, "division by zero immediate"};
@@ -119,6 +126,9 @@ std::optional<VerifyError> Verifier::verify(const Program& program,
       }
       case kClsJmp32: {
         const std::uint8_t op = insn.opcode & 0xf0;
+        if (op == kJmpJa) {
+          return VerifyError{i, "unconditional jump has no 32-bit form"};
+        }
         if (!valid_jmp_op(op) || op == kJmpCall || op == kJmpExit) {
           return VerifyError{i, "unsupported JMP32 operation"};
         }

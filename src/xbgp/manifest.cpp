@@ -30,6 +30,13 @@ const ebpf::Program* ProgramRegistry::find(const std::string& name) const {
   return it == programs_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string> ProgramRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(programs_.size());
+  for (const auto& [name, program] : programs_) out.push_back(name);
+  return out;
+}
+
 namespace {
 struct HelperName {
   const char* name;
@@ -65,6 +72,34 @@ constexpr std::array<HelperName, 27> kHelperNames{{
     {"get_attr_alt", helper::kGetAttrAlt},
 }};
 }  // namespace
+
+const std::map<std::int32_t, int>& helper_arity_table() {
+  // Mirrors the signatures documented in api.hpp; trailing unused argument
+  // slots are not counted.
+  static const std::map<std::int32_t, int> kArity{
+      {helper::kNext, 0},          {helper::kGetArg, 1},
+      {helper::kGetArgLen, 1},     {helper::kGetPeerInfo, 0},
+      {helper::kGetSrcPeerInfo, 0},{helper::kGetAttr, 1},
+      {helper::kSetAttr, 4},       {helper::kAddAttr, 4},
+      {helper::kGetNexthop, 0},    {helper::kGetXtra, 2},
+      {helper::kGetXtraLen, 2},    {helper::kWriteBuf, 2},
+      {helper::kCtxMalloc, 1},     {helper::kShmNew, 2},
+      {helper::kShmGet, 1},        {helper::kMapUpdate, 4},
+      {helper::kMapLookup, 3},     {helper::kPrint, 2},
+      {helper::kMemcpy, 3},        {helper::kRibAddRoute, 2},
+      {helper::kRibLookup, 1},     {helper::kSetRouteMeta, 1},
+      {helper::kGetRouteMeta, 0},  {helper::kHtonl, 1},
+      {helper::kNtohl, 1},         {helper::kSqrtU64, 1},
+      {helper::kGetAttrAlt, 1},
+  };
+  return kArity;
+}
+
+int helper_arity_by_id(std::int32_t id) {
+  const auto& table = helper_arity_table();
+  auto it = table.find(id);
+  return it == table.end() ? 0 : it->second;
+}
 
 std::int32_t helper_id_by_name(const std::string& name) {
   for (const auto& h : kHelperNames) {

@@ -46,6 +46,8 @@ class ProgramRegistry {
  public:
   void add(ebpf::Program program);
   [[nodiscard]] const ebpf::Program* find(const std::string& name) const;
+  /// All registered program names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
 
  private:
   std::map<std::string, ebpf::Program> programs_;
@@ -54,6 +56,12 @@ class ProgramRegistry {
 /// Helper-name <-> id mapping for manifests and diagnostics.
 [[nodiscard]] std::int32_t helper_id_by_name(const std::string& name);  // -1 if unknown
 [[nodiscard]] const char* helper_name_by_id(std::int32_t id);           // "?" if unknown
+
+/// Argument count per helper (how many of r1..r5 a call consumes), as
+/// declared by the API contract in api.hpp.  Feeds the static analyzer's
+/// helper-call model; unknown ids map to 0.
+[[nodiscard]] int helper_arity_by_id(std::int32_t id);
+[[nodiscard]] const std::map<std::int32_t, int>& helper_arity_table();
 
 /// Insertion-point name -> Op. Throws std::invalid_argument on bad name.
 [[nodiscard]] Op op_by_name(const std::string& name);

@@ -20,12 +20,25 @@ Vmm::Vmm(HostApi& host, Options options)
 Vmm::~Vmm() = default;
 
 void Vmm::load(const Manifest& manifest) {
+  ebpf::Analyzer::Options verify_opts;
+  verify_opts.helper_arity = helper_arity_table();
+
   std::vector<LoadedProgram*> loaded_now;
   for (const auto& entry : manifest.entries) {
-    if (auto err = ebpf::Verifier::verify(entry.program, entry.allowed_helpers)) {
+    auto& vstats = verify_stats_[static_cast<std::size_t>(entry.point)];
+    const auto analysis =
+        ebpf::Analyzer::analyze(entry.program, entry.allowed_helpers, verify_opts);
+    if (const auto* err = analysis.first_error()) {
+      ++vstats.rejected;
       throw std::invalid_argument("verifier rejected '" + entry.name + "' at insn " +
                                   std::to_string(err->insn_index) + ": " + err->reason);
     }
+    for (const auto& diag : analysis.diagnostics) {
+      if (diag.severity != ebpf::Severity::kWarning) continue;
+      ++vstats.warnings;
+      util::log_warn("xbgp: extension '", entry.name, "': ", diag.to_string());
+    }
+    ++vstats.verified;
     auto prog = std::make_unique<LoadedProgram>(entry);
     const std::string& group_name = entry.group.empty() ? entry.name : entry.group;
     auto [git, created] = groups_.try_emplace(group_name, nullptr);

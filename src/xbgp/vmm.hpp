@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "ebpf/analyzer.hpp"
 #include "ebpf/verifier.hpp"
 #include "ebpf/vm.hpp"
 #include "xbgp/context.hpp"
@@ -46,6 +47,13 @@ class Vmm {
     std::uint64_t native_fallbacks = 0;    // chain exhausted or fault -> default
   };
 
+  /// Load-time verification outcomes, tallied per insertion point.
+  struct VerifyStats {
+    std::uint64_t verified = 0;   // programs that passed the analyzer and attached
+    std::uint64_t rejected = 0;   // programs refused at load time
+    std::uint64_t warnings = 0;   // warning-severity findings on attached programs
+  };
+
   explicit Vmm(HostApi& host);  // default Options
   Vmm(HostApi& host, Options options);
   ~Vmm();
@@ -53,10 +61,12 @@ class Vmm {
   Vmm(const Vmm&) = delete;
   Vmm& operator=(const Vmm&) = delete;
 
-  /// Verifies every entry and attaches it; throws std::invalid_argument with
-  /// the verifier diagnostic on rejection. kInit programs run immediately,
-  /// in manifest order; an init fault unloads that program and notifies the
-  /// host.
+  /// Verifies every entry (structural pass 0 plus the CFG-based abstract
+  /// interpreter) and attaches it; throws std::invalid_argument with the
+  /// first error-severity diagnostic on rejection.  Warning-severity
+  /// findings are logged and counted but do not block attachment.  kInit
+  /// programs run immediately, in manifest order; an init fault unloads
+  /// that program and notifies the host.
   void load(const Manifest& manifest);
 
   /// Detaches everything (native behaviour everywhere).
@@ -86,6 +96,11 @@ class Vmm {
   /// True if the most recent execute() was resolved by an extension.
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = Stats{}; }
+
+  /// Load-time verification counters for one insertion point.
+  [[nodiscard]] const VerifyStats& verify_stats(Op op) const noexcept {
+    return verify_stats_[static_cast<std::size_t>(op)];
+  }
 
   [[nodiscard]] HostApi& host() noexcept { return host_; }
 
@@ -126,6 +141,7 @@ class Vmm {
   std::vector<LoadedProgram*> chains_[kOpCount];
   Arena arena_;  // ephemeral; reset before every program run
   Stats stats_;
+  VerifyStats verify_stats_[kOpCount];
 
   // Single-threaded execution state, valid while run_chain is on the stack.
   ExecContext* current_ctx_ = nullptr;

@@ -1,9 +1,17 @@
 // Static verifier: every rejection class, plus acceptance of valid programs.
+// Covers pass 0 (structural), the CFG layer, and the abstract-interpretation
+// analyzer (pass 1+) with a table-driven negative suite — one crafted program
+// per diagnostic — and an accept-corpus over every shipped extension.
 #include <gtest/gtest.h>
 
+#include "ebpf/analyzer.hpp"
 #include "ebpf/assembler.hpp"
+#include "ebpf/cfg.hpp"
 #include "ebpf/opcodes.hpp"
 #include "ebpf/verifier.hpp"
+#include "extensions/registry.hpp"
+#include "xbgp/api.hpp"
+#include "xbgp/manifest.hpp"
 
 namespace {
 
@@ -12,6 +20,20 @@ using namespace xb::ebpf;
 std::optional<VerifyError> verify(const Program& p,
                                   std::set<std::int32_t> helpers = {}) {
   return Verifier::verify(p, helpers);
+}
+
+AnalysisResult analyze(const Program& p, std::set<std::int32_t> helpers = {}) {
+  Analyzer::Options opts;
+  opts.helper_arity = xb::xbgp::helper_arity_table();
+  return Analyzer::analyze(p, helpers, opts);
+}
+
+/// True when some diagnostic has the given severity and mentions `needle`.
+bool has_diag(const AnalysisResult& r, Severity sev, const std::string& needle) {
+  for (const auto& d : r.diagnostics) {
+    if (d.severity == sev && d.reason.find(needle) != std::string::npos) return true;
+  }
+  return false;
 }
 
 Program raw(std::vector<Insn> insns) { return Program("raw", std::move(insns), {}); }
@@ -134,6 +156,37 @@ TEST(Verifier, RejectsBadByteSwapWidth) {
                           Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}})));
 }
 
+TEST(Verifier, AcceptsByteSwapInAlu32Class) {
+  // kAluEnd belongs to the 32-bit ALU class (the imm selects the width).
+  for (std::int32_t width : {16, 32, 64}) {
+    Assembler a;
+    a.mov64(Reg::R0, 0x1234);
+    a.to_be(Reg::R0, width);
+    a.exit_();
+    EXPECT_FALSE(verify(a.build("swap")).has_value()) << "width " << width;
+  }
+}
+
+TEST(Verifier, RejectsByteSwapInAlu64Class) {
+  // 0xd7 (kClsAlu64 | kAluEnd) is unassigned in the ISA; accepting it would
+  // execute an undefined operation.
+  auto err = verify(raw({Insn{kClsAlu64 | kAluEnd, 0, 0, 0, 16},
+                         Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}}));
+  ASSERT_TRUE(err);
+  EXPECT_EQ(err->insn_index, 0u);
+  EXPECT_NE(err->reason.find("byte swap is only valid in the 32-bit ALU class"),
+            std::string::npos);
+}
+
+TEST(Verifier, RejectsJa32) {
+  // The JMP32 class holds conditional branches only; JA has no 32-bit form.
+  auto err = verify(raw({Insn{kClsJmp32 | kJmpJa, 0, 0, 0, 0},
+                         Insn{kClsJmp | kJmpExit, 0, 0, 0, 0}}));
+  ASSERT_TRUE(err);
+  EXPECT_EQ(err->insn_index, 0u);
+  EXPECT_NE(err->reason.find("unconditional jump has no 32-bit form"), std::string::npos);
+}
+
 TEST(Verifier, RejectsProgramWithoutExit) {
   // Ends with a backwards JA but no EXIT anywhere.
   EXPECT_TRUE(verify(raw({Insn{kClsAlu64 | kAluMov, 0, 0, 0, 0},
@@ -155,6 +208,289 @@ TEST(Verifier, AcceptsEveryUseCaseProgram) {
   a.mov64(Reg::R0, 0);
   a.exit_();
   EXPECT_FALSE(verify(a.build("loop")).has_value());
+}
+
+// --- CFG layer ---------------------------------------------------------------
+
+TEST(Cfg, DiamondShape) {
+  Assembler a;
+  auto then_ = a.make_label();
+  auto join = a.make_label();
+  a.jeq(Reg::R1, 0, then_);   // L0: branch
+  a.mov64(Reg::R0, 1);        // L1: else arm
+  a.ja(join);
+  a.place(then_);
+  a.mov64(Reg::R0, 2);        // L2: then arm
+  a.place(join);
+  a.exit_();                  // L3: join
+  const auto cfg = Cfg::build(a.build("diamond"));
+
+  ASSERT_EQ(cfg.blocks().size(), 4u);
+  EXPECT_EQ(cfg.blocks()[0].succs, (std::vector<std::size_t>{2, 1}));
+  EXPECT_EQ(cfg.blocks()[3].preds.size(), 2u);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_TRUE(cfg.reachable(b));
+  EXPECT_TRUE(cfg.dominates(0, 3));
+  EXPECT_FALSE(cfg.dominates(1, 3));
+  EXPECT_TRUE(cfg.back_edges().empty());
+  EXPECT_TRUE(cfg.loops().empty());
+  EXPECT_EQ(Cfg::label(2), "L2");
+}
+
+TEST(Cfg, DetectsNaturalLoop) {
+  Assembler a;
+  auto top = a.make_label();
+  auto out = a.make_label();
+  a.mov64(Reg::R6, 8);
+  a.place(top);
+  a.jeq(Reg::R6, 0, out);
+  a.sub64(Reg::R6, 1);
+  a.ja(top);
+  a.place(out);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  const auto cfg = Cfg::build(a.build("loop"));
+
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  const auto& loop = cfg.loops()[0];
+  EXPECT_TRUE(loop.contains(loop.header));
+  ASSERT_EQ(cfg.back_edges().size(), 1u);
+  EXPECT_EQ(cfg.back_edges()[0].to, loop.header);
+  EXPECT_TRUE(cfg.irreducible_edges().empty());
+}
+
+TEST(Cfg, LddwTailStaysInsideItsBlock) {
+  Assembler a;
+  a.lddw(Reg::R0, 0x1122334455667788ull);
+  a.exit_();
+  const auto cfg = Cfg::build(a.build("lddw"));
+  EXPECT_FALSE(cfg.is_lddw_tail(0));
+  EXPECT_TRUE(cfg.is_lddw_tail(1));
+  EXPECT_EQ(cfg.block_of(1), cfg.block_of(0));
+}
+
+// --- Abstract-interpretation analyzer: negative suite ------------------------
+//
+// One crafted program per diagnostic the analyzer can emit.  Each case names
+// the expected severity and a distinctive substring of the reason text, so a
+// regression in either the check or its message is caught.
+
+struct AnalyzerCase {
+  const char* name;
+  Program (*build)();
+  Severity severity;
+  const char* needle;
+};
+
+const AnalyzerCase kNegativeCases[] = {
+    {"uninit_read",
+     [] {
+       // r1-r5 carry arguments at entry; r6-r9 start uninitialized.
+       Assembler a;
+       a.mov64(Reg::R0, Reg::R6);
+       a.exit_();
+       return a.build("uninit_read");
+     },
+     Severity::kError, "read of uninitialized register r6"},
+    {"stack_read_oob",
+     [] {
+       Assembler a;
+       a.ldxdw(Reg::R0, Reg::R10, -520);  // below the 512-byte frame
+       a.exit_();
+       return a.build("stack_read_oob");
+     },
+     Severity::kError, "stack access out of bounds"},
+    {"stack_write_oob",
+     [] {
+       Assembler a;
+       a.stdw(Reg::R10, -4, 1);  // bytes [-4, 4) run past the frame top
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("stack_write_oob");
+     },
+     Severity::kError, "stack access out of bounds"},
+    {"misaligned_store",
+     [] {
+       Assembler a;
+       a.mov64(Reg::R0, 0);
+       a.stxdw(Reg::R10, -13, Reg::R0);  // in-bounds but not 8-byte aligned
+       a.ldxdw(Reg::R0, Reg::R10, -13);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("misaligned_store");
+     },
+     Severity::kWarning, "misaligned stack access"},
+    {"unbounded_loop",
+     [] {
+       Assembler a;
+       auto top = a.make_label();
+       a.mov64(Reg::R0, 0);
+       a.place(top);
+       a.ja(top);  // no path leaves the loop
+       a.exit_();
+       return a.build("unbounded_loop");
+     },
+     Severity::kError, "unbounded loop"},
+    {"no_induction_loop",
+     [] {
+       // The loop exits on r1 == 0, but nothing inside changes r1: no
+       // monotone induction register bounds the trip count.
+       Assembler a;
+       auto top = a.make_label();
+       auto out = a.make_label();
+       a.place(top);
+       a.jeq(Reg::R1, 0, out);
+       a.ja(top);
+       a.place(out);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("no_induction_loop");
+     },
+     Severity::kError, "cannot bound loop trip count"},
+    {"r0_unset_exit",
+     [] {
+       Assembler a;
+       a.mov64(Reg::R6, 1);
+       a.exit_();
+       return a.build("r0_unset_exit");
+     },
+     Severity::kError, "r0 is not set before exit"},
+    {"unreachable_block",
+     [] {
+       Assembler a;
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       a.mov64(Reg::R0, 1);  // never executed
+       a.exit_();
+       return a.build("unreachable_block");
+     },
+     Severity::kWarning, "unreachable code"},
+    {"dead_store",
+     [] {
+       Assembler a;
+       a.stdw(Reg::R10, -8, 1);  // overwritten before anyone loads it
+       a.stdw(Reg::R10, -8, 2);
+       a.ldxdw(Reg::R0, Reg::R10, -8);
+       a.exit_();
+       return a.build("dead_store");
+     },
+     Severity::kWarning, "dead store to stack slot [r10-8]"},
+    {"helper_uninit_arg",
+     [] {
+       // The first call clobbers r1-r5 (eBPF calling convention); get_attr
+       // has arity 1, so the second call reads a dead r1.
+       Assembler a;
+       a.call(xb::xbgp::helper::kNext);
+       a.call(xb::xbgp::helper::kGetAttr);
+       a.exit_();
+       return a.build("helper_uninit_arg");
+     },
+     Severity::kError, "uninitialized argument r1"},
+};
+
+class AnalyzerNegative : public ::testing::TestWithParam<AnalyzerCase> {};
+
+TEST_P(AnalyzerNegative, EmitsExpectedDiagnostic) {
+  const auto& c = GetParam();
+  const Program p = c.build();
+  const auto result =
+      analyze(p, {xb::xbgp::helper::kNext, xb::xbgp::helper::kGetAttr});
+  EXPECT_TRUE(has_diag(result, c.severity, c.needle))
+      << "expected a " << to_string(c.severity) << " containing '" << c.needle
+      << "'; got " << result.diagnostics.size() << " diagnostic(s):"
+      << [&] {
+           std::string all;
+           for (const auto& d : result.diagnostics) all += "\n  " + d.to_string();
+           return all;
+         }();
+  if (c.severity == Severity::kError) {
+    EXPECT_FALSE(result.ok());
+  } else {
+    EXPECT_TRUE(result.ok()) << "warning-only case must not block attachment";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, AnalyzerNegative, ::testing::ValuesIn(kNegativeCases),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+// --- Analyzer: behaviours beyond the table -----------------------------------
+
+TEST(Analyzer, AcceptsBoundedDownCountLoop) {
+  Assembler a;
+  auto top = a.make_label();
+  auto out = a.make_label();
+  a.mov64(Reg::R6, 100);
+  a.place(top);
+  a.jeq(Reg::R6, 0, out);
+  a.sub64(Reg::R6, 1);
+  a.ja(top);
+  a.place(out);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  const auto result = analyze(a.build("down"));
+  EXPECT_EQ(result.error_count(), 0u);
+}
+
+TEST(Analyzer, DiagnosticCarriesIndexRegisterAndSeverity) {
+  Assembler a;
+  a.mov64(Reg::R0, 0);         // insn 0
+  a.add64(Reg::R0, Reg::R7);   // insn 1: r7 is uninitialized
+  a.exit_();
+  const auto result = analyze(a.build("fields"));
+  const auto* err = result.first_error();
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->insn_index, 1u);
+  EXPECT_EQ(err->reg, 7);
+  EXPECT_EQ(err->severity, Severity::kError);
+  EXPECT_EQ(err->to_string().rfind("error at insn 1 (r7): ", 0), 0u) << err->to_string();
+}
+
+TEST(Analyzer, WarningsCanBeSuppressed) {
+  Assembler a;
+  a.mov64(Reg::R0, 0);
+  a.stxdw(Reg::R10, -13, Reg::R0);  // misaligned -> warning
+  a.exit_();
+  Analyzer::Options opts;
+  opts.warnings = false;
+  const auto result = Analyzer::analyze(a.build("quiet"), {}, opts);
+  EXPECT_EQ(result.warning_count(), 0u);
+  EXPECT_EQ(result.error_count(), 0u);
+}
+
+TEST(Analyzer, StructuralFailureSurfacesAsPass0Error) {
+  // Pass 0 findings flow through the same diagnostic stream.
+  const auto result = analyze(raw({}));
+  EXPECT_FALSE(result.ok());
+  ASSERT_NE(result.first_error(), nullptr);
+  EXPECT_NE(result.first_error()->reason.find("empty"), std::string::npos);
+}
+
+TEST(Analyzer, HelperCallDefinesR0) {
+  // r0 is dead at entry, but a helper call defines it; exiting afterwards
+  // must be accepted.
+  Assembler a;
+  a.call(xb::xbgp::helper::kNext);
+  a.exit_();
+  const auto result = analyze(a.build("helper_r0"), {xb::xbgp::helper::kNext});
+  EXPECT_EQ(result.error_count(), 0u);
+}
+
+TEST(Analyzer, AcceptsEveryShippedExtension) {
+  // The accept-corpus: all programs in the registry must pass the full
+  // pipeline with zero errors under their own helper requirement sets —
+  // exactly what Vmm::load enforces at attach time.
+  const auto registry = xb::ext::default_registry();
+  const auto names = registry.names();
+  ASSERT_FALSE(names.empty());
+  for (const auto& name : names) {
+    const auto* program = registry.find(name);
+    ASSERT_NE(program, nullptr) << name;
+    const auto result = analyze(*program, program->required_helpers());
+    EXPECT_EQ(result.error_count(), 0u) << name << ": " << [&] {
+      std::string all;
+      for (const auto& d : result.diagnostics) all += "\n  " + d.to_string();
+      return all;
+    }();
+  }
 }
 
 }  // namespace

@@ -84,13 +84,21 @@ TYPED_TEST(IsolationTest, WriteToXtraBlobFaults) {
 }
 
 TYPED_TEST(IsolationTest, RunawayLoopIsStoppedByBudget) {
+  // The loop below satisfies the static analyzer — r6 counts down from a
+  // huge bound with unit steps, so the trip count is provably finite — but
+  // it dwarfs the instruction budget by twelve orders of magnitude.  The
+  // runtime budget is the backstop for statically-plausible-but-hostile
+  // programs.
   Dut<TypeParam> dut;
   Assembler a;
   auto top = a.make_label();
+  auto out = a.make_label();
+  a.lddw(Reg::R6, 0x7FFFFFFFFFFFFFFFll);
   a.place(top);
-  a.add64(Reg::R6, 1);
+  a.jeq(Reg::R6, 0, out);
+  a.sub64(Reg::R6, 1);
   a.ja(top);
-  // Unreachable, but the verifier requires an exit to exist.
+  a.place(out);
   a.mov64(Reg::R0, 0);
   a.exit_();
   xbgp::Manifest m;
@@ -109,11 +117,15 @@ TYPED_TEST(IsolationTest, EphemeralArenaExhaustionFaultsCleanly) {
   auto fail = a.make_label();
   // Allocate 4 KiB chunks until ctx_malloc returns 0 (the arena is finite),
   // then dereference the null pointer -> clean fault, native fallback.
+  // r6 bounds the loop for the static analyzer; the arena (64 KiB / 4 KiB =
+  // 16 allocations) runs dry long before the counter does.
+  a.mov64(Reg::R6, 0);
   a.place(loop_label);
   a.mov64(Reg::R1, 4096);
   a.call(xbgp::helper::kCtxMalloc);
   a.jeq(Reg::R0, 0, fail);
-  a.ja(loop_label);
+  a.add64(Reg::R6, 1);
+  a.jne(Reg::R6, 1 << 20, loop_label);
   a.place(fail);
   a.ldxdw(Reg::R0, Reg::R0, 0);  // null deref -> kBadMemoryAccess
   a.exit_();

@@ -178,6 +178,44 @@ TEST(Vmm, FaultFallsBackAndNotifiesHost) {
   EXPECT_EQ(vmm.stats().faults, 1u);
 }
 
+TEST(Vmm, VerifyStatsCountPerInsertionPoint) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("a", Op::kInboundFilter, const_program("a", 1), /*order=*/0);
+  m.attach("b", Op::kInboundFilter, next_program("b"), /*order=*/1);
+  // A warning-severity finding (unreachable code) still attaches, but the
+  // warning is counted against its insertion point.
+  Assembler w;
+  w.mov64(Reg::R0, 0);
+  w.exit_();
+  w.mov64(Reg::R0, 1);  // unreachable
+  w.exit_();
+  m.attach("warner", Op::kOutboundFilter, w.build("warner"));
+  vmm.load(m);
+
+  EXPECT_EQ(vmm.verify_stats(Op::kInboundFilter).verified, 2u);
+  EXPECT_EQ(vmm.verify_stats(Op::kInboundFilter).rejected, 0u);
+  EXPECT_EQ(vmm.verify_stats(Op::kInboundFilter).warnings, 0u);
+  EXPECT_EQ(vmm.verify_stats(Op::kOutboundFilter).verified, 1u);
+  EXPECT_EQ(vmm.verify_stats(Op::kOutboundFilter).warnings, 1u);
+}
+
+TEST(Vmm, LoadRejectsAnalyzerError) {
+  // Value-level badness (r0 dead at exit) is caught at load time by the
+  // abstract-interpretation pass, not just structural pass 0.
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  Assembler a;
+  a.mov64(Reg::R6, 0);
+  a.exit_();  // r0 never set
+  m.attach("bad", Op::kInboundFilter, a.build("bad"));
+  EXPECT_THROW(vmm.load(m), std::invalid_argument);
+  EXPECT_EQ(vmm.verify_stats(Op::kInboundFilter).rejected, 1u);
+  EXPECT_EQ(vmm.verify_stats(Op::kInboundFilter).verified, 0u);
+}
+
 TEST(Vmm, LoadRejectsUnverifiableProgram) {
   FakeHost host;
   Vmm vmm(host);

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Sanitized verification gate: configure a separate build tree with
+# XBGP_SANITIZE, build everything, and run the full test suite under the
+# sanitizer.  Usage:
+#
+#   tools/check.sh                 # address sanitizer (default)
+#   tools/check.sh undefined       # UBSan
+#   tools/check.sh address,undefined
+#
+# Exits non-zero if configuration, the build, or any test fails.
+set -eu
+
+SANITIZER="${1:-address}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-san-$(printf '%s' "$SANITIZER" | tr ',' '-')"
+
+cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SANITIZER"
+cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$BUILD" --output-on-failure

@@ -1,0 +1,174 @@
+// Offline analyzer for xBGP extension bytecode: runs the full verification
+// pipeline (structural pass 0, CFG construction, abstract interpretation,
+// loop-bound induction check) and prints findings inline with a
+// CFG-annotated disassembly — the same checks the VMM applies at attach
+// time, available before deployment.
+//
+// Usage:
+//   xbgp_lint --all                     # lint every built-in program
+//   xbgp_lint valley_free ov_inbound    # lint named built-in programs
+//   xbgp_lint --manifest FILE           # lint all entries of a text manifest
+//   xbgp_lint -q ...                    # findings only, no disassembly
+//
+// Exit status: 0 when no error-severity finding was reported, 1 otherwise
+// (2 for usage / I/O problems).
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ebpf/analyzer.hpp"
+#include "ebpf/cfg.hpp"
+#include "ebpf/disasm.hpp"
+#include "ebpf/verifier.hpp"
+#include "extensions/registry.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace {
+
+using xb::ebpf::AnalysisResult;
+using xb::ebpf::Analyzer;
+using xb::ebpf::Cfg;
+using xb::ebpf::Diagnostic;
+using xb::ebpf::Program;
+using xb::ebpf::Severity;
+
+struct LintTarget {
+  std::string title;  // program name plus attach info when known
+  Program program;
+  std::set<std::int32_t> allowed_helpers;
+};
+
+Analyzer::Options analyzer_options() {
+  Analyzer::Options opts;
+  opts.helper_arity = xb::xbgp::helper_arity_table();
+  return opts;
+}
+
+/// Findings grouped by instruction, printed inline under the disassembly.
+void print_annotated(const LintTarget& target, const AnalysisResult& result) {
+  std::multimap<std::size_t, const Diagnostic*> by_insn;
+  for (const auto& d : result.diagnostics) by_insn.emplace(d.insn_index, &d);
+
+  const Cfg cfg = Cfg::build(target.program);
+  const auto& insns = target.program.insns();
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    std::printf("%s:%s\n", Cfg::label(b).c_str(), cfg.reachable(b) ? "" : "  ; unreachable");
+    const auto& bb = cfg.blocks()[b];
+    for (std::size_t i = bb.first; i <= bb.last; ++i) {
+      const std::string text = xb::ebpf::disassemble_insn(insns[i], cfg.is_lddw_tail(i));
+      const std::string annot = xb::ebpf::jump_annotation(target.program, cfg, i);
+      std::printf("  %4zu: %s%s%s\n", i, text.c_str(), annot.empty() ? "" : "  ",
+                  annot.c_str());
+      auto [lo, hi] = by_insn.equal_range(i);
+      for (auto it = lo; it != hi; ++it) {
+        const Diagnostic& d = *it->second;
+        std::printf("        ^ %s: %s%s\n", to_string(d.severity), d.reason.c_str(),
+                    d.reg >= 0 ? ("  [r" + std::to_string(d.reg) + "]").c_str() : "");
+      }
+    }
+  }
+}
+
+/// Returns the number of error-severity findings.
+std::size_t lint_one(const LintTarget& target, bool quiet) {
+  const AnalysisResult result =
+      Analyzer::analyze(target.program, target.allowed_helpers, analyzer_options());
+  std::printf("== %s ==\n", target.title.c_str());
+
+  // A pass-0 (structural) failure means the CFG is not well-defined; fall
+  // back to the plain listing.
+  const bool structural_failure =
+      !result.ok() && xb::ebpf::Verifier::verify(target.program, target.allowed_helpers);
+  if (quiet || structural_failure) {
+    for (const auto& d : result.diagnostics) std::printf("  %s\n", d.to_string().c_str());
+  } else {
+    print_annotated(target, result);
+  }
+  std::printf("%s: %zu error(s), %zu warning(s)\n\n", target.title.c_str(),
+              result.error_count(), result.warning_count());
+  return result.error_count();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xbgp_lint [-q] --all | --manifest FILE | PROGRAM...\n"
+               "  --all            lint every built-in extension program\n"
+               "  --manifest FILE  lint each entry of a text manifest\n"
+               "  -q, --quiet      findings only, no annotated disassembly\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto registry = xb::ext::default_registry();
+  bool quiet = false;
+  bool all = false;
+  std::string manifest_path;
+  std::vector<std::string> names;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--manifest") {
+      if (++i >= argc) return usage();
+      manifest_path = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (!all && manifest_path.empty() && names.empty()) return usage();
+
+  std::vector<LintTarget> targets;
+  if (!manifest_path.empty()) {
+    std::ifstream in(manifest_path);
+    if (!in) {
+      std::fprintf(stderr, "xbgp_lint: cannot read '%s'\n", manifest_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      const auto manifest = xb::xbgp::parse_manifest(text.str(), registry);
+      for (const auto& entry : manifest.entries) {
+        targets.push_back({entry.name + " @ " + xb::xbgp::to_string(entry.point) + " order " +
+                               std::to_string(entry.order),
+                           entry.program, entry.allowed_helpers});
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "xbgp_lint: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (all) {
+    for (const auto& name : registry.names()) names.push_back(name);
+  }
+  for (const auto& name : names) {
+    const auto* program = registry.find(name);
+    if (program == nullptr) {
+      std::fprintf(stderr, "xbgp_lint: unknown program '%s'\n", name.c_str());
+      return 2;
+    }
+    // Offline mode mirrors Manifest::attach: the whitelist defaults to the
+    // helpers the program declares it needs.
+    targets.push_back({name, *program, program->required_helpers()});
+  }
+
+  std::size_t errors = 0;
+  for (const auto& target : targets) errors += lint_one(target, quiet);
+  if (errors > 0) {
+    std::printf("xbgp_lint: %zu error(s) across %zu program(s)\n", errors, targets.size());
+    return 1;
+  }
+  return 0;
+}

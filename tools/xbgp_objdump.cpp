@@ -3,11 +3,15 @@
 //
 // Usage:
 //   xbgp_objdump              # list all programs
-//   xbgp_objdump rr_inbound   # disassemble one program
+//   xbgp_objdump rr_inbound   # disassemble one program, CFG-annotated
+//
+// Single-program dumps print basic-block labels and jump-target annotations
+// from the CFG layer, so `xbgp_lint` findings can be read against them.
 
 #include <cstdio>
 #include <string>
 
+#include "ebpf/cfg.hpp"
 #include "ebpf/disasm.hpp"
 #include "extensions/registry.hpp"
 #include "xbgp/manifest.hpp"
@@ -34,7 +38,9 @@ void dump(const xb::ebpf::Program& program, bool full) {
   }
   std::printf("\n");
   if (full) {
-    std::printf("%s", xb::ebpf::disassemble(program).c_str());
+    const auto cfg = xb::ebpf::Cfg::build(program);
+    std::printf("%s", xb::ebpf::disassemble_with_cfg(program, cfg).c_str());
+    std::printf("%zu basic blocks, %zu loops\n", cfg.blocks().size(), cfg.loops().size());
   }
 }
 
@@ -42,11 +48,6 @@ void dump(const xb::ebpf::Program& program, bool full) {
 
 int main(int argc, char** argv) {
   const auto registry = xb::ext::default_registry();
-  const char* names[] = {"igp_filter",      "rr_inbound",     "rr_outbound",
-                         "rr_encode",       "ov_init",        "ov_inbound",
-                         "geoloc_receive",  "geoloc_inbound", "geoloc_outbound",
-                         "geoloc_encode",   "geoloc_decision", "valley_free",
-                         "valley_exempt",   "ctag_ingress",   "ctag_export"};
   if (argc > 1) {
     const auto* program = registry.find(argv[1]);
     if (program == nullptr) {
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
     dump(*program, /*full=*/true);
     return 0;
   }
-  for (const char* name : names) {
+  for (const auto& name : registry.names()) {
     const auto* program = registry.find(name);
     if (program != nullptr) dump(*program, /*full=*/false);
   }
