@@ -1,0 +1,145 @@
+// Sharded parallel UPDATE pipeline: routes/sec at 1/2/4/8 shards.
+//
+// The Fig. 3 testbed (upstream -> DUT -> downstream) with the DUT running
+// the parallel pipeline at increasing shard counts, for the two
+// measurement-heavy paper use cases running as extension bytecode:
+//
+//   RR — route reflection (iBGP both links), inbound+outbound+encode chains
+//   OV — origin validation (eBGP both links), init+inbound chains
+//
+// The pipeline is bit-deterministic at every shard count (see
+// docs/parallel_pipeline.md and tests/parallel_pipeline_test.cpp), so the
+// series below measures pure throughput: the feed is pre-sharded with
+// harness::shard_workload so every UPDATE's NLRI land in one shard.
+//
+//   ./pipeline_scaling [routes] [runs]     (e.g. 200000 5)
+//
+// Expected shape: >= 2x routes/sec at 4 shards vs 1 on multi-core hardware.
+// The run warns when the machine has fewer cores than shards — workers then
+// time-slice one core and the speedup cannot materialise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "extensions/origin_validation.hpp"
+#include "extensions/route_reflection.hpp"
+#include "harness/stats.hpp"
+#include "harness/testbed.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+
+using namespace xb;
+
+namespace {
+
+constexpr std::size_t kShardSeries[] = {1, 2, 4, 8};
+
+const bgp::policy::RouteMap& import_policy() {
+  static const auto map = bgp::policy::standard_import_policy();
+  return map;
+}
+const bgp::policy::RouteMap& export_policy() {
+  static const auto map = bgp::policy::standard_export_policy();
+  return map;
+}
+
+struct UseCase {
+  const char* name;
+  bool ibgp = true;
+  const std::vector<rpki::Roa>* roas = nullptr;
+  const std::vector<std::uint8_t>* roa_blob = nullptr;
+};
+
+template <typename Dut>
+double one_run(const harness::Workload& base, const UseCase& uc, std::size_t shards) {
+  net::EventLoop loop;
+  const auto plan = uc.ibgp ? harness::TestbedPlan::ibgp_plan()
+                            : harness::TestbedPlan::ebgp_plan();
+  typename Dut::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  cfg.parallelism = shards;
+  cfg.import_policy = &import_policy();
+  cfg.export_policy = &export_policy();
+  Dut dut(loop, cfg);
+  if (uc.roas != nullptr) {
+    dut.set_xtra(xbgp::xtra::kRoaTable, *uc.roa_blob);
+    dut.load_extensions(ext::origin_validation_manifest(uc.roas->size()));
+  } else {
+    dut.load_extensions(ext::route_reflection_manifest());
+  }
+  harness::Testbed<Dut> bed(loop, dut, plan);
+  bed.establish();
+
+  // Pre-sharded feed: each message's NLRI all belong to one pipeline shard.
+  harness::Workload feed;
+  feed.updates = harness::shard_workload(base, shards).interleaved();
+  feed.prefix_count = base.prefix_count;
+  return bed.run(feed, feed.prefix_count);
+}
+
+template <typename Dut>
+void measure(const char* host, const harness::Workload& workload, const UseCase& uc,
+             std::size_t runs) {
+  double base_median = 0.0;
+  for (std::size_t shards : kShardSeries) {
+    (void)one_run<Dut>(workload, uc, shards);  // untimed warm-up
+    std::vector<double> times;
+    times.reserve(runs);
+    for (std::size_t i = 0; i < runs; ++i) {
+      times.push_back(one_run<Dut>(workload, uc, shards));
+    }
+    const auto box = harness::boxplot(times);
+    if (shards == 1) base_median = box.median;
+    const double rps = static_cast<double>(workload.prefix_count) / box.median;
+    std::printf("%-6s %-3s shards=%zu  median %7.3fs  %10.0f routes/s  speedup %5.2fx\n",
+                host, uc.name, shards, box.median, rps, base_median / box.median);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t routes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50'000;
+  const std::size_t runs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+
+  harness::WorkloadParams ibgp_params;
+  ibgp_params.route_count = routes;
+  ibgp_params.with_local_pref = true;
+  const auto ibgp_workload = harness::make_workload(ibgp_params);
+
+  harness::WorkloadParams ebgp_params;
+  ebgp_params.route_count = routes;
+  const auto ebgp_workload = harness::make_workload(ebgp_params);
+
+  rpki::RoaSetParams roa_params;  // 75% valid
+  const auto roas = rpki::make_roa_set(ebgp_workload.routes, roa_params);
+  const auto roa_blob = harness::pack_roa_blob(roas);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::size_t max_shards = 0;
+  for (std::size_t s : kShardSeries) max_shards = s > max_shards ? s : max_shards;
+
+  std::printf("Parallel UPDATE pipeline scaling — routes/sec vs shard count\n");
+  std::printf("testbed: upstream -> DUT -> downstream, %zu routes, %zu runs, %u cores\n",
+              routes, runs, cores);
+  if (cores < max_shards) {
+    std::printf("WARNING: only %u hardware threads for up to %zu shards — workers will\n"
+                "time-slice and the parallel speedup cannot show on this machine.\n",
+                cores, max_shards);
+  }
+  std::printf("\n");
+
+  const UseCase rr{"RR", /*ibgp=*/true, nullptr, nullptr};
+  const UseCase ov{"OV", /*ibgp=*/false, &roas, &roa_blob};
+  measure<hosts::fir::FirRouter>("xFir", ibgp_workload, rr, runs);
+  measure<hosts::wren::WrenRouter>("xWren", ibgp_workload, rr, runs);
+  measure<hosts::fir::FirRouter>("xFir", ebgp_workload, ov, runs);
+  measure<hosts::wren::WrenRouter>("xWren", ebgp_workload, ov, runs);
+  return 0;
+}

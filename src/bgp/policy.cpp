@@ -104,7 +104,7 @@ Verdict RouteMap::evaluate(RouteFacts& facts) const {
   for (const auto& entry : entries_) {
     bool all = true;
     for (const auto& match : entry.matches) {
-      ++clauses_evaluated_;
+      clauses_evaluated_.fetch_add(1, std::memory_order_relaxed);
       if (!match->matches(facts)) {
         all = false;
         break;

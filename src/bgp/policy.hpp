@@ -14,6 +14,7 @@
 // map's default (deny, like FRR's implicit deny).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -203,6 +204,21 @@ class RouteMap {
   explicit RouteMap(std::string name, Action default_action = Action::kDeny)
       : name_(std::move(name)), default_action_(default_action) {}
 
+  // The atomic counter would otherwise delete the moves builders rely on.
+  RouteMap(RouteMap&& other) noexcept
+      : name_(std::move(other.name_)),
+        default_action_(other.default_action_),
+        entries_(std::move(other.entries_)),
+        clauses_evaluated_(other.clauses_evaluated_.load(std::memory_order_relaxed)) {}
+  RouteMap& operator=(RouteMap&& other) noexcept {
+    name_ = std::move(other.name_);
+    default_action_ = other.default_action_;
+    entries_ = std::move(other.entries_);
+    clauses_evaluated_.store(other.clauses_evaluated_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Builder-style entry addition; entries evaluate in ascending seq order.
   Entry& add_entry(int seq, Action action);
 
@@ -214,13 +230,17 @@ class RouteMap {
   [[nodiscard]] std::string describe() const;
 
   /// Cumulative number of clause evaluations (benchmark telemetry).
-  [[nodiscard]] std::uint64_t clauses_evaluated() const noexcept { return clauses_evaluated_; }
+  [[nodiscard]] std::uint64_t clauses_evaluated() const noexcept {
+    return clauses_evaluated_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string name_;
   Action default_action_;
   std::vector<Entry> entries_;  // kept sorted by seq
-  mutable std::uint64_t clauses_evaluated_ = 0;
+  // Atomic: one RouteMap is shared by every pipeline shard (the knob in
+  // engine::Router::Config); relaxed is enough for a telemetry counter.
+  mutable std::atomic<std::uint64_t> clauses_evaluated_{0};
 };
 
 /// A permit-everything map with FRR-ish boilerplate (bogon prefix filter,

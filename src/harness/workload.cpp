@@ -143,6 +143,63 @@ Workload make_workload(const WorkloadParams& params) {
   return out;
 }
 
+ShardedWorkload shard_workload(const Workload& base, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  ShardedWorkload out;
+  out.shards = shards;
+  out.batches.resize(shards);
+  out.routes = base.routes;
+  out.prefix_count = base.prefix_count;
+
+  std::vector<std::vector<util::Prefix>> nlri_of(shards);
+  std::vector<std::vector<util::Prefix>> withdrawn_of(shards);
+  for (const auto& wire : base.updates) {
+    const auto frame = bgp::try_frame(wire);
+    if (!frame || frame->type != bgp::MessageType::kUpdate) {
+      throw std::runtime_error("shard_workload: workload holds a non-UPDATE message");
+    }
+    bgp::UpdateMessage update = bgp::decode_update(frame->body);
+
+    for (auto& list : nlri_of) list.clear();
+    for (auto& list : withdrawn_of) list.clear();
+    for (const auto& prefix : update.nlri) {
+      nlri_of[util::prefix_shard(prefix, shards)].push_back(prefix);
+    }
+    for (const auto& prefix : update.withdrawn) {
+      withdrawn_of[util::prefix_shard(prefix, shards)].push_back(prefix);
+    }
+
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (nlri_of[s].empty() && withdrawn_of[s].empty()) continue;
+      bgp::UpdateMessage part;
+      part.withdrawn = withdrawn_of[s];
+      part.nlri = nlri_of[s];
+      if (!part.nlri.empty()) part.attrs = update.attrs;
+      out.batches[s].push_back(bgp::encode_update(part));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> ShardedWorkload::interleaved() const {
+  std::vector<std::vector<std::uint8_t>> out;
+  std::size_t total = 0;
+  for (const auto& batch : batches) total += batch.size();
+  out.reserve(total);
+  std::vector<std::size_t> cursor(batches.size(), 0);
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (std::size_t s = 0; s < batches.size(); ++s) {
+      if (cursor[s] < batches[s].size()) {
+        out.push_back(batches[s][cursor[s]++]);
+        advanced = true;
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<std::uint8_t> pack_roa_blob(const std::vector<rpki::Roa>& roas) {
   std::vector<std::uint8_t> blob(roas.size() * sizeof(xbgp::RoaEntry));
   std::uint8_t* cursor = blob.data();

@@ -46,6 +46,26 @@ struct Workload {
 
 [[nodiscard]] Workload make_workload(const WorkloadParams& params);
 
+/// A workload re-packed for the parallel UPDATE pipeline: every message in
+/// `batches[s]` carries only NLRI whose util::prefix_shard() is `s`, so a
+/// DUT running with `parallelism == shards` never splits a message across
+/// shards. Attribute groups and per-shard announcement order are preserved.
+struct ShardedWorkload {
+  std::size_t shards = 1;
+  /// Pre-encoded UPDATE wire messages, one batch per shard.
+  std::vector<std::vector<std::vector<std::uint8_t>>> batches;
+  std::vector<rpki::AnnouncedRoute> routes;
+  std::size_t prefix_count = 0;
+
+  /// The batches merged round-robin into one feed (per-shard order kept) —
+  /// what a single session delivers to a sharded DUT.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> interleaved() const;
+};
+
+/// Splits every UPDATE of `base` by prefix shard and re-encodes; messages
+/// whose NLRI all land in one shard are passed through byte-identically.
+[[nodiscard]] ShardedWorkload shard_workload(const Workload& base, std::size_t shards);
+
 /// Packs ROAs into the "roa_v1" xtra blob format (xbgp::RoaEntry array).
 [[nodiscard]] std::vector<std::uint8_t> pack_roa_blob(const std::vector<rpki::Roa>& roas);
 

@@ -13,16 +13,29 @@
 //   (3) BGP_DECISION          per pairwise best-route comparison
 //   (4) BGP_OUTBOUND_FILTER   per route per peer, before Adj-RIB-Out
 //   (5) BGP_ENCODE_MESSAGE    per outgoing attribute group
+//
+// Parallel pipeline (Config::parallelism > 1): the engine stays a
+// deterministic single-threaded event loop; UPDATE processing fans out into
+// bounded fork-join regions inside one loop event. Adj-RIB-In, Loc-RIB and
+// the FIB are partitioned by util::prefix_shard(); each worker owns one
+// shard plus one Vmm execution slot, so extension code runs shard-local
+// with no contended mutable state. Results are merged back in the original
+// arrival order, which makes the RIB contents, the emitted wire messages
+// and the Vmm statistics bit-identical at every parallelism level.
+// docs/parallel_pipeline.md describes the scheme in detail.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bgp/aspath.hpp"
@@ -32,7 +45,9 @@
 #include "hosts/engine/update_builder.hpp"
 #include "igp/igp_table.hpp"
 #include "rpki/roa.hpp"
+#include "util/ip.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "xbgp/vmm.hpp"
 
 namespace xb::hosts::engine {
@@ -85,6 +100,11 @@ class Router final : public xbgp::HostApi {
     const bgp::policy::RouteMap* export_policy = nullptr;
     std::uint16_t hold_time = bgp::kDefaultHoldTime;
     std::uint32_t keepalive_interval = bgp::kDefaultKeepaliveTime;
+    /// UPDATE pipeline shards / worker threads. 1 (the default) keeps the
+    /// fully serial code path; N > 1 partitions Adj-RIB-In/Loc-RIB/FIB into
+    /// N shards and processes batches on N-1 pool workers plus the caller.
+    /// Output is bit-identical at every setting.
+    std::size_t parallelism = 1;
     /// Named configuration blobs served to extensions via get_xtra.
     std::map<std::string, std::vector<std::uint8_t>, std::less<>> xtra;
     xbgp::Vmm::Options vmm_options;
@@ -101,8 +121,16 @@ class Router final : public xbgp::HostApi {
   };
 
   Router(net::EventLoop& loop, Config config)
-      : loop_(loop), cfg_(std::move(config)), vmm_(*this, cfg_.vmm_options) {
+      : loop_(loop),
+        cfg_(patch_config(std::move(config))),
+        vmm_(*this, cfg_.vmm_options),
+        shards_(cfg_.parallelism),
+        pool_(cfg_.parallelism - 1),
+        scratch_(cfg_.parallelism),
+        loc_rib_(cfg_.parallelism) {
     if (cfg_.cluster_id == 0) cfg_.cluster_id = cfg_.router_id;
+    fib_.reserve(shards_);
+    for (std::size_t s = 0; s < shards_; ++s) fib_.push_back(std::make_unique<FibShard>());
     set_xtra_u32(xbgp::xtra::kRouterId, cfg_.router_id);
     set_xtra_u32(xbgp::xtra::kClusterId, cfg_.cluster_id);
   }
@@ -121,7 +149,7 @@ class Router final : public xbgp::HostApi {
     sc.peer_addr = pc.address;
     sc.hold_time = cfg_.hold_time;
     sc.keepalive_interval = cfg_.keepalive_interval;
-    auto state = std::make_unique<PeerState>(loop_, end, sc);
+    auto state = std::make_unique<PeerState>(loop_, end, sc, shards_);
     state->id = peers_.size();
     state->cfg = std::move(pc);
     PeerState* raw = state.get();
@@ -136,7 +164,8 @@ class Router final : public xbgp::HostApi {
     state->session.on_route_refresh = [this, raw] {
       // RFC 2918: re-run export processing for everything we advertise to
       // this peer (adj-rib-out rebuild from the current Loc-RIB + policy).
-      for (const auto& [prefix, entry] : loc_rib_) queue_export(*raw, prefix);
+      for (const auto& shard : loc_rib_)
+        for (const auto& [prefix, entry] : shard) queue_export(*raw, prefix);
       schedule_flush();
     };
     peers_.push_back(std::move(state));
@@ -158,7 +187,8 @@ class Router final : public xbgp::HostApi {
   /// what a daemon does when outbound policy or the IGP changes (e.g. after
   /// an SPF run moves nexthop metrics, which Listing-1 style filters read).
   void reevaluate_exports() {
-    for (const auto& [prefix, entry] : loc_rib_) queue_export_all(prefix);
+    for (const auto& shard : loc_rib_)
+      for (const auto& [prefix, entry] : shard) queue_export_all(prefix);
     schedule_flush();
   }
 
@@ -179,7 +209,7 @@ class Router final : public xbgp::HostApi {
     set.put(bgp::make_next_hop(cfg_.address));
     auto attrs = std::make_shared<Attrs>(Core::from_wire(set, {}));
     local_routes_[prefix] = attrs;
-    run_decision(prefix);
+    if (run_decision(prefix, 0)) queue_export_all(prefix);
     schedule_flush();
   }
 
@@ -192,15 +222,45 @@ class Router final : public xbgp::HostApi {
   };
 
   [[nodiscard]] const LocRibEntry* best(const util::Prefix& prefix) const {
-    auto it = loc_rib_.find(prefix);
-    return it == loc_rib_.end() ? nullptr : &it->second;
+    const auto& rib = loc_rib_[shard_of(prefix)];
+    auto it = rib.find(prefix);
+    return it == rib.end() ? nullptr : &it->second;
   }
-  [[nodiscard]] std::size_t loc_rib_size() const noexcept { return loc_rib_.size(); }
+  [[nodiscard]] std::size_t loc_rib_size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& shard : loc_rib_) total += shard.size();
+    return total;
+  }
+  /// All Loc-RIB prefixes, sorted (shard-order independent).
+  [[nodiscard]] std::vector<util::Prefix> loc_rib_prefixes() const {
+    std::vector<util::Prefix> out;
+    out.reserve(loc_rib_size());
+    for (const auto& shard : loc_rib_)
+      for (const auto& [prefix, entry] : shard) out.push_back(prefix);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
   [[nodiscard]] std::size_t adj_rib_in_size(PeerId id) const {
-    return peers_.at(id)->adj_rib_in.size();
+    std::size_t total = 0;
+    for (const auto& shard : peers_.at(id)->adj_rib_in) total += shard.size();
+    return total;
+  }
+  [[nodiscard]] std::vector<util::Prefix> adj_rib_in_prefixes(PeerId id) const {
+    std::vector<util::Prefix> out;
+    for (const auto& shard : peers_.at(id)->adj_rib_in)
+      for (const auto& [prefix, route] : shard) out.push_back(prefix);
+    std::sort(out.begin(), out.end());
+    return out;
   }
   [[nodiscard]] std::size_t adj_rib_out_size(PeerId id) const {
     return peers_.at(id)->adj_rib_out.size();
+  }
+  [[nodiscard]] std::vector<util::Prefix> adj_rib_out_prefixes(PeerId id) const {
+    std::vector<util::Prefix> out;
+    out.reserve(peers_.at(id)->adj_rib_out.size());
+    for (const auto& [prefix, attrs] : peers_.at(id)->adj_rib_out) out.push_back(prefix);
+    std::sort(out.begin(), out.end());
+    return out;
   }
   [[nodiscard]] const AttrsPtr* adj_rib_out_lookup(PeerId id, const util::Prefix& p) const {
     auto& rib = peers_.at(id)->adj_rib_out;
@@ -208,17 +268,25 @@ class Router final : public xbgp::HostApi {
     return it == rib.end() ? nullptr : &it->second;
   }
   [[nodiscard]] std::uint32_t route_meta(PeerId id, const util::Prefix& p) const {
-    auto& rib = peers_.at(id)->adj_rib_in;
+    auto& rib = peers_.at(id)->adj_rib_in[shard_of(p)];
     auto it = rib.find(p);
     return it == rib.end() ? 0 : it->second.meta;
+  }
+  [[nodiscard]] const AttrsPtr* adj_rib_in_lookup(PeerId id, const util::Prefix& p) const {
+    auto& rib = peers_.at(id)->adj_rib_in[shard_of(p)];
+    auto it = rib.find(p);
+    return it == rib.end() ? nullptr : &it->second.attrs;
   }
   [[nodiscard]] bgp::PeerSession& session(PeerId id) { return peers_.at(id)->session; }
   [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
   [[nodiscard]] xbgp::Vmm& vmm() noexcept { return vmm_; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t parallelism() const noexcept { return shards_; }
   [[nodiscard]] std::optional<util::Ipv4Addr> fib_lookup(const util::Prefix& p) const {
-    auto it = fib_.find(p);
-    return it == fib_.end() ? std::nullopt : std::optional(it->second);
+    FibShard& shard = *fib_[shard_of(p)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(p);
+    return it == shard.map.end() ? std::nullopt : std::optional(it->second);
   }
 
   // =============================== HostApi ======================================
@@ -295,7 +363,9 @@ class Router final : public xbgp::HostApi {
   }
 
   bool rib_add_route(const util::Prefix& prefix, util::Ipv4Addr nexthop) override {
-    fib_[prefix] = nexthop;
+    FibShard& shard = *fib_[shard_of(prefix)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[prefix] = nexthop;
     return true;
   }
   std::optional<util::Ipv4Addr> rib_lookup(const util::Prefix& prefix) override {
@@ -316,7 +386,11 @@ class Router final : public xbgp::HostApi {
 
   void notify_extension_fault(xbgp::Op op, std::string_view program,
                               std::string_view detail) override {
-    ++stats_.extension_faults;
+    {
+      // May fire from pipeline workers: the only stat written off-thread.
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      ++stats_.extension_faults;
+    }
     util::log_warn(cfg_.name, ": extension '", program, "' faulted at ", to_string(op), ": ",
                    detail, " (fell back to native)");
   }
@@ -336,13 +410,16 @@ class Router final : public xbgp::HostApi {
     PeerId id = 0;
     PeerConfig cfg;
     bgp::PeerSession session;
-    std::unordered_map<util::Prefix, AdjInRoute> adj_rib_in;
-    std::unordered_map<util::Prefix, AttrsPtr> adj_rib_out;
+    /// Partitioned by util::prefix_shard(); worker s owns slot s during a
+    /// pipeline region. Size 1 when parallelism == 1.
+    std::vector<std::unordered_map<util::Prefix, AdjInRoute>> adj_rib_in;
+    std::unordered_map<util::Prefix, AttrsPtr> adj_rib_out;  // main thread only
     std::vector<util::Prefix> pending;           // export work list, ordered
     std::unordered_set<util::Prefix> pending_set;  // dedupe for the work list
 
-    PeerState(net::EventLoop& loop, net::Duplex::End end, bgp::PeerSession::Config sc)
-        : session(loop, end, sc) {}
+    PeerState(net::EventLoop& loop, net::Duplex::End end, bgp::PeerSession::Config sc,
+              std::size_t shards)
+        : session(loop, end, sc), adj_rib_in(shards) {}
   };
 
   /// The host-side route handle behind ExecContext::route (hidden argument).
@@ -354,24 +431,58 @@ class Router final : public xbgp::HostApi {
     PeerState* src = nullptr;         // learned-from peer (null for local)
   };
 
+  struct FibShard {
+    std::unordered_map<util::Prefix, util::Ipv4Addr> map;
+    /// Guards `map`: decision writes come from the owning shard worker, but
+    /// extensions may rib_add_route()/rib_lookup() any prefix from any slot.
+    mutable std::mutex mu;
+  };
+
+  /// Per-execution-slot scratch for the policy engine.
+  struct PolicyScratch {
+    std::vector<bgp::Asn> path;
+    std::vector<std::uint32_t> comms;
+  };
+
+  static Config patch_config(Config c) {
+    if (c.parallelism == 0) c.parallelism = 1;
+    if (c.vmm_options.execution_contexts < c.parallelism) {
+      c.vmm_options.execution_contexts = c.parallelism;
+    }
+    return c;
+  }
+
+  [[nodiscard]] std::size_t shard_of(const util::Prefix& p) const noexcept {
+    return util::prefix_shard(p, shards_);
+  }
+
   // --- peer/session events -------------------------------------------------------
 
   void on_peer_established(PeerState& peer) {
     util::log_info(cfg_.name, ": session with ", peer.cfg.name, " established");
     // Initial advertisement: the whole Loc-RIB plus local routes.
-    for (const auto& [prefix, entry] : loc_rib_) queue_export(peer, prefix);
+    for (const auto& shard : loc_rib_)
+      for (const auto& [prefix, entry] : shard) queue_export(peer, prefix);
     schedule_flush();
   }
 
   void on_peer_down(PeerState& peer, const std::string& reason) {
     util::log_warn(cfg_.name, ": session with ", peer.cfg.name, " down: ", reason);
+    // Updates queued for the pipeline but not yet processed die with the
+    // session, exactly as unparsed socket bytes would.
+    if (!ingest_batch_.empty()) {
+      std::erase_if(ingest_batch_, [&](const PendingUpdate& pu) { return pu.peer == &peer; });
+    }
     // Standard BGP: all routes learned from the peer are invalidated.
     std::vector<util::Prefix> lost;
-    lost.reserve(peer.adj_rib_in.size());
-    for (const auto& [prefix, route] : peer.adj_rib_in) lost.push_back(prefix);
-    peer.adj_rib_in.clear();
+    for (auto& shard : peer.adj_rib_in) {
+      for (const auto& [prefix, route] : shard) lost.push_back(prefix);
+      shard.clear();
+    }
     peer.adj_rib_out.clear();
-    for (const auto& prefix : lost) run_decision(prefix);
+    for (const auto& prefix : lost) {
+      if (run_decision(prefix, 0)) queue_export_all(prefix);
+    }
     schedule_flush();
   }
 
@@ -383,7 +494,8 @@ class Router final : public xbgp::HostApi {
 
     // (1) BGP_RECEIVE_MESSAGE: raw wire bytes + the parsed neutral attribute
     // set. Extensions recover custom attributes here (e.g. GeoLoc) before
-    // the host conversion would drop them.
+    // the host conversion would drop them. Always on the main thread, in
+    // arrival order, regardless of parallelism.
     xbgp::ExecContext rx;
     rx.op = xbgp::Op::kReceiveMessage;
     rx.peer = &peer;
@@ -393,9 +505,30 @@ class Router final : public xbgp::HostApi {
     vmm_.execute(xbgp::Op::kReceiveMessage, rx,
                  [] { return xbgp::kOpOk; });
 
+    if (shards_ > 1) {
+      // Parallel pipeline: defer the per-NLRI work into a batch drained by
+      // one posted event, so consecutive deliveries coalesce into one
+      // fork-join region.
+      PendingUpdate pu;
+      pu.peer = &peer;
+      pu.update = std::move(update);
+      pu.keep_codes = std::move(rx.ext_added_codes);
+      ingest_batch_.push_back(std::move(pu));
+      if (!ingest_scheduled_) {
+        ingest_scheduled_ = true;
+        loop_.post([this] {
+          ingest_scheduled_ = false;
+          drain_ingest();
+        });
+      }
+      return;
+    }
+
     for (const auto& prefix : update.withdrawn) {
       ++stats_.withdrawals_in;
-      if (peer.adj_rib_in.erase(prefix) > 0) run_decision(prefix);
+      if (peer.adj_rib_in[0].erase(prefix) > 0 && run_decision(prefix, 0)) {
+        queue_export_all(prefix);
+      }
     }
 
     if (!update.nlri.empty()) {
@@ -414,7 +547,9 @@ class Router final : public xbgp::HostApi {
         !update.attrs.has(bgp::attr_code::kNextHop)) {
       ++stats_.malformed_updates;
       for (const auto& prefix : update.nlri) {
-        if (peer.adj_rib_in.erase(prefix) > 0) run_decision(prefix);
+        if (peer.adj_rib_in[0].erase(prefix) > 0 && run_decision(prefix, 0)) {
+          queue_export_all(prefix);
+        }
       }
       return;
     }
@@ -434,37 +569,186 @@ class Router final : public xbgp::HostApi {
       ++stats_.prefixes_in;
       std::uint32_t meta = 0;
       RouteCtx route{prefix, shared.get(), shared.get(), &meta, &peer};
-
-      // (2) BGP_INBOUND_FILTER.
-      xbgp::ExecContext ctx;
-      ctx.op = xbgp::Op::kInboundFilter;
-      ctx.peer = &peer;
-      ctx.src_peer = &peer;
-      ctx.route = &route;
-      xbgp::PrefixArg parg{prefix.addr().value(), prefix.length(), {}};
-      ctx.add_arg(xbgp::arg::kPrefix,
-                  std::span(reinterpret_cast<const std::uint8_t*>(&parg), sizeof(parg)));
-
-      const std::uint64_t verdict =
-          vmm_.execute(xbgp::Op::kInboundFilter, ctx,
-                       [&] { return native_import_policy(route, peer); });
+      const std::uint64_t verdict = run_inbound_filter(peer, route, 0);
 
       if (verdict != xbgp::kFilterAccept) {
         ++stats_.prefixes_rejected_in;
-        if (peer.adj_rib_in.erase(prefix) > 0) run_decision(prefix);
+        if (peer.adj_rib_in[0].erase(prefix) > 0 && run_decision(prefix, 0)) {
+          queue_export_all(prefix);
+        }
         continue;
       }
       ++stats_.prefixes_accepted;
-      count_ov(meta);
-      peer.adj_rib_in[prefix] = AdjInRoute{shared, meta};
-      run_decision(prefix);
+      count_ov(meta, stats_);
+      peer.adj_rib_in[0][prefix] = AdjInRoute{shared, meta};
+      if (run_decision(prefix, 0)) queue_export_all(prefix);
     }
+  }
+
+  /// (2) BGP_INBOUND_FILTER on the given execution slot.
+  std::uint64_t run_inbound_filter(PeerState& peer, RouteCtx& route, std::size_t slot) {
+    xbgp::ExecContext ctx;
+    ctx.op = xbgp::Op::kInboundFilter;
+    ctx.peer = &peer;
+    ctx.src_peer = &peer;
+    ctx.route = &route;
+    xbgp::PrefixArg parg{route.prefix.addr().value(), route.prefix.length(), {}};
+    ctx.add_arg(xbgp::arg::kPrefix,
+                std::span(reinterpret_cast<const std::uint8_t*>(&parg), sizeof(parg)));
+    return vmm_.execute_on(
+        xbgp::Op::kInboundFilter, ctx,
+        [&] { return native_import_policy(route, peer, scratch_[slot]); }, slot);
+  }
+
+  // --- parallel ingest (parallelism > 1) ---------------------------------------------
+
+  struct PendingUpdate {
+    PeerState* peer = nullptr;
+    bgp::UpdateMessage update;
+    std::vector<std::uint8_t> keep_codes;
+    std::size_t seq_base = 0;
+  };
+
+  /// One Adj-RIB-In mutation produced by stage A. `seq` reconstructs the
+  /// serial processing order (message arrival order, NLRI order within a
+  /// message), so per-shard application and the export work list are
+  /// identical to the parallelism == 1 run.
+  struct IngestItem {
+    enum class Kind : std::uint8_t { kInstall, kErase };
+    Kind kind = Kind::kErase;
+    std::size_t seq = 0;
+    util::Prefix prefix;
+    PeerState* peer = nullptr;
+    AttrsPtr attrs;
+    std::uint32_t meta = 0;
+  };
+
+  /// Stage A: everything per-update that needs no RIB access — mandatory
+  /// attribute checks, host conversion, loop check, the inbound filter per
+  /// NLRI. One worker owns a whole update (extensions and policy that
+  /// mutate the update's shared attribute object keep serial semantics).
+  void ingest_stage_a(PendingUpdate& pu, std::vector<IngestItem>& items, RouterStats& st,
+                      std::size_t slot) {
+    PeerState& peer = *pu.peer;
+    const bgp::UpdateMessage& update = pu.update;
+    std::size_t seq = pu.seq_base;
+
+    for (const auto& prefix : update.withdrawn) {
+      ++st.withdrawals_in;
+      items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0});
+    }
+    if (update.nlri.empty()) return;
+
+    if (!update.attrs.has(bgp::attr_code::kOrigin) ||
+        !update.attrs.has(bgp::attr_code::kAsPath) ||
+        !update.attrs.has(bgp::attr_code::kNextHop)) {
+      ++st.malformed_updates;
+      for (const auto& prefix : update.nlri) {
+        items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0});
+      }
+      return;
+    }
+
+    auto shared = std::make_shared<Attrs>(Core::from_wire(update.attrs, pu.keep_codes));
+    const bool ebgp = peer.session.peer_type() == bgp::PeerType::kEbgp;
+    if (ebgp && Core::as_path_contains(*shared, cfg_.asn)) {
+      st.loop_rejected += update.nlri.size();
+      return;
+    }
+
+    for (const auto& prefix : update.nlri) {
+      ++st.prefixes_in;
+      std::uint32_t meta = 0;
+      RouteCtx route{prefix, shared.get(), shared.get(), &meta, &peer};
+      const std::uint64_t verdict = run_inbound_filter(peer, route, slot);
+      if (verdict != xbgp::kFilterAccept) {
+        ++st.prefixes_rejected_in;
+        items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0});
+        continue;
+      }
+      ++st.prefixes_accepted;
+      count_ov(meta, st);
+      items.push_back(
+          IngestItem{IngestItem::Kind::kInstall, seq++, prefix, &peer, shared, meta});
+    }
+  }
+
+  /// Drains the batched updates through the two pipeline stages:
+  ///   A) per-update work, workers striding over whole updates;
+  ///   B) per-shard Adj-RIB-In application + decision, worker s == shard s;
+  /// then merges the per-shard changed lists back into serial order.
+  void drain_ingest() {
+    if (ingest_batch_.empty()) return;
+    std::vector<PendingUpdate> batch;
+    batch.swap(ingest_batch_);
+
+    std::size_t seq = 0;
+    for (auto& pu : batch) {
+      pu.seq_base = seq;
+      seq += pu.update.withdrawn.size() + pu.update.nlri.size();
+    }
+
+    std::vector<std::vector<IngestItem>> worker_items(shards_);
+    std::vector<RouterStats> worker_stats(shards_);
+    pool_.run_indexed(shards_, [&](std::size_t w) {
+      for (std::size_t u = w; u < batch.size(); u += shards_) {
+        ingest_stage_a(batch[u], worker_items[w], worker_stats[w], w);
+      }
+    });
+
+    std::vector<std::vector<const IngestItem*>> shard_items(shards_);
+    for (const auto& items : worker_items) {
+      for (const auto& item : items) shard_items[shard_of(item.prefix)].push_back(&item);
+    }
+    for (auto& items : shard_items) {
+      std::sort(items.begin(), items.end(),
+                [](const IngestItem* a, const IngestItem* b) { return a->seq < b->seq; });
+    }
+
+    std::vector<std::vector<std::pair<std::size_t, util::Prefix>>> changed(shards_);
+    pool_.run_indexed(shards_, [&](std::size_t s) {
+      for (const IngestItem* item : shard_items[s]) {
+        auto& rib = item->peer->adj_rib_in[s];
+        bool touched = true;
+        if (item->kind == IngestItem::Kind::kErase) {
+          touched = rib.erase(item->prefix) > 0;
+        } else {
+          rib[item->prefix] = AdjInRoute{item->attrs, item->meta};
+        }
+        if (touched && run_decision(item->prefix, s)) {
+          changed[s].emplace_back(item->seq, item->prefix);
+        }
+      }
+    });
+
+    std::vector<std::pair<std::size_t, util::Prefix>> ordered;
+    for (const auto& list : changed) ordered.insert(ordered.end(), list.begin(), list.end());
+    std::sort(ordered.begin(), ordered.end());
+    for (const auto& [s, prefix] : ordered) queue_export_all(prefix);
+    for (const auto& ws : worker_stats) fold_stats(ws);
+    schedule_flush();
+  }
+
+  void fold_stats(const RouterStats& ws) {
+    stats_.updates_out += ws.updates_out;
+    stats_.prefixes_in += ws.prefixes_in;
+    stats_.prefixes_accepted += ws.prefixes_accepted;
+    stats_.prefixes_rejected_in += ws.prefixes_rejected_in;
+    stats_.withdrawals_in += ws.withdrawals_in;
+    stats_.exports_rejected += ws.exports_rejected;
+    stats_.loop_rejected += ws.loop_rejected;
+    stats_.malformed_updates += ws.malformed_updates;
+    stats_.ov_valid += ws.ov_valid;
+    stats_.ov_invalid += ws.ov_invalid;
+    stats_.ov_not_found += ws.ov_not_found;
+    // updates_in is counted at delivery, extension_faults under fault_mu_.
   }
 
   /// The native (default) import policy: RFC 4456 loop prevention when this
   /// router is a native route reflector, RFC 6811 origin validation when a
   /// ROA table is configured.
-  std::uint64_t native_import_policy(RouteCtx& route, PeerState& peer) {
+  std::uint64_t native_import_policy(RouteCtx& route, PeerState& peer,
+                                     PolicyScratch& scratch) {
     if (cfg_.native_route_reflector &&
         peer.session.peer_type() == bgp::PeerType::kIbgp) {
       if (auto originator = Core::originator_id(*route.attrs);
@@ -486,7 +770,7 @@ class Router final : public xbgp::HostApi {
       }
     }
     if (cfg_.import_policy != nullptr &&
-        !run_policy(*cfg_.import_policy, route, peer)) {
+        !run_policy(*cfg_.import_policy, route, peer, scratch)) {
       return xbgp::kFilterReject;
     }
     return xbgp::kFilterAccept;
@@ -495,19 +779,20 @@ class Router final : public xbgp::HostApi {
   /// Evaluates a route-map against the route. Set actions apply to the
   /// route's mutable attributes (when the context allows mutation) and the
   /// metadata word (e.g. `match rpki` records the validation state).
-  bool run_policy(const bgp::policy::RouteMap& map, RouteCtx& route, PeerState& peer) {
+  bool run_policy(const bgp::policy::RouteMap& map, RouteCtx& route, PeerState& peer,
+                  PolicyScratch& scratch) {
     bgp::policy::RouteFacts facts;
     facts.prefix = route.prefix;
     const Attrs& attrs = *route.attrs;
     facts.origin_asn = Core::origin_asn(attrs);
-    Core::flatten_as_path(attrs, scratch_path_);
-    facts.as_path = scratch_path_;
+    Core::flatten_as_path(attrs, scratch.path);
+    facts.as_path = scratch.path;
     facts.next_hop = Core::next_hop(attrs);
     if (facts.next_hop) facts.igp_metric_to_nexthop = igp_metric(*facts.next_hop);
     facts.local_pref = Core::local_pref_or(attrs, 100);
     facts.med = Core::med(attrs);
-    Core::communities_of(attrs, scratch_comms_);
-    facts.communities = scratch_comms_;
+    Core::communities_of(attrs, scratch.comms);
+    facts.communities = scratch.comms;
     facts.peer_type = peer.session.peer_type();
     facts.peer_asn = peer.session.config().peer_asn;
 
@@ -519,17 +804,22 @@ class Router final : public xbgp::HostApi {
     return verdict.permitted;
   }
 
-  void count_ov(std::uint32_t meta) {
+  static void count_ov(std::uint32_t meta, RouterStats& st) {
     switch (meta) {
-      case xbgp::kMetaOvValid: ++stats_.ov_valid; break;
-      case xbgp::kMetaOvInvalid: ++stats_.ov_invalid; break;
-      default: ++stats_.ov_not_found; break;
+      case xbgp::kMetaOvValid: ++st.ov_valid; break;
+      case xbgp::kMetaOvInvalid: ++st.ov_invalid; break;
+      default: ++st.ov_not_found; break;
     }
   }
 
   // --- decision process ----------------------------------------------------------
 
-  void run_decision(const util::Prefix& prefix) {
+  /// Recomputes the best route for `prefix` (shard-local: touches only the
+  /// prefix's Adj-RIB-In/Loc-RIB/FIB shard, so distinct-shard calls may run
+  /// concurrently). Returns true when the Loc-RIB changed; the caller is
+  /// responsible for queueing export work.
+  bool run_decision(const util::Prefix& prefix, std::size_t slot) {
+    const std::size_t shard = shard_of(prefix);
     // Gather candidates: local routes win outright (administrative weight),
     // otherwise the best Adj-RIB-In entry across peers.
     LocRibEntry winner;
@@ -539,39 +829,40 @@ class Router final : public xbgp::HostApi {
       have = true;
     } else {
       for (auto& peer : peers_) {
-        auto it = peer->adj_rib_in.find(prefix);
-        if (it == peer->adj_rib_in.end()) continue;
+        auto it = peer->adj_rib_in[shard].find(prefix);
+        if (it == peer->adj_rib_in[shard].end()) continue;
         LocRibEntry candidate{peer->id, it->second.attrs, it->second.meta};
         if (!have) {
           winner = std::move(candidate);
           have = true;
           continue;
         }
-        if (candidate_better(prefix, candidate, winner)) winner = std::move(candidate);
+        if (candidate_better(prefix, candidate, winner, slot)) winner = std::move(candidate);
       }
     }
 
-    auto cur = loc_rib_.find(prefix);
+    auto& rib = loc_rib_[shard];
+    auto cur = rib.find(prefix);
     if (!have) {
-      if (cur != loc_rib_.end()) {
-        loc_rib_.erase(cur);
-        fib_.erase(prefix);
-        queue_export_all(prefix);
+      if (cur != rib.end()) {
+        rib.erase(cur);
+        fib_erase(prefix);
+        return true;
       }
-      return;
+      return false;
     }
-    const bool changed = cur == loc_rib_.end() || cur->second.attrs != winner.attrs ||
+    const bool changed = cur == rib.end() || cur->second.attrs != winner.attrs ||
                          cur->second.from != winner.from;
     if (changed) {
-      if (auto nh = Core::next_hop(*winner.attrs)) fib_[prefix] = *nh;
-      loc_rib_[prefix] = winner;
-      queue_export_all(prefix);
+      if (auto nh = Core::next_hop(*winner.attrs)) fib_set(prefix, *nh);
+      rib[prefix] = winner;
     }
+    return changed;
   }
 
   /// Pairwise comparison, overridable at the BGP_DECISION insertion point.
   bool candidate_better(const util::Prefix& prefix, const LocRibEntry& cand,
-                        const LocRibEntry& best) {
+                        const LocRibEntry& best, std::size_t slot) {
     auto native = [&]() -> std::uint64_t {
       return bgp::better(make_view(cand), make_view(best)) ? xbgp::kDecisionTakeNew
                                                            : xbgp::kDecisionKeepOld;
@@ -591,7 +882,7 @@ class Router final : public xbgp::HostApi {
     xbgp::PrefixArg parg{prefix.addr().value(), prefix.length(), {}};
     ctx.add_arg(xbgp::arg::kPrefix,
                 std::span(reinterpret_cast<const std::uint8_t*>(&parg), sizeof(parg)));
-    return vmm_.execute(xbgp::Op::kDecision, ctx, native) == xbgp::kDecisionTakeNew;
+    return vmm_.execute_on(xbgp::Op::kDecision, ctx, native, slot) == xbgp::kDecisionTakeNew;
   }
 
   bgp::RouteView make_view(const LocRibEntry& entry) const {
@@ -633,6 +924,17 @@ class Router final : public xbgp::HostApi {
     return cfg_.igp->metric_to(nexthop).value_or(0);
   }
 
+  void fib_set(const util::Prefix& prefix, util::Ipv4Addr nh) {
+    FibShard& shard = *fib_[shard_of(prefix)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[prefix] = nh;
+  }
+  void fib_erase(const util::Prefix& prefix) {
+    FibShard& shard = *fib_[shard_of(prefix)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.erase(prefix);
+  }
+
   // --- export pipeline --------------------------------------------------------------
 
   void queue_export(PeerState& peer, const util::Prefix& prefix) {
@@ -656,6 +958,10 @@ class Router final : public xbgp::HostApi {
   void flush_peer(PeerState& peer) {
     if (peer.pending.empty()) return;
     if (!peer.session.established()) return;  // re-announced on establishment
+    if (shards_ > 1) {
+      flush_peer_parallel(peer);
+      return;
+    }
 
     UpdateBuilder builder;
     // Group state: routes sharing the source attrs object and producing
@@ -666,30 +972,29 @@ class Router final : public xbgp::HostApi {
     std::shared_ptr<Attrs> group_attrs;
 
     for (const util::Prefix& prefix : peer.pending) {
-      auto best_it = loc_rib_.find(prefix);
+      const LocRibEntry* best = this->best(prefix);
       const bool had = peer.adj_rib_out.contains(prefix);
 
       // No best route (or split horizon): withdraw if previously advertised.
-      if (best_it == loc_rib_.end() || best_it->second.from == peer.id) {
+      if (best == nullptr || best->from == peer.id) {
         if (had) {
           peer.adj_rib_out.erase(prefix);
           builder.withdraw_prefix(prefix);
         }
         continue;
       }
-      const LocRibEntry& best = best_it->second;
 
-      if (group_src != best.attrs.get() || group_from != best.from) {
+      if (group_src != best->attrs.get() || group_from != best->from) {
         // New source group: run export processing once for the group.
-        group_src = best.attrs.get();
-        group_from = best.from;
+        group_src = best->attrs.get();
+        group_from = best->from;
         group_attrs = nullptr;
-        group_accepted = export_group(peer, prefix, best, group_attrs, builder);
+        group_accepted = export_group(peer, prefix, *best, group_attrs, builder);
       } else if (group_accepted) {
         // Same group: per-route hook invocation with the shared work copy.
-        std::uint32_t meta = best.meta;
-        RouteCtx route{prefix, group_attrs.get(), nullptr, &meta, peer_of(best.from)};
-        if (!run_outbound_filter(peer, route, best)) {
+        std::uint32_t meta = best->meta;
+        RouteCtx route{prefix, group_attrs.get(), nullptr, &meta, peer_of(best->from)};
+        if (!run_outbound_filter(peer, route, *best, 0)) {
           if (had) {
             peer.adj_rib_out.erase(prefix);
             builder.withdraw_prefix(prefix);
@@ -710,13 +1015,17 @@ class Router final : public xbgp::HostApi {
       builder.add_prefix(prefix);
     }
 
+    send_built(peer, builder);
+    peer.pending.clear();
+    peer.pending_set.clear();
+  }
+
+  void send_built(PeerState& peer, UpdateBuilder& builder) {
     for (auto& wire : builder.finish()) {
       peer.session.send_bytes(wire);
       peer.session.count_update_sent();
       ++stats_.updates_out;
     }
-    peer.pending.clear();
-    peer.pending_set.clear();
   }
 
   /// Export processing for the first route of a group: copy the source
@@ -728,32 +1037,158 @@ class Router final : public xbgp::HostApi {
     std::uint32_t meta = best.meta;
     RouteCtx route{prefix, work.get(), work.get(), &meta, peer_of(best.from)};
 
-    if (!run_outbound_filter(peer, route, best)) {
+    if (!run_outbound_filter(peer, route, best, 0)) {
       ++stats_.exports_rejected;
       return false;
     }
 
     apply_export_transform(*work, peer, best);
 
-    // Encode: native attributes, then the BGP_ENCODE_MESSAGE chain for
-    // extension-managed attributes (write_buf appends to this writer).
     util::ByteWriter attr_bytes;
-    Core::encode_native(*work, attr_bytes);
-    xbgp::ExecContext ctx;
-    ctx.op = xbgp::Op::kEncodeMessage;
-    ctx.peer = &peer;
-    ctx.src_peer = peer_of(best.from);
-    RouteCtx enc_route{prefix, work.get(), nullptr, &meta, peer_of(best.from)};
-    ctx.route = &enc_route;
-    ctx.out = &attr_bytes;
-    vmm_.execute(xbgp::Op::kEncodeMessage, ctx, [] { return xbgp::kOpOk; });
+    encode_group(peer, prefix, best, *work, meta, 0, attr_bytes);
 
     builder.begin_group(attr_bytes.view());
     out_attrs = std::move(work);
     return true;
   }
 
-  bool run_outbound_filter(PeerState& peer, RouteCtx& route, const LocRibEntry& best) {
+  /// Encode: native attributes, then the BGP_ENCODE_MESSAGE chain for
+  /// extension-managed attributes (write_buf appends to this writer).
+  void encode_group(PeerState& peer, const util::Prefix& prefix, const LocRibEntry& best,
+                    Attrs& work, std::uint32_t meta, std::size_t slot,
+                    util::ByteWriter& attr_bytes) {
+    Core::encode_native(work, attr_bytes);
+    xbgp::ExecContext ctx;
+    ctx.op = xbgp::Op::kEncodeMessage;
+    ctx.peer = &peer;
+    ctx.src_peer = peer_of(best.from);
+    RouteCtx enc_route{prefix, &work, nullptr, &meta, peer_of(best.from)};
+    ctx.route = &enc_route;
+    ctx.out = &attr_bytes;
+    vmm_.execute_on(xbgp::Op::kEncodeMessage, ctx, [] { return xbgp::kOpOk; }, slot);
+  }
+
+  // --- parallel export (parallelism > 1) ---------------------------------------------
+
+  /// One attribute group of a flush, in Loc-RIB pending order: the VM-heavy
+  /// work (outbound filters, export transform, encoding) is computed by a
+  /// worker; the results are applied by the main thread in order.
+  struct ExportGroupWork {
+    LocRibEntry best;
+    util::Prefix first_prefix;
+    std::vector<util::Prefix> rest;          // subsequent routes of the group
+    // Worker results:
+    bool accepted = false;
+    std::shared_ptr<Attrs> attrs;            // post-transform working copy
+    std::vector<std::uint8_t> encoded;       // attribute section bytes
+    std::vector<char> rest_verdicts;         // per-subsequent-route filter verdicts
+  };
+
+  void compute_export_group(PeerState& peer, ExportGroupWork& gw, std::size_t slot) {
+    auto work = std::make_shared<Attrs>(*gw.best.attrs);
+    std::uint32_t meta = gw.best.meta;
+    RouteCtx route{gw.first_prefix, work.get(), work.get(), &meta, peer_of(gw.best.from)};
+    if (!run_outbound_filter(peer, route, gw.best, slot)) return;  // accepted stays false
+
+    apply_export_transform(*work, peer, gw.best);
+    util::ByteWriter attr_bytes;
+    encode_group(peer, gw.first_prefix, gw.best, *work, meta, slot, attr_bytes);
+    gw.encoded.assign(attr_bytes.view().begin(), attr_bytes.view().end());
+    gw.attrs = std::move(work);
+    gw.accepted = true;
+
+    gw.rest_verdicts.assign(gw.rest.size(), 0);
+    for (std::size_t i = 0; i < gw.rest.size(); ++i) {
+      std::uint32_t m = gw.best.meta;
+      RouteCtx r{gw.rest[i], gw.attrs.get(), nullptr, &m, peer_of(gw.best.from)};
+      gw.rest_verdicts[i] = run_outbound_filter(peer, r, gw.best, slot) ? 1 : 0;
+    }
+  }
+
+  void flush_peer_parallel(PeerState& peer) {
+    enum : std::uint8_t { kActWithdraw, kActFirst, kActMember };
+    struct Step {
+      std::uint8_t act = kActWithdraw;
+      util::Prefix prefix;
+      std::size_t group = 0;
+      bool had = false;
+      std::size_t member = 0;
+    };
+
+    // Plan the flush on the main thread, in pending order, replicating the
+    // serial group state machine exactly (withdraws do not break a group).
+    std::vector<Step> steps;
+    std::vector<ExportGroupWork> groups;
+    const Attrs* group_src = nullptr;
+    PeerId group_from = kLocalRoute;
+    for (const util::Prefix& prefix : peer.pending) {
+      const LocRibEntry* best = this->best(prefix);
+      const bool had = peer.adj_rib_out.contains(prefix);
+      if (best == nullptr || best->from == peer.id) {
+        if (had) steps.push_back(Step{kActWithdraw, prefix, 0, true, 0});
+        continue;
+      }
+      if (group_src != best->attrs.get() || group_from != best->from) {
+        group_src = best->attrs.get();
+        group_from = best->from;
+        groups.emplace_back();
+        groups.back().best = *best;
+        groups.back().first_prefix = prefix;
+        steps.push_back(Step{kActFirst, prefix, groups.size() - 1, had, 0});
+      } else {
+        auto& gw = groups.back();
+        gw.rest.push_back(prefix);
+        steps.push_back(Step{kActMember, prefix, groups.size() - 1, had, gw.rest.size() - 1});
+      }
+    }
+
+    if (!groups.empty()) {
+      pool_.run_indexed(shards_, [&](std::size_t w) {
+        for (std::size_t g = w; g < groups.size(); g += shards_) {
+          compute_export_group(peer, groups[g], w);
+        }
+      });
+    }
+
+    // Apply in pending order: Adj-RIB-Out updates, message packing and the
+    // exports_rejected accounting match the serial path step for step.
+    UpdateBuilder builder;
+    for (const Step& step : steps) {
+      if (step.act == kActWithdraw) {
+        peer.adj_rib_out.erase(step.prefix);
+        builder.withdraw_prefix(step.prefix);
+        continue;
+      }
+      ExportGroupWork& gw = groups[step.group];
+      if (!gw.accepted) {
+        // The serial path counts the group-opening route twice (once inside
+        // export_group, once at the call site); replicated for stat parity.
+        stats_.exports_rejected += step.act == kActFirst ? 2 : 1;
+        if (step.had) {
+          peer.adj_rib_out.erase(step.prefix);
+          builder.withdraw_prefix(step.prefix);
+        }
+        continue;
+      }
+      if (step.act == kActMember && gw.rest_verdicts[step.member] == 0) {
+        if (step.had) {
+          peer.adj_rib_out.erase(step.prefix);
+          builder.withdraw_prefix(step.prefix);
+        }
+        continue;
+      }
+      if (step.act == kActFirst) builder.begin_group(gw.encoded);
+      peer.adj_rib_out[step.prefix] = gw.attrs;
+      builder.add_prefix(step.prefix);
+    }
+
+    send_built(peer, builder);
+    peer.pending.clear();
+    peer.pending_set.clear();
+  }
+
+  bool run_outbound_filter(PeerState& peer, RouteCtx& route, const LocRibEntry& best,
+                           std::size_t slot) {
     xbgp::ExecContext ctx;
     ctx.op = xbgp::Op::kOutboundFilter;
     ctx.peer = &peer;
@@ -762,9 +1197,9 @@ class Router final : public xbgp::HostApi {
     xbgp::PrefixArg parg{route.prefix.addr().value(), route.prefix.length(), {}};
     ctx.add_arg(xbgp::arg::kPrefix,
                 std::span(reinterpret_cast<const std::uint8_t*>(&parg), sizeof(parg)));
-    const std::uint64_t verdict =
-        vmm_.execute(xbgp::Op::kOutboundFilter, ctx,
-                     [&] { return native_export_policy(peer, route, best); });
+    const std::uint64_t verdict = vmm_.execute_on(
+        xbgp::Op::kOutboundFilter, ctx,
+        [&] { return native_export_policy(peer, route, best, scratch_[slot]); }, slot);
     return verdict == xbgp::kFilterAccept;
   }
 
@@ -772,7 +1207,7 @@ class Router final : public xbgp::HostApi {
   /// and, when this router is a native route reflector, RFC 4456 reflection
   /// (which mutates the working copy: ORIGINATOR_ID + CLUSTER_LIST).
   std::uint64_t native_export_policy(PeerState& dst, RouteCtx& route,
-                                     const LocRibEntry& best) {
+                                     const LocRibEntry& best, PolicyScratch& scratch) {
     const bool from_ibgp = best.from != kLocalRoute &&
                            peers_[best.from]->session.peer_type() == bgp::PeerType::kIbgp;
     const bool to_ibgp = dst.session.peer_type() == bgp::PeerType::kIbgp;
@@ -786,7 +1221,8 @@ class Router final : public xbgp::HostApi {
                       cfg_.cluster_id);
       }
     }
-    if (cfg_.export_policy != nullptr && !run_policy(*cfg_.export_policy, route, dst)) {
+    if (cfg_.export_policy != nullptr &&
+        !run_policy(*cfg_.export_policy, route, dst, scratch)) {
       return xbgp::kFilterReject;
     }
     return xbgp::kFilterAccept;
@@ -826,15 +1262,19 @@ class Router final : public xbgp::HostApi {
   net::EventLoop& loop_;
   Config cfg_;
   xbgp::Vmm vmm_;
+  std::size_t shards_;          // == cfg_.parallelism (>= 1)
+  util::ThreadPool pool_;       // shards_ - 1 workers; the caller participates
+  std::vector<PolicyScratch> scratch_;  // one per execution slot
   std::vector<std::unique_ptr<PeerState>> peers_;
   std::unordered_map<util::Prefix, AttrsPtr> local_routes_;
-  std::unordered_map<util::Prefix, LocRibEntry> loc_rib_;
-  std::unordered_map<util::Prefix, util::Ipv4Addr> fib_;
+  /// Loc-RIB and FIB, partitioned by util::prefix_shard().
+  std::vector<std::unordered_map<util::Prefix, LocRibEntry>> loc_rib_;
+  std::vector<std::unique_ptr<FibShard>> fib_;
+  std::vector<PendingUpdate> ingest_batch_;
+  bool ingest_scheduled_ = false;
   bool flush_scheduled_ = false;
   RouterStats stats_;
-  // Policy-engine scratch space, reused across evaluations.
-  std::vector<bgp::Asn> scratch_path_;
-  std::vector<std::uint32_t> scratch_comms_;
+  std::mutex fault_mu_;  // guards stats_.extension_faults (worker-written)
 };
 
 }  // namespace xb::hosts::engine

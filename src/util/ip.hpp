@@ -74,6 +74,20 @@ class Prefix {
   std::uint8_t len_ = 0;
 };
 
+/// Stable shard assignment for the parallel UPDATE pipeline: the same
+/// (prefix, shard-count) pair maps to the same shard on every host and at
+/// every parallelism level, so pre-sharded workloads and the engine's
+/// internal partitioning agree. SplitMix64 finalizer over (addr, len).
+[[nodiscard]] constexpr std::size_t prefix_shard(const Prefix& p,
+                                                 std::size_t shards) noexcept {
+  if (shards <= 1) return 0;
+  std::uint64_t x = (static_cast<std::uint64_t>(p.addr().value()) << 8) | p.length();
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shards);
+}
+
 }  // namespace xb::util
 
 template <>

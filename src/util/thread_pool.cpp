@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+namespace xb::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::drain(Job& job, std::unique_lock<std::mutex>& lock) {
+  while (job.next < job.n) {
+    const std::size_t index = job.next++;
+    lock.unlock();
+    try {
+      (*job.fn)(index);
+    } catch (...) {
+      lock.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      ++job.done;
+      continue;
+    }
+    lock.lock();
+    ++job.done;
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    Job* job = job_;
+    if (job == nullptr) continue;
+    drain(*job, lock);
+    if (job->done == job->n) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  std::unique_lock<std::mutex> lock(mu_);
+  first_error_ = nullptr;
+  job_ = &job;
+  ++generation_;
+  work_cv_.notify_all();
+  drain(job, lock);  // the caller participates
+  done_cv_.wait(lock, [&] { return job.done == job.n; });
+  job_ = nullptr;
+  if (first_error_) {
+    auto error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace xb::util

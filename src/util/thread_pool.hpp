@@ -1,0 +1,62 @@
+// Fixed-size fork-join worker pool for the sharded UPDATE pipeline.
+//
+// The engine stays a deterministic single-threaded event loop; parallelism
+// is confined to bounded fork-join regions inside one loop event (a batch
+// drain or an export flush). run_indexed() hands out indices [0, n) to the
+// workers *and the calling thread*, and returns only when every index has
+// completed — so everything that happened inside the region happens-before
+// the code after the call, and no worker ever touches engine state between
+// regions.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xb::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. Zero workers is valid: run_indexed() then
+  /// executes everything inline on the calling thread.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Invokes fn(i) exactly once for every i in [0, n), distributed over the
+  /// workers and the calling thread, and blocks until all invocations have
+  /// returned. The first exception thrown by any invocation is rethrown on
+  /// the caller after the join (remaining indices still run).
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t next = 0;  // next index to hand out (guarded by mu_)
+    std::size_t done = 0;  // completed invocations (guarded by mu_)
+  };
+
+  void worker_loop();
+  /// Runs job indices until none remain; returns with mu_ held by `lock`.
+  void drain(Job& job, std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new job generation exists
+  std::condition_variable done_cv_;  // caller: all indices of this job done
+  std::uint64_t generation_ = 0;
+  Job* job_ = nullptr;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xb::util

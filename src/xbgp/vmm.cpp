@@ -14,8 +14,13 @@ using ebpf::HelperResult;
 
 Vmm::Vmm(HostApi& host) : Vmm(host, Options{}) {}
 
-Vmm::Vmm(HostApi& host, Options options)
-    : host_(host), options_(options), arena_(options.arena_size) {}
+Vmm::Vmm(HostApi& host, Options options) : host_(host), options_(options) {
+  const std::size_t contexts = std::max<std::size_t>(1, options_.execution_contexts);
+  slots_.reserve(contexts);
+  for (std::size_t i = 0; i < contexts; ++i) {
+    slots_.push_back(std::make_unique<ExecSlot>(options_.arena_size));
+  }
+}
 
 Vmm::~Vmm() = default;
 
@@ -46,9 +51,16 @@ void Vmm::load(const Manifest& manifest) {
     git->second->map_capacity_hint =
         std::max(git->second->map_capacity_hint, entry.map_capacity_hint);
     prog->group = git->second.get();
-    prog->vm.set_instruction_budget(entry.point == Op::kInit ? options_.init_instruction_budget
-                                                             : options_.instruction_budget);
-    bind_helpers(*prog);
+    // One interpreter per execution slot, all instantiated from the single
+    // verified bytecode — shard-local mutable state, shared immutable code.
+    prog->vms.reserve(slots_.size());
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+      prog->vms.push_back(std::make_unique<ebpf::Vm>());
+      prog->vms.back()->set_instruction_budget(entry.point == Op::kInit
+                                                   ? options_.init_instruction_budget
+                                                   : options_.instruction_budget);
+      bind_helpers(*prog, slot);
+    }
     chains_[static_cast<std::size_t>(entry.point)].push_back(prog.get());
     loaded_now.push_back(prog.get());
     programs_.push_back(std::move(prog));
@@ -74,55 +86,77 @@ void Vmm::unload_all() {
   groups_.clear();
 }
 
+Vmm::Stats Vmm::stats() const noexcept {
+  Stats total;
+  for (const auto& slot : slots_) {
+    total.invocations += slot->stats.invocations;
+    total.extension_handled += slot->stats.extension_handled;
+    total.next_yields += slot->stats.next_yields;
+    total.faults += slot->stats.faults;
+    total.native_fallbacks += slot->stats.native_fallbacks;
+  }
+  return total;
+}
+
+void Vmm::reset_stats() noexcept {
+  for (auto& slot : slots_) slot->stats = Stats{};
+}
+
 void Vmm::run_init(LoadedProgram& prog) {
   ExecContext ctx;
   ctx.op = Op::kInit;
-  current_ctx_ = &ctx;
-  arena_.reset();
-  auto& mem = prog.vm.memory();
+  ExecSlot& slot = *slots_[0];
+  slot.current_ctx = &ctx;
+  slot.arena.reset();
+  auto& vm = *prog.vms[0];
+  auto& mem = vm.memory();
   mem.reset_to_base();
-  mem.add_region(arena_.base(), arena_.capacity(), true, "ephemeral-arena");
-  mem.add_region(prog.group->pool.arena().base(), prog.group->pool.arena().capacity(), true, "shared-pool");
-  current_prog_ = &prog;
-  const auto res = prog.vm.run(prog.entry.program, static_cast<std::uint64_t>(Op::kInit));
-  ++prog.runs;
-  current_prog_ = nullptr;
-  current_ctx_ = nullptr;
+  mem.add_region(slot.arena.base(), slot.arena.capacity(), true, "ephemeral-arena");
+  mem.add_region(prog.group->pool.arena().base(), prog.group->pool.arena().capacity(), true,
+                 "shared-pool");
+  const auto res = vm.run(prog.entry.program, static_cast<std::uint64_t>(Op::kInit));
+  prog.runs.fetch_add(1, std::memory_order_relaxed);
+  slot.current_ctx = nullptr;
   if (res.faulted()) {
-    ++stats_.faults;
+    ++slot.stats.faults;
     host_.notify_extension_fault(Op::kInit, prog.entry.name, res.fault.detail);
   }
 }
 
-Vmm::ChainOutcome Vmm::run_chain(std::vector<LoadedProgram*>& chain, ExecContext& ctx, Op op) {
-  current_ctx_ = &ctx;
+Vmm::ChainOutcome Vmm::run_chain(std::vector<LoadedProgram*>& chain, ExecContext& ctx, Op op,
+                                 ExecSlot& slot) {
+  const std::size_t slot_index = static_cast<std::size_t>(
+      std::find_if(slots_.begin(), slots_.end(),
+                   [&](const auto& s) { return s.get() == &slot; }) -
+      slots_.begin());
+  slot.current_ctx = &ctx;
   ChainOutcome out;
   for (LoadedProgram* prog : chain) {
-    arena_.reset();
-    auto& mem = prog->vm.memory();
+    slot.arena.reset();
+    auto& vm = *prog->vms[slot_index];
+    auto& mem = vm.memory();
     mem.reset_to_base();
-    mem.add_region(arena_.base(), arena_.capacity(), true, "ephemeral-arena");
-    mem.add_region(prog->group->pool.arena().base(), prog->group->pool.arena().capacity(), true, "shared-pool");
-    current_prog_ = prog;
-    const auto res = prog->vm.run(prog->entry.program, static_cast<std::uint64_t>(op));
-    ++prog->runs;
-    current_prog_ = nullptr;
+    mem.add_region(slot.arena.base(), slot.arena.capacity(), true, "ephemeral-arena");
+    mem.add_region(prog->group->pool.arena().base(), prog->group->pool.arena().capacity(),
+                   true, "shared-pool");
+    const auto res = vm.run(prog->entry.program, static_cast<std::uint64_t>(op));
+    prog->runs.fetch_add(1, std::memory_order_relaxed);
     if (res.ok()) {
-      ++stats_.extension_handled;
+      ++slot.stats.extension_handled;
       out.handled = true;
       out.value = res.value;
       break;
     }
     if (res.yielded_next()) {
-      ++stats_.next_yields;
+      ++slot.stats.next_yields;
       continue;  // "delegates the outcome to another one by calling next()"
     }
     // Monitored error: stop, notify, fall back to the native default.
-    ++stats_.faults;
+    ++slot.stats.faults;
     host_.notify_extension_fault(op, prog->entry.name, res.fault.detail);
     break;
   }
-  current_ctx_ = nullptr;
+  slot.current_ctx = nullptr;
   return out;
 }
 
@@ -140,36 +174,41 @@ std::uint64_t to_vm_ptr(void* p) { return reinterpret_cast<std::uint64_t>(p); }
 
 }  // namespace
 
-void Vmm::bind_helpers(LoadedProgram& prog) {
+void Vmm::bind_helpers(LoadedProgram& prog, std::size_t slot_index) {
   LoadedProgram* lp = &prog;
-  auto& vm = prog.vm;
+  // Slot-local captures: this helper table belongs to exactly one
+  // (program, slot) pair, so every mutable object it touches is either
+  // slot-local (vm, arena, current context) or mutex-guarded (group state).
+  ExecSlot* slot = slots_[slot_index].get();
+  ebpf::Vm* vmp = prog.vms[slot_index].get();
+  auto& vm = *vmp;
 
   vm.set_helper(helper::kNext, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
                                   std::uint64_t) { return HelperResult::next(); });
 
-  vm.set_helper(helper::kGetArg, [this](std::uint64_t id, std::uint64_t, std::uint64_t,
+  vm.set_helper(helper::kGetArg, [slot](std::uint64_t id, std::uint64_t, std::uint64_t,
                                         std::uint64_t, std::uint64_t) {
-    const auto* a = current_ctx_->find_arg(static_cast<std::uint8_t>(id));
+    const auto* a = slot->current_ctx->find_arg(static_cast<std::uint8_t>(id));
     if (a == nullptr) return HelperResult::ok(0);
-    void* copy = arena_.store(a->data.data(), a->data.size());
+    void* copy = slot->arena.store(a->data.data(), a->data.size());
     if (copy == nullptr) return HelperResult::fail("ephemeral arena exhausted in get_arg");
     return HelperResult::ok(to_vm_ptr(copy));
   });
 
-  vm.set_helper(helper::kGetArgLen, [this](std::uint64_t id, std::uint64_t, std::uint64_t,
+  vm.set_helper(helper::kGetArgLen, [slot](std::uint64_t id, std::uint64_t, std::uint64_t,
                                            std::uint64_t, std::uint64_t) {
-    const auto* a = current_ctx_->find_arg(static_cast<std::uint8_t>(id));
+    const auto* a = slot->current_ctx->find_arg(static_cast<std::uint8_t>(id));
     return HelperResult::ok(a == nullptr ? static_cast<std::uint64_t>(-1) : a->data.size());
   });
 
-  auto bind_peer = [this](bool src) {
-    return [this, src](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
-                       std::uint64_t) {
+  auto bind_peer = [this, slot](bool src) {
+    return [this, slot, src](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                             std::uint64_t) {
       PeerInfo info;
-      const bool ok = src ? host_.src_peer_info(*current_ctx_, info)
-                          : host_.peer_info(*current_ctx_, info);
+      const bool ok = src ? host_.src_peer_info(*slot->current_ctx, info)
+                          : host_.peer_info(*slot->current_ctx, info);
       if (!ok) return HelperResult::ok(0);
-      void* copy = arena_.store(&info, sizeof(info));
+      void* copy = slot->arena.store(&info, sizeof(info));
       if (copy == nullptr) return HelperResult::fail("ephemeral arena exhausted in peer_info");
       return HelperResult::ok(to_vm_ptr(copy));
     };
@@ -177,13 +216,13 @@ void Vmm::bind_helpers(LoadedProgram& prog) {
   vm.set_helper(helper::kGetPeerInfo, bind_peer(false));
   vm.set_helper(helper::kGetSrcPeerInfo, bind_peer(true));
 
-  auto bind_get_attr = [this](bool alt) {
-    return [this, alt](std::uint64_t code, std::uint64_t, std::uint64_t, std::uint64_t,
-                       std::uint64_t) {
-      auto attr = alt ? host_.get_attr_alt(*current_ctx_, static_cast<std::uint8_t>(code))
-                      : host_.get_attr(*current_ctx_, static_cast<std::uint8_t>(code));
+  auto bind_get_attr = [this, slot](bool alt) {
+    return [this, slot, alt](std::uint64_t code, std::uint64_t, std::uint64_t, std::uint64_t,
+                             std::uint64_t) {
+      auto attr = alt ? host_.get_attr_alt(*slot->current_ctx, static_cast<std::uint8_t>(code))
+                      : host_.get_attr(*slot->current_ctx, static_cast<std::uint8_t>(code));
       if (!attr) return HelperResult::ok(0);
-      void* block = arena_.alloc(sizeof(AttrHdr) + attr->value.size());
+      void* block = slot->arena.alloc(sizeof(AttrHdr) + attr->value.size());
       if (block == nullptr) return HelperResult::fail("ephemeral arena exhausted in get_attr");
       AttrHdr hdr;
       hdr.flags = attr->flags;
@@ -200,11 +239,11 @@ void Vmm::bind_helpers(LoadedProgram& prog) {
   vm.set_helper(helper::kGetAttr, bind_get_attr(false));
   vm.set_helper(helper::kGetAttrAlt, bind_get_attr(true));
 
-  auto bind_put_attr = [this, lp](bool add) {
-    return [this, lp, add](std::uint64_t code, std::uint64_t flags, std::uint64_t ptr,
-                           std::uint64_t len, std::uint64_t) {
+  auto bind_put_attr = [this, slot, vmp](bool add) {
+    return [this, slot, vmp, add](std::uint64_t code, std::uint64_t flags, std::uint64_t ptr,
+                                  std::uint64_t len, std::uint64_t) {
       std::span<const std::uint8_t> data;
-      if (!vm_read(lp->vm, ptr, len, data)) {
+      if (!vm_read(*vmp, ptr, len, data)) {
         return HelperResult::fail(add ? "add_attr: bad value pointer"
                                       : "set_attr: bad value pointer");
       }
@@ -212,41 +251,40 @@ void Vmm::bind_helpers(LoadedProgram& prog) {
       attr.flags = static_cast<std::uint8_t>(flags);
       attr.code = static_cast<std::uint8_t>(code);
       attr.value.assign(data.begin(), data.end());
-      const bool ok = add ? host_.add_attr(*current_ctx_, std::move(attr))
-                          : host_.set_attr(*current_ctx_, std::move(attr));
+      const bool ok = add ? host_.add_attr(*slot->current_ctx, std::move(attr))
+                          : host_.set_attr(*slot->current_ctx, std::move(attr));
       return HelperResult::ok(ok ? 1 : 0);
     };
   };
   vm.set_helper(helper::kSetAttr, bind_put_attr(false));
   vm.set_helper(helper::kAddAttr, bind_put_attr(true));
 
-  vm.set_helper(helper::kGetNexthop, [this](std::uint64_t, std::uint64_t, std::uint64_t,
-                                            std::uint64_t, std::uint64_t) {
+  vm.set_helper(helper::kGetNexthop, [this, slot](std::uint64_t, std::uint64_t, std::uint64_t,
+                                                  std::uint64_t, std::uint64_t) {
     NexthopInfo info;
-    if (!host_.nexthop_info(*current_ctx_, info)) return HelperResult::ok(0);
-    void* copy = arena_.store(&info, sizeof(info));
+    if (!host_.nexthop_info(*slot->current_ctx, info)) return HelperResult::ok(0);
+    void* copy = slot->arena.store(&info, sizeof(info));
     if (copy == nullptr) return HelperResult::fail("ephemeral arena exhausted in get_nexthop");
     return HelperResult::ok(to_vm_ptr(copy));
   });
 
-  auto read_key = [lp](std::uint64_t key_ptr, std::uint64_t key_len,
-                       std::string& out) {
+  auto read_key = [vmp](std::uint64_t key_ptr, std::uint64_t key_len, std::string& out) {
     if (key_len == 0 || key_len > 64) return false;
     std::span<const std::uint8_t> data;
-    if (!vm_read(lp->vm, key_ptr, key_len, data)) return false;
+    if (!vm_read(*vmp, key_ptr, key_len, data)) return false;
     out.assign(reinterpret_cast<const char*>(data.data()), data.size());
     return true;
   };
 
-  vm.set_helper(helper::kGetXtra, [this, lp, read_key](std::uint64_t key_ptr,
-                                                       std::uint64_t key_len, std::uint64_t,
-                                                       std::uint64_t, std::uint64_t) {
+  vm.set_helper(helper::kGetXtra, [this, vmp, read_key](std::uint64_t key_ptr,
+                                                        std::uint64_t key_len, std::uint64_t,
+                                                        std::uint64_t, std::uint64_t) {
     std::string key;
     if (!read_key(key_ptr, key_len, key)) return HelperResult::fail("get_xtra: bad key");
     auto blob = host_.get_xtra(key);
     if (blob.empty()) return HelperResult::ok(0);
     // Expose the host blob read-only for the remainder of this invocation.
-    lp->vm.memory().add_region(blob.data(), blob.size(), /*writable=*/false, "xtra:" + key);
+    vmp->memory().add_region(blob.data(), blob.size(), /*writable=*/false, "xtra:" + key);
     return HelperResult::ok(to_vm_ptr(const_cast<std::uint8_t*>(blob.data())));
   });
 
@@ -259,29 +297,32 @@ void Vmm::bind_helpers(LoadedProgram& prog) {
     return HelperResult::ok(blob.empty() ? static_cast<std::uint64_t>(-1) : blob.size());
   });
 
-  vm.set_helper(helper::kWriteBuf, [this, lp](std::uint64_t ptr, std::uint64_t len,
-                                              std::uint64_t, std::uint64_t, std::uint64_t) {
+  vm.set_helper(helper::kWriteBuf, [this, slot, vmp](std::uint64_t ptr, std::uint64_t len,
+                                                     std::uint64_t, std::uint64_t,
+                                                     std::uint64_t) {
     std::span<const std::uint8_t> data;
-    if (!vm_read(lp->vm, ptr, len, data)) return HelperResult::fail("write_buf: bad pointer");
-    return HelperResult::ok(host_.write_buf(*current_ctx_, data) ? len : 0);
+    if (!vm_read(*vmp, ptr, len, data)) return HelperResult::fail("write_buf: bad pointer");
+    return HelperResult::ok(host_.write_buf(*slot->current_ctx, data) ? len : 0);
   });
 
-  vm.set_helper(helper::kCtxMalloc, [this](std::uint64_t size, std::uint64_t, std::uint64_t,
+  vm.set_helper(helper::kCtxMalloc, [slot](std::uint64_t size, std::uint64_t, std::uint64_t,
                                            std::uint64_t, std::uint64_t) {
-    if (size == 0 || size > arena_.capacity()) return HelperResult::ok(0);
-    void* p = arena_.alloc(size);
+    if (size == 0 || size > slot->arena.capacity()) return HelperResult::ok(0);
+    void* p = slot->arena.alloc(size);
     return HelperResult::ok(p == nullptr ? 0 : to_vm_ptr(p));
   });
 
   vm.set_helper(helper::kShmNew, [lp](std::uint64_t key, std::uint64_t size, std::uint64_t,
                                       std::uint64_t, std::uint64_t) {
     if (size == 0) return HelperResult::ok(0);
+    std::lock_guard<std::mutex> lock(lp->group->mu);
     void* p = lp->group->pool.get_or_create(key, size);
     return HelperResult::ok(p == nullptr ? 0 : to_vm_ptr(p));
   });
 
   vm.set_helper(helper::kShmGet, [lp](std::uint64_t key, std::uint64_t, std::uint64_t,
                                       std::uint64_t, std::uint64_t) {
+    std::lock_guard<std::mutex> lock(lp->group->mu);
     void* p = lp->group->pool.get(key);
     return HelperResult::ok(p == nullptr ? 0 : to_vm_ptr(p));
   });
@@ -289,6 +330,7 @@ void Vmm::bind_helpers(LoadedProgram& prog) {
   vm.set_helper(helper::kMapUpdate, [lp](std::uint64_t map_id, std::uint64_t k1,
                                          std::uint64_t k2, std::uint64_t value,
                                          std::uint64_t) {
+    std::lock_guard<std::mutex> lock(lp->group->mu);
     auto [it, inserted] = lp->group->maps.try_emplace(static_cast<std::uint32_t>(map_id));
     if (inserted && lp->group->map_capacity_hint > 0) {
       it->second.reserve(lp->group->map_capacity_hint);
@@ -299,35 +341,36 @@ void Vmm::bind_helpers(LoadedProgram& prog) {
 
   vm.set_helper(helper::kMapLookup, [lp](std::uint64_t map_id, std::uint64_t k1,
                                          std::uint64_t k2, std::uint64_t, std::uint64_t) {
+    std::lock_guard<std::mutex> lock(lp->group->mu);
     auto it = lp->group->maps.find(static_cast<std::uint32_t>(map_id));
     if (it == lp->group->maps.end()) return HelperResult::ok(0);
     return HelperResult::ok(it->second.lookup(k1, k2));
   });
 
-  vm.set_helper(helper::kPrint, [this, lp](std::uint64_t ptr, std::uint64_t len, std::uint64_t,
-                                           std::uint64_t, std::uint64_t) {
+  vm.set_helper(helper::kPrint, [this, vmp](std::uint64_t ptr, std::uint64_t len, std::uint64_t,
+                                            std::uint64_t, std::uint64_t) {
     if (len > 4096) return HelperResult::fail("ebpf_print: message too long");
     std::span<const std::uint8_t> data;
-    if (!vm_read(lp->vm, ptr, len, data)) return HelperResult::fail("ebpf_print: bad pointer");
+    if (!vm_read(*vmp, ptr, len, data)) return HelperResult::fail("ebpf_print: bad pointer");
     host_.ebpf_print(std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
     return HelperResult::ok(0);
   });
 
-  vm.set_helper(helper::kMemcpy, [lp](std::uint64_t dst, std::uint64_t src, std::uint64_t len,
-                                      std::uint64_t, std::uint64_t) {
+  vm.set_helper(helper::kMemcpy, [vmp](std::uint64_t dst, std::uint64_t src, std::uint64_t len,
+                                       std::uint64_t, std::uint64_t) {
     if (len == 0) return HelperResult::ok(dst);
-    if (!lp->vm.memory().check(dst, len, /*write=*/true) ||
-        !lp->vm.memory().check(src, len, /*write=*/false)) {
+    if (!vmp->memory().check(dst, len, /*write=*/true) ||
+        !vmp->memory().check(src, len, /*write=*/false)) {
       return HelperResult::fail("ebpf_memcpy: bad pointers");
     }
     std::memmove(reinterpret_cast<void*>(dst), reinterpret_cast<const void*>(src), len);
     return HelperResult::ok(dst);
   });
 
-  vm.set_helper(helper::kRibAddRoute, [this, lp](std::uint64_t prefix_ptr, std::uint64_t nh,
-                                                 std::uint64_t, std::uint64_t, std::uint64_t) {
+  vm.set_helper(helper::kRibAddRoute, [this, vmp](std::uint64_t prefix_ptr, std::uint64_t nh,
+                                                  std::uint64_t, std::uint64_t, std::uint64_t) {
     std::span<const std::uint8_t> data;
-    if (!vm_read(lp->vm, prefix_ptr, sizeof(PrefixArg), data)) {
+    if (!vm_read(*vmp, prefix_ptr, sizeof(PrefixArg), data)) {
       return HelperResult::fail("rib_add_route: bad prefix pointer");
     }
     PrefixArg arg;
@@ -337,10 +380,10 @@ void Vmm::bind_helpers(LoadedProgram& prog) {
     return HelperResult::ok(ok ? 1 : 0);
   });
 
-  vm.set_helper(helper::kRibLookup, [this, lp](std::uint64_t prefix_ptr, std::uint64_t,
-                                               std::uint64_t, std::uint64_t, std::uint64_t) {
+  vm.set_helper(helper::kRibLookup, [this, vmp](std::uint64_t prefix_ptr, std::uint64_t,
+                                                std::uint64_t, std::uint64_t, std::uint64_t) {
     std::span<const std::uint8_t> data;
-    if (!vm_read(lp->vm, prefix_ptr, sizeof(PrefixArg), data)) {
+    if (!vm_read(*vmp, prefix_ptr, sizeof(PrefixArg), data)) {
       return HelperResult::fail("rib_lookup: bad prefix pointer");
     }
     PrefixArg arg;
@@ -349,15 +392,16 @@ void Vmm::bind_helpers(LoadedProgram& prog) {
     return HelperResult::ok(nh ? nh->value() : 0);
   });
 
-  vm.set_helper(helper::kSetRouteMeta, [this](std::uint64_t value, std::uint64_t, std::uint64_t,
-                                              std::uint64_t, std::uint64_t) {
+  vm.set_helper(helper::kSetRouteMeta, [this, slot](std::uint64_t value, std::uint64_t,
+                                                    std::uint64_t, std::uint64_t,
+                                                    std::uint64_t) {
     return HelperResult::ok(
-        host_.set_route_meta(*current_ctx_, static_cast<std::uint32_t>(value)) ? 1 : 0);
+        host_.set_route_meta(*slot->current_ctx, static_cast<std::uint32_t>(value)) ? 1 : 0);
   });
 
-  vm.set_helper(helper::kGetRouteMeta, [this](std::uint64_t, std::uint64_t, std::uint64_t,
-                                              std::uint64_t, std::uint64_t) {
-    auto meta = host_.get_route_meta(*current_ctx_);
+  vm.set_helper(helper::kGetRouteMeta, [this, slot](std::uint64_t, std::uint64_t, std::uint64_t,
+                                                    std::uint64_t, std::uint64_t) {
+    auto meta = host_.get_route_meta(*slot->current_ctx);
     return HelperResult::ok(meta.value_or(0));
   });
 

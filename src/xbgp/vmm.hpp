@@ -12,10 +12,22 @@
 //    running extension codes, the VMM also monitors their execution and
 //    stops them in case of error. In this case, it falls back to the default
 //    function and notifies the host implementation of the error."
+//
+// Threading model (sharded pipeline): the VMM owns `execution_contexts`
+// independent execution slots. Each slot holds its own interpreter instance
+// per attached program (instantiated from the one verified bytecode), its
+// own ephemeral arena, and its own Stats counters, so concurrent
+// execute_on() calls on *distinct* slots never share mutable state. The
+// persistent per-group structures (shared pool, helper maps) remain shared
+// across slots and are mutex-guarded inside the helpers. load(),
+// unload_all(), stats() and reset_stats() are serial-phase operations: call
+// them only while no slot is executing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +49,9 @@ class Vmm {
     std::uint64_t instruction_budget = 1'000'000;
     /// Budget for kInit programs (they may build large tables).
     std::uint64_t init_instruction_budget = 200'000'000;
+    /// Independent execution slots (one per pipeline shard/worker). Slot 0
+    /// is the default used by the serial execute() path.
+    std::size_t execution_contexts = 1;
   };
 
   struct Stats {
@@ -66,7 +81,8 @@ class Vmm {
   /// first error-severity diagnostic on rejection.  Warning-severity
   /// findings are logged and counted but do not block attachment.  kInit
   /// programs run immediately, in manifest order; an init fault unloads
-  /// that program and notifies the host.
+  /// that program and notifies the host.  The verified bytecode is
+  /// instantiated once per execution slot so each shard runs its own VM.
   void load(const Manifest& manifest);
 
   /// Detaches everything (native behaviour everywhere).
@@ -78,24 +94,35 @@ class Vmm {
   [[nodiscard]] std::size_t attached_count(Op op) const noexcept {
     return chains_[static_cast<std::size_t>(op)].size();
   }
+  [[nodiscard]] std::size_t execution_contexts() const noexcept { return slots_.size(); }
 
-  /// Runs the extension chain for `op`; falls back to `native_default` when
-  /// no chain is attached, every program yields next(), or a program faults.
-  /// `native_default` must be callable as std::uint64_t().
+  /// Runs the extension chain for `op` on slot 0; falls back to
+  /// `native_default` when no chain is attached, every program yields
+  /// next(), or a program faults. `native_default` must be callable as
+  /// std::uint64_t().
   template <typename F>
   std::uint64_t execute(Op op, ExecContext& ctx, F&& native_default) {
+    return execute_on(op, ctx, std::forward<F>(native_default), 0);
+  }
+
+  /// Same as execute(), pinned to one execution slot. Calls on distinct
+  /// slots may run concurrently; two concurrent calls on the same slot are
+  /// undefined behaviour.
+  template <typename F>
+  std::uint64_t execute_on(Op op, ExecContext& ctx, F&& native_default, std::size_t slot) {
     auto& chain = chains_[static_cast<std::size_t>(op)];
     if (chain.empty()) return native_default();
-    ++stats_.invocations;
-    const ChainOutcome outcome = run_chain(chain, ctx, op);
+    ExecSlot& ex = *slots_[slot];
+    ++ex.stats.invocations;
+    const ChainOutcome outcome = run_chain(chain, ctx, op, ex);
     if (outcome.handled) return outcome.value;
-    ++stats_.native_fallbacks;
+    ++ex.stats.native_fallbacks;
     return native_default();
   }
 
-  /// True if the most recent execute() was resolved by an extension.
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = Stats{}; }
+  /// Per-slot counters folded on demand (serial-phase only).
+  [[nodiscard]] Stats stats() const noexcept;
+  void reset_stats() noexcept;
 
   /// Load-time verification counters for one insertion point.
   [[nodiscard]] const VerifyStats& verify_stats(Op op) const noexcept {
@@ -106,20 +133,33 @@ class Vmm {
 
  private:
   /// Persistent state shared by all extension codes of one xBGP program
-  /// group: the keyed shared-memory pool and the helper maps.
+  /// group: the keyed shared-memory pool and the helper maps. Shared across
+  /// execution slots, hence the mutex.
   struct GroupState {
     SharedPool pool;
     std::unordered_map<std::uint32_t, ExtMap> maps;
     std::size_t map_capacity_hint = 0;
+    std::mutex mu;
 
     explicit GroupState(std::size_t pool_size) : pool(pool_size) {}
   };
 
+  /// Shard-local execution state: one interpreter per loaded program is
+  /// registered against this slot, all sharing the slot's arena.
+  struct ExecSlot {
+    Arena arena;
+    Stats stats;
+    ExecContext* current_ctx = nullptr;  // valid while run_chain is on the stack
+
+    explicit ExecSlot(std::size_t arena_size) : arena(arena_size) {}
+  };
+
   struct LoadedProgram {
     ManifestEntry entry;
-    ebpf::Vm vm;
+    /// One interpreter per execution slot, all running `entry.program`.
+    std::vector<std::unique_ptr<ebpf::Vm>> vms;
     GroupState* group = nullptr;  // owned by Vmm::groups_
-    std::uint64_t runs = 0;
+    std::atomic<std::uint64_t> runs{0};
 
     explicit LoadedProgram(ManifestEntry e) : entry(std::move(e)) {}
   };
@@ -129,8 +169,9 @@ class Vmm {
     std::uint64_t value = 0;
   };
 
-  ChainOutcome run_chain(std::vector<LoadedProgram*>& chain, ExecContext& ctx, Op op);
-  void bind_helpers(LoadedProgram& prog);
+  ChainOutcome run_chain(std::vector<LoadedProgram*>& chain, ExecContext& ctx, Op op,
+                         ExecSlot& slot);
+  void bind_helpers(LoadedProgram& prog, std::size_t slot);
   void run_init(LoadedProgram& prog);
   void detach_everywhere(const LoadedProgram* prog);
 
@@ -139,13 +180,8 @@ class Vmm {
   std::unordered_map<std::string, std::unique_ptr<GroupState>> groups_;
   std::vector<std::unique_ptr<LoadedProgram>> programs_;
   std::vector<LoadedProgram*> chains_[kOpCount];
-  Arena arena_;  // ephemeral; reset before every program run
-  Stats stats_;
+  std::vector<std::unique_ptr<ExecSlot>> slots_;
   VerifyStats verify_stats_[kOpCount];
-
-  // Single-threaded execution state, valid while run_chain is on the stack.
-  ExecContext* current_ctx_ = nullptr;
-  LoadedProgram* current_prog_ = nullptr;
 };
 
 }  // namespace xb::xbgp

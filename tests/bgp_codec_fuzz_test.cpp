@@ -1,0 +1,250 @@
+// Structure-aware fuzzing of the BGP UPDATE wire codec.
+//
+// Seeded, deterministic: a corpus of valid UPDATE messages (workload
+// generator output plus handcrafted edge cases) is put through >= 10k
+// structure-aware mutations — truncations, corrupted header lengths, bad
+// attribute flags / lengths, duplicated and deleted attributes, corrupted
+// prefix length bytes, random byte flips. The contract under test:
+//
+//   * try_frame / decode_update NEVER crash: they either produce a message
+//     or throw bgp::DecodeError (a clean, NOTIFICATION-carrying error);
+//   * anything that decodes re-encodes to a stable fixpoint
+//     (decode(encode(decode(x))) == decode(x));
+//   * the unmutated corpus round-trips exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/codec.hpp"
+#include "harness/workload.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xb;
+using util::Prefix;
+
+constexpr std::size_t kHeaderSize = 19;  // 16 marker + 2 length + 1 type
+constexpr std::size_t kMutations = 12'000;
+
+std::uint16_t be16(const std::vector<std::uint8_t>& b, std::size_t at) {
+  return static_cast<std::uint16_t>((b[at] << 8) | b[at + 1]);
+}
+void put_be16(std::vector<std::uint8_t>& b, std::size_t at, std::uint16_t v) {
+  b[at] = static_cast<std::uint8_t>(v >> 8);
+  b[at + 1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+/// Byte range of one path attribute inside a valid UPDATE wire message.
+struct AttrSpan {
+  std::size_t offset = 0;  // of the flags byte
+  std::size_t length = 0;  // flags + type + len field(s) + value
+};
+
+/// Walks the path-attribute region of a VALID update (corpus entries only).
+std::vector<AttrSpan> walk_attrs(const std::vector<std::uint8_t>& wire) {
+  std::vector<AttrSpan> out;
+  if (wire.size() < kHeaderSize + 4) return out;
+  const std::size_t wd_len = be16(wire, kHeaderSize);
+  const std::size_t attrs_len_at = kHeaderSize + 2 + wd_len;
+  if (attrs_len_at + 2 > wire.size()) return out;
+  const std::size_t attrs_len = be16(wire, attrs_len_at);
+  std::size_t cursor = attrs_len_at + 2;
+  const std::size_t end = cursor + attrs_len;
+  while (cursor + 3 <= end && end <= wire.size()) {
+    const std::uint8_t flags = wire[cursor];
+    const bool extended = (flags & 0x10) != 0;
+    std::size_t value_len = 0;
+    std::size_t header = 0;
+    if (extended) {
+      if (cursor + 4 > end) break;
+      value_len = be16(wire, cursor + 2);
+      header = 4;
+    } else {
+      value_len = wire[cursor + 2];
+      header = 3;
+    }
+    if (cursor + header + value_len > end) break;
+    out.push_back({cursor, header + value_len});
+    cursor += header + value_len;
+  }
+  return out;
+}
+
+/// After inserting/removing attribute bytes, patch the two length fields
+/// that frame them so the mutant is structurally parseable again.
+void fix_lengths(std::vector<std::uint8_t>& wire, std::ptrdiff_t delta) {
+  const std::size_t wd_len = be16(wire, kHeaderSize);
+  const std::size_t attrs_len_at = kHeaderSize + 2 + wd_len;
+  put_be16(wire, attrs_len_at,
+           static_cast<std::uint16_t>(be16(wire, attrs_len_at) + delta));
+  put_be16(wire, 16, static_cast<std::uint16_t>(be16(wire, 16) + delta));
+}
+
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& original,
+                                 util::Rng& rng) {
+  std::vector<std::uint8_t> wire = original;
+  if (wire.size() < kHeaderSize) {  // already truncated to a stub: just flip
+    if (!wire.empty()) wire[rng.below(wire.size())] ^= 0x40;
+    return wire;
+  }
+  const auto attrs = walk_attrs(wire);
+  switch (rng.below(9)) {
+    case 0:  // truncation (anywhere, including mid-header)
+      wire.resize(rng.below(wire.size()) + 1);
+      break;
+    case 1:  // corrupt the header length field
+      put_be16(wire, 16, static_cast<std::uint16_t>(rng.next()));
+      break;
+    case 2:  // flip a random byte past the marker
+      wire[16 + rng.below(wire.size() - 16)] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+      break;
+    case 3:  // corrupt an attribute's flags (optional/transitive/extended bits)
+      if (!attrs.empty()) {
+        wire[attrs[rng.below(attrs.size())].offset] ^=
+            static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    case 4:  // corrupt an attribute's length byte
+      if (!attrs.empty()) {
+        const auto& a = attrs[rng.below(attrs.size())];
+        wire[a.offset + 2] = static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    case 5:  // duplicate one attribute (length fields fixed up: parseable)
+      if (!attrs.empty()) {
+        const auto a = attrs[rng.below(attrs.size())];
+        std::vector<std::uint8_t> copy(wire.begin() + a.offset,
+                                       wire.begin() + a.offset + a.length);
+        wire.insert(wire.begin() + a.offset + a.length, copy.begin(), copy.end());
+        fix_lengths(wire, static_cast<std::ptrdiff_t>(a.length));
+      }
+      break;
+    case 6:  // delete one attribute (lengths fixed up: e.g. missing mandatory)
+      if (!attrs.empty()) {
+        const auto a = attrs[rng.below(attrs.size())];
+        wire.erase(wire.begin() + a.offset, wire.begin() + a.offset + a.length);
+        fix_lengths(wire, -static_cast<std::ptrdiff_t>(a.length));
+      }
+      break;
+    case 7:  // rewrite an attribute's type code
+      if (!attrs.empty()) {
+        wire[attrs[rng.below(attrs.size())].offset + 1] =
+            static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    case 8:  // corrupt the last byte (NLRI prefix length or its address bytes)
+      wire[wire.size() - 1 - rng.below(std::min<std::size_t>(wire.size() - 16, 6))] =
+          static_cast<std::uint8_t>(rng.next());
+      break;
+  }
+  return wire;
+}
+
+/// Decodes if possible; throws only bgp::DecodeError (anything else, or a
+/// crash, fails the test). Returns true when the mutant decoded.
+bool exercise(const std::vector<std::uint8_t>& wire) {
+  const auto frame = bgp::try_frame(wire);
+  if (!frame.has_value()) return false;  // incomplete: clean "need more bytes"
+  if (frame->type != bgp::MessageType::kUpdate) return false;
+  const bgp::UpdateMessage decoded = bgp::decode_update(frame->body);
+  // Whatever decoded must re-encode and re-decode to a stable fixpoint.
+  const auto re = bgp::encode_update(decoded);
+  const auto frame2 = bgp::try_frame(re);
+  EXPECT_TRUE(frame2.has_value());
+  EXPECT_EQ(frame2->type, bgp::MessageType::kUpdate);
+  const bgp::UpdateMessage decoded2 = bgp::decode_update(frame2->body);
+  EXPECT_TRUE(decoded == decoded2) << "decode/encode/decode is not a fixpoint";
+  return true;
+}
+
+std::vector<std::vector<std::uint8_t>> build_corpus() {
+  // Generator output: realistic attribute mixes and NLRI packing.
+  harness::WorkloadParams params;
+  params.route_count = 150;
+  auto corpus = harness::make_workload(params).updates;
+
+  // Withdraw-only message.
+  {
+    bgp::UpdateMessage m;
+    m.withdrawn = {Prefix::parse("10.1.0.0/16"), Prefix::parse("10.2.3.0/24")};
+    corpus.push_back(bgp::encode_update(m));
+  }
+  // End-of-RIB style empty UPDATE.
+  corpus.push_back(bgp::encode_update(bgp::UpdateMessage{}));
+  // Mixed withdraw + announce with a long AS path and every optional attr.
+  {
+    bgp::UpdateMessage m;
+    m.withdrawn = {Prefix::parse("172.20.0.0/14")};
+    m.attrs.put(bgp::make_origin(bgp::Origin::kEgp));
+    m.attrs.put(bgp::AsPath({65001, 65002, 65003, 65004, 65005, 65006}).to_attr());
+    m.attrs.put(bgp::make_next_hop(util::Ipv4Addr(192, 0, 2, 1)));
+    m.attrs.put(bgp::make_med(4096));
+    m.attrs.put(bgp::make_local_pref(200));
+    const std::uint32_t comms[] = {0xFFFF0000u, 0x00010002u};
+    m.attrs.put(bgp::make_communities(comms));
+    m.nlri = {Prefix::parse("0.0.0.0/0"), Prefix::parse("203.0.113.0/24"),
+              Prefix::parse("198.51.100.128/25"), Prefix::parse("192.0.2.1/32")};
+    corpus.push_back(bgp::encode_update(m));
+  }
+  return corpus;
+}
+
+TEST(BgpCodecFuzz, UnmutatedCorpusRoundTripsExactly) {
+  for (const auto& wire : build_corpus()) {
+    const auto frame = bgp::try_frame(wire);
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, bgp::MessageType::kUpdate);
+    ASSERT_EQ(frame->total_length, wire.size());
+    const auto decoded = bgp::decode_update(frame->body);
+    EXPECT_EQ(bgp::encode_update(decoded), wire) << "corpus entry not byte-stable";
+  }
+}
+
+TEST(BgpCodecFuzz, MutatedUpdatesNeverCrashAndRoundTripOrErrorCleanly) {
+  const auto corpus = build_corpus();
+  util::Rng rng(0xF022'2026ull);
+  std::size_t decoded_ok = 0, clean_errors = 0, incomplete = 0;
+  for (std::size_t i = 0; i < kMutations; ++i) {
+    auto mutant = mutate(corpus[rng.below(corpus.size())], rng);
+    // Occasionally stack a second mutation for compound damage.
+    if (rng.chance(0.25)) mutant = mutate(mutant, rng);
+    try {
+      if (exercise(mutant)) {
+        ++decoded_ok;
+      } else {
+        ++incomplete;
+      }
+    } catch (const bgp::DecodeError&) {
+      ++clean_errors;  // the documented failure mode
+    }
+  }
+  // The mutator must actually produce both outcomes in volume, or it is not
+  // exploring the interesting space.
+  EXPECT_GT(decoded_ok, kMutations / 20) << "mutator produced too few valid messages";
+  EXPECT_GT(clean_errors, kMutations / 20) << "mutator produced too few malformed messages";
+  ::testing::Test::RecordProperty("decoded_ok", static_cast<int>(decoded_ok));
+  ::testing::Test::RecordProperty("clean_errors", static_cast<int>(clean_errors));
+  ::testing::Test::RecordProperty("incomplete", static_cast<int>(incomplete));
+}
+
+TEST(BgpCodecFuzz, PureTruncationSweepIsAlwaysClean) {
+  // Every prefix of every corpus message: nullopt (need more bytes) or a
+  // clean DecodeError once the header length looks satisfied but lies.
+  for (const auto& wire : build_corpus()) {
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      const std::vector<std::uint8_t> cut(wire.begin(), wire.begin() + len);
+      try {
+        const auto frame = bgp::try_frame(cut);
+        EXPECT_FALSE(frame.has_value()) << "truncated message framed at len " << len;
+      } catch (const bgp::DecodeError&) {
+        // acceptable: corrupt-looking header
+      }
+    }
+  }
+}
+
+}  // namespace

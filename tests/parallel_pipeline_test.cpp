@@ -1,0 +1,374 @@
+// Sharded parallel UPDATE pipeline: determinism across parallelism levels.
+//
+// The pipeline contract (docs/parallel_pipeline.md) is that `parallelism`
+// is a pure throughput knob: for any workload, every shard count produces
+// bit-identical RIB contents, identical wire output towards peers, and
+// identical Vmm / router statistics. These tests run the same feed through
+// DUTs configured with parallelism 1 (the fully serial path), 2 and 8 and
+// compare everything observable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bgp/codec.hpp"
+#include "extensions/origin_validation.hpp"
+#include "extensions/route_reflection.hpp"
+#include "harness/testbed.hpp"
+#include "harness/workload.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+#include "util/ip.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xb;
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+constexpr std::size_t kParallelisms[] = {1, 2, 8};
+
+template <typename T>
+class ParallelPipelineTest : public ::testing::Test {};
+using RouterTypes = ::testing::Types<hosts::fir::FirRouter, hosts::wren::WrenRouter>;
+TYPED_TEST_SUITE(ParallelPipelineTest, RouterTypes);
+
+template <typename RouterT>
+using CoreOf = std::conditional_t<std::is_same_v<RouterT, hosts::fir::FirRouter>,
+                                  hosts::fir::FirCore, hosts::wren::WrenCore>;
+
+const bgp::policy::RouteMap& import_policy() {
+  static const auto map = bgp::policy::standard_import_policy();
+  return map;
+}
+const bgp::policy::RouteMap& export_policy() {
+  static const auto map = bgp::policy::standard_export_policy();
+  return map;
+}
+
+/// Everything observable about a run, normalised to wire representation so
+/// snapshots from different hosts / shard counts compare with ==.
+struct Snapshot {
+  std::vector<std::pair<Prefix, bgp::AttributeSet>> loc_rib;
+  std::vector<std::pair<Prefix, bgp::AttributeSet>> adj_in_upstream;
+  std::vector<std::pair<Prefix, std::uint32_t>> meta_upstream;
+  std::vector<std::pair<Prefix, bgp::AttributeSet>> adj_out_downstream;
+  std::uint64_t sink_prefixes = 0;
+  std::uint64_t sink_withdrawals = 0;
+  bgp::UpdateMessage sink_last;
+
+  // Router statistics (field copies; RouterStats has no operator==).
+  std::uint64_t updates_in = 0, updates_out = 0, prefixes_in = 0;
+  std::uint64_t prefixes_accepted = 0, prefixes_rejected_in = 0;
+  std::uint64_t withdrawals_in = 0, exports_rejected = 0, loop_rejected = 0;
+  std::uint64_t malformed_updates = 0, extension_faults = 0;
+  std::uint64_t ov_valid = 0, ov_invalid = 0, ov_not_found = 0;
+
+  // Folded Vmm statistics.
+  std::uint64_t vmm_invocations = 0, vmm_handled = 0, vmm_next_yields = 0;
+  std::uint64_t vmm_faults = 0, vmm_native_fallbacks = 0;
+};
+
+template <typename RouterT>
+Snapshot capture(RouterT& dut, harness::Testbed<RouterT>& bed) {
+  using Core = CoreOf<RouterT>;
+  constexpr std::size_t kUp = 0, kDown = 1;  // Testbed peer registration order
+  Snapshot s;
+  for (const auto& prefix : dut.loc_rib_prefixes()) {
+    s.loc_rib.emplace_back(prefix, Core::to_wire(*dut.best(prefix)->attrs));
+  }
+  for (const auto& prefix : dut.adj_rib_in_prefixes(kUp)) {
+    s.adj_in_upstream.emplace_back(prefix,
+                                   Core::to_wire(**dut.adj_rib_in_lookup(kUp, prefix)));
+    s.meta_upstream.emplace_back(prefix, dut.route_meta(kUp, prefix));
+  }
+  for (const auto& prefix : dut.adj_rib_out_prefixes(kDown)) {
+    s.adj_out_downstream.emplace_back(prefix,
+                                      Core::to_wire(**dut.adj_rib_out_lookup(kDown, prefix)));
+  }
+  s.sink_prefixes = bed.sink().prefixes();
+  s.sink_withdrawals = bed.sink().withdrawals();
+  s.sink_last = bed.sink().last_update();
+
+  const auto& st = dut.stats();
+  s.updates_in = st.updates_in;
+  s.updates_out = st.updates_out;
+  s.prefixes_in = st.prefixes_in;
+  s.prefixes_accepted = st.prefixes_accepted;
+  s.prefixes_rejected_in = st.prefixes_rejected_in;
+  s.withdrawals_in = st.withdrawals_in;
+  s.exports_rejected = st.exports_rejected;
+  s.loop_rejected = st.loop_rejected;
+  s.malformed_updates = st.malformed_updates;
+  s.extension_faults = st.extension_faults;
+  s.ov_valid = st.ov_valid;
+  s.ov_invalid = st.ov_invalid;
+  s.ov_not_found = st.ov_not_found;
+
+  const auto vs = dut.vmm().stats();
+  s.vmm_invocations = vs.invocations;
+  s.vmm_handled = vs.extension_handled;
+  s.vmm_next_yields = vs.next_yields;
+  s.vmm_faults = vs.faults;
+  s.vmm_native_fallbacks = vs.native_fallbacks;
+  return s;
+}
+
+/// Granular comparison: names the diverging field instead of dumping blobs.
+void expect_identical(const Snapshot& base, const Snapshot& got, std::size_t parallelism) {
+  SCOPED_TRACE(::testing::Message() << "parallelism=" << parallelism);
+  EXPECT_EQ(base.loc_rib == got.loc_rib, true) << "Loc-RIB contents differ";
+  EXPECT_EQ(base.adj_in_upstream == got.adj_in_upstream, true)
+      << "Adj-RIB-In (upstream) differs";
+  EXPECT_EQ(base.meta_upstream == got.meta_upstream, true) << "route meta differs";
+  EXPECT_EQ(base.adj_out_downstream == got.adj_out_downstream, true)
+      << "Adj-RIB-Out (downstream) differs";
+  EXPECT_EQ(base.sink_prefixes, got.sink_prefixes);
+  EXPECT_EQ(base.sink_withdrawals, got.sink_withdrawals);
+  EXPECT_EQ(base.sink_last == got.sink_last, true) << "last wire UPDATE differs";
+
+  EXPECT_EQ(base.updates_in, got.updates_in);
+  EXPECT_EQ(base.updates_out, got.updates_out);
+  EXPECT_EQ(base.prefixes_in, got.prefixes_in);
+  EXPECT_EQ(base.prefixes_accepted, got.prefixes_accepted);
+  EXPECT_EQ(base.prefixes_rejected_in, got.prefixes_rejected_in);
+  EXPECT_EQ(base.withdrawals_in, got.withdrawals_in);
+  EXPECT_EQ(base.exports_rejected, got.exports_rejected);
+  EXPECT_EQ(base.loop_rejected, got.loop_rejected);
+  EXPECT_EQ(base.malformed_updates, got.malformed_updates);
+  EXPECT_EQ(base.extension_faults, got.extension_faults);
+  EXPECT_EQ(base.ov_valid, got.ov_valid);
+  EXPECT_EQ(base.ov_invalid, got.ov_invalid);
+  EXPECT_EQ(base.ov_not_found, got.ov_not_found);
+
+  EXPECT_EQ(base.vmm_invocations, got.vmm_invocations);
+  EXPECT_EQ(base.vmm_handled, got.vmm_handled);
+  EXPECT_EQ(base.vmm_next_yields, got.vmm_next_yields);
+  EXPECT_EQ(base.vmm_faults, got.vmm_faults);
+  EXPECT_EQ(base.vmm_native_fallbacks, got.vmm_native_fallbacks);
+}
+
+/// Withdraw every third announced prefix, packed RIS-style into messages.
+template <typename RouterT>
+void send_withdraw_phase(harness::Testbed<RouterT>& bed, const harness::Workload& workload,
+                         net::EventLoop& loop) {
+  bgp::UpdateMessage withdraw;
+  for (std::size_t i = 0; i < workload.routes.size(); i += 3) {
+    withdraw.withdrawn.push_back(workload.routes[i].prefix);
+    if (withdraw.withdrawn.size() == 20) {
+      bed.feeder().session().send_update(withdraw);
+      withdraw.withdrawn.clear();
+    }
+  }
+  if (!withdraw.withdrawn.empty()) bed.feeder().session().send_update(withdraw);
+  loop.run_until(loop.now() + 2 * kSec);
+}
+
+// --- route reflection (extension bytecode, iBGP both links) -------------------
+
+template <typename RouterT>
+Snapshot run_rr(const harness::Workload& workload, std::size_t parallelism) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  cfg.parallelism = parallelism;
+  cfg.import_policy = &import_policy();
+  cfg.export_policy = &export_policy();
+  RouterT dut(loop, cfg);
+  dut.load_extensions(ext::route_reflection_manifest());
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  bed.run(workload, workload.prefix_count);
+  send_withdraw_phase(bed, workload, loop);
+  EXPECT_EQ(dut.parallelism(), parallelism == 0 ? 1 : parallelism);
+  return capture(dut, bed);
+}
+
+TYPED_TEST(ParallelPipelineTest, RouteReflectionDeterministicAcrossParallelism) {
+  harness::WorkloadParams params;
+  params.route_count = 600;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+
+  const Snapshot base = run_rr<TypeParam>(workload, 1);
+  ASSERT_FALSE(base.loc_rib.empty());
+  ASSERT_GT(base.sink_withdrawals, 0u);
+  ASSERT_GT(base.vmm_invocations, 0u);
+  for (std::size_t parallelism : kParallelisms) {
+    if (parallelism == 1) continue;
+    const Snapshot got = run_rr<TypeParam>(workload, parallelism);
+    expect_identical(base, got, parallelism);
+  }
+}
+
+// --- origin validation (extension bytecode, eBGP both links) ------------------
+
+template <typename RouterT>
+Snapshot run_ov(const harness::Workload& workload, const std::vector<rpki::Roa>& roas,
+                std::size_t parallelism) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ebgp_plan();
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.parallelism = parallelism;
+  RouterT dut(loop, cfg);
+  dut.set_xtra(xbgp::xtra::kRoaTable, harness::pack_roa_blob(roas));
+  dut.load_extensions(ext::origin_validation_manifest(roas.size()));
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  bed.run(workload, workload.prefix_count);
+  return capture(dut, bed);
+}
+
+TYPED_TEST(ParallelPipelineTest, OriginValidationDeterministicAcrossParallelism) {
+  harness::WorkloadParams params;
+  params.route_count = 500;
+  const auto workload = harness::make_workload(params);
+  rpki::RoaSetParams roa_params;  // 75% valid
+  const auto roas = rpki::make_roa_set(workload.routes, roa_params);
+
+  const Snapshot base = run_ov<TypeParam>(workload, roas, 1);
+  ASSERT_GT(base.ov_valid, 0u);
+  ASSERT_GT(base.ov_invalid, 0u);
+  ASSERT_GT(base.ov_not_found, 0u);
+  for (std::size_t parallelism : kParallelisms) {
+    if (parallelism == 1) continue;
+    const Snapshot got = run_ov<TypeParam>(workload, roas, parallelism);
+    expect_identical(base, got, parallelism);
+  }
+}
+
+// --- native-only path (no extensions; route-map policy engine) ----------------
+
+template <typename RouterT>
+Snapshot run_native(const harness::Workload& workload, std::size_t parallelism) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  cfg.native_route_reflector = true;
+  cfg.parallelism = parallelism;
+  cfg.import_policy = &import_policy();
+  cfg.export_policy = &export_policy();
+  RouterT dut(loop, cfg);
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  bed.run(workload, workload.prefix_count);
+  send_withdraw_phase(bed, workload, loop);
+  return capture(dut, bed);
+}
+
+TYPED_TEST(ParallelPipelineTest, NativePathDeterministicAcrossParallelism) {
+  harness::WorkloadParams params;
+  params.route_count = 400;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+
+  const Snapshot base = run_native<TypeParam>(workload, 1);
+  ASSERT_FALSE(base.loc_rib.empty());
+  for (std::size_t parallelism : kParallelisms) {
+    if (parallelism == 1) continue;
+    const Snapshot got = run_native<TypeParam>(workload, parallelism);
+    expect_identical(base, got, parallelism);
+  }
+}
+
+// --- pre-sharded feeds produce identical results too --------------------------
+
+TYPED_TEST(ParallelPipelineTest, PreShardedFeedMatchesOriginalFeed) {
+  harness::WorkloadParams params;
+  params.route_count = 400;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+
+  const Snapshot base = run_rr<TypeParam>(workload, 4);
+
+  harness::Workload sharded_feed;
+  sharded_feed.updates = harness::shard_workload(workload, 4).interleaved();
+  sharded_feed.routes = workload.routes;
+  sharded_feed.prefix_count = workload.prefix_count;
+  const Snapshot got = run_rr<TypeParam>(sharded_feed, 4);
+
+  // Message framing differs (NLRI regrouped per shard), so update counts and
+  // the final wire message may differ — but the RIBs must not.
+  EXPECT_TRUE(base.loc_rib == got.loc_rib);
+  EXPECT_TRUE(base.adj_in_upstream == got.adj_in_upstream);
+  EXPECT_TRUE(base.adj_out_downstream == got.adj_out_downstream);
+  EXPECT_EQ(base.sink_prefixes, got.sink_prefixes);
+}
+
+// --- shard_workload sanity ----------------------------------------------------
+
+TEST(ShardWorkload, PartitionsEveryNlriByPrefixShard) {
+  harness::WorkloadParams params;
+  params.route_count = 300;
+  const auto workload = harness::make_workload(params);
+
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const auto sharded = harness::shard_workload(workload, shards);
+    ASSERT_EQ(sharded.batches.size(), shards);
+    std::size_t total_nlri = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (const auto& wire : sharded.batches[s]) {
+        const auto frame = bgp::try_frame(wire);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_EQ(frame->type, bgp::MessageType::kUpdate);
+        const auto update = bgp::decode_update(frame->body);
+        EXPECT_FALSE(update.nlri.empty() && update.withdrawn.empty());
+        for (const auto& prefix : update.nlri) {
+          EXPECT_EQ(util::prefix_shard(prefix, shards), s);
+          ++total_nlri;
+        }
+        for (const auto& prefix : update.withdrawn) {
+          EXPECT_EQ(util::prefix_shard(prefix, shards), s);
+        }
+      }
+    }
+    EXPECT_EQ(total_nlri, workload.prefix_count);
+
+    const auto merged = sharded.interleaved();
+    std::size_t batch_total = 0;
+    for (const auto& batch : sharded.batches) batch_total += batch.size();
+    EXPECT_EQ(merged.size(), batch_total);
+  }
+}
+
+TEST(ShardWorkload, SingleShardPassesMessagesThroughByteIdentically) {
+  harness::WorkloadParams params;
+  params.route_count = 120;
+  const auto workload = harness::make_workload(params);
+  const auto sharded = harness::shard_workload(workload, 1);
+  ASSERT_EQ(sharded.batches.size(), 1u);
+  EXPECT_EQ(sharded.batches[0], workload.updates);
+  EXPECT_EQ(sharded.interleaved(), workload.updates);
+}
+
+TEST(PrefixShard, StableAndInRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Prefix p(Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                   static_cast<std::uint8_t>(8 + rng.below(25)));
+    for (std::size_t shards : {1u, 2u, 3u, 8u, 16u}) {
+      const auto s = util::prefix_shard(p, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, util::prefix_shard(p, shards));  // pure function of (prefix, shards)
+    }
+  }
+}
+
+}  // namespace

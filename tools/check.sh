@@ -1,11 +1,16 @@
 #!/bin/sh
 # Sanitized verification gate: configure a separate build tree with
-# XBGP_SANITIZE, build everything, and run the full test suite under the
-# sanitizer.  Usage:
+# XBGP_SANITIZE, build, and run tests under the sanitizer.  Usage:
 #
 #   tools/check.sh                 # address sanitizer (default)
 #   tools/check.sh undefined       # UBSan
 #   tools/check.sh address,undefined
+#   tools/check.sh thread          # TSan: parallel pipeline + differential
+#                                  # host tests (the multi-threaded code)
+#
+# The `thread` mode builds only the tests that actually spawn worker
+# threads (the UPDATE pipeline at parallelism > 1); everything else is
+# single-threaded by design and covered by the other modes.
 #
 # Exits non-zero if configuration, the build, or any test fails.
 set -eu
@@ -15,5 +20,13 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-san-$(printf '%s' "$SANITIZER" | tr ',' '-')"
 
 cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SANITIZER"
-cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
-ctest --test-dir "$BUILD" --output-on-failure
+
+if [ "$SANITIZER" = "thread" ]; then
+  cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target parallel_pipeline_test differential_host_test
+  ctest --test-dir "$BUILD" --output-on-failure \
+    -R 'ParallelPipeline|DifferentialHost|ShardWorkload|PrefixShard'
+else
+  cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
+  ctest --test-dir "$BUILD" --output-on-failure
+fi
