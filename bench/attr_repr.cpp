@@ -24,7 +24,7 @@ const std::vector<bgp::AttributeSet>& neutral_sets() {
     std::vector<bgp::AttributeSet> out;
     for (const auto& wire : w.updates) {
       const auto frame = bgp::try_frame(wire);
-      out.push_back(bgp::decode_update(frame->body).attrs);
+      out.push_back(bgp::decode_update(frame->body)->attrs);
     }
     return out;
   }();

@@ -25,7 +25,7 @@ void BM_DecodeUpdate(benchmark::State& state) {
   for (auto _ : state) {
     const auto& wire = w.updates[i++ % w.updates.size()];
     const auto frame = bgp::try_frame(wire);
-    auto update = bgp::decode_update(frame->body);
+    auto update = *bgp::decode_update(frame->body);
     prefixes += update.nlri.size();
     benchmark::DoNotOptimize(update);
   }
@@ -39,7 +39,7 @@ void BM_EncodeUpdate(benchmark::State& state) {
   std::vector<bgp::UpdateMessage> updates;
   for (std::size_t i = 0; i < 512 && i < w.updates.size(); ++i) {
     const auto frame = bgp::try_frame(w.updates[i]);
-    updates.push_back(bgp::decode_update(frame->body));
+    updates.push_back(*bgp::decode_update(frame->body));
   }
   std::size_t i = 0;
   for (auto _ : state) {

@@ -41,7 +41,7 @@ class NullHost : public HostApi {
   }
   bool set_route_meta(ExecContext&, std::uint32_t) override { return true; }
   std::optional<std::uint32_t> get_route_meta(const ExecContext&) override { return 0; }
-  void notify_extension_fault(Op, std::string_view, std::string_view) override {}
+  void notify_extension_fault(const FaultInfo&) override {}
   void ebpf_print(std::string_view) override {}
 };
 

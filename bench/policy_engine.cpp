@@ -29,7 +29,7 @@ struct Fixture {
     for (const auto& wire : workload.updates) {
       const auto frame = bgp::try_frame(wire);
       attrs.push_back(
-          hosts::fir::FirCore::from_wire(bgp::decode_update(frame->body).attrs, {}));
+          hosts::fir::FirCore::from_wire(bgp::decode_update(frame->body)->attrs, {}));
     }
     rpki::fill_table(trie, rpki::make_roa_set(workload.routes, rpki::RoaSetParams{}));
     locked = std::make_unique<rpki::LockedRoaTable>(trie);

@@ -1,5 +1,6 @@
 #include "bgp/codec.hpp"
 
+#include "bgp/aspath.hpp"
 #include "util/bytes.hpp"
 
 namespace xb::bgp {
@@ -17,6 +18,170 @@ std::vector<std::uint8_t> with_header(MessageType type, std::span<const std::uin
   w.u8(static_cast<std::uint8_t>(type));
   w.bytes(body);
   return std::move(w).take();
+}
+
+util::Status reset(NotifCode code, std::uint8_t subcode, std::string message,
+                   std::vector<std::uint8_t> data = {}) {
+  return util::Status::error(util::ErrorClass::kSessionReset, static_cast<std::uint8_t>(code),
+                             subcode, std::move(message), std::move(data));
+}
+
+/// Re-encodes one attribute (flags, code, length, value) for the
+/// NOTIFICATION data field: RFC 4271 §6.3 requires the erroneous attribute.
+std::vector<std::uint8_t> attr_bytes(const WireAttr& attr) {
+  util::ByteWriter w;
+  AttributeSet::encode_one(w, attr);
+  return std::move(w).take();
+}
+
+// --- RFC 7606 §7 per-attribute error-handling table ---------------------------
+// For each known attribute: the flag bits it must carry (compared over the
+// Optional and Transitive bits; Partial and Extended-Length are encoding
+// detail) and the degradation tier a malformed occurrence maps to.
+// Attributes that feed the decision process degrade treat-as-withdraw;
+// purely informational ones (ATOMIC_AGGREGATE, AGGREGATOR, GeoLoc)
+// attribute-discard. Anything structural that prevents parsing the rest of
+// the message stays session-reset and is handled by the callers below.
+struct AttrSpec {
+  std::uint8_t expected_flags;  // over kOptional|kTransitive
+  util::ErrorClass tier;        // tier when this attribute is malformed
+};
+
+const AttrSpec* attr_spec(std::uint8_t code) {
+  static constexpr std::uint8_t kWellKnown = attr_flag::kTransitive;
+  static constexpr std::uint8_t kOptTrans = attr_flag::kOptional | attr_flag::kTransitive;
+  static constexpr std::uint8_t kOptNonTrans = attr_flag::kOptional;
+  static const AttrSpec kOriginSpec{kWellKnown, util::ErrorClass::kTreatAsWithdraw};
+  static const AttrSpec kAsPathSpec{kWellKnown, util::ErrorClass::kTreatAsWithdraw};
+  static const AttrSpec kNextHopSpec{kWellKnown, util::ErrorClass::kTreatAsWithdraw};
+  static const AttrSpec kMedSpec{kOptNonTrans, util::ErrorClass::kTreatAsWithdraw};
+  static const AttrSpec kLocalPrefSpec{kWellKnown, util::ErrorClass::kTreatAsWithdraw};
+  static const AttrSpec kAtomicSpec{kWellKnown, util::ErrorClass::kAttributeDiscard};
+  static const AttrSpec kAggregatorSpec{kOptTrans, util::ErrorClass::kAttributeDiscard};
+  static const AttrSpec kCommunitiesSpec{kOptTrans, util::ErrorClass::kTreatAsWithdraw};
+  static const AttrSpec kOriginatorSpec{kOptNonTrans, util::ErrorClass::kTreatAsWithdraw};
+  static const AttrSpec kClusterSpec{kOptNonTrans, util::ErrorClass::kTreatAsWithdraw};
+  static const AttrSpec kGeoLocSpec{kOptTrans, util::ErrorClass::kAttributeDiscard};
+  switch (code) {
+    case attr_code::kOrigin: return &kOriginSpec;
+    case attr_code::kAsPath: return &kAsPathSpec;
+    case attr_code::kNextHop: return &kNextHopSpec;
+    case attr_code::kMed: return &kMedSpec;
+    case attr_code::kLocalPref: return &kLocalPrefSpec;
+    case attr_code::kAtomicAggregate: return &kAtomicSpec;
+    case attr_code::kAggregator: return &kAggregatorSpec;
+    case attr_code::kCommunities: return &kCommunitiesSpec;
+    case attr_code::kOriginatorId: return &kOriginatorSpec;
+    case attr_code::kClusterList: return &kClusterSpec;
+    case attr_code::kGeoLoc: return &kGeoLocSpec;
+    default: return nullptr;
+  }
+}
+
+/// Value-level validation for a known attribute whose flags already checked
+/// out. Returns 0 if well-formed, else the UPDATE error subcode.
+std::uint8_t check_attr_value(const WireAttr& attr) {
+  const auto len = attr.value.size();
+  switch (attr.code) {
+    case attr_code::kOrigin:
+      if (len != 1) return update_err::kAttributeLengthError;
+      if (attr.value[0] > 2) return update_err::kInvalidOrigin;
+      return 0;
+    case attr_code::kAsPath:
+      return AsPath::from_attr(attr) ? 0 : update_err::kMalformedAsPath;
+    case attr_code::kNextHop:
+      return len == 4 ? 0 : update_err::kAttributeLengthError;
+    case attr_code::kMed:
+    case attr_code::kLocalPref:
+    case attr_code::kOriginatorId:
+      return len == 4 ? 0 : update_err::kAttributeLengthError;
+    case attr_code::kAtomicAggregate:
+      return len == 0 ? 0 : update_err::kAttributeLengthError;
+    case attr_code::kAggregator:
+      // 4-octet-AS world (RFC 6793): 4 bytes ASN + 4 bytes aggregator id.
+      return len == 8 ? 0 : update_err::kAttributeLengthError;
+    case attr_code::kCommunities:
+    case attr_code::kClusterList:
+      return len % 4 == 0 ? 0 : update_err::kOptionalAttributeError;
+    case attr_code::kGeoLoc:
+      return len == 8 ? 0 : update_err::kOptionalAttributeError;
+    default: return 0;
+  }
+}
+
+/// Parses and classifies the path attribute list. Never fails the decode:
+/// structural overruns inside the (already length-delimited) list degrade
+/// treat-as-withdraw, per-attribute errors degrade per the §7 table, and
+/// discard-tier attributes are stripped so every host sees the same set.
+void decode_attrs(util::ByteReader& body, AttributeSet& out, UpdateNotes& notes) {
+  while (!body.empty()) {
+    // Attribute header: flags, code, 1- or 2-byte length.
+    if (!body.has(2)) {
+      notes.note(util::ErrorClass::kTreatAsWithdraw, update_err::kMalformedAttributeList, {},
+                 "attribute header overruns attribute list");
+      body.skip(body.remaining());
+      break;
+    }
+    WireAttr attr;
+    attr.flags = body.u8();
+    attr.code = body.u8();
+    std::size_t value_len = 0;
+    const bool extended = attr.flags & attr_flag::kExtendedLength;
+    if (!body.has(extended ? 2u : 1u)) {
+      notes.note(util::ErrorClass::kTreatAsWithdraw, update_err::kMalformedAttributeList,
+                 {attr.flags, attr.code}, "attribute length field overruns attribute list");
+      body.skip(body.remaining());
+      break;
+    }
+    value_len = extended ? body.u16() : body.u8();
+    if (!body.has(value_len)) {
+      notes.note(util::ErrorClass::kTreatAsWithdraw, update_err::kMalformedAttributeList,
+                 {attr.flags, attr.code}, "attribute value overruns attribute list");
+      body.skip(body.remaining());
+      break;
+    }
+    auto value = body.bytes(value_len);
+    attr.value.assign(value.begin(), value.end());
+    // Clear the extended-length bit: it is an encoding detail, not semantics,
+    // and normalising it keeps AttributeSet equality canonical.
+    attr.flags &= static_cast<std::uint8_t>(~attr_flag::kExtendedLength);
+
+    // Duplicate attribute: keep the first occurrence, discard the rest
+    // (RFC 7606 §3 (g)).
+    if (out.has(attr.code)) {
+      ++notes.attrs_discarded;
+      notes.note(util::ErrorClass::kAttributeDiscard, update_err::kMalformedAttributeList,
+                 attr_bytes(attr), "duplicate path attribute");
+      continue;
+    }
+
+    const AttrSpec* spec = attr_spec(attr.code);
+    if (spec == nullptr) {
+      if (attr.optional()) {
+        out.put(std::move(attr));  // unknown optional: pass through unchanged
+      } else {
+        // Unrecognised well-known attribute. RFC 4271 resets the session;
+        // we take the RFC 7606 spirit one step further and degrade
+        // treat-as-withdraw — the route is lost but the session survives.
+        notes.note(util::ErrorClass::kTreatAsWithdraw, update_err::kUnrecognizedWellKnown,
+                   attr_bytes(attr), "unrecognised well-known attribute");
+      }
+      continue;
+    }
+    const std::uint8_t type_bits = attr.flags & (attr_flag::kOptional | attr_flag::kTransitive);
+    if (type_bits != spec->expected_flags) {
+      notes.note(spec->tier, update_err::kAttributeFlagsError, attr_bytes(attr),
+                 "attribute flags conflict with attribute type");
+      if (spec->tier == util::ErrorClass::kAttributeDiscard) ++notes.attrs_discarded;
+      continue;
+    }
+    if (const std::uint8_t sub = check_attr_value(attr); sub != 0) {
+      notes.note(spec->tier, sub, attr_bytes(attr), "malformed attribute value");
+      if (spec->tier == util::ErrorClass::kAttributeDiscard) ++notes.attrs_discarded;
+      continue;
+    }
+    out.put(std::move(attr));
+  }
 }
 
 }  // namespace
@@ -38,13 +203,21 @@ void encode_prefix(util::ByteWriter& w, const util::Prefix& prefix) {
   }
 }
 
-util::Prefix decode_prefix(util::ByteReader& r) {
+util::Result<util::Prefix> decode_prefix(util::ByteReader& r) {
+  if (!r.has(1)) {
+    return reset(NotifCode::kUpdateMessageError, update_err::kInvalidNetworkField,
+                 "truncated NLRI");
+  }
   const std::uint8_t len = r.u8();
   if (len > 32) {
-    throw DecodeError(NotifCode::kUpdateMessageError, update_err::kInvalidNetworkField,
-                      "prefix length > 32");
+    return reset(NotifCode::kUpdateMessageError, update_err::kInvalidNetworkField,
+                 "prefix length > 32", {len});
   }
   const std::size_t nbytes = (len + 7) / 8;
+  if (!r.has(nbytes)) {
+    return reset(NotifCode::kUpdateMessageError, update_err::kInvalidNetworkField,
+                 "truncated NLRI", {len});
+  }
   std::uint32_t addr = 0;
   for (std::size_t i = 0; i < nbytes; ++i) {
     addr |= static_cast<std::uint32_t>(r.u8()) << (24 - 8 * i);
@@ -70,36 +243,38 @@ std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
   return with_header(MessageType::kOpen, body.view());
 }
 
-OpenMessage decode_open(std::span<const std::uint8_t> body) {
+util::Result<OpenMessage> decode_open(std::span<const std::uint8_t> body) {
   util::ByteReader r(body);
   OpenMessage open;
-  try {
-    open.version = r.u8();
-    open.my_as_2octet = r.u16();
-    open.hold_time = r.u16();
-    open.bgp_id = r.u32();
-    open.asn = open.my_as_2octet;  // until a 4-octet capability says otherwise
-    const std::size_t params_len = r.u8();
-    util::ByteReader params = r.sub(params_len);
-    while (!params.empty()) {
-      const std::uint8_t param_type = params.u8();
-      const std::size_t param_len = params.u8();
-      util::ByteReader param = params.sub(param_len);
-      if (param_type != kParamCapability) continue;
-      while (!param.empty()) {
-        const std::uint8_t cap_code = param.u8();
-        const std::size_t cap_len = param.u8();
-        util::ByteReader cap = param.sub(cap_len);
-        if (cap_code == kCapFourOctetAs && cap_len == 4) {
-          open.asn = cap.u32();
-        }
+  if (!r.has(10)) return reset(NotifCode::kOpenMessageError, 0, "truncated OPEN");
+  open.version = r.u8();
+  open.my_as_2octet = r.u16();
+  open.hold_time = r.u16();
+  open.bgp_id = r.u32();
+  open.asn = open.my_as_2octet;  // until a 4-octet capability says otherwise
+  const std::size_t params_len = r.u8();
+  if (!r.has(params_len)) return reset(NotifCode::kOpenMessageError, 0, "truncated OPEN");
+  util::ByteReader params = r.sub(params_len);
+  while (!params.empty()) {
+    if (!params.has(2)) return reset(NotifCode::kOpenMessageError, 0, "truncated OPEN");
+    const std::uint8_t param_type = params.u8();
+    const std::size_t param_len = params.u8();
+    if (!params.has(param_len)) return reset(NotifCode::kOpenMessageError, 0, "truncated OPEN");
+    util::ByteReader param = params.sub(param_len);
+    if (param_type != kParamCapability) continue;
+    while (!param.empty()) {
+      if (!param.has(2)) return reset(NotifCode::kOpenMessageError, 0, "truncated OPEN");
+      const std::uint8_t cap_code = param.u8();
+      const std::size_t cap_len = param.u8();
+      if (!param.has(cap_len)) return reset(NotifCode::kOpenMessageError, 0, "truncated OPEN");
+      util::ByteReader cap = param.sub(cap_len);
+      if (cap_code == kCapFourOctetAs && cap_len == 4) {
+        open.asn = cap.u32();
       }
     }
-  } catch (const util::BufferError&) {
-    throw DecodeError(NotifCode::kOpenMessageError, 0, "truncated OPEN");
   }
   if (open.version != 4) {
-    throw DecodeError(NotifCode::kOpenMessageError, 1, "unsupported version");
+    return reset(NotifCode::kOpenMessageError, 1, "unsupported version", {open.version});
   }
   return open;
 }
@@ -125,19 +300,58 @@ std::vector<std::uint8_t> encode_update(const UpdateMessage& update) {
   return with_header(MessageType::kUpdate, body.view());
 }
 
-UpdateMessage decode_update(std::span<const std::uint8_t> body) {
+util::Result<UpdateMessage> decode_update(std::span<const std::uint8_t> body,
+                                          UpdateNotes* notes) {
   util::ByteReader r(body);
   UpdateMessage update;
-  try {
-    const std::size_t withdrawn_len = r.u16();
-    util::ByteReader withdrawn = r.sub(withdrawn_len);
-    while (!withdrawn.empty()) update.withdrawn.push_back(decode_prefix(withdrawn));
-    const std::size_t attrs_len = r.u16();
-    update.attrs = AttributeSet::decode(r, attrs_len);
-    while (!r.empty()) update.nlri.push_back(decode_prefix(r));
-  } catch (const util::BufferError&) {
-    throw DecodeError(NotifCode::kUpdateMessageError, update_err::kMalformedAttributeList,
-                      "truncated UPDATE");
+  UpdateNotes local;
+  UpdateNotes& n = notes ? *notes : local;
+  // Withdrawn Routes Length and Total Path Attribute Length frame the rest of
+  // the message; when they lie the message cannot be parsed at all, so these
+  // stay session-reset (RFC 7606 §5.1).
+  if (!r.has(2)) {
+    return reset(NotifCode::kUpdateMessageError, update_err::kMalformedAttributeList,
+                 "truncated UPDATE (withdrawn routes length)");
+  }
+  const std::size_t withdrawn_len = r.u16();
+  if (!r.has(withdrawn_len)) {
+    return reset(NotifCode::kUpdateMessageError, update_err::kMalformedAttributeList,
+                 "withdrawn routes overrun message");
+  }
+  util::ByteReader withdrawn = r.sub(withdrawn_len);
+  while (!withdrawn.empty()) {
+    auto p = decode_prefix(withdrawn);
+    if (!p.has_value()) return p.status();
+    update.withdrawn.push_back(*p);
+  }
+  if (!r.has(2)) {
+    return reset(NotifCode::kUpdateMessageError, update_err::kMalformedAttributeList,
+                 "truncated UPDATE (attribute list length)");
+  }
+  const std::size_t attrs_len = r.u16();
+  if (!r.has(attrs_len)) {
+    return reset(NotifCode::kUpdateMessageError, update_err::kMalformedAttributeList,
+                 "attribute list overruns message");
+  }
+  util::ByteReader attrs = r.sub(attrs_len);
+  decode_attrs(attrs, update.attrs, n);
+  // NLRI errors remain session-reset (RFC 7606 §5.3): a bad prefix length
+  // desynchronises the field, so nothing after it can be trusted.
+  while (!r.empty()) {
+    auto p = decode_prefix(r);
+    if (!p.has_value()) return p.status();
+    update.nlri.push_back(*p);
+  }
+  // Missing mandatory attributes with reachable NLRI: treat-as-withdraw,
+  // data = the missing attribute's type code (RFC 4271 §6.3 / RFC 7606 §3).
+  if (!update.nlri.empty()) {
+    for (std::uint8_t code :
+         {attr_code::kOrigin, attr_code::kAsPath, attr_code::kNextHop}) {
+      if (!update.attrs.has(code)) {
+        n.note(util::ErrorClass::kTreatAsWithdraw, update_err::kMissingWellKnown, {code},
+               "missing mandatory attribute");
+      }
+    }
   }
   return update;
 }
@@ -150,17 +364,16 @@ std::vector<std::uint8_t> encode_notification(const NotificationMessage& notif) 
   return with_header(MessageType::kNotification, body.view());
 }
 
-NotificationMessage decode_notification(std::span<const std::uint8_t> body) {
+util::Result<NotificationMessage> decode_notification(std::span<const std::uint8_t> body) {
   util::ByteReader r(body);
   NotificationMessage notif;
-  try {
-    notif.code = static_cast<NotifCode>(r.u8());
-    notif.subcode = r.u8();
-    auto rest = r.bytes(r.remaining());
-    notif.data.assign(rest.begin(), rest.end());
-  } catch (const util::BufferError&) {
-    throw DecodeError(NotifCode::kMessageHeaderError, 2, "truncated NOTIFICATION");
+  if (!r.has(2)) {
+    return reset(NotifCode::kMessageHeaderError, 2, "truncated NOTIFICATION");
   }
+  notif.code = static_cast<NotifCode>(r.u8());
+  notif.subcode = r.u8();
+  auto rest = r.bytes(r.remaining());
+  notif.data.assign(rest.begin(), rest.end());
   return notif;
 }
 
@@ -176,9 +389,9 @@ std::vector<std::uint8_t> encode_route_refresh(const RouteRefreshMessage& refres
   return with_header(MessageType::kRouteRefresh, body.view());
 }
 
-RouteRefreshMessage decode_route_refresh(std::span<const std::uint8_t> body) {
+util::Result<RouteRefreshMessage> decode_route_refresh(std::span<const std::uint8_t> body) {
   if (body.size() != 4) {
-    throw DecodeError(NotifCode::kMessageHeaderError, 2, "bad ROUTE-REFRESH length");
+    return reset(NotifCode::kMessageHeaderError, 2, "bad ROUTE-REFRESH length");
   }
   RouteRefreshMessage refresh;
   refresh.afi = static_cast<std::uint16_t>((body[0] << 8) | body[1]);
@@ -199,41 +412,61 @@ std::vector<std::uint8_t> encode(const Message& message) {
       message);
 }
 
-std::optional<Frame> try_frame(std::span<const std::uint8_t> buffer) {
-  if (buffer.size() < kHeaderSize) return std::nullopt;
+util::Result<Frame> try_frame(std::span<const std::uint8_t> buffer) {
+  if (buffer.size() < kHeaderSize) return util::Status::incomplete();
   for (std::size_t i = 0; i < 16; ++i) {
     if (buffer[i] != kMarkerByte) {
-      throw DecodeError(NotifCode::kMessageHeaderError, 1, "bad marker");
+      return reset(NotifCode::kMessageHeaderError, 1, "bad marker");
     }
   }
   const std::size_t total =
       (static_cast<std::size_t>(buffer[16]) << 8) | buffer[17];
   if (total < kHeaderSize || total > kMaxMessageSize) {
-    throw DecodeError(NotifCode::kMessageHeaderError, 2, "bad message length");
+    // Data field: the erroneous Length field (RFC 4271 §6.1).
+    return reset(NotifCode::kMessageHeaderError, 2, "bad message length",
+                 {buffer[16], buffer[17]});
   }
   const std::uint8_t type = buffer[18];
   if (type < 1 || type > 5) {
-    throw DecodeError(NotifCode::kMessageHeaderError, 3, "bad message type");
+    // Data field: the erroneous Type field.
+    return reset(NotifCode::kMessageHeaderError, 3, "bad message type", {type});
   }
-  if (buffer.size() < total) return std::nullopt;
+  if (buffer.size() < total) return util::Status::incomplete();
   return Frame{static_cast<MessageType>(type), total,
                buffer.subspan(kHeaderSize, total - kHeaderSize)};
 }
 
-Message decode_body(MessageType type, std::span<const std::uint8_t> body) {
+util::Result<Message> decode_body(MessageType type, std::span<const std::uint8_t> body,
+                                  UpdateNotes* notes) {
   switch (type) {
-    case MessageType::kOpen: return decode_open(body);
-    case MessageType::kUpdate: return decode_update(body);
-    case MessageType::kNotification: return decode_notification(body);
+    case MessageType::kOpen: {
+      auto r = decode_open(body);
+      if (!r.has_value()) return r.status();
+      return Message{*std::move(r)};
+    }
+    case MessageType::kUpdate: {
+      auto r = decode_update(body, notes);
+      if (!r.has_value()) return r.status();
+      return Message{*std::move(r)};
+    }
+    case MessageType::kNotification: {
+      auto r = decode_notification(body);
+      if (!r.has_value()) return r.status();
+      return Message{*std::move(r)};
+    }
     case MessageType::kKeepalive:
       if (!body.empty()) {
-        throw DecodeError(NotifCode::kMessageHeaderError, 2, "KEEPALIVE with body");
+        return reset(NotifCode::kMessageHeaderError, 2, "KEEPALIVE with body");
       }
-      return KeepaliveMessage{};
-    case MessageType::kRouteRefresh:
-      return decode_route_refresh(body);
+      return Message{KeepaliveMessage{}};
+    case MessageType::kRouteRefresh: {
+      auto r = decode_route_refresh(body);
+      if (!r.has_value()) return r.status();
+      return Message{*std::move(r)};
+    }
   }
-  throw DecodeError(NotifCode::kMessageHeaderError, 3, "bad message type");
+  return reset(NotifCode::kMessageHeaderError, 3, "bad message type",
+               {static_cast<std::uint8_t>(type)});
 }
 
 }  // namespace xb::bgp

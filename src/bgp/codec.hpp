@@ -1,28 +1,22 @@
 // BGP wire codec: RFC 4271 message framing, encoding and decoding.
+//
+// The decode side is exception-free and returns util::Result values on the
+// typed Status spine. Errors carry the RFC 4271 NOTIFICATION triple (code,
+// subcode, offending data) plus an RFC 7606 ErrorClass so callers know how
+// to degrade: only true framing/header errors are session-reset; path
+// attribute errors are classified treat-as-withdraw or attribute-discard and
+// reported out-of-band through UpdateNotes while decoding continues.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <span>
-#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bgp/message.hpp"
+#include "util/status.hpp"
 
 namespace xb::bgp {
-
-/// Decoding failure carrying the NOTIFICATION the receiver must send.
-class DecodeError : public std::runtime_error {
- public:
-  DecodeError(NotifCode code, std::uint8_t subcode, const std::string& what)
-      : std::runtime_error(what), code_(code), subcode_(subcode) {}
-  [[nodiscard]] NotifCode code() const noexcept { return code_; }
-  [[nodiscard]] std::uint8_t subcode() const noexcept { return subcode_; }
-
- private:
-  NotifCode code_;
-  std::uint8_t subcode_;
-};
 
 // --- encoding -----------------------------------------------------------------
 std::vector<std::uint8_t> encode(const Message& message);
@@ -44,19 +38,51 @@ struct Frame {
   std::span<const std::uint8_t> body;
 };
 
-/// Returns the first complete message framed in `buffer`, or nullopt if more
-/// bytes are needed. Throws DecodeError on a corrupt header (bad marker,
-/// bad length, unknown type).
-std::optional<Frame> try_frame(std::span<const std::uint8_t> buffer);
+/// RFC 7606 degradation report for one decoded UPDATE. The decode itself
+/// succeeds (the Result carries a message) while the notes say how the
+/// receiver must degrade: `worst` is the highest tier hit, with the
+/// NOTIFICATION subcode and offending attribute bytes that tier produced.
+/// attrs_discarded counts attributes stripped at the discard tier (the
+/// returned AttributeSet no longer contains them, so every host sees the
+/// same canonical set).
+struct UpdateNotes {
+  util::ErrorClass worst = util::ErrorClass::kNone;
+  std::uint8_t subcode = 0;             // UPDATE Message Error subcode of `worst`
+  std::vector<std::uint8_t> data;       // offending bytes for the NOTIFICATION
+  std::uint64_t attrs_discarded = 0;    // attribute-discard tier strips
+  std::string detail;                   // human-readable description of `worst`
 
-/// Decodes a framed body. Throws DecodeError on malformed contents.
-Message decode_body(MessageType type, std::span<const std::uint8_t> body);
+  /// Records one classified error, keeping the triple of the worst tier seen.
+  void note(util::ErrorClass cls, std::uint8_t sub, std::vector<std::uint8_t> bytes,
+            std::string what) {
+    if (cls > worst) {
+      worst = cls;
+      subcode = sub;
+      data = std::move(bytes);
+      detail = std::move(what);
+    }
+  }
+  [[nodiscard]] bool clean() const noexcept { return worst == util::ErrorClass::kNone; }
+};
 
-OpenMessage decode_open(std::span<const std::uint8_t> body);
-UpdateMessage decode_update(std::span<const std::uint8_t> body);
-NotificationMessage decode_notification(std::span<const std::uint8_t> body);
-RouteRefreshMessage decode_route_refresh(std::span<const std::uint8_t> body);
+/// Returns the first complete message framed in `buffer`. A Status with
+/// ErrorClass kIncomplete means more bytes are needed; kSessionReset means a
+/// corrupt header (bad marker, bad length, unknown type) with the
+/// NOTIFICATION triple filled in.
+util::Result<Frame> try_frame(std::span<const std::uint8_t> buffer);
 
-util::Prefix decode_prefix(util::ByteReader& r);
+/// Decodes a framed body. Error Results are always session-reset tier; for
+/// UPDATEs, recoverable attribute errors are classified into `notes` instead
+/// (treat-as-withdraw / attribute-discard) and decoding continues.
+util::Result<Message> decode_body(MessageType type, std::span<const std::uint8_t> body,
+                                  UpdateNotes* notes = nullptr);
+
+util::Result<OpenMessage> decode_open(std::span<const std::uint8_t> body);
+util::Result<UpdateMessage> decode_update(std::span<const std::uint8_t> body,
+                                          UpdateNotes* notes = nullptr);
+util::Result<NotificationMessage> decode_notification(std::span<const std::uint8_t> body);
+util::Result<RouteRefreshMessage> decode_route_refresh(std::span<const std::uint8_t> body);
+
+util::Result<util::Prefix> decode_prefix(util::ByteReader& r);
 
 }  // namespace xb::bgp

@@ -6,7 +6,12 @@ namespace xb::bgp {
 
 namespace {
 constexpr std::uint64_t kSecond = 1'000'000'000ull;  // virtual ns
+
+std::vector<std::uint8_t> be32_bytes(std::uint32_t v) {
+  return {static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+          static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
 }
+}  // namespace
 
 const char* to_string(SessionState s) {
   switch (s) {
@@ -39,6 +44,7 @@ void PeerSession::start() {
 void PeerSession::stop() {
   if (state_ == SessionState::kIdle) return;
   end_.write(encode_notification(NotificationMessage{NotifCode::kCease, 0, {}}));
+  ++notifications_sent_;
   go_down("administratively stopped");
 }
 
@@ -50,14 +56,12 @@ void PeerSession::handle_readable() {
   while (true) {
     std::span<const std::uint8_t> pending(rx_buffer_.data() + rx_consumed_,
                                           rx_buffer_.size() - rx_consumed_);
-    std::optional<Frame> frame;
-    try {
-      frame = try_frame(pending);
-    } catch (const DecodeError& e) {
-      fail(e.code(), e.subcode(), e.what());
+    auto frame = try_frame(pending);
+    if (!frame.has_value()) {
+      if (frame.status().is_incomplete()) break;  // wait for more bytes
+      fail(frame.status());
       return;
     }
-    if (!frame) break;
     process_frame(*frame, pending.first(frame->total_length));
     if (state_ == SessionState::kIdle) return;  // torn down while processing
     rx_consumed_ += frame->total_length;
@@ -73,14 +77,12 @@ void PeerSession::handle_readable() {
 void PeerSession::process_frame(const Frame& frame, std::span<const std::uint8_t> raw) {
   switch (frame.type) {
     case MessageType::kOpen: {
-      OpenMessage open;
-      try {
-        open = decode_open(frame.body);
-      } catch (const DecodeError& e) {
-        fail(e.code(), e.subcode(), e.what());
+      auto open = decode_open(frame.body);
+      if (!open.has_value()) {
+        fail(open.status());
         return;
       }
-      handle_open(open);
+      handle_open(*open);
       return;
     }
     case MessageType::kKeepalive:
@@ -91,21 +93,29 @@ void PeerSession::process_frame(const Frame& frame, std::span<const std::uint8_t
         fail(NotifCode::kFsmError, 0, "UPDATE outside Established");
         return;
       }
-      UpdateMessage update;
-      try {
-        update = decode_update(frame.body);
-      } catch (const DecodeError& e) {
-        fail(e.code(), e.subcode(), e.what());
+      UpdateNotes notes;
+      auto update = decode_update(frame.body, &notes);
+      if (!update.has_value()) {
+        // Session-reset tier: the message could not be parsed at all.
+        fail(update.status());
         return;
       }
+      // Recoverable degradation (RFC 7606): count it, keep the session up,
+      // and let the router above install withdraws / see stripped attrs.
+      if (notes.worst == util::ErrorClass::kTreatAsWithdraw) ++treat_as_withdraw_;
+      attrs_discarded_ += notes.attrs_discarded;
       ++updates_received_;
-      if (on_update) on_update(std::move(update), raw);
+      if (on_update) on_update(*std::move(update), notes, raw);
       return;
     }
     case MessageType::kNotification: {
-      NotificationMessage notif = decode_notification(frame.body);
+      auto notif = decode_notification(frame.body);
+      if (!notif.has_value()) {
+        go_down("truncated NOTIFICATION received");
+        return;
+      }
       go_down("NOTIFICATION received (code " +
-              std::to_string(static_cast<int>(notif.code)) + ")");
+              std::to_string(static_cast<int>(notif->code)) + ")");
       return;
     }
     case MessageType::kRouteRefresh: {
@@ -113,10 +123,9 @@ void PeerSession::process_frame(const Frame& frame, std::span<const std::uint8_t
         fail(NotifCode::kFsmError, 0, "ROUTE-REFRESH outside Established");
         return;
       }
-      try {
-        (void)decode_route_refresh(frame.body);
-      } catch (const DecodeError& e) {
-        fail(e.code(), e.subcode(), e.what());
+      auto refresh = decode_route_refresh(frame.body);
+      if (!refresh.has_value()) {
+        fail(refresh.status());
         return;
       }
       if (on_route_refresh) on_route_refresh();
@@ -131,11 +140,12 @@ void PeerSession::handle_open(const OpenMessage& open) {
     return;
   }
   if (open.asn != config_.peer_asn) {
-    fail(NotifCode::kOpenMessageError, 2, "unexpected peer AS " + std::to_string(open.asn));
+    fail(NotifCode::kOpenMessageError, 2, "unexpected peer AS " + std::to_string(open.asn),
+         be32_bytes(open.asn));
     return;
   }
   if (open.bgp_id == 0 || open.bgp_id == config_.local_id) {
-    fail(NotifCode::kOpenMessageError, 3, "bad BGP identifier");
+    fail(NotifCode::kOpenMessageError, 3, "bad BGP identifier", be32_bytes(open.bgp_id));
     return;
   }
   peer_id_ = open.bgp_id;
@@ -159,9 +169,16 @@ void PeerSession::handle_keepalive() {
   }
 }
 
-void PeerSession::fail(NotifCode code, std::uint8_t subcode, const std::string& reason) {
-  end_.write(encode_notification(NotificationMessage{code, subcode, {}}));
+void PeerSession::fail(NotifCode code, std::uint8_t subcode, const std::string& reason,
+                       std::vector<std::uint8_t> data) {
+  end_.write(encode_notification(NotificationMessage{code, subcode, std::move(data)}));
+  ++notifications_sent_;
   go_down(reason);
+}
+
+void PeerSession::fail(const util::Status& status) {
+  fail(static_cast<NotifCode>(status.code()), status.subcode(), status.message(),
+       status.data());
 }
 
 void PeerSession::go_down(const std::string& reason) {

@@ -5,6 +5,12 @@
 // Established), and maintains the hold and keepalive timers on the event
 // loop. Routing logic lives above, in the host routers: the session only
 // surfaces established/update/down events.
+//
+// Error handling follows RFC 7606: the codec classifies UPDATE errors and
+// the session resets only on session-reset tier failures (framing/header
+// corruption, FSM violations). Treat-as-withdraw and attribute-discard
+// UPDATEs are delivered upward with their UpdateNotes and counted here; no
+// NOTIFICATION is sent for them and the session stays up.
 #pragma once
 
 #include <cstdint>
@@ -71,9 +77,12 @@ class PeerSession {
   // --- upcalls --------------------------------------------------------------
   /// Fired on transition into Established.
   std::function<void()> on_established;
-  /// Fired per received UPDATE; `raw` is the full wire message (header
-  /// included) for the BGP_RECEIVE_MESSAGE insertion point.
-  std::function<void(UpdateMessage&&, std::span<const std::uint8_t> raw)> on_update;
+  /// Fired per received UPDATE; `notes` is the RFC 7606 degradation report
+  /// (clean() when nothing was wrong); `raw` is the full wire message
+  /// (header included) for the BGP_RECEIVE_MESSAGE insertion point.
+  std::function<void(UpdateMessage&&, const UpdateNotes& notes,
+                     std::span<const std::uint8_t> raw)>
+      on_update;
   /// Fired when the session leaves Established / fails to come up.
   std::function<void(const std::string& reason)> on_down;
   /// Fired when the peer requests re-advertisement (RFC 2918).
@@ -83,13 +92,28 @@ class PeerSession {
   [[nodiscard]] std::uint64_t updates_received() const noexcept { return updates_received_; }
   [[nodiscard]] std::uint64_t updates_sent() const noexcept { return updates_sent_; }
   void count_update_sent() noexcept { ++updates_sent_; }
+  /// UPDATEs degraded to withdraws instead of resetting (RFC 7606).
+  [[nodiscard]] std::uint64_t treat_as_withdraw_count() const noexcept {
+    return treat_as_withdraw_;
+  }
+  /// Path attributes stripped at the attribute-discard tier.
+  [[nodiscard]] std::uint64_t attrs_discarded() const noexcept { return attrs_discarded_; }
+  /// NOTIFICATIONs this side originated (fail + administrative stop).
+  [[nodiscard]] std::uint64_t notifications_sent() const noexcept {
+    return notifications_sent_;
+  }
 
  private:
   void handle_readable();
   void process_frame(const Frame& frame, std::span<const std::uint8_t> raw);
   void handle_open(const OpenMessage& open);
   void handle_keepalive();
-  void fail(NotifCode code, std::uint8_t subcode, const std::string& reason);
+  /// Sends a NOTIFICATION and tears the session down. `data` carries the
+  /// offending bytes for the NOTIFICATION data field (RFC 4271 §6.3).
+  void fail(NotifCode code, std::uint8_t subcode, const std::string& reason,
+            std::vector<std::uint8_t> data = {});
+  /// Same, from a session-reset tier Status off the typed error spine.
+  void fail(const util::Status& status);
   void go_down(const std::string& reason);
   void arm_hold_timer();
   void arm_keepalive_timer();
@@ -105,6 +129,9 @@ class PeerSession {
   bool started_ = false;
   std::uint64_t updates_received_ = 0;
   std::uint64_t updates_sent_ = 0;
+  std::uint64_t treat_as_withdraw_ = 0;
+  std::uint64_t attrs_discarded_ = 0;
+  std::uint64_t notifications_sent_ = 0;
 };
 
 }  // namespace xb::bgp

@@ -48,7 +48,8 @@ class Sink {
  public:
   Sink(net::EventLoop& loop, net::Duplex::End end, bgp::PeerSession::Config config)
       : session_(std::make_unique<bgp::PeerSession>(loop, end, config)) {
-    session_->on_update = [this](bgp::UpdateMessage&& update, std::span<const std::uint8_t>) {
+    session_->on_update = [this](bgp::UpdateMessage&& update, const bgp::UpdateNotes&,
+                                 std::span<const std::uint8_t>) {
       prefixes_ += update.nlri.size();
       withdrawals_ += update.withdrawn.size();
       last_update_ = std::move(update);

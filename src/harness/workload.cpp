@@ -155,10 +155,14 @@ ShardedWorkload shard_workload(const Workload& base, std::size_t shards) {
   std::vector<std::vector<util::Prefix>> withdrawn_of(shards);
   for (const auto& wire : base.updates) {
     const auto frame = bgp::try_frame(wire);
-    if (!frame || frame->type != bgp::MessageType::kUpdate) {
+    if (!frame.has_value() || frame->type != bgp::MessageType::kUpdate) {
       throw std::runtime_error("shard_workload: workload holds a non-UPDATE message");
     }
-    bgp::UpdateMessage update = bgp::decode_update(frame->body);
+    auto decoded = bgp::decode_update(frame->body);
+    if (!decoded.has_value()) {
+      throw std::runtime_error("shard_workload: undecodable UPDATE in workload");
+    }
+    bgp::UpdateMessage update = *std::move(decoded);
 
     for (auto& list : nlri_of) list.clear();
     for (auto& list : withdrawn_of) list.clear();

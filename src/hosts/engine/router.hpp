@@ -69,6 +69,16 @@ struct RouterStats {
   std::uint64_t ov_valid = 0;
   std::uint64_t ov_invalid = 0;
   std::uint64_t ov_not_found = 0;
+  // RFC 7606 degradation accounting (classified by the codec, applied here).
+  std::uint64_t treat_as_withdraw = 0;  // UPDATEs degraded to withdraws
+  std::uint64_t attrs_discarded = 0;    // attributes stripped at discard tier
+  // Extension faults by class (xbgp::FaultClass taxonomy); they sum to
+  // extension_faults.
+  std::uint64_t faults_verify = 0;
+  std::uint64_t faults_budget = 0;
+  std::uint64_t faults_memory_bounds = 0;
+  std::uint64_t faults_helper_denied = 0;
+  std::uint64_t faults_helper_error = 0;
 };
 
 template <typename Core>
@@ -155,8 +165,9 @@ class Router final : public xbgp::HostApi {
     PeerState* raw = state.get();
     state->session.on_established = [this, raw] { on_peer_established(*raw); };
     state->session.on_update = [this, raw](bgp::UpdateMessage&& update,
+                                           const bgp::UpdateNotes& notes,
                                            std::span<const std::uint8_t> wire) {
-      handle_update(*raw, std::move(update), wire);
+      handle_update(*raw, std::move(update), notes, wire);
     };
     state->session.on_down = [this, raw](const std::string& reason) {
       on_peer_down(*raw, reason);
@@ -384,15 +395,22 @@ class Router final : public xbgp::HostApi {
     return *route->meta;
   }
 
-  void notify_extension_fault(xbgp::Op op, std::string_view program,
-                              std::string_view detail) override {
+  void notify_extension_fault(const xbgp::FaultInfo& fault) override {
     {
-      // May fire from pipeline workers: the only stat written off-thread.
+      // May fire from pipeline workers: the only stats written off-thread.
       std::lock_guard<std::mutex> lock(fault_mu_);
       ++stats_.extension_faults;
+      switch (fault.cls) {
+        case xbgp::FaultClass::kVerify: ++stats_.faults_verify; break;
+        case xbgp::FaultClass::kInstructionBudget: ++stats_.faults_budget; break;
+        case xbgp::FaultClass::kMemoryBounds: ++stats_.faults_memory_bounds; break;
+        case xbgp::FaultClass::kHelperDenied: ++stats_.faults_helper_denied; break;
+        case xbgp::FaultClass::kHelperError: ++stats_.faults_helper_error; break;
+      }
     }
-    util::log_warn(cfg_.name, ": extension '", program, "' faulted at ", to_string(op), ": ",
-                   detail, " (fell back to native)");
+    util::log_warn(cfg_.name, ": extension '", fault.program, "' faulted at ",
+                   to_string(fault.op), " (", to_string(fault.cls), "): ", fault.detail,
+                   " (fell back to native)");
   }
 
   void ebpf_print(std::string_view message) override {
@@ -489,6 +507,7 @@ class Router final : public xbgp::HostApi {
   // --- inbound pipeline -------------------------------------------------------------
 
   void handle_update(PeerState& peer, bgp::UpdateMessage&& update,
+                     const bgp::UpdateNotes& notes,
                      std::span<const std::uint8_t> wire) {
     ++stats_.updates_in;
 
@@ -504,6 +523,22 @@ class Router final : public xbgp::HostApi {
     rx.add_arg(xbgp::arg::kRawMessage, wire);
     vmm_.execute(xbgp::Op::kReceiveMessage, rx,
                  [] { return xbgp::kOpOk; });
+
+    // RFC 7606 degradation, as classified by the codec. Applied on the main
+    // thread before the serial/parallel branch so the error accounting and
+    // the resulting RIB mutations are bit-identical at any parallelism.
+    // Discard-tier attributes were already stripped from update.attrs;
+    // treat-as-withdraw converts the advertised NLRI into withdraws, which
+    // both ingest paths then process like any other withdraw.
+    stats_.attrs_discarded += notes.attrs_discarded;
+    if (notes.worst == util::ErrorClass::kTreatAsWithdraw) {
+      ++stats_.malformed_updates;
+      ++stats_.treat_as_withdraw;
+      update.withdrawn.insert(update.withdrawn.end(), update.nlri.begin(),
+                              update.nlri.end());
+      update.nlri.clear();
+      update.attrs = bgp::AttributeSet{};
+    }
 
     if (shards_ > 1) {
       // Parallel pipeline: defer the per-NLRI work into a batch drained by
@@ -741,7 +776,11 @@ class Router final : public xbgp::HostApi {
     stats_.ov_valid += ws.ov_valid;
     stats_.ov_invalid += ws.ov_invalid;
     stats_.ov_not_found += ws.ov_not_found;
-    // updates_in is counted at delivery, extension_faults under fault_mu_.
+    stats_.treat_as_withdraw += ws.treat_as_withdraw;
+    stats_.attrs_discarded += ws.attrs_discarded;
+    // updates_in, treat_as_withdraw and attrs_discarded are counted at
+    // delivery on the main thread; extension_faults and the per-class fault
+    // counters under fault_mu_.
   }
 
   /// The native (default) import policy: RFC 4456 loop prevention when this

@@ -101,6 +101,10 @@ class ByteReader {
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
   [[nodiscard]] bool empty() const noexcept { return remaining() == 0; }
+  /// Non-throwing bounds probe: true if n more bytes can be read. The
+  /// exception-free decode paths check this before every read so the
+  /// throwing need() never fires on attacker-controlled input.
+  [[nodiscard]] bool has(std::size_t n) const noexcept { return remaining() >= n; }
 
   std::uint8_t u8() {
     need(1);

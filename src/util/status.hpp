@@ -1,0 +1,141 @@
+// The typed error spine: one Status/Result currency for every failure path.
+//
+// A Status carries an ErrorClass (how severe / how to degrade) plus the
+// RFC 4271 NOTIFICATION triple (code, subcode, offending data) so any layer
+// can turn an error into the exact wire NOTIFICATION without re-deriving it.
+// The ok state is a null payload pointer: constructing, copying and testing
+// a successful Status costs one pointer, which keeps the decode hot path
+// allocation-free. Result<T> is the value-or-Status companion with an
+// optional-like surface (has_value / operator* / operator->).
+//
+// ErrorClass encodes the RFC 7606 degradation tiers directly so classification
+// done in the codec survives unchanged up through session and engine layers:
+// attribute-discard < treat-as-withdraw < session-reset. kIncomplete is the
+// non-error "need more bytes" signal framing uses; kFault is the extension
+// (VMM) taxonomy's umbrella class.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xb::util {
+
+enum class ErrorClass : std::uint8_t {
+  kNone = 0,          // success
+  kIncomplete = 1,    // not enough input yet; retry with more bytes
+  kAttributeDiscard = 2,  // RFC 7606: drop the attribute, keep the route
+  kTreatAsWithdraw = 3,   // RFC 7606: treat the UPDATE's NLRI as withdrawn
+  kSessionReset = 4,      // RFC 4271: NOTIFICATION + session teardown
+  kFault = 5,             // extension execution fault (VMM taxonomy)
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::kNone: return "ok";
+    case ErrorClass::kIncomplete: return "incomplete";
+    case ErrorClass::kAttributeDiscard: return "attribute-discard";
+    case ErrorClass::kTreatAsWithdraw: return "treat-as-withdraw";
+    case ErrorClass::kSessionReset: return "session-reset";
+    case ErrorClass::kFault: return "fault";
+  }
+  return "?";
+}
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() noexcept = default;
+
+  /// An error Status. `code`/`subcode` are the raw NOTIFICATION error code and
+  /// subcode (util does not depend on bgp; callers cast their enums down).
+  /// `data` holds the offending bytes for the NOTIFICATION data field.
+  static Status error(ErrorClass cls, std::uint8_t code, std::uint8_t subcode,
+                      std::string message, std::vector<std::uint8_t> data = {}) {
+    Status s;
+    s.payload_ = std::make_shared<const Payload>(
+        Payload{cls, code, subcode, std::move(message), std::move(data)});
+    return s;
+  }
+
+  /// The framing-layer "need more bytes" signal. Not a protocol error: it
+  /// carries no NOTIFICATION triple and callers wait for more input.
+  static Status incomplete() {
+    static const Status s = error(ErrorClass::kIncomplete, 0, 0, "incomplete");
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return payload_ == nullptr; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] ErrorClass error_class() const noexcept {
+    return payload_ ? payload_->cls : ErrorClass::kNone;
+  }
+  [[nodiscard]] std::uint8_t code() const noexcept {
+    return payload_ ? payload_->code : 0;
+  }
+  [[nodiscard]] std::uint8_t subcode() const noexcept {
+    return payload_ ? payload_->subcode : 0;
+  }
+  [[nodiscard]] const std::string& message() const noexcept {
+    static const std::string empty;
+    return payload_ ? payload_->message : empty;
+  }
+  /// Offending bytes for the NOTIFICATION data field (RFC 4271 §6.3).
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    static const std::vector<std::uint8_t> empty;
+    return payload_ ? payload_->data : empty;
+  }
+
+  [[nodiscard]] bool is_incomplete() const noexcept {
+    return error_class() == ErrorClass::kIncomplete;
+  }
+
+ private:
+  struct Payload {
+    ErrorClass cls = ErrorClass::kNone;
+    std::uint8_t code = 0;
+    std::uint8_t subcode = 0;
+    std::string message;
+    std::vector<std::uint8_t> data;
+  };
+  // shared_ptr<const ...> makes Status cheap to copy and immutable after
+  // construction; the ok case never allocates.
+  std::shared_ptr<const Payload> payload_;
+};
+
+/// Value-or-Status. Mirrors std::optional's access surface so call sites that
+/// previously consumed optional<T> (`has_value()`, `*r`, `r->field`) compile
+/// unchanged, while error paths gain the full Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool has_value() const noexcept { return value_.has_value(); }
+  [[nodiscard]] bool ok() const noexcept { return has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& operator*() & noexcept { return *value_; }
+  [[nodiscard]] const T& operator*() const& noexcept { return *value_; }
+  [[nodiscard]] T&& operator*() && noexcept { return *std::move(value_); }
+  [[nodiscard]] T* operator->() noexcept { return &*value_; }
+  [[nodiscard]] const T* operator->() const noexcept { return &*value_; }
+  [[nodiscard]] T& value() & noexcept { return *value_; }
+  [[nodiscard]] const T& value() const& noexcept { return *value_; }
+  [[nodiscard]] T&& value() && noexcept { return *std::move(value_); }
+
+  /// Success: an ok Status. Failure: the error that produced this Result.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace xb::util

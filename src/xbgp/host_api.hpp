@@ -19,6 +19,40 @@
 
 namespace xb::xbgp {
 
+/// Extension fault taxonomy — the VMM side of the typed error spine. Every
+/// monitored execution error ("stops them in case of error", §2.1) is
+/// classified into one of these before the host is notified, so hosts can
+/// count and react per class instead of parsing detail strings.
+enum class FaultClass : std::uint8_t {
+  kVerify = 0,             // illegal instruction / div-by-zero: a verifier gap
+  kInstructionBudget = 1,  // instruction budget exhausted (runaway loop)
+  kMemoryBounds = 2,       // load/store outside the granted regions
+  kHelperDenied = 3,       // call to an unknown or unbound helper
+  kHelperError = 4,        // a bound helper reported failure
+};
+inline constexpr std::size_t kFaultClassCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kVerify: return "verify";
+    case FaultClass::kInstructionBudget: return "instruction-budget";
+    case FaultClass::kMemoryBounds: return "memory-bounds";
+    case FaultClass::kHelperDenied: return "helper-denied";
+    case FaultClass::kHelperError: return "helper-error";
+  }
+  return "?";
+}
+
+/// Structured fault report handed to the host on every extension fault.
+/// The string views borrow from the VMM's loaded program / run result and
+/// are only valid for the duration of the notify call.
+struct FaultInfo {
+  Op op = Op::kInit;
+  FaultClass cls = FaultClass::kVerify;
+  std::string_view program;
+  std::string_view detail;
+};
+
 class HostApi {
  public:
   virtual ~HostApi() = default;
@@ -67,9 +101,9 @@ class HostApi {
 
   /// Called by the VMM when an extension faults and the operation fell back
   /// to the native default ("notifies the host implementation of the
-  /// error", §2.1).
-  virtual void notify_extension_fault(Op op, std::string_view program,
-                                      std::string_view detail) = 0;
+  /// error", §2.1). The fault is pre-classified (FaultClass) so the host
+  /// can fold it into per-class counters.
+  virtual void notify_extension_fault(const FaultInfo& fault) = 0;
 
   /// Debug print from bytecode.
   virtual void ebpf_print(std::string_view message) = 0;

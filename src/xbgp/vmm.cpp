@@ -12,6 +12,24 @@ namespace xb::xbgp {
 
 using ebpf::HelperResult;
 
+namespace {
+
+/// Maps the interpreter's raw fault kind onto the xBGP fault taxonomy.
+FaultClass classify_fault(ebpf::FaultKind kind) {
+  switch (kind) {
+    case ebpf::FaultKind::kBudgetExhausted: return FaultClass::kInstructionBudget;
+    case ebpf::FaultKind::kBadMemoryAccess: return FaultClass::kMemoryBounds;
+    case ebpf::FaultKind::kUnknownHelper: return FaultClass::kHelperDenied;
+    case ebpf::FaultKind::kHelperError: return FaultClass::kHelperError;
+    case ebpf::FaultKind::kDivisionByZero:
+    case ebpf::FaultKind::kIllegalInstruction:
+    case ebpf::FaultKind::kNone: return FaultClass::kVerify;
+  }
+  return FaultClass::kVerify;
+}
+
+}  // namespace
+
 Vmm::Vmm(HostApi& host) : Vmm(host, Options{}) {}
 
 Vmm::Vmm(HostApi& host, Options options) : host_(host), options_(options) {
@@ -94,6 +112,12 @@ Vmm::Stats Vmm::stats() const noexcept {
     total.next_yields += slot->stats.next_yields;
     total.faults += slot->stats.faults;
     total.native_fallbacks += slot->stats.native_fallbacks;
+    for (std::size_t i = 0; i < kOpCount; ++i) {
+      total.faults_by_op[i] += slot->stats.faults_by_op[i];
+    }
+    for (std::size_t i = 0; i < kFaultClassCount; ++i) {
+      total.faults_by_class[i] += slot->stats.faults_by_class[i];
+    }
   }
   return total;
 }
@@ -118,8 +142,12 @@ void Vmm::run_init(LoadedProgram& prog) {
   prog.runs.fetch_add(1, std::memory_order_relaxed);
   slot.current_ctx = nullptr;
   if (res.faulted()) {
+    const FaultClass cls = classify_fault(res.fault.kind);
     ++slot.stats.faults;
-    host_.notify_extension_fault(Op::kInit, prog.entry.name, res.fault.detail);
+    ++slot.stats.faults_by_op[static_cast<std::size_t>(Op::kInit)];
+    ++slot.stats.faults_by_class[static_cast<std::size_t>(cls)];
+    host_.notify_extension_fault(
+        FaultInfo{Op::kInit, cls, prog.entry.name, res.fault.detail});
   }
 }
 
@@ -151,9 +179,13 @@ Vmm::ChainOutcome Vmm::run_chain(std::vector<LoadedProgram*>& chain, ExecContext
       ++slot.stats.next_yields;
       continue;  // "delegates the outcome to another one by calling next()"
     }
-    // Monitored error: stop, notify, fall back to the native default.
+    // Monitored error: stop, classify, notify, fall back to the native
+    // default.
+    const FaultClass cls = classify_fault(res.fault.kind);
     ++slot.stats.faults;
-    host_.notify_extension_fault(op, prog->entry.name, res.fault.detail);
+    ++slot.stats.faults_by_op[static_cast<std::size_t>(op)];
+    ++slot.stats.faults_by_class[static_cast<std::size_t>(cls)];
+    host_.notify_extension_fault(FaultInfo{op, cls, prog->entry.name, res.fault.detail});
     break;
   }
   slot.current_ctx = nullptr;

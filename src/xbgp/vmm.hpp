@@ -60,6 +60,11 @@ class Vmm {
     std::uint64_t next_yields = 0;         // next() delegations
     std::uint64_t faults = 0;              // programs stopped on error
     std::uint64_t native_fallbacks = 0;    // chain exhausted or fault -> default
+    /// Faults by insertion point (index = Op) and by FaultClass: the same
+    /// taxonomy the host sees in FaultInfo, so host- and VMM-side error
+    /// accounting can be cross-checked bit-identically.
+    std::uint64_t faults_by_op[kOpCount] = {};
+    std::uint64_t faults_by_class[kFaultClassCount] = {};
   };
 
   /// Load-time verification outcomes, tallied per insertion point.
@@ -123,6 +128,11 @@ class Vmm {
   /// Per-slot counters folded on demand (serial-phase only).
   [[nodiscard]] Stats stats() const noexcept;
   void reset_stats() noexcept;
+
+  /// Folded fault count for one insertion point (serial-phase only).
+  [[nodiscard]] std::uint64_t fault_count(Op op) const noexcept {
+    return stats().faults_by_op[static_cast<std::size_t>(op)];
+  }
 
   /// Load-time verification counters for one insertion point.
   [[nodiscard]] const VerifyStats& verify_stats(Op op) const noexcept {

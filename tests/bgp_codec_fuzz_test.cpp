@@ -6,8 +6,13 @@
 // attribute flags / lengths, duplicated and deleted attributes, corrupted
 // prefix length bytes, random byte flips. The contract under test:
 //
-//   * try_frame / decode_update NEVER crash: they either produce a message
-//     or throw bgp::DecodeError (a clean, NOTIFICATION-carrying error);
+//   * try_frame / decode_update NEVER throw: every mutant lands in exactly
+//     one outcome — incomplete, a session-reset util::Status carrying a
+//     valid NOTIFICATION (code, subcode) pair, or a decoded message whose
+//     UpdateNotes tier is one of the RFC 7606 tiers (clean /
+//     attribute-discard / treat-as-withdraw);
+//   * corrupt mandatory attributes are never silently accepted: a decode
+//     with clean notes and reachable NLRI has valid ORIGIN/AS_PATH/NEXT_HOP;
 //   * anything that decodes re-encodes to a stable fixpoint
 //     (decode(encode(decode(x))) == decode(x));
 //   * the unmutated corpus round-trips exactly.
@@ -24,6 +29,7 @@
 namespace {
 
 using namespace xb;
+using util::ErrorClass;
 using util::Prefix;
 
 constexpr std::size_t kHeaderSize = 19;  // 16 marker + 2 length + 1 type
@@ -144,21 +150,112 @@ std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& original,
   return wire;
 }
 
-/// Decodes if possible; throws only bgp::DecodeError (anything else, or a
-/// crash, fails the test). Returns true when the mutant decoded.
-bool exercise(const std::vector<std::uint8_t>& wire) {
+/// Exactly one outcome per mutant.
+enum class Outcome {
+  kIncomplete,      // try_frame wants more bytes
+  kSessionReset,    // typed Status with a NOTIFICATION (code, subcode)
+  kDecodedClean,    // decoded, notes.worst == kNone
+  kDecodedDiscard,  // decoded, attribute(s) stripped
+  kDecodedWithdraw  // decoded, downgraded to withdraw
+};
+
+/// Valid (code, subcode) pairs a session-reset Status may carry. The framing
+/// layer emits Message Header Error subcodes 1-3; UPDATE body errors are
+/// Malformed Attribute List or Invalid Network Field; flipped type bytes can
+/// route the body through the OPEN/NOTIFICATION/ROUTE-REFRESH decoders.
+void expect_valid_notification(const util::Status& status) {
+  const auto code = static_cast<bgp::NotifCode>(status.code());
+  switch (code) {
+    case bgp::NotifCode::kMessageHeaderError:
+      EXPECT_GE(status.subcode(), 1);
+      EXPECT_LE(status.subcode(), 3);
+      break;
+    case bgp::NotifCode::kOpenMessageError:
+      EXPECT_LE(status.subcode(), 7);
+      break;
+    case bgp::NotifCode::kUpdateMessageError:
+      EXPECT_TRUE(status.subcode() == bgp::update_err::kMalformedAttributeList ||
+                  status.subcode() == bgp::update_err::kInvalidNetworkField)
+          << static_cast<int>(status.subcode());
+      break;
+    case bgp::NotifCode::kFsmError:
+    case bgp::NotifCode::kCease:
+      break;
+    default:
+      ADD_FAILURE() << "session-reset with invalid NOTIFICATION code "
+                    << static_cast<int>(status.code());
+  }
+}
+
+/// Decodes a mutant and classifies it. Never throws; any exception escaping
+/// the codec fails the whole test binary. Internal EXPECTs enforce that the
+/// decoded tier is coherent and that corrupt mandatory attributes are never
+/// silently accepted.
+Outcome exercise(const std::vector<std::uint8_t>& wire) {
   const auto frame = bgp::try_frame(wire);
-  if (!frame.has_value()) return false;  // incomplete: clean "need more bytes"
-  if (frame->type != bgp::MessageType::kUpdate) return false;
-  const bgp::UpdateMessage decoded = bgp::decode_update(frame->body);
+  if (!frame.has_value()) {
+    if (frame.status().is_incomplete()) return Outcome::kIncomplete;
+    EXPECT_EQ(frame.status().error_class(), ErrorClass::kSessionReset);
+    expect_valid_notification(frame.status());
+    return Outcome::kSessionReset;
+  }
+  bgp::UpdateNotes notes;
+  const auto body = bgp::decode_body(frame->type, frame->body, &notes);
+  if (!body.has_value()) {
+    EXPECT_FALSE(body.status().is_incomplete());
+    EXPECT_EQ(body.status().error_class(), ErrorClass::kSessionReset);
+    expect_valid_notification(body.status());
+    return Outcome::kSessionReset;
+  }
+  if (frame->type != bgp::MessageType::kUpdate) return Outcome::kDecodedClean;
+  const auto& decoded = std::get<bgp::UpdateMessage>(*body);
+
+  // Tier coherence: a decoded UPDATE is clean, discard, or withdraw — never
+  // session-reset-but-decoded, never an unknown tier.
+  EXPECT_TRUE(notes.worst == ErrorClass::kNone ||
+              notes.worst == ErrorClass::kAttributeDiscard ||
+              notes.worst == ErrorClass::kTreatAsWithdraw)
+      << util::to_string(notes.worst);
+  if (notes.worst == ErrorClass::kTreatAsWithdraw) {
+    EXPECT_NE(notes.subcode, 0) << "withdraw tier without a NOTIFICATION subcode";
+  }
+  if (notes.worst == ErrorClass::kAttributeDiscard) {
+    EXPECT_GT(notes.attrs_discarded, 0u);
+  }
+
+  // No silent acceptance: clean notes + reachable NLRI implies the mandatory
+  // attribute triple survived with valid values.
+  if (notes.clean() && !decoded.nlri.empty()) {
+    EXPECT_TRUE(decoded.attrs.has(bgp::attr_code::kOrigin));
+    EXPECT_TRUE(decoded.attrs.has(bgp::attr_code::kAsPath));
+    EXPECT_TRUE(decoded.attrs.has(bgp::attr_code::kNextHop));
+    const auto* origin = decoded.attrs.find(bgp::attr_code::kOrigin);
+    if (origin != nullptr && origin->value.size() == 1) {
+      EXPECT_LE(origin->value[0], 2);
+    } else {
+      ADD_FAILURE() << "clean decode accepted a corrupt ORIGIN attribute";
+    }
+    EXPECT_TRUE(bgp::AsPath::from_attr(*decoded.attrs.find(bgp::attr_code::kAsPath))
+                    .has_value());
+  }
+
   // Whatever decoded must re-encode and re-decode to a stable fixpoint.
   const auto re = bgp::encode_update(decoded);
   const auto frame2 = bgp::try_frame(re);
   EXPECT_TRUE(frame2.has_value());
   EXPECT_EQ(frame2->type, bgp::MessageType::kUpdate);
-  const bgp::UpdateMessage decoded2 = bgp::decode_update(frame2->body);
-  EXPECT_TRUE(decoded == decoded2) << "decode/encode/decode is not a fixpoint";
-  return true;
+  const auto decoded2 = bgp::decode_update(frame2->body);
+  EXPECT_TRUE(decoded2.has_value());
+  EXPECT_TRUE(decoded == *decoded2) << "decode/encode/decode is not a fixpoint";
+
+  switch (notes.worst) {
+    case ErrorClass::kTreatAsWithdraw:
+      return Outcome::kDecodedWithdraw;
+    case ErrorClass::kAttributeDiscard:
+      return Outcome::kDecodedDiscard;
+    default:
+      return Outcome::kDecodedClean;
+  }
 }
 
 std::vector<std::vector<std::uint8_t>> build_corpus() {
@@ -186,6 +283,7 @@ std::vector<std::vector<std::uint8_t>> build_corpus() {
     m.attrs.put(bgp::make_local_pref(200));
     const std::uint32_t comms[] = {0xFFFF0000u, 0x00010002u};
     m.attrs.put(bgp::make_communities(comms));
+    m.attrs.put(bgp::make_geoloc(43'600'000, 3'880'000));
     m.nlri = {Prefix::parse("0.0.0.0/0"), Prefix::parse("203.0.113.0/24"),
               Prefix::parse("198.51.100.128/25"), Prefix::parse("192.0.2.1/32")};
     corpus.push_back(bgp::encode_update(m));
@@ -199,50 +297,54 @@ TEST(BgpCodecFuzz, UnmutatedCorpusRoundTripsExactly) {
     ASSERT_TRUE(frame.has_value());
     ASSERT_EQ(frame->type, bgp::MessageType::kUpdate);
     ASSERT_EQ(frame->total_length, wire.size());
-    const auto decoded = bgp::decode_update(frame->body);
-    EXPECT_EQ(bgp::encode_update(decoded), wire) << "corpus entry not byte-stable";
+    bgp::UpdateNotes notes;
+    const auto decoded = bgp::decode_update(frame->body, &notes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(notes.clean());
+    EXPECT_EQ(bgp::encode_update(*decoded), wire) << "corpus entry not byte-stable";
   }
 }
 
-TEST(BgpCodecFuzz, MutatedUpdatesNeverCrashAndRoundTripOrErrorCleanly) {
+TEST(BgpCodecFuzz, EveryMutantLandsInExactlyOneTier) {
   const auto corpus = build_corpus();
   util::Rng rng(0xF022'2026ull);
-  std::size_t decoded_ok = 0, clean_errors = 0, incomplete = 0;
+  std::size_t counts[5] = {};
   for (std::size_t i = 0; i < kMutations; ++i) {
     auto mutant = mutate(corpus[rng.below(corpus.size())], rng);
     // Occasionally stack a second mutation for compound damage.
     if (rng.chance(0.25)) mutant = mutate(mutant, rng);
-    try {
-      if (exercise(mutant)) {
-        ++decoded_ok;
-      } else {
-        ++incomplete;
-      }
-    } catch (const bgp::DecodeError&) {
-      ++clean_errors;  // the documented failure mode
-    }
+    ++counts[static_cast<std::size_t>(exercise(mutant))];
   }
-  // The mutator must actually produce both outcomes in volume, or it is not
+  const std::size_t clean = counts[static_cast<std::size_t>(Outcome::kDecodedClean)];
+  const std::size_t resets = counts[static_cast<std::size_t>(Outcome::kSessionReset)];
+  const std::size_t withdraws =
+      counts[static_cast<std::size_t>(Outcome::kDecodedWithdraw)];
+  const std::size_t discards =
+      counts[static_cast<std::size_t>(Outcome::kDecodedDiscard)];
+  // The mutator must actually produce every outcome in volume, or it is not
   // exploring the interesting space.
-  EXPECT_GT(decoded_ok, kMutations / 20) << "mutator produced too few valid messages";
-  EXPECT_GT(clean_errors, kMutations / 20) << "mutator produced too few malformed messages";
-  ::testing::Test::RecordProperty("decoded_ok", static_cast<int>(decoded_ok));
-  ::testing::Test::RecordProperty("clean_errors", static_cast<int>(clean_errors));
-  ::testing::Test::RecordProperty("incomplete", static_cast<int>(incomplete));
+  EXPECT_GT(clean, kMutations / 20) << "mutator produced too few valid messages";
+  EXPECT_GT(resets, kMutations / 20) << "mutator produced too few framing errors";
+  EXPECT_GT(withdraws, kMutations / 100) << "too few treat-as-withdraw mutants";
+  EXPECT_GT(discards, kMutations / 200) << "too few attribute-discard mutants";
+  ::testing::Test::RecordProperty("decoded_clean", static_cast<int>(clean));
+  ::testing::Test::RecordProperty("session_resets", static_cast<int>(resets));
+  ::testing::Test::RecordProperty("treat_as_withdraw", static_cast<int>(withdraws));
+  ::testing::Test::RecordProperty("attr_discards", static_cast<int>(discards));
+  ::testing::Test::RecordProperty(
+      "incomplete", static_cast<int>(counts[static_cast<std::size_t>(Outcome::kIncomplete)]));
 }
 
 TEST(BgpCodecFuzz, PureTruncationSweepIsAlwaysClean) {
-  // Every prefix of every corpus message: nullopt (need more bytes) or a
-  // clean DecodeError once the header length looks satisfied but lies.
+  // Every prefix of every corpus message: incomplete (need more bytes) or a
+  // session-reset Status once the header length looks satisfied but lies.
   for (const auto& wire : build_corpus()) {
     for (std::size_t len = 0; len < wire.size(); ++len) {
       const std::vector<std::uint8_t> cut(wire.begin(), wire.begin() + len);
-      try {
-        const auto frame = bgp::try_frame(cut);
-        EXPECT_FALSE(frame.has_value()) << "truncated message framed at len " << len;
-      } catch (const bgp::DecodeError&) {
-        // acceptable: corrupt-looking header
-      }
+      const auto frame = bgp::try_frame(cut);
+      ASSERT_FALSE(frame.has_value()) << "truncated message framed at len " << len;
+      EXPECT_TRUE(frame.status().is_incomplete() ||
+                  frame.status().error_class() == ErrorClass::kSessionReset);
     }
   }
 }

@@ -1,5 +1,6 @@
 // Message codec: framing, OPEN/UPDATE/NOTIFICATION/KEEPALIVE round trips,
-// malformed-input handling mapped to RFC 4271 error codes.
+// malformed-input handling mapped to RFC 4271 error codes on the typed
+// Status spine (no exceptions on the decode path).
 #include <gtest/gtest.h>
 
 #include "bgp/aspath.hpp"
@@ -9,6 +10,7 @@
 namespace {
 
 using namespace xb::bgp;
+using xb::util::ErrorClass;
 using xb::util::Ipv4Addr;
 using xb::util::Prefix;
 
@@ -17,7 +19,9 @@ Message roundtrip(const Message& m) {
   const auto frame = try_frame(wire);
   EXPECT_TRUE(frame.has_value());
   EXPECT_EQ(frame->total_length, wire.size());
-  return decode_body(frame->type, frame->body);
+  auto decoded = decode_body(frame->type, frame->body);
+  EXPECT_TRUE(decoded.has_value()) << decoded.status().message();
+  return *std::move(decoded);
 }
 
 TEST(Codec, KeepaliveRoundTrip) {
@@ -80,10 +84,12 @@ TEST(Codec, PrefixEncodingUsesMinimalBytes) {
   EXPECT_EQ(wire24.size(), wire8.size() + 2);  // /24 needs 2 more address bytes
 }
 
-TEST(Framing, IncompleteReturnsNullopt) {
+TEST(Framing, IncompleteReturnsIncompleteStatus) {
   const auto wire = encode_keepalive();
   for (std::size_t len = 0; len < wire.size(); ++len) {
-    EXPECT_FALSE(try_frame(std::span(wire.data(), len)).has_value()) << len;
+    const auto frame = try_frame(std::span(wire.data(), len));
+    EXPECT_FALSE(frame.has_value()) << len;
+    EXPECT_TRUE(frame.status().is_incomplete()) << len;
   }
 }
 
@@ -96,40 +102,45 @@ TEST(Framing, TwoMessagesBackToBack) {
   EXPECT_EQ(frame->total_length, kHeaderSize);
 }
 
-TEST(Framing, BadMarkerThrows) {
+TEST(Framing, BadMarkerResetsSession) {
   auto wire = encode_keepalive();
   wire[3] = 0x00;
-  try {
-    (void)try_frame(wire);
-    FAIL() << "expected DecodeError";
-  } catch (const DecodeError& e) {
-    EXPECT_EQ(e.code(), NotifCode::kMessageHeaderError);
-    EXPECT_EQ(e.subcode(), 1);
-  }
+  const auto frame = try_frame(wire);
+  ASSERT_FALSE(frame.has_value());
+  EXPECT_EQ(frame.status().error_class(), ErrorClass::kSessionReset);
+  EXPECT_EQ(frame.status().code(), static_cast<std::uint8_t>(NotifCode::kMessageHeaderError));
+  EXPECT_EQ(frame.status().subcode(), 1);
 }
 
-TEST(Framing, BadLengthThrows) {
+TEST(Framing, BadLengthResetsSession) {
   auto wire = encode_keepalive();
   wire[16] = 0xFF;  // length 0xFF13 > 4096
   wire[17] = 0x13;
-  EXPECT_THROW((void)try_frame(wire), DecodeError);
+  auto frame = try_frame(wire);
+  ASSERT_FALSE(frame.has_value());
+  EXPECT_EQ(frame.status().error_class(), ErrorClass::kSessionReset);
+  EXPECT_EQ(frame.status().subcode(), 2);
+  // Data field carries the erroneous Length field (RFC 4271 §6.1).
+  EXPECT_EQ(frame.status().data(), (std::vector<std::uint8_t>{0xFF, 0x13}));
   wire[16] = 0;
   wire[17] = 5;  // < header size
-  EXPECT_THROW((void)try_frame(wire), DecodeError);
+  frame = try_frame(wire);
+  ASSERT_FALSE(frame.has_value());
+  EXPECT_EQ(frame.status().error_class(), ErrorClass::kSessionReset);
+  EXPECT_EQ(frame.status().subcode(), 2);
 }
 
-TEST(Framing, BadTypeThrows) {
+TEST(Framing, BadTypeResetsSession) {
   auto wire = encode_keepalive();
   wire[18] = 9;
-  try {
-    (void)try_frame(wire);
-    FAIL() << "expected DecodeError";
-  } catch (const DecodeError& e) {
-    EXPECT_EQ(e.subcode(), 3);
-  }
+  const auto frame = try_frame(wire);
+  ASSERT_FALSE(frame.has_value());
+  EXPECT_EQ(frame.status().error_class(), ErrorClass::kSessionReset);
+  EXPECT_EQ(frame.status().subcode(), 3);
+  EXPECT_EQ(frame.status().data(), std::vector<std::uint8_t>{9});
 }
 
-TEST(Decode, TruncatedUpdateThrows) {
+TEST(Decode, TruncatedUpdateResetsSession) {
   UpdateMessage update;
   update.attrs.put(make_origin(Origin::kIgp));
   update.nlri = {Prefix::parse("10.0.0.0/8")};
@@ -138,28 +149,111 @@ TEST(Decode, TruncatedUpdateThrows) {
   // the last 4 body bytes before the 2-byte NLRI).
   std::span<const std::uint8_t> body(wire.data() + kHeaderSize,
                                      wire.size() - kHeaderSize - 5);
-  EXPECT_THROW((void)decode_update(body), DecodeError);
+  const auto decoded = decode_update(body);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.status().error_class(), ErrorClass::kSessionReset);
+  EXPECT_EQ(decoded.status().code(),
+            static_cast<std::uint8_t>(NotifCode::kUpdateMessageError));
+  EXPECT_EQ(decoded.status().subcode(), update_err::kMalformedAttributeList);
 }
 
-TEST(Decode, PrefixLengthOver32Throws) {
+TEST(Decode, PrefixLengthOver32ResetsSession) {
   // Craft: 0 withdrawn, 0 attrs, one NLRI with length 40.
   std::vector<std::uint8_t> body{0, 0, 0, 0, 40, 1, 2, 3, 4, 5};
-  EXPECT_THROW((void)decode_update(body), DecodeError);
+  const auto decoded = decode_update(body);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.status().error_class(), ErrorClass::kSessionReset);
+  EXPECT_EQ(decoded.status().subcode(), update_err::kInvalidNetworkField);
+  EXPECT_EQ(decoded.status().data(), std::vector<std::uint8_t>{40});
 }
 
-TEST(Decode, KeepaliveWithBodyThrows) {
+TEST(Decode, KeepaliveWithBodyResetsSession) {
   std::vector<std::uint8_t> body{1};
-  EXPECT_THROW((void)decode_body(MessageType::kKeepalive, body), DecodeError);
+  const auto decoded = decode_body(MessageType::kKeepalive, body);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.status().error_class(), ErrorClass::kSessionReset);
+  EXPECT_EQ(decoded.status().code(),
+            static_cast<std::uint8_t>(NotifCode::kMessageHeaderError));
 }
 
-TEST(Decode, OpenBadVersionThrows) {
+TEST(Decode, OpenBadVersionResetsSession) {
   OpenMessage open;
   open.asn = 1;
   open.bgp_id = 1;
   auto wire = encode_open(open);
   wire[kHeaderSize] = 3;  // version byte
   std::span<const std::uint8_t> body(wire.data() + kHeaderSize, wire.size() - kHeaderSize);
-  EXPECT_THROW((void)decode_open(body), DecodeError);
+  const auto decoded = decode_open(body);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.status().error_class(), ErrorClass::kSessionReset);
+  EXPECT_EQ(decoded.status().code(),
+            static_cast<std::uint8_t>(NotifCode::kOpenMessageError));
+  EXPECT_EQ(decoded.status().subcode(), 1);
+  EXPECT_EQ(decoded.status().data(), std::vector<std::uint8_t>{3});
+}
+
+TEST(Decode, MalformedOptionalTransitiveIsDiscardTier) {
+  // GeoLoc with a wrong length: known optional transitive -> stripped, the
+  // rest of the UPDATE survives (attribute-discard, RFC 7606).
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));
+  update.attrs.put(AsPath({65001}).to_attr());
+  update.attrs.put(make_next_hop(Ipv4Addr(10, 0, 0, 1)));
+  WireAttr geoloc = make_geoloc(1000, 2000);
+  geoloc.value.pop_back();  // 7 bytes instead of 8
+  update.attrs.put(geoloc);
+  update.nlri = {Prefix::parse("203.0.113.0/24")};
+  const auto wire = encode_update(update);
+  UpdateNotes notes;
+  const auto decoded =
+      decode_update(std::span(wire).subspan(kHeaderSize), &notes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(notes.worst, ErrorClass::kAttributeDiscard);
+  EXPECT_EQ(notes.attrs_discarded, 1u);
+  EXPECT_FALSE(decoded->attrs.has(attr_code::kGeoLoc));
+  EXPECT_TRUE(decoded->attrs.has(attr_code::kOrigin));
+  EXPECT_EQ(decoded->nlri.size(), 1u);
+}
+
+TEST(Decode, BadOriginValueIsTreatAsWithdrawTier) {
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));
+  update.attrs.put(AsPath({65001}).to_attr());
+  update.attrs.put(make_next_hop(Ipv4Addr(10, 0, 0, 1)));
+  update.nlri = {Prefix::parse("203.0.113.0/24")};
+  auto wire = encode_update(update);
+  // Patch the ORIGIN value byte (flags, code=1, len=1, value).
+  bool patched = false;
+  for (std::size_t i = kHeaderSize; i + 3 < wire.size(); ++i) {
+    if (wire[i + 1] == attr_code::kOrigin && wire[i + 2] == 1) {
+      wire[i + 3] = 9;  // invalid origin value
+      patched = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(patched);
+  UpdateNotes notes;
+  const auto decoded =
+      decode_update(std::span(wire).subspan(kHeaderSize), &notes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(notes.worst, ErrorClass::kTreatAsWithdraw);
+  EXPECT_EQ(notes.subcode, update_err::kInvalidOrigin);
+  // Data field carries the offending attribute bytes (RFC 4271 §6.3).
+  EXPECT_FALSE(notes.data.empty());
+}
+
+TEST(Decode, MissingMandatoryIsTreatAsWithdrawTier) {
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));  // no AS_PATH, no NEXT_HOP
+  update.nlri = {Prefix::parse("10.0.0.0/8")};
+  const auto wire = encode_update(update);
+  UpdateNotes notes;
+  const auto decoded =
+      decode_update(std::span(wire).subspan(kHeaderSize), &notes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(notes.worst, ErrorClass::kTreatAsWithdraw);
+  EXPECT_EQ(notes.subcode, update_err::kMissingWellKnown);
+  EXPECT_EQ(notes.data, std::vector<std::uint8_t>{attr_code::kAsPath});
 }
 
 TEST(Codec, OversizedUpdateThrows) {

@@ -49,7 +49,9 @@ TEST(Session, UpdateDeliveredWithRawBytes) {
   Pair p;
   UpdateMessage received;
   std::size_t raw_len = 0;
-  p.b.on_update = [&](UpdateMessage&& u, std::span<const std::uint8_t> raw) {
+  p.b.on_update = [&](UpdateMessage&& u, const UpdateNotes& notes,
+                      std::span<const std::uint8_t> raw) {
+    EXPECT_TRUE(notes.clean());
     received = std::move(u);
     raw_len = raw.size();
   };
@@ -164,7 +166,8 @@ TEST(Session, CorruptMarkerTearsDown) {
 TEST(Session, FragmentedDeliveryReassembles) {
   Pair p;
   UpdateMessage received;
-  p.b.on_update = [&](UpdateMessage&& u, std::span<const std::uint8_t>) {
+  p.b.on_update = [&](UpdateMessage&& u, const UpdateNotes&,
+                      std::span<const std::uint8_t>) {
     received = std::move(u);
   };
   p.a.start();

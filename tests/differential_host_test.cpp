@@ -52,6 +52,7 @@ struct HostSnapshot {
   std::uint64_t prefixes_accepted = 0, prefixes_rejected_in = 0;
   std::uint64_t exports_rejected = 0, extension_faults = 0;
   std::uint64_t ov_valid = 0, ov_invalid = 0, ov_not_found = 0;
+  std::uint64_t malformed_updates = 0, treat_as_withdraw = 0, attrs_discarded = 0;
 };
 
 template <typename RouterT>
@@ -82,6 +83,9 @@ HostSnapshot capture(RouterT& dut, harness::Testbed<RouterT>& bed) {
   s.ov_valid = st.ov_valid;
   s.ov_invalid = st.ov_invalid;
   s.ov_not_found = st.ov_not_found;
+  s.malformed_updates = st.malformed_updates;
+  s.treat_as_withdraw = st.treat_as_withdraw;
+  s.attrs_discarded = st.attrs_discarded;
   return s;
 }
 
@@ -115,6 +119,9 @@ void expect_equivalent(const HostSnapshot& fir, const HostSnapshot& wren) {
   EXPECT_EQ(fir.ov_valid, wren.ov_valid);
   EXPECT_EQ(fir.ov_invalid, wren.ov_invalid);
   EXPECT_EQ(fir.ov_not_found, wren.ov_not_found);
+  EXPECT_EQ(fir.malformed_updates, wren.malformed_updates);
+  EXPECT_EQ(fir.treat_as_withdraw, wren.treat_as_withdraw);
+  EXPECT_EQ(fir.attrs_discarded, wren.attrs_discarded);
 }
 
 // --- §3.2 route reflection ----------------------------------------------------
@@ -226,6 +233,89 @@ TEST(DifferentialHost, GeoLocTagging) {
   ASSERT_FALSE(fir.loc_rib.empty());
   EXPECT_TRUE(fir.loc_rib.front().second.find(bgp::attr_code::kGeoLoc) != nullptr);
   EXPECT_NE(fir.sink_last.attrs.find(bgp::attr_code::kGeoLoc), nullptr);
+}
+
+// --- RFC 7606 degradation -----------------------------------------------------
+
+struct MalformedFeed {
+  harness::Workload workload;
+  std::uint64_t expect_withdraw_updates = 0;
+  std::uint64_t expect_discards = 0;
+};
+
+/// Takes a clean full-table feed and deterministically corrupts part of it:
+/// every 5th UPDATE gets either an invalid ORIGIN value (treat-as-withdraw
+/// tier) or a truncated GeoLoc appended (attribute-discard tier). Both hosts
+/// must degrade identically — same RIBs, same counters, sessions up.
+MalformedFeed make_malformed_feed() {
+  harness::WorkloadParams params;
+  params.route_count = 300;
+  MalformedFeed feed;
+  feed.workload = harness::make_workload(params);
+  auto& updates = feed.workload.updates;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (i % 5 != 2 && i % 5 != 4) continue;
+    const auto frame = bgp::try_frame(updates[i]);
+    auto update = *bgp::decode_update(frame->body);
+    if (i % 5 == 2) {
+      update.attrs.put(
+          bgp::WireAttr{bgp::attr_flag::kTransitive, bgp::attr_code::kOrigin, {9}});
+      ++feed.expect_withdraw_updates;
+    } else {
+      bgp::WireAttr geoloc = bgp::make_geoloc(1000, 2000);
+      geoloc.value.pop_back();  // 7 bytes instead of 8
+      update.attrs.put(geoloc);
+      ++feed.expect_discards;
+    }
+    updates[i] = bgp::encode_update(update);
+  }
+  return feed;
+}
+
+template <typename RouterT>
+HostSnapshot run_malformed(const harness::Workload& workload, std::size_t parallelism) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ebgp_plan();
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.parallelism = parallelism;
+  RouterT dut(loop, cfg);
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  bed.feeder().send_all(workload.updates);
+  loop.run_until(loop.now() + 2 * kSec);
+  // RFC 7606 degradation must never cost the session.
+  EXPECT_TRUE(bed.feeder().established());
+  EXPECT_EQ(dut.session(0).notifications_sent(), 0u);
+  return capture(dut, bed);
+}
+
+TEST(DifferentialHost, MalformedFeedDegradesIdentically) {
+  const auto feed = make_malformed_feed();
+  ASSERT_GT(feed.expect_withdraw_updates, 0u);
+  ASSERT_GT(feed.expect_discards, 0u);
+
+  std::vector<HostSnapshot> fir_runs;
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto fir = run_malformed<Fir>(feed.workload, parallelism);
+    const auto wren = run_malformed<Wren>(feed.workload, parallelism);
+    ASSERT_FALSE(fir.loc_rib.empty());
+    EXPECT_EQ(fir.malformed_updates, feed.expect_withdraw_updates);
+    EXPECT_EQ(fir.treat_as_withdraw, feed.expect_withdraw_updates);
+    EXPECT_EQ(fir.attrs_discarded, feed.expect_discards);
+    // No surviving route carries the corrupt GeoLoc.
+    for (const auto& [prefix, attrs] : fir.loc_rib) {
+      EXPECT_FALSE(attrs.has(bgp::attr_code::kGeoLoc)) << prefix.str();
+    }
+    expect_equivalent(fir, wren);
+    fir_runs.push_back(fir);
+  }
+  // Bit-identical degradation at parallelism 1 / 2 / 8.
+  expect_equivalent(fir_runs[0], fir_runs[1]);
+  expect_equivalent(fir_runs[0], fir_runs[2]);
 }
 
 // --- §3.3 valley-free ---------------------------------------------------------

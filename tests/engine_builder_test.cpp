@@ -31,7 +31,7 @@ TEST(UpdateBuilder, PacksPrefixesIntoOneMessage) {
   ASSERT_EQ(messages.size(), 1u);
   const auto frame = bgp::try_frame(messages[0]);
   ASSERT_TRUE(frame);
-  const auto update = bgp::decode_update(frame->body);
+  const auto update = *bgp::decode_update(frame->body);
   EXPECT_EQ(update.nlri.size(), 10u);
   EXPECT_TRUE(update.withdrawn.empty());
   EXPECT_TRUE(update.attrs.has(bgp::attr_code::kOrigin));
@@ -52,7 +52,7 @@ TEST(UpdateBuilder, SplitsAtMessageSizeLimit) {
     ASSERT_LE(wire.size(), bgp::kMaxMessageSize);
     const auto frame = bgp::try_frame(wire);
     ASSERT_TRUE(frame);
-    const auto update = bgp::decode_update(frame->body);
+    const auto update = *bgp::decode_update(frame->body);
     // Every message of the group carries the same attribute bytes.
     EXPECT_TRUE(update.attrs.has(bgp::attr_code::kNextHop));
     total += update.nlri.size();
@@ -81,7 +81,7 @@ TEST(UpdateBuilder, WithdrawalsGoInSeparateMessages) {
   // One carries NLRI, the other withdrawals.
   std::size_t nlri = 0, withdrawn = 0;
   for (const auto& wire : messages) {
-    const auto update = bgp::decode_update(bgp::try_frame(wire)->body);
+    const auto update = *bgp::decode_update(bgp::try_frame(wire)->body);
     nlri += update.nlri.size();
     withdrawn += update.withdrawn.size();
   }
@@ -99,7 +99,7 @@ TEST(UpdateBuilder, ManyWithdrawalsSplit) {
   std::size_t total = 0;
   for (const auto& wire : messages) {
     ASSERT_LE(wire.size(), bgp::kMaxMessageSize);
-    total += bgp::decode_update(bgp::try_frame(wire)->body).withdrawn.size();
+    total += bgp::decode_update(bgp::try_frame(wire)->body)->withdrawn.size();
   }
   EXPECT_EQ(total, 2000u);
 }

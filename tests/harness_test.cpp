@@ -49,7 +49,7 @@ TEST(Workload, UpdatesDecodeAndGroupPrefixes) {
     const auto frame = bgp::try_frame(wire);
     ASSERT_TRUE(frame.has_value());
     ASSERT_EQ(frame->type, bgp::MessageType::kUpdate);
-    const auto update = bgp::decode_update(frame->body);
+    const auto update = *bgp::decode_update(frame->body);
     EXPECT_TRUE(update.attrs.has(bgp::attr_code::kOrigin));
     EXPECT_TRUE(update.attrs.has(bgp::attr_code::kAsPath));
     EXPECT_TRUE(update.attrs.has(bgp::attr_code::kNextHop));
@@ -67,11 +67,11 @@ TEST(Workload, LocalPrefOnlyWhenRequested) {
   params.route_count = 100;
   const auto ebgp = make_workload(params);
   const auto frame = bgp::try_frame(ebgp.updates[0]);
-  EXPECT_FALSE(bgp::decode_update(frame->body).attrs.has(bgp::attr_code::kLocalPref));
+  EXPECT_FALSE(bgp::decode_update(frame->body)->attrs.has(bgp::attr_code::kLocalPref));
   params.with_local_pref = true;
   const auto ibgp = make_workload(params);
   const auto frame2 = bgp::try_frame(ibgp.updates[0]);
-  EXPECT_TRUE(bgp::decode_update(frame2->body).attrs.has(bgp::attr_code::kLocalPref));
+  EXPECT_TRUE(bgp::decode_update(frame2->body)->attrs.has(bgp::attr_code::kLocalPref));
 }
 
 TEST(Workload, RoaBlobPacksEntries) {

@@ -328,7 +328,7 @@ TEST(ShardWorkload, PartitionsEveryNlriByPrefixShard) {
         const auto frame = bgp::try_frame(wire);
         ASSERT_TRUE(frame.has_value());
         ASSERT_EQ(frame->type, bgp::MessageType::kUpdate);
-        const auto update = bgp::decode_update(frame->body);
+        const auto update = *bgp::decode_update(frame->body);
         EXPECT_FALSE(update.nlri.empty() && update.withdrawn.empty());
         for (const auto& prefix : update.nlri) {
           EXPECT_EQ(util::prefix_shard(prefix, shards), s);

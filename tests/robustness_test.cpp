@@ -1,5 +1,7 @@
 // Failure injection and robustness: mutated wire input must never crash the
-// codec or the routers — worst case is a clean DecodeError / session reset.
+// codec or the routers — every outcome is a typed util::Status classified
+// into an RFC 7606 tier (session-reset / treat-as-withdraw / attribute-
+// discard), never an exception.
 #include <gtest/gtest.h>
 
 #include "bgp/aspath.hpp"
@@ -12,6 +14,7 @@
 namespace {
 
 using namespace xb;
+using util::ErrorClass;
 using util::Ipv4Addr;
 using util::Prefix;
 
@@ -28,6 +31,28 @@ std::vector<std::uint8_t> sample_update_wire() {
   return bgp::encode_update(update);
 }
 
+/// Frames + decodes and asserts the outcome is a well-formed classification:
+/// incomplete, a session-reset Status with a NOTIFICATION code, or a decoded
+/// message whose UpdateNotes tier is one of the RFC 7606 tiers.
+void expect_classified(std::span<const std::uint8_t> wire) {
+  const auto frame = bgp::try_frame(wire);
+  if (!frame.has_value()) {
+    EXPECT_TRUE(frame.status().is_incomplete() ||
+                frame.status().error_class() == ErrorClass::kSessionReset);
+    return;
+  }
+  bgp::UpdateNotes notes;
+  const auto body = bgp::decode_body(frame->type, frame->body, &notes);
+  if (!body.has_value()) {
+    EXPECT_EQ(body.status().error_class(), ErrorClass::kSessionReset);
+    EXPECT_NE(body.status().code(), 0);
+  } else {
+    EXPECT_TRUE(notes.worst == ErrorClass::kNone ||
+                notes.worst == ErrorClass::kAttributeDiscard ||
+                notes.worst == ErrorClass::kTreatAsWithdraw);
+  }
+}
+
 TEST(Fuzz, SingleByteMutationsNeverCrashTheCodec) {
   const auto base = sample_update_wire();
   util::Rng rng(0xF022);
@@ -35,26 +60,14 @@ TEST(Fuzz, SingleByteMutationsNeverCrashTheCodec) {
     auto wire = base;
     const std::size_t pos = rng.below(wire.size());
     wire[pos] = static_cast<std::uint8_t>(rng.below(256));
-    try {
-      const auto frame = bgp::try_frame(wire);
-      if (frame) (void)bgp::decode_body(frame->type, frame->body);
-    } catch (const bgp::DecodeError&) {
-      // Expected for many mutations.
-    } catch (const util::BufferError&) {
-      // Attribute-level truncation surfaces here; also acceptable.
-    }
+    expect_classified(wire);
   }
 }
 
 TEST(Fuzz, TruncationsNeverCrashTheCodec) {
   const auto base = sample_update_wire();
   for (std::size_t len = 0; len <= base.size(); ++len) {
-    try {
-      const auto frame = bgp::try_frame(std::span(base.data(), len));
-      if (frame) (void)bgp::decode_body(frame->type, frame->body);
-    } catch (const bgp::DecodeError&) {
-    } catch (const util::BufferError&) {
-    }
+    expect_classified(std::span(base.data(), len));
   }
 }
 
@@ -67,12 +80,7 @@ TEST(Fuzz, RandomGarbageNeverCrashesTheCodec) {
     if (rng.chance(0.5) && wire.size() >= 16) {
       std::fill(wire.begin(), wire.begin() + 16, 0xFF);
     }
-    try {
-      const auto frame = bgp::try_frame(wire);
-      if (frame) (void)bgp::decode_body(frame->type, frame->body);
-    } catch (const bgp::DecodeError&) {
-    } catch (const util::BufferError&) {
-    }
+    expect_classified(wire);
   }
 }
 
@@ -112,6 +120,89 @@ TYPED_TEST(RouterRobustnessTest, MissingMandatoryAttributesTreatAsWithdraw) {
   loop.run_until(loop.now() + kSec);
   EXPECT_EQ(dut.best(Prefix::parse("203.0.113.0/24")), nullptr);
   EXPECT_EQ(dut.stats().malformed_updates, 1u);
+  EXPECT_EQ(dut.stats().treat_as_withdraw, 1u);
+  // Degraded, not reset: the session stayed up.
+  EXPECT_TRUE(bed.feeder().established());
+}
+
+TYPED_TEST(RouterRobustnessTest, BadOriginTreatAsWithdrawKeepsSessionUp) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ebgp_plan();
+  typename TypeParam::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  TypeParam dut(loop, cfg);
+  harness::Testbed<TypeParam> bed(loop, dut, plan);
+  bed.establish();
+
+  bgp::UpdateMessage good;
+  good.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+  good.attrs.put(bgp::AsPath({plan.upstream_asn}).to_attr());
+  good.attrs.put(bgp::make_next_hop(plan.upstream_addr));
+  good.nlri = {Prefix::parse("203.0.113.0/24")};
+  bed.feeder().session().send_update(good);
+  loop.run_until(loop.now() + kSec);
+  ASSERT_NE(dut.best(Prefix::parse("203.0.113.0/24")), nullptr);
+
+  // Same route with a corrupt ORIGIN value: treat-as-withdraw (RFC 7606 §3)
+  // flushes it without touching the session.
+  auto wire = bgp::encode_update(good);
+  bool patched = false;
+  for (std::size_t i = bgp::kHeaderSize; i + 3 < wire.size(); ++i) {
+    if (wire[i + 1] == bgp::attr_code::kOrigin && wire[i + 2] == 1) {
+      wire[i + 3] = 9;
+      patched = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(patched);
+  bed.feeder().session().send_bytes(wire);
+  loop.run_until(loop.now() + kSec);
+
+  EXPECT_EQ(dut.best(Prefix::parse("203.0.113.0/24")), nullptr);
+  EXPECT_EQ(dut.stats().treat_as_withdraw, 1u);
+  EXPECT_TRUE(bed.feeder().established());
+  EXPECT_TRUE(dut.session(0).established());
+  EXPECT_EQ(dut.session(0).treat_as_withdraw_count(), 1u);
+}
+
+TYPED_TEST(RouterRobustnessTest, MalformedGeoLocIsDiscardedRouteSurvives) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ebgp_plan();
+  typename TypeParam::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  TypeParam dut(loop, cfg);
+  harness::Testbed<TypeParam> bed(loop, dut, plan);
+  bed.establish();
+
+  // Announce with a truncated GeoLoc (optional transitive, wrong length):
+  // RFC 7606 attribute-discard strips the attribute but keeps the route.
+  bgp::UpdateMessage update;
+  update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+  update.attrs.put(bgp::AsPath({plan.upstream_asn}).to_attr());
+  update.attrs.put(bgp::make_next_hop(plan.upstream_addr));
+  bgp::WireAttr geoloc = bgp::make_geoloc(1000, 2000);
+  geoloc.value.pop_back();  // 7 bytes instead of 8
+  update.attrs.put(geoloc);
+  update.nlri = {Prefix::parse("203.0.113.0/24")};
+  bed.feeder().session().send_bytes(bgp::encode_update(update));
+  loop.run_until(loop.now() + kSec);
+
+  const auto* best = dut.best(Prefix::parse("203.0.113.0/24"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(dut.stats().attrs_discarded, 1u);
+  EXPECT_EQ(dut.stats().treat_as_withdraw, 0u);
+  EXPECT_EQ(dut.stats().malformed_updates, 0u);
+  EXPECT_TRUE(bed.feeder().established());
+  EXPECT_EQ(dut.session(0).attrs_discarded(), 1u);
+  // The discarded attribute never reaches the downstream re-advertisement.
+  EXPECT_GE(bed.sink().prefixes(), 1u);
+  EXPECT_FALSE(bed.sink().last_update().attrs.has(bgp::attr_code::kGeoLoc));
 }
 
 TYPED_TEST(RouterRobustnessTest, ImplicitWithdrawReplacesRoute) {

@@ -22,8 +22,9 @@ TEST(RouteRefresh, CodecRoundTrip) {
   const auto frame = bgp::try_frame(wire);
   ASSERT_TRUE(frame.has_value());
   ASSERT_EQ(frame->type, bgp::MessageType::kRouteRefresh);
-  const auto decoded = std::get<bgp::RouteRefreshMessage>(
-      bgp::decode_body(frame->type, frame->body));
+  const auto body = bgp::decode_body(frame->type, frame->body);
+  ASSERT_TRUE(body.has_value());
+  const auto decoded = std::get<bgp::RouteRefreshMessage>(*body);
   EXPECT_EQ(decoded, refresh);
 }
 
@@ -33,7 +34,9 @@ TEST(RouteRefresh, BadLengthRejected) {
   wire[17] = static_cast<std::uint8_t>(wire.size());  // fix header length
   const auto frame = bgp::try_frame(wire);
   ASSERT_TRUE(frame.has_value());
-  EXPECT_THROW((void)bgp::decode_body(frame->type, frame->body), bgp::DecodeError);
+  const auto body = bgp::decode_body(frame->type, frame->body);
+  ASSERT_FALSE(body.has_value());
+  EXPECT_EQ(body.status().error_class(), util::ErrorClass::kSessionReset);
 }
 
 TEST(RouteRefresh, SessionDeliversCallback) {

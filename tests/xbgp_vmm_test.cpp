@@ -63,10 +63,11 @@ class FakeHost : public HostApi {
     return true;
   }
   std::optional<std::uint32_t> get_route_meta(const ExecContext&) override { return meta; }
-  void notify_extension_fault(Op op, std::string_view program, std::string_view detail) override {
+  void notify_extension_fault(const FaultInfo& fault) override {
     ++faults;
-    last_fault = std::string(to_string(op)) + "/" + std::string(program) + ": " +
-                 std::string(detail);
+    last_fault = std::string(to_string(fault.op)) + "/" + std::string(fault.program) + ": " +
+                 std::string(fault.detail);
+    last_fault_class = fault.cls;
   }
   void ebpf_print(std::string_view message) override { printed.push_back(std::string(message)); }
 
@@ -82,6 +83,7 @@ class FakeHost : public HostApi {
   std::uint32_t meta = 0;
   int faults = 0;
   std::string last_fault;
+  FaultClass last_fault_class = FaultClass::kVerify;
   std::vector<std::string> printed;
 };
 

@@ -3,30 +3,48 @@
 # XBGP_SANITIZE, build, and run tests under the sanitizer.  Usage:
 #
 #   tools/check.sh                 # address sanitizer (default)
-#   tools/check.sh undefined       # UBSan
+#   tools/check.sh undefined       # UBSan, full suite
 #   tools/check.sh address,undefined
 #   tools/check.sh thread          # TSan: parallel pipeline + differential
 #                                  # host tests (the multi-threaded code)
+#   tools/check.sh ubsan           # UBSan: codec fuzz + robustness suites
+#                                  # (the malformed-input surface)
 #
 # The `thread` mode builds only the tests that actually spawn worker
 # threads (the UPDATE pipeline at parallelism > 1); everything else is
-# single-threaded by design and covered by the other modes.
+# single-threaded by design and covered by the other modes. The `ubsan`
+# mode builds only the tests that push mutated and malformed wire input
+# through the decode path, where undefined behaviour would hide — the
+# RFC 7606 error-classification surface.
 #
 # Exits non-zero if configuration, the build, or any test fails.
 set -eu
 
-SANITIZER="${1:-address}"
+MODE="${1:-address}"
+SANITIZER="$MODE"
+if [ "$MODE" = "ubsan" ]; then
+  SANITIZER=undefined
+fi
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="$ROOT/build-san-$(printf '%s' "$SANITIZER" | tr ',' '-')"
+BUILD="$ROOT/build-san-$(printf '%s' "$MODE" | tr ',' '-')"
 
 cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SANITIZER"
 
-if [ "$SANITIZER" = "thread" ]; then
-  cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target parallel_pipeline_test differential_host_test
-  ctest --test-dir "$BUILD" --output-on-failure \
-    -R 'ParallelPipeline|DifferentialHost|ShardWorkload|PrefixShard'
-else
-  cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
-  ctest --test-dir "$BUILD" --output-on-failure
-fi
+case "$MODE" in
+  thread)
+    cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
+      --target parallel_pipeline_test differential_host_test
+    ctest --test-dir "$BUILD" --output-on-failure \
+      -R 'ParallelPipeline|DifferentialHost|ShardWorkload|PrefixShard'
+    ;;
+  ubsan)
+    cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
+      --target bgp_codec_fuzz_test robustness_test bgp_codec_test
+    ctest --test-dir "$BUILD" --output-on-failure \
+      -R 'BgpCodecFuzz|Fuzz\.|RouterRobustness|Codec\.|Framing\.|Decode\.'
+    ;;
+  *)
+    cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
+    ctest --test-dir "$BUILD" --output-on-failure
+    ;;
+esac

@@ -38,6 +38,7 @@ std::size_t count_lines(const fs::path& file) {
 std::size_t count_dir(const fs::path& dir) {
   std::size_t total = 0;
   if (!fs::exists(dir)) return 0;
+  if (fs::is_regular_file(dir)) return count_lines(dir);
   for (const auto& entry : fs::recursive_directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
     const auto ext = entry.path().extension();
@@ -89,5 +90,11 @@ int main(int argc, char** argv) {
   // analogue of FRRouting's larger integration patch.
   std::printf("\nFir host: %zu LoC, Wren host: %zu LoC (informational; see header)\n", fir,
               wren);
+
+  // The typed error spine (docs/error_handling.md): counted inside the
+  // substrate rows above, broken out here because it cross-cuts every layer.
+  const std::size_t spine = count_dir(root / "src/util/status.hpp");
+  std::printf("error spine (src/util/status.hpp): %zu LoC, shared by codec, "
+              "sessions, engine and VMM\n", spine);
   return 0;
 }
