@@ -44,7 +44,7 @@ void PeerSession::start() {
 void PeerSession::stop() {
   if (state_ == SessionState::kIdle) return;
   end_.write(encode_notification(NotificationMessage{NotifCode::kCease, 0, {}}));
-  ++notifications_sent_;
+  bump(obs_.notifications_sent, notifications_sent_);
   go_down("administratively stopped");
 }
 
@@ -102,9 +102,11 @@ void PeerSession::process_frame(const Frame& frame, std::span<const std::uint8_t
       }
       // Recoverable degradation (RFC 7606): count it, keep the session up,
       // and let the router above install withdraws / see stripped attrs.
-      if (notes.worst == util::ErrorClass::kTreatAsWithdraw) ++treat_as_withdraw_;
-      attrs_discarded_ += notes.attrs_discarded;
-      ++updates_received_;
+      if (notes.worst == util::ErrorClass::kTreatAsWithdraw)
+        bump(obs_.treat_as_withdraw, treat_as_withdraw_);
+      if (notes.attrs_discarded > 0)
+        bump(obs_.attrs_discarded, attrs_discarded_, notes.attrs_discarded);
+      bump(obs_.updates_received, updates_received_);
       if (on_update) on_update(*std::move(update), notes, raw);
       return;
     }
@@ -172,7 +174,7 @@ void PeerSession::handle_keepalive() {
 void PeerSession::fail(NotifCode code, std::uint8_t subcode, const std::string& reason,
                        std::vector<std::uint8_t> data) {
   end_.write(encode_notification(NotificationMessage{code, subcode, std::move(data)}));
-  ++notifications_sent_;
+  bump(obs_.notifications_sent, notifications_sent_);
   go_down(reason);
 }
 
@@ -184,7 +186,7 @@ void PeerSession::fail(const util::Status& status) {
 void PeerSession::go_down(const std::string& reason) {
   const bool was_up = state_ != SessionState::kIdle;
   state_ = SessionState::kIdle;  // pending timer callbacks see Idle and stop
-  util::log_info("session to ", config_.peer_addr.str(), " down: ", reason);
+  util::Logger("session").info("peer ", config_.peer_addr.str(), " down: ", reason);
   if (was_up && on_down) on_down(reason);
 }
 

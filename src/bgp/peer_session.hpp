@@ -23,6 +23,7 @@
 #include "bgp/message.hpp"
 #include "net/channel.hpp"
 #include "net/event_loop.hpp"
+#include "obs/metrics.hpp"
 
 namespace xb::bgp {
 
@@ -89,18 +90,43 @@ class PeerSession {
   std::function<void()> on_route_refresh;
 
   // --- statistics -------------------------------------------------------------
-  [[nodiscard]] std::uint64_t updates_received() const noexcept { return updates_received_; }
-  [[nodiscard]] std::uint64_t updates_sent() const noexcept { return updates_sent_; }
-  void count_update_sent() noexcept { ++updates_sent_; }
+  // The per-peer RFC 7606 tier counters live on the telemetry registry when
+  // one is attached (the host registers one labelled series per peer); the
+  // accessors below are thin shims that read back the registry series, so
+  // callers are unaffected. Without a registry the counters fall back to the
+  // local members.
+
+  /// Registry handles for this session's counters. All session counting
+  /// happens on the event-loop thread, so the cells use slot 0.
+  struct Telemetry {
+    obs::Registry* registry = nullptr;
+    obs::Registry::Id updates_received = 0;
+    obs::Registry::Id updates_sent = 0;
+    obs::Registry::Id treat_as_withdraw = 0;
+    obs::Registry::Id attrs_discarded = 0;
+    obs::Registry::Id notifications_sent = 0;
+  };
+  /// Serial-phase; attach before traffic flows.
+  void set_telemetry(const Telemetry& telemetry) noexcept { obs_ = telemetry; }
+
+  [[nodiscard]] std::uint64_t updates_received() const noexcept {
+    return read_counter(obs_.updates_received, updates_received_);
+  }
+  [[nodiscard]] std::uint64_t updates_sent() const noexcept {
+    return read_counter(obs_.updates_sent, updates_sent_);
+  }
+  void count_update_sent() noexcept { bump(obs_.updates_sent, updates_sent_); }
   /// UPDATEs degraded to withdraws instead of resetting (RFC 7606).
   [[nodiscard]] std::uint64_t treat_as_withdraw_count() const noexcept {
-    return treat_as_withdraw_;
+    return read_counter(obs_.treat_as_withdraw, treat_as_withdraw_);
   }
   /// Path attributes stripped at the attribute-discard tier.
-  [[nodiscard]] std::uint64_t attrs_discarded() const noexcept { return attrs_discarded_; }
+  [[nodiscard]] std::uint64_t attrs_discarded() const noexcept {
+    return read_counter(obs_.attrs_discarded, attrs_discarded_);
+  }
   /// NOTIFICATIONs this side originated (fail + administrative stop).
   [[nodiscard]] std::uint64_t notifications_sent() const noexcept {
-    return notifications_sent_;
+    return read_counter(obs_.notifications_sent, notifications_sent_);
   }
 
  private:
@@ -118,6 +144,18 @@ class PeerSession {
   void arm_hold_timer();
   void arm_keepalive_timer();
 
+  void bump(obs::Registry::Id id, std::uint64_t& fallback, std::uint64_t n = 1) noexcept {
+    if (obs_.registry != nullptr) {
+      obs_.registry->add(id, n, 0);
+    } else {
+      fallback += n;
+    }
+  }
+  [[nodiscard]] std::uint64_t read_counter(obs::Registry::Id id,
+                                           std::uint64_t fallback) const noexcept {
+    return obs_.registry != nullptr ? obs_.registry->value(id) : fallback;
+  }
+
   net::EventLoop& loop_;
   net::Duplex::End end_;
   Config config_;
@@ -132,6 +170,7 @@ class PeerSession {
   std::uint64_t treat_as_withdraw_ = 0;
   std::uint64_t attrs_discarded_ = 0;
   std::uint64_t notifications_sent_ = 0;
+  Telemetry obs_;
 };
 
 }  // namespace xb::bgp

@@ -228,6 +228,7 @@ RunResult Vm::run(const Program& program, std::uint64_t r1, std::uint64_t r2, st
             return fault(FaultKind::kUnknownHelper,
                          "helper " + std::to_string(id) + " not bound");
           }
+          ++helper_calls_;
           HelperResult hr =
               helpers_[static_cast<std::size_t>(id)](reg[1], reg[2], reg[3], reg[4], reg[5]);
           switch (hr.action) {

@@ -97,6 +97,10 @@ class Vm {
   /// Cumulative count of instructions retired across runs (for benchmarks).
   [[nodiscard]] std::uint64_t instructions_retired() const noexcept { return retired_; }
 
+  /// Cumulative count of helper invocations across runs (for telemetry
+  /// spans; counts calls that reached a bound helper).
+  [[nodiscard]] std::uint64_t helper_calls() const noexcept { return helper_calls_; }
+
  private:
   static constexpr std::size_t kHelperTableSize = 64;
 
@@ -104,6 +108,7 @@ class Vm {
   std::vector<HelperFn> helpers_;
   std::uint64_t budget_ = 1'000'000;
   std::uint64_t retired_ = 0;
+  std::uint64_t helper_calls_ = 0;
   alignas(8) std::uint8_t stack_[kStackSize] = {};
 };
 

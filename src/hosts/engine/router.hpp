@@ -44,6 +44,7 @@
 #include "bgp/policy.hpp"
 #include "hosts/engine/update_builder.hpp"
 #include "igp/igp_table.hpp"
+#include "obs/telemetry.hpp"
 #include "rpki/roa.hpp"
 #include "util/ip.hpp"
 #include "util/log.hpp"
@@ -55,6 +56,12 @@ namespace xb::hosts::engine {
 using PeerId = std::size_t;
 inline constexpr PeerId kLocalRoute = static_cast<PeerId>(-1);
 
+inline constexpr util::Logger kEngineLog{"engine"};
+
+/// The engine's view of the router counters. Since the telemetry spine this
+/// is a *snapshot* type: the live counters are per-slot cells on the
+/// obs::Registry (see EngineMetrics); Router::stats() folds them into one of
+/// these on demand, so existing callers are unchanged.
 struct RouterStats {
   std::uint64_t updates_in = 0;
   std::uint64_t updates_out = 0;
@@ -79,6 +86,57 @@ struct RouterStats {
   std::uint64_t faults_memory_bounds = 0;
   std::uint64_t faults_helper_denied = 0;
   std::uint64_t faults_helper_error = 0;
+};
+
+/// Registry handles for the engine counters. Registered once at
+/// construction; the hot path then touches only per-slot cells through the
+/// ids (serial sites use slot 0, pipeline stage A uses the worker's slot,
+/// extension faults use the slot recorded in FaultInfo).
+struct EngineMetrics {
+  using Id = obs::Registry::Id;
+
+  explicit EngineMetrics(obs::Registry& reg)
+      : updates_in(reg.counter("xbgp_router_updates_in_total", "UPDATE messages received")),
+        updates_out(reg.counter("xbgp_router_updates_out_total", "UPDATE messages sent")),
+        prefixes_in(reg.counter("xbgp_router_prefixes_in_total", "NLRI entering the inbound filter")),
+        prefixes_accepted(
+            reg.counter("xbgp_router_prefixes_accepted_total", "NLRI admitted to Adj-RIB-In")),
+        prefixes_rejected_in(
+            reg.counter("xbgp_router_prefixes_rejected_in_total", "NLRI rejected by the inbound filter")),
+        withdrawals_in(reg.counter("xbgp_router_withdrawals_in_total", "Withdrawn routes received")),
+        exports_rejected(
+            reg.counter("xbgp_router_exports_rejected_total", "Routes rejected by the outbound filter")),
+        loop_rejected(
+            reg.counter("xbgp_router_loop_rejected_total", "NLRI dropped by eBGP AS_PATH loop prevention")),
+        malformed_updates(
+            reg.counter("xbgp_router_malformed_updates_total", "UPDATEs degraded per RFC 7606")),
+        treat_as_withdraw(reg.counter("xbgp_router_treat_as_withdraw_total",
+                                      "UPDATEs degraded to withdraws (RFC 7606)")),
+        attrs_discarded(reg.counter("xbgp_router_attrs_discarded_total",
+                                    "Path attributes stripped at the discard tier (RFC 7606)")),
+        ov_valid(reg.counter("xbgp_router_ov_total{state=\"valid\"}",
+                             "Origin validation outcomes (RFC 6811)")),
+        ov_invalid(reg.counter("xbgp_router_ov_total{state=\"invalid\"}",
+                               "Origin validation outcomes (RFC 6811)")),
+        ov_not_found(reg.counter("xbgp_router_ov_total{state=\"not_found\"}",
+                                 "Origin validation outcomes (RFC 6811)")),
+        ingest_ns(reg.histogram("xbgp_router_ingest_ns", "Inbound phase wall time per batch/update")),
+        decision_ns(reg.histogram("xbgp_router_decision_ns", "Decision process wall time per prefix")),
+        export_ns(reg.histogram("xbgp_router_export_ns", "Export flush wall time per peer")) {
+    for (std::uint8_t c = 0; c < xbgp::kFaultClassCount; ++c) {
+      fault_class[c] = reg.counter(
+          std::string("xbgp_router_extension_faults_total{class=\"") +
+              std::string(to_string(static_cast<xbgp::FaultClass>(c))) + "\"}",
+          "Extension faults by FaultClass (native fallback taken)");
+    }
+  }
+
+  Id updates_in, updates_out, prefixes_in, prefixes_accepted, prefixes_rejected_in;
+  Id withdrawals_in, exports_rejected, loop_rejected, malformed_updates;
+  Id treat_as_withdraw, attrs_discarded;
+  Id ov_valid, ov_invalid, ov_not_found;
+  Id ingest_ns, decision_ns, export_ns;
+  Id fault_class[xbgp::kFaultClassCount] = {};
 };
 
 template <typename Core>
@@ -118,6 +176,12 @@ class Router final : public xbgp::HostApi {
     /// Named configuration blobs served to extensions via get_xtra.
     std::map<std::string, std::vector<std::uint8_t>, std::less<>> xtra;
     xbgp::Vmm::Options vmm_options;
+    /// Telemetry spine configuration. `slots` is forced to `parallelism` by
+    /// patch_config(); set `enabled = false` for an uninstrumented baseline
+    /// (registry calls become no-ops, sessions fall back to local counters)
+    /// or `tracing = true` to also record per-invocation spans and phase
+    /// timers.
+    obs::Options obs;
   };
 
   struct PeerConfig {
@@ -133,6 +197,8 @@ class Router final : public xbgp::HostApi {
   Router(net::EventLoop& loop, Config config)
       : loop_(loop),
         cfg_(patch_config(std::move(config))),
+        obs_(cfg_.obs),
+        m_(obs_.registry()),
         vmm_(*this, cfg_.vmm_options),
         shards_(cfg_.parallelism),
         pool_(cfg_.parallelism - 1),
@@ -143,6 +209,22 @@ class Router final : public xbgp::HostApi {
     for (std::size_t s = 0; s < shards_; ++s) fib_.push_back(std::make_unique<FibShard>());
     set_xtra_u32(xbgp::xtra::kRouterId, cfg_.router_id);
     set_xtra_u32(xbgp::xtra::kClusterId, cfg_.cluster_id);
+    if (cfg_.obs.enabled) {
+      vmm_.set_telemetry(&obs_);
+      obs_.registry().add_collector([this](obs::Snapshot& out) {
+        const util::ThreadPool::Stats ps = pool_.stats();
+        out.gauge("xbgp_pool_workers", "Worker threads in the fork-join pool",
+                  pool_.worker_count());
+        out.counter("xbgp_pool_regions_total", "Fork-join regions executed", ps.regions);
+        out.counter("xbgp_pool_indices_total", "Indices dispatched across all regions",
+                    ps.indices);
+        out.counter("xbgp_pool_region_ns_total", "Cumulative wall time inside regions",
+                    ps.region_ns);
+        out.gauge("xbgp_pool_region_ns_max", "Slowest single fork-join region", ps.max_region_ns);
+        out.gauge("xbgp_pool_region_indices_peak", "Widest single region (peak batch depth)",
+                  ps.max_indices);
+      });
+    }
   }
 
   Router(const Router&) = delete;
@@ -162,6 +244,7 @@ class Router final : public xbgp::HostApi {
     auto state = std::make_unique<PeerState>(loop_, end, sc, shards_);
     state->id = peers_.size();
     state->cfg = std::move(pc);
+    if (cfg_.obs.enabled) attach_session_telemetry(*state);
     PeerState* raw = state.get();
     state->session.on_established = [this, raw] { on_peer_established(*raw); };
     state->session.on_update = [this, raw](bgp::UpdateMessage&& update,
@@ -289,7 +372,37 @@ class Router final : public xbgp::HostApi {
     return it == rib.end() ? nullptr : &it->second.attrs;
   }
   [[nodiscard]] bgp::PeerSession& session(PeerId id) { return peers_.at(id)->session; }
-  [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the engine counters, folded across the per-slot registry
+  /// cells. Serial-phase only (between fork-join regions).
+  [[nodiscard]] RouterStats stats() const noexcept {
+    const obs::Registry& reg = obs_.registry();
+    RouterStats s;
+    s.updates_in = reg.value(m_.updates_in);
+    s.updates_out = reg.value(m_.updates_out);
+    s.prefixes_in = reg.value(m_.prefixes_in);
+    s.prefixes_accepted = reg.value(m_.prefixes_accepted);
+    s.prefixes_rejected_in = reg.value(m_.prefixes_rejected_in);
+    s.withdrawals_in = reg.value(m_.withdrawals_in);
+    s.exports_rejected = reg.value(m_.exports_rejected);
+    s.loop_rejected = reg.value(m_.loop_rejected);
+    s.malformed_updates = reg.value(m_.malformed_updates);
+    s.ov_valid = reg.value(m_.ov_valid);
+    s.ov_invalid = reg.value(m_.ov_invalid);
+    s.ov_not_found = reg.value(m_.ov_not_found);
+    s.treat_as_withdraw = reg.value(m_.treat_as_withdraw);
+    s.attrs_discarded = reg.value(m_.attrs_discarded);
+    s.faults_verify = reg.value(m_.fault_class[0]);
+    s.faults_budget = reg.value(m_.fault_class[1]);
+    s.faults_memory_bounds = reg.value(m_.fault_class[2]);
+    s.faults_helper_denied = reg.value(m_.fault_class[3]);
+    s.faults_helper_error = reg.value(m_.fault_class[4]);
+    s.extension_faults = s.faults_verify + s.faults_budget + s.faults_memory_bounds +
+                         s.faults_helper_denied + s.faults_helper_error;
+    return s;
+  }
+  /// The router's telemetry spine (metrics registry + trace ring).
+  [[nodiscard]] obs::Telemetry& telemetry() noexcept { return obs_; }
+  [[nodiscard]] const obs::Telemetry& telemetry() const noexcept { return obs_; }
   [[nodiscard]] xbgp::Vmm& vmm() noexcept { return vmm_; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t parallelism() const noexcept { return shards_; }
@@ -396,25 +509,17 @@ class Router final : public xbgp::HostApi {
   }
 
   void notify_extension_fault(const xbgp::FaultInfo& fault) override {
-    {
-      // May fire from pipeline workers: the only stats written off-thread.
-      std::lock_guard<std::mutex> lock(fault_mu_);
-      ++stats_.extension_faults;
-      switch (fault.cls) {
-        case xbgp::FaultClass::kVerify: ++stats_.faults_verify; break;
-        case xbgp::FaultClass::kInstructionBudget: ++stats_.faults_budget; break;
-        case xbgp::FaultClass::kMemoryBounds: ++stats_.faults_memory_bounds; break;
-        case xbgp::FaultClass::kHelperDenied: ++stats_.faults_helper_denied; break;
-        case xbgp::FaultClass::kHelperError: ++stats_.faults_helper_error; break;
-      }
-    }
-    util::log_warn(cfg_.name, ": extension '", fault.program, "' faulted at ",
-                   to_string(fault.op), " (", to_string(fault.cls), "): ", fault.detail,
-                   " (fell back to native)");
+    // May fire from pipeline workers; fault.slot is the execution slot the
+    // faulting program ran on, owned by the calling thread, so the per-slot
+    // registry cell is written lock-free.
+    obs_.registry().add(m_.fault_class[static_cast<std::uint8_t>(fault.cls)], 1, fault.slot);
+    kEngineLog.warn(cfg_.name, ": extension '", fault.program, "' faulted at ",
+                    to_string(fault.op), " (", to_string(fault.cls), "): ", fault.detail,
+                    " (fell back to native)");
   }
 
   void ebpf_print(std::string_view message) override {
-    util::log_info(cfg_.name, " [ebpf] ", message);
+    kEngineLog.info(cfg_.name, " [ebpf] ", message);
   }
 
  private:
@@ -467,7 +572,36 @@ class Router final : public xbgp::HostApi {
     if (c.vmm_options.execution_contexts < c.parallelism) {
       c.vmm_options.execution_contexts = c.parallelism;
     }
+    // One registry/trace cell per execution slot, so pipeline workers count
+    // without synchronisation.
+    c.obs.slots = c.parallelism;
     return c;
+  }
+
+  /// Per-slot counter bump; serial sites pass slot 0, pipeline stage A the
+  /// worker's slot. No-op when the registry is disabled.
+  void count(obs::Registry::Id id, std::uint64_t n = 1, std::size_t slot = 0) noexcept {
+    obs_.registry().add(id, n, slot);
+  }
+
+  /// Registers this peer's labelled xbgp_session_* series and hands the ids
+  /// to the session (its accessors then read back the registry).
+  void attach_session_telemetry(PeerState& state) {
+    obs::Registry& reg = obs_.registry();
+    const std::string label = "{peer=\"" + state.cfg.name + "\"}";
+    bgp::PeerSession::Telemetry st;
+    st.registry = &reg;
+    st.updates_received =
+        reg.counter("xbgp_session_updates_received_total" + label, "UPDATEs received per peer");
+    st.updates_sent =
+        reg.counter("xbgp_session_updates_sent_total" + label, "UPDATEs sent per peer");
+    st.treat_as_withdraw = reg.counter("xbgp_session_treat_as_withdraw_total" + label,
+                                       "UPDATEs degraded to withdraws per peer (RFC 7606)");
+    st.attrs_discarded = reg.counter("xbgp_session_attrs_discarded_total" + label,
+                                     "Attributes stripped at the discard tier per peer");
+    st.notifications_sent = reg.counter("xbgp_session_notifications_sent_total" + label,
+                                        "NOTIFICATIONs originated per peer");
+    state.session.set_telemetry(st);
   }
 
   [[nodiscard]] std::size_t shard_of(const util::Prefix& p) const noexcept {
@@ -477,7 +611,7 @@ class Router final : public xbgp::HostApi {
   // --- peer/session events -------------------------------------------------------
 
   void on_peer_established(PeerState& peer) {
-    util::log_info(cfg_.name, ": session with ", peer.cfg.name, " established");
+    kEngineLog.info(cfg_.name, ": session with ", peer.cfg.name, " established");
     // Initial advertisement: the whole Loc-RIB plus local routes.
     for (const auto& shard : loc_rib_)
       for (const auto& [prefix, entry] : shard) queue_export(peer, prefix);
@@ -485,7 +619,7 @@ class Router final : public xbgp::HostApi {
   }
 
   void on_peer_down(PeerState& peer, const std::string& reason) {
-    util::log_warn(cfg_.name, ": session with ", peer.cfg.name, " down: ", reason);
+    kEngineLog.warn(cfg_.name, ": session with ", peer.cfg.name, " down: ", reason);
     // Updates queued for the pipeline but not yet processed die with the
     // session, exactly as unparsed socket bytes would.
     if (!ingest_batch_.empty()) {
@@ -509,7 +643,7 @@ class Router final : public xbgp::HostApi {
   void handle_update(PeerState& peer, bgp::UpdateMessage&& update,
                      const bgp::UpdateNotes& notes,
                      std::span<const std::uint8_t> wire) {
-    ++stats_.updates_in;
+    count(m_.updates_in);
 
     // (1) BGP_RECEIVE_MESSAGE: raw wire bytes + the parsed neutral attribute
     // set. Extensions recover custom attributes here (e.g. GeoLoc) before
@@ -530,10 +664,10 @@ class Router final : public xbgp::HostApi {
     // Discard-tier attributes were already stripped from update.attrs;
     // treat-as-withdraw converts the advertised NLRI into withdraws, which
     // both ingest paths then process like any other withdraw.
-    stats_.attrs_discarded += notes.attrs_discarded;
+    count(m_.attrs_discarded, notes.attrs_discarded);
     if (notes.worst == util::ErrorClass::kTreatAsWithdraw) {
-      ++stats_.malformed_updates;
-      ++stats_.treat_as_withdraw;
+      count(m_.malformed_updates);
+      count(m_.treat_as_withdraw);
       update.withdrawn.insert(update.withdrawn.end(), update.nlri.begin(),
                               update.nlri.end());
       update.nlri.clear();
@@ -559,8 +693,11 @@ class Router final : public xbgp::HostApi {
       return;
     }
 
+    const bool timing = obs_.tracing();
+    const std::uint64_t t0 = timing ? obs::now_ns() : 0;
+
     for (const auto& prefix : update.withdrawn) {
-      ++stats_.withdrawals_in;
+      count(m_.withdrawals_in);
       if (peer.adj_rib_in[0].erase(prefix) > 0 && run_decision(prefix, 0)) {
         queue_export_all(prefix);
       }
@@ -569,6 +706,7 @@ class Router final : public xbgp::HostApi {
     if (!update.nlri.empty()) {
       process_nlri(peer, update, rx.ext_added_codes);
     }
+    if (timing) obs_.registry().observe(m_.ingest_ns, obs::now_ns() - t0, 0);
     schedule_flush();
   }
 
@@ -580,7 +718,7 @@ class Router final : public xbgp::HostApi {
     if (!update.attrs.has(bgp::attr_code::kOrigin) ||
         !update.attrs.has(bgp::attr_code::kAsPath) ||
         !update.attrs.has(bgp::attr_code::kNextHop)) {
-      ++stats_.malformed_updates;
+      count(m_.malformed_updates);
       for (const auto& prefix : update.nlri) {
         if (peer.adj_rib_in[0].erase(prefix) > 0 && run_decision(prefix, 0)) {
           queue_export_all(prefix);
@@ -596,25 +734,25 @@ class Router final : public xbgp::HostApi {
 
     // eBGP loop prevention: our own AS in AS_PATH.
     if (ebgp && Core::as_path_contains(*shared, cfg_.asn)) {
-      stats_.loop_rejected += update.nlri.size();
+      count(m_.loop_rejected, update.nlri.size());
       return;
     }
 
     for (const auto& prefix : update.nlri) {
-      ++stats_.prefixes_in;
+      count(m_.prefixes_in);
       std::uint32_t meta = 0;
       RouteCtx route{prefix, shared.get(), shared.get(), &meta, &peer};
       const std::uint64_t verdict = run_inbound_filter(peer, route, 0);
 
       if (verdict != xbgp::kFilterAccept) {
-        ++stats_.prefixes_rejected_in;
+        count(m_.prefixes_rejected_in);
         if (peer.adj_rib_in[0].erase(prefix) > 0 && run_decision(prefix, 0)) {
           queue_export_all(prefix);
         }
         continue;
       }
-      ++stats_.prefixes_accepted;
-      count_ov(meta, stats_);
+      count(m_.prefixes_accepted);
+      count_ov(meta, 0);
       peer.adj_rib_in[0][prefix] = AdjInRoute{shared, meta};
       if (run_decision(prefix, 0)) queue_export_all(prefix);
     }
@@ -662,14 +800,13 @@ class Router final : public xbgp::HostApi {
   /// attribute checks, host conversion, loop check, the inbound filter per
   /// NLRI. One worker owns a whole update (extensions and policy that
   /// mutate the update's shared attribute object keep serial semantics).
-  void ingest_stage_a(PendingUpdate& pu, std::vector<IngestItem>& items, RouterStats& st,
-                      std::size_t slot) {
+  void ingest_stage_a(PendingUpdate& pu, std::vector<IngestItem>& items, std::size_t slot) {
     PeerState& peer = *pu.peer;
     const bgp::UpdateMessage& update = pu.update;
     std::size_t seq = pu.seq_base;
 
     for (const auto& prefix : update.withdrawn) {
-      ++st.withdrawals_in;
+      count(m_.withdrawals_in, 1, slot);
       items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0});
     }
     if (update.nlri.empty()) return;
@@ -677,7 +814,7 @@ class Router final : public xbgp::HostApi {
     if (!update.attrs.has(bgp::attr_code::kOrigin) ||
         !update.attrs.has(bgp::attr_code::kAsPath) ||
         !update.attrs.has(bgp::attr_code::kNextHop)) {
-      ++st.malformed_updates;
+      count(m_.malformed_updates, 1, slot);
       for (const auto& prefix : update.nlri) {
         items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0});
       }
@@ -687,22 +824,22 @@ class Router final : public xbgp::HostApi {
     auto shared = std::make_shared<Attrs>(Core::from_wire(update.attrs, pu.keep_codes));
     const bool ebgp = peer.session.peer_type() == bgp::PeerType::kEbgp;
     if (ebgp && Core::as_path_contains(*shared, cfg_.asn)) {
-      st.loop_rejected += update.nlri.size();
+      count(m_.loop_rejected, update.nlri.size(), slot);
       return;
     }
 
     for (const auto& prefix : update.nlri) {
-      ++st.prefixes_in;
+      count(m_.prefixes_in, 1, slot);
       std::uint32_t meta = 0;
       RouteCtx route{prefix, shared.get(), shared.get(), &meta, &peer};
       const std::uint64_t verdict = run_inbound_filter(peer, route, slot);
       if (verdict != xbgp::kFilterAccept) {
-        ++st.prefixes_rejected_in;
+        count(m_.prefixes_rejected_in, 1, slot);
         items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0});
         continue;
       }
-      ++st.prefixes_accepted;
-      count_ov(meta, st);
+      count(m_.prefixes_accepted, 1, slot);
+      count_ov(meta, slot);
       items.push_back(
           IngestItem{IngestItem::Kind::kInstall, seq++, prefix, &peer, shared, meta});
     }
@@ -723,13 +860,20 @@ class Router final : public xbgp::HostApi {
       seq += pu.update.withdrawn.size() + pu.update.nlri.size();
     }
 
+    const bool timing = obs_.tracing();
+    std::uint64_t t0 = timing ? obs::now_ns() : 0;
+
     std::vector<std::vector<IngestItem>> worker_items(shards_);
-    std::vector<RouterStats> worker_stats(shards_);
     pool_.run_indexed(shards_, [&](std::size_t w) {
       for (std::size_t u = w; u < batch.size(); u += shards_) {
-        ingest_stage_a(batch[u], worker_items[w], worker_stats[w], w);
+        ingest_stage_a(batch[u], worker_items[w], w);
       }
     });
+    if (timing) {
+      const std::uint64_t t1 = obs::now_ns();
+      obs_.registry().observe(m_.ingest_ns, t1 - t0, 0);
+      t0 = t1;
+    }
 
     std::vector<std::vector<const IngestItem*>> shard_items(shards_);
     for (const auto& items : worker_items) {
@@ -755,32 +899,13 @@ class Router final : public xbgp::HostApi {
         }
       }
     });
+    if (timing) obs_.registry().observe(m_.decision_ns, obs::now_ns() - t0, 0);
 
     std::vector<std::pair<std::size_t, util::Prefix>> ordered;
     for (const auto& list : changed) ordered.insert(ordered.end(), list.begin(), list.end());
     std::sort(ordered.begin(), ordered.end());
     for (const auto& [s, prefix] : ordered) queue_export_all(prefix);
-    for (const auto& ws : worker_stats) fold_stats(ws);
     schedule_flush();
-  }
-
-  void fold_stats(const RouterStats& ws) {
-    stats_.updates_out += ws.updates_out;
-    stats_.prefixes_in += ws.prefixes_in;
-    stats_.prefixes_accepted += ws.prefixes_accepted;
-    stats_.prefixes_rejected_in += ws.prefixes_rejected_in;
-    stats_.withdrawals_in += ws.withdrawals_in;
-    stats_.exports_rejected += ws.exports_rejected;
-    stats_.loop_rejected += ws.loop_rejected;
-    stats_.malformed_updates += ws.malformed_updates;
-    stats_.ov_valid += ws.ov_valid;
-    stats_.ov_invalid += ws.ov_invalid;
-    stats_.ov_not_found += ws.ov_not_found;
-    stats_.treat_as_withdraw += ws.treat_as_withdraw;
-    stats_.attrs_discarded += ws.attrs_discarded;
-    // updates_in, treat_as_withdraw and attrs_discarded are counted at
-    // delivery on the main thread; extension_faults and the per-class fault
-    // counters under fault_mu_.
   }
 
   /// The native (default) import policy: RFC 4456 loop prevention when this
@@ -843,11 +968,11 @@ class Router final : public xbgp::HostApi {
     return verdict.permitted;
   }
 
-  static void count_ov(std::uint32_t meta, RouterStats& st) {
+  void count_ov(std::uint32_t meta, std::size_t slot) noexcept {
     switch (meta) {
-      case xbgp::kMetaOvValid: ++st.ov_valid; break;
-      case xbgp::kMetaOvInvalid: ++st.ov_invalid; break;
-      default: ++st.ov_not_found; break;
+      case xbgp::kMetaOvValid: count(m_.ov_valid, 1, slot); break;
+      case xbgp::kMetaOvInvalid: count(m_.ov_invalid, 1, slot); break;
+      default: count(m_.ov_not_found, 1, slot); break;
     }
   }
 
@@ -997,10 +1122,17 @@ class Router final : public xbgp::HostApi {
   void flush_peer(PeerState& peer) {
     if (peer.pending.empty()) return;
     if (!peer.session.established()) return;  // re-announced on establishment
+    const bool timing = obs_.tracing();
+    const std::uint64_t t0 = timing ? obs::now_ns() : 0;
     if (shards_ > 1) {
       flush_peer_parallel(peer);
-      return;
+    } else {
+      flush_peer_serial(peer);
     }
+    if (timing) obs_.registry().observe(m_.export_ns, obs::now_ns() - t0, 0);
+  }
+
+  void flush_peer_serial(PeerState& peer) {
 
     UpdateBuilder builder;
     // Group state: routes sharing the source attrs object and producing
@@ -1043,7 +1175,7 @@ class Router final : public xbgp::HostApi {
       }
 
       if (!group_accepted) {
-        ++stats_.exports_rejected;
+        count(m_.exports_rejected);
         if (had) {
           peer.adj_rib_out.erase(prefix);
           builder.withdraw_prefix(prefix);
@@ -1063,7 +1195,7 @@ class Router final : public xbgp::HostApi {
     for (auto& wire : builder.finish()) {
       peer.session.send_bytes(wire);
       peer.session.count_update_sent();
-      ++stats_.updates_out;
+      count(m_.updates_out);
     }
   }
 
@@ -1077,7 +1209,7 @@ class Router final : public xbgp::HostApi {
     RouteCtx route{prefix, work.get(), work.get(), &meta, peer_of(best.from)};
 
     if (!run_outbound_filter(peer, route, best, 0)) {
-      ++stats_.exports_rejected;
+      count(m_.exports_rejected);
       return false;
     }
 
@@ -1202,7 +1334,7 @@ class Router final : public xbgp::HostApi {
       if (!gw.accepted) {
         // The serial path counts the group-opening route twice (once inside
         // export_group, once at the call site); replicated for stat parity.
-        stats_.exports_rejected += step.act == kActFirst ? 2 : 1;
+        count(m_.exports_rejected, step.act == kActFirst ? 2 : 1);
         if (step.had) {
           peer.adj_rib_out.erase(step.prefix);
           builder.withdraw_prefix(step.prefix);
@@ -1300,6 +1432,8 @@ class Router final : public xbgp::HostApi {
   // ------------------------------------------------------------------------------
   net::EventLoop& loop_;
   Config cfg_;
+  obs::Telemetry obs_;  // before vmm_: the VMM holds a pointer into it
+  EngineMetrics m_;
   xbgp::Vmm vmm_;
   std::size_t shards_;          // == cfg_.parallelism (>= 1)
   util::ThreadPool pool_;       // shards_ - 1 workers; the caller participates
@@ -1312,8 +1446,6 @@ class Router final : public xbgp::HostApi {
   std::vector<PendingUpdate> ingest_batch_;
   bool ingest_scheduled_ = false;
   bool flush_scheduled_ = false;
-  RouterStats stats_;
-  std::mutex fault_mu_;  // guards stats_.extension_faults (worker-written)
 };
 
 }  // namespace xb::hosts::engine

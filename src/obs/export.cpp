@@ -1,0 +1,145 @@
+#include "obs/export.hpp"
+
+#include <set>
+
+namespace xb::obs {
+
+namespace {
+
+struct SplitName {
+  std::string_view base;    // up to '{'
+  std::string_view labels;  // inside the braces, no braces; empty if none
+};
+
+SplitName split_name(std::string_view name) {
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {name.substr(0, brace), labels};
+}
+
+std::string with_label(const SplitName& n, std::string_view suffix,
+                       std::string_view extra_label) {
+  std::string out(n.base);
+  out += suffix;
+  if (!n.labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += n.labels;
+    if (!n.labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  return out;
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  std::set<std::string, std::less<>> headered;
+  for (const auto& m : snap.metrics) {
+    const SplitName n = split_name(m.name);
+    if (headered.insert(std::string(n.base)).second) {
+      out += "# HELP ";
+      out += n.base;
+      out += ' ';
+      out += m.help.empty() ? std::string(n.base) : m.help;
+      out += "\n# TYPE ";
+      out += n.base;
+      out += ' ';
+      out += kind_name(m.kind);
+      out += '\n';
+    }
+    if (m.kind == MetricKind::kHistogram) {
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+        cum += m.buckets[i];
+        const std::string le =
+            i < m.bounds.size() ? "le=\"" + std::to_string(m.bounds[i]) + "\""
+                                : std::string("le=\"+Inf\"");
+        out += with_label(n, "_bucket", le);
+        out += ' ';
+        out += std::to_string(cum);
+        out += '\n';
+      }
+      out += with_label(n, "_sum", {});
+      out += ' ';
+      out += std::to_string(m.sum);
+      out += '\n';
+      out += with_label(n, "_count", {});
+      out += ' ';
+      out += std::to_string(m.count);
+      out += '\n';
+    } else {
+      out += m.name;
+      out += ' ';
+      out += std::to_string(m.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(std::span<const Span> spans, const OpNamer& op_name,
+                     const FaultNamer& fault_name) {
+  std::string out;
+  for (const Span& s : spans) {
+    out += "{\"ts\":";
+    out += std::to_string(s.start_ns);
+    out += ",\"dur_ns\":";
+    out += std::to_string(s.duration_ns);
+    out += ",\"point\":\"";
+    if (op_name) {
+      append_json_escaped(out, op_name(s.op));
+    } else {
+      out += std::to_string(s.op);
+    }
+    out += "\",\"program\":\"";
+    append_json_escaped(out, s.program);
+    out += "\",\"insns\":";
+    out += std::to_string(s.instructions);
+    out += ",\"helpers\":";
+    out += std::to_string(s.helper_calls);
+    out += ",\"slot\":";
+    out += std::to_string(s.slot);
+    out += ",\"verdict\":\"";
+    out += to_string(s.verdict);
+    out += '"';
+    if (s.fault_class != kSpanNoFault) {
+      out += ",\"fault\":\"";
+      if (fault_name) {
+        append_json_escaped(out, fault_name(s.fault_class));
+      } else {
+        out += std::to_string(s.fault_class);
+      }
+      out += '"';
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace xb::obs

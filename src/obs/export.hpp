@@ -1,0 +1,33 @@
+// Exposition formats for the telemetry spine: Prometheus text for metric
+// snapshots, JSONL for trace spans (docs/observability.md).
+
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace xb::obs {
+
+// Prometheus text exposition (version 0.0.4): HELP/TYPE once per family
+// (series sharing a base name before '{' share one header), histograms as
+// cumulative _bucket{le=...} plus _sum/_count, labels merged.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snap);
+
+// Resolves a Span's numeric insertion-point id to a printable name; wired
+// to xbgp::to_string(Op) by callers (obs does not depend on xbgp).
+using OpNamer = std::function<std::string_view(std::uint8_t)>;
+using FaultNamer = std::function<std::string_view(std::uint8_t)>;
+
+// One JSON object per line:
+// {"ts":..,"dur_ns":..,"point":"..","program":"..","insns":..,"helpers":..,
+//  "slot":..,"verdict":".."[,"fault":".."]}
+[[nodiscard]] std::string to_jsonl(std::span<const Span> spans,
+                                   const OpNamer& op_name = {},
+                                   const FaultNamer& fault_name = {});
+
+}  // namespace xb::obs

@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xb::obs {
+
+double MetricValue::quantile(double q) const {
+  if (kind != MetricKind::kHistogram || count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= rank && buckets[i] > 0) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      // +Inf bucket: no upper bound to interpolate towards, report its floor.
+      if (i >= bounds.size()) return lo;
+      const double hi = static_cast<double>(bounds[i]);
+      const double frac =
+          (rank - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+void Snapshot::counter(std::string name, std::string help, std::uint64_t v) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.kind = MetricKind::kCounter;
+  m.value = v;
+  metrics.push_back(std::move(m));
+}
+
+void Snapshot::gauge(std::string name, std::string help, std::uint64_t v) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.kind = MetricKind::kGauge;
+  m.value = v;
+  metrics.push_back(std::move(m));
+}
+
+const MetricValue* Snapshot::find(std::string_view name) const {
+  for (const auto& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+Registry::Registry(std::size_t slots, bool enabled)
+    : slots_(slots == 0 ? 1 : slots), enabled_(enabled) {}
+
+Registry::Id Registry::register_family(std::string name, std::string help,
+                                       MetricKind kind,
+                                       std::span<const std::uint64_t> bounds) {
+  for (std::size_t i = 0; i < families_.size(); ++i) {
+    if (families_[i].name == name) {
+      if (families_[i].kind != kind)
+        throw std::invalid_argument("obs: metric '" + name +
+                                    "' re-registered with different kind");
+      return static_cast<Id>(i);
+    }
+  }
+  Family f;
+  f.name = std::move(name);
+  f.help = std::move(help);
+  f.kind = kind;
+  if (kind == MetricKind::kHistogram) {
+    f.bounds.assign(bounds.begin(), bounds.end());
+    if (!std::is_sorted(f.bounds.begin(), f.bounds.end()))
+      throw std::invalid_argument("obs: histogram bounds must be sorted");
+    f.hist.resize(slots_);
+    for (auto& h : f.hist) h.buckets.assign(f.bounds.size() + 1, 0);
+  } else {
+    f.scalar.resize(slots_);
+  }
+  families_.push_back(std::move(f));
+  return static_cast<Id>(families_.size() - 1);
+}
+
+Registry::Id Registry::counter(std::string name, std::string help) {
+  return register_family(std::move(name), std::move(help), MetricKind::kCounter, {});
+}
+
+Registry::Id Registry::gauge(std::string name, std::string help) {
+  return register_family(std::move(name), std::move(help), MetricKind::kGauge, {});
+}
+
+Registry::Id Registry::histogram(std::string name, std::string help,
+                                 std::span<const std::uint64_t> bounds) {
+  return register_family(std::move(name), std::move(help), MetricKind::kHistogram,
+                         bounds);
+}
+
+void Registry::observe(Id id, std::uint64_t v, std::size_t slot) noexcept {
+  if (!enabled_) return;
+  Family& f = families_[id];
+  HistCell& cell = f.hist[slot];
+  // First bucket whose bound >= v; values above every bound land in +Inf.
+  const auto it = std::lower_bound(f.bounds.begin(), f.bounds.end(), v);
+  ++cell.buckets[static_cast<std::size_t>(it - f.bounds.begin())];
+  ++cell.count;
+  cell.sum += v;
+}
+
+std::uint64_t Registry::value(Id id) const noexcept {
+  const Family& f = families_[id];
+  std::uint64_t total = 0;
+  if (f.kind == MetricKind::kHistogram) {
+    for (const auto& h : f.hist) total += h.count;
+  } else {
+    for (const auto& c : f.scalar) total += c.v;
+  }
+  return total;
+}
+
+void Registry::add_collector(std::function<void(Snapshot&)> fn) {
+  collectors_.push_back(std::move(fn));
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  out.metrics.reserve(families_.size());
+  for (const auto& f : families_) {
+    MetricValue m;
+    m.name = f.name;
+    m.help = f.help;
+    m.kind = f.kind;
+    if (f.kind == MetricKind::kHistogram) {
+      m.bounds = f.bounds;
+      m.buckets.assign(f.bounds.size() + 1, 0);
+      for (const auto& h : f.hist) {
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) m.buckets[i] += h.buckets[i];
+        m.count += h.count;
+        m.sum += h.sum;
+      }
+    } else {
+      for (const auto& c : f.scalar) m.value += c.v;
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  for (const auto& fn : collectors_) fn(out);
+  return out;
+}
+
+void Registry::reset() {
+  for (auto& f : families_) {
+    for (auto& c : f.scalar) c.v = 0;
+    for (auto& h : f.hist) {
+      std::fill(h.buckets.begin(), h.buckets.end(), 0);
+      h.count = 0;
+      h.sum = 0;
+    }
+  }
+}
+
+}  // namespace xb::obs

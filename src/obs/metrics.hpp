@@ -1,0 +1,138 @@
+// Metrics registry: the storage half of the telemetry spine
+// (docs/observability.md).
+//
+// Named counters, gauges and fixed-bucket histograms. Every metric owns one
+// cell per execution slot, and the hot path writes the cell for the slot it
+// is running as with a plain (non-atomic) add — the same ownership pattern
+// as the per-slot Vmm stats: during a fork-join region each slot index is
+// exclusively held by one thread, and the pool join publishes the writes to
+// the reader. Folding across slots happens on read, in the serial phase.
+//
+// Registration (counter()/gauge()/histogram()/add_collector()) and reading
+// (value()/snapshot()) are serial-phase operations; only add()/observe()/
+// gauge_set() may run inside a parallel region.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xb::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+// Default histogram bounds for latencies in nanoseconds: exponential from
+// 250 ns to ~1 s, the range an extension invocation or a pipeline phase can
+// plausibly occupy. The last implicit bucket is +Inf.
+inline constexpr std::uint64_t kLatencyBucketBoundsNs[] = {
+    250,        500,        1'000,      2'000,      4'000,      8'000,
+    16'000,     32'000,     64'000,     128'000,    256'000,    512'000,
+    1'000'000,  2'000'000,  4'000'000,  8'000'000,  16'000'000, 64'000'000,
+    256'000'000, 1'000'000'000};
+
+// One folded metric inside a Snapshot.
+struct MetricValue {
+  std::string name;  // full series name, may embed labels: foo_total{x="y"}
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;             // counter / gauge
+  std::vector<std::uint64_t> bounds;   // histogram upper bounds (exclusive of +Inf)
+  std::vector<std::uint64_t> buckets;  // per-bucket counts, bounds.size()+1 (+Inf last)
+  std::uint64_t count = 0;             // histogram observation count
+  std::uint64_t sum = 0;               // histogram sum of observed values
+
+  // Interpolated quantile (q in [0,1]) from the bucket counts; histogram
+  // only. Returns 0 with no observations.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+// The folded, point-in-time view handed to exporters. Collectors append to
+// it with counter()/gauge() so subsystems that already keep their own
+// fold-on-read stats (Vmm, ThreadPool) pay nothing on the hot path.
+class Snapshot {
+ public:
+  void counter(std::string name, std::string help, std::uint64_t v);
+  void gauge(std::string name, std::string help, std::uint64_t v);
+
+  [[nodiscard]] const MetricValue* find(std::string_view name) const;
+
+  std::vector<MetricValue> metrics;
+};
+
+class Registry {
+ public:
+  using Id = std::uint32_t;
+
+  // `slots` = number of execution slots (>=1); slot 0 is the serial/main
+  // slot. A disabled registry still hands out ids but add/observe/value are
+  // no-ops returning zero — used to A/B the instrumentation cost in
+  // bench/obs_overhead.
+  explicit Registry(std::size_t slots = 1, bool enabled = true);
+
+  // Registration is idempotent by name: re-registering an existing series
+  // returns its id (kind must match).
+  Id counter(std::string name, std::string help);
+  Id gauge(std::string name, std::string help);
+  Id histogram(std::string name, std::string help,
+               std::span<const std::uint64_t> bounds = kLatencyBucketBoundsNs);
+
+  // Hot path. `slot` must be exclusively owned by the calling thread.
+  void add(Id id, std::uint64_t delta = 1, std::size_t slot = 0) noexcept {
+    if (!enabled_) return;
+    families_[id].scalar[slot].v += delta;
+  }
+  void gauge_set(Id id, std::uint64_t v, std::size_t slot = 0) noexcept {
+    if (!enabled_) return;
+    families_[id].scalar[slot].v = v;
+  }
+  void observe(Id id, std::uint64_t v, std::size_t slot = 0) noexcept;
+
+  // Folded reads (serial phase). value() is the cross-slot sum for
+  // counters/gauges and the observation count for histograms.
+  [[nodiscard]] std::uint64_t value(Id id) const noexcept;
+
+  // Pull-model collector, run at snapshot() time.
+  void add_collector(std::function<void(Snapshot&)> fn);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] std::size_t slots() const noexcept { return slots_; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::size_t series_count() const noexcept { return families_.size(); }
+
+  // Zero every cell (benches/tests); registrations and collectors survive.
+  void reset();
+
+ private:
+  // 64-byte stride so two slots' cells never share a cache line.
+  struct alignas(64) ScalarCell {
+    std::uint64_t v = 0;
+  };
+  struct alignas(64) HistCell {
+    std::vector<std::uint64_t> buckets;  // bounds.size()+1
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<std::uint64_t> bounds;
+    std::vector<ScalarCell> scalar;  // counter/gauge: one per slot
+    std::vector<HistCell> hist;      // histogram: one per slot
+  };
+
+  Id register_family(std::string name, std::string help, MetricKind kind,
+                     std::span<const std::uint64_t> bounds);
+
+  std::size_t slots_;
+  bool enabled_;
+  std::vector<Family> families_;
+  std::vector<std::function<void(Snapshot&)>> collectors_;
+};
+
+}  // namespace xb::obs

@@ -1,0 +1,55 @@
+// The telemetry bundle a host threads through its subsystems: one metrics
+// registry + one trace ring + the tracing switch.
+//
+// Counters are always on (they replace the ad-hoc stats structs and are a
+// plain per-slot add); tracing — spans and latency histograms, which need
+// two clock reads per invocation — is off by default and flipped with
+// set_tracing(). The flag is an atomic so a controller thread may toggle it
+// while workers run; writers read it relaxed once per chain execution.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace xb::obs {
+
+struct Options {
+  std::size_t slots = 1;            // execution slots (>= pipeline parallelism)
+  std::size_t trace_capacity = 65536;  // spans retained per slot
+  bool tracing = false;             // spans + latency histograms at startup
+  bool enabled = true;              // false: registry no-ops (bench baseline)
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(const Options& opt = {})
+      : registry_(opt.slots, opt.enabled),
+        trace_(opt.trace_capacity, opt.slots),
+        tracing_(opt.tracing) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const Registry& registry() const noexcept { return registry_; }
+  [[nodiscard]] TraceRing& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceRing& trace() const noexcept { return trace_; }
+
+  [[nodiscard]] bool tracing() const noexcept {
+    return tracing_.load(std::memory_order_relaxed);
+  }
+  void set_tracing(bool on) noexcept {
+    tracing_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  Registry registry_;
+  TraceRing trace_;
+  std::atomic<bool> tracing_;
+};
+
+}  // namespace xb::obs

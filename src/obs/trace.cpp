@@ -1,0 +1,58 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace xb::obs {
+
+std::string_view to_string(SpanVerdict v) {
+  switch (v) {
+    case SpanVerdict::kHandled: return "handled";
+    case SpanVerdict::kNext: return "next";
+    case SpanVerdict::kFault: return "fault";
+    case SpanVerdict::kNativeFallback: return "native-fallback";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity_per_slot, std::size_t slots)
+    : capacity_(capacity_per_slot == 0 ? 1 : capacity_per_slot),
+      rings_(slots == 0 ? 1 : slots) {
+  for (auto& r : rings_) r.spans.resize(capacity_);
+}
+
+std::uint64_t TraceRing::recorded_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r.total;
+  return total;
+}
+
+std::uint64_t TraceRing::dropped_total() const noexcept {
+  std::uint64_t dropped = 0;
+  for (const auto& r : rings_)
+    if (r.total > r.spans.size()) dropped += r.total - r.spans.size();
+  return dropped;
+}
+
+std::vector<Span> TraceRing::collect() const {
+  std::vector<Span> out;
+  for (const auto& r : rings_) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(r.total, r.spans.size()));
+    // With wraparound the live window is the last `capacity_` appends and
+    // cell (total % cap) is the oldest surviving span; before wraparound the
+    // ring is simply [0, total).
+    const std::size_t start =
+        r.total > r.spans.size() ? static_cast<std::size_t>(r.total % r.spans.size()) : 0;
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(r.spans[(start + i) % r.spans.size()]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Span& a, const Span& b) { return a.start_ns < b.start_ns; });
+  return out;
+}
+
+void TraceRing::clear() {
+  for (auto& r : rings_) r.total = 0;
+}
+
+}  // namespace xb::obs

@@ -1,0 +1,93 @@
+// Execution tracing: bounded per-slot ring buffers of spans, one span per
+// extension invocation (docs/observability.md).
+//
+// A span records which program ran at which insertion point, how long it
+// took, how much it executed (instructions, helper calls) and how it ended
+// (handled / next() / fault / native fallback). Recording follows the same
+// slot-ownership discipline as the metrics registry: append(slot) may only
+// be called by the thread currently holding that slot; collect()/clear()
+// are serial-phase.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace xb::obs {
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+enum class SpanVerdict : std::uint8_t {
+  kHandled = 0,         // extension returned a terminal verdict
+  kNext = 1,            // fell through to the next program in the chain
+  kFault = 2,           // aborted; fault_class says why
+  kNativeFallback = 3,  // last program yielded next() with no successor —
+                        // the host's native logic ran instead
+};
+
+[[nodiscard]] std::string_view to_string(SpanVerdict v);
+
+inline constexpr std::uint8_t kSpanNoFault = 0xFF;
+
+struct Span {
+  std::uint64_t start_ns = 0;     // steady-clock timestamp
+  std::uint64_t duration_ns = 0;  // wall-clock time inside the VM
+  std::uint32_t instructions = 0;
+  std::uint32_t helper_calls = 0;
+  std::uint8_t op = 0;  // xbgp::Op insertion point
+  SpanVerdict verdict = SpanVerdict::kHandled;
+  std::uint8_t fault_class = kSpanNoFault;  // xbgp::FaultClass, 0xFF = none
+  std::uint8_t slot = 0;
+  char program[36] = {};  // NUL-terminated, truncated extension name
+};
+
+inline void set_span_program(Span& s, std::string_view name) {
+  const std::size_t n = std::min(name.size(), sizeof(s.program) - 1);
+  std::memcpy(s.program, name.data(), n);
+  s.program[n] = '\0';
+}
+
+class TraceRing {
+ public:
+  TraceRing(std::size_t capacity_per_slot, std::size_t slots);
+
+  // Hands back the next ring cell for `slot` to fill in place; overwrites
+  // the oldest span once the ring is full. Never allocates.
+  Span* append(std::size_t slot) noexcept {
+    SlotRing& r = rings_[slot];
+    Span* s = &r.spans[r.total % r.spans.size()];
+    ++r.total;
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t recorded(std::size_t slot) const noexcept {
+    return rings_[slot].total;
+  }
+  [[nodiscard]] std::uint64_t recorded_total() const noexcept;
+  // Spans overwritten before anyone collected them.
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept;
+  [[nodiscard]] std::size_t capacity_per_slot() const noexcept { return capacity_; }
+
+  // Serial phase: surviving spans across all slots, sorted by start_ns.
+  [[nodiscard]] std::vector<Span> collect() const;
+
+  void clear();
+
+ private:
+  struct SlotRing {
+    std::vector<Span> spans;
+    std::uint64_t total = 0;  // spans ever appended to this slot
+  };
+  std::size_t capacity_;
+  std::vector<SlotRing> rings_;
+};
+
+}  // namespace xb::obs

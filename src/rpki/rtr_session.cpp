@@ -6,6 +6,10 @@
 
 namespace xb::rpki::rtr {
 
+namespace {
+constexpr util::Logger kLog{"rtr"};
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // CacheServer
 // ---------------------------------------------------------------------------
@@ -80,7 +84,7 @@ void CacheServer::handle_pdu(Connection& conn, const Pdu& pdu) {
     return;
   }
   if (std::get_if<ErrorReport>(&pdu) != nullptr) {
-    util::log_warn("rtr cache: client reported an error");
+    kLog.warn("client reported an error");
     return;
   }
   send(conn, ErrorReport{ErrorCode::kInvalidRequest, encode(pdu), "unexpected PDU"});
@@ -150,7 +154,19 @@ void RtrClient::handle_readable() {
   }
 }
 
+void RtrClient::set_telemetry(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry_ == nullptr) return;
+  pdus_rx_ = registry_->counter("xbgp_rtr_pdus_rx_total", "RTR PDUs received");
+  roas_applied_ =
+      registry_->counter("xbgp_rtr_roas_applied_total", "ROA announce/withdraw records applied");
+  syncs_ = registry_->counter("xbgp_rtr_syncs_total", "Completed synchronisation runs (End of Data)");
+  cache_resets_ = registry_->counter("xbgp_rtr_cache_resets_total", "Cache Reset PDUs received");
+  errors_ = registry_->counter("xbgp_rtr_errors_total", "Error Report PDUs received");
+}
+
 void RtrClient::handle_pdu(const Pdu& pdu) {
+  count(pdus_rx_);
   if (const auto* notify = std::get_if<SerialNotify>(&pdu)) {
     if (query_in_flight_) {
       pending_notify_ = notify->serial;  // handled after End of Data
@@ -174,15 +190,17 @@ void RtrClient::handle_pdu(const Pdu& pdu) {
     if (prefix->announce) {
       table_.add(prefix->roa);
     } else if (!table_.remove(prefix->roa)) {
-      util::log_warn("rtr client: withdrawal of unknown record");
+      kLog.warn("withdrawal of unknown record");
     }
     ++updates_applied_;
+    count(roas_applied_);
     return;
   }
   if (const auto* eod = std::get_if<EndOfData>(&pdu)) {
     serial_ = eod->serial;
     synchronized_ = true;
     query_in_flight_ = false;
+    count(syncs_);
     if (on_synchronized) on_synchronized();
     // A notify that arrived mid-sync may point past the serial we now hold.
     if (pending_notify_ && *pending_notify_ != serial_) {
@@ -203,12 +221,14 @@ void RtrClient::handle_pdu(const Pdu& pdu) {
     // table or tolerating multiset semantics).
     synchronized_ = false;
     query_in_flight_ = true;
+    count(cache_resets_);
     send(ResetQuery{});
     return;
   }
   if (const auto* error = std::get_if<ErrorReport>(&pdu)) {
     last_error_ = error->text;
-    util::log_warn("rtr client: cache reported error: ", error->text);
+    count(errors_);
+    kLog.warn("cache reported error: ", error->text);
     return;
   }
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "obs/metrics.hpp"
 #include "rpki/rtr_pdu.hpp"
 
 namespace xb::rpki::rtr {
@@ -84,10 +85,19 @@ class RtrClient {
   /// Fired after every End of Data (initial sync and each incremental run).
   std::function<void()> on_synchronized;
 
+  /// Attaches the telemetry registry (serial-phase, before start()):
+  /// registers xbgp_rtr_* counters — PDUs received, ROA records applied,
+  /// completed syncs, cache resets, error reports. The RTR session runs on
+  /// the event-loop thread, so all cells use slot 0.
+  void set_telemetry(obs::Registry* registry);
+
  private:
   void handle_readable();
   void handle_pdu(const Pdu& pdu);
   void send(const Pdu& pdu) { end_.write(encode(pdu)); }
+  void count(obs::Registry::Id id) noexcept {
+    if (registry_ != nullptr) registry_->add(id, 1, 0);
+  }
 
   net::EventLoop& loop_;
   net::Duplex::End end_;
@@ -102,6 +112,12 @@ class RtrClient {
   std::optional<std::uint32_t> pending_notify_;
   std::uint64_t updates_applied_ = 0;
   std::string last_error_;
+  obs::Registry* registry_ = nullptr;
+  obs::Registry::Id pdus_rx_ = 0;
+  obs::Registry::Id roas_applied_ = 0;
+  obs::Registry::Id syncs_ = 0;
+  obs::Registry::Id cache_resets_ = 0;
+  obs::Registry::Id errors_ = 0;
 };
 
 }  // namespace xb::rpki::rtr

@@ -1,11 +1,18 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <map>
 
 namespace xb::util {
 
 namespace {
-const char* level_name(LogLevel level) {
+std::map<std::string, LogLevel, std::less<>>& component_thresholds() {
+  static std::map<std::string, LogLevel, std::less<>> m;
+  return m;
+}
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -14,14 +21,33 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-void Log::write(LogLevel level, const std::string& msg) {
+void Log::set_component_threshold(std::string_view component, LogLevel level) {
+  component_thresholds().insert_or_assign(std::string(component), level);
+}
+
+void Log::clear_component_threshold(std::string_view component) {
+  const auto it = component_thresholds().find(component);
+  if (it != component_thresholds().end()) component_thresholds().erase(it);
+}
+
+void Log::clear_component_thresholds() { component_thresholds().clear(); }
+
+bool Log::enabled(LogLevel level, std::string_view component) {
+  const auto& overrides = component_thresholds();
+  if (const auto it = overrides.find(component); it != overrides.end())
+    return it->second <= level;
+  return threshold() <= level;
+}
+
+void Log::write(LogLevel level, std::string_view component, const std::string& msg) {
   if (sink()) {
-    sink()(level, msg);
+    sink()(level, component, msg);
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "[%.*s] [%.*s] %s\n",
+               static_cast<int>(to_string(level).size()), to_string(level).data(),
+               static_cast<int>(component.size()), component.data(), msg.c_str());
 }
 
 }  // namespace xb::util

@@ -1,34 +1,53 @@
-// Minimal leveled logger.
+// Minimal leveled, component-tagged logger.
 //
 // Hosts and the VMM report extension faults and protocol events through this
-// sink. Tests install a capturing sink to assert on notifications (e.g. "VMM
-// fell back to native code after extension fault").
+// sink. Every message carries a component tag ("vmm", "engine", "session",
+// "rtr", ...) so log output and the obs telemetry exposition interleave
+// cleanly and can be filtered per subsystem: the global threshold gates
+// everything, and set_component_threshold() overrides it for one tag. Tests
+// install a capturing sink to assert on notifications (e.g. "VMM fell back
+// to native code after extension fault").
 #pragma once
 
 #include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace xb::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+inline constexpr std::string_view kDefaultLogComponent = "main";
+
 /// Process-wide log configuration. Single-threaded by design (the simulator
 /// runs one event loop); not synchronised.
 class Log {
  public:
-  using Sink = std::function<void(LogLevel, const std::string&)>;
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  const std::string& msg)>;
 
   static LogLevel& threshold() {
     static LogLevel level = LogLevel::kWarn;
     return level;
   }
   static Sink& sink() {
-    static Sink s;  // empty -> stderr
+    static Sink s;  // empty -> stderr "[LEVEL] [component] msg"
     return s;
   }
 
-  static void write(LogLevel level, const std::string& msg);
+  /// Per-component override of the global threshold; e.g. turn on kDebug for
+  /// "vmm" alone while everything else stays at kWarn.
+  static void set_component_threshold(std::string_view component, LogLevel level);
+  static void clear_component_threshold(std::string_view component);
+  static void clear_component_thresholds();
+
+  [[nodiscard]] static bool enabled(LogLevel level, std::string_view component);
+
+  static void write(LogLevel level, std::string_view component,
+                    const std::string& msg);
 };
 
 namespace detail {
@@ -40,25 +59,58 @@ std::string concat(Args&&... args) {
 }
 }  // namespace detail
 
+/// A component-tagged handle; cheap to construct, usually a file-local
+/// constant: `constexpr util::Logger kLog{"vmm"};  kLog.warn("...");`
+class Logger {
+ public:
+  constexpr explicit Logger(std::string_view component) : component_(component) {}
+
+  [[nodiscard]] constexpr std::string_view component() const { return component_; }
+
+  template <typename... Args>
+  void debug(Args&&... args) const {
+    log(LogLevel::kDebug, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(Args&&... args) const {
+    log(LogLevel::kInfo, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(Args&&... args) const {
+    log(LogLevel::kWarn, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(Args&&... args) const {
+    log(LogLevel::kError, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename... Args>
+  void log(LogLevel level, Args&&... args) const {
+    if (Log::enabled(level, component_))
+      Log::write(level, component_, detail::concat(std::forward<Args>(args)...));
+  }
+
+  std::string_view component_;
+};
+
+// Untagged shims (component "main"), kept for call sites with no obvious
+// subsystem.
 template <typename... Args>
 void log_debug(Args&&... args) {
-  if (Log::threshold() <= LogLevel::kDebug)
-    Log::write(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+  Logger(kDefaultLogComponent).debug(std::forward<Args>(args)...);
 }
 template <typename... Args>
 void log_info(Args&&... args) {
-  if (Log::threshold() <= LogLevel::kInfo)
-    Log::write(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+  Logger(kDefaultLogComponent).info(std::forward<Args>(args)...);
 }
 template <typename... Args>
 void log_warn(Args&&... args) {
-  if (Log::threshold() <= LogLevel::kWarn)
-    Log::write(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+  Logger(kDefaultLogComponent).warn(std::forward<Args>(args)...);
 }
 template <typename... Args>
 void log_error(Args&&... args) {
-  if (Log::threshold() <= LogLevel::kError)
-    Log::write(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+  Logger(kDefaultLogComponent).error(std::forward<Args>(args)...);
 }
 
 }  // namespace xb::util

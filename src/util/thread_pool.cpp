@@ -1,6 +1,18 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 namespace xb::util {
+
+namespace {
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   threads_.reserve(workers);
@@ -51,8 +63,10 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  const std::uint64_t t0 = steady_ns();
   if (threads_.empty()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    note_region(n, steady_ns() - t0);
     return;
   }
   Job job;
@@ -70,8 +84,19 @@ void ThreadPool::run_indexed(std::size_t n, const std::function<void(std::size_t
     auto error = first_error_;
     first_error_ = nullptr;
     lock.unlock();
+    note_region(n, steady_ns() - t0);
     std::rethrow_exception(error);
   }
+  lock.unlock();
+  note_region(n, steady_ns() - t0);
+}
+
+void ThreadPool::note_region(std::size_t n, std::uint64_t elapsed_ns) noexcept {
+  ++stats_.regions;
+  stats_.indices += n;
+  stats_.region_ns += elapsed_ns;
+  stats_.max_region_ns = std::max(stats_.max_region_ns, elapsed_ns);
+  stats_.max_indices = std::max<std::uint64_t>(stats_.max_indices, n);
 }
 
 }  // namespace xb::util

@@ -21,6 +21,16 @@ namespace xb::util {
 
 class ThreadPool {
  public:
+  /// Fork-join accounting, maintained by the calling thread only (updated
+  /// after the join, read between regions — no synchronisation needed).
+  struct Stats {
+    std::uint64_t regions = 0;        // run_indexed() calls that did work
+    std::uint64_t indices = 0;        // total indices dispatched
+    std::uint64_t region_ns = 0;      // cumulative wall time inside regions
+    std::uint64_t max_region_ns = 0;  // slowest single region
+    std::uint64_t max_indices = 0;    // widest single region (peak depth)
+  };
+
   /// Spawns `workers` threads. Zero workers is valid: run_indexed() then
   /// executes everything inline on the calling thread.
   explicit ThreadPool(std::size_t workers);
@@ -37,6 +47,10 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
 
+  /// Caller-thread only, between regions.
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
@@ -48,6 +62,7 @@ class ThreadPool {
   void worker_loop();
   /// Runs job indices until none remain; returns with mu_ held by `lock`.
   void drain(Job& job, std::unique_lock<std::mutex>& lock);
+  void note_region(std::size_t n, std::uint64_t elapsed_ns) noexcept;
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: a new job generation exists
@@ -57,6 +72,7 @@ class ThreadPool {
   std::exception_ptr first_error_;
   bool stopping_ = false;
   std::vector<std::thread> threads_;
+  Stats stats_;
 };
 
 }  // namespace xb::util

@@ -51,6 +51,10 @@ struct FaultInfo {
   FaultClass cls = FaultClass::kVerify;
   std::string_view program;
   std::string_view detail;
+  /// Execution slot the faulting chain ran on. Lets the host attribute the
+  /// fault to per-slot telemetry cells without taking a lock: the notify
+  /// call runs on the thread that owns this slot.
+  std::size_t slot = 0;
 };
 
 class HostApi {

@@ -14,6 +14,8 @@ using ebpf::HelperResult;
 
 namespace {
 
+constexpr util::Logger kLog{"vmm"};
+
 /// Maps the interpreter's raw fault kind onto the xBGP fault taxonomy.
 FaultClass classify_fault(ebpf::FaultKind kind) {
   switch (kind) {
@@ -59,7 +61,7 @@ void Vmm::load(const Manifest& manifest) {
     for (const auto& diag : analysis.diagnostics) {
       if (diag.severity != ebpf::Severity::kWarning) continue;
       ++vstats.warnings;
-      util::log_warn("xbgp: extension '", entry.name, "': ", diag.to_string());
+      kLog.warn("extension '", entry.name, "': ", diag.to_string());
     }
     ++vstats.verified;
     auto prog = std::make_unique<LoadedProgram>(entry);
@@ -126,6 +128,55 @@ void Vmm::reset_stats() noexcept {
   for (auto& slot : slots_) slot->stats = Stats{};
 }
 
+void Vmm::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  auto& reg = telemetry_->registry();
+  // Ops start at 1 (see api.hpp); index 0 stays unused.
+  for (std::size_t i = 1; i < kOpCount; ++i) {
+    const std::string point(to_string(static_cast<Op>(i)));
+    op_telemetry_[i].runs =
+        reg.counter("xbgp_vmm_program_runs_total{point=\"" + point + "\"}",
+                    "Extension program executions per insertion point");
+    op_telemetry_[i].exec_ns =
+        reg.histogram("xbgp_vmm_exec_ns{point=\"" + point + "\"}",
+                      "Wall-clock ns per extension program execution (tracing only)");
+  }
+  // Pull collector: the per-slot Stats/VerifyStats already fold on read, so
+  // exposing them costs nothing on the hot path.
+  reg.add_collector([this](obs::Snapshot& out) {
+    const Stats s = stats();
+    out.counter("xbgp_vmm_invocations_total",
+                "execute() calls that found a chain attached", s.invocations);
+    out.counter("xbgp_vmm_extension_handled_total",
+                "Chain executions where an extension returned a result",
+                s.extension_handled);
+    out.counter("xbgp_vmm_next_yields_total", "next() delegations", s.next_yields);
+    out.counter("xbgp_vmm_faults_total", "Programs stopped on a monitored error",
+                s.faults);
+    out.counter("xbgp_vmm_native_fallbacks_total",
+                "Chains that fell back to the host's native default",
+                s.native_fallbacks);
+    for (std::size_t i = 1; i < kOpCount; ++i) {
+      const std::string point(to_string(static_cast<Op>(i)));
+      out.counter("xbgp_vmm_faults_by_point_total{point=\"" + point + "\"}",
+                  "Extension faults per insertion point", s.faults_by_op[i]);
+      const VerifyStats& vs = verify_stats_[i];
+      out.counter("xbgp_vmm_verified_total{point=\"" + point + "\"}",
+                  "Programs that passed load-time verification", vs.verified);
+      out.counter("xbgp_vmm_verify_rejected_total{point=\"" + point + "\"}",
+                  "Programs refused at load time", vs.rejected);
+      out.counter("xbgp_vmm_verify_warnings_total{point=\"" + point + "\"}",
+                  "Warning-severity findings on attached programs", vs.warnings);
+    }
+    for (std::size_t c = 0; c < kFaultClassCount; ++c) {
+      out.counter(std::string("xbgp_vmm_faults_by_class_total{class=\"") +
+                      to_string(static_cast<FaultClass>(c)) + "\"}",
+                  "Extension faults per FaultClass", s.faults_by_class[c]);
+    }
+  });
+}
+
 void Vmm::run_init(LoadedProgram& prog) {
   ExecContext ctx;
   ctx.op = Op::kInit;
@@ -138,27 +189,57 @@ void Vmm::run_init(LoadedProgram& prog) {
   mem.add_region(slot.arena.base(), slot.arena.capacity(), true, "ephemeral-arena");
   mem.add_region(prog.group->pool.arena().base(), prog.group->pool.arena().capacity(), true,
                  "shared-pool");
+  obs::Telemetry* const tel = telemetry_;
+  const bool tracing = tel != nullptr && tel->tracing();
+  std::uint64_t t0 = 0, insns0 = 0, helpers0 = 0;
+  if (tracing) {
+    t0 = obs::now_ns();
+    insns0 = vm.instructions_retired();
+    helpers0 = vm.helper_calls();
+  }
   const auto res = vm.run(prog.entry.program, static_cast<std::uint64_t>(Op::kInit));
   prog.runs.fetch_add(1, std::memory_order_relaxed);
+  constexpr std::size_t op_idx = static_cast<std::size_t>(Op::kInit);
+  if (tel != nullptr) tel->registry().add(op_telemetry_[op_idx].runs, 1, 0);
+  obs::Span* span = nullptr;
+  if (tracing) {
+    const std::uint64_t t1 = obs::now_ns();
+    tel->registry().observe(op_telemetry_[op_idx].exec_ns, t1 - t0, 0);
+    span = tel->trace().append(0);
+    span->start_ns = t0;
+    span->duration_ns = t1 - t0;
+    span->instructions = static_cast<std::uint32_t>(vm.instructions_retired() - insns0);
+    span->helper_calls = static_cast<std::uint32_t>(vm.helper_calls() - helpers0);
+    span->op = static_cast<std::uint8_t>(Op::kInit);
+    span->verdict = obs::SpanVerdict::kHandled;
+    span->fault_class = obs::kSpanNoFault;
+    span->slot = 0;
+    obs::set_span_program(*span, prog.entry.name);
+  }
   slot.current_ctx = nullptr;
   if (res.faulted()) {
     const FaultClass cls = classify_fault(res.fault.kind);
+    if (span != nullptr) {
+      span->verdict = obs::SpanVerdict::kFault;
+      span->fault_class = static_cast<std::uint8_t>(cls);
+    }
     ++slot.stats.faults;
-    ++slot.stats.faults_by_op[static_cast<std::size_t>(Op::kInit)];
+    ++slot.stats.faults_by_op[op_idx];
     ++slot.stats.faults_by_class[static_cast<std::size_t>(cls)];
     host_.notify_extension_fault(
-        FaultInfo{Op::kInit, cls, prog.entry.name, res.fault.detail});
+        FaultInfo{Op::kInit, cls, prog.entry.name, res.fault.detail, 0});
   }
 }
 
 Vmm::ChainOutcome Vmm::run_chain(std::vector<LoadedProgram*>& chain, ExecContext& ctx, Op op,
-                                 ExecSlot& slot) {
-  const std::size_t slot_index = static_cast<std::size_t>(
-      std::find_if(slots_.begin(), slots_.end(),
-                   [&](const auto& s) { return s.get() == &slot; }) -
-      slots_.begin());
+                                 std::size_t slot_index) {
+  ExecSlot& slot = *slots_[slot_index];
+  obs::Telemetry* const tel = telemetry_;
+  const bool tracing = tel != nullptr && tel->tracing();
+  const std::size_t op_idx = static_cast<std::size_t>(op);
   slot.current_ctx = &ctx;
   ChainOutcome out;
+  obs::Span* last_span = nullptr;
   for (LoadedProgram* prog : chain) {
     slot.arena.reset();
     auto& vm = *prog->vms[slot_index];
@@ -167,8 +248,31 @@ Vmm::ChainOutcome Vmm::run_chain(std::vector<LoadedProgram*>& chain, ExecContext
     mem.add_region(slot.arena.base(), slot.arena.capacity(), true, "ephemeral-arena");
     mem.add_region(prog->group->pool.arena().base(), prog->group->pool.arena().capacity(),
                    true, "shared-pool");
+    std::uint64_t t0 = 0, insns0 = 0, helpers0 = 0;
+    if (tracing) {
+      t0 = obs::now_ns();
+      insns0 = vm.instructions_retired();
+      helpers0 = vm.helper_calls();
+    }
     const auto res = vm.run(prog->entry.program, static_cast<std::uint64_t>(op));
     prog->runs.fetch_add(1, std::memory_order_relaxed);
+    if (tel != nullptr) tel->registry().add(op_telemetry_[op_idx].runs, 1, slot_index);
+    obs::Span* span = nullptr;
+    if (tracing) {
+      const std::uint64_t t1 = obs::now_ns();
+      tel->registry().observe(op_telemetry_[op_idx].exec_ns, t1 - t0, slot_index);
+      span = tel->trace().append(slot_index);
+      span->start_ns = t0;
+      span->duration_ns = t1 - t0;
+      span->instructions = static_cast<std::uint32_t>(vm.instructions_retired() - insns0);
+      span->helper_calls = static_cast<std::uint32_t>(vm.helper_calls() - helpers0);
+      span->op = static_cast<std::uint8_t>(op);
+      span->verdict = obs::SpanVerdict::kHandled;
+      span->fault_class = obs::kSpanNoFault;
+      span->slot = static_cast<std::uint8_t>(slot_index);
+      obs::set_span_program(*span, prog->entry.name);
+      last_span = span;
+    }
     if (res.ok()) {
       ++slot.stats.extension_handled;
       out.handled = true;
@@ -176,18 +280,28 @@ Vmm::ChainOutcome Vmm::run_chain(std::vector<LoadedProgram*>& chain, ExecContext
       break;
     }
     if (res.yielded_next()) {
+      if (span != nullptr) span->verdict = obs::SpanVerdict::kNext;
       ++slot.stats.next_yields;
       continue;  // "delegates the outcome to another one by calling next()"
     }
     // Monitored error: stop, classify, notify, fall back to the native
     // default.
     const FaultClass cls = classify_fault(res.fault.kind);
+    if (span != nullptr) {
+      span->verdict = obs::SpanVerdict::kFault;
+      span->fault_class = static_cast<std::uint8_t>(cls);
+    }
     ++slot.stats.faults;
-    ++slot.stats.faults_by_op[static_cast<std::size_t>(op)];
+    ++slot.stats.faults_by_op[op_idx];
     ++slot.stats.faults_by_class[static_cast<std::size_t>(cls)];
-    host_.notify_extension_fault(FaultInfo{op, cls, prog->entry.name, res.fault.detail});
+    host_.notify_extension_fault(
+        FaultInfo{op, cls, prog->entry.name, res.fault.detail, slot_index});
     break;
   }
+  // Chain exhausted with every program yielding next(): the host's native
+  // default runs — amend the trailing span so the trace shows the fallback.
+  if (!out.handled && last_span != nullptr && last_span->verdict == obs::SpanVerdict::kNext)
+    last_span->verdict = obs::SpanVerdict::kNativeFallback;
   slot.current_ctx = nullptr;
   return out;
 }

@@ -34,6 +34,7 @@
 #include "ebpf/analyzer.hpp"
 #include "ebpf/verifier.hpp"
 #include "ebpf/vm.hpp"
+#include "obs/telemetry.hpp"
 #include "xbgp/context.hpp"
 #include "xbgp/host_api.hpp"
 #include "xbgp/manifest.hpp"
@@ -117,13 +118,20 @@ class Vmm {
   std::uint64_t execute_on(Op op, ExecContext& ctx, F&& native_default, std::size_t slot) {
     auto& chain = chains_[static_cast<std::size_t>(op)];
     if (chain.empty()) return native_default();
-    ExecSlot& ex = *slots_[slot];
-    ++ex.stats.invocations;
-    const ChainOutcome outcome = run_chain(chain, ctx, op, ex);
+    ++slots_[slot]->stats.invocations;
+    const ChainOutcome outcome = run_chain(chain, ctx, op, slot);
     if (outcome.handled) return outcome.value;
-    ++ex.stats.native_fallbacks;
+    ++slots_[slot]->stats.native_fallbacks;
     return native_default();
   }
+
+  /// Attaches the telemetry spine (serial-phase, call once before traffic).
+  /// Registers per-insertion-point run counters and latency histograms in
+  /// the registry, a pull collector folding the per-slot Stats and
+  /// VerifyStats at snapshot time, and — when telemetry->tracing() is on —
+  /// records one trace span per program execution. Passing nullptr detaches.
+  void set_telemetry(obs::Telemetry* telemetry);
+  [[nodiscard]] obs::Telemetry* telemetry() const noexcept { return telemetry_; }
 
   /// Per-slot counters folded on demand (serial-phase only).
   [[nodiscard]] Stats stats() const noexcept;
@@ -180,10 +188,17 @@ class Vmm {
   };
 
   ChainOutcome run_chain(std::vector<LoadedProgram*>& chain, ExecContext& ctx, Op op,
-                         ExecSlot& slot);
+                         std::size_t slot_index);
   void bind_helpers(LoadedProgram& prog, std::size_t slot);
   void run_init(LoadedProgram& prog);
   void detach_everywhere(const LoadedProgram* prog);
+
+  /// Registry handles for the always-on per-insertion-point run counter and
+  /// the tracing-gated latency histogram.
+  struct OpTelemetry {
+    obs::Registry::Id runs = 0;
+    obs::Registry::Id exec_ns = 0;
+  };
 
   HostApi& host_;
   Options options_;
@@ -192,6 +207,8 @@ class Vmm {
   std::vector<LoadedProgram*> chains_[kOpCount];
   std::vector<std::unique_ptr<ExecSlot>> slots_;
   VerifyStats verify_stats_[kOpCount];
+  obs::Telemetry* telemetry_ = nullptr;
+  OpTelemetry op_telemetry_[kOpCount] = {};
 };
 
 }  // namespace xb::xbgp

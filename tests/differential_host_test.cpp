@@ -10,8 +10,10 @@
 // GeoLoc tagging (§2) and valley-free filtering (§3.3).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -362,6 +364,59 @@ std::vector<bool> run_valley_free(const std::vector<std::vector<bgp::Asn>>& path
   for (const auto& prefix : prefixes) accepted.push_back(dut.best(prefix) != nullptr);
   EXPECT_EQ(dut.stats().extension_faults, 0u);
   return accepted;
+}
+
+// --- telemetry parity ---------------------------------------------------------
+
+/// Counter-kind registry series, with host-incomparable series dropped:
+/// pool/timing series depend on wall clock and scheduling, not semantics.
+template <typename RouterT>
+std::vector<std::pair<std::string, std::uint64_t>> counter_series(RouterT& dut) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& mv : dut.telemetry().registry().snapshot().metrics) {
+    if (mv.kind != obs::MetricKind::kCounter) continue;
+    if (mv.name.rfind("xbgp_pool_", 0) == 0) continue;
+    if (mv.name.find("_ns") != std::string::npos) continue;
+    out.emplace_back(mv.name, mv.value);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <typename RouterT>
+std::vector<std::pair<std::string, std::uint64_t>> run_rr_metrics(
+    const harness::Workload& workload, std::size_t parallelism) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  cfg.parallelism = parallelism;
+  RouterT dut(loop, cfg);
+  dut.load_extensions(ext::route_reflection_manifest());
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  bed.run(workload, workload.prefix_count);
+  return counter_series(dut);
+}
+
+TEST(DifferentialHost, MetricSeriesAgreeAcrossHosts) {
+  harness::WorkloadParams params;
+  params.route_count = 200;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+  const auto fir = run_rr_metrics<Fir>(workload, 2);
+  const auto wren = run_rr_metrics<Wren>(workload, 2);
+  ASSERT_FALSE(fir.empty());
+  ASSERT_EQ(fir.size(), wren.size());
+  for (std::size_t i = 0; i < fir.size(); ++i) {
+    EXPECT_EQ(fir[i].first, wren[i].first) << "series " << i << " name differs";
+    EXPECT_EQ(fir[i].second, wren[i].second)
+        << "metric " << fir[i].first << " differs between Fir and Wren";
+  }
 }
 
 TEST(DifferentialHost, ValleyFreeFiltering) {

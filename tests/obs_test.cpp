@@ -1,0 +1,403 @@
+// The telemetry spine (src/obs/): registry semantics (per-slot cells,
+// fold-on-read, idempotent registration), histogram bucket placement and
+// quantiles, trace ring wraparound, the exposition formats, the
+// component-tagged logger, ThreadPool region stats, RTR session counters
+// and end-to-end span capture through a real Fir testbed run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "extensions/route_reflection.hpp"
+#include "harness/testbed.hpp"
+#include "harness/workload.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "rpki/roa_hash.hpp"
+#include "rpki/rtr_session.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace xb;
+
+// --- registry -------------------------------------------------------------------
+
+TEST(Registry, FoldsCountersAcrossSlots) {
+  obs::Registry reg(/*slots=*/4);
+  const auto id = reg.counter("t_total", "test");
+  reg.add(id, 1, 0);
+  reg.add(id, 10, 1);
+  reg.add(id, 100, 2);
+  reg.add(id, 1000, 3);
+  EXPECT_EQ(reg.value(id), 1111u);
+
+  const auto snap = reg.snapshot();
+  const obs::MetricValue* mv = snap.find("t_total");
+  ASSERT_NE(mv, nullptr);
+  EXPECT_EQ(mv->value, 1111u);
+  EXPECT_EQ(mv->kind, obs::MetricKind::kCounter);
+}
+
+TEST(Registry, RegistrationIsIdempotentByName) {
+  obs::Registry reg;
+  const auto a = reg.counter("x_total", "x");
+  const auto b = reg.counter("x_total", "x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.series_count(), 1u);
+  // Same name, different kind: a wiring bug, reported loudly.
+  EXPECT_THROW((void)reg.gauge("x_total", "x"), std::logic_error);
+}
+
+TEST(Registry, GaugeSetOverwrites) {
+  obs::Registry reg(2);
+  const auto id = reg.gauge("depth", "queue depth");
+  reg.gauge_set(id, 7, 0);
+  reg.gauge_set(id, 3, 0);
+  reg.gauge_set(id, 5, 1);
+  EXPECT_EQ(reg.value(id), 8u);  // folded = sum of slot cells
+}
+
+TEST(Registry, DisabledRegistryIsInert) {
+  obs::Registry reg(/*slots=*/2, /*enabled=*/false);
+  const auto c = reg.counter("c_total", "c");
+  const auto h = reg.histogram("h_ns", "h");
+  reg.add(c, 5, 0);
+  reg.observe(h, 123, 1);
+  EXPECT_EQ(reg.value(c), 0u);
+  EXPECT_EQ(reg.value(h), 0u);
+  EXPECT_FALSE(reg.enabled());
+}
+
+TEST(Registry, ResetZeroesCellsButKeepsSeries) {
+  obs::Registry reg;
+  const auto id = reg.counter("r_total", "r");
+  reg.add(id, 9);
+  reg.reset();
+  EXPECT_EQ(reg.value(id), 0u);
+  EXPECT_EQ(reg.series_count(), 1u);
+  reg.add(id, 2);
+  EXPECT_EQ(reg.value(id), 2u);
+}
+
+TEST(Registry, CollectorsRunAtSnapshotTime) {
+  obs::Registry reg;
+  int calls = 0;
+  reg.add_collector([&](obs::Snapshot& out) {
+    ++calls;
+    out.counter("pulled_total", "from collector", 42);
+  });
+  EXPECT_EQ(calls, 0);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(calls, 1);
+  const auto* mv = snap.find("pulled_total");
+  ASSERT_NE(mv, nullptr);
+  EXPECT_EQ(mv->value, 42u);
+}
+
+// --- histograms -----------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  obs::Registry reg(2);
+  const std::uint64_t bounds[] = {10, 20};
+  const auto id = reg.histogram("lat_ns", "latency", bounds);
+  reg.observe(id, 10, 0);  // == bound: lands in bucket le=10
+  reg.observe(id, 11, 0);  // bucket le=20
+  reg.observe(id, 20, 1);  // bucket le=20, other slot
+  reg.observe(id, 21, 1);  // +Inf
+  EXPECT_EQ(reg.value(id), 4u);  // histogram value() == observation count
+
+  const auto snap = reg.snapshot();
+  const auto* mv = snap.find("lat_ns");
+  ASSERT_NE(mv, nullptr);
+  ASSERT_EQ(mv->buckets.size(), 3u);  // two bounds + +Inf
+  EXPECT_EQ(mv->buckets[0], 1u);
+  EXPECT_EQ(mv->buckets[1], 2u);  // folded across slots
+  EXPECT_EQ(mv->buckets[2], 1u);
+  EXPECT_EQ(mv->count, 4u);
+  EXPECT_EQ(mv->sum, 10u + 11u + 20u + 21u);
+}
+
+TEST(Histogram, QuantilesInterpolate) {
+  obs::Registry reg;
+  const std::uint64_t bounds[] = {100, 200, 400};
+  const auto id = reg.histogram("q_ns", "q", bounds);
+  for (int i = 0; i < 90; ++i) reg.observe(id, 50);    // le=100
+  for (int i = 0; i < 10; ++i) reg.observe(id, 300);   // le=400
+  const auto snap = reg.snapshot();
+  const auto* mv = snap.find("q_ns");
+  ASSERT_NE(mv, nullptr);
+  EXPECT_LE(mv->quantile(0.5), 100.0);
+  EXPECT_GT(mv->quantile(0.99), 200.0);
+  EXPECT_LE(mv->quantile(0.99), 400.0);
+  EXPECT_EQ(mv->quantile(0.0), 0.0);
+}
+
+// --- trace ring -----------------------------------------------------------------
+
+TEST(TraceRing, WrapsAroundKeepingNewestSpans) {
+  obs::TraceRing ring(/*capacity_per_slot=*/4, /*slots=*/1);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    obs::Span* s = ring.append(0);
+    s->start_ns = 100 + i;
+    s->duration_ns = i;
+    obs::set_span_program(*s, "prog");
+  }
+  EXPECT_EQ(ring.recorded_total(), 6u);
+  EXPECT_EQ(ring.dropped_total(), 2u);
+
+  const auto spans = ring.collect();
+  ASSERT_EQ(spans.size(), 4u);
+  // The two oldest (start 100, 101) were overwritten; order is by start_ns.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].start_ns, 102u + i);
+  }
+  EXPECT_STREQ(spans.front().program, "prog");
+}
+
+TEST(TraceRing, CollectsAcrossSlotsSortedByTime) {
+  obs::TraceRing ring(8, /*slots=*/2);
+  ring.append(1)->start_ns = 30;
+  ring.append(0)->start_ns = 10;
+  ring.append(1)->start_ns = 20;
+  const auto spans = ring.collect();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].start_ns, 10u);
+  EXPECT_EQ(spans[1].start_ns, 20u);
+  EXPECT_EQ(spans[2].start_ns, 30u);
+  ring.clear();
+  EXPECT_EQ(ring.collect().size(), 0u);
+  EXPECT_EQ(ring.recorded_total(), 0u);
+}
+
+TEST(TraceRing, SpanProgramNameTruncates) {
+  obs::Span s;
+  obs::set_span_program(s, std::string(100, 'a'));
+  EXPECT_EQ(std::strlen(s.program), sizeof(s.program) - 1);
+}
+
+// --- exposition -----------------------------------------------------------------
+
+TEST(Exposition, PrometheusEmitsOneHeaderPerFamily) {
+  obs::Registry reg;
+  reg.add(reg.counter("xbgp_ov_total{state=\"valid\"}", "ov"), 3);
+  reg.add(reg.counter("xbgp_ov_total{state=\"invalid\"}", "ov"), 1);
+  const std::uint64_t bounds[] = {10, 20};
+  const auto h = reg.histogram("xbgp_lat_ns", "lat", bounds);
+  reg.observe(h, 5);
+  reg.observe(h, 25);
+
+  const std::string text = obs::to_prometheus(reg.snapshot());
+  // Labelled series share one HELP/TYPE header for the base name.
+  EXPECT_EQ(text.find("# HELP xbgp_ov_total"),
+            text.rfind("# HELP xbgp_ov_total"));
+  EXPECT_NE(text.find("xbgp_ov_total{state=\"valid\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("xbgp_ov_total{state=\"invalid\"} 1"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, sum and count.
+  EXPECT_NE(text.find("# TYPE xbgp_lat_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("xbgp_lat_ns_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("xbgp_lat_ns_bucket{le=\"20\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("xbgp_lat_ns_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("xbgp_lat_ns_sum 30"), std::string::npos);
+  EXPECT_NE(text.find("xbgp_lat_ns_count 2"), std::string::npos);
+}
+
+TEST(Exposition, JsonlEmitsOneObjectPerSpan) {
+  std::vector<obs::Span> spans(2);
+  spans[0].start_ns = 1;
+  spans[0].duration_ns = 10;
+  spans[0].op = 2;
+  spans[0].verdict = obs::SpanVerdict::kHandled;
+  obs::set_span_program(spans[0], "rr");
+  spans[1].start_ns = 2;
+  spans[1].verdict = obs::SpanVerdict::kFault;
+  spans[1].fault_class = 1;
+  obs::set_span_program(spans[1], "bad\"prog");
+
+  const std::string out = obs::to_jsonl(
+      spans, [](std::uint8_t op) { return std::string_view(op == 2 ? "INBOUND" : "?"); },
+      [](std::uint8_t) { return std::string_view("budget"); });
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("\"point\":\"INBOUND\""), std::string::npos);
+  EXPECT_NE(out.find("\"program\":\"rr\""), std::string::npos);
+  EXPECT_NE(out.find("\"verdict\":\"fault\""), std::string::npos);
+  EXPECT_NE(out.find("\"fault\":\"budget\""), std::string::npos);
+  EXPECT_NE(out.find("bad\\\"prog"), std::string::npos);  // JSON-escaped
+}
+
+// --- logger ---------------------------------------------------------------------
+
+struct CapturedLine {
+  util::LogLevel level;
+  std::string component;
+  std::string msg;
+};
+
+TEST(Log, ComponentThresholdOverridesGlobal) {
+  std::vector<CapturedLine> lines;
+  auto old_sink = util::Log::sink();
+  const auto old_threshold = util::Log::threshold();
+  util::Log::sink() = [&](util::LogLevel level, std::string_view component,
+                          const std::string& msg) {
+    lines.push_back({level, std::string(component), msg});
+  };
+  util::Log::threshold() = util::LogLevel::kWarn;
+  util::Log::set_component_threshold("vmm", util::LogLevel::kDebug);
+
+  constexpr util::Logger vmm{"vmm"};
+  constexpr util::Logger engine{"engine"};
+  vmm.debug("verbose ", 42);   // passes the per-component override
+  engine.debug("dropped");     // below the global threshold
+  engine.warn("kept");
+
+  util::Log::clear_component_thresholds();
+  vmm.debug("dropped after clear");
+
+  util::Log::sink() = old_sink;
+  util::Log::threshold() = old_threshold;
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].component, "vmm");
+  EXPECT_EQ(lines[0].msg, "verbose 42");
+  EXPECT_EQ(lines[0].level, util::LogLevel::kDebug);
+  EXPECT_EQ(lines[1].component, "engine");
+  EXPECT_EQ(lines[1].msg, "kept");
+}
+
+// --- thread pool stats ----------------------------------------------------------
+
+TEST(ThreadPoolStats, CountsRegionsAndIndices) {
+  util::ThreadPool pool(1);
+  pool.run_indexed(4, [](std::size_t) {});
+  pool.run_indexed(2, [](std::size_t) {});
+  const auto& st = pool.stats();
+  EXPECT_EQ(st.regions, 2u);
+  EXPECT_EQ(st.indices, 6u);
+  EXPECT_EQ(st.max_indices, 4u);
+  EXPECT_GE(st.region_ns, st.max_region_ns);
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().regions, 0u);
+}
+
+// --- RTR session counters -------------------------------------------------------
+
+TEST(RtrTelemetry, CountsSyncAndRoas) {
+  obs::Registry reg;
+  net::EventLoop loop;
+  net::Duplex link(loop, 0);
+  rpki::rtr::CacheServer server(loop, /*session_id=*/7);
+  rpki::RoaHashTable table;
+  rpki::rtr::RtrClient client(loop, link.b(), table);
+  server.attach(link.a());
+  client.set_telemetry(&reg);
+
+  server.announce(rpki::Roa{util::Prefix::parse("10.0.0.0/8"), 24, 65001});
+  server.announce(rpki::Roa{util::Prefix::parse("192.0.2.0/24"), 24, 65002});
+  client.start();
+  loop.run_until(loop.now() + 1'000'000'000ull);
+
+  ASSERT_TRUE(client.synchronized());
+  const auto snap = reg.snapshot();
+  const auto* roas = snap.find("xbgp_rtr_roas_applied_total");
+  ASSERT_NE(roas, nullptr);
+  EXPECT_EQ(roas->value, 2u);
+  const auto* syncs = snap.find("xbgp_rtr_syncs_total");
+  ASSERT_NE(syncs, nullptr);
+  EXPECT_EQ(syncs->value, 1u);
+  const auto* pdus = snap.find("xbgp_rtr_pdus_rx_total");
+  ASSERT_NE(pdus, nullptr);
+  EXPECT_GE(pdus->value, 4u);  // CacheResponse + 2 prefixes + EndOfData
+}
+
+// --- end-to-end: spans and counters through a real host run ---------------------
+
+TEST(EndToEnd, TracedRunRecordsSpansAndRegistrySeries) {
+  using Fir = hosts::fir::FirRouter;
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  Fir::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  cfg.parallelism = 2;
+  cfg.obs.tracing = true;
+  Fir dut(loop, cfg);
+  dut.load_extensions(ext::route_reflection_manifest());
+  harness::Testbed<Fir> bed(loop, dut, plan);
+  bed.establish();
+
+  harness::WorkloadParams params;
+  params.route_count = 50;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);
+
+  // Registry: the engine series exist and agree with the stats() shim.
+  const auto stats = dut.stats();
+  EXPECT_GT(stats.prefixes_accepted, 0u);
+  const auto snap = dut.telemetry().registry().snapshot();
+  const auto* accepted = snap.find("xbgp_router_prefixes_accepted_total");
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->value, stats.prefixes_accepted);
+  // The collector-backed Vmm series made it into the snapshot too.
+  ASSERT_NE(snap.find("xbgp_vmm_invocations_total"), nullptr);
+  EXPECT_GT(snap.find("xbgp_vmm_invocations_total")->value, 0u);
+
+  // Tracing: spans were recorded for the inbound filter, with the program
+  // name and a terminal verdict, and the per-point histogram has samples.
+  const auto spans = dut.telemetry().trace().collect();
+  ASSERT_FALSE(spans.empty());
+  bool saw_inbound = false;
+  for (const auto& s : spans) {
+    if (static_cast<xbgp::Op>(s.op) != xbgp::Op::kInboundFilter) continue;
+    saw_inbound = true;
+    EXPECT_GT(std::strlen(s.program), 0u);
+    EXPECT_LT(s.slot, 2);
+  }
+  EXPECT_TRUE(saw_inbound);
+  const auto* hist =
+      snap.find("xbgp_vmm_exec_ns{point=\"BGP_INBOUND_FILTER\"}");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GT(hist->count, 0u);
+  EXPECT_NE(obs::to_prometheus(snap).find("xbgp_vmm_exec_ns"), std::string::npos);
+}
+
+TEST(EndToEnd, TracingOffRecordsCountersButNoSpans) {
+  using Fir = hosts::fir::FirRouter;
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  Fir::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  Fir dut(loop, cfg);
+  dut.load_extensions(ext::route_reflection_manifest());
+  harness::Testbed<Fir> bed(loop, dut, plan);
+  bed.establish();
+
+  harness::WorkloadParams params;
+  params.route_count = 20;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);
+
+  EXPECT_EQ(dut.telemetry().trace().recorded_total(), 0u);
+  EXPECT_GT(dut.stats().prefixes_accepted, 0u);
+  // Per-peer session series carry the peer label.
+  const auto snap = dut.telemetry().registry().snapshot();
+  const auto* rx = snap.find("xbgp_session_updates_received_total{peer=\"upstream\"}");
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->value, dut.session(0).updates_received());
+  EXPECT_GT(rx->value, 0u);
+}
+
+}  // namespace

@@ -9,6 +9,9 @@
 #                                  # host tests (the multi-threaded code)
 #   tools/check.sh ubsan           # UBSan: codec fuzz + robustness suites
 #                                  # (the malformed-input surface)
+#   tools/check.sh obs             # telemetry overhead gate: unsanitized
+#                                  # build, obs_overhead must stay under the
+#                                  # 2% budget, xbgp_stats must smoke-run
 #
 # The `thread` mode builds only the tests that actually spawn worker
 # threads (the UPDATE pipeline at parallelism > 1); everything else is
@@ -26,6 +29,19 @@ if [ "$MODE" = "ubsan" ]; then
   SANITIZER=undefined
 fi
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+# The obs mode measures overhead, so it must NOT run under a sanitizer:
+# plain release-ish build tree, run the gate binaries directly.
+if [ "$MODE" = "obs" ]; then
+  BUILD="$ROOT/build-obs"
+  cmake -B "$BUILD" -S "$ROOT"
+  cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target obs_overhead xbgp_stats
+  "$BUILD/bench/obs_overhead" "${2:-40000}" "${3:-7}" "${4:-2.0}"
+  "$BUILD/tools/xbgp_stats" --routes 120
+  exit 0
+fi
+
 BUILD="$ROOT/build-san-$(printf '%s' "$MODE" | tr ',' '-')"
 
 cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SANITIZER"

@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
       {"shared engine", {"src/hosts/engine"}, "paper: the daemons themselves"},
       {"BGP substrate", {"src/bgp"}, "paper: provided by FRR/BIRD"},
       {"other substrates", {"src/net", "src/igp", "src/rpki", "src/util"}, "testbed/VMs in paper"},
+      {"telemetry spine", {"src/obs"}, "paper: vendor show commands"},
       {"use-case extensions", {"src/extensions"}, "paper: C compiled to eBPF"},
       {"harness", {"src/harness"}, "paper: shell + RIS data"},
       {"tests", {"tests"}, ""},

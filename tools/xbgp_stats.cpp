@@ -1,0 +1,292 @@
+// xbgp_stats: runs the paper's four use cases (route reflection §3.2,
+// origin validation §3.4, GeoLoc §2, valley-free §3.3) on both host
+// implementations with tracing enabled and renders the telemetry spine —
+// per-insertion-point invocation counts and latency quantiles, fault-class
+// breakdowns, and optional Prometheus / JSONL dumps.
+//
+//   xbgp_stats [--routes N] [--parallelism N] [--prom FILE] [--jsonl FILE]
+//
+// Exits non-zero if any traced run records a fault or produces no spans —
+// which makes the ctest smoke entry (xbgp_stats_smoke) a real end-to-end
+// check of the spine, not just of the table formatting.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "extensions/geoloc.hpp"
+#include "extensions/origin_validation.hpp"
+#include "extensions/route_reflection.hpp"
+#include "extensions/valley_free.hpp"
+#include "harness/testbed.hpp"
+#include "harness/workload.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+#include "obs/export.hpp"
+
+namespace {
+
+using namespace xb;
+using Fir = hosts::fir::FirRouter;
+using Wren = hosts::wren::WrenRouter;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+struct Options {
+  std::size_t routes = 400;
+  std::size_t parallelism = 2;
+  std::string prom_path;
+  std::string jsonl_path;
+};
+
+struct Report {
+  std::string prom;   // accumulated Prometheus text across runs
+  std::string jsonl;  // accumulated span lines across runs
+  std::uint64_t faults = 0;
+  std::uint64_t spans = 0;
+};
+
+const char* verdict_name(std::uint8_t cls) {
+  return to_string(static_cast<xbgp::FaultClass>(cls));
+}
+
+/// Renders one (host, use case) run from its telemetry and folds the
+/// exposition output into the report.
+template <typename RouterT>
+void render(const char* host, const char* use_case, RouterT& dut, Report& rep,
+            const Options& opt) {
+  const obs::Snapshot snap = dut.telemetry().registry().snapshot();
+  const auto spans = dut.telemetry().trace().collect();
+  rep.spans += spans.size();
+
+  std::printf("%s / %s\n", host, use_case);
+  std::printf("  %-22s %10s %10s %10s %10s\n", "insertion point", "runs", "p50 us",
+              "p99 us", "max-ish us");
+  for (std::uint8_t o = 1; o < xbgp::kOpCount; ++o) {
+    const auto op = static_cast<xbgp::Op>(o);
+    const std::string point = to_string(op);
+    const auto* hist = snap.find("xbgp_vmm_exec_ns{point=\"" + point + "\"}");
+    const auto* runs = snap.find("xbgp_vmm_program_runs_total{point=\"" + point + "\"}");
+    if (runs == nullptr || runs->value == 0) continue;
+    const double p50 = hist != nullptr ? hist->quantile(0.50) / 1000.0 : 0.0;
+    const double p99 = hist != nullptr ? hist->quantile(0.99) / 1000.0 : 0.0;
+    const double p999 = hist != nullptr ? hist->quantile(0.999) / 1000.0 : 0.0;
+    std::printf("  %-22s %10llu %10.2f %10.2f %10.2f\n", point.c_str(),
+                static_cast<unsigned long long>(runs->value), p50, p99, p999);
+  }
+
+  std::uint64_t faults = 0;
+  std::string fault_line;
+  for (std::uint8_t c = 0; c < xbgp::kFaultClassCount; ++c) {
+    const auto* mv = snap.find(std::string("xbgp_vmm_faults_by_class_total{class=\"") +
+                               verdict_name(c) + "\"}");
+    if (mv == nullptr || mv->value == 0) continue;
+    faults += mv->value;
+    fault_line += std::string("  ") + verdict_name(c) + "=" + std::to_string(mv->value);
+  }
+  rep.faults += faults;
+
+  const auto* invocations = snap.find("xbgp_vmm_invocations_total");
+  const auto* fallbacks = snap.find("xbgp_vmm_native_fallbacks_total");
+  std::printf("  invocations=%llu native_fallbacks=%llu spans=%zu faults=%llu%s\n\n",
+              static_cast<unsigned long long>(invocations ? invocations->value : 0),
+              static_cast<unsigned long long>(fallbacks ? fallbacks->value : 0),
+              spans.size(), static_cast<unsigned long long>(faults),
+              fault_line.c_str());
+
+  if (!opt.prom_path.empty()) {
+    rep.prom += "# run: " + std::string(host) + "/" + use_case + "\n";
+    rep.prom += obs::to_prometheus(snap);
+  }
+  if (!opt.jsonl_path.empty()) {
+    rep.jsonl += obs::to_jsonl(
+        spans,
+        [](std::uint8_t o) { return std::string_view(to_string(static_cast<xbgp::Op>(o))); },
+        [](std::uint8_t c) { return std::string_view(verdict_name(c)); });
+  }
+}
+
+template <typename RouterT>
+typename RouterT::Config base_config(const harness::TestbedPlan& plan,
+                                     const Options& opt) {
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.parallelism = opt.parallelism;
+  cfg.obs.tracing = true;
+  return cfg;
+}
+
+// --- the four paper use cases -----------------------------------------------------
+
+template <typename RouterT>
+void run_rr(const char* host, const Options& opt, Report& rep) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  auto cfg = base_config<RouterT>(plan, opt);
+  cfg.cluster_id = 0xC1C1C1C1;
+  RouterT dut(loop, cfg);
+  dut.load_extensions(ext::route_reflection_manifest());
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  harness::WorkloadParams params;
+  params.route_count = opt.routes;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);
+  render(host, "route-reflection", dut, rep, opt);
+}
+
+template <typename RouterT>
+void run_ov(const char* host, const Options& opt, Report& rep) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ebgp_plan();
+  auto cfg = base_config<RouterT>(plan, opt);
+  RouterT dut(loop, cfg);
+  harness::WorkloadParams params;
+  params.route_count = opt.routes;
+  const auto workload = harness::make_workload(params);
+  const auto roas = rpki::make_roa_set(workload.routes, rpki::RoaSetParams{});
+  dut.set_xtra(xbgp::xtra::kRoaTable, harness::pack_roa_blob(roas));
+  dut.load_extensions(ext::origin_validation_manifest(roas.size()));
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  bed.run(workload, workload.prefix_count);
+  render(host, "origin-validation", dut, rep, opt);
+}
+
+template <typename RouterT>
+void run_geoloc(const char* host, const Options& opt, Report& rep) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ebgp_plan();
+  auto cfg = base_config<RouterT>(plan, opt);
+  RouterT dut(loop, cfg);
+  std::vector<std::uint8_t> coords(8);
+  const std::int32_t lat = 50'000'000, lon = 4'000'000;
+  std::memcpy(coords.data(), &lat, 4);
+  std::memcpy(coords.data() + 4, &lon, 4);
+  dut.set_xtra(xbgp::xtra::kGeoCoord, coords);
+  dut.load_extensions(ext::geoloc_manifest(/*with_distance_filter=*/false));
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  harness::WorkloadParams params;
+  params.route_count = opt.routes;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);
+  render(host, "geoloc", dut, rep, opt);
+}
+
+template <typename RouterT>
+void run_valley_free(const char* host, const Options& opt, Report& rep) {
+  const bgp::Asn kSpine1 = 65201, kSpine2 = 65202, kLeaf12 = 65112, kLeaf13 = 65113,
+                 kTor = 65023;
+  std::vector<xbgp::ValleyPair> pairs{{kLeaf12, kSpine1}, {kLeaf12, kSpine2},
+                                      {kLeaf13, kSpine1}, {kLeaf13, kSpine2},
+                                      {kTor, kLeaf12},    {kTor, kLeaf13}};
+  std::vector<std::uint8_t> blob(pairs.size() * sizeof(xbgp::ValleyPair));
+  std::memcpy(blob.data(), pairs.data(), blob.size());
+  const std::vector<std::vector<bgp::Asn>> paths = {
+      {kLeaf12, kTor},
+      {kLeaf12, kSpine1, kLeaf13, kTor},
+      {kLeaf12, kTor, kLeaf13, kSpine1, kLeaf13},
+      {kLeaf12},
+  };
+
+  net::EventLoop loop;
+  harness::TestbedPlan plan = harness::TestbedPlan::ebgp_plan();
+  plan.dut_asn = kSpine2;
+  plan.upstream_asn = kLeaf12;
+  auto cfg = base_config<RouterT>(plan, opt);
+  cfg.name = "spine2";
+  cfg.asn = kSpine2;
+  RouterT dut(loop, cfg);
+  dut.set_xtra(xbgp::xtra::kValleyPairs, blob);
+  dut.load_extensions(ext::valley_free_manifest());
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    bgp::UpdateMessage update;
+    update.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+    update.attrs.put(bgp::AsPath(paths[i]).to_attr());
+    update.attrs.put(bgp::make_next_hop(plan.upstream_addr));
+    update.nlri = {util::Prefix(
+        util::Ipv4Addr(0xC0000200u + (static_cast<std::uint32_t>(i) << 8)), 24)};
+    bed.feeder().session().send_update(update);
+  }
+  loop.run_until(loop.now() + 2 * kSec);
+  render(host, "valley-free", dut, rep, opt);
+}
+
+void usage() {
+  std::printf(
+      "usage: xbgp_stats [--routes N] [--parallelism N] [--prom FILE] [--jsonl FILE]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--routes") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.routes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--parallelism") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.parallelism = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--prom") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.prom_path = v;
+    } else if (arg == "--jsonl") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.jsonl_path = v;
+    } else {
+      usage();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  Report rep;
+  try {
+    run_rr<Fir>("fir", opt, rep);
+    run_rr<Wren>("wren", opt, rep);
+    run_ov<Fir>("fir", opt, rep);
+    run_ov<Wren>("wren", opt, rep);
+    run_geoloc<Fir>("fir", opt, rep);
+    run_geoloc<Wren>("wren", opt, rep);
+    run_valley_free<Fir>("fir", opt, rep);
+    run_valley_free<Wren>("wren", opt, rep);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbgp_stats: run failed: %s\n", e.what());
+    return 1;
+  }
+
+  if (!opt.prom_path.empty()) {
+    std::ofstream(opt.prom_path) << rep.prom;
+    std::printf("wrote %s\n", opt.prom_path.c_str());
+  }
+  if (!opt.jsonl_path.empty()) {
+    std::ofstream(opt.jsonl_path) << rep.jsonl;
+    std::printf("wrote %s\n", opt.jsonl_path.c_str());
+  }
+
+  if (rep.spans == 0) {
+    std::fprintf(stderr, "xbgp_stats: traced runs recorded no spans\n");
+    return 1;
+  }
+  if (rep.faults != 0) {
+    std::fprintf(stderr, "xbgp_stats: %llu extension fault(s) during the runs\n",
+                 static_cast<unsigned long long>(rep.faults));
+    return 1;
+  }
+  return 0;
+}
