@@ -79,8 +79,11 @@ int main(int argc, char** argv) {
   feed.updates = harness::shard_workload(base, kParallelism).interleaved();
   feed.prefix_count = base.prefix_count;
 
+  // Extensions execute on the VMM's default tier (the fast engine since the
+  // tiered execution work) — the telemetry budget must hold there too, where
+  // the fixed spine cost is a larger share of a faster run.
   std::printf("Telemetry spine overhead — RR use case, parallelism %zu, %zu routes, "
-              "%zu runs, %u cores\n\n",
+              "%zu runs, %u cores, fast engine\n\n",
               kParallelism, routes, runs, std::thread::hardware_concurrency());
 
   constexpr Mode kModes[] = {Mode::kBaseline, Mode::kInstrumented, Mode::kTraced};

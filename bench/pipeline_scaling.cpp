@@ -12,7 +12,12 @@
 // series below measures pure throughput: the feed is pre-sharded with
 // harness::shard_workload so every UPDATE's NLRI land in one shard.
 //
-//   ./pipeline_scaling [routes] [runs]     (e.g. 200000 5)
+//   ./pipeline_scaling [routes] [runs] [tier]     (e.g. 200000 5 fast)
+//
+// `tier` selects the eBPF execution engine for every extension: `fast`
+// (default — pre-decoded IR, direct-threaded dispatch) or `ref` (tier-0
+// reference interpreter). Running both pins the engine's contribution in
+// results/pipeline_scaling_*.txt.
 //
 // Expected shape: >= 2x routes/sec at 4 shards vs 1 on multi-core hardware.
 // The run warns when the machine has fewer cores than shards — workers then
@@ -20,6 +25,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -35,6 +41,8 @@ using namespace xb;
 namespace {
 
 constexpr std::size_t kShardSeries[] = {1, 2, 4, 8};
+
+ebpf::ExecMode g_exec_mode = ebpf::ExecMode::kFast;
 
 const bgp::policy::RouteMap& import_policy() {
   static const auto map = bgp::policy::standard_import_policy();
@@ -64,6 +72,7 @@ double one_run(const harness::Workload& base, const UseCase& uc, std::size_t sha
   cfg.address = plan.dut_addr;
   cfg.cluster_id = 0xC1C1C1C1;
   cfg.parallelism = shards;
+  cfg.vmm_options.exec_mode = g_exec_mode;
   cfg.import_policy = &import_policy();
   cfg.export_policy = &export_policy();
   Dut dut(loop, cfg);
@@ -107,6 +116,9 @@ void measure(const char* host, const harness::Workload& workload, const UseCase&
 int main(int argc, char** argv) {
   const std::size_t routes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50'000;
   const std::size_t runs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+  if (argc > 3 && std::string_view(argv[3]) == "ref") {
+    g_exec_mode = ebpf::ExecMode::kReference;
+  }
 
   harness::WorkloadParams ibgp_params;
   ibgp_params.route_count = routes;
@@ -126,8 +138,9 @@ int main(int argc, char** argv) {
   for (std::size_t s : kShardSeries) max_shards = s > max_shards ? s : max_shards;
 
   std::printf("Parallel UPDATE pipeline scaling — routes/sec vs shard count\n");
-  std::printf("testbed: upstream -> DUT -> downstream, %zu routes, %zu runs, %u cores\n",
-              routes, runs, cores);
+  std::printf("testbed: upstream -> DUT -> downstream, %zu routes, %zu runs, %u cores, %s tier\n",
+              routes, runs, cores,
+              g_exec_mode == ebpf::ExecMode::kFast ? "fast" : "reference");
   if (cores < max_shards) {
     std::printf("WARNING: only %u hardware threads for up to %zu shards — workers will\n"
                 "time-slice and the parallel speedup cannot show on this machine.\n",

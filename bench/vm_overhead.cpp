@@ -1,9 +1,22 @@
 // Ablation: raw eBPF virtual-machine costs — interpreter dispatch, memory
-// bounds checking, helper-call overhead, verifier throughput. These are the
-// building blocks of the <20% end-to-end overhead in Fig. 4.
+// bounds checking, helper-call overhead, verifier and translator throughput.
+// These are the building blocks of the <20% end-to-end overhead in Fig. 4.
+//
+// Every execution benchmark takes a trailing `tier` argument:
+//   /0  tier 0, the decode-per-step reference interpreter,
+//   /1  tier 1, the fast engine (pre-decoded IR, direct-threaded dispatch),
+//   /2  tier 1 with analyzer-proven bounds-check elision (the production
+//       configuration: what the Vmm builds at load time).
+// The tier-0 vs tier-1 ratio on the same workload is the dispatch-cost
+// speedup recorded in results/vm_overhead_*.txt.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
+#include "ebpf/analyzer.hpp"
 #include "ebpf/assembler.hpp"
+#include "ebpf/ir.hpp"
+#include "ebpf/translator.hpp"
 #include "ebpf/verifier.hpp"
 #include "ebpf/vm.hpp"
 
@@ -11,7 +24,40 @@ namespace {
 
 using namespace xb::ebpf;
 
-// Tight ALU loop: measures instructions/second of the interpreter core.
+/// Puts `vm` in the benchmarked tier. The IrProgram is returned so it
+/// outlives the run (the Vm only borrows it).
+std::optional<IrProgram> configure_tier(Vm& vm, const Program& p, std::int64_t tier) {
+  if (tier == 0) {
+    vm.set_exec_mode(ExecMode::kReference);
+    return std::nullopt;
+  }
+  std::optional<IrProgram> ir;
+  if (tier == 2) {
+    const AnalysisResult analysis = Analyzer::analyze(p, p.required_helpers());
+    ir.emplace(Translator::translate(p, analysis.ok() ? &analysis.facts : nullptr));
+  } else {
+    ir.emplace(Translator::translate(p));
+  }
+  return ir;
+}
+
+void run_tiered(benchmark::State& state, const Program& p, Vm& vm, std::int64_t tier,
+                std::int64_t items_per_run) {
+  const std::optional<IrProgram> ir = configure_tier(vm, p, tier);
+  if (ir) {
+    vm.set_translated(&*ir);
+    vm.set_exec_mode(ExecMode::kFast);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.run(p).value);
+  }
+  vm.set_translated(nullptr);
+  state.SetItemsProcessed(state.iterations() * items_per_run);
+}
+
+// Tight ALU loop: measures instructions/second of the dispatch core. This is
+// the per-instruction dispatch-cost benchmark the execution-engine speedup is
+// quoted from (items/s = interpreted instructions per second).
 void BM_InterpreterAluLoop(benchmark::State& state) {
   const auto iterations = static_cast<std::int32_t>(state.range(0));
   Assembler a;
@@ -30,14 +76,16 @@ void BM_InterpreterAluLoop(benchmark::State& state) {
   const Program p = a.build("alu_loop");
   Vm vm;
   vm.set_instruction_budget(1'000'000'000);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vm.run(p).value);
-  }
-  state.SetItemsProcessed(state.iterations() * iterations * 5);  // ~5 insns/iter
+  run_tiered(state, p, vm, state.range(1), iterations * 5);  // ~5 insns/iter
 }
-BENCHMARK(BM_InterpreterAluLoop)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_InterpreterAluLoop)
+    ->Args({16, 0})->Args({16, 1})
+    ->Args({256, 0})->Args({256, 1})
+    ->Args({4096, 0})->Args({4096, 1});
 
-// Bounds-checked loads from the stack region.
+// Bounds-checked loads/stores on the stack region. Tier 2 runs the same
+// program with the analyzer's stack proofs applied, so every access in the
+// loop body skips the MemoryModel probe.
 void BM_InterpreterMemoryLoop(benchmark::State& state) {
   Assembler a;
   auto loop = a.make_label();
@@ -54,14 +102,12 @@ void BM_InterpreterMemoryLoop(benchmark::State& state) {
   a.exit_();
   const Program p = a.build("mem_loop");
   Vm vm;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vm.run(p).value);
-  }
-  state.SetItemsProcessed(state.iterations() * 512);  // loads + stores
+  run_tiered(state, p, vm, state.range(0), 512);  // loads + stores
 }
-BENCHMARK(BM_InterpreterMemoryLoop);
+BENCHMARK(BM_InterpreterMemoryLoop)->Arg(0)->Arg(1)->Arg(2);
 
-// Cost of one helper call round trip.
+// Cost of one helper call round trip (dominated by the std::function hop,
+// identical across tiers — the fast tier only trims the dispatch around it).
 void BM_HelperCall(benchmark::State& state) {
   Assembler a;
   auto loop = a.make_label();
@@ -79,12 +125,9 @@ void BM_HelperCall(benchmark::State& state) {
   Vm vm;
   vm.set_helper(1, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
                       std::uint64_t) { return HelperResult::ok(1); });
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vm.run(p).value);
-  }
-  state.SetItemsProcessed(state.iterations() * 64);
+  run_tiered(state, p, vm, state.range(0), 64);
 }
-BENCHMARK(BM_HelperCall);
+BENCHMARK(BM_HelperCall)->Arg(0)->Arg(1);
 
 // Bare invocation: entry + exit only (per-insertion-point floor).
 void BM_VmInvocationFloor(benchmark::State& state) {
@@ -93,12 +136,9 @@ void BM_VmInvocationFloor(benchmark::State& state) {
   a.exit_();
   const Program p = a.build("floor");
   Vm vm;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vm.run(p).value);
-  }
-  state.SetItemsProcessed(state.iterations());
+  run_tiered(state, p, vm, state.range(0), 1);
 }
-BENCHMARK(BM_VmInvocationFloor);
+BENCHMARK(BM_VmInvocationFloor)->Arg(0)->Arg(1);
 
 // Verifier throughput on a program of configurable size.
 void BM_Verifier(benchmark::State& state) {
@@ -119,5 +159,26 @@ void BM_Verifier(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * p.insns().size());
 }
 BENCHMARK(BM_Verifier)->Arg(64)->Arg(1024);
+
+// Translator throughput: the one-time load cost of the fast tier, in source
+// instructions per second (amortised over every subsequent execution).
+void BM_Translate(benchmark::State& state) {
+  Assembler a;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    a.add64(Reg::R1, 1);
+    auto skip = a.make_label();
+    a.jne(Reg::R1, 0, skip);
+    a.place(skip);
+  }
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  const Program p = a.build("big");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Translator::translate(p).insns.size());
+  }
+  state.SetItemsProcessed(state.iterations() * p.insns().size());
+}
+BENCHMARK(BM_Translate)->Arg(64)->Arg(1024);
 
 }  // namespace

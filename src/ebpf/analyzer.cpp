@@ -205,6 +205,7 @@ class Analysis {
       emit(Severity::kError, err->insn_index, -1, err->reason);
       return finish();
     }
+    facts_.stack_safe.assign(program_.insns().size(), 0);
     cfg_ = Cfg::build(program_);
 
     if (options_.warnings) {
@@ -239,7 +240,13 @@ class Analysis {
                      [](const Diagnostic& a, const Diagnostic& b) {
                        return a.insn_index < b.insn_index;
                      });
-    return AnalysisResult{std::move(diags_)};
+    // A rejected program's facts must never reach the translator's
+    // check-elision pass: any error voids them wholesale.
+    const bool rejected = std::any_of(
+        diags_.begin(), diags_.end(),
+        [](const Diagnostic& d) { return d.severity == Severity::kError; });
+    if (rejected) facts_.stack_safe.clear();
+    return AnalysisResult{std::move(diags_), std::move(facts_)};
   }
 
   // ---- main abstract interpretation ----
@@ -270,6 +277,11 @@ class Analysis {
       }
       return;
     }
+    // In-frame on every path reaching this site: record the proof so the
+    // translator may elide the runtime bounds check. The report pass visits
+    // each reachable block exactly once from its fixpoint in-state, so the
+    // interval here is already the hull over all paths.
+    if (reporting) facts_.stack_safe[insn] = 1;
     if (reporting && base.range.singleton() && size > 1 && (lo % size) != 0) {
       emit(Severity::kWarning, insn, -1,
            "misaligned stack access (offset " + std::to_string(lo) + " is not " +
@@ -911,6 +923,7 @@ class Analysis {
   std::vector<RegState> in_state_;
   std::vector<bool> has_in_;
   std::vector<Diagnostic> diags_;
+  SafetyFacts facts_;
 };
 
 }  // namespace

@@ -48,8 +48,21 @@ struct Diagnostic {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Value-level facts the abstract interpreter proved per instruction,
+/// consumed by the execution-engine translator's check-elision pass.
+/// `stack_safe[i]` is nonzero when instruction i is a load or store whose
+/// base register is provably a stack pointer and whose whole access window
+/// — the hull of the offset interval across every path reaching i — lies
+/// inside the 512-byte frame, so the runtime bounds check may be dropped.
+/// Empty when the program was rejected: facts from a failed analysis must
+/// never drive elision.
+struct SafetyFacts {
+  std::vector<std::uint8_t> stack_safe;
+};
+
 struct AnalysisResult {
   std::vector<Diagnostic> diagnostics;  // sorted by instruction index
+  SafetyFacts facts;                    // per-instruction proofs (ok() only)
 
   [[nodiscard]] bool ok() const noexcept;  // true when no error-severity finding
   [[nodiscard]] std::size_t error_count() const noexcept;

@@ -1,0 +1,129 @@
+// Pre-decoded IR for the tiered execution engine (tier 1).
+//
+// The translator lowers verified eBPF bytecode into this form once, at load
+// time; the direct-threaded interpreter in vm_fast.cpp then executes it with
+// none of the per-step decode work the reference interpreter (tier 0) pays:
+//
+//   * opcodes are split into dense per-form ops (imm vs reg operand, 32- vs
+//     64-bit width), so the hot loop does one table-indexed dispatch instead
+//     of class/op/src bit tests,
+//   * immediates arrive pre-sign-extended (and shift amounts pre-masked),
+//   * `lddw` pairs are fused into a single instruction carrying the full
+//     64-bit immediate,
+//   * jump targets are resolved to IR indices,
+//   * byte swaps are resolved against the host endianness at translation
+//     time (a `to_le` on a little-endian host becomes a plain mask or a
+//     budget-only no-op),
+//   * loads and stores the abstract interpreter proved in-frame use
+//     `*Stk` forms that skip the MemoryModel bounds check entirely; the
+//     remaining accesses carry a precomputed (offset, width, write) triple
+//     so the runtime check is a single region probe.
+//
+// Execution semantics (result values, fault kinds, fault pcs, helper-call
+// sequences, instruction budget accounting) are bit-identical to tier 0 —
+// the differential fuzz gate in tests/ebpf_differential_test.cpp holds the
+// two engines to that contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xb::ebpf {
+
+// Every IR opcode. The list order defines the dispatch-table index: the
+// enum below and the computed-goto label table in vm_fast.cpp are both
+// generated from this macro, so they cannot drift apart.
+//
+// Grouped load/store ops must stay in B, H, W, Dw order (the translator
+// selects them by log2 of the access width), with the check-elided `Stk`
+// block mirroring the checked block.
+#define XB_IR_OP_LIST(X)                                                     \
+  /* control */                                                              \
+  X(kNop) X(kExit) X(kCall) X(kJa) X(kTrapEnd) X(kLddw)                      \
+  /* 64-bit ALU (imm pre-sign-extended, shift amounts pre-masked) */         \
+  X(kAdd64Imm) X(kAdd64Reg) X(kSub64Imm) X(kSub64Reg)                        \
+  X(kMul64Imm) X(kMul64Reg) X(kDiv64Imm) X(kDiv64Reg)                        \
+  X(kMod64Imm) X(kMod64Reg) X(kOr64Imm) X(kOr64Reg)                          \
+  X(kAnd64Imm) X(kAnd64Reg) X(kXor64Imm) X(kXor64Reg)                        \
+  X(kLsh64Imm) X(kLsh64Reg) X(kRsh64Imm) X(kRsh64Reg)                        \
+  X(kArsh64Imm) X(kArsh64Reg) X(kMov64Imm) X(kMov64Reg) X(kNeg64)            \
+  /* 32-bit ALU (results zero-extended to 64 bits) */                        \
+  X(kAdd32Imm) X(kAdd32Reg) X(kSub32Imm) X(kSub32Reg)                        \
+  X(kMul32Imm) X(kMul32Reg) X(kDiv32Imm) X(kDiv32Reg)                        \
+  X(kMod32Imm) X(kMod32Reg) X(kOr32Imm) X(kOr32Reg)                          \
+  X(kAnd32Imm) X(kAnd32Reg) X(kXor32Imm) X(kXor32Reg)                        \
+  X(kLsh32Imm) X(kLsh32Reg) X(kRsh32Imm) X(kRsh32Reg)                        \
+  X(kArsh32Imm) X(kArsh32Reg) X(kMov32Imm) X(kMov32Reg) X(kNeg32)            \
+  /* byte swaps, host endianness resolved at translation time */             \
+  X(kBswap16) X(kBswap32) X(kBswap64) X(kZext16) X(kZext32)                  \
+  /* loads: checked, then stack-proven (bounds check elided) */              \
+  X(kLdxB) X(kLdxH) X(kLdxW) X(kLdxDw)                                       \
+  X(kLdxBStk) X(kLdxHStk) X(kLdxWStk) X(kLdxDwStk)                           \
+  /* register stores */                                                      \
+  X(kStxB) X(kStxH) X(kStxW) X(kStxDw)                                       \
+  X(kStxBStk) X(kStxHStk) X(kStxWStk) X(kStxDwStk)                           \
+  /* immediate stores (value pre-sign-extended into imm) */                  \
+  X(kStB) X(kStH) X(kStW) X(kStDw)                                           \
+  X(kStBStk) X(kStHStk) X(kStWStk) X(kStDwStk)                               \
+  /* 64-bit conditional jumps */                                             \
+  X(kJeq64Imm) X(kJeq64Reg) X(kJne64Imm) X(kJne64Reg)                        \
+  X(kJgt64Imm) X(kJgt64Reg) X(kJge64Imm) X(kJge64Reg)                        \
+  X(kJlt64Imm) X(kJlt64Reg) X(kJle64Imm) X(kJle64Reg)                        \
+  X(kJset64Imm) X(kJset64Reg)                                                \
+  X(kJsgt64Imm) X(kJsgt64Reg) X(kJsge64Imm) X(kJsge64Reg)                    \
+  X(kJslt64Imm) X(kJslt64Reg) X(kJsle64Imm) X(kJsle64Reg)                    \
+  /* 32-bit conditional jumps (operands truncated to u32) */                 \
+  X(kJeq32Imm) X(kJeq32Reg) X(kJne32Imm) X(kJne32Reg)                        \
+  X(kJgt32Imm) X(kJgt32Reg) X(kJge32Imm) X(kJge32Reg)                        \
+  X(kJlt32Imm) X(kJlt32Reg) X(kJle32Imm) X(kJle32Reg)                        \
+  X(kJset32Imm) X(kJset32Reg)                                                \
+  X(kJsgt32Imm) X(kJsgt32Reg) X(kJsge32Imm) X(kJsge32Reg)                    \
+  X(kJslt32Imm) X(kJslt32Reg) X(kJsle32Imm) X(kJsle32Reg)
+
+enum class IrOp : std::uint8_t {
+#define XB_IR_OP_ENUM(name) name,
+  XB_IR_OP_LIST(XB_IR_OP_ENUM)
+#undef XB_IR_OP_ENUM
+};
+
+inline constexpr std::size_t kIrOpCount = 0
+#define XB_IR_OP_COUNT(name) +1
+    XB_IR_OP_LIST(XB_IR_OP_COUNT)
+#undef XB_IR_OP_COUNT
+    ;
+
+/// One pre-decoded instruction (24 bytes). Field use by op family:
+///   * loads/stores: `off` is the sign-extended memory offset; immediate
+///     stores carry the pre-extended value in `imm`,
+///   * jumps: `jt` is the taken-branch target as an IR index; `imm` holds
+///     the pre-extended (64-bit) or pre-truncated (32-bit) comparison
+///     operand,
+///   * kCall: `imm` is the helper id,
+///   * kLddw: `imm` is the fused 64-bit immediate.
+/// `pc` is always the source bytecode index, used for fault reporting and
+/// budget accounting parity with tier 0.
+struct IrInsn {
+  IrOp op = IrOp::kTrapEnd;
+  std::uint8_t dst = 0;
+  std::uint8_t src = 0;
+  std::uint8_t unused = 0;
+  std::int32_t off = 0;
+  std::int32_t jt = 0;
+  std::int32_t pc = 0;
+  std::uint64_t imm = 0;
+};
+
+static_assert(sizeof(IrInsn) == 24, "IrInsn is sized for cache-friendly dispatch");
+
+/// A translated program: immutable after Translator::translate, shared
+/// read-only across all per-slot VMs running the same bytecode.
+struct IrProgram {
+  std::vector<IrInsn> insns;        // terminated by a kTrapEnd sentinel
+  std::size_t source_len = 0;       // bytecode slots translated
+  std::uint32_t elided_checks = 0;  // accesses proven in-frame (Stk forms)
+  std::uint32_t checked_accesses = 0;  // accesses still runtime-checked
+
+  [[nodiscard]] bool empty() const noexcept { return insns.empty(); }
+};
+
+}  // namespace xb::ebpf

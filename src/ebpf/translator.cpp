@@ -1,0 +1,250 @@
+#include "ebpf/translator.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+#include "ebpf/opcodes.hpp"
+
+namespace xb::ebpf {
+
+namespace {
+
+constexpr bool kHostIsLittleEndian = std::endian::native == std::endian::little;
+
+[[noreturn]] void bad(const char* what) {
+  throw std::invalid_argument(std::string("translator: ") + what +
+                              " (program is not pass-0 valid)");
+}
+
+IrOp ir_plus(IrOp base, int delta) {
+  return static_cast<IrOp>(static_cast<int>(base) + delta);
+}
+
+int size_log2(std::uint8_t op) {
+  switch (op & 0x18) {
+    case kSizeB: return 0;
+    case kSizeH: return 1;
+    case kSizeW: return 2;
+    default: return 3;  // kSizeDw
+  }
+}
+
+// Maps an ALU operation nibble to the IR op for the imm form; the reg form
+// is always the next enum entry (the XB_IR_OP_LIST ordering guarantees it).
+IrOp alu_base(std::uint8_t aluop, bool is64) {
+  switch (aluop) {
+    case kAluAdd: return is64 ? IrOp::kAdd64Imm : IrOp::kAdd32Imm;
+    case kAluSub: return is64 ? IrOp::kSub64Imm : IrOp::kSub32Imm;
+    case kAluMul: return is64 ? IrOp::kMul64Imm : IrOp::kMul32Imm;
+    case kAluDiv: return is64 ? IrOp::kDiv64Imm : IrOp::kDiv32Imm;
+    case kAluMod: return is64 ? IrOp::kMod64Imm : IrOp::kMod32Imm;
+    case kAluOr: return is64 ? IrOp::kOr64Imm : IrOp::kOr32Imm;
+    case kAluAnd: return is64 ? IrOp::kAnd64Imm : IrOp::kAnd32Imm;
+    case kAluXor: return is64 ? IrOp::kXor64Imm : IrOp::kXor32Imm;
+    case kAluLsh: return is64 ? IrOp::kLsh64Imm : IrOp::kLsh32Imm;
+    case kAluRsh: return is64 ? IrOp::kRsh64Imm : IrOp::kRsh32Imm;
+    case kAluArsh: return is64 ? IrOp::kArsh64Imm : IrOp::kArsh32Imm;
+    case kAluMov: return is64 ? IrOp::kMov64Imm : IrOp::kMov32Imm;
+    default: bad("unknown ALU operation");
+  }
+}
+
+// Condition order matches the IR jump blocks: each condition contributes an
+// adjacent (imm, reg) pair starting at kJeq{64,32}Imm.
+int jmp_cond_index(std::uint8_t jop) {
+  switch (jop) {
+    case kJmpJeq: return 0;
+    case kJmpJne: return 1;
+    case kJmpJgt: return 2;
+    case kJmpJge: return 3;
+    case kJmpJlt: return 4;
+    case kJmpJle: return 5;
+    case kJmpJset: return 6;
+    case kJmpJsgt: return 7;
+    case kJmpJsge: return 8;
+    case kJmpJslt: return 9;
+    case kJmpJsle: return 10;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+IrProgram Translator::translate(const Program& program, const SafetyFacts* facts) {
+  const std::vector<Insn>& insns = program.insns();
+  const std::size_t n = insns.size();
+
+  // Facts must cover every bytecode slot; a stale or mismatched vector
+  // (e.g. from a different program revision) silently disables elision
+  // rather than eliding on the wrong instruction.
+  const bool use_facts = facts != nullptr && facts->stack_safe.size() == n;
+
+  // Pass 1: bytecode index -> IR index. lddw tails collapse into their head
+  // and keep -1 so jumps into them are detectable.
+  std::vector<std::int32_t> ir_index(n, -1);
+  std::int32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ir_index[i] = next++;
+    if (insns[i].opcode == kOpLddw) {
+      if (i + 1 >= n) bad("lddw missing second slot");
+      ++i;  // tail slot keeps ir_index == -1
+    }
+  }
+
+  IrProgram out;
+  out.source_len = n;
+  out.insns.reserve(static_cast<std::size_t>(next) + 1);
+
+  auto resolve_jump = [&](std::size_t i, std::int16_t offset) -> std::int32_t {
+    const std::ptrdiff_t target = static_cast<std::ptrdiff_t>(i) + 1 + offset;
+    if (target < 0 || target >= static_cast<std::ptrdiff_t>(n)) {
+      bad("jump target out of bounds");
+    }
+    const std::int32_t t = ir_index[static_cast<std::size_t>(target)];
+    if (t < 0) bad("jump into the middle of lddw");
+    return t;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Insn& insn = insns[i];
+    IrInsn ir;
+    ir.dst = insn.dst;
+    ir.src = insn.src;
+    ir.pc = static_cast<std::int32_t>(i);
+    const std::uint8_t cls = insn.cls();
+
+    switch (cls) {
+      case kClsAlu:
+      case kClsAlu64: {
+        const bool is64 = cls == kClsAlu64;
+        const std::uint8_t aluop = insn.opcode & 0xf0;
+        const bool reg_form = (insn.opcode & kSrcX) != 0;
+        if (aluop == kAluNeg) {
+          ir.op = is64 ? IrOp::kNeg64 : IrOp::kNeg32;
+          break;
+        }
+        if (aluop == kAluEnd) {
+          if (is64) bad("byte swap is only valid in the 32-bit ALU class");
+          // kSrcX = to big-endian, kSrcK = to little-endian; resolved here
+          // against the host so the hot loop never asks.
+          const bool need_swap = kHostIsLittleEndian == reg_form;
+          switch (insn.imm) {
+            case 16: ir.op = need_swap ? IrOp::kBswap16 : IrOp::kZext16; break;
+            case 32: ir.op = need_swap ? IrOp::kBswap32 : IrOp::kZext32; break;
+            case 64: ir.op = need_swap ? IrOp::kBswap64 : IrOp::kNop; break;
+            default: bad("byte swap width must be 16/32/64");
+          }
+          break;
+        }
+        if (!reg_form && (aluop == kAluDiv || aluop == kAluMod) && insn.imm == 0) {
+          bad("division by zero immediate");
+        }
+        ir.op = ir_plus(alu_base(aluop, is64), reg_form ? 1 : 0);
+        if (!reg_form) {
+          const bool shift = aluop == kAluLsh || aluop == kAluRsh || aluop == kAluArsh;
+          if (is64) {
+            ir.imm = static_cast<std::uint64_t>(static_cast<std::int64_t>(insn.imm));
+            if (shift) ir.imm &= 63;
+          } else {
+            ir.imm = static_cast<std::uint32_t>(insn.imm);
+            if (shift) ir.imm &= 31;
+          }
+        }
+        break;
+      }
+
+      case kClsLd: {
+        if (insn.opcode != kOpLddw) bad("unsupported LD-class opcode");
+        // Tail slot presence was validated in pass 1; fuse the 64-bit
+        // immediate. Budget parity: tier 0 charges one unit for the pair,
+        // and so does the single fused IR instruction.
+        const std::uint64_t lo = static_cast<std::uint32_t>(insn.imm);
+        const std::uint64_t hi = static_cast<std::uint32_t>(insns[i + 1].imm);
+        ir.op = IrOp::kLddw;
+        ir.imm = lo | (hi << 32);
+        out.insns.push_back(ir);
+        ++i;  // consume the tail slot
+        continue;
+      }
+
+      case kClsLdx: {
+        if ((insn.opcode & 0xe0) != kModeMem) bad("unsupported LDX mode");
+        const bool elide = use_facts && facts->stack_safe[i] != 0;
+        ir.op = ir_plus(IrOp::kLdxB, size_log2(insn.opcode) + (elide ? 4 : 0));
+        ir.off = insn.offset;
+        if (elide) ++out.elided_checks; else ++out.checked_accesses;
+        break;
+      }
+
+      case kClsSt:
+      case kClsStx: {
+        if ((insn.opcode & 0xe0) != kModeMem) bad("unsupported store mode");
+        const bool elide = use_facts && facts->stack_safe[i] != 0;
+        const IrOp base = cls == kClsStx ? IrOp::kStxB : IrOp::kStB;
+        ir.op = ir_plus(base, size_log2(insn.opcode) + (elide ? 4 : 0));
+        ir.off = insn.offset;
+        if (cls == kClsSt) {
+          ir.imm = static_cast<std::uint64_t>(static_cast<std::int64_t>(insn.imm));
+        }
+        if (elide) ++out.elided_checks; else ++out.checked_accesses;
+        break;
+      }
+
+      case kClsJmp: {
+        const std::uint8_t jop = insn.opcode & 0xf0;
+        if (jop == kJmpExit) {
+          ir.op = IrOp::kExit;
+          break;
+        }
+        if (jop == kJmpCall) {
+          ir.op = IrOp::kCall;
+          // A negative id sign-extends to a huge index, which the runtime
+          // rejects as kUnknownHelper — identical to tier 0's id < 0 path.
+          ir.imm = static_cast<std::uint64_t>(static_cast<std::int64_t>(insn.imm));
+          break;
+        }
+        if (jop == kJmpJa) {
+          ir.op = IrOp::kJa;
+          ir.jt = resolve_jump(i, insn.offset);
+          break;
+        }
+        const int cond = jmp_cond_index(jop);
+        if (cond < 0) bad("unknown JMP operation");
+        const bool reg_form = (insn.opcode & kSrcX) != 0;
+        ir.op = ir_plus(IrOp::kJeq64Imm, cond * 2 + (reg_form ? 1 : 0));
+        if (!reg_form) {
+          ir.imm = static_cast<std::uint64_t>(static_cast<std::int64_t>(insn.imm));
+        }
+        ir.jt = resolve_jump(i, insn.offset);
+        break;
+      }
+
+      case kClsJmp32: {
+        const std::uint8_t jop = insn.opcode & 0xf0;
+        const int cond = jmp_cond_index(jop);
+        if (cond < 0 || jop == kJmpJa) bad("unsupported JMP32 operation");
+        const bool reg_form = (insn.opcode & kSrcX) != 0;
+        ir.op = ir_plus(IrOp::kJeq32Imm, cond * 2 + (reg_form ? 1 : 0));
+        if (!reg_form) ir.imm = static_cast<std::uint32_t>(insn.imm);
+        ir.jt = resolve_jump(i, insn.offset);
+        break;
+      }
+
+      default:
+        bad("unknown instruction class");
+    }
+    out.insns.push_back(ir);
+  }
+
+  // Defensive sentinel. Pass 0 forbids falling off the end, so this is
+  // unreachable for verified programs; if an unverified one gets here the
+  // fault matches tier 0's report at pc == program length.
+  IrInsn sentinel;
+  sentinel.op = IrOp::kTrapEnd;
+  sentinel.pc = static_cast<std::int32_t>(n);
+  out.insns.push_back(sentinel);
+  return out;
+}
+
+}  // namespace xb::ebpf

@@ -1,0 +1,32 @@
+// Bytecode → IR lowering for the tiered execution engine.
+//
+// `Translator::translate` runs once per loaded program (the Vmm caches the
+// result and shares it read-only across all per-slot VMs). It requires
+// pass-0-valid input — `Verifier::verify` must have accepted the program —
+// and throws std::invalid_argument on any structural violation it would
+// otherwise have to lower into a runtime trap (unknown opcode, truncated
+// lddw, jump into an lddw tail, ...). Value-level safety facts from the
+// abstract interpreter (Analyzer) are optional: with `facts == nullptr`
+// every load/store keeps its runtime bounds check, which makes the fast
+// tier semantically identical to tier 0 for *any* pass-0-valid program —
+// the property the differential fuzz gate relies on to push
+// analyzer-rejected mutants through both engines.
+#pragma once
+
+#include "ebpf/analyzer.hpp"
+#include "ebpf/ir.hpp"
+#include "ebpf/program.hpp"
+
+namespace xb::ebpf {
+
+class Translator {
+ public:
+  /// Lowers `program` into pre-decoded IR. When `facts` is non-null and
+  /// sized to the program, loads/stores proven in-frame by the analyzer are
+  /// emitted as check-elided `*Stk` forms. Throws std::invalid_argument on
+  /// bytecode that pass 0 would have rejected.
+  [[nodiscard]] static IrProgram translate(const Program& program,
+                                           const SafetyFacts* facts = nullptr);
+};
+
+}  // namespace xb::ebpf

@@ -54,8 +54,18 @@ bool Vm::has_helper(std::int32_t id) const noexcept {
          static_cast<bool>(helpers_[static_cast<std::size_t>(id)]);
 }
 
+void Vm::zero_stack() noexcept { std::memset(stack_, 0, kStackSize); }
+
 RunResult Vm::run(const Program& program, std::uint64_t r1, std::uint64_t r2, std::uint64_t r3,
                   std::uint64_t r4, std::uint64_t r5) {
+  if (mode_ == ExecMode::kFast && translated_ != nullptr) {
+    return run_translated(*translated_, r1, r2, r3, r4, r5);
+  }
+  return run_reference(program, r1, r2, r3, r4, r5);
+}
+
+RunResult Vm::run_reference(const Program& program, std::uint64_t r1, std::uint64_t r2,
+                            std::uint64_t r3, std::uint64_t r4, std::uint64_t r5) {
   const std::vector<Insn>& insns = program.insns();
   const std::size_t n = insns.size();
 
@@ -73,24 +83,28 @@ RunResult Vm::run(const Program& program, std::uint64_t r1, std::uint64_t r2, st
 
   std::uint64_t remaining = budget_;
   std::size_t pc = 0;
+  std::size_t cur = 0;
 
-  auto fault = [&](FaultKind kind, std::string detail) {
+  // Faults carry static literals and the index of the faulting instruction
+  // (budget exhaustion: the one about to execute) — the fault path must not
+  // allocate, and both tiers report identical (kind, pc, detail) triples.
+  auto fault = [&](FaultKind kind, const char* detail) {
     retired_ += budget_ - remaining;
     RunResult r;
     r.status = RunResult::Status::kFault;
-    r.fault = Fault{kind, pc, std::move(detail)};
+    r.fault = Fault{kind, cur, detail};
     return r;
   };
 
   while (pc < n) {
     if (remaining == 0) {
-      return fault(FaultKind::kBudgetExhausted,
-                   "instruction budget of " + std::to_string(budget_) + " exhausted");
+      cur = pc;
+      return fault(FaultKind::kBudgetExhausted, "instruction budget exhausted");
     }
     --remaining;
     const Insn& insn = insns[pc];
     const std::uint8_t op = insn.opcode;
-    const std::size_t cur = pc;
+    cur = pc;
     ++pc;
 
     switch (op & 0x07) {
@@ -185,7 +199,7 @@ RunResult Vm::run(const Program& program, std::uint64_t r1, std::uint64_t r2, st
                                                             : 0);
         const std::uint64_t addr = reg[insn.src] + static_cast<std::int64_t>(insn.offset);
         if (!memory_.check(addr, len, /*write=*/false)) {
-          return fault(FaultKind::kBadMemoryAccess, memory_.describe_fault(addr, len, false));
+          return fault(FaultKind::kBadMemoryAccess, "memory read out of bounds");
         }
         std::uint64_t v = 0;
         std::memcpy(&v, reinterpret_cast<const void*>(addr), len);
@@ -202,7 +216,7 @@ RunResult Vm::run(const Program& program, std::uint64_t r1, std::uint64_t r2, st
                                                             : 0);
         const std::uint64_t addr = reg[insn.dst] + static_cast<std::int64_t>(insn.offset);
         if (!memory_.check(addr, len, /*write=*/true)) {
-          return fault(FaultKind::kBadMemoryAccess, memory_.describe_fault(addr, len, true));
+          return fault(FaultKind::kBadMemoryAccess, "memory write out of bounds");
         }
         const std::uint64_t v = (op & 0x07) == kClsStx
                                     ? reg[insn.src]
@@ -225,8 +239,7 @@ RunResult Vm::run(const Program& program, std::uint64_t r1, std::uint64_t r2, st
           const auto id = insn.imm;
           if (id < 0 || static_cast<std::size_t>(id) >= helpers_.size() ||
               !helpers_[static_cast<std::size_t>(id)]) {
-            return fault(FaultKind::kUnknownHelper,
-                         "helper " + std::to_string(id) + " not bound");
+            return fault(FaultKind::kUnknownHelper, "helper not bound");
           }
           ++helper_calls_;
           HelperResult hr =
@@ -310,6 +323,7 @@ RunResult Vm::run(const Program& program, std::uint64_t r1, std::uint64_t r2, st
   }
 
   // Unreachable for verified programs (no fall-through off the end).
+  cur = pc;
   return fault(FaultKind::kIllegalInstruction, "fell off the end of the program");
 }
 

@@ -5,17 +5,27 @@
 // dispatched through a per-VM table. Execution never touches host memory
 // that was not explicitly registered, and any violation terminates the run
 // with a Fault that the VMM uses to fall back to native code (paper §2.1).
+//
+// Two execution tiers share this class (docs/execution_engine.md):
+//   tier 0  the reference interpreter — decodes each instruction on every
+//           step; the semantic ground truth,
+//   tier 1  the fast engine (vm_fast.cpp) — runs pre-decoded IR produced by
+//           Translator with direct-threaded dispatch and verifier-proven
+//           bounds-check elision.
+// Both produce bit-identical RunResults; the differential fuzz gate holds
+// them to it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <string>
 #include <vector>
 
 #include "ebpf/memory.hpp"
 #include "ebpf/program.hpp"
 
 namespace xb::ebpf {
+
+struct IrProgram;
 
 enum class FaultKind {
   kNone,
@@ -27,10 +37,20 @@ enum class FaultKind {
   kIllegalInstruction,
 };
 
+/// Which tier executes Vm::run.
+enum class ExecMode : std::uint8_t {
+  kReference = 0,  // tier 0: decode-per-step reference interpreter
+  kFast = 1,       // tier 1: pre-decoded IR, direct-threaded dispatch
+};
+
 struct Fault {
   FaultKind kind = FaultKind::kNone;
+  /// Index of the faulting instruction; for budget exhaustion, the
+  /// instruction that was about to execute.
   std::size_t pc = 0;
-  std::string detail;
+  /// Static literal — faults are on the hot path and must not allocate.
+  /// Feeds FaultInfo::detail (a string_view) unchanged.
+  const char* detail = "";
 };
 
 /// What a helper asks the interpreter to do after it returns.
@@ -89,10 +109,33 @@ class Vm {
   MemoryModel& memory() noexcept { return memory_; }
   const MemoryModel& memory() const noexcept { return memory_; }
 
-  /// Executes `program` with r1..r5 preloaded from `args`. The stack is
-  /// zeroed before each run so no data leaks between invocations.
+  /// Executes `program` with r1..r5 preloaded from `args`. Dispatches to
+  /// the fast tier when it is selected and a translated image is attached;
+  /// otherwise runs the reference interpreter.
   RunResult run(const Program& program, std::uint64_t r1 = 0, std::uint64_t r2 = 0,
                 std::uint64_t r3 = 0, std::uint64_t r4 = 0, std::uint64_t r5 = 0);
+
+  /// Selects the execution tier. kFast takes effect only once a translated
+  /// image is attached via set_translated (effective_mode tells the truth).
+  void set_exec_mode(ExecMode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] ExecMode exec_mode() const noexcept { return mode_; }
+
+  /// Attaches the pre-decoded image for the fast tier. The IrProgram must
+  /// outlive this Vm (the Vmm owns it per manifest entry, shared read-only
+  /// across all per-slot VMs). Pass nullptr to detach.
+  void set_translated(const IrProgram* ir) noexcept { translated_ = ir; }
+  [[nodiscard]] const IrProgram* translated() const noexcept { return translated_; }
+
+  /// The tier run() will actually use right now.
+  [[nodiscard]] ExecMode effective_mode() const noexcept {
+    return mode_ == ExecMode::kFast && translated_ != nullptr ? ExecMode::kFast
+                                                              : ExecMode::kReference;
+  }
+
+  /// Zeroes the stack frame. Runs deliberately do NOT do this (ubpf policy:
+  /// the stack is private to one attached program); the differential
+  /// harness calls it so back-to-back tier runs start from identical state.
+  void zero_stack() noexcept;
 
   /// Cumulative count of instructions retired across runs (for benchmarks).
   [[nodiscard]] std::uint64_t instructions_retired() const noexcept { return retired_; }
@@ -104,11 +147,18 @@ class Vm {
  private:
   static constexpr std::size_t kHelperTableSize = 64;
 
+  RunResult run_reference(const Program& program, std::uint64_t r1, std::uint64_t r2,
+                          std::uint64_t r3, std::uint64_t r4, std::uint64_t r5);
+  RunResult run_translated(const IrProgram& ir, std::uint64_t r1, std::uint64_t r2,
+                           std::uint64_t r3, std::uint64_t r4, std::uint64_t r5);
+
   MemoryModel memory_;
   std::vector<HelperFn> helpers_;
   std::uint64_t budget_ = 1'000'000;
   std::uint64_t retired_ = 0;
   std::uint64_t helper_calls_ = 0;
+  const IrProgram* translated_ = nullptr;
+  ExecMode mode_ = ExecMode::kReference;
   alignas(8) std::uint8_t stack_[kStackSize] = {};
 };
 

@@ -1,0 +1,460 @@
+// Tier-1 interpreter: executes the pre-decoded IR produced by Translator.
+//
+// Dispatch is direct-threaded (computed goto) on GCC/Clang, with a plain
+// switch loop behind -DXBGP_SWITCH_DISPATCH (and on compilers without the
+// labels-as-values extension). The label table is generated from the same
+// XB_IR_OP_LIST X-macro that defines IrOp, so the two cannot drift apart.
+//
+// Semantics are bit-identical to run_reference in vm.cpp — same results,
+// same fault (kind, pc, detail) triples, same helper-call sequences, same
+// instruction-budget accounting (one unit per IR instruction; the fused
+// lddw costs one, exactly like tier 0's single loop iteration for the
+// pair). The differential fuzz gate (tests/ebpf_differential_test.cpp)
+// enforces the contract over a mutant corpus and every shipped extension.
+#include <bit>
+#include <cstring>
+
+#include "ebpf/ir.hpp"
+#include "ebpf/opcodes.hpp"
+#include "ebpf/vm.hpp"
+
+namespace xb::ebpf {
+
+namespace {
+
+inline std::uint16_t bswap16(std::uint16_t x) {
+  return static_cast<std::uint16_t>((x << 8) | (x >> 8));
+}
+
+inline std::uint32_t bswap32(std::uint32_t x) {
+  return ((x & 0x000000FFu) << 24) | ((x & 0x0000FF00u) << 8) | ((x & 0x00FF0000u) >> 8) |
+         ((x & 0xFF000000u) >> 24);
+}
+
+inline std::uint64_t bswap64(std::uint64_t x) {
+  x = ((x & 0x00000000FFFFFFFFull) << 32) | ((x & 0xFFFFFFFF00000000ull) >> 32);
+  x = ((x & 0x0000FFFF0000FFFFull) << 16) | ((x & 0xFFFF0000FFFF0000ull) >> 16);
+  x = ((x & 0x00FF00FF00FF00FFull) << 8) | ((x & 0xFF00FF00FF00FF00ull) >> 8);
+  return x;
+}
+
+}  // namespace
+
+// The handler bodies are shared between both dispatch builds; only the
+// XB_OP/XB_NEXT plumbing differs. Every handler either terminates the run
+// or ends in XB_NEXT(), which performs the budget check and dispatches the
+// instruction `ip` now points at.
+#if defined(XBGP_SWITCH_DISPATCH) || !(defined(__GNUC__) || defined(__clang__))
+#define XB_FAST_SWITCH 1
+#else
+#define XB_FAST_SWITCH 0
+#endif
+
+RunResult Vm::run_translated(const IrProgram& program, std::uint64_t r1, std::uint64_t r2,
+                             std::uint64_t r3, std::uint64_t r4, std::uint64_t r5) {
+  const IrInsn* const code = program.insns.data();
+  const IrInsn* ip = code;
+
+  std::uint64_t reg[kNumRegisters] = {};
+  reg[1] = r1;
+  reg[2] = r2;
+  reg[3] = r3;
+  reg[4] = r4;
+  reg[5] = r5;
+  // Same stack policy as tier 0: zeroed at construction, not per run.
+  reg[kFramePointer] = reinterpret_cast<std::uint64_t>(stack_) + kStackSize;
+
+  std::uint64_t remaining = budget_;
+  const HelperFn* const helpers = helpers_.data();
+  const std::size_t helper_count = helpers_.size();
+
+  RunResult result;
+
+#define XB_FAULT(kind_, msg_)                                                \
+  do {                                                                       \
+    retired_ += budget_ - remaining;                                         \
+    result.status = RunResult::Status::kFault;                               \
+    result.fault = Fault{(kind_), static_cast<std::size_t>(ip->pc), (msg_)}; \
+    return result;                                                           \
+  } while (0)
+
+#if XB_FAST_SWITCH
+
+#define XB_OP(name) case IrOp::name:
+#define XB_NEXT() goto dispatch
+
+dispatch:
+  if (remaining == 0) goto budget_exhausted;
+  --remaining;
+  switch (ip->op) {
+
+#else  // computed goto
+
+#define XB_OP(name) lbl_##name:
+#define XB_NEXT()                                           \
+  do {                                                      \
+    if (remaining == 0) goto budget_exhausted;              \
+    --remaining;                                            \
+    goto* kDispatch[static_cast<std::size_t>(ip->op)];      \
+  } while (0)
+
+  static const void* const kDispatch[kIrOpCount] = {
+#define XB_IR_OP_LABEL(name) &&lbl_##name,
+      XB_IR_OP_LIST(XB_IR_OP_LABEL)
+#undef XB_IR_OP_LABEL
+  };
+
+  XB_NEXT();
+
+#endif
+
+  // --- control ------------------------------------------------------------
+
+  XB_OP(kNop) { ++ip; }
+  XB_NEXT();
+
+  XB_OP(kExit) {
+    retired_ += budget_ - remaining;
+    result.status = RunResult::Status::kOk;
+    result.value = reg[0];
+    return result;
+  }
+
+  XB_OP(kTrapEnd)
+  XB_FAULT(FaultKind::kIllegalInstruction, "fell off the end of the program");
+
+  XB_OP(kCall) {
+    const auto id = static_cast<std::size_t>(ip->imm);
+    if (id >= helper_count || !helpers[id]) {
+      XB_FAULT(FaultKind::kUnknownHelper, "helper not bound");
+    }
+    ++helper_calls_;
+    const HelperResult hr = helpers[id](reg[1], reg[2], reg[3], reg[4], reg[5]);
+    if (hr.action == HelperAction::kContinue) {
+      reg[0] = hr.value;
+      // r1-r5 are clobbered by calls per the eBPF ABI.
+      reg[1] = reg[2] = reg[3] = reg[4] = reg[5] = 0;
+      ++ip;
+    } else if (hr.action == HelperAction::kNext) {
+      retired_ += budget_ - remaining;
+      result.status = RunResult::Status::kNext;
+      return result;
+    } else {
+      XB_FAULT(FaultKind::kHelperError, hr.error);
+    }
+  }
+  XB_NEXT();
+
+  XB_OP(kJa) { ip = code + ip->jt; }
+  XB_NEXT();
+
+  XB_OP(kLddw) {
+    reg[ip->dst] = ip->imm;
+    ++ip;
+  }
+  XB_NEXT();
+
+  // --- ALU ----------------------------------------------------------------
+
+#define XB_ALU64(name, expr)                  \
+  XB_OP(k##name##64Imm) {                     \
+    const std::uint64_t a = reg[ip->dst];     \
+    const std::uint64_t b = ip->imm;          \
+    reg[ip->dst] = (expr);                    \
+    ++ip;                                     \
+  }                                           \
+  XB_NEXT();                                  \
+  XB_OP(k##name##64Reg) {                     \
+    const std::uint64_t a = reg[ip->dst];     \
+    const std::uint64_t b = reg[ip->src];     \
+    reg[ip->dst] = (expr);                    \
+    ++ip;                                     \
+  }                                           \
+  XB_NEXT();
+
+#define XB_ALU32(name, expr)                                           \
+  XB_OP(k##name##32Imm) {                                              \
+    const auto a = static_cast<std::uint32_t>(reg[ip->dst]);           \
+    const auto b = static_cast<std::uint32_t>(ip->imm);                \
+    reg[ip->dst] = static_cast<std::uint32_t>(expr);                   \
+    ++ip;                                                              \
+  }                                                                    \
+  XB_NEXT();                                                           \
+  XB_OP(k##name##32Reg) {                                              \
+    const auto a = static_cast<std::uint32_t>(reg[ip->dst]);           \
+    const auto b = static_cast<std::uint32_t>(reg[ip->src]);           \
+    reg[ip->dst] = static_cast<std::uint32_t>(expr);                   \
+    ++ip;                                                              \
+  }                                                                    \
+  XB_NEXT();
+
+  XB_ALU64(Add, a + b)
+  XB_ALU64(Sub, a - b)
+  XB_ALU64(Mul, a * b)
+  XB_ALU64(Or, a | b)
+  XB_ALU64(And, a & b)
+  XB_ALU64(Xor, a ^ b)
+  XB_ALU64(Lsh, a << (b & 63))
+  XB_ALU64(Rsh, a >> (b & 63))
+  XB_ALU64(Arsh, static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >> (b & 63)))
+  XB_ALU64(Mov, (static_cast<void>(a), b))
+
+  XB_ALU32(Add, a + b)
+  XB_ALU32(Sub, a - b)
+  XB_ALU32(Mul, a * b)
+  XB_ALU32(Or, a | b)
+  XB_ALU32(And, a & b)
+  XB_ALU32(Xor, a ^ b)
+  XB_ALU32(Lsh, a << (b & 31))
+  XB_ALU32(Rsh, a >> (b & 31))
+  XB_ALU32(Arsh, static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31)))
+  XB_ALU32(Mov, (static_cast<void>(a), b))
+
+#undef XB_ALU64
+#undef XB_ALU32
+
+  // Division and modulo need the zero check on the register forms; the
+  // translator rejects zero immediates (as pass 0 does), so the imm forms
+  // divide unconditionally.
+  XB_OP(kDiv64Imm) {
+    reg[ip->dst] /= ip->imm;
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kDiv64Reg) {
+    const std::uint64_t b = reg[ip->src];
+    if (b == 0) XB_FAULT(FaultKind::kDivisionByZero, "division by zero");
+    reg[ip->dst] /= b;
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kMod64Imm) {
+    reg[ip->dst] %= ip->imm;
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kMod64Reg) {
+    const std::uint64_t b = reg[ip->src];
+    if (b == 0) XB_FAULT(FaultKind::kDivisionByZero, "modulo by zero");
+    reg[ip->dst] %= b;
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kDiv32Imm) {
+    reg[ip->dst] = static_cast<std::uint32_t>(reg[ip->dst]) /
+                   static_cast<std::uint32_t>(ip->imm);
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kDiv32Reg) {
+    const auto b = static_cast<std::uint32_t>(reg[ip->src]);
+    if (b == 0) XB_FAULT(FaultKind::kDivisionByZero, "division by zero");
+    reg[ip->dst] = static_cast<std::uint32_t>(reg[ip->dst]) / b;
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kMod32Imm) {
+    reg[ip->dst] = static_cast<std::uint32_t>(reg[ip->dst]) %
+                   static_cast<std::uint32_t>(ip->imm);
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kMod32Reg) {
+    const auto b = static_cast<std::uint32_t>(reg[ip->src]);
+    if (b == 0) XB_FAULT(FaultKind::kDivisionByZero, "modulo by zero");
+    reg[ip->dst] = static_cast<std::uint32_t>(reg[ip->dst]) % b;
+    ++ip;
+  }
+  XB_NEXT();
+
+  XB_OP(kNeg64) {
+    reg[ip->dst] = ~reg[ip->dst] + 1;
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kNeg32) {
+    reg[ip->dst] =
+        static_cast<std::uint32_t>(~static_cast<std::uint32_t>(reg[ip->dst]) + 1);
+    ++ip;
+  }
+  XB_NEXT();
+
+  XB_OP(kBswap16) {
+    reg[ip->dst] = bswap16(static_cast<std::uint16_t>(reg[ip->dst]));
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kBswap32) {
+    reg[ip->dst] = bswap32(static_cast<std::uint32_t>(reg[ip->dst]));
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kBswap64) {
+    reg[ip->dst] = bswap64(reg[ip->dst]);
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kZext16) {
+    reg[ip->dst] &= 0xFFFFull;
+    ++ip;
+  }
+  XB_NEXT();
+  XB_OP(kZext32) {
+    reg[ip->dst] &= 0xFFFFFFFFull;
+    ++ip;
+  }
+  XB_NEXT();
+
+  // --- memory -------------------------------------------------------------
+  // The `Stk` forms execute accesses the abstract interpreter proved stay
+  // inside the 512-byte frame on every path (analyzer SafetyFacts): no
+  // runtime check. Checked forms keep the MemoryModel probe.
+
+#define XB_LOAD(name, T)                                                           \
+  XB_OP(kLdx##name) {                                                              \
+    const std::uint64_t addr = reg[ip->src] + static_cast<std::int64_t>(ip->off);  \
+    if (!memory_.check(addr, sizeof(T), /*write=*/false)) {                        \
+      XB_FAULT(FaultKind::kBadMemoryAccess, "memory read out of bounds");          \
+    }                                                                              \
+    T v;                                                                           \
+    std::memcpy(&v, reinterpret_cast<const void*>(addr), sizeof(T));               \
+    reg[ip->dst] = v;                                                              \
+    ++ip;                                                                          \
+  }                                                                                \
+  XB_NEXT();
+
+#define XB_LOAD_STK(name, T)                                                       \
+  XB_OP(kLdx##name##Stk) {                                                         \
+    const std::uint64_t addr = reg[ip->src] + static_cast<std::int64_t>(ip->off);  \
+    T v;                                                                           \
+    std::memcpy(&v, reinterpret_cast<const void*>(addr), sizeof(T));               \
+    reg[ip->dst] = v;                                                              \
+    ++ip;                                                                          \
+  }                                                                                \
+  XB_NEXT();
+
+#define XB_STORE(name, T, value_expr)                                              \
+  XB_OP(name) {                                                                    \
+    const std::uint64_t addr = reg[ip->dst] + static_cast<std::int64_t>(ip->off);  \
+    if (!memory_.check(addr, sizeof(T), /*write=*/true)) {                         \
+      XB_FAULT(FaultKind::kBadMemoryAccess, "memory write out of bounds");         \
+    }                                                                              \
+    const T v = static_cast<T>(value_expr);                                        \
+    std::memcpy(reinterpret_cast<void*>(addr), &v, sizeof(T));                     \
+    ++ip;                                                                          \
+  }                                                                                \
+  XB_NEXT();
+
+#define XB_STORE_STK(name, T, value_expr)                                          \
+  XB_OP(name) {                                                                    \
+    const std::uint64_t addr = reg[ip->dst] + static_cast<std::int64_t>(ip->off);  \
+    const T v = static_cast<T>(value_expr);                                        \
+    std::memcpy(reinterpret_cast<void*>(addr), &v, sizeof(T));                     \
+    ++ip;                                                                          \
+  }                                                                                \
+  XB_NEXT();
+
+  XB_LOAD(B, std::uint8_t)
+  XB_LOAD(H, std::uint16_t)
+  XB_LOAD(W, std::uint32_t)
+  XB_LOAD(Dw, std::uint64_t)
+  XB_LOAD_STK(B, std::uint8_t)
+  XB_LOAD_STK(H, std::uint16_t)
+  XB_LOAD_STK(W, std::uint32_t)
+  XB_LOAD_STK(Dw, std::uint64_t)
+
+  XB_STORE(kStxB, std::uint8_t, reg[ip->src])
+  XB_STORE(kStxH, std::uint16_t, reg[ip->src])
+  XB_STORE(kStxW, std::uint32_t, reg[ip->src])
+  XB_STORE(kStxDw, std::uint64_t, reg[ip->src])
+  XB_STORE_STK(kStxBStk, std::uint8_t, reg[ip->src])
+  XB_STORE_STK(kStxHStk, std::uint16_t, reg[ip->src])
+  XB_STORE_STK(kStxWStk, std::uint32_t, reg[ip->src])
+  XB_STORE_STK(kStxDwStk, std::uint64_t, reg[ip->src])
+
+  XB_STORE(kStB, std::uint8_t, ip->imm)
+  XB_STORE(kStH, std::uint16_t, ip->imm)
+  XB_STORE(kStW, std::uint32_t, ip->imm)
+  XB_STORE(kStDw, std::uint64_t, ip->imm)
+  XB_STORE_STK(kStBStk, std::uint8_t, ip->imm)
+  XB_STORE_STK(kStHStk, std::uint16_t, ip->imm)
+  XB_STORE_STK(kStWStk, std::uint32_t, ip->imm)
+  XB_STORE_STK(kStDwStk, std::uint64_t, ip->imm)
+
+#undef XB_LOAD
+#undef XB_LOAD_STK
+#undef XB_STORE
+#undef XB_STORE_STK
+
+  // --- conditional jumps --------------------------------------------------
+
+#define XB_JMP64(name, cond)                  \
+  XB_OP(kJ##name##64Imm) {                    \
+    const std::uint64_t a = reg[ip->dst];     \
+    const std::uint64_t b = ip->imm;          \
+    ip = (cond) ? code + ip->jt : ip + 1;     \
+  }                                           \
+  XB_NEXT();                                  \
+  XB_OP(kJ##name##64Reg) {                    \
+    const std::uint64_t a = reg[ip->dst];     \
+    const std::uint64_t b = reg[ip->src];     \
+    ip = (cond) ? code + ip->jt : ip + 1;     \
+  }                                           \
+  XB_NEXT();
+
+#define XB_JMP32(name, cond)                                   \
+  XB_OP(kJ##name##32Imm) {                                     \
+    const auto a = static_cast<std::uint32_t>(reg[ip->dst]);   \
+    const auto b = static_cast<std::uint32_t>(ip->imm);        \
+    ip = (cond) ? code + ip->jt : ip + 1;                      \
+  }                                                            \
+  XB_NEXT();                                                   \
+  XB_OP(kJ##name##32Reg) {                                     \
+    const auto a = static_cast<std::uint32_t>(reg[ip->dst]);   \
+    const auto b = static_cast<std::uint32_t>(reg[ip->src]);   \
+    ip = (cond) ? code + ip->jt : ip + 1;                      \
+  }                                                            \
+  XB_NEXT();
+
+  XB_JMP64(eq, a == b)
+  XB_JMP64(ne, a != b)
+  XB_JMP64(gt, a > b)
+  XB_JMP64(ge, a >= b)
+  XB_JMP64(lt, a < b)
+  XB_JMP64(le, a <= b)
+  XB_JMP64(set, (a & b) != 0)
+  XB_JMP64(sgt, static_cast<std::int64_t>(a) > static_cast<std::int64_t>(b))
+  XB_JMP64(sge, static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b))
+  XB_JMP64(slt, static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b))
+  XB_JMP64(sle, static_cast<std::int64_t>(a) <= static_cast<std::int64_t>(b))
+
+  XB_JMP32(eq, a == b)
+  XB_JMP32(ne, a != b)
+  XB_JMP32(gt, a > b)
+  XB_JMP32(ge, a >= b)
+  XB_JMP32(lt, a < b)
+  XB_JMP32(le, a <= b)
+  XB_JMP32(set, (a & b) != 0)
+  XB_JMP32(sgt, static_cast<std::int32_t>(a) > static_cast<std::int32_t>(b))
+  XB_JMP32(sge, static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b))
+  XB_JMP32(slt, static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b))
+  XB_JMP32(sle, static_cast<std::int32_t>(a) <= static_cast<std::int32_t>(b))
+
+#undef XB_JMP64
+#undef XB_JMP32
+
+#if XB_FAST_SWITCH
+  }
+#endif
+
+budget_exhausted:
+  // `ip` points at the instruction that was about to execute — the same pc
+  // tier 0 reports.
+  XB_FAULT(FaultKind::kBudgetExhausted, "instruction budget exhausted");
+
+#undef XB_FAULT
+#undef XB_OP
+#undef XB_NEXT
+}
+
+}  // namespace xb::ebpf

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "ebpf/translator.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
 
@@ -65,6 +66,20 @@ void Vmm::load(const Manifest& manifest) {
     }
     ++vstats.verified;
     auto prog = std::make_unique<LoadedProgram>(entry);
+    // One translation per manifest entry: lower the verified bytecode to
+    // pre-decoded IR, eliding the bounds checks the analyzer just proved
+    // safe. The image is immutable and shared by every slot's VM.
+    {
+      const std::uint64_t t0 = obs::now_ns();
+      auto ir = std::make_unique<const ebpf::IrProgram>(
+          ebpf::Translator::translate(entry.program, &analysis.facts));
+      translation_stats_.ns += obs::now_ns() - t0;
+      ++translation_stats_.programs;
+      translation_stats_.ir_insns += ir->insns.size();
+      translation_stats_.elided_checks += ir->elided_checks;
+      translation_stats_.checked_accesses += ir->checked_accesses;
+      prog->ir = std::move(ir);
+    }
     const std::string& group_name = entry.group.empty() ? entry.name : entry.group;
     auto [git, created] = groups_.try_emplace(group_name, nullptr);
     if (created) git->second = std::make_unique<GroupState>(options_.shared_pool_size);
@@ -79,6 +94,8 @@ void Vmm::load(const Manifest& manifest) {
       prog->vms.back()->set_instruction_budget(entry.point == Op::kInit
                                                    ? options_.init_instruction_budget
                                                    : options_.instruction_budget);
+      prog->vms.back()->set_translated(prog->ir.get());
+      prog->vms.back()->set_exec_mode(options_.exec_mode);
       bind_helpers(*prog, slot);
     }
     chains_[static_cast<std::size_t>(entry.point)].push_back(prog.get());
@@ -106,6 +123,23 @@ void Vmm::unload_all() {
   groups_.clear();
 }
 
+bool Vmm::set_exec_mode(std::string_view program, ebpf::ExecMode mode) noexcept {
+  bool found = false;
+  for (auto& prog : programs_) {
+    if (prog->entry.name != program) continue;
+    for (auto& vm : prog->vms) vm->set_exec_mode(mode);
+    found = true;
+  }
+  return found;
+}
+
+void Vmm::set_exec_mode(ebpf::ExecMode mode) noexcept {
+  options_.exec_mode = mode;
+  for (auto& prog : programs_) {
+    for (auto& vm : prog->vms) vm->set_exec_mode(mode);
+  }
+}
+
 Vmm::Stats Vmm::stats() const noexcept {
   Stats total;
   for (const auto& slot : slots_) {
@@ -114,6 +148,8 @@ Vmm::Stats Vmm::stats() const noexcept {
     total.next_yields += slot->stats.next_yields;
     total.faults += slot->stats.faults;
     total.native_fallbacks += slot->stats.native_fallbacks;
+    total.tier_runs[0] += slot->stats.tier_runs[0];
+    total.tier_runs[1] += slot->stats.tier_runs[1];
     for (std::size_t i = 0; i < kOpCount; ++i) {
       total.faults_by_op[i] += slot->stats.faults_by_op[i];
     }
@@ -157,6 +193,25 @@ void Vmm::set_telemetry(obs::Telemetry* telemetry) {
     out.counter("xbgp_vmm_native_fallbacks_total",
                 "Chains that fell back to the host's native default",
                 s.native_fallbacks);
+    out.counter("xbgp_vmm_tier_runs_total{tier=\"reference\"}",
+                "Program executions on the tier-0 reference interpreter",
+                s.tier_runs[0]);
+    out.counter("xbgp_vmm_tier_runs_total{tier=\"fast\"}",
+                "Program executions on the fast pre-decoded IR tier",
+                s.tier_runs[1]);
+    const TranslationStats& t = translation_stats_;
+    out.counter("xbgp_vmm_translations_total",
+                "Bytecodes lowered to pre-decoded IR at load time", t.programs);
+    out.counter("xbgp_vmm_translation_ns_total",
+                "Wall-clock ns spent translating at load time", t.ns);
+    out.counter("xbgp_vmm_translation_ir_insns_total",
+                "IR instructions emitted by the translator", t.ir_insns);
+    out.counter("xbgp_vmm_checks_elided_total",
+                "Runtime bounds checks dropped via analyzer-proven stack facts",
+                t.elided_checks);
+    out.counter("xbgp_vmm_checks_retained_total",
+                "Runtime bounds checks kept on translated accesses",
+                t.checked_accesses);
     for (std::size_t i = 1; i < kOpCount; ++i) {
       const std::string point(to_string(static_cast<Op>(i)));
       out.counter("xbgp_vmm_faults_by_point_total{point=\"" + point + "\"}",
@@ -199,6 +254,7 @@ void Vmm::run_init(LoadedProgram& prog) {
   }
   const auto res = vm.run(prog.entry.program, static_cast<std::uint64_t>(Op::kInit));
   prog.runs.fetch_add(1, std::memory_order_relaxed);
+  ++slot.stats.tier_runs[static_cast<std::size_t>(vm.effective_mode())];
   constexpr std::size_t op_idx = static_cast<std::size_t>(Op::kInit);
   if (tel != nullptr) tel->registry().add(op_telemetry_[op_idx].runs, 1, 0);
   obs::Span* span = nullptr;
@@ -256,6 +312,7 @@ Vmm::ChainOutcome Vmm::run_chain(std::vector<LoadedProgram*>& chain, ExecContext
     }
     const auto res = vm.run(prog->entry.program, static_cast<std::uint64_t>(op));
     prog->runs.fetch_add(1, std::memory_order_relaxed);
+    ++slot.stats.tier_runs[static_cast<std::size_t>(vm.effective_mode())];
     if (tel != nullptr) tel->registry().add(op_telemetry_[op_idx].runs, 1, slot_index);
     obs::Span* span = nullptr;
     if (tracing) {

@@ -29,9 +29,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ebpf/analyzer.hpp"
+#include "ebpf/ir.hpp"
 #include "ebpf/verifier.hpp"
 #include "ebpf/vm.hpp"
 #include "obs/telemetry.hpp"
@@ -53,6 +55,11 @@ class Vmm {
     /// Independent execution slots (one per pipeline shard/worker). Slot 0
     /// is the default used by the serial execute() path.
     std::size_t execution_contexts = 1;
+    /// Execution tier for loaded programs. The fast tier (pre-decoded IR,
+    /// direct-threaded dispatch) is the default; the reference interpreter
+    /// stays available as tier 0 for cross-checking, selectable per program
+    /// via set_exec_mode(). Identical observable behaviour either way.
+    ebpf::ExecMode exec_mode = ebpf::ExecMode::kFast;
   };
 
   struct Stats {
@@ -61,6 +68,8 @@ class Vmm {
     std::uint64_t next_yields = 0;         // next() delegations
     std::uint64_t faults = 0;              // programs stopped on error
     std::uint64_t native_fallbacks = 0;    // chain exhausted or fault -> default
+    /// Program executions by effective tier (index = ebpf::ExecMode).
+    std::uint64_t tier_runs[2] = {};
     /// Faults by insertion point (index = Op) and by FaultClass: the same
     /// taxonomy the host sees in FaultInfo, so host- and VMM-side error
     /// accounting can be cross-checked bit-identically.
@@ -73,6 +82,16 @@ class Vmm {
     std::uint64_t verified = 0;   // programs that passed the analyzer and attached
     std::uint64_t rejected = 0;   // programs refused at load time
     std::uint64_t warnings = 0;   // warning-severity findings on attached programs
+  };
+
+  /// Load-time translation outcomes (one translation per manifest entry;
+  /// the IR image is shared read-only across all per-slot VMs).
+  struct TranslationStats {
+    std::uint64_t programs = 0;          // bytecodes lowered to IR
+    std::uint64_t ns = 0;                // wall-clock spent translating
+    std::uint64_t ir_insns = 0;          // IR instructions emitted
+    std::uint64_t elided_checks = 0;     // bounds checks dropped (analyzer-proven)
+    std::uint64_t checked_accesses = 0;  // bounds checks retained
   };
 
   explicit Vmm(HostApi& host);  // default Options
@@ -147,6 +166,20 @@ class Vmm {
     return verify_stats_[static_cast<std::size_t>(op)];
   }
 
+  /// Load-time translation counters (serial-phase only).
+  [[nodiscard]] const TranslationStats& translation_stats() const noexcept {
+    return translation_stats_;
+  }
+
+  /// Serial-phase: switches the execution tier of one loaded program on
+  /// every slot; returns false when no program has that name. Both tiers
+  /// are observationally identical, so this is safe at any quiesce point.
+  bool set_exec_mode(std::string_view program, ebpf::ExecMode mode) noexcept;
+
+  /// Serial-phase: switches every loaded program (and future loads default
+  /// to this tier).
+  void set_exec_mode(ebpf::ExecMode mode) noexcept;
+
   [[nodiscard]] HostApi& host() noexcept { return host_; }
 
  private:
@@ -176,6 +209,9 @@ class Vmm {
     ManifestEntry entry;
     /// One interpreter per execution slot, all running `entry.program`.
     std::vector<std::unique_ptr<ebpf::Vm>> vms;
+    /// Pre-decoded IR, translated once at load with the analyzer's safety
+    /// facts; shared read-only by every slot's VM (fast tier).
+    std::unique_ptr<const ebpf::IrProgram> ir;
     GroupState* group = nullptr;  // owned by Vmm::groups_
     std::atomic<std::uint64_t> runs{0};
 
@@ -207,6 +243,7 @@ class Vmm {
   std::vector<LoadedProgram*> chains_[kOpCount];
   std::vector<std::unique_ptr<ExecSlot>> slots_;
   VerifyStats verify_stats_[kOpCount];
+  TranslationStats translation_stats_;
   obs::Telemetry* telemetry_ = nullptr;
   OpTelemetry op_telemetry_[kOpCount] = {};
 };

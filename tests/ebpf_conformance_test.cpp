@@ -1,11 +1,15 @@
 // eBPF conformance: table-driven edge-semantics cases in the spirit of
 // ubpf's conformance suite. Each case builds a tiny program, runs it with
-// fixed inputs, and checks the exact 64-bit result.
+// fixed inputs, and checks the exact 64-bit result — on both execution
+// tiers, so the fast engine is held to the same edge semantics as the
+// reference interpreter.
 #include <gtest/gtest.h>
 
 #include <functional>
 
 #include "ebpf/assembler.hpp"
+#include "ebpf/ir.hpp"
+#include "ebpf/translator.hpp"
 #include "ebpf/vm.hpp"
 
 namespace {
@@ -27,10 +31,22 @@ TEST_P(Conformance, Exact) {
   Assembler a;
   c.emit(a);
   a.exit_();
+  const Program p = a.build(c.name);
   Vm vm;
-  const auto res = vm.run(a.build(c.name), c.r1, c.r2);
+  const auto res = vm.run(p, c.r1, c.r2);
   ASSERT_TRUE(res.ok()) << res.fault.detail;
   EXPECT_EQ(res.value, c.expected) << c.name;
+
+  // Same program, fast tier (no elision facts: fully checked IR), same Vm
+  // with the stack re-zeroed so memory cases start from identical state.
+  const IrProgram ir = Translator::translate(p);
+  vm.zero_stack();
+  vm.set_translated(&ir);
+  vm.set_exec_mode(ExecMode::kFast);
+  ASSERT_EQ(vm.effective_mode(), ExecMode::kFast);
+  const auto fast = vm.run(p, c.r1, c.r2);
+  ASSERT_TRUE(fast.ok()) << fast.fault.detail;
+  EXPECT_EQ(fast.value, c.expected) << c.name << " (fast tier)";
 }
 
 const Case kCases[] = {

@@ -1,0 +1,562 @@
+// Differential execution gate for the two-tier engine (docs/execution_engine.md).
+//
+// The fast tier (Translator + vm_fast.cpp) must be observationally identical
+// to the tier-0 reference interpreter for every pass-0-valid program:
+//
+//   * identical RunResult — status, value, fault kind, fault pc, fault
+//     detail literal,
+//   * identical helper-call sequences — same ids, same argument registers,
+//     in the same order,
+//   * identical instruction retirement and helper-call accounting.
+//
+// Three sources of programs hold it to that:
+//
+//   1. a structure-aware mutant corpus: seed programs covering every
+//      instruction family, field-mutated under a fixed-seed RNG, filtered by
+//      the structural verifier (pass 0 is the translator's contract), then
+//      run through both tiers — with the analyzer's safety facts driving
+//      check elision whenever the mutant also passes the abstract
+//      interpreter;
+//   2. every extension shipped in src/extensions (the programs that attach
+//      in production), executed against recording helpers;
+//   3. crafted fault-parity cases pinning each fault kind's pc and detail.
+//
+// tools/check.sh fast-vm repeats this binary under both dispatch strategies
+// (computed goto and -DXBGP_SWITCH_DISPATCH=ON) and under TSan/UBSan.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ebpf/analyzer.hpp"
+#include "ebpf/assembler.hpp"
+#include "ebpf/ir.hpp"
+#include "ebpf/translator.hpp"
+#include "ebpf/verifier.hpp"
+#include "ebpf/vm.hpp"
+#include "extensions/registry.hpp"
+
+namespace {
+
+using namespace xb::ebpf;
+
+// ---------------------------------------------------------------------------
+// Recording harness: runs one program through both tiers on the SAME Vm (so
+// helper tables, memory regions and accounting baselines match exactly) and
+// compares every observable.
+
+struct HelperCall {
+  std::int32_t id;
+  std::array<std::uint64_t, 5> args;
+
+  bool operator==(const HelperCall&) const = default;
+};
+
+struct Observation {
+  RunResult result;
+  std::vector<HelperCall> calls;
+  std::uint64_t retired = 0;
+  std::uint64_t helper_calls = 0;
+};
+
+class DifferentialHarness {
+ public:
+  explicit DifferentialHarness(std::uint64_t budget = 65536) {
+    vm_.set_instruction_budget(budget);
+    vm_.memory().add_region(scratch_.data(), scratch_.size(), /*writable=*/true, "scratch");
+    vm_.memory().mark_base();
+    // Deterministic recorders for every xBGP helper id plus a few spares.
+    for (std::int32_t id = 1; id <= 32; ++id) bind_recorder(id);
+  }
+
+  Vm& vm() { return vm_; }
+
+  /// Runs `program` on one tier from a canonical start state.
+  Observation run_tier(const Program& program, const IrProgram* ir, ExecMode mode,
+                       std::uint64_t r1, std::uint64_t r2) {
+    calls_.clear();
+    scratch_.fill(0);
+    vm_.zero_stack();
+    vm_.set_translated(ir);
+    vm_.set_exec_mode(mode);
+    const std::uint64_t retired0 = vm_.instructions_retired();
+    const std::uint64_t helpers0 = vm_.helper_calls();
+    Observation obs;
+    obs.result = vm_.run(program, r1, r2);
+    obs.calls = calls_;
+    obs.retired = vm_.instructions_retired() - retired0;
+    obs.helper_calls = vm_.helper_calls() - helpers0;
+    return obs;
+  }
+
+  /// Runs both tiers and asserts bit-identical observables. Returns the
+  /// reference observation for further checks.
+  Observation compare(const Program& program, const IrProgram& ir, std::uint64_t r1 = 0,
+                      std::uint64_t r2 = 0) {
+    const Observation ref = run_tier(program, nullptr, ExecMode::kReference, r1, r2);
+    const Observation fast = run_tier(program, &ir, ExecMode::kFast, r1, r2);
+    EXPECT_EQ(static_cast<int>(fast.result.status), static_cast<int>(ref.result.status))
+        << program.name();
+    EXPECT_EQ(fast.result.value, ref.result.value) << program.name();
+    EXPECT_EQ(static_cast<int>(fast.result.fault.kind), static_cast<int>(ref.result.fault.kind))
+        << program.name();
+    EXPECT_EQ(fast.result.fault.pc, ref.result.fault.pc) << program.name();
+    EXPECT_STREQ(fast.result.fault.detail, ref.result.fault.detail) << program.name();
+    EXPECT_EQ(fast.retired, ref.retired) << program.name();
+    EXPECT_EQ(fast.helper_calls, ref.helper_calls) << program.name();
+    EXPECT_EQ(fast.calls, ref.calls) << program.name() << ": helper-call sequences diverge";
+    return ref;
+  }
+
+ private:
+  void bind_recorder(std::int32_t id) {
+    const std::uint64_t scratch_base = reinterpret_cast<std::uintptr_t>(scratch_.data());
+    vm_.set_helper(id, [this, id, scratch_base](std::uint64_t a1, std::uint64_t a2,
+                                                std::uint64_t a3, std::uint64_t a4,
+                                                std::uint64_t a5) {
+      calls_.push_back(HelperCall{id, {a1, a2, a3, a4, a5}});
+      // Deterministic, id-dependent behaviour so control flow downstream of
+      // helper returns diverges per id: pointer-ish helpers hand back the
+      // scratch region, id 18 (print) yields next() every 4th call, and the
+      // rest return a mixed scalar.
+      if (id == 2 || id == 6 || id == 13 || id == 15 || id == 17)
+        return HelperResult::ok(scratch_base);
+      if (id == 18 && calls_.size() % 4 == 0) return HelperResult::next();
+      return HelperResult::ok((static_cast<std::uint64_t>(id) << 32) ^ (a1 + a2 + a3) ^
+                              (calls_.size() * 0x9E3779B97F4A7C15ull));
+    });
+  }
+
+  Vm vm_;
+  std::vector<HelperCall> calls_;
+  std::array<std::uint8_t, 4096> scratch_{};
+};
+
+/// Translates with the analyzer's facts when the program passes the abstract
+/// interpreter (the production path), without them otherwise — pass-0-valid
+/// programs that fail pass 1 still execute, just fully checked.
+IrProgram translate_like_vmm(const Program& p, const std::set<std::int32_t>& helpers) {
+  AnalysisResult analysis = Analyzer::analyze(p, helpers);
+  return Translator::translate(p, analysis.ok() ? &analysis.facts : nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// 1. Structure-aware mutant corpus.
+
+std::set<std::int32_t> all_helper_ids() {
+  std::set<std::int32_t> ids;
+  for (std::int32_t id = 0; id < 64; ++id) ids.insert(id);
+  return ids;
+}
+
+/// Seed programs exercising every instruction family; mutation explores the
+/// neighbourhood of each.
+std::vector<Program> seed_corpus() {
+  std::vector<Program> seeds;
+
+  {  // ALU mix, 64- and 32-bit, imm and reg forms.
+    Assembler a;
+    a.mov64(Reg::R0, 7);
+    a.mov64(Reg::R2, Reg::R1);
+    a.add64(Reg::R0, Reg::R2);
+    a.mul64(Reg::R0, 3);
+    a.xor64(Reg::R0, 0x55);
+    a.mov32(Reg::R3, -1);
+    a.add32(Reg::R0, Reg::R3);
+    a.lsh64(Reg::R0, 5);
+    a.arsh64(Reg::R0, 2);
+    a.div64(Reg::R0, 3);
+    a.neg64(Reg::R0);
+    a.to_be(Reg::R0, 32);
+    a.exit_();
+    seeds.push_back(a.build("seed_alu"));
+  }
+  {  // Bounded loop with memory traffic on the stack.
+    Assembler a;
+    auto head = a.make_label();
+    auto done = a.make_label();
+    a.mov64(Reg::R0, 0);
+    a.mov64(Reg::R2, 0);
+    a.stdw(Reg::R10, -8, 0);
+    a.place(head);
+    a.jge(Reg::R2, 32, done);
+    a.ldxdw(Reg::R3, Reg::R10, -8);
+    a.add64(Reg::R3, Reg::R2);
+    a.stxdw(Reg::R10, -8, Reg::R3);
+    a.add64(Reg::R2, 1);
+    a.ja(head);
+    a.place(done);
+    a.ldxdw(Reg::R0, Reg::R10, -8);
+    a.exit_();
+    seeds.push_back(a.build("seed_loop_mem"));
+  }
+  {  // Mixed-width loads/stores at varied frame offsets.
+    Assembler a;
+    a.stb(Reg::R10, -1, 0x7F);
+    a.sth(Reg::R10, -4, 0x1234);
+    a.stw(Reg::R10, -8, -5);
+    a.stdw(Reg::R10, -16, 99);
+    a.ldxb(Reg::R0, Reg::R10, -1);
+    a.ldxh(Reg::R2, Reg::R10, -4);
+    a.add64(Reg::R0, Reg::R2);
+    a.ldxw(Reg::R2, Reg::R10, -8);
+    a.add64(Reg::R0, Reg::R2);
+    a.ldxdw(Reg::R2, Reg::R10, -16);
+    a.add64(Reg::R0, Reg::R2);
+    a.exit_();
+    seeds.push_back(a.build("seed_mem_widths"));
+  }
+  {  // Helper calls feeding conditional control flow.
+    Assembler a;
+    auto alt = a.make_label();
+    a.mov64(Reg::R1, 11);
+    a.mov64(Reg::R2, 22);
+    a.call(2);  // recorder returns scratch pointer
+    a.mov64(Reg::R6, Reg::R0);
+    a.mov64(Reg::R1, Reg::R6);
+    a.call(26);  // recorder returns mixed scalar
+    a.jset(Reg::R0, 0x1, alt);
+    a.mov64(Reg::R0, 1);
+    a.exit_();
+    a.place(alt);
+    a.stxdw(Reg::R10, -8, Reg::R0);
+    a.ldxdw(Reg::R0, Reg::R10, -8);
+    a.exit_();
+    seeds.push_back(a.build("seed_helpers"));
+  }
+  {  // Signed/unsigned jump ladder plus lddw and 32-bit jumps.
+    Assembler a;
+    auto l1 = a.make_label();
+    auto l2 = a.make_label();
+    a.lddw(Reg::R3, 0x8000000000000001ull);
+    a.mov64(Reg::R0, 0);
+    a.jslt(Reg::R3, 0, l1);
+    a.exit_();
+    a.place(l1);
+    a.jlt(Reg::R1, Reg::R3, l2);
+    a.mov64(Reg::R0, 2);
+    a.exit_();
+    a.place(l2);
+    a.mov64(Reg::R0, 3);
+    a.exit_();
+    seeds.push_back(a.build("seed_jumps"));
+  }
+  return seeds;
+}
+
+/// Field-level structure-aware mutation: keeps the Insn vector shape, nudges
+/// opcode/dst/src/offset/imm so most mutants stay near the valid envelope.
+std::vector<Insn> mutate(std::vector<Insn> insns, std::mt19937& rng) {
+  if (insns.empty()) return insns;
+  const int n_mutations = 1 + static_cast<int>(rng() % 3);
+  for (int m = 0; m < n_mutations; ++m) {
+    Insn& insn = insns[rng() % insns.size()];
+    switch (rng() % 6) {
+      case 0:  // flip a bit in the opcode (changes op/class/src within family)
+        insn.opcode ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+        break;
+      case 1:
+        insn.dst = static_cast<std::uint8_t>(rng() % 11);
+        break;
+      case 2:
+        insn.src = static_cast<std::uint8_t>(rng() % 11);
+        break;
+      case 3:  // small offset jitter: jump targets and memory offsets
+        insn.offset = static_cast<std::int16_t>(insn.offset + static_cast<int>(rng() % 9) - 4);
+        break;
+      case 4:
+        insn.imm = static_cast<std::int32_t>(rng());
+        break;
+      case 5:  // byte-granular imm jitter keeps helper ids / shifts in range
+        insn.imm ^= static_cast<std::int32_t>(1u << (rng() % 8));
+        break;
+    }
+  }
+  return insns;
+}
+
+TEST(DifferentialFuzz, MutantCorpusRunsIdenticallyOnBothTiers) {
+  const std::set<std::int32_t> helpers = all_helper_ids();
+  const std::vector<Program> seeds = seed_corpus();
+  DifferentialHarness harness(4096);  // small budget: exercises exhaustion parity
+
+  std::mt19937 rng(0xB67F00D5u);  // fixed seed: the corpus is reproducible
+  constexpr int kMutants = 4000;
+  int accepted = 0;
+  int faulted = 0;
+  int exhausted = 0;
+  for (int i = 0; i < kMutants; ++i) {
+    const Program& seed = seeds[rng() % seeds.size()];
+    Program mutant("mutant_" + std::to_string(i), mutate(seed.insns(), rng),
+                   seed.required_helpers());
+    if (Verifier::verify(mutant, helpers).has_value()) continue;  // pass 0 is the contract
+    ++accepted;
+    const IrProgram ir = translate_like_vmm(mutant, helpers);
+    const std::uint64_t r1 = rng();
+    const std::uint64_t r2 = rng();
+    const Observation ref = harness.compare(mutant, ir, r1, r2);
+    if (ref.result.faulted()) {
+      ++faulted;
+      if (ref.result.fault.kind == FaultKind::kBudgetExhausted) ++exhausted;
+    }
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first divergence at mutant " << i << " (seed " << seed.name() << ")";
+      break;
+    }
+  }
+  // The corpus must be meaningful: plenty of verifier-accepted mutants, and
+  // both clean runs and fault paths exercised.
+  EXPECT_GT(accepted, kMutants / 10) << "mutator drifted: too few pass-0-valid mutants";
+  EXPECT_GT(faulted, 20) << "corpus no longer reaches runtime fault paths";
+  EXPECT_GT(exhausted, 0) << "corpus no longer reaches budget exhaustion";
+  EXPECT_GT(accepted - faulted, 100) << "corpus no longer reaches clean exits";
+}
+
+// ---------------------------------------------------------------------------
+// 2. Every shipped extension, on recording helpers.
+
+TEST(DifferentialFuzz, ShippedExtensionsRunIdenticallyOnBothTiers) {
+  const xb::xbgp::ProgramRegistry registry = xb::ext::default_registry();
+  const std::vector<std::string> names = registry.names();
+  ASSERT_FALSE(names.empty());
+  DifferentialHarness harness;
+  for (const std::string& name : names) {
+    const Program* p = registry.find(name);
+    ASSERT_NE(p, nullptr) << name;
+    ASSERT_FALSE(Verifier::verify(*p, p->required_helpers()).has_value()) << name;
+    const IrProgram ir = translate_like_vmm(*p, p->required_helpers());
+    // A few argument shapes: null args, small scalars, large scalars.
+    harness.compare(*p, ir, 0, 0);
+    harness.compare(*p, ir, 1, 2);
+    harness.compare(*p, ir, 0xFFFFFFFFFFFFFFFFull, 0x8000000000000000ull);
+    if (::testing::Test::HasFailure()) FAIL() << "divergence in shipped extension " << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Crafted fault parity: each fault kind's (kind, pc, detail) is pinned.
+
+struct FaultCase {
+  const char* name;
+  std::function<void(Assembler&)> emit;
+  std::uint64_t r1 = 0;
+  std::uint64_t budget = 65536;
+};
+
+void expect_fault_parity(const FaultCase& c) {
+  Assembler a;
+  c.emit(a);
+  const Program p = a.build(c.name);
+  ASSERT_FALSE(Verifier::verify(p, all_helper_ids()).has_value()) << c.name;
+  const IrProgram ir = translate_like_vmm(p, all_helper_ids());
+  DifferentialHarness harness(c.budget);
+  harness.compare(p, ir, c.r1, 0);
+}
+
+TEST(DifferentialFault, DivisionByZeroReg) {
+  expect_fault_parity({"div0_reg",
+                       [](Assembler& a) {
+                         a.mov64(Reg::R0, 9);
+                         a.mov64(Reg::R2, 0);
+                         a.div64(Reg::R0, Reg::R2);
+                         a.exit_();
+                       }});
+}
+
+TEST(DifferentialFault, ModuloByZero32Reg) {
+  expect_fault_parity({"mod0_reg32",
+                       [](Assembler& a) {
+                         a.mov64(Reg::R0, 9);
+                         a.mov64(Reg::R2, Reg::R1);  // r1 = 0 at run time
+                         a.mod64(Reg::R0, Reg::R2);
+                         a.exit_();
+                       }});
+}
+
+TEST(DifferentialFault, OutOfBoundsStackRead) {
+  expect_fault_parity({"oob_read",
+                       [](Assembler& a) {
+                         a.mov64(Reg::R2, Reg::R10);
+                         a.ldxdw(Reg::R0, Reg::R2, -520);  // 8 bytes past the frame
+                         a.exit_();
+                       }});
+}
+
+TEST(DifferentialFault, OutOfBoundsStackWrite) {
+  expect_fault_parity({"oob_write",
+                       [](Assembler& a) {
+                         a.mov64(Reg::R2, Reg::R10);
+                         a.stxdw(Reg::R2, 1, Reg::R2);  // past the frame top
+                         a.mov64(Reg::R0, 0);
+                         a.exit_();
+                       }});
+}
+
+TEST(DifferentialFault, ScalarPointerDereference) {
+  expect_fault_parity({"scalar_deref",
+                       [](Assembler& a) {
+                         a.mov64(Reg::R2, 0x1234);
+                         a.ldxw(Reg::R0, Reg::R2, 0);
+                         a.exit_();
+                       }});
+}
+
+TEST(DifferentialFault, BudgetExhaustedInLoop) {
+  expect_fault_parity({"tight_loop",
+                       [](Assembler& a) {
+                         auto head = a.make_label();
+                         a.mov64(Reg::R0, 0);
+                         a.place(head);
+                         a.add64(Reg::R0, 1);
+                         a.jlt(Reg::R0, 1000000, head);
+                         a.exit_();
+                       },
+                       0, /*budget=*/777});
+}
+
+TEST(DifferentialFault, UnboundHelper) {
+  // Helper id 63 is whitelisted for pass 0 but never bound in the harness.
+  expect_fault_parity({"unbound_helper",
+                       [](Assembler& a) {
+                         a.mov64(Reg::R1, 1);
+                         a.call(63);
+                         a.exit_();
+                       }});
+}
+
+TEST(DifferentialFault, HelperReportsError) {
+  Assembler a;
+  a.mov64(Reg::R1, 5);
+  a.call(3);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  const Program p = a.build("helper_error");
+  const IrProgram ir = Translator::translate(p);
+  DifferentialHarness harness;
+  harness.vm().set_helper(3, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                                std::uint64_t) { return HelperResult::fail("boom"); });
+  const Observation ref = harness.run_tier(p, nullptr, ExecMode::kReference, 0, 0);
+  const Observation fast = harness.run_tier(p, &ir, ExecMode::kFast, 0, 0);
+  ASSERT_TRUE(ref.result.faulted());
+  EXPECT_EQ(static_cast<int>(ref.result.fault.kind), static_cast<int>(FaultKind::kHelperError));
+  EXPECT_STREQ(ref.result.fault.detail, "boom");
+  EXPECT_EQ(static_cast<int>(fast.result.fault.kind), static_cast<int>(ref.result.fault.kind));
+  EXPECT_EQ(fast.result.fault.pc, ref.result.fault.pc);
+  EXPECT_STREQ(fast.result.fault.detail, ref.result.fault.detail);
+}
+
+TEST(DifferentialFault, HelperYieldsNext) {
+  Assembler a;
+  a.call(1);  // recorder id 1 returns a scalar; rebind to next()
+  a.mov64(Reg::R0, 7);
+  a.exit_();
+  const Program p = a.build("helper_next");
+  const IrProgram ir = Translator::translate(p);
+  DifferentialHarness harness;
+  harness.vm().set_helper(1, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                                std::uint64_t) { return HelperResult::next(); });
+  const Observation ref = harness.run_tier(p, nullptr, ExecMode::kReference, 0, 0);
+  const Observation fast = harness.run_tier(p, &ir, ExecMode::kFast, 0, 0);
+  EXPECT_TRUE(ref.result.yielded_next());
+  EXPECT_TRUE(fast.result.yielded_next());
+  EXPECT_EQ(fast.retired, ref.retired);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Translator and elision unit checks.
+
+TEST(Translator, ElidesAnalyzerProvenStackChecks) {
+  Assembler a;
+  a.stdw(Reg::R10, -8, 42);
+  a.ldxdw(Reg::R0, Reg::R10, -8);
+  a.exit_();
+  const Program p = a.build("elide_me");
+  const AnalysisResult analysis = Analyzer::analyze(p, {});
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_EQ(analysis.facts.stack_safe.size(), p.insns().size());
+  const IrProgram ir = Translator::translate(p, &analysis.facts);
+  EXPECT_EQ(ir.elided_checks, 2u);
+  EXPECT_EQ(ir.checked_accesses, 0u);
+
+  Vm vm;
+  vm.set_translated(&ir);
+  vm.set_exec_mode(ExecMode::kFast);
+  const auto res = vm.run(p);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value, 42u);
+  EXPECT_EQ(vm.effective_mode(), ExecMode::kFast);
+}
+
+TEST(Translator, RetainsChecksWithoutFacts) {
+  Assembler a;
+  a.stdw(Reg::R10, -8, 42);
+  a.ldxdw(Reg::R0, Reg::R10, -8);
+  a.exit_();
+  const Program p = a.build("checked");
+  const IrProgram ir = Translator::translate(p);  // no facts
+  EXPECT_EQ(ir.elided_checks, 0u);
+  EXPECT_EQ(ir.checked_accesses, 2u);
+}
+
+TEST(Translator, IgnoresSizeMismatchedFacts) {
+  Assembler a;
+  a.stdw(Reg::R10, -8, 1);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  const Program p = a.build("stale_facts");
+  SafetyFacts stale;
+  stale.stack_safe.assign(1, 1);  // wrong length: must be ignored wholesale
+  const IrProgram ir = Translator::translate(p, &stale);
+  EXPECT_EQ(ir.elided_checks, 0u);
+  EXPECT_EQ(ir.checked_accesses, 1u);
+}
+
+TEST(Translator, RejectedProgramYieldsNoFacts) {
+  Assembler a;
+  a.stdw(Reg::R10, -8, 1);     // provably safe on its own...
+  a.mov64(Reg::R0, Reg::R9);   // ...but reading uninitialized r9 rejects the
+  a.exit_();                   // program, so ALL facts must be withdrawn
+  const Program p = a.build("rejected");
+  const AnalysisResult analysis = Analyzer::analyze(p, {});
+  ASSERT_FALSE(analysis.ok());
+  EXPECT_TRUE(analysis.facts.stack_safe.empty());
+}
+
+TEST(Translator, FusesLddwAndResolvesJumps) {
+  Assembler a;
+  auto t = a.make_label();
+  a.lddw(Reg::R0, 0x1122334455667788ull);
+  a.ja(t);
+  a.mov64(Reg::R0, 0);
+  a.place(t);
+  a.exit_();
+  const Program p = a.build("fuse");
+  const IrProgram ir = Translator::translate(p);
+  // 5 source slots (lddw is two) -> 4 IR ops + trap sentinel.
+  ASSERT_EQ(ir.insns.size(), 5u);
+  EXPECT_EQ(ir.insns[0].op, IrOp::kLddw);
+  EXPECT_EQ(ir.insns[0].imm, 0x1122334455667788ull);
+  EXPECT_EQ(ir.insns[1].op, IrOp::kJa);
+  EXPECT_EQ(ir.insns[1].jt, 3);  // resolved to exit's IR index (source pc 4)
+  EXPECT_EQ(ir.insns.back().op, IrOp::kTrapEnd);
+  EXPECT_EQ(ir.source_len, 5u);
+}
+
+TEST(Translator, RejectsNonPass0Programs) {
+  // A jump past the end of the program: pass 0 rejects it, and the
+  // translator's jump-resolution refuses it too (its contract is pass-0
+  // validity; it must fail loudly rather than emit a wild IR target).
+  std::vector<Insn> insns = {
+      Insn{0x05, 0, 0, /*offset=*/10, 0},  // ja +10 — way out of bounds
+      Insn{0x95, 0, 0, 0, 0},              // exit
+  };
+  const Program p("bad", insns, {});
+  ASSERT_TRUE(Verifier::verify(p, {}).has_value());
+  EXPECT_THROW(Translator::translate(p), std::invalid_argument);
+}
+
+}  // namespace

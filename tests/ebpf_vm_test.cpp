@@ -389,7 +389,7 @@ TEST(Helpers, FailureBecomesFault) {
   auto res = vm.run(a.build("fail"));
   ASSERT_TRUE(res.faulted());
   EXPECT_EQ(res.fault.kind, FaultKind::kHelperError);
-  EXPECT_EQ(res.fault.detail, "boom");
+  EXPECT_STREQ(res.fault.detail, "boom");
 }
 
 // --- image serialisation ---------------------------------------------------------------

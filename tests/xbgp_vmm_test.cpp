@@ -471,6 +471,112 @@ TEST(Vmm, UnloadAllRestoresNative) {
   EXPECT_FALSE(vmm.any_attached(Op::kInboundFilter));
 }
 
+TEST(Vmm, FastTierIsDefaultAndCounted) {
+  FakeHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("p", Op::kInboundFilter, const_program("p", 42));
+  vmm.load(m);
+  const auto& tstats = vmm.translation_stats();
+  EXPECT_EQ(tstats.programs, 1u);
+  EXPECT_GT(tstats.ir_insns, 0u);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 7ull; }), 42u);
+  EXPECT_EQ(vmm.stats().tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kFast)], 1u);
+  EXPECT_EQ(vmm.stats().tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kReference)], 0u);
+}
+
+TEST(Vmm, TiersAgreeOnHelperHeavyProgram) {
+  // The same loaded program, executed on both tiers through the full VMM
+  // helper surface (attr read, route meta, shared memory), must produce the
+  // same value and the same host-visible side effects.
+  FakeHost host;
+  host.attrs.push_back(bgp::WireAttr{0x40, 1, {2}});
+  auto build = [] {
+    Assembler a;
+    a.mov64(Reg::R1, 77);
+    a.call(helper::kSetRouteMeta);
+    a.call(helper::kGetRouteMeta);
+    a.stxdw(Reg::R10, -8, Reg::R0);
+    a.mov64(Reg::R1, 1);  // attr code ORIGIN
+    a.call(helper::kGetAttr);
+    a.ldxdw(Reg::R0, Reg::R10, -8);
+    a.exit_();
+    return a.build("both_tiers");
+  };
+  std::uint64_t values[2];
+  for (int tier = 0; tier < 2; ++tier) {
+    Vmm::Options opts;
+    opts.exec_mode = tier == 0 ? ebpf::ExecMode::kReference : ebpf::ExecMode::kFast;
+    Vmm vmm(host, opts);
+    Manifest m;
+    m.attach("both_tiers", Op::kInboundFilter, build());
+    vmm.load(m);
+    ExecContext ctx;
+    values[tier] = vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; });
+    EXPECT_EQ(vmm.stats().tier_runs[tier], 1u) << "tier " << tier;
+    EXPECT_EQ(vmm.stats().faults, 0u) << "tier " << tier;
+  }
+  EXPECT_EQ(values[0], 77u);
+  EXPECT_EQ(values[1], values[0]);
+  EXPECT_EQ(host.meta, 77u);
+}
+
+TEST(Vmm, SetExecModeSwitchesTiersAtRunTime) {
+  FakeHost host;
+  Vmm vmm(host);  // fast by default
+  Manifest m;
+  m.attach("p", Op::kInboundFilter, const_program("p", 42));
+  vmm.load(m);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 42u);
+  EXPECT_TRUE(vmm.set_exec_mode("p", ebpf::ExecMode::kReference));
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 42u);
+  EXPECT_FALSE(vmm.set_exec_mode("no_such_program", ebpf::ExecMode::kFast));
+  vmm.set_exec_mode(ebpf::ExecMode::kFast);  // global switch back
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 42u);
+  const auto stats = vmm.stats();
+  EXPECT_EQ(stats.tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kFast)], 2u);
+  EXPECT_EQ(stats.tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kReference)], 1u);
+}
+
+TEST(Vmm, FaultDetailSurvivesFastTier) {
+  // Fault literals reach FaultInfo unchanged regardless of tier.
+  for (const auto mode : {ebpf::ExecMode::kReference, ebpf::ExecMode::kFast}) {
+    FakeHost host;
+    Vmm::Options opts;
+    opts.exec_mode = mode;
+    Vmm vmm(host, opts);
+    Manifest m;
+    m.attach("bad", Op::kInboundFilter, faulting_program("bad"));
+    vmm.load(m);
+    ExecContext ctx;
+    EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 7ull; }), 7u);
+    EXPECT_EQ(host.faults, 1);
+    EXPECT_NE(host.last_fault.find("memory read out of bounds"), std::string::npos)
+        << host.last_fault;
+    EXPECT_EQ(host.last_fault_class, FaultClass::kMemoryBounds);
+  }
+}
+
+TEST(Vmm, TranslationElidesProvenStackChecks) {
+  FakeHost host;
+  Vmm vmm(host);
+  Assembler a;
+  a.stdw(Reg::R10, -8, 41);
+  a.ldxdw(Reg::R0, Reg::R10, -8);
+  a.add64(Reg::R0, 1);
+  a.exit_();
+  Manifest m;
+  m.attach("stack", Op::kInboundFilter, a.build("stack"));
+  vmm.load(m);
+  const auto& tstats = vmm.translation_stats();
+  EXPECT_EQ(tstats.elided_checks, 2u);
+  EXPECT_EQ(tstats.checked_accesses, 0u);
+  ExecContext ctx;
+  EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 42u);
+}
+
 TEST(Vmm, SqrtHelper) {
   FakeHost host;
   Vmm vmm(host);

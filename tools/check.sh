@@ -12,6 +12,11 @@
 #   tools/check.sh obs             # telemetry overhead gate: unsanitized
 #                                  # build, obs_overhead must stay under the
 #                                  # 2% budget, xbgp_stats must smoke-run
+#   tools/check.sh fast-vm         # execution-engine gate: differential
+#                                  # fuzz + conformance under BOTH dispatch
+#                                  # strategies (computed goto and the
+#                                  # portable switch), then again under TSan
+#                                  # and UBSan
 #
 # The `thread` mode builds only the tests that actually spawn worker
 # threads (the UPDATE pipeline at parallelism > 1); everything else is
@@ -37,8 +42,44 @@ if [ "$MODE" = "obs" ]; then
   cmake -B "$BUILD" -S "$ROOT"
   cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
     --target obs_overhead xbgp_stats
-  "$BUILD/bench/obs_overhead" "${2:-40000}" "${3:-7}" "${4:-2.0}"
+  # 120k routes keeps individual runs ~0.6s: the fast execution tier cut the
+  # workload time ~30%, and shorter runs put the 2% budget under the
+  # machine's scheduling-noise floor.
+  "$BUILD/bench/obs_overhead" "${2:-120000}" "${3:-7}" "${4:-2.0}"
   "$BUILD/tools/xbgp_stats" --routes 120
+  exit 0
+fi
+
+# The fast-vm mode cross-checks the fast execution tier against the
+# reference interpreter: the differential fuzz gate and the two-tier
+# conformance table, built with computed-goto dispatch (the default) and
+# with -DXBGP_SWITCH_DISPATCH=ON, then repeated inside the existing TSan
+# and UBSan trees so data races and UB in the dispatch loop can't hide.
+if [ "$MODE" = "fast-vm" ]; then
+  NPROC="$(nproc 2>/dev/null || echo 4)"
+  FILTER='DifferentialFuzz|DifferentialFault|Translator\.|Conformance'
+
+  BUILD="$ROOT/build-fastvm"
+  cmake -B "$BUILD" -S "$ROOT" -DXBGP_SWITCH_DISPATCH=OFF
+  cmake --build "$BUILD" -j "$NPROC" \
+    --target ebpf_differential_test ebpf_conformance_test
+  ctest --test-dir "$BUILD" --output-on-failure -R "$FILTER"
+
+  BUILD="$ROOT/build-fastvm-switch"
+  cmake -B "$BUILD" -S "$ROOT" -DXBGP_SWITCH_DISPATCH=ON
+  cmake --build "$BUILD" -j "$NPROC" \
+    --target ebpf_differential_test ebpf_conformance_test
+  ctest --test-dir "$BUILD" --output-on-failure -R "$FILTER"
+
+  for SAN_MODE in thread ubsan; do
+    SAN=thread
+    [ "$SAN_MODE" = "ubsan" ] && SAN=undefined
+    BUILD="$ROOT/build-san-$SAN_MODE"
+    cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SAN"
+    cmake --build "$BUILD" -j "$NPROC" --target ebpf_differential_test
+    ctest --test-dir "$BUILD" --output-on-failure \
+      -R 'DifferentialFuzz|DifferentialFault'
+  done
   exit 0
 fi
 

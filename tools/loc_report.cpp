@@ -97,5 +97,15 @@ int main(int argc, char** argv) {
   const std::size_t spine = count_dir(root / "src/util/status.hpp");
   std::printf("error spine (src/util/status.hpp): %zu LoC, shared by codec, "
               "sessions, engine and VMM\n", spine);
+
+  // The fast execution tier (docs/execution_engine.md): part of the eBPF row
+  // above, broken out because it is the perf-critical subset.
+  std::size_t engine = 0;
+  for (const char* f : {"src/ebpf/ir.hpp", "src/ebpf/translator.hpp", "src/ebpf/translator.cpp",
+                        "src/ebpf/vm_fast.cpp"}) {
+    engine += count_dir(root / f);
+  }
+  std::printf("execution engine (ir+translator+vm_fast): %zu LoC, tier 1 of the "
+              "two-tier eBPF VM\n", engine);
   return 0;
 }
