@@ -142,9 +142,10 @@ int main(int argc, char** argv) {
               routes, runs, cores,
               g_exec_mode == ebpf::ExecMode::kFast ? "fast" : "reference");
   if (cores < max_shards) {
-    std::printf("WARNING: only %u hardware threads for up to %zu shards — workers will\n"
-                "time-slice and the parallel speedup cannot show on this machine.\n",
-                cores, max_shards);
+    std::printf("SINGLE-CORE WARNING: only %u hardware thread%s for up to %zu shards —\n"
+                "workers will time-slice and the parallel speedup cannot show on this\n"
+                "machine; treat the multi-shard rows below as dispatch-overhead data only.\n",
+                cores, cores == 1 ? "" : "s", max_shards);
   }
   std::printf("\n");
 

@@ -11,6 +11,7 @@
 // speedup recorded in results/vm_overhead_*.txt.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <optional>
 
 #include "ebpf/analyzer.hpp"
@@ -26,14 +27,17 @@ using namespace xb::ebpf;
 
 /// Puts `vm` in the benchmarked tier. The IrProgram is returned so it
 /// outlives the run (the Vm only borrows it).
-std::optional<IrProgram> configure_tier(Vm& vm, const Program& p, std::int64_t tier) {
+std::optional<IrProgram> configure_tier(Vm& vm, const Program& p, std::int64_t tier,
+                                        const Analyzer::Options* opts = nullptr) {
   if (tier == 0) {
     vm.set_exec_mode(ExecMode::kReference);
     return std::nullopt;
   }
   std::optional<IrProgram> ir;
   if (tier == 2) {
-    const AnalysisResult analysis = Analyzer::analyze(p, p.required_helpers());
+    const AnalysisResult analysis =
+        opts != nullptr ? Analyzer::analyze(p, p.required_helpers(), *opts)
+                        : Analyzer::analyze(p, p.required_helpers());
     ir.emplace(Translator::translate(p, analysis.ok() ? &analysis.facts : nullptr));
   } else {
     ir.emplace(Translator::translate(p));
@@ -42,8 +46,8 @@ std::optional<IrProgram> configure_tier(Vm& vm, const Program& p, std::int64_t t
 }
 
 void run_tiered(benchmark::State& state, const Program& p, Vm& vm, std::int64_t tier,
-                std::int64_t items_per_run) {
-  const std::optional<IrProgram> ir = configure_tier(vm, p, tier);
+                std::int64_t items_per_run, const Analyzer::Options* opts = nullptr) {
+  const std::optional<IrProgram> ir = configure_tier(vm, p, tier, opts);
   if (ir) {
     vm.set_translated(&*ir);
     vm.set_exec_mode(ExecMode::kFast);
@@ -105,6 +109,53 @@ void BM_InterpreterMemoryLoop(benchmark::State& state) {
   run_tiered(state, p, vm, state.range(0), 512);  // loads + stores
 }
 BENCHMARK(BM_InterpreterMemoryLoop)->Arg(0)->Arg(1)->Arg(2);
+
+// Bounds-checked loads/stores through a helper-returned object. Tier 2 runs
+// with the region-domain proofs applied: the accesses sit behind a null
+// check and inside the helper's contract extent, so the MemoryModel probe is
+// elided on every iteration — the ctx/attribute-buffer analogue of the
+// stack elision above.
+void BM_InterpreterObjectMemoryLoop(benchmark::State& state) {
+  Assembler a;
+  auto ok = a.make_label();
+  auto loop = a.make_label();
+  auto out = a.make_label();
+  a.call(1);  // contract: 4096-byte writable object, may be NULL
+  a.jne(Reg::R0, 0, ok);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  a.place(ok);
+  a.mov64(Reg::R7, Reg::R0);
+  a.mov64(Reg::R6, 256);
+  a.place(loop);
+  a.jeq(Reg::R6, 0, out);
+  a.ldxdw(Reg::R0, Reg::R7, 0);
+  a.stxdw(Reg::R7, 8, Reg::R0);
+  a.sub64(Reg::R6, 1);
+  a.ja(loop);
+  a.place(out);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  const Program p = a.build("obj_loop");
+
+  static std::array<std::uint8_t, 4096> scratch{};
+  Vm vm;
+  vm.memory().add_region(scratch.data(), scratch.size(), /*writable=*/true, "scratch");
+  const std::uint64_t base = reinterpret_cast<std::uintptr_t>(scratch.data());
+  vm.set_helper(1, [base](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                          std::uint64_t) { return HelperResult::ok(base); });
+
+  Analyzer::Options opts;
+  opts.helper_arity = {{1, 0}};
+  HelperContract contract;
+  contract.returns_pointer = true;
+  contract.region = Region::kCtx;
+  contract.extent = static_cast<std::uint32_t>(scratch.size());
+  contract.writable = true;
+  opts.helper_contracts = {{1, contract}};
+  run_tiered(state, p, vm, state.range(0), 512, &opts);  // loads + stores
+}
+BENCHMARK(BM_InterpreterObjectMemoryLoop)->Arg(0)->Arg(1)->Arg(2);
 
 // Cost of one helper call round trip (dominated by the std::function hop,
 // identical across tiers — the fast tier only trims the dispatch around it).

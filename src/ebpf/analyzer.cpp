@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <deque>
 #include <limits>
 #include <optional>
@@ -62,29 +63,81 @@ enum class Kind : std::uint8_t {
   kUninit,    // never written on some path
   kScalar,    // plain value, bounds in `range`
   kStackPtr,  // r10 + offset, offset bounds in `range`
-  kCtxPtr,    // helper-returned pointer; accesses runtime-checked
+  kObjPtr,    // helper-returned pointer; provenance in the region fields
 };
 
+/// One register's abstract value across the three domains: the interval
+/// (`range` — the value for scalars, the region-relative offset for
+/// pointers), the region/points-to facts (provenance, extent, nullability,
+/// writability for kObjPtr), and the taint bits.
 struct AbsVal {
   Kind kind = Kind::kUninit;
   Interval range = Interval::full();
+  // kObjPtr provenance, seeded from the originating helper's contract.
+  Region region = Region::kNone;   // kCtx / kAttr / kUnknown
+  std::uint32_t extent = 0;        // guaranteed dereferenceable bytes (0: unknown)
+  std::int32_t helper = -1;        // originating helper id (-1: mixed)
+  bool exact = false;              // extent is the object's exact size
+  bool nonnull = false;            // proven != 0 (dominating null check)
+  bool writable = false;           // stores through it may be elided
+  // Taint: for scalars `tainted` marks a wire-derived value; for kObjPtr it
+  // marks wire-derived pointed-to bytes, and `off_tainted` marks offset
+  // arithmetic that consumed a tainted scalar.
+  bool tainted = false;
+  bool off_tainted = false;
 
-  static AbsVal uninit() { return {Kind::kUninit, Interval::full()}; }
-  static AbsVal scalar(Interval r) { return {Kind::kScalar, r}; }
-  static AbsVal stack(Interval r) { return {Kind::kStackPtr, r}; }
-  static AbsVal ctx() { return {Kind::kCtxPtr, Interval::full()}; }
+  static AbsVal uninit() { return {}; }
+  static AbsVal scalar(Interval r) {
+    AbsVal v;
+    v.kind = Kind::kScalar;
+    v.range = r;
+    return v;
+  }
+  static AbsVal scalar_t(Interval r, bool taint) {
+    AbsVal v = scalar(r);
+    v.tainted = taint;
+    return v;
+  }
+  static AbsVal stack(Interval r) {
+    AbsVal v;
+    v.kind = Kind::kStackPtr;
+    v.range = r;
+    return v;
+  }
 
   [[nodiscard]] bool initialized() const { return kind != Kind::kUninit; }
+  [[nodiscard]] bool is_ptr() const {
+    return kind == Kind::kStackPtr || kind == Kind::kObjPtr;
+  }
 
   friend bool operator==(const AbsVal&, const AbsVal&) = default;
 };
 
 AbsVal join(const AbsVal& a, const AbsVal& b) {
   if (a.kind == Kind::kUninit || b.kind == Kind::kUninit) return AbsVal::uninit();
-  if (a.kind == b.kind) return {a.kind, a.range.hull(b.range)};
+  if (a.kind == b.kind) {
+    AbsVal v = a;
+    v.range = a.range.hull(b.range);
+    v.tainted = a.tainted || b.tainted;
+    if (a.kind == Kind::kObjPtr) {
+      v.region = a.region == b.region ? a.region : Region::kUnknown;
+      v.extent = std::min(a.extent, b.extent);
+      v.helper = a.helper == b.helper ? a.helper : -1;
+      v.exact = a.exact && b.exact;
+      v.nonnull = a.nonnull && b.nonnull;
+      v.writable = a.writable && b.writable;
+      v.off_tainted = a.off_tainted || b.off_tainted;
+    } else {
+      v.region = Region::kNone;
+      v.extent = 0;
+      v.helper = -1;
+      v.exact = v.nonnull = v.writable = v.off_tainted = false;
+    }
+    return v;
+  }
   // Mixed initialized kinds: sound as an unknown scalar — any dereference
   // through it is bounds-checked by the interpreter's memory model.
-  return AbsVal::scalar(Interval::full());
+  return AbsVal::scalar_t(Interval::full(), a.tainted || b.tainted);
 }
 
 using RegState = std::array<AbsVal, kNumRegisters>;
@@ -115,6 +168,16 @@ Interval load_range(int size) {
     case 4: return {0, kU32Max};
     default: return Interval::full();
   }
+}
+
+/// Largest power-of-two (capped at 8) dividing every offset in the hull —
+/// the alignment claim published in the proof table.
+std::uint8_t hull_alignment(std::int64_t lo, std::int64_t hi) {
+  if (lo != hi) return 1;  // variable offsets carry no alignment proof
+  if (lo == 0) return 8;
+  const auto mag = static_cast<std::uint64_t>(lo < 0 ? -lo : lo);
+  const int tz = std::countr_zero(mag);
+  return static_cast<std::uint8_t>(std::min(8, 1 << std::min(tz, 3)));
 }
 
 // --- Loop-analysis symbolic domain ------------------------------------------
@@ -154,7 +217,7 @@ SymVal sym_join(const SymVal& a, const SymVal& b) {
 
 using SymState = std::array<SymVal, kNumRegisters>;
 
-// --- Normalized branch predicates for the induction check -------------------
+// --- Normalized branch predicates -------------------------------------------
 
 enum class Cmp : std::uint8_t { kEq, kNe, kGt, kGe, kLt, kLe, kSgt, kSge, kSlt, kSle, kNone };
 
@@ -190,6 +253,117 @@ Cmp invert(Cmp c) {
   }
 }
 
+const char* cmp_text(Cmp c) {
+  switch (c) {
+    case Cmp::kEq: return "==";
+    case Cmp::kNe: return "!=";
+    case Cmp::kGt: return ">";
+    case Cmp::kGe: return ">=";
+    case Cmp::kLt: return "<";
+    case Cmp::kLe: return "<=";
+    case Cmp::kSgt: return "s>";
+    case Cmp::kSge: return "s>=";
+    case Cmp::kSlt: return "s<";
+    case Cmp::kSle: return "s<=";
+    default: return "?";
+  }
+}
+
+/// Decides `range CMP K` when the interval makes it a foregone conclusion.
+/// Unsigned predicates are only decided over provably non-negative operands,
+/// where unsigned and signed order coincide.
+std::optional<bool> decide(Cmp c, const Interval& r, std::int64_t k) {
+  const bool uns = c == Cmp::kGt || c == Cmp::kGe || c == Cmp::kLt || c == Cmp::kLe;
+  if (uns && (r.lo < 0 || k < 0)) return std::nullopt;
+  switch (c) {
+    case Cmp::kEq:
+      if (r.singleton() && r.lo == k) return true;
+      if (k < r.lo || k > r.hi) return false;
+      return std::nullopt;
+    case Cmp::kNe:
+      if (r.singleton() && r.lo == k) return false;
+      if (k < r.lo || k > r.hi) return true;
+      return std::nullopt;
+    case Cmp::kGt:
+    case Cmp::kSgt:
+      if (r.lo > k) return true;
+      if (r.hi <= k) return false;
+      return std::nullopt;
+    case Cmp::kGe:
+    case Cmp::kSge:
+      if (r.lo >= k) return true;
+      if (r.hi < k) return false;
+      return std::nullopt;
+    case Cmp::kLt:
+    case Cmp::kSlt:
+      if (r.hi < k) return true;
+      if (r.lo >= k) return false;
+      return std::nullopt;
+    case Cmp::kLe:
+    case Cmp::kSle:
+      if (r.hi <= k) return true;
+      if (r.lo > k) return false;
+      return std::nullopt;
+    default: return std::nullopt;
+  }
+}
+
+/// Narrows `v` under the assumption that `v CMP K` evaluated to `taken`.
+/// Scalars get their interval clamped; helper-returned pointers compared
+/// against 0 gain (or lose) the non-null fact.  A clamp that would empty the
+/// interval is skipped — the edge is infeasible, but reachability pruning is
+/// deliberately left to the diagnostics, not the state propagation.
+void refine(AbsVal& v, Cmp cmp, std::int64_t k, bool taken) {
+  if (v.kind == Kind::kObjPtr && k == 0 && (cmp == Cmp::kEq || cmp == Cmp::kNe)) {
+    const bool null_path = (cmp == Cmp::kEq) == taken;
+    if (null_path) {
+      // rX == 0 on this edge: whatever its provenance, its value is 0.
+      v = AbsVal::scalar(Interval::point(0));
+    } else if (v.range == Interval::point(0)) {
+      // rX != 0 proves the BASE non-null only while the offset is exactly 0;
+      // base + 8 != 0 says nothing about base.
+      v.nonnull = true;
+    }
+    return;
+  }
+  if (v.kind != Kind::kScalar) return;
+  Cmp c = taken ? cmp : invert(cmp);
+  const bool uns = c == Cmp::kGt || c == Cmp::kGe || c == Cmp::kLt || c == Cmp::kLe;
+  if (uns) {
+    // Unsigned order only matches the signed interval when both sides are
+    // provably non-negative.
+    if (v.range.lo < 0 || k < 0) return;
+    switch (c) {
+      case Cmp::kGt: c = Cmp::kSgt; break;
+      case Cmp::kGe: c = Cmp::kSge; break;
+      case Cmp::kLt: c = Cmp::kSlt; break;
+      default: c = Cmp::kSle; break;
+    }
+  }
+  Interval r = v.range;
+  switch (c) {
+    case Cmp::kEq:
+      if (k < r.lo || k > r.hi) return;  // infeasible edge: keep unrefined
+      r = Interval::point(k);
+      break;
+    case Cmp::kNe:
+      return;  // shaving a single interior point is not representable
+    case Cmp::kSgt:
+      if (k == kValMax) return;
+      r.lo = std::max(r.lo, k + 1);
+      break;
+    case Cmp::kSge: r.lo = std::max(r.lo, k); break;
+    case Cmp::kSlt:
+      if (k == kValMin) return;
+      r.hi = std::min(r.hi, k - 1);
+      break;
+    case Cmp::kSle: r.hi = std::min(r.hi, k); break;
+    default: return;
+  }
+  if (r.lo > r.hi) return;  // infeasible edge: keep unrefined
+  v.range = r;
+}
+
 // --- The analysis proper ----------------------------------------------------
 
 class Analysis {
@@ -205,7 +379,7 @@ class Analysis {
       emit(Severity::kError, err->insn_index, -1, err->reason);
       return finish();
     }
-    facts_.stack_safe.assign(program_.insns().size(), 0);
+    facts_.mem.assign(program_.insns().size(), ProofTable::MemFact{});
     cfg_ = Cfg::build(program_);
 
     if (options_.warnings) {
@@ -245,8 +419,16 @@ class Analysis {
     const bool rejected = std::any_of(
         diags_.begin(), diags_.end(),
         [](const Diagnostic& d) { return d.severity == Severity::kError; });
-    if (rejected) facts_.stack_safe.clear();
+    if (rejected) {
+      facts_.mem.clear();
+      facts_.calls.clear();
+    }
     return AnalysisResult{std::move(diags_), std::move(facts_)};
+  }
+
+  const HelperContract* contract_of(std::int32_t id) const {
+    auto it = options_.helper_contracts.find(id);
+    return it == options_.helper_contracts.end() ? nullptr : &it->second;
   }
 
   // ---- main abstract interpretation ----
@@ -268,11 +450,12 @@ class Analysis {
                           bool reporting) {
     const std::int64_t lo = sat_add(base.range.lo, off);
     const std::int64_t hi = sat_add(base.range.hi, off);
-    if (lo < -kStackSize || sat_add(hi, size) > 0) {
+    const std::int64_t end = sat_add(hi, size);
+    if (lo < -kStackSize || end > 0) {
       if (reporting) {
         emit(Severity::kError, insn, -1,
              "stack access out of bounds (bytes [" + std::to_string(lo) + ", " +
-                 std::to_string(sat_add(hi, size)) + ") relative to r10; the frame is [-" +
+                 std::to_string(end) + ") relative to r10; the frame is [-" +
                  std::to_string(kStackSize) + ", 0))");
       }
       return;
@@ -281,7 +464,10 @@ class Analysis {
     // translator may elide the runtime bounds check. The report pass visits
     // each reachable block exactly once from its fixpoint in-state, so the
     // interval here is already the hull over all paths.
-    if (reporting) facts_.stack_safe[insn] = 1;
+    if (reporting) {
+      facts_.mem[insn] =
+          ProofTable::MemFact{Region::kStack, lo, end, hull_alignment(lo, hi), true};
+    }
     if (reporting && base.range.singleton() && size > 1 && (lo % size) != 0) {
       emit(Severity::kWarning, insn, -1,
            "misaligned stack access (offset " + std::to_string(lo) + " is not " +
@@ -289,9 +475,60 @@ class Analysis {
     }
   }
 
+  /// Memory access whose base is a helper-returned pointer or a plain
+  /// scalar.  Publishes the region/offset-hull proof, decides elision
+  /// (non-null base, window inside the guaranteed extent, writable for
+  /// stores), and raises the pointer-hygiene diagnostics.
+  void check_ptr_access(std::size_t insn, const AbsVal& base, std::int16_t off, int size,
+                        bool is_store, bool reporting) {
+    if (!reporting) return;
+    const std::int64_t lo = sat_add(base.range.lo, off);
+    const std::int64_t end = sat_add(sat_add(base.range.hi, off), size);
+    if (base.kind != Kind::kObjPtr) {
+      facts_.mem[insn] = ProofTable::MemFact{Region::kUnknown, off,
+                                             sat_add(off, size), 1, false};
+      if (base.kind == Kind::kScalar && base.tainted) {
+        emit(Severity::kWarning, insn, -1,
+             "tainted offset: wire-derived value used as a memory address (the "
+             "runtime bounds check is load-bearing)");
+      }
+      return;
+    }
+    const bool in_extent = base.extent > 0 && lo >= 0 &&
+                           end <= static_cast<std::int64_t>(base.extent);
+    const bool elide = base.nonnull && in_extent && (!is_store || base.writable);
+    facts_.mem[insn] = ProofTable::MemFact{
+        base.region, lo, end, hull_alignment(lo, sat_add(base.range.hi, off)), elide};
+    const std::string who =
+        base.helper >= 0 ? "helper " + std::to_string(base.helper) : "a helper";
+    if (!base.nonnull && base.region != Region::kUnknown) {
+      emit(Severity::kWarning, insn, -1,
+           "possibly-NULL return of " + who + " dereferenced without a null check");
+    } else if (base.nonnull && base.range.lo >= 0 && lo < 0) {
+      emit(Severity::kWarning, insn, -1,
+           "access before the start of the object returned by " + who + " (bytes [" +
+               std::to_string(lo) + ", " + std::to_string(end) + "))");
+    } else if (base.nonnull && base.exact && base.extent > 0 &&
+               end > static_cast<std::int64_t>(base.extent)) {
+      emit(Severity::kWarning, insn, -1,
+           "access past the end of the " + std::to_string(base.extent) +
+               "-byte object returned by " + who + " (bytes [" + std::to_string(lo) +
+               ", " + std::to_string(end) + "))");
+    }
+    if (base.off_tainted && !elide) {
+      emit(Severity::kWarning, insn, -1,
+           "tainted offset: wire-derived length flows into this access (the "
+           "runtime bounds check is load-bearing)");
+    }
+  }
+
   /// Dead-store bookkeeping, active only in the report pass: last unread
-  /// store per exact stack slot within one basic block.
+  /// store per exact slot within one basic block.  `base == -1` is a stack
+  /// slot; otherwise the register that held the helper-returned pointer
+  /// (dropped as soon as that register is clobbered, so both stores are
+  /// known to target the same object).
   struct PendingStore {
+    int base = -1;
     std::int64_t off = 0;
     int size = 0;
     std::size_t insn = 0;
@@ -301,32 +538,77 @@ class Analysis {
     if (pending != nullptr) pending->clear();
   }
 
-  void stores_load(std::vector<PendingStore>* pending, std::int64_t off, int size) {
+  void stores_clear_obj(std::vector<PendingStore>* pending) {
+    if (pending != nullptr) {
+      std::erase_if(*pending, [](const PendingStore& p) { return p.base != -1; });
+    }
+  }
+
+  void stores_clobber_reg(std::vector<PendingStore>* pending, int reg) {
+    if (pending != nullptr) {
+      std::erase_if(*pending, [&](const PendingStore& p) { return p.base == reg; });
+    }
+  }
+
+  void stores_load(std::vector<PendingStore>* pending, int base, std::int64_t off,
+                   int size) {
     if (pending == nullptr) return;
     std::erase_if(*pending, [&](const PendingStore& p) {
-      return off < p.off + p.size && p.off < off + size;
+      return p.base == base && off < p.off + p.size && p.off < off + size;
     });
   }
 
-  void stores_store(std::vector<PendingStore>* pending, std::int64_t off, int size,
-                    std::size_t insn) {
+  void stores_store(std::vector<PendingStore>* pending, int base, std::int64_t off,
+                    int size, std::size_t insn) {
     if (pending == nullptr) return;
     for (const PendingStore& p : *pending) {
-      if (p.off == off && p.size == size) {
+      if (p.base == base && p.off == off && p.size == size) {
+        const std::string slot =
+            base == -1 ? "stack slot [r10" + std::to_string(off) + "]"
+                       : "helper-returned buffer [r" + std::to_string(base) + "+" +
+                             std::to_string(off) + "]";
         emit(Severity::kWarning, p.insn, -1,
-             "dead store to stack slot [r10" + std::to_string(off) +
-                 "] (overwritten at insn " + std::to_string(insn) +
+             "dead store to " + slot + " (overwritten at insn " + std::to_string(insn) +
                  " with no intervening load)");
       }
     }
     std::erase_if(*pending, [&](const PendingStore& p) {
-      return off < p.off + p.size && p.off < off + size;
+      return p.base == base && off < p.off + p.size && p.off < off + size;
     });
-    pending->push_back({off, size, insn});
+    pending->push_back({base, off, size, insn});
+  }
+
+  /// Emits the redundant-guard warning when proven value ranges decide a
+  /// conditional branch statically: the check always goes one way, so the
+  /// other path (and the check itself) is unreachable at run time.
+  void check_redundant_guard(std::size_t i, const Insn& insn, const RegState& s) {
+    if ((insn.opcode & kSrcX) != 0) return;  // imm comparisons only
+    const Cmp cmp = cmp_of(insn.opcode & 0xf0);
+    if (cmp == Cmp::kNone) return;
+    if (insn.offset == 0) return;  // branch to fall-through: not a real guard
+    const AbsVal& v = s[insn.dst];
+    const auto k = static_cast<std::int64_t>(insn.imm);
+    if (v.kind == Kind::kObjPtr && k == 0 && (cmp == Cmp::kEq || cmp == Cmp::kNe) &&
+        v.nonnull && v.range == Interval::point(0)) {
+      emit(Severity::kWarning, i, insn.dst,
+           std::string("redundant check: r") + std::to_string(insn.dst) +
+               " is proven non-null, so the " +
+               (cmp == Cmp::kEq ? "taken" : "fall-through") + " path is unreachable");
+      return;
+    }
+    if (v.kind != Kind::kScalar) return;
+    if (const auto verdict = decide(cmp, v.range, k)) {
+      emit(Severity::kWarning, i, insn.dst,
+           "redundant check: r" + std::to_string(insn.dst) + " " + cmp_text(cmp) + " " +
+               std::to_string(k) + " is always " + (*verdict ? "true" : "false") +
+               " for the proven range [" + std::to_string(v.range.lo) + ", " +
+               std::to_string(v.range.hi) + "], so the " +
+               (*verdict ? "fall-through" : "taken") + " path is unreachable");
+    }
   }
 
   /// Transfer function for one instruction.  `pending` is non-null only in
-  /// the report pass (which also makes read_reg/check_stack_access emit).
+  /// the report pass (which also makes read_reg/check_*_access emit).
   void exec_insn(RegState& s, std::size_t i, std::vector<PendingStore>* pending) {
     const bool reporting = pending != nullptr;
     const auto& insns = program_.insns();
@@ -337,6 +619,7 @@ class Analysis {
       case kClsAlu:
       case kClsAlu64:
         exec_alu(s, i, insn, cls == kClsAlu64, reporting);
+        stores_clobber_reg(pending, insn.dst);
         break;
       case kClsLd: {  // lddw
         const std::uint64_t imm64 =
@@ -345,6 +628,7 @@ class Analysis {
         s[insn.dst] = imm64 <= static_cast<std::uint64_t>(kValMax)
                           ? AbsVal::scalar(Interval::point(static_cast<std::int64_t>(imm64)))
                           : AbsVal::scalar(Interval::full());
+        stores_clobber_reg(pending, insn.dst);
         break;
       }
       case kClsLdx: {
@@ -353,16 +637,24 @@ class Analysis {
         if (base.kind == Kind::kStackPtr) {
           check_stack_access(i, base, insn.offset, size, reporting);
           if (base.range.singleton()) {
-            stores_load(pending, sat_add(base.range.lo, insn.offset), size);
+            stores_load(pending, -1, sat_add(base.range.lo, insn.offset), size);
           } else {
             stores_clear(pending);
           }
+        } else if (base.kind == Kind::kObjPtr) {
+          check_ptr_access(i, base, insn.offset, size, /*is_store=*/false, reporting);
+          // Aliasing between object pointers is untracked: any object load
+          // may observe any pending object store.
+          stores_clear_obj(pending);
         } else {
+          check_ptr_access(i, base, insn.offset, size, /*is_store=*/false, reporting);
           // A load through an unknown pointer may read any region the memory
           // model exposes — including the stack frame.
           stores_clear(pending);
         }
-        s[insn.dst] = AbsVal::scalar(load_range(size));
+        s[insn.dst] = AbsVal::scalar_t(load_range(size),
+                                       base.kind == Kind::kObjPtr && base.tainted);
+        stores_clobber_reg(pending, insn.dst);
         break;
       }
       case kClsSt:
@@ -373,11 +665,19 @@ class Analysis {
         if (base.kind == Kind::kStackPtr) {
           check_stack_access(i, base, insn.offset, size, reporting);
           if (base.range.singleton()) {
-            stores_store(pending, sat_add(base.range.lo, insn.offset), size, i);
+            stores_store(pending, -1, sat_add(base.range.lo, insn.offset), size, i);
           } else {
             stores_clear(pending);
           }
+        } else if (base.kind == Kind::kObjPtr) {
+          check_ptr_access(i, base, insn.offset, size, /*is_store=*/true, reporting);
+          if (base.range.singleton() && base.nonnull) {
+            stores_store(pending, insn.dst, sat_add(base.range.lo, insn.offset), size, i);
+          } else {
+            stores_clear_obj(pending);
+          }
         } else {
+          check_ptr_access(i, base, insn.offset, size, /*is_store=*/true, reporting);
           stores_clear(pending);
         }
         break;
@@ -398,6 +698,7 @@ class Analysis {
         if (op == kJmpJa) break;
         (void)read_reg(s, insn.dst, i, reporting);
         if (insn.opcode & kSrcX) (void)read_reg(s, insn.src, i, reporting);
+        if (reporting) check_redundant_guard(i, insn, s);
         break;
       }
       case kClsJmp32: {
@@ -414,11 +715,11 @@ class Analysis {
     const std::uint8_t op = insn.opcode & 0xf0;
 
     if (op == kAluEnd) {
-      (void)read_reg(s, insn.dst, i, reporting);
+      const AbsVal v = read_reg(s, insn.dst, i, reporting);
       Interval r = Interval::full();
       if (insn.imm == 16) r = {0, 0xFFFF};
       if (insn.imm == 32) r = {0, kU32Max};
-      s[insn.dst] = AbsVal::scalar(r);
+      s[insn.dst] = AbsVal::scalar_t(r, v.tainted);
       return;
     }
     if (op == kAluNeg) {
@@ -428,7 +729,7 @@ class Analysis {
         r = Interval::point(0).sub(v.range);
       }
       if (!is64) r = {0, kU32Max};
-      s[insn.dst] = AbsVal::scalar(r);
+      s[insn.dst] = AbsVal::scalar_t(r, v.tainted);
       return;
     }
     if (op == kAluMov) {
@@ -445,7 +746,7 @@ class Analysis {
       } else if (v.kind == Kind::kScalar && v.range.lo >= 0 && v.range.hi <= kU32Max) {
         s[insn.dst] = v;
       } else {
-        s[insn.dst] = AbsVal::scalar({0, kU32Max});
+        s[insn.dst] = AbsVal::scalar_t({0, kU32Max}, v.tainted);
       }
       return;
     }
@@ -454,15 +755,13 @@ class Analysis {
     const AbsVal dst = read_reg(s, insn.dst, i, reporting);
     AbsVal operand = AbsVal::scalar(Interval::point(insn.imm));
     if (insn.opcode & kSrcX) operand = read_reg(s, insn.src, i, reporting);
+    const bool taint = dst.tainted || operand.tainted;
 
     if (!is64) {
       // 32-bit ALU zero-extends; we only track that the result fits in u32.
-      s[insn.dst] = AbsVal::scalar({0, kU32Max});
+      s[insn.dst] = AbsVal::scalar_t({0, kU32Max}, taint);
       return;
     }
-
-    const bool dst_ptr = dst.kind == Kind::kStackPtr || dst.kind == Kind::kCtxPtr;
-    const bool opd_ptr = operand.kind == Kind::kStackPtr || operand.kind == Kind::kCtxPtr;
 
     switch (op) {
       case kAluAdd:
@@ -470,73 +769,88 @@ class Analysis {
           s[insn.dst] = AbsVal::stack(dst.range.add(operand.range));
         } else if (dst.kind == Kind::kScalar && operand.kind == Kind::kStackPtr) {
           s[insn.dst] = AbsVal::stack(operand.range.add(dst.range));
-        } else if (dst.kind == Kind::kCtxPtr || operand.kind == Kind::kCtxPtr) {
-          s[insn.dst] = AbsVal::ctx();
+        } else if (dst.kind == Kind::kObjPtr && operand.kind == Kind::kScalar) {
+          AbsVal v = dst;
+          v.range = dst.range.add(operand.range);
+          v.off_tainted = dst.off_tainted || operand.tainted;
+          s[insn.dst] = v;
+        } else if (dst.kind == Kind::kScalar && operand.kind == Kind::kObjPtr) {
+          AbsVal v = operand;
+          v.range = operand.range.add(dst.range);
+          v.off_tainted = operand.off_tainted || dst.tainted;
+          s[insn.dst] = v;
         } else {
-          s[insn.dst] = AbsVal::scalar(dst.range.add(operand.range));
+          s[insn.dst] = AbsVal::scalar_t(dst.range.add(operand.range), taint);
         }
         break;
       case kAluSub:
         if (dst.kind == Kind::kStackPtr && operand.kind == Kind::kScalar) {
           s[insn.dst] = AbsVal::stack(dst.range.sub(operand.range));
-        } else if (dst.kind == Kind::kCtxPtr && operand.kind == Kind::kScalar) {
-          s[insn.dst] = AbsVal::ctx();
-        } else if (!dst_ptr && !opd_ptr) {
-          s[insn.dst] = AbsVal::scalar(dst.range.sub(operand.range));
+        } else if (dst.kind == Kind::kObjPtr && operand.kind == Kind::kScalar) {
+          AbsVal v = dst;
+          v.range = dst.range.sub(operand.range);
+          v.off_tainted = dst.off_tainted || operand.tainted;
+          s[insn.dst] = v;
+        } else if (!dst.is_ptr() && !operand.is_ptr()) {
+          s[insn.dst] = AbsVal::scalar_t(dst.range.sub(operand.range), taint);
         } else {
-          s[insn.dst] = AbsVal::scalar(Interval::full());
+          s[insn.dst] = AbsVal::scalar_t(Interval::full(), taint);
         }
         break;
       case kAluAnd:
         if ((insn.opcode & kSrcX) == 0 && insn.imm >= 0) {
-          s[insn.dst] = AbsVal::scalar({0, insn.imm});
+          s[insn.dst] = AbsVal::scalar_t({0, insn.imm}, taint);
         } else {
-          s[insn.dst] = AbsVal::scalar(Interval::full());
+          s[insn.dst] = AbsVal::scalar_t(Interval::full(), taint);
         }
         break;
       case kAluLsh:
         if ((insn.opcode & kSrcX) == 0 && dst.kind == Kind::kScalar && dst.range.lo >= 0 &&
             dst.range.hi <= (kValMax >> insn.imm)) {
-          s[insn.dst] = AbsVal::scalar({dst.range.lo << insn.imm, dst.range.hi << insn.imm});
+          s[insn.dst] = AbsVal::scalar_t(
+              {dst.range.lo << insn.imm, dst.range.hi << insn.imm}, taint);
         } else {
-          s[insn.dst] = AbsVal::scalar(Interval::full());
+          s[insn.dst] = AbsVal::scalar_t(Interval::full(), taint);
         }
         break;
       case kAluRsh:
         if ((insn.opcode & kSrcX) == 0 && insn.imm > 0) {
           if (dst.kind == Kind::kScalar && dst.range.lo >= 0) {
-            s[insn.dst] = AbsVal::scalar({dst.range.lo >> insn.imm, dst.range.hi >> insn.imm});
+            s[insn.dst] = AbsVal::scalar_t(
+                {dst.range.lo >> insn.imm, dst.range.hi >> insn.imm}, taint);
           } else {
             // A u64 shifted right by >=1 fits in a non-negative int64.
-            s[insn.dst] = AbsVal::scalar(
-                {0, static_cast<std::int64_t>(~0ull >> insn.imm)});
+            s[insn.dst] = AbsVal::scalar_t(
+                {0, static_cast<std::int64_t>(~0ull >> insn.imm)}, taint);
           }
         } else if ((insn.opcode & kSrcX) == 0 && insn.imm == 0) {
-          s[insn.dst] = dst_ptr ? AbsVal::scalar(Interval::full()) : AbsVal::scalar(dst.range);
+          s[insn.dst] = dst.is_ptr() ? AbsVal::scalar_t(Interval::full(), taint)
+                                     : AbsVal::scalar_t(dst.range, taint);
         } else {
-          s[insn.dst] = AbsVal::scalar(Interval::full());
+          s[insn.dst] = AbsVal::scalar_t(Interval::full(), taint);
         }
         break;
       case kAluDiv:
         if ((insn.opcode & kSrcX) == 0 && insn.imm > 0 && dst.kind == Kind::kScalar &&
             dst.range.lo >= 0) {
-          s[insn.dst] = AbsVal::scalar({dst.range.lo / insn.imm, dst.range.hi / insn.imm});
+          s[insn.dst] = AbsVal::scalar_t({dst.range.lo / insn.imm, dst.range.hi / insn.imm},
+                                         taint);
         } else {
-          s[insn.dst] = AbsVal::scalar(Interval::full());
+          s[insn.dst] = AbsVal::scalar_t(Interval::full(), taint);
         }
         break;
       case kAluMul:
         if (dst.kind == Kind::kScalar && operand.kind == Kind::kScalar && dst.range.lo >= 0 &&
             operand.range.lo >= 0 && dst.range.hi <= (1ll << 31) &&
             operand.range.hi <= (1ll << 31)) {
-          s[insn.dst] =
-              AbsVal::scalar({dst.range.lo * operand.range.lo, dst.range.hi * operand.range.hi});
+          s[insn.dst] = AbsVal::scalar_t(
+              {dst.range.lo * operand.range.lo, dst.range.hi * operand.range.hi}, taint);
         } else {
-          s[insn.dst] = AbsVal::scalar(Interval::full());
+          s[insn.dst] = AbsVal::scalar_t(Interval::full(), taint);
         }
         break;
       default:  // or, xor, mod, arsh: tracked as unknown scalars
-        s[insn.dst] = AbsVal::scalar(Interval::full());
+        s[insn.dst] = AbsVal::scalar_t(Interval::full(), taint);
         break;
     }
   }
@@ -546,6 +860,7 @@ class Analysis {
     if (auto it = options_.helper_arity.find(insn.imm); it != options_.helper_arity.end()) {
       arity = it->second;
     }
+    const HelperContract* c = contract_of(insn.imm);
     for (int r = 1; r <= arity; ++r) {
       if (reporting && !s[r].initialized()) {
         emit(Severity::kError, i, r,
@@ -553,8 +868,58 @@ class Analysis {
                  std::to_string(r));
       }
     }
+    if (reporting) {
+      // Publish the proven argument ranges (full for pointers/uninit) and
+      // flag tainted, unbounded lengths flowing into raw size arguments.
+      ProofTable::CallFact cf;
+      cf.helper = insn.imm;
+      cf.arity = static_cast<std::uint8_t>(std::min(arity, 5));
+      for (int r = 1; r <= 5; ++r) {
+        const bool scalar = s[r].kind == Kind::kScalar;
+        cf.arg_lo[r - 1] = scalar ? s[r].range.lo : kValMin;
+        cf.arg_hi[r - 1] = scalar ? s[r].range.hi : kValMax;
+      }
+      facts_.calls[i] = cf;
+      if (c != nullptr) {
+        for (int r = 1; r <= 5; ++r) {
+          if ((c->size_arg_mask & (1u << (r - 1))) == 0) continue;
+          if (s[r].kind == Kind::kScalar && s[r].tainted && !s[r].range.singleton()) {
+            emit(Severity::kWarning, i, r,
+                 "tainted length: wire-derived value (range [" +
+                     std::to_string(s[r].range.lo) + ", " + std::to_string(s[r].range.hi) +
+                     "]) flows into size argument r" + std::to_string(r) + " of helper " +
+                     std::to_string(insn.imm));
+          }
+        }
+      }
+    }
+    // Capture size-seeding arguments before the clobber.
+    const AbsVal a1 = s[1];
+    const AbsVal a2 = s[2];
     for (int r = 1; r <= 5; ++r) s[r] = AbsVal::uninit();  // caller-saved
-    s[0] = AbsVal::ctx();  // defined: value or host-checked pointer
+    if (c != nullptr && c->returns_pointer) {
+      AbsVal v;
+      v.kind = Kind::kObjPtr;
+      v.range = Interval::point(0);
+      v.region = c->region;
+      v.extent = c->extent;
+      v.helper = insn.imm;
+      v.exact = c->exact_extent;
+      v.nonnull = !c->may_return_null;
+      v.writable = c->writable;
+      v.tainted = c->tainted_data;
+      auto seed_extent = [&](const AbsVal& a) {
+        if (a.kind == Kind::kScalar && a.range.singleton() && a.range.lo > 0 &&
+            a.range.lo <= (1ll << 30)) {
+          v.extent = static_cast<std::uint32_t>(a.range.lo);
+        }
+      };
+      if (c->extent_from_arg1) seed_extent(a1);
+      if (c->extent_from_arg2) seed_extent(a2);
+      s[0] = v;
+    } else {
+      s[0] = AbsVal::scalar_t(Interval::full(), c != nullptr && c->tainted_return);
+    }
   }
 
   void exec_block(RegState& s, std::size_t b, std::vector<PendingStore>* pending) {
@@ -565,12 +930,38 @@ class Analysis {
     }
   }
 
+  /// Per-edge narrowing: if block `b` ends in an immediate-form conditional
+  /// (64-bit JMP class), the taken/fall-through edges learn the predicate.
+  void refine_edge(RegState& s, std::size_t b, std::size_t succ) {
+    const BasicBlock& bb = cfg_->blocks()[b];
+    const Insn& term = program_.insns()[bb.last];
+    if (term.cls() != kClsJmp || (term.opcode & kSrcX) != 0) return;
+    const Cmp cmp = cmp_of(term.opcode & 0xf0);
+    if (cmp == Cmp::kNone) return;
+    const auto target = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(bb.last) + 1 + term.offset);
+    const std::size_t taken = cfg_->block_of(target);
+    const std::size_t fall = cfg_->block_of(bb.last + 1);
+    if (taken == fall) return;  // both edges land together: nothing learned
+    if (succ != taken && succ != fall) return;
+    refine(s[term.dst], cmp, static_cast<std::int64_t>(term.imm), succ == taken);
+  }
+
   void fixpoint() {
     const std::size_t nb = cfg_->blocks().size();
     in_state_.assign(nb, RegState{});
     has_in_.assign(nb, false);
     std::vector<std::size_t> visits(nb, 0);
     std::vector<bool> queued(nb, false);
+
+    // Widening points: loop heads only (targets of retreating edges — both
+    // the dominating back-edges and irreducible ones, so every cycle holds
+    // at least one).  Widening anywhere else would also snap loop-BODY
+    // bounds that a branch refinement off the widened header keeps finite,
+    // turning bounded accesses into false out-of-bounds reports.
+    std::vector<bool> widen_point(nb, false);
+    for (const CfgEdge& e : cfg_->back_edges()) widen_point[e.to] = true;
+    for (const CfgEdge& e : cfg_->irreducible_edges()) widen_point[e.to] = true;
 
     in_state_[0] = entry_state();
     has_in_[0] = true;
@@ -587,16 +978,20 @@ class Analysis {
       exec_block(out, b, nullptr);
 
       for (std::size_t succ : cfg_->blocks()[b].succs) {
+        RegState edge = out;
+        refine_edge(edge, b, succ);
         RegState next;
         if (!has_in_[succ]) {
-          next = out;
+          next = edge;
         } else {
           next = in_state_[succ];
-          for (int r = 0; r < kNumRegisters; ++r) next[r] = join(next[r], out[r]);
-          // Widen once a block has been revisited a few times: any bound
+          for (int r = 0; r < kNumRegisters; ++r) next[r] = join(next[r], edge[r]);
+          // Widen once a loop head has been revisited a few times: any bound
           // still moving is snapped to the saturation point, guaranteeing
           // termination without bounding precision-relevant constants.
-          if (visits[succ] > kWidenAfter) {
+          // Non-header blocks converge without widening: their in-states are
+          // hulls of already-stable (possibly widened-then-refined) edges.
+          if (widen_point[succ] && visits[succ] > kWidenAfter) {
             for (int r = 0; r < kNumRegisters; ++r) {
               if (next[r].kind != in_state_[succ][r].kind) continue;
               if (next[r].range.lo < in_state_[succ][r].range.lo) next[r].range.lo = kValMin;
@@ -923,7 +1318,7 @@ class Analysis {
   std::vector<RegState> in_state_;
   std::vector<bool> has_in_;
   std::vector<Diagnostic> diags_;
-  SafetyFacts facts_;
+  ProofTable facts_;
 };
 
 }  // namespace

@@ -2,25 +2,34 @@
 //
 // The structural `Verifier` (pass 0) guarantees the instruction stream is
 // well-formed; this analyzer proves value-level safety properties before a
-// program may attach:
+// program may attach.  It runs three cooperating abstract domains over a
+// worklist fixpoint with widening at loop heads:
 //
-//   * every register is written before it is read,
-//   * r10-relative memory accesses stay inside the 512-byte stack frame
-//     (misaligned accesses are flagged as warnings — packed wire buffers
-//     are legitimate),
-//   * helper calls receive initialized arguments, clobber r1-r5 and
-//     define r0 (per the eBPF calling convention),
-//   * r0 carries a value at every `exit`,
-//   * every loop has a monotone induction register and a dominating exit
-//     test, so its trip count is bounded.
+//   * a value-range (interval) domain on every register, with branch
+//     refinement on immediate comparisons,
+//   * a region / points-to domain classifying every pointer as stack,
+//     context object, helper-returned attribute buffer, or plain scalar —
+//     seeded from per-helper contracts (arity, returned-object extent,
+//     writability, nullability),
+//   * a taint domain marking wire-derived values (attribute bytes, message
+//     arguments, their lengths) so tainted arithmetic flowing into memory
+//     offsets or helper size arguments is flagged.
+//
+// The proofs the domains establish are published as a per-instruction
+// `ProofTable`: for each memory operation the proven base region, the offset
+// hull of the access window and its alignment, and whether the runtime
+// bounds check is provably redundant; for each helper call the proven
+// argument ranges.  The execution-engine translator consumes the table to
+// elide checks, and the future native tier will consume the same artifact.
 //
 // Findings are structured diagnostics with a severity: errors make the
 // program unloadable, warnings (unreachable code, dead stores, misaligned
-// stack access) are reported but do not block attachment.  Accesses through
-// helper-returned pointers are deferred to the interpreter's memory model,
-// which stays in place as the runtime backstop.
+// stack access, tainted offsets, unchecked helper returns) are reported but
+// do not block attachment.  Whatever the analyzer cannot prove stays
+// deferred to the interpreter's memory model — the runtime backstop.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -48,26 +57,101 @@ struct Diagnostic {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Value-level facts the abstract interpreter proved per instruction,
-/// consumed by the execution-engine translator's check-elision pass.
-/// `stack_safe[i]` is nonzero when instruction i is a load or store whose
-/// base register is provably a stack pointer and whose whole access window
-/// — the hull of the offset interval across every path reaching i — lies
-/// inside the 512-byte frame, so the runtime bounds check may be dropped.
-/// Empty when the program was rejected: facts from a failed analysis must
-/// never drive elision.
-struct SafetyFacts {
-  std::vector<std::uint8_t> stack_safe;
+/// Region classification for the base pointer of a memory operation.
+enum class Region : std::uint8_t {
+  kNone,     // not a memory operation
+  kStack,    // r10-relative access into the 512-byte frame
+  kCtx,      // helper-returned context object (peer info, nexthop, alloc)
+  kAttr,     // helper-returned attribute / wire-data buffer
+  kUnknown,  // base is a scalar or mixed-provenance pointer
+};
+
+[[nodiscard]] constexpr const char* to_string(Region r) {
+  switch (r) {
+    case Region::kStack: return "stack";
+    case Region::kCtx: return "ctx";
+    case Region::kAttr: return "attr";
+    case Region::kUnknown: return "unknown";
+    case Region::kNone: break;
+  }
+  return "-";
+}
+
+/// Per-instruction proofs the abstract interpreter established, consumed by
+/// the execution-engine translator's check-elision pass (and, eventually,
+/// the native tier).  `mem` has one row per bytecode slot; rows for slots
+/// that are not memory operations keep `region == Region::kNone`.  The whole
+/// table is empty when the program was rejected: facts from a failed
+/// analysis must never drive elision.
+struct ProofTable {
+  struct MemFact {
+    Region region = Region::kNone;  // proven base-pointer region
+    std::int64_t lo = 0;            // proven access window [lo, hi) ...
+    std::int64_t hi = 0;            // ... relative to the region base
+    std::uint8_t align = 1;         // proven offset alignment (power of two)
+    bool elide = false;             // window proven in-bounds: check droppable
+  };
+  struct CallFact {
+    std::int32_t helper = -1;
+    std::uint8_t arity = 0;               // argument slots proven below
+    std::array<std::int64_t, 5> arg_lo{};  // proven range of r1..r5 ...
+    std::array<std::int64_t, 5> arg_hi{};  // ... at the call site
+  };
+
+  std::vector<MemFact> mem;              // one row per bytecode slot
+  std::map<std::size_t, CallFact> calls;  // keyed by call-insn index
+
+  [[nodiscard]] bool covers(std::size_t n) const noexcept {
+    return mem.size() == n;
+  }
+  [[nodiscard]] bool empty() const noexcept { return mem.empty(); }
+  [[nodiscard]] std::size_t elidable() const noexcept {
+    std::size_t n = 0;
+    for (const auto& f : mem) n += f.elide;
+    return n;
+  }
 };
 
 struct AnalysisResult {
   std::vector<Diagnostic> diagnostics;  // sorted by instruction index
-  SafetyFacts facts;                    // per-instruction proofs (ok() only)
+  ProofTable facts;                     // per-instruction proofs (ok() only)
 
   [[nodiscard]] bool ok() const noexcept;  // true when no error-severity finding
   [[nodiscard]] std::size_t error_count() const noexcept;
   [[nodiscard]] std::size_t warning_count() const noexcept;
   [[nodiscard]] const Diagnostic* first_error() const noexcept;
+};
+
+/// What the analyzer may assume about one helper, beyond its arity.  The
+/// table is part of the trusted base exactly like the arity table: every
+/// claim must hold for the helpers actually bound at run time, because a
+/// proven fact built on it can remove a runtime check.
+struct HelperContract {
+  /// r0 after the call is either 0 or a pointer into a registered region.
+  bool returns_pointer = false;
+  /// Region class of a non-null return (kCtx or kAttr).
+  Region region = Region::kCtx;
+  /// Bytes guaranteed dereferenceable behind a non-null return (0: unknown).
+  std::uint32_t extent = 0;
+  /// The returned object is exactly `extent` bytes (fixed-layout context
+  /// structs); accesses past it are flagged even though the surrounding
+  /// arena region may make the runtime check pass.
+  bool exact_extent = false;
+  /// The pointed-to region is writable (stores may be elided).
+  bool writable = false;
+  /// The helper can return 0; dereferences need a dominating null check.
+  bool may_return_null = true;
+  /// The pointed-to bytes are wire-derived (taint source).
+  bool tainted_data = false;
+  /// The scalar return value is wire-derived (taint source).
+  bool tainted_return = false;
+  /// Bit i set: argument r(i+1) is a size/length the helper consumes raw —
+  /// a tainted, unbounded value flowing in is flagged.
+  std::uint8_t size_arg_mask = 0;
+  /// Non-null extent equals the (singleton) value of r1 / r2 at the call
+  /// (ctx_malloc(size) / shm_new(key, size)).
+  bool extent_from_arg1 = false;
+  bool extent_from_arg2 = false;
 };
 
 class Analyzer {
@@ -78,6 +162,10 @@ class Analyzer {
     /// argument requirement) — conservative towards acceptance, since the
     /// helper whitelist was already enforced by pass 0.
     std::map<std::int32_t, int> helper_arity;
+    /// Pointer/taint contracts per helper id.  Unknown ids default to an
+    /// opaque scalar return — sound, because every dereference of an
+    /// unproven pointer keeps its runtime check.
+    std::map<std::int32_t, HelperContract> helper_contracts;
     /// When false, warning-severity findings are suppressed (errors are
     /// always reported).
     bool warnings = true;

@@ -14,7 +14,9 @@
 //   * byte swaps are resolved against the host endianness at translation
 //     time (a `to_le` on a little-endian host becomes a plain mask or a
 //     budget-only no-op),
-//   * loads and stores the abstract interpreter proved in-frame use
+//   * loads and stores the abstract interpreter proved in-bounds — stack
+//     accesses inside the 512-byte frame, and accesses through non-null
+//     helper-returned objects within their contract-guaranteed extent — use
 //     `*Stk` forms that skip the MemoryModel bounds check entirely; the
 //     remaining accesses carry a precomputed (offset, width, write) triple
 //     so the runtime check is a single region probe.
@@ -56,7 +58,7 @@ namespace xb::ebpf {
   X(kArsh32Imm) X(kArsh32Reg) X(kMov32Imm) X(kMov32Reg) X(kNeg32)            \
   /* byte swaps, host endianness resolved at translation time */             \
   X(kBswap16) X(kBswap32) X(kBswap64) X(kZext16) X(kZext32)                  \
-  /* loads: checked, then stack-proven (bounds check elided) */              \
+  /* loads: checked, then analyzer-proven (bounds check elided) */           \
   X(kLdxB) X(kLdxH) X(kLdxW) X(kLdxDw)                                       \
   X(kLdxBStk) X(kLdxHStk) X(kLdxWStk) X(kLdxDwStk)                           \
   /* register stores */                                                      \
@@ -120,8 +122,9 @@ static_assert(sizeof(IrInsn) == 24, "IrInsn is sized for cache-friendly dispatch
 struct IrProgram {
   std::vector<IrInsn> insns;        // terminated by a kTrapEnd sentinel
   std::size_t source_len = 0;       // bytecode slots translated
-  std::uint32_t elided_checks = 0;  // accesses proven in-frame (Stk forms)
-  std::uint32_t checked_accesses = 0;  // accesses still runtime-checked
+  std::uint32_t elided_checks = 0;  // accesses proven in-bounds (Stk forms)
+  std::uint32_t elided_obj_checks = 0;  // subset through helper-returned objects
+  std::uint32_t checked_accesses = 0;   // accesses still runtime-checked
 
   [[nodiscard]] bool empty() const noexcept { return insns.empty(); }
 };

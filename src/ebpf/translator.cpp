@@ -71,14 +71,24 @@ int jmp_cond_index(std::uint8_t jop) {
 
 }  // namespace
 
-IrProgram Translator::translate(const Program& program, const SafetyFacts* facts) {
+IrProgram Translator::translate(const Program& program, const ProofTable* facts) {
   const std::vector<Insn>& insns = program.insns();
   const std::size_t n = insns.size();
 
-  // Facts must cover every bytecode slot; a stale or mismatched vector
+  // Facts must cover every bytecode slot; a stale or mismatched table
   // (e.g. from a different program revision) silently disables elision
   // rather than eliding on the wrong instruction.
-  const bool use_facts = facts != nullptr && facts->stack_safe.size() == n;
+  const bool use_facts = facts != nullptr && facts->covers(n);
+  auto account = [&](IrProgram& out, std::size_t i) -> bool {
+    const bool elide = use_facts && facts->mem[i].elide;
+    if (elide) {
+      ++out.elided_checks;
+      if (facts->mem[i].region != Region::kStack) ++out.elided_obj_checks;
+    } else {
+      ++out.checked_accesses;
+    }
+    return elide;
+  };
 
   // Pass 1: bytecode index -> IR index. lddw tails collapse into their head
   // and keep -1 so jumps into them are detectable.
@@ -170,24 +180,22 @@ IrProgram Translator::translate(const Program& program, const SafetyFacts* facts
 
       case kClsLdx: {
         if ((insn.opcode & 0xe0) != kModeMem) bad("unsupported LDX mode");
-        const bool elide = use_facts && facts->stack_safe[i] != 0;
+        const bool elide = account(out, i);
         ir.op = ir_plus(IrOp::kLdxB, size_log2(insn.opcode) + (elide ? 4 : 0));
         ir.off = insn.offset;
-        if (elide) ++out.elided_checks; else ++out.checked_accesses;
         break;
       }
 
       case kClsSt:
       case kClsStx: {
         if ((insn.opcode & 0xe0) != kModeMem) bad("unsupported store mode");
-        const bool elide = use_facts && facts->stack_safe[i] != 0;
+        const bool elide = account(out, i);
         const IrOp base = cls == kClsStx ? IrOp::kStxB : IrOp::kStB;
         ir.op = ir_plus(base, size_log2(insn.opcode) + (elide ? 4 : 0));
         ir.off = insn.offset;
         if (cls == kClsSt) {
           ir.imm = static_cast<std::uint64_t>(static_cast<std::int64_t>(insn.imm));
         }
-        if (elide) ++out.elided_checks; else ++out.checked_accesses;
         break;
       }
 

@@ -5,12 +5,14 @@
 // pass-0-valid input — `Verifier::verify` must have accepted the program —
 // and throws std::invalid_argument on any structural violation it would
 // otherwise have to lower into a runtime trap (unknown opcode, truncated
-// lddw, jump into an lddw tail, ...). Value-level safety facts from the
-// abstract interpreter (Analyzer) are optional: with `facts == nullptr`
-// every load/store keeps its runtime bounds check, which makes the fast
-// tier semantically identical to tier 0 for *any* pass-0-valid program —
-// the property the differential fuzz gate relies on to push
-// analyzer-rejected mutants through both engines.
+// lddw, jump into an lddw tail, ...). The analyzer's `ProofTable` is
+// optional: with `facts == nullptr` every load/store keeps its runtime
+// bounds check, which makes the fast tier semantically identical to tier 0
+// for *any* pass-0-valid program — the property the differential fuzz gate
+// relies on to push analyzer-rejected mutants through both engines. With
+// facts, any access whose row carries `elide` (stack in-frame, or a
+// non-null helper-returned object within its proven extent) is lowered to
+// the unchecked `*Stk` form.
 #pragma once
 
 #include "ebpf/analyzer.hpp"
@@ -22,11 +24,12 @@ namespace xb::ebpf {
 class Translator {
  public:
   /// Lowers `program` into pre-decoded IR. When `facts` is non-null and
-  /// sized to the program, loads/stores proven in-frame by the analyzer are
+  /// covers the program, loads/stores the analyzer proved in-bounds (stack
+  /// frame, or helper-returned objects within their contract extent) are
   /// emitted as check-elided `*Stk` forms. Throws std::invalid_argument on
   /// bytecode that pass 0 would have rejected.
   [[nodiscard]] static IrProgram translate(const Program& program,
-                                           const SafetyFacts* facts = nullptr);
+                                           const ProofTable* facts = nullptr);
 };
 
 }  // namespace xb::ebpf

@@ -306,9 +306,10 @@ dispatch:
   XB_NEXT();
 
   // --- memory -------------------------------------------------------------
-  // The `Stk` forms execute accesses the abstract interpreter proved stay
-  // inside the 512-byte frame on every path (analyzer SafetyFacts): no
-  // runtime check. Checked forms keep the MemoryModel probe.
+  // The `Stk` forms execute accesses the abstract interpreter proved always
+  // in-bounds (analyzer ProofTable: stack accesses inside the 512-byte
+  // frame, or non-null helper-returned objects within their contract
+  // extent): no runtime check. Checked forms keep the MemoryModel probe.
 
 #define XB_LOAD(name, T)                                                           \
   XB_OP(kLdx##name) {                                                              \

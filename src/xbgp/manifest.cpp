@@ -95,6 +95,77 @@ const std::map<std::int32_t, int>& helper_arity_table() {
   return kArity;
 }
 
+const std::map<std::int32_t, ebpf::HelperContract>& helper_contract_table() {
+  using ebpf::HelperContract;
+  using ebpf::Region;
+  // Every claim below is an invariant of the bindings in Vmm::bind_helpers:
+  //   * all pointer-returning helpers can return 0 (missing argument or
+  //     attribute, exhausted arena, absent peer/nexthop, unknown shm key),
+  //   * non-null get_peer_info / get_src_peer_info point at exactly
+  //     sizeof(PeerInfo) == 32 bytes, get_nexthop at sizeof(NexthopInfo)
+  //     == 16, inside the read-only context window,
+  //   * non-null get_attr / get_attr_alt point at an AttrHdr (4 bytes)
+  //     followed by the attribute payload — 4 is a guaranteed floor, not an
+  //     exact size,
+  //   * ctx_malloc(size) and ctx_shmnew(key, size) return `size` writable
+  //     bytes from the ephemeral arena / shared pool,
+  //   * get_arg / get_attr / get_attr_alt expose wire-derived bytes, and
+  //     get_arg_len returns a wire-derived length (taint sources).
+  static const std::map<std::int32_t, HelperContract> kContracts = [] {
+    std::map<std::int32_t, HelperContract> table;
+    auto* m = &table;
+    auto ptr = [](Region region, std::uint32_t extent, bool exact, bool writable,
+                  bool tainted) {
+      HelperContract c;
+      c.returns_pointer = true;
+      c.region = region;
+      c.extent = extent;
+      c.exact_extent = exact;
+      c.writable = writable;
+      c.may_return_null = true;
+      c.tainted_data = tainted;
+      return c;
+    };
+    (*m)[helper::kGetArg] = ptr(Region::kAttr, 0, false, false, true);
+    (*m)[helper::kGetAttr] = ptr(Region::kAttr, 4, false, false, true);
+    (*m)[helper::kGetAttrAlt] = ptr(Region::kAttr, 4, false, false, true);
+    (*m)[helper::kGetPeerInfo] = ptr(Region::kCtx, 32, true, false, false);
+    (*m)[helper::kGetSrcPeerInfo] = ptr(Region::kCtx, 32, true, false, false);
+    (*m)[helper::kGetNexthop] = ptr(Region::kCtx, 16, true, false, false);
+    (*m)[helper::kGetXtra] = ptr(Region::kCtx, 0, false, false, false);
+    {
+      HelperContract c = ptr(Region::kCtx, 0, true, true, false);
+      c.extent_from_arg1 = true;
+      c.size_arg_mask = 0b00001;  // r1: allocation size
+      (*m)[helper::kCtxMalloc] = c;
+    }
+    {
+      HelperContract c = ptr(Region::kCtx, 0, true, true, false);
+      c.extent_from_arg2 = true;
+      c.size_arg_mask = 0b00010;  // r2: allocation size
+      (*m)[helper::kShmNew] = c;
+    }
+    (*m)[helper::kShmGet] = ptr(Region::kCtx, 0, false, true, false);
+    {
+      HelperContract c;
+      c.tainted_return = true;  // length of a wire-derived argument
+      (*m)[helper::kGetArgLen] = c;
+    }
+    auto sizes = [&](std::int32_t id, std::uint8_t mask) {
+      HelperContract c;
+      c.size_arg_mask = mask;
+      (*m)[id] = c;
+    };
+    sizes(helper::kMemcpy, 0b00100);    // r3: byte count
+    sizes(helper::kWriteBuf, 0b00010);  // r2: byte count
+    sizes(helper::kPrint, 0b00010);     // r2: buffer length
+    sizes(helper::kSetAttr, 0b01000);   // r4: attribute length
+    sizes(helper::kAddAttr, 0b01000);   // r4: attribute length
+    return table;
+  }();
+  return kContracts;
+}
+
 int helper_arity_by_id(std::int32_t id) {
   const auto& table = helper_arity_table();
   auto it = table.find(id);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ebpf/analyzer.hpp"
 #include "ebpf/program.hpp"
 #include "xbgp/api.hpp"
 
@@ -62,6 +63,13 @@ class ProgramRegistry {
 /// helper-call model; unknown ids map to 0.
 [[nodiscard]] int helper_arity_by_id(std::int32_t id);
 [[nodiscard]] const std::map<std::int32_t, int>& helper_arity_table();
+
+/// Pointer/taint contracts per helper, feeding the analyzer's region and
+/// taint domains.  Part of the trusted base: every claim (returned-object
+/// extent, writability, nullability) must be an invariant of the runtime
+/// helper bindings in vmm.cpp, because proven facts built on a claim can
+/// remove the corresponding runtime bounds check.
+[[nodiscard]] const std::map<std::int32_t, ebpf::HelperContract>& helper_contract_table();
 
 /// Insertion-point name -> Op. Throws std::invalid_argument on bad name.
 [[nodiscard]] Op op_by_name(const std::string& name);

@@ -48,6 +48,7 @@ Vmm::~Vmm() = default;
 void Vmm::load(const Manifest& manifest) {
   ebpf::Analyzer::Options verify_opts;
   verify_opts.helper_arity = helper_arity_table();
+  verify_opts.helper_contracts = helper_contract_table();
 
   std::vector<LoadedProgram*> loaded_now;
   for (const auto& entry : manifest.entries) {
@@ -77,6 +78,7 @@ void Vmm::load(const Manifest& manifest) {
       ++translation_stats_.programs;
       translation_stats_.ir_insns += ir->insns.size();
       translation_stats_.elided_checks += ir->elided_checks;
+      translation_stats_.elided_obj_checks += ir->elided_obj_checks;
       translation_stats_.checked_accesses += ir->checked_accesses;
       prog->ir = std::move(ir);
     }
@@ -207,8 +209,11 @@ void Vmm::set_telemetry(obs::Telemetry* telemetry) {
     out.counter("xbgp_vmm_translation_ir_insns_total",
                 "IR instructions emitted by the translator", t.ir_insns);
     out.counter("xbgp_vmm_checks_elided_total",
-                "Runtime bounds checks dropped via analyzer-proven stack facts",
+                "Runtime bounds checks dropped via analyzer-proven facts",
                 t.elided_checks);
+    out.counter("xbgp_vmm_checks_elided_obj_total",
+                "Elided checks on helper-returned ctx/attr objects (subset)",
+                t.elided_obj_checks);
     out.counter("xbgp_vmm_checks_retained_total",
                 "Runtime bounds checks kept on translated accesses",
                 t.checked_accesses);

@@ -91,6 +91,7 @@ class Vmm {
     std::uint64_t ns = 0;                // wall-clock spent translating
     std::uint64_t ir_insns = 0;          // IR instructions emitted
     std::uint64_t elided_checks = 0;     // bounds checks dropped (analyzer-proven)
+    std::uint64_t elided_obj_checks = 0; // subset: helper-returned ctx/attr objects
     std::uint64_t checked_accesses = 0;  // bounds checks retained
   };
 

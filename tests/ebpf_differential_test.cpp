@@ -477,7 +477,7 @@ TEST(Translator, ElidesAnalyzerProvenStackChecks) {
   const Program p = a.build("elide_me");
   const AnalysisResult analysis = Analyzer::analyze(p, {});
   ASSERT_TRUE(analysis.ok());
-  ASSERT_EQ(analysis.facts.stack_safe.size(), p.insns().size());
+  ASSERT_TRUE(analysis.facts.covers(p.insns().size()));
   const IrProgram ir = Translator::translate(p, &analysis.facts);
   EXPECT_EQ(ir.elided_checks, 2u);
   EXPECT_EQ(ir.checked_accesses, 0u);
@@ -508,8 +508,8 @@ TEST(Translator, IgnoresSizeMismatchedFacts) {
   a.mov64(Reg::R0, 0);
   a.exit_();
   const Program p = a.build("stale_facts");
-  SafetyFacts stale;
-  stale.stack_safe.assign(1, 1);  // wrong length: must be ignored wholesale
+  ProofTable stale;  // wrong length: must be ignored wholesale
+  stale.mem.assign(1, ProofTable::MemFact{Region::kStack, -8, 0, 8, true});
   const IrProgram ir = Translator::translate(p, &stale);
   EXPECT_EQ(ir.elided_checks, 0u);
   EXPECT_EQ(ir.checked_accesses, 1u);
@@ -523,7 +523,7 @@ TEST(Translator, RejectedProgramYieldsNoFacts) {
   const Program p = a.build("rejected");
   const AnalysisResult analysis = Analyzer::analyze(p, {});
   ASSERT_FALSE(analysis.ok());
-  EXPECT_TRUE(analysis.facts.stack_safe.empty());
+  EXPECT_TRUE(analysis.facts.empty());
 }
 
 TEST(Translator, FusesLddwAndResolvesJumps) {
@@ -544,6 +544,155 @@ TEST(Translator, FusesLddwAndResolvesJumps) {
   EXPECT_EQ(ir.insns[1].jt, 3);  // resolved to exit's IR index (source pc 4)
   EXPECT_EQ(ir.insns.back().op, IrOp::kTrapEnd);
   EXPECT_EQ(ir.source_len, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// 5. Elision oracle: the analyzer's ProofTable may only remove checks that
+// provably always pass.  Every mutant and every shipped extension runs three
+// ways — tier 0, tier 1 with all checks retained, tier 1 with proven checks
+// elided — and all three observations (result, fault kind/pc/detail, helper
+// sequence, retirement) must be identical.  An unsound proof shows up here
+// as a divergence (or a crash under the sanitizer gates, which re-run this
+// binary).
+
+/// Contracts matching the recorder helpers bound by DifferentialHarness:
+/// ids 2/6/13/15/17 always return the 4096-byte writable scratch region and
+/// never NULL.  These are the strongest claims the harness runtime honours,
+/// so every fact proven under them must hold when the recorders execute.
+/// (The production table in manifest.cpp is NOT usable here: it covers
+/// helpers like get_peer_info whose recorders return plain scalars.)
+Analyzer::Options harness_contract_options() {
+  Analyzer::Options opts;
+  opts.warnings = false;  // the oracle cares about proofs, not diagnostics
+  for (std::int32_t id : {2, 6, 13, 15, 17}) {
+    HelperContract c;
+    c.returns_pointer = true;
+    c.region = Region::kCtx;
+    c.extent = 4096;
+    c.writable = true;
+    c.may_return_null = false;
+    opts.helper_contracts[id] = c;
+  }
+  return opts;
+}
+
+/// Seeds whose mutants explore the object-elision envelope: loads and stores
+/// through helper-returned pointers, with and without null checks, at
+/// offsets near the extent boundary.
+std::vector<Program> elision_seed_corpus() {
+  std::vector<Program> seeds = seed_corpus();
+  {  // Null-checked object traffic well inside the 4096-byte extent.
+    Assembler a;
+    auto out = a.make_label();
+    a.mov64(Reg::R1, 5);
+    a.call(2);  // recorder: scratch pointer, never null
+    a.mov64(Reg::R6, Reg::R0);
+    a.jeq(Reg::R6, 0, out);
+    a.stdw(Reg::R6, 8, 77);
+    a.ldxdw(Reg::R0, Reg::R6, 8);
+    a.ldxw(Reg::R2, Reg::R6, 128);
+    a.add64(Reg::R0, Reg::R2);
+    a.stxdw(Reg::R10, -8, Reg::R0);
+    a.ldxdw(Reg::R0, Reg::R10, -8);
+    a.exit_();
+    a.place(out);
+    a.mov64(Reg::R0, 0);
+    a.exit_();
+    seeds.push_back(a.build("seed_obj_checked"));
+  }
+  {  // Pointer arithmetic toward the extent edge; mixed widths, no null check
+    // (the harness contract proves the recorders non-null).
+    Assembler a;
+    a.call(6);
+    a.mov64(Reg::R7, Reg::R0);
+    a.ldxb(Reg::R3, Reg::R7, 0);
+    a.add64(Reg::R7, 4088);
+    a.stxdw(Reg::R7, 0, Reg::R3);   // bytes [4088, 4096): last elidable slot
+    a.ldxh(Reg::R4, Reg::R7, -4);
+    a.add64(Reg::R3, Reg::R4);
+    a.mov64(Reg::R0, Reg::R3);
+    a.exit_();
+    seeds.push_back(a.build("seed_obj_edge"));
+  }
+  return seeds;
+}
+
+void oracle_compare(DifferentialHarness& harness, const Program& p, const IrProgram& checked,
+                    const IrProgram& elided, std::uint64_t r1, std::uint64_t r2) {
+  const Observation ref = harness.run_tier(p, nullptr, ExecMode::kReference, r1, r2);
+  const Observation a = harness.run_tier(p, &checked, ExecMode::kFast, r1, r2);
+  const Observation b = harness.run_tier(p, &elided, ExecMode::kFast, r1, r2);
+  for (const Observation* o : {&a, &b}) {
+    EXPECT_EQ(static_cast<int>(o->result.status), static_cast<int>(ref.result.status))
+        << p.name();
+    EXPECT_EQ(o->result.value, ref.result.value) << p.name();
+    EXPECT_EQ(static_cast<int>(o->result.fault.kind), static_cast<int>(ref.result.fault.kind))
+        << p.name();
+    EXPECT_EQ(o->result.fault.pc, ref.result.fault.pc) << p.name();
+    EXPECT_STREQ(o->result.fault.detail, ref.result.fault.detail) << p.name();
+    EXPECT_EQ(o->retired, ref.retired) << p.name();
+    EXPECT_EQ(o->helper_calls, ref.helper_calls) << p.name();
+    EXPECT_EQ(o->calls, ref.calls) << p.name() << ": helper-call sequences diverge";
+  }
+}
+
+TEST(ElisionOracle, MutantCorpusIdenticalWithChecksElided) {
+  const std::set<std::int32_t> helpers = all_helper_ids();
+  const std::vector<Program> seeds = elision_seed_corpus();
+  const Analyzer::Options contracts = harness_contract_options();
+  DifferentialHarness harness(4096);
+
+  std::mt19937 rng(0x0E11DE0Fu);  // fixed seed: reproducible corpus
+  constexpr int kMutants = 4000;
+  int accepted = 0;
+  std::uint64_t obj_elided = 0;
+  std::uint64_t stack_elided = 0;
+  for (int i = 0; i < kMutants; ++i) {
+    const Program& seed = seeds[rng() % seeds.size()];
+    Program mutant("elide_mutant_" + std::to_string(i), mutate(seed.insns(), rng),
+                   seed.required_helpers());
+    if (Verifier::verify(mutant, helpers).has_value()) continue;
+    ++accepted;
+    const AnalysisResult analysis = Analyzer::analyze(mutant, helpers, contracts);
+    const IrProgram checked = Translator::translate(mutant);
+    const IrProgram elided =
+        Translator::translate(mutant, analysis.ok() ? &analysis.facts : nullptr);
+    obj_elided += elided.elided_obj_checks;
+    stack_elided += elided.elided_checks - elided.elided_obj_checks;
+    oracle_compare(harness, mutant, checked, elided, rng(), rng());
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first elision divergence at mutant " << i << " (seed " << seed.name()
+                    << ")";
+      break;
+    }
+  }
+  // The oracle must actually exercise both elision families.
+  EXPECT_GT(accepted, kMutants / 10) << "too few pass-0-valid mutants";
+  EXPECT_GT(obj_elided, 0u) << "no object checks were ever elided: oracle is vacuous";
+  EXPECT_GT(stack_elided, 0u) << "no stack checks were ever elided: oracle is vacuous";
+}
+
+TEST(ElisionOracle, ShippedExtensionsIdenticalWithChecksElided) {
+  const xb::xbgp::ProgramRegistry registry = xb::ext::default_registry();
+  const Analyzer::Options contracts = harness_contract_options();
+  DifferentialHarness harness;
+  std::uint64_t elided_total = 0;
+  for (const std::string& name : registry.names()) {
+    const Program* p = registry.find(name);
+    ASSERT_NE(p, nullptr) << name;
+    const AnalysisResult analysis =
+        Analyzer::analyze(*p, p->required_helpers(), contracts);
+    ASSERT_TRUE(analysis.ok()) << name;
+    const IrProgram checked = Translator::translate(*p);
+    const IrProgram elided = Translator::translate(*p, &analysis.facts);
+    elided_total += elided.elided_checks;
+    oracle_compare(harness, *p, checked, elided, 0, 0);
+    oracle_compare(harness, *p, checked, elided, 1, 2);
+    oracle_compare(harness, *p, checked, elided, 0xFFFFFFFFFFFFFFFFull,
+                   0x8000000000000000ull);
+    if (::testing::Test::HasFailure()) FAIL() << "elision divergence in " << name;
+  }
+  EXPECT_GT(elided_total, 0u) << "no checks elided across shipped extensions";
 }
 
 TEST(Translator, RejectsNonPass0Programs) {

@@ -25,6 +25,7 @@ std::optional<VerifyError> verify(const Program& p,
 AnalysisResult analyze(const Program& p, std::set<std::int32_t> helpers = {}) {
   Analyzer::Options opts;
   opts.helper_arity = xb::xbgp::helper_arity_table();
+  opts.helper_contracts = xb::xbgp::helper_contract_table();
   return Analyzer::analyze(p, helpers, opts);
 }
 
@@ -385,6 +386,80 @@ const AnalyzerCase kNegativeCases[] = {
        return a.build("helper_uninit_arg");
      },
      Severity::kError, "uninitialized argument r1"},
+    {"unchecked_helper_return",
+     [] {
+       // get_attr can return NULL; dereferencing without a null check keeps
+       // the runtime check and earns a warning.
+       Assembler a;
+       a.mov64(Reg::R1, 1);
+       a.call(xb::xbgp::helper::kGetAttr);
+       a.ldxb(Reg::R6, Reg::R0, 0);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("unchecked_helper_return");
+     },
+     Severity::kWarning, "possibly-NULL"},
+    {"tainted_offset",
+     [] {
+       // A wire-derived byte loaded from the attribute buffer steers a
+       // pointer offset: the runtime bounds check is load-bearing.
+       Assembler a;
+       auto ok = a.make_label();
+       a.mov64(Reg::R1, 1);
+       a.call(xb::xbgp::helper::kGetAttr);
+       a.jne(Reg::R0, 0, ok);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       a.place(ok);
+       a.ldxb(Reg::R6, Reg::R0, 0);  // tainted scalar
+       a.mov64(Reg::R7, Reg::R0);
+       a.add64(Reg::R7, Reg::R6);    // tainted offset into the buffer
+       a.ldxb(Reg::R8, Reg::R7, 0);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("tainted_offset");
+     },
+     Severity::kWarning, "tainted offset"},
+    {"helper_object_oob",
+     [] {
+       // get_peer_info's contract is an exact 32-byte object; bytes [32, 40)
+       // are past its end even behind a null check.
+       Assembler a;
+       auto ok = a.make_label();
+       a.call(xb::xbgp::helper::kGetPeerInfo);
+       a.jne(Reg::R0, 0, ok);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       a.place(ok);
+       a.ldxdw(Reg::R6, Reg::R0, 32);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("helper_object_oob");
+     },
+     Severity::kWarning, "past the end"},
+    {"widened_loop_offset_oob",
+     [] {
+       // The loop counter is widened at the header; the exit test only
+       // bounds it to [0, 1000], so the derived stack offset escapes the
+       // 512-byte frame — widening must surface this, not time out.
+       Assembler a;
+       auto top = a.make_label();
+       auto out = a.make_label();
+       a.mov64(Reg::R6, 0);
+       a.place(top);
+       a.jgt(Reg::R6, 1000, out);
+       a.mov64(Reg::R7, Reg::R10);
+       a.sub64(Reg::R7, 8);
+       a.add64(Reg::R7, Reg::R6);
+       a.stxb(Reg::R7, 0, Reg::R6);
+       a.add64(Reg::R6, 1);
+       a.ja(top);
+       a.place(out);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("widened_loop_offset_oob");
+     },
+     Severity::kError, "stack access out of bounds"},
 };
 
 class AnalyzerNegative : public ::testing::TestWithParam<AnalyzerCase> {};
@@ -392,8 +467,8 @@ class AnalyzerNegative : public ::testing::TestWithParam<AnalyzerCase> {};
 TEST_P(AnalyzerNegative, EmitsExpectedDiagnostic) {
   const auto& c = GetParam();
   const Program p = c.build();
-  const auto result =
-      analyze(p, {xb::xbgp::helper::kNext, xb::xbgp::helper::kGetAttr});
+  const auto result = analyze(p, {xb::xbgp::helper::kNext, xb::xbgp::helper::kGetAttr,
+                                  xb::xbgp::helper::kGetPeerInfo});
   EXPECT_TRUE(has_diag(result, c.severity, c.needle))
       << "expected a " << to_string(c.severity) << " containing '" << c.needle
       << "'; got " << result.diagnostics.size() << " diagnostic(s):"
@@ -474,13 +549,69 @@ TEST(Analyzer, HelperCallDefinesR0) {
   EXPECT_EQ(result.error_count(), 0u);
 }
 
+TEST(Analyzer, WideningWithRefinementKeepsStackAccessBounded) {
+  // The counter is widened at the loop header, but the exit test refines the
+  // body in-state back to [0, 7]; the derived stack access stays inside the
+  // frame and is proven elidable — widening must not destroy the proof.
+  Assembler a;
+  auto top = a.make_label();
+  auto out = a.make_label();
+  a.mov64(Reg::R6, 0);
+  a.place(top);
+  a.jgt(Reg::R6, 7, out);
+  a.mov64(Reg::R7, Reg::R10);
+  a.sub64(Reg::R7, 8);
+  a.add64(Reg::R7, Reg::R6);
+  a.stxb(Reg::R7, 0, Reg::R6);
+  a.add64(Reg::R6, 1);
+  a.ja(top);
+  a.place(out);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  const auto result = analyze(a.build("widened_bounded"));
+  EXPECT_EQ(result.error_count(), 0u);
+  bool found = false;
+  for (const auto& f : result.facts.mem) {
+    if (f.region == Region::kStack && f.elide && f.lo == -8 && f.hi == 0) found = true;
+  }
+  EXPECT_TRUE(found) << "expected an elidable stack fact with window [-8, 0)";
+}
+
+TEST(Analyzer, NullCheckedHelperObjectReadProducesElidableFact) {
+  // A field read inside get_peer_info's 32-byte contract, behind a null
+  // check taken while the pointer offset is still zero, needs no runtime
+  // bounds probe — the fact the translator consumes for object elision.
+  Assembler a;
+  auto ok = a.make_label();
+  a.call(xb::xbgp::helper::kGetPeerInfo);
+  a.jne(Reg::R0, 0, ok);
+  a.mov64(Reg::R0, 0);
+  a.exit_();
+  a.place(ok);
+  a.ldxw(Reg::R6, Reg::R0, 8);
+  a.mov64(Reg::R0, Reg::R6);
+  a.exit_();
+  const auto result = analyze(a.build("peer_field"), {xb::xbgp::helper::kGetPeerInfo});
+  EXPECT_EQ(result.error_count(), 0u);
+  EXPECT_EQ(result.warning_count(), 0u);
+  bool found = false;
+  for (const auto& f : result.facts.mem) {
+    if (f.region == Region::kCtx && f.elide && f.lo == 8 && f.hi == 12) found = true;
+  }
+  EXPECT_TRUE(found) << "expected an elidable ctx fact with window [8, 12)";
+  ASSERT_EQ(result.facts.calls.count(0), 1u);
+  EXPECT_EQ(result.facts.calls.at(0).helper, xb::xbgp::helper::kGetPeerInfo);
+}
+
 TEST(Analyzer, AcceptsEveryShippedExtension) {
   // The accept-corpus: all programs in the registry must pass the full
   // pipeline with zero errors under their own helper requirement sets —
-  // exactly what Vmm::load enforces at attach time.
+  // exactly what Vmm::load enforces at attach time — and each accepted
+  // program must publish a full proof table for the translator.
   const auto registry = xb::ext::default_registry();
   const auto names = registry.names();
   ASSERT_FALSE(names.empty());
+  std::size_t elidable_total = 0;
   for (const auto& name : names) {
     const auto* program = registry.find(name);
     ASSERT_NE(program, nullptr) << name;
@@ -490,7 +621,12 @@ TEST(Analyzer, AcceptsEveryShippedExtension) {
       for (const auto& d : result.diagnostics) all += "\n  " + d.to_string();
       return all;
     }();
+    EXPECT_TRUE(result.facts.covers(program->insns().size())) << name;
+    for (const auto& f : result.facts.mem) elidable_total += f.elide ? 1 : 0;
   }
+  // The shipped extensions lean on the stack and on null-checked helper
+  // objects; the corpus as a whole must prove a healthy share of its checks.
+  EXPECT_GT(elidable_total, 0u);
 }
 
 }  // namespace

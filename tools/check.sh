@@ -17,6 +17,11 @@
 #                                  # strategies (computed goto and the
 #                                  # portable switch), then again under TSan
 #                                  # and UBSan
+#   tools/check.sh static          # static-analysis gate: -Werror build,
+#                                  # xbgp_lint over every shipped extension
+#                                  # diffed against tools/lint_baseline.txt
+#                                  # (new diagnostics are regressions), then
+#                                  # the elision-oracle fuzz tests
 #
 # The `thread` mode builds only the tests that actually spawn worker
 # threads (the UPDATE pipeline at parallelism > 1); everything else is
@@ -57,7 +62,7 @@ fi
 # and UBSan trees so data races and UB in the dispatch loop can't hide.
 if [ "$MODE" = "fast-vm" ]; then
   NPROC="$(nproc 2>/dev/null || echo 4)"
-  FILTER='DifferentialFuzz|DifferentialFault|Translator\.|Conformance'
+  FILTER='DifferentialFuzz|DifferentialFault|ElisionOracle|Translator\.|Conformance'
 
   BUILD="$ROOT/build-fastvm"
   cmake -B "$BUILD" -S "$ROOT" -DXBGP_SWITCH_DISPATCH=OFF
@@ -78,8 +83,38 @@ if [ "$MODE" = "fast-vm" ]; then
     cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SAN"
     cmake --build "$BUILD" -j "$NPROC" --target ebpf_differential_test
     ctest --test-dir "$BUILD" --output-on-failure \
-      -R 'DifferentialFuzz|DifferentialFault'
+      -R 'DifferentialFuzz|DifferentialFault|ElisionOracle'
   done
+  exit 0
+fi
+
+# The static mode is the analyzer's own gate: the build must be warning-free
+# under -Werror, every shipped extension must lint without errors AND without
+# new diagnostics relative to the committed baseline (an analyzer change that
+# starts flagging shipped code must update the baseline deliberately), and
+# the elision-oracle differential tests must hold — no check the analyzer
+# removes may ever change an observable outcome.
+if [ "$MODE" = "static" ]; then
+  NPROC="$(nproc 2>/dev/null || echo 4)"
+  BUILD="$ROOT/build-static"
+  cmake -B "$BUILD" -S "$ROOT" -DXBGP_WERROR=ON
+  cmake --build "$BUILD" -j "$NPROC" --target xbgp_lint ebpf_differential_test
+
+  OUT="$("$BUILD/tools/xbgp_lint" -q --all)" && STATUS=0 || STATUS=$?
+  if [ "$STATUS" -ne 0 ] && [ "$STATUS" -ne 3 ]; then
+    printf '%s\n' "$OUT"
+    echo "check.sh static: xbgp_lint reported errors (exit $STATUS)" >&2
+    exit 1
+  fi
+  printf '%s\n' "$OUT" | grep -E '^[a-z_]+: [0-9]+ error' > "$BUILD/lint_summary.txt"
+  if ! diff -u "$ROOT/tools/lint_baseline.txt" "$BUILD/lint_summary.txt"; then
+    echo "check.sh static: lint findings diverge from tools/lint_baseline.txt" >&2
+    echo "(new analyzer diagnostics on shipped extensions are regressions;" >&2
+    echo " update the baseline only with the diagnostic's justification)" >&2
+    exit 1
+  fi
+
+  ctest --test-dir "$BUILD" --output-on-failure -R 'ElisionOracle'
   exit 0
 fi
 

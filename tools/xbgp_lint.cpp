@@ -1,20 +1,26 @@
 // Offline analyzer for xBGP extension bytecode: runs the full verification
-// pipeline (structural pass 0, CFG construction, abstract interpretation,
-// loop-bound induction check) and prints findings inline with a
-// CFG-annotated disassembly — the same checks the VMM applies at attach
-// time, available before deployment.
+// pipeline (structural pass 0, CFG construction, multi-domain abstract
+// interpretation, loop-bound induction check) and prints findings inline
+// with a CFG-annotated disassembly — the same checks the VMM applies at
+// attach time, available before deployment.
 //
 // Usage:
 //   xbgp_lint --all                     # lint every built-in program
 //   xbgp_lint valley_free ov_inbound    # lint named built-in programs
 //   xbgp_lint --manifest FILE           # lint all entries of a text manifest
+//   xbgp_lint --facts ...               # dump the per-instruction ProofTable
 //   xbgp_lint -q ...                    # findings only, no disassembly
 //
-// Exit status: 0 when no error-severity finding was reported, 1 otherwise
-// (2 for usage / I/O problems).
+// Exit status:
+//   0  no findings of any severity
+//   1  at least one error-severity finding (program would be rejected)
+//   2  usage or I/O problem
+//   3  warning-severity findings only (programs load, but review advised)
 
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -35,6 +41,8 @@ using xb::ebpf::Analyzer;
 using xb::ebpf::Cfg;
 using xb::ebpf::Diagnostic;
 using xb::ebpf::Program;
+using xb::ebpf::ProofTable;
+using xb::ebpf::Region;
 using xb::ebpf::Severity;
 
 struct LintTarget {
@@ -46,6 +54,7 @@ struct LintTarget {
 Analyzer::Options analyzer_options() {
   Analyzer::Options opts;
   opts.helper_arity = xb::xbgp::helper_arity_table();
+  opts.helper_contracts = xb::xbgp::helper_contract_table();
   return opts;
 }
 
@@ -74,8 +83,55 @@ void print_annotated(const LintTarget& target, const AnalysisResult& result) {
   }
 }
 
-/// Returns the number of error-severity findings.
-std::size_t lint_one(const LintTarget& target, bool quiet) {
+/// Renders an interval endpoint; the saturation points print symbolically so
+/// "unknown" does not masquerade as a concrete 19-digit bound.
+std::string bound(std::int64_t v) {
+  if (v == std::numeric_limits<std::int64_t>::min()) return "min";
+  if (v == std::numeric_limits<std::int64_t>::max()) return "max";
+  return std::to_string(v);
+}
+
+/// Dumps the ProofTable: per memory op the proven region, offset window,
+/// alignment and elision verdict; per call the proven argument ranges.
+void print_facts(const AnalysisResult& result) {
+  const ProofTable& facts = result.facts;
+  if (facts.empty()) {
+    std::printf("  (no facts: program was rejected, proofs withdrawn)\n");
+    return;
+  }
+  std::size_t mem_ops = 0;
+  for (std::size_t i = 0; i < facts.mem.size(); ++i) {
+    const auto& f = facts.mem[i];
+    if (f.region != Region::kNone) {
+      ++mem_ops;
+      std::printf("  %4zu: mem   region=%-7s window=[%s, %s) align=%u  %s\n", i,
+                  to_string(f.region), bound(f.lo).c_str(), bound(f.hi).c_str(),
+                  static_cast<unsigned>(f.align), f.elide ? "ELIDE" : "checked");
+    }
+    const auto it = facts.calls.find(i);
+    if (it != facts.calls.end()) {
+      const auto& c = it->second;
+      std::string args;
+      for (int r = 0; r < c.arity; ++r) {
+        if (!args.empty()) args += ", ";
+        args += "r" + std::to_string(r + 1) + "=[" + bound(c.arg_lo[r]) + ", " +
+                bound(c.arg_hi[r]) + "]";
+      }
+      std::printf("  %4zu: call  %s (helper %" PRId32 ")%s%s\n", i,
+                  xb::xbgp::helper_name_by_id(c.helper), c.helper,
+                  args.empty() ? "" : "  ", args.c_str());
+    }
+  }
+  std::printf("  elidable checks: %zu of %zu memory operation(s)\n", facts.elidable(),
+              mem_ops);
+}
+
+struct LintCounts {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+LintCounts lint_one(const LintTarget& target, bool quiet, bool facts) {
   const AnalysisResult result =
       Analyzer::analyze(target.program, target.allowed_helpers, analyzer_options());
   std::printf("== %s ==\n", target.title.c_str());
@@ -89,17 +145,20 @@ std::size_t lint_one(const LintTarget& target, bool quiet) {
   } else {
     print_annotated(target, result);
   }
+  if (facts) print_facts(result);
   std::printf("%s: %zu error(s), %zu warning(s)\n\n", target.title.c_str(),
               result.error_count(), result.warning_count());
-  return result.error_count();
+  return {result.error_count(), result.warning_count()};
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: xbgp_lint [-q] --all | --manifest FILE | PROGRAM...\n"
+               "usage: xbgp_lint [-q] [--facts] --all | --manifest FILE | PROGRAM...\n"
                "  --all            lint every built-in extension program\n"
                "  --manifest FILE  lint each entry of a text manifest\n"
-               "  -q, --quiet      findings only, no annotated disassembly\n");
+               "  --facts          dump the per-instruction proof table\n"
+               "  -q, --quiet      findings only, no annotated disassembly\n"
+               "exit status: 0 clean, 1 errors, 2 usage/I-O, 3 warnings only\n");
   return 2;
 }
 
@@ -109,6 +168,7 @@ int main(int argc, char** argv) {
   const auto registry = xb::ext::default_registry();
   bool quiet = false;
   bool all = false;
+  bool facts = false;
   std::string manifest_path;
   std::vector<std::string> names;
 
@@ -118,6 +178,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--all") {
       all = true;
+    } else if (arg == "--facts") {
+      facts = true;
     } else if (arg == "--manifest") {
       if (++i >= argc) return usage();
       manifest_path = argv[i];
@@ -164,11 +226,21 @@ int main(int argc, char** argv) {
     targets.push_back({name, *program, program->required_helpers()});
   }
 
-  std::size_t errors = 0;
-  for (const auto& target : targets) errors += lint_one(target, quiet);
-  if (errors > 0) {
-    std::printf("xbgp_lint: %zu error(s) across %zu program(s)\n", errors, targets.size());
+  LintCounts totals;
+  for (const auto& target : targets) {
+    const LintCounts c = lint_one(target, quiet, facts);
+    totals.errors += c.errors;
+    totals.warnings += c.warnings;
+  }
+  if (totals.errors > 0) {
+    std::printf("xbgp_lint: %zu error(s), %zu warning(s) across %zu program(s)\n",
+                totals.errors, totals.warnings, targets.size());
     return 1;
+  }
+  if (totals.warnings > 0) {
+    std::printf("xbgp_lint: %zu warning(s) across %zu program(s)\n", totals.warnings,
+                targets.size());
+    return 3;
   }
   return 0;
 }
