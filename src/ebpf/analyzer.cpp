@@ -27,11 +27,13 @@ std::int64_t sat(__int128 v) {
 std::int64_t sat_add(std::int64_t a, std::int64_t b) {
   return sat(static_cast<__int128>(a) + b);
 }
-std::int64_t sat_sub(std::int64_t a, std::int64_t b) {
-  return sat(static_cast<__int128>(a) - b);
-}
 
-/// Closed interval with saturating endpoints.
+/// Closed interval over int64.  Arithmetic that would carry an endpoint
+/// outside the int64 range widens to `full()` rather than saturating: the VM
+/// wraps mod 2^64, so a clamped endpoint could EXCLUDE the true (wrapped)
+/// value and later arithmetic would yield tight-but-wrong claims — e.g.
+/// INT64_MAX + INT64_MAX saturated to point(INT64_MAX) misses the actual -2,
+/// and subtracting INT64_MAX back then "proves" 0.  full() is always sound.
 struct Interval {
   std::int64_t lo = kValMin;
   std::int64_t hi = kValMax;
@@ -46,10 +48,31 @@ struct Interval {
     return {std::min(lo, o.lo), std::max(hi, o.hi)};
   }
   [[nodiscard]] Interval add(const Interval& o) const {
-    return {sat_add(lo, o.lo), sat_add(hi, o.hi)};
+    const __int128 nlo = static_cast<__int128>(lo) + o.lo;
+    const __int128 nhi = static_cast<__int128>(hi) + o.hi;
+    if (nlo < kValMin || nhi > kValMax) return full();
+    return {static_cast<std::int64_t>(nlo), static_cast<std::int64_t>(nhi)};
   }
   [[nodiscard]] Interval sub(const Interval& o) const {
-    return {sat_sub(lo, o.hi), sat_sub(hi, o.lo)};
+    const __int128 nlo = static_cast<__int128>(lo) - o.hi;
+    const __int128 nhi = static_cast<__int128>(hi) - o.lo;
+    if (nlo < kValMin || nhi > kValMax) return full();
+    return {static_cast<std::int64_t>(nlo), static_cast<std::int64_t>(nhi)};
+  }
+
+  // Saturating variants for the LOOP-ANALYSIS symbolic domain only.  There
+  // kValMin/kValMax endpoints are widening artifacts meaning "unbounded",
+  // and "unbounded + step" must stay unbounded on that side while the other
+  // endpoint keeps accumulating per-iteration progress — widening to full()
+  // would erase the monotone-induction evidence for every widened counter.
+  // The imprecision at genuine ±2^63 magnitudes is acceptable because these
+  // intervals only gate loop-boundedness (the runtime instruction budget is
+  // the backstop) and are never published to the elision ProofTable.
+  [[nodiscard]] Interval add_sat(const Interval& o) const {
+    return {sat_add(lo, o.lo), sat_add(hi, o.hi)};
+  }
+  [[nodiscard]] Interval sub_sat(const Interval& o) const {
+    return {sat(static_cast<__int128>(lo) - o.hi), sat(static_cast<__int128>(hi) - o.lo)};
   }
 
   friend bool operator==(const Interval&, const Interval&) = default;
@@ -391,7 +414,14 @@ class Analysis {
       }
     }
 
-    fixpoint();
+    // Stack-taint bits accumulate monotonically across passes; iterate until
+    // they stop growing so spilled-then-reloaded taint reaches every load
+    // site before the report pass reads the final states.
+    while (true) {
+      const auto taint_before = stack_taint_;
+      fixpoint();
+      if (stack_taint_ == taint_before) break;
+    }
     report_pass();
     for (const NaturalLoop& loop : cfg_->loops()) check_loop(loop);
     for (const CfgEdge& e : cfg_->irreducible_edges()) {
@@ -444,6 +474,31 @@ class Analysis {
       s[reg] = AbsVal::scalar(Interval::full());
     }
     return s[reg];
+  }
+
+  // ---- stack taint ----
+  //
+  // Per-byte taint for the 512-byte frame, so taint survives a stack
+  // round-trip (spill a wire-derived scalar, reload it).  The map is
+  // flow-INsensitive — bits only turn on, an untainted overwrite does not
+  // clear them — which over-approximates (possible spurious warnings after a
+  // slot is reused) but never loses taint.  Because a load executed early in
+  // a pass can miss a bit set later in the same pass, run() iterates the
+  // fixpoint until the map stops growing.
+
+  void taint_stack_bytes(std::int64_t lo, std::int64_t end) {
+    lo = std::max<std::int64_t>(lo, -kStackSize);
+    end = std::min<std::int64_t>(end, 0);
+    for (std::int64_t o = lo; o < end; ++o) stack_taint_[o + kStackSize] = true;
+  }
+
+  [[nodiscard]] bool stack_bytes_tainted(std::int64_t lo, std::int64_t end) const {
+    lo = std::max<std::int64_t>(lo, -kStackSize);
+    end = std::min<std::int64_t>(end, 0);
+    for (std::int64_t o = lo; o < end; ++o) {
+      if (stack_taint_[o + kStackSize]) return true;
+    }
+    return false;
   }
 
   void check_stack_access(std::size_t insn, const AbsVal& base, std::int16_t off, int size,
@@ -634,8 +689,12 @@ class Analysis {
       case kClsLdx: {
         const AbsVal base = read_reg(s, insn.src, i, reporting);
         const int size = mem_size(insn.opcode);
+        bool loaded_taint = base.kind == Kind::kObjPtr && base.tainted;
         if (base.kind == Kind::kStackPtr) {
           check_stack_access(i, base, insn.offset, size, reporting);
+          loaded_taint = stack_bytes_tainted(
+              sat_add(base.range.lo, insn.offset),
+              sat_add(sat_add(base.range.hi, insn.offset), size));
           if (base.range.singleton()) {
             stores_load(pending, -1, sat_add(base.range.lo, insn.offset), size);
           } else {
@@ -652,8 +711,7 @@ class Analysis {
           // model exposes — including the stack frame.
           stores_clear(pending);
         }
-        s[insn.dst] = AbsVal::scalar_t(load_range(size),
-                                       base.kind == Kind::kObjPtr && base.tainted);
+        s[insn.dst] = AbsVal::scalar_t(load_range(size), loaded_taint);
         stores_clobber_reg(pending, insn.dst);
         break;
       }
@@ -664,6 +722,10 @@ class Analysis {
         const int size = mem_size(insn.opcode);
         if (base.kind == Kind::kStackPtr) {
           check_stack_access(i, base, insn.offset, size, reporting);
+          if (cls == kClsStx && s[insn.src].tainted) {
+            taint_stack_bytes(sat_add(base.range.lo, insn.offset),
+                              sat_add(sat_add(base.range.hi, insn.offset), size));
+          }
           if (base.range.singleton()) {
             stores_store(pending, -1, sat_add(base.range.lo, insn.offset), size, i);
           } else {
@@ -779,6 +841,12 @@ class Analysis {
           v.range = operand.range.add(dst.range);
           v.off_tainted = operand.off_tainted || dst.tainted;
           s[insn.dst] = v;
+        } else if (dst.is_ptr() || operand.is_ptr()) {
+          // ptr + ptr (stack+stack, obj+obj, stack+obj): the runtime value is
+          // a sum of host addresses, not of region-relative offsets — summing
+          // the tracked offsets would let the bogus "scalar" flow back into a
+          // pointer and fabricate an in-bounds proof.  Unknown scalar only.
+          s[insn.dst] = AbsVal::scalar_t(Interval::full(), taint);
         } else {
           s[insn.dst] = AbsVal::scalar_t(dst.range.add(operand.range), taint);
         }
@@ -1059,18 +1127,18 @@ class Analysis {
           const SymVal dst = s[insn.dst];
           if (operand.k == K::kVal) {
             if (dst.k == K::kAnchor) {
-              s[insn.dst] = SymVal::anchor(
-                  dst.base,
-                  op == kAluAdd ? dst.delta.add(operand.delta) : dst.delta.sub(operand.delta));
+              s[insn.dst] = SymVal::anchor(dst.base,
+                                           op == kAluAdd ? dst.delta.add_sat(operand.delta)
+                                                         : dst.delta.sub_sat(operand.delta));
               return;
             }
             if (dst.k == K::kVal) {
-              s[insn.dst] = SymVal::val(op == kAluAdd ? dst.delta.add(operand.delta)
-                                                      : dst.delta.sub(operand.delta));
+              s[insn.dst] = SymVal::val(op == kAluAdd ? dst.delta.add_sat(operand.delta)
+                                                      : dst.delta.sub_sat(operand.delta));
               return;
             }
           } else if (operand.k == K::kAnchor && dst.k == K::kVal && op == kAluAdd) {
-            s[insn.dst] = SymVal::anchor(operand.base, operand.delta.add(dst.delta));
+            s[insn.dst] = SymVal::anchor(operand.base, operand.delta.add_sat(dst.delta));
             return;
           }
           s[insn.dst] = SymVal::top();
@@ -1192,7 +1260,16 @@ class Analysis {
     while (!work.empty()) {
       const std::size_t b = work.front();
       work.pop_front();
-      if (++visits[b] > kLoopFixpointCap) continue;
+      if (++visits[b] > kLoopFixpointCap) {
+        // The cap fired before this block converged.  Dropping its successor
+        // updates would leave in_sym a stale NON-fixpoint, and induction
+        // facts read from it could certify a loop that is not actually
+        // bounded.  Snap the block to top instead: top absorbs every join,
+        // so propagation still terminates, the final map is a genuine
+        // over-approximation, and a loop whose evidence lived in the
+        // snapped state is rejected conservatively.
+        for (SymVal& v : in_sym[b]) v = SymVal::top();
+      }
       const SymState out = sym_exec_block(in_sym[b], b, /*stop_before_terminator=*/false);
       for (std::size_t succ : cfg_->blocks()[b].succs) {
         if (!loop.contains(succ) || succ == loop.header) continue;
@@ -1317,6 +1394,7 @@ class Analysis {
   std::optional<Cfg> cfg_;
   std::vector<RegState> in_state_;
   std::vector<bool> has_in_;
+  std::array<bool, kStackSize> stack_taint_{};
   std::vector<Diagnostic> diags_;
   ProofTable facts_;
 };

@@ -13,7 +13,13 @@
 //     writability, nullability),
 //   * a taint domain marking wire-derived values (attribute bytes, message
 //     arguments, their lengths) so tainted arithmetic flowing into memory
-//     offsets or helper size arguments is flagged.
+//     offsets or helper size arguments is flagged.  Taint survives a stack
+//     round-trip: a per-byte frame map records every slot a tainted scalar
+//     was ever spilled to, and reloads from those bytes come back tainted.
+//     The map is flow-insensitive (bits never clear), so reusing a
+//     once-tainted slot for clean data can over-warn; taint written through
+//     helper out-parameters or object buffers is NOT tracked — those
+//     diagnostics remain best-effort.
 //
 // The proofs the domains establish are published as a per-instruction
 // `ProofTable`: for each memory operation the proven base region, the offset

@@ -614,6 +614,38 @@ std::vector<Program> elision_seed_corpus() {
     a.exit_();
     seeds.push_back(a.build("seed_obj_edge"));
   }
+  {  // Pointer+pointer arithmetic fed back into a frame pointer.  The sum of
+    // two stack pointers is a host-address-scale scalar, NOT a small offset;
+    // an analyzer that models it as the sum of region-relative offsets would
+    // "prove" the r7 store in-frame, elide the bounds check, and hand the
+    // fast tier a wild host write.  Its mutants keep probing that envelope.
+    Assembler a;
+    a.mov64(Reg::R6, Reg::R10);
+    a.add64(Reg::R6, Reg::R10);   // r6 = 2 * r10 (host scale)
+    a.mov64(Reg::R7, Reg::R10);
+    a.add64(Reg::R7, Reg::R6);    // r7 = 3 * r10: far out of frame
+    a.stxdw(Reg::R7, -8, Reg::R6);
+    a.ldxdw(Reg::R0, Reg::R10, -8);
+    a.exit_();
+    seeds.push_back(a.build("seed_ptr_plus_ptr"));
+  }
+  {  // Overflowing add/sub chain feeding a stack offset.  INT64_MAX +
+    // INT64_MAX wraps to -2 at run time; a saturating interval claims
+    // INT64_MAX, the following sub then claims exactly 0, and the r8 access
+    // would be elided at a "proven" in-frame offset while the real address
+    // is r10 + INT64_MAX.
+    Assembler a;
+    a.lddw(Reg::R6, 0x7FFFFFFFFFFFFFFFull);
+    a.lddw(Reg::R7, 0x7FFFFFFFFFFFFFFFull);
+    a.add64(Reg::R6, Reg::R7);    // actual -2, saturated claim INT64_MAX
+    a.sub64(Reg::R6, Reg::R7);    // actual INT64_MAX, saturated claim 0
+    a.mov64(Reg::R8, Reg::R10);
+    a.add64(Reg::R8, Reg::R6);
+    a.stxdw(Reg::R8, -8, Reg::R7);
+    a.ldxdw(Reg::R0, Reg::R10, -8);
+    a.exit_();
+    seeds.push_back(a.build("seed_overflow_chain"));
+  }
   return seeds;
 }
 

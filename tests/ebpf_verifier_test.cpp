@@ -437,6 +437,89 @@ const AnalyzerCase kNegativeCases[] = {
        return a.build("helper_object_oob");
      },
      Severity::kWarning, "past the end"},
+    {"ptr_plus_ptr_oob",
+     [] {
+       // The sum of two stack pointers is a host-address-scale scalar, not
+       // the sum of their frame offsets.  Folding it back into r10 must NOT
+       // yield a stack pointer with a "proven" small offset (which would
+       // elide the bounds check on a wild out-of-frame store).
+       Assembler a;
+       a.mov64(Reg::R6, Reg::R10);
+       a.add64(Reg::R6, Reg::R10);  // ptr+ptr: unknown scalar, ~2*r10 at run time
+       a.mov64(Reg::R7, Reg::R10);
+       a.add64(Reg::R7, Reg::R6);   // r7 is nowhere near the frame
+       a.stxdw(Reg::R7, -8, Reg::R6);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("ptr_plus_ptr_oob");
+     },
+     Severity::kError, "stack access out of bounds"},
+    {"overflow_chain_oob",
+     [] {
+       // INT64_MAX + INT64_MAX wraps to -2; a saturating interval would
+       // claim INT64_MAX, the sub then exactly 0, and the store would be
+       // elided at a "proven" in-frame offset while the real address is
+       // r10 + INT64_MAX.  Overflowing arithmetic must widen to unknown.
+       Assembler a;
+       a.lddw(Reg::R6, 0x7FFFFFFFFFFFFFFFull);
+       a.lddw(Reg::R7, 0x7FFFFFFFFFFFFFFFull);
+       a.add64(Reg::R6, Reg::R7);  // actually -2
+       a.sub64(Reg::R6, Reg::R7);  // actually INT64_MAX
+       a.mov64(Reg::R8, Reg::R10);
+       a.add64(Reg::R8, Reg::R6);
+       a.stxdw(Reg::R8, -8, Reg::R7);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("overflow_chain_oob");
+     },
+     Severity::kError, "stack access out of bounds"},
+    {"neg_int64min_oob",
+     [] {
+       // neg64 of a range containing INT64_MIN wraps (INT64_MIN negates to
+       // itself); a saturating claim of [1, INT64_MAX] would pass the s>8
+       // guard's refinement and elide the store at a "proven" frame offset.
+       Assembler a;
+       auto neg_path = a.make_label();
+       auto out = a.make_label();
+       a.jslt(Reg::R1, 0, neg_path);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       a.place(neg_path);
+       a.neg64(Reg::R1);            // r1 in [INT64_MIN, -1]: result may wrap
+       a.jsgt(Reg::R1, 8, out);
+       a.mov64(Reg::R7, Reg::R10);
+       a.add64(Reg::R7, Reg::R1);
+       a.stxb(Reg::R7, -16, Reg::R1);
+       a.place(out);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("neg_int64min_oob");
+     },
+     Severity::kError, "stack access out of bounds"},
+    {"tainted_stack_roundtrip",
+     [] {
+       // Spilling a wire-derived scalar to the frame and reloading it must
+       // not launder the taint: the reloaded value steering a pointer
+       // offset still warrants the tainted-offset warning.
+       Assembler a;
+       auto ok = a.make_label();
+       a.mov64(Reg::R1, 1);
+       a.call(xb::xbgp::helper::kGetAttr);
+       a.jne(Reg::R0, 0, ok);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       a.place(ok);
+       a.ldxb(Reg::R6, Reg::R0, 0);      // tainted scalar
+       a.stxdw(Reg::R10, -16, Reg::R6);  // spill
+       a.ldxdw(Reg::R7, Reg::R10, -16);  // reload: taint must survive
+       a.mov64(Reg::R8, Reg::R0);
+       a.add64(Reg::R8, Reg::R7);        // tainted offset into the buffer
+       a.ldxb(Reg::R9, Reg::R8, 0);
+       a.mov64(Reg::R0, 0);
+       a.exit_();
+       return a.build("tainted_stack_roundtrip");
+     },
+     Severity::kWarning, "tainted offset"},
     {"widened_loop_offset_oob",
      [] {
        // The loop counter is widened at the header; the exit test only
