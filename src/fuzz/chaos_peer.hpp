@@ -1,0 +1,122 @@
+// A scripted raw-wire BGP actor for the stateful fuzzer.
+//
+// A ChaosPeer is deliberately NOT a PeerSession: it has no FSM, no timers
+// and no opinions. It plays back a pre-computed schedule of raw byte writes
+// (well-formed frames, malformed garbage, half-closes) against the DUT and
+// records every byte the DUT sends in return. The recording is what the
+// oracles judge: the reference SessionModel predicts which NOTIFICATIONs
+// must appear, and the Fir-vs-Wren differential compares the decoded frame
+// sequences two hosts produced for the same schedule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bgp/codec.hpp"
+#include "bgp/message.hpp"
+#include "net/channel.hpp"
+#include "net/event_loop.hpp"
+
+namespace xb::fuzz {
+
+/// One decoded frame recovered from the DUT's output stream.
+struct RxFrame {
+  bgp::MessageType type{};
+  // Exactly one of these is populated, matching `type`. UPDATEs are stored
+  // decoded (Fir and Wren may order attributes differently on the wire; the
+  // decoded form is the host-independent one, same as the sink comparison in
+  // differential_host_test).
+  bgp::OpenMessage open;
+  bgp::UpdateMessage update;
+  bgp::NotificationMessage notification;
+  bgp::RouteRefreshMessage refresh;
+  friend bool operator==(const RxFrame&, const RxFrame&) = default;
+};
+
+class ChaosPeer {
+ public:
+  ChaosPeer(net::EventLoop& loop, net::Duplex::End end) : loop_(loop), end_(end) {
+    end_.on_readable([this] {
+      auto chunk = end_.read_all();
+      rx_.insert(rx_.end(), chunk.begin(), chunk.end());
+    });
+  }
+
+  /// Schedules a raw write at absolute virtual time `at` (the loop is at
+  /// t=0 when schedules are installed, so delay == absolute time).
+  void write_at(net::Duration at, std::vector<std::uint8_t> bytes) {
+    loop_.schedule(at, [this, b = std::move(bytes)] { end_.write(b); });
+  }
+
+  /// Schedules a half-close (models a mid-stream TCP reset: the DUT stops
+  /// hearing from us and must notice via its hold timer).
+  void close_at(net::Duration at) {
+    loop_.schedule(at, [this] { end_.close(); });
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& received() const { return rx_; }
+
+  /// Parses the recorded byte stream into frames. Returns false (with a
+  /// diagnostic in `error`) if the DUT emitted anything unframeable — which
+  /// is itself an oracle violation: the DUT must never write garbage.
+  [[nodiscard]] bool parse_received(std::vector<RxFrame>& out, std::string& error) const {
+    std::size_t off = 0;
+    while (off < rx_.size()) {
+      std::span<const std::uint8_t> pending(rx_.data() + off, rx_.size() - off);
+      auto frame = bgp::try_frame(pending);
+      if (!frame.has_value()) {
+        error = frame.status().is_incomplete() ? "truncated trailing frame"
+                                               : frame.status().message();
+        return false;
+      }
+      RxFrame rf;
+      rf.type = frame->type;
+      switch (frame->type) {
+        case bgp::MessageType::kOpen: {
+          auto open = bgp::decode_open(frame->body);
+          if (!open.has_value()) { error = "undecodable OPEN from DUT"; return false; }
+          rf.open = *open;
+          break;
+        }
+        case bgp::MessageType::kUpdate: {
+          bgp::UpdateNotes notes;
+          auto update = bgp::decode_update(frame->body, &notes);
+          if (!update.has_value() || !notes.clean()) {
+            error = "malformed UPDATE from DUT";
+            return false;
+          }
+          rf.update = *update;
+          break;
+        }
+        case bgp::MessageType::kNotification: {
+          auto notif = bgp::decode_notification(frame->body);
+          if (!notif.has_value()) { error = "truncated NOTIFICATION from DUT"; return false; }
+          rf.notification = *notif;
+          break;
+        }
+        case bgp::MessageType::kKeepalive:
+          if (!frame->body.empty()) { error = "KEEPALIVE with body from DUT"; return false; }
+          break;
+        case bgp::MessageType::kRouteRefresh: {
+          auto refresh = bgp::decode_route_refresh(frame->body);
+          if (!refresh.has_value()) { error = "malformed ROUTE-REFRESH from DUT"; return false; }
+          rf.refresh = *refresh;
+          break;
+        }
+      }
+      out.push_back(std::move(rf));
+      off += frame->total_length;
+    }
+    return true;
+  }
+
+ private:
+  net::EventLoop& loop_;
+  net::Duplex::End end_;
+  std::vector<std::uint8_t> rx_;
+};
+
+}  // namespace xb::fuzz

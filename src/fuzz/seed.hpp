@@ -1,0 +1,45 @@
+// Deterministic seed plumbing shared by every fuzzing entry point.
+//
+// A fuzz run is only useful if a failure replays: each suite announces the
+// seed it runs with and accepts a replacement from the environment, so any
+// CI failure becomes a one-line repro:
+//
+//   XBGP_FUZZ_SEED=<printed seed> ./build/tests/stateful_fuzz_test
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xb::fuzz {
+
+/// Reads `var` as a decimal or 0x-prefixed integer seed; falls back to
+/// `fallback` when the variable is unset, empty or unparseable.
+inline std::uint64_t env_seed(std::uint64_t fallback, const char* var = "XBGP_FUZZ_SEED") {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 0);
+  if (end == raw) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+/// Reads a positive integer knob (episode counts, time budgets) from `var`.
+inline std::uint64_t env_u64(const char* var, std::uint64_t fallback) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 0);
+  if (end == raw) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+/// Prints the effective seed in replay form. `what` names the suite.
+inline void announce_seed(const char* what, std::uint64_t seed) {
+  std::printf("[%s] seed=%llu  (replay: XBGP_FUZZ_SEED=%llu)\n", what,
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+}
+
+}  // namespace xb::fuzz

@@ -1,0 +1,143 @@
+#include "fuzz/session_model.hpp"
+
+#include "bgp/codec.hpp"
+
+namespace xb::fuzz {
+
+using bgp::MessageType;
+using bgp::NotifCode;
+using bgp::SessionState;
+
+bool valid_notification_pair(std::uint8_t code, std::uint8_t subcode) {
+  switch (code) {
+    case 1: return subcode >= 1 && subcode <= 3;   // Message Header Error
+    case 2: return subcode <= 7;                   // OPEN Message Error
+    case 3: return subcode <= 11;                  // UPDATE Message Error
+    case 4: return subcode == 0;                   // Hold Timer Expired
+    case 5: return subcode == 0;                   // FSM Error
+    case 6: return subcode <= 8;                   // Cease
+    default: return false;
+  }
+}
+
+void SessionModel::start() {
+  if (state_ != SessionState::kIdle) return;
+  state_ = SessionState::kOpenSent;
+}
+
+void SessionModel::deliver(std::span<const std::uint8_t> chunk) {
+  rx_buffer_.insert(rx_buffer_.end(), chunk.begin(), chunk.end());
+  while (true) {
+    std::span<const std::uint8_t> pending(rx_buffer_.data() + rx_consumed_,
+                                          rx_buffer_.size() - rx_consumed_);
+    auto frame = bgp::try_frame(pending);
+    if (!frame.has_value()) {
+      if (frame.status().is_incomplete()) break;
+      fail(static_cast<NotifCode>(frame.status().code()), frame.status().subcode());
+      return;
+    }
+    process_frame(*frame);
+    if (state_ == SessionState::kIdle) return;  // torn down while processing
+    rx_consumed_ += frame->total_length;
+  }
+  if (rx_consumed_ > 0 && rx_consumed_ * 2 >= rx_buffer_.size()) {
+    rx_buffer_.erase(rx_buffer_.begin(),
+                     rx_buffer_.begin() + static_cast<std::ptrdiff_t>(rx_consumed_));
+    rx_consumed_ = 0;
+  }
+}
+
+void SessionModel::expire_hold() {
+  if (state_ == SessionState::kIdle || config_.hold_time == 0) return;
+  fail(NotifCode::kHoldTimerExpired, 0);
+}
+
+void SessionModel::process_frame(const bgp::Frame& frame) {
+  switch (frame.type) {
+    case MessageType::kOpen: {
+      auto open = bgp::decode_open(frame.body);
+      if (!open.has_value()) {
+        fail(static_cast<NotifCode>(open.status().code()), open.status().subcode());
+        return;
+      }
+      handle_open(*open);
+      return;
+    }
+    case MessageType::kKeepalive:
+      handle_keepalive();
+      return;
+    case MessageType::kUpdate: {
+      if (state_ != SessionState::kEstablished) {
+        fail(NotifCode::kFsmError, 0);
+        return;
+      }
+      bgp::UpdateNotes notes;
+      auto update = bgp::decode_update(frame.body, &notes);
+      if (!update.has_value()) {
+        fail(static_cast<NotifCode>(update.status().code()), update.status().subcode());
+        return;
+      }
+      if (notes.worst == util::ErrorClass::kTreatAsWithdraw) ++treat_as_withdraw_;
+      attrs_discarded_ += notes.attrs_discarded;
+      ++updates_received_;
+      return;
+    }
+    case MessageType::kNotification: {
+      // Both the decodable and the truncated NOTIFICATION tear the session
+      // down silently: the peer already knows why.
+      go_down();
+      return;
+    }
+    case MessageType::kRouteRefresh: {
+      if (state_ != SessionState::kEstablished) {
+        fail(NotifCode::kFsmError, 0);
+        return;
+      }
+      auto refresh = bgp::decode_route_refresh(frame.body);
+      if (!refresh.has_value()) {
+        fail(static_cast<NotifCode>(refresh.status().code()), refresh.status().subcode());
+        return;
+      }
+      return;
+    }
+  }
+}
+
+void SessionModel::handle_open(const bgp::OpenMessage& open) {
+  if (state_ != SessionState::kOpenSent) {
+    fail(NotifCode::kFsmError, 0);
+    return;
+  }
+  if (open.asn != config_.peer_asn) {
+    fail(NotifCode::kOpenMessageError, 2);
+    return;
+  }
+  if (open.bgp_id == 0 || open.bgp_id == config_.local_id) {
+    fail(NotifCode::kOpenMessageError, 3);
+    return;
+  }
+  if (open.hold_time < config_.hold_time) config_.hold_time = open.hold_time;
+  state_ = SessionState::kOpenConfirm;
+}
+
+void SessionModel::handle_keepalive() {
+  switch (state_) {
+    case SessionState::kOpenConfirm:
+      state_ = SessionState::kEstablished;
+      return;
+    case SessionState::kEstablished:
+      return;
+    default:
+      fail(NotifCode::kFsmError, 0);
+  }
+}
+
+void SessionModel::fail(NotifCode code, std::uint8_t subcode) {
+  notifications_.push_back({static_cast<std::uint8_t>(code), subcode});
+  ++notifications_sent_;
+  go_down();
+}
+
+void SessionModel::go_down() { state_ = SessionState::kIdle; }
+
+}  // namespace xb::fuzz

@@ -1,0 +1,90 @@
+// Reference model of the DUT-side PeerSession FSM.
+//
+// The stateful fuzzer generates a raw byte schedule for each chaos peer and
+// replays it through this model BEFORE running it against a real router.
+// The model mirrors bgp::PeerSession::handle_readable / process_frame
+// semantics exactly — including the RFC 7606 tiering decided by the real
+// codec (the model calls try_frame/decode_* itself, so expected NOTIFICATION
+// (code, subcode) pairs fall out of the shared classification logic rather
+// than being hand-predicted) — but has no timers: time-driven outcomes
+// (hold-timer expiry) are asserted by the plan generator, which constructs
+// schedules that make expiry either guaranteed or impossible, and calls
+// expire_hold() on the model accordingly.
+//
+// This is the first oracle: after the episode runs, the real session's
+// final state, its counters and the NOTIFICATION sequence the chaos peer
+// recorded must match the model's prediction bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "bgp/peer_session.hpp"
+#include "bgp/types.hpp"
+
+namespace xb::fuzz {
+
+/// One NOTIFICATION the DUT is expected to originate, in order.
+struct ExpectedNotification {
+  std::uint8_t code = 0;
+  std::uint8_t subcode = 0;
+  friend bool operator==(const ExpectedNotification&, const ExpectedNotification&) = default;
+};
+
+/// RFC 4271/7606 validity of a (code, subcode) pair — the "valid
+/// NOTIFICATION pair" half of the no-silent-acceptance oracle.
+[[nodiscard]] bool valid_notification_pair(std::uint8_t code, std::uint8_t subcode);
+
+class SessionModel {
+ public:
+  /// Mirrors the DUT-side PeerSession::Config fields that affect semantics.
+  struct Config {
+    bgp::Asn local_asn = 0;    // the DUT's ASN
+    bgp::Asn peer_asn = 0;     // what the DUT expects the chaos peer to be
+    bgp::RouterId local_id = 0;
+    std::uint16_t hold_time = 90;
+  };
+
+  explicit SessionModel(Config config) : config_(config) {}
+
+  /// Mirrors PeerSession::start(): DUT sends OPEN, enters OpenSent.
+  void start();
+
+  /// Mirrors one on_readable delivery of `chunk` from the chaos peer.
+  void deliver(std::span<const std::uint8_t> chunk);
+
+  /// Applies a generator-guaranteed hold-timer expiry (no-op when already
+  /// Idle or when the negotiated hold time is zero).
+  void expire_hold();
+
+  [[nodiscard]] bgp::SessionState state() const { return state_; }
+  [[nodiscard]] std::uint16_t negotiated_hold() const { return config_.hold_time; }
+  [[nodiscard]] std::uint64_t updates_received() const { return updates_received_; }
+  [[nodiscard]] std::uint64_t treat_as_withdraw() const { return treat_as_withdraw_; }
+  [[nodiscard]] std::uint64_t attrs_discarded() const { return attrs_discarded_; }
+  [[nodiscard]] std::uint64_t notifications_sent() const { return notifications_sent_; }
+  [[nodiscard]] const std::vector<ExpectedNotification>& notifications() const {
+    return notifications_;
+  }
+
+ private:
+  void process_frame(const bgp::Frame& frame);
+  void handle_open(const bgp::OpenMessage& open);
+  void handle_keepalive();
+  void fail(bgp::NotifCode code, std::uint8_t subcode);
+  void go_down();
+
+  Config config_;
+  bgp::SessionState state_ = bgp::SessionState::kIdle;
+  std::vector<std::uint8_t> rx_buffer_;
+  std::size_t rx_consumed_ = 0;
+  std::uint64_t updates_received_ = 0;
+  std::uint64_t treat_as_withdraw_ = 0;
+  std::uint64_t attrs_discarded_ = 0;
+  std::uint64_t notifications_sent_ = 0;
+  std::vector<ExpectedNotification> notifications_;
+};
+
+}  // namespace xb::fuzz

@@ -1,0 +1,482 @@
+#include "fuzz/stateful.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "bgp/aspath.hpp"
+#include "bgp/attr.hpp"
+#include "bgp/codec.hpp"
+#include "rpki/loader.hpp"
+#include "util/rng.hpp"
+
+namespace xb::fuzz {
+
+namespace {
+
+using util::Ipv4Addr;
+using util::Prefix;
+
+constexpr std::uint64_t kMs = 1'000'000ull;
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+// Peer behaviour classes. Everything except kBadOpen/kEarlyFrame completes a
+// clean handshake and runs UPDATE/KEEPALIVE/ROUTE-REFRESH churn first.
+enum PeerClass : int {
+  kStay = 0,        // behaves to the end (keepalive fill keeps it alive)
+  kSilence = 1,     // stops talking -> DUT hold-timer expiry
+  kReset = 2,       // mid-stream close -> silence -> hold-timer expiry
+  kNotifyDut = 3,   // sends a NOTIFICATION -> DUT goes down silently
+  kGarbage = 4,     // sends an unframeable/undecodable message -> session reset
+  kBadOpen = 5,     // OPEN the DUT must refuse (ASN/id mismatch, truncation)
+  kEarlyFrame = 6,  // KEEPALIVE/UPDATE/REFRESH before the FSM allows it
+  kDupOpen = 7,     // second OPEN after Established -> FSM error
+  kTruncNotif = 8,  // truncated NOTIFICATION -> silent teardown
+};
+
+/// Hand-crafts a frame with full control over marker, declared length and
+/// type — the malformed-header space encode_*() can never produce.
+std::vector<std::uint8_t> raw_frame(std::uint8_t marker_byte, std::uint16_t declared_length,
+                                    std::uint8_t type, std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> out(16, marker_byte);
+  out.push_back(static_cast<std::uint8_t>(declared_length >> 8));
+  out.push_back(static_cast<std::uint8_t>(declared_length & 0xFF));
+  out.push_back(type);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+EpisodePlan make_plan(std::uint64_t seed, const PlanOptions& opt) {
+  util::Rng rng(seed);
+  EpisodePlan plan;
+  plan.seed = seed;
+  static constexpr std::size_t kParallelism[] = {1, 1, 1, 2, 2, 4, 8, 8};
+  plan.parallelism =
+      opt.force_parallelism != 0 ? opt.force_parallelism : kParallelism[rng.below(8)];
+  plan.hold = static_cast<std::uint16_t>(rng.between(4, 12));
+  plan.keepalive = static_cast<std::uint32_t>(rng.between(1, 3));
+  plan.latency = rng.below(2001);
+  plan.native_rr = rng.chance(0.25);
+  plan.use_policies = rng.chance(0.4);
+  plan.manifest_mask = static_cast<std::uint32_t>(rng.below(32));
+  plan.dut_addr = Ipv4Addr(10, 0, 0, 1);
+  plan.inject_unmodeled_fault = opt.inject_unmodeled_fault;
+
+  // A shared prefix pool plus a ROA set over it (75% valid, the paper's
+  // §3.4 split), so an origin-validation manifest always has data.
+  const std::size_t pool_size = rng.between(8, 48);
+  std::vector<Prefix> pool;
+  std::vector<rpki::AnnouncedRoute> announced;
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    pool.emplace_back(Ipv4Addr(10, 50, static_cast<std::uint8_t>(i), 0), 24);
+    announced.push_back({pool.back(), static_cast<bgp::Asn>(64500 + rng.below(8))});
+  }
+  rpki::RoaSetParams roa_params;
+  roa_params.seed = seed * 0x9E3779B97F4A7C15ull + 1;
+  plan.roas = rpki::make_roa_set(announced, roa_params);
+
+  auto pick_prefixes = [&] {
+    std::vector<Prefix> out;
+    const std::size_t n = 1 + rng.below(3);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(pool[rng.below(pool.size())]);
+    return out;
+  };
+  auto build_announce = [&](bgp::Asn peer_asn, Ipv4Addr peer_addr, bool ibgp) {
+    bgp::UpdateMessage u;
+    u.attrs.put(bgp::make_origin(static_cast<bgp::Origin>(rng.below(3))));
+    std::vector<bgp::Asn> path;
+    if (!ibgp) path.push_back(peer_asn);
+    const std::size_t hops = rng.below(4);
+    for (std::size_t h = 0; h < hops; ++h)
+      path.push_back(static_cast<bgp::Asn>(64500 + rng.below(50)));
+    if (rng.chance(0.05)) path.push_back(plan.dut_asn);  // feeds loop prevention
+    u.attrs.put(bgp::AsPath(std::move(path)).to_attr());
+    u.attrs.put(bgp::make_next_hop(peer_addr));
+    if (ibgp && rng.chance(0.6))
+      u.attrs.put(bgp::make_local_pref(static_cast<std::uint32_t>(rng.between(50, 200))));
+    if (rng.chance(0.3)) u.attrs.put(bgp::make_med(static_cast<std::uint32_t>(rng.below(1000))));
+    if (rng.chance(0.3)) {
+      std::vector<std::uint32_t> communities;
+      const std::size_t n = 1 + rng.below(3);
+      for (std::size_t i = 0; i < n; ++i)
+        communities.push_back((65000u << 16) | static_cast<std::uint32_t>(rng.below(100)));
+      u.attrs.put(bgp::make_communities(communities));
+    }
+    if (rng.chance(0.2))
+      u.attrs.put(bgp::make_geoloc(
+          static_cast<std::int32_t>(rng.below(180'000'001)) - 90'000'000,
+          static_cast<std::int32_t>(rng.below(360'000'001)) - 180'000'000));
+    u.nlri = pick_prefixes();
+    return u;
+  };
+  auto build_withdraw = [&] {
+    bgp::UpdateMessage u;
+    u.withdrawn = pick_prefixes();
+    return u;
+  };
+
+  const std::size_t n_peers = rng.between(2, 4);
+  static constexpr int kClassDraw[] = {kStay,      kStay,    kStay,       kSilence,
+                                       kReset,     kNotifyDut, kGarbage,  kBadOpen,
+                                       kEarlyFrame, kDupOpen, kTruncNotif, kStay};
+  std::vector<int> classes;
+  bool has_stay = false;
+  for (std::size_t p = 0; p < n_peers; ++p) {
+    classes.push_back(kClassDraw[rng.below(std::size(kClassDraw))]);
+    has_stay = has_stay || classes.back() == kStay;
+  }
+  // The fault-injection victim and the differential oracle both want at
+  // least one session that survives the whole episode.
+  if (!has_stay) classes[0] = kStay;
+
+  std::vector<std::uint16_t> chaos_holds;
+  for (std::size_t p = 0; p < n_peers; ++p) {
+    PeerPlan pp;
+    pp.name = "chaos" + std::to_string(p);
+    const bool ibgp = rng.chance(0.4);
+    pp.asn = ibgp ? plan.dut_asn : static_cast<bgp::Asn>(65101 + p);
+    pp.address = Ipv4Addr(10, 0, 1, static_cast<std::uint8_t>(10 + p));
+    pp.rr_client = ibgp && rng.chance(0.5);
+    // Lower proposals than the DUT's are common: hold-time mismatch is part
+    // of the config space (the DUT must honour min(proposals), RFC 4271).
+    const std::uint16_t chaos_hold = static_cast<std::uint16_t>(rng.between(3, 20));
+    chaos_holds.push_back(chaos_hold);
+    const bgp::RouterId chaos_id = 0x0A01000Au + static_cast<std::uint32_t>(p);
+    const std::uint64_t hold_ns =
+        static_cast<std::uint64_t>(std::min<std::uint32_t>(plan.hold, chaos_hold)) * kSec;
+    const int cls = classes[p];
+
+    // Timing discipline: every gap (including the first, from t=0) stays
+    // under 0.45x the negotiated hold time, so no surviving peer can expire
+    // by accident; expiry is only ever produced on purpose, by silence.
+    net::Duration t = 0;
+    auto gap = [&] { return kMs + rng.below(hold_ns * 45 / 100); };
+    auto push = [&](std::vector<std::uint8_t> bytes) {
+      t += gap();
+      pp.events.push_back({t, std::move(bytes), false});
+    };
+    auto open_bytes = [&](bgp::Asn asn, bgp::RouterId id) {
+      bgp::OpenMessage open;
+      open.asn = asn;
+      open.bgp_id = id;
+      open.hold_time = chaos_hold;
+      return bgp::encode_open(open);
+    };
+    auto announce_bytes = [&] {
+      return bgp::encode_update(build_announce(pp.asn, pp.address, ibgp));
+    };
+
+    if (cls == kBadOpen) {
+      switch (rng.below(4)) {
+        case 0: push(open_bytes(pp.asn + 1, chaos_id)); break;   // ASN mismatch
+        case 1: push(open_bytes(pp.asn, 0)); break;              // zero BGP id
+        case 2: push(open_bytes(pp.asn, plan.dut_id)); break;    // colliding BGP id
+        default: {
+          const std::uint8_t body[] = {4, 0xFD};  // truncated OPEN body
+          push(raw_frame(0xFF, 19 + 2, 1, body));
+          break;
+        }
+      }
+    } else if (cls == kEarlyFrame) {
+      switch (rng.below(4)) {
+        case 0: push(bgp::encode_keepalive()); break;                    // before OPEN
+        case 1: push(announce_bytes()); break;                           // UPDATE in OpenSent
+        case 2: push(bgp::encode_route_refresh({})); break;              // REFRESH in OpenSent
+        default:                                                         // UPDATE in OpenConfirm
+          push(open_bytes(pp.asn, chaos_id));
+          push(announce_bytes());
+          break;
+      }
+    } else {
+      push(open_bytes(pp.asn, chaos_id));
+      push(bgp::encode_keepalive());
+      const std::size_t churn = rng.below(14);
+      for (std::size_t c = 0; c < churn; ++c) {
+        const std::uint64_t k = rng.below(100);
+        if (k < 40) {
+          push(announce_bytes());
+        } else if (k < 55) {
+          push(bgp::encode_update(build_withdraw()));
+        } else if (k < 65) {
+          // RFC 7606 treat-as-withdraw tier: mandatory ORIGIN with an
+          // undefined value.
+          auto u = build_announce(pp.asn, pp.address, ibgp);
+          u.attrs.put(bgp::WireAttr{bgp::attr_flag::kTransitive, bgp::attr_code::kOrigin, {9}});
+          push(bgp::encode_update(u));
+        } else if (k < 75) {
+          // Attribute-discard tier: optional-transitive GeoLoc one byte short.
+          auto u = build_announce(pp.asn, pp.address, ibgp);
+          auto geoloc = bgp::make_geoloc(50'000'000, 4'000'000);
+          geoloc.value.pop_back();
+          u.attrs.put(std::move(geoloc));
+          push(bgp::encode_update(u));
+        } else if (k < 85) {
+          push(bgp::encode_keepalive());
+        } else {
+          push(bgp::encode_route_refresh({}));
+        }
+      }
+      switch (cls) {
+        case kStay:
+        case kSilence:
+          pp.expect_hold_expiry = (cls == kSilence);
+          break;
+        case kReset:
+          t += gap();
+          pp.events.push_back({t, {}, true});
+          pp.expect_hold_expiry = true;
+          break;
+        case kNotifyDut: {
+          bgp::NotificationMessage notif;
+          notif.code = static_cast<bgp::NotifCode>(rng.between(1, 6));
+          notif.subcode = static_cast<std::uint8_t>(rng.below(3));
+          if (rng.chance(0.5)) notif.data = {0xDE, 0xAD};
+          push(bgp::encode_notification(notif));
+          break;
+        }
+        case kGarbage:
+          switch (rng.below(6)) {
+            case 0: push(std::vector<std::uint8_t>(bgp::kHeaderSize, 0x00)); break;  // marker
+            case 1: push(raw_frame(0xFF, 18, 4, {})); break;    // declared length < 19
+            case 2: push(raw_frame(0xFF, 5000, 2, {})); break;  // declared length > 4096
+            case 3: push(raw_frame(0xFF, 19, 9, {})); break;    // unknown message type
+            case 4: {
+              const std::uint8_t body[] = {0xFF, 0xFF};  // structurally broken UPDATE
+              push(raw_frame(0xFF, 19 + 2, 2, body));
+              break;
+            }
+            default: {
+              const std::uint8_t body[] = {0, 1, 0};  // short ROUTE-REFRESH body
+              push(raw_frame(0xFF, 19 + 3, 5, body));
+              break;
+            }
+          }
+          break;
+        case kDupOpen: push(open_bytes(pp.asn, chaos_id)); break;
+        default: {  // kTruncNotif
+          const std::uint8_t body[] = {6};
+          push(raw_frame(0xFF, 19 + 1, 3, body));
+          break;
+        }
+      }
+    }
+    plan.peers.push_back(std::move(pp));
+  }
+
+  // Deadline: past every scripted event, and far enough past a silent
+  // peer's last transmission that the DUT's hold-timer chain (checks at
+  // most hold_time apart, each with a captured deadline <= hold_time) has
+  // provably fired: T_last + 2*hold covers the worst case.
+  net::TimePoint deadline = 0;
+  for (const auto& pp : plan.peers)
+    for (const auto& ev : pp.events) deadline = std::max(deadline, ev.at);
+  deadline += 500 * kMs;
+  for (const auto& pp : plan.peers) {
+    if (!pp.expect_hold_expiry) continue;
+    const net::TimePoint last = pp.events.empty() ? 0 : pp.events.back().at;
+    deadline = std::max<net::TimePoint>(deadline, last + 2ull * plan.hold * kSec + 500 * kMs);
+  }
+  plan.deadline = deadline;
+
+  // Keepalive fill: surviving peers keep transmitting at 0.4x the
+  // negotiated hold time until the deadline, so they can never expire.
+  for (std::size_t p = 0; p < n_peers; ++p) {
+    if (classes[p] != kStay) continue;
+    auto& pp = plan.peers[p];
+    const std::uint64_t hold_ns =
+        static_cast<std::uint64_t>(std::min<std::uint32_t>(plan.hold, chaos_holds[p])) * kSec;
+    const net::Duration step = hold_ns * 2 / 5;
+    net::Duration t = pp.events.back().at;
+    while (t + step <= plan.deadline) {
+      t += step;
+      pp.events.push_back({t, bgp::encode_keepalive(), false});
+    }
+  }
+
+  if (plan.inject_unmodeled_fault) {
+    for (std::size_t p = 0; p < n_peers; ++p)
+      if (classes[p] == kStay) {
+        plan.fault_peer = p;
+        break;
+      }
+    plan.fault_at = plan.deadline / 2 + 3 * kMs;
+  }
+
+  // Replay every schedule through the reference model to fix the expected
+  // outcome (oracle 1). The injected fault is deliberately NOT replayed:
+  // its entire point is to make the prediction wrong.
+  for (auto& pp : plan.peers) {
+    SessionModel model({plan.dut_asn, pp.asn, plan.dut_id, plan.hold});
+    model.start();
+    for (const auto& ev : pp.events)
+      if (!ev.close) model.deliver(ev.bytes);
+    if (pp.expect_hold_expiry) model.expire_hold();
+    pp.final_state = model.state();
+    pp.updates_received = model.updates_received();
+    pp.treat_as_withdraw = model.treat_as_withdraw();
+    pp.attrs_discarded = model.attrs_discarded();
+    pp.notifications_sent = model.notifications_sent();
+    pp.notifications = model.notifications();
+  }
+  return plan;
+}
+
+namespace detail {
+
+std::vector<std::string> check_peer_outcome(const EpisodePlan& plan, std::size_t peer,
+                                            const PeerOutcome& outcome) {
+  const PeerPlan& pp = plan.peers[peer];
+  std::vector<std::string> v;
+  auto tag = [&](const std::string& what) {
+    v.push_back("seed " + std::to_string(plan.seed) + " peer " + std::to_string(peer) + ": " +
+                what);
+  };
+  auto expect_eq = [&](const char* what, std::uint64_t got, std::uint64_t want) {
+    if (got != want)
+      tag(std::string(what) + " = " + std::to_string(got) + ", model predicts " +
+          std::to_string(want));
+  };
+  expect_eq("final state", static_cast<std::uint64_t>(outcome.final_state),
+            static_cast<std::uint64_t>(pp.final_state));
+  expect_eq("updates_received", outcome.updates_received, pp.updates_received);
+  expect_eq("treat_as_withdraw", outcome.treat_as_withdraw, pp.treat_as_withdraw);
+  expect_eq("attrs_discarded", outcome.attrs_discarded, pp.attrs_discarded);
+  expect_eq("notifications_sent", outcome.notifications_sent, pp.notifications_sent);
+
+  std::vector<ExpectedNotification> got;
+  for (std::size_t i = 0; i < outcome.rx.size(); ++i) {
+    const auto& frame = outcome.rx[i];
+    if (frame.type != bgp::MessageType::kNotification) continue;
+    const auto code = static_cast<std::uint8_t>(frame.notification.code);
+    got.push_back({code, frame.notification.subcode});
+    if (!valid_notification_pair(code, frame.notification.subcode))
+      tag("invalid NOTIFICATION pair (" + std::to_string(code) + ", " +
+          std::to_string(frame.notification.subcode) + ")");
+    if (i + 1 != outcome.rx.size())
+      tag("DUT kept talking after sending a NOTIFICATION");
+  }
+  if (got != pp.notifications) {
+    std::string detail = "NOTIFICATION sequence mismatch: got [";
+    for (const auto& n : got)
+      detail += "(" + std::to_string(n.code) + "," + std::to_string(n.subcode) + ")";
+    detail += "], model predicts [";
+    for (const auto& n : pp.notifications)
+      detail += "(" + std::to_string(n.code) + "," + std::to_string(n.subcode) + ")";
+    detail += "]";
+    tag(detail);
+  }
+  return v;
+}
+
+std::vector<std::string> check_monotonic(const hosts::engine::RouterStats& mid,
+                                         const hosts::engine::RouterStats& end) {
+  std::vector<std::string> v;
+  auto chk = [&](const char* name, std::uint64_t m, std::uint64_t e) {
+    if (e < m)
+      v.push_back(std::string("engine counter ") + name + " went backwards (" +
+                  std::to_string(m) + " -> " + std::to_string(e) + ")");
+  };
+  chk("updates_in", mid.updates_in, end.updates_in);
+  chk("updates_out", mid.updates_out, end.updates_out);
+  chk("prefixes_in", mid.prefixes_in, end.prefixes_in);
+  chk("prefixes_accepted", mid.prefixes_accepted, end.prefixes_accepted);
+  chk("prefixes_rejected_in", mid.prefixes_rejected_in, end.prefixes_rejected_in);
+  chk("withdrawals_in", mid.withdrawals_in, end.withdrawals_in);
+  chk("exports_rejected", mid.exports_rejected, end.exports_rejected);
+  chk("loop_rejected", mid.loop_rejected, end.loop_rejected);
+  chk("malformed_updates", mid.malformed_updates, end.malformed_updates);
+  chk("extension_faults", mid.extension_faults, end.extension_faults);
+  chk("ov_valid", mid.ov_valid, end.ov_valid);
+  chk("ov_invalid", mid.ov_invalid, end.ov_invalid);
+  chk("ov_not_found", mid.ov_not_found, end.ov_not_found);
+  chk("treat_as_withdraw", mid.treat_as_withdraw, end.treat_as_withdraw);
+  chk("attrs_discarded", mid.attrs_discarded, end.attrs_discarded);
+  chk("faults_verify", mid.faults_verify, end.faults_verify);
+  chk("faults_budget", mid.faults_budget, end.faults_budget);
+  chk("faults_memory_bounds", mid.faults_memory_bounds, end.faults_memory_bounds);
+  chk("faults_helper_denied", mid.faults_helper_denied, end.faults_helper_denied);
+  chk("faults_helper_error", mid.faults_helper_error, end.faults_helper_error);
+  return v;
+}
+
+}  // namespace detail
+
+namespace {
+
+void diff_rib(const char* what,
+              const std::vector<std::pair<Prefix, bgp::AttributeSet>>& fir,
+              const std::vector<std::pair<Prefix, bgp::AttributeSet>>& wren,
+              std::vector<std::string>& out) {
+  if (fir.size() != wren.size()) {
+    out.push_back(std::string(what) + ": table sizes differ (" + std::to_string(fir.size()) +
+                  " vs " + std::to_string(wren.size()) + ")");
+    return;
+  }
+  for (std::size_t i = 0; i < fir.size(); ++i) {
+    if (!(fir[i].first == wren[i].first)) {
+      out.push_back(std::string(what) + "[" + std::to_string(i) + "]: prefix order differs");
+      return;
+    }
+    if (!(fir[i].second == wren[i].second)) {
+      out.push_back(std::string(what) + "[" + std::to_string(i) +
+                    "]: attributes differ for a prefix");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> diff_snapshots(const EpisodeSnapshot& fir,
+                                        const EpisodeSnapshot& wren) {
+  std::vector<std::string> v;
+  if (fir.peers.size() != wren.peers.size()) {
+    v.push_back("peer counts differ");
+    return v;
+  }
+  for (std::size_t i = 0; i < fir.peers.size(); ++i) {
+    const auto& f = fir.peers[i];
+    const auto& w = wren.peers[i];
+    const std::string who = "peer " + std::to_string(i);
+    auto chk = [&](const char* name, std::uint64_t a, std::uint64_t b) {
+      if (a != b)
+        v.push_back(who + ": " + name + " differs (" + std::to_string(a) + " vs " +
+                    std::to_string(b) + ")");
+    };
+    chk("final state", static_cast<std::uint64_t>(f.final_state),
+        static_cast<std::uint64_t>(w.final_state));
+    chk("updates_received", f.updates_received, w.updates_received);
+    chk("updates_sent", f.updates_sent, w.updates_sent);
+    chk("treat_as_withdraw", f.treat_as_withdraw, w.treat_as_withdraw);
+    chk("attrs_discarded", f.attrs_discarded, w.attrs_discarded);
+    chk("notifications_sent", f.notifications_sent, w.notifications_sent);
+    if (!(f.rx == w.rx)) v.push_back(who + ": decoded DUT output streams differ");
+    diff_rib((who + ": Adj-RIB-In").c_str(), f.adj_in, w.adj_in, v);
+    diff_rib((who + ": Adj-RIB-Out").c_str(), f.adj_out, w.adj_out, v);
+  }
+  diff_rib("Loc-RIB", fir.loc_rib, wren.loc_rib, v);
+  auto chk = [&](const char* name, std::uint64_t a, std::uint64_t b) {
+    if (a != b)
+      v.push_back(std::string("stats.") + name + " differs (" + std::to_string(a) + " vs " +
+                  std::to_string(b) + ")");
+  };
+  chk("updates_in", fir.stats.updates_in, wren.stats.updates_in);
+  chk("updates_out", fir.stats.updates_out, wren.stats.updates_out);
+  chk("prefixes_in", fir.stats.prefixes_in, wren.stats.prefixes_in);
+  chk("prefixes_accepted", fir.stats.prefixes_accepted, wren.stats.prefixes_accepted);
+  chk("prefixes_rejected_in", fir.stats.prefixes_rejected_in, wren.stats.prefixes_rejected_in);
+  chk("withdrawals_in", fir.stats.withdrawals_in, wren.stats.withdrawals_in);
+  chk("exports_rejected", fir.stats.exports_rejected, wren.stats.exports_rejected);
+  chk("loop_rejected", fir.stats.loop_rejected, wren.stats.loop_rejected);
+  chk("malformed_updates", fir.stats.malformed_updates, wren.stats.malformed_updates);
+  chk("extension_faults", fir.stats.extension_faults, wren.stats.extension_faults);
+  chk("ov_valid", fir.stats.ov_valid, wren.stats.ov_valid);
+  chk("ov_invalid", fir.stats.ov_invalid, wren.stats.ov_invalid);
+  chk("ov_not_found", fir.stats.ov_not_found, wren.stats.ov_not_found);
+  chk("treat_as_withdraw", fir.stats.treat_as_withdraw, wren.stats.treat_as_withdraw);
+  chk("attrs_discarded", fir.stats.attrs_discarded, wren.stats.attrs_discarded);
+  return v;
+}
+
+}  // namespace xb::fuzz

@@ -1,0 +1,301 @@
+// Stateful session/config fuzzer: plan generation and episode execution.
+//
+// One EPISODE = one randomly configured router (parallelism, policies,
+// extension manifest mix, hold/keepalive times, link latency, 2-4 peers)
+// plus one randomly generated raw-wire SCHEDULE per peer (handshakes, UPDATE
+// churn, malformed frames, NOTIFICATIONs, duplicate/early messages,
+// mid-stream closes, silences that force hold-timer expiry). The plan is a
+// pure function of a 64-bit seed, so any failure replays from one number.
+//
+// The schedule generator enforces the timing discipline the DUT's hold
+// timer imposes (see make_plan in stateful.cpp): every inter-event gap on a
+// surviving peer stays under half the negotiated hold time, and peers meant
+// to expire go silent long enough that expiry is guaranteed, never racy.
+// That is what lets a timer-free reference model (SessionModel) predict the
+// exact final state, counters and NOTIFICATION sequence of every session.
+//
+// Three oracles judge each episode:
+//   1. no-silent-acceptance — per peer, the real session's final state, its
+//      RFC 7606 counters and the NOTIFICATION (code, subcode) sequence the
+//      chaos peer recorded must equal the model's prediction, and every
+//      pair must be RFC-valid;
+//   2. differential parity — the same plan run on Fir and Wren must leave
+//      identical snapshots (RIBs normalised via Core::to_wire, decoded
+//      frame sequences, engine stats): diff_snapshots();
+//   3. telemetry budgets — extension fault classes all zero, engine and
+//      session counters monotonic between mid-run and end-of-run readings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bgp/peer_session.hpp"
+#include "bgp/policy.hpp"
+#include "extensions/geoloc.hpp"
+#include "extensions/igp_filter.hpp"
+#include "extensions/origin_validation.hpp"
+#include "extensions/route_reflection.hpp"
+#include "extensions/valley_free.hpp"
+#include "fuzz/chaos_peer.hpp"
+#include "fuzz/session_model.hpp"
+#include "harness/workload.hpp"
+#include "hosts/engine/router.hpp"
+#include "net/channel.hpp"
+#include "net/event_loop.hpp"
+#include "rpki/roa.hpp"
+#include "xbgp/manifest.hpp"
+
+namespace xb::fuzz {
+
+/// One scripted action from a chaos peer: a raw write, or a half-close
+/// (mid-stream TCP reset — the DUT must notice via its hold timer).
+struct WireEvent {
+  net::Duration at = 0;
+  std::vector<std::uint8_t> bytes;
+  bool close = false;
+};
+
+/// A chaos peer's schedule plus the reference model's prediction of the
+/// DUT-side session outcome.
+struct PeerPlan {
+  std::string name;
+  bgp::Asn asn = 0;
+  util::Ipv4Addr address;
+  bool rr_client = false;
+  std::vector<WireEvent> events;
+  bool expect_hold_expiry = false;
+  // SessionModel prediction (filled by make_plan):
+  bgp::SessionState final_state = bgp::SessionState::kIdle;
+  std::uint64_t updates_received = 0;
+  std::uint64_t treat_as_withdraw = 0;
+  std::uint64_t attrs_discarded = 0;
+  std::uint64_t notifications_sent = 0;
+  std::vector<ExpectedNotification> notifications;
+};
+
+/// Extension-manifest mix bits (plan.manifest_mask).
+namespace manifest_bit {
+inline constexpr std::uint32_t kRouteReflection = 1u << 0;
+inline constexpr std::uint32_t kOriginValidation = 1u << 1;
+inline constexpr std::uint32_t kGeoLoc = 1u << 2;
+inline constexpr std::uint32_t kValleyFree = 1u << 3;
+inline constexpr std::uint32_t kIgpFilter = 1u << 4;
+}  // namespace manifest_bit
+
+/// A host-independent episode description: the same plan runs against Fir
+/// and Wren, which is what makes oracle 2 meaningful.
+struct EpisodePlan {
+  std::uint64_t seed = 0;
+  std::size_t parallelism = 1;
+  std::uint16_t hold = 6;          // DUT's proposed hold time, seconds
+  std::uint32_t keepalive = 2;     // DUT's keepalive interval, seconds
+  net::Duration latency = 0;       // link latency, ns
+  bool native_rr = false;
+  bool use_policies = false;
+  std::uint32_t manifest_mask = 0;
+  bgp::Asn dut_asn = 65000;
+  bgp::RouterId dut_id = 0x0A000001;
+  util::Ipv4Addr dut_addr;
+  std::vector<rpki::Roa> roas;
+  std::vector<PeerPlan> peers;
+  net::TimePoint deadline = 0;
+  // Soak-gate validation: deliver one corrupt frame the model never saw, so
+  // oracle 1 MUST flag the run. Set by PlanOptions, never by the seed.
+  bool inject_unmodeled_fault = false;
+  std::size_t fault_peer = 0;
+  net::Duration fault_at = 0;
+};
+
+struct PlanOptions {
+  std::size_t force_parallelism = 0;  // 0 = let the seed pick
+  bool inject_unmodeled_fault = false;
+};
+
+[[nodiscard]] EpisodePlan make_plan(std::uint64_t seed, const PlanOptions& opt = {});
+
+/// Everything observable after an episode, host-normalised.
+struct PeerOutcome {
+  int final_state = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t updates_sent = 0;
+  std::uint64_t treat_as_withdraw = 0;
+  std::uint64_t attrs_discarded = 0;
+  std::uint64_t notifications_sent = 0;
+  std::vector<RxFrame> rx;  // decoded DUT output, in order
+  std::vector<std::pair<util::Prefix, bgp::AttributeSet>> adj_in;
+  std::vector<std::pair<util::Prefix, bgp::AttributeSet>> adj_out;
+};
+
+struct EpisodeSnapshot {
+  std::vector<PeerOutcome> peers;
+  std::vector<std::pair<util::Prefix, bgp::AttributeSet>> loc_rib;
+  hosts::engine::RouterStats stats;
+  /// Oracle 1 + 3 findings for this host run; empty on a clean episode.
+  std::vector<std::string> violations;
+};
+
+/// Oracle 2: field-by-field comparison of two host runs of the same plan.
+[[nodiscard]] std::vector<std::string> diff_snapshots(const EpisodeSnapshot& fir,
+                                                      const EpisodeSnapshot& wren);
+
+namespace detail {
+
+[[nodiscard]] std::vector<std::string> check_peer_outcome(const EpisodePlan& plan,
+                                                          std::size_t peer,
+                                                          const PeerOutcome& outcome);
+
+/// Fieldwise `end >= mid` check over two engine-stat readings (oracle 3).
+[[nodiscard]] std::vector<std::string> check_monotonic(const hosts::engine::RouterStats& mid,
+                                                       const hosts::engine::RouterStats& end);
+
+}  // namespace detail
+
+/// Runs one episode against Router<Core> and applies oracles 1 and 3; the
+/// caller applies oracle 2 by diffing the Fir and Wren snapshots.
+template <typename Core>
+EpisodeSnapshot run_episode(const EpisodePlan& plan) {
+  using RouterT = hosts::engine::Router<Core>;
+  net::EventLoop loop;
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = plan.dut_id;
+  cfg.address = plan.dut_addr;
+  cfg.parallelism = plan.parallelism;
+  cfg.native_route_reflector = plan.native_rr;
+  cfg.hold_time = plan.hold;
+  cfg.keepalive_interval = plan.keepalive;
+  std::optional<bgp::policy::RouteMap> import_policy, export_policy;
+  if (plan.use_policies) {
+    import_policy.emplace(bgp::policy::standard_import_policy());
+    export_policy.emplace(bgp::policy::standard_export_policy());
+    cfg.import_policy = &*import_policy;
+    cfg.export_policy = &*export_policy;
+  }
+  RouterT dut(loop, cfg);
+
+  // Every extension's config blob is always present, whatever manifest
+  // subset the seed drew: the fault-class budget for a well-configured
+  // router is zero, and that is exactly what oracle 3 asserts.
+  dut.set_xtra(xbgp::xtra::kRoaTable, harness::pack_roa_blob(plan.roas));
+  {
+    std::vector<std::uint8_t> coords(8);
+    const std::int32_t lat = 50'000'000, lon = 4'000'000;
+    std::memcpy(coords.data(), &lat, 4);
+    std::memcpy(coords.data() + 4, &lon, 4);
+    dut.set_xtra(xbgp::xtra::kGeoCoord, coords);
+  }
+  dut.set_xtra_u32(xbgp::xtra::kGeoMaxDist, 1'000'000'000u);
+  dut.set_xtra_u32(xbgp::xtra::kMaxMetric, 1u << 20);
+  {
+    std::vector<xbgp::ValleyPair> pairs;
+    for (const auto& pp : plan.peers)
+      if (pp.asn != plan.dut_asn) pairs.push_back({pp.asn, plan.dut_asn});
+    std::vector<std::uint8_t> blob(pairs.size() * sizeof(xbgp::ValleyPair));
+    if (!blob.empty()) std::memcpy(blob.data(), pairs.data(), blob.size());
+    dut.set_xtra(xbgp::xtra::kValleyPairs, blob);
+  }
+  {
+    xbgp::Manifest manifest;
+    auto merge = [&manifest](xbgp::Manifest m) {
+      for (auto& entry : m.entries) manifest.entries.push_back(std::move(entry));
+    };
+    if (plan.manifest_mask & manifest_bit::kRouteReflection)
+      merge(ext::route_reflection_manifest());
+    if (plan.manifest_mask & manifest_bit::kOriginValidation)
+      merge(ext::origin_validation_manifest(plan.roas.size()));
+    if (plan.manifest_mask & manifest_bit::kGeoLoc)
+      merge(ext::geoloc_manifest(/*with_distance_filter=*/true));
+    if (plan.manifest_mask & manifest_bit::kValleyFree) merge(ext::valley_free_manifest());
+    if (plan.manifest_mask & manifest_bit::kIgpFilter) merge(ext::igp_filter_manifest());
+    if (!manifest.entries.empty()) dut.load_extensions(manifest);
+  }
+
+  std::vector<std::unique_ptr<net::Duplex>> links;
+  std::vector<std::unique_ptr<ChaosPeer>> chaos;
+  for (const auto& pp : plan.peers) {
+    links.push_back(std::make_unique<net::Duplex>(loop, plan.latency));
+    typename RouterT::PeerConfig pc;
+    pc.name = pp.name;
+    pc.asn = pp.asn;
+    pc.address = pp.address;
+    pc.rr_client = pp.rr_client;
+    dut.add_peer(links.back()->a(), pc);
+    chaos.push_back(std::make_unique<ChaosPeer>(loop, links.back()->b()));
+    for (const auto& ev : pp.events) {
+      if (ev.close)
+        chaos.back()->close_at(ev.at);
+      else
+        chaos.back()->write_at(ev.at, ev.bytes);
+    }
+  }
+  if (plan.inject_unmodeled_fault && plan.fault_peer < chaos.size())
+    chaos[plan.fault_peer]->write_at(plan.fault_at,
+                                     std::vector<std::uint8_t>(bgp::kHeaderSize, 0x00));
+
+  dut.start();
+
+  // Two readings bracket the second half of the run for the monotonicity
+  // half of oracle 3.
+  loop.run_until(plan.deadline / 2);
+  const hosts::engine::RouterStats mid_stats = dut.stats();
+  std::vector<std::array<std::uint64_t, 5>> mid_sess;
+  for (std::size_t i = 0; i < plan.peers.size(); ++i) {
+    auto& s = dut.session(i);
+    mid_sess.push_back({s.updates_received(), s.updates_sent(), s.treat_as_withdraw_count(),
+                        s.attrs_discarded(), s.notifications_sent()});
+  }
+  loop.run_until(plan.deadline);
+
+  EpisodeSnapshot snap;
+  snap.stats = dut.stats();
+  for (auto finding : detail::check_monotonic(mid_stats, snap.stats))
+    snap.violations.push_back(std::move(finding));
+  for (const auto& prefix : dut.loc_rib_prefixes())
+    snap.loc_rib.emplace_back(prefix, Core::to_wire(*dut.best(prefix)->attrs));
+
+  for (std::size_t i = 0; i < plan.peers.size(); ++i) {
+    auto& s = dut.session(i);
+    PeerOutcome out;
+    out.final_state = static_cast<int>(s.state());
+    out.updates_received = s.updates_received();
+    out.updates_sent = s.updates_sent();
+    out.treat_as_withdraw = s.treat_as_withdraw_count();
+    out.attrs_discarded = s.attrs_discarded();
+    out.notifications_sent = s.notifications_sent();
+    const std::array<std::uint64_t, 5> end_sess{out.updates_received, out.updates_sent,
+                                                out.treat_as_withdraw, out.attrs_discarded,
+                                                out.notifications_sent};
+    for (std::size_t c = 0; c < end_sess.size(); ++c) {
+      if (end_sess[c] < mid_sess[i][c])
+        snap.violations.push_back("seed " + std::to_string(plan.seed) + " peer " +
+                                  std::to_string(i) + ": session counter " +
+                                  std::to_string(c) + " went backwards");
+    }
+    std::string parse_error;
+    if (!chaos[i]->parse_received(out.rx, parse_error))
+      snap.violations.push_back("seed " + std::to_string(plan.seed) + " peer " +
+                                std::to_string(i) + ": DUT wrote undecodable bytes: " +
+                                parse_error);
+    for (const auto& prefix : dut.adj_rib_in_prefixes(i))
+      out.adj_in.emplace_back(prefix, Core::to_wire(**dut.adj_rib_in_lookup(i, prefix)));
+    for (const auto& prefix : dut.adj_rib_out_prefixes(i))
+      out.adj_out.emplace_back(prefix, Core::to_wire(**dut.adj_rib_out_lookup(i, prefix)));
+    for (auto finding : detail::check_peer_outcome(plan, i, out))
+      snap.violations.push_back(std::move(finding));
+    snap.peers.push_back(std::move(out));
+  }
+  if (snap.stats.extension_faults != 0)
+    snap.violations.push_back("seed " + std::to_string(plan.seed) +
+                              ": extension fault budget exceeded (" +
+                              std::to_string(snap.stats.extension_faults) + " != 0)");
+  return snap;
+}
+
+}  // namespace xb::fuzz

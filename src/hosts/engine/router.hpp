@@ -142,6 +142,7 @@ struct EngineMetrics {
 template <typename Core>
 class Router final : public xbgp::HostApi {
  public:
+  using CoreType = Core;
   using Attrs = typename Core::Attrs;
   using AttrsPtr = std::shared_ptr<const Attrs>;
 

@@ -1,9 +1,12 @@
-// Structure-aware fuzzing of the BGP UPDATE wire codec.
+// Structure-aware fuzzing of the BGP wire codec: UPDATE, OPEN and
+// NOTIFICATION frames.
 //
-// Seeded, deterministic: a corpus of valid UPDATE messages (workload
-// generator output plus handcrafted edge cases) is put through >= 10k
-// structure-aware mutations — truncations, corrupted header lengths, bad
-// attribute flags / lengths, duplicated and deleted attributes, corrupted
+// Seeded, deterministic: a corpus of valid messages (workload generator
+// output plus handcrafted edge cases — 4-octet ASNs through AS_TRANS,
+// degenerate hold times, unknown optional parameters and capabilities) is
+// put through >= 10k structure-aware mutations — truncations, corrupted
+// header lengths, bad attribute flags / lengths, duplicated and deleted
+// attributes, corrupted version / hold-time / capability bytes, corrupted
 // prefix length bytes, random byte flips. The contract under test:
 //
 //   * try_frame / decode_update NEVER throw: every mutant lands in exactly
@@ -19,10 +22,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bgp/aspath.hpp"
 #include "bgp/codec.hpp"
+#include "fuzz/seed.hpp"
 #include "harness/workload.hpp"
 #include "util/rng.hpp"
 
@@ -307,7 +313,9 @@ TEST(BgpCodecFuzz, UnmutatedCorpusRoundTripsExactly) {
 
 TEST(BgpCodecFuzz, EveryMutantLandsInExactlyOneTier) {
   const auto corpus = build_corpus();
-  util::Rng rng(0xF022'2026ull);
+  const std::uint64_t seed = fuzz::env_seed(0xF022'2026ull);
+  fuzz::announce_seed("bgp_codec_fuzz", seed);
+  util::Rng rng(seed);
   std::size_t counts[5] = {};
   for (std::size_t i = 0; i < kMutations; ++i) {
     auto mutant = mutate(corpus[rng.below(corpus.size())], rng);
@@ -333,6 +341,236 @@ TEST(BgpCodecFuzz, EveryMutantLandsInExactlyOneTier) {
   ::testing::Test::RecordProperty("attr_discards", static_cast<int>(discards));
   ::testing::Test::RecordProperty(
       "incomplete", static_cast<int>(counts[static_cast<std::size_t>(Outcome::kIncomplete)]));
+}
+
+// ---------------------------------------------------------------------------
+// OPEN and NOTIFICATION frames: same one-tier-exactly oracle. These message
+// types have no RFC 7606 downgrade tiers — every mutant is incomplete, a
+// session-reset Status with a valid NOTIFICATION pair, or decodes clean with
+// a stable re-encode fixpoint. Nothing is silently half-accepted.
+
+/// Hand-assembles a framed message so the corpus can carry optional-parameter
+/// and capability layouts encode_open() would never produce.
+std::vector<std::uint8_t> raw_message(bgp::MessageType type,
+                                      const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> wire(16, bgp::kMarkerByte);
+  const auto total = static_cast<std::uint16_t>(kHeaderSize + body.size());
+  wire.push_back(static_cast<std::uint8_t>(total >> 8));
+  wire.push_back(static_cast<std::uint8_t>(total & 0xFF));
+  wire.push_back(static_cast<std::uint8_t>(type));
+  wire.insert(wire.end(), body.begin(), body.end());
+  return wire;
+}
+
+std::vector<std::uint8_t> raw_open(std::uint8_t version, std::uint16_t my_as,
+                                   std::uint16_t hold, std::uint32_t bgp_id,
+                                   const std::vector<std::uint8_t>& params) {
+  std::vector<std::uint8_t> body = {version,
+                                    static_cast<std::uint8_t>(my_as >> 8),
+                                    static_cast<std::uint8_t>(my_as & 0xFF),
+                                    static_cast<std::uint8_t>(hold >> 8),
+                                    static_cast<std::uint8_t>(hold & 0xFF),
+                                    static_cast<std::uint8_t>(bgp_id >> 24),
+                                    static_cast<std::uint8_t>(bgp_id >> 16),
+                                    static_cast<std::uint8_t>(bgp_id >> 8),
+                                    static_cast<std::uint8_t>(bgp_id & 0xFF),
+                                    static_cast<std::uint8_t>(params.size())};
+  body.insert(body.end(), params.begin(), params.end());
+  return raw_message(bgp::MessageType::kOpen, body);
+}
+
+std::vector<std::vector<std::uint8_t>> build_control_corpus() {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  // Encoder-produced OPENs: 2-octet ASN, 4-octet ASN >65535 (AS_TRANS in the
+  // My-AS field, real ASN in the RFC 6793 capability), degenerate hold times.
+  for (const auto& [asn, hold] :
+       std::vector<std::pair<std::uint32_t, std::uint16_t>>{
+           {65001, 90}, {4'200'000'000u, 180}, {65010, 0}, {65011, 3},
+           {196'608, 65535}}) {
+    bgp::OpenMessage open;
+    open.asn = asn;
+    open.my_as_2octet = asn > 0xFFFF ? bgp::OpenMessage::kAsTrans
+                                     : static_cast<std::uint16_t>(asn);
+    open.hold_time = hold;
+    open.bgp_id = 0x0A000000u + asn % 251;
+    corpus.push_back(bgp::encode_open(open));
+  }
+  // Hand-crafted optional-parameter layouts the encoder never emits:
+  // no parameters at all;
+  corpus.push_back(raw_open(4, 65020, 90, 0x0A000101, {}));
+  // an unknown (non-capability) parameter that must be skipped;
+  corpus.push_back(raw_open(4, 65021, 30, 0x0A000102, {0xEE, 0x03, 1, 2, 3}));
+  // a capability parameter stacking route-refresh (code 2, empty), an
+  // unknown vendor capability, and 4-octet-AS — in that order;
+  corpus.push_back(raw_open(4, bgp::OpenMessage::kAsTrans, 45, 0x0A000103,
+                            {2, 12, /*rr*/ 2, 0, /*unknown*/ 0x80, 2, 0xAB, 0xCD,
+                             /*4-octet AS*/ 65, 4, 0x00, 0x03, 0x00, 0x05}));
+  // and a zero-length capability parameter followed by an unknown one.
+  corpus.push_back(raw_open(4, 65023, 20, 0x0A000104, {2, 0, 0x7F, 1, 0x55}));
+
+  // NOTIFICATIONs: every code class, with and without a data field.
+  for (const auto& [code, subcode, data] :
+       std::vector<std::tuple<bgp::NotifCode, std::uint8_t, std::vector<std::uint8_t>>>{
+           {bgp::NotifCode::kCease, 0, {}},
+           {bgp::NotifCode::kHoldTimerExpired, 0, {}},
+           {bgp::NotifCode::kMessageHeaderError, 2, {0x00, 0x13}},
+           {bgp::NotifCode::kOpenMessageError, 1, {3}},
+           {bgp::NotifCode::kUpdateMessageError, 3, {0xC0, 1, 1, 9}},
+       }) {
+    bgp::NotificationMessage notif;
+    notif.code = code;
+    notif.subcode = subcode;
+    notif.data = data;
+    corpus.push_back(bgp::encode_notification(notif));
+  }
+  return corpus;
+}
+
+/// Structure-aware mutations for fixed-layout control messages. Offsets:
+/// version at 19, My-AS at 20, hold time at 22, BGP ID at 24, optional
+/// parameter length at 28, parameters from 29 (NOTIFICATION: code at 19,
+/// subcode at 20, data from 21).
+std::vector<std::uint8_t> mutate_control(const std::vector<std::uint8_t>& original,
+                                         util::Rng& rng) {
+  std::vector<std::uint8_t> wire = original;
+  if (wire.size() < kHeaderSize) {
+    if (!wire.empty()) wire[rng.below(wire.size())] ^= 0x40;
+    return wire;
+  }
+  switch (rng.below(9)) {
+    case 0:  // truncation (mid-marker, mid-header, mid-body)
+      wire.resize(rng.below(wire.size()) + 1);
+      break;
+    case 1:  // corrupt the header length field
+      put_be16(wire, 16, static_cast<std::uint16_t>(rng.next()));
+      break;
+    case 2:  // flip one bit anywhere, marker and type byte included
+      wire[rng.below(wire.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      break;
+    case 3:  // rewrite the version byte (OPEN) / error code byte (NOTIFICATION)
+      if (wire.size() > 19) wire[19] = static_cast<std::uint8_t>(rng.next());
+      break;
+    case 4:  // rewrite the hold-time field (OPEN) / data bytes (NOTIFICATION)
+      if (wire.size() >= 24) put_be16(wire, 22, static_cast<std::uint16_t>(rng.next()));
+      break;
+    case 5:  // corrupt the optional-parameters length byte
+      if (wire.size() >= 29) wire[28] = static_cast<std::uint8_t>(rng.next());
+      break;
+    case 6:  // corrupt one byte inside the parameter / capability region
+      if (wire.size() > 29) {
+        wire[29 + rng.below(wire.size() - 29)] = static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    case 7: {  // shrink the body, header length patched: parseable truncation
+      const std::size_t cut = rng.below(wire.size() - kHeaderSize + 1);
+      wire.resize(wire.size() - cut);
+      put_be16(wire, 16, static_cast<std::uint16_t>(wire.size()));
+      break;
+    }
+    case 8: {  // append trailing bytes, header length patched
+      const std::size_t extra = rng.below(8) + 1;
+      for (std::size_t i = 0; i < extra; ++i) {
+        wire.push_back(static_cast<std::uint8_t>(rng.next()));
+      }
+      put_be16(wire, 16, static_cast<std::uint16_t>(wire.size()));
+      break;
+    }
+  }
+  return wire;
+}
+
+/// Classifies an OPEN/NOTIFICATION mutant. Bit flips can rewrite the type
+/// byte, so any of the five decoders may be on the hook; each accepted
+/// decode must hold its type's fixpoint contract.
+Outcome exercise_control(const std::vector<std::uint8_t>& wire) {
+  const auto frame = bgp::try_frame(wire);
+  if (!frame.has_value()) {
+    if (frame.status().is_incomplete()) return Outcome::kIncomplete;
+    EXPECT_EQ(frame.status().error_class(), ErrorClass::kSessionReset);
+    expect_valid_notification(frame.status());
+    return Outcome::kSessionReset;
+  }
+  bgp::UpdateNotes notes;
+  const auto body = bgp::decode_body(frame->type, frame->body, &notes);
+  if (!body.has_value()) {
+    EXPECT_FALSE(body.status().is_incomplete());
+    EXPECT_EQ(body.status().error_class(), ErrorClass::kSessionReset);
+    expect_valid_notification(body.status());
+    return Outcome::kSessionReset;
+  }
+  if (frame->type == bgp::MessageType::kOpen) {
+    const auto& open = std::get<bgp::OpenMessage>(*body);
+    // The decoder must never hand the session layer an unsupported version.
+    EXPECT_EQ(open.version, 4);
+    // Semantic fixpoint: re-encoding preserves everything the session layer
+    // consumes (the My-AS field may legally collapse to AS_TRANS), and the
+    // second encode round is byte-stable.
+    const auto re = bgp::encode_open(open);
+    const auto frame2 = bgp::try_frame(re);
+    EXPECT_TRUE(frame2.has_value());
+    const auto open2 = bgp::decode_open(frame2->body);
+    EXPECT_TRUE(open2.has_value());
+    if (open2.has_value()) {
+      EXPECT_EQ(open2->version, open.version);
+      EXPECT_EQ(open2->asn, open.asn);
+      EXPECT_EQ(open2->hold_time, open.hold_time);
+      EXPECT_EQ(open2->bgp_id, open.bgp_id);
+      EXPECT_EQ(bgp::encode_open(*open2), re) << "OPEN re-encode is not stable";
+    }
+  } else if (frame->type == bgp::MessageType::kNotification) {
+    const auto& notif = std::get<bgp::NotificationMessage>(*body);
+    // NOTIFICATION bodies round-trip exactly, data field included.
+    const auto re = bgp::encode_notification(notif);
+    const auto frame2 = bgp::try_frame(re);
+    EXPECT_TRUE(frame2.has_value());
+    const auto notif2 = bgp::decode_notification(frame2->body);
+    EXPECT_TRUE(notif2.has_value());
+    if (notif2.has_value()) {
+      EXPECT_TRUE(notif == *notif2) << "NOTIFICATION decode/encode is not a fixpoint";
+    }
+  } else if (frame->type == bgp::MessageType::kUpdate) {
+    // A flipped type byte routed the body through the UPDATE decoder; the
+    // downgrade tiers still apply.
+    EXPECT_TRUE(notes.worst == ErrorClass::kNone ||
+                notes.worst == ErrorClass::kAttributeDiscard ||
+                notes.worst == ErrorClass::kTreatAsWithdraw)
+        << util::to_string(notes.worst);
+    if (notes.worst == ErrorClass::kTreatAsWithdraw) return Outcome::kDecodedWithdraw;
+    if (notes.worst == ErrorClass::kAttributeDiscard) return Outcome::kDecodedDiscard;
+  }
+  return Outcome::kDecodedClean;
+}
+
+TEST(BgpCodecFuzz, UnmutatedControlCorpusDecodesClean) {
+  for (const auto& wire : build_control_corpus()) {
+    const auto frame = bgp::try_frame(wire);
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->total_length, wire.size());
+    EXPECT_EQ(exercise_control(wire), Outcome::kDecodedClean);
+  }
+}
+
+TEST(BgpCodecFuzz, OpenAndNotificationMutantsLandInExactlyOneTier) {
+  const auto corpus = build_control_corpus();
+  const std::uint64_t seed = fuzz::env_seed(0x09E4'F022ull) ^ 0x0410ull;
+  fuzz::announce_seed("bgp_control_fuzz", seed);
+  util::Rng rng(seed);
+  std::size_t counts[5] = {};
+  for (std::size_t i = 0; i < kMutations; ++i) {
+    auto mutant = mutate_control(corpus[rng.below(corpus.size())], rng);
+    if (rng.chance(0.25)) mutant = mutate_control(mutant, rng);
+    ++counts[static_cast<std::size_t>(exercise_control(mutant))];
+  }
+  const std::size_t clean = counts[static_cast<std::size_t>(Outcome::kDecodedClean)];
+  const std::size_t resets = counts[static_cast<std::size_t>(Outcome::kSessionReset)];
+  const std::size_t incomplete =
+      counts[static_cast<std::size_t>(Outcome::kIncomplete)];
+  EXPECT_GT(clean, kMutations / 20) << "mutator produced too few valid messages";
+  EXPECT_GT(resets, kMutations / 20) << "mutator produced too few reset errors";
+  EXPECT_GT(incomplete, kMutations / 100) << "too few truncation mutants";
+  ::testing::Test::RecordProperty("control_decoded_clean", static_cast<int>(clean));
+  ::testing::Test::RecordProperty("control_session_resets", static_cast<int>(resets));
+  ::testing::Test::RecordProperty("control_incomplete", static_cast<int>(incomplete));
 }
 
 TEST(BgpCodecFuzz, PureTruncationSweepIsAlwaysClean) {

@@ -189,4 +189,114 @@ TEST(Session, FragmentedDeliveryReassembles) {
   EXPECT_EQ(received, update);
 }
 
+TEST(Session, NotificationInOpenSentGoesDownSilently) {
+  // RFC 4271 §8: a NOTIFICATION received in OpenSent tears the session down
+  // WITHOUT replying — answering a NOTIFICATION with a NOTIFICATION would
+  // ping-pong forever between two conforming speakers.
+  EventLoop loop;
+  Duplex link(loop, 0);
+  PeerSession a(loop, link.a(),
+                {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+                 .local_addr = Ipv4Addr(1), .peer_addr = Ipv4Addr(2)});
+  std::string reason;
+  a.on_down = [&](const std::string& r) { reason = r; };
+  a.start();
+  ASSERT_EQ(a.state(), SessionState::kOpenSent);
+  link.b().write(encode_notification(NotificationMessage{NotifCode::kCease, 0, {}}));
+  loop.run_until(kSec);
+  EXPECT_EQ(a.state(), SessionState::kIdle);
+  EXPECT_EQ(a.notifications_sent(), 0u) << "replied to a NOTIFICATION";
+  EXPECT_NE(reason.find("NOTIFICATION received"), std::string::npos);
+}
+
+TEST(Session, KeepaliveBeforeOpenIsFsmError) {
+  // A KEEPALIVE arriving while we are still waiting for the peer's OPEN is an
+  // FSM error: one NOTIFICATION out, session down, nothing counted as traffic.
+  EventLoop loop;
+  Duplex link(loop, 0);
+  PeerSession a(loop, link.a(),
+                {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+                 .local_addr = Ipv4Addr(1), .peer_addr = Ipv4Addr(2)});
+  std::string reason;
+  a.on_down = [&](const std::string& r) { reason = r; };
+  a.start();
+  ASSERT_EQ(a.state(), SessionState::kOpenSent);
+  link.b().write(encode_keepalive());
+  loop.run_until(kSec);
+  EXPECT_EQ(a.state(), SessionState::kIdle);
+  EXPECT_EQ(a.notifications_sent(), 1u);
+  EXPECT_EQ(a.updates_received(), 0u);
+  EXPECT_NE(reason.find("KEEPALIVE in state"), std::string::npos);
+}
+
+TEST(Session, SimultaneousOpenCollisionNegotiatesMinHold) {
+  // Both sides fire OPEN in the same tick (connection collision, RFC 4271
+  // §6.8 as modelled here: one link, both active). Asymmetric configured hold
+  // times must converge to the minimum on BOTH sides and the session must
+  // still reach Established without any NOTIFICATION traffic.
+  EventLoop loop;
+  Duplex link(loop, 1000);
+  PeerSession a(loop, link.a(),
+                {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+                 .local_addr = Ipv4Addr(1), .peer_addr = Ipv4Addr(2),
+                 .hold_time = 30, .keepalive_interval = 5});
+  PeerSession b(loop, link.b(),
+                {.local_asn = 65002, .peer_asn = 65001, .local_id = 2,
+                 .local_addr = Ipv4Addr(2), .peer_addr = Ipv4Addr(1),
+                 .hold_time = 90, .keepalive_interval = 5});
+  a.start();
+  b.start();  // same tick: both OPENs are already in flight
+  loop.run_until(kSec);
+  EXPECT_EQ(a.state(), SessionState::kEstablished);
+  EXPECT_EQ(b.state(), SessionState::kEstablished);
+  EXPECT_EQ(a.config().hold_time, 30);
+  EXPECT_EQ(b.config().hold_time, 30);
+  EXPECT_EQ(a.notifications_sent(), 0u);
+  EXPECT_EQ(b.notifications_sent(), 0u);
+  // The negotiated minimum must actually be honoured: with keepalives every
+  // 5 s nobody's 30 s hold timer fires over a long quiet stretch.
+  loop.run_until(200 * kSec);
+  EXPECT_EQ(a.state(), SessionState::kEstablished);
+  EXPECT_EQ(b.state(), SessionState::kEstablished);
+}
+
+TEST(Session, HoldExpiryMidUpdateCountsNothing) {
+  // The peer handshakes, starts an UPDATE, then stalls mid-message. The
+  // partial bytes refresh the hold timer once (they are received data), but
+  // the frame never completes: the hold timer must eventually fire, the
+  // half-received UPDATE must not be counted, and exactly one NOTIFICATION
+  // (hold timer expired) goes out.
+  EventLoop loop;
+  Duplex link(loop, 0);
+  PeerSession a(loop, link.a(),
+                {.local_asn = 65001, .peer_asn = 65002, .local_id = 1,
+                 .local_addr = Ipv4Addr(1), .peer_addr = Ipv4Addr(2),
+                 .hold_time = 12, .keepalive_interval = 4});
+  std::string reason;
+  a.on_down = [&](const std::string& r) { reason = r; };
+  a.start();
+  OpenMessage open;
+  open.asn = 65002;
+  open.my_as_2octet = 65002;
+  open.hold_time = 12;
+  open.bgp_id = 2;
+  link.b().write(encode_open(open));
+  link.b().write(encode_keepalive());
+  loop.run_until(kSec);
+  ASSERT_EQ(a.state(), SessionState::kEstablished);
+
+  UpdateMessage update;
+  update.attrs.put(make_origin(Origin::kIgp));
+  update.attrs.put(AsPath({65002}).to_attr());
+  update.attrs.put(make_next_hop(Ipv4Addr(2)));
+  update.nlri = {Prefix::parse("192.0.2.0/24")};
+  const auto wire = encode_update(update);
+  link.b().write(std::span(wire.data(), wire.size() / 2));  // ...and stall
+  loop.run_until(60 * kSec);
+  EXPECT_EQ(a.state(), SessionState::kIdle);
+  EXPECT_EQ(a.updates_received(), 0u) << "counted a half-received UPDATE";
+  EXPECT_EQ(a.notifications_sent(), 1u);
+  EXPECT_NE(reason.find("hold timer"), std::string::npos);
+}
+
 }  // namespace

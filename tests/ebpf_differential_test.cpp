@@ -34,6 +34,7 @@
 
 #include "ebpf/analyzer.hpp"
 #include "ebpf/assembler.hpp"
+#include "fuzz/seed.hpp"
 #include "ebpf/ir.hpp"
 #include "ebpf/translator.hpp"
 #include "ebpf/verifier.hpp"
@@ -284,7 +285,9 @@ TEST(DifferentialFuzz, MutantCorpusRunsIdenticallyOnBothTiers) {
   const std::vector<Program> seeds = seed_corpus();
   DifferentialHarness harness(4096);  // small budget: exercises exhaustion parity
 
-  std::mt19937 rng(0xB67F00D5u);  // fixed seed: the corpus is reproducible
+  const std::uint64_t seed = xb::fuzz::env_seed(0xB67F00D5u);
+  xb::fuzz::announce_seed("ebpf_differential_fuzz", seed);
+  std::mt19937 rng(static_cast<std::uint32_t>(seed));
   constexpr int kMutants = 4000;
   int accepted = 0;
   int faulted = 0;
@@ -674,7 +677,9 @@ TEST(ElisionOracle, MutantCorpusIdenticalWithChecksElided) {
   const Analyzer::Options contracts = harness_contract_options();
   DifferentialHarness harness(4096);
 
-  std::mt19937 rng(0x0E11DE0Fu);  // fixed seed: reproducible corpus
+  const std::uint64_t seed = xb::fuzz::env_seed(0x0E11DE0Fu);
+  xb::fuzz::announce_seed("elision_oracle_fuzz", seed);
+  std::mt19937 rng(static_cast<std::uint32_t>(seed));
   constexpr int kMutants = 4000;
   int accepted = 0;
   std::uint64_t obj_elided = 0;

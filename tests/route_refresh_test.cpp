@@ -7,6 +7,7 @@
 #include "harness/testbed.hpp"
 #include "hosts/fir/fir_router.hpp"
 #include "hosts/wren/wren_router.hpp"
+#include "util/bytes.hpp"
 
 namespace {
 
@@ -135,6 +136,133 @@ TYPED_TEST(RefreshEngineTest, LoadExtensionThenRefreshReappliesExportPolicy) {
   EXPECT_EQ(down.best(Prefix::parse("203.0.113.0/24")), nullptr);
   EXPECT_NE(dut.best(Prefix::parse("203.0.113.0/24")), nullptr);
   EXPECT_GT(dut.stats().exports_rejected + dut.vmm().stats().extension_handled, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ROUTE-REFRESH under in-flight UPDATE churn, parallel vs serial.
+//
+// A scripted feeder drives announce/withdraw/re-announce churn into the DUT
+// while a downstream router fires ROUTE-REFRESH requests between churn
+// bursts that have NOT yet quiesced. The engine promises bit-identical
+// results at every parallelism level; the refresh path (a full Adj-RIB-Out
+// re-export racing fresh imports across shards) is exactly where that
+// promise is easiest to break, so it gets its own differential gate:
+// parallelism 8 must produce the same Adj-RIB-Out, byte for byte, as a
+// serial (parallelism 1) replay of the identical script.
+
+/// Wire bytes of an attribute set — the "bit-identical" currency.
+std::vector<std::uint8_t> attr_bytes(const bgp::AttributeSet& set) {
+  util::ByteWriter w;
+  set.encode(w);
+  return {w.view().begin(), w.view().end()};
+}
+
+template <typename RouterT>
+struct ChurnSnapshot {
+  std::vector<std::pair<Prefix, std::vector<std::uint8_t>>> adj_out;  // dut -> down
+  std::vector<Prefix> down_rib;
+};
+
+template <typename RouterT>
+ChurnSnapshot<RouterT> run_refresh_churn(std::size_t parallelism) {
+  using Core = typename RouterT::CoreType;
+  net::EventLoop loop;
+
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = 65000;
+  cfg.router_id = 0x0A000002;
+  cfg.address = Ipv4Addr(10, 0, 0, 2);
+  cfg.parallelism = parallelism;
+  RouterT dut(loop, cfg);
+
+  typename RouterT::Config dc;
+  dc.name = "down";
+  dc.asn = 65200;
+  dc.router_id = 0x0A000003;
+  dc.address = Ipv4Addr(10, 0, 0, 3);
+  RouterT down(loop, dc);
+
+  // Feeder: a raw scripted eBGP peer, so the script can withdraw and
+  // re-announce with changed attributes (routers only originate).
+  net::Duplex feed(loop, 1000), l2(loop, 1000);
+  const auto dut_to_down = dut.add_peer(l2.a(), {.name = "down", .asn = 65200,
+                                                 .address = dc.address});
+  const auto down_to_dut = down.add_peer(l2.b(), {.name = "dut", .asn = 65000,
+                                                  .address = cfg.address});
+  dut.add_peer(feed.a(), {.name = "feed", .asn = 65100,
+                          .address = Ipv4Addr(10, 0, 0, 9)});
+  dut.start();
+  down.start();
+
+  bgp::OpenMessage open;
+  open.asn = 65100;
+  open.my_as_2octet = 65100;
+  open.hold_time = 90;
+  open.bgp_id = 0x0A000009;
+  feed.b().write(bgp::encode_open(open));
+  feed.b().write(bgp::encode_keepalive());
+  loop.run_until(kSec);
+
+  auto prefix_at = [](std::size_t i) {
+    return Prefix(Ipv4Addr(10, 60, static_cast<std::uint8_t>(i), 0), 24);
+  };
+  auto announce = [&](std::size_t lo, std::size_t hi, std::uint32_t med) {
+    bgp::UpdateMessage m;
+    m.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+    m.attrs.put(bgp::AsPath({65100, static_cast<bgp::Asn>(64000 + med % 7)}).to_attr());
+    m.attrs.put(bgp::make_next_hop(Ipv4Addr(10, 0, 0, 9)));
+    m.attrs.put(bgp::make_med(med));
+    for (std::size_t i = lo; i < hi; ++i) m.nlri.push_back(prefix_at(i));
+    feed.b().write(bgp::encode_update(m));
+  };
+  auto withdraw = [&](std::size_t lo, std::size_t hi) {
+    bgp::UpdateMessage m;
+    for (std::size_t i = lo; i < hi; ++i) m.withdrawn.push_back(prefix_at(i));
+    feed.b().write(bgp::encode_update(m));
+  };
+
+  // Churn script. Every refresh fires right after a burst, with those
+  // UPDATEs still in flight through the DUT's import pipeline.
+  announce(0, 8, 100);
+  announce(8, 16, 100);
+  loop.run_until(loop.now() + kSec / 10);
+  down.request_route_refresh(down_to_dut);
+  withdraw(2, 6);
+  announce(4, 10, 40);  // overlaps the withdraw range: 4,5 come straight back
+  down.request_route_refresh(down_to_dut);
+  loop.run_until(loop.now() + kSec / 10);
+  announce(12, 16, 7);  // better MED replaces the first announcement
+  withdraw(0, 1);
+  down.request_route_refresh(down_to_dut);
+  loop.run_until(loop.now() + 5 * kSec);
+
+  EXPECT_EQ(dut.session(dut_to_down).state(), bgp::SessionState::kEstablished);
+  ChurnSnapshot<RouterT> snap;
+  for (const auto& p : dut.adj_rib_out_prefixes(dut_to_down)) {
+    snap.adj_out.emplace_back(p, attr_bytes(Core::to_wire(**dut.adj_rib_out_lookup(dut_to_down, p))));
+  }
+  snap.down_rib = down.loc_rib_prefixes();
+  return snap;
+}
+
+TYPED_TEST(RefreshEngineTest, ParallelRefreshChurnMatchesSerialReplay) {
+  const auto parallel = run_refresh_churn<TypeParam>(8);
+  const auto serial = run_refresh_churn<TypeParam>(1);
+
+  // The script must leave real surviving state or the comparison is hollow:
+  // 16 announced, minus {2,3} withdrawn and never re-announced, minus {0}.
+  ASSERT_EQ(serial.adj_out.size(), 13u);
+  ASSERT_EQ(serial.down_rib.size(), 13u);
+
+  ASSERT_EQ(parallel.adj_out.size(), serial.adj_out.size());
+  for (std::size_t i = 0; i < serial.adj_out.size(); ++i) {
+    EXPECT_EQ(parallel.adj_out[i].first, serial.adj_out[i].first);
+    EXPECT_EQ(parallel.adj_out[i].second, serial.adj_out[i].second)
+        << "Adj-RIB-Out attrs for " << parallel.adj_out[i].first.str()
+        << " differ between parallelism 8 and serial replay";
+  }
+  EXPECT_EQ(parallel.down_rib, serial.down_rib);
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+// Stateful session/config fuzz gate.
+//
+// Each episode drives a randomly configured router (parallelism, policies,
+// extension manifest mix, hold times, latency) with 2-4 scripted chaos
+// peers (handshakes, UPDATE churn, malformed frames, resets, silences) and
+// judges the run with three oracles — model parity (no silent acceptance),
+// Fir-vs-Wren differential parity, and telemetry budgets. See
+// docs/fuzzing.md for the model and src/fuzz/stateful.hpp for the details.
+//
+// Seeding: XBGP_FUZZ_SEED replays a failure; XBGP_FUZZ_EPISODES scales the
+// plan count (each plan runs on BOTH hosts, so episodes = 2x plans). The
+// stateful_fuzz_gate ctest entry runs 1024 plans = 2048 episodes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/seed.hpp"
+#include "fuzz/stateful.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace xb;
+
+constexpr std::uint64_t kDefaultSeed = 0x5E55'F022'2026ull;
+
+// Thousands of episodes each load extensions and tear sessions down on
+// purpose; per-episode WARN chatter would swamp the one line that matters
+// (the seed announcement).
+const bool kQuietLogs = [] {
+  util::Log::threshold() = util::LogLevel::kError;
+  return true;
+}();
+
+/// Runs one plan on both hosts and returns every oracle finding.
+std::vector<std::string> run_both(const fuzz::EpisodePlan& plan) {
+  const auto fir = fuzz::run_episode<hosts::fir::FirCore>(plan);
+  const auto wren = fuzz::run_episode<hosts::wren::WrenCore>(plan);
+  std::vector<std::string> findings;
+  for (const auto& v : fir.violations) findings.push_back("fir: " + v);
+  for (const auto& v : wren.violations) findings.push_back("wren: " + v);
+  for (const auto& v : fuzz::diff_snapshots(fir, wren)) {
+    findings.push_back("differential (seed " + std::to_string(plan.seed) + "): " + v);
+  }
+  return findings;
+}
+
+TEST(StatefulFuzz, EpisodesHoldAllOraclesAcrossHosts) {
+  const std::uint64_t base = fuzz::env_seed(kDefaultSeed);
+  fuzz::announce_seed("stateful_fuzz", base);
+  const std::uint64_t plans = fuzz::env_u64("XBGP_FUZZ_EPISODES", 256);
+  ::testing::Test::RecordProperty("seed", std::to_string(base));
+  std::vector<std::string> failures;
+  for (std::uint64_t e = 0; e < plans && failures.size() < 10; ++e) {
+    const std::uint64_t seed = base + e;
+    const auto plan = fuzz::make_plan(seed);
+    for (auto& f : run_both(plan)) {
+      failures.push_back("plan " + std::to_string(e) + ": " + std::move(f) +
+                         "  [replay: XBGP_FUZZ_SEED=" + std::to_string(seed) +
+                         " XBGP_FUZZ_EPISODES=1]");
+    }
+  }
+  std::string report;
+  for (const auto& f : failures) report += f + "\n";
+  EXPECT_TRUE(failures.empty()) << report;
+}
+
+TEST(StatefulFuzz, SeedReplayIsDeterministic) {
+  const std::uint64_t seed = fuzz::env_seed(kDefaultSeed) ^ 0xD5ull;
+  // The plan itself is a pure function of the seed...
+  const auto plan_a = fuzz::make_plan(seed);
+  const auto plan_b = fuzz::make_plan(seed);
+  ASSERT_EQ(plan_a.peers.size(), plan_b.peers.size());
+  ASSERT_EQ(plan_a.deadline, plan_b.deadline);
+  for (std::size_t p = 0; p < plan_a.peers.size(); ++p) {
+    ASSERT_EQ(plan_a.peers[p].events.size(), plan_b.peers[p].events.size());
+    for (std::size_t e = 0; e < plan_a.peers[p].events.size(); ++e) {
+      ASSERT_EQ(plan_a.peers[p].events[e].at, plan_b.peers[p].events[e].at);
+      ASSERT_TRUE(plan_a.peers[p].events[e].bytes == plan_b.peers[p].events[e].bytes);
+    }
+    ASSERT_TRUE(plan_a.peers[p].notifications == plan_b.peers[p].notifications);
+  }
+  // ...and so is the execution: two runs of the same plan on the same host
+  // must be bit-identical (this is what makes one-line repros possible).
+  const auto first = fuzz::run_episode<hosts::fir::FirCore>(plan_a);
+  const auto second = fuzz::run_episode<hosts::fir::FirCore>(plan_b);
+  EXPECT_TRUE(first.violations.empty() && second.violations.empty());
+  const auto diff = fuzz::diff_snapshots(first, second);
+  std::string report;
+  for (const auto& d : diff) report += d + "\n";
+  EXPECT_TRUE(diff.empty()) << report;
+}
+
+TEST(StatefulFuzz, FaultInjectionIsDetected) {
+  // Gate-of-the-gate: an unmodeled corrupt frame injected mid-episode must
+  // trip oracle 1. If this test ever passes with zero violations, the
+  // fuzzer has gone blind and the soak gate proves nothing.
+  const std::uint64_t seed = fuzz::env_seed(kDefaultSeed) ^ 0xFA'017ull;
+  fuzz::PlanOptions opt;
+  opt.inject_unmodeled_fault = true;
+  const auto plan = fuzz::make_plan(seed, opt);
+  const auto snap = fuzz::run_episode<hosts::fir::FirCore>(plan);
+  EXPECT_FALSE(snap.violations.empty())
+      << "injected fault was silently accepted — the oracle is blind";
+}
+
+TEST(StatefulFuzz, CleanPlanPredictsEstablishedSurvivor) {
+  // Generator sanity: every plan keeps at least one peer alive to the end,
+  // so the differential oracle always has surviving state to compare.
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    const auto plan = fuzz::make_plan(kDefaultSeed + 7'000 + s);
+    bool has_survivor = false;
+    for (const auto& pp : plan.peers)
+      has_survivor = has_survivor || pp.final_state == bgp::SessionState::kEstablished;
+    EXPECT_TRUE(has_survivor) << "seed " << (kDefaultSeed + 7'000 + s);
+  }
+}
+
+}  // namespace

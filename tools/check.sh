@@ -22,6 +22,11 @@
 #                                  # diffed against tools/lint_baseline.txt
 #                                  # (new diagnostics are regressions), then
 #                                  # the elision-oracle fuzz tests
+#   tools/check.sh soak            # stateful-fuzzer soak gate: fuzz_soak at
+#                                  # parallelism 8 under TSan then ASan for
+#                                  # XBGP_SOAK_SECONDS each (default 60; set
+#                                  # it higher for hours-scale runs), then a
+#                                  # fault-injection run that must FAIL
 #
 # The `thread` mode builds only the tests that actually spawn worker
 # threads (the UPDATE pipeline at parallelism > 1); everything else is
@@ -118,6 +123,27 @@ if [ "$MODE" = "static" ]; then
   exit 0
 fi
 
+# The soak mode runs the stateful session/config fuzzer's long-haul driver
+# (tools/fuzz_soak) under both TSan and ASan at parallelism 8, then proves
+# the gate can actually fail by injecting an unmodeled corrupt frame — that
+# run exiting zero would mean the oracles have gone blind.
+if [ "$MODE" = "soak" ]; then
+  NPROC="$(nproc 2>/dev/null || echo 4)"
+  BUDGET="${XBGP_SOAK_SECONDS:-60}"
+  for SAN in thread address; do
+    BUILD="$ROOT/build-san-$SAN"
+    cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SAN"
+    cmake --build "$BUILD" -j "$NPROC" --target fuzz_soak
+    XBGP_SOAK_SECONDS="$BUDGET" "$BUILD/tools/fuzz_soak"
+  done
+  if XBGP_SOAK_SECONDS=2 "$ROOT/build-san-address/tools/fuzz_soak" --fault-inject; then
+    echo "check.sh soak: fault-injection run passed — the oracles are blind" >&2
+    exit 1
+  fi
+  echo "check.sh soak: fault injection detected as expected"
+  exit 0
+fi
+
 BUILD="$ROOT/build-san-$(printf '%s' "$MODE" | tr ',' '-')"
 
 cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SANITIZER"
@@ -125,9 +151,14 @@ cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SANITIZER"
 case "$MODE" in
   thread)
     cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
-      --target parallel_pipeline_test differential_host_test
-    ctest --test-dir "$BUILD" --output-on-failure \
-      -R 'ParallelPipeline|DifferentialHost|ShardWorkload|PrefixShard'
+      --target parallel_pipeline_test differential_host_test stateful_fuzz_test
+    # The stateful fuzzer spins the parallelism-8 pipeline per episode; a
+    # reduced episode budget keeps the TSan run in CI time (the full budget
+    # runs unsanitized in stateful_fuzz_gate, and under sanitizers in the
+    # soak gate).
+    XBGP_FUZZ_EPISODES="${XBGP_FUZZ_EPISODES:-48}" \
+      ctest --test-dir "$BUILD" --output-on-failure \
+      -R 'ParallelPipeline|DifferentialHost|ShardWorkload|PrefixShard|StatefulFuzz'
     ;;
   ubsan)
     cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \

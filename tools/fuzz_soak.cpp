@@ -1,0 +1,124 @@
+// Long-haul soak driver over the stateful session/config fuzzer.
+//
+// Churns seeded episodes at parallelism 8 on both hosts until a wall-clock
+// budget runs out, applying all three oracles each iteration plus a
+// process-level memory bound (no unbounded growth across iterations). Meant
+// to run under TSan and ASan via `tools/check.sh soak`.
+//
+// Knobs:
+//   XBGP_SOAK_SECONDS   wall-clock budget (default 8; the soak gate uses 60,
+//                       hours-scale runs just set it higher)
+//   XBGP_FUZZ_SEED      base seed (printed on start for replay)
+//   --fault-inject      inject an unmodeled corrupt frame into every episode;
+//                       the run MUST then exit non-zero (gate validation)
+//
+// Exit status: 0 clean, 1 oracle violations or memory growth, 2 usage.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "fuzz/seed.hpp"
+#include "fuzz/stateful.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace xb;
+
+/// Resident set size in KiB (0 when /proc is unavailable).
+std::uint64_t rss_kib() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total = 0, resident = 0;
+  const int n = std::fscanf(f, "%llu %llu", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return resident * (static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE)) / 1024);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fault_inject = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault-inject") == 0) {
+      fault_inject = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--fault-inject]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (fuzz::env_u64("XBGP_SOAK_FAULT_INJECT", 0) != 0) fault_inject = true;
+
+  util::Log::threshold() = util::LogLevel::kError;  // episodes tear sessions down on purpose
+  const std::uint64_t seed = fuzz::env_seed(0x50AC'2026ull);
+  fuzz::announce_seed("fuzz_soak", seed);
+  const std::uint64_t budget_s = fuzz::env_u64("XBGP_SOAK_SECONDS", 8);
+  std::printf("[fuzz_soak] budget=%llus parallelism=8 fault_inject=%d\n",
+              static_cast<unsigned long long>(budget_s), fault_inject ? 1 : 0);
+
+  fuzz::PlanOptions opt;
+  opt.force_parallelism = 8;
+  opt.inject_unmodeled_fault = fault_inject;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_s = [&start] {
+    return std::chrono::duration_cast<std::chrono::seconds>(std::chrono::steady_clock::now() -
+                                                            start)
+        .count();
+  };
+
+  std::uint64_t episodes = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t rss_base = 0;
+  std::vector<std::string> violations;
+  while (static_cast<std::uint64_t>(elapsed_s()) < budget_s && violations.size() < 20) {
+    const std::uint64_t plan_seed = seed + iteration;
+    const auto plan = fuzz::make_plan(plan_seed, opt);
+    const auto fir = fuzz::run_episode<hosts::fir::FirCore>(plan);
+    const auto wren = fuzz::run_episode<hosts::wren::WrenCore>(plan);
+    for (const auto& v : fir.violations) violations.push_back("fir: " + v);
+    for (const auto& v : wren.violations) violations.push_back("wren: " + v);
+    for (const auto& v : fuzz::diff_snapshots(fir, wren))
+      violations.push_back("differential (seed " + std::to_string(plan_seed) + "): " + v);
+    episodes += 2;
+    ++iteration;
+    // Allocator pools and sanitizer runtimes settle after a few episodes;
+    // the growth bound is taken from there.
+    if (iteration == 4) rss_base = rss_kib();
+  }
+
+  for (const auto& v : violations)
+    std::printf("[fuzz_soak] VIOLATION: %s\n", v.c_str());
+  if (!violations.empty())
+    std::printf("[fuzz_soak] replay: XBGP_FUZZ_SEED=%llu %s\n",
+                static_cast<unsigned long long>(seed), fault_inject ? "--fault-inject" : "");
+
+  bool rss_ok = true;
+  const std::uint64_t rss_end = rss_kib();
+  if (rss_base != 0 && rss_end > rss_base + 256 * 1024) {
+    rss_ok = false;
+    std::printf("[fuzz_soak] MEMORY GROWTH: rss %llu KiB -> %llu KiB across %llu episodes\n",
+                static_cast<unsigned long long>(rss_base),
+                static_cast<unsigned long long>(rss_end),
+                static_cast<unsigned long long>(episodes));
+  }
+
+  std::printf("[fuzz_soak] %llu episodes in %llds, %zu violations, rss %llu KiB\n",
+              static_cast<unsigned long long>(episodes), static_cast<long long>(elapsed_s()),
+              violations.size(), static_cast<unsigned long long>(rss_end));
+  return (violations.empty() && rss_ok) ? 0 : 1;
+}

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
       {"telemetry spine", {"src/obs"}, "paper: vendor show commands"},
       {"use-case extensions", {"src/extensions"}, "paper: C compiled to eBPF"},
       {"harness", {"src/harness"}, "paper: shell + RIS data"},
+      {"stateful fuzzer", {"src/fuzz"}, "paper: none (robustness gate)"},
       {"tests", {"tests"}, ""},
       {"benchmarks", {"bench"}, ""},
       {"examples", {"examples"}, ""},
