@@ -1,0 +1,260 @@
+// Export fan-out: encode work of the RibOut peer-group engine vs the
+// per-peer baseline under full-table churn into a large peer fleet.
+//
+// One DUT learns a seeded synthetic table from an eBGP feeder and exports
+// it to N peers split across four policy classes (iBGP reflector clients,
+// iBGP with nexthop-self, and two distinct eBGP neighbour ASes) — the
+// classes the RibOut engine keys groups on. After the announce wave a
+// withdraw/re-announce churn wave replays a slice of the table. Both
+// engines send every peer the same routes; they differ in how many UPDATE
+// messages they *encode*:
+//
+//   per-peer  — every message encoded once per peer          (N encodes)
+//   ribout    — every message encoded once per policy class  (4 encodes)
+//
+// The run reports messages built, bytes built and attribute sections
+// encoded (Router counters xbgp_export_{messages,bytes}_built_total,
+// xbgp_export_attr_sections_total) plus single-core wall-clock medians,
+// and the ribout-vs-per-peer reduction factors. The acceptance gate is a
+// >= 5x reduction in encode work at 1000 peers; at the default geometry
+// the grouping yields far more. Wire output is bit-identical between the
+// two engines — that is proven by the differential gate
+// (tools/check.sh export), not here; this harness measures the work.
+//
+//   ./export_fanout [--peers N] [--routes N] [--churn N] [--runs N] [--seed N]
+//
+// Defaults: 1000 peers, 20000 routes, 2000 churned, 3 runs, seed 202006.
+// The full paper-scale load (--routes 1000000) runs the same code path;
+// the reduction factor is geometry-determined and already stable at the
+// default size.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "harness/stats.hpp"
+#include "harness/testbed.hpp"
+#include "harness/workload.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "hosts/wren/wren_router.hpp"
+#include "net/event_loop.hpp"
+
+using namespace xb;
+
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+struct Params {
+  std::size_t peers = 1000;
+  std::size_t routes = 20'000;
+  std::size_t churn = 2'000;
+  std::size_t runs = 3;
+  std::uint64_t seed = 202006;
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t messages_built = 0;
+  std::uint64_t bytes_built = 0;
+  std::uint64_t attr_sections = 0;
+  std::uint64_t updates_out = 0;
+};
+
+/// The four export policy classes: (rr_client, next_hop_self, peer ASN).
+struct PeerClass {
+  const char* name;
+  bool rr_client;
+  bool next_hop_self;
+  bgp::Asn asn;
+};
+constexpr PeerClass kClasses[] = {
+    {"ibgp-rr", true, false, 65000},
+    {"ibgp-nhs", false, true, 65000},
+    {"ebgp-a", false, false, 65101},
+    {"ebgp-b", false, false, 65102},
+};
+
+template <typename Dut>
+RunResult one_run(const Params& p, const harness::Workload& announce,
+                  const harness::Workload& churn_wave,
+                  const std::vector<std::vector<std::uint8_t>>& withdraw_wave,
+                  hosts::engine::ExportEngine engine) {
+  net::EventLoop loop;
+
+  typename Dut::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = 65000;
+  cfg.router_id = 0x0A000002;
+  cfg.address = util::Ipv4Addr(10, 0, 0, 2);
+  cfg.export_engine = engine;
+  Dut dut(loop, cfg);
+
+  // Feeder: an eBGP session delivering the pre-encoded table.
+  net::Duplex feed_link(loop, /*latency=*/0);
+  dut.add_peer(feed_link.b(), {.name = "feed",
+                               .asn = 65001,
+                               .address = util::Ipv4Addr(10, 0, 0, 1)});
+  bgp::PeerSession::Config fc;
+  fc.local_asn = 65001;
+  fc.peer_asn = 65000;
+  fc.local_id = 0x0A000001;
+  fc.local_addr = util::Ipv4Addr(10, 0, 0, 1);
+  fc.peer_addr = cfg.address;
+  harness::Feeder feeder(loop, feed_link.a(), fc);
+
+  // The fleet: p.peers sinks, round-robin across the four policy classes.
+  std::vector<std::unique_ptr<net::Duplex>> links;
+  std::vector<std::unique_ptr<harness::Sink>> sinks;
+  links.reserve(p.peers);
+  sinks.reserve(p.peers);
+  for (std::size_t i = 0; i < p.peers; ++i) {
+    const PeerClass& cls = kClasses[i % std::size(kClasses)];
+    links.push_back(std::make_unique<net::Duplex>(loop, /*latency=*/0));
+    const util::Ipv4Addr addr(static_cast<std::uint32_t>(0x0B000000 + i + 1));
+    dut.add_peer(links.back()->a(), {.name = cls.name,
+                                     .asn = cls.asn,
+                                     .address = addr,
+                                     .rr_client = cls.rr_client,
+                                     .next_hop_self = cls.next_hop_self});
+    bgp::PeerSession::Config sc;
+    sc.local_asn = cls.asn;
+    sc.peer_asn = 65000;
+    sc.local_id = static_cast<std::uint32_t>(0x0B000000 + i + 1);
+    sc.local_addr = addr;
+    sc.peer_addr = cfg.address;
+    sinks.push_back(std::make_unique<harness::Sink>(loop, links.back()->b(), sc));
+  }
+
+  dut.start();
+  feeder.start();
+  for (auto& sink : sinks) sink->start();
+  loop.run_until(loop.now() + 2 * kSec);
+  if (!feeder.established()) {
+    std::fprintf(stderr, "export_fanout: feeder failed to establish\n");
+    std::exit(1);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  feeder.send_all(announce.updates);
+  loop.run_until(loop.now() + 2 * kSec);
+  feeder.send_all(withdraw_wave);
+  loop.run_until(loop.now() + kSec);
+  feeder.send_all(churn_wave.updates);
+  loop.run_until(loop.now() + 2 * kSec);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Every peer must have received the full table (fan-out correctness).
+  for (auto& sink : sinks) {
+    if (sink->prefixes() < announce.prefix_count) {
+      std::fprintf(stderr, "export_fanout: a sink saw %llu of %zu prefixes\n",
+                   static_cast<unsigned long long>(sink->prefixes()), announce.prefix_count);
+      std::exit(1);
+    }
+  }
+
+  const auto stats = dut.stats();
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.messages_built = stats.messages_built;
+  r.bytes_built = stats.bytes_built;
+  r.attr_sections = stats.attr_sections;
+  r.updates_out = stats.updates_out;
+  return r;
+}
+
+template <typename Dut>
+void measure(const char* host, const Params& p, const harness::Workload& announce,
+             const harness::Workload& churn_wave,
+             const std::vector<std::vector<std::uint8_t>>& withdraw_wave) {
+  RunResult results[2];
+  const hosts::engine::ExportEngine engines[2] = {hosts::engine::ExportEngine::kPerPeer,
+                                                  hosts::engine::ExportEngine::kRibOut};
+  const char* names[2] = {"per-peer", "ribout"};
+  for (int e = 0; e < 2; ++e) {
+    std::vector<double> times;
+    times.reserve(p.runs);
+    for (std::size_t i = 0; i < p.runs; ++i) {
+      const RunResult r =
+          one_run<Dut>(p, announce, churn_wave, withdraw_wave, engines[e]);
+      times.push_back(r.seconds);
+      results[e] = r;  // counters are deterministic across runs
+    }
+    results[e].seconds = harness::boxplot(times).median;
+    std::printf("%-6s %-8s  msgs built %10llu  bytes built %12llu  attr sections %9llu"
+                "  sends %10llu  median %7.3fs\n",
+                host, names[e], static_cast<unsigned long long>(results[e].messages_built),
+                static_cast<unsigned long long>(results[e].bytes_built),
+                static_cast<unsigned long long>(results[e].attr_sections),
+                static_cast<unsigned long long>(results[e].updates_out), results[e].seconds);
+  }
+  const auto ratio = [](std::uint64_t base, std::uint64_t opt) {
+    return opt == 0 ? 0.0 : static_cast<double>(base) / static_cast<double>(opt);
+  };
+  const double msg_r = ratio(results[0].messages_built, results[1].messages_built);
+  const double byte_r = ratio(results[0].bytes_built, results[1].bytes_built);
+  const double attr_r = ratio(results[0].attr_sections, results[1].attr_sections);
+  std::printf("%-6s reduction  messages %.1fx  bytes %.1fx  attr sections %.1fx  %s\n\n",
+              host, msg_r, byte_r, attr_r,
+              (msg_r >= 5.0 && byte_r >= 5.0) ? "PASS (>=5x)" : "FAIL (<5x)");
+  if (msg_r < 5.0 || byte_r < 5.0) std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params p;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string_view flag = argv[i];
+    const auto val = std::strtoull(argv[i + 1], nullptr, 10);
+    if (flag == "--peers") p.peers = val;
+    else if (flag == "--routes") p.routes = val;
+    else if (flag == "--churn") p.churn = val;
+    else if (flag == "--runs") p.runs = val;
+    else if (flag == "--seed") p.seed = val;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (p.churn > p.routes) p.churn = p.routes;
+
+  harness::WorkloadParams wp;
+  wp.route_count = p.routes;
+  wp.seed = p.seed;
+  const auto announce = harness::make_workload(wp);
+
+  // Churn wave: re-announce a slice of the table with different attributes
+  // (a different seed reshuffles AS paths/MEDs for the same prefix space).
+  harness::WorkloadParams cp;
+  cp.route_count = p.churn;
+  cp.seed = p.seed + 1;
+  const auto churn_wave = harness::make_workload(cp);
+
+  // Withdraw wave: retract the churn slice first so the re-announce exercises
+  // the withdraw-then-announce path of the builders.
+  std::vector<std::vector<std::uint8_t>> withdraw_wave;
+  {
+    bgp::UpdateMessage m;
+    for (const auto& r : churn_wave.routes) {
+      m.withdrawn.push_back(r.prefix);
+      if (m.withdrawn.size() == 400) {
+        withdraw_wave.push_back(bgp::encode_update(m));
+        m.withdrawn.clear();
+      }
+    }
+    if (!m.withdrawn.empty()) withdraw_wave.push_back(bgp::encode_update(m));
+  }
+
+  std::printf("Export fan-out — encode work, RibOut groups vs per-peer baseline\n");
+  std::printf("%zu peers in %zu policy classes, %zu routes + %zu churned, seed %llu, %zu runs\n\n",
+              p.peers, std::size(kClasses), p.routes, p.churn,
+              static_cast<unsigned long long>(p.seed), p.runs);
+  measure<hosts::fir::FirRouter>("xFir", p, announce, churn_wave, withdraw_wave);
+  measure<hosts::wren::WrenRouter>("xWren", p, announce, churn_wave, withdraw_wave);
+  return 0;
+}

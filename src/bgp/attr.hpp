@@ -8,8 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bgp/types.hpp"
@@ -84,6 +89,100 @@ std::optional<RouterId> parse_originator_id(const WireAttr& attr);
 
 WireAttr make_cluster_list(std::span<const std::uint32_t> clusters);
 std::vector<std::uint32_t> parse_cluster_list(const WireAttr& attr);
+
+// --- Hash-consed attribute interning ----------------------------------------
+
+/// Running counters of an Interner. `entries` is the live table size at the
+/// time stats() was called; the other fields are monotonic.
+struct InternStats {
+  std::uint64_t hits = 0;       // intern() returned an existing object
+  std::uint64_t misses = 0;     // intern() admitted a new canonical object
+  std::uint64_t evictions = 0;  // canonical objects dropped (refcount zero)
+  std::uint64_t entries = 0;    // live table size at snapshot time
+};
+
+/// Hash-consing table for immutable host attribute sets.
+///
+/// Keyed on a canonical byte string (each host core derives it from the
+/// attribute set's wire encoding, see Core::canonical_key), the table maps
+/// every distinct attribute *value* to one shared canonical object, so
+/// Adj-RIBs, the Loc-RIB and the per-group Adj-RIB-Outs store one pointer
+/// per distinct attribute vector and value equality is pointer comparison.
+///
+/// Lifetime is reference-counted by construction: the table holds weak
+/// references, and the canonical shared_ptr's deleter removes the table
+/// slot when the last RIB entry drops it. The deleter keeps the internal
+/// State alive (shared_ptr), so canonical objects may safely outlive the
+/// Interner handle itself. intern() and stats() are thread-safe; pipeline
+/// workers may intern concurrently with each other (never concurrently with
+/// an eviction of the same key, which the mutex serialises anyway).
+template <typename T>
+class Interner {
+ public:
+  Interner() : state_(std::make_shared<State>()) {}
+
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the canonical object for `key`, admitting `value` as the new
+  /// canonical representative when the key is unseen (or its previous
+  /// holder is mid-eviction).
+  std::shared_ptr<const T> intern(std::shared_ptr<const T> value, std::string key) {
+    std::shared_ptr<State> state = state_;
+    std::lock_guard<std::mutex> lock(state->mu);
+    auto [it, inserted] = state->table.try_emplace(std::move(key));
+    if (!inserted) {
+      if (auto existing = it->second.lock()) {
+        ++state->hits;
+        return existing;
+      }
+      // The previous holder's refcount hit zero but its deleter has not
+      // erased the slot yet; revive the slot with the new object. The late
+      // deleter sees a non-expired slot and leaves it alone.
+    }
+    ++state->misses;
+    const T* raw = value.get();  // before the move: argument order is unspecified
+    std::shared_ptr<const T> canonical(raw, EntryDeleter{state, std::move(value), it->first});
+    it->second = canonical;
+    return canonical;
+  }
+
+  [[nodiscard]] InternStats stats() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    InternStats s;
+    s.hits = state_->hits;
+    s.misses = state_->misses;
+    s.evictions = state_->evictions;
+    s.entries = state_->table.size();
+    return s;
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::weak_ptr<const T>> table;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  struct EntryDeleter {
+    std::shared_ptr<State> state;
+    std::shared_ptr<const T> storage;  // owns the object via its original control block
+    std::string key;                   // own copy: the map node may already be gone
+    void operator()(const T*) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      auto it = state->table.find(key);
+      if (it != state->table.end() && it->second.expired()) {
+        state->table.erase(it);
+        ++state->evictions;
+      }
+      storage.reset();  // the actual delete, via the original deleter
+    }
+  };
+
+  std::shared_ptr<State> state_;
+};
 
 /// GeoLoc (paper §2): latitude then longitude in signed micro-degrees
 /// (1e-6 °), big-endian. Integer fixed-point keeps the attribute computable

@@ -49,9 +49,10 @@ class Sink {
   Sink(net::EventLoop& loop, net::Duplex::End end, bgp::PeerSession::Config config)
       : session_(std::make_unique<bgp::PeerSession>(loop, end, config)) {
     session_->on_update = [this](bgp::UpdateMessage&& update, const bgp::UpdateNotes&,
-                                 std::span<const std::uint8_t>) {
+                                 std::span<const std::uint8_t> raw) {
       prefixes_ += update.nlri.size();
       withdrawals_ += update.withdrawn.size();
+      if (record_raw_) raw_.emplace_back(raw.begin(), raw.end());
       last_update_ = std::move(update);
     };
   }
@@ -64,10 +65,17 @@ class Sink {
   [[nodiscard]] const bgp::UpdateMessage& last_update() const { return last_update_; }
   [[nodiscard]] bgp::PeerSession& session() { return *session_; }
 
+  /// Records every received UPDATE's raw wire bytes (differential gates
+  /// compare the exact byte stream, not the decoded form).
+  void record_raw(bool on) { record_raw_ = on; }
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& raw() const { return raw_; }
+
  private:
   std::unique_ptr<bgp::PeerSession> session_;
   std::uint64_t prefixes_ = 0;
   std::uint64_t withdrawals_ = 0;
+  bool record_raw_ = false;
+  std::vector<std::vector<std::uint8_t>> raw_;
   bgp::UpdateMessage last_update_;
 };
 

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "bgp/aspath.hpp"
+#include "bgp/attr.hpp"
 #include "bgp/decision.hpp"
 #include "bgp/peer_session.hpp"
 #include "bgp/policy.hpp"
@@ -57,6 +59,16 @@ using PeerId = std::size_t;
 inline constexpr PeerId kLocalRoute = static_cast<PeerId>(-1);
 
 inline constexpr util::Logger kEngineLog{"engine"};
+
+/// Export engine selection. The RibOut engine (default) groups peers with
+/// identical export processing — same peer type, reflection role,
+/// nexthop-rewrite config and xBGP outbound manifest — runs export
+/// processing and UPDATE encoding once per group, and fans the identical
+/// bytes to every member. The per-peer engine re-runs the full export path
+/// for every peer; it is retained as the oracle of the differential gate
+/// (tools/check.sh export), which proves the two produce bit-identical
+/// per-peer wire output and Adj-RIB-Out contents.
+enum class ExportEngine : std::uint8_t { kPerPeer, kRibOut };
 
 /// The engine's view of the router counters. Since the telemetry spine this
 /// is a *snapshot* type: the live counters are per-slot cells on the
@@ -79,6 +91,13 @@ struct RouterStats {
   // RFC 7606 degradation accounting (classified by the codec, applied here).
   std::uint64_t treat_as_withdraw = 0;  // UPDATEs degraded to withdraws
   std::uint64_t attrs_discarded = 0;    // attributes stripped at discard tier
+  // Export engine encode work: messages/bytes *built* (once per peer group
+  // in RibOut mode, once per peer in per-peer mode) and attribute sections
+  // encoded. updates_out still counts per-peer sends, so
+  // updates_out / messages_built is the fan-out amplification.
+  std::uint64_t messages_built = 0;
+  std::uint64_t bytes_built = 0;
+  std::uint64_t attr_sections = 0;
   // Extension faults by class (xbgp::FaultClass taxonomy); they sum to
   // extension_faults.
   std::uint64_t faults_verify = 0;
@@ -120,6 +139,12 @@ struct EngineMetrics {
                                "Origin validation outcomes (RFC 6811)")),
         ov_not_found(reg.counter("xbgp_router_ov_total{state=\"not_found\"}",
                                  "Origin validation outcomes (RFC 6811)")),
+        messages_built(reg.counter("xbgp_export_messages_built_total",
+                                   "UPDATE messages encoded by the export engine (before fan-out)")),
+        bytes_built(reg.counter("xbgp_export_bytes_built_total",
+                                "UPDATE bytes encoded by the export engine (before fan-out)")),
+        attr_sections(reg.counter("xbgp_export_attr_sections_total",
+                                  "Attribute sections encoded (native encode + encode-hook runs)")),
         ingest_ns(reg.histogram("xbgp_router_ingest_ns", "Inbound phase wall time per batch/update")),
         decision_ns(reg.histogram("xbgp_router_decision_ns", "Decision process wall time per prefix")),
         export_ns(reg.histogram("xbgp_router_export_ns", "Export flush wall time per peer")) {
@@ -135,6 +160,7 @@ struct EngineMetrics {
   Id withdrawals_in, exports_rejected, loop_rejected, malformed_updates;
   Id treat_as_withdraw, attrs_discarded;
   Id ov_valid, ov_invalid, ov_not_found;
+  Id messages_built, bytes_built, attr_sections;
   Id ingest_ns, decision_ns, export_ns;
   Id fault_class[xbgp::kFaultClassCount] = {};
 };
@@ -174,6 +200,9 @@ class Router final : public xbgp::HostApi {
     /// N shards and processes batches on N-1 pool workers plus the caller.
     /// Output is bit-identical at every setting.
     std::size_t parallelism = 1;
+    /// Export engine: RibOut peer groups with shared encode + fan-out
+    /// (default), or the legacy per-peer path (the differential oracle).
+    ExportEngine export_engine = ExportEngine::kRibOut;
     /// Named configuration blobs served to extensions via get_xtra.
     std::map<std::string, std::vector<std::uint8_t>, std::less<>> xtra;
     xbgp::Vmm::Options vmm_options;
@@ -224,6 +253,14 @@ class Router final : public xbgp::HostApi {
         out.gauge("xbgp_pool_region_ns_max", "Slowest single fork-join region", ps.max_region_ns);
         out.gauge("xbgp_pool_region_indices_peak", "Widest single region (peak batch depth)",
                   ps.max_indices);
+        out.gauge("xbgp_export_ribout_groups", "Live RibOut peer groups", ribouts_.size());
+        const bgp::InternStats is = interner_.stats();
+        out.counter("xbgp_attr_intern_hits_total", "Attribute intern table hits", is.hits);
+        out.counter("xbgp_attr_intern_misses_total",
+                    "Attribute intern table misses (new canonical objects)", is.misses);
+        out.counter("xbgp_attr_intern_evictions_total",
+                    "Canonical attribute objects released at refcount zero", is.evictions);
+        out.gauge("xbgp_attr_intern_entries", "Live canonical attribute objects", is.entries);
       });
     }
   }
@@ -259,11 +296,16 @@ class Router final : public xbgp::HostApi {
     state->session.on_route_refresh = [this, raw] {
       // RFC 2918: re-run export processing for everything we advertise to
       // this peer (adj-rib-out rebuild from the current Loc-RIB + policy).
+      // In RibOut mode the member leaves its group's synced set (keeping its
+      // advertised view) and replays solo, so only *this* peer receives the
+      // refresh traffic.
+      if (ribout_mode()) unsync_member(*raw, /*clear_view=*/false);
       for (const auto& shard : loc_rib_)
         for (const auto& [prefix, entry] : shard) queue_export(*raw, prefix);
       schedule_flush();
     };
     peers_.push_back(std::move(state));
+    if (ribout_mode()) join_ribout(*raw);
     return peers_.size() - 1;
   }
 
@@ -272,7 +314,14 @@ class Router final : public xbgp::HostApi {
   }
 
   /// Loads extension bytecode per the manifest (verifies; runs kInit).
-  void load_extensions(const xbgp::Manifest& manifest) { vmm_.load(manifest); }
+  /// RibOut mode: outbound/encode extensions change the export identity of
+  /// every peer, so the peer groups are rebuilt around the new key.
+  void load_extensions(const xbgp::Manifest& manifest) {
+    vmm_.load(manifest);
+    manifest_identity_ =
+        xbgp::combine_export_identity(manifest_identity_, xbgp::export_identity(manifest));
+    if (ribout_mode()) rebuild_ribouts();
+  }
 
   /// Asks a peer to resend its routes (RFC 2918), e.g. after changing
   /// import policy or loading an inbound extension at runtime.
@@ -302,8 +351,8 @@ class Router final : public xbgp::HostApi {
     set.put(bgp::make_origin(bgp::Origin::kIgp));
     set.put(bgp::AsPath{}.to_attr());
     set.put(bgp::make_next_hop(cfg_.address));
-    auto attrs = std::make_shared<Attrs>(Core::from_wire(set, {}));
-    local_routes_[prefix] = attrs;
+    auto attrs = intern_attrs(std::make_shared<Attrs>(Core::from_wire(set, {})));
+    local_routes_[prefix] = LocalRoute{std::move(attrs), next_serial()};
     if (run_decision(prefix, 0)) queue_export_all(prefix);
     schedule_flush();
   }
@@ -314,6 +363,12 @@ class Router final : public xbgp::HostApi {
     PeerId from = kLocalRoute;
     AttrsPtr attrs;
     std::uint32_t meta = 0;
+    /// Identity of the Adj-RIB-In installation (or local origination) that
+    /// produced this entry. Interning merges equal-valued attribute storage,
+    /// so pointer identity no longer distinguishes "same UPDATE instance";
+    /// the serial does, keeping export grouping and decision change
+    /// detection bit-identical to the pre-interning engine.
+    std::uint64_t serial = 0;
   };
 
   [[nodiscard]] const LocRibEntry* best(const util::Prefix& prefix) const {
@@ -348,20 +403,60 @@ class Router final : public xbgp::HostApi {
     return out;
   }
   [[nodiscard]] std::size_t adj_rib_out_size(PeerId id) const {
-    return peers_.at(id)->adj_rib_out.size();
+    const PeerState& peer = *peers_.at(id);
+    if (!ribout_mode()) return peer.adj_rib_out.size();
+    std::size_t n = 0;
+    for_each_adj_rib_out(id, [&](const util::Prefix&, const AttrsPtr&) { ++n; });
+    return n;
+  }
+  /// Const iteration over a peer's advertised routes without materialising a
+  /// prefix vector (order unspecified); `fn(prefix, attrs)` per route. In
+  /// RibOut mode this walks the shared group RIB plus the member's
+  /// divergence overrides.
+  template <typename F>
+  void for_each_adj_rib_out(PeerId id, F&& fn) const {
+    const PeerState& peer = *peers_.at(id);
+    if (!ribout_mode()) {
+      for (const auto& [prefix, attrs] : peer.adj_rib_out) fn(prefix, attrs);
+      return;
+    }
+    if (peer.ribout != nullptr && !peer.fresh_view) {
+      for (const auto& [prefix, entry] : peer.ribout->rib) {
+        if (entry.excluded == id) continue;
+        if (peer.overrides.contains(prefix)) continue;  // reported below
+        fn(prefix, entry.attrs);
+      }
+    }
+    for (const auto& [prefix, ov] : peer.overrides) {
+      if (ov) fn(prefix, *ov);
+    }
+  }
+  /// Const iteration over a peer's Adj-RIB-In (order unspecified).
+  template <typename F>
+  void for_each_adj_rib_in(PeerId id, F&& fn) const {
+    for (const auto& shard : peers_.at(id)->adj_rib_in) {
+      for (const auto& [prefix, route] : shard) fn(prefix, route.attrs);
+    }
   }
   [[nodiscard]] std::vector<util::Prefix> adj_rib_out_prefixes(PeerId id) const {
     std::vector<util::Prefix> out;
-    out.reserve(peers_.at(id)->adj_rib_out.size());
-    for (const auto& [prefix, attrs] : peers_.at(id)->adj_rib_out) out.push_back(prefix);
+    for_each_adj_rib_out(id, [&](const util::Prefix& prefix, const AttrsPtr&) {
+      out.push_back(prefix);
+    });
     std::sort(out.begin(), out.end());
     return out;
   }
   [[nodiscard]] const AttrsPtr* adj_rib_out_lookup(PeerId id, const util::Prefix& p) const {
-    auto& rib = peers_.at(id)->adj_rib_out;
+    const PeerState& peer = *peers_.at(id);
+    if (ribout_mode()) return ribout_view_lookup(peer, p);
+    auto& rib = peer.adj_rib_out;
     auto it = rib.find(p);
     return it == rib.end() ? nullptr : &it->second;
   }
+  /// Live RibOut peer-group count (0 in per-peer mode).
+  [[nodiscard]] std::size_t ribout_group_count() const noexcept { return ribouts_.size(); }
+  /// Hash-consing statistics of the attribute intern table.
+  [[nodiscard]] bgp::InternStats intern_stats() const { return interner_.stats(); }
   [[nodiscard]] std::uint32_t route_meta(PeerId id, const util::Prefix& p) const {
     auto& rib = peers_.at(id)->adj_rib_in[shard_of(p)];
     auto it = rib.find(p);
@@ -392,6 +487,9 @@ class Router final : public xbgp::HostApi {
     s.ov_not_found = reg.value(m_.ov_not_found);
     s.treat_as_withdraw = reg.value(m_.treat_as_withdraw);
     s.attrs_discarded = reg.value(m_.attrs_discarded);
+    s.messages_built = reg.value(m_.messages_built);
+    s.bytes_built = reg.value(m_.bytes_built);
+    s.attr_sections = reg.value(m_.attr_sections);
     s.faults_verify = reg.value(m_.fault_class[0]);
     s.faults_budget = reg.value(m_.fault_class[1]);
     s.faults_memory_bounds = reg.value(m_.fault_class[2]);
@@ -525,9 +623,17 @@ class Router final : public xbgp::HostApi {
 
  private:
   // ------------------------------------------------------------------------------
+  struct RibOut;
+
   struct AdjInRoute {
     AttrsPtr attrs;
     std::uint32_t meta = 0;
+    std::uint64_t serial = 0;  // per-installation identity (see LocRibEntry)
+  };
+
+  struct LocalRoute {
+    AttrsPtr attrs;
+    std::uint64_t serial = 0;
   };
 
   struct PeerState {
@@ -537,13 +643,76 @@ class Router final : public xbgp::HostApi {
     /// Partitioned by util::prefix_shard(); worker s owns slot s during a
     /// pipeline region. Size 1 when parallelism == 1.
     std::vector<std::unordered_map<util::Prefix, AdjInRoute>> adj_rib_in;
-    std::unordered_map<util::Prefix, AttrsPtr> adj_rib_out;  // main thread only
+    std::unordered_map<util::Prefix, AttrsPtr> adj_rib_out;  // per-peer mode only
     std::vector<util::Prefix> pending;           // export work list, ordered
     std::unordered_set<util::Prefix> pending_set;  // dedupe for the work list
+    // --- RibOut mode state ---
+    RibOut* ribout = nullptr;  // this peer's group (always set in RibOut mode)
+    /// Synced: the member's advertised view is the group RIB plus its
+    /// overrides, and it is served by group flushes. Unsynced members (new,
+    /// refreshing, or down) drain their per-peer `pending` solo.
+    bool synced = false;
+    /// Never advertised anything: the view is empty regardless of the group
+    /// RIB (a freshly added or freshly downed peer).
+    bool fresh_view = true;
+    /// Where this member's view diverges from the group RIB: attrs = the
+    /// member sees this value instead; nullopt = the member does not see the
+    /// prefix at all. Kept minimal — entries equal to the base are erased.
+    std::unordered_map<util::Prefix, std::optional<AttrsPtr>> overrides;
 
     PeerState(net::EventLoop& loop, net::Duplex::End end, bgp::PeerSession::Config sc,
               std::size_t shards)
         : session(loop, end, sc), adj_rib_in(shards) {}
+  };
+
+  /// A peer group of the export engine: peers whose export processing is
+  /// indistinguishable share one Adj-RIB-Out, one export computation and one
+  /// encoded byte stream per attribute group (the RibOut model).
+  struct RibOutKey {
+    bgp::Asn peer_asn = 0;
+    bool rr_client = false;
+    bool next_hop_self = false;
+    /// Outbound identity of the loaded manifests (0 = none attached).
+    std::uint64_t manifest_sig = 0;
+    /// kLocalRoute normally; the member's own id when the manifest is
+    /// peer-scoped (outbound extensions read peer info), forcing one group
+    /// per peer.
+    PeerId solo = kLocalRoute;
+    friend bool operator==(const RibOutKey&, const RibOutKey&) = default;
+  };
+  struct RibOutKeyHash {
+    std::size_t operator()(const RibOutKey& k) const noexcept {
+      std::uint64_t h = 1469598103934665603ULL;
+      auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+      };
+      mix(k.peer_asn);
+      mix((k.rr_client ? 1u : 0u) | (k.next_hop_self ? 2u : 0u));
+      mix(k.manifest_sig);
+      mix(static_cast<std::uint64_t>(k.solo));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct RibOutEntry {
+    AttrsPtr attrs;
+    /// Source member the advert is hidden from (split horizon): a member
+    /// never sees routes it contributed. kLocalRoute = visible to all.
+    PeerId excluded = kLocalRoute;
+  };
+
+  struct RibOut {
+    RibOutKey key;
+    std::vector<PeerId> members;  // every peer keyed here, synced or not
+    std::size_t synced_members = 0;
+    /// The shared group Adj-RIB-Out.
+    std::unordered_map<util::Prefix, RibOutEntry> rib;
+    std::vector<util::Prefix> pending;             // group work list, ordered
+    std::unordered_set<util::Prefix> pending_set;  // dedupe per flush cycle
+    /// Members holding an override per prefix (inverse of
+    /// PeerState::overrides, so flushes find divergent members in O(1)).
+    std::unordered_map<util::Prefix, std::vector<PeerId>> override_holders;
   };
 
   /// The host-side route handle behind ExecContext::route (hidden argument).
@@ -633,6 +802,10 @@ class Router final : public xbgp::HostApi {
       shard.clear();
     }
     peer.adj_rib_out.clear();
+    // RibOut mode: the member leaves the synced set and forgets its view —
+    // on re-establishment it replays from scratch, like the cleared
+    // adj_rib_out above.
+    if (ribout_mode()) unsync_member(peer, /*clear_view=*/true);
     for (const auto& prefix : lost) {
       if (run_decision(prefix, 0)) queue_export_all(prefix);
     }
@@ -739,6 +912,8 @@ class Router final : public xbgp::HostApi {
       return;
     }
 
+    const std::uint64_t serial = next_serial();
+    std::vector<util::Prefix> installed;
     for (const auto& prefix : update.nlri) {
       count(m_.prefixes_in);
       std::uint32_t meta = 0;
@@ -754,8 +929,25 @@ class Router final : public xbgp::HostApi {
       }
       count(m_.prefixes_accepted);
       count_ov(meta, 0);
-      peer.adj_rib_in[0][prefix] = AdjInRoute{shared, meta};
+      peer.adj_rib_in[0][prefix] = AdjInRoute{shared, meta, serial};
+      installed.push_back(prefix);
       if (run_decision(prefix, 0)) queue_export_all(prefix);
+    }
+    // Hash-cons the attribute object *after* all mutation sites (inbound
+    // filter set-actions ran above); equal-valued objects across updates and
+    // peers collapse to one canonical instance. Identity stays with the
+    // serial, so swapping the storage pointer is invisible to the engine.
+    if (!installed.empty()) {
+      AttrsPtr canonical = intern_attrs(shared);
+      if (canonical.get() != shared.get()) {
+        for (const auto& prefix : installed) {
+          peer.adj_rib_in[0][prefix].attrs = canonical;
+          auto& rib = loc_rib_[shard_of(prefix)];
+          if (auto it = rib.find(prefix); it != rib.end() && it->second.serial == serial) {
+            it->second.attrs = canonical;
+          }
+        }
+      }
     }
   }
 
@@ -795,6 +987,7 @@ class Router final : public xbgp::HostApi {
     PeerState* peer = nullptr;
     AttrsPtr attrs;
     std::uint32_t meta = 0;
+    std::uint64_t serial = 0;
   };
 
   /// Stage A: everything per-update that needs no RIB access — mandatory
@@ -829,6 +1022,9 @@ class Router final : public xbgp::HostApi {
       return;
     }
 
+    const std::uint64_t serial = next_serial();
+    const std::size_t first_item = items.size();
+    bool any_install = false;
     for (const auto& prefix : update.nlri) {
       count(m_.prefixes_in, 1, slot);
       std::uint32_t meta = 0;
@@ -836,13 +1032,24 @@ class Router final : public xbgp::HostApi {
       const std::uint64_t verdict = run_inbound_filter(peer, route, slot);
       if (verdict != xbgp::kFilterAccept) {
         count(m_.prefixes_rejected_in, 1, slot);
-        items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0});
+        items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0, 0});
         continue;
       }
       count(m_.prefixes_accepted, 1, slot);
       count_ov(meta, slot);
       items.push_back(
-          IngestItem{IngestItem::Kind::kInstall, seq++, prefix, &peer, shared, meta});
+          IngestItem{IngestItem::Kind::kInstall, seq++, prefix, &peer, shared, meta, serial});
+      any_install = true;
+    }
+    // Hash-cons after the update's mutation sites; the interner serialises
+    // concurrent workers internally.
+    if (any_install) {
+      AttrsPtr canonical = intern_attrs(shared);
+      if (canonical.get() != shared.get()) {
+        for (std::size_t i = first_item; i < items.size(); ++i) {
+          if (items[i].kind == IngestItem::Kind::kInstall) items[i].attrs = canonical;
+        }
+      }
     }
   }
 
@@ -893,7 +1100,7 @@ class Router final : public xbgp::HostApi {
         if (item->kind == IngestItem::Kind::kErase) {
           touched = rib.erase(item->prefix) > 0;
         } else {
-          rib[item->prefix] = AdjInRoute{item->attrs, item->meta};
+          rib[item->prefix] = AdjInRoute{item->attrs, item->meta, item->serial};
         }
         if (touched && run_decision(item->prefix, s)) {
           changed[s].emplace_back(item->seq, item->prefix);
@@ -990,13 +1197,14 @@ class Router final : public xbgp::HostApi {
     LocRibEntry winner;
     bool have = false;
     if (auto it = local_routes_.find(prefix); it != local_routes_.end()) {
-      winner = LocRibEntry{kLocalRoute, it->second, 0};
+      winner = LocRibEntry{kLocalRoute, it->second.attrs, 0, it->second.serial};
       have = true;
     } else {
       for (auto& peer : peers_) {
         auto it = peer->adj_rib_in[shard].find(prefix);
         if (it == peer->adj_rib_in[shard].end()) continue;
-        LocRibEntry candidate{peer->id, it->second.attrs, it->second.meta};
+        LocRibEntry candidate{peer->id, it->second.attrs, it->second.meta,
+                              it->second.serial};
         if (!have) {
           winner = std::move(candidate);
           have = true;
@@ -1016,7 +1224,7 @@ class Router final : public xbgp::HostApi {
       }
       return false;
     }
-    const bool changed = cur == rib.end() || cur->second.attrs != winner.attrs ||
+    const bool changed = cur == rib.end() || cur->second.serial != winner.serial ||
                          cur->second.from != winner.from;
     if (changed) {
       if (auto nh = Core::next_hop(*winner.attrs)) fib_set(prefix, *nh);
@@ -1108,6 +1316,18 @@ class Router final : public xbgp::HostApi {
   }
 
   void queue_export_all(const util::Prefix& prefix) {
+    if (ribout_mode()) {
+      // One group work-list entry serves every synced member; unsynced
+      // members accumulate the prefix on their solo list instead.
+      for (auto& rb : ribouts_) {
+        if (rb->synced_members == 0) continue;
+        if (rb->pending_set.insert(prefix).second) rb->pending.push_back(prefix);
+      }
+      for (auto& peer : peers_) {
+        if (!peer->synced) queue_export(*peer, prefix);
+      }
+      return;
+    }
     for (auto& peer : peers_) queue_export(*peer, prefix);
   }
 
@@ -1116,7 +1336,11 @@ class Router final : public xbgp::HostApi {
     flush_scheduled_ = true;
     loop_.post([this] {
       flush_scheduled_ = false;
-      for (auto& peer : peers_) flush_peer(*peer);
+      if (ribout_mode()) {
+        flush_ribout_event();
+      } else {
+        for (auto& peer : peers_) flush_peer(*peer);
+      }
     });
   }
 
@@ -1136,12 +1360,12 @@ class Router final : public xbgp::HostApi {
   void flush_peer_serial(PeerState& peer) {
 
     UpdateBuilder builder;
-    // Group state: routes sharing the source attrs object and producing
-    // equal export attrs share one encoded attribute section.
-    const Attrs* group_src = nullptr;
+    // Group state: routes sharing the source update instance (serial) and
+    // producing equal export attrs share one encoded attribute section.
+    std::uint64_t group_serial = 0;  // serials start at 1: 0 = no open group
     PeerId group_from = kLocalRoute;
     bool group_accepted = false;
-    std::shared_ptr<Attrs> group_attrs;
+    AttrsPtr group_attrs;
 
     for (const util::Prefix& prefix : peer.pending) {
       const LocRibEntry* best = this->best(prefix);
@@ -1156,9 +1380,9 @@ class Router final : public xbgp::HostApi {
         continue;
       }
 
-      if (group_src != best->attrs.get() || group_from != best->from) {
+      if (group_serial != best->serial || group_from != best->from) {
         // New source group: run export processing once for the group.
-        group_src = best->attrs.get();
+        group_serial = best->serial;
         group_from = best->from;
         group_attrs = nullptr;
         group_accepted = export_group(peer, prefix, *best, group_attrs, builder);
@@ -1194,6 +1418,8 @@ class Router final : public xbgp::HostApi {
 
   void send_built(PeerState& peer, UpdateBuilder& builder) {
     for (auto& wire : builder.finish()) {
+      count(m_.messages_built);
+      count(m_.bytes_built, wire.size());
       peer.session.send_bytes(wire);
       peer.session.count_update_sent();
       count(m_.updates_out);
@@ -1204,7 +1430,7 @@ class Router final : public xbgp::HostApi {
   /// attributes, run the outbound filter (4), apply the standard export
   /// transform, encode natively and run the encode hook (5).
   bool export_group(PeerState& peer, const util::Prefix& prefix, const LocRibEntry& best,
-                    std::shared_ptr<Attrs>& out_attrs, UpdateBuilder& builder) {
+                    AttrsPtr& out_attrs, UpdateBuilder& builder) {
     auto work = std::make_shared<Attrs>(*best.attrs);  // per-group working copy
     std::uint32_t meta = best.meta;
     RouteCtx route{prefix, work.get(), work.get(), &meta, peer_of(best.from)};
@@ -1220,7 +1446,7 @@ class Router final : public xbgp::HostApi {
     encode_group(peer, prefix, best, *work, meta, 0, attr_bytes);
 
     builder.begin_group(attr_bytes.view());
-    out_attrs = std::move(work);
+    out_attrs = intern_attrs(std::move(work));
     return true;
   }
 
@@ -1229,6 +1455,7 @@ class Router final : public xbgp::HostApi {
   void encode_group(PeerState& peer, const util::Prefix& prefix, const LocRibEntry& best,
                     Attrs& work, std::uint32_t meta, std::size_t slot,
                     util::ByteWriter& attr_bytes) {
+    count(m_.attr_sections, 1, slot);
     Core::encode_native(work, attr_bytes);
     xbgp::ExecContext ctx;
     ctx.op = xbgp::Op::kEncodeMessage;
@@ -1251,7 +1478,7 @@ class Router final : public xbgp::HostApi {
     std::vector<util::Prefix> rest;          // subsequent routes of the group
     // Worker results:
     bool accepted = false;
-    std::shared_ptr<Attrs> attrs;            // post-transform working copy
+    AttrsPtr attrs;                          // post-transform attrs, interned
     std::vector<std::uint8_t> encoded;       // attribute section bytes
     std::vector<char> rest_verdicts;         // per-subsequent-route filter verdicts
   };
@@ -1266,7 +1493,7 @@ class Router final : public xbgp::HostApi {
     util::ByteWriter attr_bytes;
     encode_group(peer, gw.first_prefix, gw.best, *work, meta, slot, attr_bytes);
     gw.encoded.assign(attr_bytes.view().begin(), attr_bytes.view().end());
-    gw.attrs = std::move(work);
+    gw.attrs = intern_attrs(std::move(work));
     gw.accepted = true;
 
     gw.rest_verdicts.assign(gw.rest.size(), 0);
@@ -1291,7 +1518,7 @@ class Router final : public xbgp::HostApi {
     // serial group state machine exactly (withdraws do not break a group).
     std::vector<Step> steps;
     std::vector<ExportGroupWork> groups;
-    const Attrs* group_src = nullptr;
+    std::uint64_t group_serial = 0;
     PeerId group_from = kLocalRoute;
     for (const util::Prefix& prefix : peer.pending) {
       const LocRibEntry* best = this->best(prefix);
@@ -1300,8 +1527,8 @@ class Router final : public xbgp::HostApi {
         if (had) steps.push_back(Step{kActWithdraw, prefix, 0, true, 0});
         continue;
       }
-      if (group_src != best->attrs.get() || group_from != best->from) {
-        group_src = best->attrs.get();
+      if (group_serial != best->serial || group_from != best->from) {
+        group_serial = best->serial;
         group_from = best->from;
         groups.emplace_back();
         groups.back().best = *best;
@@ -1357,6 +1584,513 @@ class Router final : public xbgp::HostApi {
     send_built(peer, builder);
     peer.pending.clear();
     peer.pending_set.clear();
+  }
+
+  // --- RibOut peer-group export engine -----------------------------------------------
+  //
+  // Peers whose export processing is indistinguishable — same RibOutKey —
+  // share one group Adj-RIB-Out. Synced members are served by group flushes
+  // that run the per-peer flush state machine once per *message-stream
+  // class* (the bulk of the group plus one class per member that can
+  // diverge this cycle: the best route's source, excluded members, override
+  // holders) and fan each built message to every member of the class.
+  // Unsynced members (new, refreshing, re-establishing) drain their solo
+  // work lists through the same machine and then join the synced set; any
+  // divergence from the shared rib is kept as a per-member override. All
+  // RibOut export work runs on the main thread at slot 0, so wire output is
+  // parallelism-invariant by construction; the per-peer engine above is the
+  // differential oracle proving bit-identical output.
+
+  [[nodiscard]] bool ribout_mode() const noexcept {
+    return cfg_.export_engine == ExportEngine::kRibOut;
+  }
+
+  /// Unique identity for one from_wire() materialisation (or origination).
+  /// Serials start at 1; 0 means "none".
+  std::uint64_t next_serial() noexcept {
+    return attr_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Hash-conses an attribute object: equal canonical form (host wire bytes
+  /// plus extension-managed code list) yields the same canonical object, so
+  /// equality downstream is pointer comparison.
+  AttrsPtr intern_attrs(std::shared_ptr<const Attrs> attrs) {
+    std::string key = Core::canonical_key(*attrs);
+    return interner_.intern(std::move(attrs), std::move(key));
+  }
+
+  void join_ribout(PeerState& peer) {
+    RibOutKey key;
+    key.peer_asn = peer.session.config().peer_asn;
+    key.rr_client = peer.cfg.rr_client;
+    key.next_hop_self = peer.cfg.next_hop_self;
+    key.manifest_sig = manifest_identity_.signature;
+    if (manifest_identity_.peer_scoped) key.solo = peer.id;
+    auto it = ribout_index_.find(key);
+    if (it == ribout_index_.end()) {
+      auto rb = std::make_unique<RibOut>();
+      rb->key = key;
+      it = ribout_index_.emplace(key, rb.get()).first;
+      ribouts_.push_back(std::move(rb));
+    }
+    it->second->members.push_back(peer.id);
+    peer.ribout = it->second;
+  }
+
+  /// Re-forms the peer groups after the export identity changed (extension
+  /// load): every member's advertised view is materialised, unflushed group
+  /// work moves to the members' solo lists, and the new groups are seeded
+  /// from the first viewed member (other views become overrides). Members
+  /// re-sync at the next flush event.
+  void rebuild_ribouts() {
+    struct SavedView {
+      bool present = false;
+      std::unordered_map<util::Prefix, AttrsPtr> view;
+    };
+    std::vector<SavedView> saved(peers_.size());
+    for (auto& peer : peers_) {
+      if (peer->ribout == nullptr) continue;
+      if (peer->synced || !peer->fresh_view) {
+        SavedView& sv = saved[peer->id];
+        sv.present = true;
+        for_each_adj_rib_out(peer->id, [&](const util::Prefix& prefix, const AttrsPtr& attrs) {
+          sv.view.emplace(prefix, attrs);
+        });
+      }
+      if (peer->synced) {
+        for (const util::Prefix& prefix : peer->ribout->pending) queue_export(*peer, prefix);
+      }
+      peer->synced = false;
+      peer->overrides.clear();
+      peer->ribout = nullptr;
+    }
+    ribouts_.clear();
+    ribout_index_.clear();
+    std::unordered_set<RibOut*> seeded;
+    for (auto& peer : peers_) {
+      join_ribout(*peer);
+      SavedView& sv = saved[peer->id];
+      if (!sv.present) {
+        peer->fresh_view = true;
+        continue;
+      }
+      peer->fresh_view = false;
+      RibOut& rb = *peer->ribout;
+      if (seeded.insert(&rb).second) {
+        // First viewed member: its view becomes the shared rib verbatim
+        // (split-horizon exclusions were already applied in the view; other
+        // members' own-source gaps surface as overrides below).
+        for (const auto& [prefix, attrs] : sv.view) {
+          rb.rib.emplace(prefix, RibOutEntry{attrs, kLocalRoute});
+        }
+        continue;
+      }
+      for (const auto& [prefix, entry] : rb.rib) {
+        auto it = sv.view.find(prefix);
+        if (it == sv.view.end()) {
+          set_override(*peer, prefix, std::nullopt);
+        } else if (it->second != entry.attrs) {
+          set_override(*peer, prefix, std::optional<AttrsPtr>(it->second));
+        }
+      }
+      for (const auto& [prefix, attrs] : sv.view) {
+        if (!rb.rib.contains(prefix)) {
+          set_override(*peer, prefix, std::optional<AttrsPtr>(attrs));
+        }
+      }
+    }
+    schedule_flush();  // members re-sync via their solo drains
+  }
+
+  /// A member's advertised route for `prefix`: its override if present,
+  /// otherwise the shared rib entry unless hidden from this member.
+  const AttrsPtr* ribout_view_lookup(const PeerState& peer, const util::Prefix& prefix) const {
+    if (auto it = peer.overrides.find(prefix); it != peer.overrides.end()) {
+      return it->second ? &*it->second : nullptr;
+    }
+    if (peer.fresh_view || peer.ribout == nullptr) return nullptr;
+    auto it = peer.ribout->rib.find(prefix);
+    if (it == peer.ribout->rib.end() || it->second.excluded == peer.id) return nullptr;
+    return &it->second.attrs;
+  }
+
+  void set_override(PeerState& peer, const util::Prefix& prefix, std::optional<AttrsPtr> value) {
+    auto [it, inserted] = peer.overrides.insert_or_assign(prefix, std::move(value));
+    if (inserted) peer.ribout->override_holders[prefix].push_back(peer.id);
+  }
+
+  void clear_override(PeerState& peer, const util::Prefix& prefix) {
+    if (peer.overrides.erase(prefix) == 0) return;
+    auto& holders = peer.ribout->override_holders;
+    auto it = holders.find(prefix);
+    if (it != holders.end()) {
+      std::erase(it->second, peer.id);
+      if (it->second.empty()) holders.erase(it);
+    }
+  }
+
+  /// Takes a member out of its group's synced set. Unflushed group work
+  /// moves to the member's solo list (order preserved). clear_view forgets
+  /// the advertised view entirely (peer down); a refresh keeps it, since
+  /// RFC 2918 replays against what was really sent.
+  void unsync_member(PeerState& peer, bool clear_view) {
+    if (peer.synced) {
+      RibOut& rb = *peer.ribout;
+      for (const util::Prefix& prefix : rb.pending) queue_export(peer, prefix);
+      peer.synced = false;
+      if (--rb.synced_members == 0) {
+        // Every queued prefix was just transferred; nobody is left to serve.
+        rb.pending.clear();
+        rb.pending_set.clear();
+      }
+    }
+    if (clear_view) {
+      while (!peer.overrides.empty()) clear_override(peer, peer.overrides.begin()->first);
+      peer.fresh_view = true;
+    }
+  }
+
+  /// One flush event: group flushes first, then solo drains in peer order.
+  /// Each solo member joins the synced set as soon as its own drain
+  /// completes, so several peers establishing in one event converge onto
+  /// the shared rib immediately. The export-computation memo spans the
+  /// whole event (groups and solos share the heavy work) and is cleared at
+  /// the end — the next event re-runs policy, like the per-peer engine.
+  void flush_ribout_event() {
+    const bool timing = obs_.tracing();
+    const std::uint64_t t0 = timing ? obs::now_ns() : 0;
+    for (auto& rb : ribouts_) flush_ribout(*rb);
+    for (auto& peer : peers_) {
+      if (!peer->synced) flush_member_solo(*peer);
+    }
+    export_memo_.clear();
+    if (timing) obs_.registry().observe(m_.export_ns, obs::now_ns() - t0, 0);
+  }
+
+  /// The memoised heavy half of export processing for one attribute group
+  /// opened at `first`: outbound filter + export transform + encode, run
+  /// once per (group, source instance, opening prefix) per flush event.
+  struct ExportComputation {
+    bool accepted = false;
+    AttrsPtr attrs;                     // interned post-transform attrs
+    std::vector<std::uint8_t> encoded;  // attribute section bytes
+    /// Lazily-filled per-subsequent-prefix outbound filter verdicts.
+    std::unordered_map<util::Prefix, char> member_verdicts;
+  };
+
+  struct ExportMemoKey {
+    const RibOut* group = nullptr;
+    std::uint64_t serial = 0;
+    PeerId from = kLocalRoute;
+    util::Prefix first;
+    friend bool operator==(const ExportMemoKey&, const ExportMemoKey&) = default;
+  };
+  struct ExportMemoKeyHash {
+    std::size_t operator()(const ExportMemoKey& k) const noexcept {
+      std::size_t h = std::hash<const void*>{}(k.group);
+      auto mix = [&h](std::size_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      };
+      mix(std::hash<std::uint64_t>{}(k.serial));
+      mix(std::hash<std::uint64_t>{}(static_cast<std::uint64_t>(k.from)));
+      mix(std::hash<util::Prefix>{}(k.first));
+      return h;
+    }
+  };
+
+  ExportComputation& export_computation(RibOut& rb, PeerState& dst,
+                                        const util::Prefix& first, const LocRibEntry& best) {
+    const ExportMemoKey key{&rb, best.serial, best.from, first};
+    auto it = export_memo_.find(key);
+    if (it != export_memo_.end()) return it->second;
+    ExportComputation comp;
+    auto work = std::make_shared<Attrs>(*best.attrs);
+    std::uint32_t meta = best.meta;
+    RouteCtx route{first, work.get(), work.get(), &meta, peer_of(best.from)};
+    if (run_outbound_filter(dst, route, best, 0)) {
+      apply_export_transform(*work, dst, best);
+      util::ByteWriter attr_bytes;
+      encode_group(dst, first, best, *work, meta, 0, attr_bytes);
+      comp.encoded.assign(attr_bytes.view().begin(), attr_bytes.view().end());
+      comp.attrs = intern_attrs(std::move(work));
+      comp.accepted = true;
+    }
+    return export_memo_.emplace(key, std::move(comp)).first->second;
+  }
+
+  bool export_member_verdict(ExportComputation& comp, PeerState& dst,
+                             const util::Prefix& prefix, const LocRibEntry& best) {
+    auto it = comp.member_verdicts.find(prefix);
+    if (it != comp.member_verdicts.end()) return it->second != 0;
+    std::uint32_t meta = best.meta;
+    RouteCtx route{prefix, comp.attrs.get(), nullptr, &meta, peer_of(best.from)};
+    const bool ok = run_outbound_filter(dst, route, best, 0);
+    comp.member_verdicts.emplace(prefix, ok ? 1 : 0);
+    return ok;
+  }
+
+  /// One message-stream class of a flush: members whose per-prefix
+  /// (source, had-advertised) inputs are identical share one run of the
+  /// legacy flush state machine and receive identical bytes.
+  struct ExportClass {
+    std::vector<PeerState*> members;  // bulk members (generic class only)
+    PeerState* special = nullptr;     // the single member (special/solo class)
+    UpdateBuilder builder;
+    std::uint64_t group_serial = 0;
+    PeerId group_from = kLocalRoute;
+    bool group_open = false;
+    bool group_accepted = false;
+    ExportComputation* comp = nullptr;
+  };
+
+  /// Any synced member works as the evaluation target for non-peer-scoped
+  /// export processing (the RibOutKey carries everything policy reads).
+  PeerState& ribout_representative(RibOut& rb) {
+    for (PeerId id : rb.members) {
+      if (peers_[id]->synced) return *peers_[id];
+    }
+    return *peers_[rb.members.front()];  // group flushes require a synced member
+  }
+
+  /// Advances one class machine by one prefix — the exact per-peer
+  /// flush_peer_serial step with the heavy ops memoised — and returns the
+  /// member-visible outcome: the advertised attrs, or null for
+  /// withdrawn/absent. `weight` scales exports_rejected to the class's
+  /// member count, preserving per-peer-engine counter values (including its
+  /// double count for a rejected group-opening route).
+  AttrsPtr step_class(ExportClass& c, RibOut& rb, const util::Prefix& prefix,
+                      const LocRibEntry* best, bool had, std::size_t weight) {
+    if (best == nullptr || (c.special != nullptr && best->from == c.special->id)) {
+      if (had) c.builder.withdraw_prefix(prefix);
+      return nullptr;
+    }
+    if (!c.group_open || c.group_serial != best->serial || c.group_from != best->from) {
+      c.group_open = true;
+      c.group_serial = best->serial;
+      c.group_from = best->from;
+      PeerState& rep = c.special != nullptr ? *c.special : ribout_representative(rb);
+      c.comp = &export_computation(rb, rep, prefix, *best);
+      c.group_accepted = c.comp->accepted;
+      if (c.group_accepted) {
+        c.builder.begin_group(c.comp->encoded);
+      } else if (weight != 0) {
+        count(m_.exports_rejected, weight);  // the export_group-internal count
+      }
+    } else if (c.group_accepted) {
+      PeerState& rep = c.special != nullptr ? *c.special : ribout_representative(rb);
+      if (!export_member_verdict(*c.comp, rep, prefix, *best)) {
+        if (had) c.builder.withdraw_prefix(prefix);
+        return nullptr;
+      }
+    }
+    if (!c.group_accepted) {
+      if (weight != 0) count(m_.exports_rejected, weight);  // the call-site count
+      if (had) c.builder.withdraw_prefix(prefix);
+      return nullptr;
+    }
+    c.builder.add_prefix(prefix);
+    return c.comp->attrs;
+  }
+
+  /// Before the shared rib entry for `prefix` changes, copy the old base
+  /// value into overrides of unsynced members that still advertise a view
+  /// (a refresh in flight), so the rewrite cannot alter what they are known
+  /// to have sent.
+  void preserve_views(RibOut& rb, const std::vector<PeerState*>& holders,
+                      const util::Prefix& prefix, const LocRibEntry* best,
+                      const AttrsPtr& new_attrs) {
+    if (holders.empty()) return;
+    auto old_it = rb.rib.find(prefix);
+    for (PeerState* o : holders) {
+      if (o->overrides.contains(prefix)) continue;
+      const AttrsPtr* old_base = (old_it != rb.rib.end() && old_it->second.excluded != o->id)
+                                     ? &old_it->second.attrs
+                                     : nullptr;
+      const bool new_present =
+          new_attrs != nullptr && best != nullptr && best->from != o->id;
+      const bool same = old_base == nullptr ? !new_present
+                                            : (new_present && *old_base == new_attrs);
+      if (same) continue;
+      set_override(*o, prefix,
+                   old_base != nullptr ? std::optional<AttrsPtr>(*old_base)
+                                       : std::optional<AttrsPtr>(std::nullopt));
+    }
+  }
+
+  void flush_ribout(RibOut& rb) {
+    if (rb.pending.empty()) return;
+    if (rb.synced_members == 0) {
+      // Content was transferred to the members' solo lists at unsync time.
+      rb.pending.clear();
+      rb.pending_set.clear();
+      return;
+    }
+
+    // Members whose stream can diverge from the bulk for some pending
+    // prefix: the best route's source (split horizon), members a rib entry
+    // is hidden from, and override holders. Each gets its own machine.
+    std::vector<PeerState*> specials;
+    std::vector<PeerState*> bulk;
+    {
+      std::unordered_set<PeerId> special_ids;
+      for (const util::Prefix& prefix : rb.pending) {
+        if (const LocRibEntry* b = this->best(prefix);
+            b != nullptr && b->from != kLocalRoute) {
+          special_ids.insert(b->from);
+        }
+        if (auto it = rb.rib.find(prefix);
+            it != rb.rib.end() && it->second.excluded != kLocalRoute) {
+          special_ids.insert(it->second.excluded);
+        }
+        if (auto it = rb.override_holders.find(prefix); it != rb.override_holders.end()) {
+          for (PeerId id : it->second) special_ids.insert(id);
+        }
+      }
+      for (PeerId id : rb.members) {
+        PeerState& p = *peers_[id];
+        if (!p.synced) continue;
+        (special_ids.contains(id) ? specials : bulk).push_back(&p);
+      }
+    }
+
+    std::vector<PeerState*> view_holders;
+    for (PeerId id : rb.members) {
+      PeerState& p = *peers_[id];
+      if (!p.synced && !p.fresh_view) view_holders.push_back(&p);
+    }
+
+    std::vector<ExportClass> classes(1 + specials.size());
+    classes[0].members = std::move(bulk);
+    for (std::size_t i = 0; i < specials.size(); ++i) classes[1 + i].special = specials[i];
+
+    std::vector<char> special_had(specials.size());
+    std::vector<AttrsPtr> special_out(specials.size());
+    for (const util::Prefix& prefix : rb.pending) {
+      const LocRibEntry* best = this->best(prefix);
+      // Pre-write views: every class's `had` before the rib changes.
+      const bool generic_had = rb.rib.contains(prefix);
+      for (std::size_t i = 0; i < specials.size(); ++i) {
+        special_had[i] = ribout_view_lookup(*specials[i], prefix) != nullptr ? 1 : 0;
+      }
+      // The generic machine always runs — it maintains the shared rib even
+      // when every synced member is special this cycle.
+      const AttrsPtr generic_out =
+          step_class(classes[0], rb, prefix, best, generic_had, classes[0].members.size());
+      for (std::size_t i = 0; i < specials.size(); ++i) {
+        special_out[i] = step_class(classes[1 + i], rb, prefix, best, special_had[i] != 0, 1);
+      }
+      // Write phase: the generic outcome becomes the shared rib entry…
+      preserve_views(rb, view_holders, prefix, best, generic_out);
+      if (generic_out != nullptr) {
+        rb.rib[prefix] = RibOutEntry{generic_out, best->from};
+      } else {
+        rb.rib.erase(prefix);
+      }
+      // …and each special's outcome reconciles against it as an override.
+      for (std::size_t i = 0; i < specials.size(); ++i) {
+        PeerState& m = *specials[i];
+        auto it = rb.rib.find(prefix);
+        const AttrsPtr* base =
+            (it != rb.rib.end() && it->second.excluded != m.id) ? &it->second.attrs : nullptr;
+        const AttrsPtr& out = special_out[i];
+        const bool same = (out == nullptr && base == nullptr) ||
+                          (out != nullptr && base != nullptr && out == *base);
+        if (same) {
+          clear_override(m, prefix);
+        } else {
+          set_override(m, prefix,
+                       out != nullptr ? std::optional<AttrsPtr>(out)
+                                      : std::optional<AttrsPtr>(std::nullopt));
+        }
+      }
+    }
+
+    // Emit: each class's messages are encoded once and fanned to members.
+    for (ExportClass& c : classes) {
+      if (c.special != nullptr) {
+        send_built(*c.special, c.builder);
+        continue;
+      }
+      if (c.members.empty()) continue;  // rib-only run, nothing to send
+      const std::vector<std::vector<std::uint8_t>> messages = c.builder.finish();
+      for (const auto& wire : messages) {
+        count(m_.messages_built);
+        count(m_.bytes_built, wire.size());
+      }
+      for (PeerState* member : c.members) {
+        for (const auto& wire : messages) {
+          member->session.send_bytes(wire);
+          member->session.count_update_sent();
+          count(m_.updates_out);
+        }
+      }
+    }
+    rb.pending.clear();
+    rb.pending_set.clear();
+  }
+
+  /// Drains an unsynced member's solo work list through the class machine
+  /// and joins it to the synced set. With no synced member left, the drain
+  /// defines the shared rib directly; otherwise divergence from the rib is
+  /// kept as overrides.
+  void flush_member_solo(PeerState& peer) {
+    if (!peer.session.established()) return;  // keep pending; replayed on establishment
+    RibOut& rb = *peer.ribout;
+    const bool alone = rb.synced_members == 0;
+    std::vector<PeerState*> view_holders;
+    if (alone) {
+      for (PeerId id : rb.members) {
+        PeerState* o = peers_[id].get();
+        if (o != &peer && !o->synced && !o->fresh_view) view_holders.push_back(o);
+      }
+    }
+    if (alone && peer.fresh_view && !rb.rib.empty()) {
+      // A fresh member syncing alone redefines the shared rib from scratch
+      // (its solo list need not cover withdraws queued to members now down);
+      // only unsynced view-holders may still depend on the old content.
+      for (const auto& [prefix, entry] : rb.rib) {
+        preserve_views(rb, view_holders, prefix, nullptr, AttrsPtr());
+      }
+      rb.rib.clear();
+    }
+    if (!peer.pending.empty()) {
+      ExportClass cls;
+      cls.special = &peer;
+      for (const util::Prefix& prefix : peer.pending) {
+        const LocRibEntry* best = this->best(prefix);
+        const bool had = ribout_view_lookup(peer, prefix) != nullptr;
+        AttrsPtr out = step_class(cls, rb, prefix, best, had, 1);
+        if (alone) {
+          preserve_views(rb, view_holders, prefix, best, out);
+          if (out != nullptr) {
+            rb.rib[prefix] = RibOutEntry{out, best->from};
+          } else {
+            rb.rib.erase(prefix);
+          }
+          clear_override(peer, prefix);
+        } else {
+          auto it = rb.rib.find(prefix);
+          const AttrsPtr* base = (it != rb.rib.end() && it->second.excluded != peer.id)
+                                     ? &it->second.attrs
+                                     : nullptr;
+          const bool same = (out == nullptr && base == nullptr) ||
+                            (out != nullptr && base != nullptr && out == *base);
+          if (same) {
+            clear_override(peer, prefix);
+          } else {
+            set_override(peer, prefix,
+                         out != nullptr ? std::optional<AttrsPtr>(out)
+                                        : std::optional<AttrsPtr>(std::nullopt));
+          }
+        }
+      }
+      send_built(peer, cls.builder);
+      peer.pending.clear();
+      peer.pending_set.clear();
+    }
+    peer.fresh_view = false;
+    peer.synced = true;
+    ++rb.synced_members;
   }
 
   bool run_outbound_filter(PeerState& peer, RouteCtx& route, const LocRibEntry& best,
@@ -1440,13 +2174,20 @@ class Router final : public xbgp::HostApi {
   util::ThreadPool pool_;       // shards_ - 1 workers; the caller participates
   std::vector<PolicyScratch> scratch_;  // one per execution slot
   std::vector<std::unique_ptr<PeerState>> peers_;
-  std::unordered_map<util::Prefix, AttrsPtr> local_routes_;
+  std::unordered_map<util::Prefix, LocalRoute> local_routes_;
   /// Loc-RIB and FIB, partitioned by util::prefix_shard().
   std::vector<std::unordered_map<util::Prefix, LocRibEntry>> loc_rib_;
   std::vector<std::unique_ptr<FibShard>> fib_;
   std::vector<PendingUpdate> ingest_batch_;
   bool ingest_scheduled_ = false;
   bool flush_scheduled_ = false;
+  // RibOut export engine state.
+  bgp::Interner<Attrs> interner_;
+  std::atomic<std::uint64_t> attr_serial_{0};
+  xbgp::ExportManifestIdentity manifest_identity_;
+  std::vector<std::unique_ptr<RibOut>> ribouts_;  // creation (= flush) order
+  std::unordered_map<RibOutKey, RibOut*, RibOutKeyHash> ribout_index_;
+  std::unordered_map<ExportMemoKey, ExportComputation, ExportMemoKeyHash> export_memo_;
 };
 
 }  // namespace xb::hosts::engine

@@ -51,7 +51,17 @@ class UpdateBuilder {
     return out;
   }
 
+  /// Cumulative encode work across the builder's lifetime (messages survive
+  /// finish() resets): how many messages were packed and their total bytes.
+  [[nodiscard]] std::uint64_t built_messages() const noexcept { return built_messages_; }
+  [[nodiscard]] std::uint64_t built_bytes() const noexcept { return built_bytes_; }
+
  private:
+  void record_built(std::size_t bytes) noexcept {
+    ++built_messages_;
+    built_bytes_ += bytes;
+  }
+
   void flush_advertisement() {
     if (nlri_.size() == 0) return;
     util::ByteWriter msg(bgp::kHeaderSize + 4 + group_attrs_.size() + nlri_.size());
@@ -64,6 +74,7 @@ class UpdateBuilder {
     msg.bytes(group_attrs_);
     msg.bytes(nlri_.view());
     messages_.push_back(std::move(msg).take());
+    record_built(messages_.back().size());
     nlri_ = util::ByteWriter();
   }
 
@@ -77,6 +88,7 @@ class UpdateBuilder {
     msg.bytes(withdrawn_.view());
     msg.u16(0);  // empty path attributes
     messages_.push_back(std::move(msg).take());
+    record_built(messages_.back().size());
     withdrawn_ = util::ByteWriter();
   }
 
@@ -84,6 +96,8 @@ class UpdateBuilder {
   util::ByteWriter nlri_;
   util::ByteWriter withdrawn_;
   std::vector<std::vector<std::uint8_t>> messages_;
+  std::uint64_t built_messages_ = 0;
+  std::uint64_t built_bytes_ = 0;
 };
 
 }  // namespace xb::hosts::engine

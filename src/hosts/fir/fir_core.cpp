@@ -142,6 +142,20 @@ void FirCore::encode_native(const Attrs& attrs, util::ByteWriter& w) {
   }
 }
 
+std::string FirCore::canonical_key(const Attrs& attrs) {
+  util::ByteWriter w;
+  to_wire(attrs).encode(w);
+  const auto view = w.view();
+  std::string key(reinterpret_cast<const char*>(view.data()), view.size());
+  key.push_back('\xff');  // separates wire bytes from the overlay code list
+  std::vector<std::uint8_t> codes;
+  codes.reserve(attrs.extra.size());
+  for (const auto& a : attrs.extra) codes.push_back(a.code);
+  std::sort(codes.begin(), codes.end());
+  for (std::uint8_t c : codes) key.push_back(static_cast<char>(c));
+  return key;
+}
+
 std::optional<bgp::WireAttr> FirCore::get_attr(const Attrs& attrs, std::uint8_t code) {
   for (const auto& w : attrs.extra) {
     if (w.code == code) return w;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bgp/aspath.hpp"
@@ -66,6 +67,13 @@ class FirCore {
   /// Encodes the native fields (skipping those shadowed by the overlay)
   /// into the path-attribute section of an outgoing UPDATE.
   static void encode_native(const Attrs& attrs, util::ByteWriter& w);
+
+  /// Canonical byte key for hash-consed interning: the full wire encoding
+  /// (overlay included) plus the sorted overlay code list, so two values
+  /// intern together only when they also agree on which attributes are
+  /// overlay-managed (overlay placement changes mutation behaviour). The
+  /// same route history yields the same key on both host cores.
+  static std::string canonical_key(const Attrs& attrs);
 
   /// xBGP get_attr: overlay first, then re-encode the native field — the
   /// per-call conversion cost of the FRR-style representation.

@@ -63,6 +63,19 @@ void WrenCore::encode_native(const Attrs& attrs, util::ByteWriter& w) {
   }
 }
 
+std::string WrenCore::canonical_key(const Attrs& attrs) {
+  util::ByteWriter w;
+  for (const auto& e : attrs.ea) bgp::AttributeSet::encode_one(w, e.attr);
+  const auto view = w.view();
+  std::string key(reinterpret_cast<const char*>(view.data()), view.size());
+  key.push_back('\xff');  // separates wire bytes from the managed code list
+  // ea is code-sorted, so the managed code list comes out sorted directly.
+  for (const auto& e : attrs.ea) {
+    if (e.extension_managed) key.push_back(static_cast<char>(e.attr.code));
+  }
+  return key;
+}
+
 std::optional<bgp::WireAttr> WrenCore::get_attr(const Attrs& attrs, std::uint8_t code) {
   const EaEntry* e = attrs.find(code);
   if (e == nullptr) return std::nullopt;

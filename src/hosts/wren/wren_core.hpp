@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bgp/aspath.hpp"
@@ -67,6 +68,13 @@ class WrenCore {
 
   /// Encodes non-extension-managed entries into an outgoing UPDATE.
   static void encode_native(const Attrs& attrs, util::ByteWriter& w);
+
+  /// Canonical byte key for hash-consed interning: the wire-form ea list
+  /// encoded directly (BIRD-style: the bytes *are* the value) plus the
+  /// sorted extension-managed code list, which encode_native skips and so
+  /// must disambiguate the key. Matches FirCore::canonical_key for the
+  /// same route history.
+  static std::string canonical_key(const Attrs& attrs);
 
   /// xBGP get_attr: a list lookup plus a copy — BIRD's cheap conversion.
   static std::optional<bgp::WireAttr> get_attr(const Attrs& attrs, std::uint8_t code);

@@ -20,6 +20,60 @@ Manifest& Manifest::attach(std::string name, Op point, ebpf::Program program, in
   return *this;
 }
 
+namespace {
+// FNV-1a, 64-bit: stable across platforms (the signature only needs to be
+// a process-local equality witness, but determinism keeps logs comparable).
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv_bytes(h, &v, sizeof(v)); }
+}  // namespace
+
+ExportManifestIdentity export_identity(const Manifest& manifest) {
+  ExportManifestIdentity id;
+  std::uint64_t h = kFnvOffset;
+  bool any = false;
+  for (const auto& entry : manifest.entries) {
+    if (entry.point != Op::kOutboundFilter && entry.point != Op::kEncodeMessage) continue;
+    any = true;
+    fnv_u64(h, static_cast<std::uint64_t>(entry.point));
+    fnv_u64(h, static_cast<std::uint64_t>(entry.order));
+    fnv_bytes(h, entry.name.data(), entry.name.size());
+    fnv_u64(h, entry.name.size());
+    for (std::int32_t helper : entry.allowed_helpers) {
+      fnv_u64(h, static_cast<std::uint64_t>(helper));
+      if (helper == helper::kGetPeerInfo || helper == helper::kGetSrcPeerInfo) {
+        id.peer_scoped = true;
+      }
+    }
+    const auto image = entry.program.image();
+    fnv_bytes(h, image.data(), image.size());
+    fnv_u64(h, image.size());
+  }
+  id.signature = any ? (h == 0 ? 1 : h) : 0;
+  return id;
+}
+
+ExportManifestIdentity combine_export_identity(ExportManifestIdentity acc,
+                                               const ExportManifestIdentity& next) {
+  if (next.signature == 0) return acc;
+  if (acc.signature == 0) return next;
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, acc.signature);
+  fnv_u64(h, next.signature);
+  acc.signature = h == 0 ? 1 : h;
+  acc.peer_scoped = acc.peer_scoped || next.peer_scoped;
+  return acc;
+}
+
 void ProgramRegistry::add(ebpf::Program program) {
   auto name = program.name();
   programs_.insert_or_assign(std::move(name), std::move(program));

@@ -42,6 +42,30 @@ struct Manifest {
                    std::size_t map_capacity_hint = 0, std::string group = {});
 };
 
+/// Identity of a manifest's *export-side* behaviour, used by the engine's
+/// RibOut peer-group formation: two routers (or two peer groups) whose
+/// loaded manifests have equal outbound identity run the same outbound
+/// filter / encode chains and therefore produce the same export attributes
+/// for the same input route.
+struct ExportManifestIdentity {
+  /// Fingerprint over every BGP_OUTBOUND_FILTER / BGP_ENCODE_MESSAGE entry
+  /// (name, order, point, helpers, program image). 0 when no extension is
+  /// attached at either point.
+  std::uint64_t signature = 0;
+  /// True when any outbound/encode entry may call get_peer_info or
+  /// get_src_peer_info: its verdict can depend on *which* member of a peer
+  /// group it runs for, so grouping must fall back to one group per peer.
+  bool peer_scoped = false;
+};
+
+/// Computes the outbound identity of one manifest. Identities of manifests
+/// loaded in sequence combine with combine_export_identity().
+[[nodiscard]] ExportManifestIdentity export_identity(const Manifest& manifest);
+
+/// Folds `next` into `acc` (order-sensitive, mirroring Vmm::load chaining).
+[[nodiscard]] ExportManifestIdentity combine_export_identity(ExportManifestIdentity acc,
+                                                             const ExportManifestIdentity& next);
+
 /// Named programs available to the text-form manifest parser.
 class ProgramRegistry {
  public:

@@ -65,15 +65,18 @@ HostSnapshot capture(RouterT& dut, harness::Testbed<RouterT>& bed) {
   for (const auto& prefix : dut.loc_rib_prefixes()) {
     s.loc_rib.emplace_back(prefix, Core::to_wire(*dut.best(prefix)->attrs));
   }
-  for (const auto& prefix : dut.adj_rib_in_prefixes(kUp)) {
-    s.adj_in_upstream.emplace_back(prefix,
-                                   Core::to_wire(**dut.adj_rib_in_lookup(kUp, prefix)));
+  dut.for_each_adj_rib_in(kUp, [&](const Prefix& prefix, const auto& attrs) {
+    s.adj_in_upstream.emplace_back(prefix, Core::to_wire(*attrs));
     s.meta_upstream.emplace_back(prefix, dut.route_meta(kUp, prefix));
-  }
-  for (const auto& prefix : dut.adj_rib_out_prefixes(kDown)) {
-    s.adj_out_downstream.emplace_back(prefix,
-                                      Core::to_wire(**dut.adj_rib_out_lookup(kDown, prefix)));
-  }
+  });
+  std::sort(s.adj_in_upstream.begin(), s.adj_in_upstream.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(s.meta_upstream.begin(), s.meta_upstream.end());
+  dut.for_each_adj_rib_out(kDown, [&](const Prefix& prefix, const auto& attrs) {
+    s.adj_out_downstream.emplace_back(prefix, Core::to_wire(*attrs));
+  });
+  std::sort(s.adj_out_downstream.begin(), s.adj_out_downstream.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   s.sink_prefixes = bed.sink().prefixes();
   s.sink_withdrawals = bed.sink().withdrawals();
   s.sink_last = bed.sink().last_update();
@@ -129,7 +132,8 @@ void expect_equivalent(const HostSnapshot& fir, const HostSnapshot& wren) {
 // --- §3.2 route reflection ----------------------------------------------------
 
 template <typename RouterT>
-HostSnapshot run_rr(const harness::Workload& workload, std::size_t parallelism) {
+HostSnapshot run_rr(const harness::Workload& workload, std::size_t parallelism,
+                    hosts::engine::ExportEngine engine = hosts::engine::ExportEngine::kRibOut) {
   net::EventLoop loop;
   const auto plan = harness::TestbedPlan::ibgp_plan();
   typename RouterT::Config cfg;
@@ -139,6 +143,7 @@ HostSnapshot run_rr(const harness::Workload& workload, std::size_t parallelism) 
   cfg.address = plan.dut_addr;
   cfg.cluster_id = 0xC1C1C1C1;
   cfg.parallelism = parallelism;
+  cfg.export_engine = engine;
   RouterT dut(loop, cfg);
   dut.load_extensions(ext::route_reflection_manifest());
   harness::Testbed<RouterT> bed(loop, dut, plan);
@@ -161,6 +166,31 @@ TEST(DifferentialHost, RouteReflection) {
   expect_equivalent(fir, wren);
   // Reflection actually happened: the reflected routes carry ORIGINATOR_ID.
   EXPECT_NE(fir.sink_last.attrs.find(bgp::attr_code::kOriginatorId), nullptr);
+}
+
+// Peer-group export engine under the same oracle: the RibOut engine must
+// leave RIBs, wire output and counters identical to the per-peer engine, to
+// the other host, and to itself across parallelism 1 / 2 / 8. The full churn
+// scenario lives in export_differential_test.cpp; this covers the cross-host
+// axis with an extension loaded.
+TEST(DifferentialHost, PeerGroupEngineAgreesAcrossHostsAndParallelism) {
+  harness::WorkloadParams params;
+  params.route_count = 300;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+  std::vector<HostSnapshot> fir_runs;
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto fir = run_rr<Fir>(workload, parallelism, hosts::engine::ExportEngine::kRibOut);
+    const auto wren = run_rr<Wren>(workload, parallelism, hosts::engine::ExportEngine::kRibOut);
+    const auto oracle =
+        run_rr<Fir>(workload, parallelism, hosts::engine::ExportEngine::kPerPeer);
+    ASSERT_FALSE(fir.loc_rib.empty());
+    expect_equivalent(fir, wren);
+    expect_equivalent(fir, oracle);
+    fir_runs.push_back(fir);
+  }
+  expect_equivalent(fir_runs[0], fir_runs[1]);
+  expect_equivalent(fir_runs[0], fir_runs[2]);
 }
 
 // --- §3.4 origin validation ---------------------------------------------------

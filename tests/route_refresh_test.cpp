@@ -246,6 +246,100 @@ ChurnSnapshot<RouterT> run_refresh_churn(std::size_t parallelism) {
   return snap;
 }
 
+// ---------------------------------------------------------------------------
+// ROUTE-REFRESH under peer groups (RibOut export engine, the default).
+//
+// Three eBGP neighbours in one remote AS share a RibOut; a fourth sits in a
+// different AS (its own group). A refresh from ONE group member must replay
+// the advertised table to that member alone — groupmates and the other group
+// hear nothing — while reevaluate_exports() replays to every peer.
+
+TYPED_TEST(RefreshEngineTest, RefreshOfOneGroupMemberReplaysToThatPeerOnly) {
+  net::EventLoop loop;
+  typename TypeParam::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = 65000;
+  cfg.router_id = 0x0A000002;
+  cfg.address = Ipv4Addr(10, 0, 0, 2);
+  TypeParam dut(loop, cfg);
+
+  net::Duplex feed(loop, 1000);
+  dut.add_peer(feed.a(), {.name = "feed", .asn = 65100, .address = Ipv4Addr(10, 0, 0, 9)});
+
+  constexpr std::size_t kSinks = 4;  // 0,1,2 share AS 65200; 3 is AS 65201
+  std::vector<std::unique_ptr<net::Duplex>> links;
+  std::vector<std::unique_ptr<harness::Sink>> sinks;
+  for (std::size_t i = 0; i < kSinks; ++i) {
+    const bgp::Asn asn = i < 3 ? 65200 : 65201;
+    links.push_back(std::make_unique<net::Duplex>(loop, 1000));
+    const Ipv4Addr addr(10, 0, 1, static_cast<std::uint8_t>(i + 1));
+    dut.add_peer(links.back()->a(), {.name = "sink", .asn = asn, .address = addr});
+    bgp::PeerSession::Config sc;
+    sc.local_asn = asn;
+    sc.peer_asn = 65000;
+    sc.local_id = 0x0A000100 + static_cast<std::uint32_t>(i);
+    sc.local_addr = addr;
+    sc.peer_addr = cfg.address;
+    sinks.push_back(std::make_unique<harness::Sink>(loop, links.back()->b(), sc));
+    sinks.back()->record_raw(true);
+  }
+  dut.start();
+  for (auto& sink : sinks) sink->start();
+
+  bgp::OpenMessage open;
+  open.asn = 65100;
+  open.my_as_2octet = 65100;
+  open.hold_time = 90;
+  open.bgp_id = 0x0A000009;
+  feed.b().write(bgp::encode_open(open));
+  feed.b().write(bgp::encode_keepalive());
+  loop.run_until(kSec);
+
+  bgp::UpdateMessage m;
+  m.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+  m.attrs.put(bgp::AsPath({65100}).to_attr());
+  m.attrs.put(bgp::make_next_hop(Ipv4Addr(10, 0, 0, 9)));
+  constexpr std::size_t kRoutes = 12;
+  for (std::size_t i = 0; i < kRoutes; ++i)
+    m.nlri.push_back(Prefix(Ipv4Addr(10, 61, static_cast<std::uint8_t>(i), 0), 24));
+  feed.b().write(bgp::encode_update(m));
+  loop.run_until(loop.now() + 2 * kSec);
+
+  for (auto& sink : sinks) ASSERT_EQ(sink->prefixes(), kRoutes);
+  // 3 groups: the feeder's AS, the shared 65200 group, the solo 65201 group.
+  EXPECT_EQ(dut.ribout_group_count(), 3u);
+
+  auto raw_counts = [&] {
+    std::vector<std::size_t> counts;
+    for (auto& sink : sinks) counts.push_back(sink->raw().size());
+    return counts;
+  };
+
+  const auto before = raw_counts();
+  sinks[1]->session().send_route_refresh();
+  loop.run_until(loop.now() + 2 * kSec);
+  const auto after = raw_counts();
+  EXPECT_GT(after[1], before[1]) << "refreshed member got no replay";
+  for (std::size_t i = 0; i < kSinks; ++i) {
+    if (i == 1) continue;
+    EXPECT_EQ(after[i], before[i]) << "refresh of a groupmate leaked to sink " << i;
+  }
+  // The replay is a clean re-advertisement: full table, no withdrawals.
+  EXPECT_EQ(sinks[1]->prefixes(), 2 * kRoutes);
+  EXPECT_EQ(sinks[1]->withdrawals(), 0u);
+
+  // reevaluate_exports() replays to EVERY peer (policy may have changed).
+  dut.reevaluate_exports();
+  loop.run_until(loop.now() + 2 * kSec);
+  const auto reeval = raw_counts();
+  for (std::size_t i = 0; i < kSinks; ++i) {
+    EXPECT_GT(reeval[i], after[i]) << "reevaluation skipped sink " << i;
+    EXPECT_EQ(sinks[i]->withdrawals(), 0u);
+  }
+  // Group membership is intact after the refreshed member resynced.
+  EXPECT_EQ(dut.ribout_group_count(), 3u);
+}
+
 TYPED_TEST(RefreshEngineTest, ParallelRefreshChurnMatchesSerialReplay) {
   const auto parallel = run_refresh_churn<TypeParam>(8);
   const auto serial = run_refresh_churn<TypeParam>(1);

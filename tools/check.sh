@@ -22,6 +22,11 @@
 #                                  # diffed against tools/lint_baseline.txt
 #                                  # (new diagnostics are regressions), then
 #                                  # the elision-oracle fuzz tests
+#   tools/check.sh export          # export-engine gate: the RibOut peer-group
+#                                  # engine vs the per-peer oracle (bit-identical
+#                                  # wire streams + Adj-RIB-Out views at
+#                                  # parallelism 1/2/8, both hosts) under TSan
+#                                  # then ASan
 #   tools/check.sh soak            # stateful-fuzzer soak gate: fuzz_soak at
 #                                  # parallelism 8 under TSan then ASan for
 #                                  # XBGP_SOAK_SECONDS each (default 60; set
@@ -120,6 +125,24 @@ if [ "$MODE" = "static" ]; then
   fi
 
   ctest --test-dir "$BUILD" --output-on-failure -R 'ElisionOracle'
+  exit 0
+fi
+
+# The export mode is the RibOut engine's differential gate: the per-peer
+# export path is the oracle, and the same churn scenario (refresh, peer loss,
+# reevaluation, origination, a runtime extension load that re-keys the peer
+# groups) must produce bit-identical per-peer wire bytes and Adj-RIB-Out
+# views on both hosts at parallelism 1, 2 and 8 — under TSan so the
+# shared-group structures can't hide races, then under ASan so the interner's
+# weak-table lifetime can't hide use-after-free.
+if [ "$MODE" = "export" ]; then
+  NPROC="$(nproc 2>/dev/null || echo 4)"
+  for SAN in thread address; do
+    BUILD="$ROOT/build-san-$SAN"
+    cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SAN"
+    cmake --build "$BUILD" -j "$NPROC" --target export_differential_test
+    ctest --test-dir "$BUILD" --output-on-failure -R 'ExportDifferential'
+  done
   exit 0
 fi
 

@@ -108,5 +108,14 @@ int main(int argc, char** argv) {
   }
   std::printf("execution engine (ir+translator+vm_fast): %zu LoC, tier 1 of the "
               "two-tier eBPF VM\n", engine);
+
+  // The peer-group export engine (docs/export_engine.md): part of the shared
+  // engine and BGP substrate rows above, broken out because it is the
+  // export-path perf subsystem (RibOut groups + attribute interning + packed
+  // UPDATE fan-out).
+  std::size_t exporter = count_dir(root / "src/hosts/engine/update_builder.hpp") +
+                         count_dir(root / "src/bgp/attr.hpp");
+  std::printf("export engine (update_builder+attr interner): %zu LoC, RibOut "
+              "fan-out core\n", exporter);
   return 0;
 }
