@@ -7,7 +7,12 @@
 // Three DUT configurations over the identical RR workload:
 //   baseline      Config::obs.enabled = false  (registry calls no-op,
 //                 sessions fall back to member counters, no VMM telemetry)
-//   instrumented  obs on, tracing off — the shipping default
+//   instrumented  obs on, tracing off — the shipping default. Since the
+//                 flight recorder rides the same switch, this mode now
+//                 includes the full event log (route/best-change/session
+//                 events), provenance threading through ingest, decision
+//                 and export, and per-change flap tracking — all inside
+//                 the same budget.
 //   traced        obs on, tracing on  — spans + latency histograms
 //
 // Runs are interleaved round-robin (A/B/C A/B/C ...) so thermal and

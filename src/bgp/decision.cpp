@@ -2,6 +2,22 @@
 
 namespace xb::bgp {
 
+std::string_view to_string(DecisionStep s) noexcept {
+  switch (s) {
+    case DecisionStep::kLocalPref: return "local-pref";
+    case DecisionStep::kAsPathLength: return "as-path-length";
+    case DecisionStep::kOrigin: return "origin";
+    case DecisionStep::kMed: return "med";
+    case DecisionStep::kPeerType: return "peer-type";
+    case DecisionStep::kIgpMetric: return "igp-metric";
+    case DecisionStep::kClusterListLength: return "cluster-list-length";
+    case DecisionStep::kRouterId: return "router-id";
+    case DecisionStep::kPeerAddr: return "peer-addr";
+    case DecisionStep::kEqual: return "equal";
+  }
+  return "?";
+}
+
 Comparison compare_routes(const RouteView& a, const RouteView& b) noexcept {
   // a. Highest LOCAL_PREF.
   if (a.local_pref != b.local_pref) {

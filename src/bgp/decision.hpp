@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "bgp/types.hpp"
 #include "util/ip.hpp"
@@ -46,6 +47,9 @@ enum class DecisionStep : std::uint8_t {
   kPeerAddr,
   kEqual,
 };
+
+/// Printable step name for provenance / CLI output ("local-pref", ...).
+[[nodiscard]] std::string_view to_string(DecisionStep s) noexcept;
 
 struct Comparison {
   bool first_is_better = false;

@@ -46,6 +46,7 @@
 #include "bgp/policy.hpp"
 #include "hosts/engine/update_builder.hpp"
 #include "igp/igp_table.hpp"
+#include "obs/provenance.hpp"
 #include "obs/telemetry.hpp"
 #include "rpki/roa.hpp"
 #include "util/ip.hpp"
@@ -147,7 +148,10 @@ struct EngineMetrics {
                                   "Attribute sections encoded (native encode + encode-hook runs)")),
         ingest_ns(reg.histogram("xbgp_router_ingest_ns", "Inbound phase wall time per batch/update")),
         decision_ns(reg.histogram("xbgp_router_decision_ns", "Decision process wall time per prefix")),
-        export_ns(reg.histogram("xbgp_router_export_ns", "Export flush wall time per peer")) {
+        export_ns(reg.histogram("xbgp_router_export_ns", "Export flush wall time per peer")),
+        convergence_ns(reg.histogram(
+            "xbgp_convergence_ns",
+            "Virtual-time ns per change burst until a prefix went stable (flap oracle)")) {
     for (std::uint8_t c = 0; c < xbgp::kFaultClassCount; ++c) {
       fault_class[c] = reg.counter(
           std::string("xbgp_router_extension_faults_total{class=\"") +
@@ -161,7 +165,7 @@ struct EngineMetrics {
   Id treat_as_withdraw, attrs_discarded;
   Id ov_valid, ov_invalid, ov_not_found;
   Id messages_built, bytes_built, attr_sections;
-  Id ingest_ns, decision_ns, export_ns;
+  Id ingest_ns, decision_ns, export_ns, convergence_ns;
   Id fault_class[xbgp::kFaultClassCount] = {};
 };
 
@@ -261,6 +265,24 @@ class Router final : public xbgp::HostApi {
         out.counter("xbgp_attr_intern_evictions_total",
                     "Canonical attribute objects released at refcount zero", is.evictions);
         out.gauge("xbgp_attr_intern_entries", "Live canonical attribute objects", is.entries);
+        out.counter("xbgp_eventlog_recorded_total",
+                    "Flight-recorder events appended across all slots",
+                    obs_.events().recorded_total());
+        out.counter("xbgp_eventlog_dropped_total",
+                    "Flight-recorder events overwritten before collection",
+                    obs_.events().dropped_total());
+        const obs::FlapVerdict fv = obs_.flap().verdict(loop_.now());
+        out.counter("xbgp_route_flap_changes_total",
+                    "Best-path changes seen by the flap detector", fv.total_changes);
+        out.gauge("xbgp_route_flap_tracked", "Prefixes tracked by the flap detector",
+                  fv.tracked_prefixes);
+        out.gauge("xbgp_route_flap_active",
+                  "Prefixes that changed within the quiet window", fv.active_prefixes);
+        out.gauge("xbgp_route_flap_suppressed",
+                  "Prefixes whose decayed penalty exceeds the suppress threshold",
+                  fv.suppressed_prefixes);
+        out.gauge("xbgp_route_flap_penalty_max",
+                  "Largest decayed per-prefix flap penalty", fv.max_penalty);
       });
     }
   }
@@ -369,6 +391,9 @@ class Router final : public xbgp::HostApi {
     /// the serial does, keeping export grouping and decision change
     /// detection bit-identical to the pre-interning engine.
     std::uint64_t serial = 0;
+    /// Flight-recorder provenance: which peer/decision-step/extensions
+    /// produced this winner. Recorded only while the recorder is on.
+    obs::Provenance prov;
   };
 
   [[nodiscard]] const LocRibEntry* best(const util::Prefix& prefix) const {
@@ -512,6 +537,66 @@ class Router final : public xbgp::HostApi {
     return it == shard.map.end() ? std::nullopt : std::optional(it->second);
   }
 
+  // --- flight recorder ----------------------------------------------------------
+
+  /// True when the flight recorder (event log + provenance + flap oracle)
+  /// is stamping events; follows obs.enabled && obs.recorder.
+  [[nodiscard]] bool recording() const noexcept { return obs_.recorder(); }
+
+  /// Provenance of the current best path; nullptr when absent or the
+  /// recorder was off at install time. Serial-phase only.
+  [[nodiscard]] const obs::Provenance* loc_rib_provenance(const util::Prefix& p) const {
+    const auto& rib = loc_rib_[shard_of(p)];
+    auto it = rib.find(p);
+    return it == rib.end() || !it->second.prov.recorded() ? nullptr : &it->second.prov;
+  }
+
+  /// Provenance of a peer's Adj-RIB-In entry (nullptr when absent/unrecorded).
+  [[nodiscard]] const obs::Provenance* adj_rib_in_provenance(PeerId id,
+                                                            const util::Prefix& p) const {
+    const auto& rib = peers_.at(id)->adj_rib_in[shard_of(p)];
+    auto it = rib.find(p);
+    return it == rib.end() || !it->second.prov.recorded() ? nullptr : &it->second.prov;
+  }
+
+  /// Provenance of what we advertise to `id` for `p`. In RibOut mode a
+  /// member-specific override has no recorded provenance (nullptr).
+  [[nodiscard]] const obs::Provenance* adj_rib_out_provenance(PeerId id,
+                                                             const util::Prefix& p) const {
+    const PeerState& peer = *peers_.at(id);
+    if (!ribout_mode()) {
+      auto it = peer.adj_rib_out_prov.find(p);
+      return it == peer.adj_rib_out_prov.end() || !it->second.recorded() ? nullptr
+                                                                         : &it->second;
+    }
+    if (peer.ribout == nullptr || peer.fresh_view) return nullptr;
+    if (peer.overrides.contains(p)) return nullptr;
+    auto it = peer.ribout->rib.find(p);
+    if (it == peer.ribout->rib.end() || it->second.excluded == id) return nullptr;
+    return it->second.prov.recorded() ? &it->second.prov : nullptr;
+  }
+
+  /// Resolves a provenance mutator id to its manifest program name.
+  [[nodiscard]] std::string_view extension_name(std::uint16_t index) const noexcept {
+    return vmm_.program_name(index);
+  }
+
+  /// Display name of a peer id (empty when out of range).
+  [[nodiscard]] std::string_view peer_display_name(std::uint32_t id) const noexcept {
+    return id < peers_.size() ? std::string_view(peers_[id]->cfg.name) : std::string_view{};
+  }
+
+  /// Serial-phase: sweeps closed change bursts into the convergence
+  /// histogram, then returns the flap/divergence oracle's verdict at the
+  /// loop's current virtual time.
+  [[nodiscard]] obs::FlapVerdict flap_verdict() {
+    const std::uint64_t now = loop_.now();
+    obs_.flap().sweep(now, [this](std::uint64_t burst_ns) {
+      obs_.registry().observe(m_.convergence_ns, burst_ns, 0);
+    });
+    return obs_.flap().verdict(now);
+  }
+
   // =============================== HostApi ======================================
 
   bool peer_info(const xbgp::ExecContext& ctx, xbgp::PeerInfo& out) override {
@@ -543,17 +628,21 @@ class Router final : public xbgp::HostApi {
     if (ctx.incoming != nullptr) {
       ctx.ext_added_codes.push_back(attr.code);
       ctx.incoming->put(std::move(attr));
+      note_ext_mutation(ctx);
       return true;
     }
     auto* route = static_cast<RouteCtx*>(ctx.route);
     if (route == nullptr || !route->mutable_attrs) return false;
-    return Core::set_attr(*route->mutable_attrs, std::move(attr));
+    if (!Core::set_attr(*route->mutable_attrs, std::move(attr))) return false;
+    note_ext_mutation(ctx);
+    return true;
   }
 
   bool add_attr(xbgp::ExecContext& ctx, bgp::WireAttr attr) override {
     if (ctx.incoming == nullptr) return false;
     ctx.ext_added_codes.push_back(attr.code);
     ctx.incoming->put(std::move(attr));
+    note_ext_mutation(ctx);
     return true;
   }
 
@@ -582,6 +671,7 @@ class Router final : public xbgp::HostApi {
   bool write_buf(xbgp::ExecContext& ctx, std::span<const std::uint8_t> data) override {
     if (ctx.out == nullptr) return false;
     ctx.out->bytes(data);
+    note_ext_mutation(ctx);
     return true;
   }
 
@@ -629,6 +719,7 @@ class Router final : public xbgp::HostApi {
     AttrsPtr attrs;
     std::uint32_t meta = 0;
     std::uint64_t serial = 0;  // per-installation identity (see LocRibEntry)
+    obs::Provenance prov;      // recorded only while the recorder is on
   };
 
   struct LocalRoute {
@@ -644,6 +735,8 @@ class Router final : public xbgp::HostApi {
     /// pipeline region. Size 1 when parallelism == 1.
     std::vector<std::unordered_map<util::Prefix, AdjInRoute>> adj_rib_in;
     std::unordered_map<util::Prefix, AttrsPtr> adj_rib_out;  // per-peer mode only
+    /// Per-peer mode, recorder on: provenance of each advertised route.
+    std::unordered_map<util::Prefix, obs::Provenance> adj_rib_out_prov;
     std::vector<util::Prefix> pending;           // export work list, ordered
     std::unordered_set<util::Prefix> pending_set;  // dedupe for the work list
     // --- RibOut mode state ---
@@ -700,6 +793,8 @@ class Router final : public xbgp::HostApi {
     /// Source member the advert is hidden from (split horizon): a member
     /// never sees routes it contributed. kLocalRoute = visible to all.
     PeerId excluded = kLocalRoute;
+    /// Provenance of the shared advert (recorder-on runs only).
+    obs::Provenance prov;
   };
 
   struct RibOut {
@@ -778,10 +873,86 @@ class Router final : public xbgp::HostApi {
     return util::prefix_shard(p, shards_);
   }
 
+  // --- flight recorder (event emission) ------------------------------------------
+
+  /// Appends one event to `slot`'s ring, stamped with the loop's virtual
+  /// time; the caller fills the kind-specific fields. Recorder must be on.
+  obs::Event* record_event(std::size_t slot, obs::EventKind kind,
+                           const util::Prefix& prefix) {
+    obs::Event* e = obs_.events().append(slot);
+    e->ts_ns = loop_.now();
+    e->kind = kind;
+    e->prefix_addr = prefix.addr().value();
+    e->prefix_len = prefix.length();
+    return e;
+  }
+
+  /// Adj-RIB-In erase + withdraw event; returns whether the entry existed
+  /// (drop-in for the old `rib.erase(prefix) > 0` sites).
+  bool adj_in_erase(PeerState& peer, const util::Prefix& prefix, std::size_t shard,
+                    std::size_t slot) {
+    auto& rib = peer.adj_rib_in[shard];
+    auto it = rib.find(prefix);
+    if (it == rib.end()) return false;
+    if (recording()) {
+      obs::Event* e = record_event(slot, obs::EventKind::kRouteWithdrawn, prefix);
+      e->peer = peer.id;
+      e->old_route_serial = it->second.serial;
+    }
+    rib.erase(it);
+    return true;
+  }
+
+  /// Adj-RIB-In install + learned/replaced event. try_emplace keeps this at
+  /// one hash lookup whether or not the recorder is on.
+  void adj_in_install(PeerState& peer, const util::Prefix& prefix, std::size_t shard,
+                      std::size_t slot, AdjInRoute&& route) {
+    auto [it, inserted] = peer.adj_rib_in[shard].try_emplace(prefix);
+    if (recording()) {
+      obs::Event* e = record_event(slot,
+                                   inserted ? obs::EventKind::kRouteLearned
+                                            : obs::EventKind::kRouteReplaced,
+                                   prefix);
+      e->peer = peer.id;
+      e->route_serial = route.serial;
+      if (!inserted) e->old_route_serial = it->second.serial;
+    }
+    it->second = std::move(route);
+  }
+
+  /// Per-peer mode: drops an advertised route together with its provenance.
+  void adj_out_erase(PeerState& peer, const util::Prefix& prefix) {
+    peer.adj_rib_out.erase(prefix);
+    if (!peer.adj_rib_out_prov.empty()) peer.adj_rib_out_prov.erase(prefix);
+  }
+
+  /// Attributes a successful host-API mutation to the bound provenance
+  /// accumulator and the event log. ctx.prov is only ever non-null while the
+  /// recorder is on (the filter/encode call sites gate on recording()).
+  void note_ext_mutation(xbgp::ExecContext& ctx) {
+    bool fresh = true;  // no accumulator bound: every mutation is an event
+    if (ctx.prov != nullptr) {
+      fresh = ctx.prov->note_mutation(ctx.current_program,
+                                      static_cast<std::uint8_t>(ctx.op));
+    }
+    // A program writing several attributes in one invocation is one causal
+    // mutation: skip the repeat events along with the repeat prov entries.
+    if (!fresh || !recording()) return;
+    util::Prefix prefix;  // 0.0.0.0/0 for message-level (receive/encode) contexts
+    if (auto* route = static_cast<RouteCtx*>(ctx.route)) prefix = route->prefix;
+    obs::Event* e = record_event(ctx.exec_slot, obs::EventKind::kExtensionMutation, prefix);
+    e->program = ctx.current_program;
+    e->op = static_cast<std::uint8_t>(ctx.op);
+  }
+
   // --- peer/session events -------------------------------------------------------
 
   void on_peer_established(PeerState& peer) {
     kEngineLog.info(cfg_.name, ": session with ", peer.cfg.name, " established");
+    if (recording()) {
+      obs::Event* e = record_event(0, obs::EventKind::kSessionUp, util::Prefix{});
+      e->peer = peer.id;
+    }
     // Initial advertisement: the whole Loc-RIB plus local routes.
     for (const auto& shard : loc_rib_)
       for (const auto& [prefix, entry] : shard) queue_export(peer, prefix);
@@ -790,6 +961,12 @@ class Router final : public xbgp::HostApi {
 
   void on_peer_down(PeerState& peer, const std::string& reason) {
     kEngineLog.warn(cfg_.name, ": session with ", peer.cfg.name, " down: ", reason);
+    if (recording()) {
+      // The mass invalidation below surfaces as kBestChanged events from
+      // run_decision; no per-prefix withdraw events for the cleared shards.
+      obs::Event* e = record_event(0, obs::EventKind::kSessionDown, util::Prefix{});
+      e->peer = peer.id;
+    }
     // Updates queued for the pipeline but not yet processed die with the
     // session, exactly as unparsed socket bytes would.
     if (!ingest_batch_.empty()) {
@@ -802,6 +979,7 @@ class Router final : public xbgp::HostApi {
       shard.clear();
     }
     peer.adj_rib_out.clear();
+    peer.adj_rib_out_prov.clear();
     // RibOut mode: the member leaves the synced set and forgets its view —
     // on re-establishment it replays from scratch, like the cleared
     // adj_rib_out above.
@@ -829,6 +1007,12 @@ class Router final : public xbgp::HostApi {
     rx.src_peer = &peer;
     rx.incoming = &update.attrs;
     rx.add_arg(xbgp::arg::kRawMessage, wire);
+    // Provenance accumulator for every route this update installs: seeded
+    // with the source peer here so kReceiveMessage mutations attribute to it;
+    // the ingest serial is stamped once known (process_nlri / stage A).
+    obs::Provenance seed;
+    seed.src_peer = peer.id;
+    if (recording()) rx.prov = &seed;
     vmm_.execute(xbgp::Op::kReceiveMessage, rx,
                  [] { return xbgp::kOpOk; });
 
@@ -856,6 +1040,7 @@ class Router final : public xbgp::HostApi {
       pu.peer = &peer;
       pu.update = std::move(update);
       pu.keep_codes = std::move(rx.ext_added_codes);
+      pu.prov = seed;
       ingest_batch_.push_back(std::move(pu));
       if (!ingest_scheduled_) {
         ingest_scheduled_ = true;
@@ -872,20 +1057,21 @@ class Router final : public xbgp::HostApi {
 
     for (const auto& prefix : update.withdrawn) {
       count(m_.withdrawals_in);
-      if (peer.adj_rib_in[0].erase(prefix) > 0 && run_decision(prefix, 0)) {
+      if (adj_in_erase(peer, prefix, 0, 0) && run_decision(prefix, 0)) {
         queue_export_all(prefix);
       }
     }
 
     if (!update.nlri.empty()) {
-      process_nlri(peer, update, rx.ext_added_codes);
+      process_nlri(peer, update, rx.ext_added_codes, seed);
     }
     if (timing) obs_.registry().observe(m_.ingest_ns, obs::now_ns() - t0, 0);
     schedule_flush();
   }
 
   void process_nlri(PeerState& peer, const bgp::UpdateMessage& update,
-                    const std::vector<std::uint8_t>& keep_codes) {
+                    const std::vector<std::uint8_t>& keep_codes,
+                    const obs::Provenance& seed) {
     const bool ebgp = peer.session.peer_type() == bgp::PeerType::kEbgp;
 
     // Mandatory attribute checks (RFC 4271 §6.3): treat-as-withdraw.
@@ -894,12 +1080,18 @@ class Router final : public xbgp::HostApi {
         !update.attrs.has(bgp::attr_code::kNextHop)) {
       count(m_.malformed_updates);
       for (const auto& prefix : update.nlri) {
-        if (peer.adj_rib_in[0].erase(prefix) > 0 && run_decision(prefix, 0)) {
+        if (adj_in_erase(peer, prefix, 0, 0) && run_decision(prefix, 0)) {
           queue_export_all(prefix);
         }
       }
       return;
     }
+
+    // The ingest serial is drawn as soon as the update passes the mandatory
+    // checks — before conversion and the loop check — so serial values are
+    // identical at every parallelism (drain_ingest pre-assigns with the same
+    // rule) and provenance records compare bit-for-bit across hosts.
+    const std::uint64_t serial = next_serial();
 
     // Convert the neutral set to this host's representation once per update;
     // all NLRI of the message share it (attribute interning, as real
@@ -912,24 +1104,25 @@ class Router final : public xbgp::HostApi {
       return;
     }
 
-    const std::uint64_t serial = next_serial();
+    obs::Provenance prov = seed;
+    prov.ingest_serial = serial;
     std::vector<util::Prefix> installed;
     for (const auto& prefix : update.nlri) {
       count(m_.prefixes_in);
       std::uint32_t meta = 0;
       RouteCtx route{prefix, shared.get(), shared.get(), &meta, &peer};
-      const std::uint64_t verdict = run_inbound_filter(peer, route, 0);
+      const std::uint64_t verdict = run_inbound_filter(peer, route, 0, &prov);
 
       if (verdict != xbgp::kFilterAccept) {
         count(m_.prefixes_rejected_in);
-        if (peer.adj_rib_in[0].erase(prefix) > 0 && run_decision(prefix, 0)) {
+        if (adj_in_erase(peer, prefix, 0, 0) && run_decision(prefix, 0)) {
           queue_export_all(prefix);
         }
         continue;
       }
       count(m_.prefixes_accepted);
       count_ov(meta, 0);
-      peer.adj_rib_in[0][prefix] = AdjInRoute{shared, meta, serial};
+      adj_in_install(peer, prefix, 0, 0, AdjInRoute{shared, meta, serial, prov});
       installed.push_back(prefix);
       if (run_decision(prefix, 0)) queue_export_all(prefix);
     }
@@ -952,12 +1145,14 @@ class Router final : public xbgp::HostApi {
   }
 
   /// (2) BGP_INBOUND_FILTER on the given execution slot.
-  std::uint64_t run_inbound_filter(PeerState& peer, RouteCtx& route, std::size_t slot) {
+  std::uint64_t run_inbound_filter(PeerState& peer, RouteCtx& route, std::size_t slot,
+                                   obs::Provenance* prov = nullptr) {
     xbgp::ExecContext ctx;
     ctx.op = xbgp::Op::kInboundFilter;
     ctx.peer = &peer;
     ctx.src_peer = &peer;
     ctx.route = &route;
+    if (recording()) ctx.prov = prov;
     xbgp::PrefixArg parg{route.prefix.addr().value(), route.prefix.length(), {}};
     ctx.add_arg(xbgp::arg::kPrefix,
                 std::span(reinterpret_cast<const std::uint8_t*>(&parg), sizeof(parg)));
@@ -973,6 +1168,12 @@ class Router final : public xbgp::HostApi {
     bgp::UpdateMessage update;
     std::vector<std::uint8_t> keep_codes;
     std::size_t seq_base = 0;
+    /// Provenance seed (src peer + kReceiveMessage mutations) carried into
+    /// stage A; recorder-on runs only.
+    obs::Provenance prov;
+    /// Ingest serial pre-assigned by drain_ingest on the main thread (same
+    /// draw rule as the serial path), so values match parallelism == 1.
+    std::uint64_t serial = 0;
   };
 
   /// One Adj-RIB-In mutation produced by stage A. `seq` reconstructs the
@@ -988,6 +1189,7 @@ class Router final : public xbgp::HostApi {
     AttrsPtr attrs;
     std::uint32_t meta = 0;
     std::uint64_t serial = 0;
+    obs::Provenance prov;  // install items, recorder on
   };
 
   /// Stage A: everything per-update that needs no RIB access — mandatory
@@ -1001,7 +1203,7 @@ class Router final : public xbgp::HostApi {
 
     for (const auto& prefix : update.withdrawn) {
       count(m_.withdrawals_in, 1, slot);
-      items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0});
+      items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0, 0, {}});
     }
     if (update.nlri.empty()) return;
 
@@ -1010,7 +1212,7 @@ class Router final : public xbgp::HostApi {
         !update.attrs.has(bgp::attr_code::kNextHop)) {
       count(m_.malformed_updates, 1, slot);
       for (const auto& prefix : update.nlri) {
-        items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0});
+        items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0, 0, {}});
       }
       return;
     }
@@ -1022,23 +1224,25 @@ class Router final : public xbgp::HostApi {
       return;
     }
 
-    const std::uint64_t serial = next_serial();
+    const std::uint64_t serial = pu.serial;  // pre-assigned by drain_ingest
+    obs::Provenance prov = pu.prov;
+    prov.ingest_serial = serial;
     const std::size_t first_item = items.size();
     bool any_install = false;
     for (const auto& prefix : update.nlri) {
       count(m_.prefixes_in, 1, slot);
       std::uint32_t meta = 0;
       RouteCtx route{prefix, shared.get(), shared.get(), &meta, &peer};
-      const std::uint64_t verdict = run_inbound_filter(peer, route, slot);
+      const std::uint64_t verdict = run_inbound_filter(peer, route, slot, &prov);
       if (verdict != xbgp::kFilterAccept) {
         count(m_.prefixes_rejected_in, 1, slot);
-        items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0, 0});
+        items.push_back(IngestItem{IngestItem::Kind::kErase, seq++, prefix, &peer, {}, 0, 0, {}});
         continue;
       }
       count(m_.prefixes_accepted, 1, slot);
       count_ov(meta, slot);
-      items.push_back(
-          IngestItem{IngestItem::Kind::kInstall, seq++, prefix, &peer, shared, meta, serial});
+      items.push_back(IngestItem{IngestItem::Kind::kInstall, seq++, prefix, &peer, shared,
+                                 meta, serial, prov});
       any_install = true;
     }
     // Hash-cons after the update's mutation sites; the interner serialises
@@ -1066,6 +1270,14 @@ class Router final : public xbgp::HostApi {
     for (auto& pu : batch) {
       pu.seq_base = seq;
       seq += pu.update.withdrawn.size() + pu.update.nlri.size();
+      // Pre-draw the ingest serial on the main thread, in arrival order,
+      // under the same rule the serial path uses (mandatory attrs present):
+      // serial VALUES are then identical at every parallelism setting.
+      if (!pu.update.nlri.empty() && pu.update.attrs.has(bgp::attr_code::kOrigin) &&
+          pu.update.attrs.has(bgp::attr_code::kAsPath) &&
+          pu.update.attrs.has(bgp::attr_code::kNextHop)) {
+        pu.serial = next_serial();
+      }
     }
 
     const bool timing = obs_.tracing();
@@ -1095,12 +1307,12 @@ class Router final : public xbgp::HostApi {
     std::vector<std::vector<std::pair<std::size_t, util::Prefix>>> changed(shards_);
     pool_.run_indexed(shards_, [&](std::size_t s) {
       for (const IngestItem* item : shard_items[s]) {
-        auto& rib = item->peer->adj_rib_in[s];
         bool touched = true;
         if (item->kind == IngestItem::Kind::kErase) {
-          touched = rib.erase(item->prefix) > 0;
+          touched = adj_in_erase(*item->peer, item->prefix, s, s);
         } else {
-          rib[item->prefix] = AdjInRoute{item->attrs, item->meta, item->serial};
+          adj_in_install(*item->peer, item->prefix, s, s,
+                         AdjInRoute{item->attrs, item->meta, item->serial, item->prov});
         }
         if (touched && run_decision(item->prefix, s)) {
           changed[s].emplace_back(item->seq, item->prefix);
@@ -1196,21 +1408,34 @@ class Router final : public xbgp::HostApi {
     // otherwise the best Adj-RIB-In entry across peers.
     LocRibEntry winner;
     bool have = false;
+    std::size_t candidates = 0;
+    std::uint8_t step = obs::kProvStepUnset;
     if (auto it = local_routes_.find(prefix); it != local_routes_.end()) {
-      winner = LocRibEntry{kLocalRoute, it->second.attrs, 0, it->second.serial};
+      winner = LocRibEntry{kLocalRoute, it->second.attrs, 0, it->second.serial,
+                           obs::Provenance{it->second.serial, obs::kProvNoPeer,
+                                           obs::kProvStepLocal}};
       have = true;
     } else {
       for (auto& peer : peers_) {
         auto it = peer->adj_rib_in[shard].find(prefix);
         if (it == peer->adj_rib_in[shard].end()) continue;
+        ++candidates;
         LocRibEntry candidate{peer->id, it->second.attrs, it->second.meta,
-                              it->second.serial};
+                              it->second.serial, it->second.prov};
         if (!have) {
           winner = std::move(candidate);
           have = true;
           continue;
         }
-        if (candidate_better(prefix, candidate, winner, slot)) winner = std::move(candidate);
+        if (candidate_better(prefix, candidate, winner, slot, step)) {
+          winner = std::move(candidate);
+        }
+      }
+      // The step that decided the *last* pairwise comparison (deterministic:
+      // peers_ iteration order is fixed); "only-route" when unopposed.
+      if (have) {
+        winner.prov.decision_step =
+            candidates <= 1 ? obs::kProvStepOnlyRoute : step;
       }
     }
 
@@ -1218,6 +1443,15 @@ class Router final : public xbgp::HostApi {
     auto cur = rib.find(prefix);
     if (!have) {
       if (cur != rib.end()) {
+        if (recording()) {
+          obs::Event* e = record_event(slot, obs::EventKind::kBestChanged, prefix);
+          e->old_peer = cur->second.from == kLocalRoute
+                            ? obs::kEventNoPeer
+                            : static_cast<std::uint32_t>(cur->second.from);
+          e->old_route_serial = cur->second.serial;
+          obs_.flap().on_change(shard, obs::flap_key(prefix.addr().value(), prefix.length()),
+                                loop_.now());
+        }
         rib.erase(cur);
         fib_erase(prefix);
         return true;
@@ -1227,6 +1461,20 @@ class Router final : public xbgp::HostApi {
     const bool changed = cur == rib.end() || cur->second.serial != winner.serial ||
                          cur->second.from != winner.from;
     if (changed) {
+      if (recording()) {
+        obs::Event* e = record_event(slot, obs::EventKind::kBestChanged, prefix);
+        if (cur != rib.end()) {
+          e->old_peer = cur->second.from == kLocalRoute
+                            ? obs::kEventNoPeer
+                            : static_cast<std::uint32_t>(cur->second.from);
+          e->old_route_serial = cur->second.serial;
+        }
+        e->peer = winner.from == kLocalRoute ? obs::kEventNoPeer
+                                             : static_cast<std::uint32_t>(winner.from);
+        e->route_serial = winner.serial;
+        obs_.flap().on_change(shard, obs::flap_key(prefix.addr().value(), prefix.length()),
+                              loop_.now());
+      }
       if (auto nh = Core::next_hop(*winner.attrs)) fib_set(prefix, *nh);
       rib[prefix] = winner;
     }
@@ -1234,13 +1482,17 @@ class Router final : public xbgp::HostApi {
   }
 
   /// Pairwise comparison, overridable at the BGP_DECISION insertion point.
+  /// `step` reports what decided the comparison (a bgp::DecisionStep value,
+  /// or obs::kProvStepExtension when bytecode produced the verdict).
   bool candidate_better(const util::Prefix& prefix, const LocRibEntry& cand,
-                        const LocRibEntry& best, std::size_t slot) {
+                        const LocRibEntry& best, std::size_t slot, std::uint8_t& step) {
     auto native = [&]() -> std::uint64_t {
-      return bgp::better(make_view(cand), make_view(best)) ? xbgp::kDecisionTakeNew
-                                                           : xbgp::kDecisionKeepOld;
+      const bgp::Comparison cmp = bgp::compare_routes(make_view(cand), make_view(best));
+      step = static_cast<std::uint8_t>(cmp.decided_by);
+      return cmp.first_is_better ? xbgp::kDecisionTakeNew : xbgp::kDecisionKeepOld;
     };
     if (!vmm_.any_attached(xbgp::Op::kDecision)) return native() == xbgp::kDecisionTakeNew;
+    step = obs::kProvStepExtension;  // native fallback overwrites inside the lambda
 
     std::uint32_t cand_meta = cand.meta;
     std::uint32_t best_meta = best.meta;
@@ -1366,6 +1618,7 @@ class Router final : public xbgp::HostApi {
     PeerId group_from = kLocalRoute;
     bool group_accepted = false;
     AttrsPtr group_attrs;
+    obs::Provenance group_prov;
 
     for (const util::Prefix& prefix : peer.pending) {
       const LocRibEntry* best = this->best(prefix);
@@ -1374,7 +1627,7 @@ class Router final : public xbgp::HostApi {
       // No best route (or split horizon): withdraw if previously advertised.
       if (best == nullptr || best->from == peer.id) {
         if (had) {
-          peer.adj_rib_out.erase(prefix);
+          adj_out_erase(peer, prefix);
           builder.withdraw_prefix(prefix);
         }
         continue;
@@ -1385,14 +1638,15 @@ class Router final : public xbgp::HostApi {
         group_serial = best->serial;
         group_from = best->from;
         group_attrs = nullptr;
-        group_accepted = export_group(peer, prefix, *best, group_attrs, builder);
+        group_prov = obs::Provenance{};
+        group_accepted = export_group(peer, prefix, *best, group_attrs, group_prov, builder);
       } else if (group_accepted) {
         // Same group: per-route hook invocation with the shared work copy.
         std::uint32_t meta = best->meta;
         RouteCtx route{prefix, group_attrs.get(), nullptr, &meta, peer_of(best->from)};
         if (!run_outbound_filter(peer, route, *best, 0)) {
           if (had) {
-            peer.adj_rib_out.erase(prefix);
+            adj_out_erase(peer, prefix);
             builder.withdraw_prefix(prefix);
           }
           continue;
@@ -1402,12 +1656,13 @@ class Router final : public xbgp::HostApi {
       if (!group_accepted) {
         count(m_.exports_rejected);
         if (had) {
-          peer.adj_rib_out.erase(prefix);
+          adj_out_erase(peer, prefix);
           builder.withdraw_prefix(prefix);
         }
         continue;
       }
       peer.adj_rib_out[prefix] = group_attrs;
+      if (recording()) peer.adj_rib_out_prov[prefix] = group_prov;
       builder.add_prefix(prefix);
     }
 
@@ -1430,12 +1685,13 @@ class Router final : public xbgp::HostApi {
   /// attributes, run the outbound filter (4), apply the standard export
   /// transform, encode natively and run the encode hook (5).
   bool export_group(PeerState& peer, const util::Prefix& prefix, const LocRibEntry& best,
-                    AttrsPtr& out_attrs, UpdateBuilder& builder) {
+                    AttrsPtr& out_attrs, obs::Provenance& out_prov, UpdateBuilder& builder) {
     auto work = std::make_shared<Attrs>(*best.attrs);  // per-group working copy
     std::uint32_t meta = best.meta;
     RouteCtx route{prefix, work.get(), work.get(), &meta, peer_of(best.from)};
 
-    if (!run_outbound_filter(peer, route, best, 0)) {
+    out_prov = best.prov;  // provenance travels Loc-RIB -> Adj-RIB-Out
+    if (!run_outbound_filter(peer, route, best, 0, &out_prov)) {
       count(m_.exports_rejected);
       return false;
     }
@@ -1443,7 +1699,7 @@ class Router final : public xbgp::HostApi {
     apply_export_transform(*work, peer, best);
 
     util::ByteWriter attr_bytes;
-    encode_group(peer, prefix, best, *work, meta, 0, attr_bytes);
+    encode_group(peer, prefix, best, *work, meta, 0, attr_bytes, &out_prov);
 
     builder.begin_group(attr_bytes.view());
     out_attrs = intern_attrs(std::move(work));
@@ -1454,13 +1710,14 @@ class Router final : public xbgp::HostApi {
   /// extension-managed attributes (write_buf appends to this writer).
   void encode_group(PeerState& peer, const util::Prefix& prefix, const LocRibEntry& best,
                     Attrs& work, std::uint32_t meta, std::size_t slot,
-                    util::ByteWriter& attr_bytes) {
+                    util::ByteWriter& attr_bytes, obs::Provenance* prov = nullptr) {
     count(m_.attr_sections, 1, slot);
     Core::encode_native(work, attr_bytes);
     xbgp::ExecContext ctx;
     ctx.op = xbgp::Op::kEncodeMessage;
     ctx.peer = &peer;
     ctx.src_peer = peer_of(best.from);
+    if (recording()) ctx.prov = prov;
     RouteCtx enc_route{prefix, &work, nullptr, &meta, peer_of(best.from)};
     ctx.route = &enc_route;
     ctx.out = &attr_bytes;
@@ -1481,17 +1738,21 @@ class Router final : public xbgp::HostApi {
     AttrsPtr attrs;                          // post-transform attrs, interned
     std::vector<std::uint8_t> encoded;       // attribute section bytes
     std::vector<char> rest_verdicts;         // per-subsequent-route filter verdicts
+    obs::Provenance prov;                    // provenance of the group's attrs
   };
 
   void compute_export_group(PeerState& peer, ExportGroupWork& gw, std::size_t slot) {
     auto work = std::make_shared<Attrs>(*gw.best.attrs);
     std::uint32_t meta = gw.best.meta;
     RouteCtx route{gw.first_prefix, work.get(), work.get(), &meta, peer_of(gw.best.from)};
-    if (!run_outbound_filter(peer, route, gw.best, slot)) return;  // accepted stays false
+    gw.prov = gw.best.prov;
+    if (!run_outbound_filter(peer, route, gw.best, slot, &gw.prov)) {
+      return;  // accepted stays false
+    }
 
     apply_export_transform(*work, peer, gw.best);
     util::ByteWriter attr_bytes;
-    encode_group(peer, gw.first_prefix, gw.best, *work, meta, slot, attr_bytes);
+    encode_group(peer, gw.first_prefix, gw.best, *work, meta, slot, attr_bytes, &gw.prov);
     gw.encoded.assign(attr_bytes.view().begin(), attr_bytes.view().end());
     gw.attrs = intern_attrs(std::move(work));
     gw.accepted = true;
@@ -1554,7 +1815,7 @@ class Router final : public xbgp::HostApi {
     UpdateBuilder builder;
     for (const Step& step : steps) {
       if (step.act == kActWithdraw) {
-        peer.adj_rib_out.erase(step.prefix);
+        adj_out_erase(peer, step.prefix);
         builder.withdraw_prefix(step.prefix);
         continue;
       }
@@ -1564,20 +1825,21 @@ class Router final : public xbgp::HostApi {
         // export_group, once at the call site); replicated for stat parity.
         count(m_.exports_rejected, step.act == kActFirst ? 2 : 1);
         if (step.had) {
-          peer.adj_rib_out.erase(step.prefix);
+          adj_out_erase(peer, step.prefix);
           builder.withdraw_prefix(step.prefix);
         }
         continue;
       }
       if (step.act == kActMember && gw.rest_verdicts[step.member] == 0) {
         if (step.had) {
-          peer.adj_rib_out.erase(step.prefix);
+          adj_out_erase(peer, step.prefix);
           builder.withdraw_prefix(step.prefix);
         }
         continue;
       }
       if (step.act == kActFirst) builder.begin_group(gw.encoded);
       peer.adj_rib_out[step.prefix] = gw.attrs;
+      if (recording()) peer.adj_rib_out_prov[step.prefix] = gw.prov;
       builder.add_prefix(step.prefix);
     }
 
@@ -1681,7 +1943,7 @@ class Router final : public xbgp::HostApi {
         // (split-horizon exclusions were already applied in the view; other
         // members' own-source gaps surface as overrides below).
         for (const auto& [prefix, attrs] : sv.view) {
-          rb.rib.emplace(prefix, RibOutEntry{attrs, kLocalRoute});
+          rb.rib.emplace(prefix, RibOutEntry{attrs, kLocalRoute, {}});
         }
         continue;
       }
@@ -1774,6 +2036,7 @@ class Router final : public xbgp::HostApi {
     bool accepted = false;
     AttrsPtr attrs;                     // interned post-transform attrs
     std::vector<std::uint8_t> encoded;  // attribute section bytes
+    obs::Provenance prov;               // provenance of the group's attrs
     /// Lazily-filled per-subsequent-prefix outbound filter verdicts.
     std::unordered_map<util::Prefix, char> member_verdicts;
   };
@@ -1807,10 +2070,11 @@ class Router final : public xbgp::HostApi {
     auto work = std::make_shared<Attrs>(*best.attrs);
     std::uint32_t meta = best.meta;
     RouteCtx route{first, work.get(), work.get(), &meta, peer_of(best.from)};
-    if (run_outbound_filter(dst, route, best, 0)) {
+    comp.prov = best.prov;
+    if (run_outbound_filter(dst, route, best, 0, &comp.prov)) {
       apply_export_transform(*work, dst, best);
       util::ByteWriter attr_bytes;
-      encode_group(dst, first, best, *work, meta, 0, attr_bytes);
+      encode_group(dst, first, best, *work, meta, 0, attr_bytes, &comp.prov);
       comp.encoded.assign(attr_bytes.view().begin(), attr_bytes.view().end());
       comp.attrs = intern_attrs(std::move(work));
       comp.accepted = true;
@@ -1982,7 +2246,7 @@ class Router final : public xbgp::HostApi {
       // Write phase: the generic outcome becomes the shared rib entry…
       preserve_views(rb, view_holders, prefix, best, generic_out);
       if (generic_out != nullptr) {
-        rb.rib[prefix] = RibOutEntry{generic_out, best->from};
+        rb.rib[prefix] = RibOutEntry{generic_out, best->from, classes[0].comp->prov};
       } else {
         rb.rib.erase(prefix);
       }
@@ -2063,7 +2327,7 @@ class Router final : public xbgp::HostApi {
         if (alone) {
           preserve_views(rb, view_holders, prefix, best, out);
           if (out != nullptr) {
-            rb.rib[prefix] = RibOutEntry{out, best->from};
+            rb.rib[prefix] = RibOutEntry{out, best->from, cls.comp->prov};
           } else {
             rb.rib.erase(prefix);
           }
@@ -2094,12 +2358,13 @@ class Router final : public xbgp::HostApi {
   }
 
   bool run_outbound_filter(PeerState& peer, RouteCtx& route, const LocRibEntry& best,
-                           std::size_t slot) {
+                           std::size_t slot, obs::Provenance* prov = nullptr) {
     xbgp::ExecContext ctx;
     ctx.op = xbgp::Op::kOutboundFilter;
     ctx.peer = &peer;
     ctx.src_peer = peer_of(best.from);
     ctx.route = &route;
+    if (recording()) ctx.prov = prov;
     xbgp::PrefixArg parg{route.prefix.addr().value(), route.prefix.length(), {}};
     ctx.add_arg(xbgp::arg::kPrefix,
                 std::span(reinterpret_cast<const std::uint8_t*>(&parg), sizeof(parg)));

@@ -1,0 +1,66 @@
+#include "obs/eventlog.hpp"
+
+#include <algorithm>
+
+namespace xb::obs {
+
+std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kRouteLearned: return "route-learned";
+    case EventKind::kRouteReplaced: return "route-replaced";
+    case EventKind::kRouteWithdrawn: return "route-withdrawn";
+    case EventKind::kBestChanged: return "best-changed";
+    case EventKind::kSessionUp: return "session-up";
+    case EventKind::kSessionDown: return "session-down";
+    case EventKind::kExtensionMutation: return "extension-mutation";
+  }
+  return "?";
+}
+
+EventLog::EventLog(std::size_t capacity_per_slot, std::size_t slots)
+    : capacity_(capacity_per_slot == 0 ? 1 : capacity_per_slot),
+      rings_(slots == 0 ? 1 : slots) {
+  for (auto& r : rings_) r.events.resize(capacity_);
+}
+
+std::uint64_t EventLog::recorded_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r.total;
+  return total;
+}
+
+std::uint64_t EventLog::dropped_total() const noexcept {
+  std::uint64_t dropped = 0;
+  for (const auto& r : rings_)
+    if (r.total > r.events.size()) dropped += r.total - r.events.size();
+  return dropped;
+}
+
+std::vector<Event> EventLog::collect() const {
+  std::vector<Event> out;
+  for (const auto& r : rings_) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(r.total, r.events.size()));
+    // Same live-window arithmetic as TraceRing::collect(): cell
+    // (total % cap) is the oldest surviving event after wraparound.
+    const std::size_t start = r.total > r.events.size() ? r.head : 0;
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(r.events[(start + i) % r.events.size()]);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    return a.serial < b.serial;
+  });
+  return out;
+}
+
+void EventLog::clear() {
+  for (auto& r : rings_) {
+    r.total = 0;
+    r.head = 0;
+    r.serial_next = 0;
+    r.serial_limit = 0;
+  }
+  next_serial_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace xb::obs

@@ -1,0 +1,120 @@
+// Control-plane flight recorder: a bounded per-slot ring of typed routing
+// events (docs/observability.md).
+//
+// Same ownership discipline as TraceRing: append(slot) may only be called
+// by the thread currently holding that slot (plain writes into the slot's
+// own ring); collect()/clear() are serial-phase. The one shared piece of
+// state is the router-wide event serial — slots draw blocks of serials from
+// a relaxed fetch_add counter (one shared-line write per kSerialBlock
+// appends, not per event) — which keeps serials unique across all slots
+// without any other coordination. Serial VALUES interleave
+// nondeterministically across slots at parallelism > 1 and may leave gaps
+// (unused block tails); consumers needing determinism sort by content, not
+// serial (see tests/differential_host_test.cpp).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace xb::obs {
+
+enum class EventKind : std::uint8_t {
+  kRouteLearned = 0,       // new Adj-RIB-In entry
+  kRouteReplaced = 1,      // Adj-RIB-In entry overwritten (implicit withdraw)
+  kRouteWithdrawn = 2,     // Adj-RIB-In entry removed
+  kBestChanged = 3,        // Loc-RIB winner changed (old/new in the record)
+  kSessionUp = 4,          // peer session established
+  kSessionDown = 5,        // peer session lost
+  kExtensionMutation = 6,  // an extension program mutated attributes
+};
+
+[[nodiscard]] std::string_view to_string(EventKind k);
+
+inline constexpr std::uint32_t kEventNoPeer = 0xFFFFFFFF;
+inline constexpr std::uint16_t kEventNoProgram = 0xFFFF;
+
+struct Event {
+  std::uint64_t serial = 0;       // router-wide monotonic event serial
+  std::uint64_t ts_ns = 0;        // event-loop virtual time
+  std::uint64_t route_serial = 0;      // ingest serial of the (new) route
+  std::uint64_t old_route_serial = 0;  // previous winner / replaced route
+  std::uint32_t prefix_addr = 0;
+  std::uint32_t peer = kEventNoPeer;      // acting / new-winner peer
+  std::uint32_t old_peer = kEventNoPeer;  // previous winner (kBestChanged)
+  std::uint16_t program = kEventNoProgram;  // kExtensionMutation only
+  std::uint8_t prefix_len = 0;
+  EventKind kind = EventKind::kRouteLearned;
+  std::uint8_t op = 0;    // xbgp::Op for kExtensionMutation
+  std::uint8_t slot = 0;  // execution slot that recorded the event
+};
+
+class EventLog {
+ public:
+  EventLog(std::size_t capacity_per_slot, std::size_t slots);
+
+  // Hands back the next ring cell for `slot`, reset to defaults with the
+  // serial and slot already stamped; overwrites the oldest event once the
+  // ring is full. Never allocates.
+  Event* append(std::size_t slot) noexcept {
+    SlotRing& r = rings_[slot];
+    // head is total % capacity maintained incrementally: a compare-and-reset
+    // is far cheaper than a division on every hot-path append.
+    Event* e = &r.events[r.head];
+    if (++r.head == capacity_) r.head = 0;
+    ++r.total;
+    // Serials come from a slot-local block so the shared counter's cache
+    // line is written once per kSerialBlock appends, not once per event —
+    // at parallelism 8 a per-append fetch_add is a line bouncing between
+    // every worker. Serials stay unique and ascending per slot; values may
+    // have gaps (unused block tails) and interleave across slots, which
+    // the header contract already allows.
+    if (r.serial_next == r.serial_limit) {
+      r.serial_next =
+          next_serial_.fetch_add(kSerialBlock, std::memory_order_relaxed);
+      r.serial_limit = r.serial_next + kSerialBlock;
+    }
+    *e = Event{};
+    e->serial = ++r.serial_next;
+    e->slot = static_cast<std::uint8_t>(slot);
+    return e;
+  }
+
+  [[nodiscard]] std::uint64_t recorded(std::size_t slot) const noexcept {
+    return rings_[slot].total;
+  }
+  [[nodiscard]] std::uint64_t recorded_total() const noexcept;
+  // Events overwritten before anyone collected them.
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept;
+  [[nodiscard]] std::size_t capacity_per_slot() const noexcept {
+    return capacity_;
+  }
+
+  // Serial phase: surviving events across all slots, sorted by serial.
+  [[nodiscard]] std::vector<Event> collect() const;
+
+  void clear();
+
+ private:
+  // One block of serials is handed to a slot per shared-counter touch.
+  static constexpr std::uint64_t kSerialBlock = 256;
+
+  struct SlotRing {
+    std::vector<Event> events;
+    std::uint64_t total = 0;   // events ever appended to this slot
+    std::size_t head = 0;      // next cell to write == total % events.size()
+    std::uint64_t serial_next = 0;   // last serial handed out in this block
+    std::uint64_t serial_limit = 0;  // block exhausted when next == limit
+  };
+  std::size_t capacity_;
+  std::vector<SlotRing> rings_;
+  // Own cache line: every slot reads rings_.data() on the hot path, and a
+  // blockrefill write to a line shared with it would invalidate that read
+  // for every other worker.
+  alignas(64) std::atomic<std::uint64_t> next_serial_{0};
+};
+
+}  // namespace xb::obs

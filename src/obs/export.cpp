@@ -19,13 +19,74 @@ SplitName split_name(std::string_view name) {
   return {name.substr(0, brace), labels};
 }
 
+// Prometheus 0.0.4 label-value escaping: backslash, double quote, newline.
+void append_label_value_escaped(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+// HELP text escapes only backslash and newline (quotes are legal there).
+void append_help_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+// Re-emits a label section (`k="v",k2="v2"`) with the values escaped.
+// Callers splice raw label values (peer names, program names) into metric
+// names, so a value may itself contain quotes; a quote only terminates a
+// value when it is the last character or is followed by ','.
+void append_escaped_labels(std::string& out, std::string_view labels) {
+  std::size_t i = 0;
+  while (i < labels.size()) {
+    while (i < labels.size() && labels[i] != '=') out += labels[i++];
+    if (i >= labels.size()) break;
+    out += '=';
+    ++i;
+    if (i < labels.size() && labels[i] == '"') {
+      out += '"';
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < labels.size() &&
+           !(labels[i] == '"' &&
+             (i + 1 == labels.size() || labels[i + 1] == ','))) {
+      ++i;
+    }
+    append_label_value_escaped(out, labels.substr(start, i - start));
+    if (i < labels.size()) {
+      out += '"';
+      ++i;
+    }
+    if (i < labels.size() && labels[i] == ',') {
+      out += ',';
+      ++i;
+    }
+  }
+}
+
 std::string with_label(const SplitName& n, std::string_view suffix,
                        std::string_view extra_label) {
   std::string out(n.base);
   out += suffix;
   if (!n.labels.empty() || !extra_label.empty()) {
     out += '{';
-    out += n.labels;
+    append_escaped_labels(out, n.labels);
     if (!n.labels.empty() && !extra_label.empty()) out += ',';
     out += extra_label;
     out += '}';
@@ -66,7 +127,7 @@ std::string to_prometheus(const Snapshot& snap) {
       out += "# HELP ";
       out += n.base;
       out += ' ';
-      out += m.help.empty() ? std::string(n.base) : m.help;
+      append_help_escaped(out, m.help.empty() ? n.base : std::string_view(m.help));
       out += "\n# TYPE ";
       out += n.base;
       out += ' ';
@@ -94,7 +155,7 @@ std::string to_prometheus(const Snapshot& snap) {
       out += std::to_string(m.count);
       out += '\n';
     } else {
-      out += m.name;
+      out += with_label(n, "", {});
       out += ' ';
       out += std::to_string(m.value);
       out += '\n';
@@ -136,6 +197,94 @@ std::string to_jsonl(std::span<const Span> spans, const OpNamer& op_name,
         out += std::to_string(s.fault_class);
       }
       out += '"';
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+void append_prefix(std::string& out, std::uint32_t addr, std::uint8_t len) {
+  out += std::to_string((addr >> 24) & 0xFF);
+  out += '.';
+  out += std::to_string((addr >> 16) & 0xFF);
+  out += '.';
+  out += std::to_string((addr >> 8) & 0xFF);
+  out += '.';
+  out += std::to_string(addr & 0xFF);
+  out += '/';
+  out += std::to_string(len);
+}
+
+void append_peer_field(std::string& out, std::string_view field,
+                       std::uint32_t peer, const PeerNamer& peer_name) {
+  out += ",\"";
+  out += field;
+  out += "\":";
+  std::string_view name;
+  if (peer_name) name = peer_name(peer);
+  if (!name.empty()) {
+    out += '"';
+    append_json_escaped(out, name);
+    out += '"';
+  } else {
+    out += std::to_string(peer);
+  }
+}
+
+}  // namespace
+
+std::string to_jsonl(std::span<const Event> events, const PeerNamer& peer_name,
+                     const OpNamer& op_name, const ProgramNamer& program_name) {
+  std::string out;
+  for (const Event& e : events) {
+    out += "{\"serial\":";
+    out += std::to_string(e.serial);
+    out += ",\"ts_ns\":";
+    out += std::to_string(e.ts_ns);
+    out += ",\"kind\":\"";
+    out += to_string(e.kind);
+    out += '"';
+    const bool session = e.kind == EventKind::kSessionUp ||
+                         e.kind == EventKind::kSessionDown;
+    if (!session) {
+      out += ",\"prefix\":\"";
+      append_prefix(out, e.prefix_addr, e.prefix_len);
+      out += '"';
+    }
+    out += ",\"slot\":";
+    out += std::to_string(e.slot);
+    if (e.peer != kEventNoPeer) append_peer_field(out, "peer", e.peer, peer_name);
+    if (e.old_peer != kEventNoPeer)
+      append_peer_field(out, "old_peer", e.old_peer, peer_name);
+    if (e.route_serial != 0) {
+      out += ",\"route_serial\":";
+      out += std::to_string(e.route_serial);
+    }
+    if (e.old_route_serial != 0) {
+      out += ",\"old_route_serial\":";
+      out += std::to_string(e.old_route_serial);
+    }
+    if (e.program != kEventNoProgram) {
+      out += ",\"program\":";
+      std::string_view name;
+      if (program_name) name = program_name(e.program);
+      if (!name.empty()) {
+        out += '"';
+        append_json_escaped(out, name);
+        out += '"';
+      } else {
+        out += std::to_string(e.program);
+      }
+      out += ",\"point\":";
+      if (op_name) {
+        out += '"';
+        append_json_escaped(out, op_name(e.op));
+        out += '"';
+      } else {
+        out += std::to_string(e.op);
+      }
     }
     out += "}\n";
   }

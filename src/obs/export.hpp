@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -15,7 +16,8 @@ namespace xb::obs {
 
 // Prometheus text exposition (version 0.0.4): HELP/TYPE once per family
 // (series sharing a base name before '{' share one header), histograms as
-// cumulative _bucket{le=...} plus _sum/_count, labels merged.
+// cumulative _bucket{le=...} plus _sum/_count, labels merged. Label values
+// are escaped per the text format (backslash, double quote and newline).
 [[nodiscard]] std::string to_prometheus(const Snapshot& snap);
 
 // Resolves a Span's numeric insertion-point id to a printable name; wired
@@ -29,5 +31,20 @@ using FaultNamer = std::function<std::string_view(std::uint8_t)>;
 [[nodiscard]] std::string to_jsonl(std::span<const Span> spans,
                                    const OpNamer& op_name = {},
                                    const FaultNamer& fault_name = {});
+
+// Resolves an Event's numeric peer / program ids to printable names; wired
+// to the router's peer table and Vmm program registry by callers.
+using PeerNamer = std::function<std::string_view(std::uint32_t)>;
+using ProgramNamer = std::function<std::string_view(std::uint16_t)>;
+
+// Flight-recorder exposition, one JSON object per line:
+// {"serial":..,"ts_ns":..,"kind":"..","prefix":"a.b.c.d/len","slot":..
+//  [,"peer":..][,"old_peer":..][,"route_serial":..][,"old_route_serial":..]
+//  [,"program":..][,"point":..]}
+// Peer/program render as names when a namer is given, numeric ids otherwise.
+[[nodiscard]] std::string to_jsonl(std::span<const Event> events,
+                                   const PeerNamer& peer_name = {},
+                                   const OpNamer& op_name = {},
+                                   const ProgramNamer& program_name = {});
 
 }  // namespace xb::obs

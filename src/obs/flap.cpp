@@ -1,0 +1,112 @@
+#include "obs/flap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xb::obs {
+
+FlapDetector::FlapDetector(const FlapOptions& opt, std::size_t shards)
+    : opt_(opt),
+      shards_(shards == 0 ? 1 : shards),
+      pending_(shards == 0 ? 1 : shards) {}
+
+std::uint64_t FlapDetector::decayed(const PrefixFlapState& s,
+                                    std::uint64_t now_ns) const noexcept {
+  if (s.penalty == 0 || opt_.half_life_ns == 0) return s.penalty;
+  const std::uint64_t dt = now_ns > s.last_change_ns ? now_ns - s.last_change_ns : 0;
+  const double halves = static_cast<double>(dt) / static_cast<double>(opt_.half_life_ns);
+  if (halves > 63.0) return 0;  // fully decayed; exp2 would underflow anyway
+  return static_cast<std::uint64_t>(static_cast<double>(s.penalty) *
+                                    std::exp2(-halves));
+}
+
+void FlapDetector::drain_shard(std::size_t shard) const {
+  auto& pending = pending_[shard];
+  if (pending.empty()) return;
+  auto& map = shards_[shard];
+  // Upper bound: every pending key is new. Exact for the common converging
+  // case (one change per prefix) and saves the rehash chain either way.
+  map.reserve(map.size() + pending.size());
+  for (const PendingChange& c : pending) {
+    PrefixFlapState& s = map[c.key];
+    s.penalty = decayed(s, c.now_ns) + opt_.penalty_per_change;
+    if (!s.burst_open || c.now_ns - s.last_change_ns > opt_.quiet_ns) {
+      // A change after a quiet gap starts a new burst (the previous one
+      // was — or will be — reported by sweep()).
+      s.burst_start_ns = c.now_ns;
+      s.burst_open = true;
+    }
+    ++s.changes;
+    s.last_change_ns = c.now_ns;
+  }
+  pending.clear();
+}
+
+void FlapDetector::drain() const {
+  for (std::size_t i = 0; i < pending_.size(); ++i) drain_shard(i);
+}
+
+FlapVerdict FlapDetector::verdict(std::uint64_t now_ns) const {
+  drain();
+  FlapVerdict v;
+  for (const auto& shard : shards_) {
+    for (const auto& [key, s] : shard) {
+      ++v.tracked_prefixes;
+      v.total_changes += s.changes;
+      const std::uint64_t p = decayed(s, now_ns);
+      v.max_penalty = std::max(v.max_penalty, p);
+      if (now_ns - s.last_change_ns <= opt_.quiet_ns) ++v.active_prefixes;
+      if (p >= opt_.suppress_threshold) ++v.suppressed_prefixes;
+    }
+  }
+  v.quiescent = v.active_prefixes == 0 && v.suppressed_prefixes == 0;
+  return v;
+}
+
+void FlapDetector::sweep(
+    std::uint64_t now_ns,
+    const std::function<void(std::uint64_t burst_ns)>& observe) {
+  drain();
+  for (auto& shard : shards_) {
+    for (auto& [key, s] : shard) {
+      if (!s.burst_open) continue;
+      if (now_ns - s.last_change_ns <= opt_.quiet_ns) continue;  // still hot
+      s.burst_open = false;
+      if (observe) observe(s.last_change_ns - s.burst_start_ns);
+    }
+  }
+}
+
+std::vector<FlapEntry> FlapDetector::top(std::size_t n,
+                                         std::uint64_t now_ns) const {
+  drain();
+  std::vector<FlapEntry> all;
+  for (const auto& shard : shards_) {
+    for (const auto& [key, s] : shard) {
+      all.push_back(FlapEntry{key, s.changes, decayed(s, now_ns),
+                              s.last_change_ns});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const FlapEntry& a, const FlapEntry& b) {
+    if (a.penalty != b.penalty) return a.penalty > b.penalty;
+    if (a.changes != b.changes) return a.changes > b.changes;
+    return a.key < b.key;
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::uint64_t FlapDetector::total_changes() const {
+  drain();
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_)
+    for (const auto& [key, s] : shard) total += s.changes;
+  return total;
+}
+
+void FlapDetector::clear() {
+  for (auto& shard : shards_) shard.clear();
+  for (auto& pending : pending_) pending.clear();
+}
+
+}  // namespace xb::obs

@@ -1,0 +1,136 @@
+// Route churn / flap detector with an RFC 2439-style exponential-decay
+// penalty, plus the quiescence verdict ROADMAP item 3's divergence oracle
+// consumes (docs/observability.md).
+//
+// Per-prefix state is sharded exactly like the RIBs: on_change(shard, ...)
+// may only be called by the thread owning that shard (the Router calls it
+// from run_decision, which already runs under shard ownership), so the maps
+// need no locks. verdict()/sweep()/top() are serial-phase.
+//
+// on_change is deliberately dumb — it appends (key, timestamp) to a
+// per-shard pending vector and nothing else, keeping the hot path free of
+// hash-map node allocation and the decay exponential. The pending changes
+// are folded into the per-prefix state lazily, either by the owning shard
+// itself once a shard's backlog hits kDrainBatch (so memory stays bounded
+// during long parallel phases) or by the serial-phase queries, which all
+// drain first. Either way the fold runs under the same ownership the map
+// always required, and changes apply in call order per shard — identical
+// state to folding eagerly.
+//
+// Keys are (prefix_addr << 8) | prefix_len so obs stays free of util/bgp
+// dependencies; the Router packs them via flap_key().
+//
+// Penalty model (RFC 2439 shape, fixed figures): every best-path change adds
+// penalty_per_change; the accumulated penalty halves every half_life_ns.
+// A prefix whose decayed penalty is at or above suppress_threshold is
+// "suppressed" (we only report it — this reproduction does not dampen the
+// route itself). Convergence is measured per burst: a run of changes closer
+// together than quiet_ns is one burst, and once a burst has been stable for
+// quiet_ns, sweep() reports its duration (last change minus burst start) as
+// one convergence sample.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace xb::obs {
+
+struct FlapOptions {
+  std::uint64_t penalty_per_change = 1000;
+  std::uint64_t suppress_threshold = 3000;
+  std::uint64_t half_life_ns = 15'000'000'000;  // 15 s of (virtual) time
+  std::uint64_t quiet_ns = 2'000'000'000;       // stable this long = converged
+};
+
+struct FlapVerdict {
+  bool quiescent = true;
+  std::size_t tracked_prefixes = 0;
+  std::size_t active_prefixes = 0;      // changed within the quiet window
+  std::size_t suppressed_prefixes = 0;  // decayed penalty >= threshold
+  std::uint64_t total_changes = 0;
+  std::uint64_t max_penalty = 0;  // largest decayed penalty right now
+};
+
+struct FlapEntry {
+  std::uint64_t key = 0;  // (prefix_addr << 8) | prefix_len
+  std::uint64_t changes = 0;
+  std::uint64_t penalty = 0;  // decayed to the query time
+  std::uint64_t last_change_ns = 0;
+};
+
+inline constexpr std::uint64_t flap_key(std::uint32_t prefix_addr,
+                                        std::uint8_t prefix_len) noexcept {
+  return (static_cast<std::uint64_t>(prefix_addr) << 8) | prefix_len;
+}
+
+class FlapDetector {
+ public:
+  FlapDetector(const FlapOptions& opt, std::size_t shards);
+
+  // Hot path, shard-owned: one best-path change for `key` at `now`.
+  // Amortized O(1), no per-change node allocation (see header comment).
+  void on_change(std::size_t shard, std::uint64_t key,
+                 std::uint64_t now_ns) {
+    auto& pending = pending_[shard % pending_.size()];
+    pending.push_back(PendingChange{key, now_ns});
+    if (pending.size() >= kDrainBatch) drain_shard(shard % pending_.size());
+  }
+
+  // Serial phase: the oracle's answer. Quiescent means no prefix changed
+  // within the quiet window AND no decayed penalty is at the suppression
+  // threshold.
+  [[nodiscard]] FlapVerdict verdict(std::uint64_t now_ns) const;
+
+  // Serial phase: closes every burst that has been stable for quiet_ns and
+  // reports its duration (0 for a single isolated change) through
+  // `observe`; each burst is reported once.
+  void sweep(std::uint64_t now_ns,
+             const std::function<void(std::uint64_t burst_ns)>& observe);
+
+  // Serial phase: the n worst offenders by decayed penalty (then changes).
+  [[nodiscard]] std::vector<FlapEntry> top(std::size_t n,
+                                           std::uint64_t now_ns) const;
+
+  [[nodiscard]] std::uint64_t total_changes() const;
+
+  void clear();
+
+ private:
+  struct PrefixFlapState {
+    std::uint64_t penalty = 0;
+    std::uint64_t changes = 0;
+    std::uint64_t last_change_ns = 0;
+    std::uint64_t burst_start_ns = 0;
+    bool burst_open = false;
+  };
+
+  struct PendingChange {
+    std::uint64_t key = 0;
+    std::uint64_t now_ns = 0;
+  };
+
+  // Backlog bound per shard before the owning thread folds inline.
+  static constexpr std::size_t kDrainBatch = 1u << 16;
+
+  [[nodiscard]] std::uint64_t decayed(const PrefixFlapState& s,
+                                      std::uint64_t now_ns) const noexcept;
+
+  // Folds one shard's pending changes into its map. Caller must hold the
+  // shard (hot path) or be in the serial phase (drain()).
+  void drain_shard(std::size_t shard) const;
+  // Serial phase only: folds every shard's backlog.
+  void drain() const;
+
+  FlapOptions opt_;
+  // mutable: the serial-phase queries (verdict/top/total_changes) stay
+  // const for callers but fold the pending backlog before answering.
+  mutable std::vector<std::unordered_map<std::uint64_t, PrefixFlapState>>
+      shards_;
+  mutable std::vector<std::vector<PendingChange>> pending_;
+};
+
+}  // namespace xb::obs

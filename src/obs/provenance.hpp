@@ -1,0 +1,91 @@
+// Route provenance: a compact per-route causality record answering "why is
+// this prefix routed this way" (docs/observability.md).
+//
+// Every Adj-RIB-In / Loc-RIB / Adj-RIB-Out entry carries one. It is written
+// on the hot path under the same slot-ownership discipline as the metrics
+// registry — the record lives inside the route entry its owning shard
+// mutates, so no synchronization is needed — and read in the serial phase
+// by tests and the xbgp_why CLI.
+//
+// The record is deliberately small (32 bytes): source peer, the decision
+// step that selected the route (bgp::DecisionStep, or a sentinel when no
+// native comparison ran), the ordered list of extension programs that
+// mutated attributes on the way in or out, and the router-wide ingest
+// serial the update was assigned. The mutator list is bounded; overflow is
+// recorded by saturating mutation_count so "some mutations were not
+// attributed" stays visible.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xb::obs {
+
+inline constexpr std::uint32_t kProvNoPeer = 0xFFFFFFFF;   // locally originated
+inline constexpr std::uint16_t kProvNoProgram = 0xFFFF;    // no extension
+inline constexpr std::size_t kProvMaxMutators = 4;
+
+// decision_step values above bgp::DecisionStep's range:
+inline constexpr std::uint8_t kProvStepUnset = 0xFF;      // never decided
+inline constexpr std::uint8_t kProvStepExtension = 0xFE;  // a BGP_DECISION
+                                                          // extension decided
+inline constexpr std::uint8_t kProvStepOnlyRoute = 0xFD;  // sole candidate
+inline constexpr std::uint8_t kProvStepLocal = 0xFC;      // local/static route
+
+struct Provenance {
+  std::uint64_t ingest_serial = 0;        // router-wide monotonic serial
+  std::uint32_t src_peer = kProvNoPeer;   // PeerId the route was learned from
+  std::uint8_t decision_step = kProvStepUnset;
+  std::uint8_t mutation_count = 0;        // total mutations (may exceed list)
+  std::uint16_t mutators[kProvMaxMutators] = {
+      kProvNoProgram, kProvNoProgram, kProvNoProgram, kProvNoProgram};
+  std::uint8_t mutator_ops[kProvMaxMutators] = {};  // xbgp::Op per mutator
+
+  // Records "program P mutated attributes at insertion point op". A program
+  // often writes several attributes per invocation; consecutive identical
+  // (program, op) entries are deduped so the bounded list covers the chain,
+  // not one program's attribute count. Returns false on such a dedupe —
+  // callers use it to suppress duplicate flight-recorder events too.
+  bool note_mutation(std::uint16_t program, std::uint8_t op) noexcept {
+    const std::uint8_t n = mutation_count;
+    if (n > 0 && n <= kProvMaxMutators && mutators[n - 1] == program &&
+        mutator_ops[n - 1] == op) {
+      return false;  // same program, same point: one causal entry
+    }
+    if (n < kProvMaxMutators) {
+      mutators[n] = program;
+      mutator_ops[n] = op;
+    }
+    if (mutation_count < 0xFF) ++mutation_count;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t mutator_entries() const noexcept {
+    return mutation_count < kProvMaxMutators
+               ? mutation_count
+               : kProvMaxMutators;
+  }
+
+  [[nodiscard]] bool recorded() const noexcept {
+    return ingest_serial != 0 || src_peer != kProvNoPeer ||
+           decision_step != kProvStepUnset;
+  }
+
+  friend bool operator==(const Provenance& a, const Provenance& b) noexcept {
+    if (a.ingest_serial != b.ingest_serial || a.src_peer != b.src_peer ||
+        a.decision_step != b.decision_step ||
+        a.mutation_count != b.mutation_count) {
+      return false;
+    }
+    for (std::size_t i = 0; i < kProvMaxMutators; ++i) {
+      if (a.mutators[i] != b.mutators[i] ||
+          a.mutator_ops[i] != b.mutator_ops[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace xb::obs

@@ -1,17 +1,23 @@
 // The telemetry bundle a host threads through its subsystems: one metrics
-// registry + one trace ring + the tracing switch.
+// registry + one trace ring + the control-plane flight recorder (event log
+// and flap detector) + the tracing switch.
 //
 // Counters are always on (they replace the ad-hoc stats structs and are a
 // plain per-slot add); tracing — spans and latency histograms, which need
 // two clock reads per invocation — is off by default and flipped with
 // set_tracing(). The flag is an atomic so a controller thread may toggle it
-// while workers run; writers read it relaxed once per chain execution.
+// while workers run; writers read it relaxed once per chain execution. The
+// flight recorder ships on by default (its hot-path cost is one ring write
+// per routing event, covered by the obs_overhead gate) and follows the
+// registry's master switch: enabled=false disables it too.
 
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 
+#include "obs/eventlog.hpp"
+#include "obs/flap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -20,8 +26,15 @@ namespace xb::obs {
 struct Options {
   std::size_t slots = 1;            // execution slots (>= pipeline parallelism)
   std::size_t trace_capacity = 65536;  // spans retained per slot
+  // Flight-recorder events per slot. Sized so the whole ring (48 B/cell ×
+  // slots) stays cache-resident: the ring cycles continuously under load,
+  // and a ring larger than L2 turns every append into a miss — that alone
+  // can eat the 2% overhead budget. 1024 cells × 8 slots ≈ 384 KB.
+  std::size_t event_capacity = 1024;
   bool tracing = false;             // spans + latency histograms at startup
   bool enabled = true;              // false: registry no-ops (bench baseline)
+  bool recorder = true;             // event log + provenance + flap oracle
+  FlapOptions flap;
 };
 
 class Telemetry {
@@ -29,7 +42,10 @@ class Telemetry {
   explicit Telemetry(const Options& opt = {})
       : registry_(opt.slots, opt.enabled),
         trace_(opt.trace_capacity, opt.slots),
-        tracing_(opt.tracing) {}
+        events_(opt.event_capacity, opt.slots),
+        flap_(opt.flap, opt.slots),
+        tracing_(opt.tracing),
+        recorder_(opt.recorder && opt.enabled) {}
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
@@ -38,6 +54,10 @@ class Telemetry {
   [[nodiscard]] const Registry& registry() const noexcept { return registry_; }
   [[nodiscard]] TraceRing& trace() noexcept { return trace_; }
   [[nodiscard]] const TraceRing& trace() const noexcept { return trace_; }
+  [[nodiscard]] EventLog& events() noexcept { return events_; }
+  [[nodiscard]] const EventLog& events() const noexcept { return events_; }
+  [[nodiscard]] FlapDetector& flap() noexcept { return flap_; }
+  [[nodiscard]] const FlapDetector& flap() const noexcept { return flap_; }
 
   [[nodiscard]] bool tracing() const noexcept {
     return tracing_.load(std::memory_order_relaxed);
@@ -46,10 +66,17 @@ class Telemetry {
     tracing_.store(on, std::memory_order_relaxed);
   }
 
+  // True when routing events and provenance should be recorded; fixed at
+  // construction (hot paths read a plain bool).
+  [[nodiscard]] bool recorder() const noexcept { return recorder_; }
+
  private:
   Registry registry_;
   TraceRing trace_;
+  EventLog events_;
+  FlapDetector flap_;
   std::atomic<bool> tracing_;
+  bool recorder_;
 };
 
 }  // namespace xb::obs

@@ -19,6 +19,9 @@ class ByteWriter;
 namespace xb::bgp {
 class AttributeSet;
 }
+namespace xb::obs {
+struct Provenance;
+}
 
 namespace xb::xbgp {
 
@@ -62,6 +65,16 @@ struct ExecContext {
   /// preserves these through its internal conversion even when it would
   /// normally drop unknown attributes.
   std::vector<std::uint8_t> ext_added_codes;
+
+  // --- flight-recorder plumbing (set by the VMM / host; opaque to bytecode) --
+  /// Index of the program currently executing (Vmm::program_name resolves
+  /// it); 0xFFFF outside run_chain.
+  std::uint16_t current_program = 0xFFFF;
+  /// Execution slot the chain runs on — where mutation events are recorded.
+  std::uint16_t exec_slot = 0;
+  /// When set, attribute mutations made through the host API are attributed
+  /// to this provenance record (obs::Provenance::note_mutation).
+  obs::Provenance* prov = nullptr;
 };
 
 }  // namespace xb::xbgp

@@ -100,6 +100,7 @@ void Vmm::load(const Manifest& manifest) {
       prog->vms.back()->set_exec_mode(options_.exec_mode);
       bind_helpers(*prog, slot);
     }
+    prog->index = static_cast<std::uint16_t>(programs_.size());
     chains_[static_cast<std::size_t>(entry.point)].push_back(prog.get());
     loaded_now.push_back(prog.get());
     programs_.push_back(std::move(prog));
@@ -240,6 +241,8 @@ void Vmm::set_telemetry(obs::Telemetry* telemetry) {
 void Vmm::run_init(LoadedProgram& prog) {
   ExecContext ctx;
   ctx.op = Op::kInit;
+  ctx.current_program = prog.index;
+  ctx.exec_slot = 0;
   ExecSlot& slot = *slots_[0];
   slot.current_ctx = &ctx;
   slot.arena.reset();
@@ -302,6 +305,10 @@ Vmm::ChainOutcome Vmm::run_chain(std::vector<LoadedProgram*>& chain, ExecContext
   ChainOutcome out;
   obs::Span* last_span = nullptr;
   for (LoadedProgram* prog : chain) {
+    // Stamp the running program into the context so host-API mutation
+    // funnels can attribute attribute rewrites (provenance + event log).
+    ctx.current_program = prog->index;
+    ctx.exec_slot = static_cast<std::uint16_t>(slot_index);
     slot.arena.reset();
     auto& vm = *prog->vms[slot_index];
     auto& mem = vm.memory();

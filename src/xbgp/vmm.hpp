@@ -183,6 +183,15 @@ class Vmm {
 
   [[nodiscard]] HostApi& host() noexcept { return host_; }
 
+  /// Resolves a provenance / flight-recorder program id (the program's load
+  /// index, stamped into ExecContext::current_program while it runs) back to
+  /// its manifest name; empty when out of range.
+  [[nodiscard]] std::string_view program_name(std::uint16_t index) const noexcept {
+    return index < programs_.size() ? std::string_view(programs_[index]->entry.name)
+                                    : std::string_view{};
+  }
+  [[nodiscard]] std::size_t program_count() const noexcept { return programs_.size(); }
+
  private:
   /// Persistent state shared by all extension codes of one xBGP program
   /// group: the keyed shared-memory pool and the helper maps. Shared across
@@ -214,6 +223,10 @@ class Vmm {
     /// facts; shared read-only by every slot's VM (fast tier).
     std::unique_ptr<const ebpf::IrProgram> ir;
     GroupState* group = nullptr;  // owned by Vmm::groups_
+    /// Stable position in programs_ — the provenance / event-log program id
+    /// (program_name() resolves it back; unload_all clears everything, so
+    /// indices never dangle).
+    std::uint16_t index = 0;
     std::atomic<std::uint64_t> runs{0};
 
     explicit LoadedProgram(ManifestEntry e) : entry(std::move(e)) {}

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -191,6 +192,115 @@ TEST(DifferentialHost, PeerGroupEngineAgreesAcrossHostsAndParallelism) {
   }
   expect_equivalent(fir_runs[0], fir_runs[1]);
   expect_equivalent(fir_runs[0], fir_runs[2]);
+}
+
+// --- flight recorder parity ---------------------------------------------------
+
+/// One provenance record rendered host-independently (program / peer ids are
+/// load-order indices, identical on both hosts).
+std::string prov_str(const Prefix& prefix, const obs::Provenance* p) {
+  if (p == nullptr) return prefix.str() + " none";
+  std::string s = prefix.str() + " serial=" + std::to_string(p->ingest_serial) +
+                  " src=" + std::to_string(p->src_peer) +
+                  " step=" + std::to_string(p->decision_step) + " muts=";
+  for (std::size_t i = 0; i < p->mutator_entries(); ++i) {
+    s += std::to_string(p->mutators[i]) + ":" +
+         std::to_string(p->mutator_ops[i]) + ",";
+  }
+  return s;
+}
+
+/// Host- and parallelism-independent view of the flight recorder: the
+/// provenance tables (ingest serials are assigned in arrival order on the
+/// main thread, so their VALUES are deterministic at every parallelism),
+/// the event stream stripped of its nondeterministic interleaving (event
+/// serial, slot, timestamp) and sorted by content, and the flap verdict.
+struct RecorderSnapshot {
+  std::vector<std::string> loc, in_up, out_down;
+  std::vector<std::tuple<std::uint8_t, std::uint32_t, std::uint8_t, std::uint32_t,
+                         std::uint32_t, std::uint16_t, std::uint8_t, std::uint64_t,
+                         std::uint64_t>>
+      events;
+  bool quiescent = false;
+  std::size_t tracked = 0;
+  std::uint64_t changes = 0, max_penalty = 0, recorded = 0;
+};
+
+template <typename RouterT>
+RecorderSnapshot run_recorder_rr(const harness::Workload& workload,
+                                 std::size_t parallelism) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  typename RouterT::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  cfg.parallelism = parallelism;
+  RouterT dut(loop, cfg);
+  dut.load_extensions(ext::route_reflection_manifest());
+  harness::Testbed<RouterT> bed(loop, dut, plan);
+  bed.establish();
+  bed.run(workload, workload.prefix_count);
+
+  RecorderSnapshot s;
+  constexpr std::size_t kUp = 0, kDown = 1;
+  for (const auto& prefix : dut.loc_rib_prefixes()) {
+    s.loc.push_back(prov_str(prefix, dut.loc_rib_provenance(prefix)));
+    s.in_up.push_back(prov_str(prefix, dut.adj_rib_in_provenance(kUp, prefix)));
+    s.out_down.push_back(prov_str(prefix, dut.adj_rib_out_provenance(kDown, prefix)));
+  }
+  for (const auto& e : dut.telemetry().events().collect()) {
+    s.events.emplace_back(static_cast<std::uint8_t>(e.kind), e.prefix_addr,
+                          e.prefix_len, e.peer, e.old_peer, e.program, e.op,
+                          e.route_serial, e.old_route_serial);
+  }
+  std::sort(s.events.begin(), s.events.end());
+  const obs::FlapVerdict v = dut.flap_verdict();
+  s.quiescent = v.quiescent;
+  s.tracked = v.tracked_prefixes;
+  s.changes = v.total_changes;
+  s.max_penalty = v.max_penalty;
+  // recorded_total is parallelism-invariant (same events, different slots);
+  // dropped_total is NOT (per-slot rings), so it stays out of the snapshot.
+  s.recorded = dut.telemetry().events().recorded_total();
+  return s;
+}
+
+void expect_recorder_equal(const RecorderSnapshot& a, const RecorderSnapshot& b) {
+  EXPECT_EQ(a.loc, b.loc) << "Loc-RIB provenance differs";
+  EXPECT_EQ(a.in_up, b.in_up) << "Adj-RIB-In provenance differs";
+  EXPECT_EQ(a.out_down, b.out_down) << "Adj-RIB-Out provenance differs";
+  EXPECT_EQ(a.events, b.events) << "flight-recorder event content differs";
+  EXPECT_EQ(a.quiescent, b.quiescent);
+  EXPECT_EQ(a.tracked, b.tracked);
+  EXPECT_EQ(a.changes, b.changes);
+  EXPECT_EQ(a.max_penalty, b.max_penalty);
+  EXPECT_EQ(a.recorded, b.recorded);
+}
+
+// The observability layer is subject to the same portability oracle as the
+// RIBs: provenance records, event content and the flap verdict must agree
+// between Fir and Wren, and each host must agree with itself across
+// parallelism 1 / 2 / 8.
+TEST(DifferentialHost, FlightRecorderAgreesAcrossHostsAndParallelism) {
+  harness::WorkloadParams params;
+  params.route_count = 180;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+  std::vector<RecorderSnapshot> fir_runs;
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto fir = run_recorder_rr<Fir>(workload, parallelism);
+    const auto wren = run_recorder_rr<Wren>(workload, parallelism);
+    ASSERT_FALSE(fir.loc.empty());
+    EXPECT_GT(fir.recorded, 0u);
+    EXPECT_GT(fir.changes, 0u);
+    expect_recorder_equal(fir, wren);
+    fir_runs.push_back(fir);
+  }
+  expect_recorder_equal(fir_runs[0], fir_runs[1]);
+  expect_recorder_equal(fir_runs[0], fir_runs[2]);
 }
 
 // --- §3.4 origin validation ---------------------------------------------------

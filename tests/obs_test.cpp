@@ -8,9 +8,12 @@
 #include <algorithm>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "extensions/route_reflection.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/flap.hpp"
 #include "harness/testbed.hpp"
 #include "harness/workload.hpp"
 #include "hosts/fir/fir_router.hpp"
@@ -316,6 +319,193 @@ TEST(RtrTelemetry, CountsSyncAndRoas) {
 }
 
 // --- end-to-end: spans and counters through a real host run ---------------------
+
+// --- flight recorder: event log -----------------------------------------------
+
+TEST(EventLog, WrapsAroundCountingDrops) {
+  obs::EventLog log(/*capacity_per_slot=*/4, /*slots=*/1);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    obs::Event* e = log.append(0);
+    e->kind = obs::EventKind::kRouteLearned;
+    e->route_serial = i + 1;
+  }
+  EXPECT_EQ(log.recorded_total(), 6u);
+  EXPECT_EQ(log.dropped_total(), 2u);
+
+  const auto events = log.collect();
+  ASSERT_EQ(events.size(), 4u);
+  // The two oldest were overwritten; the survivors come back serial-sorted.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].serial, 3u + i);
+    EXPECT_EQ(events[i].route_serial, 3u + i);
+  }
+  log.clear();
+  EXPECT_EQ(log.recorded_total(), 0u);
+  EXPECT_TRUE(log.collect().empty());
+}
+
+TEST(EventLog, ParallelAppendAcrossEightSlots) {
+  constexpr std::size_t kSlots = 8, kCap = 64, kPerSlot = 200;
+  obs::EventLog log(kCap, kSlots);
+  std::vector<std::thread> threads;
+  threads.reserve(kSlots);
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    threads.emplace_back([&log, slot] {
+      for (std::size_t i = 0; i < kPerSlot; ++i) {
+        obs::Event* e = log.append(slot);
+        e->kind = obs::EventKind::kBestChanged;
+        e->prefix_addr = static_cast<std::uint32_t>(slot * kPerSlot + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(log.recorded_total(), kSlots * kPerSlot);
+  EXPECT_EQ(log.dropped_total(), kSlots * (kPerSlot - kCap));
+  const auto events = log.collect();
+  ASSERT_EQ(events.size(), kSlots * kCap);
+  // Serials are globally unique and collect() returns them ascending.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].serial, events[i].serial);
+  }
+  // Each slot kept exactly its newest kCap events.
+  std::size_t per_slot[kSlots] = {};
+  for (const auto& e : events) ++per_slot[e.slot];
+  for (std::size_t s = 0; s < kSlots; ++s) EXPECT_EQ(per_slot[s], kCap);
+}
+
+// --- flight recorder: flap detector -------------------------------------------
+
+TEST(FlapDetector, PenaltyDecaysWithHalfLife) {
+  obs::FlapOptions opt;  // penalty 1000, half-life 15s, quiet 2s
+  obs::FlapDetector det(opt, /*shards=*/1);
+  const std::uint64_t t0 = 1'000'000'000ull;
+  det.on_change(0, obs::flap_key(0x0A000000, 24), t0);
+
+  EXPECT_EQ(det.verdict(t0).max_penalty, opt.penalty_per_change);
+  const auto later = det.verdict(t0 + opt.half_life_ns);
+  EXPECT_NEAR(static_cast<double>(later.max_penalty),
+              static_cast<double>(opt.penalty_per_change) / 2.0, 8.0);
+  EXPECT_EQ(later.total_changes, 1u);
+  // One isolated change, quiet window long past: quiescent.
+  EXPECT_TRUE(later.quiescent);
+}
+
+TEST(FlapDetector, SuppressionHoldsPastTheQuietWindow) {
+  obs::FlapOptions opt;
+  obs::FlapDetector det(opt, /*shards=*/2);
+  const std::uint64_t key = obs::flap_key(0xC0000200, 24);
+  std::uint64_t now = 1'000'000'000ull;
+  for (int i = 0; i < 4; ++i) {  // 4000 penalty, over the 3000 threshold
+    det.on_change(1, key, now);
+    now += 100'000'000ull;
+  }
+  // Within the quiet window: active and suppressed.
+  auto v = det.verdict(now);
+  EXPECT_FALSE(v.quiescent);
+  EXPECT_EQ(v.active_prefixes, 1u);
+  EXPECT_EQ(v.suppressed_prefixes, 1u);
+  // Past the quiet window the penalty has barely decayed: still suppressed,
+  // still not quiescent — this is what the oracle keys on.
+  v = det.verdict(now + opt.quiet_ns + 1);
+  EXPECT_FALSE(v.quiescent);
+  EXPECT_EQ(v.active_prefixes, 0u);
+  EXPECT_EQ(v.suppressed_prefixes, 1u);
+  EXPECT_GT(v.max_penalty, 3000u);
+  // Minutes later the penalty has decayed under the threshold: quiescent.
+  v = det.verdict(now + 10 * opt.half_life_ns);
+  EXPECT_TRUE(v.quiescent);
+  EXPECT_EQ(v.suppressed_prefixes, 0u);
+}
+
+TEST(FlapDetector, SweepReportsBurstDurationsOnce) {
+  obs::FlapOptions opt;
+  obs::FlapDetector det(opt, /*shards=*/1);
+  const std::uint64_t t0 = 5'000'000'000ull;
+  const std::uint64_t key = obs::flap_key(0x0A010000, 16);
+  det.on_change(0, key, t0);
+  det.on_change(0, key, t0 + 1'000'000'000ull);  // same burst, 1s apart
+
+  std::vector<std::uint64_t> bursts;
+  auto observe = [&bursts](std::uint64_t ns) { bursts.push_back(ns); };
+  // Still inside the quiet window: the burst is open, nothing reported.
+  det.sweep(t0 + 1'500'000'000ull, observe);
+  EXPECT_TRUE(bursts.empty());
+  // Stable for quiet_ns: the burst closes, duration = last - first change.
+  det.sweep(t0 + 1'000'000'000ull + opt.quiet_ns + 1, observe);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0], 1'000'000'000ull);
+  // Idempotent: a closed burst is reported exactly once.
+  det.sweep(t0 + 100'000'000'000ull, observe);
+  EXPECT_EQ(bursts.size(), 1u);
+}
+
+// --- flight recorder: exposition ----------------------------------------------
+
+TEST(Exposition, PrometheusEscapesLabelValues) {
+  // A peer name with a quote, a backslash and a newline must come out
+  // escaped per the 0.0.4 text format, not spliced raw into the series.
+  const std::string peer = "we\"ird\\peer\nx";
+  obs::Registry reg;
+  reg.add(reg.counter("xbgp_session_updates_received_total{peer=\"" + peer + "\"}",
+                      "updates per peer"),
+          7, 0);
+  const std::string text = obs::to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("peer=\"we\\\"ird\\\\peer\\nx\""), std::string::npos);
+  // No line of the exposition may carry an unescaped quote-breaking value.
+  EXPECT_EQ(text.find("peer=\"we\"ird"), std::string::npos);
+}
+
+TEST(Exposition, EventJsonlRendersKindsNamesAndEscapes) {
+  std::vector<obs::Event> events;
+  obs::Event learned;
+  learned.serial = 1;
+  learned.ts_ns = 42;
+  learned.kind = obs::EventKind::kRouteLearned;
+  learned.prefix_addr = 0x0A000100;  // 10.0.1.0
+  learned.prefix_len = 24;
+  learned.peer = 2;
+  learned.route_serial = 9;
+  events.push_back(learned);
+
+  obs::Event mutation;
+  mutation.serial = 2;
+  mutation.kind = obs::EventKind::kExtensionMutation;
+  mutation.program = 1;
+  mutation.op = static_cast<std::uint8_t>(xbgp::Op::kReceiveMessage);
+  events.push_back(mutation);
+
+  obs::Event down;
+  down.serial = 3;
+  down.kind = obs::EventKind::kSessionDown;
+  down.peer = 2;
+  events.push_back(down);
+
+  const std::string jsonl = obs::to_jsonl(
+      events,
+      [](std::uint32_t id) {
+        return id == 2 ? std::string_view("up\"stream") : std::string_view{};
+      },
+      [](std::uint8_t o) {
+        return std::string_view(to_string(static_cast<xbgp::Op>(o)));
+      },
+      [](std::uint16_t p) {
+        return p == 1 ? std::string_view("geo") : std::string_view{};
+      });
+
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+  EXPECT_NE(jsonl.find("\"kind\":\"route-learned\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"prefix\":\"10.0.1.0/24\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"route_serial\":9"), std::string::npos);
+  // Peer names pass through the JSON escaper.
+  EXPECT_NE(jsonl.find("\"peer\":\"up\\\"stream\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"program\":\"geo\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"extension-mutation\""), std::string::npos);
+  // Session events carry no prefix field.
+  const auto last = jsonl.rfind("{");
+  EXPECT_EQ(jsonl.find("\"prefix\"", last), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"session-down\"", last), std::string::npos);
+}
 
 TEST(EndToEnd, TracedRunRecordsSpansAndRegistrySeries) {
   using Fir = hosts::fir::FirRouter;

@@ -56,12 +56,16 @@ if [ "$MODE" = "obs" ]; then
   BUILD="$ROOT/build-obs"
   cmake -B "$BUILD" -S "$ROOT"
   cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target obs_overhead xbgp_stats
+    --target obs_overhead xbgp_stats xbgp_why
   # 120k routes keeps individual runs ~0.6s: the fast execution tier cut the
   # workload time ~30%, and shorter runs put the 2% budget under the
   # machine's scheduling-noise floor.
   "$BUILD/bench/obs_overhead" "${2:-120000}" "${3:-7}" "${4:-2.0}"
-  "$BUILD/tools/xbgp_stats" --routes 120
+  "$BUILD/tools/xbgp_stats" --routes 120 --events 5
+  # Flight-recorder gate: the two-router oscillation must be flagged
+  # non-quiescent with a nonzero penalty, the steady RR/OV workloads must
+  # converge quiescent with bounded convergence histograms.
+  "$BUILD/tools/xbgp_why" --oracle
   exit 0
 fi
 

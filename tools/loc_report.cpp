@@ -109,6 +109,18 @@ int main(int argc, char** argv) {
   std::printf("execution engine (ir+translator+vm_fast): %zu LoC, tier 1 of the "
               "two-tier eBPF VM\n", engine);
 
+  // The control-plane flight recorder (docs/observability.md): part of the
+  // telemetry-spine row above, broken out because it is the provenance /
+  // convergence-oracle subset.
+  std::size_t recorder = 0;
+  for (const char* f : {"src/obs/eventlog.hpp", "src/obs/eventlog.cpp",
+                        "src/obs/provenance.hpp", "src/obs/flap.hpp",
+                        "src/obs/flap.cpp"}) {
+    recorder += count_dir(root / f);
+  }
+  std::printf("flight recorder (eventlog+provenance+flap): %zu LoC, the route "
+              "provenance and flap/divergence oracle\n", recorder);
+
   // The peer-group export engine (docs/export_engine.md): part of the shared
   // engine and BGP substrate rows above, broken out because it is the
   // export-path perf subsystem (RibOut groups + attribute interning + packed

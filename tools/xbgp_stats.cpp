@@ -39,6 +39,9 @@ struct Options {
   std::size_t parallelism = 2;
   std::string prom_path;
   std::string jsonl_path;
+  /// When non-zero, pretty-print the first N surviving flight-recorder
+  /// events of every run as JSONL (docs/observability.md).
+  std::size_t events = 0;
 };
 
 struct Report {
@@ -56,7 +59,7 @@ const char* verdict_name(std::uint8_t cls) {
 /// exposition output into the report.
 template <typename RouterT>
 void render(const char* host, const char* use_case, RouterT& dut, Report& rep,
-            const Options& opt) {
+            const Options& opt, std::uint64_t now) {
   const obs::Snapshot snap = dut.telemetry().registry().snapshot();
   const auto spans = dut.telemetry().trace().collect();
   rep.spans += spans.size();
@@ -90,11 +93,43 @@ void render(const char* host, const char* use_case, RouterT& dut, Report& rep,
 
   const auto* invocations = snap.find("xbgp_vmm_invocations_total");
   const auto* fallbacks = snap.find("xbgp_vmm_native_fallbacks_total");
-  std::printf("  invocations=%llu native_fallbacks=%llu spans=%zu faults=%llu%s\n\n",
+  std::printf("  invocations=%llu native_fallbacks=%llu spans=%zu faults=%llu%s\n",
               static_cast<unsigned long long>(invocations ? invocations->value : 0),
               static_cast<unsigned long long>(fallbacks ? fallbacks->value : 0),
               spans.size(), static_cast<unsigned long long>(faults),
               fault_line.c_str());
+
+  // Per-prefix churn from the flap oracle: the worst offenders by decayed
+  // penalty, plus the router-wide quiescence verdict.
+  const obs::FlapVerdict fv = dut.flap_verdict();
+  std::printf("  flap: quiescent=%d tracked=%zu active=%zu suppressed=%zu changes=%llu\n",
+              fv.quiescent ? 1 : 0, fv.tracked_prefixes, fv.active_prefixes,
+              fv.suppressed_prefixes, static_cast<unsigned long long>(fv.total_changes));
+  const auto top = dut.telemetry().flap().top(5, now);
+  for (const auto& e : top) {
+    const util::Prefix p(util::Ipv4Addr(static_cast<std::uint32_t>(e.key >> 8)),
+                         static_cast<std::uint8_t>(e.key & 0xFF));
+    std::printf("    %-18s changes=%-6llu penalty=%llu\n", p.str().c_str(),
+                static_cast<unsigned long long>(e.changes),
+                static_cast<unsigned long long>(e.penalty));
+  }
+
+  if (opt.events > 0) {
+    auto events = dut.telemetry().events().collect();
+    const std::size_t total = events.size();
+    if (events.size() > opt.events) events.resize(opt.events);
+    std::printf("  events (%zu of %zu surviving, %llu recorded, %llu dropped):\n",
+                events.size(), total,
+                static_cast<unsigned long long>(dut.telemetry().events().recorded_total()),
+                static_cast<unsigned long long>(dut.telemetry().events().dropped_total()));
+    const std::string lines = obs::to_jsonl(
+        events,
+        [&dut](std::uint32_t id) { return dut.peer_display_name(id); },
+        [](std::uint8_t o) { return std::string_view(to_string(static_cast<xbgp::Op>(o))); },
+        [&dut](std::uint16_t p) { return dut.extension_name(p); });
+    std::fputs(lines.c_str(), stdout);
+  }
+  std::printf("\n");
 
   if (!opt.prom_path.empty()) {
     rep.prom += "# run: " + std::string(host) + "/" + use_case + "\n";
@@ -138,7 +173,7 @@ void run_rr(const char* host, const Options& opt, Report& rep) {
   params.with_local_pref = true;
   const auto workload = harness::make_workload(params);
   bed.run(workload, workload.prefix_count);
-  render(host, "route-reflection", dut, rep, opt);
+  render(host, "route-reflection", dut, rep, opt, loop.now());
 }
 
 template <typename RouterT>
@@ -156,7 +191,7 @@ void run_ov(const char* host, const Options& opt, Report& rep) {
   harness::Testbed<RouterT> bed(loop, dut, plan);
   bed.establish();
   bed.run(workload, workload.prefix_count);
-  render(host, "origin-validation", dut, rep, opt);
+  render(host, "origin-validation", dut, rep, opt, loop.now());
 }
 
 template <typename RouterT>
@@ -177,7 +212,7 @@ void run_geoloc(const char* host, const Options& opt, Report& rep) {
   params.route_count = opt.routes;
   const auto workload = harness::make_workload(params);
   bed.run(workload, workload.prefix_count);
-  render(host, "geoloc", dut, rep, opt);
+  render(host, "geoloc", dut, rep, opt, loop.now());
 }
 
 template <typename RouterT>
@@ -218,12 +253,13 @@ void run_valley_free(const char* host, const Options& opt, Report& rep) {
     bed.feeder().session().send_update(update);
   }
   loop.run_until(loop.now() + 2 * kSec);
-  render(host, "valley-free", dut, rep, opt);
+  render(host, "valley-free", dut, rep, opt, loop.now());
 }
 
 void usage() {
   std::printf(
-      "usage: xbgp_stats [--routes N] [--parallelism N] [--prom FILE] [--jsonl FILE]\n");
+      "usage: xbgp_stats [--routes N] [--parallelism N] [--prom FILE] [--jsonl FILE]\n"
+      "                  [--events N]\n");
 }
 
 }  // namespace
@@ -249,6 +285,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { usage(); return 2; }
       opt.jsonl_path = v;
+    } else if (arg == "--events") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.events = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else {
       usage();
       return arg == "--help" ? 0 : 2;

@@ -1,0 +1,376 @@
+// xbgp_why: the flight-recorder query CLI (docs/observability.md).
+//
+// Default mode runs the paper's route-reflection workload on the Fir host
+// with the recorder on, then answers "why is this prefix routed this way"
+// from the provenance views: source peer, the decision step that selected
+// the route, the extension programs that mutated attributes on the way, and
+// the ingest serial — plus the surviving flight-recorder events for the
+// prefix as JSONL.
+//
+//   xbgp_why [--prefix A.B.C.D/L] [--routes N] [--parallelism N]
+//   xbgp_why --oracle [--routes N]
+//
+// --oracle exercises the flap/divergence oracle end to end: a scripted
+// announce/withdraw oscillation across two net-connected engine routers
+// must be flagged non-quiescent with a nonzero decayed penalty, while the
+// steady route-reflection and origin-validation workloads must converge to
+// a quiescent verdict with a bounded convergence-time histogram. Exits
+// non-zero when either side of the oracle misbehaves, which makes the ctest
+// smoke entry a real end-to-end gate.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bgp/decision.hpp"
+#include "extensions/origin_validation.hpp"
+#include "extensions/route_reflection.hpp"
+#include "harness/testbed.hpp"
+#include "harness/workload.hpp"
+#include "hosts/fir/fir_router.hpp"
+#include "net/channel.hpp"
+#include "obs/export.hpp"
+
+namespace {
+
+using namespace xb;
+using Fir = hosts::fir::FirRouter;
+
+constexpr std::uint64_t kMs = 1'000'000ull;
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+struct Options {
+  std::string prefix;
+  std::size_t routes = 400;
+  std::size_t parallelism = 2;
+  bool oracle = false;
+};
+
+std::string step_name(std::uint8_t step) {
+  switch (step) {
+    case obs::kProvStepUnset: return "unset";
+    case obs::kProvStepExtension: return "extension";
+    case obs::kProvStepOnlyRoute: return "only-route";
+    case obs::kProvStepLocal: return "local";
+    default: return std::string(bgp::to_string(static_cast<bgp::DecisionStep>(step)));
+  }
+}
+
+std::string peer_label(const Fir& dut, std::uint32_t id) {
+  if (id == obs::kProvNoPeer) return "local";
+  const std::string_view name = dut.peer_display_name(id);
+  return name.empty() ? "peer-" + std::to_string(id) : std::string(name);
+}
+
+std::string mutator_list(const Fir& dut, const obs::Provenance& prov) {
+  if (prov.mutation_count == 0) return "none";
+  std::string out;
+  for (std::size_t i = 0; i < prov.mutator_entries(); ++i) {
+    if (!out.empty()) out += ", ";
+    const std::string_view name = dut.extension_name(prov.mutators[i]);
+    out += name.empty() ? "program-" + std::to_string(prov.mutators[i]) : std::string(name);
+    out += '@';
+    out += to_string(static_cast<xbgp::Op>(prov.mutator_ops[i]));
+  }
+  if (prov.mutation_count > prov.mutator_entries()) {
+    out += " (+" + std::to_string(prov.mutation_count - prov.mutator_entries()) +
+           " more mutations)";
+  }
+  return out;
+}
+
+void print_provenance(const Fir& dut, const char* where, const obs::Provenance* prov) {
+  if (prov == nullptr) {
+    std::printf("  %-24s (no recorded provenance)\n", where);
+    return;
+  }
+  std::printf("  %-24s from=%s serial=%llu decided-by=%s mutators=%s\n", where,
+              peer_label(dut, prov->src_peer).c_str(),
+              static_cast<unsigned long long>(prov->ingest_serial),
+              step_name(prov->decision_step).c_str(), mutator_list(dut, *prov).c_str());
+}
+
+/// Default mode: run the RR workload, then explain one prefix.
+int run_why(const Options& opt) {
+  net::EventLoop loop;
+  const auto plan = harness::TestbedPlan::ibgp_plan();
+  Fir::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  cfg.cluster_id = 0xC1C1C1C1;
+  cfg.parallelism = opt.parallelism;
+  Fir dut(loop, cfg);
+  dut.load_extensions(ext::route_reflection_manifest());
+  harness::Testbed<Fir> bed(loop, dut, plan);
+  bed.establish();
+  harness::WorkloadParams params;
+  params.route_count = opt.routes;
+  params.with_local_pref = true;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);
+
+  util::Prefix prefix;
+  if (!opt.prefix.empty()) {
+    try {
+      prefix = util::Prefix::parse(opt.prefix);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "xbgp_why: cannot parse prefix '%s'\n", opt.prefix.c_str());
+      return 2;
+    }
+  } else {
+    const auto prefixes = dut.loc_rib_prefixes();
+    if (prefixes.empty()) {
+      std::fprintf(stderr, "xbgp_why: Loc-RIB is empty after the workload\n");
+      return 1;
+    }
+    prefix = prefixes.front();
+  }
+
+  std::printf("why %s (fir / route-reflection, %zu routes, parallelism %zu)\n",
+              prefix.str().c_str(), opt.routes, opt.parallelism);
+  const obs::Provenance* loc = dut.loc_rib_provenance(prefix);
+  print_provenance(dut, "loc-rib", loc);
+  for (std::size_t id = 0; id < 2; ++id) {
+    std::string where = "adj-rib-in[" + peer_label(dut, static_cast<std::uint32_t>(id)) + "]";
+    if (const obs::Provenance* p = dut.adj_rib_in_provenance(id, prefix)) {
+      print_provenance(dut, where.c_str(), p);
+    }
+    where = "adj-rib-out[" + peer_label(dut, static_cast<std::uint32_t>(id)) + "]";
+    if (const obs::Provenance* p = dut.adj_rib_out_provenance(id, prefix)) {
+      print_provenance(dut, where.c_str(), p);
+    }
+  }
+
+  const auto events = dut.telemetry().events().collect();
+  std::vector<obs::Event> matching;
+  for (const obs::Event& e : events) {
+    if (e.prefix_addr == prefix.addr().value() && e.prefix_len == prefix.length()) {
+      matching.push_back(e);
+    }
+  }
+  std::printf("events for %s (%zu of %zu surviving, %llu recorded, %llu dropped):\n",
+              prefix.str().c_str(), matching.size(), events.size(),
+              static_cast<unsigned long long>(dut.telemetry().events().recorded_total()),
+              static_cast<unsigned long long>(dut.telemetry().events().dropped_total()));
+  const std::string jsonl = obs::to_jsonl(
+      matching,
+      [&dut](std::uint32_t id) { return dut.peer_display_name(id); },
+      [](std::uint8_t o) { return std::string_view(to_string(static_cast<xbgp::Op>(o))); },
+      [&dut](std::uint16_t p) { return dut.extension_name(p); });
+  std::fputs(jsonl.c_str(), stdout);
+
+  if (loc == nullptr) {
+    std::fprintf(stderr, "xbgp_why: no Loc-RIB provenance recorded for %s\n",
+                 prefix.str().c_str());
+    return 1;
+  }
+  if (matching.empty()) {
+    std::fprintf(stderr, "xbgp_why: no flight-recorder events for %s\n",
+                 prefix.str().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// --- the flap / divergence oracle -------------------------------------------------
+
+/// Two engine routers on one net link, an eBGP feeder oscillating a prefix
+/// into the first: both flap detectors must flag the churn.
+bool oracle_oscillation() {
+  net::EventLoop loop;
+  net::Duplex feed_link(loop, /*latency=*/0);
+  net::Duplex ab_link(loop, /*latency=*/0);
+
+  Fir::Config cfg_a;
+  cfg_a.name = "osc-a";
+  cfg_a.asn = 65100;
+  cfg_a.router_id = 0x0A000001;
+  cfg_a.address = util::Ipv4Addr(10, 1, 0, 1);
+  Fir a(loop, cfg_a);
+  a.add_peer(feed_link.b(), {.name = "feed",
+                             .asn = 65001,
+                             .address = util::Ipv4Addr(10, 1, 0, 9)});
+  a.add_peer(ab_link.a(), {.name = "b",
+                           .asn = 65200,
+                           .address = util::Ipv4Addr(10, 1, 0, 2),
+                           .next_hop_self = true});
+
+  Fir::Config cfg_b;
+  cfg_b.name = "osc-b";
+  cfg_b.asn = 65200;
+  cfg_b.router_id = 0x0A000002;
+  cfg_b.address = util::Ipv4Addr(10, 1, 0, 2);
+  Fir b(loop, cfg_b);
+  b.add_peer(ab_link.b(), {.name = "a",
+                           .asn = 65100,
+                           .address = util::Ipv4Addr(10, 1, 0, 1)});
+
+  bgp::PeerSession::Config fc;
+  fc.local_asn = 65001;
+  fc.peer_asn = 65100;
+  fc.local_id = 0x0A000009;
+  fc.local_addr = util::Ipv4Addr(10, 1, 0, 9);
+  fc.peer_addr = util::Ipv4Addr(10, 1, 0, 1);
+  harness::Feeder feeder(loop, feed_link.a(), fc);
+
+  a.start();
+  b.start();
+  feeder.start();
+  loop.run_until(loop.now() + kSec);
+  if (!feeder.established()) {
+    std::fprintf(stderr, "oracle: oscillation sessions failed to establish\n");
+    return false;
+  }
+
+  const util::Prefix prefix(util::Ipv4Addr(192, 0, 2, 0), 24);
+  bgp::UpdateMessage announce;
+  announce.attrs.put(bgp::make_origin(bgp::Origin::kIgp));
+  announce.attrs.put(bgp::AsPath({65001}).to_attr());
+  announce.attrs.put(bgp::make_next_hop(util::Ipv4Addr(10, 1, 0, 9)));
+  announce.nlri = {prefix};
+  bgp::UpdateMessage withdraw;
+  withdraw.withdrawn = {prefix};
+
+  constexpr int kCycles = 20;
+  for (int i = 0; i < kCycles; ++i) {
+    feeder.session().send_update(announce);
+    loop.run_until(loop.now() + 100 * kMs);
+    feeder.session().send_update(withdraw);
+    loop.run_until(loop.now() + 100 * kMs);
+  }
+
+  bool ok = true;
+  for (auto* r : {&a, &b}) {
+    const obs::FlapVerdict v = r->flap_verdict();
+    std::printf(
+        "oracle %-6s oscillating: quiescent=%d tracked=%zu active=%zu suppressed=%zu "
+        "changes=%llu penalty_max=%llu events=%llu\n",
+        r->config().name.c_str(), v.quiescent ? 1 : 0, v.tracked_prefixes,
+        v.active_prefixes, v.suppressed_prefixes,
+        static_cast<unsigned long long>(v.total_changes),
+        static_cast<unsigned long long>(v.max_penalty),
+        static_cast<unsigned long long>(r->telemetry().events().recorded_total()));
+    if (v.quiescent || v.max_penalty == 0 ||
+        v.total_changes < static_cast<std::uint64_t>(kCycles)) {
+      std::fprintf(stderr, "oracle: %s failed to flag the oscillation\n",
+                   r->config().name.c_str());
+      ok = false;
+    }
+    if (r->telemetry().events().recorded_total() == 0) {
+      std::fprintf(stderr, "oracle: %s recorded no flight-recorder events\n",
+                   r->config().name.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// A steady fig-4 workload must converge: quiescent verdict, every change
+/// burst closed into a bounded convergence histogram.
+template <typename Load>
+bool oracle_quiescent(const char* label, Load&& load) {
+  net::EventLoop loop;
+  const bool ibgp = std::strcmp(label, "route-reflection") == 0;
+  const auto plan =
+      ibgp ? harness::TestbedPlan::ibgp_plan() : harness::TestbedPlan::ebgp_plan();
+  Fir::Config cfg;
+  cfg.name = "dut";
+  cfg.asn = plan.dut_asn;
+  cfg.router_id = 0x0A000002;
+  cfg.address = plan.dut_addr;
+  if (ibgp) cfg.cluster_id = 0xC1C1C1C1;
+  Fir dut(loop, cfg);
+  load(dut);
+  harness::Testbed<Fir> bed(loop, dut, plan);
+  bed.establish();
+  harness::WorkloadParams params;
+  params.route_count = 200;
+  params.with_local_pref = ibgp;
+  const auto workload = harness::make_workload(params);
+  bed.run(workload, workload.prefix_count);
+
+  // Let the quiet window elapse, then ask the oracle.
+  loop.run_until(loop.now() + 3 * kSec);
+  const obs::FlapVerdict v = dut.flap_verdict();
+  const obs::Snapshot snap = dut.telemetry().registry().snapshot();
+  const obs::MetricValue* hist = snap.find("xbgp_convergence_ns");
+  const std::uint64_t samples = hist != nullptr ? hist->count : 0;
+  const double p999 = hist != nullptr ? hist->quantile(0.999) : 0.0;
+  std::printf(
+      "oracle %-17s steady: quiescent=%d tracked=%zu changes=%llu convergence_samples=%llu "
+      "p999_ms=%.3f\n",
+      label, v.quiescent ? 1 : 0, v.tracked_prefixes,
+      static_cast<unsigned long long>(v.total_changes),
+      static_cast<unsigned long long>(samples), p999 / 1e6);
+  if (!v.quiescent || v.total_changes == 0 || samples == 0 ||
+      p999 > 2.0 * static_cast<double>(kSec)) {
+    std::fprintf(stderr, "oracle: steady %s workload failed the quiescence gate\n", label);
+    return false;
+  }
+  return true;
+}
+
+int run_oracle() {
+  bool ok = oracle_oscillation();
+  ok = oracle_quiescent("route-reflection",
+                        [](Fir& dut) {
+                          dut.load_extensions(ext::route_reflection_manifest());
+                        }) &&
+       ok;
+  ok = oracle_quiescent("origin-validation",
+                        [](Fir& dut) {
+                          harness::WorkloadParams params;
+                          params.route_count = 200;
+                          const auto workload = harness::make_workload(params);
+                          const auto roas =
+                              rpki::make_roa_set(workload.routes, rpki::RoaSetParams{});
+                          dut.set_xtra(xbgp::xtra::kRoaTable, harness::pack_roa_blob(roas));
+                          dut.load_extensions(ext::origin_validation_manifest(roas.size()));
+                        }) &&
+       ok;
+  std::printf("oracle verdict: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+void usage() {
+  std::printf(
+      "usage: xbgp_why [--prefix A.B.C.D/L] [--routes N] [--parallelism N] [--oracle]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--prefix") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.prefix = v;
+    } else if (arg == "--routes") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.routes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--parallelism") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.parallelism = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--oracle") {
+      opt.oracle = true;
+    } else {
+      usage();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  try {
+    return opt.oracle ? run_oracle() : run_why(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbgp_why: %s\n", e.what());
+    return 1;
+  }
+}
