@@ -5,18 +5,23 @@
 // Every execution benchmark takes a trailing `tier` argument:
 //   /0  tier 0, the decode-per-step reference interpreter,
 //   /1  tier 1, the fast engine (pre-decoded IR, direct-threaded dispatch),
-//   /2  tier 1 with analyzer-proven bounds-check elision (the production
-//       configuration: what the Vmm builds at load time).
-// The tier-0 vs tier-1 ratio on the same workload is the dispatch-cost
-// speedup recorded in results/vm_overhead_*.txt.
+//   /2  tier 1 with analyzer-proven bounds-check elision (the fastest
+//       interpreted configuration),
+//   /3  tier 2, the x86-64 JIT compiled from the elided IR (the production
+//       configuration: what the Vmm builds at load time on supported hosts).
+// The tier-0 vs tier-1 ratio on the same workload is the interpreted
+// dispatch-cost speedup; /1 (or /2) vs /3 is the native-code speedup —
+// both recorded in results/vm_overhead_*.txt.
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <memory>
 #include <optional>
 
 #include "ebpf/analyzer.hpp"
 #include "ebpf/assembler.hpp"
 #include "ebpf/ir.hpp"
+#include "ebpf/jit.hpp"
 #include "ebpf/translator.hpp"
 #include "ebpf/verifier.hpp"
 #include "ebpf/vm.hpp"
@@ -25,37 +30,52 @@ namespace {
 
 using namespace xb::ebpf;
 
-/// Puts `vm` in the benchmarked tier. The IrProgram is returned so it
-/// outlives the run (the Vm only borrows it).
-std::optional<IrProgram> configure_tier(Vm& vm, const Program& p, std::int64_t tier,
-                                        const Analyzer::Options* opts = nullptr) {
-  if (tier == 0) {
-    vm.set_exec_mode(ExecMode::kReference);
-    return std::nullopt;
-  }
+/// The tier's load-time artifacts; they outlive the run (the Vm only
+/// borrows them).
+struct TierImage {
   std::optional<IrProgram> ir;
-  if (tier == 2) {
+  std::unique_ptr<const JitProgram> jit;
+};
+
+/// Builds the benchmarked tier's images for `p`.
+TierImage configure_tier(const Program& p, std::int64_t tier,
+                         const Analyzer::Options* opts = nullptr) {
+  TierImage image;
+  if (tier == 0) return image;
+  if (tier >= 2) {
     const AnalysisResult analysis =
         opts != nullptr ? Analyzer::analyze(p, p.required_helpers(), *opts)
                         : Analyzer::analyze(p, p.required_helpers());
-    ir.emplace(Translator::translate(p, analysis.ok() ? &analysis.facts : nullptr));
+    image.ir.emplace(Translator::translate(p, analysis.ok() ? &analysis.facts : nullptr));
   } else {
-    ir.emplace(Translator::translate(p));
+    image.ir.emplace(Translator::translate(p));
   }
-  return ir;
+  if (tier == 3) {
+    Jit::Result jr = Jit::compile(*image.ir);
+    if (jr.ok()) image.jit = std::move(jr.program);
+  }
+  return image;
 }
 
 void run_tiered(benchmark::State& state, const Program& p, Vm& vm, std::int64_t tier,
                 std::int64_t items_per_run, const Analyzer::Options* opts = nullptr) {
-  const std::optional<IrProgram> ir = configure_tier(vm, p, tier, opts);
-  if (ir) {
-    vm.set_translated(&*ir);
-    vm.set_exec_mode(ExecMode::kFast);
+  const TierImage image = configure_tier(p, tier, opts);
+  if (tier == 3 && !image.jit) {
+    state.SkipWithError("tier-2 JIT unavailable on this host");
+    return;
+  }
+  if (image.ir) {
+    vm.set_translated(&*image.ir);
+    vm.set_jit(image.jit.get());
+    vm.set_exec_mode(image.jit ? ExecMode::kJit : ExecMode::kFast);
+  } else {
+    vm.set_exec_mode(ExecMode::kReference);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(vm.run(p).value);
   }
   vm.set_translated(nullptr);
+  vm.set_jit(nullptr);
   state.SetItemsProcessed(state.iterations() * items_per_run);
 }
 
@@ -83,9 +103,9 @@ void BM_InterpreterAluLoop(benchmark::State& state) {
   run_tiered(state, p, vm, state.range(1), iterations * 5);  // ~5 insns/iter
 }
 BENCHMARK(BM_InterpreterAluLoop)
-    ->Args({16, 0})->Args({16, 1})
-    ->Args({256, 0})->Args({256, 1})
-    ->Args({4096, 0})->Args({4096, 1});
+    ->Args({16, 0})->Args({16, 1})->Args({16, 3})
+    ->Args({256, 0})->Args({256, 1})->Args({256, 3})
+    ->Args({4096, 0})->Args({4096, 1})->Args({4096, 3});
 
 // Bounds-checked loads/stores on the stack region. Tier 2 runs the same
 // program with the analyzer's stack proofs applied, so every access in the
@@ -108,7 +128,7 @@ void BM_InterpreterMemoryLoop(benchmark::State& state) {
   Vm vm;
   run_tiered(state, p, vm, state.range(0), 512);  // loads + stores
 }
-BENCHMARK(BM_InterpreterMemoryLoop)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_InterpreterMemoryLoop)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // Bounds-checked loads/stores through a helper-returned object. Tier 2 runs
 // with the region-domain proofs applied: the accesses sit behind a null
@@ -155,7 +175,7 @@ void BM_InterpreterObjectMemoryLoop(benchmark::State& state) {
   opts.helper_contracts = {{1, contract}};
   run_tiered(state, p, vm, state.range(0), 512, &opts);  // loads + stores
 }
-BENCHMARK(BM_InterpreterObjectMemoryLoop)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_InterpreterObjectMemoryLoop)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // Cost of one helper call round trip (dominated by the std::function hop,
 // identical across tiers — the fast tier only trims the dispatch around it).
@@ -178,7 +198,7 @@ void BM_HelperCall(benchmark::State& state) {
                       std::uint64_t) { return HelperResult::ok(1); });
   run_tiered(state, p, vm, state.range(0), 64);
 }
-BENCHMARK(BM_HelperCall)->Arg(0)->Arg(1);
+BENCHMARK(BM_HelperCall)->Arg(0)->Arg(1)->Arg(3);
 
 // Bare invocation: entry + exit only (per-insertion-point floor).
 void BM_VmInvocationFloor(benchmark::State& state) {
@@ -189,7 +209,7 @@ void BM_VmInvocationFloor(benchmark::State& state) {
   Vm vm;
   run_tiered(state, p, vm, state.range(0), 1);
 }
-BENCHMARK(BM_VmInvocationFloor)->Arg(0)->Arg(1);
+BENCHMARK(BM_VmInvocationFloor)->Arg(0)->Arg(1)->Arg(3);
 
 // Verifier throughput on a program of configurable size.
 void BM_Verifier(benchmark::State& state) {

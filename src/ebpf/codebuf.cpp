@@ -1,0 +1,86 @@
+#include "ebpf/codebuf.hpp"
+
+#include <atomic>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define XB_CODEBUF_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define XB_CODEBUF_HAVE_MMAP 0
+#endif
+
+namespace xb::ebpf {
+
+namespace {
+
+std::atomic<bool> g_fail_allocations{false};
+
+#if XB_CODEBUF_HAVE_MMAP
+std::size_t page_size() noexcept {
+  static const std::size_t ps = [] {
+    const long v = ::sysconf(_SC_PAGESIZE);
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{4096};
+  }();
+  return ps;
+}
+#endif
+
+}  // namespace
+
+void CodeBuf::set_fail_allocations_for_test(bool fail) noexcept {
+  g_fail_allocations.store(fail, std::memory_order_relaxed);
+}
+
+CodeBuf CodeBuf::allocate(std::size_t size) {
+  CodeBuf buf;
+  if (size == 0 || g_fail_allocations.load(std::memory_order_relaxed)) return buf;
+#if XB_CODEBUF_HAVE_MMAP
+  const std::size_t ps = page_size();
+  const std::size_t rounded = (size + ps - 1) / ps * ps;
+  if (rounded < size) return buf;  // overflow
+  void* p = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return buf;
+  buf.data_ = static_cast<std::uint8_t*>(p);
+  buf.size_ = rounded;
+#endif
+  return buf;
+}
+
+bool CodeBuf::finalize() noexcept {
+#if XB_CODEBUF_HAVE_MMAP
+  if (data_ == nullptr || executable_) return executable_;
+  if (::mprotect(data_, size_, PROT_READ | PROT_EXEC) != 0) return false;
+  executable_ = true;
+  return true;
+#else
+  return false;
+#endif
+}
+
+CodeBuf::~CodeBuf() {
+#if XB_CODEBUF_HAVE_MMAP
+  if (data_ != nullptr) ::munmap(data_, size_);
+#endif
+}
+
+CodeBuf::CodeBuf(CodeBuf&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      executable_(std::exchange(other.executable_, false)) {}
+
+CodeBuf& CodeBuf::operator=(CodeBuf&& other) noexcept {
+  if (this != &other) {
+#if XB_CODEBUF_HAVE_MMAP
+    if (data_ != nullptr) ::munmap(data_, size_);
+#endif
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    executable_ = std::exchange(other.executable_, false);
+  }
+  return *this;
+}
+
+}  // namespace xb::ebpf

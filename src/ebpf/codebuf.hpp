@@ -1,0 +1,51 @@
+// W^X executable-memory allocator for the tier-2 JIT backend.
+//
+// Lifecycle: allocate() maps a writable, non-executable page span; the code
+// generator fills it; finalize() flips the protection to read+execute. The
+// mapping is never writable and executable at the same time (W^X), so a
+// compromised extension cannot patch its own native image. Any failure —
+// unsupported platform, mmap or mprotect refusal — leaves the buffer
+// invalid, and the caller declines JIT compilation cleanly (the program
+// runs tier 1 instead; never an error).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xb::ebpf {
+
+class CodeBuf {
+ public:
+  CodeBuf() = default;
+  ~CodeBuf();
+
+  CodeBuf(CodeBuf&& other) noexcept;
+  CodeBuf& operator=(CodeBuf&& other) noexcept;
+  CodeBuf(const CodeBuf&) = delete;
+  CodeBuf& operator=(const CodeBuf&) = delete;
+
+  /// Maps `size` bytes read+write (not executable). Returns an invalid
+  /// buffer on failure or when the platform has no W^X primitive.
+  [[nodiscard]] static CodeBuf allocate(std::size_t size);
+
+  /// Flips the mapping to read+execute (dropping write). Returns false on
+  /// failure; the buffer stays non-executable and must not be entered.
+  [[nodiscard]] bool finalize() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return data_ != nullptr; }
+  [[nodiscard]] bool executable() const noexcept { return executable_; }
+  [[nodiscard]] std::uint8_t* data() noexcept { return data_; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Test hook: force every subsequent allocate() to fail, exercising the
+  /// compile-decline → tier-1 fallback path without exhausting real memory.
+  static void set_fail_allocations_for_test(bool fail) noexcept;
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;      // rounded up to the page size
+  bool executable_ = false;
+};
+
+}  // namespace xb::ebpf

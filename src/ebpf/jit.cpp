@@ -1,0 +1,1243 @@
+// Tier-2 x86-64 code generator. See jit.hpp for the code shape overview and
+// docs/execution_engine.md for the full tier-2 section.
+//
+// The backend is a single-pass emitter over the IR with a fixup pass for
+// branch targets. eBPF registers live in host registers for the whole run
+// (the classic ubpf mapping); r9-r11 are scratch, r12 pins the JitState.
+// Out-of-line stubs (budget deopt, bounds-check miss, helper slow path,
+// faults) are appended after the main body so the hot path stays straight.
+//
+// Parity contract (enforced by tests/ebpf_differential_test.cpp): identical
+// RunResult, Fault{kind, pc, detail-literal}, retired counts and helper-call
+// sequences as tiers 0/1 on every program, including mid-run faults.
+#include "ebpf/jit.hpp"
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "ebpf/ir.hpp"
+#include "ebpf/memory.hpp"
+#include "ebpf/opcodes.hpp"
+#include "ebpf/vm.hpp"
+
+namespace xb::ebpf {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Runtime shims, called from generated code via absolute-address trampolines.
+// SysV calling convention; generated call sites keep rsp 16-byte aligned.
+
+/// Helper-call trampoline. The call site stores the helper id into
+/// JitState::helper_id and passes r1..r5; this shim reproduces tier 0/1
+/// dispatch exactly: unbound id → kUnknownHelper before the call counter,
+/// bound helper → counter increment, then action decoding.
+std::uint32_t helper_shim(JitState* st, std::uint64_t a1, std::uint64_t a2, std::uint64_t a3,
+                          std::uint64_t a4, std::uint64_t a5) {
+  const auto id = static_cast<std::size_t>(st->helper_id);
+  const auto* helpers = static_cast<const HelperFn*>(st->helpers);
+  if (id >= st->helper_count || !helpers[id]) {
+    st->fault_kind = static_cast<std::uint64_t>(FaultKind::kUnknownHelper);
+    st->fault_detail = "helper not bound";
+    return kJitExitFault;
+  }
+  ++*st->helper_calls;
+  const HelperResult hr = helpers[id](a1, a2, a3, a4, a5);
+  if (hr.action == HelperAction::kContinue) {
+    st->helper_ret = hr.value;
+    return kJitExitOk;
+  }
+  if (hr.action == HelperAction::kNext) return kJitExitNext;
+  st->fault_kind = static_cast<std::uint64_t>(FaultKind::kHelperError);
+  st->fault_detail = hr.error;
+  return kJitExitFault;
+}
+
+/// Bounds-check slow path: consults the MemoryModel exactly like tier 0/1's
+/// check(), and on success caches the containing region's bounds so the
+/// inline two-compare form hits next time. Only regions of at least 8 bytes
+/// fill the cache, so the inline `end - len` comparison can never underflow.
+std::uint32_t probe_shim(JitState* st, std::uint64_t addr, std::uint64_t len,
+                         std::uint64_t write) {
+  const auto* region = st->memory->lookup(addr, static_cast<std::size_t>(len), write != 0);
+  if (region == nullptr) return 0;
+  if (region->size >= 8) {
+    const std::uint64_t base = region->base;
+    const std::uint64_t end = region->base + region->size;
+    if (write != 0) {
+      st->wcache_base = base;
+      st->wcache_end = end;
+    } else {
+      st->rcache_base = base;
+      st->rcache_end = end;
+    }
+  }
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 instruction emitter (the subset the lowering needs).
+
+// Host register numbers.
+constexpr unsigned RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+                   R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15;
+
+/// eBPF r0..r10 → host register (ubpf mapping). r9-r11 stay scratch and r12
+/// pins the JitState pointer.
+constexpr unsigned kHostReg[kNumRegisters] = {RAX, RDI, RSI, RDX, RCX, R8,
+                                              RBX, R13, R14, R15, RBP};
+
+// Condition codes for 0F 8x jcc.
+constexpr std::uint8_t CC_B = 0x2, CC_AE = 0x3, CC_E = 0x4, CC_NE = 0x5, CC_BE = 0x6,
+                       CC_A = 0x7, CC_L = 0xC, CC_GE = 0xD, CC_LE = 0xE, CC_G = 0xF;
+
+class Asm {
+ public:
+  [[nodiscard]] const std::vector<std::uint8_t>& code() const noexcept { return code_; }
+  [[nodiscard]] std::size_t pos() const noexcept { return code_.size(); }
+
+  void byte(std::uint8_t v) { code_.push_back(v); }
+  void word(std::uint16_t v) {
+    byte(static_cast<std::uint8_t>(v));
+    byte(static_cast<std::uint8_t>(v >> 8));
+  }
+  void dword(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void qword(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void patch32(std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) code_[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  /// Patches a rel32 slot at `at` to land on `target`.
+  void patch_rel32(std::size_t at, std::size_t target) {
+    patch32(at, static_cast<std::uint32_t>(target - (at + 4)));
+  }
+
+  void rex(bool w, unsigned reg, unsigned rm, bool force = false) {
+    const auto r = static_cast<std::uint8_t>(0x40 | (w ? 8 : 0) | ((reg >> 3) << 2) | (rm >> 3));
+    if (r != 0x40 || force) byte(r);
+  }
+  void modrm_rr(unsigned reg, unsigned rm) {
+    byte(static_cast<std::uint8_t>(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+  }
+  /// [base + disp32]; emits a SIB byte when the base's low bits collide with
+  /// the SIB escape (rsp/r12).
+  void modrm_mem(unsigned reg, unsigned base, std::int32_t disp) {
+    if ((base & 7) == 4) {
+      byte(static_cast<std::uint8_t>(0x84 | ((reg & 7) << 3)));
+      byte(0x24);
+    } else {
+      byte(static_cast<std::uint8_t>(0x80 | ((reg & 7) << 3) | (base & 7)));
+    }
+    dword(static_cast<std::uint32_t>(disp));
+  }
+
+  // Register-register / register-immediate forms.
+  void mov_rr(bool w, unsigned dst, unsigned src) {
+    rex(w, src, dst);
+    byte(0x89);
+    modrm_rr(src, dst);
+  }
+  void movabs(unsigned dst, std::uint64_t imm) {
+    rex(true, 0, dst);
+    byte(static_cast<std::uint8_t>(0xB8 | (dst & 7)));
+    qword(imm);
+  }
+  /// mov r64, sign-extended imm32.
+  void mov_ri_sext(unsigned dst, std::uint32_t imm) {
+    rex(true, 0, dst);
+    byte(0xC7);
+    modrm_rr(0, dst);
+    dword(imm);
+  }
+  /// mov r32, imm32 (zero-extends into the full register).
+  void mov_ri32(unsigned dst, std::uint32_t imm) {
+    rex(false, 0, dst);
+    byte(0xC7);
+    modrm_rr(0, dst);
+    dword(imm);
+  }
+  /// 81 /slash group: add 0, or 1, and 4, sub 5, xor 6, cmp 7.
+  void alu_ri(bool w, unsigned slash, unsigned dst, std::uint32_t imm) {
+    rex(w, 0, dst);
+    byte(0x81);
+    modrm_rr(slash, dst);
+    dword(imm);
+  }
+  void alu_ri8(bool w, unsigned slash, unsigned dst, std::uint8_t imm) {
+    rex(w, 0, dst);
+    byte(0x83);
+    modrm_rr(slash, dst);
+    byte(imm);
+  }
+  /// "r/m, reg" opcode byte: add 01, or 09, and 21, sub 29, xor 31, cmp 39,
+  /// test 85, mov 89.
+  void alu_rr(bool w, std::uint8_t opcode, unsigned dst, unsigned src) {
+    rex(w, src, dst);
+    byte(opcode);
+    modrm_rr(src, dst);
+  }
+  void imul_rr(bool w, unsigned dst, unsigned src) {
+    rex(w, dst, src);
+    byte(0x0F);
+    byte(0xAF);
+    modrm_rr(dst, src);
+  }
+  void imul_rri(bool w, unsigned dst, unsigned src, std::uint32_t imm) {
+    rex(w, dst, src);
+    byte(0x69);
+    modrm_rr(dst, src);
+    dword(imm);
+  }
+  /// F7 group: test-imm 0, neg 3, div 6.
+  void f7(bool w, unsigned slash, unsigned rm) {
+    rex(w, 0, rm);
+    byte(0xF7);
+    modrm_rr(slash, rm);
+  }
+  void test_ri(bool w, unsigned dst, std::uint32_t imm) {
+    rex(w, 0, dst);
+    byte(0xF7);
+    modrm_rr(0, dst);
+    dword(imm);
+  }
+  /// C1 group: rol 0, ror 1, shl 4, shr 5, sar 7.
+  void shift_i(bool w, unsigned slash, unsigned dst, std::uint8_t imm) {
+    rex(w, 0, dst);
+    byte(0xC1);
+    modrm_rr(slash, dst);
+    byte(imm);
+  }
+  void shift_cl(bool w, unsigned slash, unsigned dst) {
+    rex(w, 0, dst);
+    byte(0xD3);
+    modrm_rr(slash, dst);
+  }
+  void bswap(bool w, unsigned dst) {
+    rex(w, 0, dst);
+    byte(0x0F);
+    byte(static_cast<std::uint8_t>(0xC8 | (dst & 7)));
+  }
+  void movzx16_rr(unsigned dst, unsigned src) {
+    rex(false, dst, src);
+    byte(0x0F);
+    byte(0xB7);
+    modrm_rr(dst, src);
+  }
+  void ror16_i(unsigned dst, std::uint8_t imm) {
+    byte(0x66);
+    rex(false, 0, dst);
+    byte(0xC1);
+    modrm_rr(1, dst);
+    byte(imm);
+  }
+  void xor_self32(unsigned r) { alu_rr(false, 0x31, r, r); }
+  void push(unsigned r) {
+    if (r >= 8) byte(0x41);
+    byte(static_cast<std::uint8_t>(0x50 | (r & 7)));
+  }
+  void pop(unsigned r) {
+    if (r >= 8) byte(0x41);
+    byte(static_cast<std::uint8_t>(0x58 | (r & 7)));
+  }
+  void lea(unsigned dst, unsigned base, std::int32_t disp) {
+    rex(true, dst, base);
+    byte(0x8D);
+    modrm_mem(dst, base, disp);
+  }
+
+  // Loads from [base+disp32]; 8/16-bit forms zero-extend via movzx, the
+  // 32-bit form zero-extends architecturally.
+  void load8z(unsigned dst, unsigned base, std::int32_t disp) {
+    rex(false, dst, base);
+    byte(0x0F);
+    byte(0xB6);
+    modrm_mem(dst, base, disp);
+  }
+  void load16z(unsigned dst, unsigned base, std::int32_t disp) {
+    rex(false, dst, base);
+    byte(0x0F);
+    byte(0xB7);
+    modrm_mem(dst, base, disp);
+  }
+  void load32(unsigned dst, unsigned base, std::int32_t disp) {
+    rex(false, dst, base);
+    byte(0x8B);
+    modrm_mem(dst, base, disp);
+  }
+  void load64(unsigned dst, unsigned base, std::int32_t disp) {
+    rex(true, dst, base);
+    byte(0x8B);
+    modrm_mem(dst, base, disp);
+  }
+
+  // Stores to [base+disp32]. The 8-bit form forces a REX prefix so source
+  // registers 4-7 select sil/dil rather than ah-family halves.
+  void store8(unsigned base, std::int32_t disp, unsigned src) {
+    rex(false, src, base, /*force=*/true);
+    byte(0x88);
+    modrm_mem(src, base, disp);
+  }
+  void store16(unsigned base, std::int32_t disp, unsigned src) {
+    byte(0x66);
+    rex(false, src, base);
+    byte(0x89);
+    modrm_mem(src, base, disp);
+  }
+  void store32(unsigned base, std::int32_t disp, unsigned src) {
+    rex(false, src, base);
+    byte(0x89);
+    modrm_mem(src, base, disp);
+  }
+  void store64(unsigned base, std::int32_t disp, unsigned src) {
+    rex(true, src, base);
+    byte(0x89);
+    modrm_mem(src, base, disp);
+  }
+  void store_i8(unsigned base, std::int32_t disp, std::uint8_t imm) {
+    rex(false, 0, base);
+    byte(0xC6);
+    modrm_mem(0, base, disp);
+    byte(imm);
+  }
+  void store_i16(unsigned base, std::int32_t disp, std::uint16_t imm) {
+    byte(0x66);
+    rex(false, 0, base);
+    byte(0xC7);
+    modrm_mem(0, base, disp);
+    word(imm);
+  }
+  void store_i32(unsigned base, std::int32_t disp, std::uint32_t imm) {
+    rex(false, 0, base);
+    byte(0xC7);
+    modrm_mem(0, base, disp);
+    dword(imm);
+  }
+  /// mov qword [base+disp32], sign-extended imm32.
+  void store_i32_sext64(unsigned base, std::int32_t disp, std::uint32_t imm) {
+    rex(true, 0, base);
+    byte(0xC7);
+    modrm_mem(0, base, disp);
+    dword(imm);
+  }
+  void cmp_r_mem(unsigned reg, unsigned base, std::int32_t disp) {
+    rex(true, reg, base);
+    byte(0x3B);
+    modrm_mem(reg, base, disp);
+  }
+  /// 81 /slash on a qword memory operand (add 0, sub 5).
+  void alu_mem_i32(unsigned slash, unsigned base, std::int32_t disp, std::uint32_t imm) {
+    rex(true, 0, base);
+    byte(0x81);
+    modrm_mem(slash, base, disp);
+    dword(imm);
+  }
+  void call_reg(unsigned r) {
+    rex(false, 0, r);
+    byte(0xFF);
+    modrm_rr(2, r);
+  }
+  void ret() { byte(0xC3); }
+
+  /// jmp rel32 with an unresolved target; returns the rel32 slot position.
+  [[nodiscard]] std::size_t jmp32() {
+    byte(0xE9);
+    dword(0);
+    return pos() - 4;
+  }
+  /// jcc rel32 with an unresolved target; returns the rel32 slot position.
+  [[nodiscard]] std::size_t jcc32(std::uint8_t cc) {
+    byte(0x0F);
+    byte(static_cast<std::uint8_t>(0x80 | cc));
+    dword(0);
+    return pos() - 4;
+  }
+  /// jmp rel32 to an already-emitted target.
+  void jmp32_to(std::size_t target) {
+    byte(0xE9);
+    dword(static_cast<std::uint32_t>(target - (pos() + 4)));
+  }
+
+ private:
+  std::vector<std::uint8_t> code_;
+};
+
+[[nodiscard]] bool fits_i32(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v) ==
+         static_cast<std::int64_t>(static_cast<std::int32_t>(static_cast<std::uint32_t>(v)));
+}
+
+// JitState field displacements (the struct is standard-layout; the layout is
+// part of the JIT ABI, see jit.hpp).
+constexpr auto kOffRemaining = static_cast<std::int32_t>(offsetof(JitState, remaining));
+constexpr auto kOffStackTop = static_cast<std::int32_t>(offsetof(JitState, stack_top));
+constexpr auto kOffR0Out = static_cast<std::int32_t>(offsetof(JitState, r0_out));
+constexpr auto kOffHelperId = static_cast<std::int32_t>(offsetof(JitState, helper_id));
+constexpr auto kOffHelperRet = static_cast<std::int32_t>(offsetof(JitState, helper_ret));
+constexpr auto kOffFaultPc = static_cast<std::int32_t>(offsetof(JitState, fault_pc));
+constexpr auto kOffFaultKind = static_cast<std::int32_t>(offsetof(JitState, fault_kind));
+constexpr auto kOffFaultDetail = static_cast<std::int32_t>(offsetof(JitState, fault_detail));
+constexpr auto kOffRcacheBase = static_cast<std::int32_t>(offsetof(JitState, rcache_base));
+constexpr auto kOffRcacheEnd = static_cast<std::int32_t>(offsetof(JitState, rcache_end));
+constexpr auto kOffWcacheBase = static_cast<std::int32_t>(offsetof(JitState, wcache_base));
+constexpr auto kOffWcacheEnd = static_cast<std::int32_t>(offsetof(JitState, wcache_end));
+constexpr auto kOffRegs = static_cast<std::int32_t>(offsetof(JitState, regs));
+constexpr auto kOffDeoptIp = static_cast<std::int32_t>(offsetof(JitState, deopt_ip));
+
+// ---------------------------------------------------------------------------
+// The compiler: basic-block analysis + lowering + stub/fixup emission.
+
+class Compiler {
+ public:
+  Compiler(const IrProgram& ir, const Jit::Options& opts) : ir_(ir), opts_(opts) {}
+
+  [[nodiscard]] bool compile();
+  [[nodiscard]] const std::vector<std::uint8_t>& code() const noexcept { return a_.code(); }
+
+ private:
+  // Shared epilogue labels, resolved after stub emission.
+  enum class Label : std::uint8_t { kDeopt, kEpOk, kEpNext, kEpFault };
+
+  struct JumpFix {
+    std::size_t at;
+    std::int32_t target_ir;
+  };
+  struct SharedFix {
+    std::size_t at;
+    Label label;
+  };
+  struct DeoptSite {
+    std::size_t fix;
+    std::int32_t leader_ir;
+    std::int32_t charge;
+  };
+  struct FaultSite {
+    std::size_t fix;
+    std::int32_t pc;
+    std::int32_t addback;
+    FaultKind kind;
+    const char* detail;
+  };
+  struct CallSite {
+    std::size_t fix;
+    std::int32_t pc;
+    std::int32_t addback;
+  };
+  struct MemSite {
+    std::size_t fix_lo;
+    std::size_t fix_hi;
+    std::size_t resume;
+    unsigned base_reg;
+    std::int32_t off;
+    std::uint8_t len;
+    bool write;
+    std::int32_t pc;
+    std::int32_t addback;
+  };
+
+  [[nodiscard]] static bool is_jump(IrOp op) noexcept {
+    return op == IrOp::kJa || op >= IrOp::kJeq64Imm;
+  }
+  [[nodiscard]] static unsigned host(std::uint8_t ebpf_reg) noexcept {
+    return kHostReg[ebpf_reg];
+  }
+  /// Budget units to hand back when instruction `i` leaves its block early:
+  /// the block was pre-charged in full, and executing `i` consumed exactly
+  /// `pos_in_block` units (1-based, including `i` itself).
+  [[nodiscard]] std::int32_t addback(std::size_t i) const noexcept {
+    return block_len_[static_cast<std::size_t>(block_leader_[i])] - pos_[i];
+  }
+
+  [[nodiscard]] bool analyze_blocks();
+  void emit_prologue();
+  [[nodiscard]] bool lower(const IrInsn& insn, std::size_t i);
+  void emit_addback(std::int32_t units);
+  void emit_fault_body(FaultKind kind, std::int32_t pc, const char* detail,
+                       std::int32_t units_back);
+  void lower_div(const IrInsn& insn, std::size_t i, bool is64, bool is_mod, bool is_imm);
+  void lower_shift_reg(const IrInsn& insn, bool is64, unsigned slash);
+  void lower_cond_jump(const IrInsn& insn, std::uint8_t cc, bool is64, bool is_imm,
+                       bool is_set);
+  /// Emits the inline two-compare bounds check; leaves the access address in
+  /// r9 and registers the out-of-line miss stub.
+  void emit_bounds_check(const IrInsn& insn, std::size_t i, unsigned base_reg,
+                         std::uint8_t len, bool write);
+  void emit_stubs();
+  void resolve_fixups();
+
+  const IrProgram& ir_;
+  const Jit::Options& opts_;
+  Asm a_;
+
+  std::vector<bool> leader_;
+  std::vector<std::int32_t> block_leader_;  // per-insn: IR index of its block's leader
+  std::vector<std::int32_t> block_len_;     // per-leader: block length in IR insns
+  std::vector<std::int32_t> pos_;           // per-insn: 1-based position in its block
+  std::vector<std::size_t> insn_off_;       // per-insn: native code offset
+
+  std::vector<JumpFix> jumps_;
+  std::vector<SharedFix> shared_;
+  std::vector<DeoptSite> deopts_;
+  std::vector<FaultSite> faults_;
+  std::vector<CallSite> calls_;
+  std::vector<MemSite> mems_;
+  std::size_t label_off_[4] = {};
+};
+
+bool Compiler::analyze_blocks() {
+  const std::size_t n = ir_.insns.size();
+  leader_.assign(n, false);
+  leader_[0] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const IrInsn& insn = ir_.insns[i];
+    if (!is_jump(insn.op)) continue;
+    if (insn.jt < 0 || static_cast<std::size_t>(insn.jt) >= n) return false;
+    leader_[static_cast<std::size_t>(insn.jt)] = true;
+    // Jumps terminate their block on both edges: the fallthrough starts a
+    // new block so the taken path never pre-pays for untaken instructions.
+    if (i + 1 < n) leader_[i + 1] = true;
+  }
+  block_leader_.assign(n, 0);
+  block_len_.assign(n, 0);
+  pos_.assign(n, 0);
+  std::int32_t cur = 0;
+  std::int32_t p = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader_[i]) {
+      cur = static_cast<std::int32_t>(i);
+      p = 0;
+    }
+    ++p;
+    block_leader_[i] = cur;
+    pos_[i] = p;
+    block_len_[static_cast<std::size_t>(cur)] = p;
+  }
+  return true;
+}
+
+void Compiler::emit_prologue() {
+  for (unsigned r : {RBX, RBP, R12, R13, R14, R15}) a_.push(r);
+  // Six pushes put rsp back to entry alignment - 8; one more slot restores
+  // 16-byte alignment so calls out of generated code meet the SysV ABI.
+  a_.alu_ri8(true, 5, RSP, 8);
+  a_.mov_rr(true, R12, RDI);  // JitState pointer
+  a_.mov_rr(true, RDI, RSI);  // r1
+  a_.mov_rr(true, RSI, RDX);  // r2
+  a_.mov_rr(true, RDX, RCX);  // r3
+  a_.mov_rr(true, RCX, R8);   // r4
+  a_.mov_rr(true, R8, R9);    // r5
+  a_.xor_self32(RAX);         // r0
+  a_.xor_self32(RBX);         // r6
+  a_.xor_self32(R13);         // r7
+  a_.xor_self32(R14);         // r8
+  a_.xor_self32(R15);         // r9
+  a_.load64(RBP, R12, kOffStackTop);  // r10
+}
+
+void Compiler::emit_addback(std::int32_t units) {
+  if (units > 0) a_.alu_mem_i32(0, R12, kOffRemaining, static_cast<std::uint32_t>(units));
+}
+
+void Compiler::emit_fault_body(FaultKind kind, std::int32_t pc, const char* detail,
+                               std::int32_t units_back) {
+  a_.store_i32_sext64(R12, kOffFaultKind, static_cast<std::uint32_t>(kind));
+  a_.store_i32_sext64(R12, kOffFaultPc, static_cast<std::uint32_t>(pc));
+  a_.movabs(R11, reinterpret_cast<std::uintptr_t>(detail));
+  a_.store64(R12, kOffFaultDetail, R11);
+  emit_addback(units_back);
+  shared_.push_back({a_.jmp32(), Label::kEpFault});
+}
+
+void Compiler::lower_div(const IrInsn& insn, std::size_t i, bool is64, bool is_mod,
+                         bool is_imm) {
+  const unsigned dst = host(insn.dst);
+  if (is_imm) {
+    // Translator rejects zero immediates, so no runtime test. The 64-bit
+    // immediate is a sign-extended i32 (fit checked by the caller).
+    if (is64) {
+      a_.mov_ri_sext(R11, static_cast<std::uint32_t>(insn.imm));
+    } else {
+      a_.mov_ri32(R11, static_cast<std::uint32_t>(insn.imm));
+    }
+  } else {
+    a_.mov_rr(is64, R11, host(insn.src));
+    a_.alu_rr(is64, 0x85, R11, R11);  // test r11, r11
+    faults_.push_back({a_.jcc32(CC_E), insn.pc, addback(i), FaultKind::kDivisionByZero,
+                       is_mod ? "modulo by zero" : "division by zero"});
+  }
+  // rax/rdx double as eBPF r0/r3: save both, divide through r11, restore,
+  // then write the result (restore-before-write keeps dst==r0/r3 correct).
+  a_.mov_rr(true, R9, RAX);
+  a_.mov_rr(true, R10, RDX);
+  a_.mov_rr(is64, RAX, dst);
+  a_.xor_self32(RDX);
+  a_.f7(is64, 6, R11);  // div r11
+  a_.mov_rr(is64, R11, is_mod ? RDX : RAX);
+  a_.mov_rr(true, RDX, R10);
+  a_.mov_rr(true, RAX, R9);
+  a_.mov_rr(true, dst, R11);
+}
+
+void Compiler::lower_shift_reg(const IrInsn& insn, bool is64, unsigned slash) {
+  const unsigned dst = host(insn.dst);
+  // rcx doubles as eBPF r4; shift through r11 with the count staged in cl.
+  // The 32-bit value move zero-extends up front, so a masked count of zero
+  // (which leaves the destination unwritten) still yields a zero-extended
+  // result exactly like tiers 0/1.
+  a_.mov_rr(true, R10, RCX);
+  a_.mov_rr(is64, R11, dst);
+  a_.mov_rr(true, RCX, host(insn.src));
+  a_.shift_cl(is64, slash, R11);  // hardware masks the count to 63/31
+  a_.mov_rr(true, RCX, R10);
+  a_.mov_rr(true, dst, R11);
+}
+
+void Compiler::lower_cond_jump(const IrInsn& insn, std::uint8_t cc, bool is64, bool is_imm,
+                               bool is_set) {
+  const unsigned dst = host(insn.dst);
+  if (is_set) {
+    if (is_imm) {
+      a_.test_ri(is64, dst, static_cast<std::uint32_t>(insn.imm));
+    } else {
+      a_.alu_rr(is64, 0x85, dst, host(insn.src));
+    }
+    cc = CC_NE;
+  } else if (is_imm) {
+    a_.alu_ri(is64, 7, dst, static_cast<std::uint32_t>(insn.imm));  // cmp
+  } else {
+    a_.alu_rr(is64, 0x39, dst, host(insn.src));
+  }
+  jumps_.push_back({a_.jcc32(cc), insn.jt});
+}
+
+void Compiler::emit_bounds_check(const IrInsn& insn, std::size_t i, unsigned base_reg,
+                                 std::uint8_t len, bool write) {
+  a_.lea(R9, base_reg, insn.off);
+  a_.cmp_r_mem(R9, R12, write ? kOffWcacheBase : kOffRcacheBase);
+  const std::size_t fix_lo = a_.jcc32(CC_B);
+  a_.load64(R10, R12, write ? kOffWcacheEnd : kOffRcacheEnd);
+  // Compare against end - len rather than addr + len: the access address can
+  // wrap but `end - len` cannot (filled caches have end >= base + 8 and the
+  // empty sentinel has end = 8), so this form has no overflow false-accept.
+  a_.alu_ri8(true, 5, R10, len);
+  a_.alu_rr(true, 0x39, R9, R10);
+  const std::size_t fix_hi = a_.jcc32(CC_A);
+  mems_.push_back(
+      {fix_lo, fix_hi, a_.pos(), base_reg, insn.off, len, write, insn.pc, addback(i)});
+}
+
+bool Compiler::lower(const IrInsn& insn, std::size_t i) {
+  if (opts_.reject_ops_for_test) return false;
+  const unsigned dst = host(insn.dst);
+  const unsigned src = host(insn.src);
+  const auto imm32 = static_cast<std::uint32_t>(insn.imm);
+  switch (insn.op) {
+    case IrOp::kNop:
+      return true;
+
+    case IrOp::kExit:
+      a_.store64(R12, kOffR0Out, RAX);
+      emit_addback(addback(i));
+      shared_.push_back({a_.jmp32(), Label::kEpOk});
+      return true;
+
+    case IrOp::kTrapEnd:
+      emit_fault_body(FaultKind::kIllegalInstruction, insn.pc,
+                      "fell off the end of the program", addback(i));
+      return true;
+
+    case IrOp::kCall: {
+      if (fits_i32(insn.imm)) {
+        a_.store_i32_sext64(R12, kOffHelperId, imm32);
+      } else {
+        a_.movabs(R11, insn.imm);
+        a_.store64(R12, kOffHelperId, R11);
+      }
+      // Shift r1..r5 into the shim's argument slots and make room for the
+      // JitState pointer; each source is read before it is overwritten.
+      a_.mov_rr(true, R9, R8);
+      a_.mov_rr(true, R8, RCX);
+      a_.mov_rr(true, RCX, RDX);
+      a_.mov_rr(true, RDX, RSI);
+      a_.mov_rr(true, RSI, RDI);
+      a_.mov_rr(true, RDI, R12);
+      a_.movabs(R11, reinterpret_cast<std::uintptr_t>(&helper_shim));
+      a_.call_reg(R11);
+      a_.alu_rr(false, 0x85, RAX, RAX);  // test eax, eax
+      calls_.push_back({a_.jcc32(CC_NE), insn.pc, addback(i)});
+      a_.load64(RAX, R12, kOffHelperRet);
+      // r1-r5 are clobbered by calls per the eBPF ABI.
+      a_.xor_self32(RDI);
+      a_.xor_self32(RSI);
+      a_.xor_self32(RDX);
+      a_.xor_self32(RCX);
+      a_.xor_self32(R8);
+      return true;
+    }
+
+    case IrOp::kJa:
+      jumps_.push_back({a_.jmp32(), insn.jt});
+      return true;
+
+    case IrOp::kLddw:
+      a_.movabs(dst, insn.imm);
+      return true;
+
+    // --- 64-bit ALU (immediates are pre-sign-extended i32) -----------------
+    case IrOp::kAdd64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      a_.alu_ri(true, 0, dst, imm32);
+      return true;
+    case IrOp::kSub64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      a_.alu_ri(true, 5, dst, imm32);
+      return true;
+    case IrOp::kOr64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      a_.alu_ri(true, 1, dst, imm32);
+      return true;
+    case IrOp::kAnd64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      a_.alu_ri(true, 4, dst, imm32);
+      return true;
+    case IrOp::kXor64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      a_.alu_ri(true, 6, dst, imm32);
+      return true;
+    case IrOp::kMul64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      a_.imul_rri(true, dst, dst, imm32);
+      return true;
+    case IrOp::kMov64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      a_.mov_ri_sext(dst, imm32);
+      return true;
+    case IrOp::kDiv64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      lower_div(insn, i, true, false, true);
+      return true;
+    case IrOp::kMod64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      lower_div(insn, i, true, true, true);
+      return true;
+    case IrOp::kLsh64Imm:
+      if ((insn.imm & 63) != 0) a_.shift_i(true, 4, dst, insn.imm & 63);
+      return true;
+    case IrOp::kRsh64Imm:
+      if ((insn.imm & 63) != 0) a_.shift_i(true, 5, dst, insn.imm & 63);
+      return true;
+    case IrOp::kArsh64Imm:
+      if ((insn.imm & 63) != 0) a_.shift_i(true, 7, dst, insn.imm & 63);
+      return true;
+
+    case IrOp::kAdd64Reg:
+      a_.alu_rr(true, 0x01, dst, src);
+      return true;
+    case IrOp::kSub64Reg:
+      a_.alu_rr(true, 0x29, dst, src);
+      return true;
+    case IrOp::kOr64Reg:
+      a_.alu_rr(true, 0x09, dst, src);
+      return true;
+    case IrOp::kAnd64Reg:
+      a_.alu_rr(true, 0x21, dst, src);
+      return true;
+    case IrOp::kXor64Reg:
+      a_.alu_rr(true, 0x31, dst, src);
+      return true;
+    case IrOp::kMul64Reg:
+      a_.imul_rr(true, dst, src);
+      return true;
+    case IrOp::kMov64Reg:
+      a_.mov_rr(true, dst, src);
+      return true;
+    case IrOp::kDiv64Reg:
+      lower_div(insn, i, true, false, false);
+      return true;
+    case IrOp::kMod64Reg:
+      lower_div(insn, i, true, true, false);
+      return true;
+    case IrOp::kLsh64Reg:
+      lower_shift_reg(insn, true, 4);
+      return true;
+    case IrOp::kRsh64Reg:
+      lower_shift_reg(insn, true, 5);
+      return true;
+    case IrOp::kArsh64Reg:
+      lower_shift_reg(insn, true, 7);
+      return true;
+    case IrOp::kNeg64:
+      a_.f7(true, 3, dst);
+      return true;
+
+    // --- 32-bit ALU (results zero-extend architecturally) ------------------
+    case IrOp::kAdd32Imm:
+      a_.alu_ri(false, 0, dst, imm32);
+      return true;
+    case IrOp::kSub32Imm:
+      a_.alu_ri(false, 5, dst, imm32);
+      return true;
+    case IrOp::kOr32Imm:
+      a_.alu_ri(false, 1, dst, imm32);
+      return true;
+    case IrOp::kAnd32Imm:
+      a_.alu_ri(false, 4, dst, imm32);
+      return true;
+    case IrOp::kXor32Imm:
+      a_.alu_ri(false, 6, dst, imm32);
+      return true;
+    case IrOp::kMul32Imm:
+      a_.imul_rri(false, dst, dst, imm32);
+      return true;
+    case IrOp::kMov32Imm:
+      a_.mov_ri32(dst, imm32);
+      return true;
+    case IrOp::kDiv32Imm:
+      lower_div(insn, i, false, false, true);
+      return true;
+    case IrOp::kMod32Imm:
+      lower_div(insn, i, false, true, true);
+      return true;
+    // A masked count of zero leaves the destination unwritten on x86, but
+    // tiers 0/1 still zero-extend — emit the explicit zero-extension.
+    case IrOp::kLsh32Imm:
+      if ((insn.imm & 31) != 0) {
+        a_.shift_i(false, 4, dst, insn.imm & 31);
+      } else {
+        a_.mov_rr(false, dst, dst);
+      }
+      return true;
+    case IrOp::kRsh32Imm:
+      if ((insn.imm & 31) != 0) {
+        a_.shift_i(false, 5, dst, insn.imm & 31);
+      } else {
+        a_.mov_rr(false, dst, dst);
+      }
+      return true;
+    case IrOp::kArsh32Imm:
+      if ((insn.imm & 31) != 0) {
+        a_.shift_i(false, 7, dst, insn.imm & 31);
+      } else {
+        a_.mov_rr(false, dst, dst);
+      }
+      return true;
+
+    case IrOp::kAdd32Reg:
+      a_.alu_rr(false, 0x01, dst, src);
+      return true;
+    case IrOp::kSub32Reg:
+      a_.alu_rr(false, 0x29, dst, src);
+      return true;
+    case IrOp::kOr32Reg:
+      a_.alu_rr(false, 0x09, dst, src);
+      return true;
+    case IrOp::kAnd32Reg:
+      a_.alu_rr(false, 0x21, dst, src);
+      return true;
+    case IrOp::kXor32Reg:
+      a_.alu_rr(false, 0x31, dst, src);
+      return true;
+    case IrOp::kMul32Reg:
+      a_.imul_rr(false, dst, src);
+      return true;
+    case IrOp::kMov32Reg:
+      a_.mov_rr(false, dst, src);
+      return true;
+    case IrOp::kDiv32Reg:
+      lower_div(insn, i, false, false, false);
+      return true;
+    case IrOp::kMod32Reg:
+      lower_div(insn, i, false, true, false);
+      return true;
+    case IrOp::kLsh32Reg:
+      lower_shift_reg(insn, false, 4);
+      return true;
+    case IrOp::kRsh32Reg:
+      lower_shift_reg(insn, false, 5);
+      return true;
+    case IrOp::kArsh32Reg:
+      lower_shift_reg(insn, false, 7);
+      return true;
+    case IrOp::kNeg32:
+      a_.f7(false, 3, dst);
+      return true;
+
+    // --- byte swaps --------------------------------------------------------
+    case IrOp::kBswap16:
+      a_.movzx16_rr(dst, dst);
+      a_.ror16_i(dst, 8);
+      return true;
+    case IrOp::kBswap32:
+      a_.bswap(false, dst);
+      return true;
+    case IrOp::kBswap64:
+      a_.bswap(true, dst);
+      return true;
+    case IrOp::kZext16:
+      a_.alu_ri(true, 4, dst, 0xFFFF);
+      return true;
+    case IrOp::kZext32:
+      a_.mov_rr(false, dst, dst);
+      return true;
+
+    // --- memory: checked forms (inline probe + miss stub) ------------------
+    case IrOp::kLdxB:
+      emit_bounds_check(insn, i, src, 1, false);
+      a_.load8z(dst, R9, 0);
+      return true;
+    case IrOp::kLdxH:
+      emit_bounds_check(insn, i, src, 2, false);
+      a_.load16z(dst, R9, 0);
+      return true;
+    case IrOp::kLdxW:
+      emit_bounds_check(insn, i, src, 4, false);
+      a_.load32(dst, R9, 0);
+      return true;
+    case IrOp::kLdxDw:
+      emit_bounds_check(insn, i, src, 8, false);
+      a_.load64(dst, R9, 0);
+      return true;
+    case IrOp::kStxB:
+      emit_bounds_check(insn, i, dst, 1, true);
+      a_.store8(R9, 0, src);
+      return true;
+    case IrOp::kStxH:
+      emit_bounds_check(insn, i, dst, 2, true);
+      a_.store16(R9, 0, src);
+      return true;
+    case IrOp::kStxW:
+      emit_bounds_check(insn, i, dst, 4, true);
+      a_.store32(R9, 0, src);
+      return true;
+    case IrOp::kStxDw:
+      emit_bounds_check(insn, i, dst, 8, true);
+      a_.store64(R9, 0, src);
+      return true;
+    case IrOp::kStB:
+      emit_bounds_check(insn, i, dst, 1, true);
+      a_.store_i8(R9, 0, static_cast<std::uint8_t>(insn.imm));
+      return true;
+    case IrOp::kStH:
+      emit_bounds_check(insn, i, dst, 2, true);
+      a_.store_i16(R9, 0, static_cast<std::uint16_t>(insn.imm));
+      return true;
+    case IrOp::kStW:
+      emit_bounds_check(insn, i, dst, 4, true);
+      a_.store_i32(R9, 0, imm32);
+      return true;
+    case IrOp::kStDw:
+      if (!fits_i32(insn.imm)) return false;
+      emit_bounds_check(insn, i, dst, 8, true);
+      a_.store_i32_sext64(R9, 0, imm32);
+      return true;
+
+    // --- memory: analyzer-proven forms (check fully elided) ----------------
+    case IrOp::kLdxBStk:
+      a_.load8z(dst, src, insn.off);
+      return true;
+    case IrOp::kLdxHStk:
+      a_.load16z(dst, src, insn.off);
+      return true;
+    case IrOp::kLdxWStk:
+      a_.load32(dst, src, insn.off);
+      return true;
+    case IrOp::kLdxDwStk:
+      a_.load64(dst, src, insn.off);
+      return true;
+    case IrOp::kStxBStk:
+      a_.store8(dst, insn.off, src);
+      return true;
+    case IrOp::kStxHStk:
+      a_.store16(dst, insn.off, src);
+      return true;
+    case IrOp::kStxWStk:
+      a_.store32(dst, insn.off, src);
+      return true;
+    case IrOp::kStxDwStk:
+      a_.store64(dst, insn.off, src);
+      return true;
+    case IrOp::kStBStk:
+      a_.store_i8(dst, insn.off, static_cast<std::uint8_t>(insn.imm));
+      return true;
+    case IrOp::kStHStk:
+      a_.store_i16(dst, insn.off, static_cast<std::uint16_t>(insn.imm));
+      return true;
+    case IrOp::kStWStk:
+      a_.store_i32(dst, insn.off, imm32);
+      return true;
+    case IrOp::kStDwStk:
+      if (!fits_i32(insn.imm)) return false;
+      a_.store_i32_sext64(dst, insn.off, imm32);
+      return true;
+
+    // --- conditional jumps -------------------------------------------------
+    case IrOp::kJeq64Imm:
+    case IrOp::kJne64Imm:
+    case IrOp::kJgt64Imm:
+    case IrOp::kJge64Imm:
+    case IrOp::kJlt64Imm:
+    case IrOp::kJle64Imm:
+    case IrOp::kJset64Imm:
+    case IrOp::kJsgt64Imm:
+    case IrOp::kJsge64Imm:
+    case IrOp::kJslt64Imm:
+    case IrOp::kJsle64Imm:
+      if (!fits_i32(insn.imm)) return false;
+      [[fallthrough]];
+    case IrOp::kJeq64Reg:
+    case IrOp::kJne64Reg:
+    case IrOp::kJgt64Reg:
+    case IrOp::kJge64Reg:
+    case IrOp::kJlt64Reg:
+    case IrOp::kJle64Reg:
+    case IrOp::kJset64Reg:
+    case IrOp::kJsgt64Reg:
+    case IrOp::kJsge64Reg:
+    case IrOp::kJslt64Reg:
+    case IrOp::kJsle64Reg:
+    case IrOp::kJeq32Imm:
+    case IrOp::kJne32Imm:
+    case IrOp::kJgt32Imm:
+    case IrOp::kJge32Imm:
+    case IrOp::kJlt32Imm:
+    case IrOp::kJle32Imm:
+    case IrOp::kJset32Imm:
+    case IrOp::kJsgt32Imm:
+    case IrOp::kJsge32Imm:
+    case IrOp::kJslt32Imm:
+    case IrOp::kJsle32Imm:
+    case IrOp::kJeq32Reg:
+    case IrOp::kJne32Reg:
+    case IrOp::kJgt32Reg:
+    case IrOp::kJge32Reg:
+    case IrOp::kJlt32Reg:
+    case IrOp::kJle32Reg:
+    case IrOp::kJset32Reg:
+    case IrOp::kJsgt32Reg:
+    case IrOp::kJsge32Reg:
+    case IrOp::kJslt32Reg:
+    case IrOp::kJsle32Reg: {
+      // Decode (cc, width, form) from the op's position in its group: ops
+      // come in (imm, reg) pairs in eq, ne, gt, ge, lt, le, set, sgt, sge,
+      // slt, sle order for each width.
+      static constexpr std::uint8_t kCc[11] = {CC_E,  CC_NE, CC_A,  CC_AE, CC_B, CC_BE,
+                                               CC_NE, CC_G,  CC_GE, CC_L,  CC_LE};
+      const auto op_index = static_cast<std::size_t>(insn.op);
+      const auto base64 = static_cast<std::size_t>(IrOp::kJeq64Imm);
+      const auto base32 = static_cast<std::size_t>(IrOp::kJeq32Imm);
+      const bool is64 = op_index < base32;
+      const std::size_t rel = op_index - (is64 ? base64 : base32);
+      const std::size_t kind = rel / 2;
+      const bool is_imm = (rel % 2) == 0;
+      lower_cond_jump(insn, kCc[kind], is64, is_imm, kind == 6);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Compiler::emit_stubs() {
+  // Per-block deopt: refund the whole pre-charge and hand the block's leader
+  // index to the shared spill tail; tier 1 re-runs the tail exactly.
+  for (const DeoptSite& d : deopts_) {
+    a_.patch_rel32(d.fix, a_.pos());
+    a_.alu_mem_i32(0, R12, kOffRemaining, static_cast<std::uint32_t>(d.charge));
+    a_.mov_ri32(R9, static_cast<std::uint32_t>(d.leader_ir));
+    shared_.push_back({a_.jmp32(), Label::kDeopt});
+  }
+  for (const FaultSite& f : faults_) {
+    a_.patch_rel32(f.fix, a_.pos());
+    emit_fault_body(f.kind, f.pc, f.detail, f.addback);
+  }
+  // Helper slow path: the shim already set fault kind/detail (or asked for
+  // next()); record the call site's pc and route on the exit code.
+  for (const CallSite& c : calls_) {
+    a_.patch_rel32(c.fix, a_.pos());
+    emit_addback(c.addback);
+    a_.store_i32_sext64(R12, kOffFaultPc, static_cast<std::uint32_t>(c.pc));
+    a_.alu_ri8(false, 7, RAX, kJitExitNext);  // cmp eax, 1
+    shared_.push_back({a_.jcc32(CC_E), Label::kEpNext});
+    shared_.push_back({a_.jmp32(), Label::kEpFault});
+  }
+  // Bounds-check miss: preserve the live caller-saved eBPF registers, ask
+  // the MemoryModel, and either refill r9 and resume or fault.
+  for (const MemSite& m : mems_) {
+    a_.patch_rel32(m.fix_lo, a_.pos());
+    a_.patch_rel32(m.fix_hi, a_.pos());
+    for (unsigned r : {RAX, RDI, RSI, RDX, RCX, R8}) a_.push(r);  // 48 bytes: stays aligned
+    a_.mov_rr(true, RSI, R9);  // addr
+    a_.mov_rr(true, RDI, R12);
+    a_.mov_ri32(RDX, m.len);
+    a_.mov_ri32(RCX, m.write ? 1 : 0);
+    a_.movabs(R11, reinterpret_cast<std::uintptr_t>(&probe_shim));
+    a_.call_reg(R11);
+    a_.alu_rr(false, 0x85, RAX, RAX);
+    const std::size_t jfail = a_.jcc32(CC_E);
+    for (unsigned r : {R8, RCX, RDX, RSI, RDI, RAX}) a_.pop(r);
+    a_.lea(R9, m.base_reg, m.off);
+    a_.jmp32_to(m.resume);
+    a_.patch_rel32(jfail, a_.pos());
+    a_.alu_ri8(true, 0, RSP, 48);  // drop the spilled registers
+    emit_fault_body(FaultKind::kBadMemoryAccess, m.pc,
+                    m.write ? "memory write out of bounds" : "memory read out of bounds",
+                    m.addback);
+  }
+
+  // Shared tails. Deopt spills every eBPF register for the interpreter.
+  label_off_[static_cast<std::size_t>(Label::kDeopt)] = a_.pos();
+  for (std::size_t r = 0; r < kNumRegisters; ++r) {
+    a_.store64(R12, kOffRegs + static_cast<std::int32_t>(8 * r), kHostReg[r]);
+  }
+  a_.store64(R12, kOffDeoptIp, R9);
+  a_.mov_ri32(RAX, kJitExitDeopt);
+  const std::size_t j1 = a_.jmp32();
+  label_off_[static_cast<std::size_t>(Label::kEpOk)] = a_.pos();
+  a_.mov_ri32(RAX, kJitExitOk);
+  const std::size_t j2 = a_.jmp32();
+  label_off_[static_cast<std::size_t>(Label::kEpNext)] = a_.pos();
+  a_.mov_ri32(RAX, kJitExitNext);
+  const std::size_t j3 = a_.jmp32();
+  label_off_[static_cast<std::size_t>(Label::kEpFault)] = a_.pos();
+  a_.mov_ri32(RAX, kJitExitFault);
+  const std::size_t common = a_.pos();
+  a_.alu_ri8(true, 0, RSP, 8);
+  for (unsigned r : {R15, R14, R13, R12, RBP, RBX}) a_.pop(r);
+  a_.ret();
+  a_.patch_rel32(j1, common);
+  a_.patch_rel32(j2, common);
+  a_.patch_rel32(j3, common);
+}
+
+void Compiler::resolve_fixups() {
+  for (const JumpFix& j : jumps_) {
+    a_.patch_rel32(j.at, insn_off_[static_cast<std::size_t>(j.target_ir)]);
+  }
+  for (const SharedFix& s : shared_) {
+    a_.patch_rel32(s.at, label_off_[static_cast<std::size_t>(s.label)]);
+  }
+}
+
+bool Compiler::compile() {
+  const std::size_t n = ir_.insns.size();
+  if (n == 0 || n > (1u << 30)) return false;
+  if (!analyze_blocks()) return false;
+  emit_prologue();
+  insn_off_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Jump targets land on their block's budget pre-charge.
+    insn_off_[i] = a_.pos();
+    if (leader_[i]) {
+      const std::int32_t m = block_len_[i];
+      a_.alu_mem_i32(5, R12, kOffRemaining, static_cast<std::uint32_t>(m));
+      deopts_.push_back({a_.jcc32(CC_B), static_cast<std::int32_t>(i), m});
+    }
+    if (!lower(ir_.insns[i], i)) return false;
+  }
+  emit_stubs();
+  resolve_fixups();
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+
+bool Jit::supported() noexcept {
+#if defined(XBGP_JIT_DISABLED)
+  return false;
+#elif defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__))
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Jit::enabled_by_env() noexcept {
+  const char* v = std::getenv("XBGP_JIT");
+  if (v == nullptr || v[0] == '\0') return true;
+  return std::strcmp(v, "off") != 0 && std::strcmp(v, "OFF") != 0 &&
+         std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0;
+}
+
+ExecMode Jit::preferred_exec_mode() noexcept {
+  return supported() ? ExecMode::kJit : ExecMode::kFast;
+}
+
+Jit::Result Jit::compile(const IrProgram& ir, const Options& options) {
+  Result result;
+  if (!supported()) {
+    result.declined = JitFallback::kUnsupportedArch;
+    return result;
+  }
+  if (!enabled_by_env()) {
+    result.declined = JitFallback::kDisabled;
+    return result;
+  }
+  Compiler compiler(ir, options);
+  if (!compiler.compile()) {
+    result.declined = JitFallback::kUnsupportedOp;
+    return result;
+  }
+  const std::vector<std::uint8_t>& code = compiler.code();
+  CodeBuf buf = CodeBuf::allocate(code.size());
+  if (!buf.valid()) {
+    result.declined = JitFallback::kAllocFailed;
+    return result;
+  }
+  std::memcpy(buf.data(), code.data(), code.size());
+  if (!buf.finalize()) {
+    result.declined = JitFallback::kAllocFailed;
+    return result;
+  }
+  result.program.reset(new JitProgram(std::move(buf), &ir, code.size()));
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Vm entry: set up the per-run state block, enter the native image, and fold
+// its exit back into a RunResult (or deopt into the tier-1 interpreter).
+
+RunResult Vm::run_jit(const JitProgram& jit, std::uint64_t r1, std::uint64_t r2,
+                      std::uint64_t r3, std::uint64_t r4, std::uint64_t r5) {
+  JitState st;
+  st.remaining = budget_;
+  st.stack_top = reinterpret_cast<std::uint64_t>(stack_) + kStackSize;
+  st.memory = &memory_;
+  st.helpers = helpers_.data();
+  st.helper_count = helpers_.size();
+  st.helper_calls = &helper_calls_;
+
+  const std::uint32_t exit_code = jit.entry()(&st, r1, r2, r3, r4, r5);
+
+  if (exit_code == kJitExitDeopt) {
+    // The block pre-charge overdrew: tier 1 finishes the tail (bounded by
+    // remaining < block length) with exact per-instruction accounting.
+    return run_translated_from(jit.ir(), st.regs, static_cast<std::size_t>(st.deopt_ip),
+                               st.remaining);
+  }
+
+  retired_ += budget_ - st.remaining;
+  RunResult result;
+  switch (exit_code) {
+    case kJitExitOk:
+      result.value = st.r0_out;
+      break;
+    case kJitExitNext:
+      result.status = RunResult::Status::kNext;
+      break;
+    default:
+      result.status = RunResult::Status::kFault;
+      result.fault = Fault{static_cast<FaultKind>(st.fault_kind),
+                           static_cast<std::size_t>(st.fault_pc), st.fault_detail};
+      break;
+  }
+  return result;
+}
+
+}  // namespace xb::ebpf

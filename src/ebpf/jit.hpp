@@ -1,0 +1,178 @@
+// Tier-2 x86-64 JIT backend for verified extensions.
+//
+// Jit::compile lowers a pre-decoded IrProgram (the tier-1 image) to native
+// x86-64 once per manifest entry. Execution semantics are bit-identical to
+// tiers 0/1 — same RunResult, same Fault (kind, pc, static detail literal),
+// same helper-call sequences, same instruction-budget accounting — enforced
+// by the three-tier differential gate in tests/ebpf_differential_test.cpp.
+//
+// Code shape (docs/execution_engine.md has the full tier-2 section):
+//   * eBPF registers live in host registers (the classic ubpf mapping:
+//     r0→rax, r1-r5→rdi/rsi/rdx/rcx/r8, r6-r9→rbx/r13/r14/r15, r10→rbp);
+//     r9-r11 are codegen scratch and r12 pins the per-run JitState,
+//   * the instruction budget is charged per basic block: one `sub` against
+//     the remaining counter at each block entry, with statically computed
+//     add-backs on early exits (exit / next() / faults), so the common path
+//     pays one memory op per block instead of one per instruction,
+//   * when a block's charge would overdraw the budget the code deopts: it
+//     spills the eBPF registers and resumes in the tier-1 interpreter,
+//     which performs the per-instruction accounting for the short tail —
+//     budget-exhaustion pc and retired counts stay exact by construction,
+//   * helper calls are direct trampolines into the registered HelperFn
+//     table (one C shim; the std::function target cannot be inlined),
+//   * memory bounds checks are either fully elided where the analyzer's
+//     ProofTable proved the access safe (the IR's *Stk forms — elision
+//     carries over 1:1 from tier 1) or inlined as a two-compare probe
+//     against a per-run region cache, falling back to the MemoryModel on a
+//     cache miss.
+//
+// Portability: on non-x86-64 targets, with XBGP_JIT=off in the
+// environment, on mmap/mprotect failure, or on any unsupported IR op,
+// compile() declines cleanly with a reason — the caller keeps running
+// tier 1; a decline is never an error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "ebpf/codebuf.hpp"
+#include "ebpf/ir.hpp"
+#include "ebpf/vm.hpp"
+
+namespace xb::ebpf {
+
+/// Why a compilation declined (telemetry label values — keep in sync with
+/// to_string below and the xbgp_vmm_jit_fallbacks_total series).
+enum class JitFallback : std::uint8_t {
+  kNone = 0,
+  kDisabled,         // XBGP_JIT=off / compile-time opt-out
+  kUnsupportedArch,  // target ISA is not x86-64 (or no W^X primitive)
+  kAllocFailed,      // mmap / mprotect refused
+  kUnsupportedOp,    // IR op the backend cannot lower
+};
+inline constexpr std::size_t kJitFallbackCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(JitFallback reason) noexcept {
+  switch (reason) {
+    case JitFallback::kNone: return "none";
+    case JitFallback::kDisabled: return "disabled";
+    case JitFallback::kUnsupportedArch: return "unsupported-arch";
+    case JitFallback::kAllocFailed: return "alloc-failed";
+    case JitFallback::kUnsupportedOp: return "unsupported-op";
+  }
+  return "none";
+}
+
+/// Per-run state block shared between generated code and the C++ runtime.
+/// Generated code addresses fields via offsetof, so the layout is part of
+/// the JIT ABI; append-only.
+struct JitState {
+  std::uint64_t remaining = 0;      // budget countdown (in/out)
+  std::uint64_t stack_top = 0;      // r10 initial value
+  std::uint64_t r0_out = 0;         // r0 at a clean exit
+  std::uint64_t helper_id = 0;      // set by the call site, read by the shim
+  std::uint64_t helper_ret = 0;     // kContinue value from the shim
+  std::uint64_t fault_pc = 0;
+  std::uint64_t fault_kind = 0;     // ebpf::FaultKind as integer
+  const char* fault_detail = "";
+  // Two-compare bounds-check cache: one read entry (any region) and one
+  // write entry (writable regions only); [base, end) with end = base+size.
+  // Reset to always-miss each run; filled by the probe shim from regions of
+  // at least 8 bytes so `end - len` can never underflow. The empty sentinel
+  // must hold end >= kMaxAccessLen: with end = 0, `end - len` would wrap to
+  // ~0 and an access at address ~0 (which passes `addr >= base` when base is
+  // ~0) would falsely hit. base = ~0, end = 8 rejects every address for every
+  // access width 1..8.
+  std::uint64_t rcache_base = ~std::uint64_t{0};
+  std::uint64_t rcache_end = 8;
+  std::uint64_t wcache_base = ~std::uint64_t{0};
+  std::uint64_t wcache_end = 8;
+  // Deopt snapshot: eBPF r0-r10 plus the IR index to resume from (tier 1
+  // finishes the run with per-instruction budget accounting).
+  std::uint64_t regs[11] = {};
+  std::uint64_t deopt_ip = 0;
+  // Host-side plumbing for the shims.
+  const MemoryModel* memory = nullptr;
+  const void* helpers = nullptr;     // HelperFn table base
+  std::uint64_t helper_count = 0;
+  std::uint64_t* helper_calls = nullptr;  // Vm::helper_calls_ counter
+};
+
+/// Exit codes returned in eax by generated code.
+enum : std::uint32_t {
+  kJitExitOk = 0,     // clean exit, r0 in JitState::r0_out
+  kJitExitNext = 1,   // helper yielded next()
+  kJitExitFault = 2,  // fault_{kind,pc,detail} populated
+  kJitExitDeopt = 3,  // resume tier 1 from regs/deopt_ip/remaining
+};
+
+/// One compiled program: the executable image plus the IR it was compiled
+/// from (needed for deopt resume; must outlive this object — the Vmm owns
+/// both per manifest entry, shared read-only across all per-slot VMs).
+class JitProgram {
+ public:
+  using Entry = std::uint32_t (*)(JitState*, std::uint64_t, std::uint64_t, std::uint64_t,
+                                  std::uint64_t, std::uint64_t);
+
+  [[nodiscard]] Entry entry() const noexcept {
+    return reinterpret_cast<Entry>(reinterpret_cast<std::uintptr_t>(code_.data()));
+  }
+  [[nodiscard]] const IrProgram& ir() const noexcept { return *ir_; }
+  [[nodiscard]] std::size_t code_bytes() const noexcept { return used_bytes_; }
+
+  /// Elision counters carried over 1:1 from the IR image (the JIT emits no
+  /// check for *Stk forms and a runtime probe for every checked form).
+  [[nodiscard]] std::uint32_t elided_checks() const noexcept { return ir_->elided_checks; }
+  [[nodiscard]] std::uint32_t elided_obj_checks() const noexcept {
+    return ir_->elided_obj_checks;
+  }
+  [[nodiscard]] std::uint32_t checked_accesses() const noexcept {
+    return ir_->checked_accesses;
+  }
+
+ private:
+  friend class Jit;
+  JitProgram(CodeBuf code, const IrProgram* ir, std::size_t used)
+      : code_(std::move(code)), ir_(ir), used_bytes_(used) {}
+
+  CodeBuf code_;
+  const IrProgram* ir_;
+  std::size_t used_bytes_;
+};
+
+class Jit {
+ public:
+  struct Options {
+    /// Test hook: refuse the first lowerable op, exercising the
+    /// unsupported-op decline path on real programs.
+    bool reject_ops_for_test = false;
+  };
+
+  struct Result {
+    std::unique_ptr<const JitProgram> program;  // null on decline
+    JitFallback declined = JitFallback::kNone;
+
+    [[nodiscard]] bool ok() const noexcept { return program != nullptr; }
+  };
+
+  /// Compiles `ir` to native code. `ir` must outlive the returned program.
+  /// Declines (never throws, never fails the load) on non-x86-64 targets,
+  /// when disabled via the XBGP_JIT environment knob, on executable-memory
+  /// allocation failure, or on an op the backend cannot lower.
+  [[nodiscard]] static Result compile(const IrProgram& ir, const Options& options);
+  [[nodiscard]] static Result compile(const IrProgram& ir) { return compile(ir, Options{}); }
+
+  /// True when this build can generate and run native code at all
+  /// (x86-64 with a W^X allocator) — the env knob is not consulted.
+  [[nodiscard]] static bool supported() noexcept;
+
+  /// False when the XBGP_JIT environment variable is "off"/"0"/"false"
+  /// (re-read on every call so tests can toggle it).
+  [[nodiscard]] static bool enabled_by_env() noexcept;
+
+  /// The tier the Vmm should default to on this host.
+  [[nodiscard]] static ExecMode preferred_exec_mode() noexcept;
+};
+
+}  // namespace xb::ebpf

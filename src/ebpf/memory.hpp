@@ -53,14 +53,24 @@ class MemoryModel {
   /// sufficient permission. Hot path: the most recently matched region is
   /// probed first (accesses cluster strongly by region).
   [[nodiscard]] bool check(std::uint64_t addr, std::size_t len, bool write) const noexcept {
-    if (last_hit_ < regions_.size() && fits(regions_[last_hit_], addr, len, write)) return true;
+    return lookup(addr, len, write) != nullptr;
+  }
+
+  /// check(), but returns the containing region so the caller can cache its
+  /// bounds (the JIT's inline two-compare probe). The pointer is valid until
+  /// the region table is next mutated.
+  [[nodiscard]] const Region* lookup(std::uint64_t addr, std::size_t len,
+                                     bool write) const noexcept {
+    if (last_hit_ < regions_.size() && fits(regions_[last_hit_], addr, len, write)) {
+      return &regions_[last_hit_];
+    }
     for (std::size_t i = 0; i < regions_.size(); ++i) {
       if (fits(regions_[i], addr, len, write)) {
         last_hit_ = i;
-        return true;
+        return &regions_[i];
       }
     }
-    return false;
+    return nullptr;
   }
 
   /// Human-readable description of why an access faulted.

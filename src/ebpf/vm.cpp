@@ -58,10 +58,14 @@ void Vm::zero_stack() noexcept { std::memset(stack_, 0, kStackSize); }
 
 RunResult Vm::run(const Program& program, std::uint64_t r1, std::uint64_t r2, std::uint64_t r3,
                   std::uint64_t r4, std::uint64_t r5) {
-  if (mode_ == ExecMode::kFast && translated_ != nullptr) {
-    return run_translated(*translated_, r1, r2, r3, r4, r5);
+  switch (effective_mode()) {
+    case ExecMode::kJit:
+      return run_jit(*jit_, r1, r2, r3, r4, r5);
+    case ExecMode::kFast:
+      return run_translated(*translated_, r1, r2, r3, r4, r5);
+    default:
+      return run_reference(program, r1, r2, r3, r4, r5);
   }
-  return run_reference(program, r1, r2, r3, r4, r5);
 }
 
 RunResult Vm::run_reference(const Program& program, std::uint64_t r1, std::uint64_t r2,

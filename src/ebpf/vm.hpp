@@ -6,13 +6,15 @@
 // that was not explicitly registered, and any violation terminates the run
 // with a Fault that the VMM uses to fall back to native code (paper §2.1).
 //
-// Two execution tiers share this class (docs/execution_engine.md):
+// Three execution tiers share this class (docs/execution_engine.md):
 //   tier 0  the reference interpreter — decodes each instruction on every
 //           step; the semantic ground truth,
 //   tier 1  the fast engine (vm_fast.cpp) — runs pre-decoded IR produced by
 //           Translator with direct-threaded dispatch and verifier-proven
-//           bounds-check elision.
-// Both produce bit-identical RunResults; the differential fuzz gate holds
+//           bounds-check elision,
+//   tier 2  the x86-64 JIT (jit.cpp) — runs native code compiled from the
+//           same IR, deopting to tier 1 for the budget tail.
+// All produce bit-identical RunResults; the differential fuzz gate holds
 // them to it.
 #pragma once
 
@@ -26,6 +28,7 @@
 namespace xb::ebpf {
 
 struct IrProgram;
+class JitProgram;
 
 enum class FaultKind {
   kNone,
@@ -41,6 +44,7 @@ enum class FaultKind {
 enum class ExecMode : std::uint8_t {
   kReference = 0,  // tier 0: decode-per-step reference interpreter
   kFast = 1,       // tier 1: pre-decoded IR, direct-threaded dispatch
+  kJit = 2,        // tier 2: native x86-64 code compiled from the IR
 };
 
 struct Fault {
@@ -126,10 +130,18 @@ class Vm {
   void set_translated(const IrProgram* ir) noexcept { translated_ = ir; }
   [[nodiscard]] const IrProgram* translated() const noexcept { return translated_; }
 
-  /// The tier run() will actually use right now.
+  /// Attaches the native image for the JIT tier. Same lifetime contract as
+  /// set_translated; the JitProgram carries its own IR pointer for deopt
+  /// resume, so kJit does not require set_translated.
+  void set_jit(const JitProgram* jit) noexcept { jit_ = jit; }
+  [[nodiscard]] const JitProgram* jit() const noexcept { return jit_; }
+
+  /// The tier run() will actually use right now: the selected tier if its
+  /// image is attached, degrading kJit → kFast → kReference otherwise.
   [[nodiscard]] ExecMode effective_mode() const noexcept {
-    return mode_ == ExecMode::kFast && translated_ != nullptr ? ExecMode::kFast
-                                                              : ExecMode::kReference;
+    if (mode_ == ExecMode::kJit && jit_ != nullptr) return ExecMode::kJit;
+    if (mode_ != ExecMode::kReference && translated_ != nullptr) return ExecMode::kFast;
+    return ExecMode::kReference;
   }
 
   /// Zeroes the stack frame. Runs deliberately do NOT do this (ubpf policy:
@@ -151,6 +163,15 @@ class Vm {
                           std::uint64_t r3, std::uint64_t r4, std::uint64_t r5);
   RunResult run_translated(const IrProgram& ir, std::uint64_t r1, std::uint64_t r2,
                            std::uint64_t r3, std::uint64_t r4, std::uint64_t r5);
+  /// Tier-1 entry at an arbitrary instruction with live register/budget
+  /// state — the JIT's deopt path (jit.cpp) resumes the interpreter here so
+  /// the budget tail gets exact per-instruction accounting.
+  RunResult run_translated_from(const IrProgram& ir, const std::uint64_t* entry_regs,
+                                std::size_t start_index, std::uint64_t remaining_budget);
+  /// Implemented in jit.cpp: enters the native image and folds its exit
+  /// state back into a RunResult (or deopts into run_translated_from).
+  RunResult run_jit(const JitProgram& jit, std::uint64_t r1, std::uint64_t r2,
+                    std::uint64_t r3, std::uint64_t r4, std::uint64_t r5);
 
   MemoryModel memory_;
   std::vector<HelperFn> helpers_;
@@ -158,6 +179,7 @@ class Vm {
   std::uint64_t retired_ = 0;
   std::uint64_t helper_calls_ = 0;
   const IrProgram* translated_ = nullptr;
+  const JitProgram* jit_ = nullptr;
   ExecMode mode_ = ExecMode::kReference;
   alignas(8) std::uint8_t stack_[kStackSize] = {};
 };

@@ -52,9 +52,6 @@ inline std::uint64_t bswap64(std::uint64_t x) {
 
 RunResult Vm::run_translated(const IrProgram& program, std::uint64_t r1, std::uint64_t r2,
                              std::uint64_t r3, std::uint64_t r4, std::uint64_t r5) {
-  const IrInsn* const code = program.insns.data();
-  const IrInsn* ip = code;
-
   std::uint64_t reg[kNumRegisters] = {};
   reg[1] = r1;
   reg[2] = r2;
@@ -63,8 +60,24 @@ RunResult Vm::run_translated(const IrProgram& program, std::uint64_t r1, std::ui
   reg[5] = r5;
   // Same stack policy as tier 0: zeroed at construction, not per run.
   reg[kFramePointer] = reinterpret_cast<std::uint64_t>(stack_) + kStackSize;
+  return run_translated_from(program, reg, 0, budget_);
+}
 
-  std::uint64_t remaining = budget_;
+// Entry at an arbitrary instruction with live register/budget state. Besides
+// backing run_translated, this is the JIT deopt target: tier 2 charges the
+// budget per basic block and hands the final sub-block tail to this loop,
+// whose per-instruction accounting makes exhaustion pc and retired counts
+// exact. `retired_ += budget_ - remaining` stays correct across the handoff
+// because `remaining` is continuous between the tiers.
+RunResult Vm::run_translated_from(const IrProgram& program, const std::uint64_t* entry_regs,
+                                  std::size_t start_index, std::uint64_t remaining_budget) {
+  const IrInsn* const code = program.insns.data();
+  const IrInsn* ip = code + start_index;
+
+  std::uint64_t reg[kNumRegisters];
+  std::memcpy(reg, entry_regs, sizeof(reg));
+
+  std::uint64_t remaining = remaining_budget;
   const HelperFn* const helpers = helpers_.data();
   const std::size_t helper_count = helpers_.size();
 

@@ -82,6 +82,21 @@ void Vmm::load(const Manifest& manifest) {
       translation_stats_.checked_accesses += ir->checked_accesses;
       prog->ir = std::move(ir);
     }
+    // Compile the IR to native code once per manifest entry (tier 2). A
+    // decline is never an error: the program simply runs tier 1, and the
+    // reason lands in the jit_fallbacks counters. Compilation is attempted
+    // even when the configured tier is lower so a later set_exec_mode(kJit)
+    // can take effect without a reload.
+    {
+      ebpf::Jit::Result jr = ebpf::Jit::compile(*prog->ir);
+      if (jr.ok()) {
+        ++translation_stats_.jit_compiled;
+        translation_stats_.jit_code_bytes += jr.program->code_bytes();
+        prog->jit = std::move(jr.program);
+      } else {
+        ++translation_stats_.jit_fallbacks[static_cast<std::size_t>(jr.declined)];
+      }
+    }
     const std::string& group_name = entry.group.empty() ? entry.name : entry.group;
     auto [git, created] = groups_.try_emplace(group_name, nullptr);
     if (created) git->second = std::make_unique<GroupState>(options_.shared_pool_size);
@@ -97,6 +112,7 @@ void Vmm::load(const Manifest& manifest) {
                                                    ? options_.init_instruction_budget
                                                    : options_.instruction_budget);
       prog->vms.back()->set_translated(prog->ir.get());
+      prog->vms.back()->set_jit(prog->jit.get());
       prog->vms.back()->set_exec_mode(options_.exec_mode);
       bind_helpers(*prog, slot);
     }
@@ -153,6 +169,7 @@ Vmm::Stats Vmm::stats() const noexcept {
     total.native_fallbacks += slot->stats.native_fallbacks;
     total.tier_runs[0] += slot->stats.tier_runs[0];
     total.tier_runs[1] += slot->stats.tier_runs[1];
+    total.tier_runs[2] += slot->stats.tier_runs[2];
     for (std::size_t i = 0; i < kOpCount; ++i) {
       total.faults_by_op[i] += slot->stats.faults_by_op[i];
     }
@@ -202,6 +219,9 @@ void Vmm::set_telemetry(obs::Telemetry* telemetry) {
     out.counter("xbgp_vmm_tier_runs_total{tier=\"fast\"}",
                 "Program executions on the fast pre-decoded IR tier",
                 s.tier_runs[1]);
+    out.counter("xbgp_vmm_tier_runs_total{tier=\"jit\"}",
+                "Program executions on the tier-2 native JIT",
+                s.tier_runs[2]);
     const TranslationStats& t = translation_stats_;
     out.counter("xbgp_vmm_translations_total",
                 "Bytecodes lowered to pre-decoded IR at load time", t.programs);
@@ -218,6 +238,17 @@ void Vmm::set_telemetry(obs::Telemetry* telemetry) {
     out.counter("xbgp_vmm_checks_retained_total",
                 "Runtime bounds checks kept on translated accesses",
                 t.checked_accesses);
+    out.counter("xbgp_vmm_jit_compiled_total",
+                "Manifest entries compiled to a native tier-2 image",
+                t.jit_compiled);
+    out.counter("xbgp_vmm_jit_code_bytes",
+                "Native code bytes emitted by the tier-2 JIT", t.jit_code_bytes);
+    for (std::size_t i = 1; i < ebpf::kJitFallbackCount; ++i) {
+      out.counter(std::string("xbgp_vmm_jit_fallbacks_total{reason=\"") +
+                      to_string(static_cast<ebpf::JitFallback>(i)) + "\"}",
+                  "JIT compilations declined (program runs tier 1)",
+                  t.jit_fallbacks[i]);
+    }
     for (std::size_t i = 1; i < kOpCount; ++i) {
       const std::string point(to_string(static_cast<Op>(i)));
       out.counter("xbgp_vmm_faults_by_point_total{point=\"" + point + "\"}",

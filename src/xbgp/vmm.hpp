@@ -34,6 +34,7 @@
 
 #include "ebpf/analyzer.hpp"
 #include "ebpf/ir.hpp"
+#include "ebpf/jit.hpp"
 #include "ebpf/verifier.hpp"
 #include "ebpf/vm.hpp"
 #include "obs/telemetry.hpp"
@@ -55,11 +56,12 @@ class Vmm {
     /// Independent execution slots (one per pipeline shard/worker). Slot 0
     /// is the default used by the serial execute() path.
     std::size_t execution_contexts = 1;
-    /// Execution tier for loaded programs. The fast tier (pre-decoded IR,
-    /// direct-threaded dispatch) is the default; the reference interpreter
-    /// stays available as tier 0 for cross-checking, selectable per program
-    /// via set_exec_mode(). Identical observable behaviour either way.
-    ebpf::ExecMode exec_mode = ebpf::ExecMode::kFast;
+    /// Execution tier for loaded programs: the JIT (tier 2) where the host
+    /// supports it, the fast interpreter (tier 1) otherwise. Tier 0 stays
+    /// available for cross-checking, selectable per program via
+    /// set_exec_mode(). Identical observable behaviour on every tier; a
+    /// declined JIT compilation silently degrades that program to tier 1.
+    ebpf::ExecMode exec_mode = ebpf::Jit::preferred_exec_mode();
   };
 
   struct Stats {
@@ -69,7 +71,7 @@ class Vmm {
     std::uint64_t faults = 0;              // programs stopped on error
     std::uint64_t native_fallbacks = 0;    // chain exhausted or fault -> default
     /// Program executions by effective tier (index = ebpf::ExecMode).
-    std::uint64_t tier_runs[2] = {};
+    std::uint64_t tier_runs[3] = {};
     /// Faults by insertion point (index = Op) and by FaultClass: the same
     /// taxonomy the host sees in FaultInfo, so host- and VMM-side error
     /// accounting can be cross-checked bit-identically.
@@ -93,6 +95,11 @@ class Vmm {
     std::uint64_t elided_checks = 0;     // bounds checks dropped (analyzer-proven)
     std::uint64_t elided_obj_checks = 0; // subset: helper-returned ctx/attr objects
     std::uint64_t checked_accesses = 0;  // bounds checks retained
+    std::uint64_t jit_compiled = 0;      // manifest entries with a native image
+    std::uint64_t jit_code_bytes = 0;    // native code emitted across them
+    /// JIT compilations declined, by reason (index = ebpf::JitFallback;
+    /// kNone stays zero).
+    std::uint64_t jit_fallbacks[ebpf::kJitFallbackCount] = {};
   };
 
   explicit Vmm(HostApi& host);  // default Options
@@ -222,6 +229,10 @@ class Vmm {
     /// Pre-decoded IR, translated once at load with the analyzer's safety
     /// facts; shared read-only by every slot's VM (fast tier).
     std::unique_ptr<const ebpf::IrProgram> ir;
+    /// Native tier-2 image compiled from `ir` at load time; null when the
+    /// JIT declined (the program then runs tier 1). Shared read-only by
+    /// every slot's VM; must be destroyed before `ir` (member order below).
+    std::unique_ptr<const ebpf::JitProgram> jit;
     GroupState* group = nullptr;  // owned by Vmm::groups_
     /// Stable position in programs_ — the provenance / event-log program id
     /// (program_name() resolves it back; unload_all clears everything, so

@@ -1,7 +1,8 @@
-// Differential execution gate for the two-tier engine (docs/execution_engine.md).
+// Differential execution gate for the three-tier engine (docs/execution_engine.md).
 //
-// The fast tier (Translator + vm_fast.cpp) must be observationally identical
-// to the tier-0 reference interpreter for every pass-0-valid program:
+// The fast tier (Translator + vm_fast.cpp) and the tier-2 x86-64 JIT
+// (Jit + jit.cpp) must be observationally identical to the tier-0 reference
+// interpreter for every pass-0-valid program:
 //
 //   * identical RunResult — status, value, fault kind, fault pc, fault
 //     detail literal,
@@ -14,7 +15,7 @@
 //   1. a structure-aware mutant corpus: seed programs covering every
 //      instruction family, field-mutated under a fixed-seed RNG, filtered by
 //      the structural verifier (pass 0 is the translator's contract), then
-//      run through both tiers — with the analyzer's safety facts driving
+//      run through every tier — with the analyzer's safety facts driving
 //      check elision whenever the mutant also passes the abstract
 //      interpreter;
 //   2. every extension shipped in src/extensions (the programs that attach
@@ -22,7 +23,10 @@
 //   3. crafted fault-parity cases pinning each fault kind's pc and detail.
 //
 // tools/check.sh fast-vm repeats this binary under both dispatch strategies
-// (computed goto and -DXBGP_SWITCH_DISPATCH=ON) and under TSan/UBSan.
+// (computed goto and -DXBGP_SWITCH_DISPATCH=ON) and under TSan/UBSan;
+// tools/check.sh jit repeats it under ASan and UBSan with the JIT engaged.
+// On hosts where the JIT is unsupported the tier-2 leg self-skips and the
+// two-tier comparison still runs in full.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -36,6 +40,7 @@
 #include "ebpf/assembler.hpp"
 #include "fuzz/seed.hpp"
 #include "ebpf/ir.hpp"
+#include "ebpf/jit.hpp"
 #include "ebpf/translator.hpp"
 #include "ebpf/verifier.hpp"
 #include "ebpf/vm.hpp"
@@ -46,7 +51,7 @@ namespace {
 using namespace xb::ebpf;
 
 // ---------------------------------------------------------------------------
-// Recording harness: runs one program through both tiers on the SAME Vm (so
+// Recording harness: runs one program through every tier on the SAME Vm (so
 // helper tables, memory regions and accounting baselines match exactly) and
 // compares every observable.
 
@@ -77,12 +82,13 @@ class DifferentialHarness {
   Vm& vm() { return vm_; }
 
   /// Runs `program` on one tier from a canonical start state.
-  Observation run_tier(const Program& program, const IrProgram* ir, ExecMode mode,
-                       std::uint64_t r1, std::uint64_t r2) {
+  Observation run_tier(const Program& program, const IrProgram* ir, const JitProgram* jit,
+                       ExecMode mode, std::uint64_t r1, std::uint64_t r2) {
     calls_.clear();
     scratch_.fill(0);
     vm_.zero_stack();
     vm_.set_translated(ir);
+    vm_.set_jit(jit);
     vm_.set_exec_mode(mode);
     const std::uint64_t retired0 = vm_.instructions_retired();
     const std::uint64_t helpers0 = vm_.helper_calls();
@@ -94,22 +100,43 @@ class DifferentialHarness {
     return obs;
   }
 
-  /// Runs both tiers and asserts bit-identical observables. Returns the
-  /// reference observation for further checks.
+  /// Asserts that `got` matches the reference observation bit-for-bit.
+  static void expect_identical(const Observation& got, const Observation& ref,
+                               const std::string& name, const char* tier) {
+    EXPECT_EQ(static_cast<int>(got.result.status), static_cast<int>(ref.result.status))
+        << name << " [" << tier << "]";
+    EXPECT_EQ(got.result.value, ref.result.value) << name << " [" << tier << "]";
+    EXPECT_EQ(static_cast<int>(got.result.fault.kind), static_cast<int>(ref.result.fault.kind))
+        << name << " [" << tier << "]";
+    EXPECT_EQ(got.result.fault.pc, ref.result.fault.pc) << name << " [" << tier << "]";
+    EXPECT_STREQ(got.result.fault.detail, ref.result.fault.detail)
+        << name << " [" << tier << "]";
+    EXPECT_EQ(got.retired, ref.retired) << name << " [" << tier << "]";
+    EXPECT_EQ(got.helper_calls, ref.helper_calls) << name << " [" << tier << "]";
+    EXPECT_EQ(got.calls, ref.calls)
+        << name << " [" << tier << "]: helper-call sequences diverge";
+  }
+
+  /// True when tier 2 can actually execute in this build/host/env.
+  static bool jit_available() { return Jit::supported() && Jit::enabled_by_env(); }
+
+  /// Runs every available tier and asserts bit-identical observables.
+  /// Returns the reference observation for further checks.
   Observation compare(const Program& program, const IrProgram& ir, std::uint64_t r1 = 0,
                       std::uint64_t r2 = 0) {
-    const Observation ref = run_tier(program, nullptr, ExecMode::kReference, r1, r2);
-    const Observation fast = run_tier(program, &ir, ExecMode::kFast, r1, r2);
-    EXPECT_EQ(static_cast<int>(fast.result.status), static_cast<int>(ref.result.status))
-        << program.name();
-    EXPECT_EQ(fast.result.value, ref.result.value) << program.name();
-    EXPECT_EQ(static_cast<int>(fast.result.fault.kind), static_cast<int>(ref.result.fault.kind))
-        << program.name();
-    EXPECT_EQ(fast.result.fault.pc, ref.result.fault.pc) << program.name();
-    EXPECT_STREQ(fast.result.fault.detail, ref.result.fault.detail) << program.name();
-    EXPECT_EQ(fast.retired, ref.retired) << program.name();
-    EXPECT_EQ(fast.helper_calls, ref.helper_calls) << program.name();
-    EXPECT_EQ(fast.calls, ref.calls) << program.name() << ": helper-call sequences diverge";
+    const Observation ref = run_tier(program, nullptr, nullptr, ExecMode::kReference, r1, r2);
+    const Observation fast = run_tier(program, &ir, nullptr, ExecMode::kFast, r1, r2);
+    expect_identical(fast, ref, program.name(), "fast");
+    if (jit_available()) {
+      const Jit::Result jr = Jit::compile(ir);
+      EXPECT_TRUE(jr.ok()) << program.name() << ": JIT declined (" << to_string(jr.declined)
+                           << ") on a supported host";
+      if (jr.ok()) {
+        const Observation jit =
+            run_tier(program, &ir, jr.program.get(), ExecMode::kJit, r1, r2);
+        expect_identical(jit, ref, program.name(), "jit");
+      }
+    }
     return ref;
   }
 
@@ -280,7 +307,7 @@ std::vector<Insn> mutate(std::vector<Insn> insns, std::mt19937& rng) {
   return insns;
 }
 
-TEST(DifferentialFuzz, MutantCorpusRunsIdenticallyOnBothTiers) {
+TEST(DifferentialFuzz, MutantCorpusRunsIdenticallyOnAllTiers) {
   const std::set<std::int32_t> helpers = all_helper_ids();
   const std::vector<Program> seeds = seed_corpus();
   DifferentialHarness harness(4096);  // small budget: exercises exhaustion parity
@@ -322,7 +349,7 @@ TEST(DifferentialFuzz, MutantCorpusRunsIdenticallyOnBothTiers) {
 // ---------------------------------------------------------------------------
 // 2. Every shipped extension, on recording helpers.
 
-TEST(DifferentialFuzz, ShippedExtensionsRunIdenticallyOnBothTiers) {
+TEST(DifferentialFuzz, ShippedExtensionsRunIdenticallyOnAllTiers) {
   const xb::xbgp::ProgramRegistry registry = xb::ext::default_registry();
   const std::vector<std::string> names = registry.names();
   ASSERT_FALSE(names.empty());
@@ -442,14 +469,18 @@ TEST(DifferentialFault, HelperReportsError) {
   DifferentialHarness harness;
   harness.vm().set_helper(3, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
                                 std::uint64_t) { return HelperResult::fail("boom"); });
-  const Observation ref = harness.run_tier(p, nullptr, ExecMode::kReference, 0, 0);
-  const Observation fast = harness.run_tier(p, &ir, ExecMode::kFast, 0, 0);
+  const Observation ref = harness.run_tier(p, nullptr, nullptr, ExecMode::kReference, 0, 0);
   ASSERT_TRUE(ref.result.faulted());
   EXPECT_EQ(static_cast<int>(ref.result.fault.kind), static_cast<int>(FaultKind::kHelperError));
   EXPECT_STREQ(ref.result.fault.detail, "boom");
-  EXPECT_EQ(static_cast<int>(fast.result.fault.kind), static_cast<int>(ref.result.fault.kind));
-  EXPECT_EQ(fast.result.fault.pc, ref.result.fault.pc);
-  EXPECT_STREQ(fast.result.fault.detail, ref.result.fault.detail);
+  const Observation fast = harness.run_tier(p, &ir, nullptr, ExecMode::kFast, 0, 0);
+  DifferentialHarness::expect_identical(fast, ref, p.name(), "fast");
+  if (DifferentialHarness::jit_available()) {
+    const Jit::Result jr = Jit::compile(ir);
+    ASSERT_TRUE(jr.ok());
+    const Observation jit = harness.run_tier(p, &ir, jr.program.get(), ExecMode::kJit, 0, 0);
+    DifferentialHarness::expect_identical(jit, ref, p.name(), "jit");
+  }
 }
 
 TEST(DifferentialFault, HelperYieldsNext) {
@@ -462,11 +493,18 @@ TEST(DifferentialFault, HelperYieldsNext) {
   DifferentialHarness harness;
   harness.vm().set_helper(1, [](std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
                                 std::uint64_t) { return HelperResult::next(); });
-  const Observation ref = harness.run_tier(p, nullptr, ExecMode::kReference, 0, 0);
-  const Observation fast = harness.run_tier(p, &ir, ExecMode::kFast, 0, 0);
+  const Observation ref = harness.run_tier(p, nullptr, nullptr, ExecMode::kReference, 0, 0);
+  const Observation fast = harness.run_tier(p, &ir, nullptr, ExecMode::kFast, 0, 0);
   EXPECT_TRUE(ref.result.yielded_next());
   EXPECT_TRUE(fast.result.yielded_next());
   EXPECT_EQ(fast.retired, ref.retired);
+  if (DifferentialHarness::jit_available()) {
+    const Jit::Result jr = Jit::compile(ir);
+    ASSERT_TRUE(jr.ok());
+    const Observation jit = harness.run_tier(p, &ir, jr.program.get(), ExecMode::kJit, 0, 0);
+    EXPECT_TRUE(jit.result.yielded_next());
+    EXPECT_EQ(jit.retired, ref.retired);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -551,12 +589,12 @@ TEST(Translator, FusesLddwAndResolvesJumps) {
 
 // ---------------------------------------------------------------------------
 // 5. Elision oracle: the analyzer's ProofTable may only remove checks that
-// provably always pass.  Every mutant and every shipped extension runs three
+// provably always pass.  Every mutant and every shipped extension runs five
 // ways — tier 0, tier 1 with all checks retained, tier 1 with proven checks
-// elided — and all three observations (result, fault kind/pc/detail, helper
-// sequence, retirement) must be identical.  An unsound proof shows up here
-// as a divergence (or a crash under the sanitizer gates, which re-run this
-// binary).
+// elided, and (where supported) tier 2 compiled from each IR — and all
+// observations (result, fault kind/pc/detail, helper sequence, retirement)
+// must be identical.  An unsound proof shows up here as a divergence (or a
+// crash under the sanitizer gates, which re-run this binary).
 
 /// Contracts matching the recorder helpers bound by DifferentialHarness:
 /// ids 2/6/13/15/17 always return the 4096-byte writable scratch region and
@@ -654,20 +692,29 @@ std::vector<Program> elision_seed_corpus() {
 
 void oracle_compare(DifferentialHarness& harness, const Program& p, const IrProgram& checked,
                     const IrProgram& elided, std::uint64_t r1, std::uint64_t r2) {
-  const Observation ref = harness.run_tier(p, nullptr, ExecMode::kReference, r1, r2);
-  const Observation a = harness.run_tier(p, &checked, ExecMode::kFast, r1, r2);
-  const Observation b = harness.run_tier(p, &elided, ExecMode::kFast, r1, r2);
-  for (const Observation* o : {&a, &b}) {
-    EXPECT_EQ(static_cast<int>(o->result.status), static_cast<int>(ref.result.status))
-        << p.name();
-    EXPECT_EQ(o->result.value, ref.result.value) << p.name();
-    EXPECT_EQ(static_cast<int>(o->result.fault.kind), static_cast<int>(ref.result.fault.kind))
-        << p.name();
-    EXPECT_EQ(o->result.fault.pc, ref.result.fault.pc) << p.name();
-    EXPECT_STREQ(o->result.fault.detail, ref.result.fault.detail) << p.name();
-    EXPECT_EQ(o->retired, ref.retired) << p.name();
-    EXPECT_EQ(o->helper_calls, ref.helper_calls) << p.name();
-    EXPECT_EQ(o->calls, ref.calls) << p.name() << ": helper-call sequences diverge";
+  const Observation ref = harness.run_tier(p, nullptr, nullptr, ExecMode::kReference, r1, r2);
+  const Observation a = harness.run_tier(p, &checked, nullptr, ExecMode::kFast, r1, r2);
+  DifferentialHarness::expect_identical(a, ref, p.name(), "fast-checked");
+  const Observation b = harness.run_tier(p, &elided, nullptr, ExecMode::kFast, r1, r2);
+  DifferentialHarness::expect_identical(b, ref, p.name(), "fast-elided");
+  if (DifferentialHarness::jit_available()) {
+    // Tier 2 must honour the same proofs: a native image compiled from the
+    // fully-checked IR and one compiled from the elided IR both match tier 0.
+    const Jit::Result jc = Jit::compile(checked);
+    const Jit::Result je = Jit::compile(elided);
+    EXPECT_TRUE(jc.ok() && je.ok()) << p.name() << ": JIT declined on a supported host";
+    if (jc.ok()) {
+      const Observation c =
+          harness.run_tier(p, &checked, jc.program.get(), ExecMode::kJit, r1, r2);
+      DifferentialHarness::expect_identical(c, ref, p.name(), "jit-checked");
+    }
+    if (je.ok()) {
+      EXPECT_EQ(je.program->elided_checks(), elided.elided_checks) << p.name();
+      EXPECT_EQ(je.program->elided_obj_checks(), elided.elided_obj_checks) << p.name();
+      const Observation d =
+          harness.run_tier(p, &elided, je.program.get(), ExecMode::kJit, r1, r2);
+      DifferentialHarness::expect_identical(d, ref, p.name(), "jit-elided");
+    }
   }
 }
 

@@ -1,0 +1,238 @@
+// Tier-2 JIT decline/fallback coverage (docs/execution_engine.md, fallback
+// matrix). Every way a compilation can decline — env knob, allocation
+// failure, unsupported op — must leave the program running tier 1 with
+// bit-identical results, bump the right fallbacks counter, and never surface
+// as an error. The fault-for-fault execution parity itself is gated by
+// ebpf_differential_test.cpp; this file covers the paths where tier 2 is
+// *absent*.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "ebpf/analyzer.hpp"
+#include "ebpf/assembler.hpp"
+#include "ebpf/codebuf.hpp"
+#include "ebpf/jit.hpp"
+#include "ebpf/translator.hpp"
+#include "ebpf/vm.hpp"
+#include "xbgp/vmm.hpp"
+
+namespace {
+
+using namespace xb;
+using namespace xb::ebpf;
+using xbgp::Manifest;
+using xbgp::Op;
+using xbgp::Vmm;
+
+/// Minimal host: the test programs never touch the host API.
+class StubHost : public xbgp::HostApi {
+ public:
+  bool peer_info(const xbgp::ExecContext&, xbgp::PeerInfo&) override { return false; }
+  bool src_peer_info(const xbgp::ExecContext&, xbgp::PeerInfo&) override { return false; }
+  std::optional<bgp::WireAttr> get_attr(const xbgp::ExecContext&, std::uint8_t) override {
+    return std::nullopt;
+  }
+  bool set_attr(xbgp::ExecContext&, bgp::WireAttr) override { return false; }
+  bool add_attr(xbgp::ExecContext&, bgp::WireAttr) override { return false; }
+  bool nexthop_info(const xbgp::ExecContext&, xbgp::NexthopInfo&) override { return false; }
+  std::span<const std::uint8_t> get_xtra(std::string_view) override { return {}; }
+  bool write_buf(xbgp::ExecContext&, std::span<const std::uint8_t>) override { return false; }
+  bool rib_add_route(const util::Prefix&, util::Ipv4Addr) override { return false; }
+  std::optional<util::Ipv4Addr> rib_lookup(const util::Prefix&) override {
+    return std::nullopt;
+  }
+  bool set_route_meta(xbgp::ExecContext&, std::uint32_t) override { return false; }
+  std::optional<std::uint32_t> get_route_meta(const xbgp::ExecContext&) override {
+    return std::nullopt;
+  }
+  void notify_extension_fault(const xbgp::FaultInfo&) override {}
+  void ebpf_print(std::string_view) override {}
+};
+
+/// Scoped XBGP_JIT override; restores the previous value on destruction.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* value) {
+    const char* old = std::getenv("XBGP_JIT");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("XBGP_JIT", value, 1);
+    } else {
+      ::unsetenv("XBGP_JIT");
+    }
+  }
+  ~EnvGuard() {
+    if (had_old_) {
+      ::setenv("XBGP_JIT", old_.c_str(), 1);
+    } else {
+      ::unsetenv("XBGP_JIT");
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+Program arith_loop_program(const char* name) {
+  Assembler a;
+  auto head = a.make_label();
+  auto done = a.make_label();
+  a.mov64(Reg::R0, 0);
+  a.mov64(Reg::R2, 0);
+  a.place(head);
+  a.jge(Reg::R2, 16, done);
+  a.add64(Reg::R0, Reg::R2);
+  a.xor64(Reg::R0, 0x21);
+  a.add64(Reg::R2, 1);
+  a.ja(head);
+  a.place(done);
+  a.exit_();
+  return a.build(name);
+}
+
+IrProgram translate(const Program& p) {
+  AnalysisResult analysis = Analyzer::analyze(p, p.required_helpers());
+  return Translator::translate(p, analysis.ok() ? &analysis.facts : nullptr);
+}
+
+RunResult run_mode(Vm& vm, const Program& p, const IrProgram* ir, const JitProgram* jit,
+                   ExecMode mode) {
+  vm.zero_stack();
+  vm.set_translated(ir);
+  vm.set_jit(jit);
+  vm.set_exec_mode(mode);
+  return vm.run(p);
+}
+
+TEST(JitFallback, EnvKnobDisablesCompilation) {
+  if (!Jit::supported()) GTEST_SKIP() << "tier 2 unsupported on this host";
+  const Program p = arith_loop_program("env_knob");
+  const IrProgram ir = translate(p);
+  {
+    EnvGuard off("off");
+    EXPECT_FALSE(Jit::enabled_by_env());
+    const Jit::Result r = Jit::compile(ir);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.declined, JitFallback::kDisabled);
+  }
+  {
+    EnvGuard zero("0");
+    EXPECT_FALSE(Jit::enabled_by_env());
+  }
+  {
+    EnvGuard on("on");
+    EXPECT_TRUE(Jit::enabled_by_env());
+    EXPECT_TRUE(Jit::compile(ir).ok());
+  }
+}
+
+TEST(JitFallback, AllocationFailureDeclines) {
+  if (!Jit::supported()) GTEST_SKIP() << "tier 2 unsupported on this host";
+  EnvGuard on(nullptr);
+  const Program p = arith_loop_program("alloc_fail");
+  const IrProgram ir = translate(p);
+  CodeBuf::set_fail_allocations_for_test(true);
+  const Jit::Result r = Jit::compile(ir);
+  CodeBuf::set_fail_allocations_for_test(false);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.declined, JitFallback::kAllocFailed);
+  EXPECT_TRUE(Jit::compile(ir).ok()) << "hook must not stick";
+}
+
+TEST(JitFallback, UnsupportedOpDeclines) {
+  if (!Jit::supported()) GTEST_SKIP() << "tier 2 unsupported on this host";
+  EnvGuard on(nullptr);
+  const Program p = arith_loop_program("reject_ops");
+  const IrProgram ir = translate(p);
+  Jit::Options opts;
+  opts.reject_ops_for_test = true;
+  const Jit::Result r = Jit::compile(ir, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.declined, JitFallback::kUnsupportedOp);
+}
+
+TEST(JitFallback, DeclinedProgramRunsTier1Identically) {
+  const Program p = arith_loop_program("declined");
+  const IrProgram ir = translate(p);
+  Vm vm;
+  // kJit requested but no native image attached (the compile declined):
+  // effective_mode degrades to the fast tier, results unchanged.
+  const RunResult ref = run_mode(vm, p, &ir, nullptr, ExecMode::kReference);
+  const std::uint64_t retired_ref = vm.instructions_retired();
+  const RunResult degraded = run_mode(vm, p, &ir, nullptr, ExecMode::kJit);
+  EXPECT_EQ(vm.effective_mode(), ExecMode::kFast);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded.value, ref.value);
+  EXPECT_EQ(vm.instructions_retired(), 2 * retired_ref);
+}
+
+TEST(JitFallback, VmmCountsDisabledFallbackAndRunsTier1) {
+  if (!Jit::supported()) GTEST_SKIP() << "tier 2 unsupported on this host";
+  EnvGuard off("off");
+  StubHost host;
+  Vmm vmm(host);
+  Manifest m;
+  m.attach("p", Op::kInboundFilter, arith_loop_program("p"));
+  vmm.load(m);
+
+  const Vmm::TranslationStats& t = vmm.translation_stats();
+  EXPECT_EQ(t.jit_compiled, 0u);
+  EXPECT_EQ(t.jit_code_bytes, 0u);
+  EXPECT_EQ(t.jit_fallbacks[static_cast<std::size_t>(JitFallback::kDisabled)], 1u);
+
+  xbgp::ExecContext ctx;
+  const std::uint64_t got = vmm.execute(Op::kInboundFilter, ctx, [] { return 1ull; });
+  EXPECT_EQ(vmm.stats().tier_runs[static_cast<std::size_t>(ExecMode::kFast)], 1u);
+  EXPECT_EQ(vmm.stats().tier_runs[static_cast<std::size_t>(ExecMode::kJit)], 0u);
+
+  // Same manifest with the JIT engaged: same value, tier-2 run counter.
+  EnvGuard on("on");
+  Vmm vmm2(host);
+  vmm2.load(m);
+  const Vmm::TranslationStats& t2 = vmm2.translation_stats();
+  EXPECT_EQ(t2.jit_compiled, 1u);
+  EXPECT_GT(t2.jit_code_bytes, 0u);
+  xbgp::ExecContext ctx2;
+  EXPECT_EQ(vmm2.execute(Op::kInboundFilter, ctx2, [] { return 1ull; }), got);
+  EXPECT_EQ(vmm2.stats().tier_runs[static_cast<std::size_t>(ExecMode::kJit)], 1u);
+}
+
+TEST(JitProgramMeta, ElisionCountersCarryOverFromIr) {
+  if (!Jit::supported()) GTEST_SKIP() << "tier 2 unsupported on this host";
+  EnvGuard on(nullptr);
+  Assembler a;
+  a.stdw(Reg::R10, -8, 42);
+  a.ldxdw(Reg::R0, Reg::R10, -8);
+  a.exit_();
+  const Program p = a.build("elide_me");
+  const IrProgram ir = translate(p);
+  ASSERT_EQ(ir.elided_checks, 2u);
+  const Jit::Result r = Jit::compile(ir);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program->elided_checks(), 2u);
+  EXPECT_EQ(r.program->elided_obj_checks(), 0u);
+  EXPECT_EQ(r.program->checked_accesses(), 0u);
+  EXPECT_GT(r.program->code_bytes(), 0u);
+
+  Vm vm;
+  const RunResult res = run_mode(vm, p, &ir, r.program.get(), ExecMode::kJit);
+  EXPECT_EQ(vm.effective_mode(), ExecMode::kJit);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value, 42u);
+}
+
+TEST(JitPreferredMode, MatchesHostSupport) {
+  if (Jit::supported()) {
+    EXPECT_EQ(Jit::preferred_exec_mode(), ExecMode::kJit);
+  } else {
+    EXPECT_EQ(Jit::preferred_exec_mode(), ExecMode::kFast);
+  }
+}
+
+}  // namespace

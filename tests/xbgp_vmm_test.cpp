@@ -471,7 +471,10 @@ TEST(Vmm, UnloadAllRestoresNative) {
   EXPECT_FALSE(vmm.any_attached(Op::kInboundFilter));
 }
 
-TEST(Vmm, FastTierIsDefaultAndCounted) {
+TEST(Vmm, PreferredTierIsDefaultAndCounted) {
+  // The default engine is the JIT where the host supports it (and the env
+  // does not veto it), the fast interpreter otherwise; either way the run
+  // lands on that tier's counter and never on the reference tier.
   FakeHost host;
   Vmm vmm(host);
   Manifest m;
@@ -482,7 +485,8 @@ TEST(Vmm, FastTierIsDefaultAndCounted) {
   EXPECT_GT(tstats.ir_insns, 0u);
   ExecContext ctx;
   EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 7ull; }), 42u);
-  EXPECT_EQ(vmm.stats().tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kFast)], 1u);
+  const auto preferred = ebpf::Jit::preferred_exec_mode();
+  EXPECT_EQ(vmm.stats().tier_runs[static_cast<std::size_t>(preferred)], 1u);
   EXPECT_EQ(vmm.stats().tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kReference)], 0u);
 }
 
@@ -524,7 +528,7 @@ TEST(Vmm, TiersAgreeOnHelperHeavyProgram) {
 
 TEST(Vmm, SetExecModeSwitchesTiersAtRunTime) {
   FakeHost host;
-  Vmm vmm(host);  // fast by default
+  Vmm vmm(host);  // preferred tier (jit where supported) by default
   Manifest m;
   m.attach("p", Op::kInboundFilter, const_program("p", 42));
   vmm.load(m);
@@ -533,10 +537,16 @@ TEST(Vmm, SetExecModeSwitchesTiersAtRunTime) {
   EXPECT_TRUE(vmm.set_exec_mode("p", ebpf::ExecMode::kReference));
   EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 42u);
   EXPECT_FALSE(vmm.set_exec_mode("no_such_program", ebpf::ExecMode::kFast));
-  vmm.set_exec_mode(ebpf::ExecMode::kFast);  // global switch back
+  vmm.set_exec_mode(ebpf::ExecMode::kFast);  // global switch: force tier 1
   EXPECT_EQ(vmm.execute(Op::kInboundFilter, ctx, [] { return 0ull; }), 42u);
+  // Run 1 lands on the preferred tier, run 2 on the reference tier, run 3 on
+  // the fast tier; on hosts without a JIT the preferred tier IS the fast tier.
   const auto stats = vmm.stats();
-  EXPECT_EQ(stats.tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kFast)], 2u);
+  const bool jit_preferred = ebpf::Jit::preferred_exec_mode() == ebpf::ExecMode::kJit;
+  EXPECT_EQ(stats.tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kJit)],
+            jit_preferred ? 1u : 0u);
+  EXPECT_EQ(stats.tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kFast)],
+            jit_preferred ? 1u : 2u);
   EXPECT_EQ(stats.tier_runs[static_cast<std::size_t>(ebpf::ExecMode::kReference)], 1u);
 }
 

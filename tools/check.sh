@@ -17,6 +17,12 @@
 #                                  # strategies (computed goto and the
 #                                  # portable switch), then again under TSan
 #                                  # and UBSan
+#   tools/check.sh jit             # tier-2 JIT gate: the three-tier
+#                                  # differential fuzz + conformance + JIT
+#                                  # fallback suites with the native backend
+#                                  # engaged, under both tier-1 dispatch
+#                                  # strategies (the deopt target), then
+#                                  # again under ASan and UBSan
 #   tools/check.sh static          # static-analysis gate: -Werror build,
 #                                  # xbgp_lint over every shipped extension
 #                                  # diffed against tools/lint_baseline.txt
@@ -98,6 +104,42 @@ if [ "$MODE" = "fast-vm" ]; then
     cmake --build "$BUILD" -j "$NPROC" --target ebpf_differential_test
     ctest --test-dir "$BUILD" --output-on-failure \
       -R 'DifferentialFuzz|DifferentialFault|ElisionOracle'
+  done
+  exit 0
+fi
+
+# The jit mode is the tier-2 gate: the three-tier differential fuzz (every
+# tier must be fault-for-fault identical to the reference interpreter), the
+# conformance table, and the fallback/decline suite, with the JIT engaged.
+# It runs under both tier-1 dispatch strategies — the deopt path resumes in
+# that interpreter, so both of its builds must agree with native code — and
+# then under ASan and UBSan: generated code runs inside the sanitized
+# process, so the shims, the deopt resume and every C++ edge of the
+# trampoline ABI are fully instrumented.
+if [ "$MODE" = "jit" ]; then
+  NPROC="$(nproc 2>/dev/null || echo 4)"
+  FILTER='DifferentialFuzz|DifferentialFault|ElisionOracle|JitFallback|JitProgramMeta|JitPreferredMode|Conformance'
+
+  BUILD="$ROOT/build-fastvm"
+  cmake -B "$BUILD" -S "$ROOT" -DXBGP_SWITCH_DISPATCH=OFF
+  cmake --build "$BUILD" -j "$NPROC" \
+    --target ebpf_differential_test ebpf_conformance_test ebpf_jit_test
+  ctest --test-dir "$BUILD" --output-on-failure -R "$FILTER"
+
+  BUILD="$ROOT/build-fastvm-switch"
+  cmake -B "$BUILD" -S "$ROOT" -DXBGP_SWITCH_DISPATCH=ON
+  cmake --build "$BUILD" -j "$NPROC" \
+    --target ebpf_differential_test ebpf_conformance_test ebpf_jit_test
+  ctest --test-dir "$BUILD" --output-on-failure -R "$FILTER"
+
+  for SAN_MODE in address ubsan; do
+    SAN=address
+    [ "$SAN_MODE" = "ubsan" ] && SAN=undefined
+    BUILD="$ROOT/build-san-$SAN_MODE"
+    cmake -B "$BUILD" -S "$ROOT" -DXBGP_SANITIZE="$SAN"
+    cmake --build "$BUILD" -j "$NPROC" --target ebpf_differential_test ebpf_jit_test
+    ctest --test-dir "$BUILD" --output-on-failure \
+      -R 'DifferentialFuzz|DifferentialFault|ElisionOracle|JitFallback'
   done
   exit 0
 fi

@@ -107,7 +107,17 @@ int main(int argc, char** argv) {
     engine += count_dir(root / f);
   }
   std::printf("execution engine (ir+translator+vm_fast): %zu LoC, tier 1 of the "
-              "two-tier eBPF VM\n", engine);
+              "three-tier eBPF VM\n", engine);
+
+  // The tier-2 x86-64 JIT (docs/execution_engine.md): also part of the eBPF
+  // row, broken out because it is the native-code backend.
+  std::size_t jit = 0;
+  for (const char* f : {"src/ebpf/jit.hpp", "src/ebpf/jit.cpp", "src/ebpf/codebuf.hpp",
+                        "src/ebpf/codebuf.cpp"}) {
+    jit += count_dir(root / f);
+  }
+  std::printf("jit backend (jit+codebuf): %zu LoC, tier 2 of the three-tier "
+              "eBPF VM\n", jit);
 
   // The control-plane flight recorder (docs/observability.md): part of the
   // telemetry-spine row above, broken out because it is the provenance /

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "ebpf/jit.hpp"
 #include "extensions/geoloc.hpp"
 #include "extensions/origin_validation.hpp"
 #include "extensions/route_reflection.hpp"
@@ -49,6 +50,9 @@ struct Report {
   std::string jsonl;  // accumulated span lines across runs
   std::uint64_t faults = 0;
   std::uint64_t spans = 0;
+  std::uint64_t jit_compiled = 0;  // tier-2 images built across runs
+  std::uint64_t jit_runs = 0;      // executions on the native tier
+  bool jit_series_missing = false; // any tier-2 telemetry series absent
 };
 
 const char* verdict_name(std::uint8_t cls) {
@@ -98,6 +102,34 @@ void render(const char* host, const char* use_case, RouterT& dut, Report& rep,
               static_cast<unsigned long long>(fallbacks ? fallbacks->value : 0),
               spans.size(), static_cast<unsigned long long>(faults),
               fault_line.c_str());
+
+  // Tier-2 JIT telemetry: compiled images, native code footprint, executions
+  // on the native tier, and declined compilations by reason. The smoke gate
+  // requires every series to exist, and — on hosts where the JIT is engaged —
+  // at least one compiled image and one native run across the use cases.
+  const auto* jit_compiled = snap.find("xbgp_vmm_jit_compiled_total");
+  const auto* jit_bytes = snap.find("xbgp_vmm_jit_code_bytes");
+  const auto* jit_runs = snap.find("xbgp_vmm_tier_runs_total{tier=\"jit\"}");
+  std::uint64_t jit_declined = 0;
+  bool fallback_series_present = true;
+  for (std::size_t i = 1; i < ebpf::kJitFallbackCount; ++i) {
+    const auto* mv =
+        snap.find(std::string("xbgp_vmm_jit_fallbacks_total{reason=\"") +
+                  to_string(static_cast<ebpf::JitFallback>(i)) + "\"}");
+    if (mv == nullptr) fallback_series_present = false;
+    else jit_declined += mv->value;
+  }
+  std::printf("  jit: compiled=%llu code_bytes=%llu native_runs=%llu declined=%llu\n",
+              static_cast<unsigned long long>(jit_compiled ? jit_compiled->value : 0),
+              static_cast<unsigned long long>(jit_bytes ? jit_bytes->value : 0),
+              static_cast<unsigned long long>(jit_runs ? jit_runs->value : 0),
+              static_cast<unsigned long long>(jit_declined));
+  rep.jit_compiled += jit_compiled ? jit_compiled->value : 0;
+  rep.jit_runs += jit_runs ? jit_runs->value : 0;
+  if (jit_compiled == nullptr || jit_bytes == nullptr || jit_runs == nullptr ||
+      !fallback_series_present) {
+    rep.jit_series_missing = true;
+  }
 
   // Per-prefix churn from the flap oracle: the worst offenders by decayed
   // penalty, plus the router-wide quiescence verdict.
@@ -326,6 +358,16 @@ int main(int argc, char** argv) {
   if (rep.faults != 0) {
     std::fprintf(stderr, "xbgp_stats: %llu extension fault(s) during the runs\n",
                  static_cast<unsigned long long>(rep.faults));
+    return 1;
+  }
+  if (rep.jit_series_missing) {
+    std::fprintf(stderr, "xbgp_stats: tier-2 JIT telemetry series missing\n");
+    return 1;
+  }
+  if (ebpf::Jit::supported() && ebpf::Jit::enabled_by_env() &&
+      (rep.jit_compiled == 0 || rep.jit_runs == 0)) {
+    std::fprintf(stderr,
+                 "xbgp_stats: JIT engaged but no compiled image / native run recorded\n");
     return 1;
   }
   return 0;
